@@ -1,0 +1,391 @@
+//! The video-conferencing application (paper §4 and §5.2).
+//!
+//! "Conceptually, this application involves combining streams of ... video
+//! data from multiple participants and sending the composite streams back
+//! out to the participants." Three versions exist, exactly as measured in
+//! the paper:
+//!
+//! * a **socket baseline** with a single-threaded mixer
+//!   ([`crate::sockets`], §5.2 version 1);
+//! * a **D-Stampede version with a single-threaded mixer**
+//!   ([`MixerKind::SingleThreaded`], version 2);
+//! * a **D-Stampede version with a multi-threaded mixer** — one thread per
+//!   client, each mixing its part of the composite, a designated step
+//!   placing the finished composite in the output channel
+//!   ([`MixerKind::MultiThreaded`], version 3).
+//!
+//! Structure (Figure 5): each client's producer puts timestamped frames
+//! into its own channel `C_j` (created in the surrogate's address space);
+//! the mixer in address space `N_M` gets *corresponding timestamped*
+//! frames from every `C_j`, composites, and puts into channel `C_0`; each
+//! client's display gets composites from `C_0`. Cameras and displays are
+//! virtual (memory buffers), as in the paper's controlled study.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dstampede_clf::{NetProfile, ShapedStream};
+use dstampede_client::EndDevice;
+use dstampede_core::{
+    ChannelAttrs, GetSpec, Interest, Item, OverflowPolicy, ResourceId, StmError, StmResult,
+    Timestamp,
+};
+use dstampede_runtime::{Cluster, ClusterBuilder};
+use dstampede_wire::WaitSpec;
+
+use crate::frame::{composite, make_frame, mix_region, validate_composite_region};
+use crate::metrics::{AppMeasurement, FpsMeter};
+
+/// How the mixer exploits parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixerKind {
+    /// One mixer thread serves every client stream in turn (version 2).
+    SingleThreaded,
+    /// One mixer thread per client, mixing its composite region in
+    /// parallel (version 3).
+    MultiThreaded,
+}
+
+/// Parameters of one conference run.
+#[derive(Debug, Clone)]
+pub struct ConferenceConfig {
+    /// Number of participating clients (K).
+    pub clients: usize,
+    /// Per-client image size in bytes (S).
+    pub image_size: usize,
+    /// Frames each producer generates.
+    pub frames: i64,
+    /// Frames each display skips before measuring.
+    pub warmup: u64,
+    /// Mixer parallelism.
+    pub mixer: MixerKind,
+    /// Shaping on each client's TCP link to the cluster.
+    pub client_profile: NetProfile,
+    /// Shaping on the cluster's inter-address-space links (models the
+    /// mixer node's egress, the paper's Table 1 bottleneck).
+    pub cluster_profile: NetProfile,
+    /// Capacity bound of every channel (flow control).
+    pub channel_capacity: u32,
+}
+
+impl Default for ConferenceConfig {
+    fn default() -> Self {
+        ConferenceConfig {
+            clients: 2,
+            image_size: 74 * 1024,
+            frames: 60,
+            warmup: 10,
+            mixer: MixerKind::SingleThreaded,
+            client_profile: NetProfile::LOOPBACK,
+            cluster_profile: NetProfile::LOOPBACK,
+            channel_capacity: 4,
+        }
+    }
+}
+
+/// The outcome of one conference run.
+#[derive(Debug, Clone)]
+pub struct ConferenceReport {
+    /// K, S and the sustained frame rate at the *slowest* display (the
+    /// paper's reporting convention).
+    pub measurement: AppMeasurement,
+    /// Sustained frame rate at every display.
+    pub per_client_fps: Vec<f64>,
+    /// Composite frames validated end to end across all displays.
+    pub validated_frames: u64,
+}
+
+impl fmt::Display for ConferenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (validated {})",
+            self.measurement, self.validated_frames
+        )
+    }
+}
+
+fn attach_client(
+    addr: std::net::SocketAddr,
+    profile: NetProfile,
+    name: &str,
+) -> StmResult<EndDevice> {
+    if profile.is_transparent() {
+        EndDevice::attach_c(addr, name)
+    } else {
+        let stream = dstampede_clf::tcp_connect(addr).map_err(|_| StmError::Disconnected)?;
+        EndDevice::attach_over(
+            Box::new(ShapedStream::new(stream, profile)),
+            dstampede_wire::CodecId::Xdr,
+            name,
+        )
+    }
+}
+
+/// Runs the D-Stampede version of the conference and reports sustained
+/// frame rates.
+///
+/// # Errors
+///
+/// Propagates any runtime error from the pipeline; a clean run returns
+/// the report.
+pub fn run_dstampede_conference(cfg: &ConferenceConfig) -> StmResult<ConferenceReport> {
+    assert!(cfg.clients >= 1, "need at least one client");
+    // N_1 (listener AS for all end devices, hosts the name server) and
+    // N_M (the mixer's address space).
+    let cluster: Cluster = ClusterBuilder::new()
+        .address_spaces(2)
+        .shaped(cfg.cluster_profile)
+        .build()?;
+    let listener_addr = cluster.listener_addr(0)?;
+    let mixer_space = cluster.space(1)?;
+
+    let chan_attrs = ChannelAttrs::builder()
+        .capacity(cfg.channel_capacity)
+        .overflow(OverflowPolicy::Block)
+        .build();
+
+    // C_0 lives in N_M.
+    let c0 = mixer_space.create_channel(Some("composite".into()), chan_attrs);
+    mixer_space.ns_register("conference/composite", ResourceId::Channel(c0.id()), "")?;
+
+    // ---- client producers ----
+    let mut producer_handles = Vec::new();
+    for j in 0..cfg.clients {
+        let cfg = cfg.clone();
+        producer_handles.push(std::thread::spawn(move || -> StmResult<()> {
+            let device = attach_client(listener_addr, cfg.client_profile, &format!("cam-{j}"))?;
+            let chan = device.create_channel(None, chan_attrs)?;
+            device.ns_register(
+                &format!("conference/client{j}"),
+                ResourceId::Channel(chan),
+                "",
+            )?;
+            let out = device.connect_channel_out(chan)?;
+            for ts in 0..cfg.frames {
+                let frame = make_frame(j as u32, ts, cfg.image_size);
+                out.put(Timestamp::new(ts), frame, WaitSpec::Forever)?;
+            }
+            drop(out);
+            device.detach()
+        }));
+    }
+
+    // ---- mixer in N_M ----
+    let mixer_cfg = cfg.clone();
+    let mixer_space2 = Arc::clone(&mixer_space);
+    let c0_id = c0.id();
+    let mixer_handle = std::thread::spawn(move || -> StmResult<()> {
+        // Rendezvous: wait for every client channel to register.
+        let mut inputs = Vec::with_capacity(mixer_cfg.clients);
+        for j in 0..mixer_cfg.clients {
+            let (res, _) = mixer_space2.ns_lookup_wait(&format!("conference/client{j}"), None)?;
+            let ResourceId::Channel(id) = res else {
+                return Err(StmError::Protocol("client registered a non-channel".into()));
+            };
+            inputs.push(
+                mixer_space2
+                    .open_channel(id)?
+                    .connect_input(Interest::FromEarliest)?,
+            );
+        }
+        let output = Arc::new(mixer_space2.open_channel(c0_id)?.connect_output()?);
+
+        match mixer_cfg.mixer {
+            MixerKind::SingleThreaded => {
+                for ts in 0..mixer_cfg.frames {
+                    let t = Timestamp::new(ts);
+                    let mut parts = Vec::with_capacity(inputs.len());
+                    for inp in &inputs {
+                        let (_, item) = inp.get(GetSpec::Exact(t), WaitSpec::Forever)?;
+                        parts.push(item);
+                    }
+                    let mixed = composite(&parts);
+                    output.put(t, mixed, WaitSpec::Forever)?;
+                    for inp in &inputs {
+                        inp.consume_until(t)?;
+                    }
+                }
+                Ok(())
+            }
+            MixerKind::MultiThreaded => {
+                // One thread per client; the thread completing a composite
+                // places it into C_0 (the "designated thread" step).
+                type Assembly = std::collections::HashMap<i64, Vec<Option<Vec<u8>>>>;
+                let assembly: Arc<Mutex<Assembly>> = Arc::new(Mutex::new(Assembly::new()));
+                let mut workers = Vec::new();
+                for (j, inp) in inputs.into_iter().enumerate() {
+                    let assembly = Arc::clone(&assembly);
+                    let output = Arc::clone(&output);
+                    let k = mixer_cfg.clients;
+                    let frames = mixer_cfg.frames;
+                    let image_size = mixer_cfg.image_size;
+                    workers.push(std::thread::spawn(move || -> StmResult<()> {
+                        for ts in 0..frames {
+                            let t = Timestamp::new(ts);
+                            let (_, item) = inp.get(GetSpec::Exact(t), WaitSpec::Forever)?;
+                            // Mix this client's region in parallel with the
+                            // other workers.
+                            let mut region = vec![0u8; image_size];
+                            mix_region(&mut region, 0, &item);
+                            let complete = {
+                                let mut asm = assembly.lock();
+                                let parts = asm.entry(ts).or_insert_with(|| vec![None; k]);
+                                parts[j] = Some(region);
+                                if parts.iter().all(Option::is_some) {
+                                    asm.remove(&ts)
+                                } else {
+                                    None
+                                }
+                            };
+                            if let Some(parts) = complete {
+                                let mut buf = Vec::with_capacity(k * image_size);
+                                for part in parts {
+                                    buf.extend_from_slice(&part.expect("all present"));
+                                }
+                                output.put(t, Item::from_vec(buf), WaitSpec::Forever)?;
+                            }
+                            inp.consume_until(t)?;
+                        }
+                        Ok(())
+                    }));
+                }
+                for w in workers {
+                    w.join()
+                        .map_err(|_| StmError::Protocol("mixer worker panicked".into()))??;
+                }
+                Ok(())
+            }
+        }
+    });
+
+    // ---- client displays ----
+    let mut display_handles = Vec::new();
+    for j in 0..cfg.clients {
+        let cfg = cfg.clone();
+        display_handles.push(std::thread::spawn(move || -> StmResult<(f64, u64)> {
+            let device = attach_client(listener_addr, cfg.client_profile, &format!("disp-{j}"))?;
+            let (res, _) = device.ns_lookup("conference/composite", WaitSpec::Forever)?;
+            let ResourceId::Channel(c0) = res else {
+                return Err(StmError::Protocol("composite is not a channel".into()));
+            };
+            let inp = device.connect_channel_in(c0, Interest::FromEarliest)?;
+            let mut meter = FpsMeter::new(cfg.warmup);
+            let mut validated = 0u64;
+            let mut last = Timestamp::MIN;
+            loop {
+                let (ts, item) = inp.get(GetSpec::After(last), WaitSpec::Forever)?;
+                // Validate this display's own region of the composite.
+                let own = make_frame(j as u32, ts.value(), cfg.image_size);
+                validate_composite_region(&item, j, &own)?;
+                validated += 1;
+                meter.frame();
+                inp.consume_until(ts)?;
+                last = ts;
+                if ts.value() == cfg.frames - 1 {
+                    break;
+                }
+            }
+            meter.finish();
+            drop(inp);
+            device.detach()?;
+            Ok((meter.fps(), validated))
+        }));
+    }
+
+    for p in producer_handles {
+        p.join()
+            .map_err(|_| StmError::Protocol("producer panicked".into()))??;
+    }
+    mixer_handle
+        .join()
+        .map_err(|_| StmError::Protocol("mixer panicked".into()))??;
+
+    let mut per_client_fps = Vec::new();
+    let mut validated_frames = 0;
+    for d in display_handles {
+        let (fps, validated) = d
+            .join()
+            .map_err(|_| StmError::Protocol("display panicked".into()))??;
+        per_client_fps.push(fps);
+        validated_frames += validated;
+    }
+    cluster.shutdown();
+
+    let slowest = per_client_fps.iter().copied().fold(f64::INFINITY, f64::min);
+    Ok(ConferenceReport {
+        measurement: AppMeasurement {
+            clients: cfg.clients,
+            image_size: cfg.image_size,
+            fps: slowest,
+        },
+        per_client_fps,
+        validated_frames,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(mixer: MixerKind) -> ConferenceConfig {
+        ConferenceConfig {
+            clients: 2,
+            image_size: 4 * 1024,
+            frames: 30,
+            warmup: 5,
+            mixer,
+            ..ConferenceConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_threaded_conference_delivers_validated_composites() {
+        let report = run_dstampede_conference(&small(MixerKind::SingleThreaded)).unwrap();
+        assert_eq!(report.per_client_fps.len(), 2);
+        assert_eq!(report.validated_frames, 2 * 30);
+        assert!(report.measurement.fps > 0.0);
+    }
+
+    #[test]
+    fn multi_threaded_conference_delivers_validated_composites() {
+        let report = run_dstampede_conference(&small(MixerKind::MultiThreaded)).unwrap();
+        assert_eq!(report.validated_frames, 2 * 30);
+        assert!(report.measurement.fps > 0.0);
+    }
+
+    #[test]
+    fn three_clients_multi_threaded() {
+        let cfg = ConferenceConfig {
+            clients: 3,
+            frames: 20,
+            warmup: 4,
+            image_size: 2 * 1024,
+            mixer: MixerKind::MultiThreaded,
+            ..ConferenceConfig::default()
+        };
+        let report = run_dstampede_conference(&cfg).unwrap();
+        assert_eq!(report.per_client_fps.len(), 3);
+        assert_eq!(report.validated_frames, 3 * 20);
+    }
+
+    #[test]
+    fn shaped_conference_is_slower_than_unshaped() {
+        let mut cfg = small(MixerKind::SingleThreaded);
+        cfg.frames = 40;
+        let fast = run_dstampede_conference(&cfg).unwrap();
+        cfg.cluster_profile = NetProfile {
+            latency: std::time::Duration::from_micros(300),
+            bandwidth: Some(2 * 1024 * 1024), // 2 MB/s: strongly constrained
+        };
+        let slow = run_dstampede_conference(&cfg).unwrap();
+        assert!(
+            slow.measurement.fps < fast.measurement.fps,
+            "shaped {} !< unshaped {}",
+            slow.measurement.fps,
+            fast.measurement.fps
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Video frames for the conferencing and vision applications.
+//!
+//! The paper's controlled application study reads a "virtual camera (a
+//! memory buffer)" instead of real capture hardware (§5.2); we do the
+//! same. Frames carry a small header (client id, frame number) over a
+//! deterministic pixel pattern so every stage can validate what it
+//! receives, and compositing really touches every byte — mixing is the
+//! compute-intensive stage of the pipeline, as in the paper.
+
+use bytes::Bytes;
+
+use dstampede_core::{Item, StmError, StmResult};
+
+/// Bytes of header at the start of every frame payload.
+pub const FRAME_HEADER: usize = 8;
+
+/// Generates a virtual-camera frame of exactly `size` bytes.
+///
+/// # Panics
+///
+/// Panics if `size < FRAME_HEADER`.
+#[must_use]
+pub fn make_frame(client: u32, frame_no: i64, size: usize) -> Item {
+    assert!(size >= FRAME_HEADER, "frame must fit its header");
+    let mut buf = vec![0u8; size];
+    buf[..4].copy_from_slice(&client.to_be_bytes());
+    buf[4..8].copy_from_slice(&(frame_no as u32).to_be_bytes());
+    // Deterministic "pixels": a function of client, frame and offset.
+    let seed = (client as u64) << 32 | (frame_no as u64 & 0xffff_ffff);
+    for (i, b) in buf[FRAME_HEADER..].iter_mut().enumerate() {
+        *b = ((seed.wrapping_add(i as u64)).wrapping_mul(2654435761) >> 24) as u8;
+    }
+    Item::new(Bytes::from(buf)).with_tag(client)
+}
+
+/// Checks that a frame is exactly what [`make_frame`] would produce.
+///
+/// # Errors
+///
+/// [`StmError::Protocol`] describing the first mismatch.
+pub fn validate_frame(item: &Item, client: u32, frame_no: i64) -> StmResult<()> {
+    let p = item.payload();
+    if p.len() < FRAME_HEADER {
+        return Err(StmError::Protocol("frame shorter than header".into()));
+    }
+    let got_client = u32::from_be_bytes(p[..4].try_into().expect("4 bytes"));
+    let got_frame = u32::from_be_bytes(p[4..8].try_into().expect("4 bytes"));
+    if got_client != client {
+        return Err(StmError::Protocol(format!(
+            "frame from client {got_client}, expected {client}"
+        )));
+    }
+    if got_frame != frame_no as u32 {
+        return Err(StmError::Protocol(format!(
+            "frame number {got_frame}, expected {frame_no}"
+        )));
+    }
+    let seed = (client as u64) << 32 | (frame_no as u64 & 0xffff_ffff);
+    for (i, &b) in p[FRAME_HEADER..].iter().enumerate() {
+        let want = ((seed.wrapping_add(i as u64)).wrapping_mul(2654435761) >> 24) as u8;
+        if b != want {
+            return Err(StmError::Protocol(format!("pixel {i} corrupt")));
+        }
+    }
+    Ok(())
+}
+
+/// Mixes `parts` (one frame per client, any order) into the composite the
+/// displays receive: the frames tiled back to back, each byte passed
+/// through a per-pixel transform so the mixer does real work per byte.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+#[must_use]
+pub fn composite(parts: &[Item]) -> Item {
+    assert!(!parts.is_empty(), "composite of zero frames");
+    let part_len = parts[0].len();
+    let mut buf = vec![0u8; part_len * parts.len()];
+    let mut sorted: Vec<&Item> = parts.iter().collect();
+    sorted.sort_by_key(|i| i.tag());
+    for (idx, part) in sorted.iter().enumerate() {
+        mix_region(&mut buf, idx, part);
+    }
+    Item::new(Bytes::from(buf))
+}
+
+/// Mixes one client's frame into its region of a composite buffer — the
+/// unit of work one multi-threaded-mixer thread performs.
+///
+/// # Panics
+///
+/// Panics if the buffer is too small for region `idx`.
+pub fn mix_region(buf: &mut [u8], idx: usize, part: &Item) {
+    let p = part.payload();
+    let region = &mut buf[idx * p.len()..(idx + 1) * p.len()];
+    for (dst, &src) in region.iter_mut().zip(p.iter()) {
+        // A cheap per-pixel transform (tone-map-like), so mixing costs are
+        // proportional to composite size as in the paper's application.
+        *dst = src.wrapping_mul(31).wrapping_add(7);
+    }
+}
+
+/// Validates one region of a composite against the client frame it mixed.
+///
+/// # Errors
+///
+/// [`StmError::Protocol`] describing the first mismatch.
+pub fn validate_composite_region(composite: &Item, idx: usize, part: &Item) -> StmResult<()> {
+    let p = part.payload();
+    let c = composite.payload();
+    if c.len() < (idx + 1) * p.len() {
+        return Err(StmError::Protocol("composite too small".into()));
+    }
+    let region = &c[idx * p.len()..(idx + 1) * p.len()];
+    for (i, (&mixed, &src)) in region.iter().zip(p.iter()).enumerate() {
+        if mixed != src.wrapping_mul(31).wrapping_add(7) {
+            return Err(StmError::Protocol(format!("composite byte {i} corrupt")));
+        }
+    }
+    Ok(())
+}
+
+/// Splits a frame into `n` equal-size fragments sharing the frame's
+/// timestamp semantics (tags 0..n), the splitter stage of Figure 3.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+#[must_use]
+pub fn split_frame(frame: &Item, n: usize) -> Vec<Item> {
+    assert!(n > 0, "cannot split into zero fragments");
+    let p = frame.payload_bytes();
+    let chunk = p.len().div_ceil(n);
+    (0..n)
+        .map(|i| {
+            let lo = (i * chunk).min(p.len());
+            let hi = ((i + 1) * chunk).min(p.len());
+            Item::new(p.slice(lo..hi)).with_tag(i as u32)
+        })
+        .collect()
+}
+
+/// The tracker stage of Figure 3: "analyzes" a fragment, producing a small
+/// result (a checksum standing in for object-detection output).
+#[must_use]
+pub fn track_fragment(fragment: &Item) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for &b in fragment.payload() {
+        acc ^= u64::from(b);
+        acc = acc.wrapping_mul(0x1000_0000_01b3);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_validate() {
+        let f = make_frame(3, 17, 1024);
+        assert_eq!(f.len(), 1024);
+        assert_eq!(f.tag(), 3);
+        validate_frame(&f, 3, 17).unwrap();
+        assert!(validate_frame(&f, 4, 17).is_err());
+        assert!(validate_frame(&f, 3, 18).is_err());
+    }
+
+    #[test]
+    fn corrupt_frame_detected() {
+        let f = make_frame(1, 1, 64);
+        let mut bytes = f.payload().to_vec();
+        bytes[40] ^= 0xff;
+        let corrupt = Item::from_vec(bytes).with_tag(1);
+        assert!(validate_frame(&corrupt, 1, 1).is_err());
+    }
+
+    #[test]
+    fn composite_tiles_by_tag() {
+        let a = make_frame(0, 5, 256);
+        let b = make_frame(1, 5, 256);
+        // Order independence: tag decides placement.
+        let c1 = composite(&[b.clone(), a.clone()]);
+        let c2 = composite(&[a.clone(), b.clone()]);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.len(), 512);
+        validate_composite_region(&c1, 0, &a).unwrap();
+        validate_composite_region(&c1, 1, &b).unwrap();
+    }
+
+    #[test]
+    fn mix_region_matches_composite() {
+        let a = make_frame(0, 2, 128);
+        let b = make_frame(1, 2, 128);
+        let whole = composite(&[a.clone(), b.clone()]);
+        let mut buf = vec![0u8; 256];
+        mix_region(&mut buf, 0, &a);
+        mix_region(&mut buf, 1, &b);
+        assert_eq!(whole.payload(), &buf[..]);
+    }
+
+    #[test]
+    fn split_covers_frame_exactly() {
+        let f = make_frame(0, 1, 1000);
+        let frags = split_frame(&f, 3);
+        assert_eq!(frags.len(), 3);
+        let total: usize = frags.iter().map(Item::len).sum();
+        assert_eq!(total, 1000);
+        let mut rebuilt = Vec::new();
+        for frag in &frags {
+            rebuilt.extend_from_slice(frag.payload());
+        }
+        assert_eq!(rebuilt, f.payload());
+        for (i, frag) in frags.iter().enumerate() {
+            assert_eq!(frag.tag(), i as u32);
+        }
+    }
+
+    #[test]
+    fn split_handles_uneven_and_single() {
+        let f = make_frame(0, 1, 10);
+        let frags = split_frame(&f, 4);
+        let total: usize = frags.iter().map(Item::len).sum();
+        assert_eq!(total, 10);
+        let one = split_frame(&f, 1);
+        assert_eq!(one[0].payload(), f.payload());
+    }
+
+    #[test]
+    fn tracking_is_deterministic_and_content_sensitive() {
+        let f = make_frame(0, 1, 512);
+        let frags = split_frame(&f, 2);
+        assert_eq!(track_fragment(&frags[0]), track_fragment(&frags[0]));
+        assert_ne!(track_fragment(&frags[0]), track_fragment(&frags[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "header")]
+    fn tiny_frame_panics() {
+        let _ = make_frame(0, 0, 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dstampede-apps — the paper's reference applications
+//!
+//! Runnable implementations of the applications the paper builds and
+//! measures on top of D-Stampede:
+//!
+//! * [`conference`] — the §4 video-conferencing application in its two
+//!   D-Stampede forms (single- and multi-threaded mixer), driving the
+//!   paper's Figures 14–15 and Table 1;
+//! * [`sockets`] — the raw-TCP baseline of the same application (§5.2
+//!   version 1), preserved for the sockets-vs-channels comparison;
+//! * [`vision`] — the Figure 3 task/data-parallel tracking pipeline
+//!   (digitizer → splitter → tracker pool → joiner);
+//! * [`frame`] — virtual cameras, compositing and validation;
+//! * [`metrics`] — sustained-frame-rate and delivered-bandwidth
+//!   measurement (the Table 1 formula).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conference;
+pub mod frame;
+pub mod metrics;
+pub mod sockets;
+pub mod vision;
+
+pub use conference::{run_dstampede_conference, ConferenceConfig, ConferenceReport, MixerKind};
+pub use metrics::{delivered_bandwidth_mbps, AppMeasurement, FpsMeter};
+pub use sockets::run_socket_conference;
+pub use vision::{run_vision_pipeline, AnalysisRecord, VisionConfig, VisionReport};

@@ -1,0 +1,180 @@
+//! Application-level measurement: sustained frame rate and delivered
+//! bandwidth.
+//!
+//! "Sustained frame rate is the performance metric of interest in this
+//! application" (paper §5.2), measured at the display threads; the paper's
+//! Table 1 derives delivered bandwidth from it as `K² · S · F` (each of
+//! `K` clients receives a composite of size `K·S` at `F` frames/sec).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measures sustained frame rate at one display, skipping a warm-up
+/// prefix so pipeline fill does not dilute the steady-state figure.
+#[derive(Debug, Clone)]
+pub struct FpsMeter {
+    warmup: u64,
+    seen: u64,
+    started: Option<Instant>,
+    finished: Option<Duration>,
+}
+
+impl FpsMeter {
+    /// A meter that ignores the first `warmup` frames.
+    #[must_use]
+    pub fn new(warmup: u64) -> Self {
+        FpsMeter {
+            warmup,
+            seen: 0,
+            started: None,
+            finished: None,
+        }
+    }
+
+    /// Records one delivered frame.
+    pub fn frame(&mut self) {
+        self.seen += 1;
+        if self.seen == self.warmup {
+            self.started = Some(Instant::now());
+        }
+    }
+
+    /// Stops the clock (idempotent).
+    pub fn finish(&mut self) {
+        if self.finished.is_none() {
+            if let Some(start) = self.started {
+                self.finished = Some(start.elapsed());
+            }
+        }
+    }
+
+    /// Frames counted after warm-up.
+    #[must_use]
+    pub fn measured_frames(&self) -> u64 {
+        self.seen.saturating_sub(self.warmup)
+    }
+
+    /// Sustained frames per second over the measured window (zero when too
+    /// few frames were seen).
+    #[must_use]
+    pub fn fps(&self) -> f64 {
+        let frames = self.measured_frames();
+        if frames == 0 {
+            return 0.0;
+        }
+        let elapsed = match self.finished {
+            Some(d) => d,
+            None => match self.started {
+                Some(s) => s.elapsed(),
+                None => return 0.0,
+            },
+        };
+        if elapsed.is_zero() {
+            return f64::INFINITY;
+        }
+        frames as f64 / elapsed.as_secs_f64()
+    }
+}
+
+/// Delivered bandwidth out of the mixer node, the paper's Table 1 formula:
+/// `K² · S · F` bytes per second, reported in MB/s (the paper's "MBps").
+#[must_use]
+pub fn delivered_bandwidth_mbps(clients: usize, image_size: usize, fps: f64) -> f64 {
+    let k = clients as f64;
+    k * k * image_size as f64 * fps / (1024.0 * 1024.0)
+}
+
+/// One measured conference configuration, printable as a report row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppMeasurement {
+    /// Number of participating clients (K).
+    pub clients: usize,
+    /// Per-client image size in bytes (S).
+    pub image_size: usize,
+    /// Sustained frame rate at the slowest display (F).
+    pub fps: f64,
+}
+
+impl AppMeasurement {
+    /// Delivered bandwidth per Table 1's formula.
+    #[must_use]
+    pub fn bandwidth_mbps(&self) -> f64 {
+        delivered_bandwidth_mbps(self.clients, self.image_size, self.fps)
+    }
+
+    /// Whether this configuration clears the paper's 10 fps usability
+    /// threshold.
+    #[must_use]
+    pub fn meets_threshold(&self) -> bool {
+        self.fps >= 10.0
+    }
+}
+
+impl fmt::Display for AppMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K={} S={}KB F={:.1}fps BW={:.1}MBps",
+            self.clients,
+            self.image_size / 1024,
+            self.fps,
+            self.bandwidth_mbps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_skips_warmup() {
+        let mut m = FpsMeter::new(2);
+        m.frame();
+        m.frame(); // warmup boundary: clock starts
+        assert_eq!(m.measured_frames(), 0);
+        std::thread::sleep(Duration::from_millis(20));
+        m.frame();
+        m.frame();
+        m.finish();
+        assert_eq!(m.measured_frames(), 2);
+        let fps = m.fps();
+        assert!(fps > 0.0 && fps < 110.0, "fps={fps}");
+    }
+
+    #[test]
+    fn meter_with_no_frames_is_zero() {
+        let mut m = FpsMeter::new(5);
+        assert_eq!(m.fps(), 0.0);
+        m.frame();
+        assert_eq!(m.fps(), 0.0); // still in warmup
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut m = FpsMeter::new(0);
+        m.frame();
+        std::thread::sleep(Duration::from_millis(5));
+        m.finish();
+        let a = m.fps();
+        std::thread::sleep(Duration::from_millis(20));
+        m.finish();
+        assert_eq!(a, m.fps());
+    }
+
+    #[test]
+    fn table1_formula() {
+        // The paper's example: 2 clients at 74 KB and ~40 fps ≈ 11 MBps.
+        let bw = delivered_bandwidth_mbps(2, 74 * 1024, 40.0);
+        assert!((bw - 11.5625).abs() < 0.01, "bw={bw}");
+        let m = AppMeasurement {
+            clients: 2,
+            image_size: 74 * 1024,
+            fps: 40.0,
+        };
+        assert!(m.meets_threshold());
+        assert!(m.to_string().contains("K=2"));
+        let slow = AppMeasurement { fps: 9.0, ..m };
+        assert!(!slow.meets_threshold());
+    }
+}

@@ -1,0 +1,343 @@
+//! The vision pipeline: task and data parallelism over frame fragments
+//! (paper §3.1, Figure 3).
+//!
+//! A digitizer produces timestamped frames into a channel. A splitter
+//! partitions each frame into fragments — **all bearing the frame's
+//! timestamp**, distinguished by tag — and places them in a queue. A pool
+//! of tracker threads pulls fragments from the queue (data parallelism:
+//! any tracker may take any fragment), analyses them, and puts per-
+//! fragment results into a results queue. A joiner collects the results
+//! *for the same timestamp* and stitches them into a composite analysis
+//! record in the output channel — the temporal-correlation step channels
+//! make easy.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dstampede_core::{
+    ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, StmError, StmResult, StreamItem, Timestamp,
+};
+use dstampede_runtime::Cluster;
+use dstampede_wire::WaitSpec;
+
+use crate::frame::{make_frame, split_frame, track_fragment};
+
+/// Parameters of one vision-pipeline run.
+#[derive(Debug, Clone)]
+pub struct VisionConfig {
+    /// Frames the digitizer produces.
+    pub frames: i64,
+    /// Frame size in bytes.
+    pub frame_size: usize,
+    /// Fragments per frame (the data-parallel split factor).
+    pub fragments: usize,
+    /// Tracker threads pulling fragments.
+    pub trackers: usize,
+    /// Address spaces to spread the stages over (1 = all local).
+    pub address_spaces: u16,
+}
+
+impl Default for VisionConfig {
+    fn default() -> Self {
+        VisionConfig {
+            frames: 30,
+            frame_size: 64 * 1024,
+            fragments: 4,
+            trackers: 3,
+            address_spaces: 1,
+        }
+    }
+}
+
+/// Per-frame analysis record produced by the joiner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisRecord {
+    /// The frame's timestamp.
+    pub frame: i64,
+    /// Per-fragment tracker outputs, indexed by fragment tag.
+    pub fragment_results: Vec<u64>,
+}
+
+impl StreamItem for AnalysisRecord {
+    fn to_item_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + self.fragment_results.len() * 8);
+        out.extend_from_slice(&self.frame.to_be_bytes());
+        out.extend_from_slice(&(self.fragment_results.len() as u32).to_be_bytes());
+        for r in &self.fragment_results {
+            out.extend_from_slice(&r.to_be_bytes());
+        }
+        out
+    }
+
+    fn from_item_bytes(bytes: &[u8]) -> StmResult<Self> {
+        if bytes.len() < 12 {
+            return Err(StmError::Protocol("analysis record too short".into()));
+        }
+        let frame = i64::from_be_bytes(bytes[..8].try_into().expect("8 bytes"));
+        let n = u32::from_be_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != 12 + n * 8 {
+            return Err(StmError::Protocol("analysis record length mismatch".into()));
+        }
+        let fragment_results = (0..n)
+            .map(|i| u64::from_be_bytes(bytes[12 + i * 8..20 + i * 8].try_into().expect("8 bytes")))
+            .collect();
+        Ok(AnalysisRecord {
+            frame,
+            fragment_results,
+        })
+    }
+}
+
+/// The outcome of a vision-pipeline run.
+#[derive(Debug, Clone)]
+pub struct VisionReport {
+    /// Analysis records, in timestamp order.
+    pub records: Vec<AnalysisRecord>,
+    /// Fragments processed per tracker (work-sharing evidence).
+    pub per_tracker_fragments: Vec<u64>,
+}
+
+impl fmt::Display for VisionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames analysed by {} trackers",
+            self.records.len(),
+            self.per_tracker_fragments.len()
+        )
+    }
+}
+
+/// Runs the Figure 3 pipeline and returns the joined analysis records.
+///
+/// # Errors
+///
+/// Propagates any runtime error from the pipeline stages.
+pub fn run_vision_pipeline(cfg: &VisionConfig) -> StmResult<VisionReport> {
+    assert!(cfg.fragments >= 1 && cfg.trackers >= 1);
+    let cluster = Cluster::builder()
+        .address_spaces(cfg.address_spaces.max(1))
+        .listeners(false)
+        .build()?;
+    let digitizer_space = cluster.space(0)?;
+    let tracker_space = cluster.space(cluster.len() as u16 - 1)?;
+
+    // Plumbing: frames channel, fragment queue, results queue, output
+    // channel — created across the available address spaces.
+    let frames_chan = digitizer_space.create_channel(
+        Some("vision/frames".into()),
+        ChannelAttrs::builder().capacity(8).build(),
+    );
+    let frag_queue = tracker_space.create_queue(
+        Some("vision/fragments".into()),
+        QueueAttrs::builder().capacity(64).build(),
+    );
+    let results_queue = tracker_space.create_queue(
+        Some("vision/results".into()),
+        QueueAttrs::builder().capacity(64).build(),
+    );
+    let output_chan =
+        digitizer_space.create_channel(Some("vision/analysis".into()), ChannelAttrs::default());
+
+    // ---- digitizer ----
+    let dig_out = digitizer_space
+        .open_channel(frames_chan.id())?
+        .connect_output()?;
+    let dig_cfg = cfg.clone();
+    let digitizer = std::thread::spawn(move || -> StmResult<()> {
+        for ts in 0..dig_cfg.frames {
+            let frame = make_frame(0, ts, dig_cfg.frame_size);
+            dig_out.put(Timestamp::new(ts), frame, WaitSpec::Forever)?;
+        }
+        Ok(())
+    });
+
+    // ---- splitter ----
+    let split_in = digitizer_space
+        .open_channel(frames_chan.id())?
+        .connect_input(Interest::FromEarliest)?;
+    let split_out = digitizer_space
+        .open_queue(frag_queue.id())?
+        .connect_output()?;
+    let split_cfg = cfg.clone();
+    let splitter = std::thread::spawn(move || -> StmResult<()> {
+        for ts in 0..split_cfg.frames {
+            let t = Timestamp::new(ts);
+            let (_, frame) = split_in.get(GetSpec::Exact(t), WaitSpec::Forever)?;
+            for frag in split_frame(&frame, split_cfg.fragments) {
+                split_out.put(t, frag, WaitSpec::Forever)?;
+            }
+            split_in.consume_until(t)?;
+        }
+        Ok(())
+    });
+
+    // ---- trackers (work-sharing pool) ----
+    let mut trackers = Vec::new();
+    for _w in 0..cfg.trackers {
+        let inp = tracker_space.open_queue(frag_queue.id())?.connect_input()?;
+        let out = tracker_space
+            .open_queue(results_queue.id())?
+            .connect_output()?;
+        trackers.push(std::thread::spawn(move || -> StmResult<u64> {
+            let mut processed = 0u64;
+            loop {
+                match inp.get(WaitSpec::Forever) {
+                    Ok((ts, frag, ticket)) => {
+                        let result = track_fragment(&frag);
+                        let mut payload = Vec::with_capacity(8);
+                        payload.extend_from_slice(&result.to_be_bytes());
+                        out.put(
+                            ts,
+                            Item::from_vec(payload).with_tag(frag.tag()),
+                            WaitSpec::Forever,
+                        )?;
+                        inp.consume(ticket)?;
+                        processed += 1;
+                    }
+                    Err(StmError::Closed) => return Ok(processed),
+                    Err(e) => return Err(e),
+                }
+            }
+        }));
+    }
+
+    // ---- joiner ----
+    let join_in = tracker_space
+        .open_queue(results_queue.id())?
+        .connect_input()?;
+    let join_out = digitizer_space
+        .open_channel(output_chan.id())?
+        .connect_output()?;
+    let join_cfg = cfg.clone();
+    let joiner = std::thread::spawn(move || -> StmResult<()> {
+        let mut partial: HashMap<i64, Vec<Option<u64>>> = HashMap::new();
+        let mut joined = 0i64;
+        while joined < join_cfg.frames {
+            let (ts, item, ticket) = join_in.get(WaitSpec::Forever)?;
+            let value = u64::from_be_bytes(
+                item.payload()
+                    .try_into()
+                    .map_err(|_| StmError::Protocol("bad tracker result".into()))?,
+            );
+            let parts = partial
+                .entry(ts.value())
+                .or_insert_with(|| vec![None; join_cfg.fragments]);
+            parts[item.tag() as usize] = Some(value);
+            join_in.consume(ticket)?;
+            if parts.iter().all(Option::is_some) {
+                let parts = partial.remove(&ts.value()).expect("present");
+                let record = AnalysisRecord {
+                    frame: ts.value(),
+                    fragment_results: parts.into_iter().map(|p| p.expect("all")).collect(),
+                };
+                join_out.put(ts, record.to_item(), WaitSpec::Forever)?;
+                joined += 1;
+            }
+        }
+        Ok(())
+    });
+
+    digitizer
+        .join()
+        .map_err(|_| StmError::Protocol("digitizer panicked".into()))??;
+    splitter
+        .join()
+        .map_err(|_| StmError::Protocol("splitter panicked".into()))??;
+    joiner
+        .join()
+        .map_err(|_| StmError::Protocol("joiner panicked".into()))??;
+    // All fragments are processed once the joiner has every record; the
+    // trackers drain on queue close.
+    frag_queue.close();
+    let mut per_tracker_fragments = Vec::new();
+    for t in trackers {
+        per_tracker_fragments.push(
+            t.join()
+                .map_err(|_| StmError::Protocol("tracker panicked".into()))??,
+        );
+    }
+
+    // Read the analysis records back out in order.
+    let reader = digitizer_space
+        .open_channel(output_chan.id())?
+        .connect_input(Interest::FromEarliest)?;
+    let mut records = Vec::with_capacity(cfg.frames as usize);
+    for ts in 0..cfg.frames {
+        let (_, item) = reader.get(GetSpec::Exact(Timestamp::new(ts)), WaitSpec::Forever)?;
+        records.push(item.decode::<AnalysisRecord>()?);
+        reader.consume_until(Timestamp::new(ts))?;
+    }
+    cluster.shutdown();
+    Ok(VisionReport {
+        records,
+        per_tracker_fragments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analysis_record_round_trips() {
+        let r = AnalysisRecord {
+            frame: 42,
+            fragment_results: vec![1, 2, 3],
+        };
+        let item = r.to_item();
+        assert_eq!(item.decode::<AnalysisRecord>().unwrap(), r);
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        assert!(AnalysisRecord::from_item_bytes(&[1, 2]).is_err());
+        let mut bytes = AnalysisRecord {
+            frame: 1,
+            fragment_results: vec![5],
+        }
+        .to_item_bytes();
+        bytes.push(0); // trailing byte
+        assert!(AnalysisRecord::from_item_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn pipeline_produces_correct_records() {
+        let cfg = VisionConfig {
+            frames: 10,
+            frame_size: 8 * 1024,
+            fragments: 4,
+            trackers: 3,
+            address_spaces: 1,
+        };
+        let report = run_vision_pipeline(&cfg).unwrap();
+        assert_eq!(report.records.len(), 10);
+        for (ts, record) in report.records.iter().enumerate() {
+            assert_eq!(record.frame, ts as i64);
+            assert_eq!(record.fragment_results.len(), 4);
+            // Results must match recomputing the split directly.
+            let frame = make_frame(0, ts as i64, cfg.frame_size);
+            for (i, frag) in split_frame(&frame, 4).iter().enumerate() {
+                assert_eq!(record.fragment_results[i], track_fragment(frag));
+            }
+        }
+        // Work sharing: all fragments processed exactly once.
+        let total: u64 = report.per_tracker_fragments.iter().sum();
+        assert_eq!(total, 10 * 4);
+    }
+
+    #[test]
+    fn pipeline_spans_address_spaces() {
+        let cfg = VisionConfig {
+            frames: 6,
+            frame_size: 4 * 1024,
+            fragments: 2,
+            trackers: 2,
+            address_spaces: 2,
+        };
+        let report = run_vision_pipeline(&cfg).unwrap();
+        assert_eq!(report.records.len(), 6);
+        let total: u64 = report.per_tracker_fragments.iter().sum();
+        assert_eq!(total, 6 * 2);
+    }
+}

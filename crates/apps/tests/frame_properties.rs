@@ -1,0 +1,120 @@
+//! Property tests of the frame substrate: splitting, compositing and
+//! validation must be mutually consistent for arbitrary geometries.
+
+use proptest::prelude::*;
+
+use dstampede_apps::frame::{
+    composite, make_frame, mix_region, split_frame, track_fragment, validate_composite_region,
+    validate_frame, FRAME_HEADER,
+};
+use dstampede_core::Item;
+
+proptest! {
+    /// Frames validate for exactly their own (client, frame_no) identity.
+    #[test]
+    fn frame_identity(
+        client in 0u32..64,
+        frame_no in 0i64..10_000,
+        size in FRAME_HEADER..4096usize,
+    ) {
+        let f = make_frame(client, frame_no, size);
+        prop_assert_eq!(f.len(), size);
+        prop_assert!(validate_frame(&f, client, frame_no).is_ok());
+        prop_assert!(validate_frame(&f, client + 1, frame_no).is_err());
+        prop_assert!(validate_frame(&f, client, frame_no + 1).is_err());
+    }
+
+    /// Splitting covers the frame exactly, preserving order and tagging
+    /// fragments 0..n.
+    #[test]
+    fn split_is_a_partition(
+        size in FRAME_HEADER..8192usize,
+        n in 1usize..12,
+    ) {
+        let f = make_frame(1, 2, size);
+        let frags = split_frame(&f, n);
+        prop_assert_eq!(frags.len(), n);
+        let mut rebuilt = Vec::new();
+        for (i, frag) in frags.iter().enumerate() {
+            prop_assert_eq!(frag.tag(), i as u32);
+            rebuilt.extend_from_slice(frag.payload());
+        }
+        prop_assert_eq!(&rebuilt[..], f.payload());
+    }
+
+    /// The composite of K frames validates in every region, is invariant
+    /// to input order, and equals region-wise mixing.
+    #[test]
+    fn composite_consistency(
+        k in 1usize..6,
+        size in FRAME_HEADER..2048usize,
+        frame_no in 0i64..100,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let frames: Vec<Item> = (0..k as u32)
+            .map(|c| make_frame(c, frame_no, size))
+            .collect();
+
+        // A deterministic shuffle of the inputs.
+        let mut shuffled = frames.clone();
+        let mut state = shuffle_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            shuffled.swap(i, (state as usize) % (i + 1));
+        }
+
+        let c1 = composite(&frames);
+        let c2 = composite(&shuffled);
+        prop_assert_eq!(&c1, &c2);
+        prop_assert_eq!(c1.len(), k * size);
+        for (i, f) in frames.iter().enumerate() {
+            prop_assert!(validate_composite_region(&c1, i, f).is_ok());
+        }
+
+        // Region-wise mixing reproduces the whole composite.
+        let mut buf = vec![0u8; k * size];
+        for (i, f) in frames.iter().enumerate() {
+            mix_region(&mut buf, i, f);
+        }
+        prop_assert_eq!(c1.payload(), &buf[..]);
+    }
+
+    /// Corrupting any single composite byte fails exactly the region it
+    /// falls in.
+    #[test]
+    fn corruption_is_localised(
+        k in 2usize..5,
+        size in FRAME_HEADER..512usize,
+        pos_seed in any::<usize>(),
+    ) {
+        let frames: Vec<Item> = (0..k as u32).map(|c| make_frame(c, 7, size)).collect();
+        let good = composite(&frames);
+        let pos = pos_seed % good.len();
+        let mut bytes = good.payload().to_vec();
+        bytes[pos] ^= 0xff;
+        let bad = Item::from_vec(bytes);
+        let hit_region = pos / size;
+        for (i, f) in frames.iter().enumerate() {
+            let result = validate_composite_region(&bad, i, f);
+            if i == hit_region {
+                prop_assert!(result.is_err());
+            } else {
+                prop_assert!(result.is_ok());
+            }
+        }
+    }
+
+    /// Tracking is a pure function of fragment content.
+    #[test]
+    fn tracking_is_content_determined(
+        size in FRAME_HEADER..2048usize,
+        n in 1usize..8,
+    ) {
+        let f = make_frame(3, 9, size);
+        let frags_a = split_frame(&f, n);
+        let frags_b = split_frame(&f, n);
+        for (a, b) in frags_a.iter().zip(&frags_b) {
+            prop_assert_eq!(track_fragment(a), track_fragment(b));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Criterion ablation: XDR vs JDR marshalling cost across payload sizes.
+//!
+//! This quantifies the asymmetry behind the paper's Figures 12 vs 13 —
+//! "in C marshalling and unmarshalling arguments involve mostly pointer
+//! manipulation, while in Java they involve construction of objects"
+//! (§5.1, Result 2). Expect JDR several times slower than XDR, growing
+//! with payload size.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dstampede_core::Timestamp;
+use dstampede_wire::{Codec, JdrCodec, Request, RequestFrame, WaitSpec, XdrCodec};
+
+fn put_frame(size: usize) -> RequestFrame {
+    RequestFrame {
+        seq: 7,
+        req: Request::ChannelPut {
+            conn: 3,
+            ts: Timestamp::new(42),
+            tag: 0,
+            payload: Bytes::from(vec![0xa5; size]),
+            wait: WaitSpec::Forever,
+        },
+    }
+}
+
+fn encode_decode(c: &mut Criterion) {
+    let sizes = [1_000usize, 10_000, 55_000];
+    let mut group = c.benchmark_group("codec_encode");
+    for size in sizes {
+        group.throughput(Throughput::Bytes(size as u64));
+        let frame = put_frame(size);
+        group.bench_with_input(BenchmarkId::new("xdr", size), &frame, |b, frame| {
+            let codec = XdrCodec::new();
+            b.iter(|| std::hint::black_box(codec.encode_request(frame).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("jdr", size), &frame, |b, frame| {
+            let codec = JdrCodec::new();
+            b.iter(|| std::hint::black_box(codec.encode_request(frame).unwrap()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("codec_decode");
+    for size in sizes {
+        group.throughput(Throughput::Bytes(size as u64));
+        let frame = put_frame(size);
+        let xdr_bytes = XdrCodec::new().encode_request(&frame).unwrap();
+        let jdr_bytes = JdrCodec::new().encode_request(&frame).unwrap();
+        group.bench_with_input(BenchmarkId::new("xdr", size), &xdr_bytes, |b, bytes| {
+            let codec = XdrCodec::new();
+            b.iter(|| std::hint::black_box(codec.decode_request(bytes).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("jdr", size), &jdr_bytes, |b, bytes| {
+            let codec = JdrCodec::new();
+            b.iter(|| std::hint::black_box(codec.decode_request(bytes).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion ablation: REF vs TGC garbage collection.
+//!
+//! The design note in DESIGN.md calls out the choice between explicit
+//! consume-driven reference counting (REF) and transparent virtual-time
+//! collection (TGC). This ablation measures the reclamation cost of each
+//! for a window of items, and the overhead garbage hooks add.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dstampede_core::{Channel, ChannelAttrs, GcPolicy, Interest, Item, Timestamp, VirtualTime};
+
+const WINDOW: i64 = 256;
+
+fn reclaim_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_reclaim_window");
+    for consumers in [1usize, 4] {
+        for (label, policy) in [("ref", GcPolicy::Ref), ("tgc", GcPolicy::Transparent)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, consumers),
+                &consumers,
+                |b, &consumers| {
+                    b.iter_batched(
+                        || {
+                            let chan =
+                                Channel::standalone(ChannelAttrs::builder().gc(policy).build());
+                            let out = chan.connect_output();
+                            let inputs: Vec<_> = (0..consumers)
+                                .map(|_| chan.connect_input(Interest::FromEarliest))
+                                .collect();
+                            for ts in 0..WINDOW {
+                                out.put(Timestamp::new(ts), Item::from_vec(vec![1; 256]))
+                                    .unwrap();
+                            }
+                            (chan, out, inputs)
+                        },
+                        |(chan, _out, inputs)| {
+                            for inp in &inputs {
+                                match policy {
+                                    GcPolicy::Ref => {
+                                        inp.consume_until(Timestamp::new(WINDOW - 1)).unwrap();
+                                    }
+                                    GcPolicy::Transparent => {
+                                        inp.set_vt(VirtualTime::at(Timestamp::new(WINDOW)))
+                                            .unwrap();
+                                    }
+                                }
+                            }
+                            assert_eq!(chan.live_items(), 0);
+                        },
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn hook_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_hook_overhead");
+    for hooks in [0usize, 1, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(hooks), &hooks, |b, &hooks| {
+            let chan = Channel::standalone(ChannelAttrs::default());
+            for _ in 0..hooks {
+                chan.add_garbage_hook(|e| {
+                    std::hint::black_box(e.len);
+                });
+            }
+            let out = chan.connect_output();
+            let inp = chan.connect_input(Interest::FromEarliest);
+            let mut ts = 0i64;
+            b.iter(|| {
+                let t = Timestamp::new(ts);
+                ts += 1;
+                out.put(t, Item::from_vec(vec![1; 256])).unwrap();
+                inp.consume_until(t).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reclaim_window, hook_overhead);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks for the space-time memory containers:
+//! channel put/get/consume cycles, get-spec resolution, and queue
+//! work-sharing operations across payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dstampede_core::{
+    Channel, ChannelAttrs, GetSpec, Interest, Item, Queue, QueueAttrs, Timestamp,
+};
+
+fn channel_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_put_get_consume");
+    for size in [1_000usize, 10_000, 60_000] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let chan = Channel::standalone(ChannelAttrs::default());
+            let out = chan.connect_output();
+            let inp = chan.connect_input(Interest::FromEarliest);
+            let payload = Item::from_vec(vec![0xa5; size]);
+            let mut ts = 0i64;
+            b.iter(|| {
+                let t = Timestamp::new(ts);
+                ts += 1;
+                out.put(t, payload.clone()).unwrap();
+                let (_, item) = inp.get(GetSpec::Exact(t)).unwrap();
+                std::hint::black_box(item.len());
+                inp.consume_until(t).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn channel_get_specs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_get_spec");
+    // Pre-populate a channel with 1000 live items and compare the specs.
+    let chan = Channel::standalone(ChannelAttrs::default());
+    let out = chan.connect_output();
+    let inp = chan.connect_input(Interest::FromEarliest);
+    for ts in 0..1000 {
+        out.put(Timestamp::new(ts), Item::from_vec(vec![1; 64]))
+            .unwrap();
+    }
+    group.bench_function("exact_mid", |b| {
+        b.iter(|| inp.try_get(GetSpec::Exact(Timestamp::new(500))).unwrap())
+    });
+    group.bench_function("latest", |b| {
+        b.iter(|| inp.try_get(GetSpec::Latest).unwrap())
+    });
+    group.bench_function("earliest", |b| {
+        b.iter(|| inp.try_get(GetSpec::Earliest).unwrap())
+    });
+    group.bench_function("after_mid", |b| {
+        b.iter(|| inp.try_get(GetSpec::After(Timestamp::new(500))).unwrap())
+    });
+    group.finish();
+}
+
+fn queue_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_put_get_consume");
+    for size in [1_000usize, 10_000, 60_000] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let q = Queue::standalone(QueueAttrs::default());
+            let out = q.connect_output();
+            let inp = q.connect_input();
+            let payload = Item::from_vec(vec![0x5a; size]);
+            let mut ts = 0i64;
+            b.iter(|| {
+                let t = Timestamp::new(ts);
+                ts += 1;
+                out.put(t, payload.clone()).unwrap();
+                let (_, item, ticket) = inp.get().unwrap();
+                std::hint::black_box(item.len());
+                inp.consume(ticket).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn queue_requeue(c: &mut Criterion) {
+    c.bench_function("queue_requeue_cycle", |b| {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put(Timestamp::new(0), Item::from_vec(vec![1; 1024]))
+            .unwrap();
+        b.iter(|| {
+            let (_, _, ticket) = inp.get().unwrap();
+            inp.requeue(ticket).unwrap();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    channel_cycle,
+    channel_get_specs,
+    queue_cycle,
+    queue_requeue
+);
+criterion_main!(benches);

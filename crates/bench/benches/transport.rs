@@ -1,0 +1,73 @@
+//! Criterion ablation: CLF backends — in-process ("shared memory within
+//! an SMP") vs reliable UDP ("UDP over a LAN") — message round trips
+//! across sizes.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dstampede_clf::{udp_mesh, ClfTransport, MemFabric, UdpConfig};
+use dstampede_core::AsId;
+
+fn mem_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clf_mem_round_trip");
+    for size in [1_000usize, 10_000, 60_000] {
+        group.throughput(Throughput::Bytes(size as u64 * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let fabric = MemFabric::new();
+            let a = fabric.endpoint(AsId(0));
+            let e = fabric.endpoint(AsId(1));
+            let echo = std::thread::spawn(move || {
+                while let Ok((from, msg)) = e.recv() {
+                    if msg.is_empty() {
+                        break;
+                    }
+                    e.send(from, msg).unwrap();
+                }
+            });
+            let msg = Bytes::from(vec![0xa5; size]);
+            b.iter(|| {
+                a.send(AsId(1), msg.clone()).unwrap();
+                let (_, back) = a.recv().unwrap();
+                std::hint::black_box(back.len());
+            });
+            a.send(AsId(1), Bytes::new()).unwrap();
+            echo.join().unwrap();
+        });
+    }
+    group.finish();
+}
+
+fn udp_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clf_udp_round_trip");
+    group.sample_size(30);
+    for size in [1_000usize, 10_000, 60_000] {
+        group.throughput(Throughput::Bytes(size as u64 * 2));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut endpoints = udp_mesh(2, UdpConfig::default()).unwrap();
+            let e = endpoints.pop().unwrap();
+            let a = endpoints.pop().unwrap();
+            let echo = std::thread::spawn(move || {
+                while let Ok((from, msg)) = e.recv() {
+                    if msg.is_empty() {
+                        break;
+                    }
+                    e.send(from, msg).unwrap();
+                }
+                e.shutdown();
+            });
+            let msg = Bytes::from(vec![0x5a; size]);
+            b.iter(|| {
+                a.send(AsId(1), msg.clone()).unwrap();
+                let (_, back) = a.recv().unwrap();
+                std::hint::black_box(back.len());
+            });
+            a.send(AsId(1), Bytes::new()).unwrap();
+            echo.join().unwrap();
+            a.shutdown();
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mem_round_trip, udp_round_trip);
+criterion_main!(benches);

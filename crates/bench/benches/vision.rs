@@ -1,0 +1,56 @@
+//! Criterion ablation: data parallelism in the Figure 3 vision pipeline.
+//!
+//! The paper motivates queues with frame-fragment data parallelism
+//! (splitter → tracker pool → joiner). This bench measures whole-pipeline
+//! throughput as the tracker pool grows, and the split factor's overhead
+//! at a fixed pool size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dstampede_apps::{run_vision_pipeline, VisionConfig};
+
+fn tracker_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vision_tracker_scaling");
+    group.sample_size(10);
+    for trackers in [1usize, 2, 4] {
+        let cfg = VisionConfig {
+            frames: 12,
+            frame_size: 256 * 1024,
+            fragments: 4,
+            trackers,
+            address_spaces: 1,
+        };
+        group.throughput(Throughput::Bytes(cfg.frames as u64 * cfg.frame_size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(trackers), &cfg, |b, cfg| {
+            b.iter(|| {
+                let report = run_vision_pipeline(cfg).expect("pipeline");
+                assert_eq!(report.records.len(), cfg.frames as usize);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn split_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vision_split_factor");
+    group.sample_size(10);
+    for fragments in [1usize, 4, 16] {
+        let cfg = VisionConfig {
+            frames: 12,
+            frame_size: 256 * 1024,
+            fragments,
+            trackers: 4,
+            address_spaces: 1,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(fragments), &cfg, |b, cfg| {
+            b.iter(|| {
+                let report = run_vision_pipeline(cfg).expect("pipeline");
+                assert_eq!(report.records.len(), cfg.frames as usize);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tracker_scaling, split_factor);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table 1 (paper §5.2): delivered bandwidth out of the mixer node.
+//!
+//! For each (image size, client count) the multi-threaded conference runs
+//! and the delivered bandwidth is derived from the measured sustained
+//! frame rate by the paper's formula `K² · S · F` (each of K clients
+//! receives a composite of size K·S at F frames/sec). Configurations whose
+//! frame rate falls below the paper's 10 fps usability threshold are
+//! marked, matching the paper's presentation (it omitted such readings).
+//!
+//! Expected shape (paper): bandwidth grows with K until it saturates near
+//! the node's ~50 MB/s egress; the 10 fps threshold is crossed at 5
+//! clients for 190 KB images and around 7 clients for the smaller sizes.
+
+use dstampede_apps::{run_dstampede_conference, ConferenceConfig, MixerKind};
+use dstampede_bench::{image_sizes, ExpOptions, ResultTable};
+use dstampede_clf::NetProfile;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let frames = if opts.quick { 40 } else { 100 };
+    let clients: Vec<usize> = if opts.quick {
+        vec![2, 4, 7]
+    } else {
+        vec![2, 3, 4, 5, 6, 7]
+    };
+    let (cluster_profile, client_profile) = if opts.raw_only {
+        (NetProfile::LOOPBACK, NetProfile::LOOPBACK)
+    } else {
+        (NetProfile::gige_2002(), NetProfile::end_device_2002())
+    };
+
+    let mut columns: Vec<String> = vec!["image_kb".to_owned()];
+    for k in &clients {
+        columns.push(format!("bw_{k}_clients_mbps"));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "Table 1 — Delivered bandwidth (MB/s) vs image size and clients \
+         (values in parentheses fell below the 10 fps threshold)",
+        &column_refs,
+    );
+
+    for size in image_sizes(opts.quick) {
+        let mut row = vec![(size / 1024).to_string()];
+        for &k in &clients {
+            let cfg = ConferenceConfig {
+                clients: k,
+                image_size: size,
+                frames,
+                warmup: frames as u64 / 6,
+                mixer: MixerKind::MultiThreaded,
+                client_profile,
+                cluster_profile,
+                channel_capacity: 4,
+            };
+            let report = run_dstampede_conference(&cfg).expect("conference");
+            let bw = report.measurement.bandwidth_mbps();
+            if report.measurement.meets_threshold() {
+                row.push(format!("{bw:.0}"));
+            } else {
+                row.push(format!("({bw:.0})"));
+            }
+            eprintln!(
+                "S={}KB K={k}: {:.1}fps -> {bw:.1}MBps",
+                size / 1024,
+                report.measurement.fps
+            );
+        }
+        table.row(&row);
+    }
+    table.emit(opts.csv.as_deref());
+    println!(
+        "Paper shape check: bandwidth saturates near the mixer node's egress \
+         (~50 MB/s shaped); sub-threshold cells appear at high K and S (§5.2, Table 1)."
+    );
+}

@@ -1,0 +1,73 @@
+//! Figure 15 (paper §5.2): multi-threaded mixer scalability.
+//!
+//! Sweeps the number of participating clients (2..=7) for each per-client
+//! image size and reports the sustained frame rate at the slowest display
+//! (the paper's reporting convention). One line per image size.
+//!
+//! Expected shape (paper): the multi-threaded version beats the
+//! single-threaded one (≈ 40 vs ≈ 20 fps at 74 KB / 2 clients on the 2002
+//! testbed); frame rate falls as clients or image size grow; once the
+//! required mixer-node bandwidth `K²·S·F` hits the node's egress (~50
+//! MB/s), the rate collapses below the 10 fps usability threshold —
+//! around 7 clients for small images, 5 clients at 190 KB (Table 1).
+
+use dstampede_apps::{run_dstampede_conference, ConferenceConfig, MixerKind};
+use dstampede_bench::{image_sizes, ExpOptions, ResultTable};
+use dstampede_clf::NetProfile;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    let frames = if opts.quick { 40 } else { 100 };
+    let clients: Vec<usize> = if opts.quick {
+        vec![2, 4, 7]
+    } else {
+        vec![2, 3, 4, 5, 6, 7]
+    };
+    let (cluster_profile, client_profile) = if opts.raw_only {
+        (NetProfile::LOOPBACK, NetProfile::LOOPBACK)
+    } else {
+        (NetProfile::gige_2002(), NetProfile::end_device_2002())
+    };
+
+    let mut columns: Vec<String> = vec!["clients".to_owned()];
+    let sizes = image_sizes(opts.quick);
+    for size in &sizes {
+        columns.push(format!("fps_{}kb", size / 1024));
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        "Figure 15 — Sustained frame rate vs clients, multi-threaded mixer",
+        &column_refs,
+    );
+
+    for &k in &clients {
+        let mut row = vec![k.to_string()];
+        for &size in &sizes {
+            let cfg = ConferenceConfig {
+                clients: k,
+                image_size: size,
+                frames,
+                warmup: frames as u64 / 6,
+                mixer: MixerKind::MultiThreaded,
+                client_profile,
+                cluster_profile,
+                channel_capacity: 4,
+            };
+            let report = run_dstampede_conference(&cfg).expect("conference");
+            row.push(format!("{:.1}", report.measurement.fps));
+            eprintln!(
+                "K={k} S={}KB: {:.1}fps (bw={:.1}MBps)",
+                size / 1024,
+                report.measurement.fps,
+                report.measurement.bandwidth_mbps()
+            );
+        }
+        table.row(&row);
+    }
+    table.emit(opts.csv.as_deref());
+    println!(
+        "Paper shape check: rates fall with clients and image size; the knee \
+         appears where K^2*S*F approaches the mixer node's ~50 MB/s egress \
+         (§5.2, Figure 15)."
+    );
+}

@@ -1,0 +1,12 @@
+//! Experiment 2 (paper §5.1, Figure 12): C-client end device ↔ cluster.
+//!
+//! See [`dstampede_bench::exp_client`] for the measurement methodology.
+
+use dstampede_bench::exp_client::run;
+use dstampede_bench::ExpOptions;
+use dstampede_wire::CodecId;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    run(CodecId::Xdr, "Figure 12", &opts);
+}

@@ -1,0 +1,16 @@
+//! Experiment 3 (paper §5.1, Figure 13): Java-client end device ↔ cluster.
+//!
+//! Identical to Experiment 2 except the end devices use the Java client
+//! library (JDR object marshalling). The paper's Result 2: raw TCP looks
+//! the same from C and Java, but D-Stampede over JDR is much slower than
+//! over XDR because marshalling constructs objects. See
+//! [`dstampede_bench::exp_client`] for the measurement methodology.
+
+use dstampede_bench::exp_client::run;
+use dstampede_bench::ExpOptions;
+use dstampede_wire::CodecId;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    run(CodecId::Jdr, "Figure 13", &opts);
+}

@@ -1,0 +1,49 @@
+//! Runs every experiment of the paper's §5 with quick settings and writes
+//! CSVs under `results/`.
+//!
+//! Equivalent to running each binary individually with `--quick --csv ...`;
+//! use the individual binaries for full-resolution sweeps.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp1_intra_cluster",
+    "exp2_c_client",
+    "exp3_java_client",
+    "app_single_threaded",
+    "app_multi_threaded",
+    "app_bandwidth_table",
+];
+
+fn main() {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let this = std::env::current_exe().expect("current exe");
+    let bin_dir = this.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = bin_dir.join(exp);
+        println!("=== {exp} ===");
+        let status = Command::new(&path)
+            .arg("--quick")
+            .arg("--csv")
+            .arg(format!("results/{exp}.csv"))
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {exp} ({e}); build bench binaries first");
+                failures.push(*exp);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall experiments complete; CSVs in results/");
+    } else {
+        eprintln!("\nexperiments failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

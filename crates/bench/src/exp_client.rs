@@ -1,0 +1,257 @@
+//! Shared driver for Experiments 2 and 3 (paper §5.1, Figures 12–13):
+//! end device ↔ cluster data exchange.
+//!
+//! The producer runs on an end device using the client library over TCP;
+//! Experiment 2 uses the C flavour (XDR), Experiment 3 the Java flavour
+//! (JDR) — they differ *only* in codec, which is exactly the paper's
+//! comparison. Three configurations vary the consumer's location, as in
+//! Figures 8–10:
+//!
+//! * **Configuration 1** — consumer co-located with the channel on the
+//!   cluster: one device↔cluster traversal. Shows the exact D-Stampede
+//!   overhead over TCP (paper: ≤ ~12 % at best for the C client).
+//! * **Configuration 2** — consumer on the cluster but in a *different*
+//!   address space from the channel: adds one intra-cluster traversal.
+//! * **Configuration 3** — consumer on a second end device: two
+//!   device↔cluster traversals; the largest overhead.
+//!
+//! Baseline: a raw-TCP producer/consumer pair (half a round trip), since
+//! every configuration's client link is TCP. As the paper observes
+//! (Result 2), the TCP baseline looks the same from C and Java; the
+//! D-Stampede difference comes from marshalling.
+//!
+//! Like Experiment 1, both raw-loopback and 2002-shaped numbers are
+//! reported unless `--raw` is given.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dstampede_clf::shaping::precise_sleep;
+use dstampede_clf::{NetProfile, ShapedStream, TokenBucket};
+use dstampede_client::EndDevice;
+use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+use dstampede_runtime::Cluster;
+use dstampede_wire::{read_frame, write_frame, CodecId, WaitSpec};
+
+use crate::{measure_us, median_us, message_sizes, ExpOptions, ResultTable};
+
+/// Consumer placement, mirroring Figures 8–10.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Config {
+    CoLocated,
+    OtherAddressSpace,
+    SecondEndDevice,
+}
+
+/// Shaping for one run: client link and intra-cluster link profiles.
+#[derive(Clone, Copy)]
+struct Shaping {
+    client: Option<NetProfile>,
+    cluster: Option<NetProfile>,
+}
+
+impl Shaping {
+    fn raw() -> Self {
+        Shaping {
+            client: None,
+            cluster: None,
+        }
+    }
+
+    fn year_2002() -> Self {
+        Shaping {
+            client: Some(NetProfile::end_device_2002()),
+            cluster: Some(NetProfile::gige_2002()),
+        }
+    }
+}
+
+fn attach(
+    addr: std::net::SocketAddr,
+    codec: CodecId,
+    name: &str,
+    profile: Option<NetProfile>,
+) -> EndDevice {
+    match profile {
+        None => EndDevice::attach(addr, codec, name).expect("attach"),
+        Some(p) => {
+            let stream = dstampede_clf::tcp_connect(addr).expect("connect");
+            EndDevice::attach_over(Box::new(ShapedStream::new(stream, p)), codec, name)
+                .expect("attach")
+        }
+    }
+}
+
+fn config_latency(
+    codec: CodecId,
+    config: Config,
+    size: usize,
+    iters: usize,
+    shaping: Shaping,
+) -> f64 {
+    let mut builder = Cluster::builder().address_spaces(2);
+    if let Some(p) = shaping.cluster {
+        builder = builder.shaped(p);
+    }
+    let cluster = builder.build().expect("cluster");
+    let addr = cluster.listener_addr(0).expect("listener");
+
+    // Producer end device; its channel is created in the surrogate's
+    // address space (AS 0).
+    let producer = attach(addr, codec, "producer", shaping.client);
+    let chan = producer
+        .create_channel(None, ChannelAttrs::default())
+        .expect("create");
+    let out = producer.connect_channel_out(chan).expect("connect");
+
+    enum Consumer {
+        InCluster(dstampede_runtime::ChanInput),
+        EndDevice(
+            dstampede_client::ClientChanIn,
+            #[allow(dead_code)] EndDevice,
+        ),
+    }
+
+    let consumer = match config {
+        Config::CoLocated => Consumer::InCluster(
+            cluster
+                .space(0)
+                .expect("as0")
+                .open_channel(chan)
+                .expect("open")
+                .connect_input(Interest::FromEarliest)
+                .expect("connect"),
+        ),
+        Config::OtherAddressSpace => Consumer::InCluster(
+            cluster
+                .space(1)
+                .expect("as1")
+                .open_channel(chan)
+                .expect("open")
+                .connect_input(Interest::FromEarliest)
+                .expect("connect"),
+        ),
+        Config::SecondEndDevice => {
+            let device = attach(addr, codec, "consumer", shaping.client);
+            let inp = device
+                .connect_channel_in(chan, Interest::FromEarliest)
+                .expect("connect");
+            Consumer::EndDevice(inp, device)
+        }
+    };
+
+    let mut ts = 0i64;
+    let samples = measure_us(8, iters, || {
+        let t = Timestamp::new(ts);
+        ts += 1;
+        out.put(t, Item::from_vec(vec![0xa5; size]), WaitSpec::Forever)
+            .expect("put");
+        let item = match &consumer {
+            Consumer::InCluster(inp) => {
+                let (_, item) = inp.get(GetSpec::Exact(t), WaitSpec::Forever).expect("get");
+                inp.consume_until(t).expect("consume");
+                item
+            }
+            Consumer::EndDevice(inp, _) => {
+                let (_, item) = inp.get(GetSpec::Exact(t), WaitSpec::Forever).expect("get");
+                inp.consume_until(t).expect("consume");
+                item
+            }
+        };
+        assert_eq!(item.len(), size);
+    });
+    let result = median_us(&samples);
+    drop(consumer);
+    drop(out);
+    producer.detach().expect("detach");
+    cluster.shutdown();
+    result
+}
+
+fn tcp_baseline(size: usize, iters: usize, profile: Option<NetProfile>) -> f64 {
+    let listener = dstampede_clf::tcp_listen_loopback().expect("listen");
+    let addr = listener.local_addr().expect("addr");
+    let echo = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().expect("accept");
+        s.set_nodelay(true).expect("nodelay");
+        let mut buf = vec![0u8; 64 * 1024];
+        loop {
+            let mut len = [0u8; 4];
+            if s.read_exact(&mut len).is_err() {
+                return;
+            }
+            let n = u32::from_be_bytes(len) as usize;
+            s.read_exact(&mut buf[..n]).expect("read");
+            s.write_all(&len).expect("write");
+            s.write_all(&buf[..n]).expect("write");
+        }
+    });
+    let bucket = profile
+        .and_then(|p| p.bandwidth)
+        .map(|r| Arc::new(TokenBucket::new(r)));
+    let latency = profile.map_or(Duration::ZERO, |p| p.latency);
+    let charge = |bytes: usize| {
+        if let Some(b) = &bucket {
+            b.consume(bytes);
+        }
+        precise_sleep(latency);
+    };
+    let mut stream = dstampede_clf::tcp_connect(addr).expect("connect");
+    let msg = vec![0x3c_u8; size];
+    let samples = measure_us(8, iters, || {
+        charge(size);
+        write_frame(&mut stream, &msg).expect("send");
+        charge(size);
+        let back = read_frame(&mut stream).expect("recv");
+        assert_eq!(back.len(), size);
+    });
+    drop(stream);
+    echo.join().expect("echo");
+    median_us(&samples) / 2.0
+}
+
+/// Shared driver for Experiments 2 and 3 (they differ only in codec).
+pub fn run(codec: CodecId, figure: &str, opts: &ExpOptions) {
+    let iters = if opts.quick { 10 } else { 30 };
+    let modes: Vec<(&str, Shaping)> = if opts.raw_only {
+        vec![("raw", Shaping::raw())]
+    } else {
+        vec![("raw", Shaping::raw()), ("2002", Shaping::year_2002())]
+    };
+
+    let mut columns: Vec<String> = vec!["size_bytes".to_owned()];
+    for (label, _) in &modes {
+        for series in ["config1", "config2", "config3", "tcp"] {
+            columns.push(format!("{series}_{label}_us"));
+        }
+    }
+    let column_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = ResultTable::new(
+        &format!("{figure} — {codec} client end device ↔ cluster latency (µs)"),
+        &column_refs,
+    );
+
+    for size in message_sizes(opts.quick) {
+        let mut row = vec![size.to_string()];
+        for (label, shaping) in &modes {
+            let c1 = config_latency(codec, Config::CoLocated, size, iters, *shaping);
+            let c2 = config_latency(codec, Config::OtherAddressSpace, size, iters, *shaping);
+            let c3 = config_latency(codec, Config::SecondEndDevice, size, iters, *shaping);
+            let tcp = tcp_baseline(size, iters, shaping.client);
+            row.extend([
+                format!("{c1:.1}"),
+                format!("{c2:.1}"),
+                format!("{c3:.1}"),
+                format!("{tcp:.1}"),
+            ]);
+            eprintln!("size={size} [{label}]: c1={c1:.1} c2={c2:.1} c3={c3:.1} tcp={tcp:.1}");
+        }
+        table.row(&row);
+    }
+    table.emit(opts.csv.as_deref());
+    println!(
+        "Paper shape check: config1 < config2 < config3, every curve tracking the \
+         TCP baseline's slope (§5.1, {figure})."
+    );
+}

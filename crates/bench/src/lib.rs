@@ -1,0 +1,255 @@
+//! # dstampede-bench — experiment harness
+//!
+//! Regenerates every results figure and table of the paper's §5:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Figure 11 (Experiment 1, intra-cluster)        | `exp1_intra_cluster` |
+//! | Figure 12 (Experiment 2, C client, 3 configs)  | `exp2_c_client` |
+//! | Figure 13 (Experiment 3, Java client)          | `exp3_java_client` |
+//! | Figure 14 (app, single-threaded mixers)        | `app_single_threaded` |
+//! | Figure 15 (app, multi-threaded mixer)          | `app_multi_threaded` |
+//! | Table 1 (delivered bandwidth)                  | `app_bandwidth_table` |
+//! | everything, quick settings                     | `run_all` |
+//!
+//! Each binary prints a markdown table with the same rows/series the paper
+//! reports and accepts `--quick` (sparser sweeps) and `--csv PATH`.
+//! Criterion micro-benchmarks (`benches/`) cover the core data structures,
+//! transports, codecs and the REF-vs-TGC garbage-collection ablation.
+
+#![warn(missing_docs)]
+
+pub mod exp_client;
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Measures the latencies of `iters` runs of `op` after `warmup` runs,
+/// returning microseconds per run.
+pub fn measure_us<F: FnMut()>(warmup: usize, iters: usize, mut op: F) -> Vec<f64> {
+    for _ in 0..warmup {
+        op();
+    }
+    let mut out = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        op();
+        out.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    out
+}
+
+/// The median of a latency sample (microseconds).
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+#[must_use]
+pub fn median_us(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of empty sample");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// A result table with named columns, printable as markdown and CSV.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ResultTable {
+    /// An empty table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        ResultTable {
+            title: title.to_owned(),
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n## {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders the table as CSV (header + rows).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+
+    /// Prints the markdown rendering and optionally writes CSV to a path.
+    pub fn emit(&self, csv_path: Option<&str>) {
+        println!("{}", self.to_markdown());
+        if let Some(path) = csv_path {
+            if let Err(e) = std::fs::write(path, self.to_csv()) {
+                eprintln!("warning: failed to write {path}: {e}");
+            } else {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}
+
+/// Shared command-line options for the experiment binaries.
+#[derive(Debug, Clone, Default)]
+pub struct ExpOptions {
+    /// Sparser sweep / fewer iterations.
+    pub quick: bool,
+    /// Write CSV output here.
+    pub csv: Option<String>,
+    /// Disable the 2002 shaping profiles (report raw modern-loopback
+    /// numbers only).
+    pub raw_only: bool,
+}
+
+impl ExpOptions {
+    /// Parses `--quick`, `--raw`, and `--csv PATH` from `std::env::args`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut opts = ExpOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--raw" => opts.raw_only = true,
+                "--csv" => opts.csv = args.next(),
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        opts
+    }
+}
+
+/// The paper's message-size sweep: 1000..=60000 bytes. The quick variant
+/// keeps every fourth point.
+#[must_use]
+pub fn message_sizes(quick: bool) -> Vec<usize> {
+    let step = if quick { 4000 } else { 1000 };
+    (1..=60)
+        .map(|k| k * 1000)
+        .filter(|s| s % step == 0)
+        .collect()
+}
+
+/// The paper's application image sizes (Figures 14–15, Table 1), in bytes.
+#[must_use]
+pub fn image_sizes(quick: bool) -> Vec<usize> {
+    let kb: &[usize] = if quick {
+        &[74, 125, 190]
+    } else {
+        &[74, 89, 106, 125, 145, 160, 175, 190]
+    };
+    kb.iter().map(|k| k * 1024).collect()
+}
+
+/// Busy-waits `d` (sub-millisecond precision for latency experiments).
+pub fn spin_sleep(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median_us(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_us(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn measure_collects_samples() {
+        let samples = measure_us(2, 5, || spin_sleep(Duration::from_micros(50)));
+        assert_eq!(samples.len(), 5);
+        assert!(median_us(&samples) >= 40.0);
+    }
+
+    #[test]
+    fn table_renders_both_formats() {
+        let mut t = ResultTable::new("Demo", &["size", "latency"]);
+        t.row(&["1000".into(), "12.5".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let md = t.to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| 1000 | 12.5 |"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("size,latency\n"));
+        assert!(csv.contains("1000,12.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = ResultTable::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn sweeps_have_expected_shape() {
+        let full = message_sizes(false);
+        assert_eq!(full.len(), 60);
+        assert_eq!(full[0], 1000);
+        assert_eq!(*full.last().unwrap(), 60000);
+        let quick = message_sizes(true);
+        assert!(quick.len() < full.len());
+        assert_eq!(image_sizes(false).len(), 8);
+        assert_eq!(image_sizes(true).len(), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Transport errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CLF transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClfError {
+    /// The destination address space is not known to this fabric.
+    UnknownPeer,
+    /// The endpoint has been shut down.
+    Closed,
+    /// A timed receive expired.
+    Timeout,
+    /// A non-blocking receive found nothing.
+    Empty,
+    /// An underlying socket failed.
+    Io(String),
+}
+
+impl fmt::Display for ClfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClfError::UnknownPeer => write!(f, "unknown destination address space"),
+            ClfError::Closed => write!(f, "endpoint is shut down"),
+            ClfError::Timeout => write!(f, "receive timed out"),
+            ClfError::Empty => write!(f, "no message available"),
+            ClfError::Io(s) => write!(f, "transport i/o error: {s}"),
+        }
+    }
+}
+
+impl Error for ClfError {}
+
+impl From<std::io::Error> for ClfError {
+    fn from(e: std::io::Error) -> Self {
+        ClfError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClfError>();
+        for e in [
+            ClfError::UnknownPeer,
+            ClfError::Closed,
+            ClfError::Timeout,
+            ClfError::Empty,
+            ClfError::Io("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        assert!(matches!(ClfError::from(io), ClfError::Io(_)));
+    }
+}

@@ -1,0 +1,230 @@
+//! Byte-stream helpers for the client↔cluster TCP path.
+//!
+//! End devices talk to the cluster over TCP (paper §3.2.1). This module
+//! provides the small pieces the client and listener share: TCP setup with
+//! sane defaults, and an in-process duplex byte pipe for exercising
+//! stream-shaped code (framing, shaping wrappers) without sockets.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Connects a TCP stream with `TCP_NODELAY` set (RPC traffic is
+/// latency-sensitive).
+///
+/// # Errors
+///
+/// Propagates connection errors.
+pub fn tcp_connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Binds a TCP listener on an ephemeral loopback port.
+///
+/// # Errors
+///
+/// Propagates bind errors.
+pub fn tcp_listen_loopback() -> io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}
+
+#[derive(Default)]
+struct PipeBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+struct PipeShared {
+    buf: Mutex<PipeBuf>,
+    cv: Condvar,
+}
+
+/// One end of an in-process duplex byte pipe (see [`duplex`]).
+pub struct PipeEnd {
+    read_from: Arc<PipeShared>,
+    write_to: Arc<PipeShared>,
+}
+
+impl fmt::Debug for PipeEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipeEnd").finish_non_exhaustive()
+    }
+}
+
+/// Creates a connected pair of in-process byte streams.
+///
+/// Each end implements [`Read`] and [`Write`]; dropping an end closes its
+/// outgoing direction, which the peer observes as EOF. The pair behaves
+/// like a loopback TCP connection without the sockets.
+///
+/// # Examples
+///
+/// ```
+/// use std::io::{Read, Write};
+/// use dstampede_clf::duplex;
+///
+/// # fn main() -> std::io::Result<()> {
+/// let (mut a, mut b) = duplex();
+/// a.write_all(b"ping")?;
+/// let mut buf = [0u8; 4];
+/// b.read_exact(&mut buf)?;
+/// assert_eq!(&buf, b"ping");
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn duplex() -> (PipeEnd, PipeEnd) {
+    let ab = Arc::new(PipeShared {
+        buf: Mutex::new(PipeBuf::default()),
+        cv: Condvar::new(),
+    });
+    let ba = Arc::new(PipeShared {
+        buf: Mutex::new(PipeBuf::default()),
+        cv: Condvar::new(),
+    });
+    (
+        PipeEnd {
+            read_from: Arc::clone(&ba),
+            write_to: Arc::clone(&ab),
+        },
+        PipeEnd {
+            read_from: ab,
+            write_to: ba,
+        },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut buf = self.read_from.buf.lock();
+        while buf.data.is_empty() {
+            if buf.closed {
+                return Ok(0); // EOF
+            }
+            self.read_from.cv.wait(&mut buf);
+        }
+        let n = out.len().min(buf.data.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = buf.data.pop_front().expect("len checked");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let mut buf = self.write_to.buf.lock();
+        if buf.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer end closed"));
+        }
+        buf.data.extend(data);
+        drop(buf);
+        self.write_to.cv.notify_all();
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        for side in [&self.write_to, &self.read_from] {
+            side.buf.lock().closed = true;
+            side.cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn duplex_round_trip_both_directions() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"to-b").unwrap();
+        b.write_all(b"to-a").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"to-b");
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"to-a");
+    }
+
+    #[test]
+    fn read_blocks_until_write() {
+        let (mut a, mut b) = duplex();
+        let h = thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        thread::sleep(std::time::Duration::from_millis(20));
+        a.write_all(b"delay").unwrap();
+        assert_eq!(&h.join().unwrap(), b"delay");
+    }
+
+    #[test]
+    fn drop_signals_eof() {
+        let (a, mut b) = duplex();
+        drop(a);
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_after_peer_drop_fails() {
+        let (mut a, b) = duplex();
+        drop(b);
+        let err = a.write_all(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn large_transfer_in_chunks() {
+        let (mut a, mut b) = duplex();
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 255) as u8).collect();
+        let expected = data.clone();
+        let h = thread::spawn(move || {
+            a.write_all(&data).unwrap();
+        });
+        let mut got = vec![0u8; expected.len()];
+        b.read_exact(&mut got).unwrap();
+        assert_eq!(got, expected);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_helpers_connect() {
+        let listener = tcp_listen_loopback().unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 2];
+            s.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let mut c = tcp_connect(addr).unwrap();
+        c.write_all(b"ok").unwrap();
+        assert_eq!(&h.join().unwrap(), b"ok");
+    }
+
+    #[test]
+    fn zero_length_read_is_ok() {
+        let (_a, mut b) = duplex();
+        let mut empty = [0u8; 0];
+        assert_eq!(b.read(&mut empty).unwrap(), 0);
+    }
+}

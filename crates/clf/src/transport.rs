@@ -1,0 +1,144 @@
+//! The CLF transport contract.
+//!
+//! CLF (paper §3.2.2) is "a low level packet transport layer \[providing\]
+//! reliable, ordered point-to-point packet transport between the D-Stampede
+//! address spaces within the cluster, with the illusion of an infinite
+//! packet queue. It exploits shared memory within an SMP, and any available
+//! network between the nodes". The [`ClfTransport`] trait captures that
+//! contract; backends provide it over in-process channels
+//! ([`crate::mem`], the "shared memory within an SMP" case) and real UDP
+//! sockets ([`crate::udp`], the "UDP over a LAN" case).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use dstampede_core::AsId;
+
+use crate::error::ClfError;
+
+/// Monotonic counters describing an endpoint's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages delivered to `recv`.
+    pub msgs_received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered.
+    pub bytes_received: u64,
+    /// Packets retransmitted (UDP backend only).
+    pub retransmits: u64,
+    /// Duplicate or stale packets discarded (UDP backend only).
+    pub duplicates_dropped: u64,
+}
+
+/// Shared atomic counter block used by the backends.
+#[derive(Debug, Default)]
+pub struct StatCounters {
+    pub(crate) msgs_sent: AtomicU64,
+    pub(crate) msgs_received: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) retransmits: AtomicU64,
+    pub(crate) duplicates_dropped: AtomicU64,
+}
+
+impl StatCounters {
+    pub(crate) fn note_sent(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_received(&self, bytes: usize) {
+        self.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            msgs_received: self.msgs_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Reliable, ordered, point-to-point message transport between address
+/// spaces with the illusion of an infinite packet queue.
+///
+/// Guarantees, for any ordered pair of address spaces `(A, B)`:
+///
+/// * every message `A` sends to `B` is delivered exactly once (while both
+///   endpoints are up);
+/// * messages are delivered in send order;
+/// * `send` never blocks on the receiver (unbounded buffering).
+pub trait ClfTransport: Send + Sync + fmt::Debug {
+    /// The address space this endpoint belongs to.
+    fn local(&self) -> AsId;
+
+    /// Sends a message to another address space.
+    ///
+    /// # Errors
+    ///
+    /// [`ClfError::UnknownPeer`] for unroutable destinations,
+    /// [`ClfError::Closed`] after shutdown, [`ClfError::Io`] on socket
+    /// failure.
+    fn send(&self, dst: AsId, msg: Bytes) -> Result<(), ClfError>;
+
+    /// Blocks until the next message arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClfError::Closed`] after shutdown.
+    fn recv(&self) -> Result<(AsId, Bytes), ClfError>;
+
+    /// Waits up to `timeout` for the next message.
+    ///
+    /// # Errors
+    ///
+    /// [`ClfError::Timeout`] on expiry, [`ClfError::Closed`] after shutdown.
+    fn recv_timeout(&self, timeout: Duration) -> Result<(AsId, Bytes), ClfError>;
+
+    /// Returns the next message if one is already queued.
+    ///
+    /// # Errors
+    ///
+    /// [`ClfError::Empty`] when nothing is queued, [`ClfError::Closed`]
+    /// after shutdown.
+    fn try_recv(&self) -> Result<(AsId, Bytes), ClfError>;
+
+    /// Traffic counters.
+    fn stats(&self) -> TransportStats;
+
+    /// Shuts the endpoint down; subsequent operations fail with
+    /// [`ClfError::Closed`]. Idempotent.
+    fn shutdown(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_counters_snapshot() {
+        let c = StatCounters::default();
+        c.note_sent(10);
+        c.note_sent(5);
+        c.note_received(7);
+        let s = c.snapshot();
+        assert_eq!(s.msgs_sent, 2);
+        assert_eq!(s.bytes_sent, 15);
+        assert_eq!(s.msgs_received, 1);
+        assert_eq!(s.bytes_received, 7);
+        assert_eq!(s.retransmits, 0);
+    }
+}

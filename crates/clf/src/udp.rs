@@ -1,0 +1,624 @@
+//! Reliable-UDP CLF backend — "UDP over a LAN".
+//!
+//! Between cluster nodes the paper's CLF runs over UDP while still
+//! promising reliable, ordered delivery with an infinite packet queue.
+//! This backend implements that promise with a small ARQ protocol:
+//!
+//! * messages are fragmented into DATA packets of at most
+//!   [`UdpConfig::frag_payload`] bytes, each carrying a per-peer sequence
+//!   number and an end-of-message flag;
+//! * the receiver acknowledges cumulatively, reorders out-of-order
+//!   packets, drops duplicates, and reassembles in-order fragments into
+//!   messages;
+//! * the sender buffers unacknowledged packets without bound (the
+//!   "infinite queue" illusion) and retransmits on a timer.
+//!
+//! A deterministic loss injector ([`LossInjection`]) lets tests exercise
+//! retransmission without a lossy network.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use dstampede_core::AsId;
+
+use crate::error::ClfError;
+use crate::transport::{ClfTransport, StatCounters, TransportStats};
+
+const MAGIC: u16 = 0xC1F0;
+const KIND_DATA: u8 = 0;
+const KIND_ACK: u8 = 1;
+const FLAG_EOM: u8 = 1;
+const HEADER_LEN: usize = 2 + 1 + 1 + 2 + 8;
+
+/// Deterministic packet-loss injection for tests and fault drills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossInjection {
+    /// Deliver everything (default).
+    #[default]
+    None,
+    /// Drop every n-th DATA packet (n ≥ 2).
+    DropEveryNth(u32),
+}
+
+/// Tuning knobs for a [`UdpEndpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpConfig {
+    /// Maximum DATA payload per packet. The paper notes UDP caps messages
+    /// below 64 KB; we default well under typical loopback MTUs.
+    pub frag_payload: usize,
+    /// Retransmission timeout for unacknowledged packets.
+    pub rto: Duration,
+    /// Outbound loss injection.
+    pub loss: LossInjection,
+}
+
+impl Default for UdpConfig {
+    fn default() -> Self {
+        UdpConfig {
+            frag_payload: 8192,
+            rto: Duration::from_millis(40),
+            loss: LossInjection::None,
+        }
+    }
+}
+
+struct PeerTx {
+    next_seq: u64,
+    /// seq → (packet bytes, last transmit time).
+    unacked: BTreeMap<u64, (Vec<u8>, Instant)>,
+    data_sent: u64,
+}
+
+impl PeerTx {
+    fn new() -> Self {
+        PeerTx {
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            data_sent: 0,
+        }
+    }
+}
+
+struct PeerRx {
+    expected: u64,
+    /// Out-of-order packets: seq → (flags, payload).
+    ooo: BTreeMap<u64, (u8, Vec<u8>)>,
+    assembling: Vec<u8>,
+}
+
+impl PeerRx {
+    fn new() -> Self {
+        PeerRx {
+            expected: 0,
+            ooo: BTreeMap::new(),
+            assembling: Vec::new(),
+        }
+    }
+}
+
+struct Shared {
+    peers: HashMap<AsId, SocketAddr>,
+    tx: HashMap<AsId, PeerTx>,
+    rx: HashMap<AsId, PeerRx>,
+}
+
+/// A reliable-UDP CLF endpoint.
+///
+/// # Examples
+///
+/// Two endpoints on loopback:
+///
+/// ```
+/// use bytes::Bytes;
+/// use dstampede_clf::{ClfTransport, UdpConfig, UdpEndpoint};
+/// use dstampede_core::AsId;
+///
+/// # fn main() -> Result<(), dstampede_clf::ClfError> {
+/// let a = UdpEndpoint::bind(AsId(0), UdpConfig::default())?;
+/// let b = UdpEndpoint::bind(AsId(1), UdpConfig::default())?;
+/// a.add_peer(AsId(1), b.local_addr());
+/// b.add_peer(AsId(0), a.local_addr());
+/// a.send(AsId(1), Bytes::from_static(b"over udp"))?;
+/// assert_eq!(&b.recv()?.1[..], b"over udp");
+/// # a.shutdown(); b.shutdown();
+/// # Ok(())
+/// # }
+/// ```
+pub struct UdpEndpoint {
+    local: AsId,
+    addr: SocketAddr,
+    socket: UdpSocket,
+    config: UdpConfig,
+    shared: Arc<Mutex<Shared>>,
+    inbox: Receiver<(AsId, Bytes)>,
+    stats: Arc<StatCounters>,
+    closed: Arc<AtomicBool>,
+    pump: Mutex<Option<std::thread::JoinHandle<()>>>,
+    loss_counter: Mutex<u64>,
+}
+
+impl UdpEndpoint {
+    /// Binds an endpoint on an ephemeral loopback port and starts its
+    /// protocol pump thread.
+    ///
+    /// # Errors
+    ///
+    /// [`ClfError::Io`] if the socket cannot be bound.
+    pub fn bind(local: AsId, config: UdpConfig) -> Result<Arc<Self>, ClfError> {
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let addr = socket.local_addr()?;
+        let shared = Arc::new(Mutex::new(Shared {
+            peers: HashMap::new(),
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+        }));
+        let (deliver_tx, inbox) = unbounded();
+        let stats = Arc::new(StatCounters::default());
+        let closed = Arc::new(AtomicBool::new(false));
+
+        let pump_socket = socket.try_clone()?;
+        let pump_shared = Arc::clone(&shared);
+        let pump_stats = Arc::clone(&stats);
+        let pump_closed = Arc::clone(&closed);
+        let rto = config.rto;
+        let handle = std::thread::Builder::new()
+            .name(format!("clf-udp-{}", local.0))
+            .spawn(move || {
+                pump_loop(
+                    local,
+                    &pump_socket,
+                    &pump_shared,
+                    &deliver_tx,
+                    &pump_stats,
+                    &pump_closed,
+                    rto,
+                );
+            })
+            .expect("spawning the CLF pump thread failed");
+
+        Ok(Arc::new(UdpEndpoint {
+            local,
+            addr,
+            socket,
+            config,
+            shared,
+            inbox,
+            stats,
+            closed,
+            pump: Mutex::new(Some(handle)),
+            loss_counter: Mutex::new(0),
+        }))
+    }
+
+    /// The endpoint's bound socket address.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Registers the socket address of a peer address space.
+    pub fn add_peer(&self, peer: AsId, addr: SocketAddr) {
+        self.shared.lock().peers.insert(peer, addr);
+    }
+
+    fn should_drop(&self) -> bool {
+        match self.config.loss {
+            LossInjection::None => false,
+            LossInjection::DropEveryNth(n) => {
+                let mut c = self.loss_counter.lock();
+                *c += 1;
+                n >= 2 && (*c).is_multiple_of(u64::from(n))
+            }
+        }
+    }
+}
+
+fn encode_data(src: AsId, seq: u64, eom: bool, payload: &[u8]) -> Vec<u8> {
+    let mut pkt = Vec::with_capacity(HEADER_LEN + payload.len());
+    pkt.extend_from_slice(&MAGIC.to_be_bytes());
+    pkt.push(KIND_DATA);
+    pkt.push(if eom { FLAG_EOM } else { 0 });
+    pkt.extend_from_slice(&src.0.to_be_bytes());
+    pkt.extend_from_slice(&seq.to_be_bytes());
+    pkt.extend_from_slice(payload);
+    pkt
+}
+
+fn encode_ack(src: AsId, cum_ack: u64) -> Vec<u8> {
+    let mut pkt = Vec::with_capacity(HEADER_LEN);
+    pkt.extend_from_slice(&MAGIC.to_be_bytes());
+    pkt.push(KIND_ACK);
+    pkt.push(0);
+    pkt.extend_from_slice(&src.0.to_be_bytes());
+    pkt.extend_from_slice(&cum_ack.to_be_bytes());
+    pkt
+}
+
+struct Parsed<'a> {
+    kind: u8,
+    flags: u8,
+    src: AsId,
+    seq: u64,
+    payload: &'a [u8],
+}
+
+fn parse(pkt: &[u8]) -> Option<Parsed<'_>> {
+    if pkt.len() < HEADER_LEN {
+        return None;
+    }
+    if u16::from_be_bytes([pkt[0], pkt[1]]) != MAGIC {
+        return None;
+    }
+    Some(Parsed {
+        kind: pkt[2],
+        flags: pkt[3],
+        src: AsId(u16::from_be_bytes([pkt[4], pkt[5]])),
+        seq: u64::from_be_bytes(pkt[6..14].try_into().expect("8 bytes")),
+        payload: &pkt[14..],
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pump_loop(
+    local: AsId,
+    socket: &UdpSocket,
+    shared: &Mutex<Shared>,
+    deliver: &Sender<(AsId, Bytes)>,
+    stats: &StatCounters,
+    closed: &AtomicBool,
+    rto: Duration,
+) {
+    let mut buf = vec![0u8; 65536];
+    let mut last_scan = Instant::now();
+    while !closed.load(Ordering::Acquire) {
+        match socket.recv_from(&mut buf) {
+            Ok((n, from_addr)) => {
+                if let Some(p) = parse(&buf[..n]) {
+                    match p.kind {
+                        KIND_DATA => {
+                            handle_data(local, socket, shared, deliver, stats, &p, from_addr);
+                        }
+                        KIND_ACK => {
+                            let mut st = shared.lock();
+                            if let Some(tx) = st.tx.get_mut(&p.src) {
+                                let acked: Vec<u64> =
+                                    tx.unacked.range(..=p.seq).map(|(&s, _)| s).collect();
+                                for s in acked {
+                                    tx.unacked.remove(&s);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+        // Periodic retransmission scan.
+        if last_scan.elapsed() >= rto / 2 {
+            last_scan = Instant::now();
+            let mut st = shared.lock();
+            let peers = st.peers.clone();
+            for (peer, tx) in st.tx.iter_mut() {
+                let Some(&addr) = peers.get(peer) else {
+                    continue;
+                };
+                for (pkt, sent_at) in tx.unacked.values_mut() {
+                    if sent_at.elapsed() >= rto {
+                        let _ = socket.send_to(pkt, addr);
+                        *sent_at = Instant::now();
+                        stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn handle_data(
+    local: AsId,
+    socket: &UdpSocket,
+    shared: &Mutex<Shared>,
+    deliver: &Sender<(AsId, Bytes)>,
+    stats: &StatCounters,
+    p: &Parsed<'_>,
+    from_addr: SocketAddr,
+) {
+    let mut completed: Vec<Bytes> = Vec::new();
+    let ack;
+    {
+        let mut st = shared.lock();
+        // Learn/refresh the peer's address from observed traffic.
+        st.peers.insert(p.src, from_addr);
+        let rx = st.rx.entry(p.src).or_insert_with(PeerRx::new);
+        if p.seq < rx.expected || rx.ooo.contains_key(&p.seq) {
+            stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            rx.ooo.insert(p.seq, (p.flags, p.payload.to_vec()));
+            while let Some((flags, payload)) = rx.ooo.remove(&rx.expected) {
+                rx.assembling.extend_from_slice(&payload);
+                if flags & FLAG_EOM != 0 {
+                    let msg = Bytes::from(std::mem::take(&mut rx.assembling));
+                    stats.note_received(msg.len());
+                    completed.push(msg);
+                }
+                rx.expected += 1;
+            }
+        }
+        ack = rx.expected.wrapping_sub(1);
+    }
+    if ack != u64::MAX {
+        let _ = socket.send_to(&encode_ack(local, ack), from_addr);
+    }
+    for msg in completed {
+        let _ = deliver.send((p.src, msg));
+    }
+}
+
+impl ClfTransport for UdpEndpoint {
+    fn local(&self) -> AsId {
+        self.local
+    }
+
+    fn send(&self, dst: AsId, msg: Bytes) -> Result<(), ClfError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ClfError::Closed);
+        }
+        let mut st = self.shared.lock();
+        let addr = *st.peers.get(&dst).ok_or(ClfError::UnknownPeer)?;
+        let tx = st.tx.entry(dst).or_insert_with(PeerTx::new);
+        let frag = self.config.frag_payload.max(1);
+        let n_frags = msg.len().div_ceil(frag).max(1);
+        let mut packets = Vec::with_capacity(n_frags);
+        for i in 0..n_frags {
+            let lo = i * frag;
+            let hi = ((i + 1) * frag).min(msg.len());
+            let eom = i + 1 == n_frags;
+            let seq = tx.next_seq;
+            tx.next_seq += 1;
+            let pkt = encode_data(self.local, seq, eom, &msg[lo..hi]);
+            tx.unacked.insert(seq, (pkt.clone(), Instant::now()));
+            tx.data_sent += 1;
+            packets.push(pkt);
+        }
+        drop(st);
+        for pkt in &packets {
+            if self.should_drop() {
+                continue; // the retransmission timer will recover it
+            }
+            self.socket.send_to(pkt, addr)?;
+        }
+        self.stats.note_sent(msg.len());
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<(AsId, Bytes), ClfError> {
+        loop {
+            if self.closed.load(Ordering::Acquire) {
+                return Err(ClfError::Closed);
+            }
+            match self.inbox.recv_timeout(Duration::from_millis(50)) {
+                Ok(m) => return Ok(m),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(ClfError::Closed),
+            }
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<(AsId, Bytes), ClfError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ClfError::Closed);
+        }
+        match self.inbox.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => Err(ClfError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(ClfError::Closed),
+        }
+    }
+
+    fn try_recv(&self) -> Result<(AsId, Bytes), ClfError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ClfError::Closed);
+        }
+        match self.inbox.try_recv() {
+            Ok(m) => Ok(m),
+            Err(TryRecvError::Empty) => Err(ClfError::Empty),
+            Err(TryRecvError::Disconnected) => Err(ClfError::Closed),
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats.snapshot()
+    }
+
+    fn shutdown(&self) {
+        self.closed.store(true, Ordering::Release);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for UdpEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UdpEndpoint")
+            .field("local", &self.local)
+            .field("addr", &self.addr)
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Drop for UdpEndpoint {
+    fn drop(&mut self) {
+        self.closed.store(true, Ordering::Release);
+        if let Some(h) = self.pump.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builds a fully-connected set of loopback UDP endpoints for `n` address
+/// spaces `AsId(0) .. AsId(n-1)`.
+///
+/// # Errors
+///
+/// [`ClfError::Io`] if any socket cannot be bound.
+pub fn udp_mesh(n: u16, config: UdpConfig) -> Result<Vec<Arc<UdpEndpoint>>, ClfError> {
+    let endpoints: Vec<Arc<UdpEndpoint>> = (0..n)
+        .map(|i| UdpEndpoint::bind(AsId(i), config))
+        .collect::<Result<_, _>>()?;
+    for a in &endpoints {
+        for b in &endpoints {
+            if a.local() != b.local() {
+                a.add_peer(b.local(), b.local_addr());
+            }
+        }
+    }
+    Ok(endpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(config: UdpConfig) -> (Arc<UdpEndpoint>, Arc<UdpEndpoint>) {
+        let mut v = udp_mesh(2, config).unwrap();
+        let b = v.pop().unwrap();
+        let a = v.pop().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn small_message_round_trip() {
+        let (a, b) = pair(UdpConfig::default());
+        a.send(AsId(1), Bytes::from_static(b"ping")).unwrap();
+        let (from, msg) = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(from, AsId(0));
+        assert_eq!(&msg[..], b"ping");
+    }
+
+    #[test]
+    fn empty_message_delivered() {
+        let (a, b) = pair(UdpConfig::default());
+        a.send(AsId(1), Bytes::new()).unwrap();
+        let (_, msg) = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(msg.is_empty());
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let (a, b) = pair(UdpConfig::default());
+        let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+        a.send(AsId(1), Bytes::from(payload.clone())).unwrap();
+        let (_, msg) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&msg[..], &payload[..]);
+    }
+
+    #[test]
+    fn many_messages_stay_ordered() {
+        let (a, b) = pair(UdpConfig::default());
+        for i in 0..200u32 {
+            a.send(AsId(1), Bytes::from(i.to_be_bytes().to_vec()))
+                .unwrap();
+        }
+        for i in 0..200u32 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(u32::from_be_bytes(msg[..].try_into().unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn survives_packet_loss() {
+        let lossy = UdpConfig {
+            loss: LossInjection::DropEveryNth(3),
+            rto: Duration::from_millis(20),
+            ..UdpConfig::default()
+        };
+        let (a, b) = pair(lossy);
+        let payload: Vec<u8> = (0..40_000u32).map(|i| (i % 13) as u8).collect();
+        for i in 0..20u32 {
+            let mut m = payload.clone();
+            m[0] = i as u8;
+            a.send(AsId(1), Bytes::from(m)).unwrap();
+        }
+        for i in 0..20u32 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(msg[0], i as u8, "message {i} out of order or corrupt");
+            assert_eq!(msg.len(), payload.len());
+        }
+        assert!(
+            a.stats().retransmits > 0,
+            "loss injection should force retransmissions"
+        );
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let a = UdpEndpoint::bind(AsId(0), UdpConfig::default()).unwrap();
+        assert_eq!(
+            a.send(AsId(7), Bytes::new()).unwrap_err(),
+            ClfError::UnknownPeer
+        );
+        a.shutdown();
+    }
+
+    #[test]
+    fn bidirectional_traffic() {
+        let (a, b) = pair(UdpConfig::default());
+        a.send(AsId(1), Bytes::from_static(b"to-b")).unwrap();
+        b.send(AsId(0), Bytes::from_static(b"to-a")).unwrap();
+        assert_eq!(
+            &b.recv_timeout(Duration::from_secs(2)).unwrap().1[..],
+            b"to-b"
+        );
+        assert_eq!(
+            &a.recv_timeout(Duration::from_secs(2)).unwrap().1[..],
+            b"to-a"
+        );
+    }
+
+    #[test]
+    fn shutdown_closes_operations() {
+        let (a, _b) = pair(UdpConfig::default());
+        a.shutdown();
+        assert_eq!(a.send(AsId(1), Bytes::new()).unwrap_err(), ClfError::Closed);
+        assert_eq!(a.try_recv().unwrap_err(), ClfError::Closed);
+    }
+
+    #[test]
+    fn timeout_and_empty() {
+        let (a, _b) = pair(UdpConfig::default());
+        assert_eq!(a.try_recv().unwrap_err(), ClfError::Empty);
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            ClfError::Timeout
+        );
+    }
+
+    #[test]
+    fn garbage_packets_ignored() {
+        let (a, b) = pair(UdpConfig::default());
+        // Throw junk at b's socket from a raw socket.
+        let junk = UdpSocket::bind("127.0.0.1:0").unwrap();
+        junk.send_to(b"not a clf packet", b.local_addr()).unwrap();
+        junk.send_to(&[0u8; 3], b.local_addr()).unwrap();
+        a.send(AsId(1), Bytes::from_static(b"real")).unwrap();
+        assert_eq!(
+            &b.recv_timeout(Duration::from_secs(2)).unwrap().1[..],
+            b"real"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! `dstampede-cli` — an interactive end-device shell.
+//!
+//! Attaches to a running cluster (e.g. one started with `dstamped`) and
+//! exposes the client API as line commands, useful for poking at a live
+//! computation:
+//!
+//! ```text
+//! dstampede-cli <listener-addr> [--java]
+//! ```
+//!
+//! Commands (one per line on stdin; results on stdout):
+//!
+//! ```text
+//! ping
+//! create-channel [name]          # prints the channel id as OWNER.INDEX
+//! connect-in  OWNER.INDEX [earliest|latest]   # prints a connection handle
+//! connect-out OWNER.INDEX                     # prints a connection handle
+//! put  HANDLE TS TEXT...
+//! get  HANDLE TS                 # blocking, up to 5 s
+//! consume HANDLE TS
+//! ns-register NAME OWNER.INDEX
+//! ns-lookup NAME
+//! ns-list
+//! quit
+//! ```
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use dstampede_client::{ClientChanIn, ClientChanOut, EndDevice};
+use dstampede_core::{AsId, ChanId, ChannelAttrs, GetSpec, Interest, Item, ResourceId, Timestamp};
+use dstampede_wire::{CodecId, WaitSpec};
+
+enum Conn {
+    In(ClientChanIn),
+    Out(ClientChanOut),
+}
+
+struct Shell {
+    device: EndDevice,
+    conns: HashMap<u64, Conn>,
+    next_handle: u64,
+}
+
+fn parse_chan(text: &str) -> Result<ChanId, String> {
+    let (owner, index) = text
+        .split_once('.')
+        .ok_or_else(|| format!("channel id must be OWNER.INDEX, got {text}"))?;
+    Ok(ChanId {
+        owner: AsId(owner.parse().map_err(|_| "bad owner".to_owned())?),
+        index: index.parse().map_err(|_| "bad index".to_owned())?,
+    })
+}
+
+impl Shell {
+    fn run_line(&mut self, line: &str) -> Result<String, String> {
+        let mut parts = line.split_whitespace();
+        let Some(cmd) = parts.next() else {
+            return Ok(String::new());
+        };
+        let err = |e: dstampede_core::StmError| e.to_string();
+        match cmd {
+            "ping" => {
+                self.device.ping(1).map_err(err)?;
+                Ok("pong".into())
+            }
+            "create-channel" => {
+                let name = parts.next();
+                let id = self
+                    .device
+                    .create_channel(name, ChannelAttrs::default())
+                    .map_err(err)?;
+                Ok(format!("channel {}.{}", id.owner.0, id.index))
+            }
+            "connect-in" => {
+                let chan = parse_chan(parts.next().ok_or("missing channel id")?)?;
+                let interest = match parts.next() {
+                    Some("latest") => Interest::FromLatest,
+                    _ => Interest::FromEarliest,
+                };
+                let conn = self
+                    .device
+                    .connect_channel_in(chan, interest)
+                    .map_err(err)?;
+                self.next_handle += 1;
+                self.conns.insert(self.next_handle, Conn::In(conn));
+                Ok(format!("conn {}", self.next_handle))
+            }
+            "connect-out" => {
+                let chan = parse_chan(parts.next().ok_or("missing channel id")?)?;
+                let conn = self.device.connect_channel_out(chan).map_err(err)?;
+                self.next_handle += 1;
+                self.conns.insert(self.next_handle, Conn::Out(conn));
+                Ok(format!("conn {}", self.next_handle))
+            }
+            "put" => {
+                let handle: u64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing handle")?;
+                let ts: i64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing timestamp")?;
+                let text = parts.collect::<Vec<_>>().join(" ");
+                match self.conns.get(&handle) {
+                    Some(Conn::Out(out)) => {
+                        out.put(
+                            Timestamp::new(ts),
+                            Item::from_vec(text.into_bytes()),
+                            WaitSpec::TimeoutMs(5000),
+                        )
+                        .map_err(err)?;
+                        Ok("ok".into())
+                    }
+                    Some(Conn::In(_)) => Err("handle is an input connection".into()),
+                    None => Err("no such handle".into()),
+                }
+            }
+            "get" => {
+                let handle: u64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing handle")?;
+                let ts: i64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing timestamp")?;
+                match self.conns.get(&handle) {
+                    Some(Conn::In(inp)) => {
+                        let (t, item) = inp
+                            .get(
+                                GetSpec::Exact(Timestamp::new(ts)),
+                                WaitSpec::TimeoutMs(5000),
+                            )
+                            .map_err(err)?;
+                        Ok(format!(
+                            "ts={} payload={:?}",
+                            t.value(),
+                            String::from_utf8_lossy(item.payload())
+                        ))
+                    }
+                    Some(Conn::Out(_)) => Err("handle is an output connection".into()),
+                    None => Err("no such handle".into()),
+                }
+            }
+            "consume" => {
+                let handle: u64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing handle")?;
+                let ts: i64 = parts
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("missing timestamp")?;
+                match self.conns.get(&handle) {
+                    Some(Conn::In(inp)) => {
+                        inp.consume_until(Timestamp::new(ts)).map_err(err)?;
+                        Ok("ok".into())
+                    }
+                    _ => Err("no such input handle".into()),
+                }
+            }
+            "ns-register" => {
+                let name = parts.next().ok_or("missing name")?;
+                let chan = parse_chan(parts.next().ok_or("missing channel id")?)?;
+                self.device
+                    .ns_register(name, ResourceId::Channel(chan), "cli")
+                    .map_err(err)?;
+                Ok("ok".into())
+            }
+            "ns-lookup" => {
+                let name = parts.next().ok_or("missing name")?;
+                let (res, meta) = self
+                    .device
+                    .ns_lookup(name, WaitSpec::TimeoutMs(5000))
+                    .map_err(err)?;
+                Ok(format!("{res} meta={meta:?}"))
+            }
+            "ns-list" => {
+                let entries = self.device.ns_list().map_err(err)?;
+                if entries.is_empty() {
+                    return Ok("(empty)".into());
+                }
+                Ok(entries
+                    .iter()
+                    .map(|e| format!("{} -> {}", e.name, e.resource))
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
+            other => Err(format!("unknown command {other}")),
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: dstampede-cli <listener-addr> [--java]");
+        std::process::exit(2);
+    };
+    let codec = if args.any(|a| a == "--java") {
+        CodecId::Jdr
+    } else {
+        CodecId::Xdr
+    };
+    let device = match EndDevice::attach(&addr, codec, "cli") {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("attach failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "attached to {addr} as session {} ({} codec); type commands, quit to exit",
+        device.session(),
+        device.codec()
+    );
+
+    let mut shell = Shell {
+        device,
+        conns: HashMap::new(),
+        next_handle: 0,
+    };
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "quit" {
+            break;
+        }
+        match shell.run_line(&line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+        let _ = stdout.flush();
+    }
+    let Shell { device, conns, .. } = shell;
+    drop(conns);
+    let _ = device.detach();
+    // Brief grace so the detach reply drains before exit.
+    std::thread::sleep(Duration::from_millis(20));
+}

@@ -1,0 +1,54 @@
+//! # dstampede-client — the end-device client library
+//!
+//! The tentacles of the Octopus: programs on sensors, data aggregators,
+//! and displays join a D-Stampede computation by attaching to a cluster
+//! listener over TCP. The library reproduces both client flavours of the
+//! paper (§3.2.1):
+//!
+//! * [`EndDevice::attach_c`] — the **C client**, marshalling with XDR;
+//! * [`EndDevice::attach_java`] — the **Java client**, marshalling with
+//!   JDR (object trees, element-wise streaming — the measured cost
+//!   asymmetry of the paper's Figures 12 vs 13).
+//!
+//! Both expose the same API: create/connect channels and queues, `put`,
+//! `get`, `consume`, name-server calls, and client-side garbage hooks fed
+//! by notifications piggy-backed on replies.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstampede_client::EndDevice;
+//! use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+//! use dstampede_runtime::Cluster;
+//! use dstampede_wire::WaitSpec;
+//!
+//! # fn main() -> Result<(), dstampede_core::StmError> {
+//! let cluster = Cluster::in_process(1)?;
+//! let addr = cluster.listener_addr(0)?;
+//!
+//! let device = EndDevice::attach_c(addr, "camera-0")?;
+//! let chan = device.create_channel(Some("video0"), ChannelAttrs::default())?;
+//! let out = device.connect_channel_out(chan)?;
+//! let inp = device.connect_channel_in(chan, Interest::FromEarliest)?;
+//!
+//! out.put(Timestamp::new(0), Item::from_vec(vec![1, 2, 3]), WaitSpec::Forever)?;
+//! let (ts, frame) = inp.get(GetSpec::Exact(Timestamp::new(0)), WaitSpec::Forever)?;
+//! assert_eq!(frame.payload(), &[1, 2, 3]);
+//! inp.consume_until(ts)?;
+//!
+//! drop((out, inp));
+//! device.detach()?;
+//! cluster.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod session;
+
+pub use session::{
+    ClientChanIn, ClientChanOut, ClientGarbageHook, ClientQueueIn, ClientQueueOut, EndDevice,
+    SessionStream,
+};

@@ -1,0 +1,719 @@
+//! End-device client sessions.
+//!
+//! An [`EndDevice`] is a tentacle of the Octopus: it attaches to a cluster
+//! listener over TCP, negotiates its marshalling codec (XDR for the C
+//! flavour, JDR for the Java flavour — paper §3.2.1), and then issues
+//! D-Stampede API calls as RPCs fielded by its surrogate thread on the
+//! cluster. Calls on one session are serialized, mirroring the
+//! one-surrogate-per-device execution model; a client program that wants a
+//! producer and a display to block independently attaches once per thread,
+//! as the paper's video-conferencing client does.
+//!
+//! Garbage notifications queued by the surrogate arrive piggy-backed on
+//! replies and are dispatched to locally registered hooks (§3.2.4).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dstampede_core::{
+    AsId, ChanId, ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, QueueId, ResourceId, StmError,
+    StmResult, StreamItem, TagFilter, Timestamp, VirtualTime,
+};
+use dstampede_wire::{
+    codec_for, read_frame, write_frame, Codec, CodecId, GcNote, NsEntry, Reply, Request,
+    RequestFrame, WaitSpec,
+};
+
+/// Byte stream a session can run over (TCP, an in-process pipe, or a
+/// shaped wrapper).
+pub trait SessionStream: Read + Write + Send {}
+
+impl<S: Read + Write + Send> SessionStream for S {}
+
+/// Client-side garbage hook.
+pub type ClientGarbageHook = Arc<dyn Fn(&GcNote) + Send + Sync>;
+
+struct Inner {
+    stream: Mutex<Box<dyn SessionStream>>,
+    codec: Arc<dyn Codec>,
+    session: AtomicU64,
+    as_id: Mutex<AsId>,
+    next_seq: AtomicU64,
+    hooks: Mutex<HashMap<ResourceId, ClientGarbageHook>>,
+    name: String,
+}
+
+impl Inner {
+    fn call(&self, req: Request) -> StmResult<Reply> {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let bytes = self
+            .codec
+            .encode_request(&RequestFrame { seq, req })
+            .map_err(|e| StmError::Protocol(e.to_string()))?;
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, &bytes).map_err(|_| StmError::Disconnected)?;
+        let frame = read_frame(&mut *stream).map_err(|_| StmError::Disconnected)?;
+        drop(stream);
+        let reply = self
+            .codec
+            .decode_reply(&frame)
+            .map_err(|e| StmError::Protocol(e.to_string()))?;
+        if reply.seq != seq {
+            return Err(StmError::Protocol(format!(
+                "reply seq {} does not match request seq {seq}",
+                reply.seq
+            )));
+        }
+        self.dispatch_gc_notes(&reply.gc_notes);
+        reply.reply.into_result()
+    }
+
+    fn dispatch_gc_notes(&self, notes: &[GcNote]) {
+        if notes.is_empty() {
+            return;
+        }
+        let hooks = self.hooks.lock();
+        for note in notes {
+            if let Some(hook) = hooks.get(&note.resource) {
+                hook(note);
+            }
+        }
+    }
+}
+
+/// A client session with the cluster.
+///
+/// Cloning shares the session (and its call serialization).
+///
+/// # Examples
+///
+/// See the crate-level documentation for an end-to-end example against a
+/// running cluster.
+#[derive(Clone)]
+pub struct EndDevice {
+    inner: Arc<Inner>,
+}
+
+impl EndDevice {
+    /// Attaches to a cluster listener over TCP with the given codec — the
+    /// general form of the C/Java client library entry points.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the listener is unreachable or the
+    /// handshake fails.
+    pub fn attach<A: ToSocketAddrs>(addr: A, codec: CodecId, name: &str) -> StmResult<EndDevice> {
+        let stream = dstampede_clf::tcp_connect(addr).map_err(|_| StmError::Disconnected)?;
+        EndDevice::attach_over(Box::new(stream), codec, name)
+    }
+
+    /// Attaches as a **C client** (XDR marshalling).
+    ///
+    /// # Errors
+    ///
+    /// As [`EndDevice::attach`].
+    pub fn attach_c<A: ToSocketAddrs>(addr: A, name: &str) -> StmResult<EndDevice> {
+        EndDevice::attach(addr, CodecId::Xdr, name)
+    }
+
+    /// Attaches as a **Java client** (JDR object marshalling).
+    ///
+    /// # Errors
+    ///
+    /// As [`EndDevice::attach`].
+    pub fn attach_java<A: ToSocketAddrs>(addr: A, name: &str) -> StmResult<EndDevice> {
+        EndDevice::attach(addr, CodecId::Jdr, name)
+    }
+
+    /// Attaches over an arbitrary byte stream (a shaped TCP stream, or an
+    /// in-process pipe in tests).
+    ///
+    /// # Errors
+    ///
+    /// As [`EndDevice::attach`].
+    pub fn attach_over(
+        mut stream: Box<dyn SessionStream>,
+        codec: CodecId,
+        name: &str,
+    ) -> StmResult<EndDevice> {
+        stream
+            .write_all(&[codec.byte()])
+            .map_err(|_| StmError::Disconnected)?;
+        stream.flush().map_err(|_| StmError::Disconnected)?;
+        let inner = Arc::new(Inner {
+            stream: Mutex::new(stream),
+            codec: codec_for(codec),
+            session: AtomicU64::new(0),
+            as_id: Mutex::new(AsId(0)),
+            next_seq: AtomicU64::new(1),
+            hooks: Mutex::new(HashMap::new()),
+            name: name.to_owned(),
+        });
+        let reply = inner.call(Request::Attach {
+            client_name: name.to_owned(),
+        })?;
+        match reply {
+            Reply::Attached { session, as_id } => {
+                inner.session.store(session, Ordering::Release);
+                *inner.as_id.lock() = as_id;
+            }
+            other => return Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+        Ok(EndDevice { inner })
+    }
+
+    /// The session id assigned by the listener.
+    #[must_use]
+    pub fn session(&self) -> u64 {
+        self.inner.session.load(Ordering::Acquire)
+    }
+
+    /// The address space hosting this session's surrogate.
+    #[must_use]
+    pub fn as_id(&self) -> AsId {
+        *self.inner.as_id.lock()
+    }
+
+    /// The client name given at attach.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The codec this session negotiated.
+    #[must_use]
+    pub fn codec(&self) -> CodecId {
+        self.inner.codec.id()
+    }
+
+    /// Round-trip liveness/latency probe.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn ping(&self, nonce: u64) -> StmResult<u64> {
+        match self.inner.call(Request::Ping { nonce })? {
+            Reply::Pong { nonce } => Ok(nonce),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Creates a channel in the surrogate's address space.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn create_channel(&self, name: Option<&str>, attrs: ChannelAttrs) -> StmResult<ChanId> {
+        match self.inner.call(Request::ChannelCreate {
+            name: name.map(str::to_owned),
+            attrs,
+        })? {
+            Reply::Created {
+                resource: ResourceId::Channel(id),
+            } => Ok(id),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Creates a queue in the surrogate's address space.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn create_queue(&self, name: Option<&str>, attrs: QueueAttrs) -> StmResult<QueueId> {
+        match self.inner.call(Request::QueueCreate {
+            name: name.map(str::to_owned),
+            attrs,
+        })? {
+            Reply::Created {
+                resource: ResourceId::Queue(id),
+            } => Ok(id),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Opens an input connection to a channel anywhere in the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] for dangling ids.
+    pub fn connect_channel_in(&self, chan: ChanId, interest: Interest) -> StmResult<ClientChanIn> {
+        self.connect_channel_in_filtered(chan, interest, TagFilter::Any)
+    }
+
+    /// Opens an input connection attending only to item tags that pass
+    /// `filter` (the selective-attention filtering extension).
+    ///
+    /// # Errors
+    ///
+    /// As [`EndDevice::connect_channel_in`].
+    pub fn connect_channel_in_filtered(
+        &self,
+        chan: ChanId,
+        interest: Interest,
+        filter: TagFilter,
+    ) -> StmResult<ClientChanIn> {
+        match self.inner.call(Request::ConnectChannelIn {
+            chan,
+            interest,
+            filter,
+        })? {
+            Reply::Connected { conn } => Ok(ClientChanIn {
+                device: self.clone(),
+                chan,
+                conn,
+            }),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Opens an output connection to a channel anywhere in the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] for dangling ids.
+    pub fn connect_channel_out(&self, chan: ChanId) -> StmResult<ClientChanOut> {
+        match self.inner.call(Request::ConnectChannelOut { chan })? {
+            Reply::Connected { conn } => Ok(ClientChanOut {
+                device: self.clone(),
+                chan,
+                conn,
+            }),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Opens an input connection to a queue anywhere in the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] for dangling ids.
+    pub fn connect_queue_in(&self, queue: QueueId) -> StmResult<ClientQueueIn> {
+        match self.inner.call(Request::ConnectQueueIn { queue })? {
+            Reply::Connected { conn } => Ok(ClientQueueIn {
+                device: self.clone(),
+                queue,
+                conn,
+            }),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Opens an output connection to a queue anywhere in the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] for dangling ids.
+    pub fn connect_queue_out(&self, queue: QueueId) -> StmResult<ClientQueueOut> {
+        match self.inner.call(Request::ConnectQueueOut { queue })? {
+            Reply::Connected { conn } => Ok(ClientQueueOut {
+                device: self.clone(),
+                queue,
+                conn,
+            }),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Registers a name with the cluster's name server.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameExists`] on collision.
+    pub fn ns_register(&self, name: &str, resource: ResourceId, meta: &str) -> StmResult<()> {
+        match self.inner.call(Request::NsRegister {
+            name: name.to_owned(),
+            resource,
+            meta: meta.to_owned(),
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Looks a name up, optionally blocking until it appears.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameAbsent`] (non-blocking) or [`StmError::Timeout`].
+    pub fn ns_lookup(&self, name: &str, wait: WaitSpec) -> StmResult<(ResourceId, String)> {
+        match self.inner.call(Request::NsLookup {
+            name: name.to_owned(),
+            wait,
+        })? {
+            Reply::NsFound { resource, meta } => Ok((resource, meta)),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Removes a name registration.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameAbsent`] when unregistered.
+    pub fn ns_unregister(&self, name: &str) -> StmResult<()> {
+        match self.inner.call(Request::NsUnregister {
+            name: name.to_owned(),
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Lists every name registration.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn ns_list(&self) -> StmResult<Vec<NsEntry>> {
+        match self.inner.call(Request::NsList)? {
+            Reply::NsEntries { entries } => Ok(entries),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Registers a local garbage hook for a resource and asks the cluster
+    /// to queue notifications (paper §3.2.4). Notifications are delivered
+    /// on subsequent API calls.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::BadMode`] when the resource lives outside the
+    /// surrogate's address space.
+    pub fn install_garbage_hook<F>(&self, resource: ResourceId, hook: F) -> StmResult<()>
+    where
+        F: Fn(&GcNote) + Send + Sync + 'static,
+    {
+        match self.inner.call(Request::InstallGarbageHook { resource })? {
+            Reply::Ok => {
+                self.inner.hooks.lock().insert(resource, Arc::new(hook));
+                Ok(())
+            }
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Detaches cleanly: the surrogate tears down and the session ends.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session was already broken.
+    pub fn detach(self) -> StmResult<()> {
+        match self.inner.call(Request::Detach)? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Debug for EndDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EndDevice")
+            .field("name", &self.inner.name)
+            .field("session", &self.inner.session)
+            .field("as_id", &self.inner.as_id)
+            .field("codec", &self.inner.codec.id())
+            .finish()
+    }
+}
+
+/// A client-side input connection to a channel; disconnects on drop.
+pub struct ClientChanIn {
+    device: EndDevice,
+    chan: ChanId,
+    conn: u64,
+}
+
+impl ClientChanIn {
+    /// The channel's id.
+    #[must_use]
+    pub fn channel_id(&self) -> ChanId {
+        self.chan
+    }
+
+    /// Gets an item.
+    ///
+    /// # Errors
+    ///
+    /// As the core channel `get` family, transported over RPC.
+    pub fn get(&self, spec: GetSpec, wait: WaitSpec) -> StmResult<(Timestamp, Item)> {
+        match self.device.inner.call(Request::ChannelGet {
+            conn: self.conn,
+            spec,
+            wait,
+        })? {
+            Reply::Item { ts, tag, payload } => Ok((ts, Item::new(payload).with_tag(tag))),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Typed get via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientChanIn::get`], plus decoding errors from `T`.
+    pub fn get_typed<T: StreamItem>(
+        &self,
+        spec: GetSpec,
+        wait: WaitSpec,
+    ) -> StmResult<(Timestamp, T)> {
+        let (ts, item) = self.get(spec, wait)?;
+        Ok((ts, item.decode::<T>()?))
+    }
+
+    /// Declares items through `upto` consumed.
+    ///
+    /// # Errors
+    ///
+    /// As the core channel `consume_until`.
+    pub fn consume_until(&self, upto: Timestamp) -> StmResult<()> {
+        match self.device.inner.call(Request::ChannelConsume {
+            conn: self.conn,
+            upto,
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Advances the connection's virtual-time promise.
+    ///
+    /// # Errors
+    ///
+    /// As the core channel `set_vt`.
+    pub fn set_vt(&self, vt: VirtualTime) -> StmResult<()> {
+        match self.device.inner.call(Request::ChannelSetVt {
+            conn: self.conn,
+            vt: vt.floor(),
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Debug for ClientChanIn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientChanIn")
+            .field("chan", &self.chan)
+            .field("conn", &self.conn)
+            .finish()
+    }
+}
+
+impl Drop for ClientChanIn {
+    fn drop(&mut self) {
+        let _ = self
+            .device
+            .inner
+            .call(Request::Disconnect { conn: self.conn });
+    }
+}
+
+/// A client-side output connection to a channel; disconnects on drop.
+pub struct ClientChanOut {
+    device: EndDevice,
+    chan: ChanId,
+    conn: u64,
+}
+
+impl ClientChanOut {
+    /// The channel's id.
+    #[must_use]
+    pub fn channel_id(&self) -> ChanId {
+        self.chan
+    }
+
+    /// Puts an item.
+    ///
+    /// # Errors
+    ///
+    /// As the core channel `put` family, transported over RPC.
+    pub fn put(&self, ts: Timestamp, item: Item, wait: WaitSpec) -> StmResult<()> {
+        match self.device.inner.call(Request::ChannelPut {
+            conn: self.conn,
+            ts,
+            tag: item.tag(),
+            payload: item.payload_bytes(),
+            wait,
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+impl ClientChanOut {
+    /// Typed put via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ClientChanOut::put`].
+    pub fn put_typed<T: StreamItem>(
+        &self,
+        ts: Timestamp,
+        value: &T,
+        wait: WaitSpec,
+    ) -> StmResult<()> {
+        self.put(ts, value.to_item(), wait)
+    }
+}
+
+impl fmt::Debug for ClientChanOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientChanOut")
+            .field("chan", &self.chan)
+            .field("conn", &self.conn)
+            .finish()
+    }
+}
+
+impl Drop for ClientChanOut {
+    fn drop(&mut self) {
+        let _ = self
+            .device
+            .inner
+            .call(Request::Disconnect { conn: self.conn });
+    }
+}
+
+/// A client-side input connection to a queue; disconnects on drop,
+/// requeueing unsettled tickets on the cluster.
+pub struct ClientQueueIn {
+    device: EndDevice,
+    queue: QueueId,
+    conn: u64,
+}
+
+impl ClientQueueIn {
+    /// The queue's id.
+    #[must_use]
+    pub fn queue_id(&self) -> QueueId {
+        self.queue
+    }
+
+    /// Gets the next item and its settlement ticket.
+    ///
+    /// # Errors
+    ///
+    /// As the core queue `get` family, transported over RPC.
+    pub fn get(&self, wait: WaitSpec) -> StmResult<(Timestamp, Item, u64)> {
+        match self.device.inner.call(Request::QueueGet {
+            conn: self.conn,
+            wait,
+        })? {
+            Reply::QueueItem {
+                ts,
+                tag,
+                payload,
+                ticket,
+            } => Ok((ts, Item::new(payload).with_tag(tag), ticket)),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Settles a ticket as consumed.
+    ///
+    /// # Errors
+    ///
+    /// As the core queue `consume`.
+    pub fn consume(&self, ticket: u64) -> StmResult<()> {
+        match self.device.inner.call(Request::QueueConsume {
+            conn: self.conn,
+            ticket,
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Puts an unfinished item back at the head of the queue.
+    ///
+    /// # Errors
+    ///
+    /// As the core queue `requeue`.
+    pub fn requeue(&self, ticket: u64) -> StmResult<()> {
+        match self.device.inner.call(Request::QueueRequeue {
+            conn: self.conn,
+            ticket,
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Debug for ClientQueueIn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientQueueIn")
+            .field("queue", &self.queue)
+            .field("conn", &self.conn)
+            .finish()
+    }
+}
+
+impl Drop for ClientQueueIn {
+    fn drop(&mut self) {
+        let _ = self
+            .device
+            .inner
+            .call(Request::Disconnect { conn: self.conn });
+    }
+}
+
+/// A client-side output connection to a queue; disconnects on drop.
+pub struct ClientQueueOut {
+    device: EndDevice,
+    queue: QueueId,
+    conn: u64,
+}
+
+impl ClientQueueOut {
+    /// The queue's id.
+    #[must_use]
+    pub fn queue_id(&self) -> QueueId {
+        self.queue
+    }
+
+    /// Puts an item.
+    ///
+    /// # Errors
+    ///
+    /// As the core queue `put` family, transported over RPC.
+    pub fn put(&self, ts: Timestamp, item: Item, wait: WaitSpec) -> StmResult<()> {
+        match self.device.inner.call(Request::QueuePut {
+            conn: self.conn,
+            ts,
+            tag: item.tag(),
+            payload: item.payload_bytes(),
+            wait,
+        })? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Debug for ClientQueueOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientQueueOut")
+            .field("queue", &self.queue)
+            .field("conn", &self.conn)
+            .finish()
+    }
+}
+
+impl Drop for ClientQueueOut {
+    fn drop(&mut self) {
+        let _ = self
+            .device
+            .inner
+            .call(Request::Disconnect { conn: self.conn });
+    }
+}

@@ -1,0 +1,81 @@
+//! Drives the `dstampede-cli` binary as a real subprocess against an
+//! in-test cluster: a second cross-process path (the first is the
+//! `dstamped` daemon test in the runtime crate).
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use dstampede_runtime::Cluster;
+
+#[test]
+fn cli_session_end_to_end() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dstampede-cli"))
+        .arg(addr.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn cli");
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut reader = BufReader::new(stdout);
+
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("attached"), "banner: {line}");
+
+    let mut send = |cmd: &str| -> String {
+        writeln!(stdin, "{cmd}").unwrap();
+        let mut out = String::new();
+        reader.read_line(&mut out).unwrap();
+        out.trim().to_owned()
+    };
+
+    assert_eq!(send("ping"), "pong");
+
+    let created = send("create-channel demo");
+    let chan = created
+        .strip_prefix("channel ")
+        .expect("channel id")
+        .to_owned();
+
+    let out_conn = send(&format!("connect-out {chan}"));
+    let out_handle = out_conn.strip_prefix("conn ").expect("handle").to_owned();
+    let in_conn = send(&format!("connect-in {chan}"));
+    let in_handle = in_conn.strip_prefix("conn ").expect("handle").to_owned();
+
+    assert_eq!(
+        send(&format!("put {out_handle} 3 hello from the cli")),
+        "ok"
+    );
+    let got = send(&format!("get {in_handle} 3"));
+    assert!(got.contains("hello from the cli"), "got: {got}");
+    assert_eq!(send(&format!("consume {in_handle} 3")), "ok");
+
+    assert_eq!(send(&format!("ns-register cli/demo {chan}")), "ok");
+    let found = send("ns-lookup cli/demo");
+    assert!(found.contains("chan:"), "lookup: {found}");
+    let listing = send("ns-list");
+    assert!(listing.contains("cli/demo"), "list: {listing}");
+
+    // Errors are reported, not fatal.
+    let err = send("get 999 1");
+    assert!(err.starts_with("error:"), "err: {err}");
+
+    writeln!(stdin, "quit").unwrap();
+    drop(stdin);
+    let status = child.wait().unwrap();
+    assert!(status.success());
+    cluster.shutdown();
+}
+
+#[test]
+fn cli_rejects_missing_address() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dstampede-cli"))
+        .output()
+        .expect("run cli without args");
+    assert!(!out.status.success());
+}

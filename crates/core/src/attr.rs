@@ -1,0 +1,348 @@
+//! Channel and queue attributes.
+//!
+//! Attributes fix a container's capacity, overflow policy and garbage
+//! collection policy at creation time. They travel over the wire when an end
+//! device asks the cluster to create a container, so they are plain data
+//! with stable encodings.
+
+use std::fmt;
+
+/// What a `put` does when the container is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OverflowPolicy {
+    /// Block the putter until garbage collection frees a slot (default).
+    ///
+    /// This is the classic space-time memory behaviour: producers are paced
+    /// by the slowest interested consumer.
+    #[default]
+    Block,
+    /// Fail the put immediately with [`crate::StmError::Full`].
+    Reject,
+    /// Evict the oldest live item (firing its garbage hook) to make room.
+    ///
+    /// Useful for sensors where only recent data matters — the paper's
+    /// "selective attention" taken to its limit.
+    DropOldest,
+}
+
+impl OverflowPolicy {
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            OverflowPolicy::Block => 0,
+            OverflowPolicy::Reject => 1,
+            OverflowPolicy::DropOldest => 2,
+        }
+    }
+
+    /// Decodes a wire code, defaulting unknown codes to `Block`.
+    #[must_use]
+    pub fn from_code(code: u32) -> Self {
+        match code {
+            1 => OverflowPolicy::Reject,
+            2 => OverflowPolicy::DropOldest,
+            _ => OverflowPolicy::Block,
+        }
+    }
+}
+
+impl fmt::Display for OverflowPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverflowPolicy::Block => write!(f, "block"),
+            OverflowPolicy::Reject => write!(f, "reject"),
+            OverflowPolicy::DropOldest => write!(f, "drop-oldest"),
+        }
+    }
+}
+
+/// Which garbage collection algorithm governs a container.
+///
+/// Both are described in the Stampede line of work referenced by the paper
+/// (§3.1, "Garbage Collection"); see [`crate::gc`] for the algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GcPolicy {
+    /// Reference counting on explicit `consume` marks (REF).
+    #[default]
+    Ref,
+    /// Transparent GC driven by per-connection virtual time (TGC).
+    Transparent,
+}
+
+impl GcPolicy {
+    /// Stable wire code.
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            GcPolicy::Ref => 0,
+            GcPolicy::Transparent => 1,
+        }
+    }
+
+    /// Decodes a wire code, defaulting unknown codes to `Ref`.
+    #[must_use]
+    pub fn from_code(code: u32) -> Self {
+        match code {
+            1 => GcPolicy::Transparent,
+            _ => GcPolicy::Ref,
+        }
+    }
+}
+
+impl fmt::Display for GcPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcPolicy::Ref => write!(f, "ref"),
+            GcPolicy::Transparent => write!(f, "transparent"),
+        }
+    }
+}
+
+/// Attributes of a channel, built with [`ChannelAttrs::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::{ChannelAttrs, OverflowPolicy, GcPolicy};
+///
+/// let attrs = ChannelAttrs::builder()
+///     .capacity(32)
+///     .overflow(OverflowPolicy::Reject)
+///     .gc(GcPolicy::Transparent)
+///     .build();
+/// assert_eq!(attrs.capacity(), Some(32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelAttrs {
+    capacity: Option<u32>,
+    overflow: OverflowPolicy,
+    gc: GcPolicy,
+}
+
+impl ChannelAttrs {
+    /// Starts building channel attributes.
+    #[must_use]
+    pub fn builder() -> ChannelAttrsBuilder {
+        ChannelAttrsBuilder {
+            attrs: ChannelAttrs::default(),
+        }
+    }
+
+    /// Maximum number of live items, or `None` for unbounded.
+    #[must_use]
+    pub fn capacity(&self) -> Option<u32> {
+        self.capacity
+    }
+
+    /// Behaviour at capacity.
+    #[must_use]
+    pub fn overflow(&self) -> OverflowPolicy {
+        self.overflow
+    }
+
+    /// Garbage collection algorithm.
+    #[must_use]
+    pub fn gc(&self) -> GcPolicy {
+        self.gc
+    }
+}
+
+impl Default for ChannelAttrs {
+    /// Unbounded, blocking, reference-counted.
+    fn default() -> Self {
+        ChannelAttrs {
+            capacity: None,
+            overflow: OverflowPolicy::Block,
+            gc: GcPolicy::Ref,
+        }
+    }
+}
+
+/// Builder for [`ChannelAttrs`].
+#[derive(Debug, Clone)]
+pub struct ChannelAttrsBuilder {
+    attrs: ChannelAttrs,
+}
+
+impl ChannelAttrsBuilder {
+    /// Bounds the channel to `n` live items.
+    #[must_use]
+    pub fn capacity(mut self, n: u32) -> Self {
+        self.attrs.capacity = Some(n);
+        self
+    }
+
+    /// Removes any capacity bound.
+    #[must_use]
+    pub fn unbounded(mut self) -> Self {
+        self.attrs.capacity = None;
+        self
+    }
+
+    /// Sets the overflow policy.
+    #[must_use]
+    pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.attrs.overflow = policy;
+        self
+    }
+
+    /// Sets the garbage collection policy.
+    #[must_use]
+    pub fn gc(mut self, policy: GcPolicy) -> Self {
+        self.attrs.gc = policy;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> ChannelAttrs {
+        self.attrs
+    }
+}
+
+/// Attributes of a queue, built with [`QueueAttrs::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::QueueAttrs;
+///
+/// let attrs = QueueAttrs::builder().capacity(8).build();
+/// assert_eq!(attrs.capacity(), Some(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueueAttrs {
+    capacity: Option<u32>,
+    overflow: OverflowPolicy,
+}
+
+impl QueueAttrs {
+    /// Starts building queue attributes.
+    #[must_use]
+    pub fn builder() -> QueueAttrsBuilder {
+        QueueAttrsBuilder {
+            attrs: QueueAttrs::default(),
+        }
+    }
+
+    /// Maximum number of queued items, or `None` for unbounded.
+    #[must_use]
+    pub fn capacity(&self) -> Option<u32> {
+        self.capacity
+    }
+
+    /// Behaviour at capacity.
+    #[must_use]
+    pub fn overflow(&self) -> OverflowPolicy {
+        self.overflow
+    }
+}
+
+impl Default for QueueAttrs {
+    /// Unbounded, blocking.
+    fn default() -> Self {
+        QueueAttrs {
+            capacity: None,
+            overflow: OverflowPolicy::Block,
+        }
+    }
+}
+
+/// Builder for [`QueueAttrs`].
+#[derive(Debug, Clone)]
+pub struct QueueAttrsBuilder {
+    attrs: QueueAttrs,
+}
+
+impl QueueAttrsBuilder {
+    /// Bounds the queue to `n` items.
+    #[must_use]
+    pub fn capacity(mut self, n: u32) -> Self {
+        self.attrs.capacity = Some(n);
+        self
+    }
+
+    /// Removes any capacity bound.
+    #[must_use]
+    pub fn unbounded(mut self) -> Self {
+        self.attrs.capacity = None;
+        self
+    }
+
+    /// Sets the overflow policy.
+    #[must_use]
+    pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
+        self.attrs.overflow = policy;
+        self
+    }
+
+    /// Finishes the build.
+    #[must_use]
+    pub fn build(self) -> QueueAttrs {
+        self.attrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_channel_attrs_are_unbounded_block_ref() {
+        let a = ChannelAttrs::default();
+        assert_eq!(a.capacity(), None);
+        assert_eq!(a.overflow(), OverflowPolicy::Block);
+        assert_eq!(a.gc(), GcPolicy::Ref);
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let a = ChannelAttrs::builder()
+            .capacity(4)
+            .overflow(OverflowPolicy::DropOldest)
+            .gc(GcPolicy::Transparent)
+            .build();
+        assert_eq!(a.capacity(), Some(4));
+        assert_eq!(a.overflow(), OverflowPolicy::DropOldest);
+        assert_eq!(a.gc(), GcPolicy::Transparent);
+    }
+
+    #[test]
+    fn unbounded_clears_capacity() {
+        let a = ChannelAttrs::builder().capacity(4).unbounded().build();
+        assert_eq!(a.capacity(), None);
+        let q = QueueAttrs::builder().capacity(4).unbounded().build();
+        assert_eq!(q.capacity(), None);
+    }
+
+    #[test]
+    fn queue_builder_round_trip() {
+        let q = QueueAttrs::builder()
+            .capacity(2)
+            .overflow(OverflowPolicy::Reject)
+            .build();
+        assert_eq!(q.capacity(), Some(2));
+        assert_eq!(q.overflow(), OverflowPolicy::Reject);
+    }
+
+    #[test]
+    fn policy_codes_round_trip() {
+        for p in [
+            OverflowPolicy::Block,
+            OverflowPolicy::Reject,
+            OverflowPolicy::DropOldest,
+        ] {
+            assert_eq!(OverflowPolicy::from_code(p.code()), p);
+        }
+        for g in [GcPolicy::Ref, GcPolicy::Transparent] {
+            assert_eq!(GcPolicy::from_code(g.code()), g);
+        }
+    }
+
+    #[test]
+    fn unknown_codes_fall_back_to_defaults() {
+        assert_eq!(OverflowPolicy::from_code(77), OverflowPolicy::Block);
+        assert_eq!(GcPolicy::from_code(77), GcPolicy::Ref);
+    }
+}

@@ -1,0 +1,1431 @@
+//! Timestamp-indexed channels: the core space-time memory container.
+//!
+//! A channel stores items indexed by application-defined [`Timestamp`]s and
+//! allows *random access* by timestamp (unlike a [`crate::Queue`], which is
+//! FIFO). Threads connect for input and/or output and then `put`/`get`
+//! items; input connections signal disinterest with `consume_until`, and the
+//! channel reclaims items no connection can ever need again (§3.1 of the
+//! paper).
+//!
+//! # Consumption and garbage collection
+//!
+//! Two policies are available (fixed at creation via
+//! `ChannelAttrs`):
+//!
+//! * [`GcPolicy::Ref`] — each live item tracks the set of input connections
+//!   that have not yet consumed it. `consume_until(ts)` marks every item at
+//!   or below `ts` consumed by that connection; an item whose pending set
+//!   empties is reclaimed.
+//! * [`GcPolicy::Transparent`] — connections advance a [`VirtualTime`]
+//!   promise instead; items below the minimum virtual-time floor across all
+//!   input connections are dead and reclaimed without explicit consumes.
+//!
+//! In both policies reclamation only happens while at least one input
+//! connection is attached: a stream produced before any consumer arrives is
+//! retained (subject to the capacity bound).
+//!
+//! # Blocking
+//!
+//! `get` blocks until a qualifying item arrives; `put` blocks while the
+//! channel is at capacity under [`OverflowPolicy::Block`]. Every blocking
+//! operation has `try_` and `_timeout` variants.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::attr::{ChannelAttrs, GcPolicy, OverflowPolicy};
+use crate::error::{StmError, StmResult};
+use crate::handler::{GarbageEvent, Hooks};
+use crate::ids::{ChanId, ConnId, ResourceId};
+use crate::item::{Item, StreamItem};
+use crate::time::{Timestamp, VirtualTime};
+
+/// Which item a `get` refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GetSpec {
+    /// The item with exactly this timestamp.
+    Exact(Timestamp),
+    /// The newest item this connection has not consumed.
+    Latest,
+    /// The oldest item this connection has not consumed.
+    Earliest,
+    /// The oldest item with timestamp strictly greater than the given one.
+    ///
+    /// `After` is the natural way to step through a stream: keep the last
+    /// timestamp you saw and ask for the next.
+    After(Timestamp),
+}
+
+/// Where a new input connection starts paying attention.
+///
+/// Items below the interest point are treated as already consumed by the new
+/// connection, so late joiners do not retroactively pin old data (the
+/// paper's "selective attention").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Interest {
+    /// Interested in every item still live in the channel (default).
+    #[default]
+    FromEarliest,
+    /// Interested only in items put after this connection attaches.
+    FromLatest,
+    /// Interested in items with timestamp at or above the given one.
+    FromTs(Timestamp),
+}
+
+/// Which item tags an input connection pays attention to.
+///
+/// This implements the filtering extension the paper lists as future work
+/// (§6): "extending the selective attention capability of D-Stampede to
+/// perform user defined filtering operations". The filter is fixed at
+/// connect time and is *complete* disinterest: filtered-out items are
+/// never returned by any get on the connection **and never pinned by it**
+/// — an item whose tag no attached connection wants is garbage.
+///
+/// Reclamation of filtered channels is prefix-ordered by timestamp: a
+/// fully-consumed item behind a still-claimed one is collected once the
+/// prefix reaches it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum TagFilter {
+    /// Attend to every item (default).
+    #[default]
+    Any,
+    /// Attend only to items whose tag is in the set.
+    Only(Vec<u32>),
+    /// Attend only to items with `tag % modulus == remainder` — the
+    /// natural way to stripe fragments across a pool of analysers.
+    Stripe {
+        /// Divisor (must be non-zero to match anything).
+        modulus: u32,
+        /// Selected remainder class.
+        remainder: u32,
+    },
+}
+
+impl TagFilter {
+    /// Whether an item with this tag passes the filter.
+    #[must_use]
+    pub fn matches(&self, tag: u32) -> bool {
+        match self {
+            TagFilter::Any => true,
+            TagFilter::Only(tags) => tags.contains(&tag),
+            TagFilter::Stripe { modulus, remainder } => {
+                *modulus != 0 && tag % modulus == *remainder
+            }
+        }
+    }
+}
+
+/// Monotonic counters describing a channel's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Successful puts.
+    pub puts: u64,
+    /// Successful gets.
+    pub gets: u64,
+    /// `consume_until` / `set_vt` calls.
+    pub consumes: u64,
+    /// Items reclaimed by garbage collection.
+    pub reclaimed_items: u64,
+    /// Payload bytes reclaimed by garbage collection.
+    pub reclaimed_bytes: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    consumes: AtomicU64,
+    reclaimed_items: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ChannelStats {
+        ChannelStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            consumes: self.consumes.load(Ordering::Relaxed),
+            reclaimed_items: self.reclaimed_items.load(Ordering::Relaxed),
+            reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Slot {
+    item: Item,
+    /// Input connections that have not yet consumed this item (REF policy).
+    pending: HashSet<ConnId>,
+}
+
+struct InConnState {
+    /// Everything at or below this timestamp is consumed by this connection.
+    until: Timestamp,
+    /// Virtual-time promise (TGC policy).
+    vt: VirtualTime,
+    /// Which tags this connection attends to.
+    filter: TagFilter,
+}
+
+impl InConnState {
+    /// Highest timestamp this connection is provably done with.
+    fn done_through(&self) -> Timestamp {
+        self.until.max(self.vt.floor().prev())
+    }
+}
+
+struct ChanState {
+    items: BTreeMap<Timestamp, Slot>,
+    /// Every timestamp at or below the floor is permanently gone.
+    floor: Timestamp,
+    in_conns: HashMap<ConnId, InConnState>,
+    out_conns: HashSet<ConnId>,
+    next_conn: u64,
+    closed: bool,
+}
+
+/// A timestamp-indexed space-time memory channel.
+///
+/// Channels are created through an address-space registry (see
+/// [`crate::StmRegistry`]) or directly with [`Channel::new`] for
+/// single-address-space use, and are always handled through [`Arc`].
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dstampede_core::{Channel, ChannelAttrs, GetSpec, Item, Timestamp};
+///
+/// # fn main() -> Result<(), dstampede_core::StmError> {
+/// let chan = Channel::standalone(ChannelAttrs::default());
+/// let out = chan.connect_output();
+/// let inp = chan.connect_input(Default::default());
+///
+/// out.put(Timestamp::new(0), Item::from_vec(vec![1, 2, 3]))?;
+/// let (ts, item) = inp.get(GetSpec::Exact(Timestamp::new(0)))?;
+/// assert_eq!(item.payload(), &[1, 2, 3]);
+/// inp.consume_until(ts)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Channel {
+    id: ChanId,
+    name: Option<String>,
+    attrs: ChannelAttrs,
+    state: Mutex<ChanState>,
+    items_cv: Condvar,
+    space_cv: Condvar,
+    hooks: Mutex<Hooks>,
+    stats: AtomicStats,
+}
+
+impl Channel {
+    /// Creates a channel with an explicit system-wide id.
+    ///
+    /// Registries call this; for local experimentation use
+    /// [`Channel::standalone`].
+    #[must_use]
+    pub fn new(id: ChanId, name: Option<String>, attrs: ChannelAttrs) -> Arc<Self> {
+        Arc::new(Channel {
+            id,
+            name,
+            attrs,
+            state: Mutex::new(ChanState {
+                items: BTreeMap::new(),
+                floor: Timestamp::MIN,
+                in_conns: HashMap::new(),
+                out_conns: HashSet::new(),
+                next_conn: 1,
+                closed: false,
+            }),
+            items_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            hooks: Mutex::new(Hooks::new()),
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// Creates an unregistered channel for single-address-space use.
+    #[must_use]
+    pub fn standalone(attrs: ChannelAttrs) -> Arc<Self> {
+        Channel::new(
+            ChanId {
+                owner: crate::ids::AsId(0),
+                index: 0,
+            },
+            None,
+            attrs,
+        )
+    }
+
+    /// The channel's system-wide id.
+    #[must_use]
+    pub fn id(&self) -> ChanId {
+        self.id
+    }
+
+    /// The channel's registered name, if any.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The creation-time attributes.
+    #[must_use]
+    pub fn attrs(&self) -> &ChannelAttrs {
+        &self.attrs
+    }
+
+    /// A snapshot of activity counters.
+    #[must_use]
+    pub fn stats(&self) -> ChannelStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of live (unreclaimed) items.
+    #[must_use]
+    pub fn live_items(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// The reclamation floor: every timestamp at or below it is gone.
+    #[must_use]
+    pub fn gc_floor(&self) -> Timestamp {
+        self.state.lock().floor
+    }
+
+    /// Installs a garbage hook fired for every reclaimed item.
+    ///
+    /// The hook runs outside the channel lock, after the item is gone.
+    pub fn set_garbage_hook<F>(&self, hook: F)
+    where
+        F: Fn(&GarbageEvent) + Send + Sync + 'static,
+    {
+        self.hooks.lock().set_garbage(hook);
+    }
+
+    /// Installs an additional garbage hook alongside any existing ones.
+    pub fn add_garbage_hook<F>(&self, hook: F)
+    where
+        F: Fn(&GarbageEvent) + Send + Sync + 'static,
+    {
+        self.hooks.lock().add_garbage(hook);
+    }
+
+    /// Opens an input connection.
+    ///
+    /// The returned guard disconnects on drop, releasing this connection's
+    /// claim on unconsumed items.
+    #[must_use]
+    pub fn connect_input(self: &Arc<Self>, interest: Interest) -> InputConn {
+        self.connect_input_filtered(interest, TagFilter::Any)
+    }
+
+    /// Opens an input connection attending only to items whose tag passes
+    /// `filter` (the user-defined filtering extension; see [`TagFilter`]).
+    #[must_use]
+    pub fn connect_input_filtered(
+        self: &Arc<Self>,
+        interest: Interest,
+        filter: TagFilter,
+    ) -> InputConn {
+        let mut st = self.state.lock();
+        let id = ConnId(st.next_conn);
+        st.next_conn += 1;
+        let from = match interest {
+            Interest::FromEarliest => Timestamp::MIN,
+            Interest::FromLatest => st
+                .items
+                .keys()
+                .next_back()
+                .copied()
+                .map_or(Timestamp::MIN, Timestamp::next),
+            Interest::FromTs(ts) => ts,
+        };
+        // Items at or above the interest point whose tag passes the filter
+        // gain this connection in their pending set; everything else is
+        // treated as pre-consumed.
+        for (&ts, slot) in st.items.range_mut(from..) {
+            debug_assert!(ts >= from);
+            if filter.matches(slot.item.tag()) {
+                slot.pending.insert(id);
+            }
+        }
+        st.in_conns.insert(
+            id,
+            InConnState {
+                until: from.prev(),
+                vt: VirtualTime::START,
+                filter,
+            },
+        );
+        drop(st);
+        InputConn {
+            chan: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Opens an output connection.
+    #[must_use]
+    pub fn connect_output(self: &Arc<Self>) -> OutputConn {
+        let mut st = self.state.lock();
+        let id = ConnId(st.next_conn);
+        st.next_conn += 1;
+        st.out_conns.insert(id);
+        drop(st);
+        OutputConn {
+            chan: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Closes the channel: all blocked operations wake with
+    /// [`StmError::Closed`], further puts fail, and gets of already-present
+    /// items keep working so consumers can drain.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.items_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+
+    /// Whether [`Channel::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    // ---- internal operations (used by connection guards and the runtime) --
+
+    /// Resolves a spec against the current state for a given connection.
+    /// Returns `Ok(Some(ts))` when an item qualifies now, `Ok(None)` when
+    /// one could still arrive, and an error when it never can. Items the
+    /// connection's tag filter rejects are invisible to it.
+    fn resolve(st: &ChanState, conn: ConnId, spec: GetSpec) -> StmResult<Option<Timestamp>> {
+        let c = st.in_conns.get(&conn).ok_or(StmError::NoSuchConnection)?;
+        let done = c.done_through();
+        let filter = &c.filter;
+        match spec {
+            GetSpec::Exact(ts) => {
+                if ts <= done || ts <= st.floor {
+                    return Err(StmError::Dropped);
+                }
+                match st.items.get(&ts) {
+                    Some(slot) if !filter.matches(slot.item.tag()) => Err(StmError::Dropped),
+                    Some(_) => Ok(Some(ts)),
+                    None => Ok(None),
+                }
+            }
+            GetSpec::Latest => Ok(st
+                .items
+                .range(done.next()..)
+                .rev()
+                .find(|(_, slot)| filter.matches(slot.item.tag()))
+                .map(|(&ts, _)| ts)),
+            GetSpec::Earliest => Ok(st
+                .items
+                .range(done.next()..)
+                .find(|(_, slot)| filter.matches(slot.item.tag()))
+                .map(|(&ts, _)| ts)),
+            GetSpec::After(after) => {
+                let from = after.max(done).next();
+                Ok(st
+                    .items
+                    .range(from..)
+                    .find(|(_, slot)| filter.matches(slot.item.tag()))
+                    .map(|(&ts, _)| ts))
+            }
+        }
+    }
+
+    pub(crate) fn do_get(
+        &self,
+        conn: ConnId,
+        spec: GetSpec,
+        deadline: Deadline,
+    ) -> StmResult<(Timestamp, Item)> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(ts) = Self::resolve(&st, conn, spec)? {
+                let item = st.items.get(&ts).expect("resolved ts present").item.clone();
+                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                return Ok((ts, item));
+            }
+            if st.closed {
+                return Err(StmError::Closed);
+            }
+            match deadline {
+                Deadline::Now => return Err(StmError::Absent),
+                Deadline::Never => {
+                    self.items_cv.wait(&mut st);
+                }
+                Deadline::At(instant) => {
+                    if self.items_cv.wait_until(&mut st, instant).timed_out() {
+                        return Err(StmError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn do_put(
+        &self,
+        conn: ConnId,
+        ts: Timestamp,
+        item: Item,
+        deadline: Deadline,
+    ) -> StmResult<()> {
+        let mut evicted: Vec<(Timestamp, Slot)> = Vec::new();
+        {
+            let mut st = self.state.lock();
+            if !st.out_conns.contains(&conn) {
+                return Err(StmError::NoSuchConnection);
+            }
+            loop {
+                if st.closed {
+                    return Err(StmError::Closed);
+                }
+                if ts <= st.floor {
+                    return Err(StmError::TsTooOld);
+                }
+                if st.items.contains_key(&ts) {
+                    return Err(StmError::TsExists);
+                }
+                let cap = self.attrs.capacity().map(|c| c as usize);
+                let full = cap.is_some_and(|c| st.items.len() >= c);
+                if !full {
+                    break;
+                }
+                match self.attrs.overflow() {
+                    OverflowPolicy::Reject => return Err(StmError::Full),
+                    OverflowPolicy::DropOldest => {
+                        if let Some((&old_ts, _)) = st.items.iter().next() {
+                            let slot = st.items.remove(&old_ts).expect("min key present");
+                            st.floor = st.floor.max(old_ts);
+                            evicted.push((old_ts, slot));
+                        }
+                        break;
+                    }
+                    OverflowPolicy::Block => match deadline {
+                        Deadline::Now => return Err(StmError::Full),
+                        Deadline::Never => {
+                            self.space_cv.wait(&mut st);
+                        }
+                        Deadline::At(instant) => {
+                            if self.space_cv.wait_until(&mut st, instant).timed_out() {
+                                return Err(StmError::Timeout);
+                            }
+                        }
+                    },
+                }
+            }
+            let pending: HashSet<ConnId> = st
+                .in_conns
+                .iter()
+                .filter(|(_, c)| c.done_through() < ts && c.filter.matches(item.tag()))
+                .map(|(&id, _)| id)
+                .collect();
+            st.items.insert(ts, Slot { item, pending });
+            self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.items_cv.notify_all();
+        self.finish_reclaim(evicted);
+        Ok(())
+    }
+
+    pub(crate) fn do_consume_until(&self, conn: ConnId, upto: Timestamp) -> StmResult<()> {
+        let reclaimed;
+        {
+            let mut st = self.state.lock();
+            let c = st
+                .in_conns
+                .get_mut(&conn)
+                .ok_or(StmError::NoSuchConnection)?;
+            if upto <= c.until {
+                return Ok(()); // idempotent: already consumed through here
+            }
+            c.until = upto;
+            for (_, slot) in st.items.range_mut(..=upto) {
+                slot.pending.remove(&conn);
+            }
+            self.stats.consumes.fetch_add(1, Ordering::Relaxed);
+            reclaimed = Self::collect(&mut st, self.attrs.gc());
+        }
+        self.finish_reclaim(reclaimed);
+        Ok(())
+    }
+
+    pub(crate) fn do_set_vt(&self, conn: ConnId, vt: VirtualTime) -> StmResult<()> {
+        let reclaimed;
+        {
+            let mut st = self.state.lock();
+            let c = st
+                .in_conns
+                .get_mut(&conn)
+                .ok_or(StmError::NoSuchConnection)?;
+            if vt <= c.vt {
+                return Ok(()); // virtual time never moves backwards
+            }
+            c.vt = vt;
+            // A virtual-time promise also implies consumption under REF.
+            let done = vt.floor().prev();
+            if done > c.until {
+                c.until = done;
+                for (_, slot) in st.items.range_mut(..=done) {
+                    slot.pending.remove(&conn);
+                }
+            }
+            self.stats.consumes.fetch_add(1, Ordering::Relaxed);
+            reclaimed = Self::collect(&mut st, self.attrs.gc());
+        }
+        self.finish_reclaim(reclaimed);
+        Ok(())
+    }
+
+    pub(crate) fn do_disconnect_input(&self, conn: ConnId) {
+        let reclaimed;
+        {
+            let mut st = self.state.lock();
+            if st.in_conns.remove(&conn).is_none() {
+                return;
+            }
+            for (_, slot) in st.items.iter_mut() {
+                slot.pending.remove(&conn);
+            }
+            // The departing connection's claims are released, but if it was
+            // the *last* input connection, unconsumed items are retained for
+            // future joiners — a crashed consumer must not take data with it
+            // (failure-handling extension; see module docs).
+            reclaimed = Self::collect(&mut st, self.attrs.gc());
+        }
+        self.finish_reclaim(reclaimed);
+    }
+
+    pub(crate) fn do_disconnect_output(&self, conn: ConnId) {
+        let mut st = self.state.lock();
+        st.out_conns.remove(&conn);
+    }
+
+    /// Collects dead items. Requires at least one input connection so that
+    /// pre-consumer streams are retained.
+    fn collect(st: &mut ChanState, policy: GcPolicy) -> Vec<(Timestamp, Slot)> {
+        if st.in_conns.is_empty() {
+            return Vec::new();
+        }
+        Self::collect_inner(st, policy)
+    }
+
+    fn collect_inner(st: &mut ChanState, policy: GcPolicy) -> Vec<(Timestamp, Slot)> {
+        let dead_through: Timestamp = match policy {
+            GcPolicy::Ref => {
+                // Reclamation is prefix-based: collect the leading run of
+                // items nobody still claims. Without tag filters pending
+                // sets are monotone in ts, so the prefix is exact; with
+                // filters a dead item can sit behind a live one and is
+                // reclaimed when the prefix reaches it (safety unaffected,
+                // liveness slightly lazy — see TagFilter docs).
+                let mut last = None;
+                for (&ts, slot) in st.items.iter() {
+                    if slot.pending.is_empty() {
+                        last = Some(ts);
+                    } else {
+                        break;
+                    }
+                }
+                match last {
+                    Some(ts) => ts,
+                    None => return Vec::new(),
+                }
+            }
+            GcPolicy::Transparent => {
+                let min_floor = st
+                    .in_conns
+                    .values()
+                    .map(|c| c.vt.floor())
+                    .min()
+                    .unwrap_or(Timestamp::MIN);
+                min_floor.prev()
+            }
+        };
+        let mut reclaimed = Vec::new();
+        while let Some((&ts, _)) = st.items.iter().next() {
+            if ts > dead_through {
+                break;
+            }
+            let slot = st.items.remove(&ts).expect("min key present");
+            reclaimed.push((ts, slot));
+        }
+        if let Some((ts, _)) = reclaimed.last() {
+            st.floor = st.floor.max(*ts);
+        }
+        reclaimed
+    }
+
+    /// Fires hooks and wakes blocked putters, outside the state lock.
+    fn finish_reclaim(&self, reclaimed: Vec<(Timestamp, Slot)>) {
+        if reclaimed.is_empty() {
+            return;
+        }
+        self.space_cv.notify_all();
+        let hooks = self.hooks.lock().clone();
+        for (ts, slot) in reclaimed {
+            self.stats.reclaimed_items.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .reclaimed_bytes
+                .fetch_add(slot.item.len() as u64, Ordering::Relaxed);
+            hooks.fire_garbage(&GarbageEvent {
+                resource: ResourceId::Channel(self.id),
+                ts,
+                tag: slot.item.tag(),
+                len: slot.item.len() as u32,
+            });
+        }
+    }
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Channel")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("live_items", &st.items.len())
+            .field("in_conns", &st.in_conns.len())
+            .field("out_conns", &st.out_conns.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+/// Deadline discipline for blocking operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Deadline {
+    /// Fail immediately instead of blocking.
+    Now,
+    /// Block indefinitely.
+    Never,
+    /// Block until the given instant.
+    At(std::time::Instant),
+}
+
+impl Deadline {
+    pub(crate) fn after(d: Duration) -> Self {
+        Deadline::At(std::time::Instant::now() + d)
+    }
+}
+
+/// An input connection to a [`Channel`]; disconnects on drop.
+///
+/// See the [`Channel`] example for typical use.
+pub struct InputConn {
+    chan: Arc<Channel>,
+    id: ConnId,
+}
+
+impl InputConn {
+    /// This connection's id (unique within the channel).
+    #[must_use]
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// The channel this connection is attached to.
+    #[must_use]
+    pub fn channel(&self) -> &Arc<Channel> {
+        &self.chan
+    }
+
+    /// Blocking get.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Dropped`] if the requested item was consumed or
+    /// collected, [`StmError::Closed`] if the channel closes while waiting,
+    /// [`StmError::NoSuchConnection`] if the connection was torn down.
+    pub fn get(&self, spec: GetSpec) -> StmResult<(Timestamp, Item)> {
+        self.chan.do_get(self.id, spec, Deadline::Never)
+    }
+
+    /// Non-blocking get.
+    ///
+    /// # Errors
+    ///
+    /// As [`InputConn::get`], plus [`StmError::Absent`] when no qualifying
+    /// item is present right now.
+    pub fn try_get(&self, spec: GetSpec) -> StmResult<(Timestamp, Item)> {
+        self.chan.do_get(self.id, spec, Deadline::Now)
+    }
+
+    /// Get with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`InputConn::get`], plus [`StmError::Timeout`].
+    pub fn get_timeout(&self, spec: GetSpec, timeout: Duration) -> StmResult<(Timestamp, Item)> {
+        self.chan.do_get(self.id, spec, Deadline::after(timeout))
+    }
+
+    /// Typed blocking get via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`InputConn::get`], plus decoding errors from `T`.
+    pub fn get_typed<T: StreamItem>(&self, spec: GetSpec) -> StmResult<(Timestamp, T)> {
+        let (ts, item) = self.get(spec)?;
+        Ok((ts, item.decode::<T>()?))
+    }
+
+    /// Declares every item at or below `upto` garbage as far as this
+    /// connection is concerned. Idempotent; never un-consumes.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchConnection`] if the connection was torn down.
+    pub fn consume_until(&self, upto: Timestamp) -> StmResult<()> {
+        self.chan.do_consume_until(self.id, upto)
+    }
+
+    /// Advances this connection's virtual-time promise: it will never again
+    /// request items below `vt`'s floor. Drives reclamation under
+    /// [`GcPolicy::Transparent`]; implies consumption under [`GcPolicy::Ref`].
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchConnection`] if the connection was torn down.
+    pub fn set_vt(&self, vt: VirtualTime) -> StmResult<()> {
+        self.chan.do_set_vt(self.id, vt)
+    }
+}
+
+impl fmt::Debug for InputConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InputConn")
+            .field("chan", &self.chan.id())
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl Drop for InputConn {
+    fn drop(&mut self) {
+        self.chan.do_disconnect_input(self.id);
+    }
+}
+
+/// An output connection to a [`Channel`]; disconnects on drop.
+pub struct OutputConn {
+    chan: Arc<Channel>,
+    id: ConnId,
+}
+
+impl OutputConn {
+    /// This connection's id (unique within the channel).
+    #[must_use]
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// The channel this connection is attached to.
+    #[must_use]
+    pub fn channel(&self) -> &Arc<Channel> {
+        &self.chan
+    }
+
+    /// Blocking put (blocks only when the channel is bounded with
+    /// [`OverflowPolicy::Block`] and full).
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::TsExists`] for duplicate timestamps,
+    /// [`StmError::TsTooOld`] for timestamps below the reclamation floor,
+    /// [`StmError::Full`] under [`OverflowPolicy::Reject`],
+    /// [`StmError::Closed`] after close.
+    pub fn put(&self, ts: Timestamp, item: Item) -> StmResult<()> {
+        self.chan.do_put(self.id, ts, item, Deadline::Never)
+    }
+
+    /// Non-blocking put.
+    ///
+    /// # Errors
+    ///
+    /// As [`OutputConn::put`], with [`StmError::Full`] instead of blocking.
+    pub fn try_put(&self, ts: Timestamp, item: Item) -> StmResult<()> {
+        self.chan.do_put(self.id, ts, item, Deadline::Now)
+    }
+
+    /// Put with a timeout on the capacity wait.
+    ///
+    /// # Errors
+    ///
+    /// As [`OutputConn::put`], plus [`StmError::Timeout`].
+    pub fn put_timeout(&self, ts: Timestamp, item: Item, timeout: Duration) -> StmResult<()> {
+        self.chan
+            .do_put(self.id, ts, item, Deadline::after(timeout))
+    }
+
+    /// Typed put via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OutputConn::put`].
+    pub fn put_typed<T: StreamItem>(&self, ts: Timestamp, value: &T) -> StmResult<()> {
+        self.put(ts, value.to_item())
+    }
+}
+
+impl fmt::Debug for OutputConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OutputConn")
+            .field("chan", &self.chan.id())
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl Drop for OutputConn {
+    fn drop(&mut self) {
+        self.chan.do_disconnect_output(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    fn item(bytes: &[u8]) -> Item {
+        Item::copy_from_slice(bytes)
+    }
+
+    fn ts(v: i64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"hello")).unwrap();
+        let (t, it) = inp.get(GetSpec::Exact(ts(1))).unwrap();
+        assert_eq!(t, ts(1));
+        assert_eq!(it.payload(), b"hello");
+    }
+
+    #[test]
+    fn duplicate_put_rejected() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        out.put(ts(1), item(b"a")).unwrap();
+        assert_eq!(out.put(ts(1), item(b"b")), Err(StmError::TsExists));
+    }
+
+    #[test]
+    fn try_get_absent() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let inp = ch.connect_input(Interest::default());
+        assert_eq!(
+            inp.try_get(GetSpec::Exact(ts(5))).unwrap_err(),
+            StmError::Absent
+        );
+    }
+
+    #[test]
+    fn random_access_any_order() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        for v in [5i64, 1, 3] {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        for v in [3i64, 5, 1] {
+            let (_, it) = inp.get(GetSpec::Exact(ts(v))).unwrap();
+            assert_eq!(it.payload(), &[v as u8]);
+        }
+    }
+
+    #[test]
+    fn latest_earliest_after() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        for v in 1..=5 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        assert_eq!(inp.try_get(GetSpec::Latest).unwrap().0, ts(5));
+        assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(1));
+        assert_eq!(inp.try_get(GetSpec::After(ts(2))).unwrap().0, ts(3));
+        assert_eq!(
+            inp.try_get(GetSpec::After(ts(5))).unwrap_err(),
+            StmError::Absent
+        );
+    }
+
+    #[test]
+    fn consume_hides_items_from_this_connection() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let a = ch.connect_input(Interest::default());
+        let b = ch.connect_input(Interest::default());
+        for v in 1..=3 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        a.consume_until(ts(2)).unwrap();
+        assert_eq!(
+            a.try_get(GetSpec::Exact(ts(2))).unwrap_err(),
+            StmError::Dropped
+        );
+        assert_eq!(a.try_get(GetSpec::Earliest).unwrap().0, ts(3));
+        // b is unaffected; items 1..=2 are still live because b has not consumed.
+        assert_eq!(b.try_get(GetSpec::Exact(ts(1))).unwrap().0, ts(1));
+        assert_eq!(ch.live_items(), 3);
+    }
+
+    #[test]
+    fn reclaim_when_all_inputs_consume() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let a = ch.connect_input(Interest::default());
+        let b = ch.connect_input(Interest::default());
+        for v in 1..=3 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        a.consume_until(ts(2)).unwrap();
+        assert_eq!(ch.live_items(), 3);
+        b.consume_until(ts(1)).unwrap();
+        assert_eq!(ch.live_items(), 2); // ts 1 reclaimed
+        assert_eq!(ch.gc_floor(), ts(1));
+        b.consume_until(ts(3)).unwrap();
+        assert_eq!(ch.live_items(), 1); // ts 2 reclaimed (a consumed through 2)
+        a.consume_until(ts(3)).unwrap();
+        assert_eq!(ch.live_items(), 0);
+        assert_eq!(ch.gc_floor(), ts(3));
+        let s = ch.stats();
+        assert_eq!(s.reclaimed_items, 3);
+        assert_eq!(s.reclaimed_bytes, 3);
+    }
+
+    #[test]
+    fn put_below_floor_rejected() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"x")).unwrap();
+        inp.consume_until(ts(1)).unwrap();
+        assert_eq!(out.put(ts(1), item(b"y")), Err(StmError::TsTooOld));
+        assert_eq!(out.put(ts(0), item(b"y")), Err(StmError::TsTooOld));
+        out.put(ts(2), item(b"z")).unwrap();
+    }
+
+    #[test]
+    fn no_reclaim_without_input_connections() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        for v in 1..=3 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        assert_eq!(ch.live_items(), 3);
+        // A late consumer still sees everything.
+        let inp = ch.connect_input(Interest::default());
+        assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(1));
+    }
+
+    #[test]
+    fn from_latest_interest_skips_existing_items() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        out.put(ts(1), item(b"old")).unwrap();
+        let inp = ch.connect_input(Interest::FromLatest);
+        assert_eq!(
+            inp.try_get(GetSpec::Exact(ts(1))).unwrap_err(),
+            StmError::Dropped
+        );
+        out.put(ts(2), item(b"new")).unwrap();
+        assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(2));
+    }
+
+    #[test]
+    fn from_ts_interest() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        for v in 1..=4 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        let inp = ch.connect_input(Interest::FromTs(ts(3)));
+        assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(3));
+        // Consuming through 4 reclaims nothing below 3 on account of this
+        // conn alone (it never held 1..2), and no other conn exists, so all
+        // four items reclaim once it consumes: 1,2 had empty pending sets.
+        inp.consume_until(ts(4)).unwrap();
+        assert_eq!(ch.live_items(), 0);
+    }
+
+    #[test]
+    fn disconnect_releases_pending_claims() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let a = ch.connect_input(Interest::default());
+        let b = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"x")).unwrap();
+        a.consume_until(ts(1)).unwrap();
+        assert_eq!(ch.live_items(), 1); // b still pending
+        drop(b);
+        assert_eq!(ch.live_items(), 0); // b's claim released
+    }
+
+    #[test]
+    fn blocking_get_wakes_on_put() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let inp = ch.connect_input(Interest::default());
+        let ch2 = Arc::clone(&ch);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            let out = ch2.connect_output();
+            out.put(ts(7), item(b"late")).unwrap();
+        });
+        let (t, it) = inp.get(GetSpec::Exact(ts(7))).unwrap();
+        assert_eq!(t, ts(7));
+        assert_eq!(it.payload(), b"late");
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn get_timeout_expires() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let inp = ch.connect_input(Interest::default());
+        let err = inp
+            .get_timeout(GetSpec::Exact(ts(1)), Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, StmError::Timeout);
+    }
+
+    #[test]
+    fn bounded_block_policy_paces_producer() {
+        let attrs = ChannelAttrs::builder().capacity(2).build();
+        let ch = Channel::standalone(attrs);
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"a")).unwrap();
+        out.put(ts(2), item(b"b")).unwrap();
+        assert_eq!(out.try_put(ts(3), item(b"c")), Err(StmError::Full));
+        let ch2 = Arc::clone(&ch);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            // Consume ts 1 to free a slot.
+            inp.consume_until(ts(1)).unwrap();
+            inp // keep conn alive until producer finished
+        });
+        out.put(ts(3), item(b"c")).unwrap(); // blocks until consume
+        assert_eq!(ch2.live_items(), 3 - 1);
+        drop(h.join().unwrap());
+    }
+
+    #[test]
+    fn bounded_reject_policy() {
+        let attrs = ChannelAttrs::builder()
+            .capacity(1)
+            .overflow(OverflowPolicy::Reject)
+            .build();
+        let ch = Channel::standalone(attrs);
+        let out = ch.connect_output();
+        out.put(ts(1), item(b"a")).unwrap();
+        assert_eq!(out.put(ts(2), item(b"b")), Err(StmError::Full));
+    }
+
+    #[test]
+    fn bounded_drop_oldest_policy_fires_hook() {
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&dropped);
+        let attrs = ChannelAttrs::builder()
+            .capacity(2)
+            .overflow(OverflowPolicy::DropOldest)
+            .build();
+        let ch = Channel::standalone(attrs);
+        ch.set_garbage_hook(move |e| {
+            assert_eq!(e.ts, ts(1));
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+        let out = ch.connect_output();
+        out.put(ts(1), item(b"a")).unwrap();
+        out.put(ts(2), item(b"b")).unwrap();
+        out.put(ts(3), item(b"c")).unwrap(); // evicts ts 1
+        assert_eq!(dropped.load(Ordering::SeqCst), 1);
+        assert_eq!(ch.live_items(), 2);
+        assert_eq!(ch.gc_floor(), ts(1));
+    }
+
+    #[test]
+    fn close_wakes_blocked_getter() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let inp = ch.connect_input(Interest::default());
+        let ch2 = Arc::clone(&ch);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            ch2.close();
+        });
+        assert_eq!(
+            inp.get(GetSpec::Exact(ts(1))).unwrap_err(),
+            StmError::Closed
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn close_allows_draining_present_items() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"x")).unwrap();
+        ch.close();
+        assert!(ch.is_closed());
+        assert_eq!(out.put(ts(2), item(b"y")), Err(StmError::Closed));
+        assert_eq!(inp.get(GetSpec::Exact(ts(1))).unwrap().0, ts(1));
+    }
+
+    #[test]
+    fn transparent_gc_reclaims_by_virtual_time() {
+        let attrs = ChannelAttrs::builder().gc(GcPolicy::Transparent).build();
+        let ch = Channel::standalone(attrs);
+        let out = ch.connect_output();
+        let a = ch.connect_input(Interest::default());
+        let b = ch.connect_input(Interest::default());
+        for v in 1..=5 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        a.set_vt(VirtualTime::at(ts(4))).unwrap();
+        assert_eq!(ch.live_items(), 5); // b still at START
+        b.set_vt(VirtualTime::at(ts(3))).unwrap();
+        // min floor = 3 => ts 1,2 dead
+        assert_eq!(ch.live_items(), 3);
+        assert_eq!(ch.gc_floor(), ts(2));
+    }
+
+    #[test]
+    fn virtual_time_never_regresses() {
+        let attrs = ChannelAttrs::builder().gc(GcPolicy::Transparent).build();
+        let ch = Channel::standalone(attrs);
+        let out = ch.connect_output();
+        let a = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"x")).unwrap();
+        a.set_vt(VirtualTime::at(ts(5))).unwrap();
+        a.set_vt(VirtualTime::at(ts(2))).unwrap(); // ignored
+        assert_eq!(ch.live_items(), 0);
+        assert_eq!(
+            a.try_get(GetSpec::Exact(ts(3))).unwrap_err(),
+            StmError::Dropped
+        );
+    }
+
+    #[test]
+    fn typed_put_get() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put_typed(ts(1), &"frame-1".to_owned()).unwrap();
+        let (_, s) = inp.get_typed::<String>(GetSpec::Exact(ts(1))).unwrap();
+        assert_eq!(s, "frame-1");
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"abc")).unwrap();
+        let _ = inp.get(GetSpec::Exact(ts(1))).unwrap();
+        let _ = inp.get(GetSpec::Exact(ts(1))).unwrap();
+        inp.consume_until(ts(1)).unwrap();
+        let s = ch.stats();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.consumes, 1);
+        assert_eq!(s.reclaimed_items, 1);
+        assert_eq!(s.reclaimed_bytes, 3);
+    }
+
+    #[test]
+    fn consume_is_idempotent() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"x")).unwrap();
+        inp.consume_until(ts(1)).unwrap();
+        inp.consume_until(ts(1)).unwrap();
+        inp.consume_until(ts(0)).unwrap(); // lower: no-op
+        assert_eq!(ch.stats().consumes, 1);
+    }
+
+    #[test]
+    fn garbage_hook_runs_for_normal_reclaim() {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let e2 = Arc::clone(&events);
+        let ch = Channel::standalone(ChannelAttrs::default());
+        ch.set_garbage_hook(move |e| e2.lock().push((e.ts, e.len)));
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"abcd")).unwrap();
+        inp.consume_until(ts(1)).unwrap();
+        assert_eq!(events.lock().as_slice(), &[(ts(1), 4)]);
+    }
+
+    #[test]
+    fn many_producers_many_consumers() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let ch = Arc::clone(&ch);
+            handles.push(thread::spawn(move || {
+                let out = ch.connect_output();
+                for i in 0..50 {
+                    out.put(ts(p * 1000 + i), item(&[p as u8])).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let inp = ch.connect_input(Interest::default());
+        let mut count = 0;
+        let mut last = Timestamp::MIN;
+        while let Ok((t, _)) = inp.try_get(GetSpec::After(last)) {
+            assert!(t > last);
+            last = t;
+            count += 1;
+        }
+        assert_eq!(count, 200);
+    }
+
+    #[test]
+    fn get_after_steps_in_order() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        for v in [10i64, 20, 30] {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        let mut seen = Vec::new();
+        let mut last = Timestamp::MIN;
+        while let Ok((t, _)) = inp.try_get(GetSpec::After(last)) {
+            seen.push(t.value());
+            last = t;
+        }
+        assert_eq!(seen, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let s = format!("{ch:?}");
+        assert!(s.contains("Channel"));
+        assert!(s.contains("live_items"));
+    }
+
+    #[test]
+    fn tag_filter_matching() {
+        assert!(TagFilter::Any.matches(7));
+        let only = TagFilter::Only(vec![1, 3]);
+        assert!(only.matches(1));
+        assert!(only.matches(3));
+        assert!(!only.matches(2));
+        let stripe = TagFilter::Stripe {
+            modulus: 3,
+            remainder: 1,
+        };
+        assert!(stripe.matches(1));
+        assert!(stripe.matches(4));
+        assert!(!stripe.matches(3));
+        assert!(!TagFilter::Stripe {
+            modulus: 0,
+            remainder: 0
+        }
+        .matches(0));
+    }
+
+    #[test]
+    fn filtered_connection_sees_only_matching_tags() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input_filtered(Interest::default(), TagFilter::Only(vec![1]));
+        out.put(ts(1), item(b"a").with_tag(0)).unwrap();
+        out.put(ts(2), item(b"b").with_tag(1)).unwrap();
+        out.put(ts(3), item(b"c").with_tag(0)).unwrap();
+        out.put(ts(4), item(b"d").with_tag(1)).unwrap();
+        // Earliest/Latest/After skip non-matching tags.
+        assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(2));
+        assert_eq!(inp.try_get(GetSpec::Latest).unwrap().0, ts(4));
+        assert_eq!(inp.try_get(GetSpec::After(ts(2))).unwrap().0, ts(4));
+        // Exact of a filtered-out item reads as dropped (declared
+        // disinterest).
+        assert_eq!(
+            inp.try_get(GetSpec::Exact(ts(1))).unwrap_err(),
+            StmError::Dropped
+        );
+    }
+
+    #[test]
+    fn filtered_connections_do_not_pin_unwanted_items() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let even = ch.connect_input_filtered(
+            Interest::default(),
+            TagFilter::Stripe {
+                modulus: 2,
+                remainder: 0,
+            },
+        );
+        let odd = ch.connect_input_filtered(
+            Interest::default(),
+            TagFilter::Stripe {
+                modulus: 2,
+                remainder: 1,
+            },
+        );
+        for v in 1..=4 {
+            out.put(ts(v), item(&[v as u8]).with_tag(v as u32)).unwrap();
+        }
+        // Each consumes only what it attends to. Reclamation is
+        // prefix-ordered: after `even` consumes, the even-tagged items are
+        // dead but sit behind ts 1 (still claimed by `odd`), so nothing
+        // reclaims yet.
+        even.consume_until(ts(4)).unwrap();
+        assert_eq!(ch.live_items(), 4);
+        // Once `odd` consumes too, the whole prefix is dead.
+        odd.consume_until(ts(4)).unwrap();
+        assert_eq!(ch.live_items(), 0);
+    }
+
+    #[test]
+    fn items_nobody_attends_to_are_garbage() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input_filtered(Interest::default(), TagFilter::Only(vec![5]));
+        out.put(ts(1), item(b"junk").with_tag(9)).unwrap();
+        out.put(ts(2), item(b"want").with_tag(5)).unwrap();
+        // Consuming through ts 2 collects both: the tag-9 item was never
+        // claimed by anyone.
+        let (t, _) = inp.get(GetSpec::Earliest).unwrap();
+        assert_eq!(t, ts(2));
+        inp.consume_until(t).unwrap();
+        assert_eq!(ch.live_items(), 0);
+        assert_eq!(ch.stats().reclaimed_items, 2);
+    }
+
+    #[test]
+    fn filter_applies_to_preexisting_items() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        out.put(ts(1), item(b"x").with_tag(0)).unwrap();
+        out.put(ts(2), item(b"y").with_tag(1)).unwrap();
+        let inp = ch.connect_input_filtered(Interest::FromEarliest, TagFilter::Only(vec![1]));
+        assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(2));
+        inp.consume_until(ts(2)).unwrap();
+        assert_eq!(ch.live_items(), 0);
+    }
+}

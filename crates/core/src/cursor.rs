@@ -1,0 +1,301 @@
+//! Stream cursors: ordered iteration over a channel with automatic
+//! consumption.
+//!
+//! Every consumer in the paper's applications walks a channel the same
+//! way: remember the last timestamp seen, `get(After(last))`, use the
+//! item, `consume_until(last)`. A [`StreamCursor`] packages that loop; it
+//! is a convenience layered strictly on top of the public connection API
+//! (runtime proxies and the client library provide the same shape over
+//! RPC).
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::channel::{GetSpec, InputConn};
+use crate::error::{StmError, StmResult};
+use crate::item::Item;
+use crate::time::Timestamp;
+
+/// How a cursor treats items it has stepped past.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsumeMode {
+    /// Consume each item as soon as the cursor moves past it (default):
+    /// the "selective attention" pattern — a cursor holds no history.
+    #[default]
+    Eager,
+    /// Never consume; the caller manages consumption (e.g. several cursors
+    /// share a connection's view for replay).
+    Manual,
+}
+
+/// An ordered, optionally self-consuming cursor over a channel stream.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::{Channel, ChannelAttrs, Interest, Item, Timestamp};
+/// use dstampede_core::cursor::StreamCursor;
+///
+/// # fn main() -> Result<(), dstampede_core::StmError> {
+/// let chan = Channel::standalone(ChannelAttrs::default());
+/// let out = chan.connect_output();
+/// for t in 0..3 {
+///     out.put(Timestamp::new(t), Item::from_vec(vec![t as u8]))?;
+/// }
+///
+/// let inp = chan.connect_input(Interest::FromEarliest);
+/// let mut cursor = StreamCursor::new(inp);
+/// while let Some((ts, item)) = cursor.try_next()? {
+///     assert_eq!(item.payload(), &[ts.value() as u8]);
+/// }
+/// assert_eq!(chan.live_items(), 0); // eagerly consumed behind the cursor
+/// # Ok(())
+/// # }
+/// ```
+pub struct StreamCursor {
+    conn: InputConn,
+    last: Timestamp,
+    mode: ConsumeMode,
+}
+
+impl StreamCursor {
+    /// A cursor starting before the connection's earliest visible item,
+    /// consuming eagerly.
+    #[must_use]
+    pub fn new(conn: InputConn) -> Self {
+        StreamCursor {
+            conn,
+            last: Timestamp::MIN,
+            mode: ConsumeMode::Eager,
+        }
+    }
+
+    /// Sets the consumption mode, builder-style.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ConsumeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Positions the cursor so the next item returned is strictly after
+    /// `ts`.
+    #[must_use]
+    pub fn starting_after(mut self, ts: Timestamp) -> Self {
+        self.last = ts;
+        self
+    }
+
+    /// The timestamp of the last item returned (or the starting position).
+    #[must_use]
+    pub fn position(&self) -> Timestamp {
+        self.last
+    }
+
+    /// The underlying connection (e.g. for `set_vt`).
+    #[must_use]
+    pub fn connection(&self) -> &InputConn {
+        &self.conn
+    }
+
+    /// Consumes the cursor, returning the connection at its final
+    /// position.
+    #[must_use]
+    pub fn into_connection(self) -> InputConn {
+        self.conn
+    }
+
+    fn after_step(&mut self, ts: Timestamp) -> StmResult<()> {
+        self.last = ts;
+        if self.mode == ConsumeMode::Eager {
+            self.conn.consume_until(ts)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks for the next item in timestamp order.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Closed`] when the channel closes with nothing further
+    /// to return; other connection errors as
+    /// [`InputConn::get`](crate::InputConn::get).
+    pub fn next_blocking(&mut self) -> StmResult<(Timestamp, Item)> {
+        let (ts, item) = self.conn.get(GetSpec::After(self.last))?;
+        self.after_step(ts)?;
+        Ok((ts, item))
+    }
+
+    /// Returns the next item if one is present now (`Ok(None)` otherwise).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamCursor::next_blocking`], except absence is `Ok(None)`.
+    pub fn try_next(&mut self) -> StmResult<Option<(Timestamp, Item)>> {
+        match self.conn.try_get(GetSpec::After(self.last)) {
+            Ok((ts, item)) => {
+                self.after_step(ts)?;
+                Ok(Some((ts, item)))
+            }
+            Err(StmError::Absent) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Waits up to `timeout` for the next item (`Ok(None)` on expiry).
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamCursor::next_blocking`], except a timeout is `Ok(None)`.
+    pub fn next_timeout(&mut self, timeout: Duration) -> StmResult<Option<(Timestamp, Item)>> {
+        match self.conn.get_timeout(GetSpec::After(self.last), timeout) {
+            Ok((ts, item)) => {
+                self.after_step(ts)?;
+                Ok(Some((ts, item)))
+            }
+            Err(StmError::Timeout) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Skips directly past `ts` without reading the items in between
+    /// (consuming them under [`ConsumeMode::Eager`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates consumption errors.
+    pub fn skip_to(&mut self, ts: Timestamp) -> StmResult<()> {
+        if ts > self.last {
+            self.after_step(ts)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for StreamCursor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamCursor")
+            .field("position", &self.last)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::ChannelAttrs;
+    use crate::channel::{Channel, Interest};
+    use std::sync::Arc;
+
+    fn ts(v: i64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    fn filled_channel(n: i64) -> Arc<Channel> {
+        let chan = Channel::standalone(ChannelAttrs::default());
+        let out = chan.connect_output();
+        for t in 0..n {
+            out.put(ts(t), Item::from_vec(vec![t as u8])).unwrap();
+        }
+        chan
+    }
+
+    #[test]
+    fn eager_cursor_walks_and_consumes() {
+        let chan = filled_channel(5);
+        let mut cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest));
+        let mut seen = Vec::new();
+        while let Some((t, _)) = cursor.try_next().unwrap() {
+            seen.push(t.value());
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(cursor.position(), ts(4));
+        assert_eq!(chan.live_items(), 0);
+    }
+
+    #[test]
+    fn manual_cursor_leaves_items_live() {
+        let chan = filled_channel(3);
+        let mut cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest))
+            .with_mode(ConsumeMode::Manual);
+        while cursor.try_next().unwrap().is_some() {}
+        assert_eq!(chan.live_items(), 3);
+        // The caller settles manually through the connection.
+        cursor.connection().consume_until(ts(2)).unwrap();
+        assert_eq!(chan.live_items(), 0);
+    }
+
+    #[test]
+    fn starting_after_skips_prefix() {
+        let chan = filled_channel(6);
+        let mut cursor =
+            StreamCursor::new(chan.connect_input(Interest::FromEarliest)).starting_after(ts(2));
+        let (t, _) = cursor.try_next().unwrap().unwrap();
+        assert_eq!(t, ts(3));
+    }
+
+    #[test]
+    fn skip_to_fast_forwards_and_consumes() {
+        let chan = filled_channel(10);
+        let mut cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest));
+        cursor.skip_to(ts(6)).unwrap();
+        assert_eq!(chan.live_items(), 3); // 7..9 remain
+        let (t, _) = cursor.try_next().unwrap().unwrap();
+        assert_eq!(t, ts(7));
+        // skip_to backwards is a no-op.
+        cursor.skip_to(ts(1)).unwrap();
+        assert_eq!(cursor.position(), ts(7));
+    }
+
+    #[test]
+    fn blocking_next_wakes_on_put() {
+        let chan = Channel::standalone(ChannelAttrs::default());
+        let mut cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest));
+        let chan2 = Arc::clone(&chan);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let out = chan2.connect_output();
+            out.put(ts(5), Item::from_vec(vec![9])).unwrap();
+        });
+        let (t, item) = cursor.next_blocking().unwrap();
+        assert_eq!(t, ts(5));
+        assert_eq!(item.payload(), &[9]);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn next_timeout_expires_cleanly() {
+        let chan = Channel::standalone(ChannelAttrs::default());
+        let mut cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest));
+        assert_eq!(
+            cursor.next_timeout(Duration::from_millis(20)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn closed_channel_ends_blocking_iteration() {
+        let chan = filled_channel(1);
+        let mut cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest));
+        let _ = cursor.next_blocking().unwrap();
+        chan.close();
+        assert_eq!(cursor.next_blocking().unwrap_err(), StmError::Closed);
+    }
+
+    #[test]
+    fn into_connection_preserves_state() {
+        let chan = filled_channel(4);
+        let mut cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest));
+        let _ = cursor.try_next().unwrap();
+        let conn = cursor.into_connection();
+        // Items past the cursor position are still available on the conn.
+        assert!(conn.try_get(GetSpec::Exact(ts(2))).is_ok());
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let chan = filled_channel(1);
+        let cursor = StreamCursor::new(chan.connect_input(Interest::FromEarliest));
+        assert!(format!("{cursor:?}").contains("StreamCursor"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Error types for space-time memory operations.
+//!
+//! Every fallible public operation in this crate returns [`StmError`]. The
+//! variants mirror the error conditions of the original D-Stampede API
+//! (item absent, item garbage-collected, channel full, ...) so that the wire
+//! protocol can transport them losslessly between address spaces.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used throughout the space-time memory crates.
+pub type StmResult<T> = Result<T, StmError>;
+
+/// Errors produced by space-time memory operations.
+///
+/// The numeric code of each variant (see [`StmError::code`]) is stable and is
+/// used verbatim on the wire between clients and the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StmError {
+    /// An item with the same timestamp is already present in the channel.
+    TsExists,
+    /// The timestamp lies at or below the channel's reclamation floor: the
+    /// item either never existed or has already been garbage collected.
+    TsTooOld,
+    /// No item with the requested timestamp is currently present
+    /// (non-blocking get only; a blocking get would have waited).
+    Absent,
+    /// The item existed but has been garbage collected.
+    Dropped,
+    /// The container is at capacity and the overflow policy rejects the put.
+    Full,
+    /// The container has been closed; no further I/O is possible.
+    Closed,
+    /// A blocking operation timed out.
+    Timeout,
+    /// The referenced channel or queue does not exist.
+    NoSuchResource,
+    /// The referenced connection does not exist (it may have been closed).
+    NoSuchConnection,
+    /// The operation is not permitted in the connection's mode
+    /// (e.g. `put` on an input connection).
+    BadMode,
+    /// A name-server registration collided with an existing name.
+    NameExists,
+    /// A name-server lookup failed (non-blocking only).
+    NameAbsent,
+    /// The peer (client session or address space) went away mid-operation.
+    Disconnected,
+    /// A malformed or unexpected message was received.
+    Protocol(String),
+}
+
+impl StmError {
+    /// Stable numeric code for wire transport.
+    #[must_use]
+    pub fn code(&self) -> u32 {
+        match self {
+            StmError::TsExists => 1,
+            StmError::TsTooOld => 2,
+            StmError::Absent => 3,
+            StmError::Dropped => 4,
+            StmError::Full => 5,
+            StmError::Closed => 6,
+            StmError::Timeout => 7,
+            StmError::NoSuchResource => 8,
+            StmError::NoSuchConnection => 9,
+            StmError::BadMode => 10,
+            StmError::NameExists => 11,
+            StmError::NameAbsent => 12,
+            StmError::Disconnected => 13,
+            StmError::Protocol(_) => 14,
+        }
+    }
+
+    /// Reconstructs an error from its wire code.
+    ///
+    /// Codes that do not correspond to a known variant decode to
+    /// [`StmError::Protocol`], preserving forward compatibility.
+    #[must_use]
+    pub fn from_code(code: u32, detail: &str) -> Self {
+        match code {
+            1 => StmError::TsExists,
+            2 => StmError::TsTooOld,
+            3 => StmError::Absent,
+            4 => StmError::Dropped,
+            5 => StmError::Full,
+            6 => StmError::Closed,
+            7 => StmError::Timeout,
+            8 => StmError::NoSuchResource,
+            9 => StmError::NoSuchConnection,
+            10 => StmError::BadMode,
+            11 => StmError::NameExists,
+            12 => StmError::NameAbsent,
+            13 => StmError::Disconnected,
+            _ => StmError::Protocol(detail.to_owned()),
+        }
+    }
+
+    /// Human-readable detail string (empty for most variants).
+    #[must_use]
+    pub fn detail(&self) -> &str {
+        match self {
+            StmError::Protocol(s) => s,
+            _ => "",
+        }
+    }
+}
+
+impl fmt::Display for StmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmError::TsExists => write!(f, "an item with this timestamp already exists"),
+            StmError::TsTooOld => write!(f, "timestamp is below the reclamation floor"),
+            StmError::Absent => write!(f, "no item with this timestamp is present"),
+            StmError::Dropped => write!(f, "item was garbage collected"),
+            StmError::Full => write!(f, "container is full"),
+            StmError::Closed => write!(f, "container is closed"),
+            StmError::Timeout => write!(f, "operation timed out"),
+            StmError::NoSuchResource => write!(f, "no such channel or queue"),
+            StmError::NoSuchConnection => write!(f, "no such connection"),
+            StmError::BadMode => write!(f, "operation not permitted in this connection mode"),
+            StmError::NameExists => write!(f, "name is already registered"),
+            StmError::NameAbsent => write!(f, "name is not registered"),
+            StmError::Disconnected => write!(f, "peer disconnected"),
+            StmError::Protocol(s) => write!(f, "protocol error: {s}"),
+        }
+    }
+}
+
+impl Error for StmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip() {
+        let all = [
+            StmError::TsExists,
+            StmError::TsTooOld,
+            StmError::Absent,
+            StmError::Dropped,
+            StmError::Full,
+            StmError::Closed,
+            StmError::Timeout,
+            StmError::NoSuchResource,
+            StmError::NoSuchConnection,
+            StmError::BadMode,
+            StmError::NameExists,
+            StmError::NameAbsent,
+            StmError::Disconnected,
+        ];
+        for e in all {
+            assert_eq!(StmError::from_code(e.code(), ""), e);
+        }
+    }
+
+    #[test]
+    fn protocol_round_trips_detail() {
+        let e = StmError::Protocol("bad tag".into());
+        let back = StmError::from_code(e.code(), e.detail());
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn unknown_code_maps_to_protocol() {
+        assert!(matches!(
+            StmError::from_code(9999, "mystery"),
+            StmError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = StmError::Full;
+        let s = e.to_string();
+        assert!(!s.is_empty());
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StmError>();
+    }
+}

@@ -1,0 +1,210 @@
+//! Garbage collection of timestamps.
+//!
+//! Space-time memory containers grow as producers put items; the system is
+//! only usable for continuous applications because the runtime reclaims
+//! items *no thread can ever need again* (paper §3.1, reference \[16\]). Two algorithms
+//! are implemented, selected per-container via
+//! [`GcPolicy`](crate::GcPolicy):
+//!
+//! # REF — reference counting on explicit consumes
+//!
+//! Each live channel item tracks the set of input connections that have not
+//! yet called `consume_until` past it. When the set empties the item is
+//! dead. Precise and immediate, but requires the application to consume
+//! diligently.
+//!
+//! # TGC — transparent collection by virtual time
+//!
+//! Each input connection carries a monotone [`VirtualTime`] promise: "I
+//! will never request a timestamp below v". The minimum promise across all
+//! input connections of a channel bounds the *dead set*: every timestamp
+//! below it is unreachable. No explicit consumes needed; reclamation lags
+//! by how conservatively threads advance their promises.
+//!
+//! The collection logic itself lives inside [`crate::Channel`] (it must run
+//! under the container lock); this module provides the pieces shared with
+//! the *distributed* layer: a [`MinFloorAggregator`] that combines the
+//! per-address-space minima the GC epoch protocol gathers, and cluster-wide
+//! [`GcSummary`] accounting.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::AsId;
+use crate::time::{Timestamp, VirtualTime};
+
+/// Aggregates per-address-space virtual-time floors into a global minimum.
+///
+/// The distributed GC epoch protocol has every address space report the
+/// minimum virtual time of its local threads/connections; the aggregator
+/// combines reports and exposes the cluster-wide floor, below which
+/// timestamps are globally dead.
+///
+/// Reports are keyed by address space so a re-report *replaces* the
+/// previous value (virtual time moves forward between epochs).
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::gc::MinFloorAggregator;
+/// use dstampede_core::{AsId, Timestamp, VirtualTime};
+///
+/// let mut agg = MinFloorAggregator::new();
+/// agg.report(AsId(1), VirtualTime::at(Timestamp::new(10)));
+/// agg.report(AsId(2), VirtualTime::at(Timestamp::new(4)));
+/// assert_eq!(agg.global_floor(), VirtualTime::at(Timestamp::new(4)));
+/// agg.report(AsId(2), VirtualTime::at(Timestamp::new(20)));
+/// assert_eq!(agg.global_floor(), VirtualTime::at(Timestamp::new(10)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MinFloorAggregator {
+    reports: HashMap<AsId, VirtualTime>,
+}
+
+impl MinFloorAggregator {
+    /// An aggregator with no reports.
+    #[must_use]
+    pub fn new() -> Self {
+        MinFloorAggregator::default()
+    }
+
+    /// Records (or replaces) an address space's reported minimum.
+    pub fn report(&mut self, from: AsId, vt: VirtualTime) {
+        self.reports.insert(from, vt);
+    }
+
+    /// Forgets an address space (it left the computation). Its old report
+    /// no longer constrains the global floor.
+    pub fn retire(&mut self, from: AsId) {
+        self.reports.remove(&from);
+    }
+
+    /// Number of address spaces currently reporting.
+    #[must_use]
+    pub fn reporters(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// The cluster-wide virtual-time floor: the minimum across all reports,
+    /// or [`VirtualTime::END`] when nothing is reported (nothing constrains
+    /// collection).
+    #[must_use]
+    pub fn global_floor(&self) -> VirtualTime {
+        self.reports
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(VirtualTime::END)
+    }
+
+    /// The highest timestamp that is globally dead, or `None` when no
+    /// report constrains the answer yet.
+    #[must_use]
+    pub fn dead_through(&self) -> Option<Timestamp> {
+        if self.reports.is_empty() {
+            None
+        } else {
+            Some(self.global_floor().floor().prev())
+        }
+    }
+}
+
+/// Cluster-wide garbage collection accounting, aggregated across
+/// containers and address spaces for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcSummary {
+    /// Items reclaimed.
+    pub items: u64,
+    /// Payload bytes reclaimed.
+    pub bytes: u64,
+    /// GC epochs completed (distributed runtime only).
+    pub epochs: u64,
+}
+
+impl GcSummary {
+    /// Sums two summaries.
+    #[must_use]
+    pub fn merge(self, other: GcSummary) -> GcSummary {
+        GcSummary {
+            items: self.items + other.items,
+            bytes: self.bytes + other.bytes,
+            epochs: self.epochs.max(other.epochs),
+        }
+    }
+}
+
+impl fmt::Display for GcSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gc: {} items, {} bytes, {} epochs",
+            self.items, self.bytes, self.epochs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(v: i64) -> VirtualTime {
+        VirtualTime::at(Timestamp::new(v))
+    }
+
+    #[test]
+    fn empty_aggregator_is_unconstrained() {
+        let agg = MinFloorAggregator::new();
+        assert_eq!(agg.global_floor(), VirtualTime::END);
+        assert_eq!(agg.dead_through(), None);
+        assert_eq!(agg.reporters(), 0);
+    }
+
+    #[test]
+    fn min_across_reports() {
+        let mut agg = MinFloorAggregator::new();
+        agg.report(AsId(1), vt(10));
+        agg.report(AsId(2), vt(3));
+        agg.report(AsId(3), vt(7));
+        assert_eq!(agg.global_floor(), vt(3));
+        assert_eq!(agg.dead_through(), Some(Timestamp::new(2)));
+        assert_eq!(agg.reporters(), 3);
+    }
+
+    #[test]
+    fn rereport_replaces() {
+        let mut agg = MinFloorAggregator::new();
+        agg.report(AsId(1), vt(3));
+        agg.report(AsId(1), vt(9));
+        assert_eq!(agg.global_floor(), vt(9));
+    }
+
+    #[test]
+    fn retire_unconstrains() {
+        let mut agg = MinFloorAggregator::new();
+        agg.report(AsId(1), vt(3));
+        agg.report(AsId(2), vt(8));
+        agg.retire(AsId(1));
+        assert_eq!(agg.global_floor(), vt(8));
+        agg.retire(AsId(2));
+        assert_eq!(agg.dead_through(), None);
+    }
+
+    #[test]
+    fn summary_merge() {
+        let a = GcSummary {
+            items: 3,
+            bytes: 100,
+            epochs: 2,
+        };
+        let b = GcSummary {
+            items: 4,
+            bytes: 50,
+            epochs: 5,
+        };
+        let m = a.merge(b);
+        assert_eq!(m.items, 7);
+        assert_eq!(m.bytes, 150);
+        assert_eq!(m.epochs, 5);
+        assert!(m.to_string().contains("7 items"));
+    }
+}

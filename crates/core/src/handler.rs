@@ -1,0 +1,214 @@
+//! Handler functions: user-defined hooks invoked by the runtime.
+//!
+//! The paper (§3.1) lets applications attach *handler functions* to channels
+//! and queues. Two are modelled here:
+//!
+//! * **garbage hooks** — invoked when the runtime determines an item is
+//!   garbage, so the application can release user-space resources tied to it
+//!   (§3.2.4). On the cluster the hook runs synchronously during collection;
+//!   for end devices the runtime queues a [`GarbageEvent`] and the client
+//!   library delivers it on the next API call.
+//! * **serialization handlers** — modelled as the
+//!   [`StreamItem`](crate::StreamItem) trait on typed items.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ids::ResourceId;
+use crate::time::Timestamp;
+
+/// Notification that an item became garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GarbageEvent {
+    /// The container the item lived in.
+    pub resource: ResourceId,
+    /// The item's timestamp.
+    pub ts: Timestamp,
+    /// The item's user tag.
+    pub tag: u32,
+    /// Payload size in bytes (for accounting; the payload itself is gone).
+    pub len: u32,
+}
+
+impl fmt::Display for GarbageEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "garbage {} {} ({} bytes)",
+            self.resource, self.ts, self.len
+        )
+    }
+}
+
+/// A garbage hook: shared, callable from any runtime thread.
+///
+/// Hooks must be fast and must not call back into the container that fired
+/// them (the container lock is *not* held during invocation, but re-entrant
+/// puts from a hook can deadlock application logic).
+pub type GarbageHook = Arc<dyn Fn(&GarbageEvent) + Send + Sync>;
+
+/// Dispatch table for a container's hooks.
+///
+/// Several parties (the owning application, surrogates acting for end
+/// devices) may each install a garbage hook on the same container; all of
+/// them fire for every reclaimed item. Cloning is cheap (shared hooks).
+#[derive(Clone, Default)]
+pub struct Hooks {
+    garbage: Vec<GarbageHook>,
+}
+
+impl Hooks {
+    /// No hooks installed.
+    #[must_use]
+    pub fn new() -> Self {
+        Hooks::default()
+    }
+
+    /// Installs an additional garbage hook.
+    pub fn add_garbage<F>(&mut self, hook: F)
+    where
+        F: Fn(&GarbageEvent) + Send + Sync + 'static,
+    {
+        self.garbage.push(Arc::new(hook));
+    }
+
+    /// Installs a garbage hook, replacing all existing ones.
+    pub fn set_garbage<F>(&mut self, hook: F)
+    where
+        F: Fn(&GarbageEvent) + Send + Sync + 'static,
+    {
+        self.garbage.clear();
+        self.garbage.push(Arc::new(hook));
+    }
+
+    /// Removes every garbage hook.
+    pub fn clear_garbage(&mut self) {
+        self.garbage.clear();
+    }
+
+    /// Whether any garbage hook is installed.
+    #[must_use]
+    pub fn has_garbage(&self) -> bool {
+        !self.garbage.is_empty()
+    }
+
+    /// Invokes every garbage hook in installation order.
+    pub fn fire_garbage(&self, event: &GarbageEvent) {
+        for hook in &self.garbage {
+            hook(event);
+        }
+    }
+}
+
+impl fmt::Debug for Hooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hooks")
+            .field("garbage_hooks", &self.garbage.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AsId, ChanId};
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn event() -> GarbageEvent {
+        GarbageEvent {
+            resource: ResourceId::Channel(ChanId {
+                owner: AsId(0),
+                index: 1,
+            }),
+            ts: Timestamp::new(5),
+            tag: 2,
+            len: 100,
+        }
+    }
+
+    #[test]
+    fn empty_hooks_do_nothing() {
+        let hooks = Hooks::new();
+        assert!(!hooks.has_garbage());
+        hooks.fire_garbage(&event()); // must not panic
+    }
+
+    #[test]
+    fn garbage_hook_fires_with_event() {
+        let count = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&count);
+        let mut hooks = Hooks::new();
+        hooks.set_garbage(move |e| {
+            assert_eq!(e.ts, Timestamp::new(5));
+            assert_eq!(e.len, 100);
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hooks.has_garbage());
+        hooks.fire_garbage(&event());
+        hooks.fire_garbage(&event());
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn clear_garbage_uninstalls() {
+        let count = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&count);
+        let mut hooks = Hooks::new();
+        hooks.set_garbage(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        hooks.clear_garbage();
+        hooks.fire_garbage(&event());
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn multiple_hooks_all_fire() {
+        let count = Arc::new(AtomicU32::new(0));
+        let mut hooks = Hooks::new();
+        for _ in 0..3 {
+            let c = Arc::clone(&count);
+            hooks.add_garbage(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert!(hooks.has_garbage());
+        hooks.fire_garbage(&event());
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn set_garbage_replaces_all() {
+        let count = Arc::new(AtomicU32::new(0));
+        let mut hooks = Hooks::new();
+        let c1 = Arc::clone(&count);
+        hooks.add_garbage(move |_| {
+            c1.fetch_add(100, Ordering::SeqCst);
+        });
+        let c2 = Arc::clone(&count);
+        hooks.set_garbage(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        hooks.fire_garbage(&event());
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn hooks_clone_shares_hook() {
+        let count = Arc::new(AtomicU32::new(0));
+        let c2 = Arc::clone(&count);
+        let mut hooks = Hooks::new();
+        hooks.set_garbage(move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let clone = hooks.clone();
+        clone.fire_garbage(&event());
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Hooks::new()).is_empty());
+        assert!(!format!("{}", event()).is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! System-wide unique identifiers.
+//!
+//! Channels and queues are "system-wide unique names" (paper §3.1): an id
+//! embeds the address space that *owns* the resource plus a local index, so
+//! any thread anywhere in the Octopus can route an operation to the owner.
+
+use std::fmt;
+
+/// Identifier of an address space (a node of the Octopus: one cluster
+/// address space, or implicitly the home of an end device's surrogate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AsId(pub u16);
+
+impl AsId {
+    /// The address space that conventionally hosts the name server.
+    pub const NAMESERVER: AsId = AsId(0);
+}
+
+impl fmt::Display for AsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "as{}", self.0)
+    }
+}
+
+/// System-wide unique identifier of a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId {
+    /// Owning address space.
+    pub owner: AsId,
+    /// Index within the owner's registry.
+    pub index: u32,
+}
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chan:{}.{}", self.owner.0, self.index)
+    }
+}
+
+/// System-wide unique identifier of a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueueId {
+    /// Owning address space.
+    pub owner: AsId,
+    /// Index within the owner's registry.
+    pub index: u32,
+}
+
+impl fmt::Display for QueueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "queue:{}.{}", self.owner.0, self.index)
+    }
+}
+
+/// Either kind of space-time memory container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceId {
+    /// A timestamp-indexed channel.
+    Channel(ChanId),
+    /// A FIFO queue.
+    Queue(QueueId),
+}
+
+impl ResourceId {
+    /// The address space owning the resource.
+    #[must_use]
+    pub fn owner(&self) -> AsId {
+        match self {
+            ResourceId::Channel(c) => c.owner,
+            ResourceId::Queue(q) => q.owner,
+        }
+    }
+
+    /// The local index within the owner's registry.
+    #[must_use]
+    pub fn index(&self) -> u32 {
+        match self {
+            ResourceId::Channel(c) => c.index,
+            ResourceId::Queue(q) => q.index,
+        }
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceId::Channel(c) => c.fmt(f),
+            ResourceId::Queue(q) => q.fmt(f),
+        }
+    }
+}
+
+impl From<ChanId> for ResourceId {
+    fn from(c: ChanId) -> Self {
+        ResourceId::Channel(c)
+    }
+}
+
+impl From<QueueId> for ResourceId {
+    fn from(q: QueueId) -> Self {
+        ResourceId::Queue(q)
+    }
+}
+
+/// Identifier of a thread-to-container connection.
+///
+/// Connection ids are allocated by the container's owning address space and
+/// are unique within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn:{}", self.0)
+    }
+}
+
+/// Identifier of a registered D-Stampede thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u64);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thr:{}", self.0)
+    }
+}
+
+/// Whether a connection is for reading or writing items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnMode {
+    /// The thread gets items from the container.
+    Input,
+    /// The thread puts items into the container.
+    Output,
+}
+
+impl fmt::Display for ConnMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnMode::Input => write!(f, "input"),
+            ConnMode::Output => write!(f, "output"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resource_id_owner_and_index() {
+        let c = ChanId {
+            owner: AsId(3),
+            index: 7,
+        };
+        let r: ResourceId = c.into();
+        assert_eq!(r.owner(), AsId(3));
+        assert_eq!(r.index(), 7);
+
+        let q = QueueId {
+            owner: AsId(1),
+            index: 2,
+        };
+        let r: ResourceId = q.into();
+        assert_eq!(r.owner(), AsId(1));
+        assert_eq!(r.index(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AsId(4).to_string(), "as4");
+        assert_eq!(
+            ChanId {
+                owner: AsId(1),
+                index: 2
+            }
+            .to_string(),
+            "chan:1.2"
+        );
+        assert_eq!(
+            QueueId {
+                owner: AsId(1),
+                index: 2
+            }
+            .to_string(),
+            "queue:1.2"
+        );
+        assert_eq!(ConnId(9).to_string(), "conn:9");
+        assert_eq!(ThreadId(5).to_string(), "thr:5");
+        assert_eq!(ConnMode::Input.to_string(), "input");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(ConnId(1));
+        set.insert(ConnId(1));
+        assert_eq!(set.len(), 1);
+        assert!(ConnId(1) < ConnId(2));
+    }
+
+    #[test]
+    fn nameserver_lives_in_as_zero() {
+        assert_eq!(AsId::NAMESERVER, AsId(0));
+    }
+}

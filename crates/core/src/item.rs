@@ -1,0 +1,267 @@
+//! Items: the application-defined chunks of streaming data stored in
+//! channels and queues.
+//!
+//! An [`Item`] is an opaque byte payload (a video frame, an audio buffer, a
+//! tracker result, ...) plus a small user tag. The system never interprets
+//! the payload; typed access is layered on top via the [`StreamItem`] trait,
+//! which plays the role of the paper's user-defined serialization *handler
+//! functions* (§3.1).
+
+use bytes::Bytes;
+
+use crate::error::{StmError, StmResult};
+
+/// An opaque, timestamped unit of stream data.
+///
+/// Payload bytes are reference-counted ([`Bytes`]), so cloning an item —
+/// e.g. when several input connections get the same timestamp — never copies
+/// the payload.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::Item;
+///
+/// let frame = Item::from_vec(vec![0u8; 16]).with_tag(3);
+/// assert_eq!(frame.len(), 16);
+/// assert_eq!(frame.tag(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Item {
+    payload: Bytes,
+    tag: u32,
+}
+
+impl Item {
+    /// Creates an item from shared bytes without copying.
+    #[must_use]
+    pub fn new(payload: Bytes) -> Self {
+        Item { payload, tag: 0 }
+    }
+
+    /// Creates an item by taking ownership of a byte vector.
+    #[must_use]
+    pub fn from_vec(payload: Vec<u8>) -> Self {
+        Item {
+            payload: Bytes::from(payload),
+            tag: 0,
+        }
+    }
+
+    /// Creates an item by copying a byte slice.
+    #[must_use]
+    pub fn copy_from_slice(payload: &[u8]) -> Self {
+        Item {
+            payload: Bytes::copy_from_slice(payload),
+            tag: 0,
+        }
+    }
+
+    /// Sets the user tag (e.g. a fragment index for data-parallel splits) and
+    /// returns the item, builder-style.
+    #[must_use]
+    pub fn with_tag(mut self, tag: u32) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// The user tag. Zero unless set by the producer.
+    #[must_use]
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// Borrow of the payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The shared payload handle (cheap clone).
+    #[must_use]
+    pub fn payload_bytes(&self) -> Bytes {
+        self.payload.clone()
+    }
+
+    /// Payload length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Consumes the item and returns its payload.
+    #[must_use]
+    pub fn into_payload(self) -> Bytes {
+        self.payload
+    }
+
+    /// Decodes the payload into a typed value via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// Returns whatever error `T::from_item_bytes` produces for a malformed
+    /// payload.
+    pub fn decode<T: StreamItem>(&self) -> StmResult<T> {
+        T::from_item_bytes(&self.payload)
+    }
+}
+
+impl From<Vec<u8>> for Item {
+    fn from(v: Vec<u8>) -> Self {
+        Item::from_vec(v)
+    }
+}
+
+impl From<Bytes> for Item {
+    fn from(b: Bytes) -> Self {
+        Item::new(b)
+    }
+}
+
+impl AsRef<[u8]> for Item {
+    fn as_ref(&self) -> &[u8] {
+        self.payload()
+    }
+}
+
+/// User-defined serialization for typed stream items.
+///
+/// This is the Rust rendering of the paper's *serialization and
+/// de-serialization handlers*: a type that knows how to cross address-space
+/// boundaries. Implement it for your frame/sample/result types and use the
+/// typed `put`/`get` helpers on connections.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::{Item, StreamItem, StmResult, StmError};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Sample(u32);
+///
+/// impl StreamItem for Sample {
+///     fn to_item_bytes(&self) -> Vec<u8> {
+///         self.0.to_be_bytes().to_vec()
+///     }
+///     fn from_item_bytes(bytes: &[u8]) -> StmResult<Self> {
+///         let arr: [u8; 4] = bytes
+///             .try_into()
+///             .map_err(|_| StmError::Protocol("bad sample length".into()))?;
+///         Ok(Sample(u32::from_be_bytes(arr)))
+///     }
+/// }
+///
+/// let item = Item::from_vec(Sample(7).to_item_bytes());
+/// assert_eq!(item.decode::<Sample>().unwrap(), Sample(7));
+/// ```
+pub trait StreamItem: Sized {
+    /// Serializes the value to payload bytes.
+    fn to_item_bytes(&self) -> Vec<u8>;
+
+    /// Deserializes a value from payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::Protocol`] (or another variant) if the bytes do
+    /// not encode a valid value.
+    fn from_item_bytes(bytes: &[u8]) -> StmResult<Self>;
+
+    /// Convenience: wraps the serialized bytes into an [`Item`].
+    fn to_item(&self) -> Item {
+        Item::from_vec(self.to_item_bytes())
+    }
+}
+
+impl StreamItem for Vec<u8> {
+    fn to_item_bytes(&self) -> Vec<u8> {
+        self.clone()
+    }
+
+    fn from_item_bytes(bytes: &[u8]) -> StmResult<Self> {
+        Ok(bytes.to_vec())
+    }
+}
+
+impl StreamItem for String {
+    fn to_item_bytes(&self) -> Vec<u8> {
+        self.as_bytes().to_vec()
+    }
+
+    fn from_item_bytes(bytes: &[u8]) -> StmResult<Self> {
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StmError::Protocol("payload is not valid utf-8".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_constructors_agree() {
+        let a = Item::from_vec(vec![1, 2, 3]);
+        let b = Item::copy_from_slice(&[1, 2, 3]);
+        let c = Item::new(Bytes::from_static(&[1, 2, 3]));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn tag_defaults_to_zero_and_is_settable() {
+        let i = Item::from_vec(vec![9]);
+        assert_eq!(i.tag(), 0);
+        assert_eq!(i.with_tag(7).tag(), 7);
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let a = Item::from_vec(vec![0u8; 1024]);
+        let b = a.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(a.payload().as_ptr(), b.payload().as_ptr());
+    }
+
+    #[test]
+    fn into_payload_returns_bytes() {
+        let i = Item::from_vec(vec![5, 6]);
+        assert_eq!(&i.into_payload()[..], &[5, 6]);
+    }
+
+    #[test]
+    fn vec_stream_item_round_trips() {
+        let v = vec![1u8, 2, 3];
+        let item = v.to_item();
+        assert_eq!(item.decode::<Vec<u8>>().unwrap(), v);
+    }
+
+    #[test]
+    fn string_stream_item_round_trips() {
+        let s = "hello avatar".to_owned();
+        let item = s.to_item();
+        assert_eq!(item.decode::<String>().unwrap(), s);
+    }
+
+    #[test]
+    fn string_stream_item_rejects_bad_utf8() {
+        let item = Item::from_vec(vec![0xff, 0xfe]);
+        assert!(matches!(
+            item.decode::<String>(),
+            Err(StmError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn empty_default_item() {
+        let i = Item::default();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

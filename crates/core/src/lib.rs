@@ -1,0 +1,83 @@
+//! # dstampede-core — Space-Time Memory
+//!
+//! This crate implements the core computational abstractions of
+//! **D-Stampede** (*D-Stampede: Distributed Programming System for
+//! Ubiquitous Computing*, ICDCS 2002): threads, **channels**, and
+//! **queues** holding *time-sequenced* data items — collectively called
+//! *space-time memory*.
+//!
+//! * A [`Channel`] stores items indexed by an application-defined
+//!   [`Timestamp`] and supports random access by timestamp — the substrate
+//!   for temporally correlating streams (e.g. matching the video frame and
+//!   audio sample of the same instant).
+//! * A [`Queue`] is FIFO and hands each item to exactly one getter — the
+//!   substrate for data parallelism (splitting a frame into fragments
+//!   analysed by a pool of trackers).
+//! * Input connections signal disinterest via `consume_until`/`set_vt`, and
+//!   the containers automatically reclaim items no connection can ever need
+//!   (see [`gc`]).
+//! * [`rtsync`] provides loose temporal synchrony for pacing threads
+//!   against real time.
+//!
+//! Everything here is single-address-space; the `dstampede-runtime` crate
+//! distributes these abstractions across address spaces and end devices.
+//!
+//! ## Example
+//!
+//! A producer/consumer pair sharing a channel, the shape of the paper's §3.1
+//! pseudocode:
+//!
+//! ```
+//! use dstampede_core::{Channel, ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+//!
+//! # fn main() -> Result<(), dstampede_core::StmError> {
+//! let chan = Channel::standalone(ChannelAttrs::default());
+//!
+//! // Producer thread.
+//! let out = chan.connect_output();
+//! for ts in 0..4 {
+//!     out.put(Timestamp::new(ts), Item::from_vec(vec![ts as u8]))?;
+//! }
+//!
+//! // Consumer thread.
+//! let inp = chan.connect_input(Interest::FromEarliest);
+//! for ts in 0..4 {
+//!     let (t, item) = inp.get(GetSpec::Exact(Timestamp::new(ts)))?;
+//!     assert_eq!(item.payload(), &[ts as u8]);
+//!     inp.consume_until(t)?; // signal garbage
+//! }
+//! assert_eq!(chan.live_items(), 0); // all reclaimed
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attr;
+pub mod channel;
+pub mod cursor;
+pub mod error;
+pub mod gc;
+pub mod handler;
+pub mod ids;
+pub mod item;
+pub mod queue;
+pub mod registry;
+pub mod rtsync;
+pub mod thread;
+pub mod time;
+
+pub use attr::{
+    ChannelAttrs, ChannelAttrsBuilder, GcPolicy, OverflowPolicy, QueueAttrs, QueueAttrsBuilder,
+};
+pub use channel::{Channel, ChannelStats, GetSpec, InputConn, Interest, OutputConn, TagFilter};
+pub use cursor::{ConsumeMode, StreamCursor};
+pub use error::{StmError, StmResult};
+pub use handler::{GarbageEvent, GarbageHook, Hooks};
+pub use ids::{AsId, ChanId, ConnId, ConnMode, QueueId, ResourceId, ThreadId};
+pub use item::{Item, StreamItem};
+pub use queue::{QTicket, Queue, QueueInputConn, QueueOutputConn, QueueStats};
+pub use registry::StmRegistry;
+pub use rtsync::{Clock, RealClock, Recovery, RtSync, SyncStatus, VirtualClock};
+pub use time::{Timestamp, TsRange, VirtualTime};

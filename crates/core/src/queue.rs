@@ -1,0 +1,907 @@
+//! FIFO queues: the work-sharing space-time memory container.
+//!
+//! Unlike a [`crate::Channel`], a queue hands each item to **exactly one**
+//! getter, in FIFO order. The paper (§3.1, Figure 3) uses queues to exploit
+//! data parallelism: a splitter thread partitions a frame into fragments
+//! (all bearing the *same* timestamp, distinguished by tag), worker threads
+//! each pull a fragment, and a joiner stitches results back together.
+//! Duplicate timestamps are therefore explicitly allowed here.
+//!
+//! # Tickets
+//!
+//! `get` returns the item together with a [`QTicket`]. The getter calls
+//! `consume(ticket)` once it is done (firing the queue's garbage hook) or
+//! `requeue(ticket)` to put the item back at the head. If an input
+//! connection disconnects with tickets outstanding — e.g. a worker crashes —
+//! its in-flight items are automatically requeued, an extension supporting
+//! the failure handling the paper lists as future work (§3.3).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::attr::{OverflowPolicy, QueueAttrs};
+use crate::channel::Deadline;
+use crate::error::{StmError, StmResult};
+use crate::handler::{GarbageEvent, Hooks};
+use crate::ids::{ConnId, QueueId, ResourceId};
+use crate::item::{Item, StreamItem};
+use crate::time::Timestamp;
+
+/// Receipt for an in-flight queue item; settle with `consume` or `requeue`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QTicket(pub u64);
+
+impl fmt::Display for QTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ticket:{}", self.0)
+    }
+}
+
+/// Monotonic counters describing a queue's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Successful puts.
+    pub puts: u64,
+    /// Successful gets.
+    pub gets: u64,
+    /// Tickets consumed.
+    pub consumes: u64,
+    /// Tickets requeued (explicitly or by disconnect recovery).
+    pub requeues: u64,
+    /// Items reclaimed (consumed or evicted).
+    pub reclaimed_items: u64,
+    /// Payload bytes reclaimed.
+    pub reclaimed_bytes: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    puts: AtomicU64,
+    gets: AtomicU64,
+    consumes: AtomicU64,
+    requeues: AtomicU64,
+    reclaimed_items: AtomicU64,
+    reclaimed_bytes: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> QueueStats {
+        QueueStats {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            consumes: self.consumes.load(Ordering::Relaxed),
+            requeues: self.requeues.load(Ordering::Relaxed),
+            reclaimed_items: self.reclaimed_items.load(Ordering::Relaxed),
+            reclaimed_bytes: self.reclaimed_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct QEntry {
+    ts: Timestamp,
+    item: Item,
+}
+
+struct Inflight {
+    ts: Timestamp,
+    item: Item,
+    conn: ConnId,
+}
+
+struct QState {
+    items: VecDeque<QEntry>,
+    inflight: HashMap<QTicket, Inflight>,
+    in_conns: HashSet<ConnId>,
+    out_conns: HashSet<ConnId>,
+    next_conn: u64,
+    next_ticket: u64,
+    closed: bool,
+}
+
+/// A FIFO work-sharing queue.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::{Queue, QueueAttrs, Item, Timestamp};
+///
+/// # fn main() -> Result<(), dstampede_core::StmError> {
+/// let q = Queue::standalone(QueueAttrs::default());
+/// let out = q.connect_output();
+/// let inp = q.connect_input();
+///
+/// out.put(Timestamp::new(0), Item::from_vec(vec![1]).with_tag(0))?;
+/// out.put(Timestamp::new(0), Item::from_vec(vec![2]).with_tag(1))?;
+///
+/// let (ts, frag, ticket) = inp.get()?;
+/// assert_eq!(ts, Timestamp::new(0));
+/// inp.consume(ticket)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct Queue {
+    id: QueueId,
+    name: Option<String>,
+    attrs: QueueAttrs,
+    state: Mutex<QState>,
+    items_cv: Condvar,
+    space_cv: Condvar,
+    hooks: Mutex<Hooks>,
+    stats: AtomicStats,
+}
+
+impl Queue {
+    /// Creates a queue with an explicit system-wide id (registries call
+    /// this; use [`Queue::standalone`] for local experimentation).
+    #[must_use]
+    pub fn new(id: QueueId, name: Option<String>, attrs: QueueAttrs) -> Arc<Self> {
+        Arc::new(Queue {
+            id,
+            name,
+            attrs,
+            state: Mutex::new(QState {
+                items: VecDeque::new(),
+                inflight: HashMap::new(),
+                in_conns: HashSet::new(),
+                out_conns: HashSet::new(),
+                next_conn: 1,
+                next_ticket: 1,
+                closed: false,
+            }),
+            items_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            hooks: Mutex::new(Hooks::new()),
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// Creates an unregistered queue for single-address-space use.
+    #[must_use]
+    pub fn standalone(attrs: QueueAttrs) -> Arc<Self> {
+        Queue::new(
+            QueueId {
+                owner: crate::ids::AsId(0),
+                index: 0,
+            },
+            None,
+            attrs,
+        )
+    }
+
+    /// The queue's system-wide id.
+    #[must_use]
+    pub fn id(&self) -> QueueId {
+        self.id
+    }
+
+    /// The queue's registered name, if any.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The creation-time attributes.
+    #[must_use]
+    pub fn attrs(&self) -> &QueueAttrs {
+        &self.attrs
+    }
+
+    /// A snapshot of activity counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of queued (not in-flight) items.
+    #[must_use]
+    pub fn queued_items(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Number of items handed out but not yet settled.
+    #[must_use]
+    pub fn inflight_items(&self) -> usize {
+        self.state.lock().inflight.len()
+    }
+
+    /// Installs a garbage hook fired when items are consumed or evicted.
+    pub fn set_garbage_hook<F>(&self, hook: F)
+    where
+        F: Fn(&GarbageEvent) + Send + Sync + 'static,
+    {
+        self.hooks.lock().set_garbage(hook);
+    }
+
+    /// Installs an additional garbage hook alongside any existing ones.
+    pub fn add_garbage_hook<F>(&self, hook: F)
+    where
+        F: Fn(&GarbageEvent) + Send + Sync + 'static,
+    {
+        self.hooks.lock().add_garbage(hook);
+    }
+
+    /// Opens an input (getter) connection; disconnecting requeues any
+    /// outstanding tickets.
+    #[must_use]
+    pub fn connect_input(self: &Arc<Self>) -> QueueInputConn {
+        let mut st = self.state.lock();
+        let id = ConnId(st.next_conn);
+        st.next_conn += 1;
+        st.in_conns.insert(id);
+        drop(st);
+        QueueInputConn {
+            queue: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Opens an output (putter) connection.
+    #[must_use]
+    pub fn connect_output(self: &Arc<Self>) -> QueueOutputConn {
+        let mut st = self.state.lock();
+        let id = ConnId(st.next_conn);
+        st.next_conn += 1;
+        st.out_conns.insert(id);
+        drop(st);
+        QueueOutputConn {
+            queue: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Closes the queue: blocked operations wake with [`StmError::Closed`],
+    /// puts fail, gets keep draining queued items.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.items_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+
+    /// Whether [`Queue::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    // ---- internal operations ----
+
+    pub(crate) fn do_put(
+        &self,
+        conn: ConnId,
+        ts: Timestamp,
+        item: Item,
+        deadline: Deadline,
+    ) -> StmResult<()> {
+        let mut evicted: Option<QEntry> = None;
+        {
+            let mut st = self.state.lock();
+            if !st.out_conns.contains(&conn) {
+                return Err(StmError::NoSuchConnection);
+            }
+            loop {
+                if st.closed {
+                    return Err(StmError::Closed);
+                }
+                let cap = self.attrs.capacity().map(|c| c as usize);
+                let full = cap.is_some_and(|c| st.items.len() >= c);
+                if !full {
+                    break;
+                }
+                match self.attrs.overflow() {
+                    OverflowPolicy::Reject => return Err(StmError::Full),
+                    OverflowPolicy::DropOldest => {
+                        evicted = st.items.pop_front();
+                        break;
+                    }
+                    OverflowPolicy::Block => match deadline {
+                        Deadline::Now => return Err(StmError::Full),
+                        Deadline::Never => {
+                            self.space_cv.wait(&mut st);
+                        }
+                        Deadline::At(instant) => {
+                            if self.space_cv.wait_until(&mut st, instant).timed_out() {
+                                return Err(StmError::Timeout);
+                            }
+                        }
+                    },
+                }
+            }
+            st.items.push_back(QEntry { ts, item });
+            self.stats.puts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.items_cv.notify_one();
+        if let Some(e) = evicted {
+            self.reclaim_one(e.ts, &e.item);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn do_get(
+        &self,
+        conn: ConnId,
+        deadline: Deadline,
+    ) -> StmResult<(Timestamp, Item, QTicket)> {
+        let mut st = self.state.lock();
+        loop {
+            if !st.in_conns.contains(&conn) {
+                return Err(StmError::NoSuchConnection);
+            }
+            if let Some(entry) = st.items.pop_front() {
+                let ticket = QTicket(st.next_ticket);
+                st.next_ticket += 1;
+                st.inflight.insert(
+                    ticket,
+                    Inflight {
+                        ts: entry.ts,
+                        item: entry.item.clone(),
+                        conn,
+                    },
+                );
+                self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                drop(st);
+                self.space_cv.notify_one();
+                return Ok((entry.ts, entry.item, ticket));
+            }
+            if st.closed {
+                return Err(StmError::Closed);
+            }
+            match deadline {
+                Deadline::Now => return Err(StmError::Absent),
+                Deadline::Never => {
+                    self.items_cv.wait(&mut st);
+                }
+                Deadline::At(instant) => {
+                    if self.items_cv.wait_until(&mut st, instant).timed_out() {
+                        return Err(StmError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn do_consume(&self, conn: ConnId, ticket: QTicket) -> StmResult<()> {
+        let entry;
+        {
+            let mut st = self.state.lock();
+            match st.inflight.get(&ticket) {
+                Some(inf) if inf.conn == conn => {}
+                Some(_) => return Err(StmError::BadMode),
+                None => return Err(StmError::Absent),
+            }
+            entry = st.inflight.remove(&ticket).expect("checked above");
+            self.stats.consumes.fetch_add(1, Ordering::Relaxed);
+        }
+        self.reclaim_one(entry.ts, &entry.item);
+        Ok(())
+    }
+
+    pub(crate) fn do_requeue(&self, conn: ConnId, ticket: QTicket) -> StmResult<()> {
+        {
+            let mut st = self.state.lock();
+            match st.inflight.get(&ticket) {
+                Some(inf) if inf.conn == conn => {}
+                Some(_) => return Err(StmError::BadMode),
+                None => return Err(StmError::Absent),
+            }
+            let inf = st.inflight.remove(&ticket).expect("checked above");
+            st.items.push_front(QEntry {
+                ts: inf.ts,
+                item: inf.item,
+            });
+            self.stats.requeues.fetch_add(1, Ordering::Relaxed);
+        }
+        self.items_cv.notify_one();
+        Ok(())
+    }
+
+    pub(crate) fn do_disconnect_input(&self, conn: ConnId) {
+        let mut recovered = 0u64;
+        {
+            let mut st = self.state.lock();
+            if !st.in_conns.remove(&conn) {
+                return;
+            }
+            let orphaned: Vec<QTicket> = st
+                .inflight
+                .iter()
+                .filter(|(_, inf)| inf.conn == conn)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in orphaned {
+                let inf = st.inflight.remove(&t).expect("just listed");
+                st.items.push_front(QEntry {
+                    ts: inf.ts,
+                    item: inf.item,
+                });
+                recovered += 1;
+            }
+            self.stats.requeues.fetch_add(recovered, Ordering::Relaxed);
+        }
+        if recovered > 0 {
+            self.items_cv.notify_all();
+        }
+    }
+
+    pub(crate) fn do_disconnect_output(&self, conn: ConnId) {
+        let mut st = self.state.lock();
+        st.out_conns.remove(&conn);
+    }
+
+    fn reclaim_one(&self, ts: Timestamp, item: &Item) {
+        self.stats.reclaimed_items.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .reclaimed_bytes
+            .fetch_add(item.len() as u64, Ordering::Relaxed);
+        self.space_cv.notify_one();
+        let hooks = self.hooks.lock().clone();
+        hooks.fire_garbage(&GarbageEvent {
+            resource: ResourceId::Queue(self.id),
+            ts,
+            tag: item.tag(),
+            len: item.len() as u32,
+        });
+    }
+}
+
+impl fmt::Debug for Queue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Queue")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("queued", &st.items.len())
+            .field("inflight", &st.inflight.len())
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+/// An input (getter) connection to a [`Queue`]; disconnects on drop,
+/// requeueing any unsettled tickets.
+pub struct QueueInputConn {
+    queue: Arc<Queue>,
+    id: ConnId,
+}
+
+impl QueueInputConn {
+    /// This connection's id.
+    #[must_use]
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// The queue this connection is attached to.
+    #[must_use]
+    pub fn queue(&self) -> &Arc<Queue> {
+        &self.queue
+    }
+
+    /// Blocking get of the next item.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Closed`] once the queue is closed and drained.
+    pub fn get(&self) -> StmResult<(Timestamp, Item, QTicket)> {
+        self.queue.do_get(self.id, Deadline::Never)
+    }
+
+    /// Non-blocking get.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Absent`] when the queue is empty.
+    pub fn try_get(&self) -> StmResult<(Timestamp, Item, QTicket)> {
+        self.queue.do_get(self.id, Deadline::Now)
+    }
+
+    /// Get with a timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Timeout`] if nothing arrives in time.
+    pub fn get_timeout(&self, timeout: Duration) -> StmResult<(Timestamp, Item, QTicket)> {
+        self.queue.do_get(self.id, Deadline::after(timeout))
+    }
+
+    /// Typed blocking get via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueInputConn::get`], plus decoding errors from `T`.
+    pub fn get_typed<T: StreamItem>(&self) -> StmResult<(Timestamp, T, QTicket)> {
+        let (ts, item, ticket) = self.get()?;
+        Ok((ts, item.decode::<T>()?, ticket))
+    }
+
+    /// Settles a ticket: the item is done and becomes garbage.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Absent`] for unknown/settled tickets,
+    /// [`StmError::BadMode`] for a ticket belonging to another connection.
+    pub fn consume(&self, ticket: QTicket) -> StmResult<()> {
+        self.queue.do_consume(self.id, ticket)
+    }
+
+    /// Puts an unfinished item back at the head of the queue.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueInputConn::consume`].
+    pub fn requeue(&self, ticket: QTicket) -> StmResult<()> {
+        self.queue.do_requeue(self.id, ticket)
+    }
+}
+
+impl fmt::Debug for QueueInputConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueInputConn")
+            .field("queue", &self.queue.id())
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl Drop for QueueInputConn {
+    fn drop(&mut self) {
+        self.queue.do_disconnect_input(self.id);
+    }
+}
+
+/// An output (putter) connection to a [`Queue`]; disconnects on drop.
+pub struct QueueOutputConn {
+    queue: Arc<Queue>,
+    id: ConnId,
+}
+
+impl QueueOutputConn {
+    /// This connection's id.
+    #[must_use]
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// The queue this connection is attached to.
+    #[must_use]
+    pub fn queue(&self) -> &Arc<Queue> {
+        &self.queue
+    }
+
+    /// Blocking put (blocks only when bounded with
+    /// [`OverflowPolicy::Block`] and full).
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Full`] under [`OverflowPolicy::Reject`],
+    /// [`StmError::Closed`] after close.
+    pub fn put(&self, ts: Timestamp, item: Item) -> StmResult<()> {
+        self.queue.do_put(self.id, ts, item, Deadline::Never)
+    }
+
+    /// Non-blocking put.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueOutputConn::put`], with [`StmError::Full`] instead of
+    /// blocking.
+    pub fn try_put(&self, ts: Timestamp, item: Item) -> StmResult<()> {
+        self.queue.do_put(self.id, ts, item, Deadline::Now)
+    }
+
+    /// Put with a timeout on the capacity wait.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueOutputConn::put`], plus [`StmError::Timeout`].
+    pub fn put_timeout(&self, ts: Timestamp, item: Item, timeout: Duration) -> StmResult<()> {
+        self.queue
+            .do_put(self.id, ts, item, Deadline::after(timeout))
+    }
+
+    /// Typed put via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueOutputConn::put`].
+    pub fn put_typed<T: StreamItem>(&self, ts: Timestamp, value: &T) -> StmResult<()> {
+        self.put(ts, value.to_item())
+    }
+}
+
+impl fmt::Debug for QueueOutputConn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueOutputConn")
+            .field("queue", &self.queue.id())
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl Drop for QueueOutputConn {
+    fn drop(&mut self) {
+        self.queue.do_disconnect_output(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    fn ts(v: i64) -> Timestamp {
+        Timestamp::new(v)
+    }
+
+    fn item(bytes: &[u8]) -> Item {
+        Item::copy_from_slice(bytes)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        for v in 1..=3 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        for v in 1..=3u8 {
+            let (_, it, t) = inp.get().unwrap();
+            assert_eq!(it.payload(), &[v]);
+            inp.consume(t).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_timestamps_allowed() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put(ts(7), item(b"frag0").with_tag(0)).unwrap();
+        out.put(ts(7), item(b"frag1").with_tag(1)).unwrap();
+        let (t0, i0, k0) = inp.get().unwrap();
+        let (t1, i1, k1) = inp.get().unwrap();
+        assert_eq!((t0, t1), (ts(7), ts(7)));
+        assert_eq!(i0.tag(), 0);
+        assert_eq!(i1.tag(), 1);
+        inp.consume(k0).unwrap();
+        inp.consume(k1).unwrap();
+    }
+
+    #[test]
+    fn each_item_delivered_exactly_once() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        for v in 0..100 {
+            out.put(ts(v), item(&(v as u32).to_be_bytes())).unwrap();
+        }
+        q.close();
+        let mut handles = Vec::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..4 {
+            let q = Arc::clone(&q);
+            let seen = Arc::clone(&seen);
+            handles.push(thread::spawn(move || {
+                let inp = q.connect_input();
+                loop {
+                    match inp.get() {
+                        Ok((_, it, ticket)) => {
+                            let v = u32::from_be_bytes(it.payload().try_into().unwrap());
+                            seen.lock().push(v);
+                            inp.consume(ticket).unwrap();
+                        }
+                        Err(StmError::Closed) => break,
+                        Err(e) => panic!("unexpected: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = seen.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn requeue_puts_item_back_at_head() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put(ts(1), item(b"a")).unwrap();
+        out.put(ts(2), item(b"b")).unwrap();
+        let (_, it, ticket) = inp.get().unwrap();
+        assert_eq!(it.payload(), b"a");
+        inp.requeue(ticket).unwrap();
+        let (_, it2, t2) = inp.get().unwrap();
+        assert_eq!(it2.payload(), b"a"); // back at the head
+        inp.consume(t2).unwrap();
+    }
+
+    #[test]
+    fn ticket_misuse_errors() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let a = q.connect_input();
+        let b = q.connect_input();
+        out.put(ts(1), item(b"x")).unwrap();
+        let (_, _, ticket) = a.get().unwrap();
+        // Another connection cannot settle a's ticket.
+        assert_eq!(b.consume(ticket), Err(StmError::BadMode));
+        assert_eq!(b.requeue(ticket), Err(StmError::BadMode));
+        a.consume(ticket).unwrap();
+        // Double settle.
+        assert_eq!(a.consume(ticket), Err(StmError::Absent));
+        assert_eq!(a.requeue(ticket), Err(StmError::Absent));
+    }
+
+    #[test]
+    fn disconnect_requeues_inflight_items() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        out.put(ts(1), item(b"work")).unwrap();
+        let worker = q.connect_input();
+        let (_, _, _ticket) = worker.get().unwrap();
+        assert_eq!(q.inflight_items(), 1);
+        drop(worker); // crash: ticket never settled
+        assert_eq!(q.inflight_items(), 0);
+        assert_eq!(q.queued_items(), 1);
+        let rescuer = q.connect_input();
+        let (_, it, t) = rescuer.try_get().unwrap();
+        assert_eq!(it.payload(), b"work");
+        rescuer.consume(t).unwrap();
+        assert_eq!(q.stats().requeues, 1);
+    }
+
+    #[test]
+    fn blocking_get_wakes_on_put() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let inp = q.connect_input();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            let out = q2.connect_output();
+            out.put(ts(9), item(b"late")).unwrap();
+        });
+        let (t, it, k) = inp.get().unwrap();
+        assert_eq!(t, ts(9));
+        assert_eq!(it.payload(), b"late");
+        inp.consume(k).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn get_timeout_expires() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let inp = q.connect_input();
+        assert_eq!(
+            inp.get_timeout(Duration::from_millis(20)).unwrap_err(),
+            StmError::Timeout
+        );
+    }
+
+    #[test]
+    fn bounded_block_paces_producer() {
+        let q = Queue::standalone(QueueAttrs::builder().capacity(1).build());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put(ts(1), item(b"a")).unwrap();
+        assert_eq!(out.try_put(ts(2), item(b"b")), Err(StmError::Full));
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            let (_, _, k) = inp.get().unwrap();
+            inp.consume(k).unwrap();
+            inp
+        });
+        out.put(ts(2), item(b"b")).unwrap(); // unblocks when getter drains
+        drop(h.join().unwrap());
+    }
+
+    #[test]
+    fn bounded_reject() {
+        let q = Queue::standalone(
+            QueueAttrs::builder()
+                .capacity(1)
+                .overflow(OverflowPolicy::Reject)
+                .build(),
+        );
+        let out = q.connect_output();
+        out.put(ts(1), item(b"a")).unwrap();
+        assert_eq!(out.put(ts(2), item(b"b")), Err(StmError::Full));
+    }
+
+    #[test]
+    fn bounded_drop_oldest_fires_hook() {
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let d2 = Arc::clone(&dropped);
+        let q = Queue::standalone(
+            QueueAttrs::builder()
+                .capacity(1)
+                .overflow(OverflowPolicy::DropOldest)
+                .build(),
+        );
+        q.set_garbage_hook(move |e| {
+            assert_eq!(e.ts, ts(1));
+            d2.fetch_add(1, Ordering::SeqCst);
+        });
+        let out = q.connect_output();
+        out.put(ts(1), item(b"a")).unwrap();
+        out.put(ts(2), item(b"b")).unwrap(); // evicts ts 1
+        assert_eq!(dropped.load(Ordering::SeqCst), 1);
+        assert_eq!(q.queued_items(), 1);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put(ts(1), item(b"x")).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(out.put(ts(2), item(b"y")), Err(StmError::Closed));
+        let (_, _, k) = inp.get().unwrap(); // drains the remaining item
+        inp.consume(k).unwrap();
+        assert_eq!(inp.get().unwrap_err(), StmError::Closed);
+    }
+
+    #[test]
+    fn garbage_hook_fires_on_consume() {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let e2 = Arc::clone(&events);
+        let q = Queue::standalone(QueueAttrs::default());
+        q.set_garbage_hook(move |e| e2.lock().push((e.ts, e.tag, e.len)));
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put(ts(4), item(b"abc").with_tag(9)).unwrap();
+        let (_, _, k) = inp.get().unwrap();
+        inp.consume(k).unwrap();
+        assert_eq!(events.lock().as_slice(), &[(ts(4), 9, 3)]);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put_typed(ts(1), &"payload".to_owned()).unwrap();
+        let (_, s, k) = inp.get_typed::<String>().unwrap();
+        assert_eq!(s, "payload");
+        inp.consume(k).unwrap();
+    }
+
+    #[test]
+    fn stats_track_everything() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        out.put(ts(1), item(b"ab")).unwrap();
+        let (_, _, k) = inp.get().unwrap();
+        inp.requeue(k).unwrap();
+        let (_, _, k) = inp.get().unwrap();
+        inp.consume(k).unwrap();
+        let s = q.stats();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.requeues, 1);
+        assert_eq!(s.consumes, 1);
+        assert_eq!(s.reclaimed_items, 1);
+        assert_eq!(s.reclaimed_bytes, 2);
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let s = format!("{q:?}");
+        assert!(s.contains("Queue"));
+        assert!(s.contains("queued"));
+    }
+}

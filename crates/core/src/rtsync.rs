@@ -1,0 +1,450 @@
+//! Real-time synchrony: loose temporal pacing borrowed from Beehive.
+//!
+//! Timestamps in space-time memory are *indices*, not wall-clock times. To
+//! pace a thread relative to real time — e.g. a camera grabbing frames at
+//! 30 fps — the paper (§3.1) provides loose temporal synchrony: a thread
+//! declares a tick period, a tolerance, and an exception handler. After each
+//! unit of work it calls `synchronize()`:
+//!
+//! * **early** → the call blocks until the tick boundary;
+//! * **late within tolerance** → the call returns immediately, in sync;
+//! * **late beyond tolerance** → the registered handler runs and decides how
+//!   to recover (carry on, or skip the missed ticks).
+//!
+//! The [`Clock`] abstraction makes the mechanism testable: [`RealClock`]
+//! paces against the OS clock, [`VirtualClock`] is advanced manually by
+//! tests and simulations.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A monotonic clock that can block until a point in time.
+///
+/// Times are expressed as [`Duration`]s since the clock's origin.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+
+    /// Blocks until `now() >= deadline`.
+    fn wait_until(&self, deadline: Duration);
+}
+
+/// Wall-clock [`Clock`] anchored at its creation instant.
+#[derive(Debug)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// A clock whose origin is now.
+    #[must_use]
+    pub fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+
+    fn wait_until(&self, deadline: Duration) {
+        let now = self.origin.elapsed();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+    }
+}
+
+/// Manually-advanced [`Clock`] for tests and deterministic simulation.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use dstampede_core::rtsync::{Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// assert_eq!(clock.now(), Duration::ZERO);
+/// clock.advance(Duration::from_millis(5));
+/// assert_eq!(clock.now(), Duration::from_millis(5));
+/// ```
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    state: Mutex<Duration>,
+    cv: Condvar,
+}
+
+impl VirtualClock {
+    /// A virtual clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Advances the clock, waking any waiter whose deadline passed.
+    pub fn advance(&self, by: Duration) {
+        let mut t = self.state.lock();
+        *t += by;
+        drop(t);
+        self.cv.notify_all();
+    }
+
+    /// Sets the clock to an absolute time (never backwards).
+    pub fn set(&self, to: Duration) {
+        let mut t = self.state.lock();
+        if to > *t {
+            *t = to;
+        }
+        drop(t);
+        self.cv.notify_all();
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        *self.state.lock()
+    }
+
+    fn wait_until(&self, deadline: Duration) {
+        let mut t = self.state.lock();
+        while *t < deadline {
+            self.cv.wait(&mut t);
+        }
+    }
+}
+
+/// Outcome of a [`RtSync::synchronize`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncStatus {
+    /// The thread was early and slept until the tick boundary.
+    Early {
+        /// How long it slept.
+        waited: Duration,
+    },
+    /// The thread was late, but within tolerance; no action taken.
+    InSync {
+        /// How late it was.
+        late_by: Duration,
+    },
+    /// The thread slipped beyond tolerance; the exception handler ran (if
+    /// registered) and chose this recovery.
+    Late {
+        /// How late it was.
+        late_by: Duration,
+        /// How many tick slots were skipped to catch up (zero when the
+        /// handler chose [`Recovery::Continue`]).
+        skipped: u64,
+    },
+}
+
+/// What a late thread's exception handler wants the pacer to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Recovery {
+    /// Keep the original schedule: subsequent ticks stay anchored to the
+    /// declared cadence and the thread must catch up on its own.
+    #[default]
+    Continue,
+    /// Abandon the missed ticks: re-anchor on the next tick boundary after
+    /// the current time. A camera would drop the frames it failed to grab.
+    SkipMissed,
+}
+
+/// Exception handler invoked when a thread slips beyond tolerance.
+pub type LateHandler = Box<dyn FnMut(Duration) -> Recovery + Send>;
+
+/// Loose temporal synchrony pacer.
+///
+/// # Examples
+///
+/// Pacing a virtual camera at 30 fps against a test clock:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use dstampede_core::rtsync::{RtSync, SyncStatus, VirtualClock};
+///
+/// let clock = Arc::new(VirtualClock::new());
+/// let mut pacer = RtSync::new(
+///     Arc::clone(&clock) as Arc<dyn dstampede_core::rtsync::Clock>,
+///     Duration::from_millis(33),
+///     Duration::from_millis(5),
+/// );
+/// clock.advance(Duration::from_millis(40)); // work overran the tick
+/// match pacer.synchronize() {
+///     SyncStatus::InSync { .. } | SyncStatus::Late { .. } => {}
+///     SyncStatus::Early { .. } => unreachable!("we were late"),
+/// }
+/// ```
+pub struct RtSync {
+    clock: Arc<dyn Clock>,
+    period: Duration,
+    tolerance: Duration,
+    origin: Duration,
+    ticks: u64,
+    handler: Option<LateHandler>,
+}
+
+impl RtSync {
+    /// Creates a pacer anchored at the clock's current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(clock: Arc<dyn Clock>, period: Duration, tolerance: Duration) -> Self {
+        assert!(!period.is_zero(), "RtSync period must be non-zero");
+        let origin = clock.now();
+        RtSync {
+            clock,
+            period,
+            tolerance,
+            origin,
+            ticks: 0,
+            handler: None,
+        }
+    }
+
+    /// Registers the exception handler run when the thread slips beyond
+    /// tolerance. Without one, the pacer behaves as if the handler returned
+    /// [`Recovery::Continue`].
+    #[must_use]
+    pub fn with_late_handler<F>(mut self, handler: F) -> Self
+    where
+        F: FnMut(Duration) -> Recovery + Send + 'static,
+    {
+        self.handler = Some(Box::new(handler));
+        self
+    }
+
+    /// The declared tick period.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// The declared tolerance.
+    #[must_use]
+    pub fn tolerance(&self) -> Duration {
+        self.tolerance
+    }
+
+    /// Ticks completed so far (including skipped ones).
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Completes the current tick: waits if early, returns immediately if
+    /// within tolerance, otherwise invokes the late handler.
+    pub fn synchronize(&mut self) -> SyncStatus {
+        self.ticks += 1;
+        let target = self.origin + self.period * u32::try_from(self.ticks).unwrap_or(u32::MAX);
+        let now = self.clock.now();
+        if now <= target {
+            self.clock.wait_until(target);
+            return SyncStatus::Early {
+                waited: target - now,
+            };
+        }
+        let late_by = now - target;
+        if late_by <= self.tolerance {
+            return SyncStatus::InSync { late_by };
+        }
+        let recovery = match &mut self.handler {
+            Some(h) => h(late_by),
+            None => Recovery::Continue,
+        };
+        let skipped = match recovery {
+            Recovery::Continue => 0,
+            Recovery::SkipMissed => {
+                // Advance ticks so the next boundary is the first one after
+                // the current time.
+                let periods_elapsed = (now - self.origin).as_nanos() / self.period.as_nanos();
+                let next = u64::try_from(periods_elapsed).unwrap_or(u64::MAX);
+                let skipped = next.saturating_sub(self.ticks);
+                self.ticks = next.max(self.ticks);
+                skipped
+            }
+        };
+        SyncStatus::Late { late_by, skipped }
+    }
+}
+
+impl fmt::Debug for RtSync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RtSync")
+            .field("period", &self.period)
+            .field("tolerance", &self.tolerance)
+            .field("ticks", &self.ticks)
+            .field("handler", &self.handler.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn real_clock_progresses() {
+        let c = RealClock::new();
+        let a = c.now();
+        std::thread::sleep(ms(5));
+        assert!(c.now() > a);
+    }
+
+    #[test]
+    fn real_clock_wait_until_past_is_instant() {
+        let c = RealClock::new();
+        std::thread::sleep(ms(2));
+        let before = Instant::now();
+        c.wait_until(Duration::ZERO);
+        assert!(before.elapsed() < ms(50));
+    }
+
+    #[test]
+    fn virtual_clock_advances_and_wakes_waiters() {
+        let c = Arc::new(VirtualClock::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || {
+            c2.wait_until(ms(10));
+            c2.now()
+        });
+        std::thread::sleep(ms(10));
+        c.advance(ms(10));
+        assert_eq!(h.join().unwrap(), ms(10));
+    }
+
+    #[test]
+    fn virtual_clock_set_never_regresses() {
+        let c = VirtualClock::new();
+        c.set(ms(10));
+        c.set(ms(5));
+        assert_eq!(c.now(), ms(10));
+    }
+
+    #[test]
+    fn early_thread_waits_for_tick() {
+        let clock = Arc::new(VirtualClock::new());
+        let clock_dyn: Arc<dyn Clock> = Arc::clone(&clock) as _;
+        let mut pacer = RtSync::new(clock_dyn, ms(10), ms(2));
+        let c2 = Arc::clone(&clock);
+        let h = std::thread::spawn(move || pacer.synchronize());
+        std::thread::sleep(ms(20));
+        c2.advance(ms(10));
+        match h.join().unwrap() {
+            SyncStatus::Early { waited } => assert_eq!(waited, ms(10)),
+            other => panic!("expected Early, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn within_tolerance_is_in_sync() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut pacer = RtSync::new(Arc::clone(&clock) as Arc<dyn Clock>, ms(10), ms(5));
+        clock.advance(ms(12)); // 2ms late, tolerance 5ms
+        match pacer.synchronize() {
+            SyncStatus::InSync { late_by } => assert_eq!(late_by, ms(2)),
+            other => panic!("expected InSync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn beyond_tolerance_fires_handler() {
+        let fired = Arc::new(AtomicU32::new(0));
+        let f2 = Arc::clone(&fired);
+        let clock = Arc::new(VirtualClock::new());
+        let mut pacer = RtSync::new(Arc::clone(&clock) as Arc<dyn Clock>, ms(10), ms(2))
+            .with_late_handler(move |late| {
+                assert_eq!(late, ms(8));
+                f2.fetch_add(1, Ordering::SeqCst);
+                Recovery::Continue
+            });
+        clock.advance(ms(18)); // 8ms late
+        match pacer.synchronize() {
+            SyncStatus::Late { late_by, skipped } => {
+                assert_eq!(late_by, ms(8));
+                assert_eq!(skipped, 0);
+            }
+            other => panic!("expected Late, got {other:?}"),
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn skip_missed_reanchors_schedule() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut pacer = RtSync::new(Arc::clone(&clock) as Arc<dyn Clock>, ms(10), ms(1))
+            .with_late_handler(|_| Recovery::SkipMissed);
+        clock.advance(ms(47)); // slots 1..4 missed entirely
+        match pacer.synchronize() {
+            SyncStatus::Late { skipped, .. } => assert_eq!(skipped, 3),
+            other => panic!("expected Late, got {other:?}"),
+        }
+        assert_eq!(pacer.ticks(), 4);
+        // Next tick boundary is 50ms; we are at 47ms so we are early.
+        let c2 = Arc::clone(&clock);
+        let h = std::thread::spawn(move || pacer.synchronize());
+        std::thread::sleep(ms(10));
+        c2.advance(ms(3));
+        assert!(matches!(h.join().unwrap(), SyncStatus::Early { .. }));
+    }
+
+    #[test]
+    fn no_handler_defaults_to_continue() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut pacer = RtSync::new(Arc::clone(&clock) as Arc<dyn Clock>, ms(10), ms(1));
+        clock.advance(ms(100));
+        match pacer.synchronize() {
+            SyncStatus::Late { skipped, .. } => assert_eq!(skipped, 0),
+            other => panic!("expected Late, got {other:?}"),
+        }
+        assert_eq!(pacer.ticks(), 1);
+    }
+
+    #[test]
+    fn steady_cadence_counts_ticks() {
+        let clock = Arc::new(VirtualClock::new());
+        let mut pacer = RtSync::new(Arc::clone(&clock) as Arc<dyn Clock>, ms(10), ms(1));
+        for i in 1..=5u64 {
+            clock.set(ms(10 * i)); // exactly on the boundary each time
+            let s = pacer.synchronize();
+            assert!(
+                matches!(s, SyncStatus::Early { waited } if waited.is_zero()),
+                "tick {i}: {s:?}"
+            );
+        }
+        assert_eq!(pacer.ticks(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let _ = RtSync::new(clock, Duration::ZERO, ms(1));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let pacer = RtSync::new(clock, ms(10), ms(1));
+        assert!(format!("{pacer:?}").contains("RtSync"));
+    }
+}

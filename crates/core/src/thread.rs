@@ -1,0 +1,231 @@
+//! D-Stampede thread bookkeeping.
+//!
+//! Stampede threads are "POSIX-like" (paper §3.1): we map them onto
+//! [`std::thread`] but register each with its address space so the runtime
+//! can enumerate them, name them, and track their virtual time. The virtual
+//! time recorded here is advisory — garbage collection is driven by the
+//! per-connection promises (see [`crate::channel::InputConn::set_vt`]) —
+//! but gives the runtime a cluster-wide picture for the distributed GC
+//! epoch report.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::ids::ThreadId;
+use crate::time::{Timestamp, VirtualTime};
+
+/// A registered D-Stampede thread.
+#[derive(Debug)]
+pub struct StThread {
+    id: ThreadId,
+    name: String,
+    vt: AtomicI64,
+}
+
+impl StThread {
+    /// The thread's id.
+    #[must_use]
+    pub fn id(&self) -> ThreadId {
+        self.id
+    }
+
+    /// The thread's registered name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The thread's advisory virtual time.
+    #[must_use]
+    pub fn vt(&self) -> VirtualTime {
+        VirtualTime::at(Timestamp::new(self.vt.load(Ordering::Acquire)))
+    }
+
+    /// Advances the advisory virtual time (never backwards).
+    pub fn set_vt(&self, vt: VirtualTime) {
+        let new = vt.floor().value();
+        self.vt.fetch_max(new, Ordering::AcqRel);
+    }
+}
+
+/// Registry of the threads running in one address space.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::thread::ThreadRegistry;
+///
+/// let reg = ThreadRegistry::new();
+/// let t = reg.register("camera-0");
+/// assert_eq!(t.name(), "camera-0");
+/// assert_eq!(reg.len(), 1);
+/// reg.unregister(t.id());
+/// assert!(reg.is_empty());
+/// ```
+pub struct ThreadRegistry {
+    threads: RwLock<HashMap<ThreadId, Arc<StThread>>>,
+    next: AtomicU64,
+}
+
+impl ThreadRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Arc<Self> {
+        Arc::new(ThreadRegistry {
+            threads: RwLock::new(HashMap::new()),
+            next: AtomicU64::new(1),
+        })
+    }
+
+    /// Registers a thread under a human-readable name.
+    pub fn register(&self, name: &str) -> Arc<StThread> {
+        let id = ThreadId(self.next.fetch_add(1, Ordering::Relaxed));
+        let t = Arc::new(StThread {
+            id,
+            name: name.to_owned(),
+            vt: AtomicI64::new(Timestamp::MIN.value()),
+        });
+        self.threads.write().insert(id, Arc::clone(&t));
+        t
+    }
+
+    /// Removes a thread (e.g. when it exits). Unknown ids are ignored.
+    pub fn unregister(&self, id: ThreadId) {
+        self.threads.write().remove(&id);
+    }
+
+    /// Looks up a registered thread.
+    #[must_use]
+    pub fn get(&self, id: ThreadId) -> Option<Arc<StThread>> {
+        self.threads.read().get(&id).cloned()
+    }
+
+    /// Number of registered threads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.threads.read().len()
+    }
+
+    /// Whether no threads are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.threads.read().is_empty()
+    }
+
+    /// The minimum advisory virtual time across registered threads, or
+    /// [`VirtualTime::END`] when none are registered (nothing constrains GC).
+    #[must_use]
+    pub fn min_vt(&self) -> VirtualTime {
+        self.threads
+            .read()
+            .values()
+            .map(|t| t.vt())
+            .min()
+            .unwrap_or(VirtualTime::END)
+    }
+
+    /// Spawns an OS thread registered under `name`; it is unregistered when
+    /// the closure returns.
+    pub fn spawn<F, T>(self: &Arc<Self>, name: &str, f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce(Arc<StThread>) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let t = self.register(name);
+        let reg = Arc::clone(self);
+        let thread_name = name.to_owned();
+        std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || {
+                let id = t.id();
+                let out = f(t);
+                reg.unregister(id);
+                out
+            })
+            .expect("spawning an OS thread failed")
+    }
+}
+
+impl Default for ThreadRegistry {
+    fn default() -> Self {
+        ThreadRegistry {
+            threads: RwLock::new(HashMap::new()),
+            next: AtomicU64::new(1),
+        }
+    }
+}
+
+impl fmt::Debug for ThreadRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadRegistry")
+            .field("threads", &self.threads.read().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let reg = ThreadRegistry::new();
+        let t = reg.register("mixer");
+        assert_eq!(reg.get(t.id()).unwrap().name(), "mixer");
+        reg.unregister(t.id());
+        assert!(reg.get(t.id()).is_none());
+        // Unregistering twice is harmless.
+        reg.unregister(t.id());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let reg = ThreadRegistry::new();
+        let a = reg.register("a");
+        let b = reg.register("b");
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn vt_is_monotone() {
+        let reg = ThreadRegistry::new();
+        let t = reg.register("x");
+        t.set_vt(VirtualTime::at(Timestamp::new(10)));
+        t.set_vt(VirtualTime::at(Timestamp::new(5))); // ignored
+        assert_eq!(t.vt(), VirtualTime::at(Timestamp::new(10)));
+    }
+
+    #[test]
+    fn min_vt_across_threads() {
+        let reg = ThreadRegistry::new();
+        assert_eq!(reg.min_vt(), VirtualTime::END);
+        let a = reg.register("a");
+        let b = reg.register("b");
+        a.set_vt(VirtualTime::at(Timestamp::new(10)));
+        b.set_vt(VirtualTime::at(Timestamp::new(4)));
+        assert_eq!(reg.min_vt(), VirtualTime::at(Timestamp::new(4)));
+        reg.unregister(b.id());
+        assert_eq!(reg.min_vt(), VirtualTime::at(Timestamp::new(10)));
+    }
+
+    #[test]
+    fn spawn_registers_and_cleans_up() {
+        let reg = ThreadRegistry::new();
+        let h = reg.spawn("worker", |t| {
+            assert_eq!(t.name(), "worker");
+            42
+        });
+        assert_eq!(h.join().unwrap(), 42);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let reg = ThreadRegistry::new();
+        assert!(format!("{reg:?}").contains("ThreadRegistry"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Timestamps and virtual time.
+//!
+//! A [`Timestamp`] is the *index* of an item within a channel or queue. It is
+//! entirely application-defined — e.g. the frame number of a video stream —
+//! and has **no direct connection to real time** (the paper, §3.1). Real-time
+//! pacing is provided separately by [`crate::rtsync`].
+//!
+//! A thread's [`VirtualTime`] is its declared position in timestamp space.
+//! The transparent garbage collector uses virtual times to compute the set of
+//! timestamps no thread can ever access again (see [`crate::gc`]).
+
+use std::fmt;
+
+/// Application-defined index of an item in a channel or queue.
+///
+/// Timestamps are totally ordered signed 64-bit integers. Producers typically
+/// use monotonically increasing values (frame numbers, sample counters), but
+/// nothing in the system requires density or contiguity.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::Timestamp;
+///
+/// let t = Timestamp::new(41);
+/// assert_eq!(t.next(), Timestamp::new(42));
+/// assert!(t < t.next());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    /// The zero timestamp, conventionally the start of a stream.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The smallest representable timestamp. Used as "interested in
+    /// everything" sentinel by connections.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// The largest representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Creates a timestamp from its integer value.
+    #[must_use]
+    pub const fn new(value: i64) -> Self {
+        Timestamp(value)
+    }
+
+    /// Returns the integer value.
+    #[must_use]
+    pub const fn value(self) -> i64 {
+        self.0
+    }
+
+    /// The timestamp immediately after this one (saturating at the maximum).
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// The timestamp immediately before this one (saturating at the minimum).
+    #[must_use]
+    pub const fn prev(self) -> Self {
+        Timestamp(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts:{}", self.0)
+    }
+}
+
+impl From<i64> for Timestamp {
+    fn from(v: i64) -> Self {
+        Timestamp(v)
+    }
+}
+
+impl From<Timestamp> for i64 {
+    fn from(t: Timestamp) -> Self {
+        t.0
+    }
+}
+
+/// A thread's declared position in timestamp space.
+///
+/// A virtual time of `v` is a promise: *this thread will never again request
+/// an item with timestamp `< v`*. The transparent garbage collector combines
+/// the virtual times of every input connection on a channel to find dead
+/// timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::{Timestamp, VirtualTime};
+///
+/// let vt = VirtualTime::at(Timestamp::new(10));
+/// assert!(vt.permits(Timestamp::new(10)));
+/// assert!(!vt.permits(Timestamp::new(9)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtualTime(Timestamp);
+
+impl VirtualTime {
+    /// Virtual time that still permits every timestamp ("beginning of time").
+    pub const START: VirtualTime = VirtualTime(Timestamp::MIN);
+    /// Virtual time that permits no timestamp ("end of time"); declared by a
+    /// thread that is done with a stream.
+    pub const END: VirtualTime = VirtualTime(Timestamp::MAX);
+
+    /// Virtual time positioned at `ts`: timestamps `>= ts` are still live.
+    #[must_use]
+    pub const fn at(ts: Timestamp) -> Self {
+        VirtualTime(ts)
+    }
+
+    /// The earliest timestamp this virtual time still permits access to.
+    #[must_use]
+    pub const fn floor(self) -> Timestamp {
+        self.0
+    }
+
+    /// Whether an item with timestamp `ts` may still be requested.
+    #[must_use]
+    pub fn permits(self, ts: Timestamp) -> bool {
+        ts >= self.0
+    }
+}
+
+impl Default for VirtualTime {
+    fn default() -> Self {
+        VirtualTime::START
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vt:{}", self.0.value())
+    }
+}
+
+/// An inclusive range of timestamps, used by bulk consume operations.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_core::{Timestamp, TsRange};
+///
+/// let r = TsRange::new(Timestamp::new(3), Timestamp::new(5));
+/// assert!(r.contains(Timestamp::new(4)));
+/// assert_eq!(r.len(), Some(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TsRange {
+    lo: Timestamp,
+    hi: Timestamp,
+}
+
+impl TsRange {
+    /// Creates the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Timestamp, hi: Timestamp) -> Self {
+        assert!(lo <= hi, "TsRange requires lo <= hi");
+        TsRange { lo, hi }
+    }
+
+    /// Range covering every timestamp up to and including `hi`.
+    #[must_use]
+    pub fn up_to(hi: Timestamp) -> Self {
+        TsRange {
+            lo: Timestamp::MIN,
+            hi,
+        }
+    }
+
+    /// Lower (inclusive) bound.
+    #[must_use]
+    pub const fn lo(self) -> Timestamp {
+        self.lo
+    }
+
+    /// Upper (inclusive) bound.
+    #[must_use]
+    pub const fn hi(self) -> Timestamp {
+        self.hi
+    }
+
+    /// Whether `ts` falls inside the range.
+    #[must_use]
+    pub fn contains(self, ts: Timestamp) -> bool {
+        self.lo <= ts && ts <= self.hi
+    }
+
+    /// Number of timestamps covered, or `None` if it overflows `u64`
+    /// (e.g. [`TsRange::up_to`] ranges anchored at `Timestamp::MIN`).
+    #[must_use]
+    pub fn len(self) -> Option<u64> {
+        let width = (self.hi.value() as i128) - (self.lo.value() as i128) + 1;
+        u64::try_from(width).ok()
+    }
+
+    /// Always false: a range is constructed with `lo <= hi` so it contains at
+    /// least one timestamp.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for TsRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo.value(), self.hi.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_ordering_and_arith() {
+        let a = Timestamp::new(5);
+        assert_eq!(a.next().value(), 6);
+        assert_eq!(a.prev().value(), 4);
+        assert!(Timestamp::MIN < Timestamp::ZERO);
+        assert!(Timestamp::ZERO < Timestamp::MAX);
+    }
+
+    #[test]
+    fn timestamp_saturates_at_extremes() {
+        assert_eq!(Timestamp::MAX.next(), Timestamp::MAX);
+        assert_eq!(Timestamp::MIN.prev(), Timestamp::MIN);
+    }
+
+    #[test]
+    fn timestamp_converts_to_and_from_i64() {
+        let t: Timestamp = 42i64.into();
+        let v: i64 = t.into();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn virtual_time_permits_at_and_after_floor() {
+        let vt = VirtualTime::at(Timestamp::new(7));
+        assert!(!vt.permits(Timestamp::new(6)));
+        assert!(vt.permits(Timestamp::new(7)));
+        assert!(vt.permits(Timestamp::new(8)));
+    }
+
+    #[test]
+    fn virtual_time_extremes() {
+        assert!(VirtualTime::START.permits(Timestamp::MIN));
+        assert!(!VirtualTime::END.permits(Timestamp::new(0)));
+        // END still "permits" MAX itself by definition of floor.
+        assert!(VirtualTime::END.permits(Timestamp::MAX));
+    }
+
+    #[test]
+    fn default_virtual_time_is_start() {
+        assert_eq!(VirtualTime::default(), VirtualTime::START);
+    }
+
+    #[test]
+    fn range_contains_and_len() {
+        let r = TsRange::new(Timestamp::new(-2), Timestamp::new(2));
+        assert!(r.contains(Timestamp::new(-2)));
+        assert!(r.contains(Timestamp::new(2)));
+        assert!(!r.contains(Timestamp::new(3)));
+        assert_eq!(r.len(), Some(5));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn up_to_range_len_overflows_to_none() {
+        // [MIN, MAX] covers 2^64 timestamps, one more than u64 can hold.
+        let r = TsRange::up_to(Timestamp::MAX);
+        assert_eq!(r.len(), None);
+        assert!(r.contains(Timestamp::new(i64::MIN)));
+        // [MIN, 0] covers 2^63 + 1, which still fits.
+        assert_eq!(
+            TsRange::up_to(Timestamp::ZERO).len(),
+            Some((1u64 << 63) + 1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_range_panics() {
+        let _ = TsRange::new(Timestamp::new(3), Timestamp::new(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Timestamp::new(3).to_string(), "ts:3");
+        assert_eq!(VirtualTime::at(Timestamp::new(3)).to_string(), "vt:3");
+        assert_eq!(
+            TsRange::new(Timestamp::new(1), Timestamp::new(2)).to_string(),
+            "[1, 2]"
+        );
+    }
+}

@@ -1,0 +1,666 @@
+//! Address spaces: the unit of distribution.
+//!
+//! A D-Stampede computation is a set of *address spaces* ("the server
+//! program creates multiple address spaces N₁ … N_k in the cluster", paper
+//! §4), each owning a registry of channels and queues and connected to its
+//! peers by CLF. An [`AddressSpace`] runs a dispatcher thread that fields
+//! operations arriving from other address spaces; operations that may
+//! block (a `get` waiting for an item) are offloaded to short-lived worker
+//! threads so the dispatcher stays responsive — the threads-for-surrogates
+//! structure of the original system.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use dstampede_clf::{ClfError, ClfTransport};
+use dstampede_core::gc::{GcSummary, MinFloorAggregator};
+use dstampede_core::thread::ThreadRegistry;
+use dstampede_core::VirtualTime;
+use dstampede_core::{
+    AsId, ChanId, Channel, ChannelAttrs, Queue, QueueAttrs, QueueId, ResourceId, StmError,
+    StmRegistry, StmResult,
+};
+use dstampede_wire::{NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
+
+use crate::exec::{execute, is_blocking, ConnTable};
+use crate::nameserver::NameServer;
+use crate::proto::{self, AsMessage, NO_REPLY};
+use crate::proxy::{ChannelRef, QueueRef};
+
+/// One address space of a D-Stampede computation.
+pub struct AddressSpace {
+    id: AsId,
+    registry: Arc<StmRegistry>,
+    threads: Arc<ThreadRegistry>,
+    transport: Arc<dyn ClfTransport>,
+    nameserver: Option<Arc<NameServer>>,
+    pending: Mutex<HashMap<u64, Sender<ReplyFrame>>>,
+    next_seq: AtomicU64,
+    conns: Arc<ConnTable>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    down: AtomicBool,
+    gc_agg: Mutex<MinFloorAggregator>,
+    gc_epochs: AtomicU64,
+}
+
+impl AddressSpace {
+    /// Starts an address space on a transport. The address space's id is
+    /// the transport's local id; pass `host_nameserver = true` for exactly
+    /// one address space per computation (conventionally
+    /// [`AsId::NAMESERVER`]).
+    #[must_use]
+    pub fn start(transport: Arc<dyn ClfTransport>, host_nameserver: bool) -> Arc<Self> {
+        let id = transport.local();
+        let space = Arc::new(AddressSpace {
+            id,
+            registry: StmRegistry::new(id),
+            threads: ThreadRegistry::new(),
+            transport,
+            nameserver: host_nameserver.then(|| Arc::new(NameServer::new())),
+            pending: Mutex::new(HashMap::new()),
+            next_seq: AtomicU64::new(1),
+            conns: Arc::new(ConnTable::new()),
+            dispatcher: Mutex::new(None),
+            down: AtomicBool::new(false),
+            gc_agg: Mutex::new(MinFloorAggregator::new()),
+            gc_epochs: AtomicU64::new(0),
+        });
+        let dispatch_space = Arc::clone(&space);
+        let handle = std::thread::Builder::new()
+            .name(format!("as-{}-dispatch", id.0))
+            .spawn(move || dispatch_loop(&dispatch_space))
+            .expect("spawning the dispatcher thread failed");
+        *space.dispatcher.lock() = Some(handle);
+        space
+    }
+
+    /// This address space's id.
+    #[must_use]
+    pub fn id(&self) -> AsId {
+        self.id
+    }
+
+    /// The container registry this address space owns.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<StmRegistry> {
+        &self.registry
+    }
+
+    /// The thread registry of this address space.
+    #[must_use]
+    pub fn threads(&self) -> &Arc<ThreadRegistry> {
+        &self.threads
+    }
+
+    /// The CLF transport connecting this address space to its peers.
+    #[must_use]
+    pub fn transport(&self) -> &Arc<dyn ClfTransport> {
+        &self.transport
+    }
+
+    /// The name server, when hosted here.
+    #[must_use]
+    pub fn nameserver(&self) -> Option<&Arc<NameServer>> {
+        self.nameserver.as_ref()
+    }
+
+    /// Creates a channel owned by this address space.
+    pub fn create_channel(&self, name: Option<String>, attrs: ChannelAttrs) -> Arc<Channel> {
+        self.registry.create_channel(name, attrs)
+    }
+
+    /// Creates a queue owned by this address space.
+    pub fn create_queue(&self, name: Option<String>, attrs: QueueAttrs) -> Arc<Queue> {
+        self.registry.create_queue(name, attrs)
+    }
+
+    /// Resolves a channel id into a location-transparent reference.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] when the id is local but unknown.
+    /// Remote ids resolve lazily: a dangling remote id fails at connect
+    /// time instead.
+    pub fn open_channel(self: &Arc<Self>, id: ChanId) -> StmResult<ChannelRef> {
+        if id.owner == self.id {
+            Ok(ChannelRef::local(self.registry.channel(id)?))
+        } else {
+            Ok(ChannelRef::remote(id, Arc::clone(self)))
+        }
+    }
+
+    /// Resolves a queue id into a location-transparent reference.
+    ///
+    /// # Errors
+    ///
+    /// As [`AddressSpace::open_channel`].
+    pub fn open_queue(self: &Arc<Self>, id: QueueId) -> StmResult<QueueRef> {
+        if id.owner == self.id {
+            Ok(QueueRef::local(self.registry.queue(id)?))
+        } else {
+            Ok(QueueRef::remote(id, Arc::clone(self)))
+        }
+    }
+
+    /// Resolves either kind of resource id into a channel or queue
+    /// reference pair (exactly one is `Some`).
+    ///
+    /// # Errors
+    ///
+    /// As [`AddressSpace::open_channel`].
+    pub fn open_resource(
+        self: &Arc<Self>,
+        id: ResourceId,
+    ) -> StmResult<(Option<ChannelRef>, Option<QueueRef>)> {
+        match id {
+            ResourceId::Channel(c) => Ok((Some(self.open_channel(c)?), None)),
+            ResourceId::Queue(q) => Ok((None, Some(self.open_queue(q)?))),
+        }
+    }
+
+    /// Spawns an OS thread registered with this address space's thread
+    /// registry (the paper's dynamic thread creation). The thread's
+    /// advisory virtual time feeds the distributed GC epoch reports; it is
+    /// unregistered when the closure returns.
+    pub fn spawn_thread<F, T>(self: &Arc<Self>, name: &str, f: F) -> std::thread::JoinHandle<T>
+    where
+        F: FnOnce(Arc<AddressSpace>, Arc<dstampede_core::thread::StThread>) -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let space = Arc::clone(self);
+        self.threads.spawn(name, move |thread| f(space, thread))
+    }
+
+    // ---- name-server access (local when hosted here, RPC otherwise) ----
+
+    /// Registers a name with the computation's name server.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameExists`] on collision, [`StmError::Disconnected`]
+    /// if the name-server address space is unreachable.
+    pub fn ns_register(
+        self: &Arc<Self>,
+        name: &str,
+        resource: ResourceId,
+        meta: &str,
+    ) -> StmResult<()> {
+        if let Some(ns) = &self.nameserver {
+            return ns.register(name, resource, meta);
+        }
+        match self.call(
+            AsId::NAMESERVER,
+            Request::NsRegister {
+                name: name.to_owned(),
+                resource,
+                meta: meta.to_owned(),
+            },
+        )? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Non-blocking name lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameAbsent`] when unregistered.
+    pub fn ns_lookup(self: &Arc<Self>, name: &str) -> StmResult<(ResourceId, String)> {
+        if let Some(ns) = &self.nameserver {
+            return ns.lookup(name);
+        }
+        match self.call(
+            AsId::NAMESERVER,
+            Request::NsLookup {
+                name: name.to_owned(),
+                wait: WaitSpec::NonBlocking,
+            },
+        )? {
+            Reply::NsFound { resource, meta } => Ok((resource, meta)),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Blocking name lookup, waiting until registered (or up to `timeout`).
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Timeout`] on expiry.
+    pub fn ns_lookup_wait(
+        self: &Arc<Self>,
+        name: &str,
+        timeout: Option<Duration>,
+    ) -> StmResult<(ResourceId, String)> {
+        if let Some(ns) = &self.nameserver {
+            return ns.lookup_wait(name, timeout);
+        }
+        let wait = match timeout {
+            None => WaitSpec::Forever,
+            Some(d) => WaitSpec::TimeoutMs(u32::try_from(d.as_millis()).unwrap_or(u32::MAX)),
+        };
+        match self.call(
+            AsId::NAMESERVER,
+            Request::NsLookup {
+                name: name.to_owned(),
+                wait,
+            },
+        )? {
+            Reply::NsFound { resource, meta } => Ok((resource, meta)),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Removes a name registration.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameAbsent`] when unregistered.
+    pub fn ns_unregister(self: &Arc<Self>, name: &str) -> StmResult<()> {
+        if let Some(ns) = &self.nameserver {
+            return ns.unregister(name);
+        }
+        match self.call(
+            AsId::NAMESERVER,
+            Request::NsUnregister {
+                name: name.to_owned(),
+            },
+        )? {
+            Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Lists every name registration.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the name-server address space is
+    /// unreachable.
+    pub fn ns_list(self: &Arc<Self>) -> StmResult<Vec<NsEntry>> {
+        if let Some(ns) = &self.nameserver {
+            return Ok(ns.list());
+        }
+        match self.call(AsId::NAMESERVER, Request::NsList)? {
+            Reply::NsEntries { entries } => Ok(entries),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    // ---- distributed GC epoch support ----
+
+    /// Records another address space's epoch report (aggregator side).
+    pub fn gc_record_report(&self, from: AsId, min_vt: VirtualTime) {
+        self.gc_agg.lock().report(from, min_vt);
+        self.gc_epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The cluster-wide virtual-time floor as currently aggregated.
+    #[must_use]
+    pub fn gc_global_floor(&self) -> VirtualTime {
+        self.gc_agg.lock().global_floor()
+    }
+
+    /// This address space's local GC accounting, summed over its
+    /// containers.
+    #[must_use]
+    pub fn gc_local_summary(&self) -> GcSummary {
+        let mut summary = GcSummary {
+            epochs: self.gc_epochs.load(Ordering::Relaxed),
+            ..GcSummary::default()
+        };
+        for res in self.registry.resources() {
+            match res {
+                ResourceId::Channel(id) => {
+                    if let Ok(c) = self.registry.channel(id) {
+                        let s = c.stats();
+                        summary.items += s.reclaimed_items;
+                        summary.bytes += s.reclaimed_bytes;
+                    }
+                }
+                ResourceId::Queue(id) => {
+                    if let Ok(q) = self.registry.queue(id) {
+                        let s = q.stats();
+                        summary.items += s.reclaimed_items;
+                        summary.bytes += s.reclaimed_bytes;
+                    }
+                }
+            }
+        }
+        summary
+    }
+
+    // ---- RPC plumbing ----
+
+    /// Performs a request against another address space (or inline against
+    /// this one) and waits for the reply.
+    ///
+    /// # Errors
+    ///
+    /// The remote operation's error, or [`StmError::Disconnected`] if the
+    /// peer or transport goes away mid-call.
+    pub fn call(self: &Arc<Self>, dst: AsId, req: Request) -> StmResult<Reply> {
+        if dst == self.id {
+            return execute(self, &Arc::clone(&self.conns), None, req).into_result();
+        }
+        if self.down.load(Ordering::Acquire) {
+            return Err(StmError::Disconnected);
+        }
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().insert(seq, tx);
+        let msg = proto::encode_request(&RequestFrame { seq, req })?;
+        if let Err(e) = self.transport.send(dst, msg) {
+            self.pending.lock().remove(&seq);
+            return Err(clf_to_stm(&e));
+        }
+        match rx.recv() {
+            Ok(frame) => frame.reply.into_result(),
+            Err(_) => Err(StmError::Disconnected),
+        }
+    }
+
+    /// Sends a request without expecting a reply (used by drop paths).
+    pub fn cast(&self, dst: AsId, req: Request) {
+        if dst == self.id || self.down.load(Ordering::Acquire) {
+            return;
+        }
+        if let Ok(msg) = proto::encode_request(&RequestFrame { seq: NO_REPLY, req }) {
+            let _ = self.transport.send(dst, msg);
+        }
+    }
+
+    /// Shuts the address space down: closes every container, stops the
+    /// dispatcher, and fails outstanding calls with
+    /// [`StmError::Disconnected`]. Idempotent.
+    pub fn shutdown(&self) {
+        if self.down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.registry.close_all();
+        self.transport.shutdown();
+        self.pending.lock().clear(); // wakes callers with Disconnected
+        if let Some(h) = self.dispatcher.lock().take() {
+            let _ = h.join();
+        }
+        self.conns.clear();
+    }
+
+    /// Whether [`AddressSpace::shutdown`] has run.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Acquire)
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AddressSpace")
+            .field("id", &self.id)
+            .field("nameserver", &self.nameserver.is_some())
+            .field("down", &self.down.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn clf_to_stm(e: &ClfError) -> StmError {
+    match e {
+        ClfError::Closed => StmError::Disconnected,
+        ClfError::UnknownPeer => StmError::NoSuchResource,
+        other => StmError::Protocol(other.to_string()),
+    }
+}
+
+fn dispatch_loop(space: &Arc<AddressSpace>) {
+    loop {
+        match space.transport.recv() {
+            Ok((from, msg)) => handle_message(space, from, &msg),
+            Err(ClfError::Closed) => break,
+            Err(_) => {}
+        }
+    }
+}
+
+fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
+    match proto::decode(msg) {
+        Ok(AsMessage::Request(frame)) => {
+            if is_blocking(&frame.req) {
+                let worker_space = Arc::clone(space);
+                let builder =
+                    std::thread::Builder::new().name(format!("as-{}-worker", space.id().0));
+                let spawned = builder.spawn(move || {
+                    let conns = Arc::clone(&worker_space.conns);
+                    let reply = execute(&worker_space, &conns, None, frame.req);
+                    send_reply(&worker_space, from, frame.seq, reply);
+                });
+                if spawned.is_err() {
+                    send_reply(
+                        space,
+                        from,
+                        frame.seq,
+                        Reply::from_error(&StmError::Protocol("worker spawn failed".into())),
+                    );
+                }
+            } else {
+                let conns = Arc::clone(&space.conns);
+                let reply = execute(space, &conns, None, frame.req);
+                send_reply(space, from, frame.seq, reply);
+            }
+        }
+        Ok(AsMessage::Reply(frame)) => {
+            if let Some(tx) = space.pending.lock().remove(&frame.seq) {
+                let _ = tx.send(frame);
+            }
+        }
+        Err(_) => { /* malformed inter-AS message: drop */ }
+    }
+}
+
+fn send_reply(space: &Arc<AddressSpace>, to: AsId, seq: u64, reply: Reply) {
+    if seq == NO_REPLY {
+        return;
+    }
+    if let Ok(msg) = proto::encode_reply(&ReplyFrame {
+        seq,
+        gc_notes: Vec::new(),
+        reply,
+    }) {
+        let _ = space.transport.send(to, msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use dstampede_clf::MemFabric;
+    use dstampede_core::{GetSpec, Interest, Item, Timestamp};
+
+    fn two_spaces() -> (Arc<AddressSpace>, Arc<AddressSpace>) {
+        let fabric = MemFabric::new();
+        let a = AddressSpace::start(fabric.endpoint(AsId(0)), true);
+        let b = AddressSpace::start(fabric.endpoint(AsId(1)), false);
+        (a, b)
+    }
+
+    #[test]
+    fn ping_between_spaces() {
+        let (a, b) = two_spaces();
+        match b.call(AsId(0), Request::Ping { nonce: 42 }).unwrap() {
+            Reply::Pong { nonce } => assert_eq!(nonce, 42),
+            other => panic!("unexpected {other:?}"),
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn remote_channel_put_get_consume() {
+        let (a, b) = two_spaces();
+        let chan = a.create_channel(Some("video".into()), ChannelAttrs::default());
+
+        // b connects remotely and exchanges items.
+        let cref = b.open_channel(chan.id()).unwrap();
+        assert!(!cref.is_local());
+        let out = cref.connect_output().unwrap();
+        let inp = cref.connect_input(Interest::FromEarliest).unwrap();
+        out.put(
+            Timestamp::new(1),
+            Item::from_vec(vec![1, 2, 3]).with_tag(7),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+        let (ts, item) = inp.get_blocking(GetSpec::Exact(Timestamp::new(1))).unwrap();
+        assert_eq!(ts, Timestamp::new(1));
+        assert_eq!(item.payload(), &[1, 2, 3]);
+        assert_eq!(item.tag(), 7);
+        inp.consume_until(ts).unwrap();
+        // The owner reclaims once the only input connection consumed.
+        for _ in 0..100 {
+            if chan.live_items() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(chan.live_items(), 0);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn remote_blocking_get_waits_for_put() {
+        let (a, b) = two_spaces();
+        let chan = a.create_channel(None, ChannelAttrs::default());
+        let cref = b.open_channel(chan.id()).unwrap();
+        let inp = cref.connect_input(Interest::FromEarliest).unwrap();
+
+        let chan2 = Arc::clone(&chan);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            let out = chan2.connect_output();
+            out.put(Timestamp::new(5), Item::from_vec(vec![9])).unwrap();
+        });
+        let (ts, item) = inp.get_blocking(GetSpec::Exact(Timestamp::new(5))).unwrap();
+        assert_eq!(ts, Timestamp::new(5));
+        assert_eq!(item.payload(), &[9]);
+        h.join().unwrap();
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn remote_queue_round_trip_with_tickets() {
+        let (a, b) = two_spaces();
+        let q = a.create_queue(None, QueueAttrs::default());
+        let qref = b.open_queue(q.id()).unwrap();
+        let out = qref.connect_output().unwrap();
+        let inp = qref.connect_input().unwrap();
+        out.put(
+            Timestamp::new(3),
+            Item::from_vec(vec![5]).with_tag(1),
+            WaitSpec::NonBlocking,
+        )
+        .unwrap();
+        let (ts, item, ticket) = inp.get(WaitSpec::Forever).unwrap();
+        assert_eq!(ts, Timestamp::new(3));
+        assert_eq!(item.payload(), &[5]);
+        inp.consume(ticket).unwrap();
+        assert_eq!(q.stats().consumes, 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn nameserver_reachable_from_remote_space() {
+        let (a, b) = two_spaces();
+        let chan = a.create_channel(None, ChannelAttrs::default());
+        let res = ResourceId::Channel(chan.id());
+        b.ns_register("mixer", res, "composite").unwrap();
+        assert_eq!(a.ns_lookup("mixer").unwrap(), (res, "composite".into()));
+        assert_eq!(b.ns_lookup("mixer").unwrap(), (res, "composite".into()));
+        assert_eq!(
+            b.ns_register("mixer", res, "again").unwrap_err(),
+            StmError::NameExists
+        );
+        assert_eq!(b.ns_list().unwrap().len(), 1);
+        b.ns_unregister("mixer").unwrap();
+        assert_eq!(b.ns_lookup("mixer").unwrap_err(), StmError::NameAbsent);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn blocking_ns_lookup_across_spaces() {
+        let (a, b) = two_spaces();
+        let chan = a.create_channel(None, ChannelAttrs::default());
+        let res = ResourceId::Channel(chan.id());
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || b2.ns_lookup_wait("late-name", None));
+        std::thread::sleep(Duration::from_millis(30));
+        a.ns_register("late-name", res, "").unwrap();
+        assert_eq!(h.join().unwrap().unwrap().0, res);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_propagate() {
+        let (a, b) = two_spaces();
+        // Connecting to a channel the owner does not have.
+        let bogus = ChanId {
+            owner: AsId(0),
+            index: 999,
+        };
+        let cref = b.open_channel(bogus).unwrap();
+        assert_eq!(
+            cref.connect_input(Interest::FromEarliest).unwrap_err(),
+            StmError::NoSuchResource
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn call_to_unknown_space_fails() {
+        let (a, b) = two_spaces();
+        assert_eq!(
+            b.call(AsId(9), Request::Ping { nonce: 1 }).unwrap_err(),
+            StmError::NoSuchResource
+        );
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_closes_containers() {
+        let (a, b) = two_spaces();
+        let chan = a.create_channel(None, ChannelAttrs::default());
+        a.shutdown();
+        a.shutdown();
+        assert!(a.is_down());
+        assert!(chan.is_closed());
+        b.shutdown();
+    }
+
+    #[test]
+    fn malformed_message_does_not_kill_dispatcher() {
+        let fabric = MemFabric::new();
+        let a = AddressSpace::start(fabric.endpoint(AsId(0)), true);
+        let raw = fabric.endpoint(AsId(5));
+        raw.send(AsId(0), Bytes::from_static(b"garbage")).unwrap();
+        // The dispatcher must survive and keep answering.
+        let b = AddressSpace::start(fabric.endpoint(AsId(1)), false);
+        match b.call(AsId(0), Request::Ping { nonce: 7 }).unwrap() {
+            Reply::Pong { nonce } => assert_eq!(nonce, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+        a.shutdown();
+        b.shutdown();
+    }
+}

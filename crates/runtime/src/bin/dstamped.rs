@@ -1,0 +1,116 @@
+//! `dstamped` — a standalone D-Stampede cluster daemon.
+//!
+//! Launches a cluster of address spaces with a TCP listener each, prints
+//! the listener addresses, and serves end devices until stdin closes or
+//! the process is killed. This is the "server program on the cluster" of
+//! the paper's §4, as a deployable binary:
+//!
+//! ```text
+//! dstamped [--address-spaces N] [--udp] [--gc-epoch-ms MS]
+//! ```
+//!
+//! * `--address-spaces N` — number of address spaces (default 2). Address
+//!   space 0 hosts the name server.
+//! * `--udp` — interconnect the address spaces with the reliable-UDP CLF
+//!   backend instead of in-process channels.
+//! * `--gc-epoch-ms MS` — period of the distributed GC epoch reports
+//!   (default 100).
+//!
+//! Clients attach with `EndDevice::attach_{c,java}` to any printed
+//! address.
+
+use std::io::Read;
+use std::time::Duration;
+
+use dstampede_runtime::{Cluster, ClusterTransport, GcEpochConfig, GcEpochService};
+
+struct Options {
+    address_spaces: u16,
+    udp: bool,
+    gc_epoch: Duration,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        address_spaces: 2,
+        udp: false,
+        gc_epoch: Duration::from_millis(100),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--address-spaces" => {
+                opts.address_spaces =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--address-spaces needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--udp" => opts.udp = true,
+            "--gc-epoch-ms" => {
+                let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--gc-epoch-ms needs a number");
+                    std::process::exit(2);
+                });
+                opts.gc_epoch = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dstamped [--address-spaces N] [--udp] [--gc-epoch-ms MS]\n\
+                     Runs a D-Stampede cluster until stdin closes."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut builder = Cluster::builder().address_spaces(opts.address_spaces);
+    if opts.udp {
+        builder = builder.transport(ClusterTransport::Udp(dstampede_clf::UdpConfig::default()));
+    }
+    let cluster = match builder.build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("failed to start cluster: {e}");
+            std::process::exit(1);
+        }
+    };
+    let gc = GcEpochService::start(
+        cluster.spaces(),
+        GcEpochConfig {
+            period: opts.gc_epoch,
+        },
+    );
+
+    println!(
+        "dstamped: {} address spaces ({}), name server in as0",
+        cluster.len(),
+        if opts.udp {
+            "udp clf"
+        } else {
+            "in-process clf"
+        }
+    );
+    for i in 0..cluster.len() as u16 {
+        if let Ok(addr) = cluster.listener_addr(i) {
+            println!("listener as{i}: {addr}");
+        }
+    }
+    println!("serving; close stdin (ctrl-d) to shut down");
+
+    // Serve until stdin closes.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    println!("shutting down");
+    gc.shutdown();
+    cluster.shutdown();
+}

@@ -1,0 +1,374 @@
+//! Cluster assembly: multiple address spaces plus listeners.
+//!
+//! Mirrors the server-program startup of the paper's §4: "the server
+//! program creates multiple address spaces N₁ … N_k in the cluster; the
+//! server library spawns a listener thread in each address space". The
+//! builder picks the CLF backend — in-process channels (one OS process
+//! modelling one big SMP) or reliable UDP (separate sockets per address
+//! space, modelling distinct cluster nodes).
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use dstampede_clf::{udp_mesh, ClfTransport, MemFabric, NetProfile, ShapedTransport, UdpConfig};
+use dstampede_core::{AsId, StmError, StmResult};
+
+use crate::addrspace::AddressSpace;
+use crate::listener::Listener;
+
+/// Which CLF backend interconnects the cluster's address spaces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterTransport {
+    /// In-process channels ("shared memory within an SMP").
+    Mem,
+    /// Reliable UDP sockets on loopback ("UDP over a LAN").
+    Udp(UdpConfig),
+}
+
+/// Configures and builds a [`Cluster`].
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    address_spaces: u16,
+    transport: ClusterTransport,
+    listeners: bool,
+    profile: NetProfile,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder with one address space, in-process transport, and
+    /// listeners enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        ClusterBuilder {
+            address_spaces: 1,
+            transport: ClusterTransport::Mem,
+            listeners: true,
+            profile: NetProfile::LOOPBACK,
+        }
+    }
+
+    /// Number of address spaces (≥ 1). `AS 0` hosts the name server.
+    #[must_use]
+    pub fn address_spaces(mut self, n: u16) -> Self {
+        self.address_spaces = n.max(1);
+        self
+    }
+
+    /// Selects the inter-AS transport backend.
+    #[must_use]
+    pub fn transport(mut self, t: ClusterTransport) -> Self {
+        self.transport = t;
+        self
+    }
+
+    /// Enables or disables per-address-space TCP listeners for end
+    /// devices.
+    #[must_use]
+    pub fn listeners(mut self, enabled: bool) -> Self {
+        self.listeners = enabled;
+        self
+    }
+
+    /// Applies a latency/bandwidth profile to every inter-AS link
+    /// (experiment reproduction; defaults to transparent).
+    #[must_use]
+    pub fn shaped(mut self, profile: NetProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Builds and starts the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Protocol`] wrapping socket errors from the UDP backend
+    /// or the listeners.
+    pub fn build(self) -> StmResult<Cluster> {
+        let transports: Vec<Arc<dyn ClfTransport>> = match self.transport {
+            ClusterTransport::Mem => {
+                let fabric = MemFabric::new();
+                (0..self.address_spaces)
+                    .map(|i| fabric.endpoint(AsId(i)) as Arc<dyn ClfTransport>)
+                    .collect()
+            }
+            ClusterTransport::Udp(config) => udp_mesh(self.address_spaces, config)
+                .map_err(|e| StmError::Protocol(e.to_string()))?
+                .into_iter()
+                .map(|ep| ep as Arc<dyn ClfTransport>)
+                .collect(),
+        };
+
+        let spaces: Vec<Arc<AddressSpace>> = transports
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let t = if self.profile.is_transparent() {
+                    t
+                } else {
+                    ShapedTransport::new(t, self.profile)
+                };
+                AddressSpace::start(t, i == 0)
+            })
+            .collect();
+
+        let listeners = if self.listeners {
+            spaces
+                .iter()
+                .map(|s| Listener::start(Arc::clone(s)))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| StmError::Protocol(e.to_string()))?
+        } else {
+            Vec::new()
+        };
+
+        Ok(Cluster { spaces, listeners })
+    }
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder::new()
+    }
+}
+
+/// A running D-Stampede cluster.
+pub struct Cluster {
+    spaces: Vec<Arc<AddressSpace>>,
+    listeners: Vec<Arc<Listener>>,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    #[must_use]
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::new()
+    }
+
+    /// Convenience: an in-process cluster with `n` address spaces and
+    /// listeners on each.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterBuilder::build`].
+    pub fn in_process(n: u16) -> StmResult<Cluster> {
+        Cluster::builder().address_spaces(n).build()
+    }
+
+    /// Number of address spaces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Whether the cluster has no address spaces (never true for built
+    /// clusters).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spaces.is_empty()
+    }
+
+    /// The `i`-th address space.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] for out-of-range indices.
+    pub fn space(&self, i: u16) -> StmResult<Arc<AddressSpace>> {
+        self.spaces
+            .get(usize::from(i))
+            .cloned()
+            .ok_or(StmError::NoSuchResource)
+    }
+
+    /// Every address space.
+    #[must_use]
+    pub fn spaces(&self) -> &[Arc<AddressSpace>] {
+        &self.spaces
+    }
+
+    /// The TCP address end devices use to join via address space `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] when listeners are disabled or the
+    /// index is out of range.
+    pub fn listener_addr(&self, i: u16) -> StmResult<SocketAddr> {
+        self.listeners
+            .get(usize::from(i))
+            .map(|l| l.addr())
+            .ok_or(StmError::NoSuchResource)
+    }
+
+    /// The `i`-th listener.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::listener_addr`].
+    pub fn listener(&self, i: u16) -> StmResult<Arc<Listener>> {
+        self.listeners
+            .get(usize::from(i))
+            .cloned()
+            .ok_or(StmError::NoSuchResource)
+    }
+
+    /// Aggregated garbage-collection accounting across every address
+    /// space (items/bytes reclaimed, epochs recorded at the aggregator).
+    #[must_use]
+    pub fn gc_summary(&self) -> dstampede_core::gc::GcSummary {
+        self.spaces
+            .iter()
+            .map(|s| s.gc_local_summary())
+            .fold(dstampede_core::gc::GcSummary::default(), |acc, s| {
+                acc.merge(s)
+            })
+    }
+
+    /// Stops listeners and shuts every address space down.
+    pub fn shutdown(&self) {
+        for l in &self.listeners {
+            l.shutdown();
+        }
+        for s in &self.spaces {
+            s.shutdown();
+        }
+    }
+}
+
+impl fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Cluster")
+            .field("address_spaces", &self.spaces.len())
+            .field("listeners", &self.listeners.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+    use dstampede_wire::WaitSpec;
+
+    #[test]
+    fn in_process_cluster_basics() {
+        let cluster = Cluster::in_process(3).unwrap();
+        assert_eq!(cluster.len(), 3);
+        assert!(!cluster.is_empty());
+        assert!(cluster.space(0).unwrap().nameserver().is_some());
+        assert!(cluster.space(1).unwrap().nameserver().is_none());
+        assert!(cluster.space(9).is_err());
+        assert!(cluster.listener_addr(0).is_ok());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cross_space_stream_within_cluster() {
+        let cluster = Cluster::in_process(2).unwrap();
+        let owner = cluster.space(0).unwrap();
+        let peer = cluster.space(1).unwrap();
+        let chan = owner.create_channel(None, ChannelAttrs::default());
+        let out = owner
+            .open_channel(chan.id())
+            .unwrap()
+            .connect_output()
+            .unwrap();
+        let inp = peer
+            .open_channel(chan.id())
+            .unwrap()
+            .connect_input(Interest::FromEarliest)
+            .unwrap();
+        for i in 0..10 {
+            out.put(
+                Timestamp::new(i),
+                Item::from_vec(vec![i as u8]),
+                WaitSpec::Forever,
+            )
+            .unwrap();
+        }
+        for i in 0..10 {
+            let (ts, item) = inp.get_blocking(GetSpec::Exact(Timestamp::new(i))).unwrap();
+            assert_eq!(ts.value(), i);
+            assert_eq!(item.payload(), &[i as u8]);
+            inp.consume_until(ts).unwrap();
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn udp_cluster_cross_space_stream() {
+        let cluster = Cluster::builder()
+            .address_spaces(2)
+            .transport(ClusterTransport::Udp(UdpConfig::default()))
+            .listeners(false)
+            .build()
+            .unwrap();
+        let owner = cluster.space(0).unwrap();
+        let peer = cluster.space(1).unwrap();
+        let chan = owner.create_channel(None, ChannelAttrs::default());
+        let out = owner
+            .open_channel(chan.id())
+            .unwrap()
+            .connect_output()
+            .unwrap();
+        let inp = peer
+            .open_channel(chan.id())
+            .unwrap()
+            .connect_input(Interest::FromEarliest)
+            .unwrap();
+        let payload: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        out.put(
+            Timestamp::new(1),
+            Item::from_vec(payload.clone()),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+        let (_, item) = inp.get_blocking(GetSpec::Exact(Timestamp::new(1))).unwrap();
+        assert_eq!(item.payload(), &payload[..]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn gc_summary_aggregates_across_spaces() {
+        let cluster = Cluster::builder()
+            .address_spaces(2)
+            .listeners(false)
+            .build()
+            .unwrap();
+        for i in 0..2u16 {
+            let space = cluster.space(i).unwrap();
+            let chan = space.create_channel(None, ChannelAttrs::default());
+            let out = space
+                .open_channel(chan.id())
+                .unwrap()
+                .connect_output()
+                .unwrap();
+            let inp = space
+                .open_channel(chan.id())
+                .unwrap()
+                .connect_input(Interest::FromEarliest)
+                .unwrap();
+            out.put(
+                Timestamp::new(1),
+                Item::from_vec(vec![0; 10]),
+                WaitSpec::Forever,
+            )
+            .unwrap();
+            inp.consume_until(Timestamp::new(1)).unwrap();
+        }
+        let summary = cluster.gc_summary();
+        assert_eq!(summary.items, 2);
+        assert_eq!(summary.bytes, 20);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn builder_without_listeners() {
+        let cluster = Cluster::builder()
+            .address_spaces(1)
+            .listeners(false)
+            .build()
+            .unwrap();
+        assert!(cluster.listener_addr(0).is_err());
+        cluster.shutdown();
+    }
+}

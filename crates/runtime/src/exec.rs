@@ -1,0 +1,466 @@
+//! Shared execution of RPC operations against an address space.
+//!
+//! Both entry points into an address space — the inter-AS dispatcher and
+//! the per-client surrogate threads — funnel requests through
+//! [`execute`], which resolves session-local connection handles through a
+//! [`ConnTable`] and performs the operation via the proxy layer. Surrogates
+//! additionally pass a [`GcNoteQueue`]; garbage hooks installed on behalf
+//! of the end device push into it, and the notes ride back piggy-backed on
+//! the next reply (paper §3.2.4).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dstampede_core::{ResourceId, StmError, StmResult};
+use dstampede_wire::{GcNote, Reply, Request, WaitSpec};
+
+use crate::addrspace::AddressSpace;
+use crate::proxy::{wait_to_timeout, ChanInput, ChanOutput, QueueInput, QueueOutput};
+
+/// One session-local connection.
+pub enum ConnEntry {
+    /// Channel input connection.
+    ChanIn(Arc<ChanInput>),
+    /// Channel output connection.
+    ChanOut(Arc<ChanOutput>),
+    /// Queue input connection.
+    QueueIn(Arc<QueueInput>),
+    /// Queue output connection.
+    QueueOut(Arc<QueueOutput>),
+}
+
+impl fmt::Debug for ConnEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnEntry::ChanIn(c) => write!(f, "ChanIn({})", c.channel_id()),
+            ConnEntry::ChanOut(c) => write!(f, "ChanOut({})", c.channel_id()),
+            ConnEntry::QueueIn(q) => write!(f, "QueueIn({})", q.queue_id()),
+            ConnEntry::QueueOut(q) => write!(f, "QueueOut({})", q.queue_id()),
+        }
+    }
+}
+
+/// Maps session-local `u64` handles to live connections.
+///
+/// Entries are `Arc`-shared so blocking operations can proceed on a clone
+/// while the table lock is free; a disconnect removes the entry and the
+/// connection closes when the last in-flight operation finishes.
+#[derive(Debug, Default)]
+pub struct ConnTable {
+    map: Mutex<HashMap<u64, ConnEntry>>,
+    next: AtomicU64,
+}
+
+impl ConnTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ConnTable {
+            map: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Stores a connection, returning its handle.
+    pub fn insert(&self, entry: ConnEntry) -> u64 {
+        let handle = self.next.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(handle, entry);
+        handle
+    }
+
+    fn chan_in(&self, handle: u64) -> StmResult<Arc<ChanInput>> {
+        match self.map.lock().get(&handle) {
+            Some(ConnEntry::ChanIn(c)) => Ok(Arc::clone(c)),
+            Some(_) => Err(StmError::BadMode),
+            None => Err(StmError::NoSuchConnection),
+        }
+    }
+
+    fn chan_out(&self, handle: u64) -> StmResult<Arc<ChanOutput>> {
+        match self.map.lock().get(&handle) {
+            Some(ConnEntry::ChanOut(c)) => Ok(Arc::clone(c)),
+            Some(_) => Err(StmError::BadMode),
+            None => Err(StmError::NoSuchConnection),
+        }
+    }
+
+    fn queue_in(&self, handle: u64) -> StmResult<Arc<QueueInput>> {
+        match self.map.lock().get(&handle) {
+            Some(ConnEntry::QueueIn(q)) => Ok(Arc::clone(q)),
+            Some(_) => Err(StmError::BadMode),
+            None => Err(StmError::NoSuchConnection),
+        }
+    }
+
+    fn queue_out(&self, handle: u64) -> StmResult<Arc<QueueOutput>> {
+        match self.map.lock().get(&handle) {
+            Some(ConnEntry::QueueOut(q)) => Ok(Arc::clone(q)),
+            Some(_) => Err(StmError::BadMode),
+            None => Err(StmError::NoSuchConnection),
+        }
+    }
+
+    /// Removes a connection (it closes once in-flight operations drain).
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchConnection`] for unknown handles.
+    pub fn remove(&self, handle: u64) -> StmResult<()> {
+        self.map
+            .lock()
+            .remove(&handle)
+            .map(|_| ())
+            .ok_or(StmError::NoSuchConnection)
+    }
+
+    /// Number of live connections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether no connections are open.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+
+    /// Drops every connection (session teardown).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+/// Bounded queue of garbage notifications awaiting delivery to an end
+/// device. Oldest notes are dropped beyond the cap — the client's hooks
+/// are advisory resource-release callbacks, not a reliable stream.
+#[derive(Debug, Default)]
+pub struct GcNoteQueue {
+    notes: Mutex<Vec<GcNote>>,
+}
+
+/// Maximum notes buffered per session.
+const GC_NOTE_CAP: usize = 1024;
+
+impl GcNoteQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        GcNoteQueue::default()
+    }
+
+    /// Appends a note, evicting the oldest past the cap.
+    pub fn push(&self, note: GcNote) {
+        let mut notes = self.notes.lock();
+        if notes.len() >= GC_NOTE_CAP {
+            notes.remove(0);
+        }
+        notes.push(note);
+    }
+
+    /// Takes every pending note.
+    #[must_use]
+    pub fn drain(&self) -> Vec<GcNote> {
+        std::mem::take(&mut *self.notes.lock())
+    }
+
+    /// Number of pending notes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.notes.lock().len()
+    }
+
+    /// Whether no notes are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.notes.lock().is_empty()
+    }
+}
+
+/// Whether executing this request may block the calling thread (the
+/// dispatcher offloads such requests to a worker thread).
+#[must_use]
+pub fn is_blocking(req: &Request) -> bool {
+    match req {
+        Request::ChannelPut { wait, .. }
+        | Request::ChannelGet { wait, .. }
+        | Request::QueuePut { wait, .. }
+        | Request::QueueGet { wait, .. }
+        | Request::NsLookup { wait, .. } => !matches!(wait, WaitSpec::NonBlocking),
+        _ => false,
+    }
+}
+
+fn ok_or_error(result: StmResult<Reply>) -> Reply {
+    match result {
+        Ok(reply) => reply,
+        Err(e) => Reply::from_error(&e),
+    }
+}
+
+/// Executes one request against an address space.
+///
+/// `conns` resolves the request's session-local connection handles;
+/// `gc` (surrogate sessions only) receives garbage notes for resources the
+/// session installed hooks on. `Attach`/`Detach` are session-lifecycle
+/// messages handled by the transport layer and answered with a protocol
+/// error here.
+pub fn execute(
+    space: &Arc<AddressSpace>,
+    conns: &ConnTable,
+    gc: Option<&Arc<GcNoteQueue>>,
+    req: Request,
+) -> Reply {
+    ok_or_error(execute_inner(space, conns, gc, req))
+}
+
+fn execute_inner(
+    space: &Arc<AddressSpace>,
+    conns: &ConnTable,
+    gc: Option<&Arc<GcNoteQueue>>,
+    req: Request,
+) -> StmResult<Reply> {
+    match req {
+        Request::Attach { .. } | Request::Detach => Err(StmError::Protocol(
+            "session lifecycle message outside a session".into(),
+        )),
+        Request::Ping { nonce } => Ok(Reply::Pong { nonce }),
+        Request::ChannelCreate { name, attrs } => {
+            let chan = space.create_channel(name, attrs);
+            Ok(Reply::Created {
+                resource: ResourceId::Channel(chan.id()),
+            })
+        }
+        Request::QueueCreate { name, attrs } => {
+            let queue = space.create_queue(name, attrs);
+            Ok(Reply::Created {
+                resource: ResourceId::Queue(queue.id()),
+            })
+        }
+        Request::ConnectChannelIn {
+            chan,
+            interest,
+            filter,
+        } => {
+            let conn = space
+                .open_channel(chan)?
+                .connect_input_filtered(interest, filter)?;
+            Ok(Reply::Connected {
+                conn: conns.insert(ConnEntry::ChanIn(Arc::new(conn))),
+            })
+        }
+        Request::ConnectChannelOut { chan } => {
+            let conn = space.open_channel(chan)?.connect_output()?;
+            Ok(Reply::Connected {
+                conn: conns.insert(ConnEntry::ChanOut(Arc::new(conn))),
+            })
+        }
+        Request::ConnectQueueIn { queue } => {
+            let conn = space.open_queue(queue)?.connect_input()?;
+            Ok(Reply::Connected {
+                conn: conns.insert(ConnEntry::QueueIn(Arc::new(conn))),
+            })
+        }
+        Request::ConnectQueueOut { queue } => {
+            let conn = space.open_queue(queue)?.connect_output()?;
+            Ok(Reply::Connected {
+                conn: conns.insert(ConnEntry::QueueOut(Arc::new(conn))),
+            })
+        }
+        Request::Disconnect { conn } => {
+            conns.remove(conn)?;
+            Ok(Reply::Ok)
+        }
+        Request::ChannelPut {
+            conn,
+            ts,
+            tag,
+            payload,
+            wait,
+        } => {
+            let out = conns.chan_out(conn)?;
+            out.put(ts, dstampede_core::Item::new(payload).with_tag(tag), wait)?;
+            Ok(Reply::Ok)
+        }
+        Request::ChannelGet { conn, spec, wait } => {
+            let inp = conns.chan_in(conn)?;
+            let (ts, item) = inp.get(spec, wait)?;
+            Ok(Reply::Item {
+                ts,
+                tag: item.tag(),
+                payload: item.payload_bytes(),
+            })
+        }
+        Request::ChannelConsume { conn, upto } => {
+            conns.chan_in(conn)?.consume_until(upto)?;
+            Ok(Reply::Ok)
+        }
+        Request::ChannelSetVt { conn, vt } => {
+            conns
+                .chan_in(conn)?
+                .set_vt(dstampede_core::VirtualTime::at(vt))?;
+            Ok(Reply::Ok)
+        }
+        Request::QueuePut {
+            conn,
+            ts,
+            tag,
+            payload,
+            wait,
+        } => {
+            let out = conns.queue_out(conn)?;
+            out.put(ts, dstampede_core::Item::new(payload).with_tag(tag), wait)?;
+            Ok(Reply::Ok)
+        }
+        Request::QueueGet { conn, wait } => {
+            let inp = conns.queue_in(conn)?;
+            let (ts, item, ticket) = inp.get(wait)?;
+            Ok(Reply::QueueItem {
+                ts,
+                tag: item.tag(),
+                payload: item.payload_bytes(),
+                ticket,
+            })
+        }
+        Request::QueueConsume { conn, ticket } => {
+            conns.queue_in(conn)?.consume(ticket)?;
+            Ok(Reply::Ok)
+        }
+        Request::QueueRequeue { conn, ticket } => {
+            conns.queue_in(conn)?.requeue(ticket)?;
+            Ok(Reply::Ok)
+        }
+        Request::NsRegister {
+            name,
+            resource,
+            meta,
+        } => {
+            space.ns_register(&name, resource, &meta)?;
+            Ok(Reply::Ok)
+        }
+        Request::NsLookup { name, wait } => {
+            let (resource, meta) = match wait_to_timeout(wait) {
+                None => space.ns_lookup(&name)?,
+                Some(timeout) => space.ns_lookup_wait(&name, timeout)?,
+            };
+            Ok(Reply::NsFound { resource, meta })
+        }
+        Request::NsUnregister { name } => {
+            space.ns_unregister(&name)?;
+            Ok(Reply::Ok)
+        }
+        Request::NsList => Ok(Reply::NsEntries {
+            entries: space.ns_list()?,
+        }),
+        Request::InstallGarbageHook { resource } => {
+            let Some(queue) = gc else {
+                return Err(StmError::BadMode);
+            };
+            if resource.owner() != space.id() {
+                // Hooks relay only for containers in the surrogate's own
+                // address space (the paper's application structure); see
+                // DESIGN.md "limitations".
+                return Err(StmError::BadMode);
+            }
+            // Hold the session's note queue weakly: when the surrogate
+            // session ends, its hook becomes a no-op instead of pinning the
+            // queue for the container's lifetime.
+            let sink = Arc::downgrade(queue);
+            match resource {
+                ResourceId::Channel(id) => {
+                    let chan = space.registry().channel(id)?;
+                    chan.add_garbage_hook(move |e| {
+                        if let Some(sink) = sink.upgrade() {
+                            sink.push(GcNote {
+                                resource: e.resource,
+                                ts: e.ts,
+                                tag: e.tag,
+                                len: e.len,
+                            });
+                        }
+                    });
+                }
+                ResourceId::Queue(id) => {
+                    let q = space.registry().queue(id)?;
+                    q.add_garbage_hook(move |e| {
+                        if let Some(sink) = sink.upgrade() {
+                            sink.push(GcNote {
+                                resource: e.resource,
+                                ts: e.ts,
+                                tag: e.tag,
+                                len: e.len,
+                            });
+                        }
+                    });
+                }
+            }
+            Ok(Reply::Ok)
+        }
+        Request::GcReport { from, min_vt } => {
+            space.gc_record_report(from, dstampede_core::VirtualTime::at(min_vt));
+            Ok(Reply::Ok)
+        }
+        other => Err(StmError::Protocol(format!("unhandled request {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstampede_core::{AsId, ChanId, Timestamp};
+
+    #[test]
+    fn conn_table_handles_are_unique_and_typed() {
+        let table = ConnTable::new();
+        assert!(table.is_empty());
+        assert_eq!(table.remove(1).unwrap_err(), StmError::NoSuchConnection);
+        assert_eq!(table.chan_in(1).unwrap_err(), StmError::NoSuchConnection);
+    }
+
+    #[test]
+    fn gc_note_queue_caps_and_drains() {
+        let q = GcNoteQueue::new();
+        let note = GcNote {
+            resource: ResourceId::Channel(ChanId {
+                owner: AsId(0),
+                index: 1,
+            }),
+            ts: Timestamp::new(1),
+            tag: 0,
+            len: 8,
+        };
+        for _ in 0..(GC_NOTE_CAP + 10) {
+            q.push(note);
+        }
+        assert_eq!(q.len(), GC_NOTE_CAP);
+        let drained = q.drain();
+        assert_eq!(drained.len(), GC_NOTE_CAP);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn blocking_classification() {
+        use dstampede_core::GetSpec;
+        let blocking = Request::ChannelGet {
+            conn: 1,
+            spec: GetSpec::Latest,
+            wait: WaitSpec::Forever,
+        };
+        let non_blocking = Request::ChannelGet {
+            conn: 1,
+            spec: GetSpec::Latest,
+            wait: WaitSpec::NonBlocking,
+        };
+        assert!(is_blocking(&blocking));
+        assert!(!is_blocking(&non_blocking));
+        assert!(!is_blocking(&Request::NsList));
+        assert!(is_blocking(&Request::NsLookup {
+            name: "x".into(),
+            wait: WaitSpec::TimeoutMs(10),
+        }));
+    }
+}

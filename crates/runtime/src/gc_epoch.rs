@@ -1,0 +1,202 @@
+//! Distributed garbage-collection epochs.
+//!
+//! Per-container reclamation is precise and local to the owner (connection
+//! state lives where the container lives; see [`crate::proxy`]). What
+//! remains distributed is the *cluster-wide* view: "garbage collection is
+//! performed on the cluster concurrent with application execution" (paper
+//! §3.2.2). The epoch service provides that view: every address space
+//! periodically reports the minimum virtual time of its registered threads
+//! to the aggregator in address space 0, which maintains the global
+//! virtual-time floor — the boundary below which every timestamp in the
+//! computation is provably dead. Applications and tooling read it for
+//! monitoring and for sizing retention windows.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dstampede_core::AsId;
+#[cfg(test)]
+use dstampede_core::VirtualTime;
+use dstampede_wire::Request;
+
+use crate::addrspace::AddressSpace;
+
+/// Tuning for the epoch service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcEpochConfig {
+    /// Interval between reports from each address space.
+    pub period: Duration,
+}
+
+impl Default for GcEpochConfig {
+    fn default() -> Self {
+        GcEpochConfig {
+            period: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Periodic reporter threads feeding the aggregator in address space 0.
+pub struct GcEpochService {
+    stop: Arc<AtomicBool>,
+    reporters: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl GcEpochService {
+    /// Starts a reporter thread for each given address space.
+    ///
+    /// Pass every address space of the computation, including address
+    /// space 0 itself (its report is recorded directly).
+    #[must_use]
+    pub fn start(spaces: &[Arc<AddressSpace>], config: GcEpochConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut reporters = Vec::with_capacity(spaces.len());
+        for space in spaces {
+            let space = Arc::clone(space);
+            let stop2 = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name(format!("as-{}-gc-epoch", space.id().0))
+                .spawn(move || {
+                    while !stop2.load(Ordering::Acquire) {
+                        report_once(&space);
+                        std::thread::sleep(config.period);
+                    }
+                })
+                .expect("spawning the GC epoch reporter failed");
+            reporters.push(handle);
+        }
+        GcEpochService {
+            stop,
+            reporters: Mutex::new(reporters),
+        }
+    }
+
+    /// Stops every reporter. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        for h in self.reporters.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for GcEpochService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GcEpochService")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .field("reporters", &self.reporters.lock().len())
+            .finish()
+    }
+}
+
+impl Drop for GcEpochService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Sends (or locally records) one epoch report for an address space.
+pub fn report_once(space: &Arc<AddressSpace>) {
+    let min_vt = space.threads().min_vt();
+    if space.id() == AsId::NAMESERVER {
+        space.gc_record_report(space.id(), min_vt);
+    } else {
+        // Fire-and-forget: a lost report is corrected next epoch.
+        space.cast(
+            AsId::NAMESERVER,
+            Request::GcReport {
+                from: space.id(),
+                min_vt: min_vt.floor(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use dstampede_core::Timestamp;
+
+    fn vt(v: i64) -> VirtualTime {
+        VirtualTime::at(Timestamp::new(v))
+    }
+
+    #[test]
+    fn epochs_aggregate_cluster_minimum() {
+        let cluster = Cluster::builder()
+            .address_spaces(3)
+            .listeners(false)
+            .build()
+            .unwrap();
+        let a0 = cluster.space(0).unwrap();
+        let a1 = cluster.space(1).unwrap();
+        let a2 = cluster.space(2).unwrap();
+
+        let t0 = a0.threads().register("t0");
+        let t1 = a1.threads().register("t1");
+        let t2 = a2.threads().register("t2");
+        t0.set_vt(vt(30));
+        t1.set_vt(vt(10));
+        t2.set_vt(vt(20));
+
+        let service = GcEpochService::start(
+            cluster.spaces(),
+            GcEpochConfig {
+                period: Duration::from_millis(10),
+            },
+        );
+        // Wait for at least one round of reports to land.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while a0.gc_global_floor() != vt(10) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(a0.gc_global_floor(), vt(10));
+
+        // Advancing the slowest thread advances the global floor.
+        t1.set_vt(vt(25));
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while a0.gc_global_floor() != vt(20) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(a0.gc_global_floor(), vt(20));
+
+        service.shutdown();
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn manual_report_and_summary() {
+        let cluster = Cluster::builder()
+            .address_spaces(1)
+            .listeners(false)
+            .build()
+            .unwrap();
+        let a0 = cluster.space(0).unwrap();
+        let t = a0.threads().register("worker");
+        t.set_vt(vt(5));
+        report_once(&a0);
+        assert_eq!(a0.gc_global_floor(), vt(5));
+        let summary = a0.gc_local_summary();
+        assert_eq!(summary.items, 0);
+        assert!(summary.epochs >= 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let cluster = Cluster::builder()
+            .address_spaces(1)
+            .listeners(false)
+            .build()
+            .unwrap();
+        let service = GcEpochService::start(cluster.spaces(), GcEpochConfig::default());
+        service.shutdown();
+        service.shutdown();
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,345 @@
+//! The listener and surrogate threads.
+//!
+//! "There is a listener thread on the cluster (part of the server library)
+//! that listens to new end devices joining a D-Stampede computation. Upon
+//! joining, a specific surrogate thread is created on the cluster on
+//! behalf of the new end device. All subsequent D-Stampede calls from this
+//! end device are fielded and carried out by this specific surrogate
+//! thread. ... The surrogate thread ceases to exist when the end device
+//! goes away." (paper §3.2.2)
+//!
+//! Sessions negotiate their codec with a single identification byte (XDR
+//! for C clients, JDR for Java clients) and then exchange length-prefixed
+//! frames. If a client vanishes without detaching — a crash, the failure
+//! case the paper lists as unhandled (§3.3) — the surrogate tears the
+//! session down anyway: its connections drop, releasing GC claims and
+//! requeueing in-flight queue items. That cleanup is this implementation's
+//! extension over the paper.
+
+use std::fmt;
+use std::io::Read;
+#[cfg(test)]
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dstampede_wire::{codec_for, read_frame, write_frame, CodecId, Reply, ReplyFrame, Request};
+
+use crate::addrspace::AddressSpace;
+use crate::exec::{execute, ConnTable, GcNoteQueue};
+
+/// Counters describing a listener's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ListenerStats {
+    /// Sessions accepted so far.
+    pub sessions_started: u64,
+    /// Sessions that ended with a clean `Detach`.
+    pub clean_detaches: u64,
+    /// Sessions that ended on I/O or protocol error (client crash).
+    pub dirty_teardowns: u64,
+    /// Surrogates currently alive.
+    pub active_surrogates: usize,
+}
+
+#[derive(Debug, Default)]
+struct ListenerCounters {
+    sessions_started: AtomicU64,
+    clean_detaches: AtomicU64,
+    dirty_teardowns: AtomicU64,
+    active: AtomicUsize,
+}
+
+/// A TCP listener accepting end devices into an address space.
+pub struct Listener {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<ListenerCounters>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Listener {
+    /// Starts a listener for the given address space on an ephemeral
+    /// loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn start(space: Arc<AddressSpace>) -> std::io::Result<Arc<Listener>> {
+        let tcp = TcpListener::bind("127.0.0.1:0")?;
+        tcp.set_nonblocking(true)?;
+        let addr = tcp.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ListenerCounters::default());
+
+        let loop_stop = Arc::clone(&stop);
+        let loop_counters = Arc::clone(&counters);
+        let handle = std::thread::Builder::new()
+            .name(format!("as-{}-listener", space.id().0))
+            .spawn(move || {
+                accept_loop(&space, &tcp, &loop_stop, &loop_counters);
+            })?;
+
+        Ok(Arc::new(Listener {
+            addr,
+            stop,
+            counters,
+            accept_thread: Mutex::new(Some(handle)),
+        }))
+    }
+
+    /// The address end devices connect to.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of session counters.
+    #[must_use]
+    pub fn stats(&self) -> ListenerStats {
+        ListenerStats {
+            sessions_started: self.counters.sessions_started.load(Ordering::Relaxed),
+            clean_detaches: self.counters.clean_detaches.load(Ordering::Relaxed),
+            dirty_teardowns: self.counters.dirty_teardowns.load(Ordering::Relaxed),
+            active_surrogates: self.counters.active.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting new sessions (existing surrogates run on).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for Listener {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Listener")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    space: &Arc<AddressSpace>,
+    tcp: &TcpListener,
+    stop: &Arc<AtomicBool>,
+    counters: &Arc<ListenerCounters>,
+) {
+    let mut next_session: u64 = 1;
+    while !stop.load(Ordering::Acquire) {
+        match tcp.accept() {
+            Ok((stream, _)) => {
+                let session = next_session;
+                next_session += 1;
+                counters.sessions_started.fetch_add(1, Ordering::Relaxed);
+                counters.active.fetch_add(1, Ordering::Relaxed);
+                let surrogate_space = Arc::clone(space);
+                let surrogate_counters = Arc::clone(counters);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("surrogate-{session}"))
+                    .spawn(move || {
+                        let clean = run_surrogate(&surrogate_space, stream, session);
+                        if clean {
+                            surrogate_counters
+                                .clean_detaches
+                                .fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            surrogate_counters
+                                .dirty_teardowns
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        surrogate_counters.active.fetch_sub(1, Ordering::Relaxed);
+                    });
+                if spawned.is_err() {
+                    counters.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Runs one surrogate session to completion. Returns whether the client
+/// detached cleanly.
+fn run_surrogate(space: &Arc<AddressSpace>, mut stream: std::net::TcpStream, session: u64) -> bool {
+    let _ = stream.set_nodelay(true);
+
+    // Codec negotiation: one identification byte.
+    let mut codec_byte = [0u8; 1];
+    if stream.read_exact(&mut codec_byte).is_err() {
+        return false;
+    }
+    let Ok(codec_id) = CodecId::from_byte(codec_byte[0]) else {
+        return false;
+    };
+    let codec = codec_for(codec_id);
+
+    let conns = ConnTable::new();
+    let gc = Arc::new(GcNoteQueue::new());
+
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(_) => return false, // client went away: dirty teardown
+        };
+        let request = match codec.decode_request(&frame) {
+            Ok(r) => r,
+            Err(_) => return false, // protocol corruption: tear down
+        };
+        let (reply, done) = match request.req {
+            Request::Attach { .. } => (
+                Reply::Attached {
+                    session,
+                    as_id: space.id(),
+                },
+                false,
+            ),
+            Request::Detach => (Reply::Ok, true),
+            other => (execute(space, &conns, Some(&gc), other), false),
+        };
+        let reply_frame = ReplyFrame {
+            seq: request.seq,
+            gc_notes: gc.drain(),
+            reply,
+        };
+        let encoded = match codec.encode_reply(&reply_frame) {
+            Ok(b) => b,
+            Err(_) => return false,
+        };
+        if write_frame(&mut stream, &encoded).is_err() {
+            return false;
+        }
+        if done {
+            return true; // conns drop here: clean detach
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstampede_clf::MemFabric;
+    use dstampede_core::AsId;
+    use dstampede_wire::RequestFrame;
+
+    fn setup() -> (Arc<AddressSpace>, Arc<Listener>) {
+        let fabric = MemFabric::new();
+        let space = AddressSpace::start(fabric.endpoint(AsId(0)), true);
+        let listener = Listener::start(Arc::clone(&space)).unwrap();
+        (space, listener)
+    }
+
+    fn attach_raw(addr: SocketAddr, codec: CodecId) -> std::net::TcpStream {
+        let mut s = dstampede_clf::tcp_connect(addr).unwrap();
+        s.write_all(&[codec.byte()]).unwrap();
+        s
+    }
+
+    fn roundtrip(
+        stream: &mut std::net::TcpStream,
+        codec: &dyn dstampede_wire::Codec,
+        seq: u64,
+        req: Request,
+    ) -> ReplyFrame {
+        let bytes = codec.encode_request(&RequestFrame { seq, req }).unwrap();
+        write_frame(&mut *stream, &bytes).unwrap();
+        let frame = read_frame(&mut *stream).unwrap();
+        codec.decode_reply(&frame).unwrap()
+    }
+
+    #[test]
+    fn attach_ping_detach_with_both_codecs() {
+        let (space, listener) = setup();
+        for codec_id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(codec_id);
+            let mut s = attach_raw(listener.addr(), codec_id);
+            let reply = roundtrip(
+                &mut s,
+                codec.as_ref(),
+                1,
+                Request::Attach {
+                    client_name: "t".into(),
+                },
+            );
+            assert!(matches!(reply.reply, Reply::Attached { .. }));
+            let reply = roundtrip(&mut s, codec.as_ref(), 2, Request::Ping { nonce: 5 });
+            assert_eq!(reply.reply, Reply::Pong { nonce: 5 });
+            assert_eq!(reply.seq, 2);
+            let reply = roundtrip(&mut s, codec.as_ref(), 3, Request::Detach);
+            assert_eq!(reply.reply, Reply::Ok);
+        }
+        // Wait for surrogate threads to finish.
+        for _ in 0..100 {
+            if listener.stats().active_surrogates == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = listener.stats();
+        assert_eq!(stats.sessions_started, 2);
+        assert_eq!(stats.clean_detaches, 2);
+        assert_eq!(stats.dirty_teardowns, 0);
+        listener.shutdown();
+        space.shutdown();
+    }
+
+    #[test]
+    fn client_crash_tears_surrogate_down() {
+        let (space, listener) = setup();
+        let codec = codec_for(CodecId::Xdr);
+        let mut s = attach_raw(listener.addr(), CodecId::Xdr);
+        let _ = roundtrip(
+            &mut s,
+            codec.as_ref(),
+            1,
+            Request::Attach {
+                client_name: "crasher".into(),
+            },
+        );
+        drop(s); // crash without Detach
+        for _ in 0..200 {
+            if listener.stats().active_surrogates == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = listener.stats();
+        assert_eq!(stats.active_surrogates, 0);
+        assert_eq!(stats.dirty_teardowns, 1);
+        listener.shutdown();
+        space.shutdown();
+    }
+
+    #[test]
+    fn bad_codec_byte_closes_session() {
+        let (space, listener) = setup();
+        let mut s = dstampede_clf::tcp_connect(listener.addr()).unwrap();
+        s.write_all(&[99]).unwrap();
+        // The surrogate drops the connection; a read returns EOF.
+        let mut buf = [0u8; 1];
+        // Allow time for teardown.
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(s.read(&mut buf).unwrap_or(0), 0);
+        listener.shutdown();
+        space.shutdown();
+    }
+}

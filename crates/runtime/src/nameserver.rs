@@ -1,0 +1,236 @@
+//! The name server.
+//!
+//! "Application threads can register (and un-register) all pertinent
+//! information (such as names of channels and queues, as well as their
+//! intended use in the application) with this name server. Any new thread
+//! that starts up in the application anywhere in the entire network of the
+//! Octopus model can query this name server" (paper §3.1).
+//!
+//! One instance lives in address space [`AsId::NAMESERVER`]
+//! (conventionally `AS 0`); remote address spaces and end devices reach it
+//! through the normal RPC vocabulary. Lookups can block until the name
+//! appears, which is how dynamically-joining components rendezvous.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use dstampede_core::{ResourceId, StmError, StmResult};
+use dstampede_wire::NsEntry;
+
+#[allow(unused_imports)] // doc link
+use dstampede_core::AsId;
+
+/// The registry of named resources.
+pub struct NameServer {
+    entries: Mutex<HashMap<String, (ResourceId, String)>>,
+    cv: Condvar,
+}
+
+impl NameServer {
+    /// An empty name server.
+    #[must_use]
+    pub fn new() -> Self {
+        NameServer {
+            entries: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers `name → resource` with free-form metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameExists`] if the name is taken.
+    pub fn register(&self, name: &str, resource: ResourceId, meta: &str) -> StmResult<()> {
+        let mut entries = self.entries.lock();
+        if entries.contains_key(name) {
+            return Err(StmError::NameExists);
+        }
+        entries.insert(name.to_owned(), (resource, meta.to_owned()));
+        drop(entries);
+        self.cv.notify_all();
+        Ok(())
+    }
+
+    /// Non-blocking lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameAbsent`] if not registered.
+    pub fn lookup(&self, name: &str) -> StmResult<(ResourceId, String)> {
+        self.entries
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or(StmError::NameAbsent)
+    }
+
+    /// Blocking lookup: waits until the name is registered, or up to
+    /// `timeout` when one is given.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Timeout`] on expiry.
+    pub fn lookup_wait(
+        &self,
+        name: &str,
+        timeout: Option<Duration>,
+    ) -> StmResult<(ResourceId, String)> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut entries = self.entries.lock();
+        loop {
+            if let Some(found) = entries.get(name) {
+                return Ok(found.clone());
+            }
+            match deadline {
+                None => self.cv.wait(&mut entries),
+                Some(d) => {
+                    if self.cv.wait_until(&mut entries, d).timed_out() {
+                        return Err(StmError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes a registration.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NameAbsent`] if not registered.
+    pub fn unregister(&self, name: &str) -> StmResult<()> {
+        self.entries
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or(StmError::NameAbsent)
+    }
+
+    /// Every current registration, sorted by name.
+    #[must_use]
+    pub fn list(&self) -> Vec<NsEntry> {
+        let mut out: Vec<NsEntry> = self
+            .entries
+            .lock()
+            .iter()
+            .map(|(name, (resource, meta))| NsEntry {
+                name: name.clone(),
+                resource: *resource,
+                meta: meta.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// Number of registrations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl Default for NameServer {
+    fn default() -> Self {
+        NameServer::new()
+    }
+}
+
+impl fmt::Debug for NameServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NameServer")
+            .field("entries", &self.entries.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstampede_core::{AsId, ChanId};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn res(i: u32) -> ResourceId {
+        ResourceId::Channel(ChanId {
+            owner: AsId(0),
+            index: i,
+        })
+    }
+
+    #[test]
+    fn register_lookup_unregister() {
+        let ns = NameServer::new();
+        ns.register("cam0", res(1), "left camera").unwrap();
+        assert_eq!(ns.lookup("cam0").unwrap(), (res(1), "left camera".into()));
+        ns.unregister("cam0").unwrap();
+        assert_eq!(ns.lookup("cam0").unwrap_err(), StmError::NameAbsent);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let ns = NameServer::new();
+        ns.register("x", res(1), "").unwrap();
+        assert_eq!(
+            ns.register("x", res(2), "").unwrap_err(),
+            StmError::NameExists
+        );
+        // Original mapping untouched.
+        assert_eq!(ns.lookup("x").unwrap().0, res(1));
+    }
+
+    #[test]
+    fn unregister_missing_errors() {
+        let ns = NameServer::new();
+        assert_eq!(ns.unregister("ghost").unwrap_err(), StmError::NameAbsent);
+    }
+
+    #[test]
+    fn blocking_lookup_waits_for_registration() {
+        let ns = Arc::new(NameServer::new());
+        let ns2 = Arc::clone(&ns);
+        let h = thread::spawn(move || ns2.lookup_wait("late", None));
+        thread::sleep(Duration::from_millis(30));
+        ns.register("late", res(5), "m").unwrap();
+        assert_eq!(h.join().unwrap().unwrap(), (res(5), "m".into()));
+    }
+
+    #[test]
+    fn blocking_lookup_times_out() {
+        let ns = NameServer::new();
+        assert_eq!(
+            ns.lookup_wait("never", Some(Duration::from_millis(20)))
+                .unwrap_err(),
+            StmError::Timeout
+        );
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let ns = NameServer::new();
+        ns.register("zeta", res(1), "").unwrap();
+        ns.register("alpha", res(2), "").unwrap();
+        let names: Vec<String> = ns.list().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(ns.len(), 2);
+        assert!(!ns.is_empty());
+    }
+
+    #[test]
+    fn re_register_after_unregister() {
+        let ns = NameServer::new();
+        ns.register("n", res(1), "").unwrap();
+        ns.unregister("n").unwrap();
+        ns.register("n", res(2), "").unwrap();
+        assert_eq!(ns.lookup("n").unwrap().0, res(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! Inter-address-space protocol over CLF.
+//!
+//! Address spaces exchange the same [`Request`](dstampede_wire::Request)/
+//! [`Reply`](dstampede_wire::Reply) vocabulary the
+//! end-device RPC uses (marshalled with XDR — the server library "is in C",
+//! paper §3.2.3), wrapped in a one-byte envelope distinguishing requests
+//! from replies. Correlation rides on the frame's `seq`; `seq == 0` marks a
+//! fire-and-forget request that expects no reply (used by connection
+//! teardown on drop paths).
+
+use bytes::Bytes;
+
+use dstampede_core::{StmError, StmResult};
+use dstampede_wire::{Codec, ReplyFrame, RequestFrame, XdrCodec};
+
+/// `seq` value marking a request that expects no reply.
+pub const NO_REPLY: u64 = 0;
+
+const KIND_REQUEST: u8 = 0;
+const KIND_REPLY: u8 = 1;
+
+/// A decoded inter-AS message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsMessage {
+    /// An operation to execute here (the local AS owns the target).
+    Request(RequestFrame),
+    /// The answer to an operation we issued.
+    Reply(ReplyFrame),
+}
+
+/// Encodes a request envelope.
+///
+/// # Errors
+///
+/// [`StmError::Protocol`] if marshalling fails (should not happen for
+/// well-formed frames).
+pub fn encode_request(frame: &RequestFrame) -> StmResult<Bytes> {
+    let body = XdrCodec::new()
+        .encode_request(frame)
+        .map_err(|e| StmError::Protocol(e.to_string()))?;
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(KIND_REQUEST);
+    out.extend_from_slice(&body);
+    Ok(Bytes::from(out))
+}
+
+/// Encodes a reply envelope.
+///
+/// # Errors
+///
+/// [`StmError::Protocol`] if marshalling fails.
+pub fn encode_reply(frame: &ReplyFrame) -> StmResult<Bytes> {
+    let body = XdrCodec::new()
+        .encode_reply(frame)
+        .map_err(|e| StmError::Protocol(e.to_string()))?;
+    let mut out = Vec::with_capacity(1 + body.len());
+    out.push(KIND_REPLY);
+    out.extend_from_slice(&body);
+    Ok(Bytes::from(out))
+}
+
+/// Decodes an inter-AS envelope.
+///
+/// # Errors
+///
+/// [`StmError::Protocol`] on malformed envelopes.
+pub fn decode(msg: &[u8]) -> StmResult<AsMessage> {
+    let (&kind, body) = msg
+        .split_first()
+        .ok_or_else(|| StmError::Protocol("empty inter-as message".into()))?;
+    let codec = XdrCodec::new();
+    match kind {
+        KIND_REQUEST => Ok(AsMessage::Request(
+            codec
+                .decode_request(body)
+                .map_err(|e| StmError::Protocol(e.to_string()))?,
+        )),
+        KIND_REPLY => Ok(AsMessage::Reply(
+            codec
+                .decode_reply(body)
+                .map_err(|e| StmError::Protocol(e.to_string()))?,
+        )),
+        other => Err(StmError::Protocol(format!(
+            "unknown inter-as envelope kind {other}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstampede_wire::{Reply, Request};
+
+    #[test]
+    fn request_envelope_round_trips() {
+        let frame = RequestFrame {
+            seq: 7,
+            req: Request::Ping { nonce: 3 },
+        };
+        let bytes = encode_request(&frame).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), AsMessage::Request(frame));
+    }
+
+    #[test]
+    fn reply_envelope_round_trips() {
+        let frame = ReplyFrame {
+            seq: 7,
+            gc_notes: vec![],
+            reply: Reply::Pong { nonce: 3 },
+        };
+        let bytes = encode_reply(&frame).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), AsMessage::Reply(frame));
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        assert!(matches!(decode(&[]), Err(StmError::Protocol(_))));
+        assert!(matches!(decode(&[9, 1, 2]), Err(StmError::Protocol(_))));
+        assert!(matches!(
+            decode(&[KIND_REQUEST]),
+            Err(StmError::Protocol(_))
+        ));
+    }
+}

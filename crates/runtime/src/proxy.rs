@@ -1,0 +1,621 @@
+//! Location-transparent channel and queue references.
+//!
+//! "Channels and queues are system-wide unique names ... regardless of the
+//! physical location of the threads, channels, and queues" (paper §3.1).
+//! A [`ChannelRef`]/[`QueueRef`] presents the same connection API whether
+//! the container lives in this address space (direct shared-memory access)
+//! or a remote one (RPC to the owner over CLF). Operations are always
+//! routed to the *owner*, which keeps all connection state — including the
+//! garbage-collection bookkeeping — local to the container.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dstampede_core::{
+    ChanId, Channel, GetSpec, Interest, Item, QTicket, Queue, QueueId, StmError, StmResult,
+    StreamItem, TagFilter, Timestamp, VirtualTime,
+};
+use dstampede_wire::{Reply, Request, WaitSpec};
+
+use crate::addrspace::AddressSpace;
+
+/// Converts a [`WaitSpec`] into the matching blocking discipline.
+pub(crate) fn wait_to_timeout(wait: WaitSpec) -> Option<Option<Duration>> {
+    // None => non-blocking; Some(None) => forever; Some(Some(d)) => timeout.
+    match wait {
+        WaitSpec::NonBlocking => None,
+        WaitSpec::Forever => Some(None),
+        WaitSpec::TimeoutMs(ms) => Some(Some(Duration::from_millis(u64::from(ms)))),
+    }
+}
+
+/// A reference to a channel anywhere in the computation.
+pub struct ChannelRef {
+    id: ChanId,
+    inner: ChanRefInner,
+}
+
+enum ChanRefInner {
+    Local(Arc<Channel>),
+    Remote(Arc<AddressSpace>),
+}
+
+impl ChannelRef {
+    pub(crate) fn local(chan: Arc<Channel>) -> Self {
+        ChannelRef {
+            id: chan.id(),
+            inner: ChanRefInner::Local(chan),
+        }
+    }
+
+    pub(crate) fn remote(id: ChanId, space: Arc<AddressSpace>) -> Self {
+        ChannelRef {
+            id,
+            inner: ChanRefInner::Remote(space),
+        }
+    }
+
+    /// The channel's system-wide id.
+    #[must_use]
+    pub fn id(&self) -> ChanId {
+        self.id
+    }
+
+    /// Whether this reference resolves within the current address space.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        matches!(self.inner, ChanRefInner::Local(_))
+    }
+
+    /// Opens an input connection.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::NoSuchResource`] if the owner no longer has the channel;
+    /// [`StmError::Disconnected`] if the owner is unreachable.
+    pub fn connect_input(&self, interest: Interest) -> StmResult<ChanInput> {
+        self.connect_input_filtered(interest, TagFilter::Any)
+    }
+
+    /// Opens an input connection attending only to item tags that pass
+    /// `filter` (the selective-attention filtering extension).
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelRef::connect_input`].
+    pub fn connect_input_filtered(
+        &self,
+        interest: Interest,
+        filter: TagFilter,
+    ) -> StmResult<ChanInput> {
+        match &self.inner {
+            ChanRefInner::Local(chan) => Ok(ChanInput {
+                id: self.id,
+                inner: ConnInner::Local(chan.connect_input_filtered(interest, filter)),
+            }),
+            ChanRefInner::Remote(space) => {
+                let reply = space.call(
+                    self.id.owner,
+                    Request::ConnectChannelIn {
+                        chan: self.id,
+                        interest,
+                        filter,
+                    },
+                )?;
+                match reply {
+                    Reply::Connected { conn } => Ok(ChanInput {
+                        id: self.id,
+                        inner: ConnInner::Remote(RemoteConn::new(
+                            Arc::clone(space),
+                            self.id.owner,
+                            conn,
+                        )),
+                    }),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Opens an output connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelRef::connect_input`].
+    pub fn connect_output(&self) -> StmResult<ChanOutput> {
+        match &self.inner {
+            ChanRefInner::Local(chan) => Ok(ChanOutput {
+                id: self.id,
+                inner: ConnInner::Local(chan.connect_output()),
+            }),
+            ChanRefInner::Remote(space) => {
+                let reply =
+                    space.call(self.id.owner, Request::ConnectChannelOut { chan: self.id })?;
+                match reply {
+                    Reply::Connected { conn } => Ok(ChanOutput {
+                        id: self.id,
+                        inner: ConnInner::Remote(RemoteConn::new(
+                            Arc::clone(space),
+                            self.id.owner,
+                            conn,
+                        )),
+                    }),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ChannelRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChannelRef")
+            .field("id", &self.id)
+            .field("local", &self.is_local())
+            .finish()
+    }
+}
+
+fn unexpected(reply: &Reply) -> StmError {
+    StmError::Protocol(format!("unexpected reply {reply:?}"))
+}
+
+/// Owner-side handle for a connection opened remotely; disconnects (fire
+/// and forget) on drop.
+struct RemoteConn {
+    space: Arc<AddressSpace>,
+    owner: dstampede_core::AsId,
+    handle: u64,
+}
+
+impl RemoteConn {
+    fn new(space: Arc<AddressSpace>, owner: dstampede_core::AsId, handle: u64) -> Self {
+        RemoteConn {
+            space,
+            owner,
+            handle,
+        }
+    }
+
+    fn call(&self, req: Request) -> StmResult<Reply> {
+        self.space.call(self.owner, req)
+    }
+}
+
+impl Drop for RemoteConn {
+    fn drop(&mut self) {
+        self.space
+            .cast(self.owner, Request::Disconnect { conn: self.handle });
+    }
+}
+
+enum ConnInner<L> {
+    Local(L),
+    Remote(RemoteConn),
+}
+
+/// An input connection to a channel anywhere in the computation.
+pub struct ChanInput {
+    id: ChanId,
+    inner: ConnInner<dstampede_core::InputConn>,
+}
+
+impl ChanInput {
+    /// The channel's id.
+    #[must_use]
+    pub fn channel_id(&self) -> ChanId {
+        self.id
+    }
+
+    /// Gets an item under the given blocking discipline.
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::InputConn::get`] and friends, plus
+    /// [`StmError::Disconnected`] when the owner is unreachable.
+    pub fn get(&self, spec: GetSpec, wait: WaitSpec) -> StmResult<(Timestamp, Item)> {
+        match &self.inner {
+            ConnInner::Local(conn) => match wait_to_timeout(wait) {
+                None => conn.try_get(spec),
+                Some(None) => conn.get(spec),
+                Some(Some(d)) => conn.get_timeout(spec, d),
+            },
+            ConnInner::Remote(rc) => {
+                let reply = rc.call(Request::ChannelGet {
+                    conn: rc.handle,
+                    spec,
+                    wait,
+                })?;
+                match reply {
+                    Reply::Item { ts, tag, payload } => Ok((ts, Item::new(payload).with_tag(tag))),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Blocking get.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChanInput::get`].
+    pub fn get_blocking(&self, spec: GetSpec) -> StmResult<(Timestamp, Item)> {
+        self.get(spec, WaitSpec::Forever)
+    }
+
+    /// Typed get via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ChanInput::get`], plus decoding errors from `T`.
+    pub fn get_typed<T: StreamItem>(
+        &self,
+        spec: GetSpec,
+        wait: WaitSpec,
+    ) -> StmResult<(Timestamp, T)> {
+        let (ts, item) = self.get(spec, wait)?;
+        Ok((ts, item.decode::<T>()?))
+    }
+
+    /// Declares items through `upto` consumed.
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::InputConn::consume_until`].
+    pub fn consume_until(&self, upto: Timestamp) -> StmResult<()> {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.consume_until(upto),
+            ConnInner::Remote(rc) => {
+                match rc.call(Request::ChannelConsume {
+                    conn: rc.handle,
+                    upto,
+                })? {
+                    Reply::Ok => Ok(()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Advances the connection's virtual-time promise.
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::InputConn::set_vt`].
+    pub fn set_vt(&self, vt: VirtualTime) -> StmResult<()> {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.set_vt(vt),
+            ConnInner::Remote(rc) => {
+                match rc.call(Request::ChannelSetVt {
+                    conn: rc.handle,
+                    vt: vt.floor(),
+                })? {
+                    Reply::Ok => Ok(()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for ChanInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChanInput").field("id", &self.id).finish()
+    }
+}
+
+/// An output connection to a channel anywhere in the computation.
+pub struct ChanOutput {
+    id: ChanId,
+    inner: ConnInner<dstampede_core::OutputConn>,
+}
+
+impl ChanOutput {
+    /// The channel's id.
+    #[must_use]
+    pub fn channel_id(&self) -> ChanId {
+        self.id
+    }
+
+    /// Puts an item under the given blocking discipline.
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::OutputConn::put`] and friends, plus
+    /// [`StmError::Disconnected`] when the owner is unreachable.
+    pub fn put(&self, ts: Timestamp, item: Item, wait: WaitSpec) -> StmResult<()> {
+        match &self.inner {
+            ConnInner::Local(conn) => match wait_to_timeout(wait) {
+                None => conn.try_put(ts, item),
+                Some(None) => conn.put(ts, item),
+                Some(Some(d)) => conn.put_timeout(ts, item, d),
+            },
+            ConnInner::Remote(rc) => {
+                let reply = rc.call(Request::ChannelPut {
+                    conn: rc.handle,
+                    ts,
+                    tag: item.tag(),
+                    payload: item.payload_bytes(),
+                    wait,
+                })?;
+                match reply {
+                    Reply::Ok => Ok(()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Blocking put.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChanOutput::put`].
+    pub fn put_blocking(&self, ts: Timestamp, item: Item) -> StmResult<()> {
+        self.put(ts, item, WaitSpec::Forever)
+    }
+
+    /// Typed put via [`StreamItem`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ChanOutput::put`].
+    pub fn put_typed<T: StreamItem>(
+        &self,
+        ts: Timestamp,
+        value: &T,
+        wait: WaitSpec,
+    ) -> StmResult<()> {
+        self.put(ts, value.to_item(), wait)
+    }
+}
+
+impl fmt::Debug for ChanOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChanOutput").field("id", &self.id).finish()
+    }
+}
+
+/// A reference to a queue anywhere in the computation.
+pub struct QueueRef {
+    id: QueueId,
+    inner: QueueRefInner,
+}
+
+enum QueueRefInner {
+    Local(Arc<Queue>),
+    Remote(Arc<AddressSpace>),
+}
+
+impl QueueRef {
+    pub(crate) fn local(queue: Arc<Queue>) -> Self {
+        QueueRef {
+            id: queue.id(),
+            inner: QueueRefInner::Local(queue),
+        }
+    }
+
+    pub(crate) fn remote(id: QueueId, space: Arc<AddressSpace>) -> Self {
+        QueueRef {
+            id,
+            inner: QueueRefInner::Remote(space),
+        }
+    }
+
+    /// The queue's system-wide id.
+    #[must_use]
+    pub fn id(&self) -> QueueId {
+        self.id
+    }
+
+    /// Whether this reference resolves within the current address space.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        matches!(self.inner, QueueRefInner::Local(_))
+    }
+
+    /// Opens an input (getter) connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelRef::connect_input`].
+    pub fn connect_input(&self) -> StmResult<QueueInput> {
+        match &self.inner {
+            QueueRefInner::Local(q) => Ok(QueueInput {
+                id: self.id,
+                inner: ConnInner::Local(q.connect_input()),
+            }),
+            QueueRefInner::Remote(space) => {
+                match space.call(self.id.owner, Request::ConnectQueueIn { queue: self.id })? {
+                    Reply::Connected { conn } => Ok(QueueInput {
+                        id: self.id,
+                        inner: ConnInner::Remote(RemoteConn::new(
+                            Arc::clone(space),
+                            self.id.owner,
+                            conn,
+                        )),
+                    }),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Opens an output (putter) connection.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChannelRef::connect_input`].
+    pub fn connect_output(&self) -> StmResult<QueueOutput> {
+        match &self.inner {
+            QueueRefInner::Local(q) => Ok(QueueOutput {
+                id: self.id,
+                inner: ConnInner::Local(q.connect_output()),
+            }),
+            QueueRefInner::Remote(space) => {
+                match space.call(self.id.owner, Request::ConnectQueueOut { queue: self.id })? {
+                    Reply::Connected { conn } => Ok(QueueOutput {
+                        id: self.id,
+                        inner: ConnInner::Remote(RemoteConn::new(
+                            Arc::clone(space),
+                            self.id.owner,
+                            conn,
+                        )),
+                    }),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for QueueRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueRef")
+            .field("id", &self.id)
+            .field("local", &self.is_local())
+            .finish()
+    }
+}
+
+/// An input connection to a queue anywhere in the computation.
+pub struct QueueInput {
+    id: QueueId,
+    inner: ConnInner<dstampede_core::QueueInputConn>,
+}
+
+impl QueueInput {
+    /// The queue's id.
+    #[must_use]
+    pub fn queue_id(&self) -> QueueId {
+        self.id
+    }
+
+    /// Gets the next item under the given blocking discipline. The returned
+    /// ticket settles with [`QueueInput::consume`] or
+    /// [`QueueInput::requeue`].
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::QueueInputConn::get`] and friends.
+    pub fn get(&self, wait: WaitSpec) -> StmResult<(Timestamp, Item, u64)> {
+        match &self.inner {
+            ConnInner::Local(conn) => {
+                let (ts, item, ticket) = match wait_to_timeout(wait) {
+                    None => conn.try_get(),
+                    Some(None) => conn.get(),
+                    Some(Some(d)) => conn.get_timeout(d),
+                }?;
+                Ok((ts, item, ticket.0))
+            }
+            ConnInner::Remote(rc) => {
+                match rc.call(Request::QueueGet {
+                    conn: rc.handle,
+                    wait,
+                })? {
+                    Reply::QueueItem {
+                        ts,
+                        tag,
+                        payload,
+                        ticket,
+                    } => Ok((ts, Item::new(payload).with_tag(tag), ticket)),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Settles a ticket as consumed.
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::QueueInputConn::consume`].
+    pub fn consume(&self, ticket: u64) -> StmResult<()> {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.consume(QTicket(ticket)),
+            ConnInner::Remote(rc) => {
+                match rc.call(Request::QueueConsume {
+                    conn: rc.handle,
+                    ticket,
+                })? {
+                    Reply::Ok => Ok(()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Puts an unfinished item back at the head of the queue.
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::QueueInputConn::requeue`].
+    pub fn requeue(&self, ticket: u64) -> StmResult<()> {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.requeue(QTicket(ticket)),
+            ConnInner::Remote(rc) => {
+                match rc.call(Request::QueueRequeue {
+                    conn: rc.handle,
+                    ticket,
+                })? {
+                    Reply::Ok => Ok(()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for QueueInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueInput").field("id", &self.id).finish()
+    }
+}
+
+/// An output connection to a queue anywhere in the computation.
+pub struct QueueOutput {
+    id: QueueId,
+    inner: ConnInner<dstampede_core::QueueOutputConn>,
+}
+
+impl QueueOutput {
+    /// The queue's id.
+    #[must_use]
+    pub fn queue_id(&self) -> QueueId {
+        self.id
+    }
+
+    /// Puts an item under the given blocking discipline.
+    ///
+    /// # Errors
+    ///
+    /// As [`dstampede_core::QueueOutputConn::put`] and friends.
+    pub fn put(&self, ts: Timestamp, item: Item, wait: WaitSpec) -> StmResult<()> {
+        match &self.inner {
+            ConnInner::Local(conn) => match wait_to_timeout(wait) {
+                None => conn.try_put(ts, item),
+                Some(None) => conn.put(ts, item),
+                Some(Some(d)) => conn.put_timeout(ts, item, d),
+            },
+            ConnInner::Remote(rc) => {
+                match rc.call(Request::QueuePut {
+                    conn: rc.handle,
+                    ts,
+                    tag: item.tag(),
+                    payload: item.payload_bytes(),
+                    wait,
+                })? {
+                    Reply::Ok => Ok(()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for QueueOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueueOutput").field("id", &self.id).finish()
+    }
+}

@@ -1,0 +1,224 @@
+//! Runtime API surface tests: location transparency, typed access,
+//! thread registration, resource resolution, and filtered remote
+//! connections.
+
+use std::time::Duration;
+
+use dstampede_core::{
+    ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, ResourceId, StmError, TagFilter, Timestamp,
+    VirtualTime,
+};
+use dstampede_runtime::Cluster;
+use dstampede_wire::WaitSpec;
+
+fn ts(v: i64) -> Timestamp {
+    Timestamp::new(v)
+}
+
+#[test]
+fn refs_report_locality() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let a0 = cluster.space(0).unwrap();
+    let a1 = cluster.space(1).unwrap();
+    let chan = a0.create_channel(None, ChannelAttrs::default());
+    let queue = a0.create_queue(None, QueueAttrs::default());
+
+    assert!(a0.open_channel(chan.id()).unwrap().is_local());
+    assert!(!a1.open_channel(chan.id()).unwrap().is_local());
+    assert!(a0.open_queue(queue.id()).unwrap().is_local());
+    assert!(!a1.open_queue(queue.id()).unwrap().is_local());
+
+    let (c, q) = a0.open_resource(ResourceId::Channel(chan.id())).unwrap();
+    assert!(c.is_some() && q.is_none());
+    let (c, q) = a1.open_resource(ResourceId::Queue(queue.id())).unwrap();
+    assert!(c.is_none() && q.is_some());
+    cluster.shutdown();
+}
+
+#[test]
+fn typed_access_through_proxies() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let owner = cluster.space(0).unwrap();
+    let peer = cluster.space(1).unwrap();
+    let chan = owner.create_channel(None, ChannelAttrs::default());
+
+    let out = peer
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    let inp = owner
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+
+    out.put_typed(ts(1), &"typed frame".to_owned(), WaitSpec::Forever)
+        .unwrap();
+    let (t, s): (Timestamp, String) = inp
+        .get_typed(GetSpec::Exact(ts(1)), WaitSpec::Forever)
+        .unwrap();
+    assert_eq!(t, ts(1));
+    assert_eq!(s, "typed frame");
+    cluster.shutdown();
+}
+
+#[test]
+fn spawn_thread_registers_and_feeds_gc_floor() {
+    let cluster = Cluster::builder()
+        .address_spaces(1)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let space = cluster.space(0).unwrap();
+    assert!(space.threads().is_empty());
+
+    let handle = space.spawn_thread("worker", |space, thread| {
+        assert_eq!(thread.name(), "worker");
+        thread.set_vt(VirtualTime::at(Timestamp::new(17)));
+        // Visible to the registry while running.
+        assert_eq!(space.threads().len(), 1);
+        space.threads().min_vt()
+    });
+    let min_vt = handle.join().unwrap();
+    assert_eq!(min_vt, VirtualTime::at(Timestamp::new(17)));
+    // Unregistered after exit.
+    assert!(space.threads().is_empty());
+    cluster.shutdown();
+}
+
+#[test]
+fn filtered_remote_connection() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let owner = cluster.space(0).unwrap();
+    let peer = cluster.space(1).unwrap();
+    let chan = owner.create_channel(None, ChannelAttrs::default());
+    let out = owner
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    for v in 0..6u32 {
+        out.put(
+            ts(i64::from(v)),
+            Item::from_vec(vec![v as u8]).with_tag(v),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+    }
+    // Remote filtered connection: only tags 2 and 4 are visible.
+    let inp = peer
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input_filtered(Interest::FromEarliest, TagFilter::Only(vec![2, 4]))
+        .unwrap();
+    let mut seen = Vec::new();
+    let mut last = Timestamp::MIN;
+    loop {
+        match inp.get(GetSpec::After(last), WaitSpec::NonBlocking) {
+            Ok((t, item)) => {
+                seen.push(item.tag());
+                last = t;
+            }
+            Err(StmError::Absent) => break,
+            Err(e) => panic!("{e}"),
+        }
+    }
+    assert_eq!(seen, vec![2, 4]);
+    inp.consume_until(ts(5)).unwrap();
+    // Filtered-out items were never pinned: everything reclaims.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while chan.live_items() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(chan.live_items(), 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn vt_promise_over_rpc_drives_transparent_gc() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let owner = cluster.space(0).unwrap();
+    let peer = cluster.space(1).unwrap();
+    let chan = owner.create_channel(
+        None,
+        ChannelAttrs::builder()
+            .gc(dstampede_core::GcPolicy::Transparent)
+            .build(),
+    );
+    let out = owner
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    let inp = peer
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+    for t in 0..10 {
+        out.put(ts(t), Item::from_vec(vec![1]), WaitSpec::Forever)
+            .unwrap();
+    }
+    inp.set_vt(VirtualTime::at(ts(6))).unwrap();
+    assert_eq!(chan.live_items(), 4); // ts 6..9 remain
+    assert_eq!(chan.gc_floor(), ts(5));
+    cluster.shutdown();
+}
+
+#[test]
+fn remote_disconnect_releases_claims_via_drop() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let owner = cluster.space(0).unwrap();
+    let peer = cluster.space(1).unwrap();
+    let chan = owner.create_channel(None, ChannelAttrs::default());
+    let out = owner
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+
+    let local = owner
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+    let remote = peer
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+
+    out.put(ts(1), Item::from_vec(vec![1]), WaitSpec::Forever)
+        .unwrap();
+    local.consume_until(ts(1)).unwrap();
+    assert_eq!(chan.live_items(), 1); // remote still claims it
+
+    drop(remote); // fire-and-forget Disconnect over CLF
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while chan.live_items() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(chan.live_items(), 0);
+    cluster.shutdown();
+}

@@ -1,0 +1,186 @@
+//! The [`Codec`] abstraction: pluggable marshalling for RPC frames.
+//!
+//! A session negotiates its codec at connect time (one identification byte)
+//! and then every frame on that session uses it. Two codecs exist, chosen
+//! to reproduce the paper's C-vs-Java client asymmetry:
+//!
+//! * [`CodecId::Xdr`] → [`crate::codec_xdr::XdrCodec`] — flat, bulk-copy
+//!   marshalling (the C client library).
+//! * [`CodecId::Jdr`] → [`crate::codec_jdr::JdrCodec`] — boxed object-tree,
+//!   element-wise marshalling (the Java client library).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::WireError;
+use crate::rpc::{ReplyFrame, RequestFrame};
+
+/// Identifies a codec on the wire (the session's first byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecId {
+    /// XDR, the C client library's format.
+    Xdr,
+    /// JDR, the Java client library's format.
+    Jdr,
+}
+
+impl CodecId {
+    /// The wire identification byte.
+    #[must_use]
+    pub fn byte(self) -> u8 {
+        match self {
+            CodecId::Xdr => 0,
+            CodecId::Jdr => 1,
+        }
+    }
+
+    /// Parses the identification byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadTag`] for unknown bytes.
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
+        match b {
+            0 => Ok(CodecId::Xdr),
+            1 => Ok(CodecId::Jdr),
+            other => Err(WireError::BadTag(u32::from(other))),
+        }
+    }
+}
+
+impl fmt::Display for CodecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecId::Xdr => write!(f, "xdr"),
+            CodecId::Jdr => write!(f, "jdr"),
+        }
+    }
+}
+
+/// Marshals RPC frames to and from bytes.
+///
+/// Implementations must be deterministic: `decode(encode(f)) == f`.
+pub trait Codec: Send + Sync + fmt::Debug {
+    /// Which codec this is.
+    fn id(&self) -> CodecId;
+
+    /// Encodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on unrepresentable values.
+    fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError>;
+
+    /// Decodes a request frame, requiring full consumption of the input.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input.
+    fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError>;
+
+    /// Encodes a reply frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on unrepresentable values.
+    fn encode_reply(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError>;
+
+    /// Decodes a reply frame, requiring full consumption of the input.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input.
+    fn decode_reply(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError>;
+}
+
+/// Returns the codec registered for an id.
+#[must_use]
+pub fn codec_for(id: CodecId) -> Arc<dyn Codec> {
+    match id {
+        CodecId::Xdr => Arc::new(crate::codec_xdr::XdrCodec::new()),
+        CodecId::Jdr => Arc::new(crate::codec_jdr::JdrCodec::new()),
+    }
+}
+
+/// Message discriminants shared by every codec implementation.
+pub(crate) mod class {
+    // Requests.
+    pub const ATTACH: u32 = 1;
+    pub const DETACH: u32 = 2;
+    pub const PING: u32 = 3;
+    pub const CHANNEL_CREATE: u32 = 4;
+    pub const QUEUE_CREATE: u32 = 5;
+    pub const CONNECT_CHANNEL_IN: u32 = 6;
+    pub const CONNECT_CHANNEL_OUT: u32 = 7;
+    pub const CONNECT_QUEUE_IN: u32 = 8;
+    pub const CONNECT_QUEUE_OUT: u32 = 9;
+    pub const DISCONNECT: u32 = 10;
+    pub const CHANNEL_PUT: u32 = 11;
+    pub const CHANNEL_GET: u32 = 12;
+    pub const CHANNEL_CONSUME: u32 = 13;
+    pub const CHANNEL_SET_VT: u32 = 14;
+    pub const QUEUE_PUT: u32 = 15;
+    pub const QUEUE_GET: u32 = 16;
+    pub const QUEUE_CONSUME: u32 = 17;
+    pub const QUEUE_REQUEUE: u32 = 18;
+    pub const NS_REGISTER: u32 = 19;
+    pub const NS_LOOKUP: u32 = 20;
+    pub const NS_UNREGISTER: u32 = 21;
+    pub const NS_LIST: u32 = 22;
+    pub const INSTALL_GARBAGE_HOOK: u32 = 23;
+    pub const GC_REPORT: u32 = 24;
+
+    // Replies.
+    pub const R_OK: u32 = 1;
+    pub const R_ATTACHED: u32 = 2;
+    pub const R_CREATED: u32 = 3;
+    pub const R_CONNECTED: u32 = 4;
+    pub const R_ITEM: u32 = 5;
+    pub const R_QUEUE_ITEM: u32 = 6;
+    pub const R_NS_FOUND: u32 = 7;
+    pub const R_NS_ENTRIES: u32 = 8;
+    pub const R_PONG: u32 = 9;
+    pub const R_ERROR: u32 = 10;
+
+    // Sub-encodings.
+    pub const RES_CHANNEL: u32 = 0;
+    pub const RES_QUEUE: u32 = 1;
+    pub const INTEREST_EARLIEST: u32 = 0;
+    pub const INTEREST_LATEST: u32 = 1;
+    pub const INTEREST_FROM_TS: u32 = 2;
+    pub const SPEC_EXACT: u32 = 0;
+    pub const SPEC_LATEST: u32 = 1;
+    pub const SPEC_EARLIEST: u32 = 2;
+    pub const SPEC_AFTER: u32 = 3;
+    pub const WAIT_NON_BLOCKING: u32 = 0;
+    pub const WAIT_FOREVER: u32 = 1;
+    pub const WAIT_TIMEOUT: u32 = 2;
+    pub const FILTER_ANY: u32 = 0;
+    pub const FILTER_ONLY: u32 = 1;
+    pub const FILTER_STRIPE: u32 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_id_byte_round_trip() {
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            assert_eq!(CodecId::from_byte(id.byte()).unwrap(), id);
+        }
+        assert!(CodecId::from_byte(9).is_err());
+    }
+
+    #[test]
+    fn codec_for_returns_matching_impl() {
+        assert_eq!(codec_for(CodecId::Xdr).id(), CodecId::Xdr);
+        assert_eq!(codec_for(CodecId::Jdr).id(), CodecId::Jdr);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CodecId::Xdr.to_string(), "xdr");
+        assert_eq!(CodecId::Jdr.to_string(), "jdr");
+    }
+}

@@ -1,0 +1,738 @@
+//! The JDR codec: boxed object-tree marshalling (the Java client library).
+//!
+//! Every frame is first lifted into a [`JdrValue`] object tree — one heap
+//! allocation per field, byte arrays copied element-wise — and then
+//! streamed byte-at-a-time through a virtual sink. Decoding reverses the
+//! two stages. This is deliberately the expensive path; see
+//! [`crate::jdr`] for the rationale.
+
+use bytes::Bytes;
+
+use dstampede_core::{
+    AsId, ChanId, ChannelAttrs, GcPolicy, GetSpec, Interest, OverflowPolicy, QueueAttrs, QueueId,
+    ResourceId, TagFilter, Timestamp,
+};
+
+use crate::codec::{class, Codec, CodecId};
+use crate::error::WireError;
+use crate::jdr::{decode as jdr_decode, encode as jdr_encode, JdrValue};
+use crate::rpc::{GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
+
+/// Object-tree JDR marshalling of RPC frames (the Java client's cost
+/// profile).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JdrCodec;
+
+impl JdrCodec {
+    /// Creates the codec (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        JdrCodec
+    }
+}
+
+fn chan_value(id: ChanId) -> JdrValue {
+    JdrValue::object(
+        class::RES_CHANNEL,
+        vec![
+            JdrValue::Int(i32::from(id.owner.0 as i16)),
+            JdrValue::Int(id.index as i32),
+        ],
+    )
+}
+
+fn queue_value(id: QueueId) -> JdrValue {
+    JdrValue::object(
+        class::RES_QUEUE,
+        vec![
+            JdrValue::Int(i32::from(id.owner.0 as i16)),
+            JdrValue::Int(id.index as i32),
+        ],
+    )
+}
+
+fn resource_value(res: ResourceId) -> JdrValue {
+    match res {
+        ResourceId::Channel(c) => chan_value(c),
+        ResourceId::Queue(q) => queue_value(q),
+    }
+}
+
+fn field(fields: &[Box<JdrValue>], i: usize) -> Result<&JdrValue, WireError> {
+    fields.get(i).map(AsRef::as_ref).ok_or(WireError::Truncated)
+}
+
+fn value_to_chan(v: &JdrValue) -> Result<ChanId, WireError> {
+    let (cls, fields) = v.as_object()?;
+    if cls != class::RES_CHANNEL {
+        return Err(WireError::BadTag(cls));
+    }
+    Ok(ChanId {
+        owner: AsId(field(fields, 0)?.as_i32()? as u16),
+        index: field(fields, 1)?.as_u32()?,
+    })
+}
+
+fn value_to_queue(v: &JdrValue) -> Result<QueueId, WireError> {
+    let (cls, fields) = v.as_object()?;
+    if cls != class::RES_QUEUE {
+        return Err(WireError::BadTag(cls));
+    }
+    Ok(QueueId {
+        owner: AsId(field(fields, 0)?.as_i32()? as u16),
+        index: field(fields, 1)?.as_u32()?,
+    })
+}
+
+fn value_to_resource(v: &JdrValue) -> Result<ResourceId, WireError> {
+    let (cls, _) = v.as_object()?;
+    match cls {
+        class::RES_CHANNEL => Ok(ResourceId::Channel(value_to_chan(v)?)),
+        class::RES_QUEUE => Ok(ResourceId::Queue(value_to_queue(v)?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn channel_attrs_value(attrs: &ChannelAttrs) -> JdrValue {
+    JdrValue::object(
+        0,
+        vec![
+            attrs
+                .capacity()
+                .map_or(JdrValue::Null, |c| JdrValue::Int(c as i32)),
+            JdrValue::Int(attrs.overflow().code() as i32),
+            JdrValue::Int(attrs.gc().code() as i32),
+        ],
+    )
+}
+
+fn value_to_channel_attrs(v: &JdrValue) -> Result<ChannelAttrs, WireError> {
+    let (_, fields) = v.as_object()?;
+    let mut b = ChannelAttrs::builder()
+        .overflow(OverflowPolicy::from_code(field(fields, 1)?.as_u32()?))
+        .gc(GcPolicy::from_code(field(fields, 2)?.as_u32()?));
+    if let Some(cap) = field(fields, 0)?.as_option() {
+        b = b.capacity(cap.as_u32()?);
+    }
+    Ok(b.build())
+}
+
+fn queue_attrs_value(attrs: &QueueAttrs) -> JdrValue {
+    JdrValue::object(
+        0,
+        vec![
+            attrs
+                .capacity()
+                .map_or(JdrValue::Null, |c| JdrValue::Int(c as i32)),
+            JdrValue::Int(attrs.overflow().code() as i32),
+        ],
+    )
+}
+
+fn value_to_queue_attrs(v: &JdrValue) -> Result<QueueAttrs, WireError> {
+    let (_, fields) = v.as_object()?;
+    let mut b =
+        QueueAttrs::builder().overflow(OverflowPolicy::from_code(field(fields, 1)?.as_u32()?));
+    if let Some(cap) = field(fields, 0)?.as_option() {
+        b = b.capacity(cap.as_u32()?);
+    }
+    Ok(b.build())
+}
+
+fn interest_value(interest: Interest) -> JdrValue {
+    match interest {
+        Interest::FromEarliest => JdrValue::object(class::INTEREST_EARLIEST, vec![]),
+        Interest::FromLatest => JdrValue::object(class::INTEREST_LATEST, vec![]),
+        Interest::FromTs(ts) => {
+            JdrValue::object(class::INTEREST_FROM_TS, vec![JdrValue::Long(ts.value())])
+        }
+    }
+}
+
+fn value_to_interest(v: &JdrValue) -> Result<Interest, WireError> {
+    let (cls, fields) = v.as_object()?;
+    match cls {
+        class::INTEREST_EARLIEST => Ok(Interest::FromEarliest),
+        class::INTEREST_LATEST => Ok(Interest::FromLatest),
+        class::INTEREST_FROM_TS => Ok(Interest::FromTs(Timestamp::new(
+            field(fields, 0)?.as_i64()?,
+        ))),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn filter_value(filter: &TagFilter) -> JdrValue {
+    match filter {
+        TagFilter::Any => JdrValue::object(class::FILTER_ANY, vec![]),
+        TagFilter::Only(tags) => JdrValue::object(
+            class::FILTER_ONLY,
+            vec![JdrValue::List(
+                tags.iter()
+                    .map(|&t| Box::new(JdrValue::Int(t as i32)))
+                    .collect(),
+            )],
+        ),
+        TagFilter::Stripe { modulus, remainder } => JdrValue::object(
+            class::FILTER_STRIPE,
+            vec![
+                JdrValue::Int(*modulus as i32),
+                JdrValue::Int(*remainder as i32),
+            ],
+        ),
+    }
+}
+
+fn value_to_filter(v: &JdrValue) -> Result<TagFilter, WireError> {
+    let (cls, fields) = v.as_object()?;
+    match cls {
+        class::FILTER_ANY => Ok(TagFilter::Any),
+        class::FILTER_ONLY => {
+            let mut tags = Vec::new();
+            for t in field(fields, 0)?.as_list()? {
+                tags.push(t.as_u32()?);
+            }
+            Ok(TagFilter::Only(tags))
+        }
+        class::FILTER_STRIPE => Ok(TagFilter::Stripe {
+            modulus: field(fields, 0)?.as_u32()?,
+            remainder: field(fields, 1)?.as_u32()?,
+        }),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn spec_value(spec: GetSpec) -> JdrValue {
+    match spec {
+        GetSpec::Exact(ts) => JdrValue::object(class::SPEC_EXACT, vec![JdrValue::Long(ts.value())]),
+        GetSpec::Latest => JdrValue::object(class::SPEC_LATEST, vec![]),
+        GetSpec::Earliest => JdrValue::object(class::SPEC_EARLIEST, vec![]),
+        GetSpec::After(ts) => JdrValue::object(class::SPEC_AFTER, vec![JdrValue::Long(ts.value())]),
+    }
+}
+
+fn value_to_spec(v: &JdrValue) -> Result<GetSpec, WireError> {
+    let (cls, fields) = v.as_object()?;
+    match cls {
+        class::SPEC_EXACT => Ok(GetSpec::Exact(Timestamp::new(field(fields, 0)?.as_i64()?))),
+        class::SPEC_LATEST => Ok(GetSpec::Latest),
+        class::SPEC_EARLIEST => Ok(GetSpec::Earliest),
+        class::SPEC_AFTER => Ok(GetSpec::After(Timestamp::new(field(fields, 0)?.as_i64()?))),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn wait_value(wait: WaitSpec) -> JdrValue {
+    match wait {
+        WaitSpec::NonBlocking => JdrValue::object(class::WAIT_NON_BLOCKING, vec![]),
+        WaitSpec::Forever => JdrValue::object(class::WAIT_FOREVER, vec![]),
+        WaitSpec::TimeoutMs(ms) => {
+            JdrValue::object(class::WAIT_TIMEOUT, vec![JdrValue::Int(ms as i32)])
+        }
+    }
+}
+
+fn value_to_wait(v: &JdrValue) -> Result<WaitSpec, WireError> {
+    let (cls, fields) = v.as_object()?;
+    match cls {
+        class::WAIT_NON_BLOCKING => Ok(WaitSpec::NonBlocking),
+        class::WAIT_FOREVER => Ok(WaitSpec::Forever),
+        class::WAIT_TIMEOUT => Ok(WaitSpec::TimeoutMs(field(fields, 0)?.as_u32()?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn gc_note_value(n: &GcNote) -> JdrValue {
+    JdrValue::object(
+        0,
+        vec![
+            resource_value(n.resource),
+            JdrValue::Long(n.ts.value()),
+            JdrValue::Int(n.tag as i32),
+            JdrValue::Int(n.len as i32),
+        ],
+    )
+}
+
+fn value_to_gc_note(v: &JdrValue) -> Result<GcNote, WireError> {
+    let (_, fields) = v.as_object()?;
+    Ok(GcNote {
+        resource: value_to_resource(field(fields, 0)?)?,
+        ts: Timestamp::new(field(fields, 1)?.as_i64()?),
+        tag: field(fields, 2)?.as_u32()?,
+        len: field(fields, 3)?.as_u32()?,
+    })
+}
+
+fn opt_string_value(s: Option<&String>) -> JdrValue {
+    s.map_or(JdrValue::Null, |s| JdrValue::str(s))
+}
+
+fn request_to_value(frame: &RequestFrame) -> JdrValue {
+    let (cls, mut fields) = match &frame.req {
+        Request::Attach { client_name } => (class::ATTACH, vec![JdrValue::str(client_name)]),
+        Request::Detach => (class::DETACH, vec![]),
+        Request::Ping { nonce } => (class::PING, vec![JdrValue::Long(*nonce as i64)]),
+        Request::ChannelCreate { name, attrs } => (
+            class::CHANNEL_CREATE,
+            vec![opt_string_value(name.as_ref()), channel_attrs_value(attrs)],
+        ),
+        Request::QueueCreate { name, attrs } => (
+            class::QUEUE_CREATE,
+            vec![opt_string_value(name.as_ref()), queue_attrs_value(attrs)],
+        ),
+        Request::ConnectChannelIn {
+            chan,
+            interest,
+            filter,
+        } => (
+            class::CONNECT_CHANNEL_IN,
+            vec![
+                chan_value(*chan),
+                interest_value(*interest),
+                filter_value(filter),
+            ],
+        ),
+        Request::ConnectChannelOut { chan } => {
+            (class::CONNECT_CHANNEL_OUT, vec![chan_value(*chan)])
+        }
+        Request::ConnectQueueIn { queue } => (class::CONNECT_QUEUE_IN, vec![queue_value(*queue)]),
+        Request::ConnectQueueOut { queue } => (class::CONNECT_QUEUE_OUT, vec![queue_value(*queue)]),
+        Request::Disconnect { conn } => (class::DISCONNECT, vec![JdrValue::Long(*conn as i64)]),
+        Request::ChannelPut {
+            conn,
+            ts,
+            tag,
+            payload,
+            wait,
+        } => (
+            class::CHANNEL_PUT,
+            vec![
+                JdrValue::Long(*conn as i64),
+                JdrValue::Long(ts.value()),
+                JdrValue::Int(*tag as i32),
+                wait_value(*wait),
+                JdrValue::bytes(payload),
+            ],
+        ),
+        Request::ChannelGet { conn, spec, wait } => (
+            class::CHANNEL_GET,
+            vec![
+                JdrValue::Long(*conn as i64),
+                spec_value(*spec),
+                wait_value(*wait),
+            ],
+        ),
+        Request::ChannelConsume { conn, upto } => (
+            class::CHANNEL_CONSUME,
+            vec![JdrValue::Long(*conn as i64), JdrValue::Long(upto.value())],
+        ),
+        Request::ChannelSetVt { conn, vt } => (
+            class::CHANNEL_SET_VT,
+            vec![JdrValue::Long(*conn as i64), JdrValue::Long(vt.value())],
+        ),
+        Request::QueuePut {
+            conn,
+            ts,
+            tag,
+            payload,
+            wait,
+        } => (
+            class::QUEUE_PUT,
+            vec![
+                JdrValue::Long(*conn as i64),
+                JdrValue::Long(ts.value()),
+                JdrValue::Int(*tag as i32),
+                wait_value(*wait),
+                JdrValue::bytes(payload),
+            ],
+        ),
+        Request::QueueGet { conn, wait } => (
+            class::QUEUE_GET,
+            vec![JdrValue::Long(*conn as i64), wait_value(*wait)],
+        ),
+        Request::QueueConsume { conn, ticket } => (
+            class::QUEUE_CONSUME,
+            vec![JdrValue::Long(*conn as i64), JdrValue::Long(*ticket as i64)],
+        ),
+        Request::QueueRequeue { conn, ticket } => (
+            class::QUEUE_REQUEUE,
+            vec![JdrValue::Long(*conn as i64), JdrValue::Long(*ticket as i64)],
+        ),
+        Request::NsRegister {
+            name,
+            resource,
+            meta,
+        } => (
+            class::NS_REGISTER,
+            vec![
+                JdrValue::str(name),
+                resource_value(*resource),
+                JdrValue::str(meta),
+            ],
+        ),
+        Request::NsLookup { name, wait } => (
+            class::NS_LOOKUP,
+            vec![JdrValue::str(name), wait_value(*wait)],
+        ),
+        Request::NsUnregister { name } => (class::NS_UNREGISTER, vec![JdrValue::str(name)]),
+        Request::NsList => (class::NS_LIST, vec![]),
+        Request::InstallGarbageHook { resource } => {
+            (class::INSTALL_GARBAGE_HOOK, vec![resource_value(*resource)])
+        }
+        Request::GcReport { from, min_vt } => (
+            class::GC_REPORT,
+            vec![
+                JdrValue::Int(i32::from(from.0 as i16)),
+                JdrValue::Long(min_vt.value()),
+            ],
+        ),
+    };
+    // Frame envelope: seq first, then the call object.
+    let mut envelope = vec![JdrValue::Long(frame.seq as i64)];
+    envelope.push(JdrValue::object(cls, std::mem::take(&mut fields)));
+    JdrValue::object(u32::MAX, envelope)
+}
+
+fn value_to_request(v: &JdrValue) -> Result<RequestFrame, WireError> {
+    let (env_cls, env) = v.as_object()?;
+    if env_cls != u32::MAX {
+        return Err(WireError::BadTag(env_cls));
+    }
+    let seq = field(env, 0)?.as_u64()?;
+    let (cls, f) = field(env, 1)?.as_object()?;
+    let req = match cls {
+        class::ATTACH => Request::Attach {
+            client_name: field(f, 0)?.as_str()?.to_owned(),
+        },
+        class::DETACH => Request::Detach,
+        class::PING => Request::Ping {
+            nonce: field(f, 0)?.as_u64()?,
+        },
+        class::CHANNEL_CREATE => Request::ChannelCreate {
+            name: match field(f, 0)?.as_option() {
+                Some(s) => Some(s.as_str()?.to_owned()),
+                None => None,
+            },
+            attrs: value_to_channel_attrs(field(f, 1)?)?,
+        },
+        class::QUEUE_CREATE => Request::QueueCreate {
+            name: match field(f, 0)?.as_option() {
+                Some(s) => Some(s.as_str()?.to_owned()),
+                None => None,
+            },
+            attrs: value_to_queue_attrs(field(f, 1)?)?,
+        },
+        class::CONNECT_CHANNEL_IN => Request::ConnectChannelIn {
+            chan: value_to_chan(field(f, 0)?)?,
+            interest: value_to_interest(field(f, 1)?)?,
+            filter: value_to_filter(field(f, 2)?)?,
+        },
+        class::CONNECT_CHANNEL_OUT => Request::ConnectChannelOut {
+            chan: value_to_chan(field(f, 0)?)?,
+        },
+        class::CONNECT_QUEUE_IN => Request::ConnectQueueIn {
+            queue: value_to_queue(field(f, 0)?)?,
+        },
+        class::CONNECT_QUEUE_OUT => Request::ConnectQueueOut {
+            queue: value_to_queue(field(f, 0)?)?,
+        },
+        class::DISCONNECT => Request::Disconnect {
+            conn: field(f, 0)?.as_u64()?,
+        },
+        class::CHANNEL_PUT => Request::ChannelPut {
+            conn: field(f, 0)?.as_u64()?,
+            ts: Timestamp::new(field(f, 1)?.as_i64()?),
+            tag: field(f, 2)?.as_u32()?,
+            wait: value_to_wait(field(f, 3)?)?,
+            payload: Bytes::copy_from_slice(field(f, 4)?.as_bytes()?),
+        },
+        class::CHANNEL_GET => Request::ChannelGet {
+            conn: field(f, 0)?.as_u64()?,
+            spec: value_to_spec(field(f, 1)?)?,
+            wait: value_to_wait(field(f, 2)?)?,
+        },
+        class::CHANNEL_CONSUME => Request::ChannelConsume {
+            conn: field(f, 0)?.as_u64()?,
+            upto: Timestamp::new(field(f, 1)?.as_i64()?),
+        },
+        class::CHANNEL_SET_VT => Request::ChannelSetVt {
+            conn: field(f, 0)?.as_u64()?,
+            vt: Timestamp::new(field(f, 1)?.as_i64()?),
+        },
+        class::QUEUE_PUT => Request::QueuePut {
+            conn: field(f, 0)?.as_u64()?,
+            ts: Timestamp::new(field(f, 1)?.as_i64()?),
+            tag: field(f, 2)?.as_u32()?,
+            wait: value_to_wait(field(f, 3)?)?,
+            payload: Bytes::copy_from_slice(field(f, 4)?.as_bytes()?),
+        },
+        class::QUEUE_GET => Request::QueueGet {
+            conn: field(f, 0)?.as_u64()?,
+            wait: value_to_wait(field(f, 1)?)?,
+        },
+        class::QUEUE_CONSUME => Request::QueueConsume {
+            conn: field(f, 0)?.as_u64()?,
+            ticket: field(f, 1)?.as_u64()?,
+        },
+        class::QUEUE_REQUEUE => Request::QueueRequeue {
+            conn: field(f, 0)?.as_u64()?,
+            ticket: field(f, 1)?.as_u64()?,
+        },
+        class::NS_REGISTER => Request::NsRegister {
+            name: field(f, 0)?.as_str()?.to_owned(),
+            resource: value_to_resource(field(f, 1)?)?,
+            meta: field(f, 2)?.as_str()?.to_owned(),
+        },
+        class::NS_LOOKUP => Request::NsLookup {
+            name: field(f, 0)?.as_str()?.to_owned(),
+            wait: value_to_wait(field(f, 1)?)?,
+        },
+        class::NS_UNREGISTER => Request::NsUnregister {
+            name: field(f, 0)?.as_str()?.to_owned(),
+        },
+        class::NS_LIST => Request::NsList,
+        class::INSTALL_GARBAGE_HOOK => Request::InstallGarbageHook {
+            resource: value_to_resource(field(f, 0)?)?,
+        },
+        class::GC_REPORT => Request::GcReport {
+            from: AsId(field(f, 0)?.as_i32()? as u16),
+            min_vt: Timestamp::new(field(f, 1)?.as_i64()?),
+        },
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(RequestFrame { seq, req })
+}
+
+fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
+    let notes: Vec<Box<JdrValue>> = frame
+        .gc_notes
+        .iter()
+        .map(|n| Box::new(gc_note_value(n)))
+        .collect();
+    let (cls, fields) = match &frame.reply {
+        Reply::Ok => (class::R_OK, vec![]),
+        Reply::Attached { session, as_id } => (
+            class::R_ATTACHED,
+            vec![
+                JdrValue::Long(*session as i64),
+                JdrValue::Int(i32::from(as_id.0 as i16)),
+            ],
+        ),
+        Reply::Created { resource } => (class::R_CREATED, vec![resource_value(*resource)]),
+        Reply::Connected { conn } => (class::R_CONNECTED, vec![JdrValue::Long(*conn as i64)]),
+        Reply::Item { ts, tag, payload } => (
+            class::R_ITEM,
+            vec![
+                JdrValue::Long(ts.value()),
+                JdrValue::Int(*tag as i32),
+                JdrValue::bytes(payload),
+            ],
+        ),
+        Reply::QueueItem {
+            ts,
+            tag,
+            payload,
+            ticket,
+        } => (
+            class::R_QUEUE_ITEM,
+            vec![
+                JdrValue::Long(ts.value()),
+                JdrValue::Int(*tag as i32),
+                JdrValue::Long(*ticket as i64),
+                JdrValue::bytes(payload),
+            ],
+        ),
+        Reply::NsFound { resource, meta } => (
+            class::R_NS_FOUND,
+            vec![resource_value(*resource), JdrValue::str(meta)],
+        ),
+        Reply::NsEntries { entries } => (
+            class::R_NS_ENTRIES,
+            vec![JdrValue::List(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Box::new(JdrValue::object(
+                            0,
+                            vec![
+                                JdrValue::str(&e.name),
+                                resource_value(e.resource),
+                                JdrValue::str(&e.meta),
+                            ],
+                        ))
+                    })
+                    .collect(),
+            )],
+        ),
+        Reply::Pong { nonce } => (class::R_PONG, vec![JdrValue::Long(*nonce as i64)]),
+        Reply::Error { code, detail } => (
+            class::R_ERROR,
+            vec![JdrValue::Int(*code as i32), JdrValue::str(detail)],
+        ),
+    };
+    JdrValue::object(
+        u32::MAX,
+        vec![
+            JdrValue::Long(frame.seq as i64),
+            JdrValue::List(notes),
+            JdrValue::object(cls, fields),
+        ],
+    )
+}
+
+fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
+    let (env_cls, env) = v.as_object()?;
+    if env_cls != u32::MAX {
+        return Err(WireError::BadTag(env_cls));
+    }
+    let seq = field(env, 0)?.as_u64()?;
+    let mut gc_notes = Vec::new();
+    for n in field(env, 1)?.as_list()? {
+        gc_notes.push(value_to_gc_note(n)?);
+    }
+    let (cls, f) = field(env, 2)?.as_object()?;
+    let reply = match cls {
+        class::R_OK => Reply::Ok,
+        class::R_ATTACHED => Reply::Attached {
+            session: field(f, 0)?.as_u64()?,
+            as_id: AsId(field(f, 1)?.as_i32()? as u16),
+        },
+        class::R_CREATED => Reply::Created {
+            resource: value_to_resource(field(f, 0)?)?,
+        },
+        class::R_CONNECTED => Reply::Connected {
+            conn: field(f, 0)?.as_u64()?,
+        },
+        class::R_ITEM => Reply::Item {
+            ts: Timestamp::new(field(f, 0)?.as_i64()?),
+            tag: field(f, 1)?.as_u32()?,
+            payload: Bytes::copy_from_slice(field(f, 2)?.as_bytes()?),
+        },
+        class::R_QUEUE_ITEM => Reply::QueueItem {
+            ts: Timestamp::new(field(f, 0)?.as_i64()?),
+            tag: field(f, 1)?.as_u32()?,
+            ticket: field(f, 2)?.as_u64()?,
+            payload: Bytes::copy_from_slice(field(f, 3)?.as_bytes()?),
+        },
+        class::R_NS_FOUND => Reply::NsFound {
+            resource: value_to_resource(field(f, 0)?)?,
+            meta: field(f, 1)?.as_str()?.to_owned(),
+        },
+        class::R_NS_ENTRIES => {
+            let mut entries = Vec::new();
+            for e in field(f, 0)?.as_list()? {
+                let (_, ef) = e.as_object()?;
+                entries.push(NsEntry {
+                    name: field(ef, 0)?.as_str()?.to_owned(),
+                    resource: value_to_resource(field(ef, 1)?)?,
+                    meta: field(ef, 2)?.as_str()?.to_owned(),
+                });
+            }
+            Reply::NsEntries { entries }
+        }
+        class::R_PONG => Reply::Pong {
+            nonce: field(f, 0)?.as_u64()?,
+        },
+        class::R_ERROR => Reply::Error {
+            code: field(f, 0)?.as_u32()?,
+            detail: field(f, 1)?.as_str()?.to_owned(),
+        },
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(ReplyFrame {
+        seq,
+        gc_notes,
+        reply,
+    })
+}
+
+impl Codec for JdrCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Jdr
+    }
+
+    fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
+        Ok(jdr_encode(&request_to_value(frame)))
+    }
+
+    fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {
+        value_to_request(&jdr_decode(bytes)?)
+    }
+
+    fn encode_reply(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError> {
+        Ok(jdr_encode(&reply_to_value(frame)))
+    }
+
+    fn decode_reply(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError> {
+        value_to_reply(&jdr_decode(bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::test_vectors::{all_replies, all_requests};
+
+    #[test]
+    fn every_request_round_trips() {
+        let codec = JdrCodec::new();
+        for (i, req) in all_requests().into_iter().enumerate() {
+            let frame = RequestFrame { seq: i as u64, req };
+            let bytes = codec.encode_request(&frame).unwrap();
+            let back = codec.decode_request(&bytes).unwrap();
+            assert_eq!(back, frame, "request #{i}");
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips() {
+        let codec = JdrCodec::new();
+        for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
+            let frame = ReplyFrame {
+                seq: i as u64,
+                gc_notes: notes,
+                reply,
+            };
+            let bytes = codec.encode_reply(&frame).unwrap();
+            let back = codec.decode_reply(&bytes).unwrap();
+            assert_eq!(back, frame, "reply #{i}");
+        }
+    }
+
+    #[test]
+    fn jdr_and_xdr_are_different_wire_formats() {
+        let frame = RequestFrame {
+            seq: 1,
+            req: Request::Ping { nonce: 2 },
+        };
+        let jdr = JdrCodec::new().encode_request(&frame).unwrap();
+        let xdr = crate::codec_xdr::XdrCodec::new()
+            .encode_request(&frame)
+            .unwrap();
+        assert_ne!(jdr, xdr);
+        // Cross-decoding must fail or mis-parse, never panic.
+        let _ = JdrCodec::new().decode_request(&xdr);
+    }
+
+    #[test]
+    fn bad_envelope_rejected() {
+        let v = JdrValue::object(3, vec![]);
+        let bytes = jdr_encode(&v);
+        assert!(JdrCodec::new().decode_request(&bytes).is_err());
+        assert!(JdrCodec::new().decode_reply(&bytes).is_err());
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        // Envelope with a PING object that has no fields.
+        let v = JdrValue::object(
+            u32::MAX,
+            vec![JdrValue::Long(1), JdrValue::object(class::PING, vec![])],
+        );
+        let bytes = jdr_encode(&v);
+        assert_eq!(
+            JdrCodec::new().decode_request(&bytes).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,712 @@
+//! The XDR codec: flat, bulk-copy marshalling (the C client library).
+
+use bytes::Bytes;
+
+use dstampede_core::{
+    AsId, ChanId, ChannelAttrs, GcPolicy, GetSpec, Interest, OverflowPolicy, QueueAttrs, QueueId,
+    ResourceId, TagFilter, Timestamp,
+};
+
+use crate::codec::{class, Codec, CodecId};
+use crate::error::WireError;
+use crate::rpc::{GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
+use crate::xdr::{XdrReader, XdrWriter};
+
+/// Flat XDR marshalling of RPC frames. Scalars are written in place and
+/// payloads are bulk-copied — the C client's cheap cost profile.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct XdrCodec;
+
+impl XdrCodec {
+    /// Creates the codec (stateless).
+    #[must_use]
+    pub fn new() -> Self {
+        XdrCodec
+    }
+}
+
+fn put_chan_id(w: &mut XdrWriter, id: ChanId) {
+    w.put_u32(u32::from(id.owner.0));
+    w.put_u32(id.index);
+}
+
+fn get_chan_id(r: &mut XdrReader<'_>) -> Result<ChanId, WireError> {
+    let owner = r.get_u32()?;
+    let owner = u16::try_from(owner)
+        .map_err(|_| WireError::BadValue(format!("address space id {owner}")))?;
+    Ok(ChanId {
+        owner: AsId(owner),
+        index: r.get_u32()?,
+    })
+}
+
+fn put_queue_id(w: &mut XdrWriter, id: QueueId) {
+    w.put_u32(u32::from(id.owner.0));
+    w.put_u32(id.index);
+}
+
+fn get_queue_id(r: &mut XdrReader<'_>) -> Result<QueueId, WireError> {
+    let owner = r.get_u32()?;
+    let owner = u16::try_from(owner)
+        .map_err(|_| WireError::BadValue(format!("address space id {owner}")))?;
+    Ok(QueueId {
+        owner: AsId(owner),
+        index: r.get_u32()?,
+    })
+}
+
+fn put_resource(w: &mut XdrWriter, res: ResourceId) {
+    match res {
+        ResourceId::Channel(c) => {
+            w.put_u32(class::RES_CHANNEL);
+            put_chan_id(w, c);
+        }
+        ResourceId::Queue(q) => {
+            w.put_u32(class::RES_QUEUE);
+            put_queue_id(w, q);
+        }
+    }
+}
+
+fn get_resource(r: &mut XdrReader<'_>) -> Result<ResourceId, WireError> {
+    match r.get_u32()? {
+        class::RES_CHANNEL => Ok(ResourceId::Channel(get_chan_id(r)?)),
+        class::RES_QUEUE => Ok(ResourceId::Queue(get_queue_id(r)?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_channel_attrs(w: &mut XdrWriter, attrs: &ChannelAttrs) {
+    w.put_option(attrs.capacity().as_ref(), |w, c| w.put_u32(*c));
+    w.put_u32(attrs.overflow().code());
+    w.put_u32(attrs.gc().code());
+}
+
+fn get_channel_attrs(r: &mut XdrReader<'_>) -> Result<ChannelAttrs, WireError> {
+    let capacity = r.get_option(|r| r.get_u32())?;
+    let overflow = OverflowPolicy::from_code(r.get_u32()?);
+    let gc = GcPolicy::from_code(r.get_u32()?);
+    let mut b = ChannelAttrs::builder().overflow(overflow).gc(gc);
+    if let Some(c) = capacity {
+        b = b.capacity(c);
+    }
+    Ok(b.build())
+}
+
+fn put_queue_attrs(w: &mut XdrWriter, attrs: &QueueAttrs) {
+    w.put_option(attrs.capacity().as_ref(), |w, c| w.put_u32(*c));
+    w.put_u32(attrs.overflow().code());
+}
+
+fn get_queue_attrs(r: &mut XdrReader<'_>) -> Result<QueueAttrs, WireError> {
+    let capacity = r.get_option(|r| r.get_u32())?;
+    let overflow = OverflowPolicy::from_code(r.get_u32()?);
+    let mut b = QueueAttrs::builder().overflow(overflow);
+    if let Some(c) = capacity {
+        b = b.capacity(c);
+    }
+    Ok(b.build())
+}
+
+fn put_interest(w: &mut XdrWriter, interest: Interest) {
+    match interest {
+        Interest::FromEarliest => w.put_u32(class::INTEREST_EARLIEST),
+        Interest::FromLatest => w.put_u32(class::INTEREST_LATEST),
+        Interest::FromTs(ts) => {
+            w.put_u32(class::INTEREST_FROM_TS);
+            w.put_i64(ts.value());
+        }
+    }
+}
+
+fn get_interest(r: &mut XdrReader<'_>) -> Result<Interest, WireError> {
+    match r.get_u32()? {
+        class::INTEREST_EARLIEST => Ok(Interest::FromEarliest),
+        class::INTEREST_LATEST => Ok(Interest::FromLatest),
+        class::INTEREST_FROM_TS => Ok(Interest::FromTs(Timestamp::new(r.get_i64()?))),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_filter(w: &mut XdrWriter, filter: &TagFilter) {
+    match filter {
+        TagFilter::Any => w.put_u32(class::FILTER_ANY),
+        TagFilter::Only(tags) => {
+            w.put_u32(class::FILTER_ONLY);
+            w.put_u32(tags.len() as u32);
+            for t in tags {
+                w.put_u32(*t);
+            }
+        }
+        TagFilter::Stripe { modulus, remainder } => {
+            w.put_u32(class::FILTER_STRIPE);
+            w.put_u32(*modulus);
+            w.put_u32(*remainder);
+        }
+    }
+}
+
+fn get_filter(r: &mut XdrReader<'_>) -> Result<TagFilter, WireError> {
+    match r.get_u32()? {
+        class::FILTER_ANY => Ok(TagFilter::Any),
+        class::FILTER_ONLY => {
+            let n = r.get_u32()?;
+            if n > 1_000_000 {
+                return Err(WireError::BadValue(format!("filter tag count {n}")));
+            }
+            let mut tags = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                tags.push(r.get_u32()?);
+            }
+            Ok(TagFilter::Only(tags))
+        }
+        class::FILTER_STRIPE => Ok(TagFilter::Stripe {
+            modulus: r.get_u32()?,
+            remainder: r.get_u32()?,
+        }),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_spec(w: &mut XdrWriter, spec: GetSpec) {
+    match spec {
+        GetSpec::Exact(ts) => {
+            w.put_u32(class::SPEC_EXACT);
+            w.put_i64(ts.value());
+        }
+        GetSpec::Latest => w.put_u32(class::SPEC_LATEST),
+        GetSpec::Earliest => w.put_u32(class::SPEC_EARLIEST),
+        GetSpec::After(ts) => {
+            w.put_u32(class::SPEC_AFTER);
+            w.put_i64(ts.value());
+        }
+    }
+}
+
+fn get_spec(r: &mut XdrReader<'_>) -> Result<GetSpec, WireError> {
+    match r.get_u32()? {
+        class::SPEC_EXACT => Ok(GetSpec::Exact(Timestamp::new(r.get_i64()?))),
+        class::SPEC_LATEST => Ok(GetSpec::Latest),
+        class::SPEC_EARLIEST => Ok(GetSpec::Earliest),
+        class::SPEC_AFTER => Ok(GetSpec::After(Timestamp::new(r.get_i64()?))),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_wait(w: &mut XdrWriter, wait: WaitSpec) {
+    match wait {
+        WaitSpec::NonBlocking => w.put_u32(class::WAIT_NON_BLOCKING),
+        WaitSpec::Forever => w.put_u32(class::WAIT_FOREVER),
+        WaitSpec::TimeoutMs(ms) => {
+            w.put_u32(class::WAIT_TIMEOUT);
+            w.put_u32(ms);
+        }
+    }
+}
+
+fn get_wait(r: &mut XdrReader<'_>) -> Result<WaitSpec, WireError> {
+    match r.get_u32()? {
+        class::WAIT_NON_BLOCKING => Ok(WaitSpec::NonBlocking),
+        class::WAIT_FOREVER => Ok(WaitSpec::Forever),
+        class::WAIT_TIMEOUT => Ok(WaitSpec::TimeoutMs(r.get_u32()?)),
+        t => Err(WireError::BadTag(t)),
+    }
+}
+
+fn put_gc_note(w: &mut XdrWriter, n: &GcNote) {
+    put_resource(w, n.resource);
+    w.put_i64(n.ts.value());
+    w.put_u32(n.tag);
+    w.put_u32(n.len);
+}
+
+fn get_gc_note(r: &mut XdrReader<'_>) -> Result<GcNote, WireError> {
+    Ok(GcNote {
+        resource: get_resource(r)?,
+        ts: Timestamp::new(r.get_i64()?),
+        tag: r.get_u32()?,
+        len: r.get_u32()?,
+    })
+}
+
+impl Codec for XdrCodec {
+    fn id(&self) -> CodecId {
+        CodecId::Xdr
+    }
+
+    fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
+        let mut w = XdrWriter::with_capacity(64);
+        w.put_u64(frame.seq);
+        match &frame.req {
+            Request::Attach { client_name } => {
+                w.put_u32(class::ATTACH);
+                w.put_string(client_name);
+            }
+            Request::Detach => w.put_u32(class::DETACH),
+            Request::Ping { nonce } => {
+                w.put_u32(class::PING);
+                w.put_u64(*nonce);
+            }
+            Request::ChannelCreate { name, attrs } => {
+                w.put_u32(class::CHANNEL_CREATE);
+                w.put_option(name.as_ref(), |w, n| w.put_string(n));
+                put_channel_attrs(&mut w, attrs);
+            }
+            Request::QueueCreate { name, attrs } => {
+                w.put_u32(class::QUEUE_CREATE);
+                w.put_option(name.as_ref(), |w, n| w.put_string(n));
+                put_queue_attrs(&mut w, attrs);
+            }
+            Request::ConnectChannelIn {
+                chan,
+                interest,
+                filter,
+            } => {
+                w.put_u32(class::CONNECT_CHANNEL_IN);
+                put_chan_id(&mut w, *chan);
+                put_interest(&mut w, *interest);
+                put_filter(&mut w, filter);
+            }
+            Request::ConnectChannelOut { chan } => {
+                w.put_u32(class::CONNECT_CHANNEL_OUT);
+                put_chan_id(&mut w, *chan);
+            }
+            Request::ConnectQueueIn { queue } => {
+                w.put_u32(class::CONNECT_QUEUE_IN);
+                put_queue_id(&mut w, *queue);
+            }
+            Request::ConnectQueueOut { queue } => {
+                w.put_u32(class::CONNECT_QUEUE_OUT);
+                put_queue_id(&mut w, *queue);
+            }
+            Request::Disconnect { conn } => {
+                w.put_u32(class::DISCONNECT);
+                w.put_u64(*conn);
+            }
+            Request::ChannelPut {
+                conn,
+                ts,
+                tag,
+                payload,
+                wait,
+            } => {
+                w.put_u32(class::CHANNEL_PUT);
+                w.put_u64(*conn);
+                w.put_i64(ts.value());
+                w.put_u32(*tag);
+                put_wait(&mut w, *wait);
+                w.put_opaque(payload);
+            }
+            Request::ChannelGet { conn, spec, wait } => {
+                w.put_u32(class::CHANNEL_GET);
+                w.put_u64(*conn);
+                put_spec(&mut w, *spec);
+                put_wait(&mut w, *wait);
+            }
+            Request::ChannelConsume { conn, upto } => {
+                w.put_u32(class::CHANNEL_CONSUME);
+                w.put_u64(*conn);
+                w.put_i64(upto.value());
+            }
+            Request::ChannelSetVt { conn, vt } => {
+                w.put_u32(class::CHANNEL_SET_VT);
+                w.put_u64(*conn);
+                w.put_i64(vt.value());
+            }
+            Request::QueuePut {
+                conn,
+                ts,
+                tag,
+                payload,
+                wait,
+            } => {
+                w.put_u32(class::QUEUE_PUT);
+                w.put_u64(*conn);
+                w.put_i64(ts.value());
+                w.put_u32(*tag);
+                put_wait(&mut w, *wait);
+                w.put_opaque(payload);
+            }
+            Request::QueueGet { conn, wait } => {
+                w.put_u32(class::QUEUE_GET);
+                w.put_u64(*conn);
+                put_wait(&mut w, *wait);
+            }
+            Request::QueueConsume { conn, ticket } => {
+                w.put_u32(class::QUEUE_CONSUME);
+                w.put_u64(*conn);
+                w.put_u64(*ticket);
+            }
+            Request::QueueRequeue { conn, ticket } => {
+                w.put_u32(class::QUEUE_REQUEUE);
+                w.put_u64(*conn);
+                w.put_u64(*ticket);
+            }
+            Request::NsRegister {
+                name,
+                resource,
+                meta,
+            } => {
+                w.put_u32(class::NS_REGISTER);
+                w.put_string(name);
+                put_resource(&mut w, *resource);
+                w.put_string(meta);
+            }
+            Request::NsLookup { name, wait } => {
+                w.put_u32(class::NS_LOOKUP);
+                w.put_string(name);
+                put_wait(&mut w, *wait);
+            }
+            Request::NsUnregister { name } => {
+                w.put_u32(class::NS_UNREGISTER);
+                w.put_string(name);
+            }
+            Request::NsList => w.put_u32(class::NS_LIST),
+            Request::InstallGarbageHook { resource } => {
+                w.put_u32(class::INSTALL_GARBAGE_HOOK);
+                put_resource(&mut w, *resource);
+            }
+            Request::GcReport { from, min_vt } => {
+                w.put_u32(class::GC_REPORT);
+                w.put_u32(u32::from(from.0));
+                w.put_i64(min_vt.value());
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {
+        let mut r = XdrReader::new(bytes);
+        let seq = r.get_u64()?;
+        let tag = r.get_u32()?;
+        let req = match tag {
+            class::ATTACH => Request::Attach {
+                client_name: r.get_string()?,
+            },
+            class::DETACH => Request::Detach,
+            class::PING => Request::Ping {
+                nonce: r.get_u64()?,
+            },
+            class::CHANNEL_CREATE => Request::ChannelCreate {
+                name: r.get_option(|r| r.get_string())?,
+                attrs: get_channel_attrs(&mut r)?,
+            },
+            class::QUEUE_CREATE => Request::QueueCreate {
+                name: r.get_option(|r| r.get_string())?,
+                attrs: get_queue_attrs(&mut r)?,
+            },
+            class::CONNECT_CHANNEL_IN => Request::ConnectChannelIn {
+                chan: get_chan_id(&mut r)?,
+                interest: get_interest(&mut r)?,
+                filter: get_filter(&mut r)?,
+            },
+            class::CONNECT_CHANNEL_OUT => Request::ConnectChannelOut {
+                chan: get_chan_id(&mut r)?,
+            },
+            class::CONNECT_QUEUE_IN => Request::ConnectQueueIn {
+                queue: get_queue_id(&mut r)?,
+            },
+            class::CONNECT_QUEUE_OUT => Request::ConnectQueueOut {
+                queue: get_queue_id(&mut r)?,
+            },
+            class::DISCONNECT => Request::Disconnect { conn: r.get_u64()? },
+            class::CHANNEL_PUT => {
+                let conn = r.get_u64()?;
+                let ts = Timestamp::new(r.get_i64()?);
+                let tag = r.get_u32()?;
+                let wait = get_wait(&mut r)?;
+                let payload = Bytes::copy_from_slice(r.get_opaque()?);
+                Request::ChannelPut {
+                    conn,
+                    ts,
+                    tag,
+                    payload,
+                    wait,
+                }
+            }
+            class::CHANNEL_GET => Request::ChannelGet {
+                conn: r.get_u64()?,
+                spec: get_spec(&mut r)?,
+                wait: get_wait(&mut r)?,
+            },
+            class::CHANNEL_CONSUME => Request::ChannelConsume {
+                conn: r.get_u64()?,
+                upto: Timestamp::new(r.get_i64()?),
+            },
+            class::CHANNEL_SET_VT => Request::ChannelSetVt {
+                conn: r.get_u64()?,
+                vt: Timestamp::new(r.get_i64()?),
+            },
+            class::QUEUE_PUT => {
+                let conn = r.get_u64()?;
+                let ts = Timestamp::new(r.get_i64()?);
+                let tag = r.get_u32()?;
+                let wait = get_wait(&mut r)?;
+                let payload = Bytes::copy_from_slice(r.get_opaque()?);
+                Request::QueuePut {
+                    conn,
+                    ts,
+                    tag,
+                    payload,
+                    wait,
+                }
+            }
+            class::QUEUE_GET => Request::QueueGet {
+                conn: r.get_u64()?,
+                wait: get_wait(&mut r)?,
+            },
+            class::QUEUE_CONSUME => Request::QueueConsume {
+                conn: r.get_u64()?,
+                ticket: r.get_u64()?,
+            },
+            class::QUEUE_REQUEUE => Request::QueueRequeue {
+                conn: r.get_u64()?,
+                ticket: r.get_u64()?,
+            },
+            class::NS_REGISTER => Request::NsRegister {
+                name: r.get_string()?,
+                resource: get_resource(&mut r)?,
+                meta: r.get_string()?,
+            },
+            class::NS_LOOKUP => Request::NsLookup {
+                name: r.get_string()?,
+                wait: get_wait(&mut r)?,
+            },
+            class::NS_UNREGISTER => Request::NsUnregister {
+                name: r.get_string()?,
+            },
+            class::NS_LIST => Request::NsList,
+            class::INSTALL_GARBAGE_HOOK => Request::InstallGarbageHook {
+                resource: get_resource(&mut r)?,
+            },
+            class::GC_REPORT => {
+                let from = r.get_u32()?;
+                let from = u16::try_from(from)
+                    .map_err(|_| WireError::BadValue(format!("address space id {from}")))?;
+                Request::GcReport {
+                    from: AsId(from),
+                    min_vt: Timestamp::new(r.get_i64()?),
+                }
+            }
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(RequestFrame { seq, req })
+    }
+
+    fn encode_reply(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError> {
+        let mut w = XdrWriter::with_capacity(64);
+        w.put_u64(frame.seq);
+        w.put_u32(frame.gc_notes.len() as u32);
+        for n in &frame.gc_notes {
+            put_gc_note(&mut w, n);
+        }
+        match &frame.reply {
+            Reply::Ok => w.put_u32(class::R_OK),
+            Reply::Attached { session, as_id } => {
+                w.put_u32(class::R_ATTACHED);
+                w.put_u64(*session);
+                w.put_u32(u32::from(as_id.0));
+            }
+            Reply::Created { resource } => {
+                w.put_u32(class::R_CREATED);
+                put_resource(&mut w, *resource);
+            }
+            Reply::Connected { conn } => {
+                w.put_u32(class::R_CONNECTED);
+                w.put_u64(*conn);
+            }
+            Reply::Item { ts, tag, payload } => {
+                w.put_u32(class::R_ITEM);
+                w.put_i64(ts.value());
+                w.put_u32(*tag);
+                w.put_opaque(payload);
+            }
+            Reply::QueueItem {
+                ts,
+                tag,
+                payload,
+                ticket,
+            } => {
+                w.put_u32(class::R_QUEUE_ITEM);
+                w.put_i64(ts.value());
+                w.put_u32(*tag);
+                w.put_u64(*ticket);
+                w.put_opaque(payload);
+            }
+            Reply::NsFound { resource, meta } => {
+                w.put_u32(class::R_NS_FOUND);
+                put_resource(&mut w, *resource);
+                w.put_string(meta);
+            }
+            Reply::NsEntries { entries } => {
+                w.put_u32(class::R_NS_ENTRIES);
+                w.put_u32(entries.len() as u32);
+                for e in entries {
+                    w.put_string(&e.name);
+                    put_resource(&mut w, e.resource);
+                    w.put_string(&e.meta);
+                }
+            }
+            Reply::Pong { nonce } => {
+                w.put_u32(class::R_PONG);
+                w.put_u64(*nonce);
+            }
+            Reply::Error { code, detail } => {
+                w.put_u32(class::R_ERROR);
+                w.put_u32(*code);
+                w.put_string(detail);
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    fn decode_reply(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError> {
+        let mut r = XdrReader::new(bytes);
+        let seq = r.get_u64()?;
+        let n_notes = r.get_u32()?;
+        if n_notes as usize > bytes.len() {
+            return Err(WireError::BadValue(format!("gc note count {n_notes}")));
+        }
+        let mut gc_notes = Vec::with_capacity(n_notes as usize);
+        for _ in 0..n_notes {
+            gc_notes.push(get_gc_note(&mut r)?);
+        }
+        let tag = r.get_u32()?;
+        let reply = match tag {
+            class::R_OK => Reply::Ok,
+            class::R_ATTACHED => {
+                let session = r.get_u64()?;
+                let as_id = r.get_u32()?;
+                let as_id = u16::try_from(as_id)
+                    .map_err(|_| WireError::BadValue(format!("address space id {as_id}")))?;
+                Reply::Attached {
+                    session,
+                    as_id: AsId(as_id),
+                }
+            }
+            class::R_CREATED => Reply::Created {
+                resource: get_resource(&mut r)?,
+            },
+            class::R_CONNECTED => Reply::Connected { conn: r.get_u64()? },
+            class::R_ITEM => Reply::Item {
+                ts: Timestamp::new(r.get_i64()?),
+                tag: r.get_u32()?,
+                payload: Bytes::copy_from_slice(r.get_opaque()?),
+            },
+            class::R_QUEUE_ITEM => Reply::QueueItem {
+                ts: Timestamp::new(r.get_i64()?),
+                tag: r.get_u32()?,
+                ticket: r.get_u64()?,
+                payload: Bytes::copy_from_slice(r.get_opaque()?),
+            },
+            class::R_NS_FOUND => Reply::NsFound {
+                resource: get_resource(&mut r)?,
+                meta: r.get_string()?,
+            },
+            class::R_NS_ENTRIES => {
+                let n = r.get_u32()?;
+                if n as usize > bytes.len() {
+                    return Err(WireError::BadValue(format!("entry count {n}")));
+                }
+                let mut entries = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    entries.push(NsEntry {
+                        name: r.get_string()?,
+                        resource: get_resource(&mut r)?,
+                        meta: r.get_string()?,
+                    });
+                }
+                Reply::NsEntries { entries }
+            }
+            class::R_PONG => Reply::Pong {
+                nonce: r.get_u64()?,
+            },
+            class::R_ERROR => Reply::Error {
+                code: r.get_u32()?,
+                detail: r.get_string()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        };
+        r.finish()?;
+        Ok(ReplyFrame {
+            seq,
+            gc_notes,
+            reply,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpc::test_vectors::{all_replies, all_requests};
+
+    #[test]
+    fn every_request_round_trips() {
+        let codec = XdrCodec::new();
+        for (i, req) in all_requests().into_iter().enumerate() {
+            let frame = RequestFrame { seq: i as u64, req };
+            let bytes = codec.encode_request(&frame).unwrap();
+            let back = codec.decode_request(&bytes).unwrap();
+            assert_eq!(back, frame, "request #{i}");
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips() {
+        let codec = XdrCodec::new();
+        for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
+            let frame = ReplyFrame {
+                seq: i as u64,
+                gc_notes: notes,
+                reply,
+            };
+            let bytes = codec.encode_reply(&frame).unwrap();
+            let back = codec.decode_reply(&bytes).unwrap();
+            assert_eq!(back, frame, "reply #{i}");
+        }
+    }
+
+    #[test]
+    fn unknown_request_tag_rejected() {
+        let mut w = XdrWriter::new();
+        w.put_u64(1);
+        w.put_u32(999);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            XdrCodec::new().decode_request(&bytes).unwrap_err(),
+            WireError::BadTag(999)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let codec = XdrCodec::new();
+        let frame = RequestFrame {
+            seq: 1,
+            req: Request::Detach,
+        };
+        let mut bytes = codec.encode_request(&frame).unwrap();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert_eq!(
+            codec.decode_request(&bytes).unwrap_err(),
+            WireError::TrailingBytes(4)
+        );
+    }
+
+    #[test]
+    fn truncated_reply_rejected() {
+        let codec = XdrCodec::new();
+        let frame = ReplyFrame {
+            seq: 1,
+            gc_notes: vec![],
+            reply: Reply::Pong { nonce: 3 },
+        };
+        let bytes = codec.encode_reply(&frame).unwrap();
+        assert_eq!(
+            codec.decode_reply(&bytes[..bytes.len() - 2]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Marshalling errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding or decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    Truncated,
+    /// Padding bytes were non-zero.
+    BadPadding,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A tag byte or discriminant did not match any known variant.
+    BadTag(u32),
+    /// A field held an out-of-range or inconsistent value.
+    BadValue(String),
+    /// Decoding finished with input left over.
+    TrailingBytes(usize),
+    /// The message exceeds the maximum frame size.
+    TooLarge(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::BadPadding => write!(f, "non-zero padding bytes"),
+            WireError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::BadValue(s) => write!(f, "bad value: {s}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::TooLarge(n) => write!(f, "message of {n} bytes exceeds frame limit"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for e in [
+            WireError::Truncated,
+            WireError::BadPadding,
+            WireError::BadUtf8,
+            WireError::BadTag(3),
+            WireError::BadValue("x".into()),
+            WireError::TrailingBytes(2),
+            WireError::TooLarge(10),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! The client↔cluster transport is a TCP stream (paper §3.2.1); frames are
+//! a 4-byte big-endian length followed by the codec-encoded message. A
+//! generous maximum frame size guards both sides against corrupt or
+//! hostile length prefixes.
+
+use std::io::{self, Read, Write};
+
+/// Largest frame either side will accept (16 MiB — far above the paper's
+/// 190 KB frames but small enough to catch corrupt prefixes).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+///
+/// Accepts any [`Write`]; pass `&mut stream` to keep ownership.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidInput`] if `payload` exceeds [`MAX_FRAME`];
+/// otherwise whatever the underlying writer reports.
+pub fn write_frame<W: Write>(mut w: W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds limit", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Accepts any [`Read`]; pass `&mut stream` to keep ownership.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::UnexpectedEof`] on a short read,
+/// [`io::ErrorKind::InvalidData`] on an oversized length prefix; otherwise
+/// whatever the underlying reader reports.
+pub fn read_frame<R: Read>(mut r: R) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), vec![7u8; 1000]);
+    }
+
+    #[test]
+    fn eof_mid_frame_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6);
+        let err = read_frame(Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let err = read_frame(Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let payload = vec![0u8; MAX_FRAME + 1];
+        let mut out = Vec::new();
+        let err = write_frame(&mut out, &payload).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let err = read_frame(Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

@@ -1,0 +1,586 @@
+//! JDR — "Java data representation", the Java client library's wire format.
+//!
+//! The paper's Java client library "uses our own data representation to
+//! perform the marshalling and unmarshalling of the arguments" (§3.2.1),
+//! and attributes the Java client's higher latency to the fact that "in
+//! Java \[marshalling and unmarshalling\] involve construction of objects"
+//! while in C they are "mostly pointer manipulation" (§5.1, Result 2).
+//!
+//! This module reproduces that cost profile *structurally* rather than with
+//! artificial delays:
+//!
+//! * every value is a heap-allocated node in a [`JdrValue`] tree (each
+//!   field boxed, as a 2002 JVM boxed serialized members);
+//! * the byte stream is produced and parsed **one byte at a time through a
+//!   virtual call** ([`JdrSink`]/[`JdrSource`] trait objects, with the
+//!   concrete implementations marked `#[inline(never)]`), mirroring
+//!   `DataOutputStream.write(int)` dispatch;
+//! * byte arrays are marshalled element-wise — no `memcpy` fast path.
+//!
+//! The asymmetry between this codec and [`crate::xdr`] is what regenerates
+//! the Figure 12 vs Figure 13 gap; see `EXPERIMENTS.md`.
+
+use crate::error::WireError;
+
+/// Byte-at-a-time output stream (deliberately virtual).
+pub trait JdrSink {
+    /// Appends one byte to the stream.
+    fn write_byte(&mut self, b: u8);
+}
+
+/// Byte-at-a-time input stream (deliberately virtual).
+pub trait JdrSource {
+    /// Reads the next byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of stream.
+    fn read_byte(&mut self) -> Result<u8, WireError>;
+}
+
+/// Growable byte buffer behind the [`JdrSink`] interface.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    buf: Vec<u8>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// Consumes the sink, returning the bytes written.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing was written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl JdrSink for VecSink {
+    #[inline(never)] // keep the per-byte virtual-call cost model honest
+    fn write_byte(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+}
+
+/// Byte-slice reader behind the [`JdrSource`] interface.
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// A source positioned at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        SliceSource { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl JdrSource for SliceSource<'_> {
+    #[inline(never)] // keep the per-byte virtual-call cost model honest
+    fn read_byte(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+}
+
+mod tag {
+    pub const NULL: u8 = 0;
+    pub const BOOL: u8 = 1;
+    pub const INT: u8 = 2;
+    pub const LONG: u8 = 3;
+    pub const STR: u8 = 4;
+    pub const BYTES: u8 = 5;
+    pub const LIST: u8 = 6;
+    pub const OBJECT: u8 = 7;
+}
+
+/// A node in the boxed object tree JDR marshals through.
+///
+/// Constructing one of these per field is the object-allocation cost the
+/// paper measured in its Java client. Use [`JdrValue::object`] and the
+/// accessors to build and inspect messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JdrValue {
+    /// Absent optional value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 32-bit signed integer (boxed `Integer`).
+    Int(i32),
+    /// 64-bit signed integer (boxed `Long`).
+    Long(i64),
+    /// String.
+    Str(Box<str>),
+    /// Byte array (marshalled element-wise).
+    Bytes(Box<[u8]>),
+    /// Homogeneous list.
+    List(Vec<Box<JdrValue>>),
+    /// Object: class id plus boxed fields.
+    Object {
+        /// Class identifier (message/variant discriminator).
+        class: u32,
+        /// Boxed fields, in declaration order.
+        fields: Vec<Box<JdrValue>>,
+    },
+}
+
+impl JdrValue {
+    /// Builds an object node from its class id and fields.
+    #[must_use]
+    pub fn object(class: u32, fields: Vec<JdrValue>) -> JdrValue {
+        JdrValue::Object {
+            class,
+            fields: fields.into_iter().map(Box::new).collect(),
+        }
+    }
+
+    /// Builds a string node.
+    #[must_use]
+    pub fn str(s: &str) -> JdrValue {
+        JdrValue::Str(s.into())
+    }
+
+    /// Builds a byte-array node (copies, as Java serialization would).
+    #[must_use]
+    pub fn bytes(b: &[u8]) -> JdrValue {
+        JdrValue::Bytes(b.into())
+    }
+
+    /// Reads this node as a bool.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_bool(&self) -> Result<bool, WireError> {
+        match self {
+            JdrValue::Bool(v) => Ok(*v),
+            other => Err(type_error("bool", other)),
+        }
+    }
+
+    /// Reads this node as an i32.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_i32(&self) -> Result<i32, WireError> {
+        match self {
+            JdrValue::Int(v) => Ok(*v),
+            other => Err(type_error("int", other)),
+        }
+    }
+
+    /// Reads this node as a u32 (encoded as `Int`).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_u32(&self) -> Result<u32, WireError> {
+        Ok(self.as_i32()? as u32)
+    }
+
+    /// Reads this node as an i64.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_i64(&self) -> Result<i64, WireError> {
+        match self {
+            JdrValue::Long(v) => Ok(*v),
+            other => Err(type_error("long", other)),
+        }
+    }
+
+    /// Reads this node as a u64 (encoded as `Long`).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_u64(&self) -> Result<u64, WireError> {
+        Ok(self.as_i64()? as u64)
+    }
+
+    /// Reads this node as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_str(&self) -> Result<&str, WireError> {
+        match self {
+            JdrValue::Str(s) => Ok(s),
+            other => Err(type_error("string", other)),
+        }
+    }
+
+    /// Reads this node as a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_bytes(&self) -> Result<&[u8], WireError> {
+        match self {
+            JdrValue::Bytes(b) => Ok(b),
+            other => Err(type_error("bytes", other)),
+        }
+    }
+
+    /// Reads this node as a list.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_list(&self) -> Result<&[Box<JdrValue>], WireError> {
+        match self {
+            JdrValue::List(items) => Ok(items),
+            other => Err(type_error("list", other)),
+        }
+    }
+
+    /// Reads this node as an object, returning `(class, fields)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_object(&self) -> Result<(u32, &[Box<JdrValue>]), WireError> {
+        match self {
+            JdrValue::Object { class, fields } => Ok((*class, fields)),
+            other => Err(type_error("object", other)),
+        }
+    }
+
+    /// Reads this node as `None` (for `Null`) or `Some(self)`.
+    #[must_use]
+    pub fn as_option(&self) -> Option<&JdrValue> {
+        match self {
+            JdrValue::Null => None,
+            v => Some(v),
+        }
+    }
+}
+
+fn type_error(wanted: &str, got: &JdrValue) -> WireError {
+    let kind = match got {
+        JdrValue::Null => "null",
+        JdrValue::Bool(_) => "bool",
+        JdrValue::Int(_) => "int",
+        JdrValue::Long(_) => "long",
+        JdrValue::Str(_) => "string",
+        JdrValue::Bytes(_) => "bytes",
+        JdrValue::List(_) => "list",
+        JdrValue::Object { .. } => "object",
+    };
+    WireError::BadValue(format!("expected {wanted}, found {kind}"))
+}
+
+fn write_u32(sink: &mut dyn JdrSink, v: u32) {
+    for b in v.to_be_bytes() {
+        sink.write_byte(b);
+    }
+}
+
+fn write_u64(sink: &mut dyn JdrSink, v: u64) {
+    for b in v.to_be_bytes() {
+        sink.write_byte(b);
+    }
+}
+
+fn read_u32(src: &mut dyn JdrSource) -> Result<u32, WireError> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        v = (v << 8) | u32::from(src.read_byte()?);
+    }
+    Ok(v)
+}
+
+fn read_u64(src: &mut dyn JdrSource) -> Result<u64, WireError> {
+    let mut v = 0u64;
+    for _ in 0..8 {
+        v = (v << 8) | u64::from(src.read_byte()?);
+    }
+    Ok(v)
+}
+
+/// Serializes a value tree to the sink, element by element.
+pub fn write_value(value: &JdrValue, sink: &mut dyn JdrSink) {
+    match value {
+        JdrValue::Null => sink.write_byte(tag::NULL),
+        JdrValue::Bool(v) => {
+            sink.write_byte(tag::BOOL);
+            sink.write_byte(u8::from(*v));
+        }
+        JdrValue::Int(v) => {
+            sink.write_byte(tag::INT);
+            write_u32(sink, *v as u32);
+        }
+        JdrValue::Long(v) => {
+            sink.write_byte(tag::LONG);
+            write_u64(sink, *v as u64);
+        }
+        JdrValue::Str(s) => {
+            sink.write_byte(tag::STR);
+            write_u32(sink, s.len() as u32);
+            for &b in s.as_bytes() {
+                sink.write_byte(b);
+            }
+        }
+        JdrValue::Bytes(data) => {
+            sink.write_byte(tag::BYTES);
+            write_u32(sink, data.len() as u32);
+            for &b in data.iter() {
+                sink.write_byte(b);
+            }
+        }
+        JdrValue::List(items) => {
+            sink.write_byte(tag::LIST);
+            write_u32(sink, items.len() as u32);
+            for item in items {
+                write_value(item, sink);
+            }
+        }
+        JdrValue::Object { class, fields } => {
+            sink.write_byte(tag::OBJECT);
+            write_u32(sink, *class);
+            write_u32(sink, fields.len() as u32);
+            for field in fields {
+                write_value(field, sink);
+            }
+        }
+    }
+}
+
+/// Maximum elements a single list/object/byte-array header may declare,
+/// guarding against hostile length prefixes.
+const MAX_LEN: u32 = 64 * 1024 * 1024;
+
+/// Parses a value tree from the source, constructing a boxed node per
+/// value, element by element.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] on short input, [`WireError::BadTag`] on an
+/// unknown type tag, [`WireError::BadValue`] on hostile lengths or bad
+/// UTF-8.
+pub fn read_value(src: &mut dyn JdrSource) -> Result<JdrValue, WireError> {
+    let t = src.read_byte()?;
+    match t {
+        tag::NULL => Ok(JdrValue::Null),
+        tag::BOOL => Ok(JdrValue::Bool(src.read_byte()? != 0)),
+        tag::INT => Ok(JdrValue::Int(read_u32(src)? as i32)),
+        tag::LONG => Ok(JdrValue::Long(read_u64(src)? as i64)),
+        tag::STR => {
+            let len = read_u32(src)?;
+            if len > MAX_LEN {
+                return Err(WireError::BadValue(format!("string length {len}")));
+            }
+            let mut buf = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                buf.push(src.read_byte()?);
+            }
+            let s = String::from_utf8(buf).map_err(|_| WireError::BadUtf8)?;
+            Ok(JdrValue::Str(s.into_boxed_str()))
+        }
+        tag::BYTES => {
+            let len = read_u32(src)?;
+            if len > MAX_LEN {
+                return Err(WireError::BadValue(format!("byte array length {len}")));
+            }
+            let mut buf = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                buf.push(src.read_byte()?);
+            }
+            Ok(JdrValue::Bytes(buf.into_boxed_slice()))
+        }
+        tag::LIST => {
+            let len = read_u32(src)?;
+            if len > MAX_LEN {
+                return Err(WireError::BadValue(format!("list length {len}")));
+            }
+            let mut items = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                items.push(Box::new(read_value(src)?));
+            }
+            Ok(JdrValue::List(items))
+        }
+        tag::OBJECT => {
+            let class = read_u32(src)?;
+            let len = read_u32(src)?;
+            if len > MAX_LEN {
+                return Err(WireError::BadValue(format!("field count {len}")));
+            }
+            let mut fields = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                fields.push(Box::new(read_value(src)?));
+            }
+            Ok(JdrValue::Object { class, fields })
+        }
+        other => Err(WireError::BadTag(u32::from(other))),
+    }
+}
+
+/// Convenience: serializes a value tree to a fresh byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use dstampede_wire::jdr::{encode, decode, JdrValue};
+///
+/// # fn main() -> Result<(), dstampede_wire::WireError> {
+/// let v = JdrValue::object(3, vec![JdrValue::Int(7), JdrValue::str("cam")]);
+/// let bytes = encode(&v);
+/// assert_eq!(decode(&bytes)?, v);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn encode(value: &JdrValue) -> Vec<u8> {
+    let mut sink = VecSink::new();
+    write_value(value, &mut sink);
+    sink.into_bytes()
+}
+
+/// Convenience: parses a value tree from bytes, requiring full consumption.
+///
+/// # Errors
+///
+/// As [`read_value`], plus [`WireError::TrailingBytes`].
+pub fn decode(bytes: &[u8]) -> Result<JdrValue, WireError> {
+    let mut src = SliceSource::new(bytes);
+    let v = read_value(&mut src)?;
+    if src.remaining() > 0 {
+        return Err(WireError::TrailingBytes(src.remaining()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            JdrValue::Null,
+            JdrValue::Bool(true),
+            JdrValue::Bool(false),
+            JdrValue::Int(-5),
+            JdrValue::Int(i32::MAX),
+            JdrValue::Long(i64::MIN),
+            JdrValue::str("héllo"),
+            JdrValue::bytes(&[0, 255, 127]),
+        ] {
+            assert_eq!(decode(&encode(&v)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = JdrValue::object(
+            9,
+            vec![
+                JdrValue::List(vec![
+                    Box::new(JdrValue::Int(1)),
+                    Box::new(JdrValue::str("x")),
+                ]),
+                JdrValue::Null,
+                JdrValue::object(2, vec![JdrValue::bytes(b"payload")]),
+            ],
+        );
+        assert_eq!(decode(&encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_collections_round_trip() {
+        let v = JdrValue::object(0, vec![JdrValue::List(vec![]), JdrValue::bytes(&[])]);
+        assert_eq!(decode(&encode(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_check_types() {
+        let v = JdrValue::Int(3);
+        assert_eq!(v.as_i32().unwrap(), 3);
+        assert!(v.as_i64().is_err());
+        assert!(v.as_str().is_err());
+        assert!(v.as_bytes().is_err());
+        assert!(v.as_list().is_err());
+        assert!(v.as_object().is_err());
+        assert!(v.as_bool().is_err());
+        assert!(JdrValue::Null.as_option().is_none());
+        assert!(v.as_option().is_some());
+    }
+
+    #[test]
+    fn unsigned_accessors_reinterpret() {
+        assert_eq!(JdrValue::Int(-1).as_u32().unwrap(), u32::MAX);
+        assert_eq!(JdrValue::Long(-1).as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode(&[200]).unwrap_err(), WireError::BadTag(200));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = encode(&JdrValue::Long(5));
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 1]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&JdrValue::Bool(true));
+        bytes.push(0);
+        assert_eq!(decode(&bytes).unwrap_err(), WireError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // BYTES tag with a 4 GiB length claim but no data.
+        let bytes = [tag::BYTES, 0xff, 0xff, 0xff, 0xff];
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            WireError::BadValue(_)
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_string_rejected() {
+        let bytes = [tag::STR, 0, 0, 0, 2, 0xff, 0xfe];
+        assert_eq!(decode(&bytes).unwrap_err(), WireError::BadUtf8);
+    }
+
+    #[test]
+    fn large_payload_round_trips() {
+        let payload: Vec<u8> = (0..60_000u32).map(|i| (i % 251) as u8).collect();
+        let v = JdrValue::bytes(&payload);
+        let encoded = encode(&v);
+        assert_eq!(encoded.len(), 1 + 4 + payload.len());
+        assert_eq!(decode(&encoded).unwrap(), v);
+    }
+}

@@ -1,0 +1,46 @@
+//! # dstampede-wire — marshalling substrate
+//!
+//! Wire formats for the D-Stampede client↔cluster RPC protocol (paper
+//! §3.2.1): the [`rpc`] message vocabulary, two [`codec`]s reproducing the
+//! paper's heterogeneous clients — [`codec_xdr::XdrCodec`] for the C client
+//! (flat XDR, bulk copies) and [`codec_jdr::JdrCodec`] for the Java client
+//! (boxed object trees, element-wise streaming) — and length-prefixed
+//! [`frame`] I/O over byte streams.
+//!
+//! ## Example
+//!
+//! ```
+//! use dstampede_wire::{codec_for, CodecId, Request, RequestFrame};
+//!
+//! # fn main() -> Result<(), dstampede_wire::WireError> {
+//! let frame = RequestFrame {
+//!     seq: 1,
+//!     req: Request::Ping { nonce: 42 },
+//! };
+//! for id in [CodecId::Xdr, CodecId::Jdr] {
+//!     let codec = codec_for(id);
+//!     let bytes = codec.encode_request(&frame)?;
+//!     assert_eq!(codec.decode_request(&bytes)?, frame);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+pub mod codec_jdr;
+pub mod codec_xdr;
+pub mod error;
+pub mod frame;
+pub mod jdr;
+pub mod rpc;
+pub mod xdr;
+
+pub use codec::{codec_for, Codec, CodecId};
+pub use codec_jdr::JdrCodec;
+pub use codec_xdr::XdrCodec;
+pub use error::WireError;
+pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use rpc::{GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};

@@ -1,0 +1,634 @@
+//! RPC message vocabulary between end devices and the cluster.
+//!
+//! The D-Stampede API is "exported to the distributed end points in a
+//! manner analogous to exporting a procedure call using an RPC interface"
+//! (paper §3.2.1). Each API call becomes a [`Request`]; the surrogate
+//! thread executes it on the cluster and answers with a [`Reply`]. Garbage
+//! collection notifications for the end device ride piggy-back on replies
+//! as [`GcNote`]s, delivered "at an opportune time (for e.g. when the next
+//! D-Stampede API call comes from the end device)" (§3.2.4).
+//!
+//! Messages are plain data; the [`crate::codec`] module marshals them with
+//! either XDR (C client) or JDR (Java client).
+
+use bytes::Bytes;
+
+use dstampede_core::{
+    AsId, ChanId, ChannelAttrs, GetSpec, Interest, QueueAttrs, QueueId, ResourceId, StmError,
+    TagFilter, Timestamp,
+};
+
+/// How long an operation may block on the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitSpec {
+    /// Fail with `Absent`/`Full` instead of blocking.
+    NonBlocking,
+    /// Block until the condition is met (the surrogate thread waits).
+    Forever,
+    /// Block up to the given number of milliseconds.
+    TimeoutMs(u32),
+}
+
+/// A client-to-cluster API call.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Join the computation; the listener spawns a surrogate.
+    Attach {
+        /// Human-readable client name (for diagnostics and the name server).
+        client_name: String,
+    },
+    /// Leave cleanly; the surrogate tears down.
+    Detach,
+    /// Liveness/latency probe.
+    Ping {
+        /// Echoed back in the reply.
+        nonce: u64,
+    },
+    /// Create a channel on the cluster (in the surrogate's address space).
+    ChannelCreate {
+        /// Optional name-server registration name.
+        name: Option<String>,
+        /// Channel attributes.
+        attrs: ChannelAttrs,
+    },
+    /// Create a queue on the cluster.
+    QueueCreate {
+        /// Optional name-server registration name.
+        name: Option<String>,
+        /// Queue attributes.
+        attrs: QueueAttrs,
+    },
+    /// Open an input connection to a channel.
+    ConnectChannelIn {
+        /// Target channel.
+        chan: ChanId,
+        /// Where the connection starts paying attention.
+        interest: Interest,
+        /// Which item tags it attends to (the selective-attention
+        /// filtering extension).
+        filter: TagFilter,
+    },
+    /// Open an output connection to a channel.
+    ConnectChannelOut {
+        /// Target channel.
+        chan: ChanId,
+    },
+    /// Open an input connection to a queue.
+    ConnectQueueIn {
+        /// Target queue.
+        queue: QueueId,
+    },
+    /// Open an output connection to a queue.
+    ConnectQueueOut {
+        /// Target queue.
+        queue: QueueId,
+    },
+    /// Close a connection previously opened in this session.
+    Disconnect {
+        /// Session-local connection handle.
+        conn: u64,
+    },
+    /// Put an item into a channel.
+    ChannelPut {
+        /// Session-local connection handle (output mode).
+        conn: u64,
+        /// Item timestamp.
+        ts: Timestamp,
+        /// Item user tag.
+        tag: u32,
+        /// Item payload.
+        payload: Bytes,
+        /// Blocking discipline when the channel is full.
+        wait: WaitSpec,
+    },
+    /// Get an item from a channel.
+    ChannelGet {
+        /// Session-local connection handle (input mode).
+        conn: u64,
+        /// Which item.
+        spec: GetSpec,
+        /// Blocking discipline while absent.
+        wait: WaitSpec,
+    },
+    /// Mark items consumed up to and including a timestamp.
+    ChannelConsume {
+        /// Session-local connection handle (input mode).
+        conn: u64,
+        /// Consume through this timestamp.
+        upto: Timestamp,
+    },
+    /// Advance the connection's virtual-time promise.
+    ChannelSetVt {
+        /// Session-local connection handle (input mode).
+        conn: u64,
+        /// New virtual-time floor.
+        vt: Timestamp,
+    },
+    /// Put an item into a queue.
+    QueuePut {
+        /// Session-local connection handle (output mode).
+        conn: u64,
+        /// Item timestamp.
+        ts: Timestamp,
+        /// Item user tag.
+        tag: u32,
+        /// Item payload.
+        payload: Bytes,
+        /// Blocking discipline when the queue is full.
+        wait: WaitSpec,
+    },
+    /// Get the next item from a queue.
+    QueueGet {
+        /// Session-local connection handle (input mode).
+        conn: u64,
+        /// Blocking discipline while empty.
+        wait: WaitSpec,
+    },
+    /// Settle a queue ticket as consumed.
+    QueueConsume {
+        /// Session-local connection handle (input mode).
+        conn: u64,
+        /// Ticket returned by the corresponding get.
+        ticket: u64,
+    },
+    /// Put an unfinished queue item back.
+    QueueRequeue {
+        /// Session-local connection handle (input mode).
+        conn: u64,
+        /// Ticket returned by the corresponding get.
+        ticket: u64,
+    },
+    /// Register a resource with the name server.
+    NsRegister {
+        /// Registration name (unique).
+        name: String,
+        /// The resource being registered.
+        resource: ResourceId,
+        /// Free-form metadata ("intended use in the application").
+        meta: String,
+    },
+    /// Look a name up in the name server.
+    NsLookup {
+        /// Registration name.
+        name: String,
+        /// Blocking discipline while unregistered.
+        wait: WaitSpec,
+    },
+    /// Remove a name-server registration.
+    NsUnregister {
+        /// Registration name.
+        name: String,
+    },
+    /// Enumerate all name-server registrations.
+    NsList,
+    /// Ask the cluster to queue garbage notifications for a resource so the
+    /// client can run its local garbage handler (§3.2.4).
+    InstallGarbageHook {
+        /// Resource to watch.
+        resource: ResourceId,
+    },
+    /// Distributed-GC epoch report: an address space's minimum virtual
+    /// time, sent to the aggregator in address space 0.
+    GcReport {
+        /// The reporting address space.
+        from: AsId,
+        /// Minimum virtual-time floor across its threads.
+        min_vt: Timestamp,
+    },
+}
+
+/// One name-server registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsEntry {
+    /// Registration name.
+    pub name: String,
+    /// The registered resource.
+    pub resource: ResourceId,
+    /// Free-form metadata.
+    pub meta: String,
+}
+
+/// A garbage-collection notification queued for an end device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcNote {
+    /// The container the item lived in.
+    pub resource: ResourceId,
+    /// The reclaimed item's timestamp.
+    pub ts: Timestamp,
+    /// The reclaimed item's user tag.
+    pub tag: u32,
+    /// The reclaimed payload's length.
+    pub len: u32,
+}
+
+/// A cluster-to-client answer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Reply {
+    /// Generic success.
+    Ok,
+    /// Successful attach.
+    Attached {
+        /// Session id assigned by the listener.
+        session: u64,
+        /// Address space hosting the surrogate.
+        as_id: AsId,
+    },
+    /// Successful create.
+    Created {
+        /// Id of the new container.
+        resource: ResourceId,
+    },
+    /// Successful connect.
+    Connected {
+        /// Session-local connection handle for subsequent calls.
+        conn: u64,
+    },
+    /// A channel item.
+    Item {
+        /// Item timestamp.
+        ts: Timestamp,
+        /// Item user tag.
+        tag: u32,
+        /// Item payload.
+        payload: Bytes,
+    },
+    /// A queue item plus its settlement ticket.
+    QueueItem {
+        /// Item timestamp.
+        ts: Timestamp,
+        /// Item user tag.
+        tag: u32,
+        /// Item payload.
+        payload: Bytes,
+        /// Ticket for consume/requeue.
+        ticket: u64,
+    },
+    /// Successful name-server lookup.
+    NsFound {
+        /// The registered resource.
+        resource: ResourceId,
+        /// Its metadata.
+        meta: String,
+    },
+    /// Name-server enumeration.
+    NsEntries {
+        /// All current registrations.
+        entries: Vec<NsEntry>,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The request's nonce.
+        nonce: u64,
+    },
+    /// The operation failed.
+    Error {
+        /// [`StmError::code`] of the failure.
+        code: u32,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Reply {
+    /// Wraps an [`StmError`] for the wire.
+    #[must_use]
+    pub fn from_error(e: &StmError) -> Reply {
+        Reply::Error {
+            code: e.code(),
+            detail: e.detail().to_owned(),
+        }
+    }
+
+    /// Converts an error reply back into an [`StmError`], or returns the
+    /// reply unchanged.
+    ///
+    /// # Errors
+    ///
+    /// The transported [`StmError`] when `self` is [`Reply::Error`].
+    pub fn into_result(self) -> Result<Reply, StmError> {
+        match self {
+            Reply::Error { code, detail } => Err(StmError::from_code(code, &detail)),
+            other => Ok(other),
+        }
+    }
+}
+
+/// A request with its sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-assigned sequence number, echoed in the reply.
+    pub seq: u64,
+    /// The call.
+    pub req: Request,
+}
+
+/// A reply with its sequence number and piggy-backed GC notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyFrame {
+    /// Sequence number of the request being answered.
+    pub seq: u64,
+    /// Garbage notifications for the end device (possibly empty).
+    pub gc_notes: Vec<GcNote>,
+    /// The answer.
+    pub reply: Reply,
+}
+
+/// Exhaustive message samples used by codec round-trip tests (one per
+/// variant, with edge-case field values). Not part of the public API.
+#[doc(hidden)]
+pub mod test_vectors {
+    use super::*;
+    use dstampede_core::{ChanId, ChannelAttrs, GcPolicy, OverflowPolicy, QueueAttrs};
+
+    fn chan(owner: u16, index: u32) -> ChanId {
+        ChanId {
+            owner: AsId(owner),
+            index,
+        }
+    }
+
+    fn queue(owner: u16, index: u32) -> QueueId {
+        QueueId {
+            owner: AsId(owner),
+            index,
+        }
+    }
+
+    /// One sample of every request variant.
+    #[must_use]
+    pub fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Attach {
+                client_name: "camera-0".into(),
+            },
+            Request::Attach {
+                client_name: String::new(),
+            },
+            Request::Detach,
+            Request::Ping { nonce: u64::MAX },
+            Request::ChannelCreate {
+                name: Some("video".into()),
+                attrs: ChannelAttrs::builder()
+                    .capacity(16)
+                    .overflow(OverflowPolicy::DropOldest)
+                    .gc(GcPolicy::Transparent)
+                    .build(),
+            },
+            Request::ChannelCreate {
+                name: None,
+                attrs: ChannelAttrs::default(),
+            },
+            Request::QueueCreate {
+                name: Some("work".into()),
+                attrs: QueueAttrs::builder()
+                    .capacity(4)
+                    .overflow(OverflowPolicy::Reject)
+                    .build(),
+            },
+            Request::QueueCreate {
+                name: None,
+                attrs: QueueAttrs::default(),
+            },
+            Request::ConnectChannelIn {
+                chan: chan(1, 2),
+                interest: Interest::FromEarliest,
+                filter: TagFilter::Any,
+            },
+            Request::ConnectChannelIn {
+                chan: chan(0, 1),
+                interest: Interest::FromLatest,
+                filter: TagFilter::Only(vec![0, 7, u32::MAX]),
+            },
+            Request::ConnectChannelIn {
+                chan: chan(65535, u32::MAX),
+                interest: Interest::FromTs(Timestamp::new(-9)),
+                filter: TagFilter::Stripe {
+                    modulus: 4,
+                    remainder: 3,
+                },
+            },
+            Request::ConnectChannelOut { chan: chan(3, 4) },
+            Request::ConnectQueueIn { queue: queue(1, 1) },
+            Request::ConnectQueueOut { queue: queue(2, 7) },
+            Request::Disconnect { conn: 42 },
+            Request::ChannelPut {
+                conn: 7,
+                ts: Timestamp::new(i64::MIN),
+                tag: 3,
+                payload: Bytes::from_static(b"frame data"),
+                wait: WaitSpec::Forever,
+            },
+            Request::ChannelPut {
+                conn: 7,
+                ts: Timestamp::new(0),
+                tag: 0,
+                payload: Bytes::new(),
+                wait: WaitSpec::NonBlocking,
+            },
+            Request::ChannelGet {
+                conn: 8,
+                spec: GetSpec::Exact(Timestamp::new(55)),
+                wait: WaitSpec::TimeoutMs(1500),
+            },
+            Request::ChannelGet {
+                conn: 8,
+                spec: GetSpec::Latest,
+                wait: WaitSpec::NonBlocking,
+            },
+            Request::ChannelGet {
+                conn: 8,
+                spec: GetSpec::Earliest,
+                wait: WaitSpec::Forever,
+            },
+            Request::ChannelGet {
+                conn: 8,
+                spec: GetSpec::After(Timestamp::new(-1)),
+                wait: WaitSpec::Forever,
+            },
+            Request::ChannelConsume {
+                conn: 9,
+                upto: Timestamp::new(100),
+            },
+            Request::ChannelSetVt {
+                conn: 9,
+                vt: Timestamp::new(i64::MAX),
+            },
+            Request::QueuePut {
+                conn: 10,
+                ts: Timestamp::new(5),
+                tag: 2,
+                payload: Bytes::from_static(&[0xff, 0x00, 0x80]),
+                wait: WaitSpec::TimeoutMs(0),
+            },
+            Request::QueueGet {
+                conn: 11,
+                wait: WaitSpec::Forever,
+            },
+            Request::QueueConsume {
+                conn: 11,
+                ticket: 77,
+            },
+            Request::QueueRequeue {
+                conn: 11,
+                ticket: 78,
+            },
+            Request::NsRegister {
+                name: "mixer-out".into(),
+                resource: ResourceId::Channel(chan(0, 9)),
+                meta: "composite video".into(),
+            },
+            Request::NsLookup {
+                name: "mixer-out".into(),
+                wait: WaitSpec::TimeoutMs(3000),
+            },
+            Request::NsUnregister {
+                name: "mixer-out".into(),
+            },
+            Request::NsList,
+            Request::InstallGarbageHook {
+                resource: ResourceId::Queue(queue(1, 3)),
+            },
+            Request::GcReport {
+                from: AsId(3),
+                min_vt: Timestamp::new(4096),
+            },
+        ]
+    }
+
+    /// One sample of every reply variant, paired with GC-note piggybacks.
+    #[must_use]
+    pub fn all_replies() -> Vec<(Reply, Vec<GcNote>)> {
+        let note = GcNote {
+            resource: ResourceId::Channel(chan(1, 2)),
+            ts: Timestamp::new(4),
+            tag: 1,
+            len: 4096,
+        };
+        let note2 = GcNote {
+            resource: ResourceId::Queue(queue(2, 3)),
+            ts: Timestamp::new(-4),
+            tag: 0,
+            len: 0,
+        };
+        vec![
+            (Reply::Ok, vec![]),
+            (Reply::Ok, vec![note, note2]),
+            (
+                Reply::Attached {
+                    session: 12,
+                    as_id: AsId(3),
+                },
+                vec![],
+            ),
+            (
+                Reply::Created {
+                    resource: ResourceId::Channel(chan(9, 1)),
+                },
+                vec![note],
+            ),
+            (Reply::Connected { conn: 5 }, vec![]),
+            (
+                Reply::Item {
+                    ts: Timestamp::new(30),
+                    tag: 7,
+                    payload: Bytes::from_static(b"pixels"),
+                },
+                vec![],
+            ),
+            (
+                Reply::Item {
+                    ts: Timestamp::new(0),
+                    tag: 0,
+                    payload: Bytes::new(),
+                },
+                vec![note],
+            ),
+            (
+                Reply::QueueItem {
+                    ts: Timestamp::new(31),
+                    tag: 2,
+                    payload: Bytes::from_static(&[1, 2, 3, 4, 5]),
+                    ticket: 99,
+                },
+                vec![],
+            ),
+            (
+                Reply::NsFound {
+                    resource: ResourceId::Queue(queue(0, 8)),
+                    meta: "tracker input".into(),
+                },
+                vec![],
+            ),
+            (Reply::NsEntries { entries: vec![] }, vec![]),
+            (
+                Reply::NsEntries {
+                    entries: vec![
+                        NsEntry {
+                            name: "a".into(),
+                            resource: ResourceId::Channel(chan(1, 1)),
+                            meta: String::new(),
+                        },
+                        NsEntry {
+                            name: "b".into(),
+                            resource: ResourceId::Queue(queue(1, 2)),
+                            meta: "m".into(),
+                        },
+                    ],
+                },
+                vec![],
+            ),
+            (Reply::Pong { nonce: 0 }, vec![]),
+            (
+                Reply::Error {
+                    code: StmError::Full.code(),
+                    detail: String::new(),
+                },
+                vec![],
+            ),
+            (
+                Reply::Error {
+                    code: 14,
+                    detail: "bad tag".into(),
+                },
+                vec![note],
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_error_round_trip() {
+        let e = StmError::Full;
+        let reply = Reply::from_error(&e);
+        assert_eq!(reply.into_result().unwrap_err(), e);
+        assert_eq!(Reply::Ok.into_result().unwrap(), Reply::Ok);
+    }
+
+    #[test]
+    fn reply_error_preserves_protocol_detail() {
+        let e = StmError::Protocol("weird".into());
+        let reply = Reply::from_error(&e);
+        assert_eq!(reply.into_result().unwrap_err(), e);
+    }
+
+    #[test]
+    fn frames_are_plain_data() {
+        let f = RequestFrame {
+            seq: 3,
+            req: Request::Ping { nonce: 9 },
+        };
+        assert_eq!(f.clone(), f);
+        let r = ReplyFrame {
+            seq: 3,
+            gc_notes: vec![],
+            reply: Reply::Pong { nonce: 9 },
+        };
+        assert_eq!(r.clone(), r);
+    }
+}

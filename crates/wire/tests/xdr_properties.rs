@@ -1,0 +1,85 @@
+//! Property tests of the XDR primitive layer: alignment, padding, and
+//! sequencing invariants that RFC 1832-style marshalling must uphold.
+
+use proptest::prelude::*;
+
+use dstampede_wire::xdr::{padded_len, XdrReader, XdrWriter};
+
+proptest! {
+    /// Every encoded primitive stream is 4-byte aligned at all times.
+    #[test]
+    fn stream_is_always_word_aligned(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                any::<u32>().prop_map(|v| ("u32", v as u64, Vec::new())),
+                any::<i64>().prop_map(|v| ("i64", v as u64, Vec::new())),
+                any::<bool>().prop_map(|v| ("bool", u64::from(v), Vec::new())),
+                proptest::collection::vec(any::<u8>(), 0..40)
+                    .prop_map(|d| ("opaque", 0, d)),
+                "[a-zA-Z0-9 ]{0,24}".prop_map(|s| ("string", 0, s.into_bytes())),
+            ],
+            0..30,
+        ),
+    ) {
+        let mut w = XdrWriter::new();
+        for (kind, scalar, data) in &ops {
+            match *kind {
+                "u32" => w.put_u32(*scalar as u32),
+                "i64" => w.put_i64(*scalar as i64),
+                "bool" => w.put_bool(*scalar != 0),
+                "opaque" => w.put_opaque(data),
+                "string" => w.put_string(std::str::from_utf8(data).unwrap()),
+                _ => unreachable!(),
+            }
+            prop_assert_eq!(w.len() % 4, 0, "misaligned after {}", kind);
+        }
+
+        // And the reader consumes it back exactly.
+        let buf = w.into_bytes();
+        let mut r = XdrReader::new(&buf);
+        for (kind, scalar, data) in &ops {
+            match *kind {
+                "u32" => prop_assert_eq!(r.get_u32().unwrap(), *scalar as u32),
+                "i64" => prop_assert_eq!(r.get_i64().unwrap(), *scalar as i64),
+                "bool" => prop_assert_eq!(r.get_bool().unwrap(), *scalar != 0),
+                "opaque" => prop_assert_eq!(r.get_opaque().unwrap(), &data[..]),
+                "string" => {
+                    let got = r.get_string().unwrap();
+                    prop_assert_eq!(got.as_bytes(), &data[..]);
+                }
+                _ => unreachable!(),
+            }
+        }
+        r.finish().unwrap();
+    }
+
+    /// Opaque encoding size is exactly 4 + padded length, and padding is
+    /// zero.
+    #[test]
+    fn opaque_layout(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let mut w = XdrWriter::new();
+        w.put_opaque(&data);
+        let buf = w.into_bytes();
+        prop_assert_eq!(buf.len(), 4 + padded_len(data.len()));
+        for &pad in &buf[4 + data.len()..] {
+            prop_assert_eq!(pad, 0);
+        }
+    }
+
+    /// Truncating an encoded stream anywhere never panics the reader —
+    /// it errors (or succeeds on a prefix that happens to parse).
+    #[test]
+    fn truncation_is_total(
+        value in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<usize>(),
+    ) {
+        let mut w = XdrWriter::new();
+        w.put_u64(value);
+        w.put_opaque(&data);
+        let buf = w.into_bytes();
+        let cut = cut % (buf.len() + 1);
+        let mut r = XdrReader::new(&buf[..cut]);
+        let _ = r.get_u64().and_then(|_| r.get_opaque().map(<[u8]>::len));
+    }
+}

@@ -1,0 +1,107 @@
+//! Temporal correlation of heterogeneous sensor streams — the paper's
+//! motivating capability (§2, requirement 2): "a stereo vision application
+//! would combine images captured at the same time from two different
+//! camera sensors ... other analyzers may work multimedially".
+//!
+//! A "video" sensor produces one frame per tick and an "audio" sensor
+//! produces four sample-buffers per tick, each paced against real time
+//! with the loose-synchrony API. A fusion thread correlates them *by
+//! timestamp*: for video frame `t` it fetches exactly audio buffers
+//! `4t..4t+4` — random access by timestamp is what channels add over plain
+//! sockets. A C-style and a Java-style client coexist in the same
+//! application (§3.2.3 heterogeneity).
+//!
+//! Run with: `cargo run --release --example sensor_fusion`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dstampede::client::EndDevice;
+use dstampede::core::rtsync::{Clock, RealClock, RtSync};
+use dstampede::core::{ChannelAttrs, GetSpec, Interest, Item, ResourceId, StmError, Timestamp};
+use dstampede::runtime::Cluster;
+use dstampede::wire::WaitSpec;
+
+const TICKS: i64 = 20;
+const AUDIO_PER_VIDEO: i64 = 4;
+
+fn main() -> Result<(), StmError> {
+    let cluster = Cluster::in_process(1)?;
+    let addr = cluster.listener_addr(0)?;
+
+    // -- video sensor: a C client pacing at 50 "fps" --------------------
+    let video = std::thread::spawn(move || -> Result<(), StmError> {
+        let device = EndDevice::attach_c(addr, "video-sensor")?;
+        let chan = device.create_channel(None, ChannelAttrs::default())?;
+        device.ns_register("fusion/video", ResourceId::Channel(chan), "camera")?;
+        let out = device.connect_channel_out(chan)?;
+        let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
+        let mut pacer = RtSync::new(clock, Duration::from_millis(20), Duration::from_millis(5));
+        for t in 0..TICKS {
+            let frame = Item::from_vec(format!("video@{t}").into_bytes());
+            out.put(Timestamp::new(t), frame, WaitSpec::Forever)?;
+            pacer.synchronize();
+        }
+        drop(out);
+        device.detach()
+    });
+
+    // -- audio sensor: a Java client at 4x the video rate ---------------
+    let audio = std::thread::spawn(move || -> Result<(), StmError> {
+        let device = EndDevice::attach_java(addr, "audio-sensor")?;
+        let chan = device.create_channel(None, ChannelAttrs::default())?;
+        device.ns_register("fusion/audio", ResourceId::Channel(chan), "microphone")?;
+        let out = device.connect_channel_out(chan)?;
+        let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
+        let mut pacer = RtSync::new(clock, Duration::from_millis(5), Duration::from_millis(2));
+        for t in 0..TICKS * AUDIO_PER_VIDEO {
+            let sample = Item::from_vec(format!("audio@{t}").into_bytes());
+            out.put(Timestamp::new(t), sample, WaitSpec::Forever)?;
+            pacer.synchronize();
+        }
+        drop(out);
+        device.detach()
+    });
+
+    // -- fusion: correlate the two streams by timestamp -----------------
+    let fusion = std::thread::spawn(move || -> Result<usize, StmError> {
+        let device = EndDevice::attach_c(addr, "fusion")?;
+        // Dynamic rendezvous through the name server (blocking lookups).
+        let (video_res, _) = device.ns_lookup("fusion/video", WaitSpec::Forever)?;
+        let (audio_res, _) = device.ns_lookup("fusion/audio", WaitSpec::Forever)?;
+        let (ResourceId::Channel(vc), ResourceId::Channel(ac)) = (video_res, audio_res) else {
+            return Err(StmError::Protocol("expected channels".into()));
+        };
+        let video_in = device.connect_channel_in(vc, Interest::FromEarliest)?;
+        let audio_in = device.connect_channel_in(ac, Interest::FromEarliest)?;
+
+        let mut fused = 0;
+        for t in 0..TICKS {
+            let (_, frame) = video_in.get(GetSpec::Exact(Timestamp::new(t)), WaitSpec::Forever)?;
+            let mut samples = Vec::new();
+            for a in t * AUDIO_PER_VIDEO..(t + 1) * AUDIO_PER_VIDEO {
+                let (_, s) = audio_in.get(GetSpec::Exact(Timestamp::new(a)), WaitSpec::Forever)?;
+                samples.push(String::from_utf8_lossy(s.payload()).into_owned());
+            }
+            println!(
+                "tick {t:>2}: {} + {:?}",
+                String::from_utf8_lossy(frame.payload()),
+                samples
+            );
+            fused += 1;
+            // Selective attention: done with everything at or below t.
+            video_in.consume_until(Timestamp::new(t))?;
+            audio_in.consume_until(Timestamp::new((t + 1) * AUDIO_PER_VIDEO - 1))?;
+        }
+        drop((video_in, audio_in));
+        device.detach()?;
+        Ok(fused)
+    });
+
+    video.join().expect("video sensor")?;
+    audio.join().expect("audio sensor")?;
+    let fused = fusion.join().expect("fusion")?;
+    println!("\nfused {fused} ticks of temporally-correlated video+audio");
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,160 @@
+//! The paper's opening scenario (§1): a telepresence chat room with
+//! participants that join and leave dynamically.
+//!
+//! "John is sitting in his living room. He opens a connection to a virtual
+//! chat room and joins the discussion..." Participants come and go at
+//! different times (§2, requirement 5); the mixer discovers them through
+//! the name server, adapts its input set on the fly, and garbage hooks
+//! release each participant's buffers as composites are consumed.
+//!
+//! Run with: `cargo run --release --example telepresence`
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dstampede::client::EndDevice;
+use dstampede::core::{
+    ChannelAttrs, GetSpec, Interest, Item, OverflowPolicy, ResourceId, StmError, Timestamp,
+};
+use dstampede::runtime::Cluster;
+use dstampede::wire::WaitSpec;
+
+const TICKS: i64 = 12;
+
+/// A participant: joins at `join_tick`, leaves after `leave_tick`.
+struct Participant {
+    name: &'static str,
+    join_tick: i64,
+    leave_tick: i64,
+}
+
+const ROSTER: &[Participant] = &[
+    Participant {
+        name: "john",
+        join_tick: 0,
+        leave_tick: 11,
+    },
+    Participant {
+        name: "maria",
+        join_tick: 0,
+        leave_tick: 7,
+    },
+    Participant {
+        name: "ahmed",
+        join_tick: 4,
+        leave_tick: 11,
+    },
+];
+
+fn main() -> Result<(), StmError> {
+    let cluster = Cluster::in_process(2)?;
+    let addr = cluster.listener_addr(0)?;
+    let reclaimed = Arc::new(AtomicUsize::new(0));
+
+    // Participants join on their own schedule.
+    let mut handles = Vec::new();
+    for p in ROSTER {
+        let reclaimed = Arc::clone(&reclaimed);
+        handles.push(std::thread::spawn(move || -> Result<(), StmError> {
+            std::thread::sleep(Duration::from_millis(60 * p.join_tick as u64));
+            let device = EndDevice::attach_c(addr, p.name)?;
+            let chan = device.create_channel(
+                None,
+                ChannelAttrs::builder()
+                    .capacity(8)
+                    .overflow(OverflowPolicy::DropOldest) // sensors keep only recent frames
+                    .build(),
+            )?;
+            device.ns_register(
+                &format!("chat/{}", p.name),
+                ResourceId::Channel(chan),
+                "avatar feed",
+            )?;
+            // Garbage hook: release capture buffers as the mixer consumes.
+            let r = Arc::clone(&reclaimed);
+            device.install_garbage_hook(ResourceId::Channel(chan), move |_| {
+                r.fetch_add(1, Ordering::SeqCst);
+            })?;
+            let out = device.connect_channel_out(chan)?;
+            for tick in p.join_tick..=p.leave_tick {
+                let frame = Item::from_vec(format!("{}@{tick}", p.name).into_bytes());
+                out.put(Timestamp::new(tick), frame, WaitSpec::Forever)?;
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            // Linger long enough for the mixer to consume the final ticks
+            // before the avatar disappears from the room.
+            std::thread::sleep(Duration::from_millis(200));
+            println!("[{}] leaves the chat after tick {}", p.name, p.leave_tick);
+            device.ns_unregister(&format!("chat/{}", p.name))?;
+            drop(out);
+            device.detach()
+        }));
+    }
+
+    // The mixer: re-discovers the current participant set each tick and
+    // composites whatever avatars are present — dynamic plumbing.
+    let mixer_space = cluster.space(1)?;
+    let mut inputs: HashMap<String, dstampede::runtime::ChanInput> = HashMap::new();
+    for tick in 0..TICKS {
+        // Pace one step behind the sensors so each tick's frames exist by
+        // the time the mixer asks for them.
+        std::thread::sleep(Duration::from_millis(65));
+        // Discover who is registered right now.
+        let present = mixer_space.ns_list()?;
+        for entry in &present {
+            if let (false, ResourceId::Channel(id)) =
+                (inputs.contains_key(&entry.name), entry.resource)
+            {
+                inputs.insert(
+                    entry.name.clone(),
+                    mixer_space
+                        .open_channel(id)?
+                        .connect_input(Interest::FromEarliest)?,
+                );
+                println!("[mixer] {} joined the room", entry.name);
+            }
+        }
+        // Drop inputs of departed participants.
+        inputs.retain(|name, _| {
+            let still_here = present.iter().any(|e| &e.name == name);
+            if !still_here {
+                println!("[mixer] {name} left the room");
+            }
+            still_here
+        });
+
+        // Composite this tick from whoever has a frame for it.
+        let mut scene = Vec::new();
+        for (name, inp) in &inputs {
+            match inp.get(
+                GetSpec::Exact(Timestamp::new(tick)),
+                WaitSpec::TimeoutMs(60),
+            ) {
+                Ok((_, frame)) => {
+                    scene.push(String::from_utf8_lossy(frame.payload()).into_owned());
+                    inp.consume_until(Timestamp::new(tick))?;
+                }
+                Err(StmError::Dropped | StmError::Timeout) => {
+                    // Participant joined mid-tick or its sensor dropped the
+                    // frame (DropOldest): skip them this tick.
+                    let _ = name;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        scene.sort();
+        println!("tick {tick:>2}: room = {scene:?}");
+    }
+
+    for h in handles {
+        h.join().expect("participant thread")?;
+    }
+    println!(
+        "\ngarbage hooks released {} capture buffers during the session",
+        reclaimed.load(Ordering::SeqCst)
+    );
+    cluster.shutdown();
+    Ok(())
+}

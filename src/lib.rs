@@ -1,0 +1,73 @@
+//! # D-Stampede — a Rust reproduction of the ICDCS 2002 system
+//!
+//! *D-Stampede: Distributed Programming System for Ubiquitous Computing*
+//! (Adhikari, Paul, Ramachandran — ICDCS 2002) built a distributed
+//! programming system for interactive, stream-oriented applications:
+//! timestamp-indexed **channels** and FIFO **queues** ("space-time
+//! memory") shared across a cluster and a fleet of end devices, with
+//! automatic distributed garbage collection of stream data, handler
+//! functions, loose real-time synchrony, a name server, and heterogeneous
+//! (C and Java) client libraries.
+//!
+//! This crate is a facade re-exporting the whole workspace:
+//!
+//! * [`core`] ([`dstampede_core`]) — space-time memory: [`Channel`],
+//!   [`Queue`], garbage collection, [`rtsync`](core::rtsync);
+//! * [`wire`] ([`dstampede_wire`]) — the RPC vocabulary and the two
+//!   marshalling codecs (XDR ↔ the C client, JDR ↔ the Java client);
+//! * [`clf`] ([`dstampede_clf`]) — the CLF transport: reliable ordered
+//!   messaging over in-process channels or UDP, plus network shaping;
+//! * [`runtime`] ([`dstampede_runtime`]) — address spaces, surrogate
+//!   threads, the name server, and [`Cluster`] assembly;
+//! * [`client`] ([`dstampede_client`]) — the end-device client library
+//!   ([`EndDevice`]);
+//! * [`apps`] ([`dstampede_apps`]) — the paper's reference applications
+//!   (video conferencing, vision pipeline).
+//!
+//! ## Quickstart
+//!
+//! The paper's §3.1 producer/consumer pseudocode, end to end over a real
+//! cluster and client session:
+//!
+//! ```
+//! use dstampede::client::EndDevice;
+//! use dstampede::core::{ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+//! use dstampede::runtime::Cluster;
+//! use dstampede::wire::WaitSpec;
+//!
+//! # fn main() -> Result<(), dstampede::core::StmError> {
+//! let cluster = Cluster::in_process(1)?;
+//! let device = EndDevice::attach_c(cluster.listener_addr(0)?, "quickstart")?;
+//!
+//! let chan = device.create_channel(Some("demo"), ChannelAttrs::default())?;
+//! let out = device.connect_channel_out(chan)?;
+//! let inp = device.connect_channel_in(chan, Interest::FromEarliest)?;
+//!
+//! for ts in 0..3 {
+//!     out.put(Timestamp::new(ts), Item::from_vec(vec![ts as u8]), WaitSpec::Forever)?;
+//! }
+//! for ts in 0..3 {
+//!     let (t, item) = inp.get(GetSpec::Exact(Timestamp::new(ts)), WaitSpec::Forever)?;
+//!     assert_eq!(item.payload(), &[ts as u8]);
+//!     inp.consume_until(t)?; // signal garbage
+//! }
+//!
+//! drop((out, inp));
+//! device.detach()?;
+//! cluster.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dstampede_apps as apps;
+pub use dstampede_clf as clf;
+pub use dstampede_client as client;
+pub use dstampede_core as core;
+pub use dstampede_runtime as runtime;
+pub use dstampede_wire as wire;
+
+pub use dstampede_client::EndDevice;
+pub use dstampede_core::{Channel, Item, Queue, StmError, StmResult, Timestamp};
+pub use dstampede_runtime::Cluster;

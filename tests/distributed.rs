@@ -1,0 +1,416 @@
+//! Cross-crate integration tests: full D-Stampede computations spanning
+//! address spaces, end devices, both codecs, both CLF backends, and the
+//! distributed GC machinery.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dstampede::client::EndDevice;
+use dstampede::core::{
+    ChannelAttrs, GcPolicy, GetSpec, Interest, Item, OverflowPolicy, QueueAttrs, ResourceId,
+    StmError, Timestamp, VirtualTime,
+};
+use dstampede::runtime::{Cluster, ClusterTransport, GcEpochConfig, GcEpochService};
+use dstampede::wire::WaitSpec;
+
+fn ts(v: i64) -> Timestamp {
+    Timestamp::new(v)
+}
+
+/// The paper's §4 startup narrative, literally: multiple address spaces,
+/// clients creating channels via surrogates, ids published through the
+/// name server, a mixer correlating timestamped items from every client
+/// channel, composites flowing back out to the clients.
+#[test]
+fn paper_section4_startup_sequence() {
+    let clients = 3usize;
+    let cluster = Cluster::in_process(3).unwrap();
+    let mixer_space = cluster.space(2).unwrap();
+
+    // Mixer side: output channel C_0, registered for clients to find.
+    let c0 = mixer_space.create_channel(None, ChannelAttrs::default());
+    mixer_space
+        .ns_register("s4/composite", ResourceId::Channel(c0.id()), "mixer output")
+        .unwrap();
+
+    // Clients join different listeners, create their C_j and register.
+    let mut devices = Vec::new();
+    for j in 0..clients {
+        let addr = cluster.listener_addr((j % 2) as u16).unwrap();
+        let device = EndDevice::attach_c(addr, &format!("s4-client-{j}")).unwrap();
+        let chan = device
+            .create_channel(None, ChannelAttrs::default())
+            .unwrap();
+        device
+            .ns_register(&format!("s4/client{j}"), ResourceId::Channel(chan), "")
+            .unwrap();
+        devices.push((device, chan));
+    }
+
+    // Producers put three timestamped frames each.
+    for (j, (device, chan)) in devices.iter().enumerate() {
+        let out = device.connect_channel_out(*chan).unwrap();
+        for t in 0..3 {
+            out.put(
+                ts(t),
+                Item::from_vec(vec![j as u8; 32]).with_tag(j as u32),
+                WaitSpec::Forever,
+            )
+            .unwrap();
+        }
+    }
+
+    // The mixer finds every client channel by name and correlates by
+    // timestamp.
+    let mixer_out = mixer_space
+        .open_channel(c0.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    let mut inputs = Vec::new();
+    for j in 0..clients {
+        let (res, _) = mixer_space
+            .ns_lookup_wait(&format!("s4/client{j}"), Some(Duration::from_secs(5)))
+            .unwrap();
+        let ResourceId::Channel(id) = res else {
+            panic!("not a channel")
+        };
+        inputs.push(
+            mixer_space
+                .open_channel(id)
+                .unwrap()
+                .connect_input(Interest::FromEarliest)
+                .unwrap(),
+        );
+    }
+    for t in 0..3 {
+        let mut composite = Vec::new();
+        for inp in &inputs {
+            let (_, item) = inp.get(GetSpec::Exact(ts(t)), WaitSpec::Forever).unwrap();
+            composite.extend_from_slice(item.payload());
+            inp.consume_until(ts(t)).unwrap();
+        }
+        mixer_out
+            .put(ts(t), Item::from_vec(composite), WaitSpec::Forever)
+            .unwrap();
+    }
+
+    // Displays: every client reads the composite back via the name
+    // server. All displays connect before any consumes, as the paper's
+    // application does — a display consuming alone would let GC reclaim
+    // composites before later displays join.
+    let mut display_inputs = Vec::new();
+    for (device, _) in &devices {
+        let (res, _) = device.ns_lookup("s4/composite", WaitSpec::Forever).unwrap();
+        let ResourceId::Channel(id) = res else {
+            panic!("not a channel")
+        };
+        display_inputs.push(
+            device
+                .connect_channel_in(id, Interest::FromEarliest)
+                .unwrap(),
+        );
+    }
+    for inp in &display_inputs {
+        for t in 0..3 {
+            let (_, item) = inp.get(GetSpec::Exact(ts(t)), WaitSpec::Forever).unwrap();
+            assert_eq!(item.len(), clients * 32);
+            for j in 0..clients {
+                assert!(item.payload()[j * 32..(j + 1) * 32]
+                    .iter()
+                    .all(|&b| b == j as u8));
+            }
+            inp.consume_until(ts(t)).unwrap();
+        }
+    }
+    cluster.shutdown();
+}
+
+/// The same computation runs unchanged over the UDP CLF backend.
+#[test]
+fn udp_backend_is_transparent_to_the_application() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .transport(ClusterTransport::Udp(dstampede::clf::UdpConfig::default()))
+        .build()
+        .unwrap();
+    let device = EndDevice::attach_java(cluster.listener_addr(0).unwrap(), "udp-client").unwrap();
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+    // Consumer in the *other* address space: items cross the UDP fabric.
+    let inp = cluster
+        .space(1)
+        .unwrap()
+        .open_channel(chan)
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+    let payload: Vec<u8> = (0..30_000u32).map(|i| (i % 251) as u8).collect();
+    out.put(ts(1), Item::from_vec(payload.clone()), WaitSpec::Forever)
+        .unwrap();
+    let (_, item) = inp.get_blocking(GetSpec::Exact(ts(1))).unwrap();
+    assert_eq!(item.payload(), &payload[..]);
+    cluster.shutdown();
+}
+
+/// A lossy intra-cluster network still delivers the stream intact
+/// (CLF's reliability contract under fault injection).
+#[test]
+fn lossy_udp_cluster_still_correct() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .transport(ClusterTransport::Udp(dstampede::clf::UdpConfig {
+            loss: dstampede::clf::LossInjection::DropEveryNth(5),
+            rto: Duration::from_millis(20),
+            ..dstampede::clf::UdpConfig::default()
+        }))
+        .listeners(false)
+        .build()
+        .unwrap();
+    let owner = cluster.space(0).unwrap();
+    let peer = cluster.space(1).unwrap();
+    let chan = owner.create_channel(None, ChannelAttrs::default());
+    let out = peer
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    let inp = owner
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+    for t in 0..20 {
+        out.put(
+            ts(t),
+            Item::from_vec(vec![t as u8; 5000]),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+    }
+    for t in 0..20 {
+        let (_, item) = inp.get_blocking(GetSpec::Exact(ts(t))).unwrap();
+        assert!(item.payload().iter().all(|&b| b == t as u8));
+        inp.consume_until(ts(t)).unwrap();
+    }
+    // Retransmissions must actually have happened for this to mean much.
+    let stats = peer.transport().stats();
+    assert!(
+        stats.retransmits > 0,
+        "no retransmissions under loss injection"
+    );
+    cluster.shutdown();
+}
+
+/// Distributed GC epochs aggregate end-to-end while a real workload runs,
+/// and the global floor advances as the slowest thread advances.
+#[test]
+fn gc_epochs_track_a_running_pipeline() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let a0 = cluster.space(0).unwrap();
+    let a1 = cluster.space(1).unwrap();
+    let service = GcEpochService::start(
+        cluster.spaces(),
+        GcEpochConfig {
+            period: Duration::from_millis(5),
+        },
+    );
+
+    let t0 = a0.threads().register("producer");
+    let t1 = a1.threads().register("consumer");
+    let chan = a0.create_channel(
+        None,
+        ChannelAttrs::builder().gc(GcPolicy::Transparent).build(),
+    );
+    let out = a0
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    let inp = a1
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+
+    for t in 0..50 {
+        out.put(ts(t), Item::from_vec(vec![1; 128]), WaitSpec::Forever)
+            .unwrap();
+        t0.set_vt(VirtualTime::at(ts(t)));
+    }
+    for t in 0..50 {
+        let (_, _item) = inp.get_blocking(GetSpec::Exact(ts(t))).unwrap();
+        inp.set_vt(VirtualTime::at(ts(t + 1))).unwrap();
+        t1.set_vt(VirtualTime::at(ts(t + 1)));
+    }
+    // The channel reclaims on the connection promises...
+    assert_eq!(chan.live_items(), 0);
+    // ...and the epoch service converges on the cluster-wide floor (the
+    // slower of the two advisory thread clocks).
+    let expect = VirtualTime::at(ts(49));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while a0.gc_global_floor() < expect && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(a0.gc_global_floor() >= expect);
+    service.shutdown();
+    cluster.shutdown();
+}
+
+/// Bounded channels provide end-to-end flow control across the full
+/// client→surrogate→channel path: a fast producer is paced by a slow
+/// consumer.
+#[test]
+fn flow_control_paces_remote_producer() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let device = EndDevice::attach_c(addr, "paced-producer").unwrap();
+    let chan = device
+        .create_channel(
+            None,
+            ChannelAttrs::builder()
+                .capacity(2)
+                .overflow(OverflowPolicy::Block)
+                .build(),
+        )
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+
+    let consumer = EndDevice::attach_c(addr, "slow-consumer").unwrap();
+    let inp = consumer
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+
+    let producer = std::thread::spawn(move || {
+        let start = std::time::Instant::now();
+        for t in 0..6 {
+            out.put(ts(t), Item::from_vec(vec![0; 16]), WaitSpec::Forever)
+                .unwrap();
+        }
+        start.elapsed()
+    });
+
+    // Drain slowly: 20ms per item.
+    for t in 0..6 {
+        std::thread::sleep(Duration::from_millis(20));
+        let (_, _) = inp.get(GetSpec::Exact(ts(t)), WaitSpec::Forever).unwrap();
+        inp.consume_until(ts(t)).unwrap();
+    }
+    let produce_time = producer.join().unwrap();
+    // Six puts against capacity 2 drained at 20ms apiece must take at
+    // least ~3 drain intervals.
+    assert!(
+        produce_time >= Duration::from_millis(50),
+        "producer finished in {produce_time:?}, was not paced"
+    );
+    cluster.shutdown();
+}
+
+/// Queues shared by cluster threads and end devices interoperate, with
+/// crash recovery requeueing an end device's in-flight work.
+#[test]
+fn mixed_cluster_and_device_workers() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let space = cluster.space(0).unwrap();
+    let queue = space.create_queue(None, QueueAttrs::default());
+
+    let boss = EndDevice::attach_c(addr, "boss").unwrap();
+    let out = boss.connect_queue_out(queue.id()).unwrap();
+    for i in 0..10u32 {
+        out.put(
+            ts(0),
+            Item::from_vec(vec![i as u8]).with_tag(i),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+    }
+
+    let done = Arc::new(AtomicUsize::new(0));
+
+    // A cluster-side worker.
+    let cluster_worker = {
+        let inp = space
+            .open_queue(queue.id())
+            .unwrap()
+            .connect_input()
+            .unwrap();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || loop {
+            match inp.get(WaitSpec::TimeoutMs(300)) {
+                Ok((_, _item, ticket)) => {
+                    inp.consume(ticket).unwrap();
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(StmError::Timeout) => break,
+                Err(e) => panic!("{e}"),
+            }
+        })
+    };
+
+    // An end-device worker.
+    let device_worker = {
+        let done = Arc::clone(&done);
+        let queue_id = queue.id();
+        std::thread::spawn(move || {
+            let device = EndDevice::attach_java(addr, "worker").unwrap();
+            let inp = device.connect_queue_in(queue_id).unwrap();
+            loop {
+                match inp.get(WaitSpec::TimeoutMs(300)) {
+                    Ok((_, _item, ticket)) => {
+                        inp.consume(ticket).unwrap();
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Err(StmError::Timeout) => break,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        })
+    };
+
+    cluster_worker.join().unwrap();
+    device_worker.join().unwrap();
+    assert_eq!(done.load(Ordering::SeqCst), 10);
+    assert_eq!(queue.stats().consumes, 10);
+    cluster.shutdown();
+}
+
+/// Client garbage hooks fire across a multi-space cluster for channels in
+/// the surrogate's address space, and piggy-backed delivery batches.
+#[test]
+fn gc_notes_batch_across_calls() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let device = EndDevice::attach_c(addr, "gc-batch").unwrap();
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let fired = Arc::new(AtomicUsize::new(0));
+    let f = Arc::clone(&fired);
+    device
+        .install_garbage_hook(ResourceId::Channel(chan), move |_| {
+            f.fetch_add(1, Ordering::SeqCst);
+        })
+        .unwrap();
+
+    let out = device.connect_channel_out(chan).unwrap();
+    let inp = device
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+    for t in 0..5 {
+        out.put(ts(t), Item::from_vec(vec![0; 8]), WaitSpec::Forever)
+            .unwrap();
+    }
+    // One consume reclaims all five; the notes arrive with the next reply.
+    inp.consume_until(ts(4)).unwrap();
+    device.ping(0).unwrap();
+    assert_eq!(fired.load(Ordering::SeqCst), 5);
+    cluster.shutdown();
+}

@@ -1,0 +1,270 @@
+//! Failure-injection tests: the dynamism and fault behaviour the paper
+//! motivates (§2 dynamic start/stop) and the failure handling it lists as
+//! future work (§3.3), which this implementation provides as an extension.
+
+use std::io::Write;
+use std::time::Duration;
+
+use dstampede::client::EndDevice;
+use dstampede::core::{
+    ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, ResourceId, StmError, Timestamp,
+};
+use dstampede::runtime::Cluster;
+use dstampede::wire::{
+    codec_for, read_frame, write_frame, CodecId, Request, RequestFrame, WaitSpec,
+};
+
+fn ts(v: i64) -> Timestamp {
+    Timestamp::new(v)
+}
+
+/// Raw protocol session that we can kill at any point.
+struct RawSession {
+    stream: std::net::TcpStream,
+    codec: std::sync::Arc<dyn dstampede::wire::Codec>,
+    seq: u64,
+}
+
+impl RawSession {
+    fn attach(addr: std::net::SocketAddr) -> Self {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(&[CodecId::Xdr.byte()]).unwrap();
+        let mut s = RawSession {
+            stream,
+            codec: codec_for(CodecId::Xdr),
+            seq: 0,
+        };
+        s.call(Request::Attach {
+            client_name: "raw".into(),
+        });
+        s
+    }
+
+    fn call(&mut self, req: Request) -> dstampede::wire::Reply {
+        self.seq += 1;
+        let bytes = self
+            .codec
+            .encode_request(&RequestFrame { seq: self.seq, req })
+            .unwrap();
+        write_frame(&mut self.stream, &bytes).unwrap();
+        let frame = read_frame(&mut self.stream).unwrap();
+        self.codec.decode_reply(&frame).unwrap().reply
+    }
+}
+
+#[test]
+fn crashed_worker_loses_no_queue_items() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let space = cluster.space(0).unwrap();
+    let queue = space.create_queue(None, QueueAttrs::default());
+
+    let boss = EndDevice::attach_c(addr, "boss").unwrap();
+    let out = boss.connect_queue_out(queue.id()).unwrap();
+    for i in 0..4u32 {
+        out.put(
+            ts(0),
+            Item::from_vec(vec![i as u8]).with_tag(i),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+    }
+
+    // A raw worker takes two items and crashes without settling them.
+    {
+        let mut worker = RawSession::attach(addr);
+        let conn = match worker.call(Request::ConnectQueueIn { queue: queue.id() }) {
+            dstampede::wire::Reply::Connected { conn } => conn,
+            other => panic!("unexpected {other:?}"),
+        };
+        for _ in 0..2 {
+            match worker.call(Request::QueueGet {
+                conn,
+                wait: WaitSpec::Forever,
+            }) {
+                dstampede::wire::Reply::QueueItem { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Crash: socket dropped with two tickets outstanding.
+    }
+
+    // Teardown requeues them; a healthy worker processes all four.
+    let rescuer = EndDevice::attach_c(addr, "rescuer").unwrap();
+    let inp = rescuer.connect_queue_in(queue.id()).unwrap();
+    let mut tags = Vec::new();
+    for _ in 0..4 {
+        let (_, item, ticket) = inp.get(WaitSpec::TimeoutMs(3000)).unwrap();
+        tags.push(item.tag());
+        inp.consume(ticket).unwrap();
+    }
+    tags.sort_unstable();
+    assert_eq!(tags, vec![0, 1, 2, 3]);
+    cluster.shutdown();
+}
+
+#[test]
+fn crash_mid_blocking_get_frees_the_surrogate() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let creator = EndDevice::attach_c(addr, "creator").unwrap();
+    let chan = creator
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+
+    // A client starts a blocking get that will never be satisfied, then
+    // dies. The write side of its socket vanishes; the surrogate is stuck
+    // in the blocking get but its session must still be torn down once the
+    // item arrives or the channel closes.
+    {
+        let mut waiter = RawSession::attach(addr);
+        let conn = match waiter.call(Request::ConnectChannelIn {
+            chan,
+            interest: Interest::FromEarliest,
+            filter: dstampede::core::TagFilter::Any,
+        }) {
+            dstampede::wire::Reply::Connected { conn } => conn,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Fire the blocking get WITHOUT reading the reply, then crash.
+        waiter.seq += 1;
+        let bytes = waiter
+            .codec
+            .encode_request(&RequestFrame {
+                seq: waiter.seq,
+                req: Request::ChannelGet {
+                    conn,
+                    spec: dstampede::core::GetSpec::Exact(ts(999)),
+                    wait: WaitSpec::Forever,
+                },
+            })
+            .unwrap();
+        write_frame(&mut waiter.stream, &bytes).unwrap();
+        // Socket drops here.
+    }
+
+    // Satisfy the get after the crash: the surrogate wakes, fails to write
+    // the reply to the dead socket, and tears down.
+    std::thread::sleep(Duration::from_millis(50));
+    let out = creator.connect_channel_out(chan).unwrap();
+    out.put(ts(999), Item::from_vec(vec![1]), WaitSpec::Forever)
+        .unwrap();
+
+    let listener = cluster.listener(0).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while listener.stats().active_surrogates > 1 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Only the healthy creator session remains.
+    assert_eq!(listener.stats().active_surrogates, 1);
+    assert!(listener.stats().dirty_teardowns >= 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn channel_close_unblocks_every_party() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let device = EndDevice::attach_c(addr, "blocked").unwrap();
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let inp = device
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+
+    let space = cluster.space(0).unwrap();
+    let chan_arc = space.registry().channel(chan).unwrap();
+    let closer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(50));
+        chan_arc.close();
+    });
+    let err = inp
+        .get(GetSpec::Exact(ts(5)), WaitSpec::Forever)
+        .unwrap_err();
+    assert_eq!(err, StmError::Closed);
+    closer.join().unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_shutdown_fails_client_operations_cleanly() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let device = EndDevice::attach_c(addr, "orphan").unwrap();
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+    out.put(ts(1), Item::from_vec(vec![1]), WaitSpec::Forever)
+        .unwrap();
+    cluster.shutdown();
+    // The surrogate survives on its open socket (it dies when the client
+    // goes away), but every container operation now fails cleanly: the
+    // shutdown closed all containers.
+    let err = out
+        .put(ts(2), Item::from_vec(vec![2]), WaitSpec::Forever)
+        .unwrap_err();
+    assert!(
+        matches!(err, StmError::Closed | StmError::Disconnected),
+        "unexpected error {err}"
+    );
+    // New clients cannot join a shut-down cluster.
+    assert!(EndDevice::attach_c(addr, "late").is_err());
+}
+
+#[test]
+fn name_collisions_and_lookup_races_are_clean() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let a = EndDevice::attach_c(addr, "a").unwrap();
+    let b = EndDevice::attach_c(addr, "b").unwrap();
+    let chan_a = a.create_channel(None, ChannelAttrs::default()).unwrap();
+    let chan_b = b.create_channel(None, ChannelAttrs::default()).unwrap();
+
+    // Both race to claim the same name; exactly one wins.
+    let ra = a.ns_register("contested", ResourceId::Channel(chan_a), "a");
+    let rb = b.ns_register("contested", ResourceId::Channel(chan_b), "b");
+    assert!(
+        ra.is_ok() != rb.is_ok() || (ra.is_ok() && rb.is_err()) || (rb.is_ok() && ra.is_err()),
+        "exactly one registration must win: {ra:?} {rb:?}"
+    );
+
+    // A blocked lookup on another name survives the collision noise.
+    let c = EndDevice::attach_c(addr, "c").unwrap();
+    let waiter = std::thread::spawn(move || c.ns_lookup("late", WaitSpec::TimeoutMs(3000)));
+    std::thread::sleep(Duration::from_millis(30));
+    a.ns_register("late", ResourceId::Channel(chan_a), "")
+        .unwrap();
+    assert!(waiter.join().unwrap().is_ok());
+    cluster.shutdown();
+}
+
+#[test]
+fn double_detach_and_stale_handles() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let device = EndDevice::attach_c(addr, "stale").unwrap();
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+
+    // A second session has no access to the first session's handle space:
+    // its connection numbering is independent, so handle 1 either does not
+    // exist yet or is its own.
+    let other = EndDevice::attach_c(addr, "other").unwrap();
+    let other_in = other
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+    out.put(ts(1), Item::from_vec(vec![9]), WaitSpec::Forever)
+        .unwrap();
+    let (_, item) = other_in
+        .get(GetSpec::Exact(ts(1)), WaitSpec::Forever)
+        .unwrap();
+    assert_eq!(item.payload(), &[9]);
+
+    drop(out);
+    device.detach().unwrap();
+    cluster.shutdown();
+}

@@ -1,0 +1,273 @@
+//! Property-based tests of the space-time memory invariants (DESIGN.md §7).
+
+use proptest::prelude::*;
+
+use dstampede::core::{
+    Channel, ChannelAttrs, GcPolicy, GetSpec, Interest, Item, Queue, QueueAttrs, StmError,
+    TagFilter, Timestamp, VirtualTime,
+};
+
+/// Abstract operations a random schedule performs on a channel with two
+/// input connections.
+#[derive(Debug, Clone)]
+enum ChanOp {
+    Put(i64, u8),
+    GetExact(usize, i64),
+    Consume(usize, i64),
+    SetVt(usize, i64),
+}
+
+fn chan_op() -> impl Strategy<Value = ChanOp> {
+    prop_oneof![
+        (0i64..40, any::<u8>()).prop_map(|(ts, b)| ChanOp::Put(ts, b)),
+        (0usize..2, 0i64..40).prop_map(|(c, ts)| ChanOp::GetExact(c, ts)),
+        (0usize..2, 0i64..40).prop_map(|(c, ts)| ChanOp::Consume(c, ts)),
+        (0usize..2, 0i64..40).prop_map(|(c, ts)| ChanOp::SetVt(c, ts)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Model-checked channel semantics under REF GC: a non-blocking get
+    /// returns exactly what a reference model predicts, and reclamation
+    /// never loses a live item or retains a dead prefix.
+    #[test]
+    fn channel_matches_reference_model(ops in proptest::collection::vec(chan_op(), 1..80)) {
+        let chan = Channel::standalone(ChannelAttrs::default());
+        let out = chan.connect_output();
+        let conns = [
+            chan.connect_input(Interest::FromEarliest),
+            chan.connect_input(Interest::FromEarliest),
+        ];
+
+        // Reference model state. `until[c]`/`vt[c]` mirror the
+        // per-connection monotones; collection runs only when one of them
+        // strictly advances (matching the idempotence short-circuits).
+        let mut present: std::collections::BTreeMap<i64, u8> = Default::default();
+        let mut floor: i64 = i64::MIN; // everything <= floor is gone
+        let mut until = [i64::MIN, i64::MIN];
+        let mut vt = [i64::MIN, i64::MIN];
+        let done = |until: &[i64; 2], vt: &[i64; 2], c: usize| until[c].max(vt[c].saturating_sub(1));
+        let collect = |present: &mut std::collections::BTreeMap<i64, u8>,
+                       floor: &mut i64,
+                       until: &[i64; 2],
+                       vt: &[i64; 2]| {
+            let threshold = (0..2).map(|c| until[c].max(vt[c].saturating_sub(1))).min().unwrap();
+            let removed_max = present
+                .range(..=threshold)
+                .next_back()
+                .map(|(&ts, _)| ts);
+            present.retain(|&ts, _| ts > threshold);
+            if let Some(m) = removed_max {
+                *floor = (*floor).max(m);
+            }
+        };
+
+        for op in ops {
+            match op {
+                ChanOp::Put(ts, b) => {
+                    let result = out.put(Timestamp::new(ts), Item::from_vec(vec![b]));
+                    if ts <= floor {
+                        prop_assert_eq!(result, Err(StmError::TsTooOld));
+                    } else if let std::collections::btree_map::Entry::Vacant(e) = present.entry(ts) {
+                        prop_assert_eq!(result, Ok(()));
+                        e.insert(b);
+                    } else {
+                        prop_assert_eq!(result, Err(StmError::TsExists));
+                    }
+                }
+                ChanOp::GetExact(c, ts) => {
+                    let result = conns[c].try_get(GetSpec::Exact(Timestamp::new(ts)));
+                    if ts <= floor || ts <= done(&until, &vt, c) {
+                        prop_assert_eq!(result.unwrap_err(), StmError::Dropped);
+                    } else if let Some(&b) = present.get(&ts) {
+                        let (t, item) = result.unwrap();
+                        prop_assert_eq!(t, Timestamp::new(ts));
+                        prop_assert_eq!(item.payload(), &[b]);
+                    } else {
+                        prop_assert_eq!(result.unwrap_err(), StmError::Absent);
+                    }
+                }
+                ChanOp::Consume(c, ts) => {
+                    conns[c].consume_until(Timestamp::new(ts)).unwrap();
+                    if ts > until[c] {
+                        until[c] = ts;
+                        collect(&mut present, &mut floor, &until, &vt);
+                    }
+                }
+                ChanOp::SetVt(c, ts) => {
+                    conns[c].set_vt(VirtualTime::at(Timestamp::new(ts))).unwrap();
+                    if ts > vt[c] {
+                        vt[c] = ts;
+                        until[c] = until[c].max(ts - 1);
+                        collect(&mut present, &mut floor, &until, &vt);
+                    }
+                }
+            }
+            prop_assert_eq!(chan.live_items(), present.len(), "live item divergence");
+        }
+    }
+
+    /// Queue: every put is delivered exactly once across any number of
+    /// consumers, in FIFO order, and consumed bytes are fully reclaimed.
+    #[test]
+    fn queue_delivers_exactly_once_fifo(
+        items in proptest::collection::vec((any::<i64>(), 1usize..64), 1..50),
+        consumers in 1usize..4,
+    ) {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let conns: Vec<_> = (0..consumers).map(|_| q.connect_input()).collect();
+        let mut total_bytes = 0u64;
+        for (i, (ts, len)) in items.iter().enumerate() {
+            out.put(Timestamp::new(*ts), Item::from_vec(vec![0u8; *len]).with_tag(i as u32))
+                .unwrap();
+            total_bytes += *len as u64;
+        }
+        // Round-robin draining across consumers must preserve FIFO.
+        let mut seen = Vec::new();
+        let mut c = 0;
+        while let Ok((_, item, ticket)) = conns[c % consumers].try_get() {
+            seen.push(item.tag());
+            conns[c % consumers].consume(ticket).unwrap();
+            c += 1;
+        }
+        let expected: Vec<u32> = (0..items.len() as u32).collect();
+        prop_assert_eq!(seen, expected);
+        prop_assert_eq!(q.stats().reclaimed_bytes, total_bytes);
+        prop_assert_eq!(q.queued_items(), 0);
+        prop_assert_eq!(q.inflight_items(), 0);
+    }
+
+    /// GC safety/liveness under TGC: after every connection promises vt,
+    /// exactly the timestamps below the minimum promise are reclaimed.
+    #[test]
+    fn tgc_reclaims_exactly_below_min_promise(
+        n_items in 1i64..60,
+        promises in proptest::collection::vec(0i64..80, 1..4),
+    ) {
+        let chan = Channel::standalone(
+            ChannelAttrs::builder().gc(GcPolicy::Transparent).build(),
+        );
+        let out = chan.connect_output();
+        let conns: Vec<_> = promises
+            .iter()
+            .map(|_| chan.connect_input(Interest::FromEarliest))
+            .collect();
+        for ts in 0..n_items {
+            out.put(Timestamp::new(ts), Item::from_vec(vec![1])).unwrap();
+        }
+        for (conn, &p) in conns.iter().zip(&promises) {
+            conn.set_vt(VirtualTime::at(Timestamp::new(p))).unwrap();
+        }
+        let min_promise = *promises.iter().min().unwrap();
+        let expected_live = (min_promise..n_items).count();
+        prop_assert_eq!(chan.live_items(), expected_live);
+        // Safety: everything at or above the min promise is still gettable
+        // by a fresh connection.
+        let fresh = chan.connect_input(Interest::FromEarliest);
+        for ts in min_promise.max(0)..n_items {
+            prop_assert!(fresh.try_get(GetSpec::Exact(Timestamp::new(ts))).is_ok());
+        }
+    }
+
+    /// Bounded channels never exceed capacity, whatever the schedule.
+    #[test]
+    fn bounded_channel_respects_capacity(
+        cap in 1u32..8,
+        ops in proptest::collection::vec((0i64..64, any::<bool>()), 1..100),
+    ) {
+        let chan = Channel::standalone(
+            ChannelAttrs::builder()
+                .capacity(cap)
+                .overflow(dstampede::core::OverflowPolicy::Reject)
+                .build(),
+        );
+        let out = chan.connect_output();
+        let inp = chan.connect_input(Interest::FromEarliest);
+        for (ts, consume) in ops {
+            let _ = out.try_put(Timestamp::new(ts), Item::from_vec(vec![0]));
+            prop_assert!(chan.live_items() <= cap as usize);
+            if consume {
+                let _ = inp.consume_until(Timestamp::new(ts));
+            }
+        }
+    }
+
+    /// DropOldest eviction keeps the newest items and never exceeds
+    /// capacity.
+    #[test]
+    fn drop_oldest_keeps_newest(cap in 1u32..6, n in 1i64..40) {
+        let chan = Channel::standalone(
+            ChannelAttrs::builder()
+                .capacity(cap)
+                .overflow(dstampede::core::OverflowPolicy::DropOldest)
+                .build(),
+        );
+        let out = chan.connect_output();
+        for ts in 0..n {
+            out.put(Timestamp::new(ts), Item::from_vec(vec![ts as u8])).unwrap();
+        }
+        let live = chan.live_items() as i64;
+        prop_assert!(live <= i64::from(cap));
+        prop_assert_eq!(live, n.min(i64::from(cap)));
+        // The survivors are exactly the newest `live` timestamps.
+        let inp = chan.connect_input(Interest::FromEarliest);
+        for ts in (n - live)..n {
+            prop_assert!(inp.try_get(GetSpec::Exact(Timestamp::new(ts))).is_ok());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// A filtered connection's visible stream is exactly the tag-filtered
+    /// subsequence, for every traversal direction.
+    #[test]
+    fn filtered_view_matches_subsequence(
+        items in proptest::collection::vec(0u32..6, 1..40),
+        wanted in proptest::collection::vec(0u32..6, 0..4),
+    ) {
+        let chan = Channel::standalone(ChannelAttrs::default());
+        let out = chan.connect_output();
+        for (i, &tag) in items.iter().enumerate() {
+            out.put(Timestamp::new(i as i64), Item::from_vec(vec![tag as u8]).with_tag(tag))
+                .unwrap();
+        }
+        let filter = TagFilter::Only(wanted.clone());
+        let inp = chan.connect_input_filtered(Interest::FromEarliest, filter.clone());
+
+        // Forward traversal via After.
+        let mut seen = Vec::new();
+        let mut last = Timestamp::MIN;
+        while let Ok((t, item)) = inp.try_get(GetSpec::After(last)) {
+            seen.push(item.tag());
+            last = t;
+        }
+        let expected: Vec<u32> = items
+            .iter()
+            .copied()
+            .filter(|t| filter.matches(*t))
+            .collect();
+        prop_assert_eq!(&seen, &expected);
+
+        // Earliest/Latest agree with the subsequence's endpoints.
+        match (expected.first(), inp.try_get(GetSpec::Earliest)) {
+            (Some(&tag), Ok((_, item))) => prop_assert_eq!(item.tag(), tag),
+            (None, Err(StmError::Absent)) => {}
+            (exp, got) => prop_assert!(false, "earliest mismatch: {exp:?} vs {got:?}"),
+        }
+        match (expected.last(), inp.try_get(GetSpec::Latest)) {
+            (Some(&tag), Ok((_, item))) => prop_assert_eq!(item.tag(), tag),
+            (None, Err(StmError::Absent)) => {}
+            (exp, got) => prop_assert!(false, "latest mismatch: {exp:?} vs {got:?}"),
+        }
+
+        // Consuming everything reclaims everything: filtered-out items are
+        // not pinned by the filtered connection.
+        inp.consume_until(Timestamp::new(items.len() as i64)).unwrap();
+        prop_assert_eq!(chan.live_items(), 0);
+    }
+}
