@@ -1,10 +1,15 @@
 //! Runs every experiment of the paper's §5 with quick settings and writes
-//! CSVs under `results/`.
+//! CSVs under `results/`, plus a cluster telemetry snapshot
+//! (`results/BENCH_obs.json`) from an instrumented in-process workload.
 //!
 //! Equivalent to running each binary individually with `--quick --csv ...`;
 //! use the individual binaries for full-resolution sweeps.
 
 use std::process::Command;
+
+use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+use dstampede_runtime::{gc_epoch, Cluster};
+use dstampede_wire::WaitSpec;
 
 const EXPERIMENTS: &[&str] = &[
     "exp1_intra_cluster",
@@ -14,6 +19,45 @@ const EXPERIMENTS: &[&str] = &[
     "app_multi_threaded",
     "app_bandwidth_table",
 ];
+
+/// Runs a small cross-space workload on a fresh 2-address-space cluster
+/// and writes the merged telemetry snapshot as JSON.
+fn dump_obs_snapshot(path: &str) -> Result<(), String> {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let owner = cluster.space(0).map_err(|e| e.to_string())?;
+    let peer = cluster.space(1).map_err(|e| e.to_string())?;
+    let chan = owner.create_channel(None, ChannelAttrs::default());
+    let out = owner
+        .open_channel(chan.id())
+        .and_then(|c| c.connect_output())
+        .map_err(|e| e.to_string())?;
+    let inp = peer
+        .open_channel(chan.id())
+        .and_then(|c| c.connect_input(Interest::FromEarliest))
+        .map_err(|e| e.to_string())?;
+    for i in 0..32 {
+        out.put(
+            Timestamp::new(i),
+            Item::from_vec(vec![i as u8; 1024]),
+            WaitSpec::Forever,
+        )
+        .map_err(|e| e.to_string())?;
+        let (ts, _) = inp
+            .get_blocking(GetSpec::Exact(Timestamp::new(i)))
+            .map_err(|e| e.to_string())?;
+        inp.consume_until(ts).map_err(|e| e.to_string())?;
+    }
+    for space in cluster.spaces() {
+        gc_epoch::report_once(space);
+    }
+    let json = cluster.stats_snapshot().to_json();
+    cluster.shutdown();
+    std::fs::write(path, json).map_err(|e| e.to_string())
+}
 
 fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
@@ -31,19 +75,32 @@ fn main() {
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {
-                eprintln!("{exp} exited with {s}");
+                dstampede_obs::warn("bench", format!("{exp} exited with {s}"));
                 failures.push(*exp);
             }
             Err(e) => {
-                eprintln!("failed to launch {exp} ({e}); build bench binaries first");
+                dstampede_obs::warn(
+                    "bench",
+                    format!("failed to launch {exp} ({e}); build bench binaries first"),
+                );
                 failures.push(*exp);
             }
         }
     }
+
+    println!("=== obs snapshot ===");
+    match dump_obs_snapshot("results/BENCH_obs.json") {
+        Ok(()) => println!("wrote results/BENCH_obs.json"),
+        Err(e) => {
+            dstampede_obs::warn("bench", format!("obs snapshot failed: {e}"));
+            failures.push("obs_snapshot");
+        }
+    }
+
     if failures.is_empty() {
         println!("\nall experiments complete; CSVs in results/");
     } else {
-        eprintln!("\nexperiments failed: {failures:?}");
+        dstampede_obs::warn("bench", format!("experiments failed: {failures:?}"));
         std::process::exit(1);
     }
 }

@@ -135,9 +135,9 @@ impl ResultTable {
         println!("{}", self.to_markdown());
         if let Some(path) = csv_path {
             if let Err(e) = std::fs::write(path, self.to_csv()) {
-                eprintln!("warning: failed to write {path}: {e}");
+                dstampede_obs::warn("bench", format!("failed to write {path}: {e}"));
             } else {
-                eprintln!("wrote {path}");
+                dstampede_obs::info("bench", format!("wrote {path}"));
             }
         }
     }
@@ -159,6 +159,11 @@ impl ExpOptions {
     /// Parses `--quick`, `--raw`, and `--csv PATH` from `std::env::args`.
     #[must_use]
     pub fn from_args() -> Self {
+        // Experiment binaries are interactive tools: echo Info events
+        // (progress, "wrote <csv>") to the terminal.
+        dstampede_obs::global()
+            .events()
+            .set_echo(Some(dstampede_obs::Level::Info));
         let mut opts = ExpOptions::default();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -166,7 +171,9 @@ impl ExpOptions {
                 "--quick" => opts.quick = true,
                 "--raw" => opts.raw_only = true,
                 "--csv" => opts.csv = args.next(),
-                other => eprintln!("ignoring unknown argument {other}"),
+                other => {
+                    dstampede_obs::warn("bench", format!("ignoring unknown argument {other}"));
+                }
             }
         }
         opts

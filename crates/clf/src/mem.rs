@@ -16,6 +16,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 use parking_lot::RwLock;
 
 use dstampede_core::AsId;
+use dstampede_obs::MetricsRegistry;
 
 use crate::error::ClfError;
 use crate::transport::{ClfTransport, StatCounters, TransportStats};
@@ -172,6 +173,10 @@ impl ClfTransport for MemEndpoint {
 
     fn stats(&self) -> TransportStats {
         self.stats.snapshot()
+    }
+
+    fn bind_metrics(&self, registry: &MetricsRegistry) {
+        self.stats.bind(registry, "mem");
     }
 
     fn shutdown(&self) {

@@ -10,13 +10,14 @@
 
 use std::fmt;
 use std::io::{Read, Write};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
 
 use dstampede_core::AsId;
+use dstampede_obs::{Counter, MetricsRegistry};
 
 use crate::error::ClfError;
 use crate::transport::{ClfTransport, TransportStats};
@@ -155,6 +156,9 @@ pub struct ShapedTransport {
     inner: Arc<dyn ClfTransport>,
     profile: NetProfile,
     bucket: Option<TokenBucket>,
+    /// Egress counters under the `clf` subsystem (`shaped_msgs`,
+    /// `shaped_bytes`), present once `bind_metrics` ran.
+    obs: OnceLock<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl ShapedTransport {
@@ -165,6 +169,7 @@ impl ShapedTransport {
             inner,
             profile,
             bucket: profile.bandwidth.map(TokenBucket::new),
+            obs: OnceLock::new(),
         })
     }
 
@@ -194,6 +199,10 @@ impl ClfTransport for ShapedTransport {
         if let Some(bucket) = &self.bucket {
             bucket.consume(msg.len());
         }
+        if let Some((msgs, bytes)) = self.obs.get() {
+            msgs.inc();
+            bytes.add(msg.len() as u64);
+        }
         self.inner.send(dst, msg)
     }
 
@@ -217,6 +226,14 @@ impl ClfTransport for ShapedTransport {
 
     fn stats(&self) -> TransportStats {
         self.inner.stats()
+    }
+
+    fn bind_metrics(&self, registry: &MetricsRegistry) {
+        let _ = self.obs.set((
+            registry.counter("clf", "shaped_msgs"),
+            registry.counter("clf", "shaped_bytes"),
+        ));
+        self.inner.bind_metrics(registry);
     }
 
     fn shutdown(&self) {

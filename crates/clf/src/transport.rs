@@ -11,11 +11,13 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use bytes::Bytes;
 
 use dstampede_core::AsId;
+use dstampede_obs::{Counter, Histogram, MetricsRegistry};
 
 use crate::error::ClfError;
 
@@ -36,7 +38,23 @@ pub struct TransportStats {
     pub duplicates_dropped: u64,
 }
 
+/// Registry-backed handles mirrored by a bound [`StatCounters`].
+#[derive(Debug)]
+struct ObsHandles {
+    msgs_sent: Arc<Counter>,
+    msgs_received: Arc<Counter>,
+    bytes_sent: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    retransmits: Arc<Counter>,
+    duplicates_dropped: Arc<Counter>,
+    rtt: Arc<Histogram>,
+}
+
 /// Shared atomic counter block used by the backends.
+///
+/// Optionally bound (once) to a `dstampede-obs` registry, after which
+/// every update is mirrored into registry-backed series under the `clf`
+/// subsystem, labeled with the backend (`transport=udp` / `transport=mem`).
 #[derive(Debug, Default)]
 pub struct StatCounters {
     pub(crate) msgs_sent: AtomicU64,
@@ -45,18 +63,66 @@ pub struct StatCounters {
     pub(crate) bytes_received: AtomicU64,
     pub(crate) retransmits: AtomicU64,
     pub(crate) duplicates_dropped: AtomicU64,
+    obs: OnceLock<ObsHandles>,
 }
 
 impl StatCounters {
+    /// Binds these counters to `registry`; the first bind wins, later
+    /// calls are ignored. Safe to call after the endpoint's pump thread
+    /// is running (updates before the bind are simply not mirrored —
+    /// they remain visible via [`StatCounters::snapshot`]).
+    pub fn bind(&self, registry: &MetricsRegistry, transport: &str) {
+        let labels = [("transport", transport)];
+        let _ = self.obs.set(ObsHandles {
+            msgs_sent: registry.counter_labeled("clf", "msgs_sent", &labels),
+            msgs_received: registry.counter_labeled("clf", "msgs_received", &labels),
+            bytes_sent: registry.counter_labeled("clf", "bytes_sent", &labels),
+            bytes_received: registry.counter_labeled("clf", "bytes_received", &labels),
+            retransmits: registry.counter_labeled("clf", "retransmits", &labels),
+            duplicates_dropped: registry.counter_labeled("clf", "duplicates_dropped", &labels),
+            rtt: registry.histogram_labeled("clf", "rtt_us", &labels),
+        });
+    }
+
     pub(crate) fn note_sent(&self, bytes: usize) {
         self.msgs_sent.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.msgs_sent.inc();
+            obs.bytes_sent.add(bytes as u64);
+        }
     }
 
     pub(crate) fn note_received(&self, bytes: usize) {
         self.msgs_received.fetch_add(1, Ordering::Relaxed);
         self.bytes_received
             .fetch_add(bytes as u64, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.msgs_received.inc();
+            obs.bytes_received.add(bytes as u64);
+        }
+    }
+
+    pub(crate) fn note_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.retransmits.inc();
+        }
+    }
+
+    pub(crate) fn note_duplicate(&self) {
+        self.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.duplicates_dropped.inc();
+        }
+    }
+
+    /// Records an observed packet round-trip time (UDP backend: DATA
+    /// transmit to cumulative ACK).
+    pub(crate) fn note_rtt(&self, rtt: Duration) {
+        if let Some(obs) = self.obs.get() {
+            obs.rtt.record_duration(rtt);
+        }
     }
 
     /// A consistent-enough snapshot for reporting.
@@ -119,6 +185,13 @@ pub trait ClfTransport: Send + Sync + fmt::Debug {
     /// Traffic counters.
     fn stats(&self) -> TransportStats;
 
+    /// Mirrors this endpoint's counters into a telemetry registry (see
+    /// `dstampede-obs`). Backends without counters may ignore the call;
+    /// only the first bind takes effect.
+    fn bind_metrics(&self, registry: &MetricsRegistry) {
+        let _ = registry;
+    }
+
     /// Shuts the endpoint down; subsequent operations fail with
     /// [`ClfError::Closed`]. Idempotent.
     fn shutdown(&self);
@@ -140,5 +213,29 @@ mod tests {
         assert_eq!(s.msgs_received, 1);
         assert_eq!(s.bytes_received, 7);
         assert_eq!(s.retransmits, 0);
+    }
+
+    #[test]
+    fn bound_counters_mirror_into_registry() {
+        let reg = MetricsRegistry::new("test");
+        let c = StatCounters::default();
+        c.note_sent(3); // before bind: counted locally, not mirrored
+        c.bind(&reg, "udp");
+        c.bind(&reg, "udp"); // second bind is ignored
+        c.note_sent(5);
+        c.note_received(2);
+        c.note_retransmit();
+        c.note_duplicate();
+        c.note_rtt(Duration::from_micros(40));
+        assert_eq!(c.snapshot().msgs_sent, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("clf", "msgs_sent"), Some(1));
+        assert_eq!(snap.counter_value("clf", "bytes_sent"), Some(5));
+        assert_eq!(snap.counter_value("clf", "msgs_received"), Some(1));
+        assert_eq!(snap.counter_value("clf", "retransmits"), Some(1));
+        assert_eq!(snap.counter_value("clf", "duplicates_dropped"), Some(1));
+        let rtt = snap.histogram("clf", "rtt_us").expect("rtt series");
+        assert_eq!(rtt.count, 1);
+        assert_eq!(rtt.sum, 40);
     }
 }

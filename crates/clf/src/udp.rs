@@ -29,6 +29,8 @@ use parking_lot::Mutex;
 
 use dstampede_core::AsId;
 
+use dstampede_obs::MetricsRegistry;
+
 use crate::error::ClfError;
 use crate::transport::{ClfTransport, StatCounters, TransportStats};
 
@@ -293,7 +295,12 @@ fn pump_loop(
                                 let acked: Vec<u64> =
                                     tx.unacked.range(..=p.seq).map(|(&s, _)| s).collect();
                                 for s in acked {
-                                    tx.unacked.remove(&s);
+                                    if let Some((_, sent_at)) = tx.unacked.remove(&s) {
+                                        // Last-transmit to cumulative-ACK;
+                                        // retransmissions reset the clock, so
+                                        // samples bound the true packet RTT.
+                                        stats.note_rtt(sent_at.elapsed());
+                                    }
                                 }
                             }
                         }
@@ -319,7 +326,7 @@ fn pump_loop(
                     if sent_at.elapsed() >= rto {
                         let _ = socket.send_to(pkt, addr);
                         *sent_at = Instant::now();
-                        stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                        stats.note_retransmit();
                     }
                 }
             }
@@ -344,7 +351,7 @@ fn handle_data(
         st.peers.insert(p.src, from_addr);
         let rx = st.rx.entry(p.src).or_insert_with(PeerRx::new);
         if p.seq < rx.expected || rx.ooo.contains_key(&p.seq) {
-            stats.duplicates_dropped.fetch_add(1, Ordering::Relaxed);
+            stats.note_duplicate();
         } else {
             rx.ooo.insert(p.seq, (p.flags, p.payload.to_vec()));
             while let Some((flags, payload)) = rx.ooo.remove(&rx.expected) {
@@ -441,6 +448,10 @@ impl ClfTransport for UdpEndpoint {
 
     fn stats(&self) -> TransportStats {
         self.stats.snapshot()
+    }
+
+    fn bind_metrics(&self, registry: &MetricsRegistry) {
+        self.stats.bind(registry, "udp");
     }
 
     fn shutdown(&self) {

@@ -21,6 +21,7 @@
 //! ns-register NAME OWNER.INDEX
 //! ns-lookup NAME
 //! ns-list
+//! stats [local]                  # telemetry table, cluster-wide unless "local"
 //! quit
 //! ```
 
@@ -178,6 +179,15 @@ impl Shell {
                     .map_err(err)?;
                 Ok(format!("{res} meta={meta:?}"))
             }
+            "stats" => {
+                // Cluster-wide by default; `stats local` asks only the
+                // attached address space.
+                let cluster = parts.next() != Some("local");
+                let snap = self.device.stats(cluster).map_err(err)?;
+                Ok(dstampede_client::render_snapshot_table(&snap)
+                    .trim_end()
+                    .to_owned())
+            }
             "ns-list" => {
                 let entries = self.device.ns_list().map_err(err)?;
                 if entries.is_empty() {
@@ -208,7 +218,7 @@ fn main() {
     let device = match EndDevice::attach(&addr, codec, "cli") {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("attach failed: {e}");
+            dstampede_obs::error("cli", format!("attach failed to {addr}: {e}"));
             std::process::exit(1);
         }
     };

@@ -46,8 +46,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod report;
 pub mod session;
 
+pub use report::render_snapshot_table;
 pub use session::{
     ClientChanIn, ClientChanOut, ClientGarbageHook, ClientQueueIn, ClientQueueOut, EndDevice,
     SessionStream,

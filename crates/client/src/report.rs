@@ -1,0 +1,100 @@
+//! Human-readable rendering of telemetry snapshots.
+//!
+//! Used by `dstampede-cli stats` to print the cluster-wide table; kept
+//! in the library so tools embedding the client can reuse it.
+
+use dstampede_obs::Snapshot;
+
+fn label_suffix(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner = labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{inner}}}")
+}
+
+/// Renders a snapshot as an aligned text table: one section per sample
+/// kind, one row per series, with count/mean/p50/p99 columns for
+/// histograms. Sources (the contributing address spaces) head the
+/// output, so a cluster-wide pull shows who answered.
+#[must_use]
+pub fn render_snapshot_table(snap: &Snapshot) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for c in &snap.counters {
+        rows.push((
+            format!(
+                "{}/{}{}",
+                c.id.subsystem,
+                c.id.name,
+                label_suffix(&c.id.labels)
+            ),
+            c.value.to_string(),
+        ));
+    }
+    for g in &snap.gauges {
+        rows.push((
+            format!(
+                "{}/{}{}",
+                g.id.subsystem,
+                g.id.name,
+                label_suffix(&g.id.labels)
+            ),
+            g.value.to_string(),
+        ));
+    }
+    for h in &snap.histograms {
+        rows.push((
+            format!(
+                "{}/{}{}",
+                h.id.subsystem,
+                h.id.name,
+                label_suffix(&h.id.labels)
+            ),
+            format!(
+                "count={} mean={} p50={} p99={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ),
+        ));
+    }
+    let width = rows.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+    let mut out = format!("sources: {}\n", snap.sources.join(", "));
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dstampede_obs::MetricsRegistry;
+
+    #[test]
+    fn table_lists_every_series_and_sources() {
+        let reg = MetricsRegistry::new("as-7");
+        reg.counter("stm", "puts").add(3);
+        reg.gauge("stm", "channel_items").set(2);
+        reg.counter_labeled("clf", "msgs_sent", &[("transport", "mem")])
+            .inc();
+        reg.histogram("rpc", "surrogate_latency_us").record(40);
+        let table = render_snapshot_table(&reg.snapshot());
+        assert!(table.starts_with("sources: as-7\n"));
+        assert!(table.contains("stm/puts"));
+        assert!(table.contains("stm/channel_items"));
+        assert!(table.contains("clf/msgs_sent{transport=mem}"));
+        assert!(table.contains("count=1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_sources_line_only() {
+        let table = render_snapshot_table(&Snapshot::default());
+        assert_eq!(table, "sources: \n");
+    }
+}

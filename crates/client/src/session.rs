@@ -25,6 +25,7 @@ use dstampede_core::{
     AsId, ChanId, ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, QueueId, ResourceId, StmError,
     StmResult, StreamItem, TagFilter, Timestamp, VirtualTime,
 };
+use dstampede_obs::Snapshot;
 use dstampede_wire::{
     codec_for, read_frame, write_frame, Codec, CodecId, GcNote, NsEntry, Reply, Request,
     RequestFrame, WaitSpec,
@@ -374,6 +375,22 @@ impl EndDevice {
     pub fn ns_list(&self) -> StmResult<Vec<NsEntry>> {
         match self.inner.call(Request::NsList)? {
             Reply::NsEntries { entries } => Ok(entries),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Pulls a telemetry snapshot from the attached address space —
+    /// STM latency/occupancy, GC, CLF, and surrogate RPC series. With
+    /// `cluster = true` the address space first fans out to its peers
+    /// and merges their snapshots into a cluster-wide view.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn stats(&self, cluster: bool) -> StmResult<Snapshot> {
+        match self.inner.call(Request::StatsPull { cluster })? {
+            Reply::StatsReport { snapshot } => Snapshot::decode(&snapshot)
+                .map_err(|e| StmError::Protocol(format!("bad stats snapshot: {e}"))),
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }

@@ -1,0 +1,129 @@
+//! Acceptance test for the telemetry subsystem: a cluster-wide stats
+//! pull from an end device must cover STM, GC, CLF, and surrogate RPC
+//! series from every address space of a multi-space cluster.
+
+use std::time::Duration;
+
+use dstampede_client::{render_snapshot_table, EndDevice};
+use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, Timestamp};
+use dstampede_runtime::{gc_epoch, Cluster};
+use dstampede_wire::WaitSpec;
+
+#[test]
+fn cluster_wide_stats_pull_covers_stm_gc_and_clf() {
+    let cluster = Cluster::in_process(2).unwrap();
+
+    // Workload: attach to address space 1 but operate on a channel owned
+    // by address space 0, so every operation crosses CLF.
+    let owner = cluster.space(0).unwrap();
+    let chan = owner.create_channel(None, ChannelAttrs::default());
+    let device = EndDevice::attach_c(cluster.listener_addr(1).unwrap(), "stats-test").unwrap();
+    let out = device.connect_channel_out(chan.id()).unwrap();
+    let inp = device
+        .connect_channel_in(chan.id(), Interest::FromEarliest)
+        .unwrap();
+    for i in 0..8 {
+        out.put(
+            Timestamp::new(i),
+            Item::from_vec(vec![i as u8; 64]),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+    }
+    for i in 0..8 {
+        let (t, _) = inp
+            .get(GetSpec::Exact(Timestamp::new(i)), WaitSpec::Forever)
+            .unwrap();
+        inp.consume_until(t).unwrap();
+    }
+
+    // A queue workload local to address space 1 so queue-labeled series
+    // appear too.
+    let q = cluster
+        .space(1)
+        .unwrap()
+        .create_queue(None, QueueAttrs::default());
+    let qout = device.connect_queue_out(q.id()).unwrap();
+    let qin = device.connect_queue_in(q.id()).unwrap();
+    qout.put(
+        Timestamp::new(0),
+        Item::from_vec(vec![1]),
+        WaitSpec::Forever,
+    )
+    .unwrap();
+    let (_, _, ticket) = qin.get(WaitSpec::Forever).unwrap();
+    qin.consume(ticket).unwrap();
+
+    // Wait until the owner reclaimed the fully consumed channel items, so
+    // the GC reclamation counters are populated.
+    for _ in 0..200 {
+        if chan.live_items() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(chan.live_items(), 0);
+
+    // One GC epoch report from each address space.
+    for i in 0..2 {
+        gc_epoch::report_once(&cluster.space(i).unwrap());
+    }
+
+    let snap = device.stats(true).unwrap();
+
+    // Both address spaces answered the fan-out.
+    assert_eq!(snap.sources, vec!["as-0".to_string(), "as-1".to_string()]);
+
+    // STM: put/get latency and occupancy.
+    assert!(snap.counter_value("stm", "puts").unwrap_or(0) >= 9);
+    assert!(snap.counter_value("stm", "gets").unwrap_or(0) >= 9);
+    assert!(snap.counter_value("stm", "consumes").unwrap_or(0) >= 9);
+    assert!(snap.histogram("stm", "put_latency_us").unwrap().count >= 1);
+    assert!(snap.histogram("stm", "get_latency_us").unwrap().count >= 1);
+    assert_eq!(snap.gauge_value("stm", "channel_items"), Some(0));
+    assert_eq!(snap.gauge_value("stm", "queue_items"), Some(0));
+
+    // GC: epochs and reclamation.
+    assert!(snap.counter_value("gc", "epochs").unwrap_or(0) >= 2);
+    assert!(snap.counter_value("gc", "reclaimed_items").unwrap_or(0) >= 9);
+    assert!(snap.counter_value("gc", "reclaimed_bytes").unwrap_or(0) >= 8 * 64);
+    assert!(snap.histogram("gc", "epoch_duration_us").unwrap().count >= 2);
+
+    // CLF: the channel traffic crossed the in-process fabric.
+    assert!(snap.counter_value("clf", "msgs_sent").unwrap_or(0) >= 1);
+    assert!(snap.counter_value("clf", "msgs_received").unwrap_or(0) >= 1);
+    assert!(snap.counter_value("clf", "bytes_sent").unwrap_or(0) >= 64);
+
+    // RPC: the surrogate fielded our calls, and the proxy crossed spaces.
+    assert!(snap.histogram("rpc", "surrogate_latency_us").unwrap().count >= 1);
+    assert!(snap.histogram("rpc", "remote_op_us").unwrap().count >= 1);
+
+    // The rendered table carries the same coverage.
+    let table = render_snapshot_table(&snap);
+    assert!(table.starts_with("sources: as-0, as-1\n"));
+    for series in [
+        "stm/puts",
+        "gc/epochs",
+        "clf/msgs_sent",
+        "rpc/surrogate_latency_us",
+    ] {
+        assert!(table.contains(series), "table missing {series}:\n{table}");
+    }
+
+    device.detach().unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn local_stats_pull_reports_only_the_attached_space() {
+    let cluster = Cluster::in_process(2).unwrap();
+    let device = EndDevice::attach_c(cluster.listener_addr(1).unwrap(), "local-stats").unwrap();
+    device.ping(1).unwrap();
+
+    let snap = device.stats(false).unwrap();
+    assert_eq!(snap.sources, vec!["as-1".to_string()]);
+    assert!(snap.histogram("rpc", "surrogate_latency_us").unwrap().count >= 1);
+
+    device.detach().unwrap();
+    cluster.shutdown();
+}

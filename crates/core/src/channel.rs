@@ -34,8 +34,9 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use dstampede_obs::MetricsRegistry;
 use parking_lot::{Condvar, Mutex};
 
 use crate::attr::{ChannelAttrs, GcPolicy, OverflowPolicy};
@@ -43,6 +44,7 @@ use crate::error::{StmError, StmResult};
 use crate::handler::{GarbageEvent, Hooks};
 use crate::ids::{ChanId, ConnId, ResourceId};
 use crate::item::{Item, StreamItem};
+use crate::metrics::StmMetrics;
 use crate::time::{Timestamp, VirtualTime};
 
 /// Which item a `get` refers to.
@@ -221,15 +223,30 @@ pub struct Channel {
     space_cv: Condvar,
     hooks: Mutex<Hooks>,
     stats: AtomicStats,
+    obs: StmMetrics,
 }
 
 impl Channel {
-    /// Creates a channel with an explicit system-wide id.
+    /// Creates a channel with an explicit system-wide id, reporting
+    /// telemetry to the process-global metrics registry.
     ///
     /// Registries call this; for local experimentation use
     /// [`Channel::standalone`].
     #[must_use]
     pub fn new(id: ChanId, name: Option<String>, attrs: ChannelAttrs) -> Arc<Self> {
+        Channel::new_in(id, name, attrs, dstampede_obs::global())
+    }
+
+    /// Creates a channel reporting telemetry to `metrics` (used by
+    /// address-space registries so each space's activity is attributed
+    /// separately in cluster-wide snapshots).
+    #[must_use]
+    pub fn new_in(
+        id: ChanId,
+        name: Option<String>,
+        attrs: ChannelAttrs,
+        metrics: &MetricsRegistry,
+    ) -> Arc<Self> {
         Arc::new(Channel {
             id,
             name,
@@ -246,6 +263,7 @@ impl Channel {
             space_cv: Condvar::new(),
             hooks: Mutex::new(Hooks::new()),
             stats: AtomicStats::default(),
+            obs: StmMetrics::channel(metrics),
         })
     }
 
@@ -450,11 +468,13 @@ impl Channel {
         spec: GetSpec,
         deadline: Deadline,
     ) -> StmResult<(Timestamp, Item)> {
+        let started = Instant::now();
         let mut st = self.state.lock();
         loop {
             if let Some(ts) = Self::resolve(&st, conn, spec)? {
                 let item = st.items.get(&ts).expect("resolved ts present").item.clone();
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                self.obs.record_get(started);
                 return Ok((ts, item));
             }
             if st.closed {
@@ -481,6 +501,7 @@ impl Channel {
         item: Item,
         deadline: Deadline,
     ) -> StmResult<()> {
+        let started = Instant::now();
         let mut evicted: Vec<(Timestamp, Slot)> = Vec::new();
         {
             let mut st = self.state.lock();
@@ -533,6 +554,8 @@ impl Channel {
                 .collect();
             st.items.insert(ts, Slot { item, pending });
             self.stats.puts.fetch_add(1, Ordering::Relaxed);
+            self.obs.occupancy.inc();
+            self.obs.record_put(started);
         }
         self.items_cv.notify_all();
         self.finish_reclaim(evicted);
@@ -540,6 +563,7 @@ impl Channel {
     }
 
     pub(crate) fn do_consume_until(&self, conn: ConnId, upto: Timestamp) -> StmResult<()> {
+        let started = Instant::now();
         let reclaimed;
         {
             let mut st = self.state.lock();
@@ -555,6 +579,7 @@ impl Channel {
                 slot.pending.remove(&conn);
             }
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
+            self.obs.record_consume(started);
             reclaimed = Self::collect(&mut st, self.attrs.gc());
         }
         self.finish_reclaim(reclaimed);
@@ -562,6 +587,7 @@ impl Channel {
     }
 
     pub(crate) fn do_set_vt(&self, conn: ConnId, vt: VirtualTime) -> StmResult<()> {
+        let started = Instant::now();
         let reclaimed;
         {
             let mut st = self.state.lock();
@@ -582,6 +608,7 @@ impl Channel {
                 }
             }
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
+            self.obs.record_consume(started);
             reclaimed = Self::collect(&mut st, self.attrs.gc());
         }
         self.finish_reclaim(reclaimed);
@@ -673,19 +700,25 @@ impl Channel {
             return;
         }
         self.space_cv.notify_all();
+        self.obs
+            .occupancy
+            .add(-i64::try_from(reclaimed.len()).unwrap_or(i64::MAX));
         let hooks = self.hooks.lock().clone();
-        for (ts, slot) in reclaimed {
+        let mut bytes = 0u64;
+        for (ts, slot) in &reclaimed {
             self.stats.reclaimed_items.fetch_add(1, Ordering::Relaxed);
             self.stats
                 .reclaimed_bytes
                 .fetch_add(slot.item.len() as u64, Ordering::Relaxed);
+            bytes += slot.item.len() as u64;
             hooks.fire_garbage(&GarbageEvent {
                 resource: ResourceId::Channel(self.id),
-                ts,
+                ts: *ts,
                 tag: slot.item.tag(),
                 len: slot.item.len() as u32,
             });
         }
+        self.obs.record_reclaim(reclaimed.len() as u64, bytes);
     }
 }
 

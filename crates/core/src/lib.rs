@@ -62,6 +62,7 @@ pub mod gc;
 pub mod handler;
 pub mod ids;
 pub mod item;
+pub mod metrics;
 pub mod queue;
 pub mod registry;
 pub mod rtsync;
@@ -77,6 +78,7 @@ pub use error::{StmError, StmResult};
 pub use handler::{GarbageEvent, GarbageHook, Hooks};
 pub use ids::{AsId, ChanId, ConnId, ConnMode, QueueId, ResourceId, ThreadId};
 pub use item::{Item, StreamItem};
+pub use metrics::StmMetrics;
 pub use queue::{QTicket, Queue, QueueInputConn, QueueOutputConn, QueueStats};
 pub use registry::StmRegistry;
 pub use rtsync::{Clock, RealClock, Recovery, RtSync, SyncStatus, VirtualClock};

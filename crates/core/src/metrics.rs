@@ -1,0 +1,124 @@
+//! Registry-backed telemetry handles for space-time memory containers.
+//!
+//! Every [`crate::Channel`] and [`crate::Queue`] carries an
+//! [`StmMetrics`]: a bundle of `Arc` handles into a
+//! [`MetricsRegistry`], resolved once at container creation so hot
+//! paths pay only relaxed atomic updates. Containers created through
+//! an address-space [`crate::StmRegistry`] bind to that space's
+//! registry; standalone containers bind to the process-global one.
+//!
+//! Metric names follow the workspace convention (see `dstampede-obs`):
+//! the `stm` subsystem owns operation counts, latencies, and occupancy;
+//! the `gc` subsystem owns reclamation totals. Channel and queue series
+//! are distinguished by a `resource` label.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dstampede_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+
+/// Telemetry handles shared by one container.
+///
+/// Cheap to clone conceptually (all fields are `Arc`s), but containers
+/// each call [`StmMetrics::channel`] / [`StmMetrics::queue`] so that
+/// same-kind containers in one space share the same series.
+#[derive(Debug)]
+pub struct StmMetrics {
+    pub(crate) puts: Arc<Counter>,
+    pub(crate) gets: Arc<Counter>,
+    pub(crate) consumes: Arc<Counter>,
+    pub(crate) put_latency: Arc<Histogram>,
+    pub(crate) get_latency: Arc<Histogram>,
+    pub(crate) consume_latency: Arc<Histogram>,
+    /// Live (channel) or queued (queue) item occupancy for this kind.
+    pub(crate) occupancy: Arc<Gauge>,
+    pub(crate) reclaimed_items: Arc<Counter>,
+    pub(crate) reclaimed_bytes: Arc<Counter>,
+}
+
+impl StmMetrics {
+    /// Handles for a channel, bound to `registry`.
+    #[must_use]
+    pub fn channel(registry: &MetricsRegistry) -> StmMetrics {
+        StmMetrics::bind(registry, "channel", "channel_items")
+    }
+
+    /// Handles for a queue, bound to `registry`.
+    #[must_use]
+    pub fn queue(registry: &MetricsRegistry) -> StmMetrics {
+        StmMetrics::bind(registry, "queue", "queue_items")
+    }
+
+    fn bind(registry: &MetricsRegistry, kind: &str, occupancy: &str) -> StmMetrics {
+        let labels = [("resource", kind)];
+        StmMetrics {
+            puts: registry.counter_labeled("stm", "puts", &labels),
+            gets: registry.counter_labeled("stm", "gets", &labels),
+            consumes: registry.counter_labeled("stm", "consumes", &labels),
+            put_latency: registry.histogram_labeled("stm", "put_latency_us", &labels),
+            get_latency: registry.histogram_labeled("stm", "get_latency_us", &labels),
+            consume_latency: registry.histogram_labeled("stm", "consume_latency_us", &labels),
+            occupancy: registry.gauge("stm", occupancy),
+            reclaimed_items: registry.counter_labeled("gc", "reclaimed_items", &labels),
+            reclaimed_bytes: registry.counter_labeled("gc", "reclaimed_bytes", &labels),
+        }
+    }
+
+    pub(crate) fn record_put(&self, started: Instant) {
+        self.puts.inc();
+        self.put_latency.record_duration(started.elapsed());
+    }
+
+    pub(crate) fn record_get(&self, started: Instant) {
+        self.gets.inc();
+        self.get_latency.record_duration(started.elapsed());
+    }
+
+    pub(crate) fn record_consume(&self, started: Instant) {
+        self.consumes.inc();
+        self.consume_latency.record_duration(started.elapsed());
+    }
+
+    pub(crate) fn record_reclaim(&self, items: u64, bytes: u64) {
+        self.reclaimed_items.add(items);
+        self.reclaimed_bytes.add(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_and_queue_are_distinct_series() {
+        let reg = MetricsRegistry::new("test");
+        let ch = StmMetrics::channel(&reg);
+        let qu = StmMetrics::queue(&reg);
+        ch.puts.inc();
+        assert_eq!(ch.puts.get(), 1);
+        assert_eq!(qu.puts.get(), 0);
+        // Two bindings of the same kind share one series.
+        let ch2 = StmMetrics::channel(&reg);
+        ch2.puts.inc();
+        assert_eq!(ch.puts.get(), 2);
+    }
+
+    #[test]
+    fn recorders_update_counters_and_latencies() {
+        let reg = MetricsRegistry::new("test");
+        let m = StmMetrics::channel(&reg);
+        let t = Instant::now();
+        m.record_put(t);
+        m.record_get(t);
+        m.record_consume(t);
+        m.record_reclaim(2, 64);
+        assert_eq!(m.puts.get(), 1);
+        assert_eq!(m.gets.get(), 1);
+        assert_eq!(m.consumes.get(), 1);
+        assert_eq!(m.put_latency.count(), 1);
+        assert_eq!(m.get_latency.count(), 1);
+        assert_eq!(m.consume_latency.count(), 1);
+        assert_eq!(m.reclaimed_items.get(), 2);
+        assert_eq!(m.reclaimed_bytes.get(), 64);
+    }
+}

@@ -20,8 +20,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use dstampede_obs::MetricsRegistry;
 use parking_lot::{Condvar, Mutex};
 
 use crate::attr::{OverflowPolicy, QueueAttrs};
@@ -30,6 +31,7 @@ use crate::error::{StmError, StmResult};
 use crate::handler::{GarbageEvent, Hooks};
 use crate::ids::{ConnId, QueueId, ResourceId};
 use crate::item::{Item, StreamItem};
+use crate::metrics::StmMetrics;
 use crate::time::Timestamp;
 
 /// Receipt for an in-flight queue item; settle with `consume` or `requeue`.
@@ -133,13 +135,28 @@ pub struct Queue {
     space_cv: Condvar,
     hooks: Mutex<Hooks>,
     stats: AtomicStats,
+    obs: StmMetrics,
 }
 
 impl Queue {
-    /// Creates a queue with an explicit system-wide id (registries call
+    /// Creates a queue with an explicit system-wide id, reporting
+    /// telemetry to the process-global metrics registry (registries call
     /// this; use [`Queue::standalone`] for local experimentation).
     #[must_use]
     pub fn new(id: QueueId, name: Option<String>, attrs: QueueAttrs) -> Arc<Self> {
+        Queue::new_in(id, name, attrs, dstampede_obs::global())
+    }
+
+    /// Creates a queue reporting telemetry to `metrics` (used by
+    /// address-space registries so each space's activity is attributed
+    /// separately in cluster-wide snapshots).
+    #[must_use]
+    pub fn new_in(
+        id: QueueId,
+        name: Option<String>,
+        attrs: QueueAttrs,
+        metrics: &MetricsRegistry,
+    ) -> Arc<Self> {
         Arc::new(Queue {
             id,
             name,
@@ -157,6 +174,7 @@ impl Queue {
             space_cv: Condvar::new(),
             hooks: Mutex::new(Hooks::new()),
             stats: AtomicStats::default(),
+            obs: StmMetrics::queue(metrics),
         })
     }
 
@@ -279,6 +297,7 @@ impl Queue {
         item: Item,
         deadline: Deadline,
     ) -> StmResult<()> {
+        let started = Instant::now();
         let mut evicted: Option<QEntry> = None;
         {
             let mut st = self.state.lock();
@@ -315,9 +334,12 @@ impl Queue {
             }
             st.items.push_back(QEntry { ts, item });
             self.stats.puts.fetch_add(1, Ordering::Relaxed);
+            self.obs.occupancy.inc();
+            self.obs.record_put(started);
         }
         self.items_cv.notify_one();
         if let Some(e) = evicted {
+            self.obs.occupancy.dec();
             self.reclaim_one(e.ts, &e.item);
         }
         Ok(())
@@ -328,6 +350,7 @@ impl Queue {
         conn: ConnId,
         deadline: Deadline,
     ) -> StmResult<(Timestamp, Item, QTicket)> {
+        let started = Instant::now();
         let mut st = self.state.lock();
         loop {
             if !st.in_conns.contains(&conn) {
@@ -345,6 +368,8 @@ impl Queue {
                     },
                 );
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
+                self.obs.occupancy.dec();
+                self.obs.record_get(started);
                 drop(st);
                 self.space_cv.notify_one();
                 return Ok((entry.ts, entry.item, ticket));
@@ -367,6 +392,7 @@ impl Queue {
     }
 
     pub(crate) fn do_consume(&self, conn: ConnId, ticket: QTicket) -> StmResult<()> {
+        let started = Instant::now();
         let entry;
         {
             let mut st = self.state.lock();
@@ -377,6 +403,7 @@ impl Queue {
             }
             entry = st.inflight.remove(&ticket).expect("checked above");
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
+            self.obs.record_consume(started);
         }
         self.reclaim_one(entry.ts, &entry.item);
         Ok(())
@@ -396,6 +423,7 @@ impl Queue {
                 item: inf.item,
             });
             self.stats.requeues.fetch_add(1, Ordering::Relaxed);
+            self.obs.occupancy.inc();
         }
         self.items_cv.notify_one();
         Ok(())
@@ -423,6 +451,9 @@ impl Queue {
                 recovered += 1;
             }
             self.stats.requeues.fetch_add(recovered, Ordering::Relaxed);
+            self.obs
+                .occupancy
+                .add(i64::try_from(recovered).unwrap_or(i64::MAX));
         }
         if recovered > 0 {
             self.items_cv.notify_all();
@@ -439,6 +470,7 @@ impl Queue {
         self.stats
             .reclaimed_bytes
             .fetch_add(item.len() as u64, Ordering::Relaxed);
+        self.obs.record_reclaim(1, item.len() as u64);
         self.space_cv.notify_one();
         let hooks = self.hooks.lock().clone();
         hooks.fire_garbage(&GarbageEvent {

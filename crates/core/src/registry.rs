@@ -10,6 +10,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use dstampede_obs::MetricsRegistry;
 use parking_lot::RwLock;
 
 use crate::attr::{ChannelAttrs, QueueAttrs};
@@ -39,18 +40,29 @@ pub struct StmRegistry {
     queues: RwLock<HashMap<u32, Arc<Queue>>>,
     next_chan: AtomicU32,
     next_queue: AtomicU32,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl StmRegistry {
-    /// Creates an empty registry for the given address space.
+    /// Creates an empty registry for the given address space, reporting
+    /// telemetry to the process-global metrics registry.
     #[must_use]
     pub fn new(as_id: AsId) -> Arc<Self> {
+        StmRegistry::with_metrics(as_id, Arc::clone(dstampede_obs::global()))
+    }
+
+    /// Creates an empty registry whose containers report telemetry to
+    /// `metrics` (the distributed runtime gives each address space its
+    /// own so cluster snapshots attribute activity per space).
+    #[must_use]
+    pub fn with_metrics(as_id: AsId, metrics: Arc<MetricsRegistry>) -> Arc<Self> {
         Arc::new(StmRegistry {
             as_id,
             channels: RwLock::new(HashMap::new()),
             queues: RwLock::new(HashMap::new()),
             next_chan: AtomicU32::new(1),
             next_queue: AtomicU32::new(1),
+            metrics,
         })
     }
 
@@ -60,6 +72,12 @@ impl StmRegistry {
         self.as_id
     }
 
+    /// The metrics registry this space's containers report to.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
     /// Creates and registers a channel owned by this address space.
     pub fn create_channel(&self, name: Option<String>, attrs: ChannelAttrs) -> Arc<Channel> {
         let index = self.next_chan.fetch_add(1, Ordering::Relaxed);
@@ -67,7 +85,7 @@ impl StmRegistry {
             owner: self.as_id,
             index,
         };
-        let chan = Channel::new(id, name, attrs);
+        let chan = Channel::new_in(id, name, attrs, &self.metrics);
         self.channels.write().insert(index, Arc::clone(&chan));
         chan
     }
@@ -79,7 +97,7 @@ impl StmRegistry {
             owner: self.as_id,
             index,
         };
-        let queue = Queue::new(id, name, attrs);
+        let queue = Queue::new_in(id, name, attrs, &self.metrics);
         self.queues.write().insert(index, Arc::clone(&queue));
         queue
     }

@@ -1,0 +1,249 @@
+//! A bounded ring-buffer event log with levels, replacing ad-hoc
+//! stderr prints. Events at or above the echo threshold are also
+//! mirrored to stderr so daemons stay observable on a terminal.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Event severity, ordered from chattiest to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Fine-grained tracing.
+    Trace,
+    /// Diagnostic detail.
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Something unexpected but survivable.
+    Warn,
+    /// A failure.
+    Error,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            0 => Some(Level::Trace),
+            1 => Some(Level::Debug),
+            2 => Some(Level::Info),
+            3 => Some(Level::Warn),
+            4 => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number within the log (counts drops too).
+    pub seq: u64,
+    /// Milliseconds since the log was created.
+    pub millis: u64,
+    /// Severity.
+    pub level: Level,
+    /// Owning layer (`stm`, `gc`, `clf`, `rpc`, ...).
+    pub subsystem: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>8.3}s {:5} {}] {}",
+            self.millis as f64 / 1000.0,
+            self.level,
+            self.subsystem,
+            self.message
+        )
+    }
+}
+
+struct LogState {
+    buf: VecDeque<Event>,
+    next_seq: u64,
+}
+
+/// A bounded ring buffer of [`Event`]s: the newest `capacity` events
+/// are retained, older ones are dropped.
+pub struct EventLog {
+    started: Instant,
+    capacity: usize,
+    state: Mutex<LogState>,
+    /// Echo threshold as `Level as u8`; 5 disables echo.
+    echo: AtomicU8,
+}
+
+/// Default retained-event capacity.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` events, echoing `Warn` and
+    /// above to stderr.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            started: Instant::now(),
+            capacity: capacity.max(1),
+            state: Mutex::new(LogState {
+                buf: VecDeque::new(),
+                next_seq: 0,
+            }),
+            echo: AtomicU8::new(Level::Warn as u8),
+        }
+    }
+
+    /// Sets the minimum level echoed to stderr; `None` disables echo.
+    pub fn set_echo(&self, level: Option<Level>) {
+        self.echo
+            .store(level.map_or(5, |l| l as u8), Ordering::Relaxed);
+    }
+
+    /// Appends one event, dropping the oldest when full.
+    pub fn emit(&self, level: Level, subsystem: &str, message: impl Into<String>) {
+        let event = {
+            let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            let event = Event {
+                seq: state.next_seq,
+                millis: u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                level,
+                subsystem: subsystem.to_owned(),
+                message: message.into(),
+            };
+            state.next_seq += 1;
+            if state.buf.len() == self.capacity {
+                state.buf.pop_front();
+            }
+            state.buf.push_back(event.clone());
+            event
+        };
+        if Level::from_u8(self.echo.load(Ordering::Relaxed)).is_some_and(|e| level >= e) {
+            eprintln!("{event}");
+        }
+    }
+
+    /// The newest `n` events, oldest first.
+    #[must_use]
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state
+            .buf
+            .iter()
+            .skip(state.buf.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .buf
+            .len()
+    }
+
+    /// Whether nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever emitted (including dropped ones).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .next_seq
+    }
+}
+
+impl fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventLog")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet(capacity: usize) -> EventLog {
+        let log = EventLog::new(capacity);
+        log.set_echo(None);
+        log
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let log = quiet(3);
+        for i in 0..5 {
+            log.emit(Level::Info, "test", format!("event {i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.emitted(), 5);
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].message, "event 2");
+        assert_eq!(recent[2].message, "event 4");
+        assert_eq!(recent[2].seq, 4);
+    }
+
+    #[test]
+    fn recent_takes_newest() {
+        let log = quiet(10);
+        for i in 0..4 {
+            log.emit(Level::Debug, "test", format!("{i}"));
+        }
+        let last_two = log.recent(2);
+        assert_eq!(last_two[0].message, "2");
+        assert_eq!(last_two[1].message, "3");
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let log = quiet(4);
+        log.emit(Level::Warn, "clf", "retransmit storm");
+        let shown = log.recent(1)[0].to_string();
+        assert!(shown.contains("warn"), "{shown}");
+        assert!(shown.contains("clf"), "{shown}");
+        assert!(shown.contains("retransmit storm"), "{shown}");
+    }
+}

@@ -1,0 +1,63 @@
+//! # dstampede-obs — cluster-wide telemetry
+//!
+//! The paper's entire evaluation (§5) hinges on measuring latency and
+//! sustained frame rate across address spaces. This crate is the
+//! measurement substrate every other layer instruments itself with:
+//!
+//! * [`Counter`], [`Gauge`], [`Histogram`] — lock-free primitives built
+//!   on std atomics only (no external dependencies).
+//! * [`MetricsRegistry`] — a metric namespace keyed by
+//!   `(subsystem, name, labels)`. Each address space owns one registry;
+//!   standalone users share the process-global [`global()`] registry.
+//! * [`EventLog`] — a bounded ring buffer of leveled events replacing
+//!   raw stderr prints.
+//! * [`Snapshot`] — a serializable, mergeable point-in-time view of a
+//!   registry, so per-address-space snapshots aggregate cluster-wide
+//!   (the name server pulls remote snapshots over the wire and merges
+//!   them; `dstampede-cli stats` renders the result).
+//!
+//! ## Naming scheme
+//!
+//! `subsystem` is the owning layer (`stm`, `gc`, `clf`, `rpc`,
+//! `bench`); `name` is a snake_case measurement with its unit suffix
+//! (`put_latency_us`, `reclaimed_bytes`); labels qualify a metric
+//! without exploding the namespace (e.g. `transport=udp`).
+
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use event::{Event, EventLog, Level};
+pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use registry::{global, MetricsRegistry};
+pub use snapshot::{
+    CounterSample, GaugeSample, HistogramSample, MetricId, Snapshot, SnapshotParseError,
+};
+
+/// Emits an event at [`Level::Trace`] through the global registry.
+pub fn trace(subsystem: &str, message: impl Into<String>) {
+    global().events().emit(Level::Trace, subsystem, message);
+}
+
+/// Emits an event at [`Level::Debug`] through the global registry.
+pub fn debug(subsystem: &str, message: impl Into<String>) {
+    global().events().emit(Level::Debug, subsystem, message);
+}
+
+/// Emits an event at [`Level::Info`] through the global registry.
+pub fn info(subsystem: &str, message: impl Into<String>) {
+    global().events().emit(Level::Info, subsystem, message);
+}
+
+/// Emits an event at [`Level::Warn`] through the global registry.
+pub fn warn(subsystem: &str, message: impl Into<String>) {
+    global().events().emit(Level::Warn, subsystem, message);
+}
+
+/// Emits an event at [`Level::Error`] through the global registry.
+pub fn error(subsystem: &str, message: impl Into<String>) {
+    global().events().emit(Level::Error, subsystem, message);
+}

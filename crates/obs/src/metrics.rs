@@ -1,0 +1,281 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All three are plain std atomics updated with `Ordering::Relaxed`:
+//! telemetry reads are statistical, never synchronizing, so the hot
+//! path pays one uncontended atomic RMW per update.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed level (occupancy, in-flight work).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by a signed delta.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: value `v` lands in bucket
+/// `bit_length(v)`, i.e. bucket 0 holds only 0, bucket `i` holds
+/// `[2^(i-1), 2^i)`, and bucket 64 holds `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The half-open value range `[lo, hi)` covered by bucket `index`
+/// (bucket 64's `hi` saturates at `u64::MAX`).
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < HISTOGRAM_BUCKETS, "bucket index out of range");
+    match index {
+        0 => (0, 1),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), 1 << i),
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// A log2-bucketed distribution of `u64` samples (latencies in
+/// microseconds, sizes in bytes).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in whole microseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Per-bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// An upper bound on the `q`-quantile (0.0..=1.0): the exclusive
+    /// upper edge of the bucket where the cumulative count crosses
+    /// `q * count`. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let threshold = threshold.max(1);
+        let mut seen = 0;
+        for (i, &n) in buckets.iter().enumerate() {
+            seen += n;
+            if seen >= threshold {
+                return bucket_bounds(i).1.saturating_sub(1).max(bucket_bounds(i).0);
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(9);
+        g.dec();
+        assert_eq!(g.get(), 9);
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // Bucket 0 is exactly {0}.
+        assert_eq!(bucket_index(0), 0);
+        // Each power of two opens a new bucket; its predecessor closes one.
+        for bit in 0..63 {
+            let lo = 1u64 << bit;
+            assert_eq!(
+                bucket_index(lo),
+                bit + 1,
+                "lower edge of bucket {}",
+                bit + 1
+            );
+            assert_eq!(
+                bucket_index(lo * 2 - 1),
+                bit + 1,
+                "upper edge of bucket {}",
+                bit + 1
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // bucket_bounds is the inverse view.
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            if i < 64 {
+                assert_eq!(bucket_index(hi - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_mean() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1010);
+        assert_eq!(h.mean(), 168);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], 1); // 0
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 2); // 2, 3
+        assert_eq!(buckets[3], 1); // 4
+        assert_eq!(buckets[10], 1); // 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket 4: [8, 16)
+        }
+        h.record(100_000); // bucket 17
+        assert_eq!(h.quantile(0.5), 15);
+        assert!(h.quantile(1.0) >= 100_000);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn duration_records_micros() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_micros(7));
+        assert_eq!(h.sum(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket index out of range")]
+    fn bucket_bounds_checked() {
+        let _ = bucket_bounds(HISTOGRAM_BUCKETS);
+    }
+}

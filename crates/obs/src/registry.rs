@@ -1,0 +1,239 @@
+//! The [`MetricsRegistry`]: a namespace of metrics keyed by
+//! `(subsystem, name, labels)`, plus the process-global default
+//! registry used by standalone (non-clustered) components.
+//!
+//! Lookups happen at instrumentation-setup time; instrumented code
+//! holds the returned `Arc` handles and updates them lock-free on hot
+//! paths. Looking up an existing key returns the same underlying
+//! metric, so independent call sites share one series.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::event::EventLog;
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricId, Snapshot};
+
+/// A namespace of metrics plus an event log, snapshot-able as a unit.
+pub struct MetricsRegistry {
+    source: String,
+    counters: Mutex<BTreeMap<MetricId, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<MetricId, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<MetricId, Arc<Histogram>>>,
+    events: EventLog,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl MetricsRegistry {
+    /// A fresh registry whose snapshots are attributed to `source`
+    /// (e.g. `as-3`).
+    #[must_use]
+    pub fn new(source: &str) -> Self {
+        MetricsRegistry {
+            source: source.to_owned(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: EventLog::default(),
+        }
+    }
+
+    /// The snapshot attribution name.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// This registry's event log.
+    #[must_use]
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The counter for `(subsystem, name)`, created on first use.
+    #[must_use]
+    pub fn counter(&self, subsystem: &str, name: &str) -> Arc<Counter> {
+        self.counter_labeled(subsystem, name, &[])
+    }
+
+    /// The counter for `(subsystem, name, labels)`, created on first
+    /// use.
+    #[must_use]
+    pub fn counter_labeled(
+        &self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(MetricId::new(subsystem, name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The gauge for `(subsystem, name)`, created on first use.
+    #[must_use]
+    pub fn gauge(&self, subsystem: &str, name: &str) -> Arc<Gauge> {
+        self.gauge_labeled(subsystem, name, &[])
+    }
+
+    /// The gauge for `(subsystem, name, labels)`, created on first use.
+    #[must_use]
+    pub fn gauge_labeled(
+        &self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.gauges)
+                .entry(MetricId::new(subsystem, name, labels))
+                .or_default(),
+        )
+    }
+
+    /// The histogram for `(subsystem, name)`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, subsystem: &str, name: &str) -> Arc<Histogram> {
+        self.histogram_labeled(subsystem, name, &[])
+    }
+
+    /// The histogram for `(subsystem, name, labels)`, created on first
+    /// use.
+    #[must_use]
+    pub fn histogram_labeled(
+        &self,
+        subsystem: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(MetricId::new(subsystem, name, labels))
+                .or_default(),
+        )
+    }
+
+    /// A point-in-time copy of every metric, ready to serialize or
+    /// merge with other spaces' snapshots.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|(id, c)| CounterSample {
+                id: id.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let gauges = lock(&self.gauges)
+            .iter()
+            .map(|(id, g)| GaugeSample {
+                id: id.clone(),
+                value: g.get(),
+            })
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|(id, h)| {
+                let buckets = h
+                    .buckets()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(i, &n)| (u32::try_from(i).expect("bucket index"), n))
+                    .collect();
+                HistogramSample {
+                    id: id.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets,
+                }
+            })
+            .collect();
+        Snapshot {
+            sources: vec![self.source.clone()],
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("source", &self.source)
+            .field("counters", &lock(&self.counters).len())
+            .field("gauges", &lock(&self.gauges).len())
+            .field("histograms", &lock(&self.histograms).len())
+            .finish()
+    }
+}
+
+/// The process-global registry, used by components not owned by an
+/// address space (standalone channels, benches, client libraries).
+#[must_use]
+pub fn global() -> &'static Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new("process")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_shares_one_metric() {
+        let reg = MetricsRegistry::new("test");
+        reg.counter("stm", "puts").add(2);
+        reg.counter("stm", "puts").add(3);
+        assert_eq!(reg.counter("stm", "puts").get(), 5);
+        // A different label set is a different series.
+        reg.counter_labeled("stm", "puts", &[("chan", "7")]).inc();
+        assert_eq!(reg.counter("stm", "puts").get(), 5);
+        assert_eq!(
+            reg.counter_labeled("stm", "puts", &[("chan", "7")]).get(),
+            1
+        );
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let reg = MetricsRegistry::new("test");
+        reg.gauge_labeled("clf", "depth", &[("a", "1"), ("b", "2")])
+            .set(9);
+        assert_eq!(
+            reg.gauge_labeled("clf", "depth", &[("b", "2"), ("a", "1")])
+                .get(),
+            9
+        );
+    }
+
+    #[test]
+    fn snapshot_reflects_current_values() {
+        let reg = MetricsRegistry::new("as-1");
+        reg.counter("clf", "packets_sent").add(4);
+        reg.gauge("stm", "channel_items").set(2);
+        reg.histogram("stm", "put_latency_us").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.sources, vec!["as-1".to_owned()]);
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 4);
+        assert_eq!(snap.gauges[0].value, 2);
+        assert_eq!(snap.histograms[0].count, 1);
+        assert_eq!(snap.histograms[0].sum, 100);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = Arc::clone(global());
+        let b = Arc::clone(global());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.source(), "process");
+    }
+}

@@ -1,0 +1,614 @@
+//! Point-in-time metric snapshots: serializable for the wire, and
+//! mergeable so per-address-space snapshots aggregate cluster-wide.
+//!
+//! Two serializations exist:
+//!
+//! * [`Snapshot::encode`]/[`Snapshot::decode`] — a compact
+//!   percent-escaped line format carried inside `StatsReport` replies.
+//! * [`Snapshot::to_json`] — an export-only rendering for benchmark
+//!   trajectory files (`results/BENCH_*.json`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::metrics::bucket_bounds;
+
+/// Identifies one metric series: `(subsystem, name, labels)`, with
+/// labels kept sorted so equal sets compare equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    /// Owning layer (`stm`, `gc`, `clf`, `rpc`, ...).
+    pub subsystem: String,
+    /// Measurement name with unit suffix (`put_latency_us`).
+    pub name: String,
+    /// Qualifying key/value pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// A key with canonically sorted labels.
+    #[must_use]
+    pub fn new(subsystem: &str, name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricId {
+            subsystem: subsystem.to_owned(),
+            name: name.to_owned(),
+            labels,
+        }
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.subsystem, self.name)?;
+        if !self.labels.is_empty() {
+            write!(f, "{{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{k}={v}")?;
+            }
+            write!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One counter's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Which series.
+    pub id: MetricId,
+    /// The count.
+    pub value: u64,
+}
+
+/// One gauge's level at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// Which series.
+    pub id: MetricId,
+    /// The level.
+    pub value: i64,
+}
+
+/// One histogram's distribution at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSample {
+    /// Which series.
+    pub id: MetricId,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Sparse `(bucket index, count)` pairs, sorted by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSample {
+    /// Mean sample, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// An upper bound on the `q`-quantile, from bucket edges.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total: u64 = self.buckets.iter().map(|&(_, n)| n).sum();
+        if total == 0 {
+            return 0;
+        }
+        let threshold = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= threshold {
+                let (lo, hi) = bucket_bounds(i as usize);
+                return hi.saturating_sub(1).max(lo);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A mergeable point-in-time view of one or more registries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Which registries contributed (sorted, deduplicated).
+    pub sources: Vec<String>,
+    /// Counter samples, sorted by id.
+    pub counters: Vec<CounterSample>,
+    /// Gauge samples, sorted by id.
+    pub gauges: Vec<GaugeSample>,
+    /// Histogram samples, sorted by id.
+    pub histograms: Vec<HistogramSample>,
+}
+
+impl Snapshot {
+    /// Folds `other` into `self`: sources union; counters and gauges
+    /// sum per series; histograms add counts, sums, and buckets
+    /// element-wise. Associative and count-preserving.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for s in &other.sources {
+            if !self.sources.contains(s) {
+                self.sources.push(s.clone());
+            }
+        }
+        self.sources.sort();
+
+        let mut counters: BTreeMap<MetricId, u64> =
+            self.counters.drain(..).map(|c| (c.id, c.value)).collect();
+        for c in &other.counters {
+            *counters.entry(c.id.clone()).or_insert(0) += c.value;
+        }
+        self.counters = counters
+            .into_iter()
+            .map(|(id, value)| CounterSample { id, value })
+            .collect();
+
+        let mut gauges: BTreeMap<MetricId, i64> =
+            self.gauges.drain(..).map(|g| (g.id, g.value)).collect();
+        for g in &other.gauges {
+            *gauges.entry(g.id.clone()).or_insert(0) += g.value;
+        }
+        self.gauges = gauges
+            .into_iter()
+            .map(|(id, value)| GaugeSample { id, value })
+            .collect();
+
+        let mut histograms: BTreeMap<MetricId, (u64, u64, BTreeMap<u32, u64>)> = self
+            .histograms
+            .drain(..)
+            .map(|h| (h.id, (h.count, h.sum, h.buckets.into_iter().collect())))
+            .collect();
+        for h in &other.histograms {
+            let entry = histograms
+                .entry(h.id.clone())
+                .or_insert((0, 0, BTreeMap::new()));
+            entry.0 += h.count;
+            entry.1 += h.sum;
+            for &(i, n) in &h.buckets {
+                *entry.2.entry(i).or_insert(0) += n;
+            }
+        }
+        self.histograms = histograms
+            .into_iter()
+            .map(|(id, (count, sum, buckets))| HistogramSample {
+                id,
+                count,
+                sum,
+                buckets: buckets.into_iter().collect(),
+            })
+            .collect();
+    }
+
+    /// The counter value for `(subsystem, name)` ignoring labels
+    /// (summed across label sets), or `None` when absent.
+    #[must_use]
+    pub fn counter_value(&self, subsystem: &str, name: &str) -> Option<u64> {
+        let mut found = None;
+        for c in &self.counters {
+            if c.id.subsystem == subsystem && c.id.name == name {
+                *found.get_or_insert(0) += c.value;
+            }
+        }
+        found
+    }
+
+    /// The first gauge sample for `(subsystem, name)`, if any.
+    #[must_use]
+    pub fn gauge_value(&self, subsystem: &str, name: &str) -> Option<i64> {
+        let mut found = None;
+        for g in &self.gauges {
+            if g.id.subsystem == subsystem && g.id.name == name {
+                *found.get_or_insert(0) += g.value;
+            }
+        }
+        found
+    }
+
+    /// The first histogram sample for `(subsystem, name)`, if any.
+    #[must_use]
+    pub fn histogram(&self, subsystem: &str, name: &str) -> Option<&HistogramSample> {
+        self.histograms
+            .iter()
+            .find(|h| h.id.subsystem == subsystem && h.id.name == name)
+    }
+
+    /// Serializes to the compact line format carried by `StatsReport`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::from("obs1\n");
+        for s in &self.sources {
+            out.push_str(&format!("S {}\n", escape(s)));
+        }
+        for c in &self.counters {
+            out.push_str(&format!("C {} {}\n", encode_id(&c.id), c.value));
+        }
+        for g in &self.gauges {
+            out.push_str(&format!("G {} {}\n", encode_id(&g.id), g.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("H {} {} {}", encode_id(&h.id), h.count, h.sum));
+            for &(i, n) in &h.buckets {
+                out.push_str(&format!(" {i}:{n}"));
+            }
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
+    /// Parses the [`Snapshot::encode`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotParseError`] naming the offending line.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotParseError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SnapshotParseError::new(0, "snapshot is not utf-8"))?;
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "obs1")) => {}
+            _ => return Err(SnapshotParseError::new(1, "bad header")),
+        }
+        let mut snap = Snapshot::default();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| SnapshotParseError::new(lineno, msg);
+            let mut fields = line.split(' ');
+            let kind = fields.next().ok_or_else(|| err("empty line"))?;
+            match kind {
+                "S" => {
+                    let name = fields.next().ok_or_else(|| err("missing source"))?;
+                    snap.sources
+                        .push(unescape(name).ok_or_else(|| err("bad escape"))?);
+                }
+                "C" => {
+                    let id = decode_id(&mut fields).ok_or_else(|| err("bad metric id"))?;
+                    let value = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad counter value"))?;
+                    snap.counters.push(CounterSample { id, value });
+                }
+                "G" => {
+                    let id = decode_id(&mut fields).ok_or_else(|| err("bad metric id"))?;
+                    let value = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad gauge value"))?;
+                    snap.gauges.push(GaugeSample { id, value });
+                }
+                "H" => {
+                    let id = decode_id(&mut fields).ok_or_else(|| err("bad metric id"))?;
+                    let count = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad histogram count"))?;
+                    let sum = fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err("bad histogram sum"))?;
+                    let mut buckets = Vec::new();
+                    for pair in fields {
+                        let (i, n) = pair
+                            .split_once(':')
+                            .and_then(|(i, n)| Some((i.parse().ok()?, n.parse().ok()?)))
+                            .ok_or_else(|| err("bad bucket pair"))?;
+                        buckets.push((i, n));
+                    }
+                    snap.histograms.push(HistogramSample {
+                        id,
+                        count,
+                        sum,
+                        buckets,
+                    });
+                }
+                _ => return Err(err("unknown record kind")),
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders as JSON for benchmark trajectory files.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"sources\": [");
+        for (i, s) in self.sources.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(s));
+        }
+        out.push_str("],\n  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{{}, \"value\": {}}}",
+                json_id(&c.id),
+                c.value
+            ));
+        }
+        out.push_str("\n  ],\n  \"gauges\": [");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{{}, \"value\": {}}}",
+                json_id(&g.id),
+                g.value
+            ));
+        }
+        out.push_str("\n  ],\n  \"histograms\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets = h
+                .buckets
+                .iter()
+                .map(|&(i, n)| format!("[{i}, {n}]"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n    {{{}, \"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                json_id(&h.id),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                buckets
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// A malformed [`Snapshot::encode`] payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotParseError {
+    line: usize,
+    message: String,
+}
+
+impl SnapshotParseError {
+    fn new(line: usize, message: &str) -> Self {
+        SnapshotParseError {
+            line,
+            message: message.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for SnapshotParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snapshot parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for SnapshotParseError {}
+
+fn is_plain(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-')
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_plain(b) {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn encode_id(id: &MetricId) -> String {
+    let labels = if id.labels.is_empty() {
+        "-".to_owned()
+    } else {
+        id.labels
+            .iter()
+            .map(|(k, v)| format!("{}={}", escape(k), escape(v)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!("{} {} {}", escape(&id.subsystem), escape(&id.name), labels)
+}
+
+fn decode_id<'a>(fields: &mut impl Iterator<Item = &'a str>) -> Option<MetricId> {
+    let subsystem = unescape(fields.next()?)?;
+    let name = unescape(fields.next()?)?;
+    let labels_field = fields.next()?;
+    let mut labels = Vec::new();
+    if labels_field != "-" {
+        for pair in labels_field.split(',') {
+            let (k, v) = pair.split_once('=')?;
+            labels.push((unescape(k)?, unescape(v)?));
+        }
+    }
+    labels.sort();
+    Some(MetricId {
+        subsystem,
+        name,
+        labels,
+    })
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_id(id: &MetricId) -> String {
+    let labels = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{}: {}", json_string(k), json_string(v)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "\"subsystem\": {}, \"name\": {}, \"labels\": {{{}}}",
+        json_string(&id.subsystem),
+        json_string(&id.name),
+        labels
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            sources: vec!["as-0".into(), "as-1".into()],
+            counters: vec![CounterSample {
+                id: MetricId::new("clf", "packets_sent", &[("transport", "udp")]),
+                value: 42,
+            }],
+            gauges: vec![GaugeSample {
+                id: MetricId::new("stm", "channel_items", &[]),
+                value: -3,
+            }],
+            histograms: vec![HistogramSample {
+                id: MetricId::new("stm", "put_latency_us", &[]),
+                count: 3,
+                sum: 70,
+                buckets: vec![(4, 2), (6, 1)],
+            }],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = sample();
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn escaping_survives_awkward_strings() {
+        let mut snap = Snapshot::default();
+        snap.sources.push("spaced name %50\n".into());
+        snap.counters.push(CounterSample {
+            id: MetricId::new("a b", "x=y", &[("k,1", "v 2")]),
+            value: 1,
+        });
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Snapshot::decode(b"nope").is_err());
+        assert!(Snapshot::decode(b"obs1\nZ what").is_err());
+        assert!(Snapshot::decode(b"obs1\nC stm puts - notanumber").is_err());
+        assert!(Snapshot::decode(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn merge_sums_per_series() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.sources, vec!["as-0".to_owned(), "as-1".to_owned()]);
+        assert_eq!(a.counter_value("clf", "packets_sent"), Some(84));
+        assert_eq!(a.gauge_value("stm", "channel_items"), Some(-6));
+        let h = a.histogram("stm", "put_latency_us").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 140);
+        assert_eq!(h.buckets, vec![(4, 4), (6, 2)]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_on_values() {
+        let mut a = sample();
+        a.merge(&Snapshot::default());
+        let mut b = Snapshot::default();
+        b.merge(&sample());
+        assert_eq!(a, b);
+        assert_eq!(a.counter_value("clf", "packets_sent"), Some(42));
+    }
+
+    #[test]
+    fn lookup_helpers_sum_across_labels() {
+        let mut snap = sample();
+        snap.counters.push(CounterSample {
+            id: MetricId::new("clf", "packets_sent", &[("transport", "mem")]),
+            value: 8,
+        });
+        assert_eq!(snap.counter_value("clf", "packets_sent"), Some(50));
+        assert_eq!(snap.counter_value("clf", "absent"), None);
+    }
+
+    #[test]
+    fn histogram_sample_quantiles() {
+        let h = HistogramSample {
+            id: MetricId::new("stm", "x", &[]),
+            count: 100,
+            sum: 0,
+            buckets: vec![(4, 99), (17, 1)],
+        };
+        assert_eq!(h.quantile(0.5), 15);
+        assert!(h.quantile(1.0) >= (1 << 16));
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let json = sample().to_json();
+        assert!(json.contains("\"packets_sent\""));
+        assert!(json.contains("\"transport\": \"udp\""));
+        assert!(json.contains("\"p50\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests of [`Snapshot::merge`]: the cluster-wide stats pull
+//! merges per-address-space snapshots in whatever order replies arrive,
+//! so merging must be associative and lossless (no sample is dropped or
+//! double-counted regardless of grouping).
+
+use proptest::prelude::*;
+
+use dstampede_obs::{CounterSample, GaugeSample, HistogramSample, MetricId, Snapshot};
+
+const SUBSYSTEMS: &[&str] = &["stm", "gc", "clf", "rpc"];
+const NAMES: &[&str] = &["puts", "reclaimed_bytes", "latency_us"];
+const LABELS: &[&[(&str, &str)]] = &[
+    &[],
+    &[("transport", "udp")],
+    &[("transport", "mem"), ("kind", "channel")],
+];
+
+/// One generated sample: `(kind, subsystem, name, labels, value)`
+/// indices plus a raw value.
+type Entry = (u8, u8, u8, u8, u32);
+
+/// Builds a canonical snapshot by folding singleton snapshots into an
+/// accumulator, with one source drawn from a small pool.
+fn build_snapshot((source, entries): (u8, Vec<Entry>)) -> Snapshot {
+    let mut snap = Snapshot::default();
+    snap.sources.push(format!("as-{}", source % 4));
+    for &(kind, s, n, l, v) in &entries {
+        let id = MetricId::new(
+            SUBSYSTEMS[s as usize % SUBSYSTEMS.len()],
+            NAMES[n as usize % NAMES.len()],
+            LABELS[l as usize % LABELS.len()],
+        );
+        let mut single = Snapshot::default();
+        match kind % 3 {
+            0 => single.counters.push(CounterSample {
+                id,
+                value: u64::from(v),
+            }),
+            1 => single.gauges.push(GaugeSample {
+                id,
+                value: i64::from(v as i32),
+            }),
+            _ => single.histograms.push(HistogramSample {
+                id,
+                count: 1,
+                sum: u64::from(v),
+                buckets: vec![(v % 64, 1)],
+            }),
+        }
+        snap.merge(&single);
+    }
+    snap
+}
+
+fn arb_snapshot() -> BoxedStrategy<Snapshot> {
+    (
+        any::<u8>(),
+        proptest::collection::vec(
+            (
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>(),
+                any::<u32>(),
+            ),
+            0..12,
+        ),
+    )
+        .prop_map(build_snapshot)
+        .boxed()
+}
+
+/// Totals that merging must preserve exactly: every sample either keeps
+/// its own series or sums into a colliding one, so per-kind totals add.
+#[derive(Debug, PartialEq, Eq)]
+struct Totals {
+    counter_sum: u64,
+    gauge_sum: i64,
+    histogram_count: u64,
+    histogram_sum: u64,
+    bucket_count: u64,
+}
+
+fn totals(snap: &Snapshot) -> Totals {
+    Totals {
+        counter_sum: snap.counters.iter().map(|c| c.value).sum(),
+        gauge_sum: snap.gauges.iter().map(|g| g.value).sum(),
+        histogram_count: snap.histograms.iter().map(|h| h.count).sum(),
+        histogram_sum: snap.histograms.iter().map(|h| h.sum).sum(),
+        bucket_count: snap
+            .histograms
+            .iter()
+            .flat_map(|h| &h.buckets)
+            .map(|&(_, n)| n)
+            .sum(),
+    }
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    /// Grouping never matters: `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)`.
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging is lossless: per-kind totals add exactly, and the source
+    /// set is the union.
+    #[test]
+    fn merge_preserves_totals(a in arb_snapshot(), b in arb_snapshot()) {
+        let m = merged(&a, &b);
+        let (ta, tb, tm) = (totals(&a), totals(&b), totals(&m));
+        prop_assert_eq!(tm.counter_sum, ta.counter_sum + tb.counter_sum);
+        prop_assert_eq!(tm.gauge_sum, ta.gauge_sum + tb.gauge_sum);
+        prop_assert_eq!(
+            tm.histogram_count,
+            ta.histogram_count + tb.histogram_count
+        );
+        prop_assert_eq!(tm.histogram_sum, ta.histogram_sum + tb.histogram_sum);
+        prop_assert_eq!(tm.bucket_count, ta.bucket_count + tb.bucket_count);
+
+        let mut union: Vec<String> = a.sources.clone();
+        for s in &b.sources {
+            if !union.contains(s) {
+                union.push(s.clone());
+            }
+        }
+        union.sort();
+        prop_assert_eq!(m.sources, union);
+    }
+
+    /// The empty snapshot is the merge identity on canonical snapshots.
+    #[test]
+    fn empty_is_identity(a in arb_snapshot()) {
+        prop_assert_eq!(merged(&a, &Snapshot::default()), a.clone());
+        prop_assert_eq!(merged(&Snapshot::default(), &a), a);
+    }
+
+    /// The wire format round-trips any generated snapshot, so remote
+    /// per-space reports survive the `StatsReport` hop unchanged.
+    #[test]
+    fn encode_decode_round_trips(a in arb_snapshot()) {
+        let decoded = Snapshot::decode(&a.encode()).unwrap();
+        prop_assert_eq!(decoded, a);
+    }
+}

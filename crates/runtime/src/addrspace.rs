@@ -26,6 +26,7 @@ use dstampede_core::{
     AsId, ChanId, Channel, ChannelAttrs, Queue, QueueAttrs, QueueId, ResourceId, StmError,
     StmRegistry, StmResult,
 };
+use dstampede_obs::{MetricsRegistry, Snapshot};
 use dstampede_wire::{NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
 
 use crate::exec::{execute, is_blocking, ConnTable};
@@ -47,6 +48,8 @@ pub struct AddressSpace {
     down: AtomicBool,
     gc_agg: Mutex<MinFloorAggregator>,
     gc_epochs: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
+    peers: Mutex<Vec<AsId>>,
 }
 
 impl AddressSpace {
@@ -57,9 +60,11 @@ impl AddressSpace {
     #[must_use]
     pub fn start(transport: Arc<dyn ClfTransport>, host_nameserver: bool) -> Arc<Self> {
         let id = transport.local();
+        let metrics = Arc::new(MetricsRegistry::new(&format!("as-{}", id.0)));
+        transport.bind_metrics(&metrics);
         let space = Arc::new(AddressSpace {
             id,
-            registry: StmRegistry::new(id),
+            registry: StmRegistry::with_metrics(id, Arc::clone(&metrics)),
             threads: ThreadRegistry::new(),
             transport,
             nameserver: host_nameserver.then(|| Arc::new(NameServer::new())),
@@ -70,6 +75,8 @@ impl AddressSpace {
             down: AtomicBool::new(false),
             gc_agg: Mutex::new(MinFloorAggregator::new()),
             gc_epochs: AtomicU64::new(0),
+            metrics,
+            peers: Mutex::new(Vec::new()),
         });
         let dispatch_space = Arc::clone(&space);
         let handle = std::thread::Builder::new()
@@ -291,6 +298,58 @@ impl AddressSpace {
             Reply::NsEntries { entries } => Ok(entries),
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
+    }
+
+    // ---- telemetry ----
+
+    /// The telemetry registry every subsystem of this address space
+    /// (STM containers, GC, the CLF transport, surrogates) records into.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Declares the full membership of the computation so a cluster-wide
+    /// stats pull knows whom to ask. Usually called by the cluster
+    /// builder; this address space's own id may be included (it is
+    /// skipped during fan-out).
+    pub fn set_peers(&self, peers: Vec<AsId>) {
+        *self.peers.lock() = peers;
+    }
+
+    /// The declared computation membership.
+    #[must_use]
+    pub fn peers(&self) -> Vec<AsId> {
+        self.peers.lock().clone()
+    }
+
+    /// A snapshot of this address space's own metrics.
+    #[must_use]
+    pub fn stats_snapshot(&self) -> Snapshot {
+        self.metrics.snapshot()
+    }
+
+    /// A cluster-wide snapshot: this address space's metrics merged with
+    /// one [`Request::StatsPull`] round to every declared peer.
+    /// Unreachable peers are skipped — the merged snapshot's `sources`
+    /// list shows who answered.
+    #[must_use]
+    pub fn stats_cluster_snapshot(self: &Arc<Self>) -> Snapshot {
+        let mut merged = self.stats_snapshot();
+        for peer in self.peers() {
+            if peer == self.id {
+                continue;
+            }
+            let Ok(reply) = self.call(peer, Request::StatsPull { cluster: false }) else {
+                continue;
+            };
+            if let Reply::StatsReport { snapshot } = reply {
+                if let Ok(snap) = Snapshot::decode(&snapshot) {
+                    merged.merge(&snap);
+                }
+            }
+        }
+        merged
     }
 
     // ---- distributed GC epoch support ----

@@ -22,6 +22,7 @@
 use std::io::Read;
 use std::time::Duration;
 
+use dstampede_obs::Level;
 use dstampede_runtime::{Cluster, ClusterTransport, GcEpochConfig, GcEpochService};
 
 struct Options {
@@ -42,14 +43,14 @@ fn parse_args() -> Options {
             "--address-spaces" => {
                 opts.address_spaces =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                        eprintln!("--address-spaces needs a number");
+                        dstampede_obs::error("daemon", "--address-spaces needs a number");
                         std::process::exit(2);
                     });
             }
             "--udp" => opts.udp = true,
             "--gc-epoch-ms" => {
                 let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--gc-epoch-ms needs a number");
+                    dstampede_obs::error("daemon", "--gc-epoch-ms needs a number");
                     std::process::exit(2);
                 });
                 opts.gc_epoch = Duration::from_millis(ms);
@@ -62,7 +63,7 @@ fn parse_args() -> Options {
                 std::process::exit(0);
             }
             other => {
-                eprintln!("unknown argument {other} (try --help)");
+                dstampede_obs::error("daemon", format!("unknown argument {other} (try --help)"));
                 std::process::exit(2);
             }
         }
@@ -71,6 +72,9 @@ fn parse_args() -> Options {
 }
 
 fn main() {
+    // Operational milestones go through the event log; echo at Info so
+    // they still reach the terminal.
+    dstampede_obs::global().events().set_echo(Some(Level::Info));
     let opts = parse_args();
     let mut builder = Cluster::builder().address_spaces(opts.address_spaces);
     if opts.udp {
@@ -79,7 +83,7 @@ fn main() {
     let cluster = match builder.build() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("failed to start cluster: {e}");
+            dstampede_obs::error("daemon", format!("failed to start cluster: {e}"));
             std::process::exit(1);
         }
     };
@@ -90,27 +94,32 @@ fn main() {
         },
     );
 
-    println!(
-        "dstamped: {} address spaces ({}), name server in as0",
-        cluster.len(),
-        if opts.udp {
-            "udp clf"
-        } else {
-            "in-process clf"
-        }
+    dstampede_obs::info(
+        "daemon",
+        format!(
+            "dstamped: {} address spaces ({}), name server in as0",
+            cluster.len(),
+            if opts.udp {
+                "udp clf"
+            } else {
+                "in-process clf"
+            }
+        ),
     );
+    // The listener addresses are the daemon's machine-readable contract
+    // (clients parse them from stdout), not diagnostics.
     for i in 0..cluster.len() as u16 {
         if let Ok(addr) = cluster.listener_addr(i) {
             println!("listener as{i}: {addr}");
         }
     }
-    println!("serving; close stdin (ctrl-d) to shut down");
+    dstampede_obs::info("daemon", "serving; close stdin (ctrl-d) to shut down");
 
     // Serve until stdin closes.
     let mut sink = Vec::new();
     let _ = std::io::stdin().read_to_end(&mut sink);
 
-    println!("shutting down");
+    dstampede_obs::info("daemon", "shutting down");
     gc.shutdown();
     cluster.shutdown();
 }

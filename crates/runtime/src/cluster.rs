@@ -112,6 +112,13 @@ impl ClusterBuilder {
             })
             .collect();
 
+        // Declare the full membership so cluster-wide stats pulls know
+        // whom to fan out to.
+        let members: Vec<AsId> = (0..self.address_spaces).map(AsId).collect();
+        for s in &spaces {
+            s.set_peers(members.clone());
+        }
+
         let listeners = if self.listeners {
             spaces
                 .iter()
@@ -221,6 +228,18 @@ impl Cluster {
             .fold(dstampede_core::gc::GcSummary::default(), |acc, s| {
                 acc.merge(s)
             })
+    }
+
+    /// A merged telemetry snapshot over every address space (read
+    /// directly, no RPC — for tooling co-located with the cluster; remote
+    /// tooling uses a `StatsPull` request instead).
+    #[must_use]
+    pub fn stats_snapshot(&self) -> dstampede_obs::Snapshot {
+        let mut merged = dstampede_obs::Snapshot::default();
+        for s in &self.spaces {
+            merged.merge(&s.stats_snapshot());
+        }
+        merged
     }
 
     /// Stops listeners and shuts every address space down.

@@ -191,6 +191,8 @@ pub fn is_blocking(req: &Request) -> bool {
         | Request::QueuePut { wait, .. }
         | Request::QueueGet { wait, .. }
         | Request::NsLookup { wait, .. } => !matches!(wait, WaitSpec::NonBlocking),
+        // A cluster-wide pull blocks on RPC rounds to every peer.
+        Request::StatsPull { cluster } => *cluster,
         _ => false,
     }
 }
@@ -403,6 +405,16 @@ fn execute_inner(
         Request::GcReport { from, min_vt } => {
             space.gc_record_report(from, dstampede_core::VirtualTime::at(min_vt));
             Ok(Reply::Ok)
+        }
+        Request::StatsPull { cluster } => {
+            let snap = if cluster {
+                space.stats_cluster_snapshot()
+            } else {
+                space.stats_snapshot()
+            };
+            Ok(Reply::StatsReport {
+                snapshot: bytes::Bytes::from(snap.encode()),
+            })
         }
         other => Err(StmError::Protocol(format!("unhandled request {other:?}"))),
     }

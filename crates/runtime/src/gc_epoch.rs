@@ -101,6 +101,7 @@ impl Drop for GcEpochService {
 
 /// Sends (or locally records) one epoch report for an address space.
 pub fn report_once(space: &Arc<AddressSpace>) {
+    let started = std::time::Instant::now();
     let min_vt = space.threads().min_vt();
     if space.id() == AsId::NAMESERVER {
         space.gc_record_report(space.id(), min_vt);
@@ -114,6 +115,11 @@ pub fn report_once(space: &Arc<AddressSpace>) {
             },
         );
     }
+    let metrics = space.metrics();
+    metrics.counter("gc", "epochs").inc();
+    metrics
+        .histogram("gc", "epoch_duration_us")
+        .record_duration(started.elapsed());
 }
 
 #[cfg(test)]

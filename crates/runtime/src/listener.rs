@@ -195,6 +195,7 @@ fn run_surrogate(space: &Arc<AddressSpace>, mut stream: std::net::TcpStream, ses
 
     let conns = ConnTable::new();
     let gc = Arc::new(GcNoteQueue::new());
+    let latency = space.metrics().histogram("rpc", "surrogate_latency_us");
 
     loop {
         let frame = match read_frame(&mut stream) {
@@ -214,7 +215,12 @@ fn run_surrogate(space: &Arc<AddressSpace>, mut stream: std::net::TcpStream, ses
                 false,
             ),
             Request::Detach => (Reply::Ok, true),
-            other => (execute(space, &conns, Some(&gc), other), false),
+            other => {
+                let started = std::time::Instant::now();
+                let reply = execute(space, &conns, Some(&gc), other);
+                latency.record_duration(started.elapsed());
+                (reply, false)
+            }
         };
         let reply_frame = ReplyFrame {
             seq: request.seq,

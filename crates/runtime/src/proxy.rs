@@ -179,7 +179,13 @@ impl RemoteConn {
     }
 
     fn call(&self, req: Request) -> StmResult<Reply> {
-        self.space.call(self.owner, req)
+        let started = std::time::Instant::now();
+        let result = self.space.call(self.owner, req);
+        self.space
+            .metrics()
+            .histogram("rpc", "remote_op_us")
+            .record_duration(started.elapsed());
+        result
     }
 }
 

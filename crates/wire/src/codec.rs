@@ -129,6 +129,7 @@ pub(crate) mod class {
     pub const NS_LIST: u32 = 22;
     pub const INSTALL_GARBAGE_HOOK: u32 = 23;
     pub const GC_REPORT: u32 = 24;
+    pub const STATS_PULL: u32 = 25;
 
     // Replies.
     pub const R_OK: u32 = 1;
@@ -141,6 +142,7 @@ pub(crate) mod class {
     pub const R_NS_ENTRIES: u32 = 8;
     pub const R_PONG: u32 = 9;
     pub const R_ERROR: u32 = 10;
+    pub const R_STATS_REPORT: u32 = 11;
 
     // Sub-encodings.
     pub const RES_CHANNEL: u32 = 0;

@@ -386,6 +386,7 @@ fn request_to_value(frame: &RequestFrame) -> JdrValue {
                 JdrValue::Long(min_vt.value()),
             ],
         ),
+        Request::StatsPull { cluster } => (class::STATS_PULL, vec![JdrValue::Bool(*cluster)]),
     };
     // Frame envelope: seq first, then the call object.
     let mut envelope = vec![JdrValue::Long(frame.seq as i64)];
@@ -498,6 +499,9 @@ fn value_to_request(v: &JdrValue) -> Result<RequestFrame, WireError> {
             from: AsId(field(f, 0)?.as_i32()? as u16),
             min_vt: Timestamp::new(field(f, 1)?.as_i64()?),
         },
+        class::STATS_PULL => Request::StatsPull {
+            cluster: field(f, 0)?.as_bool()?,
+        },
         t => return Err(WireError::BadTag(t)),
     };
     Ok(RequestFrame { seq, req })
@@ -569,6 +573,7 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
             class::R_ERROR,
             vec![JdrValue::Int(*code as i32), JdrValue::str(detail)],
         ),
+        Reply::StatsReport { snapshot } => (class::R_STATS_REPORT, vec![JdrValue::bytes(snapshot)]),
     };
     JdrValue::object(
         u32::MAX,
@@ -636,6 +641,9 @@ fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
         class::R_ERROR => Reply::Error {
             code: field(f, 0)?.as_u32()?,
             detail: field(f, 1)?.as_str()?.to_owned(),
+        },
+        class::R_STATS_REPORT => Reply::StatsReport {
+            snapshot: Bytes::copy_from_slice(field(f, 0)?.as_bytes()?),
         },
         t => return Err(WireError::BadTag(t)),
     };

@@ -371,6 +371,10 @@ impl Codec for XdrCodec {
                 w.put_u32(u32::from(from.0));
                 w.put_i64(min_vt.value());
             }
+            Request::StatsPull { cluster } => {
+                w.put_u32(class::STATS_PULL);
+                w.put_bool(*cluster);
+            }
         }
         Ok(w.into_bytes())
     }
@@ -488,6 +492,9 @@ impl Codec for XdrCodec {
                     min_vt: Timestamp::new(r.get_i64()?),
                 }
             }
+            class::STATS_PULL => Request::StatsPull {
+                cluster: r.get_bool()?,
+            },
             t => return Err(WireError::BadTag(t)),
         };
         r.finish()?;
@@ -557,6 +564,10 @@ impl Codec for XdrCodec {
                 w.put_u32(*code);
                 w.put_string(detail);
             }
+            Reply::StatsReport { snapshot } => {
+                w.put_u32(class::R_STATS_REPORT);
+                w.put_opaque(snapshot);
+            }
         }
         Ok(w.into_bytes())
     }
@@ -625,6 +636,9 @@ impl Codec for XdrCodec {
             class::R_ERROR => Reply::Error {
                 code: r.get_u32()?,
                 detail: r.get_string()?,
+            },
+            class::R_STATS_REPORT => Reply::StatsReport {
+                snapshot: Bytes::copy_from_slice(r.get_opaque()?),
             },
             t => return Err(WireError::BadTag(t)),
         };

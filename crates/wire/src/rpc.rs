@@ -196,6 +196,13 @@ pub enum Request {
         /// Minimum virtual-time floor across its threads.
         min_vt: Timestamp,
     },
+    /// Pull a telemetry snapshot (see the `dstampede-obs` crate).
+    StatsPull {
+        /// `false`: only the receiving address space's metrics.
+        /// `true`: the receiver fans out to its known peers and merges
+        /// their snapshots into a cluster-wide one.
+        cluster: bool,
+    },
 }
 
 /// One name-server registration.
@@ -281,6 +288,12 @@ pub enum Reply {
     Pong {
         /// The request's nonce.
         nonce: u64,
+    },
+    /// Answer to [`Request::StatsPull`]: an encoded `dstampede-obs`
+    /// snapshot (its own versioned format, opaque to this layer).
+    StatsReport {
+        /// `Snapshot::encode()` bytes; decode with `Snapshot::decode`.
+        snapshot: Bytes,
     },
     /// The operation failed.
     Error {
@@ -494,6 +507,8 @@ pub mod test_vectors {
                 from: AsId(3),
                 min_vt: Timestamp::new(4096),
             },
+            Request::StatsPull { cluster: false },
+            Request::StatsPull { cluster: true },
         ]
     }
 
@@ -580,6 +595,18 @@ pub mod test_vectors {
                 vec![],
             ),
             (Reply::Pong { nonce: 0 }, vec![]),
+            (
+                Reply::StatsReport {
+                    snapshot: Bytes::from_static(b"obs1\nS as-0\n"),
+                },
+                vec![],
+            ),
+            (
+                Reply::StatsReport {
+                    snapshot: Bytes::new(),
+                },
+                vec![note],
+            ),
             (
                 Reply::Error {
                     code: StmError::Full.code(),

@@ -1,0 +1,240 @@
+//! Vendored stand-in for the `criterion` crate (the build environment
+//! is offline, so crates.io dependencies are replaced by API-compatible
+//! zero-dependency implementations under `vendor/`).
+//!
+//! A minimal harness: each benchmark runs a short timed loop and prints
+//! one `ns/iter` line. No statistics, plots, or baselines — just enough
+//! to keep `benches/` compiling and producing indicative numbers, and to
+//! finish quickly when bench targets run under `cargo test`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget; keeps full bench suites fast.
+const BUDGET: Duration = Duration::from_millis(20);
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into().label, &mut routine);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Declares the per-iteration throughput (ignored by this harness).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Sets the sample count (ignored by this harness).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_bench(&label, &mut routine);
+        self
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(&label, &mut |b: &mut Bencher| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench(label: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let ns = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.elapsed.as_secs_f64() * 1e9 / bencher.iters as f64
+    };
+    println!("bench {label}: {ns:.0} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Times closures inside one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine` until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        loop {
+            let out = routine();
+            self.iters += 1;
+            drop(std::hint::black_box(out));
+            if start.elapsed() >= BUDGET {
+                break;
+            }
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + BUDGET;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            drop(std::hint::black_box(out));
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// How batched inputs are grouped (ignored by this harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Declared per-iteration work, for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(8));
+        group.sample_size(10);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.bench_function(BenchmarkId::from_parameter(9), |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    criterion_group!(demo, sample);
+
+    #[test]
+    fn harness_runs_every_shape() {
+        demo();
+    }
+}

@@ -1,0 +1,368 @@
+//! Multi-producer multi-consumer channels: `unbounded` and `bounded`
+//! flavours with blocking, timed, and non-blocking receives.
+//!
+//! Semantics mirror `crossbeam-channel`: senders and receivers are
+//! cloneable and `Sync`; a send fails once every receiver is gone; a
+//! receive fails once every sender is gone *and* the queue is drained.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A send failed because all receivers were dropped; returns the value.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// A blocking receive failed because the channel is empty and
+/// disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Why a timed receive returned without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with the channel still empty.
+    Timeout,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Why a non-blocking receive returned without a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and every sender is gone.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when an item arrives or the last sender leaves.
+    recv_cv: Condvar,
+    /// Signalled when space frees up or the last receiver leaves.
+    send_cv: Condvar,
+    cap: Option<usize>,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A channel with unlimited buffering: sends never block.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// A channel buffering at most `cap` messages: sends block when full.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    // Rendezvous (cap 0) is unused in this repository; round up so a
+    // lone send cannot deadlock.
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        recv_cv: Condvar::new(),
+        send_cv: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] returning the message once every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.lock();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = self.shared.cap.is_some_and(|cap| inner.queue.len() >= cap);
+            if !full {
+                inner.queue.push_back(value);
+                self.shared.recv_cv.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .shared
+                .send_cv
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Number of messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            self.shared.recv_cv.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the channel is drained and every sender is
+    /// gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                self.shared.send_cv.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .shared
+                .recv_cv
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receives a message, waiting at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when the wait expires empty;
+    /// [`RecvTimeoutError::Disconnected`] when drained with no senders.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.shared.lock();
+        loop {
+            if let Some(value) = inner.queue.pop_front() {
+                self.shared.send_cv.notify_one();
+                return Ok(value);
+            }
+            if inner.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, result) = self
+                .shared
+                .recv_cv
+                .wait_timeout(inner, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+            if result.timed_out() && inner.queue.is_empty() {
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Receives a message only if one is already buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is buffered;
+    /// [`TryRecvError::Disconnected`] when also out of senders.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.lock();
+        if let Some(value) = inner.queue.pop_front() {
+            self.shared.send_cv.notify_one();
+            return Ok(value);
+        }
+        if inner.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Number of messages currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.lock();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.shared.send_cv.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10);
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_propagates_both_ways() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_expires_when_empty() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn bounded_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx2.send(5).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx2.recv().unwrap(), 5);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -1,0 +1,8 @@
+//! Vendored stand-in for the `crossbeam` crate (the build environment
+//! is offline, so crates.io dependencies are replaced by API-compatible
+//! zero-dependency implementations under `vendor/`).
+//!
+//! Only the [`channel`] module is provided — the repository uses nothing
+//! else from crossbeam.
+
+pub mod channel;

@@ -1,0 +1,92 @@
+//! `any::<T>()` — the canonical strategy for a primitive type, biased
+//! toward boundary values (0, 1, MIN, MAX) so edge cases appear early.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (see [`Arbitrary`]).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                // One draw in eight is a boundary value.
+                if rng.below(8) == 0 {
+                    match rng.below(4) {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$ty>::MAX,
+                        _ => <$ty>::MIN,
+                    }
+                } else {
+                    rng.next_u64() as $ty
+                }
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII keeps generated text debuggable.
+        char::from(b' ' + u8::try_from(rng.below(95)).expect("below 95"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_eventually_appear() {
+        let mut rng = TestRng::from_name("arbitrary");
+        let mut saw_max = false;
+        let mut saw_zero = false;
+        for _ in 0..2000 {
+            let v: u32 = Arbitrary::arbitrary(&mut rng);
+            saw_max |= v == u32::MAX;
+            saw_zero |= v == 0;
+        }
+        assert!(saw_max && saw_zero);
+    }
+
+    #[test]
+    fn chars_are_printable_ascii() {
+        let mut rng = TestRng::from_name("chars");
+        for _ in 0..500 {
+            let c = char::arbitrary(&mut rng);
+            assert!((' '..='~').contains(&c));
+        }
+    }
+}

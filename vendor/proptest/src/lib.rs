@@ -1,0 +1,104 @@
+//! Vendored stand-in for the `proptest` crate (the build environment is
+//! offline, so crates.io dependencies are replaced by API-compatible
+//! zero-dependency implementations under `vendor/`).
+//!
+//! Implements the subset of proptest this repository uses: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`/`boxed`,
+//! `any::<T>()` for primitives, integer-range and regex-class string
+//! strategies, [`collection::vec`], [`option::of`], `Just`,
+//! `prop_oneof!`, `prop_assert!`/`prop_assert_eq!`, and the `proptest!`
+//! test-harness macro. Generation is deterministic per test (seeded from
+//! the test name) and skips shrinking: a failing case panics with the
+//! assertion message, which the fixed seed makes reproducible.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body
+/// runs for `cases` generated inputs (default 256, overridable with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($body:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($body)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &$strategy,
+                            &mut rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, reporting the failing
+/// expression (or a custom formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        assert!($cond, "proptest assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        assert!(
+            *left == *right,
+            "proptest assertion failed: {left:?} != {right:?}"
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        assert!(
+            *left == *right,
+            "proptest assertion failed: {left:?} != {right:?}: {}",
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

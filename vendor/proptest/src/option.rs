@@ -1,0 +1,49 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An `Option` strategy: `None` one time in four, otherwise `Some` of
+/// the inner strategy.
+#[must_use]
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn both_variants_appear() {
+        let mut rng = TestRng::from_name("option");
+        let s = of(any::<u16>());
+        let mut none = 0;
+        let mut some = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                None => none += 1,
+                Some(_) => some += 1,
+            }
+        }
+        assert!(none > 0 && some > none);
+    }
+}

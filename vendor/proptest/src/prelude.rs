@@ -1,0 +1,6 @@
+//! Glob-import surface: `use proptest::prelude::*`.
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,282 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// Generates values of one type from a random stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generate: Box::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A strategy applying a function to another strategy's output.
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+/// Always generates a clone of one value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    generate: Box<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Picks uniformly among several boxed strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms`; must be non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below_usize(self.arms.len());
+        self.arms[pick].generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+macro_rules! range_strategy {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128) - (self.start as i128);
+                let offset = (rng.next_u64() as i128).rem_euclid(width);
+                ((self.start as i128) + offset) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let width = (*self.end() as i128) - (*self.start() as i128) + 1;
+                let offset = (rng.next_u64() as i128).rem_euclid(width);
+                ((*self.start() as i128) + offset) as $ty
+            }
+        }
+
+        impl Strategy for RangeFrom<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let width = (<$ty>::MAX as i128) - (self.start as i128) + 1;
+                let offset = (rng.next_u64() as i128).rem_euclid(width);
+                ((self.start as i128) + offset) as $ty
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String literals act as regex-class strategies. The supported subset
+/// is what character-class patterns need: `[class]{m,n}` (and `{m}`),
+/// where `class` lists literal characters and `a-z` ranges; a trailing
+/// `-` is literal. Unsupported patterns generate themselves verbatim.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((alphabet, min, max)) => {
+                let len = min + rng.below_usize(max - min + 1);
+                (0..len)
+                    .map(|_| alphabet[rng.below_usize(alphabet.len())])
+                    .collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, m, n); `None` when the pattern
+/// is not of that shape.
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    if class.is_empty() {
+        return None;
+    }
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            for c in class[i]..=class[i + 2] {
+                alphabet.push(c);
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3i64..40).generate(&mut r);
+            assert!((3..40).contains(&v));
+            let w = (1u8..).generate(&mut r);
+            assert!(w >= 1);
+            let x = (2usize..=4).generate(&mut r);
+            assert!((2..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn map_just_union_compose() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(0u32), (10u32..20).prop_map(|v| v * 2),];
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!(v == 0 || (20..40).contains(&v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn class_patterns_generate_members() {
+        let mut r = rng();
+        let mut saw_empty = false;
+        for _ in 0..200 {
+            let s = "[a-z0-9 -]{0,24}".generate(&mut r);
+            assert!(s.len() <= 24);
+            saw_empty |= s.is_empty();
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' ' || c == '-'));
+        }
+        assert!(saw_empty, "{{0,n}} should sometimes generate empty");
+        let fixed = "[ab]{3}".generate(&mut r);
+        assert_eq!(fixed.len(), 3);
+    }
+
+    #[test]
+    fn unsupported_patterns_fall_back_verbatim() {
+        let mut r = rng();
+        assert_eq!("plain".generate(&mut r), "plain");
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c) = (0u8..10, Just(7i32), "[x]{1,1}").generate(&mut r);
+        assert!(a < 10);
+        assert_eq!(b, 7);
+        assert_eq!(c, "x");
+    }
+}
