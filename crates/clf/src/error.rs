@@ -17,6 +17,10 @@ pub enum ClfError {
     Empty,
     /// An underlying socket failed.
     Io(String),
+    /// The sender's unacknowledged-packet buffer for the destination is
+    /// full (the peer has stopped ACKing); retry later or declare the
+    /// peer dead.
+    Backpressure,
 }
 
 impl fmt::Display for ClfError {
@@ -27,6 +31,7 @@ impl fmt::Display for ClfError {
             ClfError::Timeout => write!(f, "receive timed out"),
             ClfError::Empty => write!(f, "no message available"),
             ClfError::Io(s) => write!(f, "transport i/o error: {s}"),
+            ClfError::Backpressure => write!(f, "send buffer full for destination"),
         }
     }
 }
@@ -53,6 +58,7 @@ mod tests {
             ClfError::Timeout,
             ClfError::Empty,
             ClfError::Io("x".into()),
+            ClfError::Backpressure,
         ] {
             assert!(!e.to_string().is_empty());
         }

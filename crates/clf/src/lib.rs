@@ -38,6 +38,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod error;
+pub mod fault;
 pub mod mem;
 pub mod shaping;
 pub mod stream;
@@ -45,6 +46,7 @@ pub mod transport;
 pub mod udp;
 
 pub use error::ClfError;
+pub use fault::{FaultPlan, FaultStats, FaultTransport};
 pub use mem::{MemEndpoint, MemFabric};
 pub use shaping::{NetProfile, ShapedStream, ShapedTransport, TokenBucket};
 pub use stream::{duplex, tcp_connect, tcp_listen_loopback, PipeEnd};

@@ -236,6 +236,10 @@ impl ClfTransport for ShapedTransport {
         self.inner.bind_metrics(registry);
     }
 
+    fn purge_peer(&self, peer: AsId) {
+        self.inner.purge_peer(peer);
+    }
+
     fn shutdown(&self) {
         self.inner.shutdown();
     }

@@ -192,6 +192,14 @@ pub trait ClfTransport: Send + Sync + fmt::Debug {
         let _ = registry;
     }
 
+    /// Discards per-peer protocol state for a peer declared dead:
+    /// unacknowledged send buffers, reassembly state. Backends without
+    /// per-peer buffering may ignore the call. Idempotent; the peer may
+    /// be re-learned later (e.g. after a restart).
+    fn purge_peer(&self, peer: AsId) {
+        let _ = peer;
+    }
+
     /// Shuts the endpoint down; subsequent operations fail with
     /// [`ClfError::Closed`]. Idempotent.
     fn shutdown(&self);

@@ -60,6 +60,10 @@ pub struct UdpConfig {
     pub rto: Duration,
     /// Outbound loss injection.
     pub loss: LossInjection,
+    /// High-water mark on unacknowledged DATA packets buffered per peer.
+    /// A send that would exceed it fails with [`ClfError::Backpressure`]
+    /// instead of growing memory without bound when a peer stops ACKing.
+    pub max_unacked: usize,
 }
 
 impl Default for UdpConfig {
@@ -68,6 +72,7 @@ impl Default for UdpConfig {
             frag_payload: 8192,
             rto: Duration::from_millis(40),
             loss: LossInjection::None,
+            max_unacked: 1024,
         }
     }
 }
@@ -388,6 +393,9 @@ impl ClfTransport for UdpEndpoint {
         let tx = st.tx.entry(dst).or_insert_with(PeerTx::new);
         let frag = self.config.frag_payload.max(1);
         let n_frags = msg.len().div_ceil(frag).max(1);
+        if tx.unacked.len() + n_frags > self.config.max_unacked.max(1) {
+            return Err(ClfError::Backpressure);
+        }
         let mut packets = Vec::with_capacity(n_frags);
         for i in 0..n_frags {
             let lo = i * frag;
@@ -452,6 +460,14 @@ impl ClfTransport for UdpEndpoint {
 
     fn bind_metrics(&self, registry: &MetricsRegistry) {
         self.stats.bind(registry, "udp");
+    }
+
+    fn purge_peer(&self, peer: AsId) {
+        let mut st = self.shared.lock();
+        st.tx.remove(&peer);
+        st.rx.remove(&peer);
+        // The address mapping stays: a restarted peer starts a fresh
+        // sequence space and is re-learned from observed traffic.
     }
 
     fn shutdown(&self) {
@@ -617,6 +633,33 @@ mod tests {
             a.recv_timeout(Duration::from_millis(20)).unwrap_err(),
             ClfError::Timeout
         );
+    }
+
+    #[test]
+    fn dead_peer_triggers_backpressure_and_purge_recovers() {
+        let a = UdpEndpoint::bind(
+            AsId(0),
+            UdpConfig {
+                max_unacked: 4,
+                rto: Duration::from_secs(30), // keep retransmits out of the picture
+                ..UdpConfig::default()
+            },
+        )
+        .unwrap();
+        // Point at a socket nobody ever ACKs from.
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.add_peer(AsId(1), sink.local_addr().unwrap());
+        for _ in 0..4 {
+            a.send(AsId(1), Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(
+            a.send(AsId(1), Bytes::from_static(b"x")).unwrap_err(),
+            ClfError::Backpressure
+        );
+        // Declaring the peer dead purges the buffer and unblocks sends.
+        a.purge_peer(AsId(1));
+        a.send(AsId(1), Bytes::from_static(b"x")).unwrap();
+        a.shutdown();
     }
 
     #[test]

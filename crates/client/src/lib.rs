@@ -52,5 +52,5 @@ pub mod session;
 pub use report::render_snapshot_table;
 pub use session::{
     ClientChanIn, ClientChanOut, ClientGarbageHook, ClientQueueIn, ClientQueueOut, EndDevice,
-    SessionStream,
+    Keepalive, SessionStream,
 };

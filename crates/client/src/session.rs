@@ -16,8 +16,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io::{Read, Write};
 use std::net::ToSocketAddrs;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -416,6 +417,44 @@ impl EndDevice {
         }
     }
 
+    /// Starts a background thread that renews this session's lease with
+    /// periodic [`Request::Heartbeat`]s — for long-idle end devices
+    /// attached to a listener configured with a session lease (any request
+    /// renews the lease, so busy devices need no keepalive). The thread
+    /// stops when the returned guard drops, or silently when the session
+    /// breaks.
+    #[must_use]
+    pub fn start_keepalive(&self, period: Duration) -> Keepalive {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        // Weak: the keepalive must not hold the session open by itself.
+        let inner = Arc::downgrade(&self.inner);
+        let thread = std::thread::Builder::new()
+            .name("dstampede-keepalive".into())
+            .spawn(move || {
+                let mut incarnation: u64 = 0;
+                'outer: loop {
+                    // Sleep in small steps so dropping the guard is prompt.
+                    let until = Instant::now() + period;
+                    while Instant::now() < until {
+                        if thread_stop.load(Ordering::Acquire) {
+                            break 'outer;
+                        }
+                        std::thread::sleep(Duration::from_millis(10).min(period));
+                    }
+                    let Some(inner) = inner.upgrade() else {
+                        break;
+                    };
+                    incarnation += 1;
+                    if inner.call(Request::Heartbeat { incarnation }).is_err() {
+                        break;
+                    }
+                }
+            })
+            .ok();
+        Keepalive { stop, thread }
+    }
+
     /// Detaches cleanly: the surrogate tears down and the session ends.
     ///
     /// # Errors
@@ -425,6 +464,30 @@ impl EndDevice {
         match self.inner.call(Request::Detach)? {
             Reply::Ok => Ok(()),
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+/// Guard for a session keepalive thread; the thread stops when this
+/// drops.
+pub struct Keepalive {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for Keepalive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Keepalive")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Drop for Keepalive {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
         }
     }
 }

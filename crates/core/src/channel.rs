@@ -631,6 +631,9 @@ impl Channel {
             // (failure-handling extension; see module docs).
             reclaimed = Self::collect(&mut st, self.attrs.gc());
         }
+        // Wake blocked getters on this connection so they observe
+        // NoSuchConnection instead of sleeping until the next put.
+        self.items_cv.notify_all();
         self.finish_reclaim(reclaimed);
     }
 
@@ -834,6 +837,16 @@ impl InputConn {
     pub fn set_vt(&self, vt: VirtualTime) -> StmResult<()> {
         self.chan.do_set_vt(self.id, vt)
     }
+
+    /// Tears the connection down now rather than waiting for drop: the
+    /// connection's claims are released (its virtual time no longer
+    /// constrains reclamation) and any getter blocked on it wakes with
+    /// [`StmError::NoSuchConnection`]. Idempotent; the eventual drop
+    /// becomes a no-op. Used by failure recovery to orphan connections
+    /// still referenced by blocked workers.
+    pub fn disconnect(&self) {
+        self.chan.do_disconnect_input(self.id);
+    }
 }
 
 impl fmt::Debug for InputConn {
@@ -909,6 +922,12 @@ impl OutputConn {
     /// As [`OutputConn::put`].
     pub fn put_typed<T: StreamItem>(&self, ts: Timestamp, value: &T) -> StmResult<()> {
         self.put(ts, value.to_item())
+    }
+
+    /// Tears the connection down now rather than waiting for drop.
+    /// Idempotent; used by failure recovery.
+    pub fn disconnect(&self) {
+        self.chan.do_disconnect_output(self.id);
     }
 }
 
@@ -1460,5 +1479,40 @@ mod tests {
         assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(2));
         inp.consume_until(ts(2)).unwrap();
         assert_eq!(ch.live_items(), 0);
+    }
+
+    #[test]
+    fn explicit_disconnect_wakes_blocked_getter() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let inp = Arc::new(ch.connect_input(Interest::default()));
+        let waiter = Arc::clone(&inp);
+        let h = thread::spawn(move || waiter.get(GetSpec::Earliest));
+        thread::sleep(Duration::from_millis(50));
+        inp.disconnect();
+        assert_eq!(
+            h.join().unwrap().unwrap_err(),
+            StmError::NoSuchConnection,
+            "a getter blocked on a disconnected connection must wake"
+        );
+        // Idempotent: a second disconnect (and the eventual drop) is a no-op.
+        inp.disconnect();
+    }
+
+    #[test]
+    fn disconnect_releases_claims_for_reclamation() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let slow = ch.connect_input(Interest::default());
+        let fast = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"a")).unwrap();
+        out.put(ts(2), item(b"b")).unwrap();
+        fast.consume_until(ts(2)).unwrap();
+        // `slow` still claims everything, so nothing reclaims.
+        assert_eq!(ch.live_items(), 2);
+        // Orphaning `slow` (crashed peer) releases its claims; `fast`
+        // remains connected so the dead prefix is reclaimed.
+        slow.disconnect();
+        assert_eq!(ch.live_items(), 0);
+        assert_eq!(ch.stats().reclaimed_items, 2);
     }
 }

@@ -455,9 +455,10 @@ impl Queue {
                 .occupancy
                 .add(i64::try_from(recovered).unwrap_or(i64::MAX));
         }
-        if recovered > 0 {
-            self.items_cv.notify_all();
-        }
+        // Always wake blocked getters: those waiting on the departed
+        // connection must observe NoSuchConnection, and if tickets were
+        // requeued other getters can now claim them.
+        self.items_cv.notify_all();
     }
 
     pub(crate) fn do_disconnect_output(&self, conn: ConnId) {
@@ -570,6 +571,16 @@ impl QueueInputConn {
     pub fn requeue(&self, ticket: QTicket) -> StmResult<()> {
         self.queue.do_requeue(self.id, ticket)
     }
+
+    /// Tears the connection down now rather than waiting for drop: its
+    /// in-flight tickets are pushed back to the head of the queue and
+    /// any getter blocked on it wakes with
+    /// [`StmError::NoSuchConnection`]. Idempotent; the eventual drop
+    /// becomes a no-op. Used by failure recovery to orphan connections
+    /// still referenced by blocked workers.
+    pub fn disconnect(&self) {
+        self.queue.do_disconnect_input(self.id);
+    }
 }
 
 impl fmt::Debug for QueueInputConn {
@@ -644,6 +655,12 @@ impl QueueOutputConn {
     /// As [`QueueOutputConn::put`].
     pub fn put_typed<T: StreamItem>(&self, ts: Timestamp, value: &T) -> StmResult<()> {
         self.put(ts, value.to_item())
+    }
+
+    /// Tears the connection down now rather than waiting for drop.
+    /// Idempotent; used by failure recovery.
+    pub fn disconnect(&self) {
+        self.queue.do_disconnect_output(self.id);
     }
 }
 
@@ -935,5 +952,26 @@ mod tests {
         let s = format!("{q:?}");
         assert!(s.contains("Queue"));
         assert!(s.contains("queued"));
+    }
+
+    #[test]
+    fn explicit_disconnect_wakes_blocked_getter_and_requeues() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let crashed = Arc::new(q.connect_input());
+        out.put(ts(1), item(b"work")).unwrap();
+        let (_, _, _ticket) = crashed.get().unwrap();
+        // A second getter on the same (crashed) connection blocks on the
+        // now-empty queue.
+        let waiter = Arc::clone(&crashed);
+        let h = thread::spawn(move || waiter.get());
+        thread::sleep(Duration::from_millis(50));
+        crashed.disconnect();
+        assert_eq!(h.join().unwrap().unwrap_err(), StmError::NoSuchConnection);
+        // The checked-out ticket went back to the head for survivors.
+        let survivor = q.connect_input();
+        let (_, recovered, k) = survivor.get().unwrap();
+        assert_eq!(recovered.payload(), b"work");
+        survivor.consume(k).unwrap();
     }
 }

@@ -9,13 +9,13 @@
 //! threads so the dispatcher stays responsive — the threads-for-surrogates
 //! structure of the original system.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use dstampede_clf::{ClfError, ClfTransport};
@@ -30,9 +30,18 @@ use dstampede_obs::{MetricsRegistry, Snapshot};
 use dstampede_wire::{NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
 
 use crate::exec::{execute, is_blocking, ConnTable};
+use crate::failure::RpcConfig;
 use crate::nameserver::NameServer;
 use crate::proto::{self, AsMessage, NO_REPLY};
 use crate::proxy::{ChannelRef, QueueRef};
+
+/// A call awaiting its reply: the reply channel plus the destination, so
+/// a peer-death declaration can fail exactly the calls bound for that
+/// peer.
+struct PendingCall {
+    tx: Sender<ReplyFrame>,
+    dst: AsId,
+}
 
 /// One address space of a D-Stampede computation.
 pub struct AddressSpace {
@@ -41,8 +50,9 @@ pub struct AddressSpace {
     threads: Arc<ThreadRegistry>,
     transport: Arc<dyn ClfTransport>,
     nameserver: Option<Arc<NameServer>>,
-    pending: Mutex<HashMap<u64, Sender<ReplyFrame>>>,
+    pending: Mutex<HashMap<u64, PendingCall>>,
     next_seq: AtomicU64,
+    next_req_id: AtomicU64,
     conns: Arc<ConnTable>,
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     down: AtomicBool,
@@ -50,6 +60,9 @@ pub struct AddressSpace {
     gc_epochs: AtomicU64,
     metrics: Arc<MetricsRegistry>,
     peers: Mutex<Vec<AsId>>,
+    last_heard: Mutex<HashMap<AsId, Instant>>,
+    dead_peers: Mutex<HashSet<AsId>>,
+    rpc: Mutex<RpcConfig>,
 }
 
 impl AddressSpace {
@@ -70,6 +83,7 @@ impl AddressSpace {
             nameserver: host_nameserver.then(|| Arc::new(NameServer::new())),
             pending: Mutex::new(HashMap::new()),
             next_seq: AtomicU64::new(1),
+            next_req_id: AtomicU64::new(1),
             conns: Arc::new(ConnTable::new()),
             dispatcher: Mutex::new(None),
             down: AtomicBool::new(false),
@@ -77,6 +91,9 @@ impl AddressSpace {
             gc_epochs: AtomicU64::new(0),
             metrics,
             peers: Mutex::new(Vec::new()),
+            last_heard: Mutex::new(HashMap::new()),
+            dead_peers: Mutex::new(HashSet::new()),
+            rpc: Mutex::new(RpcConfig::default()),
         });
         let dispatch_space = Arc::clone(&space);
         let handle = std::thread::Builder::new()
@@ -395,39 +412,213 @@ impl AddressSpace {
         summary
     }
 
+    // ---- failure detection & recovery ----
+
+    /// Overrides the RPC deadline/retry policy (defaults to
+    /// [`RpcConfig::default`]).
+    pub fn set_rpc_config(&self, config: RpcConfig) {
+        *self.rpc.lock() = config;
+    }
+
+    /// Renews a peer's lease; called for every message received from it.
+    pub(crate) fn note_peer(&self, from: AsId) {
+        self.last_heard.lock().insert(from, Instant::now());
+    }
+
+    /// Declares dead every live peer whose lease has expired. The lease
+    /// clock of a peer never heard from starts at the first check.
+    pub fn check_leases(self: &Arc<Self>, lease: Duration) {
+        let now = Instant::now();
+        let mut expired = Vec::new();
+        {
+            let mut heard = self.last_heard.lock();
+            let dead = self.dead_peers.lock();
+            for peer in self.peers.lock().iter().copied() {
+                if peer == self.id || dead.contains(&peer) {
+                    continue;
+                }
+                let since = now.duration_since(*heard.entry(peer).or_insert(now));
+                if since > lease {
+                    expired.push(peer);
+                }
+            }
+        }
+        for peer in expired {
+            self.declare_peer_dead(peer);
+        }
+    }
+
+    /// Whether `peer` has been declared dead.
+    #[must_use]
+    pub fn is_peer_dead(&self, peer: AsId) -> bool {
+        self.dead_peers.lock().contains(&peer)
+    }
+
+    /// Every peer declared dead so far.
+    #[must_use]
+    pub fn dead_peers(&self) -> Vec<AsId> {
+        self.dead_peers.lock().iter().copied().collect()
+    }
+
+    /// Declares a peer dead and runs the recovery path:
+    ///
+    /// 1. outstanding calls to the peer fail with
+    ///    [`StmError::Disconnected`];
+    /// 2. connections the peer opened here are orphaned — their virtual
+    ///    time advances to infinity and their consume claims drop, so
+    ///    per-container GC progresses, and in-flight queue tickets return
+    ///    to the head of their queues for surviving getters;
+    /// 3. the peer's stale report leaves the GC epoch aggregator, so the
+    ///    global floor no longer waits on it;
+    /// 4. the transport's per-peer ARQ state is purged, freeing buffered
+    ///    unacknowledged packets.
+    ///
+    /// Idempotent; a self- or repeat declaration is a no-op.
+    pub fn declare_peer_dead(self: &Arc<Self>, peer: AsId) {
+        if peer == self.id || !self.dead_peers.lock().insert(peer) {
+            return;
+        }
+        dstampede_obs::error(
+            "failure",
+            format!("as-{} declared as-{} dead", self.id.0, peer.0),
+        );
+        self.metrics.counter("failure", "peers_declared_dead").inc();
+        self.metrics
+            .counter_labeled(
+                "failure",
+                "peer_dead",
+                &[("peer", &format!("as-{}", peer.0))],
+            )
+            .inc();
+
+        // 1. Fail calls waiting on the dead peer (dropping the sender
+        //    wakes the caller with Disconnected).
+        self.pending.lock().retain(|_, pc| pc.dst != peer);
+
+        // 2. Orphan the dead peer's connections.
+        let orphans = self.conns.remove_owned_by(peer);
+        self.metrics
+            .counter("failure", "orphaned_connections")
+            .add(orphans.len() as u64);
+        for entry in orphans {
+            entry.orphan();
+        }
+
+        // 3. Drop its report from the GC epoch aggregator.
+        self.gc_agg.lock().retire(peer);
+
+        // 4. Free the transport's buffered state for it.
+        self.transport.purge_peer(peer);
+    }
+
     // ---- RPC plumbing ----
 
     /// Performs a request against another address space (or inline against
     /// this one) and waits for the reply.
     ///
+    /// Blocking operations (a `get`/`put`/`NsLookup` allowed to wait) keep
+    /// a single attempt with an indefinite wait — waiting is their
+    /// semantics. Non-blocking operations run under the [`RpcConfig`]
+    /// deadline with jittered exponential backoff across transient
+    /// transport failures; non-idempotent ones are wrapped in
+    /// [`Request::WithId`] so a replayed attempt is answered from the
+    /// executor's dedup cache instead of re-executing.
+    ///
     /// # Errors
     ///
-    /// The remote operation's error, or [`StmError::Disconnected`] if the
-    /// peer or transport goes away mid-call.
+    /// The remote operation's error; [`StmError::Disconnected`] if the
+    /// peer is (declared) dead or the transport closes;
+    /// [`StmError::Timeout`] when the retry deadline expires.
     pub fn call(self: &Arc<Self>, dst: AsId, req: Request) -> StmResult<Reply> {
         if dst == self.id {
-            return execute(self, &Arc::clone(&self.conns), None, req).into_result();
+            return execute(self, &Arc::clone(&self.conns), None, None, req).into_result();
         }
         if self.down.load(Ordering::Acquire) {
             return Err(StmError::Disconnected);
         }
+        if self.is_peer_dead(dst) {
+            return Err(StmError::Disconnected);
+        }
+        if is_blocking(&req) {
+            return match self.call_attempt(dst, req, None) {
+                Attempt::Reply(frame) => frame.reply.into_result(),
+                Attempt::Fatal(e) => Err(e),
+                // Unreachable without a timeout, but map it anyway.
+                Attempt::Transient => Err(StmError::Disconnected),
+            };
+        }
+
+        let config = *self.rpc.lock();
+        let req = if is_idempotent(&req) {
+            req
+        } else {
+            Request::WithId {
+                req_id: self.next_req_id.fetch_add(1, Ordering::Relaxed),
+                req: Box::new(req),
+            }
+        };
+        let deadline = Instant::now() + config.deadline;
+        let mut backoff = config.base_backoff;
+        loop {
+            match self.call_attempt(dst, req.clone(), Some(config.attempt_timeout)) {
+                Attempt::Reply(frame) => return frame.reply.into_result(),
+                Attempt::Fatal(e) => return Err(e),
+                Attempt::Transient => {}
+            }
+            if self.is_peer_dead(dst) || self.down.load(Ordering::Acquire) {
+                return Err(StmError::Disconnected);
+            }
+            if Instant::now() >= deadline {
+                self.metrics.counter("rpc", "deadline_exceeded").inc();
+                return Err(StmError::Timeout);
+            }
+            self.metrics.counter("rpc", "retries").inc();
+            std::thread::sleep(jittered(backoff, self.next_seq.load(Ordering::Relaxed)));
+            backoff = (backoff * 2).min(config.max_backoff);
+        }
+    }
+
+    /// One send/receive round. `timeout` of `None` waits indefinitely.
+    fn call_attempt(&self, dst: AsId, req: Request, timeout: Option<Duration>) -> Attempt {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
-        self.pending.lock().insert(seq, tx);
-        let msg = proto::encode_request(&RequestFrame { seq, req })?;
+        self.pending.lock().insert(seq, PendingCall { tx, dst });
+        let msg = match proto::encode_request(&RequestFrame { seq, req }) {
+            Ok(m) => m,
+            Err(e) => {
+                self.pending.lock().remove(&seq);
+                return Attempt::Fatal(e);
+            }
+        };
         if let Err(e) = self.transport.send(dst, msg) {
             self.pending.lock().remove(&seq);
-            return Err(clf_to_stm(&e));
+            return match e {
+                ClfError::UnknownPeer | ClfError::Closed => Attempt::Fatal(clf_to_stm(&e)),
+                // Timeout, I/O trouble, a full send buffer: retryable.
+                _ => Attempt::Transient,
+            };
         }
-        match rx.recv() {
-            Ok(frame) => frame.reply.into_result(),
-            Err(_) => Err(StmError::Disconnected),
+        match timeout {
+            None => match rx.recv() {
+                Ok(frame) => Attempt::Reply(frame),
+                Err(_) => Attempt::Fatal(StmError::Disconnected),
+            },
+            Some(d) => match rx.recv_timeout(d) {
+                Ok(frame) => Attempt::Reply(frame),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.pending.lock().remove(&seq);
+                    Attempt::Transient
+                }
+                // Pending entry dropped: the peer was declared dead or we
+                // shut down mid-call.
+                Err(RecvTimeoutError::Disconnected) => Attempt::Fatal(StmError::Disconnected),
+            },
         }
     }
 
     /// Sends a request without expecting a reply (used by drop paths).
     pub fn cast(&self, dst: AsId, req: Request) {
-        if dst == self.id || self.down.load(Ordering::Acquire) {
+        if dst == self.id || self.down.load(Ordering::Acquire) || self.is_peer_dead(dst) {
             return;
         }
         if let Ok(msg) = proto::encode_request(&RequestFrame { seq: NO_REPLY, req }) {
@@ -468,6 +659,43 @@ impl fmt::Debug for AddressSpace {
     }
 }
 
+/// Outcome of one RPC attempt.
+enum Attempt {
+    /// The peer answered.
+    Reply(ReplyFrame),
+    /// A failure retrying cannot fix (unknown peer, peer declared dead).
+    Fatal(StmError),
+    /// A transient transport failure; the caller may retry.
+    Transient,
+}
+
+/// Whether re-executing this request observes the same state transition as
+/// executing it once — in which case a retried attempt needs no
+/// [`Request::WithId`] dedup tag.
+fn is_idempotent(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Ping { .. }
+            | Request::ChannelGet { .. }
+            | Request::ChannelConsume { .. }
+            | Request::ChannelSetVt { .. }
+            | Request::NsLookup { .. }
+            | Request::NsList
+            | Request::StatsPull { .. }
+            | Request::GcReport { .. }
+            | Request::Heartbeat { .. }
+            | Request::Disconnect { .. }
+    )
+}
+
+/// Deterministic jitter: up to half the backoff again, keyed off the call
+/// sequence counter so concurrent retriers desynchronise.
+fn jittered(backoff: Duration, salt: u64) -> Duration {
+    let hash = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48;
+    let extra = backoff.as_micros() as u64 / 2;
+    backoff + Duration::from_micros(if extra == 0 { 0 } else { hash % extra })
+}
+
 fn clf_to_stm(e: &ClfError) -> StmError {
     match e {
         ClfError::Closed => StmError::Disconnected,
@@ -487,6 +715,8 @@ fn dispatch_loop(space: &Arc<AddressSpace>) {
 }
 
 fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
+    // Any traffic from a peer renews its lease.
+    space.note_peer(from);
     match proto::decode(msg) {
         Ok(AsMessage::Request(frame)) => {
             if is_blocking(&frame.req) {
@@ -495,7 +725,7 @@ fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
                     std::thread::Builder::new().name(format!("as-{}-worker", space.id().0));
                 let spawned = builder.spawn(move || {
                     let conns = Arc::clone(&worker_space.conns);
-                    let reply = execute(&worker_space, &conns, None, frame.req);
+                    let reply = execute(&worker_space, &conns, None, Some(from), frame.req);
                     send_reply(&worker_space, from, frame.seq, reply);
                 });
                 if spawned.is_err() {
@@ -508,13 +738,13 @@ fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
                 }
             } else {
                 let conns = Arc::clone(&space.conns);
-                let reply = execute(space, &conns, None, frame.req);
+                let reply = execute(space, &conns, None, Some(from), frame.req);
                 send_reply(space, from, frame.seq, reply);
             }
         }
         Ok(AsMessage::Reply(frame)) => {
-            if let Some(tx) = space.pending.lock().remove(&frame.seq) {
-                let _ = tx.send(frame);
+            if let Some(pc) = space.pending.lock().remove(&frame.seq) {
+                let _ = pc.tx.send(frame);
             }
         }
         Err(_) => { /* malformed inter-AS message: drop */ }

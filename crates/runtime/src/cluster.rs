@@ -10,12 +10,17 @@
 use std::fmt;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Duration;
 
-use dstampede_clf::{udp_mesh, ClfTransport, MemFabric, NetProfile, ShapedTransport, UdpConfig};
+use dstampede_clf::{
+    udp_mesh, ClfTransport, FaultPlan, FaultTransport, MemFabric, NetProfile, ShapedTransport,
+    UdpConfig,
+};
 use dstampede_core::{AsId, StmError, StmResult};
 
 use crate::addrspace::AddressSpace;
-use crate::listener::Listener;
+use crate::failure::{FailureConfig, FailureDetector, RpcConfig};
+use crate::listener::{Listener, ListenerConfig};
 
 /// Which CLF backend interconnects the cluster's address spaces.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +38,10 @@ pub struct ClusterBuilder {
     transport: ClusterTransport,
     listeners: bool,
     profile: NetProfile,
+    failure: Option<FailureConfig>,
+    rpc: Option<RpcConfig>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    session_lease: Option<Duration>,
 }
 
 impl ClusterBuilder {
@@ -45,6 +54,10 @@ impl ClusterBuilder {
             transport: ClusterTransport::Mem,
             listeners: true,
             profile: NetProfile::LOOPBACK,
+            failure: None,
+            rpc: None,
+            fault_plan: None,
+            session_lease: None,
         }
     }
 
@@ -78,6 +91,38 @@ impl ClusterBuilder {
         self
     }
 
+    /// Runs a heartbeat/lease failure detector in every address space
+    /// (off by default).
+    #[must_use]
+    pub fn failure_detection(mut self, config: FailureConfig) -> Self {
+        self.failure = Some(config);
+        self
+    }
+
+    /// Overrides the RPC deadline/retry policy of every address space.
+    #[must_use]
+    pub fn rpc_config(mut self, config: RpcConfig) -> Self {
+        self.rpc = Some(config);
+        self
+    }
+
+    /// Injects faults on every inter-AS link according to `plan`
+    /// (chaos testing). The fault layer wraps outside any shaping, so
+    /// partitions and crashes apply to the shaped traffic.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Applies a session lease to every listener: end-device sessions
+    /// silent past the lease are torn down (their connections release).
+    #[must_use]
+    pub fn session_lease(mut self, lease: Duration) -> Self {
+        self.session_lease = Some(lease);
+        self
+    }
+
     /// Builds and starts the cluster.
     ///
     /// # Errors
@@ -108,7 +153,17 @@ impl ClusterBuilder {
                 } else {
                     ShapedTransport::new(t, self.profile)
                 };
-                AddressSpace::start(t, i == 0)
+                let t = match &self.fault_plan {
+                    Some(plan) => {
+                        FaultTransport::wrap(t, Arc::clone(plan)) as Arc<dyn ClfTransport>
+                    }
+                    None => t,
+                };
+                let space = AddressSpace::start(t, i == 0);
+                if let Some(rpc) = self.rpc {
+                    space.set_rpc_config(rpc);
+                }
+                space
             })
             .collect();
 
@@ -120,16 +175,31 @@ impl ClusterBuilder {
         }
 
         let listeners = if self.listeners {
+            let config = ListenerConfig {
+                session_lease: self.session_lease,
+            };
             spaces
                 .iter()
-                .map(|s| Listener::start(Arc::clone(s)))
+                .map(|s| Listener::start_with(Arc::clone(s), config))
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| StmError::Protocol(e.to_string()))?
         } else {
             Vec::new()
         };
 
-        Ok(Cluster { spaces, listeners })
+        let detectors = match self.failure {
+            Some(config) => spaces
+                .iter()
+                .map(|s| FailureDetector::start(Arc::clone(s), config))
+                .collect(),
+            None => Vec::new(),
+        };
+
+        Ok(Cluster {
+            spaces,
+            listeners,
+            detectors,
+        })
     }
 }
 
@@ -143,6 +213,7 @@ impl Default for ClusterBuilder {
 pub struct Cluster {
     spaces: Vec<Arc<AddressSpace>>,
     listeners: Vec<Arc<Listener>>,
+    detectors: Vec<Arc<FailureDetector>>,
 }
 
 impl Cluster {
@@ -242,8 +313,12 @@ impl Cluster {
         merged
     }
 
-    /// Stops listeners and shuts every address space down.
+    /// Stops failure detectors and listeners, then shuts every address
+    /// space down.
     pub fn shutdown(&self) {
+        for d in &self.detectors {
+            d.stop();
+        }
         for l in &self.listeners {
             l.shutdown();
         }

@@ -8,14 +8,14 @@
 //! of the end device push into it, and the notes ride back piggy-backed on
 //! the next reply (paper §3.2.4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dstampede_core::{ResourceId, StmError, StmResult};
+use dstampede_core::{AsId, ResourceId, StmError, StmResult};
 use dstampede_wire::{GcNote, Reply, Request, WaitSpec};
 
 use crate::addrspace::AddressSpace;
@@ -33,6 +33,23 @@ pub enum ConnEntry {
     QueueOut(Arc<QueueOutput>),
 }
 
+impl ConnEntry {
+    /// Disconnects the underlying connection *explicitly*, on behalf of a
+    /// dead owner. Blocked workers may still hold `Arc` clones of the
+    /// connection — so merely dropping the table entry would not release
+    /// the owner's GC claims; the explicit disconnect advances the
+    /// connection's virtual time to infinity, drops its consume marks,
+    /// and requeues any in-flight queue tickets.
+    pub fn orphan(&self) {
+        match self {
+            ConnEntry::ChanIn(c) => c.disconnect(),
+            ConnEntry::ChanOut(c) => c.disconnect(),
+            ConnEntry::QueueIn(q) => q.disconnect(),
+            ConnEntry::QueueOut(q) => q.disconnect(),
+        }
+    }
+}
+
 impl fmt::Debug for ConnEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -44,37 +61,50 @@ impl fmt::Debug for ConnEntry {
     }
 }
 
+/// Replayed non-idempotent requests answered from cache, at most this
+/// many remembered per table (FIFO eviction).
+const REPLAY_CACHE_CAP: usize = 512;
+
 /// Maps session-local `u64` handles to live connections.
 ///
 /// Entries are `Arc`-shared so blocking operations can proceed on a clone
 /// while the table lock is free; a disconnect removes the entry and the
-/// connection closes when the last in-flight operation finishes.
+/// connection closes when the last in-flight operation finishes. Each
+/// entry is tagged with the peer address space that opened it (when opened
+/// over inter-AS RPC), so [`ConnTable::remove_owned_by`] can reap a dead
+/// peer's connections. The table also holds the dedup cache answering
+/// replayed [`Request::WithId`] requests.
 #[derive(Debug, Default)]
 pub struct ConnTable {
-    map: Mutex<HashMap<u64, ConnEntry>>,
+    map: Mutex<HashMap<u64, (Option<AsId>, ConnEntry)>>,
     next: AtomicU64,
+    replays: Mutex<ReplayCache>,
+}
+
+#[derive(Debug, Default)]
+struct ReplayCache {
+    replies: HashMap<(AsId, u64), Reply>,
+    order: VecDeque<(AsId, u64)>,
 }
 
 impl ConnTable {
     /// An empty table.
     #[must_use]
     pub fn new() -> Self {
-        ConnTable {
-            map: Mutex::new(HashMap::new()),
-            next: AtomicU64::new(1),
-        }
+        ConnTable::default()
     }
 
-    /// Stores a connection, returning its handle.
-    pub fn insert(&self, entry: ConnEntry) -> u64 {
-        let handle = self.next.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().insert(handle, entry);
+    /// Stores a connection opened by `origin` (`None` for connections
+    /// opened locally or by an end-device session), returning its handle.
+    pub fn insert(&self, origin: Option<AsId>, entry: ConnEntry) -> u64 {
+        let handle = self.next.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        self.map.lock().insert(handle, (origin, entry));
         handle
     }
 
     fn chan_in(&self, handle: u64) -> StmResult<Arc<ChanInput>> {
         match self.map.lock().get(&handle) {
-            Some(ConnEntry::ChanIn(c)) => Ok(Arc::clone(c)),
+            Some((_, ConnEntry::ChanIn(c))) => Ok(Arc::clone(c)),
             Some(_) => Err(StmError::BadMode),
             None => Err(StmError::NoSuchConnection),
         }
@@ -82,7 +112,7 @@ impl ConnTable {
 
     fn chan_out(&self, handle: u64) -> StmResult<Arc<ChanOutput>> {
         match self.map.lock().get(&handle) {
-            Some(ConnEntry::ChanOut(c)) => Ok(Arc::clone(c)),
+            Some((_, ConnEntry::ChanOut(c))) => Ok(Arc::clone(c)),
             Some(_) => Err(StmError::BadMode),
             None => Err(StmError::NoSuchConnection),
         }
@@ -90,7 +120,7 @@ impl ConnTable {
 
     fn queue_in(&self, handle: u64) -> StmResult<Arc<QueueInput>> {
         match self.map.lock().get(&handle) {
-            Some(ConnEntry::QueueIn(q)) => Ok(Arc::clone(q)),
+            Some((_, ConnEntry::QueueIn(q))) => Ok(Arc::clone(q)),
             Some(_) => Err(StmError::BadMode),
             None => Err(StmError::NoSuchConnection),
         }
@@ -98,7 +128,7 @@ impl ConnTable {
 
     fn queue_out(&self, handle: u64) -> StmResult<Arc<QueueOutput>> {
         match self.map.lock().get(&handle) {
-            Some(ConnEntry::QueueOut(q)) => Ok(Arc::clone(q)),
+            Some((_, ConnEntry::QueueOut(q))) => Ok(Arc::clone(q)),
             Some(_) => Err(StmError::BadMode),
             None => Err(StmError::NoSuchConnection),
         }
@@ -115,6 +145,43 @@ impl ConnTable {
             .remove(&handle)
             .map(|_| ())
             .ok_or(StmError::NoSuchConnection)
+    }
+
+    /// Removes and returns every connection `peer` opened (for orphaning
+    /// after `peer` is declared dead).
+    #[must_use]
+    pub fn remove_owned_by(&self, peer: AsId) -> Vec<ConnEntry> {
+        let mut map = self.map.lock();
+        let handles: Vec<u64> = map
+            .iter()
+            .filter(|(_, (origin, _))| *origin == Some(peer))
+            .map(|(h, _)| *h)
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|h| map.remove(&h).map(|(_, entry)| entry))
+            .collect()
+    }
+
+    /// The cached reply for a replayed `(origin, req_id)`, if any.
+    #[must_use]
+    pub fn replay_hit(&self, origin: AsId, req_id: u64) -> Option<Reply> {
+        self.replays.lock().replies.get(&(origin, req_id)).cloned()
+    }
+
+    /// Remembers the reply for `(origin, req_id)` so a retried request is
+    /// answered without re-executing.
+    pub fn record_replay(&self, origin: AsId, req_id: u64, reply: Reply) {
+        let mut cache = self.replays.lock();
+        let key = (origin, req_id);
+        if cache.replies.insert(key, reply).is_none() {
+            cache.order.push_back(key);
+            if cache.order.len() > REPLAY_CACHE_CAP {
+                if let Some(old) = cache.order.pop_front() {
+                    cache.replies.remove(&old);
+                }
+            }
+        }
     }
 
     /// Number of live connections.
@@ -193,6 +260,7 @@ pub fn is_blocking(req: &Request) -> bool {
         | Request::NsLookup { wait, .. } => !matches!(wait, WaitSpec::NonBlocking),
         // A cluster-wide pull blocks on RPC rounds to every peer.
         Request::StatsPull { cluster } => *cluster,
+        Request::WithId { req, .. } => is_blocking(req),
         _ => false,
     }
 }
@@ -208,22 +276,27 @@ fn ok_or_error(result: StmResult<Reply>) -> Reply {
 ///
 /// `conns` resolves the request's session-local connection handles;
 /// `gc` (surrogate sessions only) receives garbage notes for resources the
-/// session installed hooks on. `Attach`/`Detach` are session-lifecycle
-/// messages handled by the transport layer and answered with a protocol
-/// error here.
+/// session installed hooks on; `origin` is the peer address space the
+/// request arrived from (`None` for local and end-device-session calls) —
+/// it tags connections for dead-peer reaping and keys the
+/// [`Request::WithId`] dedup cache. `Attach`/`Detach` are
+/// session-lifecycle messages handled by the transport layer and answered
+/// with a protocol error here.
 pub fn execute(
     space: &Arc<AddressSpace>,
     conns: &ConnTable,
     gc: Option<&Arc<GcNoteQueue>>,
+    origin: Option<AsId>,
     req: Request,
 ) -> Reply {
-    ok_or_error(execute_inner(space, conns, gc, req))
+    ok_or_error(execute_inner(space, conns, gc, origin, req))
 }
 
 fn execute_inner(
     space: &Arc<AddressSpace>,
     conns: &ConnTable,
     gc: Option<&Arc<GcNoteQueue>>,
+    origin: Option<AsId>,
     req: Request,
 ) -> StmResult<Reply> {
     match req {
@@ -231,6 +304,20 @@ fn execute_inner(
             "session lifecycle message outside a session".into(),
         )),
         Request::Ping { nonce } => Ok(Reply::Pong { nonce }),
+        Request::Heartbeat { .. } => Ok(Reply::Ok), // lease renewed on receipt
+        Request::WithId { req_id, req } => {
+            let Some(origin_id) = origin else {
+                return Err(StmError::Protocol("WithId without an origin".into()));
+            };
+            if let Some(hit) = conns.replay_hit(origin_id, req_id) {
+                return Ok(hit);
+            }
+            // Errors are cached too: a replayed attempt must observe the
+            // original outcome, whatever it was.
+            let reply = execute(space, conns, gc, origin, *req);
+            conns.record_replay(origin_id, req_id, reply.clone());
+            Ok(reply)
+        }
         Request::ChannelCreate { name, attrs } => {
             let chan = space.create_channel(name, attrs);
             Ok(Reply::Created {
@@ -252,25 +339,25 @@ fn execute_inner(
                 .open_channel(chan)?
                 .connect_input_filtered(interest, filter)?;
             Ok(Reply::Connected {
-                conn: conns.insert(ConnEntry::ChanIn(Arc::new(conn))),
+                conn: conns.insert(origin, ConnEntry::ChanIn(Arc::new(conn))),
             })
         }
         Request::ConnectChannelOut { chan } => {
             let conn = space.open_channel(chan)?.connect_output()?;
             Ok(Reply::Connected {
-                conn: conns.insert(ConnEntry::ChanOut(Arc::new(conn))),
+                conn: conns.insert(origin, ConnEntry::ChanOut(Arc::new(conn))),
             })
         }
         Request::ConnectQueueIn { queue } => {
             let conn = space.open_queue(queue)?.connect_input()?;
             Ok(Reply::Connected {
-                conn: conns.insert(ConnEntry::QueueIn(Arc::new(conn))),
+                conn: conns.insert(origin, ConnEntry::QueueIn(Arc::new(conn))),
             })
         }
         Request::ConnectQueueOut { queue } => {
             let conn = space.open_queue(queue)?.connect_output()?;
             Ok(Reply::Connected {
-                conn: conns.insert(ConnEntry::QueueOut(Arc::new(conn))),
+                conn: conns.insert(origin, ConnEntry::QueueOut(Arc::new(conn))),
             })
         }
         Request::Disconnect { conn } => {

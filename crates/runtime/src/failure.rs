@@ -1,0 +1,153 @@
+//! Failure detection: heartbeats, leases, and RPC retry tuning.
+//!
+//! The paper's §3.3 lists node failure as unhandled: "currently, the
+//! D-Stampede runtime does not handle failures of the cluster nodes". This
+//! module is the implementation's extension over that limitation. Every
+//! address space runs a [`FailureDetector`] that periodically casts a
+//! [`Request::Heartbeat`] to each declared peer and checks a *lease* per
+//! peer: any traffic from a peer (heartbeat, request, or reply) renews its
+//! lease, and a peer silent for `missed` consecutive periods is declared
+//! dead. Declaring death triggers the recovery path in
+//! [`crate::addrspace::AddressSpace::declare_peer_dead`]: pending calls to
+//! the peer fail, its surrogate connections are orphaned (releasing GC
+//! claims and requeueing in-flight queue tickets), its stale GC report is
+//! retired from the epoch aggregator, and the transport's per-peer ARQ
+//! state is purged.
+//!
+//! [`RpcConfig`] tunes the companion mechanism on the caller side:
+//! deadlines and jittered exponential backoff for retried RPCs (see
+//! [`crate::addrspace::AddressSpace::call`]).
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dstampede_wire::Request;
+
+use crate::addrspace::AddressSpace;
+
+/// Tuning for the RPC deadline/retry policy of [`AddressSpace::call`].
+///
+/// Only *non-blocking* operations retry: a blocking `get` may legitimately
+/// wait forever, so it keeps a single attempt with an indefinite wait.
+/// Non-idempotent operations are wrapped in [`Request::WithId`] before the
+/// first attempt so the executor can answer a replayed attempt with the
+/// original reply instead of re-executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcConfig {
+    /// Total time budget for one logical call, across every retry.
+    pub deadline: Duration,
+    /// Wait for a reply to a single attempt before retrying.
+    pub attempt_timeout: Duration,
+    /// First retry backoff; doubles per retry (with jitter).
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            deadline: Duration::from_secs(2),
+            attempt_timeout: Duration::from_millis(500),
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Tuning for the heartbeat/lease failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureConfig {
+    /// Interval between heartbeat rounds.
+    pub period: Duration,
+    /// A peer silent for this many consecutive periods is declared dead.
+    pub missed: u32,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            period: Duration::from_millis(25),
+            missed: 4,
+        }
+    }
+}
+
+impl FailureConfig {
+    /// The lease duration implied by this configuration.
+    #[must_use]
+    pub fn lease(&self) -> Duration {
+        self.period * self.missed.max(1)
+    }
+}
+
+/// Per-address-space heartbeat sender and lease checker.
+///
+/// One detector runs per address space. Each round it casts a heartbeat to
+/// every declared live peer, then expires leases; an expired lease feeds
+/// [`AddressSpace::declare_peer_dead`]. Stopping the detector (or dropping
+/// it) ends the thread; death declarations already made stay in force.
+pub struct FailureDetector {
+    stop: Arc<AtomicBool>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl FailureDetector {
+    /// Starts the detector thread for an address space.
+    #[must_use]
+    pub fn start(space: Arc<AddressSpace>, config: FailureConfig) -> Arc<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let lease = config.lease();
+        let handle = std::thread::Builder::new()
+            .name(format!("as-{}-failure", space.id().0))
+            .spawn(move || {
+                let mut incarnation: u64 = 0;
+                while !thread_stop.load(Ordering::Acquire) {
+                    if space.is_down() {
+                        break;
+                    }
+                    incarnation += 1;
+                    for peer in space.peers() {
+                        if peer == space.id() || space.is_peer_dead(peer) {
+                            continue;
+                        }
+                        space.cast(peer, Request::Heartbeat { incarnation });
+                    }
+                    space.check_leases(lease);
+                    std::thread::sleep(config.period);
+                }
+            })
+            .expect("spawning the failure detector thread failed");
+        Arc::new(FailureDetector {
+            stop,
+            thread: Mutex::new(Some(handle)),
+        })
+    }
+
+    /// Stops the detector. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.thread.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl fmt::Debug for FailureDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailureDetector")
+            .field("stopped", &self.stop.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Drop for FailureDetector {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

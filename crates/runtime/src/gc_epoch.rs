@@ -101,6 +101,9 @@ impl Drop for GcEpochService {
 
 /// Sends (or locally records) one epoch report for an address space.
 pub fn report_once(space: &Arc<AddressSpace>) {
+    if space.is_down() {
+        return;
+    }
     let started = std::time::Instant::now();
     let min_vt = space.threads().min_vt();
     if space.id() == AsId::NAMESERVER {

@@ -48,6 +48,7 @@
 pub mod addrspace;
 pub mod cluster;
 pub mod exec;
+pub mod failure;
 pub mod gc_epoch;
 pub mod listener;
 pub mod nameserver;
@@ -57,7 +58,8 @@ pub mod proxy;
 pub use addrspace::AddressSpace;
 pub use cluster::{Cluster, ClusterBuilder, ClusterTransport};
 pub use exec::{ConnEntry, ConnTable, GcNoteQueue};
+pub use failure::{FailureConfig, FailureDetector, RpcConfig};
 pub use gc_epoch::{GcEpochConfig, GcEpochService};
-pub use listener::{Listener, ListenerStats};
+pub use listener::{Listener, ListenerConfig, ListenerStats};
 pub use nameserver::NameServer;
 pub use proxy::{ChanInput, ChanOutput, ChannelRef, QueueInput, QueueOutput, QueueRef};

@@ -32,6 +32,27 @@ use dstampede_wire::{codec_for, read_frame, write_frame, CodecId, Reply, ReplyFr
 use crate::addrspace::AddressSpace;
 use crate::exec::{execute, ConnTable, GcNoteQueue};
 
+/// Tuning for a listener's surrogate sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ListenerConfig {
+    /// Tears a session down when the end device sends nothing for this
+    /// long — the session lease. Long-idle clients keep their lease alive
+    /// with [`Request::Heartbeat`] (any request renews it). `None`
+    /// disables the lease: a vanished client is only noticed when the
+    /// kernel reports the TCP connection gone.
+    pub session_lease: Option<Duration>,
+}
+
+/// How a surrogate session ended.
+enum SessionEnd {
+    /// The client sent `Detach`.
+    Clean,
+    /// I/O or protocol error — the client crashed or corrupted the stream.
+    Dirty,
+    /// The session lease expired without traffic.
+    LeaseExpired,
+}
+
 /// Counters describing a listener's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ListenerStats {
@@ -41,6 +62,8 @@ pub struct ListenerStats {
     pub clean_detaches: u64,
     /// Sessions that ended on I/O or protocol error (client crash).
     pub dirty_teardowns: u64,
+    /// Sessions torn down because their lease expired (silent client).
+    pub lease_teardowns: u64,
     /// Surrogates currently alive.
     pub active_surrogates: usize,
 }
@@ -50,6 +73,7 @@ struct ListenerCounters {
     sessions_started: AtomicU64,
     clean_detaches: AtomicU64,
     dirty_teardowns: AtomicU64,
+    lease_teardowns: AtomicU64,
     active: AtomicUsize,
 }
 
@@ -63,12 +87,24 @@ pub struct Listener {
 
 impl Listener {
     /// Starts a listener for the given address space on an ephemeral
-    /// loopback port.
+    /// loopback port, with no session lease.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn start(space: Arc<AddressSpace>) -> std::io::Result<Arc<Listener>> {
+        Listener::start_with(space, ListenerConfig::default())
+    }
+
+    /// Starts a listener with explicit session tuning.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn start_with(
+        space: Arc<AddressSpace>,
+        config: ListenerConfig,
+    ) -> std::io::Result<Arc<Listener>> {
         let tcp = TcpListener::bind("127.0.0.1:0")?;
         tcp.set_nonblocking(true)?;
         let addr = tcp.local_addr()?;
@@ -80,7 +116,7 @@ impl Listener {
         let handle = std::thread::Builder::new()
             .name(format!("as-{}-listener", space.id().0))
             .spawn(move || {
-                accept_loop(&space, &tcp, &loop_stop, &loop_counters);
+                accept_loop(&space, &tcp, config, &loop_stop, &loop_counters);
             })?;
 
         Ok(Arc::new(Listener {
@@ -104,6 +140,7 @@ impl Listener {
             sessions_started: self.counters.sessions_started.load(Ordering::Relaxed),
             clean_detaches: self.counters.clean_detaches.load(Ordering::Relaxed),
             dirty_teardowns: self.counters.dirty_teardowns.load(Ordering::Relaxed),
+            lease_teardowns: self.counters.lease_teardowns.load(Ordering::Relaxed),
             active_surrogates: self.counters.active.load(Ordering::Relaxed),
         }
     }
@@ -138,6 +175,7 @@ impl Drop for Listener {
 fn accept_loop(
     space: &Arc<AddressSpace>,
     tcp: &TcpListener,
+    config: ListenerConfig,
     stop: &Arc<AtomicBool>,
     counters: &Arc<ListenerCounters>,
 ) {
@@ -154,16 +192,13 @@ fn accept_loop(
                 let spawned = std::thread::Builder::new()
                     .name(format!("surrogate-{session}"))
                     .spawn(move || {
-                        let clean = run_surrogate(&surrogate_space, stream, session);
-                        if clean {
-                            surrogate_counters
-                                .clean_detaches
-                                .fetch_add(1, Ordering::Relaxed);
-                        } else {
-                            surrogate_counters
-                                .dirty_teardowns
-                                .fetch_add(1, Ordering::Relaxed);
-                        }
+                        let end = run_surrogate(&surrogate_space, stream, session, config);
+                        let counter = match end {
+                            SessionEnd::Clean => &surrogate_counters.clean_detaches,
+                            SessionEnd::Dirty => &surrogate_counters.dirty_teardowns,
+                            SessionEnd::LeaseExpired => &surrogate_counters.lease_teardowns,
+                        };
+                        counter.fetch_add(1, Ordering::Relaxed);
                         surrogate_counters.active.fetch_sub(1, Ordering::Relaxed);
                     });
                 if spawned.is_err() {
@@ -178,18 +213,26 @@ fn accept_loop(
     }
 }
 
-/// Runs one surrogate session to completion. Returns whether the client
-/// detached cleanly.
-fn run_surrogate(space: &Arc<AddressSpace>, mut stream: std::net::TcpStream, session: u64) -> bool {
+/// Runs one surrogate session to completion.
+fn run_surrogate(
+    space: &Arc<AddressSpace>,
+    mut stream: std::net::TcpStream,
+    session: u64,
+    config: ListenerConfig,
+) -> SessionEnd {
     let _ = stream.set_nodelay(true);
+    // The lease doubles as the read timeout: a client silent past it is
+    // presumed crashed, and the session (with its connections and their
+    // GC claims) is torn down instead of lingering forever.
+    let _ = stream.set_read_timeout(config.session_lease);
 
     // Codec negotiation: one identification byte.
     let mut codec_byte = [0u8; 1];
     if stream.read_exact(&mut codec_byte).is_err() {
-        return false;
+        return SessionEnd::Dirty;
     }
     let Ok(codec_id) = CodecId::from_byte(codec_byte[0]) else {
-        return false;
+        return SessionEnd::Dirty;
     };
     let codec = codec_for(codec_id);
 
@@ -200,11 +243,28 @@ fn run_surrogate(space: &Arc<AddressSpace>, mut stream: std::net::TcpStream, ses
     loop {
         let frame = match read_frame(&mut stream) {
             Ok(f) => f,
-            Err(_) => return false, // client went away: dirty teardown
+            Err(e)
+                if config.session_lease.is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                dstampede_obs::warn(
+                    "listener",
+                    format!("session {session} lease expired; tearing down"),
+                );
+                space
+                    .metrics()
+                    .counter("failure", "session_lease_expirations")
+                    .inc();
+                return SessionEnd::LeaseExpired; // conns drop: claims release
+            }
+            Err(_) => return SessionEnd::Dirty, // client went away
         };
         let request = match codec.decode_request(&frame) {
             Ok(r) => r,
-            Err(_) => return false, // protocol corruption: tear down
+            Err(_) => return SessionEnd::Dirty, // protocol corruption
         };
         let (reply, done) = match request.req {
             Request::Attach { .. } => (
@@ -217,7 +277,7 @@ fn run_surrogate(space: &Arc<AddressSpace>, mut stream: std::net::TcpStream, ses
             Request::Detach => (Reply::Ok, true),
             other => {
                 let started = std::time::Instant::now();
-                let reply = execute(space, &conns, Some(&gc), other);
+                let reply = execute(space, &conns, Some(&gc), None, other);
                 latency.record_duration(started.elapsed());
                 (reply, false)
             }
@@ -229,13 +289,13 @@ fn run_surrogate(space: &Arc<AddressSpace>, mut stream: std::net::TcpStream, ses
         };
         let encoded = match codec.encode_reply(&reply_frame) {
             Ok(b) => b,
-            Err(_) => return false,
+            Err(_) => return SessionEnd::Dirty,
         };
         if write_frame(&mut stream, &encoded).is_err() {
-            return false;
+            return SessionEnd::Dirty;
         }
         if done {
-            return true; // conns drop here: clean detach
+            return SessionEnd::Clean; // conns drop here: clean detach
         }
     }
 }

@@ -284,6 +284,19 @@ impl ChanInput {
         }
     }
 
+    /// Disconnects explicitly (recovery path): the connection's virtual
+    /// time advances to infinity and its consume claims drop, even while
+    /// other threads still hold clones of it. Idempotent; later operations
+    /// fail with [`StmError::NoSuchConnection`].
+    pub fn disconnect(&self) {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.disconnect(),
+            ConnInner::Remote(rc) => rc
+                .space
+                .cast(rc.owner, Request::Disconnect { conn: rc.handle }),
+        }
+    }
+
     /// Advances the connection's virtual-time promise.
     ///
     /// # Errors
@@ -360,6 +373,16 @@ impl ChanOutput {
     /// As [`ChanOutput::put`].
     pub fn put_blocking(&self, ts: Timestamp, item: Item) -> StmResult<()> {
         self.put(ts, item, WaitSpec::Forever)
+    }
+
+    /// Disconnects explicitly (recovery path). Idempotent.
+    pub fn disconnect(&self) {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.disconnect(),
+            ConnInner::Remote(rc) => rc
+                .space
+                .cast(rc.owner, Request::Disconnect { conn: rc.handle }),
+        }
     }
 
     /// Typed put via [`StreamItem`].
@@ -552,6 +575,19 @@ impl QueueInput {
         }
     }
 
+    /// Disconnects explicitly (recovery path): in-flight tickets return
+    /// to the head of the queue for surviving getters, and blocked `get`s
+    /// on this connection wake with [`StmError::NoSuchConnection`].
+    /// Idempotent.
+    pub fn disconnect(&self) {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.disconnect(),
+            ConnInner::Remote(rc) => rc
+                .space
+                .cast(rc.owner, Request::Disconnect { conn: rc.handle }),
+        }
+    }
+
     /// Puts an unfinished item back at the head of the queue.
     ///
     /// # Errors
@@ -616,6 +652,16 @@ impl QueueOutput {
                     other => Err(unexpected(&other)),
                 }
             }
+        }
+    }
+
+    /// Disconnects explicitly (recovery path). Idempotent.
+    pub fn disconnect(&self) {
+        match &self.inner {
+            ConnInner::Local(conn) => conn.disconnect(),
+            ConnInner::Remote(rc) => rc
+                .space
+                .cast(rc.owner, Request::Disconnect { conn: rc.handle }),
         }
     }
 }

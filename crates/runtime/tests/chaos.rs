@@ -1,0 +1,463 @@
+//! Fault-injection ("chaos") drills for the failure-detection and
+//! recovery subsystem.
+//!
+//! Every test drives a live cluster through a seeded
+//! [`dstampede_clf::FaultPlan`] — crashes, partitions, duplicated
+//! packets — and asserts the recovery invariants: survivors keep making
+//! progress within the RPC deadline, orphaned connections release their
+//! GC claims, in-flight queue tickets return to surviving getters, and
+//! the death event is visible in telemetry. Plans are deterministic
+//! (seeded LCG, packet-count triggers), so these drills are reproducible;
+//! CI runs them single-threaded (`--test-threads=1`) to keep timing
+//! windows stable.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dstampede_clf::FaultPlan;
+use dstampede_client::{render_snapshot_table, EndDevice};
+use dstampede_core::{
+    AsId, ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, StmError, Timestamp,
+};
+use dstampede_runtime::failure::{FailureConfig, RpcConfig};
+use dstampede_runtime::proto;
+use dstampede_runtime::{Cluster, ClusterBuilder};
+use dstampede_wire::{Reply, Request, RequestFrame, WaitSpec};
+
+/// Polls `cond` until it holds or `deadline` passes.
+fn wait_for(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn fast_failure() -> FailureConfig {
+    FailureConfig {
+        period: Duration::from_millis(20),
+        missed: 3,
+    }
+}
+
+fn fast_rpc() -> RpcConfig {
+    RpcConfig {
+        deadline: Duration::from_millis(800),
+        attempt_timeout: Duration::from_millis(150),
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(40),
+    }
+}
+
+/// The flagship drill: a three-space cluster streaming through channels
+/// and a queue loses one space mid-stream. Survivors must keep completing
+/// puts and gets within the RPC deadline, the dead space's channel claims
+/// must release so GC reclaims the orphaned items, its in-flight queue
+/// ticket must return to a surviving getter, and the death event must
+/// show up in (cluster-wide) telemetry — the same view `dstampede-cli
+/// stats` renders.
+#[test]
+fn crashed_space_mid_stream_recovers() {
+    let plan = FaultPlan::new(42);
+    let cluster = Cluster::builder()
+        .address_spaces(3)
+        .fault_plan(Arc::clone(&plan))
+        .failure_detection(fast_failure())
+        .rpc_config(fast_rpc())
+        .build()
+        .unwrap();
+    let owner = cluster.space(0).unwrap();
+    let survivor = cluster.space(1).unwrap();
+    let victim = cluster.space(2).unwrap();
+
+    let chan = owner.create_channel(Some("stream".into()), ChannelAttrs::default());
+    let queue = owner.create_queue(Some("work".into()), QueueAttrs::default());
+
+    // The survivor produces and consumes; the victim lags at timestamp 0
+    // with claims that pin every item, and holds a queue ticket in flight.
+    let out = survivor
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    let survivor_in = survivor
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+    let victim_in = victim
+        .open_channel(chan.id())
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+
+    for i in 0..5 {
+        out.put(
+            Timestamp::new(i),
+            Item::from_vec(vec![i as u8]),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+    }
+    // The victim reads but never consumes: its claims pin items 0..5.
+    let (_, item) = victim_in
+        .get(GetSpec::Earliest, WaitSpec::NonBlocking)
+        .unwrap();
+    assert_eq!(item.payload(), &[0]);
+
+    // The victim takes a queue ticket and "crashes" before settling it.
+    let q_out = survivor
+        .open_queue(queue.id())
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    q_out
+        .put(
+            Timestamp::new(1),
+            Item::from_vec(b"in-flight".to_vec()),
+            WaitSpec::NonBlocking,
+        )
+        .unwrap();
+    let victim_q = victim
+        .open_queue(queue.id())
+        .unwrap()
+        .connect_input()
+        .unwrap();
+    let (_, q_item, _unsettled) = victim_q.get(WaitSpec::NonBlocking).unwrap();
+    assert_eq!(q_item.payload(), b"in-flight");
+
+    // The survivor consumes everything it has seen so far; the victim's
+    // claims still pin every item.
+    for i in 0..5 {
+        let (ts, _) = survivor_in
+            .get(GetSpec::Exact(Timestamp::new(i)), WaitSpec::Forever)
+            .unwrap();
+        survivor_in.consume_until(ts).unwrap();
+    }
+    assert!(chan.live_items() > 0, "victim claims should pin items");
+
+    // Kill the victim mid-stream.
+    plan.crash(AsId(2));
+
+    // Survivors keep completing operations within the deadline while the
+    // failure detector works in the background.
+    let started = Instant::now();
+    out.put(
+        Timestamp::new(5),
+        Item::from_vec(vec![5]),
+        WaitSpec::Forever,
+    )
+    .unwrap();
+    let (ts, item) = survivor_in
+        .get(GetSpec::Exact(Timestamp::new(5)), WaitSpec::Forever)
+        .unwrap();
+    assert_eq!(item.payload(), &[5]);
+    survivor_in.consume_until(ts).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "survivor operations must not hang on the dead peer"
+    );
+
+    // The owner declares the victim dead...
+    assert!(
+        wait_for(Duration::from_secs(5), || owner.is_peer_dead(AsId(2))),
+        "owner never declared the crashed space dead"
+    );
+    // ...which orphans the victim's channel claims: GC reclaims the
+    // pinned items.
+    assert!(
+        wait_for(Duration::from_secs(5), || chan.live_items() == 0),
+        "orphaned claims still pin {} items",
+        chan.live_items()
+    );
+    assert!(chan.stats().reclaimed_items >= 1);
+
+    // ...and requeues the victim's in-flight ticket for a survivor.
+    let survivor_q = survivor
+        .open_queue(queue.id())
+        .unwrap()
+        .connect_input()
+        .unwrap();
+    let recovered = wait_for(Duration::from_secs(5), || {
+        matches!(
+            survivor_q.get(WaitSpec::NonBlocking),
+            Ok((_, ref item, _)) if item.payload() == b"in-flight"
+        )
+    });
+    assert!(recovered, "in-flight ticket was not requeued to a survivor");
+
+    // The death event is visible in the cluster-wide stats a client pulls
+    // (what `dstampede-cli stats` renders).
+    let device = EndDevice::attach_c(cluster.listener_addr(0).unwrap(), "drill").unwrap();
+    let snap = device.stats(true).unwrap();
+    assert!(
+        snap.counter_value("failure", "peers_declared_dead")
+            .unwrap_or(0)
+            >= 1,
+        "death event missing from cluster stats"
+    );
+    let table = render_snapshot_table(&snap);
+    assert!(table.contains("peers_declared_dead"));
+    device.detach().unwrap();
+
+    cluster.shutdown();
+}
+
+/// Satellite: an orphaned input connection at a low virtual time must not
+/// wedge the distributed GC epoch floor. The dead space's stale report is
+/// retired from the aggregator when it is declared dead.
+#[test]
+fn orphaned_space_no_longer_wedges_gc_floor() {
+    use dstampede_core::VirtualTime;
+    use dstampede_runtime::{GcEpochConfig, GcEpochService};
+
+    let plan = FaultPlan::new(7);
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .fault_plan(Arc::clone(&plan))
+        .failure_detection(fast_failure())
+        .rpc_config(fast_rpc())
+        .build()
+        .unwrap();
+    let aggregator = cluster.space(0).unwrap();
+    let laggard = cluster.space(1).unwrap();
+
+    let t0 = aggregator.threads().register("ahead");
+    let t1 = laggard.threads().register("behind");
+    t0.set_vt(VirtualTime::at(Timestamp::new(100)));
+    t1.set_vt(VirtualTime::at(Timestamp::new(5)));
+
+    let service = GcEpochService::start(
+        cluster.spaces(),
+        GcEpochConfig {
+            period: Duration::from_millis(10),
+        },
+    );
+    // The laggard's report wedges the floor at 5.
+    assert!(wait_for(Duration::from_secs(5), || {
+        aggregator.gc_global_floor() == VirtualTime::at(Timestamp::new(5))
+    }));
+
+    // Crash the laggard: once declared dead, its stale report is retired
+    // and the floor advances to the survivor's virtual time.
+    plan.crash(AsId(1));
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            aggregator.gc_global_floor() == VirtualTime::at(Timestamp::new(100))
+        }),
+        "GC floor still wedged at {:?} by the dead space",
+        aggregator.gc_global_floor()
+    );
+
+    service.shutdown();
+    cluster.shutdown();
+}
+
+/// A full partition makes non-blocking RPCs fail with
+/// [`StmError::Timeout`] once the retry deadline expires — instead of
+/// hanging forever — and calls succeed again after the partition heals.
+#[test]
+fn partition_expires_rpc_deadline_then_heals() {
+    let plan = FaultPlan::new(11);
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .fault_plan(Arc::clone(&plan))
+        .rpc_config(RpcConfig {
+            deadline: Duration::from_millis(300),
+            attempt_timeout: Duration::from_millis(60),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(20),
+        })
+        .build()
+        .unwrap();
+    let a = cluster.space(0).unwrap();
+    let b = cluster.space(1).unwrap();
+
+    plan.partition(AsId(0), AsId(1));
+    let started = Instant::now();
+    assert_eq!(
+        b.call(AsId(0), Request::Ping { nonce: 1 }).unwrap_err(),
+        StmError::Timeout
+    );
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(250) && elapsed < Duration::from_secs(3),
+        "deadline fired after {elapsed:?}, expected ≈300ms"
+    );
+
+    plan.heal(AsId(0), AsId(1));
+    match b.call(AsId(0), Request::Ping { nonce: 2 }).unwrap() {
+        Reply::Pong { nonce } => assert_eq!(nonce, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    let _ = a;
+    cluster.shutdown();
+}
+
+/// A replayed non-idempotent request (same `WithId` id, as a retry after
+/// a lost reply would send) is answered from the executor's dedup cache
+/// with the *original* outcome instead of being re-executed.
+#[test]
+fn replayed_with_id_request_executes_once() {
+    use dstampede_clf::{ClfTransport, MemFabric};
+    use dstampede_runtime::AddressSpace;
+
+    let fabric = MemFabric::new();
+    let space = AddressSpace::start(fabric.endpoint(AsId(0)), true);
+    let chan = space.create_channel(Some("once".into()), ChannelAttrs::default());
+    let probe = fabric.endpoint(AsId(5));
+
+    let register = Request::WithId {
+        req_id: 77,
+        req: Box::new(Request::NsRegister {
+            name: "unique-name".into(),
+            resource: dstampede_core::ResourceId::Channel(chan.id()),
+            meta: String::new(),
+        }),
+    };
+    // The same tagged request arrives twice (e.g. the reply to the first
+    // attempt was lost and the caller retried).
+    for seq in [1u64, 2] {
+        let msg = proto::encode_request(&RequestFrame {
+            seq,
+            req: register.clone(),
+        })
+        .unwrap();
+        probe.send(AsId(0), msg).unwrap();
+        let (_, reply_bytes) = probe.recv().unwrap();
+        match proto::decode(&reply_bytes).unwrap() {
+            proto::AsMessage::Reply(frame) => {
+                assert_eq!(frame.seq, seq);
+                // Both attempts observe the original success — a naive
+                // re-execution would answer the replay with NameExists.
+                assert_eq!(frame.reply, Reply::Ok);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // A genuinely new request id executes for real and collides.
+    let fresh = Request::WithId {
+        req_id: 78,
+        req: Box::new(Request::NsRegister {
+            name: "unique-name".into(),
+            resource: dstampede_core::ResourceId::Channel(chan.id()),
+            meta: String::new(),
+        }),
+    };
+    let msg = proto::encode_request(&RequestFrame { seq: 3, req: fresh }).unwrap();
+    probe.send(AsId(0), msg).unwrap();
+    let (_, reply_bytes) = probe.recv().unwrap();
+    match proto::decode(&reply_bytes).unwrap() {
+        proto::AsMessage::Reply(frame) => {
+            assert_eq!(frame.reply, Reply::from_error(&StmError::NameExists));
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    space.shutdown();
+}
+
+/// Duplicated packets on the wire (ARQ retransmissions, chaos plans) do
+/// not corrupt non-idempotent operations: the `WithId` dedup layer keeps
+/// one registration per logical request even when every second packet is
+/// delivered twice.
+#[test]
+fn duplicated_packets_do_not_double_execute() {
+    let plan = FaultPlan::new(99);
+    plan.duplicate_every_nth(2);
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .fault_plan(Arc::clone(&plan))
+        .rpc_config(fast_rpc())
+        .build()
+        .unwrap();
+    let a = cluster.space(0).unwrap();
+    let b = cluster.space(1).unwrap();
+
+    let chan = a.create_channel(None, ChannelAttrs::default());
+    for i in 0..8 {
+        b.ns_register(
+            &format!("name-{i}"),
+            dstampede_core::ResourceId::Channel(chan.id()),
+            "",
+        )
+        .unwrap();
+    }
+    // Exactly one registration per name survived the duplication storm.
+    assert_eq!(b.ns_list().unwrap().len(), 8);
+    assert!(
+        plan.stats().duplicated > 0,
+        "plan never duplicated a packet"
+    );
+    cluster.shutdown();
+}
+
+/// An end device that stops talking loses its session lease: the
+/// surrogate tears down, the device's in-flight queue ticket requeues for
+/// other devices, and the teardown is counted. A device running a
+/// keepalive survives the same silence.
+#[test]
+fn session_lease_reaps_silent_device_and_keepalive_survives() {
+    let cluster = ClusterBuilder::new()
+        .address_spaces(1)
+        .session_lease(Duration::from_millis(150))
+        .build()
+        .unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let listener = cluster.listener(0).unwrap();
+
+    // A silent device holding a queue ticket.
+    let silent = EndDevice::attach_c(addr, "silent").unwrap();
+    let qid = silent
+        .create_queue(Some("jobs"), QueueAttrs::default())
+        .unwrap();
+    let q_out = silent.connect_queue_out(qid).unwrap();
+    q_out
+        .put(
+            Timestamp::new(1),
+            Item::from_vec(b"job".to_vec()),
+            WaitSpec::NonBlocking,
+        )
+        .unwrap();
+    let q_in = silent.connect_queue_in(qid).unwrap();
+    let (_, item, _ticket) = q_in.get(WaitSpec::NonBlocking).unwrap();
+    assert_eq!(item.payload(), b"job");
+
+    // A chatty-by-proxy device: silent too, but running a keepalive.
+    let kept = EndDevice::attach_c(addr, "kept").unwrap();
+    let keepalive = kept.start_keepalive(Duration::from_millis(50));
+
+    // Wait past several leases: the silent session is torn down, the
+    // keepalive session survives.
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            listener.stats().lease_teardowns >= 1
+        }),
+        "silent session was never lease-reaped"
+    );
+    assert_eq!(kept.ping(9).unwrap(), 9);
+
+    // The reaped session's in-flight ticket went back to the queue for
+    // surviving devices.
+    let q_in2 = kept.connect_queue_in(qid).unwrap();
+    let recovered = wait_for(Duration::from_secs(5), || {
+        matches!(
+            q_in2.get(WaitSpec::NonBlocking),
+            Ok((_, ref item, _)) if item.payload() == b"job"
+        )
+    });
+    assert!(recovered, "ticket from the reaped session was not requeued");
+
+    assert_eq!(listener.stats().lease_teardowns, 1);
+    drop(keepalive);
+    drop(q_in2);
+    kept.detach().unwrap();
+    // `silent`'s socket is already dead server-side; just drop it.
+    drop((q_in, q_out, silent));
+    cluster.shutdown();
+}

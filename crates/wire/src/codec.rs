@@ -130,6 +130,8 @@ pub(crate) mod class {
     pub const INSTALL_GARBAGE_HOOK: u32 = 23;
     pub const GC_REPORT: u32 = 24;
     pub const STATS_PULL: u32 = 25;
+    pub const HEARTBEAT: u32 = 26;
+    pub const WITH_ID: u32 = 27;
 
     // Replies.
     pub const R_OK: u32 = 1;

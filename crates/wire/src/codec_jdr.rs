@@ -267,8 +267,8 @@ fn opt_string_value(s: Option<&String>) -> JdrValue {
     s.map_or(JdrValue::Null, |s| JdrValue::str(s))
 }
 
-fn request_to_value(frame: &RequestFrame) -> JdrValue {
-    let (cls, mut fields) = match &frame.req {
+fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
+    let (cls, fields) = match req {
         Request::Attach { client_name } => (class::ATTACH, vec![JdrValue::str(client_name)]),
         Request::Detach => (class::DETACH, vec![]),
         Request::Ping { nonce } => (class::PING, vec![JdrValue::Long(*nonce as i64)]),
@@ -387,20 +387,35 @@ fn request_to_value(frame: &RequestFrame) -> JdrValue {
             ],
         ),
         Request::StatsPull { cluster } => (class::STATS_PULL, vec![JdrValue::Bool(*cluster)]),
+        Request::Heartbeat { incarnation } => {
+            (class::HEARTBEAT, vec![JdrValue::Long(*incarnation as i64)])
+        }
+        Request::WithId { req_id, req } => {
+            if matches!(**req, Request::WithId { .. }) {
+                return Err(WireError::BadValue("nested WithId request".to_owned()));
+            }
+            (
+                class::WITH_ID,
+                vec![JdrValue::Long(*req_id as i64), request_body_value(req)?],
+            )
+        }
     };
-    // Frame envelope: seq first, then the call object.
-    let mut envelope = vec![JdrValue::Long(frame.seq as i64)];
-    envelope.push(JdrValue::object(cls, std::mem::take(&mut fields)));
-    JdrValue::object(u32::MAX, envelope)
+    Ok(JdrValue::object(cls, fields))
 }
 
-fn value_to_request(v: &JdrValue) -> Result<RequestFrame, WireError> {
-    let (env_cls, env) = v.as_object()?;
-    if env_cls != u32::MAX {
-        return Err(WireError::BadTag(env_cls));
-    }
-    let seq = field(env, 0)?.as_u64()?;
-    let (cls, f) = field(env, 1)?.as_object()?;
+fn request_to_value(frame: &RequestFrame) -> Result<JdrValue, WireError> {
+    // Frame envelope: seq first, then the call object.
+    Ok(JdrValue::object(
+        u32::MAX,
+        vec![
+            JdrValue::Long(frame.seq as i64),
+            request_body_value(&frame.req)?,
+        ],
+    ))
+}
+
+fn value_to_request_body(v: &JdrValue, depth: u32) -> Result<Request, WireError> {
+    let (cls, f) = v.as_object()?;
     let req = match cls {
         class::ATTACH => Request::Attach {
             client_name: field(f, 0)?.as_str()?.to_owned(),
@@ -502,9 +517,32 @@ fn value_to_request(v: &JdrValue) -> Result<RequestFrame, WireError> {
         class::STATS_PULL => Request::StatsPull {
             cluster: field(f, 0)?.as_bool()?,
         },
+        class::HEARTBEAT => Request::Heartbeat {
+            incarnation: field(f, 0)?.as_u64()?,
+        },
+        class::WITH_ID => {
+            if depth > 0 {
+                return Err(WireError::BadValue("nested WithId request".to_owned()));
+            }
+            Request::WithId {
+                req_id: field(f, 0)?.as_u64()?,
+                req: Box::new(value_to_request_body(field(f, 1)?, depth + 1)?),
+            }
+        }
         t => return Err(WireError::BadTag(t)),
     };
-    Ok(RequestFrame { seq, req })
+    Ok(req)
+}
+
+fn value_to_request(v: &JdrValue) -> Result<RequestFrame, WireError> {
+    let (env_cls, env) = v.as_object()?;
+    if env_cls != u32::MAX {
+        return Err(WireError::BadTag(env_cls));
+    }
+    Ok(RequestFrame {
+        seq: field(env, 0)?.as_u64()?,
+        req: value_to_request_body(field(env, 1)?, 0)?,
+    })
 }
 
 fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
@@ -660,7 +698,7 @@ impl Codec for JdrCodec {
     }
 
     fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
-        Ok(jdr_encode(&request_to_value(frame)))
+        Ok(jdr_encode(&request_to_value(frame)?))
     }
 
     fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {

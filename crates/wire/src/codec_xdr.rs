@@ -229,6 +229,292 @@ fn get_gc_note(r: &mut XdrReader<'_>) -> Result<GcNote, WireError> {
     })
 }
 
+fn put_request_body(w: &mut XdrWriter, req: &Request) -> Result<(), WireError> {
+    match req {
+        Request::Attach { client_name } => {
+            w.put_u32(class::ATTACH);
+            w.put_string(client_name);
+        }
+        Request::Detach => w.put_u32(class::DETACH),
+        Request::Ping { nonce } => {
+            w.put_u32(class::PING);
+            w.put_u64(*nonce);
+        }
+        Request::ChannelCreate { name, attrs } => {
+            w.put_u32(class::CHANNEL_CREATE);
+            w.put_option(name.as_ref(), |w, n| w.put_string(n));
+            put_channel_attrs(w, attrs);
+        }
+        Request::QueueCreate { name, attrs } => {
+            w.put_u32(class::QUEUE_CREATE);
+            w.put_option(name.as_ref(), |w, n| w.put_string(n));
+            put_queue_attrs(w, attrs);
+        }
+        Request::ConnectChannelIn {
+            chan,
+            interest,
+            filter,
+        } => {
+            w.put_u32(class::CONNECT_CHANNEL_IN);
+            put_chan_id(w, *chan);
+            put_interest(w, *interest);
+            put_filter(w, filter);
+        }
+        Request::ConnectChannelOut { chan } => {
+            w.put_u32(class::CONNECT_CHANNEL_OUT);
+            put_chan_id(w, *chan);
+        }
+        Request::ConnectQueueIn { queue } => {
+            w.put_u32(class::CONNECT_QUEUE_IN);
+            put_queue_id(w, *queue);
+        }
+        Request::ConnectQueueOut { queue } => {
+            w.put_u32(class::CONNECT_QUEUE_OUT);
+            put_queue_id(w, *queue);
+        }
+        Request::Disconnect { conn } => {
+            w.put_u32(class::DISCONNECT);
+            w.put_u64(*conn);
+        }
+        Request::ChannelPut {
+            conn,
+            ts,
+            tag,
+            payload,
+            wait,
+        } => {
+            w.put_u32(class::CHANNEL_PUT);
+            w.put_u64(*conn);
+            w.put_i64(ts.value());
+            w.put_u32(*tag);
+            put_wait(w, *wait);
+            w.put_opaque(payload);
+        }
+        Request::ChannelGet { conn, spec, wait } => {
+            w.put_u32(class::CHANNEL_GET);
+            w.put_u64(*conn);
+            put_spec(w, *spec);
+            put_wait(w, *wait);
+        }
+        Request::ChannelConsume { conn, upto } => {
+            w.put_u32(class::CHANNEL_CONSUME);
+            w.put_u64(*conn);
+            w.put_i64(upto.value());
+        }
+        Request::ChannelSetVt { conn, vt } => {
+            w.put_u32(class::CHANNEL_SET_VT);
+            w.put_u64(*conn);
+            w.put_i64(vt.value());
+        }
+        Request::QueuePut {
+            conn,
+            ts,
+            tag,
+            payload,
+            wait,
+        } => {
+            w.put_u32(class::QUEUE_PUT);
+            w.put_u64(*conn);
+            w.put_i64(ts.value());
+            w.put_u32(*tag);
+            put_wait(w, *wait);
+            w.put_opaque(payload);
+        }
+        Request::QueueGet { conn, wait } => {
+            w.put_u32(class::QUEUE_GET);
+            w.put_u64(*conn);
+            put_wait(w, *wait);
+        }
+        Request::QueueConsume { conn, ticket } => {
+            w.put_u32(class::QUEUE_CONSUME);
+            w.put_u64(*conn);
+            w.put_u64(*ticket);
+        }
+        Request::QueueRequeue { conn, ticket } => {
+            w.put_u32(class::QUEUE_REQUEUE);
+            w.put_u64(*conn);
+            w.put_u64(*ticket);
+        }
+        Request::NsRegister {
+            name,
+            resource,
+            meta,
+        } => {
+            w.put_u32(class::NS_REGISTER);
+            w.put_string(name);
+            put_resource(w, *resource);
+            w.put_string(meta);
+        }
+        Request::NsLookup { name, wait } => {
+            w.put_u32(class::NS_LOOKUP);
+            w.put_string(name);
+            put_wait(w, *wait);
+        }
+        Request::NsUnregister { name } => {
+            w.put_u32(class::NS_UNREGISTER);
+            w.put_string(name);
+        }
+        Request::NsList => w.put_u32(class::NS_LIST),
+        Request::InstallGarbageHook { resource } => {
+            w.put_u32(class::INSTALL_GARBAGE_HOOK);
+            put_resource(w, *resource);
+        }
+        Request::GcReport { from, min_vt } => {
+            w.put_u32(class::GC_REPORT);
+            w.put_u32(u32::from(from.0));
+            w.put_i64(min_vt.value());
+        }
+        Request::StatsPull { cluster } => {
+            w.put_u32(class::STATS_PULL);
+            w.put_bool(*cluster);
+        }
+        Request::Heartbeat { incarnation } => {
+            w.put_u32(class::HEARTBEAT);
+            w.put_u64(*incarnation);
+        }
+        Request::WithId { req_id, req } => {
+            if matches!(**req, Request::WithId { .. }) {
+                return Err(WireError::BadValue("nested WithId request".to_owned()));
+            }
+            w.put_u32(class::WITH_ID);
+            w.put_u64(*req_id);
+            put_request_body(w, req)?;
+        }
+    }
+    Ok(())
+}
+
+fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireError> {
+    let tag = r.get_u32()?;
+    let req = match tag {
+        class::ATTACH => Request::Attach {
+            client_name: r.get_string()?,
+        },
+        class::DETACH => Request::Detach,
+        class::PING => Request::Ping {
+            nonce: r.get_u64()?,
+        },
+        class::CHANNEL_CREATE => Request::ChannelCreate {
+            name: r.get_option(|r| r.get_string())?,
+            attrs: get_channel_attrs(r)?,
+        },
+        class::QUEUE_CREATE => Request::QueueCreate {
+            name: r.get_option(|r| r.get_string())?,
+            attrs: get_queue_attrs(r)?,
+        },
+        class::CONNECT_CHANNEL_IN => Request::ConnectChannelIn {
+            chan: get_chan_id(r)?,
+            interest: get_interest(r)?,
+            filter: get_filter(r)?,
+        },
+        class::CONNECT_CHANNEL_OUT => Request::ConnectChannelOut {
+            chan: get_chan_id(r)?,
+        },
+        class::CONNECT_QUEUE_IN => Request::ConnectQueueIn {
+            queue: get_queue_id(r)?,
+        },
+        class::CONNECT_QUEUE_OUT => Request::ConnectQueueOut {
+            queue: get_queue_id(r)?,
+        },
+        class::DISCONNECT => Request::Disconnect { conn: r.get_u64()? },
+        class::CHANNEL_PUT => {
+            let conn = r.get_u64()?;
+            let ts = Timestamp::new(r.get_i64()?);
+            let tag = r.get_u32()?;
+            let wait = get_wait(r)?;
+            let payload = Bytes::copy_from_slice(r.get_opaque()?);
+            Request::ChannelPut {
+                conn,
+                ts,
+                tag,
+                payload,
+                wait,
+            }
+        }
+        class::CHANNEL_GET => Request::ChannelGet {
+            conn: r.get_u64()?,
+            spec: get_spec(r)?,
+            wait: get_wait(r)?,
+        },
+        class::CHANNEL_CONSUME => Request::ChannelConsume {
+            conn: r.get_u64()?,
+            upto: Timestamp::new(r.get_i64()?),
+        },
+        class::CHANNEL_SET_VT => Request::ChannelSetVt {
+            conn: r.get_u64()?,
+            vt: Timestamp::new(r.get_i64()?),
+        },
+        class::QUEUE_PUT => {
+            let conn = r.get_u64()?;
+            let ts = Timestamp::new(r.get_i64()?);
+            let tag = r.get_u32()?;
+            let wait = get_wait(r)?;
+            let payload = Bytes::copy_from_slice(r.get_opaque()?);
+            Request::QueuePut {
+                conn,
+                ts,
+                tag,
+                payload,
+                wait,
+            }
+        }
+        class::QUEUE_GET => Request::QueueGet {
+            conn: r.get_u64()?,
+            wait: get_wait(r)?,
+        },
+        class::QUEUE_CONSUME => Request::QueueConsume {
+            conn: r.get_u64()?,
+            ticket: r.get_u64()?,
+        },
+        class::QUEUE_REQUEUE => Request::QueueRequeue {
+            conn: r.get_u64()?,
+            ticket: r.get_u64()?,
+        },
+        class::NS_REGISTER => Request::NsRegister {
+            name: r.get_string()?,
+            resource: get_resource(r)?,
+            meta: r.get_string()?,
+        },
+        class::NS_LOOKUP => Request::NsLookup {
+            name: r.get_string()?,
+            wait: get_wait(r)?,
+        },
+        class::NS_UNREGISTER => Request::NsUnregister {
+            name: r.get_string()?,
+        },
+        class::NS_LIST => Request::NsList,
+        class::INSTALL_GARBAGE_HOOK => Request::InstallGarbageHook {
+            resource: get_resource(r)?,
+        },
+        class::GC_REPORT => {
+            let from = r.get_u32()?;
+            let from = u16::try_from(from)
+                .map_err(|_| WireError::BadValue(format!("address space id {from}")))?;
+            Request::GcReport {
+                from: AsId(from),
+                min_vt: Timestamp::new(r.get_i64()?),
+            }
+        }
+        class::STATS_PULL => Request::StatsPull {
+            cluster: r.get_bool()?,
+        },
+        class::HEARTBEAT => Request::Heartbeat {
+            incarnation: r.get_u64()?,
+        },
+        class::WITH_ID => {
+            if depth > 0 {
+                return Err(WireError::BadValue("nested WithId request".to_owned()));
+            }
+            Request::WithId {
+                req_id: r.get_u64()?,
+                req: Box::new(get_request_body(r, depth + 1)?),
+            }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    Ok(req)
+}
+
 impl Codec for XdrCodec {
     fn id(&self) -> CodecId {
         CodecId::Xdr
@@ -237,266 +523,14 @@ impl Codec for XdrCodec {
     fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
         let mut w = XdrWriter::with_capacity(64);
         w.put_u64(frame.seq);
-        match &frame.req {
-            Request::Attach { client_name } => {
-                w.put_u32(class::ATTACH);
-                w.put_string(client_name);
-            }
-            Request::Detach => w.put_u32(class::DETACH),
-            Request::Ping { nonce } => {
-                w.put_u32(class::PING);
-                w.put_u64(*nonce);
-            }
-            Request::ChannelCreate { name, attrs } => {
-                w.put_u32(class::CHANNEL_CREATE);
-                w.put_option(name.as_ref(), |w, n| w.put_string(n));
-                put_channel_attrs(&mut w, attrs);
-            }
-            Request::QueueCreate { name, attrs } => {
-                w.put_u32(class::QUEUE_CREATE);
-                w.put_option(name.as_ref(), |w, n| w.put_string(n));
-                put_queue_attrs(&mut w, attrs);
-            }
-            Request::ConnectChannelIn {
-                chan,
-                interest,
-                filter,
-            } => {
-                w.put_u32(class::CONNECT_CHANNEL_IN);
-                put_chan_id(&mut w, *chan);
-                put_interest(&mut w, *interest);
-                put_filter(&mut w, filter);
-            }
-            Request::ConnectChannelOut { chan } => {
-                w.put_u32(class::CONNECT_CHANNEL_OUT);
-                put_chan_id(&mut w, *chan);
-            }
-            Request::ConnectQueueIn { queue } => {
-                w.put_u32(class::CONNECT_QUEUE_IN);
-                put_queue_id(&mut w, *queue);
-            }
-            Request::ConnectQueueOut { queue } => {
-                w.put_u32(class::CONNECT_QUEUE_OUT);
-                put_queue_id(&mut w, *queue);
-            }
-            Request::Disconnect { conn } => {
-                w.put_u32(class::DISCONNECT);
-                w.put_u64(*conn);
-            }
-            Request::ChannelPut {
-                conn,
-                ts,
-                tag,
-                payload,
-                wait,
-            } => {
-                w.put_u32(class::CHANNEL_PUT);
-                w.put_u64(*conn);
-                w.put_i64(ts.value());
-                w.put_u32(*tag);
-                put_wait(&mut w, *wait);
-                w.put_opaque(payload);
-            }
-            Request::ChannelGet { conn, spec, wait } => {
-                w.put_u32(class::CHANNEL_GET);
-                w.put_u64(*conn);
-                put_spec(&mut w, *spec);
-                put_wait(&mut w, *wait);
-            }
-            Request::ChannelConsume { conn, upto } => {
-                w.put_u32(class::CHANNEL_CONSUME);
-                w.put_u64(*conn);
-                w.put_i64(upto.value());
-            }
-            Request::ChannelSetVt { conn, vt } => {
-                w.put_u32(class::CHANNEL_SET_VT);
-                w.put_u64(*conn);
-                w.put_i64(vt.value());
-            }
-            Request::QueuePut {
-                conn,
-                ts,
-                tag,
-                payload,
-                wait,
-            } => {
-                w.put_u32(class::QUEUE_PUT);
-                w.put_u64(*conn);
-                w.put_i64(ts.value());
-                w.put_u32(*tag);
-                put_wait(&mut w, *wait);
-                w.put_opaque(payload);
-            }
-            Request::QueueGet { conn, wait } => {
-                w.put_u32(class::QUEUE_GET);
-                w.put_u64(*conn);
-                put_wait(&mut w, *wait);
-            }
-            Request::QueueConsume { conn, ticket } => {
-                w.put_u32(class::QUEUE_CONSUME);
-                w.put_u64(*conn);
-                w.put_u64(*ticket);
-            }
-            Request::QueueRequeue { conn, ticket } => {
-                w.put_u32(class::QUEUE_REQUEUE);
-                w.put_u64(*conn);
-                w.put_u64(*ticket);
-            }
-            Request::NsRegister {
-                name,
-                resource,
-                meta,
-            } => {
-                w.put_u32(class::NS_REGISTER);
-                w.put_string(name);
-                put_resource(&mut w, *resource);
-                w.put_string(meta);
-            }
-            Request::NsLookup { name, wait } => {
-                w.put_u32(class::NS_LOOKUP);
-                w.put_string(name);
-                put_wait(&mut w, *wait);
-            }
-            Request::NsUnregister { name } => {
-                w.put_u32(class::NS_UNREGISTER);
-                w.put_string(name);
-            }
-            Request::NsList => w.put_u32(class::NS_LIST),
-            Request::InstallGarbageHook { resource } => {
-                w.put_u32(class::INSTALL_GARBAGE_HOOK);
-                put_resource(&mut w, *resource);
-            }
-            Request::GcReport { from, min_vt } => {
-                w.put_u32(class::GC_REPORT);
-                w.put_u32(u32::from(from.0));
-                w.put_i64(min_vt.value());
-            }
-            Request::StatsPull { cluster } => {
-                w.put_u32(class::STATS_PULL);
-                w.put_bool(*cluster);
-            }
-        }
+        put_request_body(&mut w, &frame.req)?;
         Ok(w.into_bytes())
     }
 
     fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {
         let mut r = XdrReader::new(bytes);
         let seq = r.get_u64()?;
-        let tag = r.get_u32()?;
-        let req = match tag {
-            class::ATTACH => Request::Attach {
-                client_name: r.get_string()?,
-            },
-            class::DETACH => Request::Detach,
-            class::PING => Request::Ping {
-                nonce: r.get_u64()?,
-            },
-            class::CHANNEL_CREATE => Request::ChannelCreate {
-                name: r.get_option(|r| r.get_string())?,
-                attrs: get_channel_attrs(&mut r)?,
-            },
-            class::QUEUE_CREATE => Request::QueueCreate {
-                name: r.get_option(|r| r.get_string())?,
-                attrs: get_queue_attrs(&mut r)?,
-            },
-            class::CONNECT_CHANNEL_IN => Request::ConnectChannelIn {
-                chan: get_chan_id(&mut r)?,
-                interest: get_interest(&mut r)?,
-                filter: get_filter(&mut r)?,
-            },
-            class::CONNECT_CHANNEL_OUT => Request::ConnectChannelOut {
-                chan: get_chan_id(&mut r)?,
-            },
-            class::CONNECT_QUEUE_IN => Request::ConnectQueueIn {
-                queue: get_queue_id(&mut r)?,
-            },
-            class::CONNECT_QUEUE_OUT => Request::ConnectQueueOut {
-                queue: get_queue_id(&mut r)?,
-            },
-            class::DISCONNECT => Request::Disconnect { conn: r.get_u64()? },
-            class::CHANNEL_PUT => {
-                let conn = r.get_u64()?;
-                let ts = Timestamp::new(r.get_i64()?);
-                let tag = r.get_u32()?;
-                let wait = get_wait(&mut r)?;
-                let payload = Bytes::copy_from_slice(r.get_opaque()?);
-                Request::ChannelPut {
-                    conn,
-                    ts,
-                    tag,
-                    payload,
-                    wait,
-                }
-            }
-            class::CHANNEL_GET => Request::ChannelGet {
-                conn: r.get_u64()?,
-                spec: get_spec(&mut r)?,
-                wait: get_wait(&mut r)?,
-            },
-            class::CHANNEL_CONSUME => Request::ChannelConsume {
-                conn: r.get_u64()?,
-                upto: Timestamp::new(r.get_i64()?),
-            },
-            class::CHANNEL_SET_VT => Request::ChannelSetVt {
-                conn: r.get_u64()?,
-                vt: Timestamp::new(r.get_i64()?),
-            },
-            class::QUEUE_PUT => {
-                let conn = r.get_u64()?;
-                let ts = Timestamp::new(r.get_i64()?);
-                let tag = r.get_u32()?;
-                let wait = get_wait(&mut r)?;
-                let payload = Bytes::copy_from_slice(r.get_opaque()?);
-                Request::QueuePut {
-                    conn,
-                    ts,
-                    tag,
-                    payload,
-                    wait,
-                }
-            }
-            class::QUEUE_GET => Request::QueueGet {
-                conn: r.get_u64()?,
-                wait: get_wait(&mut r)?,
-            },
-            class::QUEUE_CONSUME => Request::QueueConsume {
-                conn: r.get_u64()?,
-                ticket: r.get_u64()?,
-            },
-            class::QUEUE_REQUEUE => Request::QueueRequeue {
-                conn: r.get_u64()?,
-                ticket: r.get_u64()?,
-            },
-            class::NS_REGISTER => Request::NsRegister {
-                name: r.get_string()?,
-                resource: get_resource(&mut r)?,
-                meta: r.get_string()?,
-            },
-            class::NS_LOOKUP => Request::NsLookup {
-                name: r.get_string()?,
-                wait: get_wait(&mut r)?,
-            },
-            class::NS_UNREGISTER => Request::NsUnregister {
-                name: r.get_string()?,
-            },
-            class::NS_LIST => Request::NsList,
-            class::INSTALL_GARBAGE_HOOK => Request::InstallGarbageHook {
-                resource: get_resource(&mut r)?,
-            },
-            class::GC_REPORT => {
-                let from = r.get_u32()?;
-                let from = u16::try_from(from)
-                    .map_err(|_| WireError::BadValue(format!("address space id {from}")))?;
-                Request::GcReport {
-                    from: AsId(from),
-                    min_vt: Timestamp::new(r.get_i64()?),
-                }
-            }
-            class::STATS_PULL => Request::StatsPull {
-                cluster: r.get_bool()?,
-            },
-            t => return Err(WireError::BadTag(t)),
-        };
+        let req = get_request_body(&mut r, 0)?;
         r.finish()?;
         Ok(RequestFrame { seq, req })
     }

@@ -203,6 +203,24 @@ pub enum Request {
         /// their snapshots into a cluster-wide one.
         cluster: bool,
     },
+    /// Explicit lease renewal between address spaces (and from long-idle
+    /// end devices). Carries no payload beyond the sender's incarnation;
+    /// any traffic renews the lease, heartbeats exist for idle links.
+    Heartbeat {
+        /// The sender's start incarnation, so a restarted peer is
+        /// distinguishable from a recovered one.
+        incarnation: u64,
+    },
+    /// A non-idempotent request tagged with a retry-stable id. The
+    /// executor remembers `(origin, req_id)` and answers a replayed id
+    /// with the original reply instead of re-executing, making the inner
+    /// request safe to retry across transport timeouts.
+    WithId {
+        /// Retry-stable request id, unique per origin.
+        req_id: u64,
+        /// The wrapped request.
+        req: Box<Request>,
+    },
 }
 
 /// One name-server registration.
@@ -509,6 +527,24 @@ pub mod test_vectors {
             },
             Request::StatsPull { cluster: false },
             Request::StatsPull { cluster: true },
+            Request::Heartbeat { incarnation: 0 },
+            Request::Heartbeat {
+                incarnation: u64::MAX,
+            },
+            Request::WithId {
+                req_id: 1,
+                req: Box::new(Request::QueuePut {
+                    conn: 10,
+                    ts: Timestamp::new(5),
+                    tag: 2,
+                    payload: Bytes::from_static(&[9, 8]),
+                    wait: WaitSpec::NonBlocking,
+                }),
+            },
+            Request::WithId {
+                req_id: u64::MAX,
+                req: Box::new(Request::ConnectQueueIn { queue: queue(2, 2) }),
+            },
         ]
     }
 
