@@ -35,6 +35,9 @@ pub struct VisionConfig {
     pub trackers: usize,
     /// Address spaces to spread the stages over (1 = all local).
     pub address_spaces: u16,
+    /// Causal-trace sampling: trace every nth frame timestamp
+    /// (0 — the default — disables tracing).
+    pub trace_sampling: u64,
 }
 
 impl Default for VisionConfig {
@@ -45,6 +48,7 @@ impl Default for VisionConfig {
             fragments: 4,
             trackers: 3,
             address_spaces: 1,
+            trace_sampling: 0,
         }
     }
 }
@@ -95,6 +99,9 @@ pub struct VisionReport {
     pub records: Vec<AnalysisRecord>,
     /// Fragments processed per tracker (work-sharing evidence).
     pub per_tracker_fragments: Vec<u64>,
+    /// The cluster-wide causal trace of the run (empty unless
+    /// [`VisionConfig::trace_sampling`] was set).
+    pub trace: dstampede_obs::TraceDump,
 }
 
 impl fmt::Display for VisionReport {
@@ -118,6 +125,7 @@ pub fn run_vision_pipeline(cfg: &VisionConfig) -> StmResult<VisionReport> {
     let cluster = Cluster::builder()
         .address_spaces(cfg.address_spaces.max(1))
         .listeners(false)
+        .trace_sampling(cfg.trace_sampling)
         .build()?;
     let digitizer_space = cluster.space(0)?;
     let tracker_space = cluster.space(cluster.len() as u16 - 1)?;
@@ -268,10 +276,12 @@ pub fn run_vision_pipeline(cfg: &VisionConfig) -> StmResult<VisionReport> {
         records.push(item.decode::<AnalysisRecord>()?);
         reader.consume_until(Timestamp::new(ts))?;
     }
+    let trace = cluster.trace_dump();
     cluster.shutdown();
     Ok(VisionReport {
         records,
         per_tracker_fragments,
+        trace,
     })
 }
 
@@ -309,6 +319,7 @@ mod tests {
             fragments: 4,
             trackers: 3,
             address_spaces: 1,
+            trace_sampling: 0,
         };
         let report = run_vision_pipeline(&cfg).unwrap();
         assert_eq!(report.records.len(), 10);
@@ -334,10 +345,24 @@ mod tests {
             fragments: 2,
             trackers: 2,
             address_spaces: 2,
+            trace_sampling: 1,
         };
         let report = run_vision_pipeline(&cfg).unwrap();
         assert_eq!(report.records.len(), 6);
         let total: u64 = report.per_tracker_fragments.iter().sum();
         assert_eq!(total, 6 * 2);
+        // With every-frame sampling the report carries a cluster-wide
+        // trace whose spans come from both address spaces.
+        assert!(!report.trace.spans.is_empty());
+        let sources: std::collections::BTreeSet<_> = report
+            .trace
+            .spans
+            .iter()
+            .map(|s| s.source.as_str())
+            .collect();
+        assert!(
+            sources.len() >= 2,
+            "trace should span both address spaces, saw {sources:?}"
+        );
     }
 }

@@ -13,16 +13,16 @@ use dstampede_core::Timestamp;
 use dstampede_wire::{Codec, JdrCodec, Request, RequestFrame, WaitSpec, XdrCodec};
 
 fn put_frame(size: usize) -> RequestFrame {
-    RequestFrame {
-        seq: 7,
-        req: Request::ChannelPut {
+    RequestFrame::new(
+        7,
+        Request::ChannelPut {
             conn: 3,
             ts: Timestamp::new(42),
             tag: 0,
             payload: Bytes::from(vec![0xa5; size]),
             wait: WaitSpec::Forever,
         },
-    }
+    )
 }
 
 fn encode_decode(c: &mut Criterion) {

@@ -19,6 +19,7 @@ fn tracker_scaling(c: &mut Criterion) {
             fragments: 4,
             trackers,
             address_spaces: 1,
+            trace_sampling: 0,
         };
         group.throughput(Throughput::Bytes(cfg.frames as u64 * cfg.frame_size as u64));
         group.bench_with_input(BenchmarkId::from_parameter(trackers), &cfg, |b, cfg| {
@@ -41,6 +42,7 @@ fn split_factor(c: &mut Criterion) {
             fragments,
             trackers: 4,
             address_spaces: 1,
+            trace_sampling: 0,
         };
         group.bench_with_input(BenchmarkId::from_parameter(fragments), &cfg, |b, cfg| {
             b.iter(|| {

@@ -22,8 +22,13 @@
 //! ns-lookup NAME
 //! ns-list
 //! stats [local]                  # telemetry table, cluster-wide unless "local"
+//! trace [local]                  # causal timelines, cluster-wide unless "local"
+//! trace export [FILE] [local]    # write Chrome trace-event JSON (default results/trace.json)
 //! quit
 //! ```
+//!
+//! The exported JSON opens directly in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
 
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
@@ -187,6 +192,32 @@ impl Shell {
                 Ok(dstampede_client::render_snapshot_table(&snap)
                     .trim_end()
                     .to_owned())
+            }
+            "trace" => {
+                let args: Vec<&str> = parts.collect();
+                let cluster = !args.contains(&"local");
+                if args.first() == Some(&"export") {
+                    let path = args
+                        .get(1)
+                        .filter(|a| **a != "local")
+                        .map_or("results/trace.json", |v| *v);
+                    let dump = self.device.trace(cluster).map_err(err)?;
+                    if let Some(dir) = std::path::Path::new(path).parent() {
+                        if !dir.as_os_str().is_empty() {
+                            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                        }
+                    }
+                    std::fs::write(path, dump.to_chrome_json()).map_err(|e| e.to_string())?;
+                    Ok(format!(
+                        "wrote {} spans to {path} (open in chrome://tracing or ui.perfetto.dev)",
+                        dump.spans.len()
+                    ))
+                } else {
+                    let dump = self.device.trace(cluster).map_err(err)?;
+                    Ok(dstampede_client::render_trace_timelines(&dump)
+                        .trim_end()
+                        .to_owned())
+                }
             }
             "ns-list" => {
                 let entries = self.device.ns_list().map_err(err)?;

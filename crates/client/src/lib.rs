@@ -49,7 +49,7 @@
 pub mod report;
 pub mod session;
 
-pub use report::render_snapshot_table;
+pub use report::{render_snapshot_table, render_trace_timelines};
 pub use session::{
     ClientChanIn, ClientChanOut, ClientGarbageHook, ClientQueueIn, ClientQueueOut, EndDevice,
     Keepalive, SessionStream,

@@ -1,9 +1,10 @@
-//! Human-readable rendering of telemetry snapshots.
+//! Human-readable rendering of telemetry snapshots and trace dumps.
 //!
-//! Used by `dstampede-cli stats` to print the cluster-wide table; kept
-//! in the library so tools embedding the client can reuse it.
+//! Used by `dstampede-cli stats`/`trace` to print the cluster-wide
+//! views; kept in the library so tools embedding the client can reuse
+//! them.
 
-use dstampede_obs::Snapshot;
+use dstampede_obs::{Snapshot, TraceDump};
 
 fn label_suffix(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
@@ -71,6 +72,53 @@ pub fn render_snapshot_table(snap: &Snapshot) -> String {
     out
 }
 
+/// Renders a trace dump as per-item timelines: one block per
+/// `(trace, timestamp)` pair, its spans ordered by start time and
+/// offset from the timeline's first span. A cluster-wide pull shows
+/// an item's whole journey — put on one address space, RPC hops,
+/// get/consume elsewhere, GC at the end — in one block.
+#[must_use]
+pub fn render_trace_timelines(dump: &TraceDump) -> String {
+    if dump.spans.is_empty() {
+        return format!("(no spans; dropped={})\n", dump.dropped);
+    }
+    let mut out = String::new();
+    for ((trace, ts), spans) in dump.timelines() {
+        let origin = spans.iter().map(|s| s.start_us).min().unwrap_or(0);
+        out.push_str(&format!("trace {trace} ts={ts} ({} spans)\n", spans.len()));
+        let mut ordered = spans;
+        ordered.sort_by_key(|s| (s.start_us, s.id));
+        for s in ordered {
+            let dur = if s.dur_us > 0 {
+                format!(" dur={}us", s.dur_us)
+            } else {
+                String::new()
+            };
+            let detail = if s.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" {}", s.detail)
+            };
+            out.push_str(&format!(
+                "  +{:>8}us {:<10} {:<20} @{}{}{}\n",
+                s.start_us.saturating_sub(origin),
+                s.kind.name(),
+                s.resource,
+                s.source,
+                dur,
+                detail,
+            ));
+        }
+    }
+    if dump.dropped > 0 {
+        out.push_str(&format!(
+            "({} spans dropped under contention)\n",
+            dump.dropped
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +144,26 @@ mod tests {
     fn empty_snapshot_renders_sources_line_only() {
         let table = render_snapshot_table(&Snapshot::default());
         assert_eq!(table, "sources: \n");
+    }
+
+    #[test]
+    fn trace_timelines_group_by_trace_and_timestamp() {
+        let reg = MetricsRegistry::new("as-0");
+        let tracer = reg.tracer();
+        tracer.set_sampling(1);
+        let ctx = tracer.begin_trace(5).unwrap();
+        let child = tracer.finish(ctx, dstampede_obs::SpanKind::Put, "chan:0/0", 5, 10, "");
+        tracer.instant(child, dstampede_obs::SpanKind::Get, "chan:0/0", 5, "");
+        let text = render_trace_timelines(&tracer.dump());
+        assert!(text.contains(&format!("trace {} ts=5 (2 spans)", ctx.trace)));
+        assert!(text.contains("put"));
+        assert!(text.contains("get"));
+        assert!(text.contains("@as-0"));
+    }
+
+    #[test]
+    fn empty_trace_dump_renders_placeholder() {
+        let text = render_trace_timelines(&TraceDump::default());
+        assert!(text.contains("no spans"));
     }
 }

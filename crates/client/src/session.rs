@@ -26,7 +26,7 @@ use dstampede_core::{
     AsId, ChanId, ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, QueueId, ResourceId, StmError,
     StmResult, StreamItem, TagFilter, Timestamp, VirtualTime,
 };
-use dstampede_obs::Snapshot;
+use dstampede_obs::{trace, Snapshot, TraceDump};
 use dstampede_wire::{
     codec_for, read_frame, write_frame, Codec, CodecId, GcNote, NsEntry, Reply, Request,
     RequestFrame, WaitSpec,
@@ -54,9 +54,10 @@ struct Inner {
 impl Inner {
     fn call(&self, req: Request) -> StmResult<Reply> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let frame = RequestFrame::new(seq, req).with_trace(trace::current());
         let bytes = self
             .codec
-            .encode_request(&RequestFrame { seq, req })
+            .encode_request(&frame)
             .map_err(|e| StmError::Protocol(e.to_string()))?;
         let mut stream = self.stream.lock();
         write_frame(&mut *stream, &bytes).map_err(|_| StmError::Disconnected)?;
@@ -73,6 +74,12 @@ impl Inner {
             )));
         }
         self.dispatch_gc_notes(&reply.gc_notes);
+        // The surrogate hands back the context of whatever item the call
+        // touched; adopting it keeps the causal chain unbroken across
+        // client-side hops (get here, put there).
+        if reply.trace.is_some() {
+            let _ = trace::set_current(reply.trace);
+        }
         reply.reply.into_result()
     }
 
@@ -396,6 +403,24 @@ impl EndDevice {
         }
     }
 
+    /// Pulls the causal-trace span store from the attached address space
+    /// — every sampled item-lifecycle edge (put, wire transfer, surrogate
+    /// RPC, get/consume, GC reclamation, synchronize waits) recorded
+    /// there. With `cluster = true` the address space fans out to its
+    /// peers and merges their dumps, so one pull from any tentacle yields
+    /// the cluster-wide trace.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn trace(&self, cluster: bool) -> StmResult<TraceDump> {
+        match self.inner.call(Request::TracePull { cluster })? {
+            Reply::TraceReport { dump } => TraceDump::decode(&dump)
+                .map_err(|e| StmError::Protocol(format!("bad trace dump: {e}"))),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Registers a local garbage hook for a resource and asks the cluster
     /// to queue notifications (paper §3.2.4). Notifications are delivered
     /// on subsequent API calls.
@@ -523,12 +548,21 @@ impl ClientChanIn {
     ///
     /// As the core channel `get` family, transported over RPC.
     pub fn get(&self, spec: GetSpec, wait: WaitSpec) -> StmResult<(Timestamp, Item)> {
-        match self.device.inner.call(Request::ChannelGet {
+        // Scope the ambient context so the reply's trace (the item's
+        // origin context) lands on the reconstructed item without
+        // leaking into unrelated later calls on this thread.
+        let guard = trace::scope(trace::current());
+        let reply = self.device.inner.call(Request::ChannelGet {
             conn: self.conn,
             spec,
             wait,
-        })? {
-            Reply::Item { ts, tag, payload } => Ok((ts, Item::new(payload).with_tag(tag))),
+        });
+        let ctx = trace::current();
+        drop(guard);
+        match reply? {
+            Reply::Item { ts, tag, payload } => {
+                Ok((ts, Item::new(payload).with_tag(tag).with_trace(ctx)))
+            }
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
@@ -616,6 +650,10 @@ impl ClientChanOut {
     ///
     /// As the core channel `put` family, transported over RPC.
     pub fn put(&self, ts: Timestamp, item: Item, wait: WaitSpec) -> StmResult<()> {
+        // An item relayed from a get carries its origin context; ride it
+        // on the request frame so the cluster stitches both hops into
+        // one trace.
+        let _guard = trace::scope(item.trace_context().or_else(trace::current));
         match self.device.inner.call(Request::ChannelPut {
             conn: self.conn,
             ts,
@@ -684,16 +722,20 @@ impl ClientQueueIn {
     ///
     /// As the core queue `get` family, transported over RPC.
     pub fn get(&self, wait: WaitSpec) -> StmResult<(Timestamp, Item, u64)> {
-        match self.device.inner.call(Request::QueueGet {
+        let guard = trace::scope(trace::current());
+        let reply = self.device.inner.call(Request::QueueGet {
             conn: self.conn,
             wait,
-        })? {
+        });
+        let ctx = trace::current();
+        drop(guard);
+        match reply? {
             Reply::QueueItem {
                 ts,
                 tag,
                 payload,
                 ticket,
-            } => Ok((ts, Item::new(payload).with_tag(tag), ticket)),
+            } => Ok((ts, Item::new(payload).with_tag(tag).with_trace(ctx), ticket)),
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
@@ -767,6 +809,7 @@ impl ClientQueueOut {
     ///
     /// As the core queue `put` family, transported over RPC.
     pub fn put(&self, ts: Timestamp, item: Item, wait: WaitSpec) -> StmResult<()> {
+        let _guard = trace::scope(item.trace_context().or_else(trace::current));
         match self.device.inner.call(Request::QueuePut {
             conn: self.conn,
             ts,

@@ -277,7 +277,7 @@ fn client_crash_releases_gc_claims() {
                 },
             ),
         ] {
-            let bytes = codec.encode_request(&RequestFrame { seq, req }).unwrap();
+            let bytes = codec.encode_request(&RequestFrame::new(seq, req)).unwrap();
             write_frame(&mut raw, &bytes).unwrap();
             let _ = read_frame(&mut raw).unwrap();
         }

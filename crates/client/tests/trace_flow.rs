@@ -1,0 +1,131 @@
+//! Acceptance tests for end-to-end causal tracing: one item put from
+//! an end device yields one connected trace whose spans cross address
+//! spaces, retrievable via `TracePull` from any address space and
+//! exportable as Chrome trace-event JSON.
+
+use std::time::Duration;
+
+use dstampede_client::EndDevice;
+use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+use dstampede_obs::SpanKind;
+use dstampede_runtime::Cluster;
+use dstampede_wire::WaitSpec;
+
+#[test]
+fn one_put_yields_one_connected_cross_space_trace() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .trace_sampling(1)
+        .build()
+        .unwrap();
+
+    // The channel lives on address space 0, but the device attaches to
+    // address space 1 — every operation crosses the inter-AS wire, so
+    // the trace must too.
+    let owner = cluster.space(0).unwrap();
+    let chan = owner.create_channel(None, ChannelAttrs::default());
+    let device = EndDevice::attach_c(cluster.listener_addr(1).unwrap(), "tracer-dev").unwrap();
+    let out = device.connect_channel_out(chan.id()).unwrap();
+    let inp = device
+        .connect_channel_in(chan.id(), Interest::FromEarliest)
+        .unwrap();
+
+    out.put(
+        Timestamp::new(7),
+        Item::from_vec(vec![1, 2, 3]),
+        WaitSpec::Forever,
+    )
+    .unwrap();
+    let (ts, item) = inp
+        .get(GetSpec::Exact(Timestamp::new(7)), WaitSpec::Forever)
+        .unwrap();
+    assert_eq!(item.payload(), &[1, 2, 3]);
+    inp.consume_until(ts).unwrap();
+
+    // Wait for the owner to reclaim the consumed item so a GcReclaim
+    // span exists.
+    for _ in 0..200 {
+        if chan.live_items() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(chan.live_items(), 0);
+
+    // Cluster-wide pull through the device attached to AS 1.
+    let dump = device.trace(true).unwrap();
+    let put = dump
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Put && s.ts == 7)
+        .expect("put span recorded");
+    let reclaim = dump
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::GcReclaim && s.ts == 7)
+        .expect("gc reclaim span recorded");
+    let get = dump
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Get && s.ts == 7)
+        .expect("get span recorded");
+
+    // Put, get, and reclamation all belong to ONE trace...
+    assert_eq!(put.trace, reclaim.trace);
+    assert_eq!(put.trace, get.trace);
+    // ...whose spans come from more than one address space: the channel
+    // owner records the lifecycle edges while the surrogate's address
+    // space records the RPC hop.
+    let rpc = dump
+        .spans
+        .iter()
+        .find(|s| s.kind == SpanKind::Rpc && s.trace == put.trace)
+        .expect("rpc span recorded");
+    assert_ne!(rpc.source, put.source, "trace must span address spaces");
+
+    // The same connected trace is retrievable from the OTHER address
+    // space too.
+    let dev0 = EndDevice::attach_c(cluster.listener_addr(0).unwrap(), "tracer-dev0").unwrap();
+    let dump0 = dev0.trace(true).unwrap();
+    let ids: Vec<_> = dump0
+        .spans
+        .iter()
+        .filter(|s| s.trace == put.trace)
+        .map(|s| s.kind)
+        .collect();
+    assert!(ids.contains(&SpanKind::Put));
+    assert!(ids.contains(&SpanKind::GcReclaim));
+    assert!(ids.contains(&SpanKind::Rpc));
+
+    // And exports as Chrome trace-event JSON.
+    let json = dump.to_chrome_json();
+    assert!(json.starts_with('{'));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains(&format!("{}", put.trace)));
+
+    drop((out, inp));
+    let _ = device.detach();
+    let _ = dev0.detach();
+    cluster.shutdown();
+}
+
+#[test]
+fn tracing_disabled_by_default_records_nothing() {
+    let cluster = Cluster::builder().address_spaces(1).build().unwrap();
+    let device = EndDevice::attach_c(cluster.listener_addr(0).unwrap(), "quiet").unwrap();
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+    out.put(
+        Timestamp::new(0),
+        Item::from_vec(vec![9]),
+        WaitSpec::Forever,
+    )
+    .unwrap();
+    let dump = device.trace(true).unwrap();
+    assert!(dump.spans.is_empty(), "sampling 0 must record no spans");
+    drop(out);
+    let _ = device.detach();
+    cluster.shutdown();
+}

@@ -36,7 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dstampede_obs::MetricsRegistry;
+use dstampede_obs::{trace, MetricsRegistry, SpanKind, TraceContext, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 use crate::attr::{ChannelAttrs, GcPolicy, OverflowPolicy};
@@ -224,6 +224,9 @@ pub struct Channel {
     hooks: Mutex<Hooks>,
     stats: AtomicStats,
     obs: StmMetrics,
+    /// Precomputed `chan:OWNER/INDEX` span label — span recording on
+    /// sampled items must not pay a format per edge.
+    span_resource: String,
 }
 
 impl Channel {
@@ -264,6 +267,7 @@ impl Channel {
             hooks: Mutex::new(Hooks::new()),
             stats: AtomicStats::default(),
             obs: StmMetrics::channel(metrics),
+            span_resource: format!("chan:{}/{}", id.owner.0, id.index),
         })
     }
 
@@ -462,6 +466,20 @@ impl Channel {
         }
     }
 
+    /// The stable resource name spans use for this channel.
+    fn span_resource(&self) -> &str {
+        &self.span_resource
+    }
+
+    /// Reconstructs a span start time (µs on the tracer clock) from a
+    /// latency-histogram `Instant`, so untraced operations pay no
+    /// extra clock reads.
+    fn span_start(tracer: &Tracer, started: Instant) -> u64 {
+        tracer
+            .now_us()
+            .saturating_sub(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
     pub(crate) fn do_get(
         &self,
         conn: ConnId,
@@ -475,6 +493,16 @@ impl Channel {
                 let item = st.items.get(&ts).expect("resolved ts present").item.clone();
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
                 self.obs.record_get(started);
+                if let Some(ctx) = item.trace_context() {
+                    self.obs.tracer.finish(
+                        ctx,
+                        SpanKind::Get,
+                        self.span_resource(),
+                        ts.value(),
+                        Self::span_start(&self.obs.tracer, started),
+                        "",
+                    );
+                }
                 return Ok((ts, item));
             }
             if st.closed {
@@ -502,6 +530,18 @@ impl Channel {
         deadline: Deadline,
     ) -> StmResult<()> {
         let started = Instant::now();
+        // A sampled item that arrives without a context starts its
+        // trace here; an ambient context (e.g. a surrogate executing a
+        // remote put) takes precedence so the trace begun on the end
+        // device is the one that continues.
+        let mut item = item;
+        if item.trace_context().is_none() {
+            item.set_trace_context(
+                trace::current().or_else(|| self.obs.tracer.begin_trace(ts.value())),
+            );
+        }
+        let ctx = item.trace_context();
+        let len = item.len();
         let mut evicted: Vec<(Timestamp, Slot)> = Vec::new();
         {
             let mut st = self.state.lock();
@@ -558,6 +598,16 @@ impl Channel {
             self.obs.record_put(started);
         }
         self.items_cv.notify_all();
+        if let Some(ctx) = ctx {
+            self.obs.tracer.finish(
+                ctx,
+                SpanKind::Put,
+                self.span_resource(),
+                ts.value(),
+                Self::span_start(&self.obs.tracer, started),
+                &format!("bytes={len}"),
+            );
+        }
         self.finish_reclaim(evicted);
         Ok(())
     }
@@ -565,6 +615,7 @@ impl Channel {
     pub(crate) fn do_consume_until(&self, conn: ConnId, upto: Timestamp) -> StmResult<()> {
         let started = Instant::now();
         let reclaimed;
+        let mut traced: Vec<(i64, TraceContext)> = Vec::new();
         {
             let mut st = self.state.lock();
             let c = st
@@ -575,12 +626,21 @@ impl Channel {
                 return Ok(()); // idempotent: already consumed through here
             }
             c.until = upto;
-            for (_, slot) in st.items.range_mut(..=upto) {
-                slot.pending.remove(&conn);
+            for (ts, slot) in st.items.range_mut(..=upto) {
+                if slot.pending.remove(&conn) {
+                    if let Some(ctx) = slot.item.trace_context() {
+                        traced.push((ts.value(), ctx));
+                    }
+                }
             }
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
             self.obs.record_consume(started);
             reclaimed = Self::collect(&mut st, self.attrs.gc());
+        }
+        for (ts, ctx) in traced {
+            self.obs
+                .tracer
+                .instant(ctx, SpanKind::Consume, self.span_resource(), ts, "");
         }
         self.finish_reclaim(reclaimed);
         Ok(())
@@ -589,6 +649,7 @@ impl Channel {
     pub(crate) fn do_set_vt(&self, conn: ConnId, vt: VirtualTime) -> StmResult<()> {
         let started = Instant::now();
         let reclaimed;
+        let mut traced: Vec<(i64, TraceContext)> = Vec::new();
         {
             let mut st = self.state.lock();
             let c = st
@@ -603,13 +664,22 @@ impl Channel {
             let done = vt.floor().prev();
             if done > c.until {
                 c.until = done;
-                for (_, slot) in st.items.range_mut(..=done) {
-                    slot.pending.remove(&conn);
+                for (ts, slot) in st.items.range_mut(..=done) {
+                    if slot.pending.remove(&conn) {
+                        if let Some(ctx) = slot.item.trace_context() {
+                            traced.push((ts.value(), ctx));
+                        }
+                    }
                 }
             }
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
             self.obs.record_consume(started);
             reclaimed = Self::collect(&mut st, self.attrs.gc());
+        }
+        for (ts, ctx) in traced {
+            self.obs
+                .tracer
+                .instant(ctx, SpanKind::Consume, self.span_resource(), ts, "");
         }
         self.finish_reclaim(reclaimed);
         Ok(())
@@ -714,6 +784,15 @@ impl Channel {
                 .reclaimed_bytes
                 .fetch_add(slot.item.len() as u64, Ordering::Relaxed);
             bytes += slot.item.len() as u64;
+            if let Some(ctx) = slot.item.trace_context() {
+                self.obs.tracer.instant(
+                    ctx,
+                    SpanKind::GcReclaim,
+                    self.span_resource(),
+                    ts.value(),
+                    &format!("bytes={}", slot.item.len()),
+                );
+            }
             hooks.fire_garbage(&GarbageEvent {
                 resource: ResourceId::Channel(self.id),
                 ts: *ts,

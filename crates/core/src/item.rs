@@ -9,6 +9,8 @@
 
 use bytes::Bytes;
 
+use dstampede_obs::TraceContext;
+
 use crate::error::{StmError, StmResult};
 
 /// An opaque, timestamped unit of stream data.
@@ -26,35 +28,47 @@ use crate::error::{StmError, StmResult};
 /// assert_eq!(frame.len(), 16);
 /// assert_eq!(frame.tag(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Item {
     payload: Bytes,
     tag: u32,
+    /// Causal trace context attached by the (sampled) producer; rides
+    /// along through channels, the wire, and GC. Not part of item
+    /// identity: equality ignores it.
+    trace: Option<TraceContext>,
 }
+
+/// Trace context is observability metadata, not data: two items with
+/// equal payload and tag are equal regardless of tracing.
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.payload == other.payload && self.tag == other.tag
+    }
+}
+
+impl Eq for Item {}
 
 impl Item {
     /// Creates an item from shared bytes without copying.
     #[must_use]
     pub fn new(payload: Bytes) -> Self {
-        Item { payload, tag: 0 }
+        Item {
+            payload,
+            tag: 0,
+            trace: None,
+        }
     }
 
     /// Creates an item by taking ownership of a byte vector.
     #[must_use]
     pub fn from_vec(payload: Vec<u8>) -> Self {
-        Item {
-            payload: Bytes::from(payload),
-            tag: 0,
-        }
+        Item::new(Bytes::from(payload))
     }
 
     /// Creates an item by copying a byte slice.
     #[must_use]
     pub fn copy_from_slice(payload: &[u8]) -> Self {
-        Item {
-            payload: Bytes::copy_from_slice(payload),
-            tag: 0,
-        }
+        Item::new(Bytes::copy_from_slice(payload))
     }
 
     /// Sets the user tag (e.g. a fragment index for data-parallel splits) and
@@ -63,6 +77,24 @@ impl Item {
     pub fn with_tag(mut self, tag: u32) -> Self {
         self.tag = tag;
         self
+    }
+
+    /// Attaches (or clears) the causal trace context, builder-style.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// The causal trace context the item carries, if sampled.
+    #[must_use]
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.trace
+    }
+
+    /// Replaces the trace context in place (propagation sites).
+    pub fn set_trace_context(&mut self, trace: Option<TraceContext>) {
+        self.trace = trace;
     }
 
     /// The user tag. Zero unless set by the producer.

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dstampede_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use dstampede_obs::{Counter, Gauge, Histogram, MetricsRegistry, Tracer};
 
 /// Telemetry handles shared by one container.
 ///
@@ -34,6 +34,8 @@ pub struct StmMetrics {
     pub(crate) occupancy: Arc<Gauge>,
     pub(crate) reclaimed_items: Arc<Counter>,
     pub(crate) reclaimed_bytes: Arc<Counter>,
+    /// The owning registry's causal tracer, for lifecycle spans.
+    pub(crate) tracer: Arc<Tracer>,
 }
 
 impl StmMetrics {
@@ -61,6 +63,7 @@ impl StmMetrics {
             occupancy: registry.gauge("stm", occupancy),
             reclaimed_items: registry.counter_labeled("gc", "reclaimed_items", &labels),
             reclaimed_bytes: registry.counter_labeled("gc", "reclaimed_bytes", &labels),
+            tracer: Arc::clone(registry.tracer()),
         }
     }
 

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dstampede_obs::MetricsRegistry;
+use dstampede_obs::{trace, MetricsRegistry, SpanKind};
 use parking_lot::{Condvar, Mutex};
 
 use crate::attr::{OverflowPolicy, QueueAttrs};
@@ -136,6 +136,9 @@ pub struct Queue {
     hooks: Mutex<Hooks>,
     stats: AtomicStats,
     obs: StmMetrics,
+    /// Precomputed `queue:OWNER/INDEX` span label — span recording on
+    /// sampled items must not pay a format per edge.
+    span_resource: String,
 }
 
 impl Queue {
@@ -175,6 +178,7 @@ impl Queue {
             hooks: Mutex::new(Hooks::new()),
             stats: AtomicStats::default(),
             obs: StmMetrics::queue(metrics),
+            span_resource: format!("queue:{}/{}", id.owner.0, id.index),
         })
     }
 
@@ -298,6 +302,17 @@ impl Queue {
         deadline: Deadline,
     ) -> StmResult<()> {
         let started = Instant::now();
+        // As for channels: a sampled item without a context starts its
+        // trace here; an ambient context (a surrogate running a remote
+        // put) takes precedence.
+        let mut item = item;
+        if item.trace_context().is_none() {
+            item.set_trace_context(
+                trace::current().or_else(|| self.obs.tracer.begin_trace(ts.value())),
+            );
+        }
+        let ctx = item.trace_context();
+        let len = item.len();
         let mut evicted: Option<QEntry> = None;
         {
             let mut st = self.state.lock();
@@ -338,6 +353,18 @@ impl Queue {
             self.obs.record_put(started);
         }
         self.items_cv.notify_one();
+        if let Some(ctx) = ctx {
+            self.obs.tracer.finish(
+                ctx,
+                SpanKind::Put,
+                &self.span_resource,
+                ts.value(),
+                self.obs.tracer.now_us().saturating_sub(
+                    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                ),
+                &format!("bytes={len}"),
+            );
+        }
         if let Some(e) = evicted {
             self.obs.occupancy.dec();
             self.reclaim_one(e.ts, &e.item);
@@ -372,6 +399,15 @@ impl Queue {
                 self.obs.record_get(started);
                 drop(st);
                 self.space_cv.notify_one();
+                if let Some(ctx) = entry.item.trace_context() {
+                    self.obs.tracer.instant(
+                        ctx,
+                        SpanKind::Get,
+                        &self.span_resource,
+                        entry.ts.value(),
+                        "",
+                    );
+                }
                 return Ok((entry.ts, entry.item, ticket));
             }
             if st.closed {
@@ -404,6 +440,15 @@ impl Queue {
             entry = st.inflight.remove(&ticket).expect("checked above");
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
             self.obs.record_consume(started);
+        }
+        if let Some(ctx) = entry.item.trace_context() {
+            self.obs.tracer.instant(
+                ctx,
+                SpanKind::Consume,
+                &self.span_resource,
+                entry.ts.value(),
+                "",
+            );
         }
         self.reclaim_one(entry.ts, &entry.item);
         Ok(())

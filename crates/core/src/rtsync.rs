@@ -19,6 +19,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dstampede_obs::{trace, Counter, Histogram, MetricsRegistry, SpanKind, Tracer};
 use parking_lot::{Condvar, Mutex};
 
 /// A monotonic clock that can block until a point in time.
@@ -194,6 +195,31 @@ pub struct RtSync {
     origin: Duration,
     ticks: u64,
     handler: Option<LateHandler>,
+    obs: SyncObs,
+}
+
+/// Telemetry handles for one pacer, bound at creation.
+struct SyncObs {
+    /// How late each `synchronize()` arrival was (0 when early).
+    lateness: Arc<Histogram>,
+    /// How long early arrivals slept.
+    waits: Arc<Histogram>,
+    /// Exception-handler (beyond-tolerance) firings.
+    late_fires: Arc<Counter>,
+    ticks: Arc<Counter>,
+    tracer: Arc<Tracer>,
+}
+
+impl SyncObs {
+    fn bind(registry: &MetricsRegistry) -> SyncObs {
+        SyncObs {
+            lateness: registry.histogram("rtsync", "lateness_us"),
+            waits: registry.histogram("rtsync", "wait_us"),
+            late_fires: registry.counter("rtsync", "handler_fires"),
+            ticks: registry.counter("rtsync", "ticks"),
+            tracer: Arc::clone(registry.tracer()),
+        }
+    }
 }
 
 impl RtSync {
@@ -213,7 +239,16 @@ impl RtSync {
             origin,
             ticks: 0,
             handler: None,
+            obs: SyncObs::bind(dstampede_obs::global()),
         }
+    }
+
+    /// Rebinds telemetry to `registry` (e.g. an address space's) so
+    /// synchrony shows up in that space's snapshots, builder-style.
+    #[must_use]
+    pub fn with_registry(mut self, registry: &MetricsRegistry) -> Self {
+        self.obs = SyncObs::bind(registry);
+        self
     }
 
     /// Registers the exception handler run when the thread slips beyond
@@ -250,17 +285,37 @@ impl RtSync {
     /// within tolerance, otherwise invokes the late handler.
     pub fn synchronize(&mut self) -> SyncStatus {
         self.ticks += 1;
+        self.obs.ticks.inc();
+        let tick = i64::try_from(self.ticks).unwrap_or(i64::MAX);
         let target = self.origin + self.period * u32::try_from(self.ticks).unwrap_or(u32::MAX);
         let now = self.clock.now();
         if now <= target {
+            let span_start = self.obs.tracer.now_us();
             self.clock.wait_until(target);
-            return SyncStatus::Early {
-                waited: target - now,
-            };
+            let waited = target - now;
+            self.obs.lateness.record(0);
+            self.obs.waits.record_duration(waited);
+            if let Some(ctx) = trace::current().or_else(|| self.obs.tracer.begin_trace(tick)) {
+                self.obs
+                    .tracer
+                    .finish(ctx, SpanKind::SyncWait, "rtsync", tick, span_start, "");
+            }
+            return SyncStatus::Early { waited };
         }
         let late_by = now - target;
+        self.obs.lateness.record_duration(late_by);
         if late_by <= self.tolerance {
             return SyncStatus::InSync { late_by };
+        }
+        self.obs.late_fires.inc();
+        if let Some(ctx) = trace::current().or_else(|| self.obs.tracer.begin_trace(tick)) {
+            self.obs.tracer.instant(
+                ctx,
+                SpanKind::SyncLate,
+                "rtsync",
+                tick,
+                &format!("late_by_us={}", late_by.as_micros()),
+            );
         }
         let recovery = match &mut self.handler {
             Some(h) => h(late_by),
@@ -439,6 +494,23 @@ mod tests {
     fn zero_period_panics() {
         let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
         let _ = RtSync::new(clock, Duration::ZERO, ms(1));
+    }
+
+    #[test]
+    fn synchrony_metrics_are_recorded() {
+        let reg = MetricsRegistry::new("rt-test");
+        let clock = Arc::new(VirtualClock::new());
+        let mut pacer =
+            RtSync::new(Arc::clone(&clock) as Arc<dyn Clock>, ms(10), ms(1)).with_registry(&reg);
+        clock.advance(ms(100)); // far beyond tolerance
+        assert!(matches!(pacer.synchronize(), SyncStatus::Late { .. }));
+        clock.advance(ms(100)); // within a later slot: in sync or late again
+        let _ = pacer.synchronize();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_value("rtsync", "ticks"), Some(2));
+        assert!(snap.counter_value("rtsync", "handler_fires").unwrap_or(0) >= 1);
+        let lateness = snap.histogram("rtsync", "lateness_us").unwrap();
+        assert!(lateness.count >= 1, "lateness must be measured");
     }
 
     #[test]

@@ -8,6 +8,8 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::trace::{self, TraceContext};
+
 /// Event severity, ordered from chattiest to most urgent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Level {
@@ -62,6 +64,9 @@ pub struct Event {
     pub subsystem: String,
     /// Human-readable description.
     pub message: String,
+    /// The ambient trace context active when the event was emitted,
+    /// so `stats` events cross-reference `trace` timelines.
+    pub trace: Option<TraceContext>,
 }
 
 impl fmt::Display for Event {
@@ -73,7 +78,11 @@ impl fmt::Display for Event {
             self.level,
             self.subsystem,
             self.message
-        )
+        )?;
+        if let Some(ctx) = self.trace {
+            write!(f, " trace={}/{}", ctx.trace, ctx.span)?;
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +142,7 @@ impl EventLog {
                 level,
                 subsystem: subsystem.to_owned(),
                 message: message.into(),
+                trace: trace::current(),
             };
             state.next_seq += 1;
             if state.buf.len() == self.capacity {
@@ -235,6 +245,26 @@ mod tests {
         let last_two = log.recent(2);
         assert_eq!(last_two[0].message, "2");
         assert_eq!(last_two[1].message, "3");
+    }
+
+    #[test]
+    fn events_carry_ambient_trace_context() {
+        use crate::trace::{scope, SpanId, TraceId};
+        let log = quiet(4);
+        log.emit(Level::Info, "stm", "untraced");
+        let ctx = TraceContext {
+            trace: TraceId(0xabc),
+            span: SpanId(0xdef),
+        };
+        {
+            let _g = scope(Some(ctx));
+            log.emit(Level::Info, "stm", "traced");
+        }
+        let events = log.recent(2);
+        assert_eq!(events[0].trace, None);
+        assert_eq!(events[1].trace, Some(ctx));
+        let shown = events[1].to_string();
+        assert!(shown.contains("trace="), "{shown}");
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   registry, so per-address-space snapshots aggregate cluster-wide
 //!   (the name server pulls remote snapshots over the wire and merges
 //!   them; `dstampede-cli stats` renders the result).
+//! * [`trace`] — end-to-end causal tracing: per-item lifecycle spans
+//!   with deterministic every-nth-timestamp sampling, a bounded
+//!   non-blocking span store per registry, mergeable [`TraceDump`]s
+//!   (pulled cluster-wide by `TracePull`), and a Chrome trace-event
+//!   JSON exporter.
 //!
 //! ## Naming scheme
 //!
@@ -29,6 +34,7 @@ mod event;
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod trace;
 
 pub use event::{Event, EventLog, Level};
 pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
@@ -36,6 +42,7 @@ pub use registry::{global, MetricsRegistry};
 pub use snapshot::{
     CounterSample, GaugeSample, HistogramSample, MetricId, Snapshot, SnapshotParseError,
 };
+pub use trace::{Span, SpanId, SpanKind, TraceContext, TraceDump, TraceId, Tracer};
 
 /// Emits an event at [`Level::Trace`] through the global registry.
 pub fn trace(subsystem: &str, message: impl Into<String>) {

@@ -14,14 +14,17 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::event::EventLog;
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::snapshot::{CounterSample, GaugeSample, HistogramSample, MetricId, Snapshot};
+use crate::trace::Tracer;
 
-/// A namespace of metrics plus an event log, snapshot-able as a unit.
+/// A namespace of metrics plus an event log and a tracer,
+/// snapshot-able as a unit.
 pub struct MetricsRegistry {
     source: String,
     counters: Mutex<BTreeMap<MetricId, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<MetricId, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<MetricId, Arc<Histogram>>>,
     events: EventLog,
+    tracer: Arc<Tracer>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -39,7 +42,15 @@ impl MetricsRegistry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             events: EventLog::default(),
+            tracer: Arc::new(Tracer::new(source)),
         }
+    }
+
+    /// This registry's causal tracer (sampling disabled until
+    /// [`Tracer::set_sampling`] is called).
+    #[must_use]
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The snapshot attribution name.

@@ -1,0 +1,948 @@
+//! End-to-end causal tracing of item lifecycles.
+//!
+//! The Space-Time Memory model gives every item a *timestamp*; this
+//! module gives every sampled item a *trace*. A [`TraceContext`] is
+//! born when a producer puts the item (deterministically sampled every
+//! nth timestamp), rides along in the item's attributes and in an
+//! optional RPC-header field across address spaces, and every
+//! lifecycle edge — put, wire transfer, surrogate/proxy RPC, get,
+//! consume, GC reclamation, `synchronize()` waits — records a
+//! [`Span`] into a bounded per-address-space [`SpanStore`]. Pulling
+//! and merging the stores cluster-wide yields one causally connected
+//! timeline per `(channel, timestamp)` item, exportable as Chrome
+//! trace-event JSON (`chrome://tracing` / Perfetto).
+//!
+//! Identifiers are seeded from the tracer's source name (splitmix64
+//! over a counter) — no wall-clock entropy — so traces are
+//! reproducible run to run, which the chaos suite and CI rely on.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identifies one causal trace: every span of one item's lifecycle
+/// shares its `TraceId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The propagated trace context: which trace, and which span is the
+/// causal parent of whatever happens next. Carried in item attributes
+/// and in the optional RPC-header field of both codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The trace every descendant span joins.
+    pub trace: TraceId,
+    /// The parent span for the next recorded edge.
+    pub span: SpanId,
+}
+
+/// The lifecycle edge a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// A producer placed the item into a channel or queue.
+    Put,
+    /// CLF handed the frame to the wire (includes retransmits in
+    /// `detail`).
+    WireSend,
+    /// CLF delivered the frame from the wire.
+    WireRecv,
+    /// A surrogate or proxy carried the operation over RPC.
+    Rpc,
+    /// A consumer read the item.
+    Get,
+    /// A consumer marked the item consumed / advanced virtual time
+    /// past it.
+    Consume,
+    /// The distributed GC reclaimed the item.
+    GcReclaim,
+    /// `synchronize()` blocked waiting for the next period.
+    SyncWait,
+    /// `synchronize()` arrived late and fired the exception handler.
+    SyncLate,
+}
+
+impl SpanKind {
+    /// The stable wire/name-format identifier.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Put => "put",
+            SpanKind::WireSend => "wire_send",
+            SpanKind::WireRecv => "wire_recv",
+            SpanKind::Rpc => "rpc",
+            SpanKind::Get => "get",
+            SpanKind::Consume => "consume",
+            SpanKind::GcReclaim => "gc_reclaim",
+            SpanKind::SyncWait => "sync_wait",
+            SpanKind::SyncLate => "sync_late",
+        }
+    }
+
+    /// Parses [`SpanKind::name`] output.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        Some(match name {
+            "put" => SpanKind::Put,
+            "wire_send" => SpanKind::WireSend,
+            "wire_recv" => SpanKind::WireRecv,
+            "rpc" => SpanKind::Rpc,
+            "get" => SpanKind::Get,
+            "consume" => SpanKind::Consume,
+            "gc_reclaim" => SpanKind::GcReclaim,
+            "sync_wait" => SpanKind::SyncWait,
+            "sync_late" => SpanKind::SyncLate,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded lifecycle edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which address space recorded it (`as-0`, `client`, ...).
+    pub source: String,
+    /// The trace it belongs to.
+    pub trace: TraceId,
+    /// Its own id.
+    pub id: SpanId,
+    /// Causal parent, when known.
+    pub parent: Option<SpanId>,
+    /// Which lifecycle edge.
+    pub kind: SpanKind,
+    /// The resource touched (`chan:0/1`, `queue:2/0`, a channel
+    /// name, or a subsystem like `rtsync`).
+    pub resource: String,
+    /// The STM timestamp of the item, or the tick index for sync
+    /// spans.
+    pub ts: i64,
+    /// Microseconds since the recording tracer's epoch.
+    pub start_us: u64,
+    /// Duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// Freeform qualifier (`retransmits=2`, `late_by=3ms`, ...).
+    pub detail: String,
+}
+
+/// A bounded, overwrite-oldest span store. Recording never blocks:
+/// the slot index comes from an atomic ticket, and a contended slot
+/// drops the span (counted) rather than waiting.
+pub struct SpanStore {
+    slots: Vec<Mutex<Option<Span>>>,
+    ticket: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// Default per-address-space span capacity.
+pub const DEFAULT_SPAN_CAPACITY: usize = 8192;
+
+impl SpanStore {
+    /// A store retaining at most `capacity` spans (newest win).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanStore {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            ticket: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one span; on slot contention the span is dropped so
+    /// the hot path never blocks.
+    pub fn record(&self, span: Span) {
+        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed);
+        let slot = (ticket % self.slots.len() as u64) as usize;
+        match self.slots[slot].try_lock() {
+            Ok(mut guard) => *guard = Some(span),
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Spans dropped due to slot contention.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.ticket.load(Ordering::Relaxed)
+    }
+
+    /// A copy of every retained span, ordered by start time.
+    #[must_use]
+    pub fn collect(&self) -> Vec<Span> {
+        let mut out: Vec<Span> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        out.sort_by_key(|s| (s.start_us, s.id));
+        out
+    }
+
+    /// Empties the store (tests and benches).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+}
+
+impl fmt::Debug for SpanStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanStore")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The per-address-space tracing front end: deterministic sampling,
+/// seeded id generation, and the span store.
+pub struct Tracer {
+    source: String,
+    epoch: Instant,
+    /// splitmix64 counter, seeded from the source name.
+    ids: AtomicU64,
+    /// Sample every nth timestamp; 0 disables tracing.
+    every_nth: AtomicU64,
+    store: SpanStore,
+}
+
+impl Tracer {
+    /// A tracer attributed to `source`, sampling disabled, with the
+    /// default span capacity.
+    #[must_use]
+    pub fn new(source: &str) -> Self {
+        Tracer {
+            source: source.to_owned(),
+            epoch: Instant::now(),
+            ids: AtomicU64::new(fnv1a(source)),
+            every_nth: AtomicU64::new(0),
+            store: SpanStore::new(DEFAULT_SPAN_CAPACITY),
+        }
+    }
+
+    /// The attribution name stamped on recorded spans.
+    #[must_use]
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Sets the sampling period: trace every `every_nth`th timestamp
+    /// (1 = everything, 0 = off).
+    pub fn set_sampling(&self, every_nth: u64) {
+        self.every_nth.store(every_nth, Ordering::Relaxed);
+    }
+
+    /// The current sampling period (0 = off).
+    #[must_use]
+    pub fn sampling(&self) -> u64 {
+        self.every_nth.load(Ordering::Relaxed)
+    }
+
+    /// Whether items at timestamp `ts` are sampled. Deterministic:
+    /// every address space agrees on which timestamps are traced.
+    #[must_use]
+    pub fn sample(&self, ts: i64) -> bool {
+        match self.every_nth.load(Ordering::Relaxed) {
+            0 => false,
+            n => ts.rem_euclid(i64::try_from(n).unwrap_or(i64::MAX).max(1)) == 0,
+        }
+    }
+
+    /// Microseconds since this tracer was created; span clock.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn next_id(&self) -> u64 {
+        // `| 1` keeps 0 free as a wire sentinel for "no context".
+        splitmix64(self.ids.fetch_add(1, Ordering::Relaxed)) | 1
+    }
+
+    /// Starts a new trace for a sampled timestamp, or `None` when
+    /// `ts` falls outside the sampling period.
+    #[must_use]
+    pub fn begin_trace(&self, ts: i64) -> Option<TraceContext> {
+        if !self.sample(ts) {
+            return None;
+        }
+        Some(TraceContext {
+            trace: TraceId(self.next_id()),
+            span: SpanId(self.next_id()),
+        })
+    }
+
+    /// Records a timed span closing now, started at `start_us`
+    /// (from [`Tracer::now_us`]); returns the context descendants
+    /// should parent under.
+    pub fn finish(
+        &self,
+        ctx: TraceContext,
+        kind: SpanKind,
+        resource: &str,
+        ts: i64,
+        start_us: u64,
+        detail: &str,
+    ) -> TraceContext {
+        let id = SpanId(self.next_id());
+        let now = self.now_us();
+        self.store.record(Span {
+            source: self.source.clone(),
+            trace: ctx.trace,
+            id,
+            parent: Some(ctx.span),
+            kind,
+            resource: resource.to_owned(),
+            ts,
+            start_us,
+            dur_us: now.saturating_sub(start_us),
+            detail: detail.to_owned(),
+        });
+        TraceContext {
+            trace: ctx.trace,
+            span: id,
+        }
+    }
+
+    /// Records an instantaneous span (duration 0) happening now.
+    pub fn instant(
+        &self,
+        ctx: TraceContext,
+        kind: SpanKind,
+        resource: &str,
+        ts: i64,
+        detail: &str,
+    ) -> TraceContext {
+        let now = self.now_us();
+        self.finish(ctx, kind, resource, ts, now, detail)
+    }
+
+    /// This tracer's span store.
+    #[must_use]
+    pub fn store(&self) -> &SpanStore {
+        &self.store
+    }
+
+    /// A mergeable dump of every retained span.
+    #[must_use]
+    pub fn dump(&self) -> TraceDump {
+        TraceDump {
+            spans: self.store.collect(),
+            dropped: self.store.dropped(),
+        }
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("source", &self.source)
+            .field("every_nth", &self.sampling())
+            .field("store", &self.store)
+            .finish()
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The ambient trace context of the calling thread, if any.
+#[must_use]
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(Cell::get)
+}
+
+/// Replaces the calling thread's ambient context, returning the old
+/// one. Prefer [`scope`] which restores automatically.
+pub fn set_current(ctx: Option<TraceContext>) -> Option<TraceContext> {
+    CURRENT.with(|c| c.replace(ctx))
+}
+
+/// Restores the previous ambient context when dropped.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        set_current(self.prev.take());
+    }
+}
+
+/// Installs `ctx` as the ambient context until the guard drops.
+#[must_use]
+pub fn scope(ctx: Option<TraceContext>) -> ScopeGuard {
+    ScopeGuard {
+        prev: set_current(ctx),
+    }
+}
+
+/// A serializable, mergeable collection of spans — the trace
+/// analogue of [`crate::Snapshot`], carried by `TraceReport` replies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceDump {
+    /// Retained spans, ordered by `(start_us, id)` within a source.
+    pub spans: Vec<Span>,
+    /// Spans lost to store contention, summed across sources.
+    pub dropped: u64,
+}
+
+impl TraceDump {
+    /// Folds `other` in: spans union (deduplicated by
+    /// `(source, trace, id)`), dropped counts summed. Associative.
+    pub fn merge(&mut self, other: &TraceDump) {
+        use std::collections::BTreeSet;
+        let mut seen: BTreeSet<(String, u64, u64)> = self
+            .spans
+            .iter()
+            .map(|s| (s.source.clone(), s.trace.0, s.id.0))
+            .collect();
+        for span in &other.spans {
+            if seen.insert((span.source.clone(), span.trace.0, span.id.0)) {
+                self.spans.push(span.clone());
+            }
+        }
+        self.dropped += other.dropped;
+        self.spans
+            .sort_by(|a, b| (a.start_us, &a.source, a.id.0).cmp(&(b.start_us, &b.source, b.id.0)));
+    }
+
+    /// The distinct trace ids present, sorted.
+    #[must_use]
+    pub fn traces(&self) -> Vec<TraceId> {
+        let mut out: Vec<TraceId> = self.spans.iter().map(|s| s.trace).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All spans of one trace, ordered by start time.
+    #[must_use]
+    pub fn spans_for(&self, trace: TraceId) -> Vec<&Span> {
+        self.spans.iter().filter(|s| s.trace == trace).collect()
+    }
+
+    /// Spans grouped per item — keyed by `(trace, ts)` so one
+    /// item's lifecycle across every address space lands in one
+    /// timeline.
+    #[must_use]
+    pub fn timelines(&self) -> Vec<((TraceId, i64), Vec<&Span>)> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<(u64, i64), Vec<&Span>> = BTreeMap::new();
+        for span in &self.spans {
+            groups
+                .entry((span.trace.0, span.ts))
+                .or_default()
+                .push(span);
+        }
+        groups
+            .into_iter()
+            .map(|((trace, ts), spans)| ((TraceId(trace), ts), spans))
+            .collect()
+    }
+
+    /// Serializes to the compact line format carried by
+    /// `TraceReport`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = format!("trc1 {}\n", self.dropped);
+        for s in &self.spans {
+            let parent = s
+                .parent
+                .map_or_else(|| "-".to_owned(), |p| format!("{:016x}", p.0));
+            out.push_str(&format!(
+                "P {} {:016x} {:016x} {} {} {} {} {} {} {}\n",
+                escape(&s.source),
+                s.trace.0,
+                s.id.0,
+                parent,
+                s.kind.name(),
+                escape(&s.resource),
+                s.ts,
+                s.start_us,
+                s.dur_us,
+                escape(&s.detail),
+            ));
+        }
+        out.into_bytes()
+    }
+
+    /// Parses the [`TraceDump::encode`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceParseError`] naming the offending line.
+    pub fn decode(bytes: &[u8]) -> Result<TraceDump, TraceParseError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| TraceParseError::new(0, "trace dump is not utf-8"))?;
+        let mut lines = text.lines().enumerate();
+        let dropped = match lines.next() {
+            Some((_, header)) => {
+                let mut parts = header.split(' ');
+                if parts.next() != Some("trc1") {
+                    return Err(TraceParseError::new(1, "bad header"));
+                }
+                parts
+                    .next()
+                    .and_then(|d| d.parse().ok())
+                    .ok_or_else(|| TraceParseError::new(1, "bad dropped count"))?
+            }
+            None => return Err(TraceParseError::new(1, "empty dump")),
+        };
+        let mut dump = TraceDump {
+            spans: Vec::new(),
+            dropped,
+        };
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| TraceParseError::new(lineno, msg);
+            let mut f = line.split(' ');
+            if f.next() != Some("P") {
+                return Err(err("unknown record kind"));
+            }
+            let source = unescape(f.next().ok_or_else(|| err("missing source"))?)
+                .ok_or_else(|| err("bad source escape"))?;
+            let trace = parse_hex(f.next()).ok_or_else(|| err("bad trace id"))?;
+            let id = parse_hex(f.next()).ok_or_else(|| err("bad span id"))?;
+            let parent = match f.next().ok_or_else(|| err("missing parent"))? {
+                "-" => None,
+                p => Some(SpanId(
+                    u64::from_str_radix(p, 16).map_err(|_| err("bad parent id"))?,
+                )),
+            };
+            let kind = f
+                .next()
+                .and_then(SpanKind::from_name)
+                .ok_or_else(|| err("bad span kind"))?;
+            let resource = unescape(f.next().ok_or_else(|| err("missing resource"))?)
+                .ok_or_else(|| err("bad resource escape"))?;
+            let ts = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("bad ts"))?;
+            let start_us = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("bad start"))?;
+            let dur_us = f
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("bad duration"))?;
+            let detail = unescape(f.next().unwrap_or("")).ok_or_else(|| err("bad detail"))?;
+            dump.spans.push(Span {
+                source,
+                trace: TraceId(trace),
+                id: SpanId(id),
+                parent,
+                kind,
+                resource,
+                ts,
+                start_us,
+                dur_us,
+                detail,
+            });
+        }
+        Ok(dump)
+    }
+
+    /// Renders as Chrome trace-event JSON (the `traceEvents` object
+    /// form), loadable in `chrome://tracing` and Perfetto. Each
+    /// source becomes one pid (with a process-name metadata event);
+    /// each trace becomes one tid so an item's lifecycle reads as a
+    /// single row. Per-source clocks are normalized to start at 0.
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut sources: Vec<&str> = self.spans.iter().map(|s| s.source.as_str()).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let pid_of: BTreeMap<&str, usize> =
+            sources.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        let mut base: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in &self.spans {
+            let b = base.entry(s.source.as_str()).or_insert(u64::MAX);
+            *b = (*b).min(s.start_us);
+        }
+        let mut events = Vec::new();
+        for (&src, &pid) in &pid_of {
+            events.push(format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \
+                 \"args\": {{\"name\": {}}}}}",
+                json_string(src)
+            ));
+        }
+        for s in &self.spans {
+            let pid = pid_of[s.source.as_str()];
+            let tid = s.trace.0 % 1_000_000;
+            let ts = s.start_us - base[s.source.as_str()];
+            let parent = s
+                .parent
+                .map_or_else(|| "null".to_owned(), |p| json_string(&p.to_string()));
+            events.push(format!(
+                "{{\"name\": {}, \"cat\": \"{}\", \"ph\": \"X\", \"pid\": {pid}, \
+                 \"tid\": {tid}, \"ts\": {ts}, \"dur\": {}, \"args\": {{\
+                 \"trace\": {}, \"span\": {}, \"parent\": {parent}, \
+                 \"item_ts\": {}, \"detail\": {}}}}}",
+                json_string(&format!("{} {}", s.kind.name(), s.resource)),
+                s.kind.name(),
+                s.dur_us.max(1),
+                json_string(&s.trace.to_string()),
+                json_string(&s.id.to_string()),
+                s.ts,
+                json_string(&s.detail),
+            ));
+        }
+        let mut out = String::from("{\"traceEvents\": [\n  ");
+        out.push_str(&events.join(",\n  "));
+        out.push_str(&format!(
+            "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {{\"dropped_spans\": {}}}}}\n",
+            self.dropped
+        ));
+        out
+    }
+}
+
+fn parse_hex(field: Option<&str>) -> Option<u64> {
+    u64::from_str_radix(field?, 16).ok()
+}
+
+/// A malformed [`TraceDump::encode`] payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    line: usize,
+    message: String,
+}
+
+impl TraceParseError {
+    fn new(line: usize, message: &str) -> Self {
+        TraceParseError {
+            line,
+            message: message.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace dump parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn is_plain(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-' | b':' | b'/' | b'=')
+}
+
+fn escape(s: &str) -> String {
+    if s.is_empty() {
+        return "%".to_owned();
+    }
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_plain(b) {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    if s == "%" {
+        return Some(String::new());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampled_tracer(source: &str, nth: u64) -> Tracer {
+        let t = Tracer::new(source);
+        t.set_sampling(nth);
+        t
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_periodic() {
+        let t = sampled_tracer("as-0", 4);
+        assert!(t.sample(0));
+        assert!(!t.sample(1));
+        assert!(!t.sample(3));
+        assert!(t.sample(4));
+        assert!(t.sample(8));
+        // Negative timestamps use euclidean remainder.
+        assert!(t.sample(-4));
+        assert!(!t.sample(-3));
+        // Off by default.
+        assert!(!Tracer::new("x").sample(0));
+        // Every-1 samples everything.
+        assert!(sampled_tracer("y", 1).sample(17));
+    }
+
+    #[test]
+    fn ids_are_seeded_not_random() {
+        let a = Tracer::new("as-0");
+        let b = Tracer::new("as-0");
+        a.set_sampling(1);
+        b.set_sampling(1);
+        let ca = a.begin_trace(0).unwrap();
+        let cb = b.begin_trace(0).unwrap();
+        assert_eq!(ca, cb, "same source must yield the same id stream");
+        let other = Tracer::new("as-1");
+        other.set_sampling(1);
+        assert_ne!(other.begin_trace(0).unwrap().trace, ca.trace);
+        // 0 is reserved for "no context" on the wire.
+        assert_ne!(ca.trace.0, 0);
+        assert_ne!(ca.span.0, 0);
+    }
+
+    #[test]
+    fn finish_links_parent_and_returns_child_context() {
+        let t = sampled_tracer("as-0", 1);
+        let root = t.begin_trace(7).unwrap();
+        let start = t.now_us();
+        let child = t.finish(root, SpanKind::Put, "chan:0/1", 7, start, "");
+        assert_eq!(child.trace, root.trace);
+        assert_ne!(child.span, root.span);
+        let dump = t.dump();
+        assert_eq!(dump.spans.len(), 1);
+        let span = &dump.spans[0];
+        assert_eq!(span.parent, Some(root.span));
+        assert_eq!(span.id, child.span);
+        assert_eq!(span.kind, SpanKind::Put);
+        assert_eq!(span.source, "as-0");
+    }
+
+    #[test]
+    fn store_bounds_and_never_blocks() {
+        let store = SpanStore::new(4);
+        let mk = |i: u64| Span {
+            source: "s".into(),
+            trace: TraceId(1),
+            id: SpanId(i),
+            parent: None,
+            kind: SpanKind::Get,
+            resource: "r".into(),
+            ts: 0,
+            start_us: i,
+            dur_us: 0,
+            detail: String::new(),
+        };
+        for i in 0..10 {
+            store.record(mk(i));
+        }
+        let kept = store.collect();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(store.recorded(), 10);
+        // Newest four survive.
+        assert!(kept.iter().all(|s| s.id.0 >= 6));
+    }
+
+    #[test]
+    fn ambient_context_scoping() {
+        assert_eq!(current(), None);
+        let ctx = TraceContext {
+            trace: TraceId(1),
+            span: SpanId(2),
+        };
+        {
+            let _g = scope(Some(ctx));
+            assert_eq!(current(), Some(ctx));
+            {
+                let inner = TraceContext {
+                    trace: TraceId(3),
+                    span: SpanId(4),
+                };
+                let _g2 = scope(Some(inner));
+                assert_eq!(current(), Some(inner));
+            }
+            assert_eq!(current(), Some(ctx));
+        }
+        assert_eq!(current(), None);
+    }
+
+    fn sample_dump() -> TraceDump {
+        let t = sampled_tracer("as-0", 1);
+        let root = t.begin_trace(5).unwrap();
+        let s = t.now_us();
+        let c = t.finish(root, SpanKind::Put, "chan:0/1", 5, s, "bytes=64");
+        t.instant(c, SpanKind::GcReclaim, "chan:0/1", 5, "policy=transparent");
+        t.dump()
+    }
+
+    #[test]
+    fn dump_encode_decode_round_trips() {
+        let dump = sample_dump();
+        let decoded = TraceDump::decode(&dump.encode()).unwrap();
+        assert_eq!(decoded, dump);
+    }
+
+    #[test]
+    fn dump_survives_awkward_strings() {
+        let mut dump = TraceDump::default();
+        dump.spans.push(Span {
+            source: "weird space %50\n".into(),
+            trace: TraceId(9),
+            id: SpanId(10),
+            parent: None,
+            kind: SpanKind::Rpc,
+            resource: String::new(),
+            ts: -3,
+            start_us: 1,
+            dur_us: 2,
+            detail: "a b=c,d".into(),
+        });
+        let decoded = TraceDump::decode(&dump.encode()).unwrap();
+        assert_eq!(decoded, dump);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(TraceDump::decode(b"nope").is_err());
+        assert!(TraceDump::decode(b"trc1 0\nZ what").is_err());
+        assert!(TraceDump::decode(b"trc1 0\nP s xx yy - put r 0 0 0 %").is_err());
+        assert!(TraceDump::decode(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn merge_dedups_and_sums_dropped() {
+        let mut a = sample_dump();
+        let n = a.spans.len();
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.spans.len(), n, "identical spans must deduplicate");
+        assert_eq!(a.dropped, 0);
+        // A span from another source is kept.
+        let other = Tracer::new("as-1");
+        other.set_sampling(1);
+        let ctx = other.begin_trace(5).unwrap();
+        other.instant(ctx, SpanKind::Get, "chan:0/1", 5, "");
+        a.merge(&other.dump());
+        assert_eq!(a.spans.len(), n + 1);
+    }
+
+    #[test]
+    fn timelines_group_by_trace_and_ts() {
+        let t = sampled_tracer("as-0", 1);
+        for ts in [3, 4] {
+            let ctx = t.begin_trace(ts).unwrap();
+            t.instant(ctx, SpanKind::Put, "chan:0/0", ts, "");
+        }
+        let dump = t.dump();
+        let timelines = dump.timelines();
+        assert_eq!(timelines.len(), 2);
+        assert_eq!(timelines[0].1.len(), 1);
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_json_with_metadata() {
+        let json = sample_dump().to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\": \"M\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("gc_reclaim"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn spans_for_filters_one_trace() {
+        let dump = sample_dump();
+        let traces = dump.traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(dump.spans_for(traces[0]).len(), dump.spans.len());
+    }
+}

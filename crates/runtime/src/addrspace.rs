@@ -26,7 +26,7 @@ use dstampede_core::{
     AsId, ChanId, Channel, ChannelAttrs, Queue, QueueAttrs, QueueId, ResourceId, StmError,
     StmRegistry, StmResult,
 };
-use dstampede_obs::{MetricsRegistry, Snapshot};
+use dstampede_obs::{trace, MetricsRegistry, Snapshot, SpanKind, TraceContext, TraceDump};
 use dstampede_wire::{NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
 
 use crate::exec::{execute, is_blocking, ConnTable};
@@ -369,6 +369,35 @@ impl AddressSpace {
         merged
     }
 
+    /// A dump of this address space's own retained spans.
+    #[must_use]
+    pub fn trace_dump(&self) -> TraceDump {
+        self.metrics.tracer().dump()
+    }
+
+    /// A cluster-wide trace: this address space's spans merged with one
+    /// [`Request::TracePull`] round to every declared peer. Unreachable
+    /// peers are skipped; duplicate spans merge away, so pulling from any
+    /// address space yields the same connected traces.
+    #[must_use]
+    pub fn trace_cluster_dump(self: &Arc<Self>) -> TraceDump {
+        let mut merged = self.trace_dump();
+        for peer in self.peers() {
+            if peer == self.id {
+                continue;
+            }
+            let Ok(reply) = self.call(peer, Request::TracePull { cluster: false }) else {
+                continue;
+            };
+            if let Reply::TraceReport { dump } = reply {
+                if let Ok(dump) = TraceDump::decode(&dump) {
+                    merged.merge(&dump);
+                }
+            }
+        }
+        merged
+    }
+
     // ---- distributed GC epoch support ----
 
     /// Records another address space's epoch report (aggregator side).
@@ -541,7 +570,10 @@ impl AddressSpace {
         }
         if is_blocking(&req) {
             return match self.call_attempt(dst, req, None) {
-                Attempt::Reply(frame) => frame.reply.into_result(),
+                Attempt::Reply(frame) => {
+                    propagate_reply_trace(&frame);
+                    frame.reply.into_result()
+                }
                 Attempt::Fatal(e) => Err(e),
                 // Unreachable without a timeout, but map it anyway.
                 Attempt::Transient => Err(StmError::Disconnected),
@@ -561,7 +593,10 @@ impl AddressSpace {
         let mut backoff = config.base_backoff;
         loop {
             match self.call_attempt(dst, req.clone(), Some(config.attempt_timeout)) {
-                Attempt::Reply(frame) => return frame.reply.into_result(),
+                Attempt::Reply(frame) => {
+                    propagate_reply_trace(&frame);
+                    return frame.reply.into_result();
+                }
                 Attempt::Fatal(e) => return Err(e),
                 Attempt::Transient => {}
             }
@@ -579,11 +614,20 @@ impl AddressSpace {
     }
 
     /// One send/receive round. `timeout` of `None` waits indefinitely.
+    /// The ambient trace context rides on the request frame, and a
+    /// completed round is recorded as an [`SpanKind::Rpc`] span.
     fn call_attempt(&self, dst: AsId, req: Request, timeout: Option<Duration>) -> Attempt {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let ctx = trace::current();
+        let name = req_name(&req);
+        let started = Instant::now();
         let (tx, rx) = bounded(1);
         self.pending.lock().insert(seq, PendingCall { tx, dst });
-        let msg = match proto::encode_request(&RequestFrame { seq, req }) {
+        let msg = match proto::encode_request(&RequestFrame {
+            seq,
+            req,
+            trace: ctx,
+        }) {
             Ok(m) => m,
             Err(e) => {
                 self.pending.lock().remove(&seq);
@@ -600,11 +644,17 @@ impl AddressSpace {
         }
         match timeout {
             None => match rx.recv() {
-                Ok(frame) => Attempt::Reply(frame),
+                Ok(frame) => {
+                    self.record_rpc_span(ctx, dst, name, started);
+                    Attempt::Reply(frame)
+                }
                 Err(_) => Attempt::Fatal(StmError::Disconnected),
             },
             Some(d) => match rx.recv_timeout(d) {
-                Ok(frame) => Attempt::Reply(frame),
+                Ok(frame) => {
+                    self.record_rpc_span(ctx, dst, name, started);
+                    Attempt::Reply(frame)
+                }
                 Err(RecvTimeoutError::Timeout) => {
                     self.pending.lock().remove(&seq);
                     Attempt::Transient
@@ -616,12 +666,33 @@ impl AddressSpace {
         }
     }
 
+    fn record_rpc_span(&self, ctx: Option<TraceContext>, dst: AsId, name: &str, started: Instant) {
+        let Some(ctx) = ctx else { return };
+        let tracer = self.metrics.tracer();
+        let start = tracer
+            .now_us()
+            .saturating_sub(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        tracer.finish(
+            ctx,
+            SpanKind::Rpc,
+            &format!("rpc:{}->{}", self.id.0, dst.0),
+            0,
+            start,
+            name,
+        );
+    }
+
     /// Sends a request without expecting a reply (used by drop paths).
     pub fn cast(&self, dst: AsId, req: Request) {
         if dst == self.id || self.down.load(Ordering::Acquire) || self.is_peer_dead(dst) {
             return;
         }
-        if let Ok(msg) = proto::encode_request(&RequestFrame { seq: NO_REPLY, req }) {
+        let frame = RequestFrame {
+            seq: NO_REPLY,
+            req,
+            trace: trace::current(),
+        };
+        if let Ok(msg) = proto::encode_request(&frame) {
             let _ = self.transport.send(dst, msg);
         }
     }
@@ -682,10 +753,56 @@ fn is_idempotent(req: &Request) -> bool {
             | Request::NsLookup { .. }
             | Request::NsList
             | Request::StatsPull { .. }
+            | Request::TracePull { .. }
             | Request::GcReport { .. }
             | Request::Heartbeat { .. }
             | Request::Disconnect { .. }
     )
+}
+
+/// Makes the context carried on a reply frame ambient on the calling
+/// thread: a get's reply carries the gotten item's context, which the
+/// proxy layer re-attaches to the reconstructed [`dstampede_core::Item`].
+/// Callers that care scope the ambient cell around the call.
+fn propagate_reply_trace(frame: &ReplyFrame) {
+    if frame.trace.is_some() {
+        let _ = trace::set_current(frame.trace);
+    }
+}
+
+/// A stable short name for a request variant, used as Rpc span detail.
+fn req_name(req: &Request) -> &'static str {
+    match req {
+        Request::Attach { .. } => "attach",
+        Request::Detach => "detach",
+        Request::Ping { .. } => "ping",
+        Request::ChannelCreate { .. } => "channel_create",
+        Request::QueueCreate { .. } => "queue_create",
+        Request::ConnectChannelIn { .. } => "connect_channel_in",
+        Request::ConnectChannelOut { .. } => "connect_channel_out",
+        Request::ConnectQueueIn { .. } => "connect_queue_in",
+        Request::ConnectQueueOut { .. } => "connect_queue_out",
+        Request::Disconnect { .. } => "disconnect",
+        Request::ChannelPut { .. } => "channel_put",
+        Request::ChannelGet { .. } => "channel_get",
+        Request::ChannelConsume { .. } => "channel_consume",
+        Request::ChannelSetVt { .. } => "channel_set_vt",
+        Request::QueuePut { .. } => "queue_put",
+        Request::QueueGet { .. } => "queue_get",
+        Request::QueueConsume { .. } => "queue_consume",
+        Request::QueueRequeue { .. } => "queue_requeue",
+        Request::NsRegister { .. } => "ns_register",
+        Request::NsLookup { .. } => "ns_lookup",
+        Request::NsUnregister { .. } => "ns_unregister",
+        Request::NsList => "ns_list",
+        Request::InstallGarbageHook { .. } => "install_garbage_hook",
+        Request::GcReport { .. } => "gc_report",
+        Request::StatsPull { .. } => "stats_pull",
+        Request::TracePull { .. } => "trace_pull",
+        Request::Heartbeat { .. } => "heartbeat",
+        Request::WithId { req, .. } => req_name(req),
+        _ => "unknown",
+    }
 }
 
 /// Deterministic jitter: up to half the backoff again, keyed off the call
@@ -725,8 +842,15 @@ fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
                     std::thread::Builder::new().name(format!("as-{}-worker", space.id().0));
                 let spawned = builder.spawn(move || {
                     let conns = Arc::clone(&worker_space.conns);
+                    // The request's trace context becomes ambient for the
+                    // duration of execution; whatever context execution
+                    // leaves (e.g. the gotten item's) rides back on the
+                    // reply frame.
+                    let guard = trace::scope(frame.trace);
                     let reply = execute(&worker_space, &conns, None, Some(from), frame.req);
-                    send_reply(&worker_space, from, frame.seq, reply);
+                    let reply_trace = trace::current();
+                    drop(guard);
+                    send_reply(&worker_space, from, frame.seq, reply, reply_trace);
                 });
                 if spawned.is_err() {
                     send_reply(
@@ -734,12 +858,16 @@ fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
                         from,
                         frame.seq,
                         Reply::from_error(&StmError::Protocol("worker spawn failed".into())),
+                        None,
                     );
                 }
             } else {
                 let conns = Arc::clone(&space.conns);
+                let guard = trace::scope(frame.trace);
                 let reply = execute(space, &conns, None, Some(from), frame.req);
-                send_reply(space, from, frame.seq, reply);
+                let reply_trace = trace::current();
+                drop(guard);
+                send_reply(space, from, frame.seq, reply, reply_trace);
             }
         }
         Ok(AsMessage::Reply(frame)) => {
@@ -751,7 +879,13 @@ fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
     }
 }
 
-fn send_reply(space: &Arc<AddressSpace>, to: AsId, seq: u64, reply: Reply) {
+fn send_reply(
+    space: &Arc<AddressSpace>,
+    to: AsId,
+    seq: u64,
+    reply: Reply,
+    trace: Option<TraceContext>,
+) {
     if seq == NO_REPLY {
         return;
     }
@@ -759,6 +893,7 @@ fn send_reply(space: &Arc<AddressSpace>, to: AsId, seq: u64, reply: Reply) {
         seq,
         gc_notes: Vec::new(),
         reply,
+        trace,
     }) {
         let _ = space.transport.send(to, msg);
     }

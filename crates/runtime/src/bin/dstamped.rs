@@ -6,7 +6,7 @@
 //! the paper's §4, as a deployable binary:
 //!
 //! ```text
-//! dstamped [--address-spaces N] [--udp] [--gc-epoch-ms MS]
+//! dstamped [--address-spaces N] [--udp] [--gc-epoch-ms MS] [--trace-sampling N]
 //! ```
 //!
 //! * `--address-spaces N` — number of address spaces (default 2). Address
@@ -15,6 +15,8 @@
 //!   backend instead of in-process channels.
 //! * `--gc-epoch-ms MS` — period of the distributed GC epoch reports
 //!   (default 100).
+//! * `--trace-sampling N` — causally trace every nth item timestamp
+//!   (default 0 = off); pull with `trace` in `dstampede-cli`.
 //!
 //! Clients attach with `EndDevice::attach_{c,java}` to any printed
 //! address.
@@ -29,6 +31,7 @@ struct Options {
     address_spaces: u16,
     udp: bool,
     gc_epoch: Duration,
+    trace_sampling: u64,
 }
 
 fn parse_args() -> Options {
@@ -36,6 +39,7 @@ fn parse_args() -> Options {
         address_spaces: 2,
         udp: false,
         gc_epoch: Duration::from_millis(100),
+        trace_sampling: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,9 +59,16 @@ fn parse_args() -> Options {
                 });
                 opts.gc_epoch = Duration::from_millis(ms);
             }
+            "--trace-sampling" => {
+                opts.trace_sampling =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        dstampede_obs::error("daemon", "--trace-sampling needs a number");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
                 println!(
-                    "dstamped [--address-spaces N] [--udp] [--gc-epoch-ms MS]\n\
+                    "dstamped [--address-spaces N] [--udp] [--gc-epoch-ms MS] [--trace-sampling N]\n\
                      Runs a D-Stampede cluster until stdin closes."
                 );
                 std::process::exit(0);
@@ -76,7 +87,9 @@ fn main() {
     // they still reach the terminal.
     dstampede_obs::global().events().set_echo(Some(Level::Info));
     let opts = parse_args();
-    let mut builder = Cluster::builder().address_spaces(opts.address_spaces);
+    let mut builder = Cluster::builder()
+        .address_spaces(opts.address_spaces)
+        .trace_sampling(opts.trace_sampling);
     if opts.udp {
         builder = builder.transport(ClusterTransport::Udp(dstampede_clf::UdpConfig::default()));
     }

@@ -42,6 +42,7 @@ pub struct ClusterBuilder {
     rpc: Option<RpcConfig>,
     fault_plan: Option<Arc<FaultPlan>>,
     session_lease: Option<Duration>,
+    trace_sampling: u64,
 }
 
 impl ClusterBuilder {
@@ -58,6 +59,7 @@ impl ClusterBuilder {
             rpc: None,
             fault_plan: None,
             session_lease: None,
+            trace_sampling: 0,
         }
     }
 
@@ -123,6 +125,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables item-lifecycle tracing in every address space, sampling
+    /// every `every_nth` timestamp deterministically (`1` traces
+    /// everything, `0` — the default — disables tracing).
+    #[must_use]
+    pub fn trace_sampling(mut self, every_nth: u64) -> Self {
+        self.trace_sampling = every_nth;
+        self
+    }
+
     /// Builds and starts the cluster.
     ///
     /// # Errors
@@ -163,6 +174,7 @@ impl ClusterBuilder {
                 if let Some(rpc) = self.rpc {
                     space.set_rpc_config(rpc);
                 }
+                space.metrics().tracer().set_sampling(self.trace_sampling);
                 space
             })
             .collect();
@@ -309,6 +321,18 @@ impl Cluster {
         let mut merged = dstampede_obs::Snapshot::default();
         for s in &self.spaces {
             merged.merge(&s.stats_snapshot());
+        }
+        merged
+    }
+
+    /// A merged trace dump over every address space (read directly, no
+    /// RPC — for tooling co-located with the cluster; remote tooling uses
+    /// a `TracePull` request instead).
+    #[must_use]
+    pub fn trace_dump(&self) -> dstampede_obs::TraceDump {
+        let mut merged = dstampede_obs::TraceDump::default();
+        for s in &self.spaces {
+            merged.merge(&s.trace_dump());
         }
         merged
     }

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dstampede_core::{AsId, ResourceId, StmError, StmResult};
+use dstampede_obs::trace;
 use dstampede_wire::{GcNote, Reply, Request, WaitSpec};
 
 use crate::addrspace::AddressSpace;
@@ -259,7 +260,7 @@ pub fn is_blocking(req: &Request) -> bool {
         | Request::QueueGet { wait, .. }
         | Request::NsLookup { wait, .. } => !matches!(wait, WaitSpec::NonBlocking),
         // A cluster-wide pull blocks on RPC rounds to every peer.
-        Request::StatsPull { cluster } => *cluster,
+        Request::StatsPull { cluster } | Request::TracePull { cluster } => *cluster,
         Request::WithId { req, .. } => is_blocking(req),
         _ => false,
     }
@@ -372,12 +373,24 @@ fn execute_inner(
             wait,
         } => {
             let out = conns.chan_out(conn)?;
-            out.put(ts, dstampede_core::Item::new(payload).with_tag(tag), wait)?;
+            // The ambient context (scoped from the request frame by the
+            // transport layer) rides into the item so downstream spans —
+            // gets, consumes, GC reclamation — join the originating trace.
+            let item = dstampede_core::Item::new(payload)
+                .with_tag(tag)
+                .with_trace(trace::current());
+            out.put(ts, item, wait)?;
             Ok(Reply::Ok)
         }
         Request::ChannelGet { conn, spec, wait } => {
             let inp = conns.chan_in(conn)?;
             let (ts, item) = inp.get(spec, wait)?;
+            // Export the item's context as the ambient context so the
+            // transport layer can stamp it onto the reply frame, carrying
+            // the trace back to the caller's address space.
+            if item.trace_context().is_some() {
+                let _ = trace::set_current(item.trace_context());
+            }
             Ok(Reply::Item {
                 ts,
                 tag: item.tag(),
@@ -402,12 +415,18 @@ fn execute_inner(
             wait,
         } => {
             let out = conns.queue_out(conn)?;
-            out.put(ts, dstampede_core::Item::new(payload).with_tag(tag), wait)?;
+            let item = dstampede_core::Item::new(payload)
+                .with_tag(tag)
+                .with_trace(trace::current());
+            out.put(ts, item, wait)?;
             Ok(Reply::Ok)
         }
         Request::QueueGet { conn, wait } => {
             let inp = conns.queue_in(conn)?;
             let (ts, item, ticket) = inp.get(wait)?;
+            if item.trace_context().is_some() {
+                let _ = trace::set_current(item.trace_context());
+            }
             Ok(Reply::QueueItem {
                 ts,
                 tag: item.tag(),
@@ -501,6 +520,16 @@ fn execute_inner(
             };
             Ok(Reply::StatsReport {
                 snapshot: bytes::Bytes::from(snap.encode()),
+            })
+        }
+        Request::TracePull { cluster } => {
+            let dump = if cluster {
+                space.trace_cluster_dump()
+            } else {
+                space.trace_dump()
+            };
+            Ok(Reply::TraceReport {
+                dump: bytes::Bytes::from(dump.encode()),
             })
         }
         other => Err(StmError::Protocol(format!("unhandled request {other:?}"))),

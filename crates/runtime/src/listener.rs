@@ -27,6 +27,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use dstampede_obs::trace;
 use dstampede_wire::{codec_for, read_frame, write_frame, CodecId, Reply, ReplyFrame, Request};
 
 use crate::addrspace::AddressSpace;
@@ -266,26 +267,34 @@ fn run_surrogate(
             Ok(r) => r,
             Err(_) => return SessionEnd::Dirty, // protocol corruption
         };
-        let (reply, done) = match request.req {
+        let (reply, done, reply_trace) = match request.req {
             Request::Attach { .. } => (
                 Reply::Attached {
                     session,
                     as_id: space.id(),
                 },
                 false,
+                None,
             ),
-            Request::Detach => (Reply::Ok, true),
+            Request::Detach => (Reply::Ok, true, None),
             other => {
+                // The end device's trace context becomes ambient while the
+                // surrogate carries out the call on its behalf, so spans
+                // recorded on the cluster parent under the device's span.
+                let guard = trace::scope(request.trace);
                 let started = std::time::Instant::now();
                 let reply = execute(space, &conns, Some(&gc), None, other);
                 latency.record_duration(started.elapsed());
-                (reply, false)
+                let reply_trace = trace::current();
+                drop(guard);
+                (reply, false, reply_trace)
             }
         };
         let reply_frame = ReplyFrame {
             seq: request.seq,
             gc_notes: gc.drain(),
             reply,
+            trace: reply_trace,
         };
         let encoded = match codec.encode_reply(&reply_frame) {
             Ok(b) => b,
@@ -326,7 +335,7 @@ mod tests {
         seq: u64,
         req: Request,
     ) -> ReplyFrame {
-        let bytes = codec.encode_request(&RequestFrame { seq, req }).unwrap();
+        let bytes = codec.encode_request(&RequestFrame::new(seq, req)).unwrap();
         write_frame(&mut *stream, &bytes).unwrap();
         let frame = read_frame(&mut *stream).unwrap();
         codec.decode_reply(&frame).unwrap()

@@ -93,21 +93,14 @@ mod tests {
 
     #[test]
     fn request_envelope_round_trips() {
-        let frame = RequestFrame {
-            seq: 7,
-            req: Request::Ping { nonce: 3 },
-        };
+        let frame = RequestFrame::new(7, Request::Ping { nonce: 3 });
         let bytes = encode_request(&frame).unwrap();
         assert_eq!(decode(&bytes).unwrap(), AsMessage::Request(frame));
     }
 
     #[test]
     fn reply_envelope_round_trips() {
-        let frame = ReplyFrame {
-            seq: 7,
-            gc_notes: vec![],
-            reply: Reply::Pong { nonce: 3 },
-        };
+        let frame = ReplyFrame::new(7, vec![], Reply::Pong { nonce: 3 });
         let bytes = encode_reply(&frame).unwrap();
         assert_eq!(decode(&bytes).unwrap(), AsMessage::Reply(frame));
     }

@@ -16,6 +16,7 @@ use dstampede_core::{
     ChanId, Channel, GetSpec, Interest, Item, QTicket, Queue, QueueId, StmError, StmResult,
     StreamItem, TagFilter, Timestamp, VirtualTime,
 };
+use dstampede_obs::trace;
 use dstampede_wire::{Reply, Request, WaitSpec};
 
 use crate::addrspace::AddressSpace;
@@ -228,13 +229,21 @@ impl ChanInput {
                 Some(Some(d)) => conn.get_timeout(spec, d),
             },
             ConnInner::Remote(rc) => {
+                // Scope the ambient cell: the reply frame's context (the
+                // gotten item's trace, restored by the RPC layer) is read
+                // back and re-attached to the reconstructed item.
+                let guard = trace::scope(trace::current());
                 let reply = rc.call(Request::ChannelGet {
                     conn: rc.handle,
                     spec,
                     wait,
                 })?;
+                let ctx = trace::current();
+                drop(guard);
                 match reply {
-                    Reply::Item { ts, tag, payload } => Ok((ts, Item::new(payload).with_tag(tag))),
+                    Reply::Item { ts, tag, payload } => {
+                        Ok((ts, Item::new(payload).with_tag(tag).with_trace(ctx)))
+                    }
                     other => Err(unexpected(&other)),
                 }
             }
@@ -351,6 +360,14 @@ impl ChanOutput {
                 Some(Some(d)) => conn.put_timeout(ts, item, d),
             },
             ConnInner::Remote(rc) => {
+                // Begin (or continue) the trace on the putting side so the
+                // wire hop's Rpc span joins it; the context crosses to the
+                // owner on the request frame and rides into the item there.
+                let ctx = item
+                    .trace_context()
+                    .or_else(trace::current)
+                    .or_else(|| rc.space.metrics().tracer().begin_trace(ts.value()));
+                let _guard = trace::scope(ctx);
                 let reply = rc.call(Request::ChannelPut {
                     conn: rc.handle,
                     ts,
@@ -539,16 +556,20 @@ impl QueueInput {
                 Ok((ts, item, ticket.0))
             }
             ConnInner::Remote(rc) => {
-                match rc.call(Request::QueueGet {
+                let guard = trace::scope(trace::current());
+                let reply = rc.call(Request::QueueGet {
                     conn: rc.handle,
                     wait,
-                })? {
+                })?;
+                let ctx = trace::current();
+                drop(guard);
+                match reply {
                     Reply::QueueItem {
                         ts,
                         tag,
                         payload,
                         ticket,
-                    } => Ok((ts, Item::new(payload).with_tag(tag), ticket)),
+                    } => Ok((ts, Item::new(payload).with_tag(tag).with_trace(ctx), ticket)),
                     other => Err(unexpected(&other)),
                 }
             }
@@ -641,6 +662,11 @@ impl QueueOutput {
                 Some(Some(d)) => conn.put_timeout(ts, item, d),
             },
             ConnInner::Remote(rc) => {
+                let ctx = item
+                    .trace_context()
+                    .or_else(trace::current)
+                    .or_else(|| rc.space.metrics().tracer().begin_trace(ts.value()));
+                let _guard = trace::scope(ctx);
                 match rc.call(Request::QueuePut {
                     conn: rc.handle,
                     ts,

@@ -323,11 +323,7 @@ fn replayed_with_id_request_executes_once() {
     // The same tagged request arrives twice (e.g. the reply to the first
     // attempt was lost and the caller retried).
     for seq in [1u64, 2] {
-        let msg = proto::encode_request(&RequestFrame {
-            seq,
-            req: register.clone(),
-        })
-        .unwrap();
+        let msg = proto::encode_request(&RequestFrame::new(seq, register.clone())).unwrap();
         probe.send(AsId(0), msg).unwrap();
         let (_, reply_bytes) = probe.recv().unwrap();
         match proto::decode(&reply_bytes).unwrap() {
@@ -349,7 +345,7 @@ fn replayed_with_id_request_executes_once() {
             meta: String::new(),
         }),
     };
-    let msg = proto::encode_request(&RequestFrame { seq: 3, req: fresh }).unwrap();
+    let msg = proto::encode_request(&RequestFrame::new(3, fresh)).unwrap();
     probe.send(AsId(0), msg).unwrap();
     let (_, reply_bytes) = probe.recv().unwrap();
     match proto::decode(&reply_bytes).unwrap() {

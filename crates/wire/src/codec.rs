@@ -132,6 +132,7 @@ pub(crate) mod class {
     pub const STATS_PULL: u32 = 25;
     pub const HEARTBEAT: u32 = 26;
     pub const WITH_ID: u32 = 27;
+    pub const TRACE_PULL: u32 = 28;
 
     // Replies.
     pub const R_OK: u32 = 1;
@@ -145,6 +146,12 @@ pub(crate) mod class {
     pub const R_PONG: u32 = 9;
     pub const R_ERROR: u32 = 10;
     pub const R_STATS_REPORT: u32 = 11;
+    pub const R_TRACE_REPORT: u32 = 12;
+
+    /// Magic tag guarding the optional XDR trace-context trailer.
+    /// ASCII `tctx`; deliberately non-zero so legacy trailing-garbage
+    /// padding (zeros) is still rejected.
+    pub const TRACE_CTX: u32 = 0x7463_7478;
 
     // Sub-encodings.
     pub const RES_CHANNEL: u32 = 0;

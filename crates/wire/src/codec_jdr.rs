@@ -13,6 +13,8 @@ use dstampede_core::{
     ResourceId, TagFilter, Timestamp,
 };
 
+use dstampede_obs::{SpanId, TraceContext, TraceId};
+
 use crate::codec::{class, Codec, CodecId};
 use crate::error::WireError;
 use crate::jdr::{decode as jdr_decode, encode as jdr_encode, JdrValue};
@@ -267,6 +269,41 @@ fn opt_string_value(s: Option<&String>) -> JdrValue {
     s.map_or(JdrValue::Null, |s| JdrValue::str(s))
 }
 
+/// Lifts an optional trace context into an envelope field: `Null` when the
+/// frame carries no context, otherwise a two-field object.
+fn trace_value(trace: Option<TraceContext>) -> JdrValue {
+    trace.map_or(JdrValue::Null, |ctx| {
+        JdrValue::object(
+            class::TRACE_CTX,
+            vec![
+                JdrValue::Long(ctx.trace.0 as i64),
+                JdrValue::Long(ctx.span.0 as i64),
+            ],
+        )
+    })
+}
+
+/// Reads the optional trace-context envelope field at `idx`. Frames from
+/// pre-tracing peers omit the field entirely; both absent and `Null`
+/// decode to no context.
+fn value_to_trace(env: &[Box<JdrValue>], idx: usize) -> Result<Option<TraceContext>, WireError> {
+    let Some(v) = env
+        .get(idx)
+        .map(AsRef::as_ref)
+        .and_then(JdrValue::as_option)
+    else {
+        return Ok(None);
+    };
+    let (cls, f) = v.as_object()?;
+    if cls != class::TRACE_CTX {
+        return Err(WireError::BadTag(cls));
+    }
+    Ok(Some(TraceContext {
+        trace: TraceId(field(f, 0)?.as_u64()?),
+        span: SpanId(field(f, 1)?.as_u64()?),
+    }))
+}
+
 fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
     let (cls, fields) = match req {
         Request::Attach { client_name } => (class::ATTACH, vec![JdrValue::str(client_name)]),
@@ -387,6 +424,7 @@ fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
             ],
         ),
         Request::StatsPull { cluster } => (class::STATS_PULL, vec![JdrValue::Bool(*cluster)]),
+        Request::TracePull { cluster } => (class::TRACE_PULL, vec![JdrValue::Bool(*cluster)]),
         Request::Heartbeat { incarnation } => {
             (class::HEARTBEAT, vec![JdrValue::Long(*incarnation as i64)])
         }
@@ -404,12 +442,14 @@ fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
 }
 
 fn request_to_value(frame: &RequestFrame) -> Result<JdrValue, WireError> {
-    // Frame envelope: seq first, then the call object.
+    // Frame envelope: seq first, then the call object, then the optional
+    // trace context. Decoders that predate tracing ignore extra fields.
     Ok(JdrValue::object(
         u32::MAX,
         vec![
             JdrValue::Long(frame.seq as i64),
             request_body_value(&frame.req)?,
+            trace_value(frame.trace),
         ],
     ))
 }
@@ -517,6 +557,9 @@ fn value_to_request_body(v: &JdrValue, depth: u32) -> Result<Request, WireError>
         class::STATS_PULL => Request::StatsPull {
             cluster: field(f, 0)?.as_bool()?,
         },
+        class::TRACE_PULL => Request::TracePull {
+            cluster: field(f, 0)?.as_bool()?,
+        },
         class::HEARTBEAT => Request::Heartbeat {
             incarnation: field(f, 0)?.as_u64()?,
         },
@@ -542,6 +585,7 @@ fn value_to_request(v: &JdrValue) -> Result<RequestFrame, WireError> {
     Ok(RequestFrame {
         seq: field(env, 0)?.as_u64()?,
         req: value_to_request_body(field(env, 1)?, 0)?,
+        trace: value_to_trace(env, 2)?,
     })
 }
 
@@ -612,6 +656,7 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
             vec![JdrValue::Int(*code as i32), JdrValue::str(detail)],
         ),
         Reply::StatsReport { snapshot } => (class::R_STATS_REPORT, vec![JdrValue::bytes(snapshot)]),
+        Reply::TraceReport { dump } => (class::R_TRACE_REPORT, vec![JdrValue::bytes(dump)]),
     };
     JdrValue::object(
         u32::MAX,
@@ -619,6 +664,7 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
             JdrValue::Long(frame.seq as i64),
             JdrValue::List(notes),
             JdrValue::object(cls, fields),
+            trace_value(frame.trace),
         ],
     )
 }
@@ -683,12 +729,16 @@ fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
         class::R_STATS_REPORT => Reply::StatsReport {
             snapshot: Bytes::copy_from_slice(field(f, 0)?.as_bytes()?),
         },
+        class::R_TRACE_REPORT => Reply::TraceReport {
+            dump: Bytes::copy_from_slice(field(f, 0)?.as_bytes()?),
+        },
         t => return Err(WireError::BadTag(t)),
     };
     Ok(ReplyFrame {
         seq,
         gc_notes,
         reply,
+        trace: value_to_trace(env, 3)?,
     })
 }
 
@@ -723,7 +773,7 @@ mod tests {
     fn every_request_round_trips() {
         let codec = JdrCodec::new();
         for (i, req) in all_requests().into_iter().enumerate() {
-            let frame = RequestFrame { seq: i as u64, req };
+            let frame = RequestFrame::new(i as u64, req);
             let bytes = codec.encode_request(&frame).unwrap();
             let back = codec.decode_request(&bytes).unwrap();
             assert_eq!(back, frame, "request #{i}");
@@ -734,11 +784,7 @@ mod tests {
     fn every_reply_round_trips() {
         let codec = JdrCodec::new();
         for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
-            let frame = ReplyFrame {
-                seq: i as u64,
-                gc_notes: notes,
-                reply,
-            };
+            let frame = ReplyFrame::new(i as u64, notes, reply);
             let bytes = codec.encode_reply(&frame).unwrap();
             let back = codec.decode_reply(&bytes).unwrap();
             assert_eq!(back, frame, "reply #{i}");
@@ -747,10 +793,7 @@ mod tests {
 
     #[test]
     fn jdr_and_xdr_are_different_wire_formats() {
-        let frame = RequestFrame {
-            seq: 1,
-            req: Request::Ping { nonce: 2 },
-        };
+        let frame = RequestFrame::new(1, Request::Ping { nonce: 2 });
         let jdr = JdrCodec::new().encode_request(&frame).unwrap();
         let xdr = crate::codec_xdr::XdrCodec::new()
             .encode_request(&frame)
@@ -766,6 +809,39 @@ mod tests {
         let bytes = jdr_encode(&v);
         assert!(JdrCodec::new().decode_request(&bytes).is_err());
         assert!(JdrCodec::new().decode_reply(&bytes).is_err());
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let codec = JdrCodec::new();
+        let ctx = TraceContext {
+            trace: TraceId(u64::MAX - 3),
+            span: SpanId(42),
+        };
+        let frame = RequestFrame::new(5, Request::Ping { nonce: 1 }).with_trace(Some(ctx));
+        let back = codec
+            .decode_request(&codec.encode_request(&frame).unwrap())
+            .unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.trace, Some(ctx));
+
+        let reply = ReplyFrame::new(5, vec![], Reply::Pong { nonce: 1 }).with_trace(Some(ctx));
+        let back = codec
+            .decode_reply(&codec.encode_reply(&reply).unwrap())
+            .unwrap();
+        assert_eq!(back.trace, Some(ctx));
+    }
+
+    #[test]
+    fn envelope_without_trace_field_decodes_as_none() {
+        // A two-field request envelope is what pre-tracing encoders emit.
+        let v = JdrValue::object(
+            u32::MAX,
+            vec![JdrValue::Long(9), JdrValue::object(class::DETACH, vec![])],
+        );
+        let back = JdrCodec::new().decode_request(&jdr_encode(&v)).unwrap();
+        assert_eq!(back, RequestFrame::new(9, Request::Detach));
+        assert_eq!(back.trace, None);
     }
 
     #[test]

@@ -7,6 +7,8 @@ use dstampede_core::{
     ResourceId, TagFilter, Timestamp,
 };
 
+use dstampede_obs::{SpanId, TraceContext, TraceId};
+
 use crate::codec::{class, Codec, CodecId};
 use crate::error::WireError;
 use crate::rpc::{GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
@@ -368,6 +370,10 @@ fn put_request_body(w: &mut XdrWriter, req: &Request) -> Result<(), WireError> {
             w.put_u32(class::STATS_PULL);
             w.put_bool(*cluster);
         }
+        Request::TracePull { cluster } => {
+            w.put_u32(class::TRACE_PULL);
+            w.put_bool(*cluster);
+        }
         Request::Heartbeat { incarnation } => {
             w.put_u32(class::HEARTBEAT);
             w.put_u64(*incarnation);
@@ -498,6 +504,9 @@ fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireEr
         class::STATS_PULL => Request::StatsPull {
             cluster: r.get_bool()?,
         },
+        class::TRACE_PULL => Request::TracePull {
+            cluster: r.get_bool()?,
+        },
         class::HEARTBEAT => Request::Heartbeat {
             incarnation: r.get_u64()?,
         },
@@ -515,6 +524,35 @@ fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireEr
     Ok(req)
 }
 
+/// Appends the optional trace-context trailer: a magic tag followed by the
+/// trace and span ids. Nothing is written when the frame carries no context,
+/// so traced and untraced frames stay wire-compatible.
+fn put_trace_trailer(w: &mut XdrWriter, trace: Option<TraceContext>) {
+    if let Some(ctx) = trace {
+        w.put_u32(class::TRACE_CTX);
+        w.put_u64(ctx.trace.0);
+        w.put_u64(ctx.span.0);
+    }
+}
+
+/// Parses the optional trace-context trailer. No remaining bytes means no
+/// context (frames from pre-tracing peers); remaining bytes that do not
+/// start with the magic tag are trailing garbage, reported exactly as
+/// before the trailer existed.
+fn get_trace_trailer(r: &mut XdrReader<'_>) -> Result<Option<TraceContext>, WireError> {
+    if r.remaining() == 0 {
+        return Ok(None);
+    }
+    let rem = r.remaining();
+    if r.get_u32()? != class::TRACE_CTX {
+        return Err(WireError::TrailingBytes(rem));
+    }
+    Ok(Some(TraceContext {
+        trace: TraceId(r.get_u64()?),
+        span: SpanId(r.get_u64()?),
+    }))
+}
+
 impl Codec for XdrCodec {
     fn id(&self) -> CodecId {
         CodecId::Xdr
@@ -524,6 +562,7 @@ impl Codec for XdrCodec {
         let mut w = XdrWriter::with_capacity(64);
         w.put_u64(frame.seq);
         put_request_body(&mut w, &frame.req)?;
+        put_trace_trailer(&mut w, frame.trace);
         Ok(w.into_bytes())
     }
 
@@ -531,8 +570,9 @@ impl Codec for XdrCodec {
         let mut r = XdrReader::new(bytes);
         let seq = r.get_u64()?;
         let req = get_request_body(&mut r, 0)?;
+        let trace = get_trace_trailer(&mut r)?;
         r.finish()?;
-        Ok(RequestFrame { seq, req })
+        Ok(RequestFrame { seq, req, trace })
     }
 
     fn encode_reply(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError> {
@@ -602,7 +642,12 @@ impl Codec for XdrCodec {
                 w.put_u32(class::R_STATS_REPORT);
                 w.put_opaque(snapshot);
             }
+            Reply::TraceReport { dump } => {
+                w.put_u32(class::R_TRACE_REPORT);
+                w.put_opaque(dump);
+            }
         }
+        put_trace_trailer(&mut w, frame.trace);
         Ok(w.into_bytes())
     }
 
@@ -674,13 +719,18 @@ impl Codec for XdrCodec {
             class::R_STATS_REPORT => Reply::StatsReport {
                 snapshot: Bytes::copy_from_slice(r.get_opaque()?),
             },
+            class::R_TRACE_REPORT => Reply::TraceReport {
+                dump: Bytes::copy_from_slice(r.get_opaque()?),
+            },
             t => return Err(WireError::BadTag(t)),
         };
+        let trace = get_trace_trailer(&mut r)?;
         r.finish()?;
         Ok(ReplyFrame {
             seq,
             gc_notes,
             reply,
+            trace,
         })
     }
 }
@@ -694,7 +744,7 @@ mod tests {
     fn every_request_round_trips() {
         let codec = XdrCodec::new();
         for (i, req) in all_requests().into_iter().enumerate() {
-            let frame = RequestFrame { seq: i as u64, req };
+            let frame = RequestFrame::new(i as u64, req);
             let bytes = codec.encode_request(&frame).unwrap();
             let back = codec.decode_request(&bytes).unwrap();
             assert_eq!(back, frame, "request #{i}");
@@ -705,11 +755,7 @@ mod tests {
     fn every_reply_round_trips() {
         let codec = XdrCodec::new();
         for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
-            let frame = ReplyFrame {
-                seq: i as u64,
-                gc_notes: notes,
-                reply,
-            };
+            let frame = ReplyFrame::new(i as u64, notes, reply);
             let bytes = codec.encode_reply(&frame).unwrap();
             let back = codec.decode_reply(&bytes).unwrap();
             assert_eq!(back, frame, "reply #{i}");
@@ -731,10 +777,7 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         let codec = XdrCodec::new();
-        let frame = RequestFrame {
-            seq: 1,
-            req: Request::Detach,
-        };
+        let frame = RequestFrame::new(1, Request::Detach);
         let mut bytes = codec.encode_request(&frame).unwrap();
         bytes.extend_from_slice(&[0, 0, 0, 0]);
         assert_eq!(
@@ -744,13 +787,62 @@ mod tests {
     }
 
     #[test]
+    fn trace_context_round_trips() {
+        let codec = XdrCodec::new();
+        let ctx = TraceContext {
+            trace: TraceId(0xdead_beef_cafe_f00d),
+            span: SpanId(0x0123_4567_89ab_cdef),
+        };
+        let frame = RequestFrame::new(7, Request::Ping { nonce: 9 }).with_trace(Some(ctx));
+        let bytes = codec.encode_request(&frame).unwrap();
+        let back = codec.decode_request(&bytes).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.trace, Some(ctx));
+
+        let reply = ReplyFrame::new(7, vec![], Reply::Pong { nonce: 9 }).with_trace(Some(ctx));
+        let bytes = codec.encode_reply(&reply).unwrap();
+        let back = codec.decode_reply(&bytes).unwrap();
+        assert_eq!(back.trace, Some(ctx));
+    }
+
+    #[test]
+    fn context_free_frames_unchanged_on_wire() {
+        // A frame without context must encode to exactly the pre-tracing
+        // byte layout: no trailer bytes at all.
+        let codec = XdrCodec::new();
+        let plain = codec
+            .encode_request(&RequestFrame::new(1, Request::Detach))
+            .unwrap();
+        let traced = codec
+            .encode_request(
+                &RequestFrame::new(1, Request::Detach).with_trace(Some(TraceContext {
+                    trace: TraceId(1),
+                    span: SpanId(2),
+                })),
+            )
+            .unwrap();
+        assert_eq!(traced.len(), plain.len() + 4 + 8 + 8);
+        assert_eq!(&traced[..plain.len()], &plain[..]);
+    }
+
+    #[test]
+    fn truncated_trace_trailer_rejected() {
+        let codec = XdrCodec::new();
+        let frame = RequestFrame::new(1, Request::Detach).with_trace(Some(TraceContext {
+            trace: TraceId(1),
+            span: SpanId(2),
+        }));
+        let bytes = codec.encode_request(&frame).unwrap();
+        assert_eq!(
+            codec.decode_request(&bytes[..bytes.len() - 4]).unwrap_err(),
+            WireError::Truncated
+        );
+    }
+
+    #[test]
     fn truncated_reply_rejected() {
         let codec = XdrCodec::new();
-        let frame = ReplyFrame {
-            seq: 1,
-            gc_notes: vec![],
-            reply: Reply::Pong { nonce: 3 },
-        };
+        let frame = ReplyFrame::new(1, vec![], Reply::Pong { nonce: 3 });
         let bytes = codec.encode_reply(&frame).unwrap();
         assert_eq!(
             codec.decode_reply(&bytes[..bytes.len() - 2]).unwrap_err(),

@@ -13,10 +13,7 @@
 //! use dstampede_wire::{codec_for, CodecId, Request, RequestFrame};
 //!
 //! # fn main() -> Result<(), dstampede_wire::WireError> {
-//! let frame = RequestFrame {
-//!     seq: 1,
-//!     req: Request::Ping { nonce: 42 },
-//! };
+//! let frame = RequestFrame::new(1, Request::Ping { nonce: 42 });
 //! for id in [CodecId::Xdr, CodecId::Jdr] {
 //!     let codec = codec_for(id);
 //!     let bytes = codec.encode_request(&frame)?;

@@ -17,6 +17,7 @@ use dstampede_core::{
     AsId, ChanId, ChannelAttrs, GetSpec, Interest, QueueAttrs, QueueId, ResourceId, StmError,
     TagFilter, Timestamp,
 };
+use dstampede_obs::TraceContext;
 
 /// How long an operation may block on the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -203,6 +204,13 @@ pub enum Request {
         /// their snapshots into a cluster-wide one.
         cluster: bool,
     },
+    /// Pull the causal-trace span dump (see `dstampede-obs::trace`).
+    TracePull {
+        /// `false`: only the receiving address space's spans.
+        /// `true`: the receiver fans out to its known peers and merges
+        /// their dumps into a cluster-wide one.
+        cluster: bool,
+    },
     /// Explicit lease renewal between address spaces (and from long-idle
     /// end devices). Carries no payload beyond the sender's incarnation;
     /// any traffic renews the lease, heartbeats exist for idle links.
@@ -313,6 +321,12 @@ pub enum Reply {
         /// `Snapshot::encode()` bytes; decode with `Snapshot::decode`.
         snapshot: Bytes,
     },
+    /// Answer to [`Request::TracePull`]: an encoded `dstampede-obs`
+    /// trace dump (its own versioned format, opaque to this layer).
+    TraceReport {
+        /// `TraceDump::encode()` bytes; decode with `TraceDump::decode`.
+        dump: Bytes,
+    },
     /// The operation failed.
     Error {
         /// [`StmError::code`] of the failure.
@@ -353,6 +367,28 @@ pub struct RequestFrame {
     pub seq: u64,
     /// The call.
     pub req: Request,
+    /// Optional causal trace context. Wire-compatible in both codecs:
+    /// an absent field decodes as `None`, so old peers interoperate.
+    pub trace: Option<TraceContext>,
+}
+
+impl RequestFrame {
+    /// A frame with no trace context.
+    #[must_use]
+    pub fn new(seq: u64, req: Request) -> Self {
+        RequestFrame {
+            seq,
+            req,
+            trace: None,
+        }
+    }
+
+    /// Attaches (or clears) a trace context, builder-style.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// A reply with its sequence number and piggy-backed GC notes.
@@ -364,6 +400,29 @@ pub struct ReplyFrame {
     pub gc_notes: Vec<GcNote>,
     /// The answer.
     pub reply: Reply,
+    /// Optional causal trace context (e.g. the context carried by a
+    /// returned item). Absent field decodes as `None`.
+    pub trace: Option<TraceContext>,
+}
+
+impl ReplyFrame {
+    /// A frame with no trace context.
+    #[must_use]
+    pub fn new(seq: u64, gc_notes: Vec<GcNote>, reply: Reply) -> Self {
+        ReplyFrame {
+            seq,
+            gc_notes,
+            reply,
+            trace: None,
+        }
+    }
+
+    /// Attaches (or clears) a trace context, builder-style.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<TraceContext>) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// Exhaustive message samples used by codec round-trip tests (one per
@@ -527,6 +586,8 @@ pub mod test_vectors {
             },
             Request::StatsPull { cluster: false },
             Request::StatsPull { cluster: true },
+            Request::TracePull { cluster: false },
+            Request::TracePull { cluster: true },
             Request::Heartbeat { incarnation: 0 },
             Request::Heartbeat {
                 incarnation: u64::MAX,
@@ -644,6 +705,13 @@ pub mod test_vectors {
                 vec![note],
             ),
             (
+                Reply::TraceReport {
+                    dump: Bytes::from_static(b"trc1 0\n"),
+                },
+                vec![],
+            ),
+            (Reply::TraceReport { dump: Bytes::new() }, vec![note2]),
+            (
                 Reply::Error {
                     code: StmError::Full.code(),
                     detail: String::new(),
@@ -682,16 +750,24 @@ mod tests {
 
     #[test]
     fn frames_are_plain_data() {
-        let f = RequestFrame {
-            seq: 3,
-            req: Request::Ping { nonce: 9 },
-        };
+        let f = RequestFrame::new(3, Request::Ping { nonce: 9 });
         assert_eq!(f.clone(), f);
-        let r = ReplyFrame {
-            seq: 3,
-            gc_notes: vec![],
-            reply: Reply::Pong { nonce: 9 },
-        };
+        assert_eq!(f.trace, None);
+        let r = ReplyFrame::new(3, vec![], Reply::Pong { nonce: 9 });
         assert_eq!(r.clone(), r);
+        assert_eq!(r.trace, None);
+    }
+
+    #[test]
+    fn with_trace_attaches_context() {
+        use dstampede_obs::{SpanId, TraceId};
+        let ctx = TraceContext {
+            trace: TraceId(7),
+            span: SpanId(8),
+        };
+        let f = RequestFrame::new(1, Request::Detach).with_trace(Some(ctx));
+        assert_eq!(f.trace, Some(ctx));
+        let r = ReplyFrame::new(1, vec![], Reply::Ok).with_trace(Some(ctx));
+        assert_eq!(r.trace, Some(ctx));
     }
 }

@@ -1,0 +1,88 @@
+//! Property tests of the optional trace-context frame header: both codecs
+//! must round-trip any (seq, context) combination, agree with each other on
+//! the decoded context, and keep context-free frames decodable by decoders
+//! that predate tracing.
+
+use proptest::prelude::*;
+
+use dstampede_obs::{SpanId, TraceContext, TraceId};
+use dstampede_wire::rpc::{Reply, ReplyFrame, Request, RequestFrame};
+use dstampede_wire::{codec_for, CodecId};
+
+fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    proptest::option::of(
+        (any::<u64>(), any::<u64>()).prop_map(|(t, s)| TraceContext {
+            trace: TraceId(t),
+            span: SpanId(s),
+        }),
+    )
+}
+
+proptest! {
+    /// Request frames round-trip through both codecs with and without a
+    /// trace context, and the two codecs decode identical frames.
+    #[test]
+    fn request_header_round_trips(
+        seq in any::<u64>(),
+        nonce in any::<u64>(),
+        trace in arb_trace(),
+    ) {
+        let frame = RequestFrame::new(seq, Request::Ping { nonce }).with_trace(trace);
+        let mut decoded = Vec::new();
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let bytes = codec.encode_request(&frame).unwrap();
+            let back = codec.decode_request(&bytes).unwrap();
+            prop_assert_eq!(&back, &frame, "codec {}", id);
+            prop_assert_eq!(back.trace, trace, "codec {}", id);
+            decoded.push(back);
+        }
+        prop_assert_eq!(&decoded[0], &decoded[1]);
+    }
+
+    /// Reply frames round-trip likewise.
+    #[test]
+    fn reply_header_round_trips(
+        seq in any::<u64>(),
+        nonce in any::<u64>(),
+        trace in arb_trace(),
+    ) {
+        let frame = ReplyFrame::new(seq, vec![], Reply::Pong { nonce }).with_trace(trace);
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let bytes = codec.encode_reply(&frame).unwrap();
+            let back = codec.decode_reply(&bytes).unwrap();
+            prop_assert_eq!(&back, &frame, "codec {}", id);
+            prop_assert_eq!(back.trace, trace, "codec {}", id);
+        }
+    }
+
+    /// A context-free frame encodes to the same bytes as a frame whose
+    /// context was stripped: attaching trace context never perturbs the
+    /// base encoding, it only appends (XDR) or extends the envelope (JDR).
+    #[test]
+    fn context_is_a_pure_extension(
+        seq in any::<u64>(),
+        nonce in any::<u64>(),
+        t in any::<u64>(),
+        s in any::<u64>(),
+    ) {
+        let ctx = TraceContext { trace: TraceId(t), span: SpanId(s) };
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let plain = codec
+                .encode_request(&RequestFrame::new(seq, Request::Ping { nonce }))
+                .unwrap();
+            let traced = codec
+                .encode_request(
+                    &RequestFrame::new(seq, Request::Ping { nonce }).with_trace(Some(ctx)),
+                )
+                .unwrap();
+            prop_assert!(traced.len() > plain.len(), "codec {}", id);
+            if id == CodecId::Xdr {
+                // XDR is a strict suffix extension.
+                prop_assert_eq!(&traced[..plain.len()], &plain[..]);
+            }
+        }
+    }
+}

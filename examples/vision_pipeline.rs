@@ -6,17 +6,23 @@
 //! per-fragment results *by timestamp* back into per-frame records.
 //!
 //! Run with: `cargo run --release --example vision_pipeline`
+//!
+//! Pass `--trace` to record a causal trace of every frame (sampling 1)
+//! and export it as Chrome trace-event JSON to `results/vision_trace.json`
+//! for chrome://tracing or <https://ui.perfetto.dev>.
 
 use dstampede::apps::{run_vision_pipeline, VisionConfig};
 use dstampede::core::StmError;
 
 fn main() -> Result<(), StmError> {
+    let trace = std::env::args().any(|a| a == "--trace");
     let cfg = VisionConfig {
         frames: 24,
         frame_size: 128 * 1024,
         fragments: 4,
         trackers: 3,
         address_spaces: 2, // splitter and trackers in different address spaces
+        trace_sampling: if trace { 1 } else { 0 },
     };
     println!(
         "vision pipeline: {} frames of {} KB, split {} ways, {} trackers, {} address spaces",
@@ -40,5 +46,19 @@ fn main() -> Result<(), StmError> {
         "work sharing across trackers: {:?} fragments each",
         report.per_tracker_fragments
     );
+
+    if trace {
+        let path = std::path::Path::new("results/vision_trace.json");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(path, report.trace.to_chrome_json()).expect("write trace");
+        println!(
+            "trace: {} spans across {} traces -> {} (open in chrome://tracing or ui.perfetto.dev)",
+            report.trace.spans.len(),
+            report.trace.traces().len(),
+            path.display()
+        );
+    }
     Ok(())
 }

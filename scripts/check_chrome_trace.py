@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON export (object form).
+
+Checks the shape chrome://tracing and Perfetto expect:
+
+- top level is an object with a ``traceEvents`` array
+- every event is an object with ``name``/``ph``/``pid``/``tid`` fields
+- duration events (``ph == "X"``) carry numeric ``ts`` and ``dur``
+- instant events (``ph == "i"``) carry numeric ``ts``
+- at least one non-metadata event exists (an empty trace means the
+  exporter or the sampling plumbing silently broke)
+- all events sharing a ``trace`` arg agree on at least one pid-spanning
+  story: the file must reference >= 2 pids when metadata names several
+  address spaces (cross-space propagation evidence)
+
+Usage: check_chrome_trace.py TRACE.json
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_chrome_trace.py TRACE.json")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object (Chrome trace 'object form')")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("'traceEvents' must be an array")
+
+    real_events = 0
+    pids = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in ev:
+                fail(f"traceEvents[{i}] missing '{field}'")
+        ph = ev["ph"]
+        if ph == "M":
+            continue  # metadata (process_name etc.)
+        real_events += 1
+        pids.add(ev["pid"])
+        if not isinstance(ev.get("ts"), (int, float)):
+            fail(f"traceEvents[{i}] ({ph}) needs numeric 'ts'")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            fail(f"traceEvents[{i}] (X) needs numeric 'dur'")
+
+    if real_events == 0:
+        fail("no non-metadata events: tracing recorded nothing")
+
+    meta_pids = {ev["pid"] for ev in events if ev.get("ph") == "M"}
+    if len(meta_pids) >= 2 and len(pids) < 2:
+        fail(
+            "metadata names several address spaces but all spans sit on "
+            "one pid: cross-space trace propagation is broken"
+        )
+
+    print(
+        f"OK: {path}: {real_events} events across {len(pids)} source(s), "
+        f"{len(events) - real_events} metadata record(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,7 @@ impl RawSession {
         self.seq += 1;
         let bytes = self
             .codec
-            .encode_request(&RequestFrame { seq: self.seq, req })
+            .encode_request(&RequestFrame::new(self.seq, req))
             .unwrap();
         write_frame(&mut self.stream, &bytes).unwrap();
         let frame = read_frame(&mut self.stream).unwrap();
@@ -130,14 +130,14 @@ fn crash_mid_blocking_get_frees_the_surrogate() {
         waiter.seq += 1;
         let bytes = waiter
             .codec
-            .encode_request(&RequestFrame {
-                seq: waiter.seq,
-                req: Request::ChannelGet {
+            .encode_request(&RequestFrame::new(
+                waiter.seq,
+                Request::ChannelGet {
                     conn,
                     spec: dstampede::core::GetSpec::Exact(ts(999)),
                     wait: WaitSpec::Forever,
                 },
-            })
+            ))
             .unwrap();
         write_frame(&mut waiter.stream, &bytes).unwrap();
         // Socket drops here.

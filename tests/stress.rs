@@ -201,6 +201,7 @@ fn vision_pipeline_survives_lossy_udp_cluster() {
         fragments: 4,
         trackers: 3,
         address_spaces: 2,
+        trace_sampling: 0,
     };
     // The pipeline builder uses the in-process transport; for loss we run
     // the lossy check at the CLF layer in `tests/distributed.rs`. Here we

@@ -229,7 +229,7 @@ proptest! {
 
     #[test]
     fn requests_round_trip_in_both_codecs(seq in any::<u64>(), req in request()) {
-        let frame = RequestFrame { seq, req };
+        let frame = RequestFrame::new(seq, req);
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
             let bytes = codec.encode_request(&frame).unwrap();
@@ -244,7 +244,7 @@ proptest! {
         notes in proptest::collection::vec(gc_note(), 0..4),
         reply in reply(),
     ) {
-        let frame = ReplyFrame { seq, gc_notes: notes, reply };
+        let frame = ReplyFrame::new(seq, notes, reply);
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
             let bytes = codec.encode_reply(&frame).unwrap();
@@ -258,7 +258,7 @@ proptest! {
     /// identical semantics over different representations.
     #[test]
     fn codecs_agree_on_meaning(seq in any::<u64>(), req in request()) {
-        let frame = RequestFrame { seq, req };
+        let frame = RequestFrame::new(seq, req);
         let xdr = codec_for(CodecId::Xdr);
         let jdr = codec_for(CodecId::Jdr);
         let via_xdr = xdr.decode_request(&xdr.encode_request(&frame).unwrap()).unwrap();
@@ -287,7 +287,7 @@ proptest! {
     ) {
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let frame = RequestFrame { seq, req: req.clone() };
+            let frame = RequestFrame::new(seq, req.clone());
             let mut bytes = codec.encode_request(&frame).unwrap();
             let pos = pos_seed % bytes.len();
             bytes[pos] ^= xor;
