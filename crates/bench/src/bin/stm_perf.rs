@@ -7,13 +7,36 @@
 //!
 //! ```text
 //! stm_perf [--out BENCH_stm.json] [--iters N] [--trials N] [--payload BYTES]
-//!          [--sampling EVERY_NTH] [--compare BASELINE] [--ab EVERY_NTH]
-//!          [--tolerance PCT]
+//!          [--threads T] [--batch B] [--shards N] [--suite]
+//!          [--min-speedup X] [--sampling EVERY_NTH] [--compare BASELINE]
+//!          [--ab EVERY_NTH] [--tolerance PCT]
 //! ```
 //!
 //! Each trial runs the full cycle loop; the best trial (by cycle
 //! throughput) is reported, damping scheduler noise on shared
 //! machines.
+//!
+//! `--threads T` runs T cycle loops concurrently against ONE channel,
+//! each thread striding a disjoint timestamp residue class and
+//! attending only its own tag stripe, so the sharded store is hammered
+//! from all sides while per-connection cursors stay independent.
+//! Throughput in threaded mode is wall-clock aggregate (items / wall
+//! seconds), not a sum of per-op latencies. `--batch B` drives the
+//! cycle through `put_many`/`get_many` in blocks of B items. `--shards
+//! N` pins the channel's shard count (0 = the core default);
+//! `--shards 1` is the pre-sharding single-lock baseline.
+//!
+//! `--suite` runs the recorded bench-stm-v2 trajectory in one process:
+//! single-thread, 8-thread (against both the default shard count and
+//! the `--shards 1` single-lock configuration, reporting the speedup),
+//! and batch=32. `--min-speedup X` makes the suite exit non-zero when
+//! the 8-thread sharded/single-lock ratio falls below the required
+//! bound — the CI bench gate passes 2.0, the floor the sharded store
+//! is held to. Wall-clock speedup from sharding is limited by physical
+//! parallelism, so the bound is scaled to the machine:
+//! `min(X, max(0.7, cores / 4))` — the full 2x on 8+ cores, parity-ish
+//! on 4, and a no-catastrophic-regression floor of 0.7 on small boxes
+//! where the ratio is scheduler noise around 1.0.
 //!
 //! `--sampling N` enables causal tracing on the benched channel
 //! (every nth timestamp). `--compare BASELINE` reports the drift of
@@ -25,9 +48,12 @@
 //! costs more than `--tolerance` percent (default 3) of cycle
 //! throughput.
 
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use dstampede_core::{AsId, ChanId, Channel, ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+use dstampede_core::{
+    AsId, ChanId, Channel, ChannelAttrs, GetSpec, Interest, Item, Timestamp, DEFAULT_STM_SHARDS,
+};
 use dstampede_obs::MetricsRegistry;
 
 struct OpStats {
@@ -65,10 +91,36 @@ fn stats(mut samples: Vec<f64>) -> OpStats {
     }
 }
 
+/// Latency quantiles from the merged samples, throughput from the wall
+/// clock: with T concurrent loops, summing per-op latencies would count
+/// overlapped time T times over.
+fn stats_wall(mut samples: Vec<f64>, wall_s: f64) -> OpStats {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    OpStats {
+        ops_per_sec: if wall_s > 0.0 {
+            samples.len() as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_us: quantile(&samples, 0.5),
+        p99_us: quantile(&samples, 0.99),
+    }
+}
+
 fn json_op(name: &str, s: &OpStats) -> String {
     format!(
-        "    \"{name}\": {{ \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3} }}",
+        "      \"{name}\": {{ \"ops_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3} }}",
         s.ops_per_sec, s.p50_us, s.p99_us
+    )
+}
+
+fn json_ops(report: &CycleStats) -> String {
+    format!(
+        "    \"ops\": {{\n{},\n{},\n{},\n{}\n    }}",
+        json_op("put", &report.put),
+        json_op("get", &report.get),
+        json_op("consume", &report.consume),
+        json_op("cycle", &report.cycle),
     )
 }
 
@@ -88,6 +140,7 @@ fn extract_ops_per_sec(json: &str, op: &str) -> Option<f64> {
 /// The benched fixture: one standalone channel on a private registry.
 struct Rig {
     reg: MetricsRegistry,
+    chan: Arc<Channel>,
     out: dstampede_core::OutputConn,
     inp: dstampede_core::InputConn,
     item: Item,
@@ -97,23 +150,28 @@ struct Rig {
 }
 
 impl Rig {
-    fn new(payload: usize) -> Rig {
+    fn new(payload: usize, shards: u32) -> Rig {
         // A dedicated registry so sampling here never touches the
         // process-global one.
         let reg = MetricsRegistry::new("bench");
+        let mut attrs = ChannelAttrs::default();
+        if shards > 0 {
+            attrs = attrs.with_shards(shards);
+        }
         let chan = Channel::new_in(
             ChanId {
                 owner: AsId(0),
                 index: 0,
             },
             None,
-            ChannelAttrs::default(),
+            attrs,
             &reg,
         );
         let out = chan.connect_output();
         let inp = chan.connect_input(Interest::FromEarliest);
         Rig {
             reg,
+            chan,
             out,
             inp,
             item: Item::from_vec(vec![0xa5; payload]),
@@ -151,12 +209,146 @@ impl Rig {
         }
     }
 
+    /// One measured block of `iters` items driven through the batch
+    /// APIs in chunks of `batch`. Per-phase latencies are amortised
+    /// per item so the sample count matches the unbatched mode.
+    fn run_block_batched(&mut self, iters: usize, batch: usize) -> CycleStats {
+        let batch = batch.max(1);
+        let blocks = iters.div_ceil(batch);
+        let mut put_us = Vec::with_capacity(iters);
+        let mut get_us = Vec::with_capacity(iters);
+        let mut consume_us = Vec::with_capacity(iters);
+        let mut cycle_us = Vec::with_capacity(iters);
+        for _ in 0..blocks {
+            let entries: Vec<(Timestamp, Item)> = (0..batch)
+                .map(|k| (Timestamp::new(self.next_ts + k as i64), self.item.clone()))
+                .collect();
+            let specs: Vec<GetSpec> = entries.iter().map(|(t, _)| GetSpec::Exact(*t)).collect();
+            let last = entries.last().expect("batch >= 1").0;
+            self.next_ts += batch as i64;
+            let c0 = Instant::now();
+            for r in self.out.put_many(entries) {
+                r.unwrap();
+            }
+            let after_put = Instant::now();
+            for r in self.inp.get_many(&specs) {
+                let (_, got) = r.unwrap();
+                std::hint::black_box(got.len());
+            }
+            let after_get = Instant::now();
+            self.inp.consume_until(last).unwrap();
+            let after_consume = Instant::now();
+            let per = 1e6 / batch as f64;
+            for _ in 0..batch {
+                put_us.push((after_put - c0).as_secs_f64() * per);
+                get_us.push((after_get - after_put).as_secs_f64() * per);
+                consume_us.push((after_consume - after_get).as_secs_f64() * per);
+                cycle_us.push((after_consume - c0).as_secs_f64() * per);
+            }
+        }
+        CycleStats {
+            put: stats(put_us),
+            get: stats(get_us),
+            consume: stats(consume_us),
+            cycle: stats(cycle_us),
+        }
+    }
+
+    /// One measured block of `threads` concurrent cycle loops, `iters`
+    /// cycles each. Thread k owns the timestamp residue class
+    /// `ts % threads == k`; every thread attends the whole stream (as
+    /// concurrent consumers do), so reclamation advances once all
+    /// cursors pass an item.
+    fn run_block_threads(&mut self, iters: usize, threads: usize) -> CycleStats {
+        let threads = threads.max(1);
+        let base = self.next_ts;
+        self.next_ts += (iters * threads) as i64;
+        let barrier = Barrier::new(threads);
+        let chan = &self.chan;
+        let item = &self.item;
+        let (wall_s, mut per_thread) = {
+            let started = std::sync::Mutex::new(None::<Instant>);
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|k| {
+                        let barrier = &barrier;
+                        let started = &started;
+                        s.spawn(move || {
+                            let out = chan.connect_output();
+                            let inp = chan.connect_input(Interest::FromEarliest);
+                            barrier.wait();
+                            started.lock().unwrap().get_or_insert_with(Instant::now);
+                            let mut put_us = Vec::with_capacity(iters);
+                            let mut get_us = Vec::with_capacity(iters);
+                            let mut consume_us = Vec::with_capacity(iters);
+                            let mut cycle_us = Vec::with_capacity(iters);
+                            for i in 0..iters {
+                                let t = Timestamp::new(base + (i * threads + k) as i64);
+                                let c0 = Instant::now();
+                                out.put(t, item.clone()).unwrap();
+                                let after_put = Instant::now();
+                                let (_, got) = inp.get(GetSpec::Exact(t)).unwrap();
+                                std::hint::black_box(got.len());
+                                let after_get = Instant::now();
+                                inp.consume_until(t).unwrap();
+                                let after_consume = Instant::now();
+                                put_us.push((after_put - c0).as_secs_f64() * 1e6);
+                                get_us.push((after_get - after_put).as_secs_f64() * 1e6);
+                                consume_us.push((after_consume - after_get).as_secs_f64() * 1e6);
+                                cycle_us.push((after_consume - c0).as_secs_f64() * 1e6);
+                            }
+                            (put_us, get_us, consume_us, cycle_us)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("bench thread"))
+                    .collect::<Vec<_>>()
+            });
+            let t0 = started.lock().unwrap().expect("at least one thread ran");
+            (t0.elapsed().as_secs_f64(), results)
+        };
+        let mut put_us = Vec::with_capacity(iters * threads);
+        let mut get_us = Vec::with_capacity(iters * threads);
+        let mut consume_us = Vec::with_capacity(iters * threads);
+        let mut cycle_us = Vec::with_capacity(iters * threads);
+        for (p, g, c, cy) in per_thread.drain(..) {
+            put_us.extend(p);
+            get_us.extend(g);
+            consume_us.extend(c);
+            cycle_us.extend(cy);
+        }
+        CycleStats {
+            put: stats_wall(put_us, wall_s),
+            get: stats_wall(get_us, wall_s),
+            consume: stats_wall(consume_us, wall_s),
+            cycle: stats_wall(cycle_us, wall_s),
+        }
+    }
+
+    fn run_block_mode(&mut self, iters: usize, threads: usize, batch: usize) -> CycleStats {
+        if threads > 1 {
+            self.run_block_threads(iters, threads)
+        } else if batch > 1 {
+            self.run_block_batched(iters, batch)
+        } else {
+            self.run_block(iters)
+        }
+    }
+
     /// Best of `trials` blocks by cycle throughput: one slow block on a
     /// noisy machine must not poison the recorded trajectory.
-    fn run_best(&mut self, iters: usize, trials: usize) -> CycleStats {
+    fn run_best(
+        &mut self,
+        iters: usize,
+        trials: usize,
+        threads: usize,
+        batch: usize,
+    ) -> CycleStats {
         let mut best: Option<CycleStats> = None;
         for _ in 0..trials {
-            let candidate = self.run_block(iters);
+            let candidate = self.run_block_mode(iters, threads, batch);
             if best
                 .as_ref()
                 .is_none_or(|b| candidate.cycle.ops_per_sec > b.cycle.ops_per_sec)
@@ -168,11 +360,31 @@ impl Rig {
     }
 }
 
+/// One measured configuration: fresh rig, warmup, best-of-trials.
+fn measure(
+    payload: usize,
+    shards: u32,
+    iters: usize,
+    trials: usize,
+    threads: usize,
+    batch: usize,
+) -> CycleStats {
+    let mut rig = Rig::new(payload, shards);
+    rig.run_block_mode((iters / 10).max(1), threads, batch);
+    rig.run_best(iters, trials, threads, batch)
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let mut out_path = "BENCH_stm.json".to_owned();
     let mut iters: usize = 50_000;
     let mut trials: usize = 3;
     let mut payload: usize = 64;
+    let mut threads: usize = 1;
+    let mut batch: usize = 1;
+    let mut shards: u32 = 0;
+    let mut suite = false;
+    let mut min_speedup: f64 = 0.0;
     let mut sampling: u64 = 0;
     let mut compare: Option<String> = None;
     let mut ab: Option<u64> = None;
@@ -194,6 +406,23 @@ fn main() {
                     .max(1)
             }
             "--payload" => payload = take("--payload").parse().expect("bad --payload"),
+            "--threads" => {
+                threads = take("--threads")
+                    .parse::<usize>()
+                    .expect("bad --threads")
+                    .max(1)
+            }
+            "--batch" => {
+                batch = take("--batch")
+                    .parse::<usize>()
+                    .expect("bad --batch")
+                    .max(1)
+            }
+            "--shards" => shards = take("--shards").parse().expect("bad --shards"),
+            "--suite" => suite = true,
+            "--min-speedup" => {
+                min_speedup = take("--min-speedup").parse().expect("bad --min-speedup");
+            }
             "--sampling" => sampling = take("--sampling").parse().expect("bad --sampling"),
             "--compare" => compare = Some(take("--compare")),
             "--ab" => ab = Some(take("--ab").parse().expect("bad --ab")),
@@ -205,24 +434,88 @@ fn main() {
         }
     }
 
-    let mut rig = Rig::new(payload);
+    if suite {
+        // The committed trajectory: three configurations plus the
+        // single-lock control, all in one process so they share
+        // machine load.
+        let single = measure(payload, shards, iters, trials, 1, 1);
+        println!(
+            "single_thread: cycle {:.0} ops/s (p50 {:.2}us p99 {:.2}us)",
+            single.cycle.ops_per_sec, single.cycle.p50_us, single.cycle.p99_us
+        );
+        let threaded = measure(payload, shards, iters, trials, 8, 1);
+        println!(
+            "threads_8 (sharded): cycle {:.0} ops/s (p50 {:.2}us p99 {:.2}us)",
+            threaded.cycle.ops_per_sec, threaded.cycle.p50_us, threaded.cycle.p99_us
+        );
+        let single_lock = measure(payload, 1, iters, trials, 8, 1);
+        let speedup = threaded.cycle.ops_per_sec / single_lock.cycle.ops_per_sec;
+        println!(
+            "threads_8 (--shards 1 single lock): cycle {:.0} ops/s; sharded speedup {speedup:.2}x",
+            single_lock.cycle.ops_per_sec
+        );
+        let batched = measure(payload, shards, iters, trials, 1, 32);
+        println!(
+            "batch_32: cycle {:.0} ops/s (p50 {:.2}us p99 {:.2}us)",
+            batched.cycle.ops_per_sec, batched.cycle.p50_us, batched.cycle.p99_us
+        );
+
+        let effective_shards = if shards > 0 {
+            shards
+        } else {
+            DEFAULT_STM_SHARDS
+        };
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let json = format!(
+            "{{\n  \"schema\": \"bench-stm-v2\",\n  \"iters\": {iters},\n  \"trials\": {trials},\n  \
+             \"payload_bytes\": {payload},\n  \"shards\": {effective_shards},\n  \"cores\": {cores},\n  \
+             \"single_thread\": {{\n    \"threads\": 1,\n    \"batch\": 1,\n{}\n  }},\n  \
+             \"threads_8\": {{\n    \"threads\": 8,\n    \"batch\": 1,\n    \
+             \"single_lock_cycle_ops_per_sec\": {:.1},\n    \
+             \"speedup_vs_single_lock\": {speedup:.2},\n{}\n  }},\n  \
+             \"batch_32\": {{\n    \"threads\": 1,\n    \"batch\": 32,\n{}\n  }}\n}}\n",
+            json_ops(&single),
+            single_lock.cycle.ops_per_sec,
+            json_ops(&threaded),
+            json_ops(&batched),
+        );
+        std::fs::write(&out_path, &json).expect("write report");
+        println!("wrote {out_path}");
+        if min_speedup > 0.0 {
+            let required = min_speedup.min((cores as f64 / 4.0).max(0.7));
+            println!(
+                "speedup gate: {speedup:.2}x measured, {required:.2}x required \
+                 ({min_speedup:.2}x requested, scaled to {cores} cores)"
+            );
+            if speedup < required {
+                eprintln!(
+                    "FAIL: 8-thread sharded speedup {speedup:.2}x below required {required:.2}x"
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut rig = Rig::new(payload, shards);
     rig.reg.tracer().set_sampling(sampling);
     // Warmup.
-    rig.run_block((iters / 10).max(1));
+    rig.run_block_mode((iters / 10).max(1), threads, batch);
 
-    let report = rig.run_best(iters, trials);
+    let report = rig.run_best(iters, trials, threads, batch);
     let spans = rig.reg.tracer().dump().spans.len();
 
     let json = format!(
-        "{{\n  \"schema\": \"bench-stm-v1\",\n  \"iters\": {iters},\n  \"trials\": {trials},\n  \"payload_bytes\": {payload},\n  \"trace_sampling\": {sampling},\n  \"spans_recorded\": {spans},\n  \"ops\": {{\n{},\n{},\n{},\n{}\n  }}\n}}\n",
-        json_op("put", &report.put),
-        json_op("get", &report.get),
-        json_op("consume", &report.consume),
-        json_op("cycle", &report.cycle),
+        "{{\n  \"schema\": \"bench-stm-v2\",\n  \"iters\": {iters},\n  \"trials\": {trials},\n  \
+         \"payload_bytes\": {payload},\n  \"threads\": {threads},\n  \"batch\": {batch},\n  \
+         \"shards\": {shards},\n  \"trace_sampling\": {sampling},\n  \
+         \"spans_recorded\": {spans},\n  \"run\": {{\n{}\n  }}\n}}\n",
+        json_ops(&report),
     );
     std::fs::write(&out_path, &json).expect("write report");
     println!(
-        "wrote {out_path}: cycle {:.0} ops/s (p50 {:.2}us p99 {:.2}us), sampling={sampling}, {spans} spans",
+        "wrote {out_path}: cycle {:.0} ops/s (p50 {:.2}us p99 {:.2}us), threads={threads}, \
+         batch={batch}, sampling={sampling}, {spans} spans",
         report.cycle.ops_per_sec, report.cycle.p50_us, report.cycle.p99_us
     );
 

@@ -28,9 +28,42 @@ use dstampede_core::{
 };
 use dstampede_obs::{trace, Snapshot, TraceDump};
 use dstampede_wire::{
-    codec_for, read_frame, write_frame, Codec, CodecId, GcNote, NsEntry, Reply, Request,
-    RequestFrame, WaitSpec,
+    codec_for, read_frame, write_frame, BatchPutItem, Codec, CodecId, GcNote, NsEntry, Reply,
+    Request, RequestFrame, WaitSpec,
 };
+
+/// Encodes batch-put entries with their per-item trace contexts.
+fn batch_items(entries: Vec<(Timestamp, Item)>) -> Vec<BatchPutItem> {
+    entries
+        .into_iter()
+        .map(|(ts, item)| BatchPutItem {
+            ts,
+            tag: item.tag(),
+            payload: item.payload_bytes(),
+            trace: item.trace_context().or_else(trace::current),
+        })
+        .collect()
+}
+
+/// Maps a batch-results code vector back to per-item outcomes.
+fn codes_to_results(codes: Vec<u32>, expected: usize) -> StmResult<Vec<StmResult<()>>> {
+    if codes.len() != expected {
+        return Err(StmError::Protocol(format!(
+            "batch reply has {} codes for {expected} items",
+            codes.len()
+        )));
+    }
+    Ok(codes
+        .into_iter()
+        .map(|c| {
+            if c == 0 {
+                Ok(())
+            } else {
+                Err(StmError::from_code(c, "batch put"))
+            }
+        })
+        .collect())
+}
 
 /// Byte stream a session can run over (TCP, an in-process pipe, or a
 /// shaped wrapper).
@@ -581,6 +614,48 @@ impl ClientChanIn {
         Ok((ts, item.decode::<T>()?))
     }
 
+    /// Resolves several get specs in one session round trip. Each spec
+    /// resolves independently and non-blocking; per-spec failures come
+    /// back in the inner results.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn get_many(&self, specs: &[GetSpec]) -> StmResult<Vec<StmResult<(Timestamp, Item)>>> {
+        let reply = self.device.inner.call(Request::GetBatch {
+            conn: self.conn,
+            specs: specs.to_vec(),
+            max: specs.len() as u32,
+        })?;
+        match reply {
+            Reply::BatchItems { items } => {
+                if items.len() != specs.len() {
+                    return Err(StmError::Protocol(format!(
+                        "batch reply has {} items for {} specs",
+                        items.len(),
+                        specs.len()
+                    )));
+                }
+                Ok(items
+                    .into_iter()
+                    .map(|got| {
+                        if got.code == 0 {
+                            Ok((
+                                got.ts,
+                                Item::new(got.payload)
+                                    .with_tag(got.tag)
+                                    .with_trace(got.trace),
+                            ))
+                        } else {
+                            Err(StmError::from_code(got.code, "batch get"))
+                        }
+                    })
+                    .collect())
+            }
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
     /// Declares items through `upto` consumed.
     ///
     /// # Errors
@@ -665,6 +740,29 @@ impl ClientChanOut {
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
+
+    /// Puts several items in one session round trip. Items apply
+    /// independently — no transactional atomicity across the batch;
+    /// per-item outcomes come back in order.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn put_many(
+        &self,
+        entries: Vec<(Timestamp, Item)>,
+        wait: WaitSpec,
+    ) -> StmResult<Vec<StmResult<()>>> {
+        let n = entries.len();
+        match self.device.inner.call(Request::PutBatch {
+            conn: self.conn,
+            items: batch_items(entries),
+            wait,
+        })? {
+            Reply::BatchResults { codes } => codes_to_results(codes, n),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
 }
 
 impl ClientChanOut {
@@ -736,6 +834,38 @@ impl ClientQueueIn {
                 payload,
                 ticket,
             } => Ok((ts, Item::new(payload).with_tag(tag).with_trace(ctx), ticket)),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Dequeues up to `max` items in one session round trip, non-blocking.
+    /// An empty queue yields an empty vector; every returned ticket
+    /// settles individually with [`ClientQueueIn::consume`] or
+    /// [`ClientQueueIn::requeue`].
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn dequeue_many(&self, max: usize) -> StmResult<Vec<(Timestamp, Item, u64)>> {
+        let reply = self.device.inner.call(Request::GetBatch {
+            conn: self.conn,
+            specs: Vec::new(),
+            max: u32::try_from(max).unwrap_or(u32::MAX),
+        })?;
+        match reply {
+            Reply::BatchItems { items } => Ok(items
+                .into_iter()
+                .take_while(|got| got.code == 0)
+                .map(|got| {
+                    (
+                        got.ts,
+                        Item::new(got.payload)
+                            .with_tag(got.tag)
+                            .with_trace(got.trace),
+                        got.ticket,
+                    )
+                })
+                .collect()),
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
@@ -818,6 +948,29 @@ impl ClientQueueOut {
             wait,
         })? {
             Reply::Ok => Ok(()),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Enqueues several items in one session round trip. Items enqueue
+    /// contiguously in order; per-item outcomes come back in order, with
+    /// no transactional atomicity across the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke.
+    pub fn enqueue_many(
+        &self,
+        entries: Vec<(Timestamp, Item)>,
+        wait: WaitSpec,
+    ) -> StmResult<Vec<StmResult<()>>> {
+        let n = entries.len();
+        match self.device.inner.call(Request::PutBatch {
+            conn: self.conn,
+            items: batch_items(entries),
+            wait,
+        })? {
+            Reply::BatchResults { codes } => codes_to_results(codes, n),
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }

@@ -397,3 +397,91 @@ fn filtered_client_connection_attends_selectively() {
     assert_eq!(chan_arc.live_items(), 0);
     cluster.shutdown();
 }
+
+#[test]
+fn batched_channel_cycle_both_codecs() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    for codec in [CodecId::Xdr, CodecId::Jdr] {
+        let device = EndDevice::attach(addr, codec, "batcher").unwrap();
+        let chan = device
+            .create_channel(None, ChannelAttrs::default())
+            .unwrap();
+        let out = device.connect_channel_out(chan).unwrap();
+        let inp = device
+            .connect_channel_in(chan, Interest::FromEarliest)
+            .unwrap();
+
+        let entries = (0..16i64)
+            .map(|i| (ts(i), Item::from_vec(vec![i as u8; 32]).with_tag(i as u32)))
+            .collect::<Vec<_>>();
+        let results = out.put_many(entries, WaitSpec::Forever).unwrap();
+        assert_eq!(results.len(), 16);
+        assert!(results.iter().all(Result::is_ok));
+
+        // A second batch over an overlapping range fails only per item.
+        let redo = vec![
+            (ts(0), Item::from_vec(vec![9])),
+            (ts(100), Item::from_vec(vec![9])),
+        ];
+        let results = out.put_many(redo, WaitSpec::Forever).unwrap();
+        assert_eq!(results[0].clone().unwrap_err(), StmError::TsExists);
+        assert!(results[1].is_ok());
+
+        let specs = (0..4i64).map(|i| GetSpec::Exact(ts(i))).collect::<Vec<_>>();
+        let got = inp.get_many(&specs).unwrap();
+        assert_eq!(got.len(), 4);
+        for (i, res) in got.into_iter().enumerate() {
+            let (t, item) = res.unwrap();
+            assert_eq!(t, ts(i as i64));
+            assert_eq!(item.tag(), i as u32);
+            assert_eq!(item.payload(), &vec![i as u8; 32][..]);
+        }
+        // Misses come back per spec, not as a frame-level error.
+        let got = inp
+            .get_many(&[GetSpec::Exact(ts(5)), GetSpec::Exact(ts(999))])
+            .unwrap();
+        assert!(got[0].is_ok());
+        assert_eq!(got[1].clone().unwrap_err(), StmError::Absent);
+        device.detach().unwrap();
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn batched_queue_cycle_from_client() {
+    let cluster = Cluster::in_process(1).unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let device = EndDevice::attach_c(addr, "q-batcher").unwrap();
+    let queue = device.create_queue(None, QueueAttrs::default()).unwrap();
+    let out = device.connect_queue_out(queue).unwrap();
+    let inp = device.connect_queue_in(queue).unwrap();
+
+    let entries = (0..10u32)
+        .map(|i| (ts(1), Item::from_vec(vec![i as u8]).with_tag(i)))
+        .collect::<Vec<_>>();
+    let results = out.enqueue_many(entries, WaitSpec::Forever).unwrap();
+    assert_eq!(results.len(), 10);
+    assert!(results.iter().all(Result::is_ok));
+
+    // First drain takes at most 6; tickets settle individually.
+    let first = inp.dequeue_many(6).unwrap();
+    assert_eq!(first.len(), 6);
+    let tags = first
+        .iter()
+        .map(|(_, item, _)| item.tag())
+        .collect::<Vec<_>>();
+    assert_eq!(tags, (0..6).collect::<Vec<_>>());
+    for (_, _, ticket) in &first {
+        inp.consume(*ticket).unwrap();
+    }
+    // Second drain returns what is left, and a third returns empty.
+    let second = inp.dequeue_many(32).unwrap();
+    assert_eq!(second.len(), 4);
+    for (_, _, ticket) in &second {
+        inp.consume(*ticket).unwrap();
+    }
+    assert!(inp.dequeue_many(32).unwrap().is_empty());
+    device.detach().unwrap();
+    cluster.shutdown();
+}

@@ -118,6 +118,7 @@ pub struct ChannelAttrs {
     capacity: Option<u32>,
     overflow: OverflowPolicy,
     gc: GcPolicy,
+    shards: Option<u32>,
 }
 
 impl ChannelAttrs {
@@ -146,6 +147,24 @@ impl ChannelAttrs {
     pub fn gc(&self) -> GcPolicy {
         self.gc
     }
+
+    /// Number of internal storage shards, or `None` for the owner's default.
+    ///
+    /// This is a local tuning knob, not a wire attribute: it never travels
+    /// in create requests, so a decoded `ChannelAttrs` always reports `None`
+    /// and the owning address space fills in its configured default.
+    #[must_use]
+    pub fn shards(&self) -> Option<u32> {
+        self.shards
+    }
+
+    /// Returns a copy with the shard count pinned (registries use this to
+    /// apply an address-space default to wire-decoded attrs).
+    #[must_use]
+    pub fn with_shards(mut self, n: u32) -> Self {
+        self.shards = Some(n);
+        self
+    }
 }
 
 impl Default for ChannelAttrs {
@@ -155,6 +174,7 @@ impl Default for ChannelAttrs {
             capacity: None,
             overflow: OverflowPolicy::Block,
             gc: GcPolicy::Ref,
+            shards: None,
         }
     }
 }
@@ -194,6 +214,15 @@ impl ChannelAttrsBuilder {
         self
     }
 
+    /// Sets the internal storage shard count (0 is clamped to 1).
+    ///
+    /// Local tuning knob only — not encoded on the wire.
+    #[must_use]
+    pub fn shards(mut self, n: u32) -> Self {
+        self.attrs.shards = Some(n);
+        self
+    }
+
     /// Finishes the build.
     #[must_use]
     pub fn build(self) -> ChannelAttrs {
@@ -215,6 +244,7 @@ impl ChannelAttrsBuilder {
 pub struct QueueAttrs {
     capacity: Option<u32>,
     overflow: OverflowPolicy,
+    shards: Option<u32>,
 }
 
 impl QueueAttrs {
@@ -237,6 +267,22 @@ impl QueueAttrs {
     pub fn overflow(&self) -> OverflowPolicy {
         self.overflow
     }
+
+    /// Number of in-flight ticket shards, or `None` for the owner's default.
+    ///
+    /// Like [`ChannelAttrs::shards`], this is a local tuning knob and never
+    /// travels on the wire.
+    #[must_use]
+    pub fn shards(&self) -> Option<u32> {
+        self.shards
+    }
+
+    /// Returns a copy with the shard count pinned.
+    #[must_use]
+    pub fn with_shards(mut self, n: u32) -> Self {
+        self.shards = Some(n);
+        self
+    }
 }
 
 impl Default for QueueAttrs {
@@ -245,6 +291,7 @@ impl Default for QueueAttrs {
         QueueAttrs {
             capacity: None,
             overflow: OverflowPolicy::Block,
+            shards: None,
         }
     }
 }
@@ -274,6 +321,15 @@ impl QueueAttrsBuilder {
     #[must_use]
     pub fn overflow(mut self, policy: OverflowPolicy) -> Self {
         self.attrs.overflow = policy;
+        self
+    }
+
+    /// Sets the in-flight ticket shard count (0 is clamped to 1).
+    ///
+    /// Local tuning knob only — not encoded on the wire.
+    #[must_use]
+    pub fn shards(mut self, n: u32) -> Self {
+        self.attrs.shards = Some(n);
         self
     }
 
@@ -344,5 +400,13 @@ mod tests {
     fn unknown_codes_fall_back_to_defaults() {
         assert_eq!(OverflowPolicy::from_code(77), OverflowPolicy::Block);
         assert_eq!(GcPolicy::from_code(77), GcPolicy::Ref);
+    }
+
+    #[test]
+    fn shards_default_to_owner_choice() {
+        assert_eq!(ChannelAttrs::default().shards(), None);
+        assert_eq!(QueueAttrs::default().shards(), None);
+        assert_eq!(ChannelAttrs::builder().shards(4).build().shards(), Some(4));
+        assert_eq!(QueueAttrs::builder().shards(4).build().shards(), Some(4));
     }
 }

@@ -7,6 +7,19 @@
 //! channel reclaims items no connection can ever need again (§3.1 of the
 //! paper).
 //!
+//! # Sharded storage
+//!
+//! Item storage is striped across N timestamp-partitioned shards (an item
+//! with timestamp `ts` lives in shard `ts mod N`, Euclidean), each behind
+//! its own lock. The connection table sits behind a read-write lock taken
+//! in read mode by every data-path operation, and per-connection consume
+//! cursors are monotone atomics advanced with `fetch_max` — so a
+//! `consume_until`/`set_vt` sweeping one shard never serializes a `put`
+//! landing in another. The GC floor and live count are merged across
+//! shards from monotone atomics. Shard count comes from
+//! [`ChannelAttrs::shards`] (default [`DEFAULT_STM_SHARDS`]); one shard
+//! reproduces the classic single-lock behaviour exactly.
+//!
 //! # Consumption and garbage collection
 //!
 //! Two policies are available (fixed at creation via
@@ -29,15 +42,24 @@
 //! `get` blocks until a qualifying item arrives; `put` blocks while the
 //! channel is at capacity under [`OverflowPolicy::Block`]. Every blocking
 //! operation has `try_` and `_timeout` variants.
+//!
+//! # Batching
+//!
+//! [`OutputConn::put_many`] and [`InputConn::get_many`] move a batch of
+//! items in one call: one connection-table read lock, one lock acquisition
+//! per shard touched, and one wakeup for the whole batch. Batch operations
+//! are per-item independent — each item succeeds or fails exactly as its
+//! singleton counterpart would, and a failure never rolls back its
+//! neighbours.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dstampede_obs::{trace, MetricsRegistry, SpanKind, TraceContext, Tracer};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::attr::{ChannelAttrs, GcPolicy, OverflowPolicy};
 use crate::error::{StmError, StmResult};
@@ -46,6 +68,10 @@ use crate::ids::{ChanId, ConnId, ResourceId};
 use crate::item::{Item, StreamItem};
 use crate::metrics::StmMetrics;
 use crate::time::{Timestamp, VirtualTime};
+
+/// Default number of storage shards for channels and queues when the
+/// creation attributes leave it unspecified.
+pub const DEFAULT_STM_SHARDS: u32 = 8;
 
 /// Which item a `get` refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,30 +190,101 @@ struct Slot {
     pending: HashSet<ConnId>,
 }
 
-struct InConnState {
+/// Per-input-connection state. The cursors are monotone and advanced with
+/// `fetch_max`, so consumes and virtual-time promises need only a *read*
+/// lock on the connection table — the shard locks order them against puts.
+struct InConn {
     /// Everything at or below this timestamp is consumed by this connection.
-    until: Timestamp,
-    /// Virtual-time promise (TGC policy).
-    vt: VirtualTime,
+    until: AtomicI64,
+    /// Virtual-time promise floor (TGC policy).
+    vt_floor: AtomicI64,
     /// Which tags this connection attends to.
     filter: TagFilter,
 }
 
-impl InConnState {
+impl InConn {
     /// Highest timestamp this connection is provably done with.
     fn done_through(&self) -> Timestamp {
-        self.until.max(self.vt.floor().prev())
+        let until = Timestamp::new(self.until.load(Ordering::SeqCst));
+        let vt = Timestamp::new(self.vt_floor.load(Ordering::SeqCst));
+        until.max(vt.prev())
     }
 }
 
-struct ChanState {
-    items: BTreeMap<Timestamp, Slot>,
-    /// Every timestamp at or below the floor is permanently gone.
-    floor: Timestamp,
-    in_conns: HashMap<ConnId, InConnState>,
+/// Connection table and lifecycle flags. Shard locks nest strictly inside
+/// this lock; gates are only touched with no container lock held.
+struct ChanMeta {
+    in_conns: HashMap<ConnId, InConn>,
     out_conns: HashSet<ConnId>,
     next_conn: u64,
     closed: bool,
+}
+
+/// An eventcount-style wakeup gate: waiters register, snapshot a sequence
+/// number, re-check their predicate, and sleep only while the sequence is
+/// unchanged. Notifiers pay a single atomic load when nobody is waiting,
+/// keeping the uncontended put path free of condvar traffic.
+struct Gate {
+    seq: Mutex<u64>,
+    cv: Condvar,
+    waiters: AtomicUsize,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            seq: Mutex::new(0),
+            cv: Condvar::new(),
+            waiters: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers intent to wait and snapshots the wakeup sequence. Must be
+    /// paired with exactly one `wait` or `unregister`.
+    fn register(&self) -> u64 {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        *self.seq.lock()
+    }
+
+    /// Drops a registration without waiting.
+    fn unregister(&self) {
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Blocks until the sequence moves past `snap` or the deadline expires;
+    /// returns `false` on timeout. Unregisters in every case.
+    fn wait(&self, snap: u64, deadline: Deadline) -> bool {
+        let timed_out = {
+            let mut seq = self.seq.lock();
+            let mut timed_out = false;
+            while *seq == snap && !timed_out {
+                match deadline {
+                    Deadline::Now => timed_out = true,
+                    Deadline::Never => self.cv.wait(&mut seq),
+                    Deadline::At(at) => {
+                        timed_out = self.cv.wait_until(&mut seq, at).timed_out();
+                    }
+                }
+            }
+            timed_out
+        };
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        !timed_out
+    }
+
+    /// Wakes every registered waiter. The state change that satisfies the
+    /// waiter's predicate must be published (its lock released) before the
+    /// call; the SeqCst register/load pair then makes missed wakeups
+    /// impossible.
+    fn notify(&self) {
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            {
+                let mut seq = self.seq.lock();
+                *seq = seq.wrapping_add(1);
+            }
+            self.cv.notify_all();
+        }
+    }
 }
 
 /// A timestamp-indexed space-time memory channel.
@@ -218,9 +315,24 @@ pub struct Channel {
     id: ChanId,
     name: Option<String>,
     attrs: ChannelAttrs,
-    state: Mutex<ChanState>,
-    items_cv: Condvar,
-    space_cv: Condvar,
+    meta: RwLock<ChanMeta>,
+    /// Timestamp-striped item storage: `ts` lands in shard
+    /// `ts mod shards.len()` (Euclidean).
+    shards: Box<[Mutex<BTreeMap<Timestamp, Slot>>]>,
+    /// Cached minimum key per shard (`i64::MAX` when empty). Written only
+    /// under the matching shard lock; read lock-free as a reclamation
+    /// skip hint — stale reads are safe because a missed fresh minimum is
+    /// simply collected on a later pass.
+    shard_lows: Box<[AtomicI64]>,
+    /// Reclamation floor; monotone, advanced with `fetch_max` only.
+    floor: AtomicI64,
+    /// Live item count across all shards.
+    live: AtomicUsize,
+    /// Live items carrying a trace context. When zero, consume paths
+    /// skip the per-item walk that emits Consume trace events.
+    traced_live: AtomicUsize,
+    items_gate: Gate,
+    space_gate: Gate,
     hooks: Mutex<Hooks>,
     stats: AtomicStats,
     obs: StmMetrics,
@@ -250,20 +362,27 @@ impl Channel {
         attrs: ChannelAttrs,
         metrics: &MetricsRegistry,
     ) -> Arc<Self> {
+        let nshards = attrs.shards().unwrap_or(DEFAULT_STM_SHARDS).max(1) as usize;
+        let shards: Box<[Mutex<BTreeMap<Timestamp, Slot>>]> =
+            (0..nshards).map(|_| Mutex::new(BTreeMap::new())).collect();
+        let shard_lows: Box<[AtomicI64]> = (0..nshards).map(|_| AtomicI64::new(i64::MAX)).collect();
         Arc::new(Channel {
             id,
             name,
             attrs,
-            state: Mutex::new(ChanState {
-                items: BTreeMap::new(),
-                floor: Timestamp::MIN,
+            meta: RwLock::new(ChanMeta {
                 in_conns: HashMap::new(),
                 out_conns: HashSet::new(),
                 next_conn: 1,
                 closed: false,
             }),
-            items_cv: Condvar::new(),
-            space_cv: Condvar::new(),
+            shards,
+            shard_lows,
+            floor: AtomicI64::new(Timestamp::MIN.value()),
+            live: AtomicUsize::new(0),
+            traced_live: AtomicUsize::new(0),
+            items_gate: Gate::new(),
+            space_gate: Gate::new(),
             hooks: Mutex::new(Hooks::new()),
             stats: AtomicStats::default(),
             obs: StmMetrics::channel(metrics),
@@ -302,6 +421,12 @@ impl Channel {
         &self.attrs
     }
 
+    /// Number of storage shards backing this channel.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// A snapshot of activity counters.
     #[must_use]
     pub fn stats(&self) -> ChannelStats {
@@ -311,13 +436,13 @@ impl Channel {
     /// Number of live (unreclaimed) items.
     #[must_use]
     pub fn live_items(&self) -> usize {
-        self.state.lock().items.len()
+        self.live.load(Ordering::SeqCst)
     }
 
     /// The reclamation floor: every timestamp at or below it is gone.
     #[must_use]
     pub fn gc_floor(&self) -> Timestamp {
-        self.state.lock().floor
+        Timestamp::new(self.floor.load(Ordering::SeqCst))
     }
 
     /// Installs a garbage hook fired for every reclaimed item.
@@ -355,37 +480,52 @@ impl Channel {
         interest: Interest,
         filter: TagFilter,
     ) -> InputConn {
-        let mut st = self.state.lock();
-        let id = ConnId(st.next_conn);
-        st.next_conn += 1;
+        // The write lock excludes concurrent puts, so the pending-set
+        // snapshot across shards is consistent.
+        let mut meta = self.meta.write();
+        let id = ConnId(meta.next_conn);
+        meta.next_conn += 1;
         let from = match interest {
             Interest::FromEarliest => Timestamp::MIN,
-            Interest::FromLatest => st
-                .items
-                .keys()
-                .next_back()
-                .copied()
-                .map_or(Timestamp::MIN, Timestamp::next),
+            Interest::FromLatest => {
+                let mut hi: Option<Timestamp> = None;
+                for shard in self.shards.iter() {
+                    if let Some(&t) = shard.lock().keys().next_back() {
+                        if hi.is_none_or(|h| t > h) {
+                            hi = Some(t);
+                        }
+                    }
+                }
+                hi.map_or(Timestamp::MIN, Timestamp::next)
+            }
             Interest::FromTs(ts) => ts,
         };
-        // Items at or above the interest point whose tag passes the filter
-        // gain this connection in their pending set; everything else is
-        // treated as pre-consumed.
-        for (&ts, slot) in st.items.range_mut(from..) {
-            debug_assert!(ts >= from);
-            if filter.matches(slot.item.tag()) {
-                slot.pending.insert(id);
+        // Filtered connections claim items through per-slot pending sets;
+        // items at or above the interest point whose tag passes the filter
+        // gain this connection, everything else is treated as
+        // pre-consumed. Unfiltered connections claim by cursor alone: an
+        // item is theirs exactly while their done-through sits below it,
+        // so no per-item membership is recorded (and none is swept on
+        // consume — the hot path stays lock-free).
+        if !matches!(filter, TagFilter::Any) {
+            for shard in self.shards.iter() {
+                let mut shard = shard.lock();
+                for (_, slot) in shard.range_mut(from..) {
+                    if filter.matches(slot.item.tag()) {
+                        slot.pending.insert(id);
+                    }
+                }
             }
         }
-        st.in_conns.insert(
+        meta.in_conns.insert(
             id,
-            InConnState {
-                until: from.prev(),
-                vt: VirtualTime::START,
+            InConn {
+                until: AtomicI64::new(from.prev().value()),
+                vt_floor: AtomicI64::new(Timestamp::MIN.value()),
                 filter,
             },
         );
-        drop(st);
+        drop(meta);
         InputConn {
             chan: Arc::clone(self),
             id,
@@ -395,11 +535,11 @@ impl Channel {
     /// Opens an output connection.
     #[must_use]
     pub fn connect_output(self: &Arc<Self>) -> OutputConn {
-        let mut st = self.state.lock();
-        let id = ConnId(st.next_conn);
-        st.next_conn += 1;
-        st.out_conns.insert(id);
-        drop(st);
+        let mut meta = self.meta.write();
+        let id = ConnId(meta.next_conn);
+        meta.next_conn += 1;
+        meta.out_conns.insert(id);
+        drop(meta);
         OutputConn {
             chan: Arc::clone(self),
             id,
@@ -410,60 +550,86 @@ impl Channel {
     /// [`StmError::Closed`], further puts fail, and gets of already-present
     /// items keep working so consumers can drain.
     pub fn close(&self) {
-        let mut st = self.state.lock();
-        st.closed = true;
-        drop(st);
-        self.items_cv.notify_all();
-        self.space_cv.notify_all();
+        self.meta.write().closed = true;
+        self.items_gate.notify();
+        self.space_gate.notify();
     }
 
     /// Whether [`Channel::close`] has been called.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.state.lock().closed
+        self.meta.read().closed
     }
 
     // ---- internal operations (used by connection guards and the runtime) --
 
-    /// Resolves a spec against the current state for a given connection.
-    /// Returns `Ok(Some(ts))` when an item qualifies now, `Ok(None)` when
-    /// one could still arrive, and an error when it never can. Items the
-    /// connection's tag filter rejects are invisible to it.
-    fn resolve(st: &ChanState, conn: ConnId, spec: GetSpec) -> StmResult<Option<Timestamp>> {
-        let c = st.in_conns.get(&conn).ok_or(StmError::NoSuchConnection)?;
+    /// The shard a timestamp is stored in.
+    fn shard_of(&self, ts: Timestamp) -> usize {
+        ts.value().rem_euclid(self.shards.len() as i64) as usize
+    }
+
+    /// Resolves a spec against the current state for a given connection,
+    /// cloning the item out under its shard lock. Returns `Ok(Some(..))`
+    /// when an item qualifies now, `Ok(None)` when one could still arrive,
+    /// and an error when it never can. Items the connection's tag filter
+    /// rejects are invisible to it.
+    fn resolve(
+        &self,
+        meta: &ChanMeta,
+        conn: ConnId,
+        spec: GetSpec,
+    ) -> StmResult<Option<(Timestamp, Item)>> {
+        let c = meta.in_conns.get(&conn).ok_or(StmError::NoSuchConnection)?;
         let done = c.done_through();
         let filter = &c.filter;
         match spec {
             GetSpec::Exact(ts) => {
-                if ts <= done || ts <= st.floor {
+                if ts <= done || ts.value() <= self.floor.load(Ordering::SeqCst) {
                     return Err(StmError::Dropped);
                 }
-                match st.items.get(&ts) {
+                match self.shards[self.shard_of(ts)].lock().get(&ts) {
                     Some(slot) if !filter.matches(slot.item.tag()) => Err(StmError::Dropped),
-                    Some(_) => Ok(Some(ts)),
+                    Some(slot) => Ok(Some((ts, slot.item.clone()))),
                     None => Ok(None),
                 }
             }
-            GetSpec::Latest => Ok(st
-                .items
-                .range(done.next()..)
-                .rev()
-                .find(|(_, slot)| filter.matches(slot.item.tag()))
-                .map(|(&ts, _)| ts)),
-            GetSpec::Earliest => Ok(st
-                .items
-                .range(done.next()..)
-                .find(|(_, slot)| filter.matches(slot.item.tag()))
-                .map(|(&ts, _)| ts)),
-            GetSpec::After(after) => {
-                let from = after.max(done).next();
-                Ok(st
-                    .items
-                    .range(from..)
-                    .find(|(_, slot)| filter.matches(slot.item.tag()))
-                    .map(|(&ts, _)| ts))
+            GetSpec::Latest => {
+                let mut best: Option<(Timestamp, Item)> = None;
+                for shard in self.shards.iter() {
+                    let shard = shard.lock();
+                    if let Some((&t, slot)) = shard
+                        .range(done.next()..)
+                        .rev()
+                        .find(|(_, s)| filter.matches(s.item.tag()))
+                    {
+                        if best.as_ref().is_none_or(|(b, _)| t > *b) {
+                            best = Some((t, slot.item.clone()));
+                        }
+                    }
+                }
+                Ok(best)
+            }
+            GetSpec::Earliest => Ok(self.scan_earliest(done.next(), filter)),
+            GetSpec::After(after) => Ok(self.scan_earliest(after.max(done).next(), filter)),
+        }
+    }
+
+    /// Oldest item at or above `from` passing the filter, merged across
+    /// shards.
+    fn scan_earliest(&self, from: Timestamp, filter: &TagFilter) -> Option<(Timestamp, Item)> {
+        let mut best: Option<(Timestamp, Item)> = None;
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            if let Some((&t, slot)) = shard
+                .range(from..)
+                .find(|(_, s)| filter.matches(s.item.tag()))
+            {
+                if best.as_ref().is_none_or(|(b, _)| t < *b) {
+                    best = Some((t, slot.item.clone()));
+                }
             }
         }
+        best
     }
 
     /// The stable resource name spans use for this channel.
@@ -480,6 +646,24 @@ impl Channel {
             .saturating_sub(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX))
     }
 
+    /// Shared success bookkeeping for gets.
+    fn finish_get(&self, found: (Timestamp, Item), started: Instant) -> (Timestamp, Item) {
+        let (ts, item) = found;
+        self.stats.gets.fetch_add(1, Ordering::Relaxed);
+        self.obs.record_get(started);
+        if let Some(ctx) = item.trace_context() {
+            self.obs.tracer.finish(
+                ctx,
+                SpanKind::Get,
+                self.span_resource(),
+                ts.value(),
+                Self::span_start(&self.obs.tracer, started),
+                "",
+            );
+        }
+        (ts, item)
+    }
+
     pub(crate) fn do_get(
         &self,
         conn: ConnId,
@@ -487,35 +671,190 @@ impl Channel {
         deadline: Deadline,
     ) -> StmResult<(Timestamp, Item)> {
         let started = Instant::now();
-        let mut st = self.state.lock();
-        loop {
-            if let Some(ts) = Self::resolve(&st, conn, spec)? {
-                let item = st.items.get(&ts).expect("resolved ts present").item.clone();
-                self.stats.gets.fetch_add(1, Ordering::Relaxed);
-                self.obs.record_get(started);
-                if let Some(ctx) = item.trace_context() {
-                    self.obs.tracer.finish(
-                        ctx,
-                        SpanKind::Get,
-                        self.span_resource(),
-                        ts.value(),
-                        Self::span_start(&self.obs.tracer, started),
-                        "",
-                    );
-                }
-                return Ok((ts, item));
+        // Fast path: no gate registration when a decision is immediate.
+        {
+            let meta = self.meta.read();
+            if let Some(found) = self.resolve(&meta, conn, spec)? {
+                drop(meta);
+                return Ok(self.finish_get(found, started));
             }
-            if st.closed {
+            if meta.closed {
                 return Err(StmError::Closed);
             }
-            match deadline {
-                Deadline::Now => return Err(StmError::Absent),
-                Deadline::Never => {
-                    self.items_cv.wait(&mut st);
+        }
+        if matches!(deadline, Deadline::Now) {
+            return Err(StmError::Absent);
+        }
+        loop {
+            // Register-then-recheck: any put/close/disconnect published
+            // after our re-check bumps the gate sequence, so sleeping on
+            // the snapshot cannot miss it.
+            let snap = self.items_gate.register();
+            let decided = {
+                let meta = self.meta.read();
+                match self.resolve(&meta, conn, spec) {
+                    Err(e) => Some(Err(e)),
+                    Ok(Some(found)) => Some(Ok(found)),
+                    Ok(None) if meta.closed => Some(Err(StmError::Closed)),
+                    Ok(None) => None,
                 }
-                Deadline::At(instant) => {
-                    if self.items_cv.wait_until(&mut st, instant).timed_out() {
+            };
+            match decided {
+                Some(res) => {
+                    self.items_gate.unregister();
+                    return res.map(|found| self.finish_get(found, started));
+                }
+                None => {
+                    if !self.items_gate.wait(snap, deadline) {
                         return Err(StmError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts the globally oldest item (DropOldest policy), raising the
+    /// floor past it. A no-op when every shard is empty.
+    fn evict_oldest(&self, evicted: &mut Vec<(Timestamp, Slot)>) {
+        loop {
+            let mut oldest: Option<(Timestamp, usize)> = None;
+            for (idx, shard) in self.shards.iter().enumerate() {
+                if let Some(&t) = shard.lock().keys().next() {
+                    if oldest.is_none_or(|(best, _)| t < best) {
+                        oldest = Some((t, idx));
+                    }
+                }
+            }
+            let Some((t, idx)) = oldest else { return };
+            // Re-check under the lock: the min may have been consumed or
+            // evicted by a racing caller between the scan and here.
+            let mut shard = self.shards[idx].lock();
+            if let Some(slot) = shard.remove(&t) {
+                self.shard_lows[idx].store(
+                    shard.keys().next().map_or(i64::MAX, |t| t.value()),
+                    Ordering::SeqCst,
+                );
+                drop(shard);
+                self.floor.fetch_max(t.value(), Ordering::SeqCst);
+                self.live.fetch_sub(1, Ordering::SeqCst);
+                evicted.push((t, slot));
+                return;
+            }
+        }
+    }
+
+    /// The insert core of `put`: validates, reserves capacity, and lands
+    /// the item in its shard. `slot_item` is taken exactly once, on the
+    /// iteration that inserts.
+    fn put_loop(
+        &self,
+        conn: ConnId,
+        ts: Timestamp,
+        slot_item: &mut Option<Item>,
+        deadline: Deadline,
+        evicted: &mut Vec<(Timestamp, Slot)>,
+    ) -> StmResult<()> {
+        let cap = self.attrs.capacity().map(|c| c as usize);
+        loop {
+            {
+                let meta = self.meta.read();
+                if !meta.out_conns.contains(&conn) {
+                    return Err(StmError::NoSuchConnection);
+                }
+                if meta.closed {
+                    return Err(StmError::Closed);
+                }
+                if ts.value() <= self.floor.load(Ordering::SeqCst) {
+                    return Err(StmError::TsTooOld);
+                }
+                let idx = self.shard_of(ts);
+                if cap.is_some() && self.shards[idx].lock().contains_key(&ts) {
+                    // Duplicate beats Full, as in the single-lock code.
+                    return Err(StmError::TsExists);
+                }
+                let mut reserved = false;
+                match cap {
+                    None => {
+                        self.live.fetch_add(1, Ordering::SeqCst);
+                        reserved = true;
+                    }
+                    Some(c) => {
+                        let cur = self.live.load(Ordering::SeqCst);
+                        if cur < c {
+                            if self
+                                .live
+                                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                                .is_ok()
+                            {
+                                reserved = true;
+                            } else {
+                                continue; // lost the slot race; retry
+                            }
+                        } else {
+                            match self.attrs.overflow() {
+                                OverflowPolicy::Reject => return Err(StmError::Full),
+                                OverflowPolicy::DropOldest => {
+                                    self.evict_oldest(evicted);
+                                    self.live.fetch_add(1, Ordering::SeqCst);
+                                    reserved = true;
+                                }
+                                OverflowPolicy::Block => {}
+                            }
+                        }
+                    }
+                }
+                if reserved {
+                    let mut shard = self.shards[idx].lock();
+                    if ts.value() <= self.floor.load(Ordering::SeqCst) {
+                        self.live.fetch_sub(1, Ordering::SeqCst);
+                        return Err(StmError::TsTooOld);
+                    }
+                    if shard.contains_key(&ts) {
+                        self.live.fetch_sub(1, Ordering::SeqCst);
+                        return Err(StmError::TsExists);
+                    }
+                    let item = slot_item.take().expect("item inserted exactly once");
+                    // Only filtered connections live in pending sets;
+                    // unfiltered claims are implied by cursors. The cursors
+                    // are read *inside* the shard lock: a racing consume
+                    // either advanced `until` before this read (item lands
+                    // pre-consumed) or sweeps this shard after this insert
+                    // (and removes the claim).
+                    let pending: HashSet<ConnId> = meta
+                        .in_conns
+                        .iter()
+                        .filter(|(_, c)| {
+                            !matches!(c.filter, TagFilter::Any)
+                                && c.done_through() < ts
+                                && c.filter.matches(item.tag())
+                        })
+                        .map(|(&id, _)| id)
+                        .collect();
+                    if item.trace_context().is_some() {
+                        self.traced_live.fetch_add(1, Ordering::SeqCst);
+                    }
+                    shard.insert(ts, Slot { item, pending });
+                    self.shard_lows[idx].fetch_min(ts.value(), Ordering::SeqCst);
+                    self.stats.puts.fetch_add(1, Ordering::Relaxed);
+                    self.obs.occupancy.inc();
+                    return Ok(());
+                }
+            }
+            // Bounded + Block + full: wait for space.
+            match deadline {
+                Deadline::Now => return Err(StmError::Full),
+                _ => {
+                    let snap = self.space_gate.register();
+                    let still_full = {
+                        let meta = self.meta.read();
+                        !meta.closed && cap.is_some_and(|c| self.live.load(Ordering::SeqCst) >= c)
+                    };
+                    if still_full {
+                        if !self.space_gate.wait(snap, deadline) {
+                            return Err(StmError::Timeout);
+                        }
+                    } else {
+                        self.space_gate.unregister();
                     }
                 }
             }
@@ -543,73 +882,245 @@ impl Channel {
         let ctx = item.trace_context();
         let len = item.len();
         let mut evicted: Vec<(Timestamp, Slot)> = Vec::new();
-        {
-            let mut st = self.state.lock();
-            if !st.out_conns.contains(&conn) {
-                return Err(StmError::NoSuchConnection);
-            }
-            loop {
-                if st.closed {
-                    return Err(StmError::Closed);
-                }
-                if ts <= st.floor {
-                    return Err(StmError::TsTooOld);
-                }
-                if st.items.contains_key(&ts) {
-                    return Err(StmError::TsExists);
-                }
-                let cap = self.attrs.capacity().map(|c| c as usize);
-                let full = cap.is_some_and(|c| st.items.len() >= c);
-                if !full {
-                    break;
-                }
-                match self.attrs.overflow() {
-                    OverflowPolicy::Reject => return Err(StmError::Full),
-                    OverflowPolicy::DropOldest => {
-                        if let Some((&old_ts, _)) = st.items.iter().next() {
-                            let slot = st.items.remove(&old_ts).expect("min key present");
-                            st.floor = st.floor.max(old_ts);
-                            evicted.push((old_ts, slot));
-                        }
-                        break;
-                    }
-                    OverflowPolicy::Block => match deadline {
-                        Deadline::Now => return Err(StmError::Full),
-                        Deadline::Never => {
-                            self.space_cv.wait(&mut st);
-                        }
-                        Deadline::At(instant) => {
-                            if self.space_cv.wait_until(&mut st, instant).timed_out() {
-                                return Err(StmError::Timeout);
-                            }
-                        }
-                    },
-                }
-            }
-            let pending: HashSet<ConnId> = st
-                .in_conns
-                .iter()
-                .filter(|(_, c)| c.done_through() < ts && c.filter.matches(item.tag()))
-                .map(|(&id, _)| id)
-                .collect();
-            st.items.insert(ts, Slot { item, pending });
-            self.stats.puts.fetch_add(1, Ordering::Relaxed);
-            self.obs.occupancy.inc();
+        let mut slot_item = Some(item);
+        let result = self.put_loop(conn, ts, &mut slot_item, deadline, &mut evicted);
+        if result.is_ok() {
             self.obs.record_put(started);
-        }
-        self.items_cv.notify_all();
-        if let Some(ctx) = ctx {
-            self.obs.tracer.finish(
-                ctx,
-                SpanKind::Put,
-                self.span_resource(),
-                ts.value(),
-                Self::span_start(&self.obs.tracer, started),
-                &format!("bytes={len}"),
-            );
+            self.items_gate.notify();
+            if let Some(ctx) = ctx {
+                self.obs.tracer.finish(
+                    ctx,
+                    SpanKind::Put,
+                    self.span_resource(),
+                    ts.value(),
+                    Self::span_start(&self.obs.tracer, started),
+                    &format!("bytes={len}"),
+                );
+            }
         }
         self.finish_reclaim(evicted);
-        Ok(())
+        result
+    }
+
+    /// Puts a batch of items, returning one result per entry (in order).
+    ///
+    /// Unbounded channels take the fast path: one connection-table read
+    /// lock, one lock acquisition per shard touched, one wakeup. Bounded
+    /// channels go item-by-item so the overflow policy applies exactly as
+    /// it would for singleton puts. Entries are independent — a failed
+    /// entry never affects its neighbours, and duplicate timestamps within
+    /// a batch fail with [`StmError::TsExists`] after the first.
+    pub(crate) fn do_put_many(
+        &self,
+        conn: ConnId,
+        entries: Vec<(Timestamp, Item)>,
+        deadline: Deadline,
+    ) -> Vec<StmResult<()>> {
+        if self.attrs.capacity().is_some() {
+            return entries
+                .into_iter()
+                .map(|(ts, item)| self.do_put(conn, ts, item, deadline))
+                .collect();
+        }
+        let started = Instant::now();
+        let n = entries.len();
+        // Assign trace contexts up front so spans and GC instants attribute
+        // each item exactly as a singleton put would.
+        let mut entries: Vec<(Timestamp, Option<Item>)> = entries
+            .into_iter()
+            .map(|(ts, mut item)| {
+                if item.trace_context().is_none() {
+                    item.set_trace_context(
+                        trace::current().or_else(|| self.obs.tracer.begin_trace(ts.value())),
+                    );
+                }
+                (ts, Some(item))
+            })
+            .collect();
+        let mut results: Vec<StmResult<()>> = (0..n).map(|_| Ok(())).collect();
+        let mut spans: Vec<(Timestamp, TraceContext, usize)> = Vec::new();
+        let mut ok = 0usize;
+        {
+            let meta = self.meta.read();
+            if !meta.out_conns.contains(&conn) {
+                return (0..n).map(|_| Err(StmError::NoSuchConnection)).collect();
+            }
+            if meta.closed {
+                return (0..n).map(|_| Err(StmError::Closed)).collect();
+            }
+            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+            for (i, (ts, _)) in entries.iter().enumerate() {
+                by_shard[self.shard_of(*ts)].push(i);
+            }
+            for (si, idxs) in by_shard.iter().enumerate() {
+                if idxs.is_empty() {
+                    continue;
+                }
+                let mut shard = self.shards[si].lock();
+                for &i in idxs {
+                    let ts = entries[i].0;
+                    if ts.value() <= self.floor.load(Ordering::SeqCst) {
+                        results[i] = Err(StmError::TsTooOld);
+                        continue;
+                    }
+                    if shard.contains_key(&ts) {
+                        results[i] = Err(StmError::TsExists);
+                        continue;
+                    }
+                    let item = entries[i].1.take().expect("each entry inserted once");
+                    let pending: HashSet<ConnId> = meta
+                        .in_conns
+                        .iter()
+                        .filter(|(_, c)| {
+                            !matches!(c.filter, TagFilter::Any)
+                                && c.done_through() < ts
+                                && c.filter.matches(item.tag())
+                        })
+                        .map(|(&id, _)| id)
+                        .collect();
+                    if let Some(ctx) = item.trace_context() {
+                        spans.push((ts, ctx, item.len()));
+                        self.traced_live.fetch_add(1, Ordering::SeqCst);
+                    }
+                    shard.insert(ts, Slot { item, pending });
+                    self.shard_lows[si].fetch_min(ts.value(), Ordering::SeqCst);
+                    ok += 1;
+                }
+            }
+            if ok > 0 {
+                self.live.fetch_add(ok, Ordering::SeqCst);
+                self.stats.puts.fetch_add(ok as u64, Ordering::Relaxed);
+                self.obs.occupancy.add(ok as i64);
+            }
+        }
+        if ok > 0 {
+            self.obs.record_put(started);
+            self.items_gate.notify();
+            for (ts, ctx, len) in spans {
+                self.obs.tracer.finish(
+                    ctx,
+                    SpanKind::Put,
+                    self.span_resource(),
+                    ts.value(),
+                    Self::span_start(&self.obs.tracer, started),
+                    &format!("bytes={len}"),
+                );
+            }
+        }
+        results
+    }
+
+    /// Resolves a batch of specs non-blockingly, one result per spec:
+    /// absent items report [`StmError::Absent`] (or [`StmError::Closed`]
+    /// once the channel closed) instead of waiting.
+    pub(crate) fn do_get_many(
+        &self,
+        conn: ConnId,
+        specs: &[GetSpec],
+    ) -> Vec<StmResult<(Timestamp, Item)>> {
+        let started = Instant::now();
+        let meta = self.meta.read();
+        specs
+            .iter()
+            .map(|&spec| match self.resolve(&meta, conn, spec) {
+                Err(e) => Err(e),
+                Ok(Some(found)) => Ok(self.finish_get(found, started)),
+                Ok(None) => Err(if meta.closed {
+                    StmError::Closed
+                } else {
+                    StmError::Absent
+                }),
+            })
+            .collect()
+    }
+
+    /// Removes `conn` from the pending sets of every item in
+    /// `(from ..= upto)`. Items at or below the connection's previous
+    /// `until` can never hold its claim, so the sweep is bounded.
+    fn sweep(
+        &self,
+        conn: ConnId,
+        from: Timestamp,
+        upto: Timestamp,
+        traced: &mut Vec<(i64, TraceContext)>,
+    ) {
+        if from > upto {
+            return;
+        }
+        // Timestamps partition across shards by residue, so a span
+        // shorter than the shard count can only touch the shards its
+        // residues land on — a one-step consume locks one shard, not all.
+        let nshards = self.shards.len() as i64;
+        let span = upto.value().saturating_sub(from.value()).saturating_add(1);
+        if span < nshards {
+            for step in 0..span {
+                let ts = Timestamp::new(from.value() + step);
+                let mut shard = self.shards[self.shard_of(ts)].lock();
+                if let Some(slot) = shard.get_mut(&ts) {
+                    if slot.pending.remove(&conn) {
+                        if let Some(ctx) = slot.item.trace_context() {
+                            traced.push((ts.value(), ctx));
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock();
+            for (ts, slot) in shard.range_mut(from..=upto) {
+                if slot.pending.remove(&conn) {
+                    if let Some(ctx) = slot.item.trace_context() {
+                        traced.push((ts.value(), ctx));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases `conn`'s claims over `(from ..= upto)`. Filtered
+    /// connections hold per-slot pending membership and must sweep it
+    /// out; unfiltered connections claim by cursor alone, so the only
+    /// remaining per-item work is emitting Consume trace events — and
+    /// when no live item carries a context, even that walk is skipped,
+    /// leaving the unfiltered consume hot path free of shard locks.
+    fn release_claims(
+        &self,
+        conn: ConnId,
+        filter: &TagFilter,
+        from: Timestamp,
+        upto: Timestamp,
+        traced: &mut Vec<(i64, TraceContext)>,
+    ) {
+        if !matches!(filter, TagFilter::Any) {
+            self.sweep(conn, from, upto, traced);
+            return;
+        }
+        if self.traced_live.load(Ordering::SeqCst) == 0 || from > upto {
+            return;
+        }
+        let nshards = self.shards.len() as i64;
+        let span = upto.value().saturating_sub(from.value()).saturating_add(1);
+        if span < nshards {
+            for step in 0..span {
+                let ts = Timestamp::new(from.value() + step);
+                let shard = self.shards[self.shard_of(ts)].lock();
+                if let Some(slot) = shard.get(&ts) {
+                    if let Some(ctx) = slot.item.trace_context() {
+                        traced.push((ts.value(), ctx));
+                    }
+                }
+            }
+            return;
+        }
+        for shard in self.shards.iter() {
+            let shard = shard.lock();
+            for (ts, slot) in shard.range(from..=upto) {
+                if let Some(ctx) = slot.item.trace_context() {
+                    traced.push((ts.value(), ctx));
+                }
+            }
+        }
     }
 
     pub(crate) fn do_consume_until(&self, conn: ConnId, upto: Timestamp) -> StmResult<()> {
@@ -617,25 +1128,22 @@ impl Channel {
         let reclaimed;
         let mut traced: Vec<(i64, TraceContext)> = Vec::new();
         {
-            let mut st = self.state.lock();
-            let c = st
-                .in_conns
-                .get_mut(&conn)
-                .ok_or(StmError::NoSuchConnection)?;
-            if upto <= c.until {
+            let meta = self.meta.read();
+            let c = meta.in_conns.get(&conn).ok_or(StmError::NoSuchConnection)?;
+            let old = c.until.fetch_max(upto.value(), Ordering::SeqCst);
+            if old >= upto.value() {
                 return Ok(()); // idempotent: already consumed through here
             }
-            c.until = upto;
-            for (ts, slot) in st.items.range_mut(..=upto) {
-                if slot.pending.remove(&conn) {
-                    if let Some(ctx) = slot.item.trace_context() {
-                        traced.push((ts.value(), ctx));
-                    }
-                }
-            }
+            self.release_claims(
+                conn,
+                &c.filter,
+                Timestamp::new(old).next(),
+                upto,
+                &mut traced,
+            );
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
             self.obs.record_consume(started);
-            reclaimed = Self::collect(&mut st, self.attrs.gc());
+            reclaimed = self.collect(&meta);
         }
         for (ts, ctx) in traced {
             self.obs
@@ -651,30 +1159,28 @@ impl Channel {
         let reclaimed;
         let mut traced: Vec<(i64, TraceContext)> = Vec::new();
         {
-            let mut st = self.state.lock();
-            let c = st
-                .in_conns
-                .get_mut(&conn)
-                .ok_or(StmError::NoSuchConnection)?;
-            if vt <= c.vt {
+            let meta = self.meta.read();
+            let c = meta.in_conns.get(&conn).ok_or(StmError::NoSuchConnection)?;
+            let new_floor = vt.floor().value();
+            let old = c.vt_floor.fetch_max(new_floor, Ordering::SeqCst);
+            if old >= new_floor {
                 return Ok(()); // virtual time never moves backwards
             }
-            c.vt = vt;
             // A virtual-time promise also implies consumption under REF.
             let done = vt.floor().prev();
-            if done > c.until {
-                c.until = done;
-                for (ts, slot) in st.items.range_mut(..=done) {
-                    if slot.pending.remove(&conn) {
-                        if let Some(ctx) = slot.item.trace_context() {
-                            traced.push((ts.value(), ctx));
-                        }
-                    }
-                }
+            let old_until = c.until.fetch_max(done.value(), Ordering::SeqCst);
+            if done.value() > old_until {
+                self.release_claims(
+                    conn,
+                    &c.filter,
+                    Timestamp::new(old_until).next(),
+                    done,
+                    &mut traced,
+                );
             }
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
             self.obs.record_consume(started);
-            reclaimed = Self::collect(&mut st, self.attrs.gc());
+            reclaimed = self.collect(&meta);
         }
         for (ts, ctx) in traced {
             self.obs
@@ -688,81 +1194,150 @@ impl Channel {
     pub(crate) fn do_disconnect_input(&self, conn: ConnId) {
         let reclaimed;
         {
-            let mut st = self.state.lock();
-            if st.in_conns.remove(&conn).is_none() {
+            let mut meta = self.meta.write();
+            let Some(gone) = meta.in_conns.remove(&conn) else {
                 return;
-            }
-            for (_, slot) in st.items.iter_mut() {
-                slot.pending.remove(&conn);
+            };
+            // Unfiltered connections never enter pending sets; their
+            // cursor constraint vanished with the in_conns entry above.
+            if !matches!(gone.filter, TagFilter::Any) {
+                for shard in self.shards.iter() {
+                    let mut shard = shard.lock();
+                    for slot in shard.values_mut() {
+                        slot.pending.remove(&conn);
+                    }
+                }
             }
             // The departing connection's claims are released, but if it was
             // the *last* input connection, unconsumed items are retained for
             // future joiners — a crashed consumer must not take data with it
             // (failure-handling extension; see module docs).
-            reclaimed = Self::collect(&mut st, self.attrs.gc());
+            reclaimed = self.collect(&meta);
         }
         // Wake blocked getters on this connection so they observe
         // NoSuchConnection instead of sleeping until the next put.
-        self.items_cv.notify_all();
+        self.items_gate.notify();
         self.finish_reclaim(reclaimed);
     }
 
     pub(crate) fn do_disconnect_output(&self, conn: ConnId) {
-        let mut st = self.state.lock();
-        st.out_conns.remove(&conn);
+        self.meta.write().out_conns.remove(&conn);
     }
 
-    /// Collects dead items. Requires at least one input connection so that
-    /// pre-consumer streams are retained.
-    fn collect(st: &mut ChanState, policy: GcPolicy) -> Vec<(Timestamp, Slot)> {
-        if st.in_conns.is_empty() {
+    /// Collects dead items via a cheap merge across shards. Requires at
+    /// least one input connection so that pre-consumer streams are
+    /// retained.
+    ///
+    /// REF: pass 1 finds the globally first still-claimed item — the dead
+    /// horizon is just below it (or the global max when nothing is
+    /// claimed). TGC: the horizon is just below the minimum virtual-time
+    /// floor, read from the per-connection atomics. Pass 2 then drains
+    /// each shard's prefix at or below the horizon.
+    fn collect(&self, meta: &ChanMeta) -> Vec<(Timestamp, Slot)> {
+        if meta.in_conns.is_empty() {
             return Vec::new();
         }
-        Self::collect_inner(st, policy)
-    }
-
-    fn collect_inner(st: &mut ChanState, policy: GcPolicy) -> Vec<(Timestamp, Slot)> {
-        let dead_through: Timestamp = match policy {
-            GcPolicy::Ref => {
-                // Reclamation is prefix-based: collect the leading run of
-                // items nobody still claims. Without tag filters pending
-                // sets are monotone in ts, so the prefix is exact; with
-                // filters a dead item can sit behind a live one and is
-                // reclaimed when the prefix reaches it (safety unaffected,
-                // liveness slightly lazy — see TagFilter docs).
-                let mut last = None;
-                for (&ts, slot) in st.items.iter() {
-                    if slot.pending.is_empty() {
-                        last = Some(ts);
-                    } else {
+        let transparent = matches!(self.attrs.gc(), GcPolicy::Transparent);
+        let dead_through: Timestamp = if transparent {
+            let min_floor = meta
+                .in_conns
+                .values()
+                .map(|c| Timestamp::new(c.vt_floor.load(Ordering::SeqCst)))
+                .min()
+                .unwrap_or(Timestamp::MIN);
+            min_floor.prev()
+        } else if meta
+            .in_conns
+            .values()
+            .all(|c| matches!(c.filter, TagFilter::Any))
+        {
+            // Unfiltered REF fast path: with every connection attending
+            // every tag, an item's pending set is exactly the connections
+            // whose done-through cursor sits below it, so the first
+            // still-claimed item is just past the minimum cursor — no
+            // shard lock needed to find the horizon.
+            meta.in_conns
+                .values()
+                .map(InConn::done_through)
+                .min()
+                .unwrap_or(Timestamp::MIN)
+        } else {
+            // Reclamation is prefix-based: collect everything before the
+            // first item somebody still claims. Filtered claims live in
+            // pending sets and are found by scanning each shard's prefix;
+            // unfiltered claims are cursor-implied, so their bound is the
+            // minimum done-through among unfiltered connections. With
+            // filters a dead item can sit behind a live one and is
+            // reclaimed when the prefix reaches it (safety unaffected,
+            // liveness slightly lazy — see TagFilter docs).
+            let mut first_blocked: Option<Timestamp> = None;
+            let mut max_present: Option<Timestamp> = None;
+            for shard in self.shards.iter() {
+                let shard = shard.lock();
+                if let Some(&hi) = shard.keys().next_back() {
+                    if max_present.is_none_or(|m| hi > m) {
+                        max_present = Some(hi);
+                    }
+                }
+                for (&t, slot) in shard.iter() {
+                    if first_blocked.is_some_and(|fb| t >= fb) {
+                        break; // nothing older than the known horizon here
+                    }
+                    if !slot.pending.is_empty() {
+                        first_blocked = Some(t);
                         break;
                     }
                 }
-                match last {
-                    Some(ts) => ts,
-                    None => return Vec::new(),
+            }
+            let filtered_bound = match (first_blocked, max_present) {
+                (Some(fb), _) => fb.prev(),
+                (None, Some(hi)) => hi,
+                (None, None) => return Vec::new(),
+            };
+            meta.in_conns
+                .values()
+                .filter(|c| matches!(c.filter, TagFilter::Any))
+                .map(InConn::done_through)
+                .min()
+                .map_or(filtered_bound, |unfiltered| filtered_bound.min(unfiltered))
+        };
+        if dead_through.value() <= self.floor.load(Ordering::SeqCst) {
+            return Vec::new(); // horizon has not moved past prior reclamation
+        }
+        let mut reclaimed: Vec<(Timestamp, Slot)> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if self.shard_lows[si].load(Ordering::SeqCst) > dead_through.value() {
+                continue; // nothing at or below the horizon in this shard
+            }
+            let mut shard = shard.lock();
+            // A racing fresh put below the horizon may carry claims under
+            // REF; skip it — it is collected on a later pass. Under TGC
+            // every connection has promised past the horizon, so pending
+            // sets are irrelevant.
+            let dead: Vec<Timestamp> = shard
+                .range(..=dead_through)
+                .filter(|(_, s)| transparent || s.pending.is_empty())
+                .map(|(&t, _)| t)
+                .collect();
+            let mut removed = false;
+            for t in dead {
+                if let Some(slot) = shard.remove(&t) {
+                    reclaimed.push((t, slot));
+                    removed = true;
                 }
             }
-            GcPolicy::Transparent => {
-                let min_floor = st
-                    .in_conns
-                    .values()
-                    .map(|c| c.vt.floor())
-                    .min()
-                    .unwrap_or(Timestamp::MIN);
-                min_floor.prev()
+            if removed {
+                self.shard_lows[si].store(
+                    shard.keys().next().map_or(i64::MAX, |t| t.value()),
+                    Ordering::SeqCst,
+                );
             }
-        };
-        let mut reclaimed = Vec::new();
-        while let Some((&ts, _)) = st.items.iter().next() {
-            if ts > dead_through {
-                break;
-            }
-            let slot = st.items.remove(&ts).expect("min key present");
-            reclaimed.push((ts, slot));
         }
-        if let Some((ts, _)) = reclaimed.last() {
-            st.floor = st.floor.max(*ts);
+        if !reclaimed.is_empty() {
+            reclaimed.sort_by_key(|(t, _)| *t);
+            let max_ts = reclaimed.last().expect("non-empty").0;
+            self.floor.fetch_max(max_ts.value(), Ordering::SeqCst);
+            self.live.fetch_sub(reclaimed.len(), Ordering::SeqCst);
         }
         reclaimed
     }
@@ -772,7 +1347,14 @@ impl Channel {
         if reclaimed.is_empty() {
             return;
         }
-        self.space_cv.notify_all();
+        let traced = reclaimed
+            .iter()
+            .filter(|(_, s)| s.item.trace_context().is_some())
+            .count();
+        if traced > 0 {
+            self.traced_live.fetch_sub(traced, Ordering::SeqCst);
+        }
+        self.space_gate.notify();
         self.obs
             .occupancy
             .add(-i64::try_from(reclaimed.len()).unwrap_or(i64::MAX));
@@ -806,14 +1388,15 @@ impl Channel {
 
 impl fmt::Debug for Channel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.state.lock();
+        let meta = self.meta.read();
         f.debug_struct("Channel")
             .field("id", &self.id)
             .field("name", &self.name)
-            .field("live_items", &st.items.len())
-            .field("in_conns", &st.in_conns.len())
-            .field("out_conns", &st.out_conns.len())
-            .field("closed", &st.closed)
+            .field("live_items", &self.live.load(Ordering::SeqCst))
+            .field("shards", &self.shards.len())
+            .field("in_conns", &meta.in_conns.len())
+            .field("out_conns", &meta.out_conns.len())
+            .field("closed", &meta.closed)
             .finish()
     }
 }
@@ -894,6 +1477,14 @@ impl InputConn {
     pub fn get_typed<T: StreamItem>(&self, spec: GetSpec) -> StmResult<(Timestamp, T)> {
         let (ts, item) = self.get(spec)?;
         Ok((ts, item.decode::<T>()?))
+    }
+
+    /// Resolves a batch of specs in one pass, non-blockingly: one
+    /// connection-table read lock for the whole batch, one result per
+    /// spec (in order). Absent items report [`StmError::Absent`].
+    #[must_use]
+    pub fn get_many(&self, specs: &[GetSpec]) -> Vec<StmResult<(Timestamp, Item)>> {
+        self.chan.do_get_many(self.id, specs)
     }
 
     /// Declares every item at or below `upto` garbage as far as this
@@ -1001,6 +1592,27 @@ impl OutputConn {
     /// As [`OutputConn::put`].
     pub fn put_typed<T: StreamItem>(&self, ts: Timestamp, value: &T) -> StmResult<()> {
         self.put(ts, value.to_item())
+    }
+
+    /// Puts a batch of items in one pass, returning one result per entry
+    /// (in order). Entries are independent: each succeeds or fails exactly
+    /// as a singleton [`OutputConn::put`] would, and a failure never rolls
+    /// back its neighbours. On an unbounded channel the whole batch costs
+    /// one connection-table read lock, one lock acquisition per shard
+    /// touched, and one wakeup; a bounded channel applies its overflow
+    /// policy item by item (blocking per item under
+    /// [`OverflowPolicy::Block`]).
+    #[must_use]
+    pub fn put_many(&self, entries: Vec<(Timestamp, Item)>) -> Vec<StmResult<()>> {
+        self.chan.do_put_many(self.id, entries, Deadline::Never)
+    }
+
+    /// Non-blocking batch put: as [`OutputConn::put_many`] but a full
+    /// bounded channel reports [`StmError::Full`] per entry instead of
+    /// blocking.
+    #[must_use]
+    pub fn try_put_many(&self, entries: Vec<(Timestamp, Item)>) -> Vec<StmResult<()>> {
+        self.chan.do_put_many(self.id, entries, Deadline::Now)
     }
 
     /// Tears the connection down now rather than waiting for drop.
@@ -1593,5 +2205,163 @@ mod tests {
         slow.disconnect();
         assert_eq!(ch.live_items(), 0);
         assert_eq!(ch.stats().reclaimed_items, 2);
+    }
+
+    // ---- sharding & batching ------------------------------------------
+
+    #[test]
+    fn shard_count_follows_attrs() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        assert_eq!(ch.shard_count(), DEFAULT_STM_SHARDS as usize);
+        let ch = Channel::standalone(ChannelAttrs::builder().shards(3).build());
+        assert_eq!(ch.shard_count(), 3);
+        // shards(0) clamps to one shard rather than panicking.
+        let ch = Channel::standalone(ChannelAttrs::builder().shards(0).build());
+        assert_eq!(ch.shard_count(), 1);
+    }
+
+    #[test]
+    fn single_shard_config_behaves_identically() {
+        let ch = Channel::standalone(ChannelAttrs::builder().shards(1).build());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        for v in 1..=5 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        assert_eq!(inp.try_get(GetSpec::Latest).unwrap().0, ts(5));
+        inp.consume_until(ts(3)).unwrap();
+        assert_eq!(ch.live_items(), 2);
+        assert_eq!(ch.gc_floor(), ts(3));
+    }
+
+    #[test]
+    fn negative_timestamps_shard_safely() {
+        let ch = Channel::standalone(ChannelAttrs::builder().shards(7).build());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        for v in [-9i64, -3, 0, 4] {
+            out.put(ts(v), item(&[1])).unwrap();
+        }
+        assert_eq!(inp.try_get(GetSpec::Earliest).unwrap().0, ts(-9));
+        assert_eq!(inp.try_get(GetSpec::Latest).unwrap().0, ts(4));
+        inp.consume_until(ts(4)).unwrap();
+        assert_eq!(ch.live_items(), 0);
+    }
+
+    #[test]
+    fn put_many_get_many_round_trip() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        let entries: Vec<_> = (1..=32).map(|v| (ts(v), item(&[v as u8]))).collect();
+        let results = out.put_many(entries);
+        assert_eq!(results.len(), 32);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(ch.live_items(), 32);
+        assert_eq!(ch.stats().puts, 32);
+        let specs: Vec<_> = (1..=32).map(|v| GetSpec::Exact(ts(v))).collect();
+        let got = inp.get_many(&specs);
+        for (v, r) in (1..=32).zip(&got) {
+            let (t, it) = r.as_ref().unwrap();
+            assert_eq!(*t, ts(v));
+            assert_eq!(it.payload(), &[v as u8]);
+        }
+        assert_eq!(ch.stats().gets, 32);
+    }
+
+    #[test]
+    fn put_many_reports_per_item_errors() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(1), item(b"x")).unwrap();
+        inp.consume_until(ts(1)).unwrap(); // floor = 1
+        let results = out.put_many(vec![
+            (ts(1), item(b"too-old")),
+            (ts(5), item(b"ok")),
+            (ts(5), item(b"dup-in-batch")),
+            (ts(6), item(b"ok")),
+        ]);
+        assert_eq!(results[0], Err(StmError::TsTooOld));
+        assert_eq!(results[1], Ok(()));
+        assert_eq!(results[2], Err(StmError::TsExists));
+        assert_eq!(results[3], Ok(()));
+        assert_eq!(ch.live_items(), 2);
+    }
+
+    #[test]
+    fn put_many_on_bounded_channel_applies_overflow_policy() {
+        let attrs = ChannelAttrs::builder()
+            .capacity(2)
+            .overflow(OverflowPolicy::Reject)
+            .build();
+        let ch = Channel::standalone(attrs);
+        let out = ch.connect_output();
+        let results = out.put_many(vec![
+            (ts(1), item(b"a")),
+            (ts(2), item(b"b")),
+            (ts(3), item(b"c")),
+        ]);
+        assert_eq!(results[0], Ok(()));
+        assert_eq!(results[1], Ok(()));
+        assert_eq!(results[2], Err(StmError::Full));
+        assert_eq!(ch.live_items(), 2);
+    }
+
+    #[test]
+    fn put_many_wakes_blocked_getter() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let inp = ch.connect_input(Interest::default());
+        let ch2 = Arc::clone(&ch);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            let out = ch2.connect_output();
+            let rs = out.put_many((1..=4).map(|v| (ts(v), item(&[v as u8]))).collect());
+            assert!(rs.iter().all(Result::is_ok));
+        });
+        let (t, _) = inp.get(GetSpec::Exact(ts(3))).unwrap();
+        assert_eq!(t, ts(3));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn get_many_mixed_results() {
+        let ch = Channel::standalone(ChannelAttrs::default());
+        let out = ch.connect_output();
+        let inp = ch.connect_input(Interest::default());
+        out.put(ts(2), item(b"b")).unwrap();
+        let got = inp.get_many(&[
+            GetSpec::Exact(ts(2)),
+            GetSpec::Exact(ts(9)),
+            GetSpec::Earliest,
+        ]);
+        assert_eq!(got[0].as_ref().unwrap().0, ts(2));
+        assert_eq!(got[1], Err(StmError::Absent));
+        assert_eq!(got[2].as_ref().unwrap().0, ts(2));
+    }
+
+    #[test]
+    fn concurrent_consume_and_put_do_not_lose_claims() {
+        // A put racing a consume on the same connection must either land
+        // pre-consumed or have its claim swept; either way a follow-up
+        // consume_until reclaims everything.
+        for _ in 0..50 {
+            let ch = Channel::standalone(ChannelAttrs::builder().shards(4).build());
+            let out = ch.connect_output();
+            let inp = ch.connect_input(Interest::default());
+            let ch2 = Arc::clone(&ch);
+            let producer = thread::spawn(move || {
+                let out2 = ch2.connect_output();
+                for v in 0..64 {
+                    out2.put(ts(2 * v + 1), item(b"p")).unwrap();
+                }
+            });
+            for v in 0..64 {
+                out.put(ts(2 * v + 2), item(b"m")).unwrap();
+            }
+            producer.join().unwrap();
+            inp.consume_until(ts(1_000)).unwrap();
+            assert_eq!(ch.live_items(), 0, "all claims released and reclaimed");
+        }
     }
 }

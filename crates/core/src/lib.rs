@@ -72,7 +72,9 @@ pub mod time;
 pub use attr::{
     ChannelAttrs, ChannelAttrsBuilder, GcPolicy, OverflowPolicy, QueueAttrs, QueueAttrsBuilder,
 };
-pub use channel::{Channel, ChannelStats, GetSpec, InputConn, Interest, OutputConn, TagFilter};
+pub use channel::{
+    Channel, ChannelStats, GetSpec, InputConn, Interest, OutputConn, TagFilter, DEFAULT_STM_SHARDS,
+};
 pub use cursor::{ConsumeMode, StreamCursor};
 pub use error::{StmError, StmResult};
 pub use handler::{GarbageEvent, GarbageHook, Hooks};

@@ -15,6 +15,25 @@
 //! connection disconnects with tickets outstanding — e.g. a worker crashes —
 //! its in-flight items are automatically requeued, an extension supporting
 //! the failure handling the paper lists as future work (§3.3).
+//!
+//! # Sharded in-flight tracking
+//!
+//! FIFO hand-off is inherently serial — every `get` must agree on the head —
+//! but settling tickets is not. The in-flight table is partitioned into N
+//! ticket-indexed shards (`ticket % N`), each behind its own lock, so a pool
+//! of workers `consume`-ing finished fragments never serializes against the
+//! spine lock that orders `put`/`get`. Lock order is spine → shard; the
+//! consume path takes only its shard. Shard count comes from
+//! [`QueueAttrs::shards`], defaulting to
+//! [`crate::channel::DEFAULT_STM_SHARDS`].
+//!
+//! # Batching
+//!
+//! `put_many` enqueues a batch under one spine lock (unbounded queues) and
+//! `dequeue_many` drains up to `max` items with one lock acquisition,
+//! returning a ticket per item. Batches are per-item independent: there is
+//! no transactional atomicity, but FIFO order is preserved — a batch
+//! enqueues contiguously and dequeues in queue order.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
@@ -26,7 +45,7 @@ use dstampede_obs::{trace, MetricsRegistry, SpanKind};
 use parking_lot::{Condvar, Mutex};
 
 use crate::attr::{OverflowPolicy, QueueAttrs};
-use crate::channel::Deadline;
+use crate::channel::{Deadline, DEFAULT_STM_SHARDS};
 use crate::error::{StmError, StmResult};
 use crate::handler::{GarbageEvent, Hooks};
 use crate::ids::{ConnId, QueueId, ResourceId};
@@ -95,13 +114,14 @@ struct Inflight {
     conn: ConnId,
 }
 
-struct QState {
+/// The serial heart of the queue: FIFO ordering and connection membership.
+/// In-flight tickets live outside, in the sharded tables, so settling them
+/// does not contend here.
+struct QSpine {
     items: VecDeque<QEntry>,
-    inflight: HashMap<QTicket, Inflight>,
     in_conns: HashSet<ConnId>,
     out_conns: HashSet<ConnId>,
     next_conn: u64,
-    next_ticket: u64,
     closed: bool,
 }
 
@@ -130,7 +150,12 @@ pub struct Queue {
     id: QueueId,
     name: Option<String>,
     attrs: QueueAttrs,
-    state: Mutex<QState>,
+    spine: Mutex<QSpine>,
+    /// Ticket-partitioned in-flight tables; shard = `ticket.0 % len`.
+    /// Lock order: spine → shard. The consume fast path takes only the
+    /// shard, so worker pools settling tickets never touch the spine.
+    inflight: Box<[Mutex<HashMap<QTicket, Inflight>>]>,
+    next_ticket: AtomicU64,
     items_cv: Condvar,
     space_cv: Condvar,
     hooks: Mutex<Hooks>,
@@ -160,19 +185,23 @@ impl Queue {
         attrs: QueueAttrs,
         metrics: &MetricsRegistry,
     ) -> Arc<Self> {
+        let nshards = attrs.shards().unwrap_or(DEFAULT_STM_SHARDS).max(1) as usize;
         Arc::new(Queue {
             id,
             name,
             attrs,
-            state: Mutex::new(QState {
+            spine: Mutex::new(QSpine {
                 items: VecDeque::new(),
-                inflight: HashMap::new(),
                 in_conns: HashSet::new(),
                 out_conns: HashSet::new(),
                 next_conn: 1,
-                next_ticket: 1,
                 closed: false,
             }),
+            inflight: (0..nshards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            next_ticket: AtomicU64::new(1),
             items_cv: Condvar::new(),
             space_cv: Condvar::new(),
             hooks: Mutex::new(Hooks::new()),
@@ -213,6 +242,12 @@ impl Queue {
         &self.attrs
     }
 
+    /// Number of in-flight ticket shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// A snapshot of activity counters.
     #[must_use]
     pub fn stats(&self) -> QueueStats {
@@ -222,13 +257,13 @@ impl Queue {
     /// Number of queued (not in-flight) items.
     #[must_use]
     pub fn queued_items(&self) -> usize {
-        self.state.lock().items.len()
+        self.spine.lock().items.len()
     }
 
     /// Number of items handed out but not yet settled.
     #[must_use]
     pub fn inflight_items(&self) -> usize {
-        self.state.lock().inflight.len()
+        self.inflight.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Installs a garbage hook fired when items are consumed or evicted.
@@ -251,7 +286,7 @@ impl Queue {
     /// outstanding tickets.
     #[must_use]
     pub fn connect_input(self: &Arc<Self>) -> QueueInputConn {
-        let mut st = self.state.lock();
+        let mut st = self.spine.lock();
         let id = ConnId(st.next_conn);
         st.next_conn += 1;
         st.in_conns.insert(id);
@@ -265,7 +300,7 @@ impl Queue {
     /// Opens an output (putter) connection.
     #[must_use]
     pub fn connect_output(self: &Arc<Self>) -> QueueOutputConn {
-        let mut st = self.state.lock();
+        let mut st = self.spine.lock();
         let id = ConnId(st.next_conn);
         st.next_conn += 1;
         st.out_conns.insert(id);
@@ -279,7 +314,7 @@ impl Queue {
     /// Closes the queue: blocked operations wake with [`StmError::Closed`],
     /// puts fail, gets keep draining queued items.
     pub fn close(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.spine.lock();
         st.closed = true;
         drop(st);
         self.items_cv.notify_all();
@@ -289,7 +324,11 @@ impl Queue {
     /// Whether [`Queue::close`] has been called.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.state.lock().closed
+        self.spine.lock().closed
+    }
+
+    fn shard_of(&self, ticket: QTicket) -> usize {
+        (ticket.0 % self.inflight.len() as u64) as usize
     }
 
     // ---- internal operations ----
@@ -315,7 +354,7 @@ impl Queue {
         let len = item.len();
         let mut evicted: Option<QEntry> = None;
         {
-            let mut st = self.state.lock();
+            let mut st = self.spine.lock();
             if !st.out_conns.contains(&conn) {
                 return Err(StmError::NoSuchConnection);
             }
@@ -372,43 +411,181 @@ impl Queue {
         Ok(())
     }
 
+    /// Enqueues a batch, reporting a result per entry (order preserved).
+    ///
+    /// Bounded queues fall back to per-item puts so each entry sees the
+    /// overflow policy individually; the unbounded fast path takes the
+    /// spine lock once for the whole batch.
+    pub(crate) fn do_put_many(
+        &self,
+        conn: ConnId,
+        entries: Vec<(Timestamp, Item)>,
+        deadline: Deadline,
+    ) -> Vec<StmResult<()>> {
+        if self.attrs.capacity().is_some() {
+            return entries
+                .into_iter()
+                .map(|(ts, item)| self.do_put(conn, ts, item, deadline))
+                .collect();
+        }
+        let started = Instant::now();
+        let mut entries = entries;
+        for (ts, item) in &mut entries {
+            if item.trace_context().is_none() {
+                item.set_trace_context(
+                    trace::current().or_else(|| self.obs.tracer.begin_trace(ts.value())),
+                );
+            }
+        }
+        let spans: Vec<_> = entries
+            .iter()
+            .map(|(ts, item)| (*ts, item.trace_context(), item.len()))
+            .collect();
+        let n = entries.len();
+        {
+            let mut st = self.spine.lock();
+            if !st.out_conns.contains(&conn) {
+                return vec![Err(StmError::NoSuchConnection); n];
+            }
+            if st.closed {
+                return vec![Err(StmError::Closed); n];
+            }
+            for (ts, item) in entries {
+                st.items.push_back(QEntry { ts, item });
+            }
+            self.stats.puts.fetch_add(n as u64, Ordering::Relaxed);
+            self.obs.occupancy.add(i64::try_from(n).unwrap_or(i64::MAX));
+        }
+        if n > 0 {
+            self.obs.record_put(started);
+            // A batch can satisfy several blocked getters at once.
+            self.items_cv.notify_all();
+        }
+        for (ts, ctx, len) in spans {
+            if let Some(ctx) = ctx {
+                self.obs.tracer.finish(
+                    ctx,
+                    SpanKind::Put,
+                    &self.span_resource,
+                    ts.value(),
+                    self.obs.tracer.now_us().saturating_sub(
+                        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    ),
+                    &format!("bytes={len}"),
+                );
+            }
+        }
+        vec![Ok(()); n]
+    }
+
+    /// Pops one entry and checks it out to `conn`, inserting the in-flight
+    /// record while the spine is still held so a concurrent disconnect's
+    /// orphan scan cannot miss it.
+    fn checkout(&self, st: &mut QSpine, conn: ConnId) -> Option<(Timestamp, Item, QTicket)> {
+        let entry = st.items.pop_front()?;
+        let ticket = QTicket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
+        self.inflight[self.shard_of(ticket)].lock().insert(
+            ticket,
+            Inflight {
+                ts: entry.ts,
+                item: entry.item.clone(),
+                conn,
+            },
+        );
+        Some((entry.ts, entry.item, ticket))
+    }
+
     pub(crate) fn do_get(
         &self,
         conn: ConnId,
         deadline: Deadline,
     ) -> StmResult<(Timestamp, Item, QTicket)> {
         let started = Instant::now();
-        let mut st = self.state.lock();
+        let mut st = self.spine.lock();
         loop {
             if !st.in_conns.contains(&conn) {
                 return Err(StmError::NoSuchConnection);
             }
-            if let Some(entry) = st.items.pop_front() {
-                let ticket = QTicket(st.next_ticket);
-                st.next_ticket += 1;
-                st.inflight.insert(
-                    ticket,
-                    Inflight {
-                        ts: entry.ts,
-                        item: entry.item.clone(),
-                        conn,
-                    },
-                );
+            if let Some((ts, item, ticket)) = self.checkout(&mut st, conn) {
                 self.stats.gets.fetch_add(1, Ordering::Relaxed);
                 self.obs.occupancy.dec();
                 self.obs.record_get(started);
                 drop(st);
                 self.space_cv.notify_one();
-                if let Some(ctx) = entry.item.trace_context() {
+                if let Some(ctx) = item.trace_context() {
                     self.obs.tracer.instant(
                         ctx,
                         SpanKind::Get,
                         &self.span_resource,
-                        entry.ts.value(),
+                        ts.value(),
                         "",
                     );
                 }
-                return Ok((entry.ts, entry.item, ticket));
+                return Ok((ts, item, ticket));
+            }
+            if st.closed {
+                return Err(StmError::Closed);
+            }
+            match deadline {
+                Deadline::Now => return Err(StmError::Absent),
+                Deadline::Never => {
+                    self.items_cv.wait(&mut st);
+                }
+                Deadline::At(instant) => {
+                    if self.items_cv.wait_until(&mut st, instant).timed_out() {
+                        return Err(StmError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains up to `max` items with one spine acquisition, blocking per
+    /// `deadline` until at least one item is available.
+    pub(crate) fn do_dequeue_many(
+        &self,
+        conn: ConnId,
+        max: usize,
+        deadline: Deadline,
+    ) -> StmResult<Vec<(Timestamp, Item, QTicket)>> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let started = Instant::now();
+        let mut st = self.spine.lock();
+        loop {
+            if !st.in_conns.contains(&conn) {
+                return Err(StmError::NoSuchConnection);
+            }
+            if !st.items.is_empty() {
+                let mut got = Vec::with_capacity(max.min(st.items.len()));
+                while got.len() < max {
+                    match self.checkout(&mut st, conn) {
+                        Some(entry) => got.push(entry),
+                        None => break,
+                    }
+                }
+                let k = got.len();
+                self.stats.gets.fetch_add(k as u64, Ordering::Relaxed);
+                self.obs
+                    .occupancy
+                    .add(-i64::try_from(k).unwrap_or(i64::MAX));
+                self.obs.record_get(started);
+                drop(st);
+                // k slots freed: wake every blocked producer that can fit.
+                self.space_cv.notify_all();
+                for (ts, item, _) in &got {
+                    if let Some(ctx) = item.trace_context() {
+                        self.obs.tracer.instant(
+                            ctx,
+                            SpanKind::Get,
+                            &self.span_resource,
+                            ts.value(),
+                            "",
+                        );
+                    }
+                }
+                return Ok(got);
             }
             if st.closed {
                 return Err(StmError::Closed);
@@ -431,13 +608,16 @@ impl Queue {
         let started = Instant::now();
         let entry;
         {
-            let mut st = self.state.lock();
-            match st.inflight.get(&ticket) {
+            // Shard only: consuming never contends with put/get on the
+            // spine, which is what lets a worker pool settle fragments in
+            // parallel with the splitter enqueueing the next frame.
+            let mut shard = self.inflight[self.shard_of(ticket)].lock();
+            match shard.get(&ticket) {
                 Some(inf) if inf.conn == conn => {}
                 Some(_) => return Err(StmError::BadMode),
                 None => return Err(StmError::Absent),
             }
-            entry = st.inflight.remove(&ticket).expect("checked above");
+            entry = shard.remove(&ticket).expect("checked above");
             self.stats.consumes.fetch_add(1, Ordering::Relaxed);
             self.obs.record_consume(started);
         }
@@ -456,13 +636,16 @@ impl Queue {
 
     pub(crate) fn do_requeue(&self, conn: ConnId, ticket: QTicket) -> StmResult<()> {
         {
-            let mut st = self.state.lock();
-            match st.inflight.get(&ticket) {
+            // Spine → shard: the item goes back to the head, so the spine
+            // must be held; the ownership check lives in the shard.
+            let mut st = self.spine.lock();
+            let mut shard = self.inflight[self.shard_of(ticket)].lock();
+            match shard.get(&ticket) {
                 Some(inf) if inf.conn == conn => {}
                 Some(_) => return Err(StmError::BadMode),
                 None => return Err(StmError::Absent),
             }
-            let inf = st.inflight.remove(&ticket).expect("checked above");
+            let inf = shard.remove(&ticket).expect("checked above");
             st.items.push_front(QEntry {
                 ts: inf.ts,
                 item: inf.item,
@@ -470,30 +653,39 @@ impl Queue {
             self.stats.requeues.fetch_add(1, Ordering::Relaxed);
             self.obs.occupancy.inc();
         }
-        self.items_cv.notify_one();
+        // notify_all, not notify_one: with several getters parked, the
+        // single notified waiter may be on a since-disconnected connection
+        // that exits with NoSuchConnection without re-signalling, leaving
+        // the requeued item stranded until the next enqueue.
+        self.items_cv.notify_all();
         Ok(())
     }
 
     pub(crate) fn do_disconnect_input(&self, conn: ConnId) {
         let mut recovered = 0u64;
         {
-            let mut st = self.state.lock();
+            let mut st = self.spine.lock();
             if !st.in_conns.remove(&conn) {
                 return;
             }
-            let orphaned: Vec<QTicket> = st
-                .inflight
-                .iter()
-                .filter(|(_, inf)| inf.conn == conn)
-                .map(|(&t, _)| t)
-                .collect();
-            for t in orphaned {
-                let inf = st.inflight.remove(&t).expect("just listed");
-                st.items.push_front(QEntry {
-                    ts: inf.ts,
-                    item: inf.item,
-                });
-                recovered += 1;
+            // Spine → shard order; holding the spine across the scan makes
+            // it atomic with respect to checkout, so a ticket is either
+            // seen here or already requeued/settled, never lost.
+            for shard in &self.inflight {
+                let mut shard = shard.lock();
+                let orphaned: Vec<QTicket> = shard
+                    .iter()
+                    .filter(|(_, inf)| inf.conn == conn)
+                    .map(|(&t, _)| t)
+                    .collect();
+                for t in orphaned {
+                    let inf = shard.remove(&t).expect("just listed");
+                    st.items.push_front(QEntry {
+                        ts: inf.ts,
+                        item: inf.item,
+                    });
+                    recovered += 1;
+                }
             }
             self.stats.requeues.fetch_add(recovered, Ordering::Relaxed);
             self.obs
@@ -507,7 +699,7 @@ impl Queue {
     }
 
     pub(crate) fn do_disconnect_output(&self, conn: ConnId) {
-        let mut st = self.state.lock();
+        let mut st = self.spine.lock();
         st.out_conns.remove(&conn);
     }
 
@@ -530,13 +722,17 @@ impl Queue {
 
 impl fmt::Debug for Queue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let st = self.state.lock();
+        let (queued, closed) = {
+            let st = self.spine.lock();
+            (st.items.len(), st.closed)
+        };
         f.debug_struct("Queue")
             .field("id", &self.id)
             .field("name", &self.name)
-            .field("queued", &st.items.len())
-            .field("inflight", &st.inflight.len())
-            .field("closed", &st.closed)
+            .field("queued", &queued)
+            .field("inflight", &self.inflight_items())
+            .field("shards", &self.inflight.len())
+            .field("closed", &closed)
             .finish()
     }
 }
@@ -586,6 +782,25 @@ impl QueueInputConn {
     /// [`StmError::Timeout`] if nothing arrives in time.
     pub fn get_timeout(&self, timeout: Duration) -> StmResult<(Timestamp, Item, QTicket)> {
         self.queue.do_get(self.id, Deadline::after(timeout))
+    }
+
+    /// Blocking batch get: waits for at least one item, then drains up to
+    /// `max` in FIFO order, each with its own ticket.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueInputConn::get`].
+    pub fn dequeue_many(&self, max: usize) -> StmResult<Vec<(Timestamp, Item, QTicket)>> {
+        self.queue.do_dequeue_many(self.id, max, Deadline::Never)
+    }
+
+    /// Non-blocking batch get.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Absent`] when the queue is empty.
+    pub fn try_dequeue_many(&self, max: usize) -> StmResult<Vec<(Timestamp, Item, QTicket)>> {
+        self.queue.do_dequeue_many(self.id, max, Deadline::Now)
     }
 
     /// Typed blocking get via [`StreamItem`].
@@ -691,6 +906,22 @@ impl QueueOutputConn {
     pub fn put_timeout(&self, ts: Timestamp, item: Item, timeout: Duration) -> StmResult<()> {
         self.queue
             .do_put(self.id, ts, item, Deadline::after(timeout))
+    }
+
+    /// Enqueues a batch, returning one result per entry in order.
+    ///
+    /// The batch is not atomic: each entry succeeds or fails on its own,
+    /// but successful entries land contiguously in FIFO order.
+    #[must_use = "each entry reports its own success or failure"]
+    pub fn put_many(&self, entries: Vec<(Timestamp, Item)>) -> Vec<StmResult<()>> {
+        self.queue.do_put_many(self.id, entries, Deadline::Never)
+    }
+
+    /// Non-blocking batch put: entries that would block fail with
+    /// [`StmError::Full`].
+    #[must_use = "each entry reports its own success or failure"]
+    pub fn try_put_many(&self, entries: Vec<(Timestamp, Item)>) -> Vec<StmResult<()>> {
+        self.queue.do_put_many(self.id, entries, Deadline::Now)
     }
 
     /// Typed put via [`StreamItem`].
@@ -1018,5 +1249,190 @@ mod tests {
         let (_, recovered, k) = survivor.get().unwrap();
         assert_eq!(recovered.payload(), b"work");
         survivor.consume(k).unwrap();
+    }
+
+    // ---- sharding & batching ------------------------------------------
+
+    #[test]
+    fn shard_count_follows_attrs() {
+        let q = Queue::standalone(QueueAttrs::default());
+        assert_eq!(q.shard_count(), DEFAULT_STM_SHARDS as usize);
+        let q = Queue::standalone(QueueAttrs::builder().shards(3).build());
+        assert_eq!(q.shard_count(), 3);
+        let q = Queue::standalone(QueueAttrs::builder().shards(0).build());
+        assert_eq!(q.shard_count(), 1);
+    }
+
+    #[test]
+    fn single_shard_queue_behaves_identically() {
+        let q = Queue::standalone(QueueAttrs::builder().shards(1).build());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        for v in 1..=3 {
+            out.put(ts(v), item(&[v as u8])).unwrap();
+        }
+        let (_, _, k) = inp.get().unwrap();
+        inp.requeue(k).unwrap();
+        for v in 1..=3u8 {
+            let (_, it, k) = inp.get().unwrap();
+            assert_eq!(it.payload(), &[v]);
+            inp.consume(k).unwrap();
+        }
+        assert_eq!(q.stats().reclaimed_items, 3);
+    }
+
+    #[test]
+    fn put_many_dequeue_many_round_trip() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        let results = out.put_many((1..=32).map(|v| (ts(v), item(&[v as u8]))).collect());
+        assert_eq!(results.len(), 32);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(q.queued_items(), 32);
+        assert_eq!(q.stats().puts, 32);
+        // Drain in two batches; FIFO order must hold across them.
+        let first = inp.dequeue_many(20).unwrap();
+        let second = inp.dequeue_many(20).unwrap();
+        assert_eq!(first.len(), 20);
+        assert_eq!(second.len(), 12);
+        for (expected, (_, it, k)) in (1u8..).zip(first.into_iter().chain(second)) {
+            assert_eq!(it.payload(), &[expected]);
+            inp.consume(k).unwrap();
+        }
+        assert_eq!(q.stats().gets, 32);
+        assert_eq!(q.stats().reclaimed_items, 32);
+    }
+
+    #[test]
+    fn try_dequeue_many_on_empty_is_absent() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let inp = q.connect_input();
+        assert_eq!(inp.try_dequeue_many(4).unwrap_err(), StmError::Absent);
+        assert!(inp.dequeue_many(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn put_many_on_bounded_queue_applies_overflow_per_item() {
+        let q = Queue::standalone(
+            QueueAttrs::builder()
+                .capacity(2)
+                .overflow(OverflowPolicy::Reject)
+                .build(),
+        );
+        let out = q.connect_output();
+        let results = out.put_many(vec![
+            (ts(1), item(b"a")),
+            (ts(2), item(b"b")),
+            (ts(3), item(b"c")),
+        ]);
+        assert_eq!(results[0], Ok(()));
+        assert_eq!(results[1], Ok(()));
+        assert_eq!(results[2], Err(StmError::Full));
+        assert_eq!(q.queued_items(), 2);
+    }
+
+    #[test]
+    fn put_many_wakes_all_blocked_getters() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                let inp = q.connect_input();
+                let (_, _, k) = inp.get().unwrap();
+                inp.consume(k).unwrap();
+            }));
+        }
+        thread::sleep(Duration::from_millis(30));
+        let out = q.connect_output();
+        let rs = out.put_many((1..=3).map(|v| (ts(v), item(&[v as u8]))).collect());
+        assert!(rs.iter().all(Result::is_ok));
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.stats().consumes, 3);
+    }
+
+    #[test]
+    fn dequeued_batch_tickets_settle_independently() {
+        let q = Queue::standalone(QueueAttrs::builder().shards(2).build());
+        let out = q.connect_output();
+        let inp = q.connect_input();
+        let rs = out.put_many((1..=4).map(|v| (ts(v), item(&[v as u8]))).collect());
+        assert!(rs.iter().all(Result::is_ok));
+        let got = inp.dequeue_many(4).unwrap();
+        assert_eq!(q.inflight_items(), 4);
+        // Requeue the middle two, consume the rest.
+        inp.requeue(got[1].2).unwrap();
+        inp.requeue(got[2].2).unwrap();
+        inp.consume(got[0].2).unwrap();
+        inp.consume(got[3].2).unwrap();
+        assert_eq!(q.inflight_items(), 0);
+        assert_eq!(q.queued_items(), 2);
+        assert_eq!(q.stats().requeues, 2);
+    }
+
+    #[test]
+    fn requeue_wakes_every_parked_getter() {
+        // Regression: requeue used notify_one, and a notification can land
+        // on a timed waiter whose deadline just expired — the token is
+        // consumed but the waiter reports Timeout without claiming, so the
+        // requeued item sat parked until the next enqueue. With notify_all
+        // some live waiter always claims it.
+        for i in 0..25u64 {
+            let q = Queue::standalone(QueueAttrs::default());
+            let out = q.connect_output();
+            let holder = q.connect_input();
+            out.put(ts(1), item(b"work")).unwrap();
+            let (_, _, ticket) = holder.get().unwrap();
+
+            let short = q.connect_input();
+            let long = q.connect_input();
+            let racer = thread::spawn(move || short.get_timeout(Duration::from_millis(20)));
+            let backstop = thread::spawn(move || long.get_timeout(Duration::from_secs(5)));
+            // Sweep the requeue across the short waiter's deadline so some
+            // iterations land the notification in its expiry window.
+            thread::sleep(Duration::from_millis(16 + i % 8));
+            holder.requeue(ticket).unwrap();
+            let a = racer.join().unwrap();
+            let b = backstop.join().unwrap();
+            assert!(
+                a.is_ok() || b.is_ok(),
+                "requeued item stranded: both parked getters timed out (iter {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_consumes_across_shards() {
+        let q = Queue::standalone(QueueAttrs::default());
+        let out = q.connect_output();
+        for v in 0..200 {
+            out.put(ts(v), item(&(v as u32).to_be_bytes())).unwrap();
+        }
+        let inp = Arc::new(q.connect_input());
+        let tickets: Vec<QTicket> = inp
+            .dequeue_many(200)
+            .unwrap()
+            .into_iter()
+            .map(|(_, _, k)| k)
+            .collect();
+        let mut handles = Vec::new();
+        for chunk in tickets.chunks(50) {
+            let inp = Arc::clone(&inp);
+            let chunk = chunk.to_vec();
+            handles.push(thread::spawn(move || {
+                for k in chunk {
+                    inp.consume(k).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(q.inflight_items(), 0);
+        assert_eq!(q.stats().consumes, 200);
+        assert_eq!(q.stats().reclaimed_items, 200);
     }
 }

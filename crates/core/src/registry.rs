@@ -40,6 +40,10 @@ pub struct StmRegistry {
     queues: RwLock<HashMap<u32, Arc<Queue>>>,
     next_chan: AtomicU32,
     next_queue: AtomicU32,
+    /// Shard count filled into attrs that leave it unset (0 = container
+    /// defaults). Attrs arriving over the wire never carry a shard count,
+    /// so this is how an address space tunes remote-created containers.
+    default_shards: AtomicU32,
     metrics: Arc<MetricsRegistry>,
 }
 
@@ -62,7 +66,23 @@ impl StmRegistry {
             queues: RwLock::new(HashMap::new()),
             next_chan: AtomicU32::new(1),
             next_queue: AtomicU32::new(1),
+            default_shards: AtomicU32::new(0),
             metrics,
+        })
+    }
+
+    /// Sets the shard count applied to future containers whose attrs do
+    /// not pin one (`0` restores the built-in default).
+    pub fn set_default_shards(&self, n: u32) {
+        self.default_shards.store(n, Ordering::Relaxed);
+    }
+
+    fn effective_shards(&self, requested: Option<u32>) -> Option<u32> {
+        requested.or({
+            match self.default_shards.load(Ordering::Relaxed) {
+                0 => None,
+                n => Some(n),
+            }
         })
     }
 
@@ -85,6 +105,10 @@ impl StmRegistry {
             owner: self.as_id,
             index,
         };
+        let mut attrs = attrs;
+        if let Some(n) = self.effective_shards(attrs.shards()) {
+            attrs = attrs.with_shards(n);
+        }
         let chan = Channel::new_in(id, name, attrs, &self.metrics);
         self.channels.write().insert(index, Arc::clone(&chan));
         chan
@@ -97,6 +121,10 @@ impl StmRegistry {
             owner: self.as_id,
             index,
         };
+        let mut attrs = attrs;
+        if let Some(n) = self.effective_shards(attrs.shards()) {
+            attrs = attrs.with_shards(n);
+        }
         let queue = Queue::new_in(id, name, attrs, &self.metrics);
         self.queues.write().insert(index, Arc::clone(&queue));
         queue
@@ -297,5 +325,22 @@ mod tests {
     fn debug_is_informative() {
         let reg = StmRegistry::new(AsId(1));
         assert!(format!("{reg:?}").contains("StmRegistry"));
+    }
+
+    #[test]
+    fn default_shards_apply_to_unpinned_attrs() {
+        let reg = StmRegistry::new(AsId(1));
+        reg.set_default_shards(3);
+        let c = reg.create_channel(None, ChannelAttrs::default());
+        assert_eq!(c.shard_count(), 3);
+        let q = reg.create_queue(None, QueueAttrs::default());
+        assert_eq!(q.shard_count(), 3);
+        // Explicit attrs win over the registry default.
+        let pinned = reg.create_channel(None, ChannelAttrs::builder().shards(5).build());
+        assert_eq!(pinned.shard_count(), 5);
+        // 0 restores the built-in default.
+        reg.set_default_shards(0);
+        let c = reg.create_channel(None, ChannelAttrs::default());
+        assert_eq!(c.shard_count(), crate::channel::DEFAULT_STM_SHARDS as usize);
     }
 }

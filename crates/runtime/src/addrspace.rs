@@ -63,6 +63,9 @@ pub struct AddressSpace {
     last_heard: Mutex<HashMap<AsId, Instant>>,
     dead_peers: Mutex<HashSet<AsId>>,
     rpc: Mutex<RpcConfig>,
+    /// Peers known NOT to understand the batched put/get frames; the proxy
+    /// layer downgrades batches to singleton frames for them.
+    batch_incapable: Mutex<HashSet<AsId>>,
 }
 
 impl AddressSpace {
@@ -94,6 +97,7 @@ impl AddressSpace {
             last_heard: Mutex::new(HashMap::new()),
             dead_peers: Mutex::new(HashSet::new()),
             rpc: Mutex::new(RpcConfig::default()),
+            batch_incapable: Mutex::new(HashSet::new()),
         });
         let dispatch_space = Arc::clone(&space);
         let handle = std::thread::Builder::new()
@@ -439,6 +443,33 @@ impl AddressSpace {
             }
         }
         summary
+    }
+
+    /// Sets the shard count this address space's registry applies to
+    /// containers created without an explicit `shards` attribute (`0`
+    /// restores the built-in default). Shard counts never travel on the
+    /// wire, so this also governs remote-requested creations.
+    pub fn set_default_stm_shards(&self, n: u32) {
+        self.registry.set_default_shards(n);
+    }
+
+    /// Marks whether `peer` understands the batched put/get frames
+    /// ([`Request::PutBatch`]/[`Request::GetBatch`]). Defaults to `true`;
+    /// set `false` for old peers so batch operations downgrade to
+    /// singleton frames.
+    pub fn set_peer_batch(&self, peer: AsId, supported: bool) {
+        let mut incapable = self.batch_incapable.lock();
+        if supported {
+            incapable.remove(&peer);
+        } else {
+            incapable.insert(peer);
+        }
+    }
+
+    /// Whether `peer` is believed to understand the batched frames.
+    #[must_use]
+    pub fn peer_supports_batch(&self, peer: AsId) -> bool {
+        !self.batch_incapable.lock().contains(&peer)
     }
 
     // ---- failure detection & recovery ----
@@ -800,6 +831,8 @@ fn req_name(req: &Request) -> &'static str {
         Request::StatsPull { .. } => "stats_pull",
         Request::TracePull { .. } => "trace_pull",
         Request::Heartbeat { .. } => "heartbeat",
+        Request::PutBatch { .. } => "put_batch",
+        Request::GetBatch { .. } => "get_batch",
         Request::WithId { req, .. } => req_name(req),
         _ => "unknown",
     }

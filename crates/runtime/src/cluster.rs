@@ -43,6 +43,7 @@ pub struct ClusterBuilder {
     fault_plan: Option<Arc<FaultPlan>>,
     session_lease: Option<Duration>,
     trace_sampling: u64,
+    stm_shards: Option<u32>,
 }
 
 impl ClusterBuilder {
@@ -60,6 +61,7 @@ impl ClusterBuilder {
             fault_plan: None,
             session_lease: None,
             trace_sampling: 0,
+            stm_shards: None,
         }
     }
 
@@ -134,6 +136,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets the internal storage shard count every address space applies
+    /// to containers created without an explicit `shards` attribute
+    /// (`stm_shards(1)` serializes each container behind a single lock —
+    /// the pre-sharding behaviour, useful as a bench baseline).
+    #[must_use]
+    pub fn stm_shards(mut self, n: u32) -> Self {
+        self.stm_shards = Some(n.max(1));
+        self
+    }
+
     /// Builds and starts the cluster.
     ///
     /// # Errors
@@ -173,6 +185,9 @@ impl ClusterBuilder {
                 let space = AddressSpace::start(t, i == 0);
                 if let Some(rpc) = self.rpc {
                     space.set_rpc_config(rpc);
+                }
+                if let Some(shards) = self.stm_shards {
+                    space.set_default_stm_shards(shards);
                 }
                 space.metrics().tracer().set_sampling(self.trace_sampling);
                 space

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 
 use dstampede_core::{AsId, ResourceId, StmError, StmResult};
 use dstampede_obs::trace;
-use dstampede_wire::{GcNote, Reply, Request, WaitSpec};
+use dstampede_wire::{BatchGot, GcNote, Reply, Request, WaitSpec};
 
 use crate::addrspace::AddressSpace;
 use crate::proxy::{wait_to_timeout, ChanInput, ChanOutput, QueueInput, QueueOutput};
@@ -258,7 +258,9 @@ pub fn is_blocking(req: &Request) -> bool {
         | Request::ChannelGet { wait, .. }
         | Request::QueuePut { wait, .. }
         | Request::QueueGet { wait, .. }
+        | Request::PutBatch { wait, .. }
         | Request::NsLookup { wait, .. } => !matches!(wait, WaitSpec::NonBlocking),
+        // GetBatch resolves every spec non-blocking by contract.
         // A cluster-wide pull blocks on RPC rounds to every peer.
         Request::StatsPull { cluster } | Request::TracePull { cluster } => *cluster,
         Request::WithId { req, .. } => is_blocking(req),
@@ -441,6 +443,79 @@ fn execute_inner(
         Request::QueueRequeue { conn, ticket } => {
             conns.queue_in(conn)?.requeue(ticket)?;
             Ok(Reply::Ok)
+        }
+        Request::PutBatch { conn, items, wait } => {
+            // One frame serves both container kinds: the connection handle
+            // decides whether the batch lands in a channel or a queue.
+            let entries: Vec<(dstampede_core::Timestamp, dstampede_core::Item)> = items
+                .into_iter()
+                .map(|i| {
+                    // Per-item contexts beat the frame-level ambient one,
+                    // so every item keeps an independent causal identity.
+                    let ctx = i.trace.or_else(trace::current);
+                    (
+                        i.ts,
+                        dstampede_core::Item::new(i.payload)
+                            .with_tag(i.tag)
+                            .with_trace(ctx),
+                    )
+                })
+                .collect();
+            let results = match conns.chan_out(conn) {
+                Ok(out) => out.put_many(entries, wait)?,
+                Err(StmError::BadMode) => conns.queue_out(conn)?.put_many(entries, wait)?,
+                Err(e) => return Err(e),
+            };
+            Ok(Reply::BatchResults {
+                codes: results
+                    .iter()
+                    .map(|r| match r {
+                        Ok(()) => 0,
+                        Err(e) => e.code(),
+                    })
+                    .collect(),
+            })
+        }
+        Request::GetBatch { conn, specs, max } => {
+            let items = match conns.chan_in(conn) {
+                Ok(inp) => inp
+                    .get_many(&specs)?
+                    .into_iter()
+                    .map(|r| match r {
+                        Ok((ts, item)) => BatchGot {
+                            code: 0,
+                            ts,
+                            tag: item.tag(),
+                            payload: item.payload_bytes(),
+                            ticket: 0,
+                            trace: item.trace_context(),
+                        },
+                        Err(e) => BatchGot {
+                            code: e.code(),
+                            ts: dstampede_core::Timestamp::new(0),
+                            tag: 0,
+                            payload: bytes::Bytes::new(),
+                            ticket: 0,
+                            trace: None,
+                        },
+                    })
+                    .collect(),
+                Err(StmError::BadMode) => conns
+                    .queue_in(conn)?
+                    .dequeue_many(max as usize)?
+                    .into_iter()
+                    .map(|(ts, item, ticket)| BatchGot {
+                        code: 0,
+                        ts,
+                        tag: item.tag(),
+                        payload: item.payload_bytes(),
+                        ticket,
+                        trace: item.trace_context(),
+                    })
+                    .collect(),
+                Err(e) => return Err(e),
+            };
+            Ok(Reply::BatchItems { items })
         }
         Request::NsRegister {
             name,

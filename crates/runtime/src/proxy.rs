@@ -17,7 +17,7 @@ use dstampede_core::{
     StreamItem, TagFilter, Timestamp, VirtualTime,
 };
 use dstampede_obs::trace;
-use dstampede_wire::{Reply, Request, WaitSpec};
+use dstampede_wire::{BatchPutItem, Reply, Request, WaitSpec};
 
 use crate::addrspace::AddressSpace;
 
@@ -190,11 +190,57 @@ impl RemoteConn {
     }
 }
 
+impl RemoteConn {
+    /// Whether the owner advertises the batched put/get frames. Old peers
+    /// get the batch split into singleton frames instead.
+    fn supports_batch(&self) -> bool {
+        self.space.peer_supports_batch(self.owner)
+    }
+
+    /// Encodes batch-put entries, stamping each with its item's context
+    /// (falling back to the ambient one, then a fresh trace) so every item
+    /// in the frame keeps an independent causal identity.
+    fn batch_items(&self, entries: Vec<(Timestamp, Item)>) -> Vec<BatchPutItem> {
+        entries
+            .into_iter()
+            .map(|(ts, item)| BatchPutItem {
+                ts,
+                tag: item.tag(),
+                payload: item.payload_bytes(),
+                trace: item
+                    .trace_context()
+                    .or_else(trace::current)
+                    .or_else(|| self.space.metrics().tracer().begin_trace(ts.value())),
+            })
+            .collect()
+    }
+}
+
 impl Drop for RemoteConn {
     fn drop(&mut self) {
         self.space
             .cast(self.owner, Request::Disconnect { conn: self.handle });
     }
+}
+
+/// Maps a batch-results code vector back to per-item outcomes.
+fn codes_to_results(codes: Vec<u32>, expected: usize) -> StmResult<Vec<StmResult<()>>> {
+    if codes.len() != expected {
+        return Err(StmError::Protocol(format!(
+            "batch reply has {} codes for {expected} items",
+            codes.len()
+        )));
+    }
+    Ok(codes
+        .into_iter()
+        .map(|c| {
+            if c == 0 {
+                Ok(())
+            } else {
+                Err(StmError::from_code(c, "batch put"))
+            }
+        })
+        .collect())
 }
 
 enum ConnInner<L> {
@@ -271,6 +317,61 @@ impl ChanInput {
     ) -> StmResult<(Timestamp, T)> {
         let (ts, item) = self.get(spec, wait)?;
         Ok((ts, item.decode::<T>()?))
+    }
+
+    /// Resolves several get specs in one round trip (one RPC frame for a
+    /// remote channel). Each spec resolves independently and
+    /// non-blocking; the outer error is transport-level only.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] when the owner is unreachable; per-spec
+    /// failures come back in the inner results.
+    pub fn get_many(&self, specs: &[GetSpec]) -> StmResult<Vec<StmResult<(Timestamp, Item)>>> {
+        match &self.inner {
+            ConnInner::Local(conn) => Ok(conn.get_many(specs)),
+            ConnInner::Remote(rc) => {
+                if !rc.supports_batch() {
+                    // Old peer: split into singleton gets.
+                    return Ok(specs
+                        .iter()
+                        .map(|&spec| self.get(spec, WaitSpec::NonBlocking))
+                        .collect());
+                }
+                let reply = rc.call(Request::GetBatch {
+                    conn: rc.handle,
+                    specs: specs.to_vec(),
+                    max: specs.len() as u32,
+                })?;
+                match reply {
+                    Reply::BatchItems { items } => {
+                        if items.len() != specs.len() {
+                            return Err(StmError::Protocol(format!(
+                                "batch reply has {} items for {} specs",
+                                items.len(),
+                                specs.len()
+                            )));
+                        }
+                        Ok(items
+                            .into_iter()
+                            .map(|got| {
+                                if got.code == 0 {
+                                    Ok((
+                                        got.ts,
+                                        Item::new(got.payload)
+                                            .with_tag(got.tag)
+                                            .with_trace(got.trace),
+                                    ))
+                                } else {
+                                    Err(StmError::from_code(got.code, "batch get"))
+                                }
+                            })
+                            .collect())
+                    }
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
     }
 
     /// Declares items through `upto` consumed.
@@ -390,6 +491,50 @@ impl ChanOutput {
     /// As [`ChanOutput::put`].
     pub fn put_blocking(&self, ts: Timestamp, item: Item) -> StmResult<()> {
         self.put(ts, item, WaitSpec::Forever)
+    }
+
+    /// Puts several items in one round trip (one RPC frame for a remote
+    /// channel). Items apply independently — there is no transactional
+    /// atomicity across the batch; per-item outcomes come back in order.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] when the owner is unreachable; per-item
+    /// failures come back in the inner results.
+    pub fn put_many(
+        &self,
+        entries: Vec<(Timestamp, Item)>,
+        wait: WaitSpec,
+    ) -> StmResult<Vec<StmResult<()>>> {
+        match &self.inner {
+            ConnInner::Local(conn) => Ok(match wait_to_timeout(wait) {
+                None => conn.try_put_many(entries),
+                Some(None) => conn.put_many(entries),
+                Some(Some(d)) => entries
+                    .into_iter()
+                    .map(|(ts, item)| conn.put_timeout(ts, item, d))
+                    .collect(),
+            }),
+            ConnInner::Remote(rc) => {
+                if !rc.supports_batch() {
+                    // Old peer: split into singleton puts.
+                    return Ok(entries
+                        .into_iter()
+                        .map(|(ts, item)| self.put(ts, item, wait))
+                        .collect());
+                }
+                let n = entries.len();
+                let items = rc.batch_items(entries);
+                match rc.call(Request::PutBatch {
+                    conn: rc.handle,
+                    items,
+                    wait,
+                })? {
+                    Reply::BatchResults { codes } => codes_to_results(codes, n),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
     }
 
     /// Disconnects explicitly (recovery path). Idempotent.
@@ -576,6 +721,64 @@ impl QueueInput {
         }
     }
 
+    /// Dequeues up to `max` items in one round trip (one RPC frame for a
+    /// remote queue), non-blocking. An empty queue yields an empty vector,
+    /// not an error; every returned ticket settles individually.
+    ///
+    /// # Errors
+    ///
+    /// As [`QueueInput::get`], transport-level failures only.
+    pub fn dequeue_many(&self, max: usize) -> StmResult<Vec<(Timestamp, Item, u64)>> {
+        match &self.inner {
+            ConnInner::Local(conn) => match conn.try_dequeue_many(max) {
+                Ok(batch) => Ok(batch
+                    .into_iter()
+                    .map(|(ts, item, ticket)| (ts, item, ticket.0))
+                    .collect()),
+                Err(StmError::Absent) => Ok(Vec::new()),
+                Err(e) => Err(e),
+            },
+            ConnInner::Remote(rc) => {
+                if !rc.supports_batch() {
+                    // Old peer: drain with singleton gets. Items already
+                    // dequeued are returned even if a later get fails —
+                    // dropping them would strand their tickets.
+                    let mut out = Vec::new();
+                    while out.len() < max {
+                        match self.get(WaitSpec::NonBlocking) {
+                            Ok(got) => out.push(got),
+                            Err(StmError::Absent) => break,
+                            Err(e) if out.is_empty() => return Err(e),
+                            Err(_) => break,
+                        }
+                    }
+                    return Ok(out);
+                }
+                let reply = rc.call(Request::GetBatch {
+                    conn: rc.handle,
+                    specs: Vec::new(),
+                    max: u32::try_from(max).unwrap_or(u32::MAX),
+                })?;
+                match reply {
+                    Reply::BatchItems { items } => Ok(items
+                        .into_iter()
+                        .take_while(|got| got.code == 0)
+                        .map(|got| {
+                            (
+                                got.ts,
+                                Item::new(got.payload)
+                                    .with_tag(got.tag)
+                                    .with_trace(got.trace),
+                                got.ticket,
+                            )
+                        })
+                        .collect()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
     /// Settles a ticket as consumed.
     ///
     /// # Errors
@@ -675,6 +878,48 @@ impl QueueOutput {
                     wait,
                 })? {
                     Reply::Ok => Ok(()),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
+    }
+
+    /// Puts several items in one round trip (one RPC frame for a remote
+    /// queue). Items enqueue contiguously in order; per-item outcomes come
+    /// back in order, with no transactional atomicity across the batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`ChanOutput::put_many`].
+    pub fn put_many(
+        &self,
+        entries: Vec<(Timestamp, Item)>,
+        wait: WaitSpec,
+    ) -> StmResult<Vec<StmResult<()>>> {
+        match &self.inner {
+            ConnInner::Local(conn) => Ok(match wait_to_timeout(wait) {
+                None => conn.try_put_many(entries),
+                Some(None) => conn.put_many(entries),
+                Some(Some(d)) => entries
+                    .into_iter()
+                    .map(|(ts, item)| conn.put_timeout(ts, item, d))
+                    .collect(),
+            }),
+            ConnInner::Remote(rc) => {
+                if !rc.supports_batch() {
+                    return Ok(entries
+                        .into_iter()
+                        .map(|(ts, item)| self.put(ts, item, wait))
+                        .collect());
+                }
+                let n = entries.len();
+                let items = rc.batch_items(entries);
+                match rc.call(Request::PutBatch {
+                    conn: rc.handle,
+                    items,
+                    wait,
+                })? {
+                    Reply::BatchResults { codes } => codes_to_results(codes, n),
                     other => Err(unexpected(&other)),
                 }
             }

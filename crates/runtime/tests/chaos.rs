@@ -457,3 +457,60 @@ fn session_lease_reaps_silent_device_and_keepalive_survives() {
     drop((q_in, q_out, silent));
     cluster.shutdown();
 }
+
+/// Regression drill for the requeue/wakeup race: with several getters
+/// parked on an empty queue, returning an in-flight ticket must wake a
+/// parked getter immediately. The fix broadcasts the requeue
+/// (`notify_all`); under the old `notify_one` the single wakeup could
+/// land on a getter that was concurrently timing out, stranding the
+/// requeued item while every other getter slept out its full timeout.
+#[test]
+fn requeued_ticket_wakes_parked_getter_immediately() {
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .listeners(false)
+        .build()
+        .unwrap();
+    let owner = cluster.space(0).unwrap();
+    let peer = cluster.space(1).unwrap();
+    let q = owner.create_queue(Some("requeue-race".into()), QueueAttrs::default());
+
+    let out = owner.open_queue(q.id()).unwrap().connect_output().unwrap();
+    out.put(
+        Timestamp::new(1),
+        Item::from_vec(b"hot".to_vec()),
+        WaitSpec::NonBlocking,
+    )
+    .unwrap();
+
+    // The holder takes the only item in flight, so both parked getters
+    // below see an empty queue.
+    let holder = owner.open_queue(q.id()).unwrap().connect_input().unwrap();
+    let (_, _, ticket) = holder.get(WaitSpec::NonBlocking).unwrap();
+
+    // A decoy getter whose timeout expires right around the requeue (the
+    // racy wakeup target) and a remote backstop with a generous timeout
+    // that must not be left sleeping it out.
+    let decoy = owner.open_queue(q.id()).unwrap().connect_input().unwrap();
+    let backstop = peer.open_queue(q.id()).unwrap().connect_input().unwrap();
+    let started = Instant::now();
+    let (delivered, elapsed) = std::thread::scope(|s| {
+        let a = s.spawn(move || decoy.get(WaitSpec::TimeoutMs(80)).is_ok());
+        let b = s.spawn(move || backstop.get(WaitSpec::TimeoutMs(8_000)).is_ok());
+        // Let both getters park, with the decoy close to expiry.
+        std::thread::sleep(Duration::from_millis(60));
+        holder.requeue(ticket).unwrap();
+        let hits = [a.join().unwrap(), b.join().unwrap()];
+        (hits.iter().filter(|&&hit| hit).count(), started.elapsed())
+    });
+    // The decoy may win the race and then re-deliver to the backstop when
+    // its dropped connection orphan-requeues the unconsumed ticket; either
+    // way somebody must be woken, and nobody may be left sleeping out the
+    // 8 s timeout with a deliverable item sitting in the queue.
+    assert!(delivered >= 1, "requeued item never delivered");
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "requeue left a parked getter sleeping out its timeout ({elapsed:?})"
+    );
+    cluster.shutdown();
+}

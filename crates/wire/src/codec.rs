@@ -133,6 +133,8 @@ pub(crate) mod class {
     pub const HEARTBEAT: u32 = 26;
     pub const WITH_ID: u32 = 27;
     pub const TRACE_PULL: u32 = 28;
+    pub const PUT_BATCH: u32 = 29;
+    pub const GET_BATCH: u32 = 30;
 
     // Replies.
     pub const R_OK: u32 = 1;
@@ -147,6 +149,8 @@ pub(crate) mod class {
     pub const R_ERROR: u32 = 10;
     pub const R_STATS_REPORT: u32 = 11;
     pub const R_TRACE_REPORT: u32 = 12;
+    pub const R_BATCH_RESULTS: u32 = 13;
+    pub const R_BATCH_ITEMS: u32 = 14;
 
     /// Magic tag guarding the optional XDR trace-context trailer.
     /// ASCII `tctx`; deliberately non-zero so legacy trailing-garbage

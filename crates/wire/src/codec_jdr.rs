@@ -18,7 +18,9 @@ use dstampede_obs::{SpanId, TraceContext, TraceId};
 use crate::codec::{class, Codec, CodecId};
 use crate::error::WireError;
 use crate::jdr::{decode as jdr_decode, encode as jdr_encode, JdrValue};
-use crate::rpc::{GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
+use crate::rpc::{
+    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
+};
 
 /// Object-tree JDR marshalling of RPC frames (the Java client's cost
 /// profile).
@@ -304,6 +306,54 @@ fn value_to_trace(env: &[Box<JdrValue>], idx: usize) -> Result<Option<TraceConte
     }))
 }
 
+fn batch_put_item_value(item: &BatchPutItem) -> JdrValue {
+    JdrValue::object(
+        0,
+        vec![
+            JdrValue::Long(item.ts.value()),
+            JdrValue::Int(item.tag as i32),
+            trace_value(item.trace),
+            JdrValue::bytes(&item.payload),
+        ],
+    )
+}
+
+fn value_to_batch_put_item(v: &JdrValue) -> Result<BatchPutItem, WireError> {
+    let (_, f) = v.as_object()?;
+    Ok(BatchPutItem {
+        ts: Timestamp::new(field(f, 0)?.as_i64()?),
+        tag: field(f, 1)?.as_u32()?,
+        trace: value_to_trace(f, 2)?,
+        payload: Bytes::copy_from_slice(field(f, 3)?.as_bytes()?),
+    })
+}
+
+fn batch_got_value(item: &BatchGot) -> JdrValue {
+    JdrValue::object(
+        0,
+        vec![
+            JdrValue::Int(item.code as i32),
+            JdrValue::Long(item.ts.value()),
+            JdrValue::Int(item.tag as i32),
+            JdrValue::Long(item.ticket as i64),
+            trace_value(item.trace),
+            JdrValue::bytes(&item.payload),
+        ],
+    )
+}
+
+fn value_to_batch_got(v: &JdrValue) -> Result<BatchGot, WireError> {
+    let (_, f) = v.as_object()?;
+    Ok(BatchGot {
+        code: field(f, 0)?.as_u32()?,
+        ts: Timestamp::new(field(f, 1)?.as_i64()?),
+        tag: field(f, 2)?.as_u32()?,
+        ticket: field(f, 3)?.as_u64()?,
+        trace: value_to_trace(f, 4)?,
+        payload: Bytes::copy_from_slice(field(f, 5)?.as_bytes()?),
+    })
+}
+
 fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
     let (cls, fields) = match req {
         Request::Attach { client_name } => (class::ATTACH, vec![JdrValue::str(client_name)]),
@@ -428,6 +478,27 @@ fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
         Request::Heartbeat { incarnation } => {
             (class::HEARTBEAT, vec![JdrValue::Long(*incarnation as i64)])
         }
+        Request::PutBatch { conn, items, wait } => (
+            class::PUT_BATCH,
+            vec![
+                JdrValue::Long(*conn as i64),
+                wait_value(*wait),
+                JdrValue::List(
+                    items
+                        .iter()
+                        .map(|i| Box::new(batch_put_item_value(i)))
+                        .collect(),
+                ),
+            ],
+        ),
+        Request::GetBatch { conn, specs, max } => (
+            class::GET_BATCH,
+            vec![
+                JdrValue::Long(*conn as i64),
+                JdrValue::Int(*max as i32),
+                JdrValue::List(specs.iter().map(|s| Box::new(spec_value(*s))).collect()),
+            ],
+        ),
         Request::WithId { req_id, req } => {
             if matches!(**req, Request::WithId { .. }) {
                 return Err(WireError::BadValue("nested WithId request".to_owned()));
@@ -563,6 +634,28 @@ fn value_to_request_body(v: &JdrValue, depth: u32) -> Result<Request, WireError>
         class::HEARTBEAT => Request::Heartbeat {
             incarnation: field(f, 0)?.as_u64()?,
         },
+        class::PUT_BATCH => {
+            let mut items = Vec::new();
+            for item in field(f, 2)?.as_list()? {
+                items.push(value_to_batch_put_item(item)?);
+            }
+            Request::PutBatch {
+                conn: field(f, 0)?.as_u64()?,
+                items,
+                wait: value_to_wait(field(f, 1)?)?,
+            }
+        }
+        class::GET_BATCH => {
+            let mut specs = Vec::new();
+            for spec in field(f, 2)?.as_list()? {
+                specs.push(value_to_spec(spec)?);
+            }
+            Request::GetBatch {
+                conn: field(f, 0)?.as_u64()?,
+                specs,
+                max: field(f, 1)?.as_u32()?,
+            }
+        }
         class::WITH_ID => {
             if depth > 0 {
                 return Err(WireError::BadValue("nested WithId request".to_owned()));
@@ -657,6 +750,21 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
         ),
         Reply::StatsReport { snapshot } => (class::R_STATS_REPORT, vec![JdrValue::bytes(snapshot)]),
         Reply::TraceReport { dump } => (class::R_TRACE_REPORT, vec![JdrValue::bytes(dump)]),
+        Reply::BatchResults { codes } => (
+            class::R_BATCH_RESULTS,
+            vec![JdrValue::List(
+                codes
+                    .iter()
+                    .map(|&c| Box::new(JdrValue::Int(c as i32)))
+                    .collect(),
+            )],
+        ),
+        Reply::BatchItems { items } => (
+            class::R_BATCH_ITEMS,
+            vec![JdrValue::List(
+                items.iter().map(|i| Box::new(batch_got_value(i))).collect(),
+            )],
+        ),
     };
     JdrValue::object(
         u32::MAX,
@@ -732,6 +840,20 @@ fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
         class::R_TRACE_REPORT => Reply::TraceReport {
             dump: Bytes::copy_from_slice(field(f, 0)?.as_bytes()?),
         },
+        class::R_BATCH_RESULTS => {
+            let mut codes = Vec::new();
+            for c in field(f, 0)?.as_list()? {
+                codes.push(c.as_u32()?);
+            }
+            Reply::BatchResults { codes }
+        }
+        class::R_BATCH_ITEMS => {
+            let mut items = Vec::new();
+            for item in field(f, 0)?.as_list()? {
+                items.push(value_to_batch_got(item)?);
+            }
+            Reply::BatchItems { items }
+        }
         t => return Err(WireError::BadTag(t)),
     };
     Ok(ReplyFrame {

@@ -11,7 +11,9 @@ use dstampede_obs::{SpanId, TraceContext, TraceId};
 
 use crate::codec::{class, Codec, CodecId};
 use crate::error::WireError;
-use crate::rpc::{GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
+use crate::rpc::{
+    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
+};
 use crate::xdr::{XdrReader, XdrWriter};
 
 /// Flat XDR marshalling of RPC frames. Scalars are written in place and
@@ -215,6 +217,79 @@ fn get_wait(r: &mut XdrReader<'_>) -> Result<WaitSpec, WireError> {
     }
 }
 
+/// Cap on decoded batch lengths, matching the filter-tag sanity bound.
+const MAX_BATCH: u32 = 1_000_000;
+
+fn put_opt_trace(w: &mut XdrWriter, trace: Option<TraceContext>) {
+    w.put_option(trace.as_ref(), |w, ctx| {
+        w.put_u64(ctx.trace.0);
+        w.put_u64(ctx.span.0);
+    });
+}
+
+fn get_opt_trace(r: &mut XdrReader<'_>) -> Result<Option<TraceContext>, WireError> {
+    r.get_option(|r| {
+        Ok(TraceContext {
+            trace: TraceId(r.get_u64()?),
+            span: SpanId(r.get_u64()?),
+        })
+    })
+}
+
+fn put_batch_put_item(w: &mut XdrWriter, item: &BatchPutItem) {
+    w.put_i64(item.ts.value());
+    w.put_u32(item.tag);
+    put_opt_trace(w, item.trace);
+    w.put_opaque(&item.payload);
+}
+
+fn get_batch_put_item(r: &mut XdrReader<'_>) -> Result<BatchPutItem, WireError> {
+    let ts = Timestamp::new(r.get_i64()?);
+    let tag = r.get_u32()?;
+    let trace = get_opt_trace(r)?;
+    let payload = Bytes::copy_from_slice(r.get_opaque()?);
+    Ok(BatchPutItem {
+        ts,
+        tag,
+        payload,
+        trace,
+    })
+}
+
+fn put_batch_got(w: &mut XdrWriter, item: &BatchGot) {
+    w.put_u32(item.code);
+    w.put_i64(item.ts.value());
+    w.put_u32(item.tag);
+    w.put_u64(item.ticket);
+    put_opt_trace(w, item.trace);
+    w.put_opaque(&item.payload);
+}
+
+fn get_batch_got(r: &mut XdrReader<'_>) -> Result<BatchGot, WireError> {
+    let code = r.get_u32()?;
+    let ts = Timestamp::new(r.get_i64()?);
+    let tag = r.get_u32()?;
+    let ticket = r.get_u64()?;
+    let trace = get_opt_trace(r)?;
+    let payload = Bytes::copy_from_slice(r.get_opaque()?);
+    Ok(BatchGot {
+        code,
+        ts,
+        tag,
+        payload,
+        ticket,
+        trace,
+    })
+}
+
+fn get_batch_len(r: &mut XdrReader<'_>, what: &str) -> Result<u32, WireError> {
+    let n = r.get_u32()?;
+    if n > MAX_BATCH {
+        return Err(WireError::BadValue(format!("{what} count {n}")));
+    }
+    Ok(n)
+}
+
 fn put_gc_note(w: &mut XdrWriter, n: &GcNote) {
     put_resource(w, n.resource);
     w.put_i64(n.ts.value());
@@ -378,6 +453,24 @@ fn put_request_body(w: &mut XdrWriter, req: &Request) -> Result<(), WireError> {
             w.put_u32(class::HEARTBEAT);
             w.put_u64(*incarnation);
         }
+        Request::PutBatch { conn, items, wait } => {
+            w.put_u32(class::PUT_BATCH);
+            w.put_u64(*conn);
+            put_wait(w, *wait);
+            w.put_u32(items.len() as u32);
+            for item in items {
+                put_batch_put_item(w, item);
+            }
+        }
+        Request::GetBatch { conn, specs, max } => {
+            w.put_u32(class::GET_BATCH);
+            w.put_u64(*conn);
+            w.put_u32(*max);
+            w.put_u32(specs.len() as u32);
+            for spec in specs {
+                put_spec(w, *spec);
+            }
+        }
         Request::WithId { req_id, req } => {
             if matches!(**req, Request::WithId { .. }) {
                 return Err(WireError::BadValue("nested WithId request".to_owned()));
@@ -510,6 +603,26 @@ fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireEr
         class::HEARTBEAT => Request::Heartbeat {
             incarnation: r.get_u64()?,
         },
+        class::PUT_BATCH => {
+            let conn = r.get_u64()?;
+            let wait = get_wait(r)?;
+            let n = get_batch_len(r, "batch item")?;
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                items.push(get_batch_put_item(r)?);
+            }
+            Request::PutBatch { conn, items, wait }
+        }
+        class::GET_BATCH => {
+            let conn = r.get_u64()?;
+            let max = r.get_u32()?;
+            let n = get_batch_len(r, "batch spec")?;
+            let mut specs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                specs.push(get_spec(r)?);
+            }
+            Request::GetBatch { conn, specs, max }
+        }
         class::WITH_ID => {
             if depth > 0 {
                 return Err(WireError::BadValue("nested WithId request".to_owned()));
@@ -646,6 +759,20 @@ impl Codec for XdrCodec {
                 w.put_u32(class::R_TRACE_REPORT);
                 w.put_opaque(dump);
             }
+            Reply::BatchResults { codes } => {
+                w.put_u32(class::R_BATCH_RESULTS);
+                w.put_u32(codes.len() as u32);
+                for c in codes {
+                    w.put_u32(*c);
+                }
+            }
+            Reply::BatchItems { items } => {
+                w.put_u32(class::R_BATCH_ITEMS);
+                w.put_u32(items.len() as u32);
+                for item in items {
+                    put_batch_got(&mut w, item);
+                }
+            }
         }
         put_trace_trailer(&mut w, frame.trace);
         Ok(w.into_bytes())
@@ -722,6 +849,22 @@ impl Codec for XdrCodec {
             class::R_TRACE_REPORT => Reply::TraceReport {
                 dump: Bytes::copy_from_slice(r.get_opaque()?),
             },
+            class::R_BATCH_RESULTS => {
+                let n = get_batch_len(&mut r, "batch code")?;
+                let mut codes = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    codes.push(r.get_u32()?);
+                }
+                Reply::BatchResults { codes }
+            }
+            class::R_BATCH_ITEMS => {
+                let n = get_batch_len(&mut r, "batch item")?;
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    items.push(get_batch_got(&mut r)?);
+                }
+                Reply::BatchItems { items }
+            }
             t => return Err(WireError::BadTag(t)),
         };
         let trace = get_trace_trailer(&mut r)?;

@@ -40,4 +40,6 @@ pub use codec_jdr::JdrCodec;
 pub use codec_xdr::XdrCodec;
 pub use error::WireError;
 pub use frame::{read_frame, write_frame, MAX_FRAME};
-pub use rpc::{GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
+pub use rpc::{
+    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
+};

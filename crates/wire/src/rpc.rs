@@ -30,6 +30,40 @@ pub enum WaitSpec {
     TimeoutMs(u32),
 }
 
+/// One entry of a [`Request::PutBatch`].
+///
+/// Each item carries its own optional trace context so causal tracing
+/// survives batching: a batch is one frame on the wire but N logical items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPutItem {
+    /// Item timestamp.
+    pub ts: Timestamp,
+    /// Item user tag.
+    pub tag: u32,
+    /// Item payload.
+    pub payload: Bytes,
+    /// Per-item causal trace context.
+    pub trace: Option<TraceContext>,
+}
+
+/// One entry of a [`Reply::BatchItems`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchGot {
+    /// `0` for a delivered item, else the [`StmError::code`] of the
+    /// per-spec failure (the remaining fields are then zero/empty).
+    pub code: u32,
+    /// Item timestamp.
+    pub ts: Timestamp,
+    /// Item user tag.
+    pub tag: u32,
+    /// Item payload.
+    pub payload: Bytes,
+    /// Settlement ticket for queue items; `0` for channel items.
+    pub ticket: u64,
+    /// Per-item causal trace context.
+    pub trace: Option<TraceContext>,
+}
+
 /// A client-to-cluster API call.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -219,6 +253,30 @@ pub enum Request {
         /// distinguishable from a recovered one.
         incarnation: u64,
     },
+    /// Put a batch of items through one connection (channel or queue
+    /// output mode) in a single frame. Answered with
+    /// [`Reply::BatchResults`], one code per item in order. Entries are
+    /// independent — there is no transactional atomicity.
+    PutBatch {
+        /// Session-local connection handle (output mode).
+        conn: u64,
+        /// The items, in put order.
+        items: Vec<BatchPutItem>,
+        /// Blocking discipline applied per item when full.
+        wait: WaitSpec,
+    },
+    /// Get a batch of items through one connection in a single frame,
+    /// answered with [`Reply::BatchItems`]. Channel connections resolve
+    /// `specs` (one result per spec, non-blocking); queue connections
+    /// ignore `specs` and dequeue up to `max` items non-blocking.
+    GetBatch {
+        /// Session-local connection handle (input mode).
+        conn: u64,
+        /// Per-item get specs (channel connections).
+        specs: Vec<GetSpec>,
+        /// Maximum items to dequeue (queue connections).
+        max: u32,
+    },
     /// A non-idempotent request tagged with a retry-stable id. The
     /// executor remembers `(origin, req_id)` and answers a replayed id
     /// with the original reply instead of re-executing, making the inner
@@ -326,6 +384,17 @@ pub enum Reply {
     TraceReport {
         /// `TraceDump::encode()` bytes; decode with `TraceDump::decode`.
         dump: Bytes,
+    },
+    /// Answer to [`Request::PutBatch`]: one [`StmError::code`] per item in
+    /// request order, `0` meaning success.
+    BatchResults {
+        /// Per-item outcome codes.
+        codes: Vec<u32>,
+    },
+    /// Answer to [`Request::GetBatch`].
+    BatchItems {
+        /// Delivered items and per-spec failures, in order.
+        items: Vec<BatchGot>,
     },
     /// The operation failed.
     Error {
@@ -606,6 +675,47 @@ pub mod test_vectors {
                 req_id: u64::MAX,
                 req: Box::new(Request::ConnectQueueIn { queue: queue(2, 2) }),
             },
+            Request::PutBatch {
+                conn: 12,
+                items: vec![
+                    BatchPutItem {
+                        ts: Timestamp::new(1),
+                        tag: 0,
+                        payload: Bytes::from_static(b"first"),
+                        trace: None,
+                    },
+                    BatchPutItem {
+                        ts: Timestamp::new(-2),
+                        tag: u32::MAX,
+                        payload: Bytes::new(),
+                        trace: Some(dstampede_obs::TraceContext {
+                            trace: dstampede_obs::TraceId(7),
+                            span: dstampede_obs::SpanId(8),
+                        }),
+                    },
+                ],
+                wait: WaitSpec::NonBlocking,
+            },
+            Request::PutBatch {
+                conn: 13,
+                items: vec![],
+                wait: WaitSpec::Forever,
+            },
+            Request::GetBatch {
+                conn: 14,
+                specs: vec![
+                    GetSpec::Exact(Timestamp::new(3)),
+                    GetSpec::Latest,
+                    GetSpec::Earliest,
+                    GetSpec::After(Timestamp::new(i64::MIN)),
+                ],
+                max: 0,
+            },
+            Request::GetBatch {
+                conn: 15,
+                specs: vec![],
+                max: 32,
+            },
         ]
     }
 
@@ -724,6 +834,48 @@ pub mod test_vectors {
                     detail: "bad tag".into(),
                 },
                 vec![note],
+            ),
+            (Reply::BatchResults { codes: vec![] }, vec![]),
+            (
+                Reply::BatchResults {
+                    codes: vec![0, StmError::Full.code(), 0, StmError::TsExists.code()],
+                },
+                vec![note],
+            ),
+            (Reply::BatchItems { items: vec![] }, vec![]),
+            (
+                Reply::BatchItems {
+                    items: vec![
+                        BatchGot {
+                            code: 0,
+                            ts: Timestamp::new(5),
+                            tag: 2,
+                            payload: Bytes::from_static(b"chunk"),
+                            ticket: 0,
+                            trace: Some(dstampede_obs::TraceContext {
+                                trace: dstampede_obs::TraceId(1),
+                                span: dstampede_obs::SpanId(2),
+                            }),
+                        },
+                        BatchGot {
+                            code: StmError::Absent.code(),
+                            ts: Timestamp::new(0),
+                            tag: 0,
+                            payload: Bytes::new(),
+                            ticket: 0,
+                            trace: None,
+                        },
+                        BatchGot {
+                            code: 0,
+                            ts: Timestamp::new(-1),
+                            tag: 9,
+                            payload: Bytes::from_static(&[0xde, 0xad]),
+                            ticket: u64::MAX,
+                            trace: None,
+                        },
+                    ],
+                },
+                vec![note2],
             ),
         ]
     }

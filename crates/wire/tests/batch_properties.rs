@@ -1,0 +1,196 @@
+//! Property tests of the batched put/get frames: `PutBatch`/`GetBatch`
+//! requests and `BatchResults`/`BatchItems` replies must round-trip
+//! through both codecs, the two codecs must agree on the decoded frame,
+//! and per-item trace contexts must survive intact (a batch is one frame
+//! on the wire but N logical items). Mirrors
+//! `trace_header_properties.rs` for the batch vocabulary.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dstampede_core::{GetSpec, Timestamp};
+use dstampede_obs::{SpanId, TraceContext, TraceId};
+use dstampede_wire::rpc::{BatchGot, BatchPutItem, Reply, ReplyFrame, Request, RequestFrame};
+use dstampede_wire::{codec_for, CodecId, WaitSpec};
+
+fn arb_trace() -> impl Strategy<Value = Option<TraceContext>> {
+    proptest::option::of(
+        (any::<u64>(), any::<u64>()).prop_map(|(t, s)| TraceContext {
+            trace: TraceId(t),
+            span: SpanId(s),
+        }),
+    )
+}
+
+fn arb_put_item() -> impl Strategy<Value = BatchPutItem> {
+    (
+        any::<i64>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..48),
+        arb_trace(),
+    )
+        .prop_map(|(ts, tag, payload, trace)| BatchPutItem {
+            ts: Timestamp::new(ts),
+            tag,
+            payload: Bytes::from(payload),
+            trace,
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = GetSpec> {
+    prop_oneof![
+        any::<i64>().prop_map(|v| GetSpec::Exact(Timestamp::new(v))),
+        Just(GetSpec::Latest),
+        Just(GetSpec::Earliest),
+        any::<i64>().prop_map(|v| GetSpec::After(Timestamp::new(v))),
+    ]
+}
+
+fn arb_wait() -> impl Strategy<Value = WaitSpec> {
+    prop_oneof![
+        Just(WaitSpec::NonBlocking),
+        Just(WaitSpec::Forever),
+        any::<u32>().prop_map(WaitSpec::TimeoutMs),
+    ]
+}
+
+fn arb_got() -> impl Strategy<Value = BatchGot> {
+    (
+        0u32..10,
+        any::<i64>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..48),
+        any::<u64>(),
+        arb_trace(),
+    )
+        .prop_map(|(code, ts, tag, payload, ticket, trace)| BatchGot {
+            code,
+            ts: Timestamp::new(ts),
+            tag,
+            payload: Bytes::from(payload),
+            ticket,
+            trace,
+        })
+}
+
+proptest! {
+    /// `PutBatch` frames round-trip through both codecs with every item's
+    /// own trace context intact, and the codecs decode identical frames.
+    #[test]
+    fn put_batch_round_trips(
+        seq in any::<u64>(),
+        conn in any::<u64>(),
+        items in proptest::collection::vec(arb_put_item(), 0..12),
+        wait in arb_wait(),
+        trace in arb_trace(),
+    ) {
+        let frame = RequestFrame::new(seq, Request::PutBatch { conn, items: items.clone(), wait })
+            .with_trace(trace);
+        let mut decoded = Vec::new();
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let bytes = codec.encode_request(&frame).unwrap();
+            let back = codec.decode_request(&bytes).unwrap();
+            prop_assert_eq!(&back, &frame, "codec {}", id);
+            if let Request::PutBatch { items: ref got, .. } = back.req {
+                for (a, b) in got.iter().zip(&items) {
+                    prop_assert_eq!(a.trace, b.trace, "per-item trace lost in codec {}", id);
+                }
+            } else {
+                prop_assert!(false, "codec {} decoded wrong variant", id);
+            }
+            decoded.push(back);
+        }
+        prop_assert_eq!(&decoded[0], &decoded[1]);
+    }
+
+    /// `GetBatch` frames round-trip for every spec shape, and both codecs
+    /// agree on the decoded frame.
+    #[test]
+    fn get_batch_round_trips(
+        seq in any::<u64>(),
+        conn in any::<u64>(),
+        specs in proptest::collection::vec(arb_spec(), 0..12),
+        max in any::<u32>(),
+        trace in arb_trace(),
+    ) {
+        let frame = RequestFrame::new(seq, Request::GetBatch { conn, specs, max })
+            .with_trace(trace);
+        let mut decoded = Vec::new();
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let bytes = codec.encode_request(&frame).unwrap();
+            let back = codec.decode_request(&bytes).unwrap();
+            prop_assert_eq!(&back, &frame, "codec {}", id);
+            decoded.push(back);
+        }
+        prop_assert_eq!(&decoded[0], &decoded[1]);
+    }
+
+    /// `BatchResults` replies round-trip with the code vector intact.
+    #[test]
+    fn batch_results_round_trips(
+        seq in any::<u64>(),
+        codes in proptest::collection::vec(0u32..10, 0..32),
+        trace in arb_trace(),
+    ) {
+        let frame = ReplyFrame::new(seq, vec![], Reply::BatchResults { codes })
+            .with_trace(trace);
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let bytes = codec.encode_reply(&frame).unwrap();
+            let back = codec.decode_reply(&bytes).unwrap();
+            prop_assert_eq!(&back, &frame, "codec {}", id);
+        }
+    }
+
+    /// `BatchItems` replies round-trip, including per-item tickets and
+    /// trace contexts, and the codecs agree.
+    #[test]
+    fn batch_items_round_trips(
+        seq in any::<u64>(),
+        items in proptest::collection::vec(arb_got(), 0..12),
+        trace in arb_trace(),
+    ) {
+        let frame = ReplyFrame::new(seq, vec![], Reply::BatchItems { items })
+            .with_trace(trace);
+        let mut decoded = Vec::new();
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let bytes = codec.encode_reply(&frame).unwrap();
+            let back = codec.decode_reply(&bytes).unwrap();
+            prop_assert_eq!(&back, &frame, "codec {}", id);
+            decoded.push(back);
+        }
+        prop_assert_eq!(&decoded[0], &decoded[1]);
+    }
+
+    /// Attaching a frame-level trace context to a batch request never
+    /// perturbs the base encoding: XDR extends strictly by suffix, JDR
+    /// grows the envelope (wire compatibility with pre-batch decoders of
+    /// the header is preserved exactly as for singleton frames).
+    #[test]
+    fn batch_context_is_a_pure_extension(
+        seq in any::<u64>(),
+        conn in any::<u64>(),
+        items in proptest::collection::vec(arb_put_item().prop_map(|mut i| { i.trace = None; i }), 0..6),
+        t in any::<u64>(),
+        s in any::<u64>(),
+    ) {
+        let ctx = TraceContext { trace: TraceId(t), span: SpanId(s) };
+        let req = Request::PutBatch { conn, items, wait: WaitSpec::NonBlocking };
+        for id in [CodecId::Xdr, CodecId::Jdr] {
+            let codec = codec_for(id);
+            let plain = codec
+                .encode_request(&RequestFrame::new(seq, req.clone()))
+                .unwrap();
+            let traced = codec
+                .encode_request(&RequestFrame::new(seq, req.clone()).with_trace(Some(ctx)))
+                .unwrap();
+            prop_assert!(traced.len() > plain.len(), "codec {}", id);
+            if id == CodecId::Xdr {
+                prop_assert_eq!(&traced[..plain.len()], &plain[..]);
+            }
+        }
+    }
+}

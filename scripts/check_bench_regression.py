@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the STM perf trajectory.
+
+Compares a fresh ``stm_perf --suite`` report against the committed
+baseline (``BENCH_stm.json``, schema ``bench-stm-v2``) and fails when
+cycle throughput in any section regresses by more than the tolerance.
+
+Both files are produced by ``stm_perf``; sections present in both are
+compared, sections present only on one side are reported but never
+fail the gate (so adding a section does not break old baselines).
+
+The absolute numbers in the committed baseline come from whatever
+machine recorded them, so cross-machine runs are noisy by nature; the
+CI job reruns the suite on the same runner class every time, and the
+15% default tolerance absorbs runner-to-runner drift. The 8-thread
+sharded-vs-single-lock speedup is checked by ``stm_perf --min-speedup``
+itself (scaled to the machine's core count), not here.
+
+Usage:
+    check_bench_regression.py BASELINE FRESH [--tolerance PCT]
+
+Exit codes: 0 ok, 1 regression, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SECTIONS = ("single_thread", "threads_8", "batch_32")
+
+
+def cycle_ops(report: dict, section: str) -> float | None:
+    """Cycle ops/sec for one suite section, or None when absent."""
+    sec = report.get(section)
+    if not isinstance(sec, dict):
+        return None
+    try:
+        return float(sec["ops"]["cycle"]["ops_per_sec"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_stm.json")
+    parser.add_argument("fresh", help="freshly produced suite report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=15.0,
+        help="max allowed cycle ops/sec regression, percent (default 15)",
+    )
+    args = parser.parse_args()
+
+    reports = {}
+    for label, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                reports[label] = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {label} {path}: {exc}", file=sys.stderr)
+            return 2
+
+    baseline, fresh = reports["baseline"], reports["fresh"]
+    for label, rep, path in (
+        ("baseline", baseline, args.baseline),
+        ("fresh", fresh, args.fresh),
+    ):
+        schema = rep.get("schema")
+        if schema != "bench-stm-v2":
+            print(
+                f"error: {label} {path} has schema {schema!r}, want 'bench-stm-v2'",
+                file=sys.stderr,
+            )
+            return 2
+
+    failed = False
+    compared = 0
+    for section in SECTIONS:
+        base = cycle_ops(baseline, section)
+        now = cycle_ops(fresh, section)
+        if base is None or now is None:
+            side = "baseline" if base is None else "fresh"
+            print(f"{section}: missing in {side}, skipped")
+            continue
+        compared += 1
+        drift_pct = (now - base) / base * 100.0
+        verdict = "ok"
+        if drift_pct < -args.tolerance:
+            verdict = f"FAIL (allowed -{args.tolerance:g}%)"
+            failed = True
+        print(
+            f"{section}: cycle {base:,.0f} -> {now:,.0f} ops/s "
+            f"({drift_pct:+.2f}%) {verdict}"
+        )
+
+    if compared == 0:
+        print("error: no comparable sections between reports", file=sys.stderr)
+        return 2
+    if failed:
+        print("bench gate: REGRESSION", file=sys.stderr)
+        return 1
+    print("bench gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,14 @@ enum ChanOp {
     SetVt(usize, i64),
 }
 
+/// Shard counts every model test runs under: the degenerate single
+/// shard, an even split, and a prime that misaligns with the schedules'
+/// timestamp ranges. Sharding is a storage-layout knob only, so the
+/// observable behaviour must be identical across all of them.
+fn shard_counts() -> impl Strategy<Value = u32> {
+    prop_oneof![Just(1u32), Just(2u32), Just(7u32)]
+}
+
 fn chan_op() -> impl Strategy<Value = ChanOp> {
     prop_oneof![
         (0i64..40, any::<u8>()).prop_map(|(ts, b)| ChanOp::Put(ts, b)),
@@ -33,8 +41,11 @@ proptest! {
     /// returns exactly what a reference model predicts, and reclamation
     /// never loses a live item or retains a dead prefix.
     #[test]
-    fn channel_matches_reference_model(ops in proptest::collection::vec(chan_op(), 1..80)) {
-        let chan = Channel::standalone(ChannelAttrs::default());
+    fn channel_matches_reference_model(
+        ops in proptest::collection::vec(chan_op(), 1..80),
+        shards in shard_counts(),
+    ) {
+        let chan = Channel::standalone(ChannelAttrs::default().with_shards(shards));
         let out = chan.connect_output();
         let conns = [
             chan.connect_input(Interest::FromEarliest),
@@ -115,8 +126,9 @@ proptest! {
     fn queue_delivers_exactly_once_fifo(
         items in proptest::collection::vec((any::<i64>(), 1usize..64), 1..50),
         consumers in 1usize..4,
+        shards in shard_counts(),
     ) {
-        let q = Queue::standalone(QueueAttrs::default());
+        let q = Queue::standalone(QueueAttrs::default().with_shards(shards));
         let out = q.connect_output();
         let conns: Vec<_> = (0..consumers).map(|_| q.connect_input()).collect();
         let mut total_bytes = 0u64;
@@ -146,9 +158,10 @@ proptest! {
     fn tgc_reclaims_exactly_below_min_promise(
         n_items in 1i64..60,
         promises in proptest::collection::vec(0i64..80, 1..4),
+        shards in shard_counts(),
     ) {
         let chan = Channel::standalone(
-            ChannelAttrs::builder().gc(GcPolicy::Transparent).build(),
+            ChannelAttrs::builder().gc(GcPolicy::Transparent).shards(shards).build(),
         );
         let out = chan.connect_output();
         let conns: Vec<_> = promises
@@ -177,11 +190,13 @@ proptest! {
     fn bounded_channel_respects_capacity(
         cap in 1u32..8,
         ops in proptest::collection::vec((0i64..64, any::<bool>()), 1..100),
+        shards in shard_counts(),
     ) {
         let chan = Channel::standalone(
             ChannelAttrs::builder()
                 .capacity(cap)
                 .overflow(dstampede::core::OverflowPolicy::Reject)
+                .shards(shards)
                 .build(),
         );
         let out = chan.connect_output();
@@ -198,11 +213,12 @@ proptest! {
     /// DropOldest eviction keeps the newest items and never exceeds
     /// capacity.
     #[test]
-    fn drop_oldest_keeps_newest(cap in 1u32..6, n in 1i64..40) {
+    fn drop_oldest_keeps_newest(cap in 1u32..6, n in 1i64..40, shards in shard_counts()) {
         let chan = Channel::standalone(
             ChannelAttrs::builder()
                 .capacity(cap)
                 .overflow(dstampede::core::OverflowPolicy::DropOldest)
+                .shards(shards)
                 .build(),
         );
         let out = chan.connect_output();
@@ -229,8 +245,9 @@ proptest! {
     fn filtered_view_matches_subsequence(
         items in proptest::collection::vec(0u32..6, 1..40),
         wanted in proptest::collection::vec(0u32..6, 0..4),
+        shards in shard_counts(),
     ) {
-        let chan = Channel::standalone(ChannelAttrs::default());
+        let chan = Channel::standalone(ChannelAttrs::default().with_shards(shards));
         let out = chan.connect_output();
         for (i, &tag) in items.iter().enumerate() {
             out.put(Timestamp::new(i as i64), Item::from_vec(vec![tag as u8]).with_tag(tag))
