@@ -46,8 +46,8 @@ fn encode_decode(c: &mut Criterion) {
     for size in sizes {
         group.throughput(Throughput::Bytes(size as u64));
         let frame = put_frame(size);
-        let xdr_bytes = XdrCodec::new().encode_request(&frame).unwrap();
-        let jdr_bytes = JdrCodec::new().encode_request(&frame).unwrap();
+        let xdr_bytes = XdrCodec::new().encode_request(&frame).unwrap().to_bytes();
+        let jdr_bytes = JdrCodec::new().encode_request(&frame).unwrap().to_bytes();
         group.bench_with_input(BenchmarkId::new("xdr", size), &xdr_bytes, |b, bytes| {
             let codec = XdrCodec::new();
             b.iter(|| std::hint::black_box(codec.decode_request(bytes).unwrap()));

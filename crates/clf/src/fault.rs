@@ -277,6 +277,23 @@ impl ClfTransport for FaultTransport {
         }
     }
 
+    fn send_segments(&self, dst: AsId, segments: &[Bytes]) -> Result<(), ClfError> {
+        match self.plan.on_send(self.local(), dst) {
+            SendVerdict::Refused => Err(ClfError::Closed),
+            SendVerdict::Dropped => Ok(()),
+            SendVerdict::Deliver { delay, duplicate } => {
+                if let Some(d) = delay {
+                    std::thread::sleep(d);
+                }
+                self.inner.send_segments(dst, segments)?;
+                if duplicate {
+                    self.inner.send_segments(dst, segments)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn recv(&self) -> Result<(AsId, Bytes), ClfError> {
         loop {
             if self.plan.is_crashed(self.local()) {

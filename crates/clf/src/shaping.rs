@@ -206,6 +206,18 @@ impl ClfTransport for ShapedTransport {
         self.inner.send(dst, msg)
     }
 
+    fn send_segments(&self, dst: AsId, segments: &[Bytes]) -> Result<(), ClfError> {
+        let total: usize = segments.iter().map(Bytes::len).sum();
+        if let Some(bucket) = &self.bucket {
+            bucket.consume(total);
+        }
+        if let Some((msgs, bytes)) = self.obs.get() {
+            msgs.inc();
+            bytes.add(total as u64);
+        }
+        self.inner.send_segments(dst, segments)
+    }
+
     fn recv(&self) -> Result<(AsId, Bytes), ClfError> {
         let m = self.inner.recv()?;
         self.delay();

@@ -17,7 +17,7 @@ use std::time::Duration;
 use bytes::Bytes;
 
 use dstampede_core::AsId;
-use dstampede_obs::{Counter, Histogram, MetricsRegistry};
+use dstampede_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::error::ClfError;
 
@@ -48,6 +48,8 @@ struct ObsHandles {
     retransmits: Arc<Counter>,
     duplicates_dropped: Arc<Counter>,
     rtt: Arc<Histogram>,
+    srtt: Arc<Gauge>,
+    coalesced: Arc<Histogram>,
 }
 
 /// Shared atomic counter block used by the backends.
@@ -81,6 +83,8 @@ impl StatCounters {
             retransmits: registry.counter_labeled("clf", "retransmits", &labels),
             duplicates_dropped: registry.counter_labeled("clf", "duplicates_dropped", &labels),
             rtt: registry.histogram_labeled("clf", "rtt_us", &labels),
+            srtt: registry.gauge_labeled("clf", "srtt_us", &labels),
+            coalesced: registry.histogram_labeled("clf", "coalesced_frames", &labels),
         });
     }
 
@@ -125,6 +129,24 @@ impl StatCounters {
         }
     }
 
+    /// Publishes the current smoothed round-trip estimate (UDP backend:
+    /// the Jacobson/Karels SRTT driving the adaptive retransmission
+    /// timeout) as a live gauge.
+    pub(crate) fn note_srtt(&self, srtt: Duration) {
+        if let Some(obs) = self.obs.get() {
+            obs.srtt
+                .set(i64::try_from(srtt.as_micros()).unwrap_or(i64::MAX));
+        }
+    }
+
+    /// Records how many protocol frames one transmitted datagram carried
+    /// (UDP backend: the transmit coalescer's packing factor).
+    pub(crate) fn note_coalesced(&self, frames: u64) {
+        if let Some(obs) = self.obs.get() {
+            obs.coalesced.record(frames);
+        }
+    }
+
     /// A consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
@@ -159,6 +181,34 @@ pub trait ClfTransport: Send + Sync + fmt::Debug {
     /// [`ClfError::Closed`] after shutdown, [`ClfError::Io`] on socket
     /// failure.
     fn send(&self, dst: AsId, msg: Bytes) -> Result<(), ClfError>;
+
+    /// Sends a message assembled from scatter-gather segments; the
+    /// receiver observes the concatenation, exactly as if
+    /// [`ClfTransport::send`] had been called with the flattened bytes.
+    ///
+    /// The default implementation flattens — a single segment is
+    /// forwarded without copying, multiple segments are gathered into one
+    /// buffer first. Backends that can transmit segments directly (the
+    /// UDP endpoint fragments across segment boundaries without
+    /// materializing the message) override this to stay zero-copy.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClfTransport::send`].
+    fn send_segments(&self, dst: AsId, segments: &[Bytes]) -> Result<(), ClfError> {
+        match segments {
+            [] => self.send(dst, Bytes::new()),
+            [one] => self.send(dst, one.clone()),
+            many => {
+                let total = many.iter().map(Bytes::len).sum();
+                let mut flat = Vec::with_capacity(total);
+                for seg in many {
+                    flat.extend_from_slice(seg);
+                }
+                self.send(dst, Bytes::from(flat))
+            }
+        }
+    }
 
     /// Blocks until the next message arrives.
     ///
@@ -235,6 +285,8 @@ mod tests {
         c.note_retransmit();
         c.note_duplicate();
         c.note_rtt(Duration::from_micros(40));
+        c.note_srtt(Duration::from_micros(80));
+        c.note_coalesced(3);
         assert_eq!(c.snapshot().msgs_sent, 2);
         let snap = reg.snapshot();
         assert_eq!(snap.counter_value("clf", "msgs_sent"), Some(1));
@@ -245,5 +297,11 @@ mod tests {
         let rtt = snap.histogram("clf", "rtt_us").expect("rtt series");
         assert_eq!(rtt.count, 1);
         assert_eq!(rtt.sum, 40);
+        assert_eq!(snap.gauge_value("clf", "srtt_us"), Some(80));
+        let co = snap
+            .histogram("clf", "coalesced_frames")
+            .expect("coalesced series");
+        assert_eq!(co.count, 1);
+        assert_eq!(co.sum, 3);
     }
 }

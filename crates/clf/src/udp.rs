@@ -13,6 +13,29 @@
 //! * the sender buffers unacknowledged packets without bound (the
 //!   "infinite queue" illusion) and retransmits on a timer.
 //!
+//! The data plane is zero-copy (see `DESIGN.md` §4.6): a send accepts
+//! scatter-gather [`Bytes`] segments and fragments *across* segment
+//! boundaries without materializing the message — the unacked buffer
+//! holds refcounted slices, and the only per-packet copy is the gather
+//! into the outgoing datagram at the kernel boundary. On receive, each
+//! datagram lands in a recycled buffer that is frozen into [`Bytes`];
+//! fragment payloads are slice views into it, and a single-fragment
+//! message is delivered as that view without reassembly.
+//!
+//! Two transmit-path optimizations ride on top:
+//!
+//! * **Coalescing** — DATA packets bound for the same peer are packed
+//!   into one datagram (format: a container magic, then repeated
+//!   `[u16 length][packet]`). With [`UdpConfig::coalesce_delay`] at zero
+//!   only the packets of a single send share a datagram; a non-zero
+//!   delay additionally holds a per-peer batch open so that back-to-back
+//!   sends coalesce, trading that much latency for fewer syscalls.
+//! * **Adaptive retransmission** — [`UdpConfig::rto`] only seeds the
+//!   timer. Each peer runs a Jacobson/Karels estimator (SRTT/RTTVAR from
+//!   ACK round-trips, Karn's rule excluding retransmitted packets,
+//!   exponential backoff while a peer stays silent), so the timeout
+//!   tracks the actual path instead of a compile-time guess.
+//!
 //! A deterministic loss injector ([`LossInjection`]) lets tests exercise
 //! retransmission without a lossy network.
 
@@ -35,10 +58,31 @@ use crate::error::ClfError;
 use crate::transport::{ClfTransport, StatCounters, TransportStats};
 
 const MAGIC: u16 = 0xC1F0;
+/// First two bytes of a coalesced datagram: repeated `[u16 len][packet]`.
+const COALESCE_MAGIC: u16 = 0xC1F1;
 const KIND_DATA: u8 = 0;
 const KIND_ACK: u8 = 1;
 const FLAG_EOM: u8 = 1;
 const HEADER_LEN: usize = 2 + 1 + 1 + 2 + 8;
+
+/// Floor/ceiling on the adaptive retransmission timeout.
+const MIN_RTO: Duration = Duration::from_millis(5);
+const MAX_RTO: Duration = Duration::from_secs(60);
+
+/// Largest datagram the coalescer will assemble (safely under the 65,507
+/// byte UDP payload limit).
+const MAX_DATAGRAM: usize = 60_000;
+
+/// Receive buffer size; a UDP datagram cannot exceed it.
+const RECV_BUF: usize = 65_536;
+
+/// Fragment payloads at or above this many bytes are delivered as slice
+/// views into the receive buffer; smaller ones are copied out so the
+/// (large) buffer can be recycled immediately.
+const VIEW_THRESHOLD: usize = 256;
+
+/// How many recycled receive buffers the pump thread keeps around.
+const FREE_LIST_MAX: usize = 4;
 
 /// Deterministic packet-loss injection for tests and fault drills.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,7 +100,10 @@ pub struct UdpConfig {
     /// Maximum DATA payload per packet. The paper notes UDP caps messages
     /// below 64 KB; we default well under typical loopback MTUs.
     pub frag_payload: usize,
-    /// Retransmission timeout for unacknowledged packets.
+    /// *Initial* retransmission timeout for unacknowledged packets. Once
+    /// ACKs flow, each peer's timeout is re-estimated from measured
+    /// round-trips (Jacobson/Karels), so this only governs the first
+    /// exchanges and peers that have never ACKed.
     pub rto: Duration,
     /// Outbound loss injection.
     pub loss: LossInjection,
@@ -64,6 +111,11 @@ pub struct UdpConfig {
     /// A send that would exceed it fails with [`ClfError::Backpressure`]
     /// instead of growing memory without bound when a peer stops ACKing.
     pub max_unacked: usize,
+    /// How long a per-peer transmit batch may wait for more packets
+    /// before it is flushed. Zero (the default) flushes every send
+    /// immediately — packets of one message still share datagrams, but
+    /// no latency is added.
+    pub coalesce_delay: Duration,
 }
 
 impl Default for UdpConfig {
@@ -73,31 +125,137 @@ impl Default for UdpConfig {
             rto: Duration::from_millis(40),
             loss: LossInjection::None,
             max_unacked: 1024,
+            coalesce_delay: Duration::ZERO,
         }
     }
 }
 
+/// A DATA packet held for (re)transmission: the 14 header bytes plus the
+/// message fragment as borrowed segments. Retransmission re-gathers from
+/// here, so payload bytes are never duplicated into the send buffer.
+#[derive(Clone)]
+struct Packet {
+    header: [u8; HEADER_LEN],
+    payload: Vec<Bytes>,
+}
+
+impl Packet {
+    fn data(src: AsId, seq: u64, eom: bool, payload: Vec<Bytes>) -> Packet {
+        let mut header = [0u8; HEADER_LEN];
+        header[0..2].copy_from_slice(&MAGIC.to_be_bytes());
+        header[2] = KIND_DATA;
+        header[3] = if eom { FLAG_EOM } else { 0 };
+        header[4..6].copy_from_slice(&src.0.to_be_bytes());
+        header[6..14].copy_from_slice(&seq.to_be_bytes());
+        Packet { header, payload }
+    }
+
+    fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.iter().map(Bytes::len).sum::<usize>()
+    }
+
+    /// Gathers header and payload segments into `out` — the single
+    /// user-space copy on the transmit path (std's `UdpSocket` has no
+    /// vectored send).
+    fn gather_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.header);
+        for seg in &self.payload {
+            out.extend_from_slice(seg);
+        }
+    }
+}
+
+/// Jacobson/Karels retransmission-timeout estimation (RFC 6298 shape).
+#[derive(Debug, Clone, Copy)]
+struct RttEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    rto: Duration,
+    /// Configured starting timeout, used until the first clean sample
+    /// and as the backoff-reset floor before one exists.
+    initial: Duration,
+}
+
+impl RttEstimator {
+    fn new(initial: Duration) -> RttEstimator {
+        let initial = initial.clamp(MIN_RTO, MAX_RTO);
+        RttEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: initial,
+            initial,
+        }
+    }
+
+    /// Folds one measured round-trip into the estimate. Callers must
+    /// respect Karn's rule: never sample a retransmitted packet.
+    fn sample(&mut self, s: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(s);
+                self.rttvar = s / 2;
+            }
+            Some(srtt) => {
+                let err = srtt.abs_diff(s);
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                self.srtt = Some((srtt * 7 + s) / 8);
+            }
+        }
+        self.rto = (self.srtt.unwrap_or_default() + 4 * self.rttvar).clamp(MIN_RTO, MAX_RTO);
+    }
+
+    /// Exponential backoff after a retransmission (the estimate itself
+    /// is left alone; the next clean sample re-derives the timeout).
+    fn backoff(&mut self) {
+        self.rto = (self.rto * 2).min(MAX_RTO);
+    }
+
+    /// Sheds accumulated backoff after acked forward progress that
+    /// produced no clean sample (every acked packet had been
+    /// retransmitted, so Karn's rule discards them). Without this a
+    /// fully retransmitted window can never re-arm the timer: no
+    /// packet ever samples, the backoff compounds toward [`MAX_RTO`],
+    /// and a sustained burst stalls. The network demonstrably moved,
+    /// so fall back to the current estimate.
+    fn reset_backoff(&mut self) {
+        self.rto = match self.srtt {
+            Some(srtt) => (srtt + 4 * self.rttvar).clamp(MIN_RTO, MAX_RTO),
+            None => self.initial,
+        };
+    }
+}
+
+/// One buffered unacknowledged DATA packet.
+struct Unacked {
+    pkt: Packet,
+    sent_at: Instant,
+    /// Karn's rule: a retransmitted packet's ACK is ambiguous and must
+    /// not feed the RTT estimator.
+    retransmitted: bool,
+}
+
 struct PeerTx {
     next_seq: u64,
-    /// seq → (packet bytes, last transmit time).
-    unacked: BTreeMap<u64, (Vec<u8>, Instant)>,
+    unacked: BTreeMap<u64, Unacked>,
     data_sent: u64,
+    rtt: RttEstimator,
 }
 
 impl PeerTx {
-    fn new() -> Self {
+    fn new(initial_rto: Duration) -> Self {
         PeerTx {
             next_seq: 0,
             unacked: BTreeMap::new(),
             data_sent: 0,
+            rtt: RttEstimator::new(initial_rto),
         }
     }
 }
 
 struct PeerRx {
     expected: u64,
-    /// Out-of-order packets: seq → (flags, payload).
-    ooo: BTreeMap<u64, (u8, Vec<u8>)>,
+    /// Out-of-order packets: seq → (flags, payload view).
+    ooo: BTreeMap<u64, (u8, Bytes)>,
     assembling: Vec<u8>,
 }
 
@@ -111,10 +269,28 @@ impl PeerRx {
     }
 }
 
+/// Packets staged for one peer, awaiting a coalesced flush.
+struct PendingBatch {
+    packets: Vec<Packet>,
+    bytes: usize,
+    staged_at: Instant,
+}
+
+impl PendingBatch {
+    fn new() -> Self {
+        PendingBatch {
+            packets: Vec::new(),
+            bytes: 0,
+            staged_at: Instant::now(),
+        }
+    }
+}
+
 struct Shared {
     peers: HashMap<AsId, SocketAddr>,
     tx: HashMap<AsId, PeerTx>,
     rx: HashMap<AsId, PeerRx>,
+    pending: HashMap<AsId, PendingBatch>,
 }
 
 /// A reliable-UDP CLF endpoint.
@@ -161,12 +337,23 @@ impl UdpEndpoint {
     /// [`ClfError::Io`] if the socket cannot be bound.
     pub fn bind(local: AsId, config: UdpConfig) -> Result<Arc<Self>, ClfError> {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
-        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        // The read timeout bounds how late the pump can be for its
+        // housekeeping (retransmission scan, aged-batch flush), so a
+        // sub-10ms coalesce delay tightens it.
+        let tick = if config.coalesce_delay.is_zero() {
+            Duration::from_millis(10)
+        } else {
+            config
+                .coalesce_delay
+                .clamp(Duration::from_millis(1), Duration::from_millis(10))
+        };
+        socket.set_read_timeout(Some(tick))?;
         let addr = socket.local_addr()?;
         let shared = Arc::new(Mutex::new(Shared {
             peers: HashMap::new(),
             tx: HashMap::new(),
             rx: HashMap::new(),
+            pending: HashMap::new(),
         }));
         let (deliver_tx, inbox) = unbounded();
         let stats = Arc::new(StatCounters::default());
@@ -176,7 +363,6 @@ impl UdpEndpoint {
         let pump_shared = Arc::clone(&shared);
         let pump_stats = Arc::clone(&stats);
         let pump_closed = Arc::clone(&closed);
-        let rto = config.rto;
         let handle = std::thread::Builder::new()
             .name(format!("clf-udp-{}", local.0))
             .spawn(move || {
@@ -187,7 +373,7 @@ impl UdpEndpoint {
                     &deliver_tx,
                     &pump_stats,
                     &pump_closed,
-                    rto,
+                    config,
                 );
             })
             .expect("spawning the CLF pump thread failed");
@@ -229,15 +415,44 @@ impl UdpEndpoint {
     }
 }
 
-fn encode_data(src: AsId, seq: u64, eom: bool, payload: &[u8]) -> Vec<u8> {
-    let mut pkt = Vec::with_capacity(HEADER_LEN + payload.len());
-    pkt.extend_from_slice(&MAGIC.to_be_bytes());
-    pkt.push(KIND_DATA);
-    pkt.push(if eom { FLAG_EOM } else { 0 });
-    pkt.extend_from_slice(&src.0.to_be_bytes());
-    pkt.extend_from_slice(&seq.to_be_bytes());
-    pkt.extend_from_slice(payload);
-    pkt
+/// Walks a segment list, carving off fragment payloads as refcounted
+/// slices without copying any payload bytes.
+struct SegCursor<'a> {
+    segments: &'a [Bytes],
+    idx: usize,
+    off: usize,
+}
+
+impl<'a> SegCursor<'a> {
+    fn new(segments: &'a [Bytes]) -> Self {
+        SegCursor {
+            segments,
+            idx: 0,
+            off: 0,
+        }
+    }
+
+    fn take(&mut self, mut n: usize) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while n > 0 && self.idx < self.segments.len() {
+            let seg = &self.segments[self.idx];
+            let avail = seg.len() - self.off;
+            if avail == 0 {
+                self.idx += 1;
+                self.off = 0;
+                continue;
+            }
+            let take = avail.min(n);
+            out.push(seg.slice(self.off..self.off + take));
+            self.off += take;
+            n -= take;
+            if self.off == seg.len() {
+                self.idx += 1;
+                self.off = 0;
+            }
+        }
+        out
+    }
 }
 
 fn encode_ack(src: AsId, cum_ack: u64) -> Vec<u8> {
@@ -250,28 +465,74 @@ fn encode_ack(src: AsId, cum_ack: u64) -> Vec<u8> {
     pkt
 }
 
-struct Parsed<'a> {
+struct Parsed {
     kind: u8,
     flags: u8,
     src: AsId,
     seq: u64,
-    payload: &'a [u8],
+    payload: Bytes,
 }
 
-fn parse(pkt: &[u8]) -> Option<Parsed<'_>> {
+/// Parses the packet at `datagram[start..end]`. Payloads at or above
+/// [`VIEW_THRESHOLD`] are returned as slice views into the datagram;
+/// smaller ones are copied out so the receive buffer stays reclaimable.
+fn parse(datagram: &Bytes, start: usize, end: usize) -> Option<Parsed> {
+    let pkt = &datagram[start..end];
     if pkt.len() < HEADER_LEN {
         return None;
     }
     if u16::from_be_bytes([pkt[0], pkt[1]]) != MAGIC {
         return None;
     }
+    let payload_len = end - start - HEADER_LEN;
+    let payload = if payload_len >= VIEW_THRESHOLD {
+        datagram.slice(start + HEADER_LEN..end)
+    } else {
+        Bytes::copy_from_slice(&pkt[HEADER_LEN..])
+    };
     Some(Parsed {
         kind: pkt[2],
         flags: pkt[3],
         src: AsId(u16::from_be_bytes([pkt[4], pkt[5]])),
         seq: u64::from_be_bytes(pkt[6..14].try_into().expect("8 bytes")),
-        payload: &pkt[14..],
+        payload,
     })
+}
+
+/// Transmits `packets` to one peer, packing as many as fit into each
+/// datagram. A datagram carrying a single packet uses the bare packet
+/// format; several packets use the coalesced container.
+fn transmit_batch(socket: &UdpSocket, addr: SocketAddr, packets: &[Packet], stats: &StatCounters) {
+    let mut i = 0;
+    let mut buf: Vec<u8> = Vec::new();
+    while i < packets.len() {
+        let mut j = i + 1;
+        let mut size = 2 + 2 + packets[i].wire_len();
+        if packets[i].wire_len() <= usize::from(u16::MAX) {
+            while j < packets.len() {
+                let w = packets[j].wire_len();
+                if w > usize::from(u16::MAX) || size + 2 + w > MAX_DATAGRAM {
+                    break;
+                }
+                size += 2 + w;
+                j += 1;
+            }
+        }
+        buf.clear();
+        if j - i == 1 {
+            packets[i].gather_into(&mut buf);
+        } else {
+            buf.extend_from_slice(&COALESCE_MAGIC.to_be_bytes());
+            for pkt in &packets[i..j] {
+                let len = u16::try_from(pkt.wire_len()).expect("coalesced packet fits u16");
+                buf.extend_from_slice(&len.to_be_bytes());
+                pkt.gather_into(&mut buf);
+            }
+        }
+        let _ = socket.send_to(&buf, addr);
+        stats.note_coalesced((j - i) as u64);
+        i = j;
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -282,60 +543,167 @@ fn pump_loop(
     deliver: &Sender<(AsId, Bytes)>,
     stats: &StatCounters,
     closed: &AtomicBool,
-    rto: Duration,
+    config: UdpConfig,
 ) {
-    let mut buf = vec![0u8; 65536];
+    // Recycled receive buffers: each datagram is frozen into `Bytes` so
+    // payload views can borrow it; when no view outlives the dispatch,
+    // the allocation is reclaimed for the next receive.
+    let mut free: Vec<Vec<u8>> = Vec::new();
     let mut last_scan = Instant::now();
     while !closed.load(Ordering::Acquire) {
+        let mut buf = free.pop().unwrap_or_else(|| vec![0u8; RECV_BUF]);
+        buf.resize(RECV_BUF, 0);
         match socket.recv_from(&mut buf) {
             Ok((n, from_addr)) => {
-                if let Some(p) = parse(&buf[..n]) {
-                    match p.kind {
-                        KIND_DATA => {
-                            handle_data(local, socket, shared, deliver, stats, &p, from_addr);
-                        }
-                        KIND_ACK => {
-                            let mut st = shared.lock();
-                            if let Some(tx) = st.tx.get_mut(&p.src) {
-                                let acked: Vec<u64> =
-                                    tx.unacked.range(..=p.seq).map(|(&s, _)| s).collect();
-                                for s in acked {
-                                    if let Some((_, sent_at)) = tx.unacked.remove(&s) {
-                                        // Last-transmit to cumulative-ACK;
-                                        // retransmissions reset the clock, so
-                                        // samples bound the true packet RTT.
-                                        stats.note_rtt(sent_at.elapsed());
-                                    }
-                                }
-                            }
-                        }
-                        _ => {}
+                buf.truncate(n);
+                let datagram = Bytes::from(buf);
+                process_datagram(local, socket, shared, deliver, stats, &datagram, from_addr);
+                if free.len() < FREE_LIST_MAX {
+                    if let Ok(v) = datagram.try_into_vec() {
+                        free.push(v);
                     }
                 }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if free.len() < FREE_LIST_MAX {
+                    free.push(buf);
+                }
+            }
             Err(_) => break,
         }
-        // Periodic retransmission scan.
-        if last_scan.elapsed() >= rto / 2 {
+        // Flush transmit batches that have waited out the coalesce delay.
+        if !config.coalesce_delay.is_zero() {
+            let mut due: Vec<(SocketAddr, PendingBatch)> = Vec::new();
+            {
+                let mut st = shared.lock();
+                let ripe: Vec<AsId> = st
+                    .pending
+                    .iter()
+                    .filter(|(_, b)| b.staged_at.elapsed() >= config.coalesce_delay)
+                    .map(|(&dst, _)| dst)
+                    .collect();
+                for dst in ripe {
+                    if let Some(batch) = st.pending.remove(&dst) {
+                        if let Some(&addr) = st.peers.get(&dst) {
+                            due.push((addr, batch));
+                        }
+                    }
+                }
+            }
+            for (addr, batch) in due {
+                transmit_batch(socket, addr, &batch.packets, stats);
+            }
+        }
+        // Periodic retransmission scan against each peer's adaptive RTO.
+        if last_scan.elapsed() >= MIN_RTO {
             last_scan = Instant::now();
             let mut st = shared.lock();
             let peers = st.peers.clone();
+            let mut out = Vec::new();
             for (peer, tx) in st.tx.iter_mut() {
                 let Some(&addr) = peers.get(peer) else {
                     continue;
                 };
-                for (pkt, sent_at) in tx.unacked.values_mut() {
-                    if sent_at.elapsed() >= rto {
-                        let _ = socket.send_to(pkt, addr);
-                        *sent_at = Instant::now();
+                let rto = tx.rtt.rto;
+                let mut any = false;
+                for u in tx.unacked.values_mut() {
+                    if u.sent_at.elapsed() >= rto {
+                        out.clear();
+                        u.pkt.gather_into(&mut out);
+                        let _ = socket.send_to(&out, addr);
+                        u.sent_at = Instant::now();
+                        u.retransmitted = true;
+                        any = true;
                         stats.note_retransmit();
                     }
                 }
+                if any {
+                    tx.rtt.backoff();
+                }
             }
         }
+    }
+}
+
+fn process_datagram(
+    local: AsId,
+    socket: &UdpSocket,
+    shared: &Mutex<Shared>,
+    deliver: &Sender<(AsId, Bytes)>,
+    stats: &StatCounters,
+    datagram: &Bytes,
+    from_addr: SocketAddr,
+) {
+    if datagram.len() < 2 {
+        return;
+    }
+    match u16::from_be_bytes([datagram[0], datagram[1]]) {
+        MAGIC => {
+            if let Some(p) = parse(datagram, 0, datagram.len()) {
+                handle_packet(local, socket, shared, deliver, stats, p, from_addr);
+            }
+        }
+        COALESCE_MAGIC => {
+            let mut off = 2;
+            while off + 2 <= datagram.len() {
+                let len = usize::from(u16::from_be_bytes([datagram[off], datagram[off + 1]]));
+                off += 2;
+                if off + len > datagram.len() {
+                    break;
+                }
+                if let Some(p) = parse(datagram, off, off + len) {
+                    handle_packet(local, socket, shared, deliver, stats, p, from_addr);
+                }
+                off += len;
+            }
+        }
+        _ => {}
+    }
+}
+
+fn handle_packet(
+    local: AsId,
+    socket: &UdpSocket,
+    shared: &Mutex<Shared>,
+    deliver: &Sender<(AsId, Bytes)>,
+    stats: &StatCounters,
+    p: Parsed,
+    from_addr: SocketAddr,
+) {
+    match p.kind {
+        KIND_DATA => handle_data(local, socket, shared, deliver, stats, p, from_addr),
+        KIND_ACK => {
+            let mut st = shared.lock();
+            if let Some(tx) = st.tx.get_mut(&p.src) {
+                let acked: Vec<u64> = tx.unacked.range(..=p.seq).map(|(&s, _)| s).collect();
+                let progressed = !acked.is_empty();
+                let mut sampled = false;
+                for s in acked {
+                    if let Some(u) = tx.unacked.remove(&s) {
+                        // Karn's rule: a retransmitted packet's ACK does
+                        // not say which transmission it answers.
+                        if !u.retransmitted {
+                            let sample = u.sent_at.elapsed();
+                            stats.note_rtt(sample);
+                            tx.rtt.sample(sample);
+                            sampled = true;
+                        }
+                    }
+                }
+                if sampled {
+                    stats.note_srtt(tx.rtt.srtt.unwrap_or_default());
+                } else if progressed {
+                    // The window advanced on retransmitted packets only:
+                    // shed the backoff so the timer re-arms from the
+                    // estimate instead of compounding toward MAX_RTO.
+                    tx.rtt.reset_backoff();
+                }
+            }
+        }
+        _ => {}
     }
 }
 
@@ -345,7 +713,7 @@ fn handle_data(
     shared: &Mutex<Shared>,
     deliver: &Sender<(AsId, Bytes)>,
     stats: &StatCounters,
-    p: &Parsed<'_>,
+    p: Parsed,
     from_addr: SocketAddr,
 ) {
     let mut completed: Vec<Bytes> = Vec::new();
@@ -358,13 +726,21 @@ fn handle_data(
         if p.seq < rx.expected || rx.ooo.contains_key(&p.seq) {
             stats.note_duplicate();
         } else {
-            rx.ooo.insert(p.seq, (p.flags, p.payload.to_vec()));
+            rx.ooo.insert(p.seq, (p.flags, p.payload));
             while let Some((flags, payload)) = rx.ooo.remove(&rx.expected) {
-                rx.assembling.extend_from_slice(&payload);
-                if flags & FLAG_EOM != 0 {
-                    let msg = Bytes::from(std::mem::take(&mut rx.assembling));
-                    stats.note_received(msg.len());
-                    completed.push(msg);
+                let eom = flags & FLAG_EOM != 0;
+                if eom && rx.assembling.is_empty() {
+                    // Single-fragment message: the payload view is the
+                    // message — deliver without reassembly.
+                    stats.note_received(payload.len());
+                    completed.push(payload);
+                } else {
+                    rx.assembling.extend_from_slice(&payload);
+                    if eom {
+                        let msg = Bytes::from(std::mem::take(&mut rx.assembling));
+                        stats.note_received(msg.len());
+                        completed.push(msg);
+                    }
                 }
                 rx.expected += 1;
             }
@@ -385,37 +761,71 @@ impl ClfTransport for UdpEndpoint {
     }
 
     fn send(&self, dst: AsId, msg: Bytes) -> Result<(), ClfError> {
+        self.send_segments(dst, std::slice::from_ref(&msg))
+    }
+
+    fn send_segments(&self, dst: AsId, segments: &[Bytes]) -> Result<(), ClfError> {
         if self.closed.load(Ordering::Acquire) {
             return Err(ClfError::Closed);
         }
+        let total: usize = segments.iter().map(Bytes::len).sum();
         let mut st = self.shared.lock();
         let addr = *st.peers.get(&dst).ok_or(ClfError::UnknownPeer)?;
-        let tx = st.tx.entry(dst).or_insert_with(PeerTx::new);
+        let tx = st
+            .tx
+            .entry(dst)
+            .or_insert_with(|| PeerTx::new(self.config.rto));
         let frag = self.config.frag_payload.max(1);
-        let n_frags = msg.len().div_ceil(frag).max(1);
+        let n_frags = total.div_ceil(frag).max(1);
         if tx.unacked.len() + n_frags > self.config.max_unacked.max(1) {
             return Err(ClfError::Backpressure);
         }
-        let mut packets = Vec::with_capacity(n_frags);
+        let mut to_wire: Vec<Packet> = Vec::with_capacity(n_frags);
+        let mut cursor = SegCursor::new(segments);
         for i in 0..n_frags {
-            let lo = i * frag;
-            let hi = ((i + 1) * frag).min(msg.len());
+            let take = if i + 1 == n_frags {
+                total - i * frag
+            } else {
+                frag
+            };
             let eom = i + 1 == n_frags;
             let seq = tx.next_seq;
             tx.next_seq += 1;
-            let pkt = encode_data(self.local, seq, eom, &msg[lo..hi]);
-            tx.unacked.insert(seq, (pkt.clone(), Instant::now()));
+            let pkt = Packet::data(self.local, seq, eom, cursor.take(take));
+            tx.unacked.insert(
+                seq,
+                Unacked {
+                    pkt: pkt.clone(),
+                    sent_at: Instant::now(),
+                    retransmitted: false,
+                },
+            );
             tx.data_sent += 1;
-            packets.push(pkt);
-        }
-        drop(st);
-        for pkt in &packets {
-            if self.should_drop() {
-                continue; // the retransmission timer will recover it
+            // Injected loss skips only the first transmission; the
+            // retransmission timer recovers the packet.
+            if !self.should_drop() {
+                to_wire.push(pkt);
             }
-            self.socket.send_to(pkt, addr)?;
         }
-        self.stats.note_sent(msg.len());
+        let batch = st.pending.entry(dst).or_insert_with(PendingBatch::new);
+        if batch.packets.is_empty() {
+            batch.staged_at = Instant::now();
+        }
+        for pkt in to_wire {
+            batch.bytes += 2 + pkt.wire_len();
+            batch.packets.push(pkt);
+        }
+        let flush_now = self.config.coalesce_delay.is_zero() || batch.bytes + 2 >= MAX_DATAGRAM;
+        let flushed = if flush_now {
+            st.pending.remove(&dst)
+        } else {
+            None
+        };
+        drop(st);
+        if let Some(batch) = flushed {
+            transmit_batch(&self.socket, addr, &batch.packets, &self.stats);
+        }
+        self.stats.note_sent(total);
         Ok(())
     }
 
@@ -466,6 +876,7 @@ impl ClfTransport for UdpEndpoint {
         let mut st = self.shared.lock();
         st.tx.remove(&peer);
         st.rx.remove(&peer);
+        st.pending.remove(&peer);
         // The address mapping stays: a restarted peer starts a fresh
         // sequence space and is re-learned from observed traffic.
     }
@@ -674,5 +1085,105 @@ mod tests {
             &b.recv_timeout(Duration::from_secs(2)).unwrap().1[..],
             b"real"
         );
+    }
+
+    #[test]
+    fn send_segments_concatenates_across_fragments() {
+        let (a, b) = pair(UdpConfig {
+            frag_payload: 10,
+            ..UdpConfig::default()
+        });
+        let segs = [
+            Bytes::from_static(b"alpha-"),
+            Bytes::new(),
+            Bytes::from_static(b"beta-and-more-"),
+            Bytes::from_static(b"gamma"),
+        ];
+        a.send_segments(AsId(1), &segs).unwrap();
+        let (_, msg) = b.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(&msg[..], b"alpha-beta-and-more-gamma");
+    }
+
+    #[test]
+    fn coalesce_delay_packs_frames_per_datagram() {
+        let (a, b) = pair(UdpConfig {
+            coalesce_delay: Duration::from_millis(5),
+            ..UdpConfig::default()
+        });
+        let reg = MetricsRegistry::new("test");
+        a.bind_metrics(&reg);
+        for i in 0..5u8 {
+            a.send(AsId(1), Bytes::from(vec![i])).unwrap();
+        }
+        for i in 0..5u8 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(msg[0], i, "coalesced frames must stay ordered");
+        }
+        let snap = reg.snapshot();
+        let co = snap
+            .histogram("clf", "coalesced_frames")
+            .expect("coalesced series");
+        assert!(
+            co.sum > co.count,
+            "five back-to-back sends within the delay should share datagrams \
+             (frames={}, datagrams={})",
+            co.sum,
+            co.count
+        );
+    }
+
+    #[test]
+    fn rtt_estimator_follows_samples_and_backs_off() {
+        let mut e = RttEstimator::new(Duration::from_millis(40));
+        assert_eq!(e.rto, Duration::from_millis(40));
+        // First sample: srtt = s, rttvar = s/2, rto = s + 4·(s/2) = 3s.
+        e.sample(Duration::from_millis(10));
+        assert_eq!(e.srtt, Some(Duration::from_millis(10)));
+        assert_eq!(e.rto, Duration::from_millis(30));
+        // Steady samples shrink the variance term toward srtt.
+        for _ in 0..50 {
+            e.sample(Duration::from_millis(10));
+        }
+        assert!(e.rto < Duration::from_millis(15), "rto {:?}", e.rto);
+        assert!(e.rto >= MIN_RTO);
+        // Backoff doubles up to the ceiling and a clean sample recovers.
+        let before = e.rto;
+        e.backoff();
+        assert_eq!(e.rto, before * 2);
+        for _ in 0..40 {
+            e.backoff();
+        }
+        assert_eq!(e.rto, MAX_RTO);
+        e.sample(Duration::from_millis(10));
+        assert!(e.rto < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn rtt_estimator_sheds_backoff_on_ack_progress() {
+        // Before any clean sample, reset falls back to the initial RTO.
+        let mut e = RttEstimator::new(Duration::from_millis(40));
+        for _ in 0..20 {
+            e.backoff();
+        }
+        e.reset_backoff();
+        assert_eq!(e.rto, Duration::from_millis(40));
+        // After samples, reset re-derives from the estimate instead of
+        // compounding — a fully retransmitted window must not wedge the
+        // timer at MAX_RTO (Karn's rule never samples those acks).
+        e.sample(Duration::from_millis(10));
+        for _ in 0..40 {
+            e.backoff();
+        }
+        assert_eq!(e.rto, MAX_RTO);
+        e.reset_backoff();
+        assert_eq!(e.rto, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn rtt_estimator_clamps_to_floor() {
+        let mut e = RttEstimator::new(Duration::from_nanos(1));
+        assert_eq!(e.rto, MIN_RTO);
+        e.sample(Duration::from_micros(3));
+        assert_eq!(e.rto, MIN_RTO);
     }
 }

@@ -28,8 +28,8 @@ use dstampede_core::{
 };
 use dstampede_obs::{trace, Snapshot, TraceDump};
 use dstampede_wire::{
-    codec_for, read_frame, write_frame, BatchPutItem, Codec, CodecId, GcNote, NsEntry, Reply,
-    Request, RequestFrame, WaitSpec,
+    codec_for, read_frame_bytes, write_encoded, BatchPutItem, Codec, CodecId, GcNote, NsEntry,
+    Reply, Request, RequestFrame, WaitSpec,
 };
 
 /// Encodes batch-put entries with their per-item trace contexts.
@@ -88,13 +88,13 @@ impl Inner {
     fn call(&self, req: Request) -> StmResult<Reply> {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let frame = RequestFrame::new(seq, req).with_trace(trace::current());
-        let bytes = self
+        let encoded = self
             .codec
             .encode_request(&frame)
             .map_err(|e| StmError::Protocol(e.to_string()))?;
         let mut stream = self.stream.lock();
-        write_frame(&mut *stream, &bytes).map_err(|_| StmError::Disconnected)?;
-        let frame = read_frame(&mut *stream).map_err(|_| StmError::Disconnected)?;
+        write_encoded(&mut *stream, &encoded).map_err(|_| StmError::Disconnected)?;
+        let frame = read_frame_bytes(&mut *stream).map_err(|_| StmError::Disconnected)?;
         drop(stream);
         let reply = self
             .codec

@@ -256,7 +256,7 @@ fn client_crash_releases_gc_claims() {
     // we drive the wire protocol by hand and drop the socket without
     // Disconnect or Detach.
     {
-        use dstampede_wire::{codec_for, read_frame, write_frame, Request, RequestFrame};
+        use dstampede_wire::{codec_for, read_frame_bytes, write_encoded, Request, RequestFrame};
         use std::io::Write as _;
         let codec = codec_for(CodecId::Xdr);
         let mut raw = std::net::TcpStream::connect(addr).unwrap();
@@ -277,9 +277,9 @@ fn client_crash_releases_gc_claims() {
                 },
             ),
         ] {
-            let bytes = codec.encode_request(&RequestFrame::new(seq, req)).unwrap();
-            write_frame(&mut raw, &bytes).unwrap();
-            let _ = read_frame(&mut raw).unwrap();
+            let encoded = codec.encode_request(&RequestFrame::new(seq, req)).unwrap();
+            write_encoded(&mut raw, &encoded).unwrap();
+            let _ = read_frame_bytes(&mut raw).unwrap();
         }
         // Socket drops here: a crash without Detach.
     }

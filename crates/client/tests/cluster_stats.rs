@@ -30,7 +30,15 @@ fn cluster_wide_stats_pull_covers_stm_gc_and_clf() {
         )
         .unwrap();
     }
-    for i in 0..8 {
+    // One jumbo item above the zero-copy threshold, so the wire pool's
+    // copies-avoided accounting has something to report.
+    out.put(
+        Timestamp::new(8),
+        Item::from_vec(vec![9u8; 1024]),
+        WaitSpec::Forever,
+    )
+    .unwrap();
+    for i in 0..9 {
         let (t, _) = inp
             .get(GetSpec::Exact(Timestamp::new(i)), WaitSpec::Forever)
             .unwrap();
@@ -98,6 +106,18 @@ fn cluster_wide_stats_pull_covers_stm_gc_and_clf() {
     assert!(snap.histogram("rpc", "surrogate_latency_us").unwrap().count >= 1);
     assert!(snap.histogram("rpc", "remote_op_us").unwrap().count >= 1);
 
+    // Wire pool: the zero-copy data plane drew encode buffers from the
+    // pool and the jumbo payload rode the wire as a borrowed view.
+    let pool_traffic = snap.gauge_value("wire", "pool_hits").unwrap_or(0)
+        + snap.gauge_value("wire", "pool_misses").unwrap_or(0);
+    assert!(pool_traffic >= 1, "no pool traffic in snapshot");
+    assert!(snap.gauge_value("wire", "copies_avoided").unwrap_or(0) >= 1);
+    assert!(
+        snap.gauge_value("wire", "bytes_copied_avoided")
+            .unwrap_or(0)
+            >= 1024
+    );
+
     // The rendered table carries the same coverage.
     let table = render_snapshot_table(&snap);
     assert!(table.starts_with("sources: as-0, as-1\n"));
@@ -106,6 +126,7 @@ fn cluster_wide_stats_pull_covers_stm_gc_and_clf() {
         "gc/epochs",
         "clf/msgs_sent",
         "rpc/surrogate_latency_us",
+        "wire/copies_avoided",
     ] {
         assert!(table.contains(series), "table missing {series}:\n{table}");
     }

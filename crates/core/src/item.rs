@@ -204,9 +204,25 @@ pub trait StreamItem: Sized {
     /// not encode a valid value.
     fn from_item_bytes(bytes: &[u8]) -> StmResult<Self>;
 
+    /// Serializes the value to payload bytes, consuming it.
+    ///
+    /// The default delegates to [`StreamItem::to_item_bytes`]; byte-shaped
+    /// types ([`Vec<u8>`], [`String`], [`Bytes`]) override it to move their
+    /// allocation into the payload instead of copying, which is what lets a
+    /// typed `put` ride the zero-copy data plane all the way to the socket.
+    fn into_item_bytes(self) -> Bytes {
+        Bytes::from(self.to_item_bytes())
+    }
+
     /// Convenience: wraps the serialized bytes into an [`Item`].
     fn to_item(&self) -> Item {
         Item::from_vec(self.to_item_bytes())
+    }
+
+    /// Convenience: consumes the value into an [`Item`] without copying
+    /// when the type supports it.
+    fn into_item(self) -> Item {
+        Item::new(self.into_item_bytes())
     }
 }
 
@@ -218,6 +234,11 @@ impl StreamItem for Vec<u8> {
     fn from_item_bytes(bytes: &[u8]) -> StmResult<Self> {
         Ok(bytes.to_vec())
     }
+
+    /// Moves the vector's allocation into the payload — no copy.
+    fn into_item_bytes(self) -> Bytes {
+        Bytes::from(self)
+    }
 }
 
 impl StreamItem for String {
@@ -228,6 +249,26 @@ impl StreamItem for String {
     fn from_item_bytes(bytes: &[u8]) -> StmResult<Self> {
         String::from_utf8(bytes.to_vec())
             .map_err(|_| StmError::Protocol("payload is not valid utf-8".into()))
+    }
+
+    /// Moves the string's allocation into the payload — no copy.
+    fn into_item_bytes(self) -> Bytes {
+        Bytes::from(self.into_bytes())
+    }
+}
+
+impl StreamItem for Bytes {
+    fn to_item_bytes(&self) -> Vec<u8> {
+        self.to_vec()
+    }
+
+    fn from_item_bytes(bytes: &[u8]) -> StmResult<Self> {
+        Ok(Bytes::copy_from_slice(bytes))
+    }
+
+    /// The handle is already shared bytes — passes straight through.
+    fn into_item_bytes(self) -> Bytes {
+        self
     }
 }
 
@@ -288,6 +329,32 @@ mod tests {
             item.decode::<String>(),
             Err(StmError::Protocol(_))
         ));
+    }
+
+    #[test]
+    fn into_item_bytes_moves_byte_shaped_types() {
+        let v = vec![7u8; 512];
+        let ptr = v.as_ptr();
+        let payload = v.into_item_bytes();
+        // Vec and String specializations move the allocation, not copy it.
+        assert_eq!(payload.as_ptr(), ptr);
+
+        let s = String::from("a long enough string to be heap-allocated");
+        let ptr = s.as_ptr();
+        assert_eq!(s.into_item_bytes().as_ptr(), ptr);
+
+        let b = Bytes::from(vec![1u8; 64]);
+        let ptr = b.as_ptr();
+        let item = b.into_item();
+        assert_eq!(item.payload().as_ptr(), ptr);
+        assert_eq!(item.decode::<Vec<u8>>().unwrap(), vec![1u8; 64]);
+    }
+
+    #[test]
+    fn bytes_stream_item_round_trips() {
+        let b = Bytes::from_static(b"payload");
+        let item = b.to_item();
+        assert_eq!(item.decode::<Bytes>().unwrap(), b);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
@@ -344,9 +345,23 @@ impl AddressSpace {
         self.peers.lock().clone()
     }
 
-    /// A snapshot of this address space's own metrics.
+    /// A snapshot of this address space's own metrics. The wire buffer
+    /// pool's process-wide counters are refreshed into the `wire`
+    /// subsystem gauges just before the snapshot is cut, so `stats`
+    /// consumers see the current data-plane reuse figures.
     #[must_use]
     pub fn stats_snapshot(&self) -> Snapshot {
+        let pool = dstampede_wire::pool::stats();
+        let g = |name: &str, v: u64| {
+            self.metrics
+                .gauge("wire", name)
+                .set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        g("pool_hits", pool.hits);
+        g("pool_misses", pool.misses);
+        g("pool_recycled", pool.recycled);
+        g("copies_avoided", pool.copies_avoided);
+        g("bytes_copied_avoided", pool.bytes_copied_avoided);
         self.metrics.snapshot()
     }
 
@@ -665,7 +680,7 @@ impl AddressSpace {
                 return Attempt::Fatal(e);
             }
         };
-        if let Err(e) = self.transport.send(dst, msg) {
+        if let Err(e) = self.transport.send_segments(dst, msg.segments()) {
             self.pending.lock().remove(&seq);
             return match e {
                 ClfError::UnknownPeer | ClfError::Closed => Attempt::Fatal(clf_to_stm(&e)),
@@ -724,7 +739,7 @@ impl AddressSpace {
             trace: trace::current(),
         };
         if let Ok(msg) = proto::encode_request(&frame) {
-            let _ = self.transport.send(dst, msg);
+            let _ = self.transport.send_segments(dst, msg.segments());
         }
     }
 
@@ -864,7 +879,7 @@ fn dispatch_loop(space: &Arc<AddressSpace>) {
     }
 }
 
-fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &[u8]) {
+fn handle_message(space: &Arc<AddressSpace>, from: AsId, msg: &Bytes) {
     // Any traffic from a peer renews its lease.
     space.note_peer(from);
     match proto::decode(msg) {
@@ -928,7 +943,7 @@ fn send_reply(
         reply,
         trace,
     }) {
-        let _ = space.transport.send(to, msg);
+        let _ = space.transport.send_segments(to, msg.segments());
     }
 }
 

@@ -28,7 +28,9 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use dstampede_obs::trace;
-use dstampede_wire::{codec_for, read_frame, write_frame, CodecId, Reply, ReplyFrame, Request};
+use dstampede_wire::{
+    codec_for, read_frame_bytes, write_encoded, CodecId, Reply, ReplyFrame, Request,
+};
 
 use crate::addrspace::AddressSpace;
 use crate::exec::{execute, ConnTable, GcNoteQueue};
@@ -242,7 +244,7 @@ fn run_surrogate(
     let latency = space.metrics().histogram("rpc", "surrogate_latency_us");
 
     loop {
-        let frame = match read_frame(&mut stream) {
+        let frame = match read_frame_bytes(&mut stream) {
             Ok(f) => f,
             Err(e)
                 if config.session_lease.is_some()
@@ -300,7 +302,7 @@ fn run_surrogate(
             Ok(b) => b,
             Err(_) => return SessionEnd::Dirty,
         };
-        if write_frame(&mut stream, &encoded).is_err() {
+        if write_encoded(&mut stream, &encoded).is_err() {
             return SessionEnd::Dirty;
         }
         if done {
@@ -335,9 +337,9 @@ mod tests {
         seq: u64,
         req: Request,
     ) -> ReplyFrame {
-        let bytes = codec.encode_request(&RequestFrame::new(seq, req)).unwrap();
-        write_frame(&mut *stream, &bytes).unwrap();
-        let frame = read_frame(&mut *stream).unwrap();
+        let encoded = codec.encode_request(&RequestFrame::new(seq, req)).unwrap();
+        write_encoded(&mut *stream, &encoded).unwrap();
+        let frame = read_frame_bytes(&mut *stream).unwrap();
         codec.decode_reply(&frame).unwrap()
     }
 

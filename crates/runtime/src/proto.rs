@@ -11,7 +11,7 @@
 use bytes::Bytes;
 
 use dstampede_core::{StmError, StmResult};
-use dstampede_wire::{Codec, ReplyFrame, RequestFrame, XdrCodec};
+use dstampede_wire::{Codec, EncodedFrame, ReplyFrame, RequestFrame, XdrCodec};
 
 /// `seq` value marking a request that expects no reply.
 pub const NO_REPLY: u64 = 0;
@@ -28,56 +28,56 @@ pub enum AsMessage {
     Reply(ReplyFrame),
 }
 
-/// Encodes a request envelope.
+/// Encodes a request envelope as scatter-gather segments (the one-byte
+/// kind prefix plus the codec's [`EncodedFrame`]; item payloads stay
+/// borrowed).
 ///
 /// # Errors
 ///
 /// [`StmError::Protocol`] if marshalling fails (should not happen for
 /// well-formed frames).
-pub fn encode_request(frame: &RequestFrame) -> StmResult<Bytes> {
-    let body = XdrCodec::new()
+pub fn encode_request(frame: &RequestFrame) -> StmResult<EncodedFrame> {
+    let mut body = XdrCodec::new()
         .encode_request(frame)
         .map_err(|e| StmError::Protocol(e.to_string()))?;
-    let mut out = Vec::with_capacity(1 + body.len());
-    out.push(KIND_REQUEST);
-    out.extend_from_slice(&body);
-    Ok(Bytes::from(out))
+    body.prepend(Bytes::from_static(&[KIND_REQUEST]));
+    Ok(body)
 }
 
-/// Encodes a reply envelope.
+/// Encodes a reply envelope as scatter-gather segments.
 ///
 /// # Errors
 ///
 /// [`StmError::Protocol`] if marshalling fails.
-pub fn encode_reply(frame: &ReplyFrame) -> StmResult<Bytes> {
-    let body = XdrCodec::new()
+pub fn encode_reply(frame: &ReplyFrame) -> StmResult<EncodedFrame> {
+    let mut body = XdrCodec::new()
         .encode_reply(frame)
         .map_err(|e| StmError::Protocol(e.to_string()))?;
-    let mut out = Vec::with_capacity(1 + body.len());
-    out.push(KIND_REPLY);
-    out.extend_from_slice(&body);
-    Ok(Bytes::from(out))
+    body.prepend(Bytes::from_static(&[KIND_REPLY]));
+    Ok(body)
 }
 
-/// Decodes an inter-AS envelope.
+/// Decodes an inter-AS envelope; item payloads in the decoded frame are
+/// slice views into `msg`.
 ///
 /// # Errors
 ///
 /// [`StmError::Protocol`] on malformed envelopes.
-pub fn decode(msg: &[u8]) -> StmResult<AsMessage> {
-    let (&kind, body) = msg
-        .split_first()
+pub fn decode(msg: &Bytes) -> StmResult<AsMessage> {
+    let kind = *msg
+        .first()
         .ok_or_else(|| StmError::Protocol("empty inter-as message".into()))?;
+    let body = msg.slice(1..);
     let codec = XdrCodec::new();
     match kind {
         KIND_REQUEST => Ok(AsMessage::Request(
             codec
-                .decode_request(body)
+                .decode_request(&body)
                 .map_err(|e| StmError::Protocol(e.to_string()))?,
         )),
         KIND_REPLY => Ok(AsMessage::Reply(
             codec
-                .decode_reply(body)
+                .decode_reply(&body)
                 .map_err(|e| StmError::Protocol(e.to_string()))?,
         )),
         other => Err(StmError::Protocol(format!(
@@ -94,23 +94,26 @@ mod tests {
     #[test]
     fn request_envelope_round_trips() {
         let frame = RequestFrame::new(7, Request::Ping { nonce: 3 });
-        let bytes = encode_request(&frame).unwrap();
+        let bytes = encode_request(&frame).unwrap().to_bytes();
         assert_eq!(decode(&bytes).unwrap(), AsMessage::Request(frame));
     }
 
     #[test]
     fn reply_envelope_round_trips() {
         let frame = ReplyFrame::new(7, vec![], Reply::Pong { nonce: 3 });
-        let bytes = encode_reply(&frame).unwrap();
+        let bytes = encode_reply(&frame).unwrap().to_bytes();
         assert_eq!(decode(&bytes).unwrap(), AsMessage::Reply(frame));
     }
 
     #[test]
     fn malformed_envelopes_rejected() {
-        assert!(matches!(decode(&[]), Err(StmError::Protocol(_))));
-        assert!(matches!(decode(&[9, 1, 2]), Err(StmError::Protocol(_))));
+        assert!(matches!(decode(&Bytes::new()), Err(StmError::Protocol(_))));
         assert!(matches!(
-            decode(&[KIND_REQUEST]),
+            decode(&Bytes::from_static(&[9, 1, 2])),
+            Err(StmError::Protocol(_))
+        ));
+        assert!(matches!(
+            decode(&Bytes::from_static(&[KIND_REQUEST])),
             Err(StmError::Protocol(_))
         ));
     }

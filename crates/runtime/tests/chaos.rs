@@ -324,7 +324,7 @@ fn replayed_with_id_request_executes_once() {
     // attempt was lost and the caller retried).
     for seq in [1u64, 2] {
         let msg = proto::encode_request(&RequestFrame::new(seq, register.clone())).unwrap();
-        probe.send(AsId(0), msg).unwrap();
+        probe.send(AsId(0), msg.to_bytes()).unwrap();
         let (_, reply_bytes) = probe.recv().unwrap();
         match proto::decode(&reply_bytes).unwrap() {
             proto::AsMessage::Reply(frame) => {
@@ -346,7 +346,7 @@ fn replayed_with_id_request_executes_once() {
         }),
     };
     let msg = proto::encode_request(&RequestFrame::new(3, fresh)).unwrap();
-    probe.send(AsId(0), msg).unwrap();
+    probe.send(AsId(0), msg.to_bytes()).unwrap();
     let (_, reply_bytes) = probe.recv().unwrap();
     match proto::decode(&reply_bytes).unwrap() {
         proto::AsMessage::Reply(frame) => {

@@ -12,7 +12,10 @@
 use std::fmt;
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 use crate::error::WireError;
+use crate::frame::EncodedFrame;
 use crate::rpc::{ReplyFrame, RequestFrame};
 
 /// Identifies a codec on the wire (the session's first byte).
@@ -60,37 +63,46 @@ impl fmt::Display for CodecId {
 /// Marshals RPC frames to and from bytes.
 ///
 /// Implementations must be deterministic: `decode(encode(f)) == f`.
+///
+/// Encoding emits an [`EncodedFrame`] — header bytes staged in pooled
+/// buffers plus item payloads as borrowed [`Bytes`] segments, so
+/// payloads are never memcpy'd at encode time. Decoding takes the
+/// refcounted receive buffer and yields payloads as slice views into
+/// it. The flattened segment bytes are exactly the legacy contiguous
+/// wire format; both concrete codecs also expose `*_legacy` inherent
+/// methods that run the old copying paths, which the cross-version
+/// compatibility tests pit against these.
 pub trait Codec: Send + Sync + fmt::Debug {
     /// Which codec this is.
     fn id(&self) -> CodecId;
 
-    /// Encodes a request frame.
+    /// Encodes a request frame as scatter-gather segments.
     ///
     /// # Errors
     ///
     /// [`WireError`] on unrepresentable values.
-    fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError>;
+    fn encode_request(&self, frame: &RequestFrame) -> Result<EncodedFrame, WireError>;
 
     /// Decodes a request frame, requiring full consumption of the input.
     ///
     /// # Errors
     ///
     /// [`WireError`] on malformed input.
-    fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError>;
+    fn decode_request(&self, bytes: &Bytes) -> Result<RequestFrame, WireError>;
 
-    /// Encodes a reply frame.
+    /// Encodes a reply frame as scatter-gather segments.
     ///
     /// # Errors
     ///
     /// [`WireError`] on unrepresentable values.
-    fn encode_reply(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError>;
+    fn encode_reply(&self, frame: &ReplyFrame) -> Result<EncodedFrame, WireError>;
 
     /// Decodes a reply frame, requiring full consumption of the input.
     ///
     /// # Errors
     ///
     /// [`WireError`] on malformed input.
-    fn decode_reply(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError>;
+    fn decode_reply(&self, bytes: &Bytes) -> Result<ReplyFrame, WireError>;
 }
 
 /// Returns the codec registered for an id.

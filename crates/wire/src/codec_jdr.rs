@@ -17,7 +17,8 @@ use dstampede_obs::{SpanId, TraceContext, TraceId};
 
 use crate::codec::{class, Codec, CodecId};
 use crate::error::WireError;
-use crate::jdr::{decode as jdr_decode, encode as jdr_encode, JdrValue};
+use crate::frame::EncodedFrame;
+use crate::jdr::{self, decode as jdr_decode, encode as jdr_encode, JdrValue};
 use crate::rpc::{
     BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
 };
@@ -313,7 +314,7 @@ fn batch_put_item_value(item: &BatchPutItem) -> JdrValue {
             JdrValue::Long(item.ts.value()),
             JdrValue::Int(item.tag as i32),
             trace_value(item.trace),
-            JdrValue::bytes(&item.payload),
+            JdrValue::payload(item.payload.clone()),
         ],
     )
 }
@@ -324,7 +325,7 @@ fn value_to_batch_put_item(v: &JdrValue) -> Result<BatchPutItem, WireError> {
         ts: Timestamp::new(field(f, 0)?.as_i64()?),
         tag: field(f, 1)?.as_u32()?,
         trace: value_to_trace(f, 2)?,
-        payload: Bytes::copy_from_slice(field(f, 3)?.as_bytes()?),
+        payload: field(f, 3)?.as_payload()?.clone(),
     })
 }
 
@@ -337,7 +338,7 @@ fn batch_got_value(item: &BatchGot) -> JdrValue {
             JdrValue::Int(item.tag as i32),
             JdrValue::Long(item.ticket as i64),
             trace_value(item.trace),
-            JdrValue::bytes(&item.payload),
+            JdrValue::payload(item.payload.clone()),
         ],
     )
 }
@@ -350,7 +351,7 @@ fn value_to_batch_got(v: &JdrValue) -> Result<BatchGot, WireError> {
         tag: field(f, 2)?.as_u32()?,
         ticket: field(f, 3)?.as_u64()?,
         trace: value_to_trace(f, 4)?,
-        payload: Bytes::copy_from_slice(field(f, 5)?.as_bytes()?),
+        payload: field(f, 5)?.as_payload()?.clone(),
     })
 }
 
@@ -398,7 +399,7 @@ fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
                 JdrValue::Long(ts.value()),
                 JdrValue::Int(*tag as i32),
                 wait_value(*wait),
-                JdrValue::bytes(payload),
+                JdrValue::payload(payload.clone()),
             ],
         ),
         Request::ChannelGet { conn, spec, wait } => (
@@ -430,7 +431,7 @@ fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
                 JdrValue::Long(ts.value()),
                 JdrValue::Int(*tag as i32),
                 wait_value(*wait),
-                JdrValue::bytes(payload),
+                JdrValue::payload(payload.clone()),
             ],
         ),
         Request::QueueGet { conn, wait } => (
@@ -571,7 +572,7 @@ fn value_to_request_body(v: &JdrValue, depth: u32) -> Result<Request, WireError>
             ts: Timestamp::new(field(f, 1)?.as_i64()?),
             tag: field(f, 2)?.as_u32()?,
             wait: value_to_wait(field(f, 3)?)?,
-            payload: Bytes::copy_from_slice(field(f, 4)?.as_bytes()?),
+            payload: field(f, 4)?.as_payload()?.clone(),
         },
         class::CHANNEL_GET => Request::ChannelGet {
             conn: field(f, 0)?.as_u64()?,
@@ -591,7 +592,7 @@ fn value_to_request_body(v: &JdrValue, depth: u32) -> Result<Request, WireError>
             ts: Timestamp::new(field(f, 1)?.as_i64()?),
             tag: field(f, 2)?.as_u32()?,
             wait: value_to_wait(field(f, 3)?)?,
-            payload: Bytes::copy_from_slice(field(f, 4)?.as_bytes()?),
+            payload: field(f, 4)?.as_payload()?.clone(),
         },
         class::QUEUE_GET => Request::QueueGet {
             conn: field(f, 0)?.as_u64()?,
@@ -704,7 +705,7 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
             vec![
                 JdrValue::Long(ts.value()),
                 JdrValue::Int(*tag as i32),
-                JdrValue::bytes(payload),
+                JdrValue::payload(payload.clone()),
             ],
         ),
         Reply::QueueItem {
@@ -718,7 +719,7 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
                 JdrValue::Long(ts.value()),
                 JdrValue::Int(*tag as i32),
                 JdrValue::Long(*ticket as i64),
-                JdrValue::bytes(payload),
+                JdrValue::payload(payload.clone()),
             ],
         ),
         Reply::NsFound { resource, meta } => (
@@ -748,8 +749,13 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
             class::R_ERROR,
             vec![JdrValue::Int(*code as i32), JdrValue::str(detail)],
         ),
-        Reply::StatsReport { snapshot } => (class::R_STATS_REPORT, vec![JdrValue::bytes(snapshot)]),
-        Reply::TraceReport { dump } => (class::R_TRACE_REPORT, vec![JdrValue::bytes(dump)]),
+        Reply::StatsReport { snapshot } => (
+            class::R_STATS_REPORT,
+            vec![JdrValue::payload(snapshot.clone())],
+        ),
+        Reply::TraceReport { dump } => {
+            (class::R_TRACE_REPORT, vec![JdrValue::payload(dump.clone())])
+        }
         Reply::BatchResults { codes } => (
             class::R_BATCH_RESULTS,
             vec![JdrValue::List(
@@ -803,13 +809,13 @@ fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
         class::R_ITEM => Reply::Item {
             ts: Timestamp::new(field(f, 0)?.as_i64()?),
             tag: field(f, 1)?.as_u32()?,
-            payload: Bytes::copy_from_slice(field(f, 2)?.as_bytes()?),
+            payload: field(f, 2)?.as_payload()?.clone(),
         },
         class::R_QUEUE_ITEM => Reply::QueueItem {
             ts: Timestamp::new(field(f, 0)?.as_i64()?),
             tag: field(f, 1)?.as_u32()?,
             ticket: field(f, 2)?.as_u64()?,
-            payload: Bytes::copy_from_slice(field(f, 3)?.as_bytes()?),
+            payload: field(f, 3)?.as_payload()?.clone(),
         },
         class::R_NS_FOUND => Reply::NsFound {
             resource: value_to_resource(field(f, 0)?)?,
@@ -835,10 +841,10 @@ fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
             detail: field(f, 1)?.as_str()?.to_owned(),
         },
         class::R_STATS_REPORT => Reply::StatsReport {
-            snapshot: Bytes::copy_from_slice(field(f, 0)?.as_bytes()?),
+            snapshot: field(f, 0)?.as_payload()?.clone(),
         },
         class::R_TRACE_REPORT => Reply::TraceReport {
-            dump: Bytes::copy_from_slice(field(f, 0)?.as_bytes()?),
+            dump: field(f, 0)?.as_payload()?.clone(),
         },
         class::R_BATCH_RESULTS => {
             let mut codes = Vec::new();
@@ -864,25 +870,67 @@ fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
     })
 }
 
+impl JdrCodec {
+    /// Encodes a request with the pre-zero-copy path: the object tree
+    /// is streamed element-wise into one buffer, payloads included.
+    /// Kept for the cross-version compatibility tests and legacy
+    /// callers; the bytes are identical to the flattened
+    /// [`Codec::encode_request`] output.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::encode_request`].
+    pub fn encode_request_legacy(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
+        Ok(jdr_encode(&request_to_value(frame)?))
+    }
+
+    /// Decodes a request with the pre-zero-copy element-wise path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::decode_request`].
+    pub fn decode_request_legacy(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {
+        value_to_request(&jdr_decode(bytes)?)
+    }
+
+    /// Encodes a reply with the pre-zero-copy element-wise path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::encode_reply`].
+    pub fn encode_reply_legacy(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError> {
+        Ok(jdr_encode(&reply_to_value(frame)))
+    }
+
+    /// Decodes a reply with the pre-zero-copy element-wise path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::decode_reply`].
+    pub fn decode_reply_legacy(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError> {
+        value_to_reply(&jdr_decode(bytes)?)
+    }
+}
+
 impl Codec for JdrCodec {
     fn id(&self) -> CodecId {
         CodecId::Jdr
     }
 
-    fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
-        Ok(jdr_encode(&request_to_value(frame)?))
+    fn encode_request(&self, frame: &RequestFrame) -> Result<EncodedFrame, WireError> {
+        Ok(jdr::encode_frame(&request_to_value(frame)?))
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {
-        value_to_request(&jdr_decode(bytes)?)
+    fn decode_request(&self, bytes: &Bytes) -> Result<RequestFrame, WireError> {
+        value_to_request(&jdr::decode_bytes(bytes)?)
     }
 
-    fn encode_reply(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError> {
-        Ok(jdr_encode(&reply_to_value(frame)))
+    fn encode_reply(&self, frame: &ReplyFrame) -> Result<EncodedFrame, WireError> {
+        Ok(jdr::encode_frame(&reply_to_value(frame)))
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError> {
-        value_to_reply(&jdr_decode(bytes)?)
+    fn decode_reply(&self, bytes: &Bytes) -> Result<ReplyFrame, WireError> {
+        value_to_reply(&jdr::decode_bytes(bytes)?)
     }
 }
 
@@ -896,7 +944,7 @@ mod tests {
         let codec = JdrCodec::new();
         for (i, req) in all_requests().into_iter().enumerate() {
             let frame = RequestFrame::new(i as u64, req);
-            let bytes = codec.encode_request(&frame).unwrap();
+            let bytes = codec.encode_request(&frame).unwrap().to_bytes();
             let back = codec.decode_request(&bytes).unwrap();
             assert_eq!(back, frame, "request #{i}");
         }
@@ -907,19 +955,41 @@ mod tests {
         let codec = JdrCodec::new();
         for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
             let frame = ReplyFrame::new(i as u64, notes, reply);
-            let bytes = codec.encode_reply(&frame).unwrap();
+            let bytes = codec.encode_reply(&frame).unwrap().to_bytes();
             let back = codec.decode_reply(&bytes).unwrap();
             assert_eq!(back, frame, "reply #{i}");
         }
     }
 
     #[test]
+    fn legacy_paths_match_scatter_paths() {
+        let codec = JdrCodec::new();
+        for (i, req) in all_requests().into_iter().enumerate() {
+            let frame = RequestFrame::new(i as u64, req);
+            let legacy = codec.encode_request_legacy(&frame).unwrap();
+            let scatter = codec.encode_request(&frame).unwrap().to_bytes();
+            assert_eq!(&scatter[..], &legacy[..], "request #{i}");
+            assert_eq!(codec.decode_request_legacy(&scatter).unwrap(), frame);
+            assert_eq!(codec.decode_request(&Bytes::from(legacy)).unwrap(), frame);
+        }
+        for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
+            let frame = ReplyFrame::new(i as u64, notes, reply);
+            let legacy = codec.encode_reply_legacy(&frame).unwrap();
+            let scatter = codec.encode_reply(&frame).unwrap().to_bytes();
+            assert_eq!(&scatter[..], &legacy[..], "reply #{i}");
+            assert_eq!(codec.decode_reply_legacy(&scatter).unwrap(), frame);
+            assert_eq!(codec.decode_reply(&Bytes::from(legacy)).unwrap(), frame);
+        }
+    }
+
+    #[test]
     fn jdr_and_xdr_are_different_wire_formats() {
         let frame = RequestFrame::new(1, Request::Ping { nonce: 2 });
-        let jdr = JdrCodec::new().encode_request(&frame).unwrap();
+        let jdr = JdrCodec::new().encode_request(&frame).unwrap().to_bytes();
         let xdr = crate::codec_xdr::XdrCodec::new()
             .encode_request(&frame)
-            .unwrap();
+            .unwrap()
+            .to_bytes();
         assert_ne!(jdr, xdr);
         // Cross-decoding must fail or mis-parse, never panic.
         let _ = JdrCodec::new().decode_request(&xdr);
@@ -928,7 +998,7 @@ mod tests {
     #[test]
     fn bad_envelope_rejected() {
         let v = JdrValue::object(3, vec![]);
-        let bytes = jdr_encode(&v);
+        let bytes = Bytes::from(jdr_encode(&v));
         assert!(JdrCodec::new().decode_request(&bytes).is_err());
         assert!(JdrCodec::new().decode_reply(&bytes).is_err());
     }
@@ -942,14 +1012,14 @@ mod tests {
         };
         let frame = RequestFrame::new(5, Request::Ping { nonce: 1 }).with_trace(Some(ctx));
         let back = codec
-            .decode_request(&codec.encode_request(&frame).unwrap())
+            .decode_request(&codec.encode_request(&frame).unwrap().to_bytes())
             .unwrap();
         assert_eq!(back, frame);
         assert_eq!(back.trace, Some(ctx));
 
         let reply = ReplyFrame::new(5, vec![], Reply::Pong { nonce: 1 }).with_trace(Some(ctx));
         let back = codec
-            .decode_reply(&codec.encode_reply(&reply).unwrap())
+            .decode_reply(&codec.encode_reply(&reply).unwrap().to_bytes())
             .unwrap();
         assert_eq!(back.trace, Some(ctx));
     }
@@ -961,7 +1031,9 @@ mod tests {
             u32::MAX,
             vec![JdrValue::Long(9), JdrValue::object(class::DETACH, vec![])],
         );
-        let back = JdrCodec::new().decode_request(&jdr_encode(&v)).unwrap();
+        let back = JdrCodec::new()
+            .decode_request(&Bytes::from(jdr_encode(&v)))
+            .unwrap();
         assert_eq!(back, RequestFrame::new(9, Request::Detach));
         assert_eq!(back.trace, None);
     }
@@ -973,7 +1045,7 @@ mod tests {
             u32::MAX,
             vec![JdrValue::Long(1), JdrValue::object(class::PING, vec![])],
         );
-        let bytes = jdr_encode(&v);
+        let bytes = Bytes::from(jdr_encode(&v));
         assert_eq!(
             JdrCodec::new().decode_request(&bytes).unwrap_err(),
             WireError::Truncated

@@ -11,6 +11,7 @@ use dstampede_obs::{SpanId, TraceContext, TraceId};
 
 use crate::codec::{class, Codec, CodecId};
 use crate::error::WireError;
+use crate::frame::EncodedFrame;
 use crate::rpc::{
     BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
 };
@@ -240,14 +241,14 @@ fn put_batch_put_item(w: &mut XdrWriter, item: &BatchPutItem) {
     w.put_i64(item.ts.value());
     w.put_u32(item.tag);
     put_opt_trace(w, item.trace);
-    w.put_opaque(&item.payload);
+    w.put_payload(&item.payload);
 }
 
 fn get_batch_put_item(r: &mut XdrReader<'_>) -> Result<BatchPutItem, WireError> {
     let ts = Timestamp::new(r.get_i64()?);
     let tag = r.get_u32()?;
     let trace = get_opt_trace(r)?;
-    let payload = Bytes::copy_from_slice(r.get_opaque()?);
+    let payload = r.get_payload()?;
     Ok(BatchPutItem {
         ts,
         tag,
@@ -262,7 +263,7 @@ fn put_batch_got(w: &mut XdrWriter, item: &BatchGot) {
     w.put_u32(item.tag);
     w.put_u64(item.ticket);
     put_opt_trace(w, item.trace);
-    w.put_opaque(&item.payload);
+    w.put_payload(&item.payload);
 }
 
 fn get_batch_got(r: &mut XdrReader<'_>) -> Result<BatchGot, WireError> {
@@ -271,7 +272,7 @@ fn get_batch_got(r: &mut XdrReader<'_>) -> Result<BatchGot, WireError> {
     let tag = r.get_u32()?;
     let ticket = r.get_u64()?;
     let trace = get_opt_trace(r)?;
-    let payload = Bytes::copy_from_slice(r.get_opaque()?);
+    let payload = r.get_payload()?;
     Ok(BatchGot {
         code,
         ts,
@@ -365,7 +366,7 @@ fn put_request_body(w: &mut XdrWriter, req: &Request) -> Result<(), WireError> {
             w.put_i64(ts.value());
             w.put_u32(*tag);
             put_wait(w, *wait);
-            w.put_opaque(payload);
+            w.put_payload(payload);
         }
         Request::ChannelGet { conn, spec, wait } => {
             w.put_u32(class::CHANNEL_GET);
@@ -395,7 +396,7 @@ fn put_request_body(w: &mut XdrWriter, req: &Request) -> Result<(), WireError> {
             w.put_i64(ts.value());
             w.put_u32(*tag);
             put_wait(w, *wait);
-            w.put_opaque(payload);
+            w.put_payload(payload);
         }
         Request::QueueGet { conn, wait } => {
             w.put_u32(class::QUEUE_GET);
@@ -521,7 +522,7 @@ fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireEr
             let ts = Timestamp::new(r.get_i64()?);
             let tag = r.get_u32()?;
             let wait = get_wait(r)?;
-            let payload = Bytes::copy_from_slice(r.get_opaque()?);
+            let payload = r.get_payload()?;
             Request::ChannelPut {
                 conn,
                 ts,
@@ -548,7 +549,7 @@ fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireEr
             let ts = Timestamp::new(r.get_i64()?);
             let tag = r.get_u32()?;
             let wait = get_wait(r)?;
-            let payload = Bytes::copy_from_slice(r.get_opaque()?);
+            let payload = r.get_payload()?;
             Request::QueuePut {
                 conn,
                 ts,
@@ -666,215 +667,289 @@ fn get_trace_trailer(r: &mut XdrReader<'_>) -> Result<Option<TraceContext>, Wire
     }))
 }
 
+/// Writes a full request frame: seq, body, optional trace trailer.
+/// Shared by the scatter-gather and legacy encode paths — the writer's
+/// mode decides whether payloads are borrowed or copied.
+fn put_request_frame(w: &mut XdrWriter, frame: &RequestFrame) -> Result<(), WireError> {
+    w.put_u64(frame.seq);
+    put_request_body(w, &frame.req)?;
+    put_trace_trailer(w, frame.trace);
+    Ok(())
+}
+
+/// Parses a full request frame, requiring full consumption. Shared by
+/// the view-returning and legacy decode paths — the reader's backing
+/// decides whether payloads are slices or copies.
+fn get_request_frame(r: &mut XdrReader<'_>) -> Result<RequestFrame, WireError> {
+    let seq = r.get_u64()?;
+    let req = get_request_body(r, 0)?;
+    let trace = get_trace_trailer(r)?;
+    r.finish()?;
+    Ok(RequestFrame { seq, req, trace })
+}
+
+/// Writes a full reply frame: seq, gc notes, body, optional trailer.
+fn put_reply_frame(w: &mut XdrWriter, frame: &ReplyFrame) -> Result<(), WireError> {
+    w.put_u64(frame.seq);
+    w.put_u32(frame.gc_notes.len() as u32);
+    for n in &frame.gc_notes {
+        put_gc_note(w, n);
+    }
+    match &frame.reply {
+        Reply::Ok => w.put_u32(class::R_OK),
+        Reply::Attached { session, as_id } => {
+            w.put_u32(class::R_ATTACHED);
+            w.put_u64(*session);
+            w.put_u32(u32::from(as_id.0));
+        }
+        Reply::Created { resource } => {
+            w.put_u32(class::R_CREATED);
+            put_resource(w, *resource);
+        }
+        Reply::Connected { conn } => {
+            w.put_u32(class::R_CONNECTED);
+            w.put_u64(*conn);
+        }
+        Reply::Item { ts, tag, payload } => {
+            w.put_u32(class::R_ITEM);
+            w.put_i64(ts.value());
+            w.put_u32(*tag);
+            w.put_payload(payload);
+        }
+        Reply::QueueItem {
+            ts,
+            tag,
+            payload,
+            ticket,
+        } => {
+            w.put_u32(class::R_QUEUE_ITEM);
+            w.put_i64(ts.value());
+            w.put_u32(*tag);
+            w.put_u64(*ticket);
+            w.put_payload(payload);
+        }
+        Reply::NsFound { resource, meta } => {
+            w.put_u32(class::R_NS_FOUND);
+            put_resource(w, *resource);
+            w.put_string(meta);
+        }
+        Reply::NsEntries { entries } => {
+            w.put_u32(class::R_NS_ENTRIES);
+            w.put_u32(entries.len() as u32);
+            for e in entries {
+                w.put_string(&e.name);
+                put_resource(w, e.resource);
+                w.put_string(&e.meta);
+            }
+        }
+        Reply::Pong { nonce } => {
+            w.put_u32(class::R_PONG);
+            w.put_u64(*nonce);
+        }
+        Reply::Error { code, detail } => {
+            w.put_u32(class::R_ERROR);
+            w.put_u32(*code);
+            w.put_string(detail);
+        }
+        Reply::StatsReport { snapshot } => {
+            w.put_u32(class::R_STATS_REPORT);
+            w.put_payload(snapshot);
+        }
+        Reply::TraceReport { dump } => {
+            w.put_u32(class::R_TRACE_REPORT);
+            w.put_payload(dump);
+        }
+        Reply::BatchResults { codes } => {
+            w.put_u32(class::R_BATCH_RESULTS);
+            w.put_u32(codes.len() as u32);
+            for c in codes {
+                w.put_u32(*c);
+            }
+        }
+        Reply::BatchItems { items } => {
+            w.put_u32(class::R_BATCH_ITEMS);
+            w.put_u32(items.len() as u32);
+            for item in items {
+                put_batch_got(w, item);
+            }
+        }
+    }
+    put_trace_trailer(w, frame.trace);
+    Ok(())
+}
+
+/// Parses a full reply frame; `input_len` bounds the sanity checks on
+/// decoded collection counts.
+fn get_reply_frame(r: &mut XdrReader<'_>, input_len: usize) -> Result<ReplyFrame, WireError> {
+    let seq = r.get_u64()?;
+    let n_notes = r.get_u32()?;
+    if n_notes as usize > input_len {
+        return Err(WireError::BadValue(format!("gc note count {n_notes}")));
+    }
+    let mut gc_notes = Vec::with_capacity(n_notes as usize);
+    for _ in 0..n_notes {
+        gc_notes.push(get_gc_note(r)?);
+    }
+    let tag = r.get_u32()?;
+    let reply = match tag {
+        class::R_OK => Reply::Ok,
+        class::R_ATTACHED => {
+            let session = r.get_u64()?;
+            let as_id = r.get_u32()?;
+            let as_id = u16::try_from(as_id)
+                .map_err(|_| WireError::BadValue(format!("address space id {as_id}")))?;
+            Reply::Attached {
+                session,
+                as_id: AsId(as_id),
+            }
+        }
+        class::R_CREATED => Reply::Created {
+            resource: get_resource(r)?,
+        },
+        class::R_CONNECTED => Reply::Connected { conn: r.get_u64()? },
+        class::R_ITEM => Reply::Item {
+            ts: Timestamp::new(r.get_i64()?),
+            tag: r.get_u32()?,
+            payload: r.get_payload()?,
+        },
+        class::R_QUEUE_ITEM => Reply::QueueItem {
+            ts: Timestamp::new(r.get_i64()?),
+            tag: r.get_u32()?,
+            ticket: r.get_u64()?,
+            payload: r.get_payload()?,
+        },
+        class::R_NS_FOUND => Reply::NsFound {
+            resource: get_resource(r)?,
+            meta: r.get_string()?,
+        },
+        class::R_NS_ENTRIES => {
+            let n = r.get_u32()?;
+            if n as usize > input_len {
+                return Err(WireError::BadValue(format!("entry count {n}")));
+            }
+            let mut entries = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                entries.push(NsEntry {
+                    name: r.get_string()?,
+                    resource: get_resource(r)?,
+                    meta: r.get_string()?,
+                });
+            }
+            Reply::NsEntries { entries }
+        }
+        class::R_PONG => Reply::Pong {
+            nonce: r.get_u64()?,
+        },
+        class::R_ERROR => Reply::Error {
+            code: r.get_u32()?,
+            detail: r.get_string()?,
+        },
+        class::R_STATS_REPORT => Reply::StatsReport {
+            snapshot: r.get_payload()?,
+        },
+        class::R_TRACE_REPORT => Reply::TraceReport {
+            dump: r.get_payload()?,
+        },
+        class::R_BATCH_RESULTS => {
+            let n = get_batch_len(r, "batch code")?;
+            let mut codes = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                codes.push(r.get_u32()?);
+            }
+            Reply::BatchResults { codes }
+        }
+        class::R_BATCH_ITEMS => {
+            let n = get_batch_len(r, "batch item")?;
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                items.push(get_batch_got(r)?);
+            }
+            Reply::BatchItems { items }
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    let trace = get_trace_trailer(r)?;
+    r.finish()?;
+    Ok(ReplyFrame {
+        seq,
+        gc_notes,
+        reply,
+        trace,
+    })
+}
+
+impl XdrCodec {
+    /// Encodes a request with the pre-zero-copy contiguous path: every
+    /// payload is bulk-copied into one buffer. Kept for the
+    /// cross-version compatibility tests and legacy callers; the bytes
+    /// are identical to the flattened [`Codec::encode_request`] output.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::encode_request`].
+    pub fn encode_request_legacy(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
+        let mut w = XdrWriter::with_capacity(64);
+        put_request_frame(&mut w, frame)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes a request with the pre-zero-copy copying path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::decode_request`].
+    pub fn decode_request_legacy(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {
+        let mut r = XdrReader::new(bytes);
+        get_request_frame(&mut r)
+    }
+
+    /// Encodes a reply with the pre-zero-copy contiguous path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::encode_reply`].
+    pub fn encode_reply_legacy(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError> {
+        let mut w = XdrWriter::with_capacity(64);
+        put_reply_frame(&mut w, frame)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Decodes a reply with the pre-zero-copy copying path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Codec::decode_reply`].
+    pub fn decode_reply_legacy(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError> {
+        let mut r = XdrReader::new(bytes);
+        get_reply_frame(&mut r, bytes.len())
+    }
+}
+
 impl Codec for XdrCodec {
     fn id(&self) -> CodecId {
         CodecId::Xdr
     }
 
-    fn encode_request(&self, frame: &RequestFrame) -> Result<Vec<u8>, WireError> {
-        let mut w = XdrWriter::with_capacity(64);
-        w.put_u64(frame.seq);
-        put_request_body(&mut w, &frame.req)?;
-        put_trace_trailer(&mut w, frame.trace);
-        Ok(w.into_bytes())
+    fn encode_request(&self, frame: &RequestFrame) -> Result<EncodedFrame, WireError> {
+        let mut w = XdrWriter::scatter(64);
+        put_request_frame(&mut w, frame)?;
+        Ok(w.into_frame())
     }
 
-    fn decode_request(&self, bytes: &[u8]) -> Result<RequestFrame, WireError> {
-        let mut r = XdrReader::new(bytes);
-        let seq = r.get_u64()?;
-        let req = get_request_body(&mut r, 0)?;
-        let trace = get_trace_trailer(&mut r)?;
-        r.finish()?;
-        Ok(RequestFrame { seq, req, trace })
+    fn decode_request(&self, bytes: &Bytes) -> Result<RequestFrame, WireError> {
+        let mut r = XdrReader::with_backing(bytes);
+        get_request_frame(&mut r)
     }
 
-    fn encode_reply(&self, frame: &ReplyFrame) -> Result<Vec<u8>, WireError> {
-        let mut w = XdrWriter::with_capacity(64);
-        w.put_u64(frame.seq);
-        w.put_u32(frame.gc_notes.len() as u32);
-        for n in &frame.gc_notes {
-            put_gc_note(&mut w, n);
-        }
-        match &frame.reply {
-            Reply::Ok => w.put_u32(class::R_OK),
-            Reply::Attached { session, as_id } => {
-                w.put_u32(class::R_ATTACHED);
-                w.put_u64(*session);
-                w.put_u32(u32::from(as_id.0));
-            }
-            Reply::Created { resource } => {
-                w.put_u32(class::R_CREATED);
-                put_resource(&mut w, *resource);
-            }
-            Reply::Connected { conn } => {
-                w.put_u32(class::R_CONNECTED);
-                w.put_u64(*conn);
-            }
-            Reply::Item { ts, tag, payload } => {
-                w.put_u32(class::R_ITEM);
-                w.put_i64(ts.value());
-                w.put_u32(*tag);
-                w.put_opaque(payload);
-            }
-            Reply::QueueItem {
-                ts,
-                tag,
-                payload,
-                ticket,
-            } => {
-                w.put_u32(class::R_QUEUE_ITEM);
-                w.put_i64(ts.value());
-                w.put_u32(*tag);
-                w.put_u64(*ticket);
-                w.put_opaque(payload);
-            }
-            Reply::NsFound { resource, meta } => {
-                w.put_u32(class::R_NS_FOUND);
-                put_resource(&mut w, *resource);
-                w.put_string(meta);
-            }
-            Reply::NsEntries { entries } => {
-                w.put_u32(class::R_NS_ENTRIES);
-                w.put_u32(entries.len() as u32);
-                for e in entries {
-                    w.put_string(&e.name);
-                    put_resource(&mut w, e.resource);
-                    w.put_string(&e.meta);
-                }
-            }
-            Reply::Pong { nonce } => {
-                w.put_u32(class::R_PONG);
-                w.put_u64(*nonce);
-            }
-            Reply::Error { code, detail } => {
-                w.put_u32(class::R_ERROR);
-                w.put_u32(*code);
-                w.put_string(detail);
-            }
-            Reply::StatsReport { snapshot } => {
-                w.put_u32(class::R_STATS_REPORT);
-                w.put_opaque(snapshot);
-            }
-            Reply::TraceReport { dump } => {
-                w.put_u32(class::R_TRACE_REPORT);
-                w.put_opaque(dump);
-            }
-            Reply::BatchResults { codes } => {
-                w.put_u32(class::R_BATCH_RESULTS);
-                w.put_u32(codes.len() as u32);
-                for c in codes {
-                    w.put_u32(*c);
-                }
-            }
-            Reply::BatchItems { items } => {
-                w.put_u32(class::R_BATCH_ITEMS);
-                w.put_u32(items.len() as u32);
-                for item in items {
-                    put_batch_got(&mut w, item);
-                }
-            }
-        }
-        put_trace_trailer(&mut w, frame.trace);
-        Ok(w.into_bytes())
+    fn encode_reply(&self, frame: &ReplyFrame) -> Result<EncodedFrame, WireError> {
+        let mut w = XdrWriter::scatter(64);
+        put_reply_frame(&mut w, frame)?;
+        Ok(w.into_frame())
     }
 
-    fn decode_reply(&self, bytes: &[u8]) -> Result<ReplyFrame, WireError> {
-        let mut r = XdrReader::new(bytes);
-        let seq = r.get_u64()?;
-        let n_notes = r.get_u32()?;
-        if n_notes as usize > bytes.len() {
-            return Err(WireError::BadValue(format!("gc note count {n_notes}")));
-        }
-        let mut gc_notes = Vec::with_capacity(n_notes as usize);
-        for _ in 0..n_notes {
-            gc_notes.push(get_gc_note(&mut r)?);
-        }
-        let tag = r.get_u32()?;
-        let reply = match tag {
-            class::R_OK => Reply::Ok,
-            class::R_ATTACHED => {
-                let session = r.get_u64()?;
-                let as_id = r.get_u32()?;
-                let as_id = u16::try_from(as_id)
-                    .map_err(|_| WireError::BadValue(format!("address space id {as_id}")))?;
-                Reply::Attached {
-                    session,
-                    as_id: AsId(as_id),
-                }
-            }
-            class::R_CREATED => Reply::Created {
-                resource: get_resource(&mut r)?,
-            },
-            class::R_CONNECTED => Reply::Connected { conn: r.get_u64()? },
-            class::R_ITEM => Reply::Item {
-                ts: Timestamp::new(r.get_i64()?),
-                tag: r.get_u32()?,
-                payload: Bytes::copy_from_slice(r.get_opaque()?),
-            },
-            class::R_QUEUE_ITEM => Reply::QueueItem {
-                ts: Timestamp::new(r.get_i64()?),
-                tag: r.get_u32()?,
-                ticket: r.get_u64()?,
-                payload: Bytes::copy_from_slice(r.get_opaque()?),
-            },
-            class::R_NS_FOUND => Reply::NsFound {
-                resource: get_resource(&mut r)?,
-                meta: r.get_string()?,
-            },
-            class::R_NS_ENTRIES => {
-                let n = r.get_u32()?;
-                if n as usize > bytes.len() {
-                    return Err(WireError::BadValue(format!("entry count {n}")));
-                }
-                let mut entries = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    entries.push(NsEntry {
-                        name: r.get_string()?,
-                        resource: get_resource(&mut r)?,
-                        meta: r.get_string()?,
-                    });
-                }
-                Reply::NsEntries { entries }
-            }
-            class::R_PONG => Reply::Pong {
-                nonce: r.get_u64()?,
-            },
-            class::R_ERROR => Reply::Error {
-                code: r.get_u32()?,
-                detail: r.get_string()?,
-            },
-            class::R_STATS_REPORT => Reply::StatsReport {
-                snapshot: Bytes::copy_from_slice(r.get_opaque()?),
-            },
-            class::R_TRACE_REPORT => Reply::TraceReport {
-                dump: Bytes::copy_from_slice(r.get_opaque()?),
-            },
-            class::R_BATCH_RESULTS => {
-                let n = get_batch_len(&mut r, "batch code")?;
-                let mut codes = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    codes.push(r.get_u32()?);
-                }
-                Reply::BatchResults { codes }
-            }
-            class::R_BATCH_ITEMS => {
-                let n = get_batch_len(&mut r, "batch item")?;
-                let mut items = Vec::with_capacity(n as usize);
-                for _ in 0..n {
-                    items.push(get_batch_got(&mut r)?);
-                }
-                Reply::BatchItems { items }
-            }
-            t => return Err(WireError::BadTag(t)),
-        };
-        let trace = get_trace_trailer(&mut r)?;
-        r.finish()?;
-        Ok(ReplyFrame {
-            seq,
-            gc_notes,
-            reply,
-            trace,
-        })
+    fn decode_reply(&self, bytes: &Bytes) -> Result<ReplyFrame, WireError> {
+        let mut r = XdrReader::with_backing(bytes);
+        get_reply_frame(&mut r, bytes.len())
     }
 }
 
@@ -888,7 +963,7 @@ mod tests {
         let codec = XdrCodec::new();
         for (i, req) in all_requests().into_iter().enumerate() {
             let frame = RequestFrame::new(i as u64, req);
-            let bytes = codec.encode_request(&frame).unwrap();
+            let bytes = codec.encode_request(&frame).unwrap().to_bytes();
             let back = codec.decode_request(&bytes).unwrap();
             assert_eq!(back, frame, "request #{i}");
         }
@@ -899,9 +974,41 @@ mod tests {
         let codec = XdrCodec::new();
         for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
             let frame = ReplyFrame::new(i as u64, notes, reply);
-            let bytes = codec.encode_reply(&frame).unwrap();
+            let bytes = codec.encode_reply(&frame).unwrap().to_bytes();
             let back = codec.decode_reply(&bytes).unwrap();
             assert_eq!(back, frame, "reply #{i}");
+        }
+    }
+
+    #[test]
+    fn legacy_paths_match_scatter_paths() {
+        // The legacy contiguous encode must be byte-identical to the
+        // flattened scatter encode, and each decode must accept the
+        // other's output.
+        let codec = XdrCodec::new();
+        for (i, req) in all_requests().into_iter().enumerate() {
+            let frame = RequestFrame::new(i as u64, req);
+            let legacy = codec.encode_request_legacy(&frame).unwrap();
+            let scatter = codec.encode_request(&frame).unwrap().to_bytes();
+            assert_eq!(&scatter[..], &legacy[..], "request #{i}");
+            assert_eq!(codec.decode_request_legacy(&scatter).unwrap(), frame);
+            assert_eq!(
+                codec.decode_request(&Bytes::from(legacy)).unwrap(),
+                frame,
+                "request #{i}"
+            );
+        }
+        for (i, (reply, notes)) in all_replies().into_iter().enumerate() {
+            let frame = ReplyFrame::new(i as u64, notes, reply);
+            let legacy = codec.encode_reply_legacy(&frame).unwrap();
+            let scatter = codec.encode_reply(&frame).unwrap().to_bytes();
+            assert_eq!(&scatter[..], &legacy[..], "reply #{i}");
+            assert_eq!(codec.decode_reply_legacy(&scatter).unwrap(), frame);
+            assert_eq!(
+                codec.decode_reply(&Bytes::from(legacy)).unwrap(),
+                frame,
+                "reply #{i}"
+            );
         }
     }
 
@@ -910,7 +1017,7 @@ mod tests {
         let mut w = XdrWriter::new();
         w.put_u64(1);
         w.put_u32(999);
-        let bytes = w.into_bytes();
+        let bytes = Bytes::from(w.into_bytes());
         assert_eq!(
             XdrCodec::new().decode_request(&bytes).unwrap_err(),
             WireError::BadTag(999)
@@ -921,10 +1028,10 @@ mod tests {
     fn trailing_garbage_rejected() {
         let codec = XdrCodec::new();
         let frame = RequestFrame::new(1, Request::Detach);
-        let mut bytes = codec.encode_request(&frame).unwrap();
+        let mut bytes = codec.encode_request_legacy(&frame).unwrap();
         bytes.extend_from_slice(&[0, 0, 0, 0]);
         assert_eq!(
-            codec.decode_request(&bytes).unwrap_err(),
+            codec.decode_request(&Bytes::from(bytes)).unwrap_err(),
             WireError::TrailingBytes(4)
         );
     }
@@ -937,13 +1044,13 @@ mod tests {
             span: SpanId(0x0123_4567_89ab_cdef),
         };
         let frame = RequestFrame::new(7, Request::Ping { nonce: 9 }).with_trace(Some(ctx));
-        let bytes = codec.encode_request(&frame).unwrap();
+        let bytes = codec.encode_request(&frame).unwrap().to_bytes();
         let back = codec.decode_request(&bytes).unwrap();
         assert_eq!(back, frame);
         assert_eq!(back.trace, Some(ctx));
 
         let reply = ReplyFrame::new(7, vec![], Reply::Pong { nonce: 9 }).with_trace(Some(ctx));
-        let bytes = codec.encode_reply(&reply).unwrap();
+        let bytes = codec.encode_reply(&reply).unwrap().to_bytes();
         let back = codec.decode_reply(&bytes).unwrap();
         assert_eq!(back.trace, Some(ctx));
     }
@@ -955,7 +1062,8 @@ mod tests {
         let codec = XdrCodec::new();
         let plain = codec
             .encode_request(&RequestFrame::new(1, Request::Detach))
-            .unwrap();
+            .unwrap()
+            .to_bytes();
         let traced = codec
             .encode_request(
                 &RequestFrame::new(1, Request::Detach).with_trace(Some(TraceContext {
@@ -963,7 +1071,8 @@ mod tests {
                     span: SpanId(2),
                 })),
             )
-            .unwrap();
+            .unwrap()
+            .to_bytes();
         assert_eq!(traced.len(), plain.len() + 4 + 8 + 8);
         assert_eq!(&traced[..plain.len()], &plain[..]);
     }
@@ -975,9 +1084,11 @@ mod tests {
             trace: TraceId(1),
             span: SpanId(2),
         }));
-        let bytes = codec.encode_request(&frame).unwrap();
+        let bytes = codec.encode_request(&frame).unwrap().to_bytes();
         assert_eq!(
-            codec.decode_request(&bytes[..bytes.len() - 4]).unwrap_err(),
+            codec
+                .decode_request(&bytes.slice(..bytes.len() - 4))
+                .unwrap_err(),
             WireError::Truncated
         );
     }
@@ -986,9 +1097,11 @@ mod tests {
     fn truncated_reply_rejected() {
         let codec = XdrCodec::new();
         let frame = ReplyFrame::new(1, vec![], Reply::Pong { nonce: 3 });
-        let bytes = codec.encode_reply(&frame).unwrap();
+        let bytes = codec.encode_reply(&frame).unwrap().to_bytes();
         assert_eq!(
-            codec.decode_reply(&bytes[..bytes.len() - 2]).unwrap_err(),
+            codec
+                .decode_reply(&bytes.slice(..bytes.len() - 2))
+                .unwrap_err(),
             WireError::Truncated
         );
     }

@@ -19,13 +19,34 @@
 //!
 //! The asymmetry between this codec and [`crate::xdr`] is what regenerates
 //! the Figure 12 vs Figure 13 gap; see `EXPERIMENTS.md`.
+//!
+//! The zero-copy data plane adds a *chunked* payload lane on top:
+//! [`JdrSink::write_chunk`]/[`JdrSource::read_chunk`] default to the
+//! element-wise loops (so [`VecSink`]/[`SliceSource`] keep the legacy
+//! cost profile bit-for-bit), while [`SegmentSink`]/[`BytesSource`]
+//! override them to move item payloads as borrowed [`Bytes`] segments
+//! and slice views. Scalars and object headers still pay the boxed,
+//! byte-at-a-time cost either way.
+
+use bytes::Bytes;
 
 use crate::error::WireError;
+use crate::frame::EncodedFrame;
+use crate::pool::{self, ZC_THRESHOLD};
 
 /// Byte-at-a-time output stream (deliberately virtual).
 pub trait JdrSink {
     /// Appends one byte to the stream.
     fn write_byte(&mut self, b: u8);
+
+    /// Appends a payload chunk. The default streams it element-wise
+    /// through [`JdrSink::write_byte`] — the legacy Java cost profile;
+    /// zero-copy sinks override this to take the bytes by reference.
+    fn write_chunk(&mut self, chunk: &Bytes) {
+        for &b in chunk.iter() {
+            self.write_byte(b);
+        }
+    }
 }
 
 /// Byte-at-a-time input stream (deliberately virtual).
@@ -36,6 +57,21 @@ pub trait JdrSource {
     ///
     /// [`WireError::Truncated`] at end of stream.
     fn read_byte(&mut self) -> Result<u8, WireError>;
+
+    /// Reads a payload chunk of exactly `len` bytes. The default
+    /// streams it element-wise through [`JdrSource::read_byte`];
+    /// zero-copy sources override this to return a slice view.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than `len` bytes remain.
+    fn read_chunk(&mut self, len: usize) -> Result<Bytes, WireError> {
+        let mut buf = Vec::with_capacity(len);
+        for _ in 0..len {
+            buf.push(self.read_byte()?);
+        }
+        Ok(Bytes::from(buf))
+    }
 }
 
 /// Growable byte buffer behind the [`JdrSink`] interface.
@@ -107,6 +143,108 @@ impl JdrSource for SliceSource<'_> {
     }
 }
 
+/// Scatter-gather sink for the zero-copy encode path: scalar bytes are
+/// staged in a pooled buffer while payload chunks at or above
+/// [`ZC_THRESHOLD`] ride as borrowed segments of the resulting
+/// [`EncodedFrame`]. Flattening the frame yields exactly the bytes a
+/// [`VecSink`] would have produced.
+#[derive(Debug)]
+pub struct SegmentSink {
+    buf: Vec<u8>,
+    segments: Vec<Bytes>,
+}
+
+impl SegmentSink {
+    /// An empty sink staging into a pooled buffer of at least `cap`
+    /// bytes.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        SegmentSink {
+            buf: pool::get(cap).into_vec(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Seals the staged buffer into the segment list.
+    fn seal(&mut self) {
+        if !self.buf.is_empty() {
+            self.segments
+                .push(Bytes::from(std::mem::take(&mut self.buf)));
+        }
+    }
+
+    /// Consumes the sink, returning the scatter-gather frame.
+    #[must_use]
+    pub fn into_frame(mut self) -> EncodedFrame {
+        self.seal();
+        EncodedFrame::from_segments(self.segments)
+    }
+}
+
+impl JdrSink for SegmentSink {
+    #[inline(never)] // scalars keep the per-byte virtual-call cost model
+    fn write_byte(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    fn write_chunk(&mut self, chunk: &Bytes) {
+        if chunk.len() >= ZC_THRESHOLD {
+            self.seal();
+            self.segments.push(chunk.clone());
+            pool::note_copy_avoided(chunk.len());
+        } else {
+            self.buf.extend_from_slice(chunk);
+        }
+    }
+}
+
+/// Reader over a refcounted receive buffer for the zero-copy decode
+/// path: payload chunks at or above [`ZC_THRESHOLD`] come back as
+/// [`Bytes::slice`] views into the buffer instead of element-wise
+/// copies.
+#[derive(Debug)]
+pub struct BytesSource<'a> {
+    buf: &'a Bytes,
+    pos: usize,
+}
+
+impl<'a> BytesSource<'a> {
+    /// A source positioned at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a Bytes) -> Self {
+        BytesSource { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+impl JdrSource for BytesSource<'_> {
+    #[inline(never)] // scalars keep the per-byte virtual-call cost model
+    fn read_byte(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn read_chunk(&mut self, len: usize) -> Result<Bytes, WireError> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let start = self.pos;
+        self.pos += len;
+        if len >= ZC_THRESHOLD {
+            pool::note_copy_avoided(len);
+            Ok(self.buf.slice(start..start + len))
+        } else {
+            Ok(Bytes::copy_from_slice(&self.buf[start..start + len]))
+        }
+    }
+}
+
 mod tag {
     pub const NULL: u8 = 0;
     pub const BOOL: u8 = 1;
@@ -135,8 +273,10 @@ pub enum JdrValue {
     Long(i64),
     /// String.
     Str(Box<str>),
-    /// Byte array (marshalled element-wise).
-    Bytes(Box<[u8]>),
+    /// Byte array. Refcounted so item payloads can ride the zero-copy
+    /// data plane; the legacy sinks/sources still marshal the bytes
+    /// element-wise.
+    Bytes(Bytes),
     /// Homogeneous list.
     List(Vec<Box<JdrValue>>),
     /// Object: class id plus boxed fields.
@@ -167,7 +307,14 @@ impl JdrValue {
     /// Builds a byte-array node (copies, as Java serialization would).
     #[must_use]
     pub fn bytes(b: &[u8]) -> JdrValue {
-        JdrValue::Bytes(b.into())
+        JdrValue::Bytes(Bytes::copy_from_slice(b))
+    }
+
+    /// Builds a byte-array node from a refcounted payload without
+    /// copying — the zero-copy encode path's constructor.
+    #[must_use]
+    pub fn payload(b: Bytes) -> JdrValue {
+        JdrValue::Bytes(b)
     }
 
     /// Reads this node as a bool.
@@ -242,6 +389,19 @@ impl JdrValue {
     ///
     /// [`WireError::BadValue`] if it is a different kind.
     pub fn as_bytes(&self) -> Result<&[u8], WireError> {
+        match self {
+            JdrValue::Bytes(b) => Ok(b),
+            other => Err(type_error("bytes", other)),
+        }
+    }
+
+    /// Reads this node as a refcounted payload; cloning the result is
+    /// a refcount bump, not a copy.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadValue`] if it is a different kind.
+    pub fn as_payload(&self) -> Result<&Bytes, WireError> {
         match self {
             JdrValue::Bytes(b) => Ok(b),
             other => Err(type_error("bytes", other)),
@@ -350,9 +510,7 @@ pub fn write_value(value: &JdrValue, sink: &mut dyn JdrSink) {
         JdrValue::Bytes(data) => {
             sink.write_byte(tag::BYTES);
             write_u32(sink, data.len() as u32);
-            for &b in data.iter() {
-                sink.write_byte(b);
-            }
+            sink.write_chunk(data);
         }
         JdrValue::List(items) => {
             sink.write_byte(tag::LIST);
@@ -408,11 +566,7 @@ pub fn read_value(src: &mut dyn JdrSource) -> Result<JdrValue, WireError> {
             if len > MAX_LEN {
                 return Err(WireError::BadValue(format!("byte array length {len}")));
             }
-            let mut buf = Vec::with_capacity(len as usize);
-            for _ in 0..len {
-                buf.push(src.read_byte()?);
-            }
-            Ok(JdrValue::Bytes(buf.into_boxed_slice()))
+            Ok(JdrValue::Bytes(src.read_chunk(len as usize)?))
         }
         tag::LIST => {
             let len = read_u32(src)?;
@@ -469,6 +623,31 @@ pub fn encode(value: &JdrValue) -> Vec<u8> {
 /// As [`read_value`], plus [`WireError::TrailingBytes`].
 pub fn decode(bytes: &[u8]) -> Result<JdrValue, WireError> {
     let mut src = SliceSource::new(bytes);
+    let v = read_value(&mut src)?;
+    if src.remaining() > 0 {
+        return Err(WireError::TrailingBytes(src.remaining()));
+    }
+    Ok(v)
+}
+
+/// Serializes a value tree into a scatter-gather frame: scalar bytes
+/// through a pooled [`SegmentSink`], payloads as borrowed segments.
+/// Flattening the frame yields exactly the [`encode`] bytes.
+#[must_use]
+pub fn encode_frame(value: &JdrValue) -> EncodedFrame {
+    let mut sink = SegmentSink::with_capacity(64);
+    write_value(value, &mut sink);
+    sink.into_frame()
+}
+
+/// Parses a value tree from a refcounted receive buffer, requiring
+/// full consumption; payloads come back as slice views into it.
+///
+/// # Errors
+///
+/// As [`read_value`], plus [`WireError::TrailingBytes`].
+pub fn decode_bytes(bytes: &Bytes) -> Result<JdrValue, WireError> {
+    let mut src = BytesSource::new(bytes);
     let v = read_value(&mut src)?;
     if src.remaining() > 0 {
         return Err(WireError::TrailingBytes(src.remaining()));
@@ -582,5 +761,54 @@ mod tests {
         let encoded = encode(&v);
         assert_eq!(encoded.len(), 1 + 4 + payload.len());
         assert_eq!(decode(&encoded).unwrap(), v);
+    }
+
+    #[test]
+    fn segment_sink_flattens_to_vec_sink_bytes() {
+        for len in [0usize, 5, ZC_THRESHOLD - 1, ZC_THRESHOLD, 4097] {
+            let payload = Bytes::from((0..len).map(|i| i as u8).collect::<Vec<u8>>());
+            let v = JdrValue::object(
+                3,
+                vec![
+                    JdrValue::Int(7),
+                    JdrValue::payload(payload),
+                    JdrValue::str("tail"),
+                ],
+            );
+            assert_eq!(
+                &encode_frame(&v).to_bytes()[..],
+                &encode(&v)[..],
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_sink_borrows_large_payloads() {
+        let payload = Bytes::from(vec![0x42u8; ZC_THRESHOLD]);
+        let v = JdrValue::payload(payload.clone());
+        let frame = encode_frame(&v);
+        assert!(frame
+            .segments()
+            .iter()
+            .any(|s| s.shares_allocation_with(&payload)));
+    }
+
+    #[test]
+    fn bytes_source_returns_views_for_large_payloads() {
+        let payload = Bytes::from(vec![0x17u8; 1000]);
+        let v = JdrValue::payload(payload.clone());
+        let wire = Bytes::from(encode(&v));
+        let back = decode_bytes(&wire).unwrap();
+        assert_eq!(back, v);
+        assert!(
+            back.as_payload().unwrap().shares_allocation_with(&wire),
+            "large payload decode must be a view"
+        );
+        // Small payloads are copied so they don't pin the buffer.
+        let small = JdrValue::bytes(&[1, 2, 3]);
+        let wire = Bytes::from(encode(&small));
+        let back = decode_bytes(&wire).unwrap();
+        assert!(!back.as_payload().unwrap().shares_allocation_with(&wire));
     }
 }

@@ -16,12 +16,18 @@
 //! let frame = RequestFrame::new(1, Request::Ping { nonce: 42 });
 //! for id in [CodecId::Xdr, CodecId::Jdr] {
 //!     let codec = codec_for(id);
-//!     let bytes = codec.encode_request(&frame)?;
-//!     assert_eq!(codec.decode_request(&bytes)?, frame);
+//!     let encoded = codec.encode_request(&frame)?;
+//!     assert_eq!(codec.decode_request(&encoded.to_bytes())?, frame);
 //! }
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Encoding produces an [`EncodedFrame`]: header bytes from the
+//! size-classed [`pool`] plus item payloads as borrowed `Bytes`
+//! segments (scatter-gather, zero payload copies). Decoding takes the
+//! refcounted receive buffer and yields payloads as slice views into
+//! it — see `DESIGN.md` §4.6 for the data-plane memory model.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,6 +38,7 @@ pub mod codec_xdr;
 pub mod error;
 pub mod frame;
 pub mod jdr;
+pub mod pool;
 pub mod rpc;
 pub mod xdr;
 
@@ -39,7 +46,9 @@ pub use codec::{codec_for, Codec, CodecId};
 pub use codec_jdr::JdrCodec;
 pub use codec_xdr::XdrCodec;
 pub use error::WireError;
-pub use frame::{read_frame, write_frame, MAX_FRAME};
+pub use frame::{
+    read_frame, read_frame_bytes, write_encoded, write_frame, EncodedFrame, MAX_FRAME,
+};
 pub use rpc::{
     BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
 };

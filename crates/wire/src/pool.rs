@@ -1,0 +1,222 @@
+//! Size-classed buffer pool for the zero-copy data plane.
+//!
+//! Encoders stage frame headers in pooled [`BytesMut`] buffers and
+//! frame readers fill pooled receive buffers; once every payload slice
+//! into a buffer has been dropped, [`recycle`] recovers the allocation
+//! for reuse (see [`Bytes::try_into_vec`]). The pool also owns the
+//! process-wide **bytes-copied-avoided** counter: every payload that
+//! rides a frame as a borrowed [`Bytes`] segment (encode) or is handed
+//! out as a slice view into the receive buffer (decode) adds its
+//! length here instead of being memcpy'd. Tests assert on this counter
+//! to prove the path is zero-copy; `AddressSpace::stats_snapshot`
+//! mirrors it into the metrics registry for `dstampede-cli stats`.
+//!
+//! All counters are process-global monotone atomics: the pool is
+//! shared by every codec and framing call site in the process, so the
+//! numbers aggregate the whole data plane.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use bytes::{Bytes, BytesMut};
+
+/// Payloads at or above this size ride the wire as borrowed segments
+/// (encode) and slice views into the receive buffer (decode); smaller
+/// ones are cheaper to copy than to track, and copying them on decode
+/// avoids pinning a large receive buffer for a few bytes.
+pub const ZC_THRESHOLD: usize = 256;
+
+/// Buffer capacities the pool recycles, smallest first.
+pub const SIZE_CLASSES: [usize; 5] = [256, 1024, 4096, 16384, 65536];
+
+/// Buffers kept per size class; beyond this, reclaimed buffers are
+/// simply freed.
+const MAX_PER_CLASS: usize = 32;
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+static COPIES_AVOIDED: AtomicU64 = AtomicU64::new(0);
+static BYTES_COPIED_AVOIDED: AtomicU64 = AtomicU64::new(0);
+
+/// A size-classed free list of byte buffers.
+///
+/// The process-global instance behind [`get`]/[`recycle`] is what the
+/// data plane uses; independent instances exist only in tests.
+#[derive(Debug)]
+pub struct BufferPool {
+    shelves: [Mutex<Vec<Vec<u8>>>; SIZE_CLASSES.len()],
+}
+
+impl BufferPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferPool {
+            shelves: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Smallest class index whose capacity covers `cap`, or None when
+    /// `cap` exceeds the largest class.
+    fn class_for(cap: usize) -> Option<usize> {
+        SIZE_CLASSES.iter().position(|&c| c >= cap)
+    }
+
+    /// A cleared buffer with at least `min_capacity` bytes of
+    /// capacity, recycled when the matching shelf has one.
+    #[must_use]
+    pub fn get(&self, min_capacity: usize) -> BytesMut {
+        if let Some(class) = Self::class_for(min_capacity) {
+            if let Some(buf) = self.shelves[class].lock().expect("pool lock").pop() {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                return BytesMut::from_vec(buf);
+            }
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            return BytesMut::with_capacity(SIZE_CLASSES[class]);
+        }
+        // Jumbo request: allocate exactly, never shelved.
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        BytesMut::with_capacity(min_capacity)
+    }
+
+    /// Hands a frozen buffer back. Reclaims the allocation only when
+    /// this was the last handle and it views the whole vector —
+    /// payload slices legitimately keep receive buffers alive, in
+    /// which case the buffer is dropped (freed when the last slice
+    /// goes). Returns whether the allocation was shelved.
+    pub fn recycle(&self, buf: Bytes) -> bool {
+        match buf.try_into_vec() {
+            Ok(v) => self.recycle_vec(v),
+            Err(_) => false,
+        }
+    }
+
+    /// Shelves a reclaimed vector if its capacity matches a class with
+    /// room.
+    pub fn recycle_vec(&self, mut v: Vec<u8>) -> bool {
+        // Largest class the capacity fully covers.
+        let Some(class) = SIZE_CLASSES.iter().rposition(|&c| v.capacity() >= c) else {
+            return false;
+        };
+        let mut shelf = self.shelves[class].lock().expect("pool lock");
+        if shelf.len() >= MAX_PER_CLASS {
+            return false;
+        }
+        v.clear();
+        shelf.push(v);
+        RECYCLED.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::new()
+    }
+}
+
+fn global() -> &'static BufferPool {
+    static POOL: OnceLock<BufferPool> = OnceLock::new();
+    POOL.get_or_init(BufferPool::new)
+}
+
+/// A cleared buffer from the process-global pool.
+#[must_use]
+pub fn get(min_capacity: usize) -> BytesMut {
+    global().get(min_capacity)
+}
+
+/// Returns a frozen buffer to the process-global pool (see
+/// [`BufferPool::recycle`]).
+pub fn recycle(buf: Bytes) -> bool {
+    global().recycle(buf)
+}
+
+/// Returns a raw vector to the process-global pool.
+pub fn recycle_vec(v: Vec<u8>) -> bool {
+    global().recycle_vec(v)
+}
+
+/// Records one payload of `len` bytes that crossed the data plane by
+/// reference instead of by memcpy.
+pub fn note_copy_avoided(len: usize) {
+    COPIES_AVOIDED.fetch_add(1, Ordering::Relaxed);
+    BYTES_COPIED_AVOIDED.fetch_add(len as u64, Ordering::Relaxed);
+}
+
+/// Monotone counters for the process-global pool and the zero-copy
+/// payload paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `get` calls served from a shelf.
+    pub hits: u64,
+    /// `get` calls that had to allocate.
+    pub misses: u64,
+    /// Buffers whose allocation was reclaimed and shelved.
+    pub recycled: u64,
+    /// Payloads that crossed the data plane without a memcpy.
+    pub copies_avoided: u64,
+    /// Total payload bytes those reference passes avoided copying.
+    pub bytes_copied_avoided: u64,
+}
+
+/// Snapshot of the process-global counters.
+#[must_use]
+pub fn stats() -> PoolStats {
+    PoolStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        recycled: RECYCLED.load(Ordering::Relaxed),
+        copies_avoided: COPIES_AVOIDED.load(Ordering::Relaxed),
+        bytes_copied_avoided: BYTES_COPIED_AVOIDED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_recycle_round_trip() {
+        let pool = BufferPool::new();
+        let mut buf = pool.get(1000);
+        assert!(buf.capacity() >= 1000);
+        buf.extend_from_slice(&[7u8; 100]);
+        let frozen = buf.freeze();
+        assert!(pool.recycle(frozen), "unique full-view buffer reclaims");
+        let again = pool.get(1000);
+        assert!(again.is_empty(), "recycled buffers come back cleared");
+        assert!(again.capacity() >= 1000);
+    }
+
+    #[test]
+    fn shared_buffers_are_not_reclaimed() {
+        let pool = BufferPool::new();
+        let mut buf = pool.get(512);
+        buf.extend_from_slice(&[1u8; 512]);
+        let frozen = buf.freeze();
+        let slice = frozen.slice(0..256);
+        assert!(!pool.recycle(frozen), "live slice must block reclaim");
+        assert_eq!(&slice[..4], &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn jumbo_requests_allocate_exact() {
+        let pool = BufferPool::new();
+        let buf = pool.get(SIZE_CLASSES[SIZE_CLASSES.len() - 1] + 1);
+        assert!(buf.capacity() > SIZE_CLASSES[SIZE_CLASSES.len() - 1]);
+    }
+
+    #[test]
+    fn stats_are_monotone() {
+        let before = stats();
+        let b = get(64);
+        recycle(b.freeze());
+        note_copy_avoided(100);
+        let after = stats();
+        assert!(after.hits + after.misses > before.hits + before.misses);
+        assert!(after.bytes_copied_avoided >= before.bytes_copied_avoided + 100);
+        assert!(after.copies_avoided > before.copies_avoided);
+    }
+}

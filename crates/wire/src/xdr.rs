@@ -7,7 +7,11 @@
 //! written directly and payloads are bulk-copied — the cheap cost profile
 //! that makes the C client fast in Experiment 2.
 
+use bytes::Bytes;
+
 use crate::error::WireError;
+use crate::frame::EncodedFrame;
+use crate::pool::{self, ZC_THRESHOLD};
 
 /// Pads a length up to the next multiple of four.
 #[must_use]
@@ -16,6 +20,14 @@ pub fn padded_len(len: usize) -> usize {
 }
 
 /// Writer of XDR-encoded data into a growable buffer.
+///
+/// Two modes share every `put_*` path. The contiguous mode
+/// ([`XdrWriter::new`]/[`XdrWriter::with_capacity`]) writes everything
+/// into one buffer — the legacy layout. The scatter mode
+/// ([`XdrWriter::scatter`]) stages scalars in a pooled buffer but
+/// emits large payloads as borrowed [`Bytes`] segments
+/// ([`XdrWriter::put_payload`]), producing an [`EncodedFrame`] whose
+/// flattened bytes are identical to the contiguous encoding.
 ///
 /// # Examples
 ///
@@ -38,39 +50,84 @@ pub fn padded_len(len: usize) -> usize {
 #[derive(Debug, Default)]
 pub struct XdrWriter {
     buf: Vec<u8>,
+    segments: Vec<Bytes>,
+    /// Bytes already sealed into `segments`.
+    sealed: usize,
+    /// Whether `put_payload` may emit borrowed segments.
+    scatter: bool,
 }
 
 impl XdrWriter {
-    /// An empty writer.
+    /// An empty contiguous-mode writer.
     #[must_use]
     pub fn new() -> Self {
         XdrWriter::default()
     }
 
-    /// An empty writer with reserved capacity.
+    /// An empty contiguous-mode writer with reserved capacity.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
         XdrWriter {
             buf: Vec::with_capacity(cap),
+            ..XdrWriter::default()
         }
     }
 
-    /// Bytes written so far.
+    /// An empty scatter-mode writer staging into a pooled buffer:
+    /// payloads at or above [`ZC_THRESHOLD`] become borrowed segments
+    /// of the resulting [`EncodedFrame`] instead of being copied.
+    #[must_use]
+    pub fn scatter(cap: usize) -> Self {
+        XdrWriter {
+            buf: pool::get(cap).into_vec(),
+            segments: Vec::new(),
+            sealed: 0,
+            scatter: true,
+        }
+    }
+
+    /// Bytes written so far (across all segments).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.sealed + self.buf.len()
     }
 
     /// Whether nothing has been written.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
     }
 
-    /// Consumes the writer, returning the encoded bytes.
+    /// Seals the staged buffer into the segment list.
+    fn seal(&mut self) {
+        if !self.buf.is_empty() {
+            let seg = Bytes::from(std::mem::take(&mut self.buf));
+            self.sealed += seg.len();
+            self.segments.push(seg);
+        }
+    }
+
+    /// Consumes the writer, returning the encoded bytes as one
+    /// contiguous vector (flattening any scatter segments).
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        if self.segments.is_empty() {
+            return self.buf;
+        }
+        let mut out = Vec::with_capacity(self.len());
+        for s in &self.segments {
+            out.extend_from_slice(s);
+        }
+        out.extend_from_slice(&self.buf);
+        out
+    }
+
+    /// Consumes the writer, returning the scatter-gather frame. In
+    /// contiguous mode this is a single-segment frame.
+    #[must_use]
+    pub fn into_frame(mut self) -> EncodedFrame {
+        self.seal();
+        EncodedFrame::from_segments(self.segments)
     }
 
     /// Writes an unsigned 32-bit integer.
@@ -112,6 +169,26 @@ impl XdrWriter {
         self.buf.extend_from_slice(&[0u8; 3][..pad]);
     }
 
+    /// Writes an item payload as opaque data. Byte-identical to
+    /// [`XdrWriter::put_opaque`], but in scatter mode payloads at or
+    /// above [`ZC_THRESHOLD`] are emitted as borrowed segments —
+    /// refcount bumps, not memcpys; the pad bytes then open the next
+    /// staged segment.
+    pub fn put_payload(&mut self, payload: &Bytes) {
+        let len = payload.len();
+        self.put_u32(len as u32);
+        if self.scatter && len >= ZC_THRESHOLD {
+            self.seal();
+            self.sealed += len;
+            self.segments.push(payload.clone());
+            pool::note_copy_avoided(len);
+        } else {
+            self.buf.extend_from_slice(payload);
+        }
+        let pad = padded_len(len) - len;
+        self.buf.extend_from_slice(&[0u8; 3][..pad]);
+    }
+
     /// Writes a UTF-8 string as opaque data.
     pub fn put_string(&mut self, s: &str) {
         self.put_opaque(s.as_bytes());
@@ -133,17 +210,39 @@ impl XdrWriter {
 }
 
 /// Reader of XDR-encoded data from a byte slice.
+///
+/// When constructed over a refcounted buffer
+/// ([`XdrReader::with_backing`]), [`XdrReader::get_payload`] yields
+/// large payloads as [`Bytes::slice`] views into that buffer — zero
+/// copy, alias-safe because the views keep the allocation alive.
 #[derive(Debug)]
 pub struct XdrReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    backing: Option<&'a Bytes>,
 }
 
 impl<'a> XdrReader<'a> {
-    /// A reader positioned at the start of `buf`.
+    /// A reader positioned at the start of `buf`. Payload reads copy
+    /// (the legacy decode path).
     #[must_use]
     pub fn new(buf: &'a [u8]) -> Self {
-        XdrReader { buf, pos: 0 }
+        XdrReader {
+            buf,
+            pos: 0,
+            backing: None,
+        }
+    }
+
+    /// A reader over a refcounted receive buffer: payload reads at or
+    /// above [`ZC_THRESHOLD`] return slice views instead of copies.
+    #[must_use]
+    pub fn with_backing(bytes: &'a Bytes) -> Self {
+        XdrReader {
+            buf: bytes,
+            pos: 0,
+            backing: Some(bytes),
+        }
     }
 
     /// Bytes remaining.
@@ -245,6 +344,34 @@ impl<'a> XdrReader<'a> {
             return Err(WireError::BadPadding);
         }
         Ok(data)
+    }
+
+    /// Reads an item payload written by [`XdrWriter::put_payload`] (or
+    /// [`XdrWriter::put_opaque`] — the encodings are identical). With
+    /// a backing buffer, payloads at or above [`ZC_THRESHOLD`] come
+    /// back as slice views into it; smaller ones (and all reads
+    /// without backing) are copied, which keeps tiny payloads from
+    /// pinning a large receive buffer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`XdrReader::get_opaque`].
+    pub fn get_payload(&mut self) -> Result<Bytes, WireError> {
+        let len = self.get_u32()? as usize;
+        let off = self.pos;
+        let data = self.take(len)?;
+        let pad = padded_len(len) - len;
+        let padding = self.take(pad)?;
+        if padding.iter().any(|&b| b != 0) {
+            return Err(WireError::BadPadding);
+        }
+        match self.backing {
+            Some(b) if len >= ZC_THRESHOLD => {
+                pool::note_copy_avoided(len);
+                Ok(b.slice(off..off + len))
+            }
+            _ => Ok(Bytes::copy_from_slice(data)),
+        }
     }
 
     /// Reads a UTF-8 string.
@@ -412,5 +539,69 @@ mod tests {
         assert_eq!(padded_len(1), 4);
         assert_eq!(padded_len(4), 4);
         assert_eq!(padded_len(5), 8);
+    }
+
+    /// The scatter encoding must flatten to exactly the contiguous
+    /// encoding — including the pad bytes that land at the start of
+    /// the segment after a borrowed payload.
+    #[test]
+    fn scatter_flattens_to_contiguous_layout() {
+        for len in [
+            0usize,
+            5,
+            ZC_THRESHOLD - 1,
+            ZC_THRESHOLD,
+            ZC_THRESHOLD + 3,
+            4097,
+        ] {
+            let payload = Bytes::from((0..len).map(|i| i as u8).collect::<Vec<u8>>());
+            let mut contiguous = XdrWriter::new();
+            contiguous.put_u32(7);
+            contiguous.put_payload(&payload);
+            contiguous.put_u64(9);
+            let mut scattered = XdrWriter::scatter(64);
+            scattered.put_u32(7);
+            scattered.put_payload(&payload);
+            scattered.put_u64(9);
+            assert_eq!(scattered.len(), contiguous.len(), "len={len}");
+            assert_eq!(scattered.into_bytes(), contiguous.into_bytes(), "len={len}");
+        }
+    }
+
+    #[test]
+    fn scatter_borrows_large_payloads() {
+        let payload = Bytes::from(vec![0xabu8; ZC_THRESHOLD]);
+        let mut w = XdrWriter::scatter(64);
+        w.put_payload(&payload);
+        let frame = w.into_frame();
+        assert!(
+            frame
+                .segments()
+                .iter()
+                .any(|s| s.shares_allocation_with(&payload)),
+            "payload must ride as a borrowed segment"
+        );
+    }
+
+    #[test]
+    fn payload_decode_is_a_view_with_backing() {
+        let payload = Bytes::from(vec![0x5au8; 1000]);
+        let mut w = XdrWriter::new();
+        w.put_payload(&payload);
+        let wire = Bytes::from(w.into_bytes());
+        let mut r = XdrReader::with_backing(&wire);
+        let got = r.get_payload().unwrap();
+        r.finish().unwrap();
+        assert_eq!(got, payload);
+        assert!(got.shares_allocation_with(&wire), "decode must not copy");
+        // Small payloads are copied so they don't pin the buffer.
+        let small = Bytes::from(vec![1u8; 8]);
+        let mut w = XdrWriter::new();
+        w.put_payload(&small);
+        let wire = Bytes::from(w.into_bytes());
+        let mut r = XdrReader::with_backing(&wire);
+        let got = r.get_payload().unwrap();
+        assert_eq!(got, small);
+        assert!(!got.shares_allocation_with(&wire));
     }
 }

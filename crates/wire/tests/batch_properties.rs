@@ -89,7 +89,7 @@ proptest! {
         let mut decoded = Vec::new();
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_request(&frame).unwrap();
+            let bytes = codec.encode_request(&frame).unwrap().to_bytes();
             let back = codec.decode_request(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
             if let Request::PutBatch { items: ref got, .. } = back.req {
@@ -119,7 +119,7 @@ proptest! {
         let mut decoded = Vec::new();
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_request(&frame).unwrap();
+            let bytes = codec.encode_request(&frame).unwrap().to_bytes();
             let back = codec.decode_request(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
             decoded.push(back);
@@ -138,7 +138,7 @@ proptest! {
             .with_trace(trace);
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_reply(&frame).unwrap();
+            let bytes = codec.encode_reply(&frame).unwrap().to_bytes();
             let back = codec.decode_reply(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
         }
@@ -157,7 +157,7 @@ proptest! {
         let mut decoded = Vec::new();
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_reply(&frame).unwrap();
+            let bytes = codec.encode_reply(&frame).unwrap().to_bytes();
             let back = codec.decode_reply(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
             decoded.push(back);
@@ -183,10 +183,12 @@ proptest! {
             let codec = codec_for(id);
             let plain = codec
                 .encode_request(&RequestFrame::new(seq, req.clone()))
-                .unwrap();
+                .unwrap()
+                .to_bytes();
             let traced = codec
                 .encode_request(&RequestFrame::new(seq, req.clone()).with_trace(Some(ctx)))
-                .unwrap();
+                .unwrap()
+                .to_bytes();
             prop_assert!(traced.len() > plain.len(), "codec {}", id);
             if id == CodecId::Xdr {
                 prop_assert_eq!(&traced[..plain.len()], &plain[..]);

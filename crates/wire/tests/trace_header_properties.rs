@@ -31,7 +31,7 @@ proptest! {
         let mut decoded = Vec::new();
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_request(&frame).unwrap();
+            let bytes = codec.encode_request(&frame).unwrap().to_bytes();
             let back = codec.decode_request(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
             prop_assert_eq!(back.trace, trace, "codec {}", id);
@@ -50,7 +50,7 @@ proptest! {
         let frame = ReplyFrame::new(seq, vec![], Reply::Pong { nonce }).with_trace(trace);
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_reply(&frame).unwrap();
+            let bytes = codec.encode_reply(&frame).unwrap().to_bytes();
             let back = codec.decode_reply(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
             prop_assert_eq!(back.trace, trace, "codec {}", id);
@@ -72,12 +72,14 @@ proptest! {
             let codec = codec_for(id);
             let plain = codec
                 .encode_request(&RequestFrame::new(seq, Request::Ping { nonce }))
-                .unwrap();
+                .unwrap()
+                .to_bytes();
             let traced = codec
                 .encode_request(
                     &RequestFrame::new(seq, Request::Ping { nonce }).with_trace(Some(ctx)),
                 )
-                .unwrap();
+                .unwrap()
+                .to_bytes();
             prop_assert!(traced.len() > plain.len(), "codec {}", id);
             if id == CodecId::Xdr {
                 // XDR is a strict suffix extension.

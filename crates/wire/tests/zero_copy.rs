@@ -1,0 +1,195 @@
+//! Property tests of the zero-copy data plane (PR 5): the scatter-gather
+//! encoders must stay byte-identical to the legacy contiguous paths in
+//! both directions and for both codecs (cross-version compatibility — an
+//! old peer can talk to a new one and vice versa); decoded payload views
+//! must alias the receive buffer without copying and stay valid after
+//! the buffer handle drops; and the pool's copies-avoided accounting
+//! must observe large payloads riding through untouched.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use dstampede_core::Timestamp;
+use dstampede_wire::pool::{self, ZC_THRESHOLD};
+use dstampede_wire::rpc::{Reply, ReplyFrame, Request, RequestFrame};
+use dstampede_wire::{Codec, JdrCodec, WaitSpec, XdrCodec};
+
+/// A put request whose payload exercises both sides of the zero-copy
+/// threshold.
+fn arb_put_frame() -> impl Strategy<Value = RequestFrame> {
+    (
+        any::<u64>(),
+        any::<i64>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..(2 * ZC_THRESHOLD)),
+    )
+        .prop_map(|(seq, ts, tag, payload)| {
+            RequestFrame::new(
+                seq,
+                Request::ChannelPut {
+                    conn: 1,
+                    ts: Timestamp::new(ts),
+                    tag,
+                    payload: Bytes::from(payload),
+                    wait: WaitSpec::Forever,
+                },
+            )
+        })
+}
+
+/// An item reply whose payload exercises both sides of the threshold.
+fn arb_item_frame() -> impl Strategy<Value = ReplyFrame> {
+    (
+        any::<u64>(),
+        any::<i64>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..(2 * ZC_THRESHOLD)),
+    )
+        .prop_map(|(seq, ts, tag, payload)| {
+            ReplyFrame::new(
+                seq,
+                vec![],
+                Reply::Item {
+                    ts: Timestamp::new(ts),
+                    tag,
+                    payload: Bytes::from(payload),
+                },
+            )
+        })
+}
+
+proptest! {
+    /// XDR cross-version: the legacy contiguous encoding and the flattened
+    /// scatter encoding are byte-identical, a legacy-encoded frame decodes
+    /// through the new path, and a scatter-encoded frame decodes through
+    /// the legacy path.
+    #[test]
+    fn xdr_legacy_and_scatter_interoperate(frame in arb_put_frame()) {
+        let codec = XdrCodec::new();
+        let legacy = codec.encode_request_legacy(&frame).unwrap();
+        let scatter = codec.encode_request(&frame).unwrap().to_bytes();
+        prop_assert_eq!(&legacy[..], &scatter[..]);
+        prop_assert_eq!(codec.decode_request(&Bytes::from(legacy.clone())).unwrap(), frame.clone());
+        prop_assert_eq!(codec.decode_request_legacy(&scatter).unwrap(), frame);
+    }
+
+    /// JDR cross-version, likewise.
+    #[test]
+    fn jdr_legacy_and_scatter_interoperate(frame in arb_put_frame()) {
+        let codec = JdrCodec::new();
+        let legacy = codec.encode_request_legacy(&frame).unwrap();
+        let scatter = codec.encode_request(&frame).unwrap().to_bytes();
+        prop_assert_eq!(&legacy[..], &scatter[..]);
+        prop_assert_eq!(codec.decode_request(&Bytes::from(legacy.clone())).unwrap(), frame.clone());
+        prop_assert_eq!(codec.decode_request_legacy(&scatter).unwrap(), frame);
+    }
+
+    /// Replies interoperate the same way in both codecs.
+    #[test]
+    fn replies_interoperate_across_versions(frame in arb_item_frame()) {
+        let xdr = XdrCodec::new();
+        let jdr = JdrCodec::new();
+        for (legacy, scatter, back_new, back_old) in [
+            (
+                xdr.encode_reply_legacy(&frame).unwrap(),
+                xdr.encode_reply(&frame).unwrap().to_bytes(),
+                xdr.decode_reply(&xdr.encode_reply_legacy(&frame).unwrap().into()).unwrap(),
+                xdr.decode_reply_legacy(&xdr.encode_reply(&frame).unwrap().to_bytes()).unwrap(),
+            ),
+            (
+                jdr.encode_reply_legacy(&frame).unwrap(),
+                jdr.encode_reply(&frame).unwrap().to_bytes(),
+                jdr.decode_reply(&jdr.encode_reply_legacy(&frame).unwrap().into()).unwrap(),
+                jdr.decode_reply_legacy(&jdr.encode_reply(&frame).unwrap().to_bytes()).unwrap(),
+            ),
+        ] {
+            prop_assert_eq!(&legacy[..], &scatter[..]);
+            prop_assert_eq!(&back_new, &frame);
+            prop_assert_eq!(&back_old, &frame);
+        }
+    }
+
+    /// Decoded payloads stay valid after the receive buffer handle drops:
+    /// the view holds its own reference on the shared allocation, so
+    /// recycling the caller's handle cannot invalidate it.
+    #[test]
+    fn payload_views_outlive_the_receive_buffer(
+        payload in proptest::collection::vec(any::<u8>(), ZC_THRESHOLD..4096),
+    ) {
+        for codec in [&XdrCodec::new() as &dyn Codec, &JdrCodec::new()] {
+            let frame = RequestFrame::new(
+                9,
+                Request::ChannelPut {
+                    conn: 1,
+                    ts: Timestamp::new(0),
+                    tag: 0,
+                    payload: Bytes::from(payload.clone()),
+                    wait: WaitSpec::NonBlocking,
+                },
+            );
+            let wire = codec.encode_request(&frame).unwrap().to_bytes();
+            let decoded = codec.decode_request(&wire).unwrap();
+            let Request::ChannelPut { payload: view, .. } = &decoded.req else {
+                panic!("wrong variant");
+            };
+            // Above the threshold the decode is a true view, not a copy.
+            prop_assert!(view.shares_allocation_with(&wire));
+            let view = view.clone();
+            drop(wire);
+            drop(decoded);
+            prop_assert_eq!(&view[..], &payload[..]);
+        }
+    }
+}
+
+/// Large payloads decoded as views are counted by the pool's
+/// copies-avoided accounting (both codecs). Other tests share the global
+/// counters, so the assertion is a lower bound on the delta.
+#[test]
+fn large_payload_decode_bumps_copies_avoided() {
+    let payload = vec![0xA5u8; 4 * 1024];
+    for codec in [&XdrCodec::new() as &dyn Codec, &JdrCodec::new()] {
+        let frame = RequestFrame::new(
+            1,
+            Request::ChannelPut {
+                conn: 1,
+                ts: Timestamp::new(0),
+                tag: 0,
+                payload: Bytes::from(payload.clone()),
+                wait: WaitSpec::Forever,
+            },
+        );
+        let wire = codec.encode_request(&frame).unwrap().to_bytes();
+        let before = pool::stats();
+        let _decoded = codec.decode_request(&wire).unwrap();
+        let after = pool::stats();
+        assert!(after.copies_avoided > before.copies_avoided);
+        assert!(after.bytes_copied_avoided >= before.bytes_copied_avoided + payload.len() as u64);
+    }
+}
+
+/// Sub-threshold payloads are copied out, so the receive buffer stays
+/// reclaimable — the decoded payload must NOT alias the wire bytes.
+#[test]
+fn small_payloads_do_not_pin_the_receive_buffer() {
+    let payload = vec![7u8; ZC_THRESHOLD - 1];
+    for codec in [&XdrCodec::new() as &dyn Codec, &JdrCodec::new()] {
+        let frame = RequestFrame::new(
+            1,
+            Request::ChannelPut {
+                conn: 1,
+                ts: Timestamp::new(0),
+                tag: 0,
+                payload: Bytes::from(payload.clone()),
+                wait: WaitSpec::Forever,
+            },
+        );
+        let wire = codec.encode_request(&frame).unwrap().to_bytes();
+        let decoded = codec.decode_request(&wire).unwrap();
+        let Request::ChannelPut { payload: out, .. } = &decoded.req else {
+            panic!("wrong variant");
+        };
+        assert!(!out.shares_allocation_with(&wire));
+        assert_eq!(&out[..], &payload[..]);
+    }
+}

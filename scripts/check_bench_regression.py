@@ -1,23 +1,34 @@
 #!/usr/bin/env python3
-"""Bench regression gate for the STM perf trajectory.
+"""Bench regression gate for the STM and wire perf trajectories.
 
-Compares a fresh ``stm_perf --suite`` report against the committed
-baseline (``BENCH_stm.json``, schema ``bench-stm-v2``) and fails when
-cycle throughput in any section regresses by more than the tolerance.
+Compares a fresh bench report against a committed baseline and fails
+when throughput in any comparable section regresses by more than the
+tolerance. The schema is auto-detected from the reports:
 
-Both files are produced by ``stm_perf``; sections present in both are
-compared, sections present only on one side are reported but never
-fail the gate (so adding a section does not break old baselines).
+* ``bench-stm-v2`` (``stm_perf --suite``): compares cycle ops/sec in
+  the ``single_thread`` / ``threads_8`` / ``batch_32`` sections.
+* ``bench-wire-v1`` (``wire_perf``): compares codec round-trip
+  ops/sec (``xdr_*`` / ``jdr_*``) and CLF loopback MB/s (``clf_*``).
+
+Sections present in both reports are compared, sections present only
+on one side are reported but never fail the gate (so adding a section
+does not break old baselines).
 
 The absolute numbers in the committed baseline come from whatever
 machine recorded them, so cross-machine runs are noisy by nature; the
 CI job reruns the suite on the same runner class every time, and the
 15% default tolerance absorbs runner-to-runner drift. The 8-thread
-sharded-vs-single-lock speedup is checked by ``stm_perf --min-speedup``
-itself (scaled to the machine's core count), not here.
+sharded-vs-single-lock speedup is checked by ``stm_perf
+--min-speedup`` itself (scaled to the machine's core count), not here.
+
+For wire reports, ``--min-speedup X`` additionally requires the fresh
+4 KiB codec round-trip throughput to be at least ``X`` times the
+baseline's — the acceptance check for the zero-copy rework, run with
+the pre-rework record (``results/BENCH_wire_baseline.json``, ``"mode":
+"baseline"``) as the baseline.
 
 Usage:
-    check_bench_regression.py BASELINE FRESH [--tolerance PCT]
+    check_bench_regression.py BASELINE FRESH [--tolerance PCT] [--min-speedup X]
 
 Exit codes: 0 ok, 1 regression, 2 bad input.
 """
@@ -28,11 +39,16 @@ import argparse
 import json
 import sys
 
-SECTIONS = ("single_thread", "threads_8", "batch_32")
+STM_SECTIONS = ("single_thread", "threads_8", "batch_32")
+
+WIRE_SIZES = (64, 4096, 65536)
+
+# The zero-copy acceptance speedup applies at the typical item size.
+WIRE_GATE_SIZE = 4096
 
 
-def cycle_ops(report: dict, section: str) -> float | None:
-    """Cycle ops/sec for one suite section, or None when absent."""
+def stm_cycle_ops(report: dict, section: str) -> float | None:
+    """Cycle ops/sec for one stm suite section, or None when absent."""
     sec = report.get(section)
     if not isinstance(sec, dict):
         return None
@@ -42,15 +58,65 @@ def cycle_ops(report: dict, section: str) -> float | None:
         return None
 
 
+def wire_metric(report: dict, section: str, key: str) -> float | None:
+    """One throughput number from a wire report, or None when absent."""
+    sec = report.get(section)
+    if not isinstance(sec, dict):
+        return None
+    try:
+        return float(sec[key])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def wire_sections() -> list[tuple[str, str]]:
+    """(section, throughput key) pairs of the wire schema."""
+    out = []
+    for size in WIRE_SIZES:
+        for codec in ("xdr", "jdr"):
+            out.append((f"{codec}_{size}", "ops_per_sec"))
+        out.append((f"clf_{size}", "mb_per_sec"))
+    return out
+
+
+def compare(
+    pairs: list[tuple[str, float | None, float | None]],
+    tolerance: float,
+    unit: str,
+) -> tuple[bool, int]:
+    """Prints per-section drift; returns (any failure, sections compared)."""
+    failed = False
+    compared = 0
+    for section, base, now in pairs:
+        if base is None or now is None:
+            side = "baseline" if base is None else "fresh"
+            print(f"{section}: missing in {side}, skipped")
+            continue
+        compared += 1
+        drift_pct = (now - base) / base * 100.0
+        verdict = "ok"
+        if drift_pct < -tolerance:
+            verdict = f"FAIL (allowed -{tolerance:g}%)"
+            failed = True
+        print(f"{section}: {base:,.0f} -> {now:,.0f} {unit} ({drift_pct:+.2f}%) {verdict}")
+    return failed, compared
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_stm.json")
-    parser.add_argument("fresh", help="freshly produced suite report")
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument("fresh", help="freshly produced report")
     parser.add_argument(
         "--tolerance",
         type=float,
         default=15.0,
-        help="max allowed cycle ops/sec regression, percent (default 15)",
+        help="max allowed throughput regression, percent (default 15)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="wire only: require fresh/baseline >= X at the 4 KiB codec sections",
     )
     args = parser.parse_args()
 
@@ -64,37 +130,46 @@ def main() -> int:
             return 2
 
     baseline, fresh = reports["baseline"], reports["fresh"]
-    for label, rep, path in (
-        ("baseline", baseline, args.baseline),
-        ("fresh", fresh, args.fresh),
-    ):
-        schema = rep.get("schema")
-        if schema != "bench-stm-v2":
-            print(
-                f"error: {label} {path} has schema {schema!r}, want 'bench-stm-v2'",
-                file=sys.stderr,
-            )
-            return 2
-
-    failed = False
-    compared = 0
-    for section in SECTIONS:
-        base = cycle_ops(baseline, section)
-        now = cycle_ops(fresh, section)
-        if base is None or now is None:
-            side = "baseline" if base is None else "fresh"
-            print(f"{section}: missing in {side}, skipped")
-            continue
-        compared += 1
-        drift_pct = (now - base) / base * 100.0
-        verdict = "ok"
-        if drift_pct < -args.tolerance:
-            verdict = f"FAIL (allowed -{args.tolerance:g}%)"
-            failed = True
+    schemas = {baseline.get("schema"), fresh.get("schema")}
+    if len(schemas) != 1 or schemas & {None}:
         print(
-            f"{section}: cycle {base:,.0f} -> {now:,.0f} ops/s "
-            f"({drift_pct:+.2f}%) {verdict}"
+            f"error: schema mismatch: baseline {baseline.get('schema')!r}, "
+            f"fresh {fresh.get('schema')!r}",
+            file=sys.stderr,
         )
+        return 2
+    schema = schemas.pop()
+
+    if schema == "bench-stm-v2":
+        pairs = [
+            (s, stm_cycle_ops(baseline, s), stm_cycle_ops(fresh, s)) for s in STM_SECTIONS
+        ]
+        failed, compared = compare(pairs, args.tolerance, "ops/s")
+    elif schema == "bench-wire-v1":
+        pairs = [
+            (s, wire_metric(baseline, s, key), wire_metric(fresh, s, key))
+            for s, key in wire_sections()
+        ]
+        failed, compared = compare(pairs, args.tolerance, "units/s")
+        if args.min_speedup is not None:
+            for codec in ("xdr", "jdr"):
+                section = f"{codec}_{WIRE_GATE_SIZE}"
+                base = wire_metric(baseline, section, "ops_per_sec")
+                now = wire_metric(fresh, section, "ops_per_sec")
+                if base is None or now is None:
+                    print(f"{section}: speedup check skipped (missing data)")
+                    continue
+                ratio = now / base
+                verdict = "ok" if ratio >= args.min_speedup else "FAIL"
+                if ratio < args.min_speedup:
+                    failed = True
+                print(
+                    f"{section}: speedup {ratio:.2f}x over baseline "
+                    f"(need {args.min_speedup:g}x) {verdict}"
+                )
+    else:
+        print(f"error: unknown schema {schema!r}", file=sys.stderr)
+        return 2
 
     if compared == 0:
         print("error: no comparable sections between reports", file=sys.stderr)

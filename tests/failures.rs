@@ -11,7 +11,7 @@ use dstampede::core::{
 };
 use dstampede::runtime::Cluster;
 use dstampede::wire::{
-    codec_for, read_frame, write_frame, CodecId, Request, RequestFrame, WaitSpec,
+    codec_for, read_frame_bytes, write_encoded, CodecId, Request, RequestFrame, WaitSpec,
 };
 
 fn ts(v: i64) -> Timestamp {
@@ -42,12 +42,12 @@ impl RawSession {
 
     fn call(&mut self, req: Request) -> dstampede::wire::Reply {
         self.seq += 1;
-        let bytes = self
+        let encoded = self
             .codec
             .encode_request(&RequestFrame::new(self.seq, req))
             .unwrap();
-        write_frame(&mut self.stream, &bytes).unwrap();
-        let frame = read_frame(&mut self.stream).unwrap();
+        write_encoded(&mut self.stream, &encoded).unwrap();
+        let frame = read_frame_bytes(&mut self.stream).unwrap();
         self.codec.decode_reply(&frame).unwrap().reply
     }
 }
@@ -128,7 +128,7 @@ fn crash_mid_blocking_get_frees_the_surrogate() {
         };
         // Fire the blocking get WITHOUT reading the reply, then crash.
         waiter.seq += 1;
-        let bytes = waiter
+        let encoded = waiter
             .codec
             .encode_request(&RequestFrame::new(
                 waiter.seq,
@@ -139,7 +139,7 @@ fn crash_mid_blocking_get_frees_the_surrogate() {
                 },
             ))
             .unwrap();
-        write_frame(&mut waiter.stream, &bytes).unwrap();
+        write_encoded(&mut waiter.stream, &encoded).unwrap();
         // Socket drops here.
     }
 

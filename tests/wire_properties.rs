@@ -232,7 +232,7 @@ proptest! {
         let frame = RequestFrame::new(seq, req);
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_request(&frame).unwrap();
+            let bytes = codec.encode_request(&frame).unwrap().to_bytes();
             let back = codec.decode_request(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
         }
@@ -247,7 +247,7 @@ proptest! {
         let frame = ReplyFrame::new(seq, notes, reply);
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let bytes = codec.encode_reply(&frame).unwrap();
+            let bytes = codec.encode_reply(&frame).unwrap().to_bytes();
             let back = codec.decode_reply(&bytes).unwrap();
             prop_assert_eq!(&back, &frame, "codec {}", id);
         }
@@ -261,8 +261,8 @@ proptest! {
         let frame = RequestFrame::new(seq, req);
         let xdr = codec_for(CodecId::Xdr);
         let jdr = codec_for(CodecId::Jdr);
-        let via_xdr = xdr.decode_request(&xdr.encode_request(&frame).unwrap()).unwrap();
-        let via_jdr = jdr.decode_request(&jdr.encode_request(&frame).unwrap()).unwrap();
+        let via_xdr = xdr.decode_request(&xdr.encode_request(&frame).unwrap().to_bytes()).unwrap();
+        let via_jdr = jdr.decode_request(&jdr.encode_request(&frame).unwrap().to_bytes()).unwrap();
         prop_assert_eq!(via_xdr, via_jdr);
     }
 
@@ -271,8 +271,9 @@ proptest! {
     fn decoders_are_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
-            let _ = codec.decode_request(&bytes);
-            let _ = codec.decode_reply(&bytes);
+            let wire = Bytes::from(bytes.clone());
+            let _ = codec.decode_request(&wire);
+            let _ = codec.decode_reply(&wire);
         }
     }
 
@@ -288,10 +289,10 @@ proptest! {
         for id in [CodecId::Xdr, CodecId::Jdr] {
             let codec = codec_for(id);
             let frame = RequestFrame::new(seq, req.clone());
-            let mut bytes = codec.encode_request(&frame).unwrap();
+            let mut bytes = codec.encode_request(&frame).unwrap().to_bytes().to_vec();
             let pos = pos_seed % bytes.len();
             bytes[pos] ^= xor;
-            let _ = codec.decode_request(&bytes);
+            let _ = codec.decode_request(&Bytes::from(bytes));
         }
     }
 }

@@ -4,17 +4,40 @@
 //!
 //! [`Bytes`] is a cheaply cloneable, immutable, contiguous byte buffer:
 //! clones and slices share one reference-counted allocation.
+//! [`BytesMut`] is the mutable staging half: append bytes, then
+//! [`freeze`](BytesMut::freeze) into an immutable [`Bytes`] without
+//! copying. `Bytes::from(Vec<u8>)` and `From<String>` are likewise
+//! zero-copy: the vector becomes the shared allocation itself, which is
+//! what lets the data plane hand one payload from producer to socket to
+//! consumer as refcount bumps instead of memcpys.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::{Bound, Deref, RangeBounds};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
+
+/// Backing storage: either borrowed-forever static data or a shared
+/// heap allocation that can be reclaimed for reuse once unique.
+#[derive(Clone)]
+enum Data {
+    Static(&'static [u8]),
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Data {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Data::Static(s) => s,
+            Data::Shared(a) => a.as_slice(),
+        }
+    }
+}
 
 /// A cheaply cloneable immutable byte buffer.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Data,
     start: usize,
     end: usize,
 }
@@ -23,13 +46,17 @@ impl Bytes {
     /// An empty buffer.
     #[must_use]
     pub fn new() -> Self {
-        Bytes::from(Vec::new())
+        Bytes::from_static(b"")
     }
 
-    /// Wraps a static byte slice.
+    /// Wraps a static byte slice without copying.
     #[must_use]
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::from(data.to_vec())
+        Bytes {
+            end: data.len(),
+            data: Data::Static(data),
+            start: 0,
+        }
     }
 
     /// Copies a slice into a new buffer.
@@ -69,9 +96,51 @@ impl Bytes {
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
+        }
+    }
+
+    /// Recovers the backing `Vec` for reuse when this handle is the
+    /// sole owner and views the entire allocation; otherwise hands the
+    /// buffer back unchanged. This is the hook buffer pools use to
+    /// recycle receive and encode buffers once every payload slice
+    /// into them has been dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(self)` when other handles still share the
+    /// allocation, the view is a strict sub-slice, or the data is
+    /// static.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        match self.data {
+            Data::Shared(arc) if self.start == 0 && self.end == arc.len() => {
+                match Arc::try_unwrap(arc) {
+                    Ok(v) => Ok(v),
+                    Err(arc) => Err(Bytes {
+                        start: self.start,
+                        end: self.end,
+                        data: Data::Shared(arc),
+                    }),
+                }
+            }
+            data => Err(Bytes {
+                data,
+                start: self.start,
+                end: self.end,
+            }),
+        }
+    }
+
+    /// Whether `other` shares this buffer's backing allocation (used
+    /// by tests to prove a path is zero-copy).
+    #[must_use]
+    pub fn shares_allocation_with(&self, other: &Bytes) -> bool {
+        match (&self.data, &other.data) {
+            (Data::Shared(a), Data::Shared(b)) => Arc::ptr_eq(a, b),
+            (Data::Static(a), Data::Static(b)) => std::ptr::eq(a.as_ptr(), b.as_ptr()),
+            _ => false,
         }
     }
 }
@@ -80,7 +149,7 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -104,10 +173,9 @@ impl Default for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Data::Shared(Arc::new(v)),
             start: 0,
             end,
         }
@@ -116,13 +184,13 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&'static [u8]> for Bytes {
     fn from(v: &'static [u8]) -> Self {
-        Bytes::from(v.to_vec())
+        Bytes::from_static(v)
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(v: &'static str) -> Self {
-        Bytes::from(v.as_bytes().to_vec())
+        Bytes::from_static(v.as_bytes())
     }
 }
 
@@ -188,6 +256,115 @@ impl PartialEq<&[u8]> for Bytes {
     }
 }
 
+/// A mutable, growable byte buffer that freezes into [`Bytes`] without
+/// copying. This is the staging area encoders write headers into; the
+/// backing `Vec` typically comes from (and returns to) a buffer pool.
+#[derive(Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    /// An empty buffer with at least `cap` bytes of capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing vector (e.g. one recycled from a pool),
+    /// keeping its contents.
+    #[must_use]
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Clears contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying: the
+    /// backing vector becomes the shared allocation.
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Unwraps the backing vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.buf.len())
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +391,48 @@ mod tests {
     #[test]
     fn debug_escapes() {
         assert_eq!(format!("{:?}", Bytes::from_static(b"a\x00")), "b\"a\\x00\"");
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(8);
+        m.extend_from_slice(b"hello");
+        let ptr = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(&b[..], b"hello");
+        assert_eq!(b.as_ref().as_ptr(), ptr, "freeze must not copy");
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy_and_slices_share() {
+        let v = vec![7u8; 16];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), ptr, "From<Vec> must not copy");
+        let s = b.slice(4..8);
+        assert!(s.shares_allocation_with(&b));
+        assert_eq!(s.as_ref().as_ptr(), unsafe { ptr.add(4) });
+    }
+
+    #[test]
+    fn reclaim_requires_unique_full_view() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let clone = b.clone();
+        let b = b.try_into_vec().unwrap_err(); // shared: refused
+        drop(clone);
+        let sub = b.slice(0..2);
+        let sub = sub.try_into_vec().unwrap_err(); // sub-view: refused
+        drop(sub);
+        let v = b.try_into_vec().unwrap(); // unique + full: reclaimed
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(Bytes::from_static(b"x").try_into_vec().is_err());
+    }
+
+    #[test]
+    fn static_bytes_do_not_allocate_on_slice() {
+        let b = Bytes::from_static(b"abcdef");
+        let s = b.slice(2..4);
+        assert_eq!(&s[..], b"cd");
+        assert!(s.shares_allocation_with(&b));
     }
 }
