@@ -102,6 +102,9 @@ pub struct VisionReport {
     /// The cluster-wide causal trace of the run (empty unless
     /// [`VisionConfig::trace_sampling`] was set).
     pub trace: dstampede_obs::TraceDump,
+    /// The merged cluster-wide metrics snapshot at the end of the run,
+    /// exportable with [`dstampede_obs::Snapshot::to_prometheus`].
+    pub stats: dstampede_obs::Snapshot,
 }
 
 impl fmt::Display for VisionReport {
@@ -277,11 +280,13 @@ pub fn run_vision_pipeline(cfg: &VisionConfig) -> StmResult<VisionReport> {
         reader.consume_until(Timestamp::new(ts))?;
     }
     let trace = cluster.trace_dump();
+    let stats = cluster.stats_snapshot();
     cluster.shutdown();
     Ok(VisionReport {
         records,
         per_tracker_fragments,
         trace,
+        stats,
     })
 }
 

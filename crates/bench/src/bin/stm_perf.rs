@@ -9,7 +9,7 @@
 //! stm_perf [--out BENCH_stm.json] [--iters N] [--trials N] [--payload BYTES]
 //!          [--threads T] [--batch B] [--shards N] [--suite]
 //!          [--min-speedup X] [--sampling EVERY_NTH] [--compare BASELINE]
-//!          [--ab EVERY_NTH] [--tolerance PCT]
+//!          [--ab EVERY_NTH] [--recorder-ab TICK_MS] [--tolerance PCT]
 //! ```
 //!
 //! Each trial runs the full cycle loop; the best trial (by cycle
@@ -46,15 +46,20 @@
 //! untraced and traced (sampling = N) trials in the SAME process so
 //! both sides see the same noise, and exits non-zero when tracing
 //! costs more than `--tolerance` percent (default 3) of cycle
-//! throughput.
+//! throughput. `--recorder-ab TICK_MS` is the same paired gate for the
+//! flight recorder: one side of each pair runs with a background
+//! sampler thread scraping the rig's registry into a history ring
+//! every TICK_MS, the other without, and the run fails when the
+//! sampler costs more than `--tolerance` percent.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dstampede_core::{
     AsId, ChanId, Channel, ChannelAttrs, GetSpec, Interest, Item, Timestamp, DEFAULT_STM_SHARDS,
 };
-use dstampede_obs::MetricsRegistry;
+use dstampede_obs::{HistoryRecorder, MetricsRegistry, DEFAULT_HISTORY_CAPACITY};
 
 struct OpStats {
     ops_per_sec: f64,
@@ -139,7 +144,7 @@ fn extract_ops_per_sec(json: &str, op: &str) -> Option<f64> {
 
 /// The benched fixture: one standalone channel on a private registry.
 struct Rig {
-    reg: MetricsRegistry,
+    reg: Arc<MetricsRegistry>,
     chan: Arc<Channel>,
     out: dstampede_core::OutputConn,
     inp: dstampede_core::InputConn,
@@ -153,7 +158,7 @@ impl Rig {
     fn new(payload: usize, shards: u32) -> Rig {
         // A dedicated registry so sampling here never touches the
         // process-global one.
-        let reg = MetricsRegistry::new("bench");
+        let reg = Arc::new(MetricsRegistry::new("bench"));
         let mut attrs = ChannelAttrs::default();
         if shards > 0 {
             attrs = attrs.with_shards(shards);
@@ -360,6 +365,55 @@ impl Rig {
     }
 }
 
+/// A background flight-recorder tick, mirroring what the runtime's
+/// `FlightRecorder` thread does: scrape the registry into the history
+/// ring every `tick_ms` until stopped.
+struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Sampler {
+    fn start(reg: Arc<MetricsRegistry>, recorder: Arc<HistoryRecorder>, tick_ms: u64) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                let now_ms = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map_or(0, |d| i64::try_from(d.as_millis()).unwrap_or(i64::MAX));
+                recorder.sample(&reg, now_ms);
+                std::thread::sleep(Duration::from_millis(tick_ms));
+            }
+        });
+        Sampler { stop, handle }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
+}
+
+/// One side of a recorder A/B pair: a measured block with the sampler
+/// thread running (`on`) or idle.
+fn recorder_side(
+    rig: &mut Rig,
+    recorder: &Arc<HistoryRecorder>,
+    tick_ms: u64,
+    block: usize,
+    on: bool,
+) -> f64 {
+    if on {
+        let sampler = Sampler::start(rig.reg.clone(), recorder.clone(), tick_ms);
+        let ops = rig.run_block(block).cycle.ops_per_sec;
+        sampler.stop();
+        ops
+    } else {
+        rig.run_block(block).cycle.ops_per_sec
+    }
+}
+
 /// One measured configuration: fresh rig, warmup, best-of-trials.
 fn measure(
     payload: usize,
@@ -388,6 +442,7 @@ fn main() {
     let mut sampling: u64 = 0;
     let mut compare: Option<String> = None;
     let mut ab: Option<u64> = None;
+    let mut recorder_ab: Option<u64> = None;
     let mut tolerance: f64 = 3.0;
 
     let mut args = std::env::args().skip(1);
@@ -426,6 +481,14 @@ fn main() {
             "--sampling" => sampling = take("--sampling").parse().expect("bad --sampling"),
             "--compare" => compare = Some(take("--compare")),
             "--ab" => ab = Some(take("--ab").parse().expect("bad --ab")),
+            "--recorder-ab" => {
+                recorder_ab = Some(
+                    take("--recorder-ab")
+                        .parse::<u64>()
+                        .expect("bad --recorder-ab")
+                        .max(1),
+                );
+            }
             "--tolerance" => tolerance = take("--tolerance").parse().expect("bad --tolerance"),
             other => {
                 eprintln!("unknown argument {other}");
@@ -560,6 +623,37 @@ fn main() {
         );
         if overhead_pct > tolerance {
             eprintln!("FAIL: overhead {overhead_pct:.2}% exceeds tolerance {tolerance}%");
+            std::process::exit(1);
+        }
+        println!("within tolerance ({tolerance}%)");
+    }
+
+    if let Some(tick_ms) = recorder_ab {
+        // Same paired-block design as --ab, toggling a flight-recorder
+        // sampler thread instead of trace sampling. Tracing stays off
+        // on both sides so only the recorder's cost is measured.
+        rig.reg.tracer().set_sampling(0);
+        const PAIRS: usize = 24;
+        let block = (iters / 8).max(1_000);
+        let recorder = Arc::new(HistoryRecorder::new(DEFAULT_HISTORY_CAPACITY));
+        let mut ratios = Vec::with_capacity(PAIRS);
+        for pair in 0..PAIRS {
+            let first_on = pair % 2 == 1;
+            let a = recorder_side(&mut rig, &recorder, tick_ms, block, first_on);
+            let b = recorder_side(&mut rig, &recorder, tick_ms, block, !first_on);
+            let (off, on) = if first_on { (b, a) } else { (a, b) };
+            ratios.push(on / off);
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        let median = (ratios[PAIRS / 2 - 1] + ratios[PAIRS / 2]) / 2.0;
+        let overhead_pct = (1.0 - median) * 100.0;
+        println!(
+            "recorder overhead (tick={tick_ms}ms, median of {PAIRS} paired blocks of {block}): \
+             {overhead_pct:+.2}%, {} ring overwrites",
+            recorder.total_dropped()
+        );
+        if overhead_pct > tolerance {
+            eprintln!("FAIL: recorder overhead {overhead_pct:.2}% exceeds tolerance {tolerance}%");
             std::process::exit(1);
         }
         println!("within tolerance ({tolerance}%)");

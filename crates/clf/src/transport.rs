@@ -36,6 +36,10 @@ pub struct TransportStats {
     pub retransmits: u64,
     /// Duplicate or stale packets discarded (UDP backend only).
     pub duplicates_dropped: u64,
+    /// Sends rejected with [`ClfError::Backpressure`] because the
+    /// destination's unacknowledged-packet window was full (UDP
+    /// backend only).
+    pub backpressure: u64,
 }
 
 /// Registry-backed handles mirrored by a bound [`StatCounters`].
@@ -47,6 +51,7 @@ struct ObsHandles {
     bytes_received: Arc<Counter>,
     retransmits: Arc<Counter>,
     duplicates_dropped: Arc<Counter>,
+    backpressure: Arc<Counter>,
     rtt: Arc<Histogram>,
     srtt: Arc<Gauge>,
     coalesced: Arc<Histogram>,
@@ -65,6 +70,7 @@ pub struct StatCounters {
     pub(crate) bytes_received: AtomicU64,
     pub(crate) retransmits: AtomicU64,
     pub(crate) duplicates_dropped: AtomicU64,
+    pub(crate) backpressure: AtomicU64,
     obs: OnceLock<ObsHandles>,
 }
 
@@ -82,6 +88,7 @@ impl StatCounters {
             bytes_received: registry.counter_labeled("clf", "bytes_received", &labels),
             retransmits: registry.counter_labeled("clf", "retransmits", &labels),
             duplicates_dropped: registry.counter_labeled("clf", "duplicates_dropped", &labels),
+            backpressure: registry.counter_labeled("clf", "backpressure", &labels),
             rtt: registry.histogram_labeled("clf", "rtt_us", &labels),
             srtt: registry.gauge_labeled("clf", "srtt_us", &labels),
             coalesced: registry.histogram_labeled("clf", "coalesced_frames", &labels),
@@ -121,6 +128,15 @@ impl StatCounters {
         }
     }
 
+    /// Records a send rejected for lack of window space — the signal
+    /// the health engine folds into a peer's `Degraded` level.
+    pub(crate) fn note_backpressure(&self) {
+        self.backpressure.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.backpressure.inc();
+        }
+    }
+
     /// Records an observed packet round-trip time (UDP backend: DATA
     /// transmit to cumulative ACK).
     pub(crate) fn note_rtt(&self, rtt: Duration) {
@@ -156,6 +172,7 @@ impl StatCounters {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             retransmits: self.retransmits.load(Ordering::Relaxed),
             duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
+            backpressure: self.backpressure.load(Ordering::Relaxed),
         }
     }
 }
@@ -287,13 +304,16 @@ mod tests {
         c.note_rtt(Duration::from_micros(40));
         c.note_srtt(Duration::from_micros(80));
         c.note_coalesced(3);
+        c.note_backpressure();
         assert_eq!(c.snapshot().msgs_sent, 2);
+        assert_eq!(c.snapshot().backpressure, 1);
         let snap = reg.snapshot();
         assert_eq!(snap.counter_value("clf", "msgs_sent"), Some(1));
         assert_eq!(snap.counter_value("clf", "bytes_sent"), Some(5));
         assert_eq!(snap.counter_value("clf", "msgs_received"), Some(1));
         assert_eq!(snap.counter_value("clf", "retransmits"), Some(1));
         assert_eq!(snap.counter_value("clf", "duplicates_dropped"), Some(1));
+        assert_eq!(snap.counter_value("clf", "backpressure"), Some(1));
         let rtt = snap.histogram("clf", "rtt_us").expect("rtt series");
         assert_eq!(rtt.count, 1);
         assert_eq!(rtt.sum, 40);

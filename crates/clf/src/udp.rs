@@ -778,6 +778,7 @@ impl ClfTransport for UdpEndpoint {
         let frag = self.config.frag_payload.max(1);
         let n_frags = total.div_ceil(frag).max(1);
         if tx.unacked.len() + n_frags > self.config.max_unacked.max(1) {
+            self.stats.note_backpressure();
             return Err(ClfError::Backpressure);
         }
         let mut to_wire: Vec<Packet> = Vec::with_capacity(n_frags);

@@ -24,6 +24,9 @@
 //! stats [local]                  # telemetry table, cluster-wide unless "local"
 //! trace [local]                  # causal timelines, cluster-wide unless "local"
 //! trace export [FILE] [local]    # write Chrome trace-event JSON (default results/trace.json)
+//! health [local]                 # derived health states, cluster-wide unless "local"
+//! watch [TICKS [MS]]             # refreshing dashboard: health, occupancy, RTT/retransmit
+//!                                # sparklines; TICKS frames (default 10) every MS (default 500)
 //! quit
 //! ```
 //!
@@ -218,6 +221,37 @@ impl Shell {
                         .trim_end()
                         .to_owned())
                 }
+            }
+            "health" => {
+                let cluster = parts.next() != Some("local");
+                let report = self.device.health(cluster).map_err(err)?;
+                Ok(dstampede_client::render_health_table(&report)
+                    .trim_end()
+                    .to_owned())
+            }
+            "watch" => {
+                let ticks: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(10);
+                let interval_ms: u64 = parts.next().and_then(|v| v.parse().ok()).unwrap_or(500);
+                let mut stdout = std::io::stdout();
+                for frame in 0..ticks.max(1) {
+                    let health = self.device.health(true).map_err(err)?;
+                    let history = self.device.history(true).map_err(err)?;
+                    // Clear and home between frames, top-style.
+                    if frame > 0 {
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{}", dstampede_client::render_watch(&health, &history));
+                    println!(
+                        "[frame {}/{} every {interval_ms}ms]",
+                        frame + 1,
+                        ticks.max(1)
+                    );
+                    let _ = stdout.flush();
+                    if frame + 1 < ticks.max(1) {
+                        std::thread::sleep(Duration::from_millis(interval_ms));
+                    }
+                }
+                Ok(String::new())
             }
             "ns-list" => {
                 let entries = self.device.ns_list().map_err(err)?;

@@ -49,7 +49,10 @@
 pub mod report;
 pub mod session;
 
-pub use report::{render_snapshot_table, render_trace_timelines};
+pub use report::{
+    health_at_least, render_health_table, render_snapshot_table, render_trace_timelines,
+    render_watch, sparkline,
+};
 pub use session::{
     ClientChanIn, ClientChanOut, ClientGarbageHook, ClientQueueIn, ClientQueueOut, EndDevice,
     Keepalive, SessionStream,

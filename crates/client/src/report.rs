@@ -1,10 +1,11 @@
-//! Human-readable rendering of telemetry snapshots and trace dumps.
+//! Human-readable rendering of telemetry snapshots, trace dumps,
+//! health reports, and flight-recorder history.
 //!
-//! Used by `dstampede-cli stats`/`trace` to print the cluster-wide
-//! views; kept in the library so tools embedding the client can reuse
-//! them.
+//! Used by `dstampede-cli stats`/`trace`/`health`/`watch` to print the
+//! cluster-wide views; kept in the library so tools embedding the
+//! client can reuse them.
 
-use dstampede_obs::{Snapshot, TraceDump};
+use dstampede_obs::{HealthReport, HealthState, HistoryDump, SeriesField, Snapshot, TraceDump};
 
 fn label_suffix(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
@@ -119,6 +120,170 @@ pub fn render_trace_timelines(dump: &TraceDump) -> String {
     out
 }
 
+/// Renders the last (up to) `width` values of a series as a unicode
+/// sparkline, scaled to the window's own min/max (a flat window renders
+/// mid-height). Empty input renders empty.
+#[must_use]
+pub fn sparkline(values: &[i64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let tail = &values[values.len().saturating_sub(width)..];
+    if tail.is_empty() {
+        return String::new();
+    }
+    let min = tail.iter().copied().min().unwrap_or(0);
+    let max = tail.iter().copied().max().unwrap_or(0);
+    let span = max.saturating_sub(min);
+    tail.iter()
+        .map(|&v| {
+            if span == 0 {
+                BARS[3]
+            } else {
+                let step = ((v.saturating_sub(min)) as i128 * (BARS.len() as i128 - 1)
+                    / span as i128) as usize;
+                BARS[step.min(BARS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// Per-sample increments of a (monotonic) series — what a counter did
+/// between consecutive recorder ticks. Decreases clamp to zero.
+fn deltas(samples: &[(i64, i64)]) -> Vec<i64> {
+    samples
+        .windows(2)
+        .map(|w| (w[1].1 - w[0].1).max(0))
+        .collect()
+}
+
+/// Renders a health report as an aligned table, worst states first:
+/// one row per `(source, subject)` with the state, the reason it was
+/// adopted, and its age in ticks. Heads the output with the overall
+/// (worst) state so scripts can grep the first line.
+#[must_use]
+pub fn render_health_table(report: &HealthReport) -> String {
+    let overall = if report.entries.is_empty() {
+        "unknown (no subjects observed)".to_owned()
+    } else {
+        report.worst().to_string()
+    };
+    let mut out = format!("cluster health: {overall}\n");
+    let mut entries: Vec<_> = report.entries.iter().collect();
+    entries.sort_by(|a, b| {
+        b.state
+            .cmp(&a.state)
+            .then_with(|| a.source.cmp(&b.source))
+            .then_with(|| a.subject.cmp(&b.subject))
+    });
+    let src_w = entries.iter().map(|e| e.source.len()).max().unwrap_or(6);
+    let sub_w = entries.iter().map(|e| e.subject.len()).max().unwrap_or(7);
+    out.push_str(&format!(
+        "{:<src_w$}  {:<sub_w$}  {:<8}  {:>5}  reason\n",
+        "source", "subject", "state", "age"
+    ));
+    for e in entries {
+        out.push_str(&format!(
+            "{:<src_w$}  {:<sub_w$}  {:<8}  {:>5}  {}\n",
+            e.source,
+            e.subject,
+            e.state.to_string(),
+            e.tick.saturating_sub(e.since_tick),
+            e.reason,
+        ));
+    }
+    out
+}
+
+/// One frame of the `watch` dashboard: per-node health, the hottest
+/// containers by STM occupancy, and RTT/retransmit sparklines per node,
+/// all derived from a cluster-wide health report plus history dump.
+#[must_use]
+pub fn render_watch(health: &HealthReport, history: &HistoryDump) -> String {
+    const SPARK_WIDTH: usize = 30;
+    let mut out = render_health_table(health);
+
+    // Rank nodes by their latest STM occupancy (channel + queue items).
+    let mut sources: Vec<&str> = history.series.iter().map(|s| s.source.as_str()).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    let mut hot: Vec<(i64, &str, Vec<i64>)> = sources
+        .iter()
+        .map(|src| {
+            let mut merged: std::collections::BTreeMap<i64, i64> =
+                std::collections::BTreeMap::new();
+            for name in ["channel_items", "queue_items"] {
+                if let Some(s) = history.series_for(src, "stm", name, SeriesField::Value) {
+                    for &(ts, v) in &s.samples {
+                        *merged.entry(ts).or_insert(0) += v;
+                    }
+                }
+            }
+            let values: Vec<i64> = merged.into_values().collect();
+            (values.last().copied().unwrap_or(0), *src, values)
+        })
+        .collect();
+    hot.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(b.1)));
+    if hot.iter().any(|(_, _, v)| !v.is_empty()) {
+        out.push_str("\nstm occupancy (items, hottest first)\n");
+        for (latest, src, values) in &hot {
+            if values.is_empty() {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {src:<8} {:<SPARK_WIDTH$} {latest}\n",
+                sparkline(values, SPARK_WIDTH)
+            ));
+        }
+    }
+
+    // Transport behaviour per node: smoothed RTT level, retransmits per
+    // tick (from the cumulative counter's increments).
+    let mut wrote_header = false;
+    for src in &sources {
+        let srtt = history
+            .series_for(src, "clf", "srtt_us", SeriesField::Value)
+            .map(|s| s.samples.iter().map(|&(_, v)| v).collect::<Vec<_>>())
+            .unwrap_or_default();
+        let retr = history
+            .series_for(src, "clf", "retransmits", SeriesField::Value)
+            .map(|s| deltas(&s.samples))
+            .unwrap_or_default();
+        if srtt.is_empty() && retr.is_empty() {
+            continue;
+        }
+        if !wrote_header {
+            out.push_str("\ntransport (srtt us / retransmits per tick)\n");
+            wrote_header = true;
+        }
+        out.push_str(&format!(
+            "  {src:<8} rtt  {:<SPARK_WIDTH$} {}\n",
+            sparkline(&srtt, SPARK_WIDTH),
+            srtt.last().copied().unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "  {:<8} retr {:<SPARK_WIDTH$} {}\n",
+            "",
+            sparkline(&retr, SPARK_WIDTH),
+            retr.last().copied().unwrap_or(0)
+        ));
+    }
+
+    if history.total_dropped() > 0 {
+        out.push_str(&format!(
+            "({} history samples overwritten)\n",
+            history.total_dropped()
+        ));
+    }
+    out
+}
+
+/// True when the report holds any state at least as bad as `level` —
+/// the `health` command's exit-code predicate. An empty report counts
+/// as healthy.
+#[must_use]
+pub fn health_at_least(report: &HealthReport, level: HealthState) -> bool {
+    !report.entries.is_empty() && report.worst() >= level
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +330,58 @@ mod tests {
     fn empty_trace_dump_renders_placeholder() {
         let text = render_trace_timelines(&TraceDump::default());
         assert!(text.contains("no spans"));
+    }
+
+    #[test]
+    fn sparkline_scales_and_handles_edges() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[5, 5, 5], 10).chars().count(), 3);
+        let line = sparkline(&[0, 10], 10);
+        let chars: Vec<char> = line.chars().collect();
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[1], '█');
+        // Only the last `width` values render.
+        assert_eq!(sparkline(&[1, 2, 3, 4], 2).chars().count(), 2);
+    }
+
+    #[test]
+    fn health_table_sorts_worst_first() {
+        use dstampede_obs::HealthEngine;
+        let engine = HealthEngine::new(dstampede_obs::HealthPolicy::default());
+        engine.observe(1, "peer:as-1", HealthState::Healthy, "ok");
+        engine.observe(1, "peer:as-2", HealthState::Dead, "declared dead");
+        let report = engine.report("as-0");
+        let text = render_health_table(&report);
+        assert!(text.starts_with("cluster health: dead\n"));
+        let dead_at = text.find("peer:as-2").unwrap();
+        let healthy_at = text.find("peer:as-1").unwrap();
+        assert!(dead_at < healthy_at);
+        assert!(health_at_least(&report, HealthState::Suspect));
+        assert!(!health_at_least(
+            &HealthReport::default(),
+            HealthState::Degraded
+        ));
+    }
+
+    #[test]
+    fn watch_renders_occupancy_and_transport_sections() {
+        use dstampede_obs::{HealthEngine, HistoryRecorder};
+        let reg = MetricsRegistry::new("as-0");
+        reg.gauge("stm", "channel_items").set(4);
+        reg.gauge("clf", "srtt_us").set(250);
+        reg.counter("clf", "retransmits").add(2);
+        let recorder = HistoryRecorder::new(16);
+        recorder.sample(&reg, 1_000);
+        reg.gauge("stm", "channel_items").set(9);
+        reg.counter("clf", "retransmits").add(3);
+        recorder.sample(&reg, 2_000);
+        let engine = HealthEngine::new(dstampede_obs::HealthPolicy::default());
+        engine.observe(1, "stm", HealthState::Healthy, "occupancy 9");
+        let text = render_watch(&engine.report("as-0"), &recorder.dump("as-0"));
+        assert!(text.contains("stm occupancy"));
+        assert!(text.contains("as-0"));
+        assert!(text.contains("transport"));
+        // Latest occupancy value is printed after the sparkline.
+        assert!(text.contains(" 9\n"));
     }
 }

@@ -26,7 +26,7 @@ use dstampede_core::{
     AsId, ChanId, ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, QueueId, ResourceId, StmError,
     StmResult, StreamItem, TagFilter, Timestamp, VirtualTime,
 };
-use dstampede_obs::{trace, Snapshot, TraceDump};
+use dstampede_obs::{trace, HealthReport, HistoryDump, Snapshot, TraceDump};
 use dstampede_wire::{
     codec_for, read_frame_bytes, write_encoded, BatchPutItem, Codec, CodecId, GcNote, NsEntry,
     Reply, Request, RequestFrame, WaitSpec,
@@ -450,6 +450,40 @@ impl EndDevice {
         match self.inner.call(Request::TracePull { cluster })? {
             Reply::TraceReport { dump } => TraceDump::decode(&dump)
                 .map_err(|e| StmError::Protocol(format!("bad trace dump: {e}"))),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Pulls the flight recorder's metric history from the attached
+    /// address space — the recent window of every counter/gauge/histogram
+    /// series, sampled on the recorder tick. With `cluster = true` the
+    /// address space fans out to its peers and merges their windows.
+    ///
+    /// # Errors
+    ///
+    /// [`StmError::Disconnected`] if the session broke;
+    /// [`StmError::Protocol`] against a cluster predating the flight
+    /// recorder.
+    pub fn history(&self, cluster: bool) -> StmResult<HistoryDump> {
+        match self.inner.call(Request::HistoryPull { cluster })? {
+            Reply::HistoryReport { dump } => HistoryDump::decode(&dump)
+                .map_err(|e| StmError::Protocol(format!("bad history dump: {e}"))),
+            other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Pulls the derived health report from the attached address space —
+    /// debounced per-peer/per-resource states. With `cluster = true` the
+    /// address space fans out to its peers and merges their reports
+    /// (fresher, then worse, entries win per subject).
+    ///
+    /// # Errors
+    ///
+    /// As [`EndDevice::history`].
+    pub fn health(&self, cluster: bool) -> StmResult<HealthReport> {
+        match self.inner.call(Request::HealthPull { cluster })? {
+            Reply::HealthReport { report } => HealthReport::decode(&report)
+                .map_err(|e| StmError::Protocol(format!("bad health report: {e}"))),
             other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }

@@ -127,9 +127,16 @@ fn cluster_wide_stats_pull_covers_stm_gc_and_clf() {
         "clf/msgs_sent",
         "rpc/surrogate_latency_us",
         "wire/copies_avoided",
+        // Telemetry self-accounting: span-store, event-log, and
+        // flight-recorder ring overwrite counts surface as gauges.
+        "obs/span_drops",
+        "obs/event_drops",
+        "obs/history_drops",
     ] {
         assert!(table.contains(series), "table missing {series}:\n{table}");
     }
+    assert!(snap.gauge_value("obs", "span_drops").is_some());
+    assert!(snap.gauge_value("obs", "event_drops").is_some());
 
     device.detach().unwrap();
     cluster.shutdown();

@@ -1,0 +1,214 @@
+//! Prometheus text exposition (version 0.0.4) for [`Snapshot`]s.
+//!
+//! Rendering rules:
+//!
+//! * series `subsystem/name{labels}` becomes
+//!   `dstampede_<subsystem>_<name>` with every character outside
+//!   `[a-zA-Z0-9_:]` replaced by `_`; counters additionally get the
+//!   conventional `_total` suffix.
+//! * label values are escaped per the exposition format (`\\`, `\"`,
+//!   `\n`).
+//! * histograms expand to cumulative `_bucket{le="..."}` series (one
+//!   per occupied log2 bucket, upper bound from
+//!   [`crate::bucket_bounds`], plus `le="+Inf"`) and `_sum` / `_count`
+//!   samples.
+//! * every family is announced by `# HELP` and `# TYPE` lines exactly
+//!   once, before its first sample.
+//!
+//! `scripts/check_exposition.py` validates this output in CI.
+
+use crate::metrics::bucket_bounds;
+use crate::snapshot::{MetricId, Snapshot};
+
+fn prom_name(id: &MetricId) -> String {
+    let mut out = String::with_capacity(id.subsystem.len() + id.name.len() + 11);
+    out.push_str("dstampede_");
+    for part in [&id.subsystem, &id.name] {
+        for c in part.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                out.push(c);
+            } else {
+                out.push('_');
+            }
+        }
+        out.push('_');
+    }
+    out.pop();
+    out
+}
+
+fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_labels(id: &MetricId, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| {
+            let mut key = String::with_capacity(k.len());
+            for c in k.chars() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    key.push(c);
+                } else {
+                    key.push('_');
+                }
+            }
+            format!("{key}=\"{}\"", prom_label_value(v))
+        })
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", prom_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn announce(out: &mut String, announced: &mut Vec<String>, family: &str, kind: &str) {
+    if announced.iter().any(|f| f == family) {
+        return;
+    }
+    out.push_str(&format!(
+        "# HELP {family} D-Stampede series {family}.\n# TYPE {family} {kind}\n"
+    ));
+    announced.push(family.to_owned());
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut announced: Vec<String> = Vec::new();
+        for c in &self.counters {
+            let family = format!("{}_total", prom_name(&c.id));
+            announce(&mut out, &mut announced, &family, "counter");
+            out.push_str(&format!(
+                "{family}{} {}\n",
+                prom_labels(&c.id, None),
+                c.value
+            ));
+        }
+        for g in &self.gauges {
+            let family = prom_name(&g.id);
+            announce(&mut out, &mut announced, &family, "gauge");
+            out.push_str(&format!(
+                "{family}{} {}\n",
+                prom_labels(&g.id, None),
+                g.value
+            ));
+        }
+        for h in &self.histograms {
+            let family = prom_name(&h.id);
+            announce(&mut out, &mut announced, &family, "histogram");
+            let mut cumulative = 0u64;
+            let mut saw_inf = false;
+            for &(i, n) in &h.buckets {
+                cumulative += n;
+                let (_, hi) = bucket_bounds(i as usize);
+                let le = if hi == u64::MAX {
+                    saw_inf = true;
+                    "+Inf".to_owned()
+                } else {
+                    hi.to_string()
+                };
+                out.push_str(&format!(
+                    "{family}_bucket{} {cumulative}\n",
+                    prom_labels(&h.id, Some(("le", &le)))
+                ));
+            }
+            if !saw_inf {
+                out.push_str(&format!(
+                    "{family}_bucket{} {}\n",
+                    prom_labels(&h.id, Some(("le", "+Inf"))),
+                    h.count
+                ));
+            }
+            out.push_str(&format!(
+                "{family}_sum{} {}\n",
+                prom_labels(&h.id, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{family}_count{} {}\n",
+                prom_labels(&h.id, None),
+                h.count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let reg = MetricsRegistry::new("as-0");
+        reg.counter_labeled("clf", "msgs_sent", &[("transport", "udp")])
+            .add(3);
+        reg.gauge("stm", "channel_items").set(-2);
+        reg.histogram("stm", "put_latency_us").record(100);
+        reg.histogram("stm", "put_latency_us").record(5);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE dstampede_clf_msgs_sent_total counter"));
+        assert!(text.contains("dstampede_clf_msgs_sent_total{transport=\"udp\"} 3"));
+        assert!(text.contains("# TYPE dstampede_stm_channel_items gauge"));
+        assert!(text.contains("dstampede_stm_channel_items -2"));
+        assert!(text.contains("# TYPE dstampede_stm_put_latency_us histogram"));
+        assert!(text.contains("dstampede_stm_put_latency_us_count 2"));
+        assert!(text.contains("dstampede_stm_put_latency_us_sum 105"));
+        assert!(text.contains("_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_bounded() {
+        let reg = MetricsRegistry::new("as-0");
+        let h = reg.histogram("stm", "x");
+        h.record(1); // bucket 1, bound 2
+        h.record(1);
+        h.record(100); // bucket 7, bound 128
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("dstampede_stm_x_bucket{le=\"2\"} 2"));
+        assert!(text.contains("dstampede_stm_x_bucket{le=\"128\"} 3"));
+        assert!(text.contains("dstampede_stm_x_bucket{le=\"+Inf\"} 3"));
+    }
+
+    #[test]
+    fn names_and_labels_are_sanitized() {
+        let reg = MetricsRegistry::new("as-0");
+        reg.counter_labeled("a b", "x-y", &[("bad key", "quo\"te\\n")])
+            .inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("dstampede_a_b_x_y_total"));
+        assert!(text.contains("bad_key=\"quo\\\"te\\\\n\""));
+    }
+
+    #[test]
+    fn each_family_announced_once() {
+        let reg = MetricsRegistry::new("as-0");
+        reg.counter_labeled("clf", "msgs_sent", &[("transport", "udp")])
+            .inc();
+        reg.counter_labeled("clf", "msgs_sent", &[("transport", "mem")])
+            .inc();
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE dstampede_clf_msgs_sent_total counter")
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,542 @@
+//! Derived health states with hysteresis.
+//!
+//! The flight recorder answers "what happened"; this module answers
+//! "how is it doing". A [`HealthEngine`] folds raw per-tick signals —
+//! heartbeat lease age, retransmit and backpressure deltas, channel
+//! occupancy watermarks — into one [`HealthState`] per *subject* (a
+//! peer, or a local resource like the CLF endpoint or the STM store).
+//!
+//! Raw signals are noisy, so the engine applies hysteresis: a subject
+//! only *worsens* after [`HealthPolicy::worsen_after`] consecutive
+//! ticks at the worse level, and only *recovers* after the (longer)
+//! [`HealthPolicy::recover_after`] streak — a one-tick blip in either
+//! direction never moves the published state. [`HealthState::Dead`] is
+//! the exception: it is adopted immediately (the failure detector
+//! already debounced it through missed leases) and latched until the
+//! subject proves itself healthy for a full recovery streak.
+//!
+//! Reports serialize and merge like snapshots, keyed by
+//! `(source, subject)` with the freshest observation winning, so a
+//! cluster-wide `HealthPull` converges to the same view no matter
+//! which node serves it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::snapshot::{escape, json_string, unescape, SnapshotParseError};
+
+/// A subject's derived condition, worst last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthState {
+    /// Signals nominal.
+    Healthy,
+    /// Elevated but serviceable: late heartbeats, retransmit or
+    /// backpressure pressure, occupancy above watermark.
+    Degraded,
+    /// Lease at risk: the subject has stopped responding but is not
+    /// yet declared dead.
+    Suspect,
+    /// Declared dead by the failure detector.
+    Dead,
+}
+
+impl HealthState {
+    fn token(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Suspect => "suspect",
+            HealthState::Dead => "dead",
+        }
+    }
+
+    fn from_token(t: &str) -> Option<HealthState> {
+        match t {
+            "healthy" => Some(HealthState::Healthy),
+            "degraded" => Some(HealthState::Degraded),
+            "suspect" => Some(HealthState::Suspect),
+            "dead" => Some(HealthState::Dead),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Hysteresis thresholds for state transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive ticks a worse raw signal must persist before the
+    /// published state worsens (`Dead` ignores this and is adopted
+    /// immediately).
+    pub worsen_after: u32,
+    /// Consecutive ticks a better raw signal must persist before the
+    /// published state improves. Kept larger than `worsen_after` so a
+    /// subject oscillating every tick pins to the worse state rather
+    /// than flapping.
+    pub recover_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            worsen_after: 2,
+            recover_after: 4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SubjectState {
+    state: HealthState,
+    /// The raw level currently accumulating a streak, and its length.
+    pending: HealthState,
+    streak: u32,
+    since_tick: u64,
+    reason: String,
+    tick: u64,
+}
+
+/// Folds raw per-tick signals into debounced per-subject states.
+#[derive(Debug)]
+pub struct HealthEngine {
+    policy: HealthPolicy,
+    subjects: Mutex<BTreeMap<String, SubjectState>>,
+}
+
+impl HealthEngine {
+    /// An engine with the given hysteresis policy.
+    #[must_use]
+    pub fn new(policy: HealthPolicy) -> HealthEngine {
+        HealthEngine {
+            policy,
+            subjects: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The hysteresis policy in force.
+    #[must_use]
+    pub fn policy(&self) -> HealthPolicy {
+        self.policy
+    }
+
+    /// Feeds one tick's raw signal for `subject`. `reason` describes
+    /// the signal (shown when the state it argues for is adopted).
+    /// Returns the published (debounced) state after the observation.
+    pub fn observe(&self, tick: u64, subject: &str, raw: HealthState, reason: &str) -> HealthState {
+        let mut subjects = self.subjects.lock().unwrap_or_else(|e| e.into_inner());
+        let entry = subjects
+            .entry(subject.to_owned())
+            .or_insert_with(|| SubjectState {
+                state: raw,
+                pending: raw,
+                streak: 0,
+                since_tick: tick,
+                reason: reason.to_owned(),
+                tick,
+            });
+        entry.tick = tick;
+        if raw == entry.state {
+            // Signal agrees with the published state: any streak
+            // toward another state is broken.
+            entry.pending = raw;
+            entry.streak = 0;
+            return entry.state;
+        }
+        if raw == entry.pending {
+            entry.streak = entry.streak.saturating_add(1);
+        } else {
+            entry.pending = raw;
+            entry.streak = 1;
+        }
+        let needed = if raw > entry.state {
+            if raw == HealthState::Dead {
+                // The failure detector already debounced death through
+                // missed leases; adopt it on first sight.
+                0
+            } else {
+                self.policy.worsen_after
+            }
+        } else {
+            self.policy.recover_after
+        };
+        if entry.streak >= needed {
+            entry.state = raw;
+            entry.since_tick = tick;
+            entry.reason = reason.to_owned();
+            entry.streak = 0;
+        }
+        entry.state
+    }
+
+    /// The published state for `subject`, if it has ever been observed.
+    #[must_use]
+    pub fn state_of(&self, subject: &str) -> Option<HealthState> {
+        self.subjects
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(subject)
+            .map(|s| s.state)
+    }
+
+    /// A report of every subject, attributed to `source`.
+    #[must_use]
+    pub fn report(&self, source: &str) -> HealthReport {
+        let subjects = self.subjects.lock().unwrap_or_else(|e| e.into_inner());
+        HealthReport {
+            entries: subjects
+                .iter()
+                .map(|(subject, s)| HealthEntry {
+                    source: source.to_owned(),
+                    subject: subject.clone(),
+                    state: s.state,
+                    since_tick: s.since_tick,
+                    tick: s.tick,
+                    reason: s.reason.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One subject's published state inside a [`HealthReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthEntry {
+    /// Which node derived it (e.g. `as-0`).
+    pub source: String,
+    /// What it describes (e.g. `peer:as-2`, `clf:local`, `stm:local`).
+    pub subject: String,
+    /// The debounced state.
+    pub state: HealthState,
+    /// The tick at which `state` was adopted.
+    pub since_tick: u64,
+    /// The tick of the latest observation.
+    pub tick: u64,
+    /// Why the current state was adopted.
+    pub reason: String,
+}
+
+/// A serializable, mergeable view of one or more health engines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Entries sorted by `(source, subject)`.
+    pub entries: Vec<HealthEntry>,
+}
+
+impl HealthReport {
+    /// Folds `other` into `self`: entries union by
+    /// `(source, subject)`; when both sides carry the same key the
+    /// fresher observation (higher `tick`) wins, ties breaking toward
+    /// the worse state. Associative and order-insensitive on any pair
+    /// of pulls from the same origins.
+    pub fn merge(&mut self, other: &HealthReport) {
+        let mut map: BTreeMap<(String, String), HealthEntry> = self
+            .entries
+            .drain(..)
+            .map(|e| ((e.source.clone(), e.subject.clone()), e))
+            .collect();
+        for e in &other.entries {
+            let key = (e.source.clone(), e.subject.clone());
+            match map.entry(key) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(e.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut slot) => {
+                    let mine = slot.get_mut();
+                    if (e.tick, e.state) > (mine.tick, mine.state) {
+                        *mine = e.clone();
+                    }
+                }
+            }
+        }
+        self.entries = map.into_values().collect();
+    }
+
+    /// The first entry for `subject` regardless of source, or `None`.
+    #[must_use]
+    pub fn subject(&self, subject: &str) -> Option<&HealthEntry> {
+        self.entries.iter().find(|e| e.subject == subject)
+    }
+
+    /// The entry `source` published for `subject`, or `None`.
+    #[must_use]
+    pub fn entry(&self, source: &str, subject: &str) -> Option<&HealthEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.source == source && e.subject == subject)
+    }
+
+    /// The worst state across every entry (an empty report is
+    /// [`HealthState::Healthy`]).
+    #[must_use]
+    pub fn worst(&self) -> HealthState {
+        self.entries
+            .iter()
+            .map(|e| e.state)
+            .max()
+            .unwrap_or(HealthState::Healthy)
+    }
+
+    /// Serializes to the line format carried by `HealthReport` replies.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::from("hlt1\n");
+        for e in &self.entries {
+            out.push_str(&format!(
+                "E {} {} {} {} {} {}\n",
+                escape(&e.source),
+                escape(&e.subject),
+                e.state.token(),
+                e.since_tick,
+                e.tick,
+                escape(&e.reason)
+            ));
+        }
+        out.into_bytes()
+    }
+
+    /// Parses the [`HealthReport::encode`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotParseError`] naming the offending line.
+    pub fn decode(bytes: &[u8]) -> Result<HealthReport, SnapshotParseError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SnapshotParseError::new(0, "health report is not utf-8"))?;
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "hlt1")) => {}
+            _ => return Err(SnapshotParseError::new(1, "bad health header")),
+        }
+        let mut report = HealthReport::default();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| SnapshotParseError::new(lineno, msg);
+            let mut fields = line.split(' ');
+            match fields.next() {
+                Some("E") => {}
+                _ => return Err(err("unknown record kind")),
+            }
+            let source = fields
+                .next()
+                .and_then(unescape)
+                .ok_or_else(|| err("bad source"))?;
+            let subject = fields
+                .next()
+                .and_then(unescape)
+                .ok_or_else(|| err("bad subject"))?;
+            let state = fields
+                .next()
+                .and_then(HealthState::from_token)
+                .ok_or_else(|| err("bad state"))?;
+            let since_tick = fields
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("bad since tick"))?;
+            let tick = fields
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("bad tick"))?;
+            let reason = fields
+                .next()
+                .and_then(unescape)
+                .ok_or_else(|| err("bad reason"))?;
+            report.entries.push(HealthEntry {
+                source,
+                subject,
+                state,
+                since_tick,
+                tick,
+                reason,
+            });
+        }
+        report
+            .entries
+            .sort_by(|a, b| (&a.source, &a.subject).cmp(&(&b.source, &b.subject)));
+        Ok(report)
+    }
+
+    /// Renders as JSON for export.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"source\": {}, \"subject\": {}, \"state\": {}, \
+                 \"since_tick\": {}, \"tick\": {}, \"reason\": {}}}",
+                json_string(&e.source),
+                json_string(&e.subject),
+                json_string(e.state.token()),
+                e.since_tick,
+                e.tick,
+                json_string(&e.reason)
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn states_order_worst_last() {
+        assert!(HealthState::Healthy < HealthState::Degraded);
+        assert!(HealthState::Degraded < HealthState::Suspect);
+        assert!(HealthState::Suspect < HealthState::Dead);
+    }
+
+    #[test]
+    fn worsening_needs_a_streak() {
+        let eng = HealthEngine::new(HealthPolicy::default());
+        assert_eq!(
+            eng.observe(0, "peer:as-1", HealthState::Healthy, "ok"),
+            HealthState::Healthy
+        );
+        // One bad tick is not enough.
+        assert_eq!(
+            eng.observe(1, "peer:as-1", HealthState::Suspect, "lease at risk"),
+            HealthState::Healthy
+        );
+        assert_eq!(
+            eng.observe(2, "peer:as-1", HealthState::Suspect, "lease at risk"),
+            HealthState::Suspect
+        );
+        let report = eng.report("as-0");
+        let e = report.entry("as-0", "peer:as-1").unwrap();
+        assert_eq!(e.since_tick, 2);
+        assert_eq!(e.reason, "lease at risk");
+    }
+
+    #[test]
+    fn dead_is_adopted_immediately() {
+        let eng = HealthEngine::new(HealthPolicy::default());
+        eng.observe(0, "peer:as-2", HealthState::Healthy, "ok");
+        assert_eq!(
+            eng.observe(1, "peer:as-2", HealthState::Dead, "declared dead"),
+            HealthState::Dead
+        );
+    }
+
+    #[test]
+    fn one_tick_recovery_does_not_flap() {
+        let eng = HealthEngine::new(HealthPolicy {
+            worsen_after: 2,
+            recover_after: 4,
+        });
+        eng.observe(0, "p", HealthState::Healthy, "ok");
+        eng.observe(1, "p", HealthState::Suspect, "late");
+        eng.observe(2, "p", HealthState::Suspect, "late");
+        assert_eq!(eng.state_of("p"), Some(HealthState::Suspect));
+        // A single good tick between bad ones must not recover...
+        assert_eq!(
+            eng.observe(3, "p", HealthState::Healthy, "ok"),
+            HealthState::Suspect
+        );
+        assert_eq!(
+            eng.observe(4, "p", HealthState::Suspect, "late"),
+            HealthState::Suspect
+        );
+        // ...and a full recovery streak must.
+        for t in 5..9 {
+            eng.observe(t, "p", HealthState::Healthy, "ok");
+        }
+        assert_eq!(eng.state_of("p"), Some(HealthState::Healthy));
+    }
+
+    #[test]
+    fn interrupted_recovery_restarts_the_streak() {
+        let eng = HealthEngine::new(HealthPolicy {
+            worsen_after: 1,
+            recover_after: 3,
+        });
+        eng.observe(0, "p", HealthState::Degraded, "slow");
+        eng.observe(1, "p", HealthState::Degraded, "slow");
+        eng.observe(2, "p", HealthState::Healthy, "ok");
+        eng.observe(3, "p", HealthState::Healthy, "ok");
+        // Streak broken: back to zero.
+        eng.observe(4, "p", HealthState::Degraded, "slow");
+        eng.observe(5, "p", HealthState::Healthy, "ok");
+        eng.observe(6, "p", HealthState::Healthy, "ok");
+        assert_eq!(eng.state_of("p"), Some(HealthState::Degraded));
+        eng.observe(7, "p", HealthState::Healthy, "ok");
+        assert_eq!(eng.state_of("p"), Some(HealthState::Healthy));
+    }
+
+    #[test]
+    fn report_encode_decode_round_trips() {
+        let eng = HealthEngine::new(HealthPolicy::default());
+        eng.observe(0, "peer:as 1", HealthState::Healthy, "all good %");
+        eng.observe(1, "peer:as 1", HealthState::Dead, "lease expired, 3 missed");
+        let report = eng.report("as-0");
+        let decoded = HealthReport::decode(&report.encode()).unwrap();
+        assert_eq!(decoded, report);
+        assert_eq!(decoded.worst(), HealthState::Dead);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(HealthReport::decode(b"nope").is_err());
+        assert!(HealthReport::decode(b"hlt1\nX y").is_err());
+        assert!(HealthReport::decode(b"hlt1\nE src subj limbo 0 0 r").is_err());
+        assert!(HealthReport::decode(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn merge_prefers_fresher_observation() {
+        let old = HealthEntry {
+            source: "as-0".into(),
+            subject: "peer:as-2".into(),
+            state: HealthState::Suspect,
+            since_tick: 5,
+            tick: 6,
+            reason: "late".into(),
+        };
+        let new = HealthEntry {
+            state: HealthState::Dead,
+            since_tick: 8,
+            tick: 9,
+            reason: "declared dead".into(),
+            ..old.clone()
+        };
+        let mut a = HealthReport {
+            entries: vec![old.clone()],
+        };
+        let b = HealthReport {
+            entries: vec![new.clone()],
+        };
+        a.merge(&b);
+        assert_eq!(a.entries, vec![new.clone()]);
+        // Merging the other way converges to the same view.
+        let mut c = HealthReport {
+            entries: vec![new.clone()],
+        };
+        c.merge(&HealthReport {
+            entries: vec![old.clone()],
+        });
+        assert_eq!(c.entries, vec![new]);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let eng = HealthEngine::new(HealthPolicy::default());
+        eng.observe(3, "peer:as-1", HealthState::Degraded, "retransmits");
+        let json = eng.report("as-0").to_json();
+        assert!(json.contains("\"peer:as-1\""));
+        assert!(json.contains("\"degraded\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

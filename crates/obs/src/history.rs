@@ -1,0 +1,622 @@
+//! The flight recorder: bounded on-node metric history.
+//!
+//! A [`HistoryRecorder`] scrapes a [`MetricsRegistry`] on a fixed tick
+//! and appends every scalar — counter values, gauge levels, histogram
+//! counts and sums — to a per-series [`RingSeries`]: a fixed-capacity
+//! delta-encoded ring buffer that overwrites its oldest sample once
+//! full and counts every overwrite. Capacity is allocated when a
+//! series first appears and never grows, so steady-state sampling is
+//! allocation-free; at the default one-second tick the default
+//! capacity retains the last five minutes of every series.
+//!
+//! Histories serialize as [`HistoryDump`]s — the same escaped
+//! line-format discipline as [`crate::Snapshot`], but samples stay
+//! delta-encoded on the wire — and merge by `(source, series, field)`
+//! key with timestamp-level deduplication, so overlapping windows
+//! pulled through two different nodes collapse to one.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::registry::MetricsRegistry;
+use crate::snapshot::{
+    decode_id, encode_id, escape, json_id, json_string, unescape, MetricId, SnapshotParseError,
+};
+
+/// Default per-series sample capacity: five minutes at a 1 s tick.
+pub const DEFAULT_HISTORY_CAPACITY: usize = 300;
+
+/// Which scalar of a metric a history series tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SeriesField {
+    /// A counter's count or a gauge's level.
+    Value,
+    /// A histogram's total sample count.
+    Count,
+    /// A histogram's sample sum.
+    Sum,
+}
+
+impl SeriesField {
+    fn token(self) -> &'static str {
+        match self {
+            SeriesField::Value => "v",
+            SeriesField::Count => "c",
+            SeriesField::Sum => "s",
+        }
+    }
+
+    fn from_token(t: &str) -> Option<SeriesField> {
+        match t {
+            "v" => Some(SeriesField::Value),
+            "c" => Some(SeriesField::Count),
+            "s" => Some(SeriesField::Sum),
+            _ => None,
+        }
+    }
+}
+
+/// A fixed-capacity delta-encoded ring of `(timestamp ms, value)`
+/// samples. The oldest retained sample is held absolute; every younger
+/// one as a delta from its predecessor. Appending to a full ring folds
+/// the oldest delta into the absolute base (overwrite-oldest) and
+/// counts the overwritten sample in [`RingSeries::dropped`].
+#[derive(Debug)]
+pub struct RingSeries {
+    /// Absolute `(ts, value)` of the oldest retained sample.
+    first: Option<(i64, i64)>,
+    /// `(dts, dvalue)` of each younger sample, oldest first. Backed by
+    /// a ring over a preallocated buffer: `head` indexes the oldest
+    /// delta, `len` counts retained deltas.
+    deltas: Vec<(i64, i64)>,
+    head: usize,
+    len: usize,
+    /// Absolute `(ts, value)` of the newest sample (delta source).
+    last: Option<(i64, i64)>,
+    /// Samples overwritten since creation.
+    dropped: u64,
+}
+
+impl RingSeries {
+    /// An empty ring retaining at most `capacity` samples (the buffer
+    /// is allocated up front; pushes never reallocate).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingSeries {
+        let capacity = capacity.max(1);
+        RingSeries {
+            first: None,
+            deltas: Vec::with_capacity(capacity - 1),
+            head: 0,
+            len: 0,
+            last: None,
+            dropped: 0,
+        }
+    }
+
+    /// Retained samples can never exceed this.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.deltas.capacity() + 1
+    }
+
+    /// Retained sample count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.first.is_some() {
+            self.len + 1
+        } else {
+            0
+        }
+    }
+
+    /// True when nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.first.is_none()
+    }
+
+    /// Samples overwritten (oldest-first) since creation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends one sample, overwriting the oldest when full.
+    pub fn push(&mut self, ts_ms: i64, value: i64) {
+        let Some(last) = self.last else {
+            self.first = Some((ts_ms, value));
+            self.last = Some((ts_ms, value));
+            return;
+        };
+        let delta = (ts_ms.wrapping_sub(last.0), value.wrapping_sub(last.1));
+        let cap = self.deltas.capacity();
+        if cap == 0 {
+            // Capacity 1: the single retained sample is always the newest.
+            self.first = Some((ts_ms, value));
+            self.last = self.first;
+            self.dropped += 1;
+            return;
+        }
+        if self.len == cap {
+            // Fold the oldest delta into the absolute base.
+            let (dts, dv) = self.deltas[self.head];
+            let (ft, fv) = self.first.expect("non-empty ring has a base");
+            self.first = Some((ft.wrapping_add(dts), fv.wrapping_add(dv)));
+            self.deltas[self.head] = delta;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        } else if self.deltas.len() < cap {
+            self.deltas.push(delta);
+            self.len += 1;
+        } else {
+            let idx = (self.head + self.len) % cap;
+            self.deltas[idx] = delta;
+            self.len += 1;
+        }
+        self.last = Some((ts_ms, value));
+    }
+
+    /// Reconstructed absolute samples, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> Vec<(i64, i64)> {
+        let Some((mut ts, mut v)) = self.first else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(self.len + 1);
+        out.push((ts, v));
+        let cap = self.deltas.capacity();
+        for k in 0..self.len {
+            let (dts, dv) = self.deltas[(self.head + k) % cap];
+            ts = ts.wrapping_add(dts);
+            v = v.wrapping_add(dv);
+            out.push((ts, v));
+        }
+        out
+    }
+}
+
+/// One series' recorded window inside a [`HistoryDump`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesHistory {
+    /// Which registry recorded it (e.g. `as-2`).
+    pub source: String,
+    /// Which metric.
+    pub id: MetricId,
+    /// Which scalar of the metric.
+    pub field: SeriesField,
+    /// Samples overwritten by the ring before this dump was taken.
+    pub dropped: u64,
+    /// `(unix ms, value)` samples, ascending by timestamp.
+    pub samples: Vec<(i64, i64)>,
+}
+
+type SeriesKey = (String, MetricId, SeriesField);
+
+/// A serializable, mergeable view of one or more flight recorders.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistoryDump {
+    /// Recorded windows, sorted by `(source, id, field)`.
+    pub series: Vec<SeriesHistory>,
+}
+
+impl HistoryDump {
+    /// Folds `other` into `self`: series union by
+    /// `(source, id, field)`; windows of the same series merge by
+    /// timestamp with duplicates collapsed (both pulls saw the same
+    /// origin ring, so equal timestamps carry equal values — the later
+    /// pull wins on the off chance they differ). `dropped` takes the
+    /// maximum, both counts being cumulative views of one origin
+    /// counter.
+    pub fn merge(&mut self, other: &HistoryDump) {
+        let mut map: BTreeMap<SeriesKey, SeriesHistory> = self
+            .series
+            .drain(..)
+            .map(|s| ((s.source.clone(), s.id.clone(), s.field), s))
+            .collect();
+        for s in &other.series {
+            let key = (s.source.clone(), s.id.clone(), s.field);
+            match map.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(s.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let mine = e.get_mut();
+                    let mut by_ts: BTreeMap<i64, i64> = mine.samples.iter().copied().collect();
+                    for &(ts, v) in &s.samples {
+                        by_ts.insert(ts, v);
+                    }
+                    mine.samples = by_ts.into_iter().collect();
+                    mine.dropped = mine.dropped.max(s.dropped);
+                }
+            }
+        }
+        self.series = map.into_values().collect();
+    }
+
+    /// The recorded window for `(source, subsystem, name, field)`
+    /// ignoring labels (first match), or `None`.
+    #[must_use]
+    pub fn series_for(
+        &self,
+        source: &str,
+        subsystem: &str,
+        name: &str,
+        field: SeriesField,
+    ) -> Option<&SeriesHistory> {
+        self.series.iter().find(|s| {
+            s.source == source
+                && s.id.subsystem == subsystem
+                && s.id.name == name
+                && s.field == field
+        })
+    }
+
+    /// Total samples overwritten across every series.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.series.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Serializes to the line format carried by `HistoryReport`
+    /// replies: a `hst1` header, then one `R` record per series with
+    /// the first sample absolute and the rest delta-encoded.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::from("hst1\n");
+        for s in &self.series {
+            out.push_str(&format!(
+                "R {} {} {} {} {}",
+                escape(&s.source),
+                encode_id(&s.id),
+                s.field.token(),
+                s.dropped,
+                s.samples.len()
+            ));
+            let mut prev: Option<(i64, i64)> = None;
+            for &(ts, v) in &s.samples {
+                match prev {
+                    None => out.push_str(&format!(" {ts}:{v}")),
+                    Some((pt, pv)) => {
+                        out.push_str(&format!(" {}:{}", ts.wrapping_sub(pt), v.wrapping_sub(pv)))
+                    }
+                }
+                prev = Some((ts, v));
+            }
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
+    /// Parses the [`HistoryDump::encode`] format.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotParseError`] naming the offending line.
+    pub fn decode(bytes: &[u8]) -> Result<HistoryDump, SnapshotParseError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SnapshotParseError::new(0, "history is not utf-8"))?;
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "hst1")) => {}
+            _ => return Err(SnapshotParseError::new(1, "bad history header")),
+        }
+        let mut dump = HistoryDump::default();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| SnapshotParseError::new(lineno, msg);
+            let mut fields = line.split(' ');
+            match fields.next() {
+                Some("R") => {}
+                _ => return Err(err("unknown record kind")),
+            }
+            let source = fields
+                .next()
+                .and_then(unescape)
+                .ok_or_else(|| err("bad source"))?;
+            let id = decode_id(&mut fields).ok_or_else(|| err("bad metric id"))?;
+            let field = fields
+                .next()
+                .and_then(SeriesField::from_token)
+                .ok_or_else(|| err("bad field token"))?;
+            let dropped = fields
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("bad dropped count"))?;
+            let n: usize = fields
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| err("bad sample count"))?;
+            let mut samples = Vec::with_capacity(n);
+            let mut prev: Option<(i64, i64)> = None;
+            for pair in fields {
+                let (dts, dv) = pair
+                    .split_once(':')
+                    .and_then(|(a, b)| Some((a.parse::<i64>().ok()?, b.parse::<i64>().ok()?)))
+                    .ok_or_else(|| err("bad sample pair"))?;
+                let abs = match prev {
+                    None => (dts, dv),
+                    Some((pt, pv)) => (pt.wrapping_add(dts), pv.wrapping_add(dv)),
+                };
+                samples.push(abs);
+                prev = Some(abs);
+            }
+            if samples.len() != n {
+                return Err(err("sample count mismatch"));
+            }
+            dump.series.push(SeriesHistory {
+                source,
+                id,
+                field,
+                dropped,
+                samples,
+            });
+        }
+        dump.series
+            .sort_by(|a, b| (&a.source, &a.id, a.field).cmp(&(&b.source, &b.id, b.field)));
+        Ok(dump)
+    }
+
+    /// Renders as JSON for export.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let samples = s
+                .samples
+                .iter()
+                .map(|&(ts, v)| format!("[{ts}, {v}]"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "\n    {{\"source\": {}, {}, \"field\": {}, \"dropped\": {}, \"samples\": [{}]}}",
+                json_string(&s.source),
+                json_id(&s.id),
+                json_string(s.field.token()),
+                s.dropped,
+                samples
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Records a registry's scalars into per-series rings on demand;
+/// drive it from a periodic sampler thread via
+/// [`HistoryRecorder::sample`].
+#[derive(Debug)]
+pub struct HistoryRecorder {
+    capacity: usize,
+    series: Mutex<BTreeMap<(MetricId, SeriesField), RingSeries>>,
+}
+
+impl HistoryRecorder {
+    /// A recorder whose rings each retain `capacity` samples.
+    #[must_use]
+    pub fn new(capacity: usize) -> HistoryRecorder {
+        HistoryRecorder {
+            capacity: capacity.max(1),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Per-series ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Scrapes every scalar in `registry` at time `now_ms` (unix
+    /// milliseconds). One call is one tick; all series share the tick's
+    /// timestamp. New series get a ring on first sight; existing ones
+    /// append without allocating.
+    pub fn sample(&self, registry: &MetricsRegistry, now_ms: i64) {
+        let mut series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        registry.visit_scalars(|id, field, value| {
+            series
+                .entry((id.clone(), field))
+                .or_insert_with(|| RingSeries::new(self.capacity))
+                .push(now_ms, value);
+        });
+    }
+
+    /// Recorded series count.
+    #[must_use]
+    pub fn series_count(&self) -> usize {
+        self.series.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Samples overwritten across all rings since creation.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.series
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .map(RingSeries::dropped)
+            .sum()
+    }
+
+    /// A dump of every ring, attributed to `source`.
+    #[must_use]
+    pub fn dump(&self, source: &str) -> HistoryDump {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        HistoryDump {
+            series: series
+                .iter()
+                .map(|((id, field), ring)| SeriesHistory {
+                    source: source.to_owned(),
+                    id: id.clone(),
+                    field: *field,
+                    dropped: ring.dropped(),
+                    samples: ring.samples(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_reconstructs_samples_in_order() {
+        let mut r = RingSeries::new(8);
+        assert!(r.is_empty());
+        r.push(1000, 5);
+        r.push(2000, 7);
+        r.push(3000, 4);
+        assert_eq!(r.samples(), vec![(1000, 5), (2000, 7), (3000, 4)]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_at_capacity() {
+        let mut r = RingSeries::new(3);
+        for i in 0..5 {
+            r.push(i * 10, i * 100);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.samples(), vec![(20, 200), (30, 300), (40, 400)]);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn ring_capacity_one_keeps_newest() {
+        let mut r = RingSeries::new(1);
+        r.push(1, 10);
+        r.push(2, 20);
+        assert_eq!(r.samples(), vec![(2, 20)]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn ring_handles_negative_and_decreasing_values() {
+        let mut r = RingSeries::new(4);
+        r.push(5, -3);
+        r.push(4, i64::MIN + 1);
+        r.push(9, i64::MAX - 1);
+        assert_eq!(
+            r.samples(),
+            vec![(5, -3), (4, i64::MIN + 1), (9, i64::MAX - 1)]
+        );
+    }
+
+    #[test]
+    fn recorder_scrapes_registry_scalars() {
+        let reg = MetricsRegistry::new("as-0");
+        reg.counter("stm", "puts").add(3);
+        reg.gauge("stm", "channel_items").set(-2);
+        reg.histogram("stm", "put_latency_us").record(10);
+        let rec = HistoryRecorder::new(16);
+        rec.sample(&reg, 1_000);
+        reg.counter("stm", "puts").add(1);
+        rec.sample(&reg, 2_000);
+        let dump = rec.dump("as-0");
+        let puts = dump
+            .series_for("as-0", "stm", "puts", SeriesField::Value)
+            .unwrap();
+        assert_eq!(puts.samples, vec![(1_000, 3), (2_000, 4)]);
+        let items = dump
+            .series_for("as-0", "stm", "channel_items", SeriesField::Value)
+            .unwrap();
+        assert_eq!(items.samples, vec![(1_000, -2), (2_000, -2)]);
+        let count = dump
+            .series_for("as-0", "stm", "put_latency_us", SeriesField::Count)
+            .unwrap();
+        assert_eq!(count.samples, vec![(1_000, 1), (2_000, 1)]);
+        let sum = dump
+            .series_for("as-0", "stm", "put_latency_us", SeriesField::Sum)
+            .unwrap();
+        assert_eq!(sum.samples, vec![(1_000, 10), (2_000, 10)]);
+    }
+
+    #[test]
+    fn dump_encode_decode_round_trips() {
+        let reg = MetricsRegistry::new("as 1%"); // awkward source on purpose
+        reg.counter_labeled("clf", "msgs_sent", &[("transport", "udp")])
+            .add(2);
+        let rec = HistoryRecorder::new(4);
+        for t in 0..6 {
+            rec.sample(&reg, 500 + t * 250);
+        }
+        let dump = rec.dump("as 1%");
+        assert_eq!(dump.total_dropped(), 2);
+        let decoded = HistoryDump::decode(&dump.encode()).unwrap();
+        assert_eq!(decoded, dump);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(HistoryDump::decode(b"nope").is_err());
+        assert!(HistoryDump::decode(b"hst1\nX y").is_err());
+        assert!(HistoryDump::decode(b"hst1\nR src stm puts - v 0 2 1:1").is_err());
+        assert!(HistoryDump::decode(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn merge_dedups_overlapping_windows() {
+        let id = MetricId::new("stm", "puts", &[]);
+        let mut a = HistoryDump {
+            series: vec![SeriesHistory {
+                source: "as-0".into(),
+                id: id.clone(),
+                field: SeriesField::Value,
+                dropped: 1,
+                samples: vec![(1000, 1), (2000, 2), (3000, 3)],
+            }],
+        };
+        let b = HistoryDump {
+            series: vec![
+                SeriesHistory {
+                    source: "as-0".into(),
+                    id: id.clone(),
+                    field: SeriesField::Value,
+                    dropped: 3,
+                    samples: vec![(2000, 2), (3000, 3), (4000, 5)],
+                },
+                SeriesHistory {
+                    source: "as-1".into(),
+                    id: id.clone(),
+                    field: SeriesField::Value,
+                    dropped: 0,
+                    samples: vec![(1500, 9)],
+                },
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.series.len(), 2);
+        let merged = a
+            .series_for("as-0", "stm", "puts", SeriesField::Value)
+            .unwrap();
+        assert_eq!(
+            merged.samples,
+            vec![(1000, 1), (2000, 2), (3000, 3), (4000, 5)]
+        );
+        assert_eq!(merged.dropped, 3);
+        assert!(a
+            .series_for("as-1", "stm", "puts", SeriesField::Value)
+            .is_some());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let reg = MetricsRegistry::new("as-0");
+        reg.counter("stm", "puts").inc();
+        let rec = HistoryRecorder::new(4);
+        rec.sample(&reg, 42);
+        let json = rec.dump("as-0").to_json();
+        assert!(json.contains("\"puts\""));
+        assert!(json.contains("[42, 1]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

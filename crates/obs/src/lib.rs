@@ -15,6 +15,14 @@
 //!   registry, so per-address-space snapshots aggregate cluster-wide
 //!   (the name server pulls remote snapshots over the wire and merges
 //!   them; `dstampede-cli stats` renders the result).
+//! * [`history`] — the flight recorder: fixed-capacity delta-encoded
+//!   ring buffers retaining the recent window of every series, sampled
+//!   on a background tick and pulled cluster-wide by `HistoryPull`.
+//! * [`health`] — derived per-peer/per-resource health states
+//!   (`Healthy/Degraded/Suspect/Dead`) with hysteresis, pulled
+//!   cluster-wide by `HealthPull`.
+//! * [`Snapshot::to_prometheus`] — Prometheus text exposition of any
+//!   snapshot, for scrape-based collection.
 //! * [`trace`] — end-to-end causal tracing: per-item lifecycle spans
 //!   with deterministic every-nth-timestamp sampling, a bounded
 //!   non-blocking span store per registry, mergeable [`TraceDump`]s
@@ -31,12 +39,19 @@
 #![warn(missing_docs)]
 
 mod event;
+mod expo;
+pub mod health;
+pub mod history;
 mod metrics;
 mod registry;
 mod snapshot;
 pub mod trace;
 
 pub use event::{Event, EventLog, Level};
+pub use health::{HealthEngine, HealthEntry, HealthPolicy, HealthReport, HealthState};
+pub use history::{
+    HistoryDump, HistoryRecorder, RingSeries, SeriesField, SeriesHistory, DEFAULT_HISTORY_CAPACITY,
+};
 pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
 pub use registry::{global, MetricsRegistry};
 pub use snapshot::{

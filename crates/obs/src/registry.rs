@@ -130,6 +130,36 @@ impl MetricsRegistry {
         )
     }
 
+    /// Visits every scalar the registry currently holds: counter
+    /// values, gauge levels, and histogram counts and sums (saturated
+    /// into `i64`). The flight recorder's sampling hook — one call per
+    /// tick reads the whole registry without copying the maps.
+    pub fn visit_scalars(&self, mut f: impl FnMut(&MetricId, crate::history::SeriesField, i64)) {
+        use crate::history::SeriesField;
+        for (id, c) in lock(&self.counters).iter() {
+            f(
+                id,
+                SeriesField::Value,
+                i64::try_from(c.get()).unwrap_or(i64::MAX),
+            );
+        }
+        for (id, g) in lock(&self.gauges).iter() {
+            f(id, SeriesField::Value, g.get());
+        }
+        for (id, h) in lock(&self.histograms).iter() {
+            f(
+                id,
+                SeriesField::Count,
+                i64::try_from(h.count()).unwrap_or(i64::MAX),
+            );
+            f(
+                id,
+                SeriesField::Sum,
+                i64::try_from(h.sum()).unwrap_or(i64::MAX),
+            );
+        }
+    }
+
     /// A point-in-time copy of every metric, ready to serialize or
     /// merge with other spaces' snapshots.
     #[must_use]

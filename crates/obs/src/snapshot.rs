@@ -386,7 +386,7 @@ pub struct SnapshotParseError {
 }
 
 impl SnapshotParseError {
-    fn new(line: usize, message: &str) -> Self {
+    pub(crate) fn new(line: usize, message: &str) -> Self {
         SnapshotParseError {
             line,
             message: message.to_owned(),
@@ -406,11 +406,11 @@ impl fmt::Display for SnapshotParseError {
 
 impl std::error::Error for SnapshotParseError {}
 
-fn is_plain(b: u8) -> bool {
+pub(crate) fn is_plain(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-')
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for &b in s.as_bytes() {
         if is_plain(b) {
@@ -422,7 +422,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Option<String> {
+pub(crate) fn unescape(s: &str) -> Option<String> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -439,7 +439,7 @@ fn unescape(s: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
-fn encode_id(id: &MetricId) -> String {
+pub(crate) fn encode_id(id: &MetricId) -> String {
     let labels = if id.labels.is_empty() {
         "-".to_owned()
     } else {
@@ -452,7 +452,7 @@ fn encode_id(id: &MetricId) -> String {
     format!("{} {} {}", escape(&id.subsystem), escape(&id.name), labels)
 }
 
-fn decode_id<'a>(fields: &mut impl Iterator<Item = &'a str>) -> Option<MetricId> {
+pub(crate) fn decode_id<'a>(fields: &mut impl Iterator<Item = &'a str>) -> Option<MetricId> {
     let subsystem = unescape(fields.next()?)?;
     let name = unescape(fields.next()?)?;
     let labels_field = fields.next()?;
@@ -471,7 +471,7 @@ fn decode_id<'a>(fields: &mut impl Iterator<Item = &'a str>) -> Option<MetricId>
     })
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -489,7 +489,7 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn json_id(id: &MetricId) -> String {
+pub(crate) fn json_id(id: &MetricId) -> String {
     let labels = id
         .labels
         .iter()

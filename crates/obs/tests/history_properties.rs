@@ -1,0 +1,149 @@
+//! Property tests of the flight-recorder history structures: the
+//! delta-encoded wire format must round-trip any sample window exactly,
+//! the ring must overwrite oldest-first with a faithful drop count, and
+//! merging overlapping windows pulled through two different nodes must
+//! reconstruct the union without duplicating or losing samples.
+
+use proptest::prelude::*;
+
+use dstampede_obs::{HistoryDump, MetricId, RingSeries, SeriesField, SeriesHistory};
+
+const SOURCES: &[&str] = &["as-0", "as 1", "a%b=c", "nöde-2"];
+const SUBSYSTEMS: &[&str] = &["stm", "clf", "rpc"];
+const NAMES: &[&str] = &["puts", "msgs_sent", "srtt_us"];
+const LABELS: &[&[(&str, &str)]] = &[&[], &[("transport", "udp")], &[("resource", "channel")]];
+
+fn field_of(k: u8) -> SeriesField {
+    match k % 3 {
+        0 => SeriesField::Value,
+        1 => SeriesField::Count,
+        _ => SeriesField::Sum,
+    }
+}
+
+/// One generated series: pool indices plus a drop count and raw
+/// samples (timestamps and values both unconstrained — the delta codec
+/// must survive descending clocks and sign flips).
+type SeriesSpec = ((u8, u8, u8, u8, u8), u64, Vec<(i64, i64)>);
+
+/// Builds a dump with key-deduplicated, key-sorted series, matching the
+/// invariant `HistoryDump::decode` restores.
+fn build_dump(specs: Vec<SeriesSpec>) -> HistoryDump {
+    let mut by_key = std::collections::BTreeMap::new();
+    for ((src, sub, name, lab, fld), dropped, samples) in specs {
+        let series = SeriesHistory {
+            source: SOURCES[src as usize % SOURCES.len()].to_owned(),
+            id: MetricId::new(
+                SUBSYSTEMS[sub as usize % SUBSYSTEMS.len()],
+                NAMES[name as usize % NAMES.len()],
+                LABELS[lab as usize % LABELS.len()],
+            ),
+            field: field_of(fld),
+            dropped,
+            samples,
+        };
+        by_key.insert(
+            (series.source.clone(), series.id.clone(), series.field),
+            series,
+        );
+    }
+    HistoryDump {
+        series: by_key.into_values().collect(),
+    }
+}
+
+fn arb_dump() -> BoxedStrategy<HistoryDump> {
+    proptest::collection::vec(
+        (
+            (
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>(),
+                any::<u8>(),
+            ),
+            any::<u64>(),
+            proptest::collection::vec((any::<i64>(), any::<i64>()), 0..24),
+        ),
+        0..8,
+    )
+    .prop_map(build_dump)
+    .boxed()
+}
+
+proptest! {
+    /// Encode → decode reproduces every series — sources with spaces
+    /// and escapes, arbitrary (even wrapping) timestamp/value deltas,
+    /// empty windows — bit for bit.
+    #[test]
+    fn encode_decode_round_trips(dump in arb_dump()) {
+        let decoded = HistoryDump::decode(&dump.encode()).unwrap();
+        prop_assert_eq!(decoded, dump);
+    }
+
+    /// A ring retains exactly the newest `capacity` samples: length,
+    /// drop count, and the reconstructed window all agree with a plain
+    /// Vec truncated from the front.
+    #[test]
+    fn ring_overwrites_oldest_at_capacity(
+        capacity in 1usize..16,
+        pushes in proptest::collection::vec((any::<i64>(), any::<i64>()), 0..64),
+    ) {
+        let mut ring = RingSeries::new(capacity);
+        for &(ts, v) in &pushes {
+            ring.push(ts, v);
+        }
+        let expect_len = pushes.len().min(capacity);
+        prop_assert_eq!(ring.len(), expect_len);
+        prop_assert_eq!(ring.dropped(), (pushes.len() - expect_len) as u64);
+        let tail: Vec<(i64, i64)> = pushes[pushes.len() - expect_len..].to_vec();
+        prop_assert_eq!(ring.samples(), tail);
+    }
+
+    /// Two nodes pull overlapping windows of the same origin ring;
+    /// merging them — in either order — reconstructs the union of the
+    /// windows with no duplicate timestamps and the larger drop count.
+    #[test]
+    fn merge_reunites_overlapping_windows(
+        ticks in proptest::collection::vec(any::<i64>(), 1..32),
+        split in any::<u8>(),
+        overlap in any::<u8>(),
+        drops in (any::<u32>(), any::<u32>()),
+    ) {
+        // The origin series: strictly ascending timestamps, arbitrary
+        // monotone counter values.
+        let truth: Vec<(i64, i64)> = ticks
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (1_000 * i as i64, v))
+            .collect();
+        // Window A is a prefix, window B a suffix, overlapping in the
+        // middle (B starts at or before A's end).
+        let end_a = split as usize % truth.len() + 1; // 1..=len
+        let start_b = overlap as usize % end_a; // 0..end_a
+        let id = MetricId::new("stm", "puts", &[]);
+        let window = |samples: Vec<(i64, i64)>, dropped: u64| HistoryDump {
+            series: vec![SeriesHistory {
+                source: "as-0".to_owned(),
+                id: id.clone(),
+                field: SeriesField::Value,
+                dropped,
+                samples,
+            }],
+        };
+        let a = window(truth[..end_a].to_vec(), u64::from(drops.0));
+        let b = window(truth[start_b..].to_vec(), u64::from(drops.1));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for merged in [&ab, &ba] {
+            prop_assert_eq!(merged.series.len(), 1);
+            let s = &merged.series[0];
+            prop_assert_eq!(&s.samples, &truth);
+            prop_assert_eq!(s.dropped, u64::from(drops.0.max(drops.1)));
+        }
+        prop_assert_eq!(ab, ba);
+    }
+}

@@ -19,7 +19,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
-use dstampede_clf::{ClfError, ClfTransport};
+use dstampede_clf::{ClfError, ClfTransport, TransportStats};
 use dstampede_core::gc::{GcSummary, MinFloorAggregator};
 use dstampede_core::thread::ThreadRegistry;
 use dstampede_core::VirtualTime;
@@ -27,7 +27,10 @@ use dstampede_core::{
     AsId, ChanId, Channel, ChannelAttrs, Queue, QueueAttrs, QueueId, ResourceId, StmError,
     StmRegistry, StmResult,
 };
-use dstampede_obs::{trace, MetricsRegistry, Snapshot, SpanKind, TraceContext, TraceDump};
+use dstampede_obs::{
+    trace, HealthEngine, HealthPolicy, HealthReport, HealthState, HistoryDump, HistoryRecorder,
+    MetricsRegistry, Snapshot, SpanKind, TraceContext, TraceDump,
+};
 use dstampede_wire::{NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec};
 
 use crate::exec::{execute, is_blocking, ConnTable};
@@ -35,6 +38,7 @@ use crate::failure::RpcConfig;
 use crate::nameserver::NameServer;
 use crate::proto::{self, AsMessage, NO_REPLY};
 use crate::proxy::{ChannelRef, QueueRef};
+use crate::recorder::RecorderConfig;
 
 /// A call awaiting its reply: the reply channel plus the destination, so
 /// a peer-death declaration can fail exactly the calls bound for that
@@ -67,6 +71,20 @@ pub struct AddressSpace {
     /// Peers known NOT to understand the batched put/get frames; the proxy
     /// layer downgrades batches to singleton frames for them.
     batch_incapable: Mutex<HashSet<AsId>>,
+    /// Peers known NOT to understand the flight-recorder pulls
+    /// ([`Request::HistoryPull`]/[`Request::HealthPull`]); the cluster
+    /// fan-outs skip them instead of erroring.
+    recorder_incapable: Mutex<HashSet<AsId>>,
+    /// The flight recorder's per-series sample rings.
+    history: HistoryRecorder,
+    /// Derived per-peer/per-resource health, behind a mutex so
+    /// [`AddressSpace::set_health_policy`] can swap hysteresis before
+    /// the first tick.
+    health: Mutex<Arc<HealthEngine>>,
+    /// Ticks recorded so far (the health engine's clock).
+    recorder_ticks: AtomicU64,
+    /// Transport counters at the previous tick, for per-tick deltas.
+    prev_transport: Mutex<TransportStats>,
 }
 
 impl AddressSpace {
@@ -99,6 +117,11 @@ impl AddressSpace {
             dead_peers: Mutex::new(HashSet::new()),
             rpc: Mutex::new(RpcConfig::default()),
             batch_incapable: Mutex::new(HashSet::new()),
+            recorder_incapable: Mutex::new(HashSet::new()),
+            history: HistoryRecorder::new(dstampede_obs::DEFAULT_HISTORY_CAPACITY),
+            health: Mutex::new(Arc::new(HealthEngine::new(HealthPolicy::default()))),
+            recorder_ticks: AtomicU64::new(0),
+            prev_transport: Mutex::new(TransportStats::default()),
         });
         let dispatch_space = Arc::clone(&space);
         let handle = std::thread::Builder::new()
@@ -362,6 +385,18 @@ impl AddressSpace {
         g("pool_recycled", pool.recycled);
         g("copies_avoided", pool.copies_avoided);
         g("bytes_copied_avoided", pool.bytes_copied_avoided);
+        let d = |name: &str, v: u64| {
+            self.metrics
+                .gauge("obs", name)
+                .set(i64::try_from(v).unwrap_or(i64::MAX));
+        };
+        d("span_drops", self.metrics.tracer().store().dropped());
+        let events = self.metrics.events();
+        d(
+            "event_drops",
+            events.emitted().saturating_sub(events.len() as u64),
+        );
+        d("history_drops", self.history.total_dropped());
         self.metrics.snapshot()
     }
 
@@ -485,6 +520,200 @@ impl AddressSpace {
     #[must_use]
     pub fn peer_supports_batch(&self, peer: AsId) -> bool {
         !self.batch_incapable.lock().contains(&peer)
+    }
+
+    // ---- flight recorder: history & health ----
+
+    /// Marks whether `peer` understands the flight-recorder pulls
+    /// ([`Request::HistoryPull`]/[`Request::HealthPull`]). Defaults to
+    /// `true`; the cluster fan-outs skip peers marked `false` and mark
+    /// a peer themselves when it rejects a pull as unhandled.
+    pub fn set_peer_recorder(&self, peer: AsId, supported: bool) {
+        let mut incapable = self.recorder_incapable.lock();
+        if supported {
+            incapable.remove(&peer);
+        } else {
+            incapable.insert(peer);
+        }
+    }
+
+    /// Whether `peer` is believed to understand the recorder pulls.
+    #[must_use]
+    pub fn peer_supports_recorder(&self, peer: AsId) -> bool {
+        !self.recorder_incapable.lock().contains(&peer)
+    }
+
+    /// Replaces the health engine's hysteresis policy. Called by
+    /// [`crate::recorder::FlightRecorder::start`] before the first
+    /// tick; calling it later discards accumulated health state.
+    pub fn set_health_policy(&self, policy: HealthPolicy) {
+        *self.health.lock() = Arc::new(HealthEngine::new(policy));
+    }
+
+    /// Records one flight-recorder tick: samples every registry series
+    /// into the history rings and re-derives every health subject from
+    /// the runtime's live signals (peer leases and death declarations,
+    /// CLF retransmit/backpressure deltas, STM occupancy). Normally
+    /// driven by [`crate::recorder::FlightRecorder`]; tests may call it
+    /// directly for deterministic ticks.
+    pub fn record_tick(&self, config: &RecorderConfig) {
+        let tick = self.recorder_ticks.fetch_add(1, Ordering::Relaxed) + 1;
+        let now_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| i64::try_from(d.as_millis()).unwrap_or(i64::MAX))
+            .unwrap_or(0);
+        self.history.sample(&self.metrics, now_ms);
+
+        let health = Arc::clone(&self.health.lock());
+        let now = Instant::now();
+        for peer in self.peers() {
+            if peer == self.id {
+                continue;
+            }
+            let subject = format!("peer:as-{}", peer.0);
+            let (raw, reason) = if self.is_peer_dead(peer) {
+                (HealthState::Dead, "declared dead".to_owned())
+            } else {
+                // Like check_leases, the lease clock of a peer never
+                // heard from starts at the first look.
+                let since = now.duration_since(*self.last_heard.lock().entry(peer).or_insert(now));
+                if since > config.lease {
+                    (
+                        HealthState::Suspect,
+                        format!("silent {}ms", since.as_millis()),
+                    )
+                } else if since > config.lease / 2 {
+                    (
+                        HealthState::Degraded,
+                        format!("silent {}ms", since.as_millis()),
+                    )
+                } else {
+                    (HealthState::Healthy, "lease current".to_owned())
+                }
+            };
+            health.observe(tick, &subject, raw, &reason);
+        }
+
+        let stats = self.transport.stats();
+        let prev = std::mem::replace(&mut *self.prev_transport.lock(), stats);
+        let retransmits = stats.retransmits.saturating_sub(prev.retransmits);
+        let backpressure = stats.backpressure.saturating_sub(prev.backpressure);
+        let (raw, reason) = if backpressure > 0 {
+            (
+                HealthState::Degraded,
+                format!("{backpressure} backpressure rejections"),
+            )
+        } else if retransmits >= config.retransmit_threshold {
+            (
+                HealthState::Degraded,
+                format!("{retransmits} retransmits/tick"),
+            )
+        } else {
+            (HealthState::Healthy, "transport nominal".to_owned())
+        };
+        health.observe(tick, "clf", raw, &reason);
+
+        let occupancy = self.metrics.gauge("stm", "channel_items").get()
+            + self.metrics.gauge("stm", "queue_items").get();
+        let (raw, reason) = if occupancy > config.occupancy_watermark {
+            (
+                HealthState::Degraded,
+                format!("occupancy {occupancy} over watermark"),
+            )
+        } else {
+            (HealthState::Healthy, format!("occupancy {occupancy}"))
+        };
+        health.observe(tick, "stm", raw, &reason);
+    }
+
+    /// Ticks recorded so far.
+    #[must_use]
+    pub fn recorder_ticks(&self) -> u64 {
+        self.recorder_ticks.load(Ordering::Relaxed)
+    }
+
+    /// This address space's own recorded metric history.
+    #[must_use]
+    pub fn history_dump(&self) -> HistoryDump {
+        self.history.dump(&format!("as-{}", self.id.0))
+    }
+
+    /// This address space's own derived health report.
+    #[must_use]
+    pub fn health_report(&self) -> HealthReport {
+        self.health.lock().report(&format!("as-{}", self.id.0))
+    }
+
+    /// The published health state of one local subject, if observed.
+    #[must_use]
+    pub fn health_state_of(&self, subject: &str) -> Option<HealthState> {
+        self.health.lock().state_of(subject)
+    }
+
+    /// A cluster-wide history: this address space's rings merged with
+    /// one [`Request::HistoryPull`] round to every declared peer.
+    /// Unreachable peers are skipped; a peer that rejects the pull as
+    /// unhandled (an old binary) is remembered via
+    /// [`AddressSpace::set_peer_recorder`] and skipped from then on.
+    #[must_use]
+    pub fn history_cluster_dump(self: &Arc<Self>) -> HistoryDump {
+        let mut merged = self.history_dump();
+        for peer in self.recorder_fanout_peers() {
+            match self.call(peer, Request::HistoryPull { cluster: false }) {
+                Ok(Reply::HistoryReport { dump }) => {
+                    if let Ok(dump) = HistoryDump::decode(&dump) {
+                        merged.merge(&dump);
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => self.note_recorder_pull_error(peer, &e),
+            }
+        }
+        merged
+    }
+
+    /// A cluster-wide health report: this address space's subjects
+    /// merged with one [`Request::HealthPull`] round to every declared
+    /// peer, with the same old-peer downgrade as
+    /// [`AddressSpace::history_cluster_dump`]. For a subject reported
+    /// by several address spaces the fresher (then worse) entry wins,
+    /// so pulling from any surviving address space converges.
+    #[must_use]
+    pub fn health_cluster_report(self: &Arc<Self>) -> HealthReport {
+        let mut merged = self.health_report();
+        for peer in self.recorder_fanout_peers() {
+            match self.call(peer, Request::HealthPull { cluster: false }) {
+                Ok(Reply::HealthReport { report }) => {
+                    if let Ok(report) = HealthReport::decode(&report) {
+                        merged.merge(&report);
+                    }
+                }
+                Ok(_) => {}
+                Err(e) => self.note_recorder_pull_error(peer, &e),
+            }
+        }
+        merged
+    }
+
+    /// The peers a recorder fan-out should ask: everyone but us and
+    /// the peers marked recorder-incapable.
+    fn recorder_fanout_peers(&self) -> Vec<AsId> {
+        let incapable = self.recorder_incapable.lock();
+        self.peers()
+            .into_iter()
+            .filter(|p| *p != self.id && !incapable.contains(p))
+            .collect()
+    }
+
+    /// Downgrades a peer that rejected a recorder pull as unhandled
+    /// (it predates the flight recorder); transport-level failures are
+    /// left alone so the peer is retried next pull.
+    fn note_recorder_pull_error(&self, peer: AsId, e: &StmError) {
+        if let StmError::Protocol(msg) = e {
+            if msg.contains("unhandled request") {
+                self.set_peer_recorder(peer, false);
+            }
+        }
     }
 
     // ---- failure detection & recovery ----
@@ -800,6 +1029,8 @@ fn is_idempotent(req: &Request) -> bool {
             | Request::NsList
             | Request::StatsPull { .. }
             | Request::TracePull { .. }
+            | Request::HistoryPull { .. }
+            | Request::HealthPull { .. }
             | Request::GcReport { .. }
             | Request::Heartbeat { .. }
             | Request::Disconnect { .. }
@@ -845,6 +1076,8 @@ fn req_name(req: &Request) -> &'static str {
         Request::GcReport { .. } => "gc_report",
         Request::StatsPull { .. } => "stats_pull",
         Request::TracePull { .. } => "trace_pull",
+        Request::HistoryPull { .. } => "history_pull",
+        Request::HealthPull { .. } => "health_pull",
         Request::Heartbeat { .. } => "heartbeat",
         Request::PutBatch { .. } => "put_batch",
         Request::GetBatch { .. } => "get_batch",

@@ -21,6 +21,7 @@ use dstampede_core::{AsId, StmError, StmResult};
 use crate::addrspace::AddressSpace;
 use crate::failure::{FailureConfig, FailureDetector, RpcConfig};
 use crate::listener::{Listener, ListenerConfig};
+use crate::recorder::{FlightRecorder, RecorderConfig};
 
 /// Which CLF backend interconnects the cluster's address spaces.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,6 +45,7 @@ pub struct ClusterBuilder {
     session_lease: Option<Duration>,
     trace_sampling: u64,
     stm_shards: Option<u32>,
+    recorder: Option<RecorderConfig>,
 }
 
 impl ClusterBuilder {
@@ -62,6 +64,7 @@ impl ClusterBuilder {
             session_lease: None,
             trace_sampling: 0,
             stm_shards: None,
+            recorder: Some(RecorderConfig::default()),
         }
     }
 
@@ -96,10 +99,32 @@ impl ClusterBuilder {
     }
 
     /// Runs a heartbeat/lease failure detector in every address space
-    /// (off by default).
+    /// (off by default). Also aligns the flight recorder's peer-health
+    /// lease with the detector's, unless
+    /// [`ClusterBuilder::flight_recorder`] overrode it explicitly.
     #[must_use]
     pub fn failure_detection(mut self, config: FailureConfig) -> Self {
         self.failure = Some(config);
+        if self.recorder == Some(RecorderConfig::default()) {
+            self.recorder = Some(RecorderConfig::for_failure(config));
+        }
+        self
+    }
+
+    /// Overrides the flight recorder's tick and health thresholds
+    /// (defaults to [`RecorderConfig::default`]: a 1 s tick, ~5 min of
+    /// history per series).
+    #[must_use]
+    pub fn flight_recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = Some(config);
+        self
+    }
+
+    /// Disables the flight recorder (no sampling thread; `HistoryPull`
+    /// then reports empty rings and `HealthPull` no subjects).
+    #[must_use]
+    pub fn flight_recorder_off(mut self) -> Self {
+        self.recorder = None;
         self
     }
 
@@ -222,10 +247,19 @@ impl ClusterBuilder {
             None => Vec::new(),
         };
 
+        let recorders = match self.recorder {
+            Some(config) => spaces
+                .iter()
+                .map(|s| FlightRecorder::start(Arc::clone(s), config))
+                .collect(),
+            None => Vec::new(),
+        };
+
         Ok(Cluster {
             spaces,
             listeners,
             detectors,
+            recorders,
         })
     }
 }
@@ -241,6 +275,7 @@ pub struct Cluster {
     spaces: Vec<Arc<AddressSpace>>,
     listeners: Vec<Arc<Listener>>,
     detectors: Vec<Arc<FailureDetector>>,
+    recorders: Vec<Arc<FlightRecorder>>,
 }
 
 impl Cluster {
@@ -352,9 +387,36 @@ impl Cluster {
         merged
     }
 
-    /// Stops failure detectors and listeners, then shuts every address
-    /// space down.
+    /// A merged metric history over every address space (read directly,
+    /// no RPC — for tooling co-located with the cluster; remote tooling
+    /// uses a `HistoryPull` request instead).
+    #[must_use]
+    pub fn history_dump(&self) -> dstampede_obs::HistoryDump {
+        let mut merged = dstampede_obs::HistoryDump::default();
+        for s in &self.spaces {
+            merged.merge(&s.history_dump());
+        }
+        merged
+    }
+
+    /// A merged health report over every address space (read directly,
+    /// no RPC — for tooling co-located with the cluster; remote tooling
+    /// uses a `HealthPull` request instead).
+    #[must_use]
+    pub fn health_report(&self) -> dstampede_obs::HealthReport {
+        let mut merged = dstampede_obs::HealthReport::default();
+        for s in &self.spaces {
+            merged.merge(&s.health_report());
+        }
+        merged
+    }
+
+    /// Stops flight recorders, failure detectors, and listeners, then
+    /// shuts every address space down.
     pub fn shutdown(&self) {
+        for r in &self.recorders {
+            r.stop();
+        }
         for d in &self.detectors {
             d.stop();
         }

@@ -262,7 +262,10 @@ pub fn is_blocking(req: &Request) -> bool {
         | Request::NsLookup { wait, .. } => !matches!(wait, WaitSpec::NonBlocking),
         // GetBatch resolves every spec non-blocking by contract.
         // A cluster-wide pull blocks on RPC rounds to every peer.
-        Request::StatsPull { cluster } | Request::TracePull { cluster } => *cluster,
+        Request::StatsPull { cluster }
+        | Request::TracePull { cluster }
+        | Request::HistoryPull { cluster }
+        | Request::HealthPull { cluster } => *cluster,
         Request::WithId { req, .. } => is_blocking(req),
         _ => false,
     }
@@ -605,6 +608,26 @@ fn execute_inner(
             };
             Ok(Reply::TraceReport {
                 dump: bytes::Bytes::from(dump.encode()),
+            })
+        }
+        Request::HistoryPull { cluster } => {
+            let dump = if cluster {
+                space.history_cluster_dump()
+            } else {
+                space.history_dump()
+            };
+            Ok(Reply::HistoryReport {
+                dump: bytes::Bytes::from(dump.encode()),
+            })
+        }
+        Request::HealthPull { cluster } => {
+            let report = if cluster {
+                space.health_cluster_report()
+            } else {
+                space.health_report()
+            };
+            Ok(Reply::HealthReport {
+                report: bytes::Bytes::from(report.encode()),
             })
         }
         other => Err(StmError::Protocol(format!("unhandled request {other:?}"))),

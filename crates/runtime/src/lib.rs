@@ -54,6 +54,7 @@ pub mod listener;
 pub mod nameserver;
 pub mod proto;
 pub mod proxy;
+pub mod recorder;
 
 pub use addrspace::AddressSpace;
 pub use cluster::{Cluster, ClusterBuilder, ClusterTransport};
@@ -63,3 +64,4 @@ pub use gc_epoch::{GcEpochConfig, GcEpochService};
 pub use listener::{Listener, ListenerConfig, ListenerStats};
 pub use nameserver::NameServer;
 pub use proxy::{ChanInput, ChanOutput, ChannelRef, QueueInput, QueueOutput, QueueRef};
+pub use recorder::{FlightRecorder, RecorderConfig};

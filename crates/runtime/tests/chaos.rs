@@ -514,3 +514,133 @@ fn requeued_ticket_wakes_parked_getter_immediately() {
     );
     cluster.shutdown();
 }
+
+/// Health drill: a crashed peer's derived state walks
+/// `Healthy → Suspect → Dead` with hysteresis on the way up, a
+/// partitioned peer that recovers for a single tick does not flap back
+/// to healthy, and the cluster-wide `HealthPull` converges to the dead
+/// verdict from any surviving node. Ticks are driven manually (recorder
+/// threads off) so every hysteresis step is deterministic under the
+/// seeded plan.
+#[test]
+fn health_drill_walks_healthy_suspect_dead_without_flapping() {
+    use dstampede_obs::HealthState;
+    use dstampede_runtime::RecorderConfig;
+
+    let plan = FaultPlan::new(23);
+    // Slow death declaration (500 ms lease) so the recorder's Suspect
+    // window (200 ms lease) is observable before Dead latches.
+    let failure = FailureConfig {
+        period: Duration::from_millis(25),
+        missed: 20,
+    };
+    let cluster = Cluster::builder()
+        .address_spaces(3)
+        .listeners(false)
+        .fault_plan(Arc::clone(&plan))
+        .failure_detection(failure)
+        .rpc_config(fast_rpc())
+        .flight_recorder_off()
+        .build()
+        .unwrap();
+    let observer = cluster.space(0).unwrap();
+    let witness = cluster.space(1).unwrap();
+    let rec = RecorderConfig {
+        lease: Duration::from_millis(200),
+        ..RecorderConfig::default()
+    };
+
+    // Ping replies renew the peers' leases, so the first tick publishes
+    // Healthy for both.
+    observer.call(AsId(1), Request::Ping { nonce: 1 }).unwrap();
+    observer.call(AsId(2), Request::Ping { nonce: 2 }).unwrap();
+    observer.record_tick(&rec);
+    assert_eq!(
+        observer.health_state_of("peer:as-2"),
+        Some(HealthState::Healthy)
+    );
+
+    // Crash as-2 and let its lease go stale past the Suspect threshold.
+    plan.crash(AsId(2));
+    std::thread::sleep(Duration::from_millis(250));
+    observer.record_tick(&rec);
+    // Worsening hysteresis: one Suspect tick is not enough...
+    assert_eq!(
+        observer.health_state_of("peer:as-2"),
+        Some(HealthState::Healthy)
+    );
+    // ...two consecutive ones are.
+    observer.record_tick(&rec);
+    assert_eq!(
+        observer.health_state_of("peer:as-2"),
+        Some(HealthState::Suspect)
+    );
+
+    // The failure detector eventually declares death; the recorder
+    // adopts Dead on first sight (already debounced through leases).
+    assert!(
+        wait_for(Duration::from_secs(5), || observer.is_peer_dead(AsId(2))),
+        "observer never declared the crashed space dead"
+    );
+    observer.record_tick(&rec);
+    assert_eq!(
+        observer.health_state_of("peer:as-2"),
+        Some(HealthState::Dead)
+    );
+
+    // Flapping drill against a live peer: partition long enough to go
+    // Suspect...
+    plan.partition(AsId(0), AsId(1));
+    std::thread::sleep(Duration::from_millis(250));
+    observer.record_tick(&rec);
+    observer.record_tick(&rec);
+    assert_eq!(
+        observer.health_state_of("peer:as-1"),
+        Some(HealthState::Suspect)
+    );
+    // ...then a one-tick recovery must NOT flap the published state...
+    plan.heal(AsId(0), AsId(1));
+    observer.call(AsId(1), Request::Ping { nonce: 3 }).unwrap();
+    observer.record_tick(&rec);
+    assert_eq!(
+        observer.health_state_of("peer:as-1"),
+        Some(HealthState::Suspect)
+    );
+    plan.partition(AsId(0), AsId(1));
+    std::thread::sleep(Duration::from_millis(250));
+    observer.record_tick(&rec);
+    assert_eq!(
+        observer.health_state_of("peer:as-1"),
+        Some(HealthState::Suspect)
+    );
+    // ...while a full recovery streak does bring it back.
+    plan.heal(AsId(0), AsId(1));
+    observer.call(AsId(1), Request::Ping { nonce: 4 }).unwrap();
+    for _ in 0..4 {
+        observer.record_tick(&rec);
+    }
+    assert_eq!(
+        observer.health_state_of("peer:as-1"),
+        Some(HealthState::Healthy)
+    );
+
+    // Cluster-wide convergence: both survivors tick, and the merged
+    // HealthPull view from either of them carries the dead verdict from
+    // every surviving source.
+    assert!(
+        wait_for(Duration::from_secs(5), || witness.is_peer_dead(AsId(2))),
+        "witness never declared the crashed space dead"
+    );
+    witness.record_tick(&rec);
+    for space in [&observer, &witness] {
+        let report = space.health_cluster_report();
+        assert_eq!(report.worst(), HealthState::Dead);
+        for src in ["as-0", "as-1"] {
+            let entry = report
+                .entry(src, "peer:as-2")
+                .unwrap_or_else(|| panic!("no {src} verdict on peer:as-2"));
+            assert_eq!(entry.state, HealthState::Dead, "{src}: {}", entry.reason);
+        }
+    }
+    cluster.shutdown();
+}

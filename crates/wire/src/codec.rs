@@ -147,6 +147,8 @@ pub(crate) mod class {
     pub const TRACE_PULL: u32 = 28;
     pub const PUT_BATCH: u32 = 29;
     pub const GET_BATCH: u32 = 30;
+    pub const HISTORY_PULL: u32 = 31;
+    pub const HEALTH_PULL: u32 = 32;
 
     // Replies.
     pub const R_OK: u32 = 1;
@@ -163,6 +165,8 @@ pub(crate) mod class {
     pub const R_TRACE_REPORT: u32 = 12;
     pub const R_BATCH_RESULTS: u32 = 13;
     pub const R_BATCH_ITEMS: u32 = 14;
+    pub const R_HISTORY_REPORT: u32 = 15;
+    pub const R_HEALTH_REPORT: u32 = 16;
 
     /// Magic tag guarding the optional XDR trace-context trailer.
     /// ASCII `tctx`; deliberately non-zero so legacy trailing-garbage

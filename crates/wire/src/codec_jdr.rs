@@ -476,6 +476,8 @@ fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
         ),
         Request::StatsPull { cluster } => (class::STATS_PULL, vec![JdrValue::Bool(*cluster)]),
         Request::TracePull { cluster } => (class::TRACE_PULL, vec![JdrValue::Bool(*cluster)]),
+        Request::HistoryPull { cluster } => (class::HISTORY_PULL, vec![JdrValue::Bool(*cluster)]),
+        Request::HealthPull { cluster } => (class::HEALTH_PULL, vec![JdrValue::Bool(*cluster)]),
         Request::Heartbeat { incarnation } => {
             (class::HEARTBEAT, vec![JdrValue::Long(*incarnation as i64)])
         }
@@ -632,6 +634,12 @@ fn value_to_request_body(v: &JdrValue, depth: u32) -> Result<Request, WireError>
         class::TRACE_PULL => Request::TracePull {
             cluster: field(f, 0)?.as_bool()?,
         },
+        class::HISTORY_PULL => Request::HistoryPull {
+            cluster: field(f, 0)?.as_bool()?,
+        },
+        class::HEALTH_PULL => Request::HealthPull {
+            cluster: field(f, 0)?.as_bool()?,
+        },
         class::HEARTBEAT => Request::Heartbeat {
             incarnation: field(f, 0)?.as_u64()?,
         },
@@ -756,6 +764,14 @@ fn reply_to_value(frame: &ReplyFrame) -> JdrValue {
         Reply::TraceReport { dump } => {
             (class::R_TRACE_REPORT, vec![JdrValue::payload(dump.clone())])
         }
+        Reply::HistoryReport { dump } => (
+            class::R_HISTORY_REPORT,
+            vec![JdrValue::payload(dump.clone())],
+        ),
+        Reply::HealthReport { report } => (
+            class::R_HEALTH_REPORT,
+            vec![JdrValue::payload(report.clone())],
+        ),
         Reply::BatchResults { codes } => (
             class::R_BATCH_RESULTS,
             vec![JdrValue::List(
@@ -845,6 +861,12 @@ fn value_to_reply(v: &JdrValue) -> Result<ReplyFrame, WireError> {
         },
         class::R_TRACE_REPORT => Reply::TraceReport {
             dump: field(f, 0)?.as_payload()?.clone(),
+        },
+        class::R_HISTORY_REPORT => Reply::HistoryReport {
+            dump: field(f, 0)?.as_payload()?.clone(),
+        },
+        class::R_HEALTH_REPORT => Reply::HealthReport {
+            report: field(f, 0)?.as_payload()?.clone(),
         },
         class::R_BATCH_RESULTS => {
             let mut codes = Vec::new();

@@ -450,6 +450,14 @@ fn put_request_body(w: &mut XdrWriter, req: &Request) -> Result<(), WireError> {
             w.put_u32(class::TRACE_PULL);
             w.put_bool(*cluster);
         }
+        Request::HistoryPull { cluster } => {
+            w.put_u32(class::HISTORY_PULL);
+            w.put_bool(*cluster);
+        }
+        Request::HealthPull { cluster } => {
+            w.put_u32(class::HEALTH_PULL);
+            w.put_bool(*cluster);
+        }
         Request::Heartbeat { incarnation } => {
             w.put_u32(class::HEARTBEAT);
             w.put_u64(*incarnation);
@@ -599,6 +607,12 @@ fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireEr
             cluster: r.get_bool()?,
         },
         class::TRACE_PULL => Request::TracePull {
+            cluster: r.get_bool()?,
+        },
+        class::HISTORY_PULL => Request::HistoryPull {
+            cluster: r.get_bool()?,
+        },
+        class::HEALTH_PULL => Request::HealthPull {
             cluster: r.get_bool()?,
         },
         class::HEARTBEAT => Request::Heartbeat {
@@ -759,6 +773,14 @@ fn put_reply_frame(w: &mut XdrWriter, frame: &ReplyFrame) -> Result<(), WireErro
             w.put_u32(class::R_TRACE_REPORT);
             w.put_payload(dump);
         }
+        Reply::HistoryReport { dump } => {
+            w.put_u32(class::R_HISTORY_REPORT);
+            w.put_payload(dump);
+        }
+        Reply::HealthReport { report } => {
+            w.put_u32(class::R_HEALTH_REPORT);
+            w.put_payload(report);
+        }
         Reply::BatchResults { codes } => {
             w.put_u32(class::R_BATCH_RESULTS);
             w.put_u32(codes.len() as u32);
@@ -849,6 +871,12 @@ fn get_reply_frame(r: &mut XdrReader<'_>, input_len: usize) -> Result<ReplyFrame
         },
         class::R_TRACE_REPORT => Reply::TraceReport {
             dump: r.get_payload()?,
+        },
+        class::R_HISTORY_REPORT => Reply::HistoryReport {
+            dump: r.get_payload()?,
+        },
+        class::R_HEALTH_REPORT => Reply::HealthReport {
+            report: r.get_payload()?,
         },
         class::R_BATCH_RESULTS => {
             let n = get_batch_len(r, "batch code")?;

@@ -245,6 +245,21 @@ pub enum Request {
         /// their dumps into a cluster-wide one.
         cluster: bool,
     },
+    /// Pull the flight recorder's metric history (see
+    /// `dstampede-obs::history`).
+    HistoryPull {
+        /// `false`: only the receiving address space's recorded
+        /// history. `true`: the receiver fans out to its known peers
+        /// and merges their dumps into a cluster-wide one.
+        cluster: bool,
+    },
+    /// Pull the derived health states (see `dstampede-obs::health`).
+    HealthPull {
+        /// `false`: only the receiving address space's health view.
+        /// `true`: the receiver fans out to its known peers and merges
+        /// their reports into a cluster-wide one.
+        cluster: bool,
+    },
     /// Explicit lease renewal between address spaces (and from long-idle
     /// end devices). Carries no payload beyond the sender's incarnation;
     /// any traffic renews the lease, heartbeats exist for idle links.
@@ -384,6 +399,20 @@ pub enum Reply {
     TraceReport {
         /// `TraceDump::encode()` bytes; decode with `TraceDump::decode`.
         dump: Bytes,
+    },
+    /// Answer to [`Request::HistoryPull`]: an encoded `dstampede-obs`
+    /// history dump (its own versioned format, opaque to this layer).
+    HistoryReport {
+        /// `HistoryDump::encode()` bytes; decode with
+        /// `HistoryDump::decode`.
+        dump: Bytes,
+    },
+    /// Answer to [`Request::HealthPull`]: an encoded `dstampede-obs`
+    /// health report (its own versioned format, opaque to this layer).
+    HealthReport {
+        /// `HealthReport::encode()` bytes; decode with
+        /// `HealthReport::decode`.
+        report: Bytes,
     },
     /// Answer to [`Request::PutBatch`]: one [`StmError::code`] per item in
     /// request order, `0` meaning success.
@@ -657,6 +686,10 @@ pub mod test_vectors {
             Request::StatsPull { cluster: true },
             Request::TracePull { cluster: false },
             Request::TracePull { cluster: true },
+            Request::HistoryPull { cluster: false },
+            Request::HistoryPull { cluster: true },
+            Request::HealthPull { cluster: false },
+            Request::HealthPull { cluster: true },
             Request::Heartbeat { incarnation: 0 },
             Request::Heartbeat {
                 incarnation: u64::MAX,
@@ -821,6 +854,25 @@ pub mod test_vectors {
                 vec![],
             ),
             (Reply::TraceReport { dump: Bytes::new() }, vec![note2]),
+            (
+                Reply::HistoryReport {
+                    dump: Bytes::from_static(b"hst1\nR as-0 stm puts - v 0 1 5:1\n"),
+                },
+                vec![],
+            ),
+            (Reply::HistoryReport { dump: Bytes::new() }, vec![note]),
+            (
+                Reply::HealthReport {
+                    report: Bytes::from_static(b"hlt1\nE as-0 peer:as-1 healthy 0 3 ok\n"),
+                },
+                vec![],
+            ),
+            (
+                Reply::HealthReport {
+                    report: Bytes::new(),
+                },
+                vec![note2],
+            ),
             (
                 Reply::Error {
                     code: StmError::Full.code(),

@@ -10,12 +10,18 @@
 //! Pass `--trace` to record a causal trace of every frame (sampling 1)
 //! and export it as Chrome trace-event JSON to `results/vision_trace.json`
 //! for chrome://tracing or <https://ui.perfetto.dev>.
+//!
+//! Pass `--prom` to export the end-of-run cluster metrics snapshot in
+//! the Prometheus text exposition format to `results/vision_metrics.prom`
+//! (validated in CI by `scripts/check_exposition.py`).
 
 use dstampede::apps::{run_vision_pipeline, VisionConfig};
 use dstampede::core::StmError;
 
 fn main() -> Result<(), StmError> {
-    let trace = std::env::args().any(|a| a == "--trace");
+    let args: Vec<String> = std::env::args().collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    let prom = args.iter().any(|a| a == "--prom");
     let cfg = VisionConfig {
         frames: 24,
         frame_size: 128 * 1024,
@@ -57,6 +63,20 @@ fn main() -> Result<(), StmError> {
             "trace: {} spans across {} traces -> {} (open in chrome://tracing or ui.perfetto.dev)",
             report.trace.spans.len(),
             report.trace.traces().len(),
+            path.display()
+        );
+    }
+    if prom {
+        let path = std::path::Path::new("results/vision_metrics.prom");
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+        std::fs::write(path, report.stats.to_prometheus()).expect("write exposition");
+        println!(
+            "metrics: {} counter + {} gauge + {} histogram series -> {}",
+            report.stats.counters.len(),
+            report.stats.gauges.len(),
+            report.stats.histograms.len(),
             path.display()
         );
     }

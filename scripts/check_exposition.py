@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition export.
+
+Checks the shape a Prometheus scraper expects:
+
+- every sample line parses as ``name{labels} value`` with a legal
+  metric name (``[a-zA-Z_:][a-zA-Z0-9_:]*``) and a finite numeric value
+- every metric family is announced by ``# HELP`` and ``# TYPE`` lines
+  (type one of counter/gauge/histogram) before its first sample, and
+  every announced family carries at least one sample
+- counter families end in ``_total`` and their values are non-negative
+  (counters are monotonic; a scrape can only assert >= 0)
+- label values escape ``\\``, ``"`` and newlines; label names are legal
+- histogram families expose ``_bucket`` series with cumulative,
+  non-decreasing counts per label set, ending in an ``le="+Inf"``
+  bucket, plus matching ``_sum`` and ``_count`` series where ``_count``
+  equals the ``+Inf`` bucket
+
+Usage: check_exposition.py METRICS.prom
+"""
+
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(msg: str) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(name: str) -> str:
+    """Strips histogram sample suffixes back to the announced family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(lineno: int, raw: str) -> dict:
+    body = raw[1:-1]
+    labels = {}
+    consumed = 0
+    for m in LABEL_RE.finditer(body):
+        if not LABEL_NAME_RE.match(m.group(1)):
+            fail(f"line {lineno}: bad label name {m.group(1)!r}")
+        if "\n" in m.group(2):
+            fail(f"line {lineno}: unescaped newline in label value")
+        labels[m.group(1)] = m.group(2)
+        consumed = m.end()
+    leftover = body[consumed:].strip(", ")
+    if leftover:
+        fail(f"line {lineno}: unparsable label fragment {leftover!r}")
+    return labels
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_exposition.py METRICS.prom")
+    path = sys.argv[1]
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        fail(f"{path}: {exc}")
+
+    types = {}  # family -> declared type
+    helped = set()
+    samples = []  # (lineno, name, labels, value)
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not NAME_RE.match(parts[2]):
+                fail(f"line {lineno}: malformed HELP line")
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not NAME_RE.match(parts[2]):
+                fail(f"line {lineno}: malformed TYPE line")
+            family, kind = parts[2], parts[3]
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(f"line {lineno}: unknown metric type {kind!r}")
+            if family in types:
+                fail(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"line {lineno}: unparsable sample line {line!r}")
+        name, raw_labels, raw_value = m.groups()
+        try:
+            value = float(raw_value)
+        except ValueError:
+            fail(f"line {lineno}: non-numeric value {raw_value!r}")
+        if math.isnan(value) or math.isinf(value):
+            fail(f"line {lineno}: non-finite value {raw_value!r}")
+        labels = parse_labels(lineno, raw_labels) if raw_labels else {}
+        samples.append((lineno, name, labels, value))
+
+    if not samples:
+        fail("no samples: the exporter wrote an empty exposition")
+
+    histograms = {}  # family -> {"bucket": {key: [(le, count)]}, "sum": {}, "count": {}}
+    for lineno, name, labels, value in samples:
+        family = family_of(name)
+        kind = types.get(family) or types.get(name)
+        if kind is None:
+            fail(f"line {lineno}: sample {name} has no TYPE announcement")
+        if (family if kind == "histogram" else name) not in helped:
+            fail(f"line {lineno}: sample {name} has no HELP announcement")
+        if kind == "counter":
+            if not name.endswith("_total"):
+                fail(f"line {lineno}: counter {name} must end in _total")
+            if value < 0:
+                fail(f"line {lineno}: counter {name} is negative ({value})")
+        if kind == "histogram":
+            slot = histograms.setdefault(
+                family, {"bucket": {}, "sum": {}, "count": {}}
+            )
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    fail(f"line {lineno}: histogram bucket without 'le' label")
+                bound = math.inf if le == "+Inf" else float(le)
+                slot["bucket"].setdefault(key, []).append((bound, value))
+            elif name.endswith("_sum"):
+                slot["sum"][key] = value
+            elif name.endswith("_count"):
+                slot["count"][key] = value
+            else:
+                fail(f"line {lineno}: histogram sample {name} lacks a suffix")
+
+    for family, kind in types.items():
+        seen = any(family_of(name) == family or name == family for _, name, _, _ in samples)
+        if not seen:
+            fail(f"TYPE announced for {family} but no samples follow")
+        if family not in helped:
+            fail(f"{family} has TYPE but no HELP")
+
+    for family, series in histograms.items():
+        for key, buckets in series["bucket"].items():
+            buckets.sort(key=lambda b: b[0])
+            if not buckets or buckets[-1][0] != math.inf:
+                fail(f"{family}{dict(key)}: missing le=\"+Inf\" bucket")
+            counts = [c for _, c in buckets]
+            if any(b > a for b, a in zip(counts, counts[1:])):
+                fail(f"{family}{dict(key)}: bucket counts are not cumulative")
+            if key not in series["sum"]:
+                fail(f"{family}{dict(key)}: missing _sum series")
+            if key not in series["count"]:
+                fail(f"{family}{dict(key)}: missing _count series")
+            if series["count"][key] != counts[-1]:
+                fail(
+                    f"{family}{dict(key)}: _count {series['count'][key]} != "
+                    f"+Inf bucket {counts[-1]}"
+                )
+
+    counters = sum(1 for f, k in types.items() if k == "counter")
+    print(
+        f"OK: {path}: {len(samples)} samples across {len(types)} families "
+        f"({counters} counters, {len(histograms)} histograms)"
+    )
+
+
+if __name__ == "__main__":
+    main()
