@@ -138,7 +138,9 @@ fn send_windowed<T: ClfTransport + ?Sized>(ep: &T, dst: AsId, msg: Bytes) {
     loop {
         match ep.send(dst, msg.clone()) {
             Ok(()) => return,
-            Err(ClfError::Backpressure) => std::thread::sleep(std::time::Duration::from_micros(50)),
+            Err(ClfError::Backpressure { .. }) => {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
             Err(e) => panic!("clf send: {e}"),
         }
     }

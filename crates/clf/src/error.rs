@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use dstampede_core::AsId;
+
 /// Errors produced by the CLF transport layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -17,10 +19,13 @@ pub enum ClfError {
     Empty,
     /// An underlying socket failed.
     Io(String),
-    /// The sender's unacknowledged-packet buffer for the destination is
+    /// The sender's unacknowledged-packet buffer for the named peer is
     /// full (the peer has stopped ACKing); retry later or declare the
     /// peer dead.
-    Backpressure,
+    Backpressure {
+        /// The destination whose unacked window is full.
+        peer: AsId,
+    },
 }
 
 impl fmt::Display for ClfError {
@@ -31,7 +36,9 @@ impl fmt::Display for ClfError {
             ClfError::Timeout => write!(f, "receive timed out"),
             ClfError::Empty => write!(f, "no message available"),
             ClfError::Io(s) => write!(f, "transport i/o error: {s}"),
-            ClfError::Backpressure => write!(f, "send buffer full for destination"),
+            ClfError::Backpressure { peer } => {
+                write!(f, "send buffer full for peer as-{}", peer.0)
+            }
         }
     }
 }
@@ -58,10 +65,14 @@ mod tests {
             ClfError::Timeout,
             ClfError::Empty,
             ClfError::Io("x".into()),
-            ClfError::Backpressure,
+            ClfError::Backpressure { peer: AsId(3) },
         ] {
             assert!(!e.to_string().is_empty());
         }
+        // Backpressure names the peer whose window is full.
+        assert!(ClfError::Backpressure { peer: AsId(3) }
+            .to_string()
+            .contains("as-3"));
     }
 
     #[test]

@@ -779,7 +779,7 @@ impl ClfTransport for UdpEndpoint {
         let n_frags = total.div_ceil(frag).max(1);
         if tx.unacked.len() + n_frags > self.config.max_unacked.max(1) {
             self.stats.note_backpressure();
-            return Err(ClfError::Backpressure);
+            return Err(ClfError::Backpressure { peer: dst });
         }
         let mut to_wire: Vec<Packet> = Vec::with_capacity(n_frags);
         let mut cursor = SegCursor::new(segments);
@@ -1066,7 +1066,7 @@ mod tests {
         }
         assert_eq!(
             a.send(AsId(1), Bytes::from_static(b"x")).unwrap_err(),
-            ClfError::Backpressure
+            ClfError::Backpressure { peer: AsId(1) }
         );
         // Declaring the peer dead purges the buffer and unblocks sends.
         a.purge_peer(AsId(1));

@@ -21,6 +21,7 @@
 //! ns-register NAME OWNER.INDEX
 //! ns-lookup NAME
 //! ns-list
+//! placement                      # resource -> node map with follower and replication lag
 //! stats [local]                  # telemetry table, cluster-wide unless "local"
 //! trace [local]                  # causal timelines, cluster-wide unless "local"
 //! trace export [FILE] [local]    # write Chrome trace-event JSON (default results/trace.json)
@@ -252,6 +253,19 @@ impl Shell {
                     }
                 }
                 Ok(String::new())
+            }
+            "placement" => {
+                // Resource→node map: the primaries advertise their
+                // follower routes as labeled gauges; the name server
+                // supplies the names; health adds the repl subject.
+                let entries = self.device.ns_list().map_err(err)?;
+                let snap = self.device.stats(true).map_err(err)?;
+                let health = self.device.health(true).map_err(err)?;
+                Ok(
+                    dstampede_client::render_placement_table(&entries, &snap, &health)
+                        .trim_end()
+                        .to_owned(),
+                )
             }
             "ns-list" => {
                 let entries = self.device.ns_list().map_err(err)?;

@@ -6,6 +6,7 @@
 //! client can reuse them.
 
 use dstampede_obs::{HealthReport, HealthState, HistoryDump, SeriesField, Snapshot, TraceDump};
+use dstampede_wire::NsEntry;
 
 fn label_suffix(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
@@ -276,6 +277,116 @@ pub fn render_watch(health: &HealthReport, history: &HistoryDump) -> String {
     out
 }
 
+/// Renders the cluster's resource→node placement map: one row per
+/// replicated resource (from the primaries' advertised
+/// `repl/follower{resource=...}` gauges) joined with the name server's
+/// registrations, with the primary's replication lag
+/// (`repl/node_lag{node=...}`) and its `repl` health subject.
+///
+/// A follower of `-` means the route was retired (the follower was an
+/// old peer without the replication RPCs); a named entry with no
+/// follower gauge is unreplicated (created before replication was
+/// enabled, or on a solo node).
+#[must_use]
+pub fn render_placement_table(
+    entries: &[NsEntry],
+    snap: &Snapshot,
+    health: &HealthReport,
+) -> String {
+    // resource string → follower id (from the primary's gauges).
+    let mut followers: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+    for g in &snap.gauges {
+        if g.id.subsystem == "repl" && g.id.name == "follower" {
+            if let Some((_, resource)) = g.id.labels.iter().find(|(k, _)| k == "resource") {
+                followers.insert(resource.clone(), g.value);
+            }
+        }
+    }
+    // node (as-N) → replication lag.
+    let mut lags: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+    for g in &snap.gauges {
+        if g.id.subsystem == "repl" && g.id.name == "node_lag" {
+            if let Some((_, node)) = g.id.labels.iter().find(|(k, _)| k == "node") {
+                lags.insert(node.clone(), g.value);
+            }
+        }
+    }
+    // resource string → registered names.
+    let mut names: std::collections::BTreeMap<String, Vec<&str>> =
+        std::collections::BTreeMap::new();
+    for e in entries {
+        names
+            .entry(e.resource.to_string())
+            .or_default()
+            .push(&e.name);
+    }
+
+    let mut resources: Vec<String> = followers.keys().cloned().collect();
+    for r in names.keys() {
+        if !followers.contains_key(r) {
+            resources.push(r.clone());
+        }
+    }
+    resources.sort();
+    if resources.is_empty() {
+        return "(no resources placed)\n".to_owned();
+    }
+
+    // `chan:OWNER.INDEX` / `queue:OWNER.INDEX` → the primary node name.
+    let primary_of = |resource: &str| -> String {
+        resource
+            .split_once(':')
+            .and_then(|(_, rest)| rest.split_once('.'))
+            .map_or_else(|| "?".to_owned(), |(owner, _)| format!("as-{owner}"))
+    };
+
+    let mut rows: Vec<[String; 5]> = Vec::new();
+    for resource in &resources {
+        let primary = primary_of(resource);
+        let follower = match followers.get(resource) {
+            Some(v) if *v >= 0 => format!("as-{v}"),
+            Some(_) => "- (retired)".to_owned(),
+            None => "-".to_owned(),
+        };
+        let lag = lags
+            .get(&primary)
+            .map_or_else(|| "-".to_owned(), ToString::to_string);
+        let state = health
+            .entry(&primary, "repl")
+            .map_or_else(|| "-".to_owned(), |e| e.state.to_string());
+        let name = names
+            .get(resource)
+            .map_or_else(String::new, |n| n.join(","));
+        rows.push([
+            resource.clone(),
+            name,
+            primary,
+            follower,
+            lag + " / " + &state,
+        ]);
+    }
+
+    let headers = ["resource", "name", "primary", "follower", "lag / health"];
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("{h:<w$}  ", w = widths[i]));
+    }
+    out.push('\n');
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{cell:<w$}  ", w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// True when the report holds any state at least as bad as `level` —
 /// the `health` command's exit-code predicate. An empty report counts
 /// as healthy.
@@ -361,6 +472,53 @@ mod tests {
             &HealthReport::default(),
             HealthState::Degraded
         ));
+    }
+
+    #[test]
+    fn placement_table_joins_names_followers_and_lag() {
+        use dstampede_core::{AsId, ChanId, ResourceId};
+        let reg = MetricsRegistry::new("as-1");
+        reg.gauge_labeled("repl", "follower", &[("resource", "chan:1.0")])
+            .set(2);
+        reg.gauge_labeled("repl", "node_lag", &[("node", "as-1")])
+            .set(7);
+        let entries = vec![NsEntry {
+            name: "video/feed".into(),
+            resource: ResourceId::Channel(ChanId {
+                owner: AsId(1),
+                index: 0,
+            }),
+            meta: String::new(),
+        }];
+        let engine = dstampede_obs::HealthEngine::new(dstampede_obs::HealthPolicy::default());
+        engine.observe(1, "repl", HealthState::Healthy, "replication lag 7");
+        let text = render_placement_table(&entries, &reg.snapshot(), &engine.report("as-1"));
+        assert!(text.contains("chan:1.0"));
+        assert!(text.contains("video/feed"));
+        assert!(text.contains("as-1")); // primary
+        assert!(text.contains("as-2")); // follower
+        assert!(text.contains('7')); // lag
+        assert!(text.contains("healthy"));
+    }
+
+    #[test]
+    fn placement_table_handles_unreplicated_and_empty() {
+        assert_eq!(
+            render_placement_table(&[], &Snapshot::default(), &HealthReport::default()),
+            "(no resources placed)\n"
+        );
+        use dstampede_core::{AsId, QueueId, ResourceId};
+        let entries = vec![NsEntry {
+            name: "jobs".into(),
+            resource: ResourceId::Queue(QueueId {
+                owner: AsId(0),
+                index: 3,
+            }),
+            meta: String::new(),
+        }];
+        let text = render_placement_table(&entries, &Snapshot::default(), &HealthReport::default());
+        assert!(text.contains("queue:0.3"));
+        assert!(text.contains("jobs"));
     }
 
     #[test]

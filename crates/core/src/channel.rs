@@ -54,7 +54,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,7 +63,7 @@ use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::attr::{ChannelAttrs, GcPolicy, OverflowPolicy};
 use crate::error::{StmError, StmResult};
-use crate::handler::{GarbageEvent, Hooks};
+use crate::handler::{GarbageEvent, HookSlot, PutEvent};
 use crate::ids::{ChanId, ConnId, ResourceId};
 use crate::item::{Item, StreamItem};
 use crate::metrics::StmMetrics;
@@ -333,7 +333,10 @@ pub struct Channel {
     traced_live: AtomicUsize,
     items_gate: Gate,
     space_gate: Gate,
-    hooks: Mutex<Hooks>,
+    hooks: HookSlot,
+    /// Fast-path flag: put paths clone the payload handle for put hooks
+    /// only when one is installed, so unhooked channels pay nothing.
+    put_hooked: AtomicBool,
     stats: AtomicStats,
     obs: StmMetrics,
     /// Precomputed `chan:OWNER/INDEX` span label — span recording on
@@ -383,7 +386,8 @@ impl Channel {
             traced_live: AtomicUsize::new(0),
             items_gate: Gate::new(),
             space_gate: Gate::new(),
-            hooks: Mutex::new(Hooks::new()),
+            hooks: HookSlot::new(),
+            put_hooked: AtomicBool::new(false),
             stats: AtomicStats::default(),
             obs: StmMetrics::channel(metrics),
             span_resource: format!("chan:{}/{}", id.owner.0, id.index),
@@ -452,7 +456,7 @@ impl Channel {
     where
         F: Fn(&GarbageEvent) + Send + Sync + 'static,
     {
-        self.hooks.lock().set_garbage(hook);
+        self.hooks.update(|h| h.set_garbage(hook));
     }
 
     /// Installs an additional garbage hook alongside any existing ones.
@@ -460,7 +464,18 @@ impl Channel {
     where
         F: Fn(&GarbageEvent) + Send + Sync + 'static,
     {
-        self.hooks.lock().add_garbage(hook);
+        self.hooks.update(|h| h.add_garbage(hook));
+    }
+
+    /// Installs a put hook fired for every accepted item, outside the
+    /// channel lock (the runtime's replicator tails accepted puts this
+    /// way). Same discipline as garbage hooks: fast, no re-entrant calls.
+    pub fn add_put_hook<F>(&self, hook: F)
+    where
+        F: Fn(PutEvent) + Send + Sync + 'static,
+    {
+        self.hooks.update(|h| h.add_put(hook));
+        self.put_hooked.store(true, Ordering::SeqCst);
     }
 
     /// Opens an input connection.
@@ -881,12 +896,25 @@ impl Channel {
         }
         let ctx = item.trace_context();
         let len = item.len();
+        let hook_put = self
+            .put_hooked
+            .load(Ordering::Relaxed)
+            .then(|| (item.tag(), item.payload_bytes()));
         let mut evicted: Vec<(Timestamp, Slot)> = Vec::new();
         let mut slot_item = Some(item);
         let result = self.put_loop(conn, ts, &mut slot_item, deadline, &mut evicted);
         if result.is_ok() {
             self.obs.record_put(started);
             self.items_gate.notify();
+            if let Some((tag, payload)) = hook_put {
+                let hooks = self.hooks.get();
+                hooks.fire_put(PutEvent {
+                    resource: ResourceId::Channel(self.id),
+                    ts,
+                    tag,
+                    payload,
+                });
+            }
             if let Some(ctx) = ctx {
                 self.obs.tracer.finish(
                     ctx,
@@ -924,6 +952,12 @@ impl Channel {
         }
         let started = Instant::now();
         let n = entries.len();
+        let hook_puts = self.put_hooked.load(Ordering::Relaxed).then(|| {
+            entries
+                .iter()
+                .map(|(ts, item)| (*ts, item.tag(), item.payload_bytes()))
+                .collect::<Vec<_>>()
+        });
         // Assign trace contexts up front so spans and GC instants attribute
         // each item exactly as a singleton put would.
         let mut entries: Vec<(Timestamp, Option<Item>)> = entries
@@ -1005,6 +1039,19 @@ impl Channel {
                     Self::span_start(&self.obs.tracer, started),
                     &format!("bytes={len}"),
                 );
+            }
+            if let Some(hook_puts) = hook_puts {
+                let hooks = self.hooks.get();
+                for (i, (ts, tag, payload)) in hook_puts.into_iter().enumerate() {
+                    if results[i].is_ok() {
+                        hooks.fire_put(PutEvent {
+                            resource: ResourceId::Channel(self.id),
+                            ts,
+                            tag,
+                            payload,
+                        });
+                    }
+                }
             }
         }
         results
@@ -1358,7 +1405,7 @@ impl Channel {
         self.obs
             .occupancy
             .add(-i64::try_from(reclaimed.len()).unwrap_or(i64::MAX));
-        let hooks = self.hooks.lock().clone();
+        let hooks = self.hooks.get();
         let mut bytes = 0u64;
         for (ts, slot) in &reclaimed {
             self.stats.reclaimed_items.fetch_add(1, Ordering::Relaxed);

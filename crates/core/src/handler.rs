@@ -14,6 +14,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 use crate::ids::ResourceId;
 use crate::time::Timestamp;
 
@@ -47,6 +49,40 @@ impl fmt::Display for GarbageEvent {
 /// puts from a hook can deadlock application logic).
 pub type GarbageHook = Arc<dyn Fn(&GarbageEvent) + Send + Sync>;
 
+/// Notification that an item was accepted by a container.
+///
+/// The payload is the item's backing [`Bytes`] — cloning it is a refcount
+/// bump, so observers (e.g. the runtime's replicator) see the accepted
+/// bytes without copying them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutEvent {
+    /// The container the item landed in.
+    pub resource: ResourceId,
+    /// The item's timestamp.
+    pub ts: Timestamp,
+    /// The item's user tag.
+    pub tag: u32,
+    /// The accepted payload (shared, not copied).
+    pub payload: Bytes,
+}
+
+impl fmt::Display for PutEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "put {} {} ({} bytes)",
+            self.resource,
+            self.ts,
+            self.payload.len()
+        )
+    }
+}
+
+/// A put hook: fired after an item is accepted, outside container locks.
+///
+/// Same discipline as [`GarbageHook`]: fast, no re-entrant container calls.
+pub type PutHook = Arc<dyn Fn(PutEvent) + Send + Sync>;
+
 /// Dispatch table for a container's hooks.
 ///
 /// Several parties (the owning application, surrogates acting for end
@@ -55,6 +91,7 @@ pub type GarbageHook = Arc<dyn Fn(&GarbageEvent) + Send + Sync>;
 #[derive(Clone, Default)]
 pub struct Hooks {
     garbage: Vec<GarbageHook>,
+    put: Vec<PutHook>,
 }
 
 impl Hooks {
@@ -98,12 +135,120 @@ impl Hooks {
             hook(event);
         }
     }
+
+    /// Installs an additional put hook.
+    pub fn add_put<F>(&mut self, hook: F)
+    where
+        F: Fn(PutEvent) + Send + Sync + 'static,
+    {
+        self.put.push(Arc::new(hook));
+    }
+
+    /// Removes every put hook.
+    pub fn clear_put(&mut self) {
+        self.put.clear();
+    }
+
+    /// Whether any put hook is installed.
+    #[must_use]
+    pub fn has_put(&self) -> bool {
+        !self.put.is_empty()
+    }
+
+    /// Invokes every put hook in installation order. The event moves
+    /// into the last hook — with a single hook installed (the common
+    /// case: the runtime's replicator) no clone happens at all, so the
+    /// payload handle the put path created is the one the hook keeps.
+    pub fn fire_put(&self, event: PutEvent) {
+        let Some((last, rest)) = self.put.split_last() else {
+            return;
+        };
+        for hook in rest {
+            hook(event.clone());
+        }
+        last(event);
+    }
+}
+
+/// Copy-on-write holder for a container's [`Hooks`].
+///
+/// The put hook rides the accepted-put hot path, so readers must not
+/// pay a lock or a refcount round trip per item. Installs publish a
+/// freshly built table through an atomic pointer; every table ever
+/// published stays allocated until the slot drops (installs happen at
+/// container setup and are bounded — a handful of tiny tables), so a
+/// reader's borrow can never dangle, even mid-fire during an install.
+#[derive(Debug)]
+pub struct HookSlot {
+    current: std::sync::atomic::AtomicPtr<Hooks>,
+    /// Every table ever published, including `current`. Freed on drop.
+    /// Also serializes writers, so installs never lose each other.
+    retired: parking_lot::Mutex<Vec<*mut Hooks>>,
+}
+
+// SAFETY: the raw pointers are only ever created from `Box<Hooks>`,
+// shared read-only after publication, and `Hooks` itself is
+// `Send + Sync` (its hooks are `Arc<dyn Fn + Send + Sync>`).
+unsafe impl Send for HookSlot {}
+unsafe impl Sync for HookSlot {}
+
+impl HookSlot {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Self {
+        let first = Box::into_raw(Box::new(Hooks::new()));
+        HookSlot {
+            current: std::sync::atomic::AtomicPtr::new(first),
+            retired: parking_lot::Mutex::new(vec![first]),
+        }
+    }
+
+    /// Rebuilds the hook table through `f` (copy-on-write) and
+    /// publishes it. The superseded table is retired, not freed:
+    /// readers obtained before the swap may still be iterating it.
+    pub fn update(&self, f: impl FnOnce(&mut Hooks)) {
+        let mut retired = self.retired.lock();
+        let mut next = self.get().clone();
+        f(&mut next);
+        let ptr = Box::into_raw(Box::new(next));
+        retired.push(ptr);
+        self.current
+            .store(ptr, std::sync::atomic::Ordering::Release);
+    }
+
+    /// The current hook table — one atomic load, no lock.
+    #[must_use]
+    pub fn get(&self) -> &Hooks {
+        // SAFETY: every pointer ever stored in `current` came from
+        // `Box::into_raw`, is recorded in `retired`, and is freed only
+        // in `Drop` — which cannot run concurrently with this `&self`
+        // borrow. Published tables are never mutated.
+        unsafe { &*self.current.load(std::sync::atomic::Ordering::Acquire) }
+    }
+}
+
+impl Default for HookSlot {
+    fn default() -> Self {
+        HookSlot::new()
+    }
+}
+
+impl Drop for HookSlot {
+    fn drop(&mut self) {
+        for ptr in self.retired.get_mut().drain(..) {
+            // SAFETY: each retired pointer came from `Box::into_raw`,
+            // is freed exactly once here, and no reader can outlive
+            // `&mut self`.
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
 }
 
 impl fmt::Debug for Hooks {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Hooks")
             .field("garbage_hooks", &self.garbage.len())
+            .field("put_hooks", &self.put.len())
             .finish()
     }
 }
@@ -210,5 +355,35 @@ mod tests {
     fn debug_is_nonempty() {
         assert!(!format!("{:?}", Hooks::new()).is_empty());
         assert!(!format!("{}", event()).is_empty());
+    }
+
+    #[test]
+    fn put_hooks_fire_independently_of_garbage() {
+        let count = Arc::new(AtomicU32::new(0));
+        let mut hooks = Hooks::new();
+        assert!(!hooks.has_put());
+        let c = Arc::clone(&count);
+        hooks.add_put(move |e| {
+            assert_eq!(e.ts, Timestamp::new(9));
+            assert_eq!(e.payload.as_ref(), b"abc");
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hooks.has_put());
+        assert!(!hooks.has_garbage());
+        let put = PutEvent {
+            resource: ResourceId::Channel(ChanId {
+                owner: AsId(1),
+                index: 2,
+            }),
+            ts: Timestamp::new(9),
+            tag: 0,
+            payload: Bytes::from_static(b"abc"),
+        };
+        hooks.fire_put(put.clone());
+        hooks.fire_garbage(&event()); // no garbage hooks; must not panic
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert!(!format!("{put}").is_empty());
+        hooks.clear_put();
+        assert!(!hooks.has_put());
     }
 }

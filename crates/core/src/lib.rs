@@ -77,7 +77,7 @@ pub use channel::{
 };
 pub use cursor::{ConsumeMode, StreamCursor};
 pub use error::{StmError, StmResult};
-pub use handler::{GarbageEvent, GarbageHook, Hooks};
+pub use handler::{GarbageEvent, GarbageHook, Hooks, PutEvent, PutHook};
 pub use ids::{AsId, ChanId, ConnId, ConnMode, QueueId, ResourceId, ThreadId};
 pub use item::{Item, StreamItem};
 pub use metrics::StmMetrics;

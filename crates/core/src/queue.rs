@@ -37,7 +37,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -47,7 +47,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::attr::{OverflowPolicy, QueueAttrs};
 use crate::channel::{Deadline, DEFAULT_STM_SHARDS};
 use crate::error::{StmError, StmResult};
-use crate::handler::{GarbageEvent, Hooks};
+use crate::handler::{GarbageEvent, HookSlot, PutEvent};
 use crate::ids::{ConnId, QueueId, ResourceId};
 use crate::item::{Item, StreamItem};
 use crate::metrics::StmMetrics;
@@ -158,7 +158,10 @@ pub struct Queue {
     next_ticket: AtomicU64,
     items_cv: Condvar,
     space_cv: Condvar,
-    hooks: Mutex<Hooks>,
+    hooks: HookSlot,
+    /// Fast-path flag: put paths clone the payload handle for put hooks
+    /// only when one is installed, so unhooked queues pay nothing.
+    put_hooked: AtomicBool,
     stats: AtomicStats,
     obs: StmMetrics,
     /// Precomputed `queue:OWNER/INDEX` span label — span recording on
@@ -204,7 +207,8 @@ impl Queue {
             next_ticket: AtomicU64::new(1),
             items_cv: Condvar::new(),
             space_cv: Condvar::new(),
-            hooks: Mutex::new(Hooks::new()),
+            hooks: HookSlot::new(),
+            put_hooked: AtomicBool::new(false),
             stats: AtomicStats::default(),
             obs: StmMetrics::queue(metrics),
             span_resource: format!("queue:{}/{}", id.owner.0, id.index),
@@ -271,7 +275,7 @@ impl Queue {
     where
         F: Fn(&GarbageEvent) + Send + Sync + 'static,
     {
-        self.hooks.lock().set_garbage(hook);
+        self.hooks.update(|h| h.set_garbage(hook));
     }
 
     /// Installs an additional garbage hook alongside any existing ones.
@@ -279,7 +283,18 @@ impl Queue {
     where
         F: Fn(&GarbageEvent) + Send + Sync + 'static,
     {
-        self.hooks.lock().add_garbage(hook);
+        self.hooks.update(|h| h.add_garbage(hook));
+    }
+
+    /// Installs a put hook fired for every accepted item, outside the
+    /// spine lock (the runtime's replicator tails accepted puts this
+    /// way). Same discipline as garbage hooks: fast, no re-entrant calls.
+    pub fn add_put_hook<F>(&self, hook: F)
+    where
+        F: Fn(PutEvent) + Send + Sync + 'static,
+    {
+        self.hooks.update(|h| h.add_put(hook));
+        self.put_hooked.store(true, Ordering::SeqCst);
     }
 
     /// Opens an input (getter) connection; disconnecting requeues any
@@ -352,6 +367,10 @@ impl Queue {
         }
         let ctx = item.trace_context();
         let len = item.len();
+        let hook_put = self
+            .put_hooked
+            .load(Ordering::Relaxed)
+            .then(|| (item.tag(), item.payload_bytes()));
         let mut evicted: Option<QEntry> = None;
         {
             let mut st = self.spine.lock();
@@ -392,6 +411,15 @@ impl Queue {
             self.obs.record_put(started);
         }
         self.items_cv.notify_one();
+        if let Some((tag, payload)) = hook_put {
+            let hooks = self.hooks.get();
+            hooks.fire_put(PutEvent {
+                resource: ResourceId::Queue(self.id),
+                ts,
+                tag,
+                payload,
+            });
+        }
         if let Some(ctx) = ctx {
             self.obs.tracer.finish(
                 ctx,
@@ -441,6 +469,12 @@ impl Queue {
             .iter()
             .map(|(ts, item)| (*ts, item.trace_context(), item.len()))
             .collect();
+        let hook_puts = self.put_hooked.load(Ordering::Relaxed).then(|| {
+            entries
+                .iter()
+                .map(|(ts, item)| (*ts, item.tag(), item.payload_bytes()))
+                .collect::<Vec<_>>()
+        });
         let n = entries.len();
         {
             let mut st = self.spine.lock();
@@ -460,6 +494,17 @@ impl Queue {
             self.obs.record_put(started);
             // A batch can satisfy several blocked getters at once.
             self.items_cv.notify_all();
+            if let Some(hook_puts) = hook_puts {
+                let hooks = self.hooks.get();
+                for (ts, tag, payload) in hook_puts {
+                    hooks.fire_put(PutEvent {
+                        resource: ResourceId::Queue(self.id),
+                        ts,
+                        tag,
+                        payload,
+                    });
+                }
+            }
         }
         for (ts, ctx, len) in spans {
             if let Some(ctx) = ctx {
@@ -710,7 +755,7 @@ impl Queue {
             .fetch_add(item.len() as u64, Ordering::Relaxed);
         self.obs.record_reclaim(1, item.len() as u64);
         self.space_cv.notify_one();
-        let hooks = self.hooks.lock().clone();
+        let hooks = self.hooks.get();
         hooks.fire_garbage(&GarbageEvent {
             resource: ResourceId::Queue(self.id),
             ts,

@@ -24,8 +24,8 @@ use dstampede_core::gc::{GcSummary, MinFloorAggregator};
 use dstampede_core::thread::ThreadRegistry;
 use dstampede_core::VirtualTime;
 use dstampede_core::{
-    AsId, ChanId, Channel, ChannelAttrs, Queue, QueueAttrs, QueueId, ResourceId, StmError,
-    StmRegistry, StmResult,
+    AsId, ChanId, Channel, ChannelAttrs, Item, Queue, QueueAttrs, QueueId, ResourceId, StmError,
+    StmRegistry, StmResult, Timestamp,
 };
 use dstampede_obs::{
     trace, HealthEngine, HealthPolicy, HealthReport, HealthState, HistoryDump, HistoryRecorder,
@@ -36,9 +36,11 @@ use dstampede_wire::{NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec
 use crate::exec::{execute, is_blocking, ConnTable};
 use crate::failure::RpcConfig;
 use crate::nameserver::NameServer;
+use crate::placement::{self, Placement};
 use crate::proto::{self, AsMessage, NO_REPLY};
 use crate::proxy::{ChannelRef, QueueRef};
 use crate::recorder::RecorderConfig;
+use crate::replicate::{ReplicaAttrs, ReplicaStore, Replicator};
 
 /// A call awaiting its reply: the reply channel plus the destination, so
 /// a peer-death declaration can fail exactly the calls bound for that
@@ -85,6 +87,20 @@ pub struct AddressSpace {
     recorder_ticks: AtomicU64,
     /// Transport counters at the previous tick, for per-tick deltas.
     prev_transport: Mutex<TransportStats>,
+    /// Where placed creates (end-device `ChannelCreate`/`QueueCreate`)
+    /// land: hashed over live members, or the paper's creator-local.
+    placement: Mutex<Placement>,
+    /// Whether hosted containers are replicated to a follower.
+    replication: AtomicBool,
+    /// Replicas this space keeps on behalf of its peers.
+    replicas: Arc<ReplicaStore>,
+    /// The primary-side replication pump, started on demand.
+    replicator: Mutex<Option<Arc<Replicator>>>,
+    /// Failover adoptions performed here: dead primary's resource → the
+    /// promoted local resource.
+    promotions: Mutex<HashMap<ResourceId, ResourceId>>,
+    /// Per-creation nonce feeding anonymous-resource placement keys.
+    create_nonce: AtomicU64,
 }
 
 impl AddressSpace {
@@ -122,6 +138,12 @@ impl AddressSpace {
             health: Mutex::new(Arc::new(HealthEngine::new(HealthPolicy::default()))),
             recorder_ticks: AtomicU64::new(0),
             prev_transport: Mutex::new(TransportStats::default()),
+            placement: Mutex::new(Placement::default()),
+            replication: AtomicBool::new(false),
+            replicas: Arc::new(ReplicaStore::default()),
+            replicator: Mutex::new(None),
+            promotions: Mutex::new(HashMap::new()),
+            create_nonce: AtomicU64::new(1),
         });
         let dispatch_space = Arc::clone(&space);
         let handle = std::thread::Builder::new()
@@ -170,6 +192,221 @@ impl AddressSpace {
     /// Creates a queue owned by this address space.
     pub fn create_queue(&self, name: Option<String>, attrs: QueueAttrs) -> Arc<Queue> {
         self.registry.create_queue(name, attrs)
+    }
+
+    /// Sets the placement policy for placed creates (the cluster builder
+    /// applies this to every member).
+    pub fn set_placement(&self, placement: Placement) {
+        *self.placement.lock() = placement;
+    }
+
+    /// The current placement policy.
+    #[must_use]
+    pub fn placement(&self) -> Placement {
+        *self.placement.lock()
+    }
+
+    /// Enables or disables replication of containers hosted here.
+    pub fn set_replication(&self, on: bool) {
+        self.replication.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether hosted containers are replicated to a follower.
+    #[must_use]
+    pub fn replication_enabled(&self) -> bool {
+        self.replication.load(Ordering::SeqCst)
+    }
+
+    /// The replicas this space keeps on behalf of its peers.
+    #[must_use]
+    pub fn replicas(&self) -> &Arc<ReplicaStore> {
+        &self.replicas
+    }
+
+    /// The replication pump, if any puts have been replicated from here.
+    #[must_use]
+    pub fn replicator(&self) -> Option<Arc<Replicator>> {
+        self.replicator.lock().clone()
+    }
+
+    /// The promoted local resource adopted for `resource` after its
+    /// primary died, if this space performed that promotion.
+    #[must_use]
+    pub fn promotion_of(&self, resource: ResourceId) -> Option<ResourceId> {
+        self.promotions.lock().get(&resource).copied()
+    }
+
+    /// Follows the failover pointer for a resource whose owner died:
+    /// first this space's own promotions, then the name server's
+    /// synthetic `promoted:<resource>` registration. `None` when no
+    /// promotion happened (the resource was unreplicated, or its items
+    /// died with the primary).
+    #[must_use]
+    pub fn resolve_failover(self: &Arc<Self>, resource: ResourceId) -> Option<ResourceId> {
+        if let Some(new) = self.promotion_of(resource) {
+            return Some(new);
+        }
+        match self.ns_lookup(&format!("promoted:{resource}")) {
+            Ok((new, _)) => Some(new),
+            Err(_) => None,
+        }
+    }
+
+    /// Members not declared dead, in id order (placement's domain).
+    #[must_use]
+    pub fn live_members(&self) -> Vec<AsId> {
+        let dead = self.dead_peers.lock();
+        let mut live: Vec<AsId> = self
+            .peers
+            .lock()
+            .iter()
+            .copied()
+            .filter(|p| !dead.contains(p))
+            .collect();
+        if live.is_empty() {
+            live.push(self.id); // a solo space always hosts itself
+        }
+        live.sort_unstable_by_key(|m| m.0);
+        live
+    }
+
+    /// Creates a channel wherever placement policy dictates: locally
+    /// under [`Placement::CreatorLocal`], else on the live member that
+    /// wins the rendezvous hash (which may still be this space).
+    ///
+    /// # Errors
+    ///
+    /// The remote creation's RPC error when the winner is another
+    /// member and the call fails.
+    pub fn create_channel_placed(
+        self: &Arc<Self>,
+        name: Option<String>,
+        attrs: ChannelAttrs,
+    ) -> StmResult<ChanId> {
+        match self.placed_target(name.as_deref()) {
+            Some(target) if target != self.id => {
+                match self.call(target, Request::ChannelCreate { name, attrs })? {
+                    Reply::Created {
+                        resource: ResourceId::Channel(id),
+                    } => Ok(id),
+                    other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+                }
+            }
+            _ => Ok(self.host_channel(name, attrs).id()),
+        }
+    }
+
+    /// Queue counterpart of [`AddressSpace::create_channel_placed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`AddressSpace::create_channel_placed`].
+    pub fn create_queue_placed(
+        self: &Arc<Self>,
+        name: Option<String>,
+        attrs: QueueAttrs,
+    ) -> StmResult<QueueId> {
+        match self.placed_target(name.as_deref()) {
+            Some(target) if target != self.id => {
+                match self.call(target, Request::QueueCreate { name, attrs })? {
+                    Reply::Created {
+                        resource: ResourceId::Queue(id),
+                    } => Ok(id),
+                    other => Err(StmError::Protocol(format!("unexpected reply {other:?}"))),
+                }
+            }
+            _ => Ok(self.host_queue(name, attrs).id()),
+        }
+    }
+
+    /// The member a new resource should land on, or `None` to create
+    /// locally (creator-local policy, or nothing else alive).
+    fn placed_target(&self, name: Option<&str>) -> Option<AsId> {
+        if self.placement() == Placement::CreatorLocal {
+            return None;
+        }
+        let nonce = self.create_nonce.fetch_add(1, Ordering::Relaxed);
+        let key = placement::creation_key(name, self.id, nonce);
+        placement::place(key, &self.live_members())
+    }
+
+    /// Creates a channel here as the terminal host: the container is
+    /// local, and when replication is on it gains a follower replica and
+    /// a put hook feeding the replication window.
+    pub fn host_channel(
+        self: &Arc<Self>,
+        name: Option<String>,
+        attrs: ChannelAttrs,
+    ) -> Arc<Channel> {
+        let chan = self.registry.create_channel(name.clone(), attrs);
+        let resource = ResourceId::Channel(chan.id());
+        if let Some(follower) = self.pick_follower(resource) {
+            let open = Request::ReplicaOpenChannel {
+                chan: chan.id(),
+                name,
+                attrs,
+            };
+            if self.open_replica(resource, follower, open) {
+                let repl = self.replicator_handle();
+                chan.add_put_hook(move |ev| repl.enqueue(ev));
+            }
+        }
+        chan
+    }
+
+    /// Queue counterpart of [`AddressSpace::host_channel`].
+    pub fn host_queue(self: &Arc<Self>, name: Option<String>, attrs: QueueAttrs) -> Arc<Queue> {
+        let queue = self.registry.create_queue(name.clone(), attrs);
+        let resource = ResourceId::Queue(queue.id());
+        if let Some(follower) = self.pick_follower(resource) {
+            let open = Request::ReplicaOpenQueue {
+                queue: queue.id(),
+                name,
+                attrs,
+            };
+            if self.open_replica(resource, follower, open) {
+                let repl = self.replicator_handle();
+                queue.add_put_hook(move |ev| repl.enqueue(ev));
+            }
+        }
+        queue
+    }
+
+    /// The follower for a resource hosted here: the rendezvous winner
+    /// among the *other* live members, or `None` when replication is off
+    /// or this space is alone.
+    fn pick_follower(&self, resource: ResourceId) -> Option<AsId> {
+        if !self.replication_enabled() {
+            return None;
+        }
+        let others: Vec<AsId> = self
+            .live_members()
+            .into_iter()
+            .filter(|m| *m != self.id)
+            .collect();
+        placement::place(placement::resource_key(resource), &others)
+    }
+
+    /// Records the replication route and schedules the follower's
+    /// `ReplicaOpen*` — delivered asynchronously by the replicator's pump
+    /// thread, because this may run on the dispatcher (a forwarded
+    /// create), which must never block on its own peer RPC. `false` only
+    /// when the follower is already known incapable (an old peer).
+    fn open_replica(self: &Arc<Self>, resource: ResourceId, follower: AsId, open: Request) -> bool {
+        let repl = self.replicator_handle();
+        repl.track(resource, follower, open);
+        repl.follower_of(resource).is_some()
+    }
+
+    /// The replication pump, started on first use.
+    fn replicator_handle(self: &Arc<Self>) -> Arc<Replicator> {
+        let mut slot = self.replicator.lock();
+        if let Some(repl) = slot.as_ref() {
+            return Arc::clone(repl);
+        }
+        let repl = Replicator::start(self);
+        *slot = Some(Arc::clone(&repl));
+        repl
     }
 
     /// Resolves a channel id into a location-transparent reference.
@@ -624,6 +861,19 @@ impl AddressSpace {
             (HealthState::Healthy, format!("occupancy {occupancy}"))
         };
         health.observe(tick, "stm", raw, &reason);
+
+        if let Some(repl) = self.replicator() {
+            let lag = repl.lag() as i64;
+            let (raw, reason) = if lag > config.replication_lag_watermark {
+                (
+                    HealthState::Degraded,
+                    format!("replication lag {lag} over watermark"),
+                )
+            } else {
+                (HealthState::Healthy, format!("replication lag {lag}"))
+            };
+            health.observe(tick, "repl", raw, &reason);
+        }
     }
 
     /// Ticks recorded so far.
@@ -775,7 +1025,11 @@ impl AddressSpace {
     /// 3. the peer's stale report leaves the GC epoch aggregator, so the
     ///    global floor no longer waits on it;
     /// 4. the transport's per-peer ARQ state is purged, freeing buffered
-    ///    unacknowledged packets.
+    ///    unacknowledged packets;
+    /// 5. replicas held here for the dead peer's containers are sealed
+    ///    and promoted into live local containers, adopting the dead
+    ///    primary's name-server registrations (see
+    ///    [`AddressSpace::promote_replicas_of`]).
     ///
     /// Idempotent; a self- or repeat declaration is a no-op.
     pub fn declare_peer_dead(self: &Arc<Self>, peer: AsId) {
@@ -813,6 +1067,108 @@ impl AddressSpace {
 
         // 4. Free the transport's buffered state for it.
         self.transport.purge_peer(peer);
+
+        // 5. Promote any replicas we held for the dead primary.
+        self.promote_replicas_of(peer);
+    }
+
+    /// Failover promotion (death-recovery step 5): seals every replica
+    /// whose primary is `peer`, rebuilds each as a live local container
+    /// seeded with the replicated items, and adopts the primary's
+    /// name-server registration so proxies re-resolve to the promoted
+    /// copy. Every promotion is also registered under the synthetic name
+    /// `promoted:<old-resource>` so clients holding only the dead
+    /// resource id can find the successor.
+    ///
+    /// Replays are idempotent: channel re-puts hit `TsExists` and queue
+    /// items keyed by their original timestamps dedup through the same
+    /// path, so a retried death declaration cannot duplicate state.
+    pub fn promote_replicas_of(self: &Arc<Self>, peer: AsId) {
+        let taken = self.replicas.take_replicas_of(peer);
+        for (old, replica) in taken {
+            let n_items = replica.items.len();
+            let new = match &replica.attrs {
+                ReplicaAttrs::Channel(attrs) => {
+                    let chan = self.host_channel(replica.name.clone(), *attrs);
+                    let out = chan.connect_output();
+                    for (ts, (tag, payload)) in &replica.items {
+                        match out.try_put(
+                            Timestamp::new(*ts),
+                            Item::new(payload.clone()).with_tag(*tag),
+                        ) {
+                            Ok(()) | Err(StmError::TsExists) => {}
+                            Err(e) => dstampede_obs::warn(
+                                "repl",
+                                format!(
+                                    "as-{} dropped replicated item ts={ts} promoting {old}: {e}",
+                                    self.id.0
+                                ),
+                            ),
+                        }
+                    }
+                    out.disconnect();
+                    ResourceId::Channel(chan.id())
+                }
+                ReplicaAttrs::Queue(attrs) => {
+                    let queue = self.host_queue(replica.name.clone(), *attrs);
+                    let out = queue.connect_output();
+                    // BTreeMap iteration restores FIFO (timestamp) order.
+                    for (ts, (tag, payload)) in &replica.items {
+                        match out.try_put(
+                            Timestamp::new(*ts),
+                            Item::new(payload.clone()).with_tag(*tag),
+                        ) {
+                            Ok(()) | Err(StmError::TsExists) => {}
+                            Err(e) => dstampede_obs::warn(
+                                "repl",
+                                format!(
+                                    "as-{} dropped replicated item ts={ts} promoting {old}: {e}",
+                                    self.id.0
+                                ),
+                            ),
+                        }
+                    }
+                    out.disconnect();
+                    ResourceId::Queue(queue.id())
+                }
+            };
+
+            // Adopt the dead primary's name: drop its stale registration
+            // (absent is fine) and re-register pointing at the promotion.
+            if let Some(name) = &replica.name {
+                let _ = self.ns_unregister(name);
+                if let Err(e) = self.ns_register(
+                    name,
+                    new,
+                    &format!("promoted from as-{} after failover", peer.0),
+                ) {
+                    dstampede_obs::warn(
+                        "repl",
+                        format!(
+                            "as-{} could not adopt name {name:?} for promoted {old}: {e}",
+                            self.id.0
+                        ),
+                    );
+                }
+            }
+            // Successor pointer for clients holding only the old id.
+            let _ = self.ns_register(
+                &format!("promoted:{old}"),
+                new,
+                &format!("replica of {old} promoted from as-{}", peer.0),
+            );
+
+            self.promotions.lock().insert(old, new);
+            self.metrics.counter("repl", "promotions").inc();
+            dstampede_obs::warn(
+                "repl",
+                format!(
+                    "as-{} promoted replica of {old} (primary as-{} dead) to {new} \
+                     with {n_items} replicated items",
+                    self.id.0, peer.0
+                ),
+            );
+        }
     }
 
     // ---- RPC plumbing ----
@@ -979,6 +1335,9 @@ impl AddressSpace {
         if self.down.swap(true, Ordering::AcqRel) {
             return;
         }
+        if let Some(repl) = self.replicator.lock().take() {
+            repl.stop();
+        }
         self.registry.close_all();
         self.transport.shutdown();
         self.pending.lock().clear(); // wakes callers with Disconnected
@@ -1081,6 +1440,9 @@ fn req_name(req: &Request) -> &'static str {
         Request::Heartbeat { .. } => "heartbeat",
         Request::PutBatch { .. } => "put_batch",
         Request::GetBatch { .. } => "get_batch",
+        Request::ReplicaOpenChannel { .. } => "replica_open_channel",
+        Request::ReplicaOpenQueue { .. } => "replica_open_queue",
+        Request::ReplicatePut { .. } => "replicate_put",
         Request::WithId { req, .. } => req_name(req),
         _ => "unknown",
     }

@@ -21,6 +21,7 @@ use dstampede_core::{AsId, StmError, StmResult};
 use crate::addrspace::AddressSpace;
 use crate::failure::{FailureConfig, FailureDetector, RpcConfig};
 use crate::listener::{Listener, ListenerConfig};
+use crate::placement::Placement;
 use crate::recorder::{FlightRecorder, RecorderConfig};
 
 /// Which CLF backend interconnects the cluster's address spaces.
@@ -46,6 +47,8 @@ pub struct ClusterBuilder {
     trace_sampling: u64,
     stm_shards: Option<u32>,
     recorder: Option<RecorderConfig>,
+    placement: Placement,
+    replication: bool,
 }
 
 impl ClusterBuilder {
@@ -65,6 +68,8 @@ impl ClusterBuilder {
             trace_sampling: 0,
             stm_shards: None,
             recorder: Some(RecorderConfig::default()),
+            placement: Placement::default(),
+            replication: true,
         }
     }
 
@@ -171,6 +176,25 @@ impl ClusterBuilder {
         self
     }
 
+    /// Where placed creates (end-device `ChannelCreate`/`QueueCreate`)
+    /// land: rendezvous-hashed over live members (the default), or
+    /// [`Placement::CreatorLocal`] for the paper's creator-locality —
+    /// the knob tests use to pin resources.
+    #[must_use]
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Enables or disables follower replication of hosted containers
+    /// (on by default; a single-space cluster has no follower and
+    /// replicates nothing either way).
+    #[must_use]
+    pub fn replication(mut self, on: bool) -> Self {
+        self.replication = on;
+        self
+    }
+
     /// Builds and starts the cluster.
     ///
     /// # Errors
@@ -224,6 +248,8 @@ impl ClusterBuilder {
         let members: Vec<AsId> = (0..self.address_spaces).map(AsId).collect();
         for s in &spaces {
             s.set_peers(members.clone());
+            s.set_placement(self.placement);
+            s.set_replication(self.replication && self.address_spaces > 1);
         }
 
         let listeners = if self.listeners {

@@ -21,6 +21,7 @@ use dstampede_wire::{BatchGot, GcNote, Reply, Request, WaitSpec};
 
 use crate::addrspace::AddressSpace;
 use crate::proxy::{wait_to_timeout, ChanInput, ChanOutput, QueueInput, QueueOutput};
+use crate::replicate::ReplicaAttrs;
 
 /// One session-local connection.
 pub enum ConnEntry {
@@ -324,17 +325,47 @@ fn execute_inner(
             conns.record_replay(origin_id, req_id, reply.clone());
             Ok(reply)
         }
+        // Creates route through placement only on their first hop
+        // (`origin == None`: a local or end-device-session call). A create
+        // arriving from a peer was already placed — it lands here, so a
+        // forwarded create can never bounce again.
         Request::ChannelCreate { name, attrs } => {
-            let chan = space.create_channel(name, attrs);
-            Ok(Reply::Created {
-                resource: ResourceId::Channel(chan.id()),
-            })
+            let resource = if origin.is_none() {
+                ResourceId::Channel(space.create_channel_placed(name, attrs)?)
+            } else {
+                ResourceId::Channel(space.host_channel(name, attrs).id())
+            };
+            Ok(Reply::Created { resource })
         }
         Request::QueueCreate { name, attrs } => {
-            let queue = space.create_queue(name, attrs);
-            Ok(Reply::Created {
-                resource: ResourceId::Queue(queue.id()),
-            })
+            let resource = if origin.is_none() {
+                ResourceId::Queue(space.create_queue_placed(name, attrs)?)
+            } else {
+                ResourceId::Queue(space.host_queue(name, attrs).id())
+            };
+            Ok(Reply::Created { resource })
+        }
+        Request::ReplicaOpenChannel { chan, name, attrs } => {
+            space.replicas().open(
+                ResourceId::Channel(chan),
+                name,
+                ReplicaAttrs::Channel(attrs),
+            );
+            Ok(Reply::Ok)
+        }
+        Request::ReplicaOpenQueue { queue, name, attrs } => {
+            space
+                .replicas()
+                .open(ResourceId::Queue(queue), name, ReplicaAttrs::Queue(attrs));
+            Ok(Reply::Ok)
+        }
+        Request::ReplicatePut {
+            resource,
+            floor,
+            items,
+        } => {
+            space.replicas().append(resource, floor, &items)?;
+            Ok(Reply::Ok)
         }
         Request::ConnectChannelIn {
             chan,

@@ -52,9 +52,11 @@ pub mod failure;
 pub mod gc_epoch;
 pub mod listener;
 pub mod nameserver;
+pub mod placement;
 pub mod proto;
 pub mod proxy;
 pub mod recorder;
+pub mod replicate;
 
 pub use addrspace::AddressSpace;
 pub use cluster::{Cluster, ClusterBuilder, ClusterTransport};
@@ -63,5 +65,7 @@ pub use failure::{FailureConfig, FailureDetector, RpcConfig};
 pub use gc_epoch::{GcEpochConfig, GcEpochService};
 pub use listener::{Listener, ListenerConfig, ListenerStats};
 pub use nameserver::NameServer;
+pub use placement::Placement;
 pub use proxy::{ChanInput, ChanOutput, ChannelRef, QueueInput, QueueOutput, QueueRef};
 pub use recorder::{FlightRecorder, RecorderConfig};
+pub use replicate::{ReplicaStore, Replicator};

@@ -1,0 +1,201 @@
+//! Consistent-hash placement of STM resources across address spaces.
+//!
+//! The paper pins every channel and queue to the address space that
+//! created it; a dying node takes its containers with it. This module
+//! decides placement by *rendezvous (highest-random-weight) hashing*
+//! instead: every `(resource key, member)` pair gets a deterministic
+//! pseudo-random score and the resource lives on the highest-scoring live
+//! member, with the runner-up acting as its replication follower.
+//!
+//! Rendezvous hashing gives the two properties the cluster needs without
+//! any coordination state:
+//!
+//! * **minimal disruption** — when a member dies, only the resources it
+//!   hosted re-place (every other key keeps its argmax);
+//! * **balance** — scores are uniform, so keys spread evenly across
+//!   members (within small-sample noise).
+//!
+//! Scores must agree on every node, so the mix is a fixed splitmix64-style
+//! permutation of the key and the member id — no `RandomState`, no seeds.
+
+use dstampede_core::{AsId, ResourceId};
+
+/// The placement policy for new channels and queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Place by rendezvous hashing over live cluster members (the
+    /// default): a resource created through an end-device session lands
+    /// on the member that wins the hash, wherever the creator attached.
+    #[default]
+    Hashed,
+    /// The paper's behavior: resources live in the address space that
+    /// created them. Kept as a knob for tests and single-node layouts.
+    CreatorLocal,
+}
+
+/// splitmix64 finalizer: a full-avalanche permutation of a 64-bit word.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The rendezvous score of `member` for `key`. Higher wins.
+#[must_use]
+pub fn rendezvous_score(key: u64, member: AsId) -> u64 {
+    // Mix the member id in with a second round so adjacent ids decorrelate.
+    mix(key ^ mix(0x5265_6e64_657a_0000 | u64::from(member.0)))
+}
+
+/// The member that should host `key`: the highest rendezvous score, ties
+/// broken toward the smaller id. `None` when `members` is empty.
+#[must_use]
+pub fn place(key: u64, members: &[AsId]) -> Option<AsId> {
+    members
+        .iter()
+        .copied()
+        .max_by_key(|m| (rendezvous_score(key, *m), std::cmp::Reverse(m.0)))
+}
+
+/// The primary and follower for `key`: the two highest-scoring members.
+/// The follower is `None` when fewer than two members are live.
+#[must_use]
+pub fn place_pair(key: u64, members: &[AsId]) -> (Option<AsId>, Option<AsId>) {
+    let primary = place(key, members);
+    let follower = primary.and_then(|p| {
+        let rest: Vec<AsId> = members.iter().copied().filter(|m| *m != p).collect();
+        place(key, &rest)
+    });
+    (primary, follower)
+}
+
+/// The placement key for a new resource.
+///
+/// Named resources key on the name alone so every node — and every
+/// incarnation of the cluster — places them identically. Anonymous
+/// resources key on `(creator, nonce)`, which is stable for the lifetime
+/// of the resource but unique per creation.
+#[must_use]
+pub fn creation_key(name: Option<&str>, creator: AsId, nonce: u64) -> u64 {
+    match name {
+        Some(name) => {
+            // FNV-1a over the name bytes, then one mix round.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            mix(h)
+        }
+        None => mix((u64::from(creator.0) << 48) ^ nonce),
+    }
+}
+
+/// The follower-selection key for an existing resource, derived from its
+/// identity so every surviving node agrees on who held the replica.
+#[must_use]
+pub fn resource_key(resource: ResourceId) -> u64 {
+    let (kind, owner, index) = match resource {
+        ResourceId::Channel(c) => (0u64, c.owner.0, c.index),
+        ResourceId::Queue(q) => (1u64, q.owner.0, q.index),
+    };
+    mix((kind << 62) | (u64::from(owner) << 32) | u64::from(index))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(n: u16) -> Vec<AsId> {
+        (0..n).map(AsId).collect()
+    }
+
+    #[test]
+    fn empty_membership_places_nowhere() {
+        assert_eq!(place(7, &[]), None);
+        assert_eq!(place_pair(7, &[]), (None, None));
+    }
+
+    #[test]
+    fn single_member_hosts_everything() {
+        let m = members(1);
+        for key in 0..64 {
+            assert_eq!(place(key, &m), Some(AsId(0)));
+            assert_eq!(place_pair(key, &m), (Some(AsId(0)), None));
+        }
+    }
+
+    #[test]
+    fn pair_is_two_distinct_members() {
+        let m = members(4);
+        for key in 0..256 {
+            let (p, f) = place_pair(key, &m);
+            let (p, f) = (p.unwrap(), f.unwrap());
+            assert_ne!(p, f, "key {key}");
+            assert!(m.contains(&p) && m.contains(&f));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_order_independent() {
+        let m = members(5);
+        let mut shuffled = m.clone();
+        shuffled.reverse();
+        for key in 0..512 {
+            assert_eq!(place(key, &m), place(key, &shuffled));
+        }
+    }
+
+    #[test]
+    fn departures_only_move_the_departed_members_keys() {
+        let before = members(5);
+        let after: Vec<AsId> = before.iter().copied().filter(|m| m.0 != 3).collect();
+        for key in 0..2048 {
+            let was = place(key, &before).unwrap();
+            let now = place(key, &after).unwrap();
+            if was.0 == 3 {
+                assert_ne!(now.0, 3);
+            } else {
+                assert_eq!(was, now, "key {key} moved without its host dying");
+            }
+        }
+    }
+
+    #[test]
+    fn named_keys_ignore_creator() {
+        assert_eq!(
+            creation_key(Some("tracker"), AsId(0), 1),
+            creation_key(Some("tracker"), AsId(7), 99)
+        );
+        assert_ne!(
+            creation_key(Some("tracker"), AsId(0), 1),
+            creation_key(Some("tracker2"), AsId(0), 1)
+        );
+    }
+
+    #[test]
+    fn anonymous_keys_differ_per_nonce() {
+        assert_ne!(
+            creation_key(None, AsId(1), 1),
+            creation_key(None, AsId(1), 2)
+        );
+    }
+
+    #[test]
+    fn balance_is_within_2x_of_ideal() {
+        let m = members(4);
+        let keys = 4000u64;
+        let mut counts = vec![0usize; m.len()];
+        for key in 0..keys {
+            counts[place(key, &m).unwrap().0 as usize] += 1;
+        }
+        let ideal = keys as usize / m.len();
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                *c < ideal * 2 && *c > ideal / 2,
+                "member {i} hosts {c} of {keys} (ideal {ideal})"
+            );
+        }
+    }
+}

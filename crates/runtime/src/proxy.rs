@@ -96,14 +96,25 @@ impl ChannelRef {
                 inner: ConnInner::Local(chan.connect_input_filtered(interest, filter)),
             }),
             ChanRefInner::Remote(space) => {
-                let reply = space.call(
+                let reply = match space.call(
                     self.id.owner,
                     Request::ConnectChannelIn {
                         chan: self.id,
                         interest,
-                        filter,
+                        filter: filter.clone(),
                     },
-                )?;
+                ) {
+                    Ok(reply) => reply,
+                    Err(StmError::Disconnected) => {
+                        // Owner dead: re-resolve through the failover
+                        // pointer and connect to the promoted copy.
+                        let chan = promoted_channel(space, self.id)?;
+                        return space
+                            .open_channel(chan)?
+                            .connect_input_filtered(interest, filter);
+                    }
+                    Err(e) => return Err(e),
+                };
                 match reply {
                     Reply::Connected { conn } => Ok(ChanInput {
                         id: self.id,
@@ -132,7 +143,14 @@ impl ChannelRef {
             }),
             ChanRefInner::Remote(space) => {
                 let reply =
-                    space.call(self.id.owner, Request::ConnectChannelOut { chan: self.id })?;
+                    match space.call(self.id.owner, Request::ConnectChannelOut { chan: self.id }) {
+                        Ok(reply) => reply,
+                        Err(StmError::Disconnected) => {
+                            let chan = promoted_channel(space, self.id)?;
+                            return space.open_channel(chan)?.connect_output();
+                        }
+                        Err(e) => return Err(e),
+                    };
                 match reply {
                     Reply::Connected { conn } => Ok(ChanOutput {
                         id: self.id,
@@ -160,6 +178,24 @@ impl fmt::Debug for ChannelRef {
 
 fn unexpected(reply: &Reply) -> StmError {
     StmError::Protocol(format!("unexpected reply {reply:?}"))
+}
+
+/// Follows the failover pointer for a channel whose owner is dead.
+/// [`StmError::Disconnected`] when no replica was promoted — the items
+/// genuinely died with the primary.
+fn promoted_channel(space: &Arc<AddressSpace>, id: ChanId) -> StmResult<ChanId> {
+    match space.resolve_failover(dstampede_core::ResourceId::Channel(id)) {
+        Some(dstampede_core::ResourceId::Channel(new)) => Ok(new),
+        _ => Err(StmError::Disconnected),
+    }
+}
+
+/// Queue counterpart of [`promoted_channel`].
+fn promoted_queue(space: &Arc<AddressSpace>, id: QueueId) -> StmResult<QueueId> {
+    match space.resolve_failover(dstampede_core::ResourceId::Queue(id)) {
+        Some(dstampede_core::ResourceId::Queue(new)) => Ok(new),
+        _ => Err(StmError::Disconnected),
+    }
 }
 
 /// Owner-side handle for a connection opened remotely; disconnects (fire
@@ -618,7 +654,16 @@ impl QueueRef {
                 inner: ConnInner::Local(q.connect_input()),
             }),
             QueueRefInner::Remote(space) => {
-                match space.call(self.id.owner, Request::ConnectQueueIn { queue: self.id })? {
+                let reply =
+                    match space.call(self.id.owner, Request::ConnectQueueIn { queue: self.id }) {
+                        Ok(reply) => reply,
+                        Err(StmError::Disconnected) => {
+                            let queue = promoted_queue(space, self.id)?;
+                            return space.open_queue(queue)?.connect_input();
+                        }
+                        Err(e) => return Err(e),
+                    };
+                match reply {
                     Reply::Connected { conn } => Ok(QueueInput {
                         id: self.id,
                         inner: ConnInner::Remote(RemoteConn::new(
@@ -645,7 +690,16 @@ impl QueueRef {
                 inner: ConnInner::Local(q.connect_output()),
             }),
             QueueRefInner::Remote(space) => {
-                match space.call(self.id.owner, Request::ConnectQueueOut { queue: self.id })? {
+                let reply =
+                    match space.call(self.id.owner, Request::ConnectQueueOut { queue: self.id }) {
+                        Ok(reply) => reply,
+                        Err(StmError::Disconnected) => {
+                            let queue = promoted_queue(space, self.id)?;
+                            return space.open_queue(queue)?.connect_output();
+                        }
+                        Err(e) => return Err(e),
+                    };
+                match reply {
                     Reply::Connected { conn } => Ok(QueueOutput {
                         id: self.id,
                         inner: ConnInner::Remote(RemoteConn::new(

@@ -46,6 +46,10 @@ pub struct RecorderConfig {
     /// CLF retransmits per tick at or above which the local `clf`
     /// subject degrades (any backpressure rejection also degrades it).
     pub retransmit_threshold: u64,
+    /// Buffered-but-unacked replication events above which the local
+    /// `repl` subject degrades (only observed once this space has
+    /// replicated at least one put).
+    pub replication_lag_watermark: i64,
     /// Hysteresis applied to every derived state.
     pub policy: HealthPolicy,
 }
@@ -57,6 +61,7 @@ impl Default for RecorderConfig {
             lease: FailureConfig::default().lease(),
             occupancy_watermark: 1024,
             retransmit_threshold: 8,
+            replication_lag_watermark: 1024,
             policy: HealthPolicy::default(),
         }
     }

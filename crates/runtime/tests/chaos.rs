@@ -515,6 +515,168 @@ fn requeued_ticket_wakes_parked_getter_immediately() {
     cluster.shutdown();
 }
 
+/// Failover drill: a three-space cluster places a channel by rendezvous
+/// hash and replicates every accepted put to its follower. Killing the
+/// primary with the replication window drained must lose nothing — the
+/// follower seals its replica, promotes it under a fresh identity, and
+/// registers the failover pointer; a consumer on a third space
+/// re-resolves through that pointer and drains the full sequence with
+/// no gaps and no duplicates. Afterwards GC reclaims the consumed
+/// items on the promoted channel, the promotion is counted, and the
+/// re-replicated channel's `repl` health subject reads healthy.
+#[test]
+fn killed_primary_promotes_follower_and_drains_exactly_once() {
+    use dstampede_core::ResourceId;
+    use dstampede_obs::HealthState;
+    use dstampede_runtime::RecorderConfig;
+
+    let plan = FaultPlan::new(1302);
+    let cluster = Cluster::builder()
+        .address_spaces(3)
+        .listeners(false)
+        .fault_plan(Arc::clone(&plan))
+        .failure_detection(fast_failure())
+        .rpc_config(fast_rpc())
+        .flight_recorder_off()
+        .build()
+        .unwrap();
+    let creator = cluster.space(0).unwrap();
+
+    // Rendezvous placement is deterministic per (name, creator, nonce):
+    // walk names until one lands off the name-server space, so the kill
+    // below cannot take the name server with it.
+    let mut placed = None;
+    for i in 0..16 {
+        let id = creator
+            .create_channel_placed(Some(format!("feed-{i}")), ChannelAttrs::default())
+            .unwrap();
+        if id.owner != AsId(0) {
+            placed = Some(id);
+            break;
+        }
+    }
+    let chan = placed.expect("no name hashed off the name server in 16 tries");
+    let primary = chan.owner;
+    let primary_space = cluster.space(primary.0).unwrap();
+    let follower = primary_space
+        .replicator()
+        .expect("primary must be replicating")
+        .follower_of(ResourceId::Channel(chan))
+        .expect("placed channel must have a follower");
+    let follower_space = cluster.space(follower.0).unwrap();
+    // The third space must find the promoted channel through the name
+    // server — it holds no local promotion state.
+    let outsider = Arc::clone(
+        cluster
+            .spaces()
+            .iter()
+            .find(|s| s.id() != primary && s.id() != follower)
+            .unwrap(),
+    );
+
+    // Stream through the placed primary from the creator's side.
+    let out = creator
+        .open_channel(chan)
+        .unwrap()
+        .connect_output()
+        .unwrap();
+    for i in 0..40 {
+        out.put(
+            Timestamp::new(i),
+            Item::from_vec(vec![i as u8]),
+            WaitSpec::Forever,
+        )
+        .unwrap();
+    }
+    // Drain the replication window before the kill: the durability
+    // guarantee is "at most the unacked window is lost", and with the
+    // window drained that bound is zero items.
+    let repl = primary_space.replicator().unwrap();
+    assert!(
+        wait_for(Duration::from_secs(5), || repl.lag() == 0),
+        "replication window never drained ({} puts unacked)",
+        repl.lag()
+    );
+
+    // kill -9 the primary mid-computation.
+    plan.crash(primary);
+    assert!(
+        wait_for(Duration::from_secs(5), || follower_space
+            .is_peer_dead(primary)),
+        "follower never declared the primary dead"
+    );
+    // Death-recovery step 5: the follower seals and promotes the replica.
+    let resource = ResourceId::Channel(chan);
+    assert!(
+        wait_for(Duration::from_secs(5), || follower_space
+            .promotion_of(resource)
+            .is_some()),
+        "follower never promoted the sealed replica"
+    );
+    let promoted = match follower_space.promotion_of(resource) {
+        Some(ResourceId::Channel(new)) => new,
+        other => panic!("unexpected promotion target {other:?}"),
+    };
+    assert_eq!(promoted.owner, follower, "promotion must adopt locally");
+
+    // A consumer on the third space re-resolves through the failover
+    // pointer (proxy connects catch Disconnected and ask the name
+    // server for `promoted:<resource>`) and drains the full sequence
+    // exactly once.
+    assert!(
+        wait_for(Duration::from_secs(5), || outsider.is_peer_dead(primary)),
+        "outsider never declared the primary dead"
+    );
+    let inp = outsider
+        .open_channel(chan)
+        .unwrap()
+        .connect_input(Interest::FromEarliest)
+        .unwrap();
+    let mut seen = Vec::new();
+    for i in 0..40 {
+        let (ts, item) = inp
+            .get(GetSpec::Exact(Timestamp::new(i)), WaitSpec::Forever)
+            .unwrap();
+        assert_eq!(item.payload(), &[i as u8], "payload mismatch at ts {i}");
+        seen.push(ts.value());
+        inp.consume_until(ts).unwrap();
+    }
+    assert_eq!(seen, (0..40).collect::<Vec<_>>(), "gap or duplicate");
+    assert!(
+        inp.get(GetSpec::Exact(Timestamp::new(40)), WaitSpec::NonBlocking)
+            .is_err(),
+        "an item past the replicated window was resurrected"
+    );
+
+    // The GC horizon advances on the promoted channel: with the only
+    // consumer fully caught up, every replayed item is reclaimed.
+    let promoted_chan = follower_space.registry().channel(promoted).unwrap();
+    assert!(
+        wait_for(Duration::from_secs(5), || promoted_chan.live_items() == 0),
+        "GC never reclaimed the promoted channel ({} live items)",
+        promoted_chan.live_items()
+    );
+
+    // The promotion is counted, and once the promoted channel's own
+    // re-replication window drains the repl health subject is healthy.
+    let snap = follower_space.metrics().snapshot();
+    assert!(
+        snap.counter_value("repl", "promotions").unwrap_or(0) >= 1,
+        "promotion missing from telemetry"
+    );
+    let frepl = follower_space.replicator().expect("promoted re-replicates");
+    assert!(
+        wait_for(Duration::from_secs(5), || frepl.lag() == 0),
+        "promoted channel's re-replication never drained"
+    );
+    follower_space.record_tick(&RecorderConfig::default());
+    assert_eq!(
+        follower_space.health_state_of("repl"),
+        Some(HealthState::Healthy)
+    );
+    cluster.shutdown();
+}
+
 /// Health drill: a crashed peer's derived state walks
 /// `Healthy → Suspect → Dead` with hysteresis on the way up, a
 /// partitioned peer that recovers for a single tick does not flap back

@@ -149,6 +149,9 @@ pub(crate) mod class {
     pub const GET_BATCH: u32 = 30;
     pub const HISTORY_PULL: u32 = 31;
     pub const HEALTH_PULL: u32 = 32;
+    pub const REPLICA_OPEN_CHANNEL: u32 = 33;
+    pub const REPLICA_OPEN_QUEUE: u32 = 34;
+    pub const REPLICATE_PUT: u32 = 35;
 
     // Replies.
     pub const R_OK: u32 = 1;

@@ -511,6 +511,39 @@ fn request_body_value(req: &Request) -> Result<JdrValue, WireError> {
                 vec![JdrValue::Long(*req_id as i64), request_body_value(req)?],
             )
         }
+        Request::ReplicaOpenChannel { chan, name, attrs } => (
+            class::REPLICA_OPEN_CHANNEL,
+            vec![
+                chan_value(*chan),
+                opt_string_value(name.as_ref()),
+                channel_attrs_value(attrs),
+            ],
+        ),
+        Request::ReplicaOpenQueue { queue, name, attrs } => (
+            class::REPLICA_OPEN_QUEUE,
+            vec![
+                queue_value(*queue),
+                opt_string_value(name.as_ref()),
+                queue_attrs_value(attrs),
+            ],
+        ),
+        Request::ReplicatePut {
+            resource,
+            floor,
+            items,
+        } => (
+            class::REPLICATE_PUT,
+            vec![
+                resource_value(*resource),
+                JdrValue::Long(floor.value()),
+                JdrValue::List(
+                    items
+                        .iter()
+                        .map(|i| Box::new(batch_put_item_value(i)))
+                        .collect(),
+                ),
+            ],
+        ),
     };
     Ok(JdrValue::object(cls, fields))
 }
@@ -672,6 +705,33 @@ fn value_to_request_body(v: &JdrValue, depth: u32) -> Result<Request, WireError>
             Request::WithId {
                 req_id: field(f, 0)?.as_u64()?,
                 req: Box::new(value_to_request_body(field(f, 1)?, depth + 1)?),
+            }
+        }
+        class::REPLICA_OPEN_CHANNEL => Request::ReplicaOpenChannel {
+            chan: value_to_chan(field(f, 0)?)?,
+            name: match field(f, 1)?.as_option() {
+                Some(s) => Some(s.as_str()?.to_owned()),
+                None => None,
+            },
+            attrs: value_to_channel_attrs(field(f, 2)?)?,
+        },
+        class::REPLICA_OPEN_QUEUE => Request::ReplicaOpenQueue {
+            queue: value_to_queue(field(f, 0)?)?,
+            name: match field(f, 1)?.as_option() {
+                Some(s) => Some(s.as_str()?.to_owned()),
+                None => None,
+            },
+            attrs: value_to_queue_attrs(field(f, 2)?)?,
+        },
+        class::REPLICATE_PUT => {
+            let mut items = Vec::new();
+            for item in field(f, 2)?.as_list()? {
+                items.push(value_to_batch_put_item(item)?);
+            }
+            Request::ReplicatePut {
+                resource: value_to_resource(field(f, 0)?)?,
+                floor: Timestamp::new(field(f, 1)?.as_i64()?),
+                items,
             }
         }
         t => return Err(WireError::BadTag(t)),

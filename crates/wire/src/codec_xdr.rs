@@ -488,6 +488,31 @@ fn put_request_body(w: &mut XdrWriter, req: &Request) -> Result<(), WireError> {
             w.put_u64(*req_id);
             put_request_body(w, req)?;
         }
+        Request::ReplicaOpenChannel { chan, name, attrs } => {
+            w.put_u32(class::REPLICA_OPEN_CHANNEL);
+            put_chan_id(w, *chan);
+            w.put_option(name.as_ref(), |w, n| w.put_string(n));
+            put_channel_attrs(w, attrs);
+        }
+        Request::ReplicaOpenQueue { queue, name, attrs } => {
+            w.put_u32(class::REPLICA_OPEN_QUEUE);
+            put_queue_id(w, *queue);
+            w.put_option(name.as_ref(), |w, n| w.put_string(n));
+            put_queue_attrs(w, attrs);
+        }
+        Request::ReplicatePut {
+            resource,
+            floor,
+            items,
+        } => {
+            w.put_u32(class::REPLICATE_PUT);
+            put_resource(w, *resource);
+            w.put_i64(floor.value());
+            w.put_u32(items.len() as u32);
+            for item in items {
+                put_batch_put_item(w, item);
+            }
+        }
     }
     Ok(())
 }
@@ -645,6 +670,32 @@ fn get_request_body(r: &mut XdrReader<'_>, depth: u32) -> Result<Request, WireEr
             Request::WithId {
                 req_id: r.get_u64()?,
                 req: Box::new(get_request_body(r, depth + 1)?),
+            }
+        }
+        class::REPLICA_OPEN_CHANNEL => {
+            let chan = get_chan_id(r)?;
+            let name = r.get_option(|r| r.get_string())?;
+            let attrs = get_channel_attrs(r)?;
+            Request::ReplicaOpenChannel { chan, name, attrs }
+        }
+        class::REPLICA_OPEN_QUEUE => {
+            let queue = get_queue_id(r)?;
+            let name = r.get_option(|r| r.get_string())?;
+            let attrs = get_queue_attrs(r)?;
+            Request::ReplicaOpenQueue { queue, name, attrs }
+        }
+        class::REPLICATE_PUT => {
+            let resource = get_resource(r)?;
+            let floor = Timestamp::new(r.get_i64()?);
+            let n = get_batch_len(r, "replicated item")?;
+            let mut items = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                items.push(get_batch_put_item(r)?);
+            }
+            Request::ReplicatePut {
+                resource,
+                floor,
+                items,
             }
         }
         t => return Err(WireError::BadTag(t)),

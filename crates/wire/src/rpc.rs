@@ -302,6 +302,43 @@ pub enum Request {
         /// The wrapped request.
         req: Box<Request>,
     },
+    /// Primary → follower: open (or reopen) a channel replica so
+    /// subsequent [`Request::ReplicatePut`] frames have a home. Carries
+    /// the primary's channel identity and creation attributes so the
+    /// follower can rebuild the container byte-for-byte on promotion.
+    /// Idempotent in effect: reopening an existing replica is a no-op.
+    ReplicaOpenChannel {
+        /// The primary-owned channel being replicated.
+        chan: ChanId,
+        /// Registered name, if any (adopted in the nameserver on failover).
+        name: Option<String>,
+        /// Creation-time attributes, replayed on promotion.
+        attrs: ChannelAttrs,
+    },
+    /// Primary → follower: open (or reopen) a queue replica. See
+    /// [`Request::ReplicaOpenChannel`].
+    ReplicaOpenQueue {
+        /// The primary-owned queue being replicated.
+        queue: QueueId,
+        /// Registered name, if any (adopted in the nameserver on failover).
+        name: Option<String>,
+        /// Creation-time attributes, replayed on promotion.
+        attrs: QueueAttrs,
+    },
+    /// Primary → follower: append accepted puts to a replica. Rides the
+    /// PR 4 batch item encoding; answered with [`Reply::Ok`] once the
+    /// items are durable in the replica map. Appends are idempotent per
+    /// `(resource, ts)` — a replayed frame overwrites with equal bytes.
+    ReplicatePut {
+        /// The replicated resource (channel or queue).
+        resource: ResourceId,
+        /// The primary's reclamation floor: the follower prunes replica
+        /// items at or below it, so replicas track GC instead of growing
+        /// without bound. `Timestamp::MIN` for queues (no floor notion).
+        floor: Timestamp,
+        /// The accepted items, in primary accept order.
+        items: Vec<BatchPutItem>,
+    },
 }
 
 /// One name-server registration.
@@ -748,6 +785,52 @@ pub mod test_vectors {
                 conn: 15,
                 specs: vec![],
                 max: 32,
+            },
+            Request::ReplicaOpenChannel {
+                chan: chan(2, 7),
+                name: Some("video-frames".into()),
+                attrs: ChannelAttrs::default(),
+            },
+            Request::ReplicaOpenChannel {
+                chan: chan(3, 0),
+                name: None,
+                attrs: ChannelAttrs::default(),
+            },
+            Request::ReplicaOpenQueue {
+                queue: queue(2, 9),
+                name: Some("work".into()),
+                attrs: QueueAttrs::default(),
+            },
+            Request::ReplicaOpenQueue {
+                queue: queue(1, 1),
+                name: None,
+                attrs: QueueAttrs::default(),
+            },
+            Request::ReplicatePut {
+                resource: ResourceId::Channel(chan(2, 7)),
+                floor: Timestamp::new(10),
+                items: vec![
+                    BatchPutItem {
+                        ts: Timestamp::new(11),
+                        tag: 3,
+                        payload: Bytes::from_static(b"replica"),
+                        trace: None,
+                    },
+                    BatchPutItem {
+                        ts: Timestamp::new(12),
+                        tag: 0,
+                        payload: Bytes::new(),
+                        trace: Some(dstampede_obs::TraceContext {
+                            trace: dstampede_obs::TraceId(21),
+                            span: dstampede_obs::SpanId(22),
+                        }),
+                    },
+                ],
+            },
+            Request::ReplicatePut {
+                resource: ResourceId::Queue(queue(2, 9)),
+                floor: Timestamp::new(i64::MIN),
+                items: vec![],
             },
         ]
     }
