@@ -1,0 +1,899 @@
+//! `load_perf` — open-loop saturation harness for the cluster.
+//!
+//! Simulates 10^4–10^6 end-device sessions multiplexed over a few
+//! in-process address spaces (the paper's surrogate model: many
+//! devices, few sockets), driving a put → get → consume mix against
+//! placed channels and queues at a **fixed arrival rate**. Unlike the
+//! closed-loop `stm_perf` cycle, the schedule does not wait for the
+//! previous operation: every operation has an *intended start time*
+//! (`t0 + k * interval`), latency is measured from that intended start,
+//! and missed arrivals during a stall are backfilled into the corrected
+//! histogram (`dstampede_obs::recording::LatencyRecorder`). A stalled
+//! server therefore shows up as latency — the paper's Table 1 / Fig 14
+//! regime — instead of quietly shrinking the denominator.
+//!
+//! ```text
+//! load_perf [--suite smoke] [--out FILE]
+//!           [--sessions N] [--rates R1,R2,..] [--workers W]
+//!           [--spaces S] [--channels C] [--queues Q] [--payload B]
+//!           [--warmup-ms MS] [--duration-ms MS]
+//!           [--churn-ms MS] [--churn-pct P] [--stall-ms MS]
+//!           [--late-drop-ms MS] [--max-occupancy N] [--seed SEED]
+//! ```
+//!
+//! Per rate the run is phased — warmup (unrecorded), steady (the sweep
+//! entry), and optionally churn (sessions continuously leave, die, and
+//! join at `--churn-pct` percent of the population per second under a
+//! seeded `FaultPlan`, while aggregate STM occupancy — the GC horizon,
+//! since every timestamp is one item — must stay under
+//! `--max-occupancy`). Phases are separated with
+//! `HistogramWindow`/counter deltas over one continuously-recording
+//! registry, so the flight recorder and the `watch` dashboard see the
+//! run live (`load/offered_ops`, `load/achieved_ops`, `load/p99_us`).
+//!
+//! `--stall-ms` appends a paired honesty check at the reference (first)
+//! rate: one worker sleeps mid-phase, and the run fails unless the
+//! corrected p99 dominates the naive (service-time) p99 — the
+//! coordinated-omission fix demonstrably engaged.
+//!
+//! In-process sessions release their GC cursor on drop, so churn's
+//! "kill" exercises abrupt replacement without a detach call; the
+//! leaked-cursor crash path (a TCP client vanishing) is covered by the
+//! `churn` drill in `crates/runtime/tests`, which runs real listeners.
+//!
+//! The report (`--out`, schema `bench-load-v1`) is the committed
+//! `BENCH_load.json` trajectory the CI `load-gate` diffs against.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dstampede_clf::FaultPlan;
+use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, Timestamp};
+use dstampede_obs::recording::{HistogramWindow, LatencyRecorder};
+use dstampede_obs::{Counter, HistogramSample, MetricId};
+use dstampede_runtime::proxy::{ChanInput, ChanOutput, QueueInput, QueueOutput};
+use dstampede_runtime::{Cluster, RecorderConfig};
+use dstampede_wire::WaitSpec;
+
+/// Everything a run needs, parsed from argv (or the smoke preset).
+#[derive(Debug, Clone)]
+struct Config {
+    out: Option<String>,
+    sessions: usize,
+    rates: Vec<u64>,
+    workers: usize,
+    spaces: u16,
+    channels: usize,
+    queues: usize,
+    payload: usize,
+    warmup_ms: u64,
+    duration_ms: u64,
+    churn_ms: u64,
+    churn_pct: f64,
+    stall_ms: u64,
+    late_drop_ms: u64,
+    max_occupancy: i64,
+    seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            out: None,
+            sessions: 100_000,
+            rates: vec![20_000, 50_000, 100_000],
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().clamp(2, 8))
+                .unwrap_or(4),
+            spaces: 2,
+            channels: 8,
+            queues: 2,
+            payload: 64,
+            warmup_ms: 500,
+            duration_ms: 3_000,
+            churn_ms: 0,
+            churn_pct: 20.0,
+            stall_ms: 0,
+            late_drop_ms: 2_000,
+            max_occupancy: 0, // 0 = auto: 4 * sessions + 4096
+            seed: 42,
+        }
+    }
+}
+
+impl Config {
+    fn smoke() -> Self {
+        Config {
+            sessions: 5_000,
+            rates: vec![2_000, 8_000],
+            workers: 2,
+            warmup_ms: 800,
+            duration_ms: 1_500,
+            churn_ms: 800,
+            stall_ms: 120,
+            ..Config::default()
+        }
+    }
+
+    fn occupancy_bound(&self) -> i64 {
+        if self.max_occupancy > 0 {
+            self.max_occupancy
+        } else {
+            4 * self.sessions as i64 + 4_096
+        }
+    }
+}
+
+fn parse_args() -> Config {
+    let mut config = Config::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match arg.as_str() {
+            "--suite" => {
+                let kind = value("--suite");
+                assert_eq!(kind, "smoke", "unknown suite {kind:?} (expected smoke)");
+                let out = config.out.take();
+                config = Config::smoke();
+                config.out = out;
+            }
+            "--out" => config.out = Some(value("--out")),
+            "--sessions" => config.sessions = value("--sessions").parse().expect("--sessions"),
+            "--rates" => {
+                config.rates = value("--rates")
+                    .split(',')
+                    .map(|r| r.trim().parse().expect("--rates"))
+                    .collect();
+                assert!(!config.rates.is_empty(), "--rates needs at least one rate");
+            }
+            "--workers" => config.workers = value("--workers").parse().expect("--workers"),
+            "--spaces" => config.spaces = value("--spaces").parse().expect("--spaces"),
+            "--channels" => config.channels = value("--channels").parse().expect("--channels"),
+            "--queues" => config.queues = value("--queues").parse().expect("--queues"),
+            "--payload" => config.payload = value("--payload").parse().expect("--payload"),
+            "--warmup-ms" => config.warmup_ms = value("--warmup-ms").parse().expect("--warmup-ms"),
+            "--duration-ms" => {
+                config.duration_ms = value("--duration-ms").parse().expect("--duration-ms");
+            }
+            "--churn-ms" => config.churn_ms = value("--churn-ms").parse().expect("--churn-ms"),
+            "--churn-pct" => config.churn_pct = value("--churn-pct").parse().expect("--churn-pct"),
+            "--stall-ms" => config.stall_ms = value("--stall-ms").parse().expect("--stall-ms"),
+            "--late-drop-ms" => {
+                config.late_drop_ms = value("--late-drop-ms").parse().expect("--late-drop-ms");
+            }
+            "--max-occupancy" => {
+                config.max_occupancy = value("--max-occupancy").parse().expect("--max-occupancy");
+            }
+            "--seed" => config.seed = value("--seed").parse().expect("--seed"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    assert!(config.workers > 0, "--workers must be positive");
+    assert!(
+        config.channels + config.queues > 0,
+        "need at least one container"
+    );
+    assert!(
+        config.sessions >= config.workers,
+        "more workers than sessions"
+    );
+    config
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One virtual end-device session: a producer and a consumer connection
+/// to one container, sharing that container's timestamp clock with
+/// every other session on it (so all cursors advance together and the
+/// GC horizon stays bounded).
+enum Session {
+    Chan {
+        container: usize,
+        out: ChanOutput,
+        inp: ChanInput,
+    },
+    Queue {
+        container: usize,
+        out: QueueOutput,
+        inp: QueueInput,
+    },
+}
+
+/// The placed containers: ids plus per-container shared clocks.
+struct Containers {
+    chans: Vec<dstampede_core::ChanId>,
+    queues: Vec<dstampede_core::QueueId>,
+    clocks: Vec<Arc<AtomicI64>>,
+}
+
+impl Containers {
+    fn count(&self) -> usize {
+        self.chans.len() + self.queues.len()
+    }
+}
+
+/// Opens session `sid`'s connections from its home space. Container
+/// index < channels = a channel session, else a queue session.
+fn open_session(cluster: &Cluster, containers: &Containers, sid: usize) -> Session {
+    let spaces = cluster.spaces();
+    let home = &spaces[sid % spaces.len()];
+    let container = sid % containers.count();
+    if container < containers.chans.len() {
+        let chan = home
+            .open_channel(containers.chans[container])
+            .expect("open channel");
+        Session::Chan {
+            container,
+            out: chan.connect_output().expect("connect output"),
+            inp: chan
+                .connect_input(Interest::FromLatest)
+                .expect("connect input"),
+        }
+    } else {
+        let queue = home
+            .open_queue(containers.queues[container - containers.chans.len()])
+            .expect("open queue");
+        Session::Queue {
+            container,
+            out: queue.connect_output().expect("connect output"),
+            inp: queue.connect_input().expect("connect input"),
+        }
+    }
+}
+
+/// Shared worker-visible state for one whole run.
+struct Shared {
+    recorder: LatencyRecorder,
+    offered: Arc<Counter>,
+    achieved: Arc<Counter>,
+    dropped: Arc<Counter>,
+    errors: Arc<Counter>,
+    churns: Arc<Counter>,
+    /// Inter-arrival gap per worker for the current rate block, in ns.
+    interval_ns: AtomicU64,
+    /// Churn phase active: workers interleave session replacement.
+    churn_on: AtomicBool,
+    /// One-shot injected stall (ms); the first worker to see it sleeps.
+    stall_ms: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// One worker's open loop over its own slice of sessions.
+#[allow(clippy::needless_pass_by_value)]
+fn worker_loop(
+    cluster: Arc<Cluster>,
+    containers: Arc<Containers>,
+    shared: Arc<Shared>,
+    config: Config,
+    worker: usize,
+    mut sessions: Vec<(usize, Session)>,
+    payload: Vec<u8>,
+) -> Vec<(usize, Session)> {
+    let mut rng = config.seed ^ (worker as u64).wrapping_mul(0x9e37_79b9);
+    let late_drop = Duration::from_millis(config.late_drop_ms);
+    // Churn schedule: replace sessions so the whole population turns
+    // over at churn_pct %/s, split evenly across workers.
+    let churn_gap = if config.churn_pct > 0.0 {
+        let per_worker_per_sec =
+            config.sessions as f64 * config.churn_pct / 100.0 / config.workers as f64;
+        Duration::from_secs_f64(1.0 / per_worker_per_sec.max(1e-9))
+    } else {
+        Duration::from_secs(3_600)
+    };
+    let mut next_churn: Option<Instant> = None;
+    let mut churn_idx = 0usize;
+
+    let mut t0 = Instant::now();
+    let mut interval_ns = shared.interval_ns.load(Ordering::Acquire);
+    let mut k: u64 = 0;
+    let mut sid = 0usize;
+    while !shared.stop.load(Ordering::Acquire) {
+        // Rate changes restart the schedule from "now".
+        let current = shared.interval_ns.load(Ordering::Acquire);
+        if current != interval_ns {
+            interval_ns = current;
+            t0 = Instant::now();
+            k = 0;
+        }
+        let interval = Duration::from_nanos(interval_ns);
+
+        // The injected stall: first worker to claim it sleeps, which
+        // makes every one of its subsequent intended starts late.
+        let stall = shared.stall_ms.swap(0, Ordering::AcqRel);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
+
+        let intended = t0 + Duration::from_nanos(interval_ns.saturating_mul(k));
+        k += 1;
+        shared.offered.inc();
+        let mut now = Instant::now();
+        if intended > now {
+            hybrid_sleep(intended - now);
+            now = Instant::now();
+        } else if now.duration_since(intended) > late_drop {
+            // Hopelessly behind schedule: this arrival is a drop (the
+            // device would have timed out), not a latency sample.
+            shared.dropped.inc();
+            continue;
+        }
+
+        let session = &sessions[sid].1;
+        let svc_start = now;
+        match run_op(session, containers.as_ref(), &payload) {
+            Ok(()) => {
+                let end = Instant::now();
+                shared.achieved.inc();
+                shared.recorder.record_op(
+                    duration_us(end.duration_since(intended)),
+                    duration_us(end.duration_since(svc_start)),
+                    duration_us(interval),
+                );
+            }
+            Err(_) => {
+                shared.errors.inc();
+            }
+        }
+        sid = (sid + 1) % sessions.len();
+
+        // Session churn, interleaved on its own schedule.
+        if shared.churn_on.load(Ordering::Acquire) {
+            let due = *next_churn.get_or_insert_with(Instant::now);
+            if Instant::now() >= due {
+                next_churn = Some(due + churn_gap);
+                let victim = churn_idx % sessions.len();
+                churn_idx += 1;
+                let orig_sid = sessions[victim].0;
+                let (_, old) = std::mem::replace(
+                    &mut sessions[victim],
+                    (orig_sid, open_session(&cluster, &containers, orig_sid)),
+                );
+                // Leave (explicit disconnect) or abrupt drop, seeded;
+                // both release the cursor in-process — see module docs.
+                if splitmix64(&mut rng) & 1 == 0 {
+                    match &old {
+                        Session::Chan { out, inp, .. } => {
+                            out.disconnect();
+                            inp.disconnect();
+                        }
+                        Session::Queue { out, inp, .. } => {
+                            out.disconnect();
+                            inp.disconnect();
+                        }
+                    }
+                }
+                drop(old);
+                shared.churns.inc();
+            }
+        } else {
+            next_churn = None;
+        }
+    }
+    sessions
+}
+
+/// One session operation: draw a fresh timestamp from the container's
+/// shared clock, put, get it back, consume.
+fn run_op(session: &Session, containers: &Containers, payload: &[u8]) -> Result<(), ()> {
+    match session {
+        Session::Chan {
+            container,
+            out,
+            inp,
+        } => {
+            let ts = Timestamp::new(containers.clocks[*container].fetch_add(1, Ordering::Relaxed));
+            let item = Item::copy_from_slice(payload);
+            out.put(ts, item, WaitSpec::NonBlocking).map_err(|_| ())?;
+            inp.get(GetSpec::Exact(ts), WaitSpec::NonBlocking)
+                .map_err(|_| ())?;
+            inp.consume_until(ts).map_err(|_| ())
+        }
+        Session::Queue {
+            container,
+            out,
+            inp,
+        } => {
+            let ts = Timestamp::new(containers.clocks[*container].fetch_add(1, Ordering::Relaxed));
+            let item = Item::copy_from_slice(payload);
+            out.put(ts, item, WaitSpec::NonBlocking).map_err(|_| ())?;
+            // The queue hands back the oldest item — possibly another
+            // session's; tickets make the consume exact.
+            let (_, _, ticket) = inp.get(WaitSpec::NonBlocking).map_err(|_| ())?;
+            inp.consume(ticket).map_err(|_| ())
+        }
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Sleep for coarse gaps, yield-spin the last stretch: microsecond
+/// schedules can't afford a 1 ms+ kernel sleep quantum per op.
+fn hybrid_sleep(wait: Duration) {
+    if wait > Duration::from_millis(2) {
+        std::thread::sleep(wait - Duration::from_millis(1));
+    }
+    let deadline = Instant::now() + wait.min(Duration::from_millis(2));
+    while Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}
+
+/// A phase's readout: counter deltas plus the corrected/naive windows.
+struct PhaseStats {
+    secs: f64,
+    offered: u64,
+    achieved: u64,
+    dropped: u64,
+    errors: u64,
+    churns: u64,
+    corrected: HistogramSample,
+    naive: HistogramSample,
+    backfilled: u64,
+}
+
+impl PhaseStats {
+    fn achieved_rate(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.achieved as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Phase bookkeeping: snapshots counters and windows at boundaries.
+struct PhaseCursor {
+    offered: u64,
+    achieved: u64,
+    dropped: u64,
+    errors: u64,
+    churns: u64,
+    backfilled: u64,
+    corrected: HistogramWindow,
+    naive: HistogramWindow,
+    started: Instant,
+}
+
+impl PhaseCursor {
+    fn open(shared: &Shared) -> Self {
+        let mut corrected = HistogramWindow::new();
+        let mut naive = HistogramWindow::new();
+        let _ = corrected.advance(shared.recorder.corrected(), window_id());
+        let _ = naive.advance(shared.recorder.naive(), window_id());
+        PhaseCursor {
+            offered: shared.offered.get(),
+            achieved: shared.achieved.get(),
+            dropped: shared.dropped.get(),
+            errors: shared.errors.get(),
+            churns: shared.churns.get(),
+            backfilled: shared.recorder.backfilled(),
+            corrected,
+            naive,
+            started: Instant::now(),
+        }
+    }
+
+    fn close(mut self, shared: &Shared) -> PhaseStats {
+        PhaseStats {
+            secs: self.started.elapsed().as_secs_f64(),
+            offered: shared.offered.get() - self.offered,
+            achieved: shared.achieved.get() - self.achieved,
+            dropped: shared.dropped.get() - self.dropped,
+            errors: shared.errors.get() - self.errors,
+            churns: shared.churns.get() - self.churns,
+            corrected: self
+                .corrected
+                .advance(shared.recorder.corrected(), window_id()),
+            naive: self.naive.advance(shared.recorder.naive(), window_id()),
+            backfilled: shared.recorder.backfilled() - self.backfilled,
+        }
+    }
+}
+
+fn window_id() -> MetricId {
+    MetricId::new("load", "latency_us", &[])
+}
+
+/// Sleeps a phase out in short steps, keeping the live dashboard series
+/// (p99 gauge, occupancy watermark) fresh; returns the max STM
+/// occupancy observed.
+fn run_phase(cluster: &Cluster, shared: &Shared, live: &mut LiveSeries, ms: u64) -> i64 {
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    let mut max_occupancy = 0i64;
+    while Instant::now() < deadline {
+        let left = deadline.saturating_duration_since(Instant::now());
+        std::thread::sleep(left.min(Duration::from_millis(250)));
+        max_occupancy = max_occupancy.max(live.tick(cluster, shared));
+    }
+    max_occupancy
+}
+
+/// Publishes per-tick derived series into the registry the flight
+/// recorder samples, so `watch` can plot a live run.
+struct LiveSeries {
+    window: HistogramWindow,
+    p99: Arc<dstampede_obs::Gauge>,
+    occupancy: Arc<dstampede_obs::Gauge>,
+}
+
+impl LiveSeries {
+    fn new(cluster: &Cluster, shared: &Shared) -> Self {
+        let metrics = cluster.spaces()[0].metrics();
+        LiveSeries {
+            window: HistogramWindow::opened_at(shared.recorder.corrected()),
+            p99: metrics.gauge("load", "p99_us"),
+            occupancy: metrics.gauge("load", "occupancy"),
+        }
+    }
+
+    /// One dashboard tick; returns current cluster STM occupancy.
+    fn tick(&mut self, cluster: &Cluster, shared: &Shared) -> i64 {
+        let delta = self
+            .window
+            .advance(shared.recorder.corrected(), window_id());
+        if delta.count > 0 {
+            self.p99
+                .set(i64::try_from(delta.quantile(0.99)).unwrap_or(i64::MAX));
+        }
+        let occupancy: i64 = cluster
+            .spaces()
+            .iter()
+            .map(|s| {
+                s.metrics().gauge("stm", "channel_items").get()
+                    + s.metrics().gauge("stm", "queue_items").get()
+            })
+            .sum();
+        self.occupancy.set(occupancy);
+        occupancy
+    }
+}
+
+struct SweepEntry {
+    rate: u64,
+    steady: PhaseStats,
+    churn: Option<(PhaseStats, i64)>,
+}
+
+struct StallResult {
+    rate: u64,
+    stall_ms: u64,
+    stats: PhaseStats,
+}
+
+fn hist_quantiles(h: &HistogramSample) -> (u64, u64, u64, u64) {
+    (
+        h.quantile(0.50),
+        h.quantile(0.90),
+        h.quantile(0.99),
+        h.quantile(0.999),
+    )
+}
+
+fn json_phase(p: &PhaseStats) -> String {
+    let (p50, p90, p99, p999) = hist_quantiles(&p.corrected);
+    format!(
+        "\"achieved_rate\": {:.1}, \"offered\": {}, \"completed\": {}, \"drops\": {}, \
+         \"errors\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+         \"naive_p50_us\": {}, \"naive_p99_us\": {}, \"backfilled\": {}",
+        p.achieved_rate(),
+        p.offered,
+        p.achieved,
+        p.dropped,
+        p.errors,
+        p50,
+        p90,
+        p99,
+        p999,
+        p.naive.quantile(0.50),
+        p.naive.quantile(0.99),
+        p.backfilled,
+    )
+}
+
+fn write_report(config: &Config, sweep: &[SweepEntry], stall: Option<&StallResult>) -> String {
+    let mut out = String::from("{\n  \"schema\": \"bench-load-v1\",\n");
+    out.push_str(&format!(
+        "  \"sessions\": {}, \"workers\": {}, \"spaces\": {}, \"channels\": {}, \
+         \"queues\": {},\n  \"payload\": {}, \"warmup_ms\": {}, \"duration_ms\": {}, \
+         \"churn_ms\": {}, \"churn_pct\": {}, \"stall_ms\": {}, \"late_drop_ms\": {}, \
+         \"seed\": {},\n  \"reference_rate\": {},\n  \"sweep\": [",
+        config.sessions,
+        config.workers,
+        config.spaces,
+        config.channels,
+        config.queues,
+        config.payload,
+        config.warmup_ms,
+        config.duration_ms,
+        config.churn_ms,
+        config.churn_pct,
+        config.stall_ms,
+        config.late_drop_ms,
+        config.seed,
+        config.rates[0],
+    ));
+    for (i, entry) in sweep.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rate\": {}, {}",
+            entry.rate,
+            json_phase(&entry.steady)
+        ));
+        match &entry.churn {
+            Some((churn, max_occupancy)) => {
+                out.push_str(&format!(
+                    ", \"churn\": {{\"churns\": {}, {}, \"max_occupancy\": {}}}}}",
+                    churn.churns,
+                    json_phase(churn),
+                    max_occupancy
+                ));
+            }
+            None => out.push_str(", \"churn\": null}"),
+        }
+    }
+    out.push_str("\n  ],\n  \"stall\": ");
+    match stall {
+        Some(s) => out.push_str(&format!(
+            "{{\"rate\": {}, \"stall_ms\": {}, {}}}\n",
+            s.rate,
+            s.stall_ms,
+            json_phase(&s.stats)
+        )),
+        None => out.push_str("null\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let config = parse_args();
+    let occupancy_bound = config.occupancy_bound();
+
+    eprintln!(
+        "load_perf: {} sessions over {} spaces ({} channels + {} queues), {} workers, rates {:?}",
+        config.sessions,
+        config.spaces,
+        config.channels,
+        config.queues,
+        config.workers,
+        config.rates
+    );
+
+    // Seeded faults stay on for the whole run: light duplication
+    // exercises the dedup/replay path without failing operations.
+    let plan = FaultPlan::new(config.seed);
+    plan.duplicate_every_nth(997);
+    let cluster = Arc::new(
+        Cluster::builder()
+            .address_spaces(config.spaces)
+            .listeners(false)
+            .fault_plan(Arc::clone(&plan))
+            .flight_recorder(RecorderConfig {
+                tick: Duration::from_millis(500),
+                occupancy_watermark: occupancy_bound,
+                ..RecorderConfig::default()
+            })
+            .build()
+            .expect("cluster"),
+    );
+
+    // Placed containers, created round-robin from every space so the
+    // rendezvous hash spreads primaries across the membership.
+    let mut containers = Containers {
+        chans: Vec::with_capacity(config.channels),
+        queues: Vec::with_capacity(config.queues),
+        clocks: Vec::new(),
+    };
+    for c in 0..config.channels {
+        let creator = &cluster.spaces()[c % cluster.spaces().len()];
+        containers.chans.push(
+            creator
+                .create_channel_placed(None, ChannelAttrs::default())
+                .expect("create channel"),
+        );
+    }
+    for q in 0..config.queues {
+        let creator = &cluster.spaces()[q % cluster.spaces().len()];
+        containers.queues.push(
+            creator
+                .create_queue_placed(None, QueueAttrs::default())
+                .expect("create queue"),
+        );
+    }
+    containers.clocks = (0..containers.count())
+        .map(|_| Arc::new(AtomicI64::new(1)))
+        .collect();
+    let containers = Arc::new(containers);
+
+    // The recorder writes into registry histograms on space 0, so the
+    // corrected distribution rides every stats/history/watch path.
+    let metrics = cluster.spaces()[0].metrics();
+    let shared = Arc::new(Shared {
+        recorder: LatencyRecorder::over(
+            metrics.histogram("load", "latency_naive_us"),
+            metrics.histogram("load", "latency_us"),
+        ),
+        offered: metrics.counter("load", "offered_ops"),
+        achieved: metrics.counter("load", "achieved_ops"),
+        dropped: metrics.counter("load", "dropped_ops"),
+        errors: metrics.counter("load", "errors"),
+        churns: metrics.counter("load", "session_churns"),
+        interval_ns: AtomicU64::new(0),
+        churn_on: AtomicBool::new(false),
+        stall_ms: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let sessions_gauge = metrics.gauge("load", "sessions");
+
+    // Open the virtual sessions, sliced per worker.
+    let setup = Instant::now();
+    let mut slices: Vec<Vec<(usize, Session)>> = (0..config.workers).map(|_| Vec::new()).collect();
+    for sid in 0..config.sessions {
+        slices[sid % config.workers].push((sid, open_session(&cluster, &containers, sid)));
+    }
+    sessions_gauge.set(config.sessions as i64);
+    eprintln!(
+        "load_perf: opened {} sessions in {:.1}s",
+        config.sessions,
+        setup.elapsed().as_secs_f64()
+    );
+
+    // First rate before the workers start, so no worker spins at rate 0.
+    let interval_for =
+        |rate: u64| -> u64 { (1_000_000_000u64 * config.workers as u64) / rate.max(1) };
+    shared
+        .interval_ns
+        .store(interval_for(config.rates[0]), Ordering::Release);
+
+    let mut handles = Vec::new();
+    for (w, slice) in slices.into_iter().enumerate() {
+        let cluster = Arc::clone(&cluster);
+        let containers = Arc::clone(&containers);
+        let shared = Arc::clone(&shared);
+        let config = config.clone();
+        let payload = vec![0xabu8; config.payload];
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("load-worker-{w}"))
+                .spawn(move || worker_loop(cluster, containers, shared, config, w, slice, payload))
+                .expect("spawn worker"),
+        );
+    }
+
+    let mut live = LiveSeries::new(&cluster, &shared);
+    let mut sweep = Vec::new();
+    let mut churn_bound_violated = None;
+    for &rate in &config.rates {
+        shared
+            .interval_ns
+            .store(interval_for(rate), Ordering::Release);
+        eprintln!("load_perf: rate {rate}/s warmup");
+        run_phase(&cluster, &shared, &mut live, config.warmup_ms);
+
+        let cursor = PhaseCursor::open(&shared);
+        run_phase(&cluster, &shared, &mut live, config.duration_ms);
+        let steady = cursor.close(&shared);
+        let (p50, _, p99, p999) = hist_quantiles(&steady.corrected);
+        eprintln!(
+            "load_perf: rate {rate}/s achieved {:.0}/s p50 {p50}us p99 {p99}us p99.9 {p999}us \
+             drops {} errors {}",
+            steady.achieved_rate(),
+            steady.dropped,
+            steady.errors
+        );
+
+        let churn = if config.churn_ms > 0 {
+            let cursor = PhaseCursor::open(&shared);
+            shared.churn_on.store(true, Ordering::Release);
+            let max_occupancy = run_phase(&cluster, &shared, &mut live, config.churn_ms);
+            shared.churn_on.store(false, Ordering::Release);
+            let stats = cursor.close(&shared);
+            eprintln!(
+                "load_perf: rate {rate}/s churn {} replacements, p99 {}us, max occupancy {}",
+                stats.churns,
+                stats.corrected.quantile(0.99),
+                max_occupancy
+            );
+            if max_occupancy > occupancy_bound {
+                churn_bound_violated = Some((rate, max_occupancy));
+            }
+            Some((stats, max_occupancy))
+        } else {
+            None
+        };
+        sweep.push(SweepEntry {
+            rate,
+            steady,
+            churn,
+        });
+    }
+
+    // Paired corrected-vs-naive honesty check under an injected stall.
+    let stall = if config.stall_ms > 0 {
+        let rate = config.rates[0];
+        shared
+            .interval_ns
+            .store(interval_for(rate), Ordering::Release);
+        run_phase(&cluster, &shared, &mut live, config.warmup_ms);
+        let cursor = PhaseCursor::open(&shared);
+        let half = config.duration_ms / 2;
+        run_phase(&cluster, &shared, &mut live, half);
+        shared.stall_ms.store(config.stall_ms, Ordering::Release);
+        run_phase(&cluster, &shared, &mut live, config.duration_ms - half);
+        let stats = cursor.close(&shared);
+        eprintln!(
+            "load_perf: stall {}ms at {rate}/s -> corrected p99 {}us vs naive p99 {}us \
+             ({} backfilled)",
+            config.stall_ms,
+            stats.corrected.quantile(0.99),
+            stats.naive.quantile(0.99),
+            stats.backfilled
+        );
+        Some(StallResult {
+            rate,
+            stall_ms: config.stall_ms,
+            stats,
+        })
+    } else {
+        None
+    };
+
+    shared.stop.store(true, Ordering::Release);
+    for h in handles {
+        let _ = h.join();
+    }
+    // Drop sessions before the cluster so cursors release cleanly.
+    cluster.shutdown();
+
+    let report = write_report(&config, &sweep, stall.as_ref());
+    match &config.out {
+        Some(path) => {
+            std::fs::write(path, &report).expect("write report");
+            eprintln!("load_perf: wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+
+    let mut failed = false;
+    if let Some((rate, occupancy)) = churn_bound_violated {
+        eprintln!(
+            "load_perf: FAIL churn at rate {rate}/s pushed occupancy to {occupancy} \
+             (bound {occupancy_bound}) — GC horizon unbounded"
+        );
+        failed = true;
+    }
+    if let Some(s) = &stall {
+        let corrected = s.stats.corrected.quantile(0.99);
+        let naive = s.stats.naive.quantile(0.99);
+        if corrected < naive {
+            eprintln!(
+                "load_perf: FAIL corrected p99 {corrected}us < naive p99 {naive}us under a \
+                 {}ms stall — coordinated-omission correction not engaged",
+                s.stall_ms
+            );
+            failed = true;
+        }
+        if s.stats.backfilled == 0 {
+            eprintln!("load_perf: FAIL injected stall backfilled no samples");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

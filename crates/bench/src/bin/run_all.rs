@@ -1,6 +1,8 @@
 //! Runs every experiment of the paper's §5 with quick settings and writes
 //! CSVs under `results/`, plus a cluster telemetry snapshot
-//! (`results/BENCH_obs.json`) from an instrumented in-process workload.
+//! (`results/BENCH_obs.json`) from an instrumented in-process workload
+//! and the open-loop saturation smoke sweep (`results/BENCH_load.json`,
+//! via `load_perf --suite smoke`).
 //!
 //! Equivalent to running each binary individually with `--quick --csv ...`;
 //! use the individual binaries for full-resolution sweeps.
@@ -94,6 +96,25 @@ fn main() {
         Err(e) => {
             dstampede_obs::warn("bench", format!("obs snapshot failed: {e}"));
             failures.push("obs_snapshot");
+        }
+    }
+
+    println!("=== load smoke ===");
+    let status = Command::new(bin_dir.join("load_perf"))
+        .args(["--suite", "smoke", "--out", "results/BENCH_load.json"])
+        .status();
+    match status {
+        Ok(s) if s.success() => println!("wrote results/BENCH_load.json"),
+        Ok(s) => {
+            dstampede_obs::warn("bench", format!("load_perf exited with {s}"));
+            failures.push("load_perf");
+        }
+        Err(e) => {
+            dstampede_obs::warn(
+                "bench",
+                format!("failed to launch load_perf ({e}); build bench binaries first"),
+            );
+            failures.push("load_perf");
         }
     }
 

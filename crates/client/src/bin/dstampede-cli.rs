@@ -23,6 +23,8 @@
 //! ns-list
 //! placement                      # resource -> node map with follower and replication lag
 //! stats [local]                  # telemetry table, cluster-wide unless "local"
+//! stats [local] --interval SECS [COUNT]  # delta mode: COUNT windows (default 10) of
+//!                                # counter rates + windowed interpolated percentiles
 //! trace [local]                  # causal timelines, cluster-wide unless "local"
 //! trace export [FILE] [local]    # write Chrome trace-event JSON (default results/trace.json)
 //! health [local]                 # derived health states, cluster-wide unless "local"
@@ -190,12 +192,39 @@ impl Shell {
             }
             "stats" => {
                 // Cluster-wide by default; `stats local` asks only the
-                // attached address space.
-                let cluster = parts.next() != Some("local");
-                let snap = self.device.stats(cluster).map_err(err)?;
-                Ok(dstampede_client::render_snapshot_table(&snap)
-                    .trim_end()
-                    .to_owned())
+                // attached address space. `--interval SECS [COUNT]`
+                // switches to delta mode: each window prints what moved
+                // since the previous pull (counters as rates,
+                // histograms as windowed interpolated percentiles)
+                // instead of lifetime totals.
+                let args: Vec<&str> = parts.collect();
+                let cluster = !args.contains(&"local");
+                if let Some(pos) = args.iter().position(|a| *a == "--interval") {
+                    let secs: f64 = args
+                        .get(pos + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|s| *s > 0.0)
+                        .ok_or("--interval needs seconds > 0")?;
+                    let count: u64 = args.get(pos + 2).and_then(|v| v.parse().ok()).unwrap_or(10);
+                    let mut stdout = std::io::stdout();
+                    let mut prev = self.device.stats(cluster).map_err(err)?;
+                    for _ in 0..count.max(1) {
+                        std::thread::sleep(Duration::from_secs_f64(secs));
+                        let now = self.device.stats(cluster).map_err(err)?;
+                        print!(
+                            "{}",
+                            dstampede_client::render_interval_table(&now.delta_since(&prev), secs)
+                        );
+                        let _ = stdout.flush();
+                        prev = now;
+                    }
+                    Ok(String::new())
+                } else {
+                    let snap = self.device.stats(cluster).map_err(err)?;
+                    Ok(dstampede_client::render_snapshot_table(&snap)
+                        .trim_end()
+                        .to_owned())
+                }
             }
             "trace" => {
                 let args: Vec<&str> = parts.collect();

@@ -50,8 +50,8 @@ pub mod report;
 pub mod session;
 
 pub use report::{
-    health_at_least, render_health_table, render_placement_table, render_snapshot_table,
-    render_trace_timelines, render_watch, sparkline,
+    health_at_least, render_health_table, render_interval_table, render_placement_table,
+    render_snapshot_table, render_trace_timelines, render_watch, sparkline,
 };
 pub use session::{
     ClientChanIn, ClientChanOut, ClientGarbageHook, ClientQueueIn, ClientQueueOut, EndDevice,

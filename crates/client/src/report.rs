@@ -74,6 +74,76 @@ pub fn render_snapshot_table(snap: &Snapshot) -> String {
     out
 }
 
+/// Renders an interval delta (a [`Snapshot::delta_since`] result) as
+/// an aligned table headed with the window length: counters as the
+/// window's increment plus a per-second rate, gauges at their level,
+/// histograms as the window's sample count with interpolated
+/// p50/p90/p99/p99.9. Series that did not move in the window are
+/// dropped by `delta_since` itself, so a quiet interval renders short.
+#[must_use]
+pub fn render_interval_table(delta: &Snapshot, secs: f64) -> String {
+    let rate = |v: u64| -> String {
+        if secs > 0.0 {
+            format!("{v} ({:.1}/s)", v as f64 / secs)
+        } else {
+            v.to_string()
+        }
+    };
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for c in &delta.counters {
+        rows.push((
+            format!(
+                "{}/{}{}",
+                c.id.subsystem,
+                c.id.name,
+                label_suffix(&c.id.labels)
+            ),
+            rate(c.value),
+        ));
+    }
+    for g in &delta.gauges {
+        rows.push((
+            format!(
+                "{}/{}{}",
+                g.id.subsystem,
+                g.id.name,
+                label_suffix(&g.id.labels)
+            ),
+            g.value.to_string(),
+        ));
+    }
+    for h in &delta.histograms {
+        rows.push((
+            format!(
+                "{}/{}{}",
+                h.id.subsystem,
+                h.id.name,
+                label_suffix(&h.id.labels)
+            ),
+            format!(
+                "count={} p50={} p90={} p99={} p99.9={}",
+                h.count,
+                h.quantile(0.5),
+                h.quantile(0.9),
+                h.quantile(0.99),
+                h.quantile(0.999)
+            ),
+        ));
+    }
+    let width = rows.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+    let mut out = format!(
+        "window: {secs:.1}s  sources: {}\n",
+        delta.sources.join(", ")
+    );
+    if rows.is_empty() {
+        out.push_str("(no movement in window)\n");
+    }
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    out
+}
+
 /// Renders a trace dump as per-item timelines: one block per
 /// `(trace, timestamp)` pair, its spans ordered by start time and
 /// offset from the timeline's first span. A cluster-wide pull shows
@@ -265,6 +335,49 @@ pub fn render_watch(health: &HealthReport, history: &HistoryDump) -> String {
             "",
             sparkline(&retr, SPARK_WIDTH),
             retr.last().copied().unwrap_or(0)
+        ));
+    }
+
+    // Open-loop load harness, when a `load_perf` run is live: offered
+    // vs achieved arrivals per tick (a widening gap is saturation) and
+    // the corrected-p99 level the harness publishes.
+    let mut wrote_load = false;
+    for src in &sources {
+        let offered = history
+            .series_for(src, "load", "offered_ops", SeriesField::Value)
+            .map(|s| deltas(&s.samples))
+            .unwrap_or_default();
+        let achieved = history
+            .series_for(src, "load", "achieved_ops", SeriesField::Value)
+            .map(|s| deltas(&s.samples))
+            .unwrap_or_default();
+        let p99 = history
+            .series_for(src, "load", "p99_us", SeriesField::Value)
+            .map(|s| s.samples.iter().map(|&(_, v)| v).collect::<Vec<_>>())
+            .unwrap_or_default();
+        if offered.is_empty() && achieved.is_empty() && p99.is_empty() {
+            continue;
+        }
+        if !wrote_load {
+            out.push_str("\nload (offered/achieved per tick, corrected p99 us)\n");
+            wrote_load = true;
+        }
+        out.push_str(&format!(
+            "  {src:<8} offr {:<SPARK_WIDTH$} {}\n",
+            sparkline(&offered, SPARK_WIDTH),
+            offered.last().copied().unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "  {:<8} achv {:<SPARK_WIDTH$} {}\n",
+            "",
+            sparkline(&achieved, SPARK_WIDTH),
+            achieved.last().copied().unwrap_or(0)
+        ));
+        out.push_str(&format!(
+            "  {:<8} p99  {:<SPARK_WIDTH$} {}\n",
+            "",
+            sparkline(&p99, SPARK_WIDTH),
+            p99.last().copied().unwrap_or(0)
         ));
     }
 
@@ -519,6 +632,60 @@ mod tests {
         let text = render_placement_table(&entries, &Snapshot::default(), &HealthReport::default());
         assert!(text.contains("queue:0.3"));
         assert!(text.contains("jobs"));
+    }
+
+    #[test]
+    fn interval_table_rates_counters_and_quantiles_histograms() {
+        let reg = MetricsRegistry::new("as-0");
+        reg.counter("load", "achieved_ops").add(100);
+        reg.histogram("load", "latency_us").record(10);
+        let prev = reg.snapshot();
+        reg.counter("load", "achieved_ops").add(50);
+        for _ in 0..99 {
+            reg.histogram("load", "latency_us").record(10);
+        }
+        reg.histogram("load", "latency_us").record(100_000);
+        let delta = reg.snapshot().delta_since(&prev);
+        let text = render_interval_table(&delta, 2.0);
+        assert!(text.starts_with("window: 2.0s"), "{text}");
+        assert!(text.contains("load/achieved_ops"), "{text}");
+        assert!(text.contains("50 (25.0/s)"), "{text}");
+        assert!(text.contains("count=100"), "{text}");
+        assert!(text.contains("p99.9="), "{text}");
+        // A window with no movement renders the placeholder.
+        let quiet = reg.snapshot().delta_since(&reg.snapshot());
+        assert!(render_interval_table(&quiet, 1.0).contains("no movement"));
+    }
+
+    #[test]
+    fn watch_renders_load_panel_when_series_present() {
+        use dstampede_obs::{HealthEngine, HistoryRecorder};
+        let reg = MetricsRegistry::new("as-0");
+        reg.counter("load", "offered_ops").add(10);
+        reg.counter("load", "achieved_ops").add(10);
+        reg.gauge("load", "p99_us").set(450);
+        let recorder = HistoryRecorder::new(16);
+        recorder.sample(&reg, 1_000);
+        reg.counter("load", "offered_ops").add(20);
+        reg.counter("load", "achieved_ops").add(15);
+        reg.gauge("load", "p99_us").set(900);
+        recorder.sample(&reg, 2_000);
+        let engine = HealthEngine::new(dstampede_obs::HealthPolicy::default());
+        engine.observe(1, "stm", HealthState::Healthy, "ok");
+        let text = render_watch(&engine.report("as-0"), &recorder.dump("as-0"));
+        assert!(text.contains("load (offered/achieved per tick"), "{text}");
+        assert!(text.contains("offr"), "{text}");
+        assert!(text.contains("achv"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        assert!(text.contains(" 900\n"), "{text}");
+
+        // Without load series the panel is absent.
+        let quiet = MetricsRegistry::new("as-1");
+        quiet.gauge("stm", "channel_items").set(1);
+        let rec2 = HistoryRecorder::new(4);
+        rec2.sample(&quiet, 1_000);
+        let text = render_watch(&engine.report("as-1"), &rec2.dump("as-1"));
+        assert!(!text.contains("load ("), "{text}");
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Churn drill: sustained end-device turnover against live listeners.
+//!
+//! The load harness (`load_perf --churn-ms`) exercises in-process
+//! session churn, where every connection releases its GC claim on
+//! drop. This drill covers the part only a real wire session can: a
+//! TCP client that vanishes without detaching leaves a surrogate
+//! holding cursors until the dirty-teardown or session-lease path
+//! reaps it. Under 20%+ continuous churn mixing clean detaches, abrupt
+//! socket drops, and silent leaks, the cluster must
+//!
+//! * reap every session (started == clean + dirty + lease once the
+//!   drill drains, `session/active` gauge back to zero),
+//! * keep the GC horizon bounded while churning (live STM items never
+//!   build up past the working set), and
+//! * surface the churn on the `sessions` health subject (a kill burst
+//!   degrades it; a quiet cluster reports it healthy again).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+use dstampede_client::EndDevice;
+use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, Timestamp};
+use dstampede_obs::{HealthPolicy, HealthState};
+use dstampede_runtime::{Cluster, RecorderConfig};
+use dstampede_wire::WaitSpec;
+
+/// Deterministic fate source so the drill replays identically.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct Device {
+    device: EndDevice,
+    inp: dstampede_client::ClientChanIn,
+    out: dstampede_client::ClientChanOut,
+}
+
+fn join(cluster: &Cluster, chan: dstampede_core::ChanId, sid: usize) -> Device {
+    let addr = cluster.listener_addr(sid as u16 % 2).unwrap();
+    let device = EndDevice::attach_c(addr, &format!("churn-{sid}")).unwrap();
+    let inp = device
+        .connect_channel_in(chan, Interest::FromLatest)
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+    Device { device, inp, out }
+}
+
+/// One device operation at a fresh shared timestamp: put, read it
+/// back, release the cursor past it.
+fn run_op(d: &Device, clock: &AtomicI64) {
+    let ts = Timestamp::new(clock.fetch_add(1, Ordering::Relaxed));
+    d.out
+        .put(ts, Item::from_vec(vec![0xcd; 32]), WaitSpec::Forever)
+        .unwrap();
+    let (got, _) = d.inp.get(GetSpec::Exact(ts), WaitSpec::Forever).unwrap();
+    d.inp.consume_until(got).unwrap();
+}
+
+fn total_teardowns(cluster: &Cluster) -> (u64, u64, u64, u64, usize) {
+    let mut totals = (0, 0, 0, 0, 0);
+    for i in 0..2 {
+        let s = cluster.listener(i).unwrap().stats();
+        totals.0 += s.sessions_started;
+        totals.1 += s.clean_detaches;
+        totals.2 += s.dirty_teardowns;
+        totals.3 += s.lease_teardowns;
+        totals.4 += s.active_surrogates;
+    }
+    totals
+}
+
+fn live_items(cluster: &Cluster) -> i64 {
+    cluster
+        .spaces()
+        .iter()
+        .map(|s| {
+            s.metrics().gauge("stm", "channel_items").get()
+                + s.metrics().gauge("stm", "queue_items").get()
+        })
+        .sum()
+}
+
+#[test]
+fn sustained_churn_reaps_sessions_and_bounds_the_horizon() {
+    let lease = Duration::from_millis(300);
+    let cluster = Cluster::builder()
+        .address_spaces(2)
+        .session_lease(lease)
+        .build()
+        .unwrap();
+    // Health ticks are driven manually (no recorder thread) so the
+    // burst-detection assertions are deterministic.
+    let recorder = RecorderConfig {
+        session_churn_threshold: 3,
+        policy: HealthPolicy {
+            worsen_after: 1,
+            recover_after: 2,
+        },
+        ..RecorderConfig::default()
+    };
+    for space in cluster.spaces() {
+        space.set_health_policy(recorder.policy);
+    }
+
+    let chan = cluster
+        .space(0)
+        .unwrap()
+        .create_channel(None, ChannelAttrs::default())
+        .id();
+    let clock = AtomicI64::new(1);
+    let mut rng = 0x00d5_7a3e_u64;
+
+    // Steady population; > 20% replaced every round.
+    const POPULATION: usize = 20;
+    const ROUNDS: usize = 6;
+    const CHURN_PER_ROUND: usize = 5;
+    let mut devices: Vec<Device> = (0..POPULATION)
+        .map(|sid| join(&cluster, chan, sid))
+        .collect();
+    let mut next_sid = POPULATION;
+    let mut leaked = 0u64; // silent clients only the lease can reap
+    let mut killed = 0u64;
+    let mut max_live = 0i64;
+
+    for round in 0..ROUNDS {
+        for d in &devices {
+            run_op(d, &clock);
+        }
+        max_live = max_live.max(live_items(&cluster));
+
+        for _ in 0..CHURN_PER_ROUND {
+            let victim = devices.swap_remove(splitmix64(&mut rng) as usize % devices.len());
+            match splitmix64(&mut rng) % 3 {
+                0 => {
+                    // Clean leave: conns disconnect, then a Detach.
+                    let Device { device, inp, out } = victim;
+                    drop((inp, out));
+                    device.detach().unwrap();
+                }
+                1 => {
+                    // Crash: the socket closes with no Detach — the
+                    // surrogate notices the broken stream and tears
+                    // down dirty, releasing the session's claims.
+                    killed += 1;
+                    drop(victim);
+                }
+                _ => {
+                    // Silent leak: the client keeps the socket open
+                    // and stops talking; only the session lease
+                    // reclaims the surrogate (and its GC cursors).
+                    leaked += 1;
+                    std::mem::forget(victim);
+                }
+            }
+            devices.push(join(&cluster, chan, next_sid));
+            next_sid += 1;
+        }
+        // While churning, a leaked cursor may pin up to a lease's worth
+        // of puts — bounded, but not the working set. Anything at the
+        // total-puts level would mean nothing reclaims at all.
+        assert!(
+            live_items(&cluster) < (POPULATION * ROUNDS) as i64,
+            "round {round}: GC horizon unbounded, {} live items",
+            live_items(&cluster)
+        );
+    }
+
+    // The lease is the horizon bound: once it reaps the silent
+    // sessions, their pinned cursors release and the next operations
+    // reclaim the backlog down to the live working set. Survivors keep
+    // trickling traffic so their own leases stay fresh while the
+    // leaked ones expire.
+    let reap_until = Instant::now() + lease + Duration::from_millis(200);
+    while Instant::now() < reap_until {
+        for d in &devices {
+            run_op(d, &clock);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let reclaimed = live_items(&cluster);
+    assert!(
+        reclaimed < 3 * POPULATION as i64,
+        "lease reaping did not release the horizon: {reclaimed} live items"
+    );
+
+    // A kill burst past the per-tick threshold degrades the `sessions`
+    // subject on the listener's address space. Teardown accounting is
+    // asynchronous (the surrogate thread must notice the broken
+    // socket), so wait for the counters before sampling the tick.
+    let space0 = cluster.space(0).unwrap();
+    space0.record_tick(&recorder); // settle the per-tick delta baseline
+    let before = cluster.listener(0).unwrap().stats().dirty_teardowns;
+    let burst: Vec<Device> = (0..4)
+        .map(|i| join(&cluster, chan, next_sid + 2 * i))
+        .collect();
+    drop(burst);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while cluster.listener(0).unwrap().stats().dirty_teardowns < before + 4 {
+        assert!(Instant::now() < deadline, "kill burst never reaped");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    space0.record_tick(&recorder);
+    let entry = space0
+        .health_report()
+        .subject("sessions")
+        .expect("sessions health subject missing")
+        .clone();
+    assert_eq!(
+        entry.state,
+        HealthState::Degraded,
+        "kill burst not reflected: {} ({})",
+        entry.state,
+        entry.reason
+    );
+
+    // Drain: detach the survivors, then wait for the lease to reap the
+    // leaked sessions and the gauges to agree that nothing is left.
+    for d in devices.drain(..) {
+        let Device { device, inp, out } = d;
+        drop((inp, out));
+        device.detach().unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (started, clean, dirty, leased, active) = total_teardowns(&cluster);
+        if active == 0 && started == clean + dirty + leased {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "sessions leaked: started {started}, clean {clean}, dirty {dirty}, \
+             lease {leased}, active {active}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (started, clean, dirty, leased, _) = total_teardowns(&cluster);
+    assert_eq!(started, clean + dirty + leased);
+    assert!(
+        leased >= leaked,
+        "lease reaped {leased} sessions, expected at least the {leaked} leaked"
+    );
+    assert!(dirty >= killed + 4, "dirty {dirty} < killed {}", killed + 4);
+    assert!(clean > 0, "no clean detach observed");
+    for space in cluster.spaces() {
+        assert_eq!(
+            space.metrics().gauge("session", "active").get(),
+            0,
+            "session/active gauge leaked on {:?}",
+            space.id()
+        );
+    }
+    assert!(
+        max_live < (POPULATION * ROUNDS) as i64,
+        "churn let {max_live} items accumulate"
+    );
+
+    // With churn over, two quiet ticks recover the subject.
+    space0.record_tick(&recorder);
+    space0.record_tick(&recorder);
+    space0.record_tick(&recorder);
+    let entry = space0
+        .health_report()
+        .subject("sessions")
+        .expect("sessions health subject missing")
+        .clone();
+    assert_eq!(entry.state, HealthState::Healthy, "{}", entry.reason);
+
+    cluster.shutdown();
+}

@@ -23,6 +23,11 @@
 //!   cluster-wide by `HealthPull`.
 //! * [`Snapshot::to_prometheus`] — Prometheus text exposition of any
 //!   snapshot, for scrape-based collection.
+//! * [`recording`] — open-loop load-measurement primitives: the
+//!   coordinated-omission-correcting [`LatencyRecorder`] (intended-
+//!   start-time latencies with HdrHistogram-style backfill of stalled
+//!   arrivals) and [`HistogramWindow`] interval deltas, the substrate
+//!   of the `load_perf` saturation harness and `stats --interval`.
 //! * [`trace`] — end-to-end causal tracing: per-item lifecycle spans
 //!   with deterministic every-nth-timestamp sampling, a bounded
 //!   non-blocking span store per registry, mergeable [`TraceDump`]s
@@ -43,6 +48,7 @@ mod expo;
 pub mod health;
 pub mod history;
 mod metrics;
+pub mod recording;
 mod registry;
 mod snapshot;
 pub mod trace;
@@ -53,6 +59,7 @@ pub use history::{
     HistoryDump, HistoryRecorder, RingSeries, SeriesField, SeriesHistory, DEFAULT_HISTORY_CAPACITY,
 };
 pub use metrics::{bucket_bounds, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use recording::{HistogramWindow, LatencyRecorder, MAX_BACKFILL_PER_SAMPLE};
 pub use registry::{global, MetricsRegistry};
 pub use snapshot::{
     CounterSample, GaugeSample, HistogramSample, MetricId, Snapshot, SnapshotParseError,

@@ -98,6 +98,29 @@ fn bucket_index(value: u64) -> usize {
     (u64::BITS - value.leading_zeros()) as usize
 }
 
+/// Linear interpolation within the bucket where the cumulative count
+/// crosses `threshold`: the `threshold`-th sample (1-based) is placed
+/// `into/in_bucket` of the way through `[lo, hi)`, assuming samples
+/// spread uniformly across the bucket. Clamped to `[lo, hi - 1]` so the
+/// result is always a value the bucket could actually contain. This
+/// replaces the pre-0.2 readout that reported `hi - 1` (the bucket's
+/// upper edge) for every quantile crossing a bucket, which inflated
+/// p99-style figures by up to 2x on log2 buckets.
+pub(crate) fn interpolate_quantile(
+    index: usize,
+    seen_before: u64,
+    in_bucket: u64,
+    threshold: u64,
+) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    debug_assert!(threshold > seen_before && threshold - seen_before <= in_bucket);
+    let into = threshold.saturating_sub(seen_before);
+    let width = hi - lo;
+    let offset = (u128::from(width) * u128::from(into)) / u128::from(in_bucket.max(1));
+    let value = lo.saturating_add(u64::try_from(offset).unwrap_or(u64::MAX));
+    value.clamp(lo, hi.saturating_sub(1).max(lo))
+}
+
 /// A log2-bucketed distribution of `u64` samples (latencies in
 /// microseconds, sizes in bytes).
 #[derive(Debug)]
@@ -160,9 +183,9 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
-    /// An upper bound on the `q`-quantile (0.0..=1.0): the exclusive
-    /// upper edge of the bucket where the cumulative count crosses
-    /// `q * count`. Returns 0 when empty.
+    /// The `q`-quantile (0.0..=1.0), linearly interpolated within the
+    /// bucket where the cumulative count crosses `q * count` (samples
+    /// assumed uniform across the bucket). Returns 0 when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         let buckets = self.buckets();
@@ -174,10 +197,10 @@ impl Histogram {
         let threshold = threshold.max(1);
         let mut seen = 0;
         for (i, &n) in buckets.iter().enumerate() {
-            seen += n;
-            if seen >= threshold {
-                return bucket_bounds(i).1.saturating_sub(1).max(bucket_bounds(i).0);
+            if seen + n >= threshold {
+                return interpolate_quantile(i, seen, n, threshold);
             }
+            seen += n;
         }
         u64::MAX
     }
@@ -260,10 +283,31 @@ mod tests {
         for _ in 0..99 {
             h.record(10); // bucket 4: [8, 16)
         }
-        h.record(100_000); // bucket 17
-        assert_eq!(h.quantile(0.5), 15);
-        assert!(h.quantile(1.0) >= 100_000);
+        h.record(100_000); // bucket 17: [65536, 131072)
+                           // Interpolated: 50th of 99 samples through [8, 16) = 8 + 8*50/99.
+        assert_eq!(h.quantile(0.5), 12);
+        // The max lands in the crossing bucket, clamped below its upper edge.
+        assert!(h.quantile(1.0) >= 65_536 && h.quantile(1.0) < 131_072);
         assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let h = Histogram::new();
+        // 100 samples, all in bucket 7 [64, 128): quantiles must spread
+        // across the bucket instead of all reporting 127.
+        for _ in 0..100 {
+            h.record(80);
+        }
+        let q10 = h.quantile(0.10);
+        let q50 = h.quantile(0.50);
+        let q99 = h.quantile(0.99);
+        assert_eq!(q10, 64 + 64 * 10 / 100);
+        assert_eq!(q50, 64 + 64 * 50 / 100);
+        assert_eq!(q99, 64 + 64 * 99 / 100);
+        assert!(q10 < q50 && q50 < q99);
+        // Quantiles stay inside the bucket that contains the samples.
+        assert!(q10 >= 64 && q99 < 128);
     }
 
     #[test]

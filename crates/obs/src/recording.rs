@@ -1,0 +1,339 @@
+//! Open-loop load-measurement primitives: a coordinated-omission-
+//! correcting latency recorder and windowed (delta) histogram
+//! snapshots.
+//!
+//! A closed-loop harness that issues the next request only after the
+//! previous one returns *hides* server stalls: during a 1 s stall it
+//! simply issues fewer requests, so the stall appears once in the
+//! histogram instead of the hundreds of times clients would have felt
+//! it. The paper's saturation curves (Fig 14/15, Table 1) are exactly
+//! the regime where this bias is worst. [`LatencyRecorder`] implements
+//! the standard correction: operations are timed from their *intended*
+//! start (arrival-schedule time, not actual issue time), and every
+//! recorded latency longer than the expected inter-arrival interval
+//! additionally backfills the samples the stall suppressed
+//! (`latency - interval`, `latency - 2·interval`, …) into the corrected
+//! histogram, HdrHistogram-style. The uncorrected view is kept
+//! alongside so the bias itself is measurable.
+//!
+//! [`HistogramWindow`] turns the cumulative log2 histograms into
+//! interval deltas — what happened *since the last look* — so a load
+//! run can report warmup, steady-state, and churn phases separately
+//! from one continuously-recording histogram. Summing every window
+//! reproduces the lifetime histogram exactly (modulo samples recorded
+//! concurrently with the read; see [`HistogramWindow::advance`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::metrics::{Histogram, HISTOGRAM_BUCKETS};
+use crate::snapshot::{HistogramSample, MetricId};
+
+/// Backfill cap per recorded sample: a pathological (latency, interval)
+/// pair — a multi-minute stall against a microsecond schedule — would
+/// otherwise spin this loop millions of times on the recording path.
+/// Truncations are counted; a run that hits the cap is saturated far
+/// past any regime where its quantiles are meaningful anyway.
+pub const MAX_BACKFILL_PER_SAMPLE: u64 = 100_000;
+
+/// Coordinated-omission-correcting latency recorder: a paired
+/// (uncorrected, corrected) histogram.
+///
+/// * The **naive** side records the service latency alone — what a
+///   closed-loop harness would have measured.
+/// * The **corrected** side records the latency from the operation's
+///   *intended* start (queueing delay included) and backfills the
+///   arrivals a stall suppressed.
+///
+/// Corrected quantiles therefore dominate naive quantiles whenever the
+/// system fell behind its arrival schedule; the two coincide when every
+/// operation ran on time.
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    naive: Arc<Histogram>,
+    corrected: Arc<Histogram>,
+    backfilled: AtomicU64,
+    truncated: AtomicU64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// A recorder over two private histograms.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyRecorder::over(Arc::new(Histogram::new()), Arc::new(Histogram::new()))
+    }
+
+    /// A recorder writing into caller-supplied histograms — typically a
+    /// registry's `load/latency_naive_us` and `load/latency_us` series,
+    /// so the corrected distribution is visible to `stats`, snapshots,
+    /// and the flight recorder without copying.
+    #[must_use]
+    pub fn over(naive: Arc<Histogram>, corrected: Arc<Histogram>) -> Self {
+        LatencyRecorder {
+            naive,
+            corrected,
+            backfilled: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed operation.
+    ///
+    /// `total_us` is the latency from the operation's intended start
+    /// (wait-in-schedule plus service); `service_us` is the service
+    /// portion alone; `interval_us` is the expected inter-arrival gap
+    /// of the open-loop schedule (0 disables backfill). Callers without
+    /// a schedule (closed-loop instrumentation) use [`Self::record`].
+    pub fn record_op(&self, total_us: u64, service_us: u64, interval_us: u64) {
+        self.naive.record(service_us);
+        self.corrected.record(total_us);
+        if interval_us == 0 {
+            return;
+        }
+        // HdrHistogram's recordValueWithExpectedInterval: the arrivals
+        // that should have started while this one was in flight would
+        // each have waited one interval less.
+        let mut missing = total_us.saturating_sub(interval_us);
+        let mut backfilled = 0u64;
+        while missing >= interval_us {
+            if backfilled >= MAX_BACKFILL_PER_SAMPLE {
+                self.truncated.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            self.corrected.record(missing);
+            backfilled += 1;
+            missing -= interval_us;
+        }
+        if backfilled > 0 {
+            self.backfilled.fetch_add(backfilled, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a latency whose intended and actual starts coincide
+    /// (closed-loop instrumented paths): naive and corrected receive
+    /// the same value, and backfill alone corrects for omission.
+    pub fn record(&self, latency_us: u64, interval_us: u64) {
+        self.record_op(latency_us, latency_us, interval_us);
+    }
+
+    /// The uncorrected (service-time) histogram.
+    #[must_use]
+    pub fn naive(&self) -> &Arc<Histogram> {
+        &self.naive
+    }
+
+    /// The corrected (intended-start, backfilled) histogram.
+    #[must_use]
+    pub fn corrected(&self) -> &Arc<Histogram> {
+        &self.corrected
+    }
+
+    /// Synthetic samples backfilled so far.
+    #[must_use]
+    pub fn backfilled(&self) -> u64 {
+        self.backfilled.load(Ordering::Relaxed)
+    }
+
+    /// Samples whose backfill hit [`MAX_BACKFILL_PER_SAMPLE`].
+    #[must_use]
+    pub fn truncated(&self) -> u64 {
+        self.truncated.load(Ordering::Relaxed)
+    }
+}
+
+/// Interval view over a cumulative [`Histogram`]: each
+/// [`HistogramWindow::advance`] returns what was recorded since the
+/// previous advance, leaving the underlying histogram untouched.
+///
+/// One window per reader: the cursor lives here, not in the histogram,
+/// so any number of independent windows (per-phase readouts, a CLI
+/// `--interval` loop, the flight recorder) can watch one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramWindow {
+    prev_buckets: [u64; HISTOGRAM_BUCKETS],
+    prev_count: u64,
+    prev_sum: u64,
+}
+
+impl Default for HistogramWindow {
+    fn default() -> Self {
+        HistogramWindow::new()
+    }
+}
+
+impl HistogramWindow {
+    /// A window whose first advance returns everything recorded so far.
+    #[must_use]
+    pub fn new() -> Self {
+        HistogramWindow {
+            prev_buckets: [0; HISTOGRAM_BUCKETS],
+            prev_count: 0,
+            prev_sum: 0,
+        }
+    }
+
+    /// A window opened at `h`'s current contents: the first advance
+    /// returns only samples recorded after this call.
+    #[must_use]
+    pub fn opened_at(h: &Histogram) -> Self {
+        let mut w = HistogramWindow::new();
+        let _ = w.advance(h, MetricId::new("obs", "window", &[]));
+        w
+    }
+
+    /// The delta since the last advance, as a [`HistogramSample`]
+    /// attributed to `id`.
+    ///
+    /// Reads of the bucket array, count, and sum are not mutually
+    /// atomic: samples recorded concurrently with the read may land in
+    /// this window or the next, and a torn read can momentarily skew
+    /// count versus buckets by the in-flight samples. Deltas saturate
+    /// at zero, and every sample is eventually attributed to exactly
+    /// one window once recording pauses — which is why summing all
+    /// windows of a quiesced histogram equals its lifetime view.
+    pub fn advance(&mut self, h: &Histogram, id: MetricId) -> HistogramSample {
+        let buckets = h.buckets();
+        let count = h.count();
+        let sum = h.sum();
+        let delta: Vec<(u32, u64)> = buckets
+            .iter()
+            .zip(self.prev_buckets.iter())
+            .enumerate()
+            .filter_map(|(i, (&now, &prev))| {
+                let d = now.saturating_sub(prev);
+                (d > 0).then(|| (u32::try_from(i).expect("bucket index"), d))
+            })
+            .collect();
+        let sample = HistogramSample {
+            id,
+            count: count.saturating_sub(self.prev_count),
+            sum: sum.saturating_sub(self.prev_sum),
+            buckets: delta,
+        };
+        self.prev_buckets = buckets;
+        self.prev_count = count;
+        self.prev_sum = sum;
+        sample
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::MetricId;
+
+    fn id() -> MetricId {
+        MetricId::new("load", "latency_us", &[])
+    }
+
+    #[test]
+    fn on_schedule_ops_need_no_correction() {
+        let r = LatencyRecorder::new();
+        for _ in 0..100 {
+            r.record_op(80, 80, 100);
+        }
+        assert_eq!(r.naive().count(), 100);
+        assert_eq!(r.corrected().count(), 100);
+        assert_eq!(r.backfilled(), 0);
+        assert_eq!(r.naive().quantile(0.99), r.corrected().quantile(0.99));
+    }
+
+    #[test]
+    fn stall_backfills_missed_arrivals() {
+        let r = LatencyRecorder::new();
+        // 99 on-time ops plus one 1 ms stall against a 100 us schedule:
+        // the stall hides 9 arrivals (900, 800, ... 100 us).
+        for _ in 0..99 {
+            r.record_op(50, 50, 100);
+        }
+        r.record_op(1_000, 1_000, 100);
+        assert_eq!(r.naive().count(), 100);
+        assert_eq!(r.corrected().count(), 109);
+        assert_eq!(r.backfilled(), 9);
+        // The corrected tail dominates the naive tail.
+        assert!(r.corrected().quantile(0.95) >= r.naive().quantile(0.95));
+    }
+
+    #[test]
+    fn queueing_delay_separates_total_from_service() {
+        let r = LatencyRecorder::new();
+        // Fast service, long schedule slip: the naive side looks
+        // healthy, the corrected side carries the wait.
+        r.record_op(10_000, 50, 0);
+        assert!(r.naive().quantile(1.0) < 1_000);
+        assert!(r.corrected().quantile(1.0) >= 8_192);
+        assert_eq!(r.backfilled(), 0); // interval 0 disables backfill
+    }
+
+    #[test]
+    fn pathological_backfill_truncates() {
+        let r = LatencyRecorder::new();
+        r.record(u64::MAX / 2, 1);
+        assert_eq!(r.backfilled(), MAX_BACKFILL_PER_SAMPLE);
+        assert_eq!(r.truncated(), 1);
+    }
+
+    #[test]
+    fn windows_partition_the_lifetime() {
+        let h = Histogram::new();
+        let mut w = HistogramWindow::new();
+        for v in [1u64, 5, 9] {
+            h.record(v);
+        }
+        let first = w.advance(&h, id());
+        assert_eq!(first.count, 3);
+        for v in [2u64, 1000] {
+            h.record(v);
+        }
+        let second = w.advance(&h, id());
+        assert_eq!(second.count, 2);
+        assert_eq!(second.sum, 1002);
+        // An idle window is empty.
+        let third = w.advance(&h, id());
+        assert_eq!(third.count, 0);
+        assert!(third.buckets.is_empty());
+        // First + second == lifetime.
+        let mut merged = first.clone();
+        let mut lifetime_window = HistogramWindow::new();
+        let lifetime = lifetime_window.advance(&h, id());
+        let mut snap_a = crate::Snapshot::default();
+        snap_a.histograms.push(merged.clone());
+        let mut snap_b = crate::Snapshot::default();
+        snap_b.histograms.push(second.clone());
+        snap_a.merge(&snap_b);
+        merged = snap_a.histograms[0].clone();
+        assert_eq!(merged.count, lifetime.count);
+        assert_eq!(merged.sum, lifetime.sum);
+        assert_eq!(merged.buckets, lifetime.buckets);
+    }
+
+    #[test]
+    fn opened_at_skips_history() {
+        let h = Histogram::new();
+        h.record(7);
+        let mut w = HistogramWindow::opened_at(&h);
+        h.record(9);
+        let delta = w.advance(&h, id());
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.sum, 9);
+    }
+
+    #[test]
+    fn recorder_over_registry_histograms_shares_series() {
+        let reg = crate::MetricsRegistry::new("bench");
+        let r = LatencyRecorder::over(
+            reg.histogram("load", "latency_naive_us"),
+            reg.histogram("load", "latency_us"),
+        );
+        r.record_op(500, 100, 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("load", "latency_us").unwrap().count, 1);
+        assert_eq!(snap.histogram("load", "latency_naive_us").unwrap().sum, 100);
+    }
+}

@@ -11,8 +11,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::metrics::bucket_bounds;
-
 /// Identifies one metric series: `(subsystem, name, labels)`, with
 /// labels kept sorted so equal sets compare equal.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -97,7 +95,9 @@ impl HistogramSample {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    /// An upper bound on the `q`-quantile, from bucket edges.
+    /// The `q`-quantile, linearly interpolated within the bucket where
+    /// the cumulative count crosses `q * count` (samples assumed
+    /// uniform across the bucket). Returns 0 when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
         let total: u64 = self.buckets.iter().map(|&(_, n)| n).sum();
@@ -107,11 +107,10 @@ impl HistogramSample {
         let threshold = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0;
         for &(i, n) in &self.buckets {
-            seen += n;
-            if seen >= threshold {
-                let (lo, hi) = bucket_bounds(i as usize);
-                return hi.saturating_sub(1).max(lo);
+            if seen + n >= threshold {
+                return crate::metrics::interpolate_quantile(i as usize, seen, n, threshold);
             }
+            seen += n;
         }
         u64::MAX
     }
@@ -186,6 +185,68 @@ impl Snapshot {
                 buckets: buckets.into_iter().collect(),
             })
             .collect();
+    }
+
+    /// The change since `prev`, for per-window rate readouts: counters
+    /// and histogram counts/sums/buckets subtract series-wise
+    /// (saturating at zero, so a restarted source reads as its full
+    /// current value rather than wrapping), while gauges keep their
+    /// current level — a gauge is already an instantaneous reading and
+    /// a "delta gauge" would be meaningless. Series absent from `prev`
+    /// contribute their full value; series only in `prev` are dropped
+    /// (their source left the cluster). Counters and histograms that
+    /// did not move in the window are dropped entirely, and histogram
+    /// buckets that delta to zero are omitted, so `quantile` on the
+    /// result reflects only the window's samples and a quiet window
+    /// reads as a short snapshot.
+    #[must_use]
+    pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
+        let prev_counters: BTreeMap<&MetricId, u64> =
+            prev.counters.iter().map(|c| (&c.id, c.value)).collect();
+        let prev_hists: BTreeMap<&MetricId, &HistogramSample> =
+            prev.histograms.iter().map(|h| (&h.id, h)).collect();
+        Snapshot {
+            sources: self.sources.clone(),
+            counters: self
+                .counters
+                .iter()
+                .filter_map(|c| {
+                    let value = c
+                        .value
+                        .saturating_sub(prev_counters.get(&c.id).copied().unwrap_or(0));
+                    (value > 0).then(|| CounterSample {
+                        id: c.id.clone(),
+                        value,
+                    })
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter_map(|h| {
+                    let base = prev_hists.get(&h.id);
+                    let prev_buckets: BTreeMap<u32, u64> = base
+                        .map(|b| b.buckets.iter().copied().collect())
+                        .unwrap_or_default();
+                    let count = h.count.saturating_sub(base.map(|b| b.count).unwrap_or(0));
+                    (count > 0).then(|| HistogramSample {
+                        id: h.id.clone(),
+                        count,
+                        sum: h.sum.saturating_sub(base.map(|b| b.sum).unwrap_or(0)),
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .filter_map(|&(i, n)| {
+                                let d =
+                                    n.saturating_sub(prev_buckets.get(&i).copied().unwrap_or(0));
+                                (d > 0).then_some((i, d))
+                            })
+                            .collect(),
+                    })
+                })
+                .collect(),
+        }
     }
 
     /// The counter value for `(subsystem, name)` ignoring labels
@@ -363,13 +424,15 @@ impl Snapshot {
                 .collect::<Vec<_>>()
                 .join(", ");
             out.push_str(&format!(
-                "\n    {{{}, \"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                "\n    {{{}, \"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [{}]}}",
                 json_id(&h.id),
                 h.count,
                 h.sum,
                 h.mean(),
                 h.quantile(0.5),
+                h.quantile(0.9),
                 h.quantile(0.99),
+                h.quantile(0.999),
                 buckets
             ));
         }
@@ -598,9 +661,38 @@ mod tests {
             sum: 0,
             buckets: vec![(4, 99), (17, 1)],
         };
-        assert_eq!(h.quantile(0.5), 15);
+        // Interpolated within bucket 4 [8, 16): 8 + 8*50/99.
+        assert_eq!(h.quantile(0.5), 12);
         assert!(h.quantile(1.0) >= (1 << 16));
         assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_buckets() {
+        let prev = sample();
+        let mut now = sample();
+        now.counters[0].value = 100;
+        now.gauges[0].value = 7;
+        now.histograms[0].count = 5;
+        now.histograms[0].sum = 120;
+        now.histograms[0].buckets = vec![(4, 2), (6, 2), (9, 1)];
+        let delta = now.delta_since(&prev);
+        assert_eq!(delta.counter_value("clf", "packets_sent"), Some(58));
+        // Gauges carry the level, not a difference.
+        assert_eq!(delta.gauge_value("stm", "channel_items"), Some(7));
+        let h = delta.histogram("stm", "put_latency_us").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 50);
+        // Bucket 4 was unchanged (2 -> 2) and is dropped from the delta.
+        assert_eq!(h.buckets, vec![(6, 1), (9, 1)]);
+        // A fresh series appears whole; unmoved series drop out of the
+        // window entirely (only gauges keep reporting their level).
+        let idle = now.delta_since(&now);
+        assert_eq!(idle.counter_value("clf", "packets_sent"), None);
+        assert!(idle.histogram("stm", "put_latency_us").is_none());
+        assert_eq!(idle.gauge_value("stm", "channel_items"), Some(7));
+        let fresh = now.delta_since(&Snapshot::default());
+        assert_eq!(fresh.counter_value("clf", "packets_sent"), Some(100));
     }
 
     #[test]

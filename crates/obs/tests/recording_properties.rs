@@ -1,0 +1,192 @@
+//! Property tests of the open-loop recording primitives
+//! (`dstampede_obs::recording`):
+//!
+//! * The coordinated-omission corrector only ever *adds* tail mass —
+//!   for any workload where intended-start latency dominates service
+//!   latency (which it does by construction: total >= service), the
+//!   corrected histogram dominates the naive one at every quantile,
+//!   and an injected stall strictly grows the corrected count.
+//! * Windowed readout is lossless — merging the per-interval deltas of
+//!   an arbitrarily-sliced recording reproduces the lifetime histogram
+//!   exactly, and `Snapshot::delta_since` round-trips against `merge`.
+//! * Interpolated quantiles are sane — inside the crossing bucket,
+//!   monotone in `q`.
+
+use proptest::prelude::*;
+
+use dstampede_obs::recording::{HistogramWindow, LatencyRecorder};
+use dstampede_obs::{bucket_bounds, Histogram, MetricId, Snapshot, HISTOGRAM_BUCKETS};
+
+const QS: &[f64] = &[0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+
+fn id() -> MetricId {
+    MetricId::new("load", "latency_us", &[])
+}
+
+proptest! {
+    /// In the coordinated-omission regime — a system that keeps up
+    /// with its schedule (service < interval) except for stalls — the
+    /// corrected distribution dominates the naive one at every probed
+    /// quantile: each op's total >= its service, and every backfilled
+    /// sample is >= interval, i.e. above the whole service
+    /// distribution. (Without the service < interval constraint the
+    /// property is genuinely false: backfill adds samples as small as
+    /// one interval, which can sit below slow services.)
+    #[test]
+    fn corrected_dominates_naive_at_every_quantile(
+        interval in 100u64..10_000,
+        ops in proptest::collection::vec((0u64..100, 0u64..50), 1..200),
+    ) {
+        let r = LatencyRecorder::new();
+        for &(svc_pct, stall_intervals) in &ops {
+            // service strictly below the schedule interval; a nonzero
+            // stall delays the intended start by whole intervals.
+            let service = interval * svc_pct / 100;
+            let total = service + interval * stall_intervals;
+            r.record_op(total, service, interval);
+        }
+        for &q in QS {
+            prop_assert!(
+                r.corrected().quantile(q) >= r.naive().quantile(q),
+                "q={q}: corrected {} < naive {}",
+                r.corrected().quantile(q),
+                r.naive().quantile(q)
+            );
+        }
+    }
+
+    /// Replaying the same on-schedule workload with one synthetic stall
+    /// inserted backfills the hidden arrivals: the corrected count
+    /// grows by exactly stall/interval extra samples and the corrected
+    /// tail dominates the stall-free corrected tail.
+    #[test]
+    fn synthetic_stall_backfills_and_raises_the_tail(
+        base_latency in 1u64..100,
+        n_ops in 10usize..200,
+        interval in 100u64..10_000,
+        stall_intervals in 2u64..500,
+    ) {
+        let calm = LatencyRecorder::new();
+        let stalled = LatencyRecorder::new();
+        // A stall spanning `stall_intervals` schedule slots hides
+        // stall_intervals - 1 arrivals (the stalled op itself occupies
+        // the first slot; base_latency < interval is the sub-slot tail).
+        let stall = interval * stall_intervals + base_latency;
+        let hidden = stall_intervals - 1;
+        for _ in 0..n_ops {
+            calm.record_op(base_latency, base_latency, interval);
+            stalled.record_op(base_latency, base_latency, interval);
+        }
+        stalled.record_op(stall, stall, interval);
+        calm.record_op(base_latency, base_latency, interval);
+
+        prop_assert_eq!(calm.backfilled(), 0);
+        prop_assert_eq!(stalled.backfilled(), hidden);
+        prop_assert_eq!(
+            stalled.corrected().count(),
+            calm.corrected().count() + hidden
+        );
+        for &q in QS {
+            prop_assert!(stalled.corrected().quantile(q) >= calm.corrected().quantile(q));
+        }
+        // The uncorrected view underreports: naive gained one slow
+        // sample where corrected gained 1 + stall_intervals.
+        prop_assert_eq!(stalled.naive().count(), calm.naive().count());
+    }
+
+    /// Slicing a recording into arbitrary windows and merging the
+    /// deltas reproduces the lifetime histogram exactly.
+    #[test]
+    fn interval_windows_merge_to_lifetime(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 0..50),
+            1..10,
+        ),
+    ) {
+        let h = Histogram::new();
+        let mut w = HistogramWindow::new();
+        let mut merged = Snapshot::default();
+        for chunk in &chunks {
+            for &v in chunk {
+                h.record(v);
+            }
+            let mut windowed = Snapshot::default();
+            windowed.histograms.push(w.advance(&h, id()));
+            merged.merge(&windowed);
+        }
+        let lifetime = HistogramWindow::new().advance(&h, id());
+        let got = merged.histogram("load", "latency_us").unwrap();
+        prop_assert_eq!(got.count, lifetime.count);
+        prop_assert_eq!(got.sum, lifetime.sum);
+        prop_assert_eq!(&got.buckets, &lifetime.buckets);
+        for &q in QS {
+            prop_assert_eq!(got.quantile(q), lifetime.quantile(q));
+        }
+    }
+
+    /// delta_since is the inverse of merge on histogram series:
+    /// (prev merge delta).delta_since(prev) == delta.
+    #[test]
+    fn delta_since_inverts_merge(
+        prev_vals in proptest::collection::vec(0u64..100_000, 0..40),
+        delta_vals in proptest::collection::vec(0u64..100_000, 0..40),
+    ) {
+        let h = Histogram::new();
+        let mut w = HistogramWindow::new();
+        for &v in &prev_vals {
+            h.record(v);
+        }
+        let mut prev = Snapshot::default();
+        prev.histograms.push(w.advance(&h, id()));
+        for &v in &delta_vals {
+            h.record(v);
+        }
+        let expected = w.clone().advance(&h, id());
+        let mut now = Snapshot::default();
+        now.histograms.push(HistogramWindow::new().advance(&h, id()));
+        let got = now.delta_since(&prev);
+        match got.histogram("load", "latency_us") {
+            Some(got) => {
+                prop_assert_eq!(got.count, expected.count);
+                prop_assert_eq!(got.sum, expected.sum);
+                prop_assert_eq!(&got.buckets, &expected.buckets);
+            }
+            // An unmoved series drops out of the window entirely.
+            None => prop_assert_eq!(expected.count, 0),
+        }
+    }
+
+    /// Interpolated quantiles stay inside the bucket whose cumulative
+    /// count crosses the threshold, and are monotone in q.
+    #[test]
+    fn quantiles_stay_in_bucket_and_are_monotone(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let buckets = h.buckets();
+        let total: u64 = buckets.iter().sum();
+        let mut last = 0u64;
+        for &q in QS {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantile not monotone at q={q}");
+            last = v;
+            // Locate the crossing bucket independently and check
+            // membership.
+            let threshold = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+            let mut seen = 0;
+            let mut crossing = HISTOGRAM_BUCKETS - 1;
+            for (i, &n) in buckets.iter().enumerate() {
+                if seen + n >= threshold {
+                    crossing = i;
+                    break;
+                }
+                seen += n;
+            }
+            let (lo, hi) = bucket_bounds(crossing);
+            prop_assert!(v >= lo && v < hi.max(lo + 1), "q={q} value {v} outside [{lo}, {hi})");
+        }
+    }
+}

@@ -87,6 +87,9 @@ pub struct AddressSpace {
     recorder_ticks: AtomicU64,
     /// Transport counters at the previous tick, for per-tick deltas.
     prev_transport: Mutex<TransportStats>,
+    /// Abnormal session-teardown count (dirty + lease-expired) at the
+    /// previous tick, for the `sessions` churn subject's delta.
+    prev_session_teardowns: Mutex<u64>,
     /// Where placed creates (end-device `ChannelCreate`/`QueueCreate`)
     /// land: hashed over live members, or the paper's creator-local.
     placement: Mutex<Placement>,
@@ -138,6 +141,7 @@ impl AddressSpace {
             health: Mutex::new(Arc::new(HealthEngine::new(HealthPolicy::default()))),
             recorder_ticks: AtomicU64::new(0),
             prev_transport: Mutex::new(TransportStats::default()),
+            prev_session_teardowns: Mutex::new(0),
             placement: Mutex::new(Placement::default()),
             replication: AtomicBool::new(false),
             replicas: Arc::new(ReplicaStore::default()),
@@ -873,6 +877,30 @@ impl AddressSpace {
                 (HealthState::Healthy, format!("replication lag {lag}"))
             };
             health.observe(tick, "repl", raw, &reason);
+        }
+
+        // Session churn: a burst of abnormal teardowns (client crashes,
+        // lease expiries) this tick degrades the `sessions` subject.
+        // Only observed once a listener has accepted a session, so
+        // listener-less spaces don't report a meaningless subject.
+        if self.metrics.counter("session", "started").get() > 0 {
+            let teardowns = self.metrics.counter("session", "dirty_teardowns").get()
+                + self.metrics.counter("session", "lease_teardowns").get();
+            let prev = std::mem::replace(&mut *self.prev_session_teardowns.lock(), teardowns);
+            let churn = teardowns.saturating_sub(prev);
+            let active = self.metrics.gauge("session", "active").get();
+            let (raw, reason) = if churn >= config.session_churn_threshold {
+                (
+                    HealthState::Degraded,
+                    format!("{churn} abnormal teardowns/tick, {active} active"),
+                )
+            } else {
+                (
+                    HealthState::Healthy,
+                    format!("{churn} abnormal teardowns/tick, {active} active"),
+                )
+            };
+            health.observe(tick, "sessions", raw, &reason);
         }
     }
 

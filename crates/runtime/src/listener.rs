@@ -80,6 +80,33 @@ struct ListenerCounters {
     active: AtomicUsize,
 }
 
+/// The same lifecycle events mirrored into the address space's metrics
+/// registry, so session churn is visible to `stats`, snapshots, and the
+/// flight recorder's `sessions` health subject (the local-only
+/// [`ListenerStats`] view predates the registry and is kept for tests).
+/// Arcs are resolved once at listener startup; the per-session path
+/// pays only the atomic bumps.
+struct SessionMetrics {
+    started: Arc<dstampede_obs::Counter>,
+    clean: Arc<dstampede_obs::Counter>,
+    dirty: Arc<dstampede_obs::Counter>,
+    lease: Arc<dstampede_obs::Counter>,
+    active: Arc<dstampede_obs::Gauge>,
+}
+
+impl SessionMetrics {
+    fn for_space(space: &AddressSpace) -> Self {
+        let m = space.metrics();
+        SessionMetrics {
+            started: m.counter("session", "started"),
+            clean: m.counter("session", "clean_detaches"),
+            dirty: m.counter("session", "dirty_teardowns"),
+            lease: m.counter("session", "lease_teardowns"),
+            active: m.gauge("session", "active"),
+        }
+    }
+}
+
 /// A TCP listener accepting end devices into an address space.
 pub struct Listener {
     addr: SocketAddr,
@@ -182,6 +209,7 @@ fn accept_loop(
     stop: &Arc<AtomicBool>,
     counters: &Arc<ListenerCounters>,
 ) {
+    let metrics = Arc::new(SessionMetrics::for_space(space));
     let mut next_session: u64 = 1;
     while !stop.load(Ordering::Acquire) {
         match tcp.accept() {
@@ -190,22 +218,36 @@ fn accept_loop(
                 next_session += 1;
                 counters.sessions_started.fetch_add(1, Ordering::Relaxed);
                 counters.active.fetch_add(1, Ordering::Relaxed);
+                metrics.started.inc();
+                metrics.active.inc();
                 let surrogate_space = Arc::clone(space);
                 let surrogate_counters = Arc::clone(counters);
+                let surrogate_metrics = Arc::clone(&metrics);
                 let spawned = std::thread::Builder::new()
                     .name(format!("surrogate-{session}"))
                     .spawn(move || {
                         let end = run_surrogate(&surrogate_space, stream, session, config);
-                        let counter = match end {
-                            SessionEnd::Clean => &surrogate_counters.clean_detaches,
-                            SessionEnd::Dirty => &surrogate_counters.dirty_teardowns,
-                            SessionEnd::LeaseExpired => &surrogate_counters.lease_teardowns,
+                        let (counter, metric) = match end {
+                            SessionEnd::Clean => {
+                                (&surrogate_counters.clean_detaches, &surrogate_metrics.clean)
+                            }
+                            SessionEnd::Dirty => (
+                                &surrogate_counters.dirty_teardowns,
+                                &surrogate_metrics.dirty,
+                            ),
+                            SessionEnd::LeaseExpired => (
+                                &surrogate_counters.lease_teardowns,
+                                &surrogate_metrics.lease,
+                            ),
                         };
                         counter.fetch_add(1, Ordering::Relaxed);
+                        metric.inc();
                         surrogate_counters.active.fetch_sub(1, Ordering::Relaxed);
+                        surrogate_metrics.active.dec();
                     });
                 if spawned.is_err() {
                     counters.active.fetch_sub(1, Ordering::Relaxed);
+                    metrics.active.dec();
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {

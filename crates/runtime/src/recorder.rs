@@ -50,6 +50,11 @@ pub struct RecorderConfig {
     /// `repl` subject degrades (only observed once this space has
     /// replicated at least one put).
     pub replication_lag_watermark: i64,
+    /// Abnormal session teardowns (dirty + lease-expired) per tick at
+    /// or above which the local `sessions` subject degrades — the churn
+    /// signal: a burst of crashing or silently vanishing end devices.
+    /// Clean detaches never degrade the subject.
+    pub session_churn_threshold: u64,
     /// Hysteresis applied to every derived state.
     pub policy: HealthPolicy,
 }
@@ -62,6 +67,7 @@ impl Default for RecorderConfig {
             occupancy_watermark: 1024,
             retransmit_threshold: 8,
             replication_lag_watermark: 1024,
+            session_churn_threshold: 16,
             policy: HealthPolicy::default(),
         }
     }

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Bench regression gate for the STM and wire perf trajectories.
+"""Bench regression gate for the STM, wire, and load perf trajectories.
 
 Compares a fresh bench report against a committed baseline and fails
 when throughput in any comparable section regresses by more than the
@@ -9,6 +9,11 @@ tolerance. The schema is auto-detected from the reports:
   the ``single_thread`` / ``threads_8`` / ``batch_32`` sections.
 * ``bench-wire-v1`` (``wire_perf``): compares codec round-trip
   ops/sec (``xdr_*`` / ``jdr_*``) and CLF loopback MB/s (``clf_*``).
+* ``bench-load-v1`` (``load_perf``): compares achieved rate at every
+  swept offered rate, and — latency being the point of the open-loop
+  harness — additionally gates the coordinated-omission-corrected p99
+  at the report's ``reference_rate`` (lower is better: the fresh p99
+  may exceed the baseline's by at most the tolerance).
 
 Sections present in both reports are compared, sections present only
 on one side are reported but never fail the gate (so adding a section
@@ -45,6 +50,24 @@ WIRE_SIZES = (64, 4096, 65536)
 
 # The zero-copy acceptance speedup applies at the typical item size.
 WIRE_GATE_SIZE = 4096
+
+
+def load_sweep_entry(report: dict, rate: int) -> dict | None:
+    """The sweep entry for one offered rate of a load report, or None."""
+    for entry in report.get("sweep", []):
+        if isinstance(entry, dict) and entry.get("rate") == rate:
+            return entry
+    return None
+
+
+def load_metric(entry: dict | None, key: str) -> float | None:
+    """One numeric field from a load sweep entry, or None when absent."""
+    if not isinstance(entry, dict):
+        return None
+    try:
+        return float(entry[key])
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def stm_cycle_ops(report: dict, section: str) -> float | None:
@@ -167,6 +190,36 @@ def main() -> int:
                     f"{section}: speedup {ratio:.2f}x over baseline "
                     f"(need {args.min_speedup:g}x) {verdict}"
                 )
+    elif schema == "bench-load-v1":
+        # Throughput: every offered rate swept by both reports.
+        rates = [
+            e.get("rate")
+            for e in baseline.get("sweep", [])
+            if isinstance(e, dict) and isinstance(e.get("rate"), int)
+        ]
+        pairs = [
+            (
+                f"rate_{rate}",
+                load_metric(load_sweep_entry(baseline, rate), "achieved_rate"),
+                load_metric(load_sweep_entry(fresh, rate), "achieved_rate"),
+            )
+            for rate in rates
+        ]
+        failed, compared = compare(pairs, args.tolerance, "ops/s")
+        # Latency: corrected p99 at the reference rate, lower is better.
+        ref = baseline.get("reference_rate")
+        base_p99 = load_metric(load_sweep_entry(baseline, ref), "p99_us")
+        now_p99 = load_metric(load_sweep_entry(fresh, ref), "p99_us")
+        if base_p99 is None or now_p99 is None:
+            print(f"p99@{ref}: missing on one side, skipped")
+        else:
+            compared += 1
+            drift_pct = (now_p99 - base_p99) / base_p99 * 100.0
+            verdict = "ok"
+            if drift_pct > args.tolerance:
+                verdict = f"FAIL (allowed +{args.tolerance:g}%)"
+                failed = True
+            print(f"p99@{ref}: {base_p99:,.0f} -> {now_p99:,.0f} us ({drift_pct:+.2f}%) {verdict}")
     else:
         print(f"error: unknown schema {schema!r}", file=sys.stderr)
         return 2
