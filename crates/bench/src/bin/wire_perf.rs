@@ -7,7 +7,8 @@
 //! `scripts/check_bench_regression.py` can diff run over run:
 //!
 //! ```text
-//! wire_perf [--out BENCH_wire.json] [--iters N] [--trials N] [--min-speedup X]
+//! wire_perf [--out BENCH_wire.json] [--iters N] [--trials N]
+//!           [--min-speedup X] [--min-clf MBPS]
 //! ```
 //!
 //! Each configuration runs `--trials` measured blocks and reports the
@@ -18,7 +19,9 @@
 //! pre-rework record lives at `results/BENCH_wire_baseline.json`.
 //! `--min-speedup X` turns the 4 KiB A/B into a self-gate: the run
 //! fails unless zero-copy encode+decode throughput is at least `X`
-//! times the legacy path for both codecs.
+//! times the legacy path for both codecs. `--min-clf MBPS` gates the
+//! 4 KiB CLF loopback number the same way, pinning the sliding-window
+//! SACK transport's throughput floor.
 
 use std::time::Instant;
 
@@ -206,6 +209,7 @@ fn main() {
     let mut iters: usize = 20_000;
     let mut trials: usize = 3;
     let mut min_speedup: Option<f64> = None;
+    let mut min_clf: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -224,6 +228,9 @@ fn main() {
             }
             "--min-speedup" => {
                 min_speedup = Some(take("--min-speedup").parse().expect("bad --min-speedup"));
+            }
+            "--min-clf" => {
+                min_clf = Some(take("--min-clf").parse().expect("bad --min-clf"));
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -262,6 +269,15 @@ fn main() {
         }
         let mb_s = run_clf_best(size, trials);
         println!("clf_{size}: {mb_s:.1} MB/s one-way loopback");
+        if size == GATE_SIZE {
+            if let Some(min) = min_clf {
+                if mb_s < min {
+                    gate_failures.push(format!(
+                        "clf_{size}: {mb_s:.1} MB/s under the {min:.1} MB/s floor"
+                    ));
+                }
+            }
+        }
         sections.push(format!("  \"clf_{size}\": {{ \"mb_per_sec\": {mb_s:.2} }}"));
     }
 

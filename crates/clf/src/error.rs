@@ -19,11 +19,14 @@ pub enum ClfError {
     Empty,
     /// An underlying socket failed.
     Io(String),
-    /// The sender's unacknowledged-packet buffer for the named peer is
-    /// full (the peer has stopped ACKing); retry later or declare the
-    /// peer dead.
+    /// The sender's packet window for the named peer is genuinely full:
+    /// staged plus unacknowledged packets have reached the configured
+    /// `max_unacked` bound (the peer has stopped ACKing, or is being
+    /// outrun). Retry later or declare the peer dead. Pacer deferral and
+    /// the in-flight byte budget never raise this — they only delay
+    /// transmission of packets the window has already accepted.
     Backpressure {
-        /// The destination whose unacked window is full.
+        /// The destination whose packet window is full.
         peer: AsId,
     },
 }

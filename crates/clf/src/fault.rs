@@ -86,6 +86,18 @@ enum SendVerdict {
     },
 }
 
+/// What [`FaultPlan::on_packet`] decided for one packet on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// The packet vanishes on the wire.
+    Dropped,
+    /// The packet arrives, optionally twice.
+    Deliver {
+        /// Deliver a second copy immediately after the first.
+        duplicate: bool,
+    },
+}
+
 /// A mutable, seeded set of fault-injection rules shared by any number
 /// of [`FaultTransport`] wrappers (one per address space under test).
 ///
@@ -181,6 +193,41 @@ impl FaultPlan {
     #[must_use]
     pub fn stats(&self) -> FaultStats {
         self.state.lock().stats
+    }
+
+    /// Packet-level variant of the send-path decision: applies the
+    /// plan's loss, duplication, and partition rules (not crash budgets,
+    /// refusal, or delay) to one packet on the `src → dst` link. This is
+    /// the channel hook the model-based protocol suite uses to drive the
+    /// ARQ window state machines through a deterministic lossy network;
+    /// the same seed always yields the same verdict sequence.
+    pub fn on_packet(&self, src: AsId, dst: AsId) -> FaultVerdict {
+        let mut st = self.state.lock();
+        st.sent += 1;
+        if st.crashed.contains(&dst) || st.cuts.contains(&(src, dst)) {
+            st.stats.dropped += 1;
+            return FaultVerdict::Dropped;
+        }
+        if let Some(n) = st.drop_every_nth {
+            if st.sent.is_multiple_of(u64::from(n)) {
+                st.stats.dropped += 1;
+                return FaultVerdict::Dropped;
+            }
+        }
+        if let Some(p) = st.drop_permille {
+            let roll = st.next_rand() % 1000;
+            if roll < u64::from(p) {
+                st.stats.dropped += 1;
+                return FaultVerdict::Dropped;
+            }
+        }
+        let duplicate = st
+            .duplicate_every_nth
+            .is_some_and(|n| st.sent.is_multiple_of(u64::from(n)));
+        if duplicate {
+            st.stats.duplicated += 1;
+        }
+        FaultVerdict::Deliver { duplicate }
     }
 
     fn on_send(&self, src: AsId, dst: AsId) -> SendVerdict {
@@ -342,6 +389,10 @@ impl ClfTransport for FaultTransport {
 
     fn purge_peer(&self, peer: AsId) {
         self.inner.purge_peer(peer);
+    }
+
+    fn set_peer_sack(&self, peer: AsId, enabled: bool) {
+        self.inner.set_peer_sack(peer, enabled);
     }
 
     fn shutdown(&self) {

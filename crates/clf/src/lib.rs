@@ -9,9 +9,11 @@
 //!
 //! * [`mem::MemEndpoint`] — in-process channels, the "shared memory within
 //!   an SMP" fast path;
-//! * [`udp::UdpEndpoint`] — an ARQ protocol (sequencing, cumulative acks,
-//!   retransmission, fragmentation) over real UDP sockets, the "UDP over a
-//!   LAN" path.
+//! * [`udp::UdpEndpoint`] — a sliding-window ARQ protocol (sequencing,
+//!   cumulative-ack + SACK-bitmap acknowledgment, hole-only retransmission,
+//!   fragmentation, RTT-paced batched syscalls) over real UDP sockets, the
+//!   "UDP over a LAN" path. The pure protocol state machines live in
+//!   [`window`] so tests can drive them on a virtual clock.
 //!
 //! [`shaping`] wraps any transport or byte stream in a 2002-calibrated
 //! latency/bandwidth model for experiment reproduction, and [`stream`]
@@ -44,11 +46,14 @@ pub mod shaping;
 pub mod stream;
 pub mod transport;
 pub mod udp;
+mod udp_sys;
+pub mod window;
 
 pub use error::ClfError;
-pub use fault::{FaultPlan, FaultStats, FaultTransport};
+pub use fault::{FaultPlan, FaultStats, FaultTransport, FaultVerdict};
 pub use mem::{MemEndpoint, MemFabric};
-pub use shaping::{NetProfile, ShapedStream, ShapedTransport, TokenBucket};
+pub use shaping::{NetProfile, Pacer, ShapedStream, ShapedTransport, TokenBucket};
 pub use stream::{duplex, tcp_connect, tcp_listen_loopback, PipeEnd};
 pub use transport::{ClfTransport, TransportStats};
 pub use udp::{udp_mesh, LossInjection, UdpConfig, UdpEndpoint};
+pub use window::{RecvWindow, RttEstimator, SendWindow};

@@ -146,6 +146,76 @@ impl TokenBucket {
     }
 }
 
+/// Paces a sender to a byte rate with a debt-style token budget, so
+/// transmissions spread across the round trip instead of blasting the
+/// whole window into the kernel (and the path's queues) at once.
+///
+/// Unlike [`TokenBucket`], a pacer never sleeps: [`Pacer::grant`] is a
+/// pure admission decision against an explicit clock, made under the
+/// caller's lock. A grant is allowed whenever the token balance is
+/// positive and may drive it negative — so a full-size datagram is
+/// always admitted eventually, no matter how small the rate, and the
+/// sender cannot wedge. Denied packets stay queued; the caller retries
+/// after time passes or an acknowledgment arrives.
+#[derive(Debug)]
+pub struct Pacer {
+    rate: Option<f64>,
+    tokens: f64,
+    last: Option<Instant>,
+}
+
+impl Pacer {
+    /// A pacer emitting `rate` bytes per second, or unpaced for `None`.
+    #[must_use]
+    pub fn new(rate: Option<u64>) -> Pacer {
+        Pacer {
+            rate: rate.map(|r| r as f64).filter(|r| *r > 0.0),
+            tokens: 0.0,
+            last: None,
+        }
+    }
+
+    /// Re-targets the rate (`None` or non-positive = unpaced). The token
+    /// balance carries over, so adaptive re-targeting — e.g. from a
+    /// smoothed RTT estimate — does not grant a fresh burst.
+    pub fn set_rate(&mut self, rate: Option<f64>) {
+        self.rate = rate.filter(|r| r.is_finite() && *r > 0.0);
+    }
+
+    /// The current rate in bytes per second, if pacing is active.
+    #[must_use]
+    pub fn rate(&self) -> Option<f64> {
+        self.rate
+    }
+
+    /// Up to ~10 ms of credit may accumulate, with a floor of one
+    /// datagram's worth so tiny rates still admit whole packets.
+    fn burst(rate: f64) -> f64 {
+        (rate / 100.0).max(65_536.0)
+    }
+
+    /// Decides whether `bytes` may be transmitted at `now`. Granting
+    /// subtracts from the balance (possibly below zero); denial leaves
+    /// the balance untouched and the caller's packet queued.
+    pub fn grant(&mut self, bytes: usize, now: Instant) -> bool {
+        let Some(rate) = self.rate else { return true };
+        let burst = Self::burst(rate);
+        match self.last {
+            Some(last) => {
+                let dt = now.saturating_duration_since(last).as_secs_f64();
+                self.tokens = (self.tokens + rate * dt).min(burst);
+            }
+            None => self.tokens = burst,
+        }
+        self.last = Some(now);
+        if self.tokens <= 0.0 {
+            return false;
+        }
+        self.tokens -= bytes as f64;
+        true
+    }
+}
+
 /// A [`ClfTransport`] wrapper imposing a [`NetProfile`].
 ///
 /// Bandwidth is charged on `send` (egress shaping); latency is added on
@@ -250,6 +320,10 @@ impl ClfTransport for ShapedTransport {
 
     fn purge_peer(&self, peer: AsId) {
         self.inner.purge_peer(peer);
+    }
+
+    fn set_peer_sack(&self, peer: AsId, enabled: bool) {
+        self.inner.set_peer_sack(peer, enabled);
     }
 
     fn shutdown(&self) {
@@ -379,6 +453,61 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_rate_panics() {
         let _ = TokenBucket::new(0);
+    }
+
+    #[test]
+    fn pacer_unpaced_always_grants() {
+        let mut p = Pacer::new(None);
+        let t0 = Instant::now();
+        for _ in 0..1000 {
+            assert!(p.grant(1 << 20, t0));
+        }
+    }
+
+    #[test]
+    fn pacer_defers_and_refills_on_virtual_clock() {
+        // 1 MB/s → 64 KiB burst floor dominates the 10 ms credit.
+        let mut p = Pacer::new(Some(1024 * 1024));
+        let t0 = Instant::now();
+        let mut granted = 0usize;
+        while p.grant(8192, t0) {
+            granted += 8192;
+            assert!(granted <= 128 * 1024, "burst credit never ran out");
+        }
+        // The initial burst is ~64 KiB; the balance may dip below zero
+        // by at most one packet (the debt model's no-wedge guarantee).
+        assert!((64 * 1024..=80 * 1024).contains(&granted), "{granted}");
+        // No time passed: still denied.
+        assert!(!p.grant(8192, t0));
+        // 100 ms later the rate has minted ~100 KiB of credit.
+        let later = t0 + Duration::from_millis(100);
+        assert!(p.grant(8192, later));
+    }
+
+    #[test]
+    fn pacer_debt_admits_oversized_packets() {
+        // 10 KB/s with 64 KiB burst floor: a 1 MiB packet exceeds any
+        // balance, but the debt model admits it while tokens > 0.
+        let mut p = Pacer::new(Some(10 * 1024));
+        let t0 = Instant::now();
+        assert!(p.grant(1 << 20, t0), "positive balance admits any size");
+        assert!(!p.grant(1, t0), "deep in debt now");
+        // The debt is bounded, so credit eventually returns.
+        let much_later = t0 + Duration::from_secs(200);
+        assert!(p.grant(1, much_later));
+    }
+
+    #[test]
+    fn pacer_retarget_keeps_balance() {
+        let mut p = Pacer::new(Some(1024));
+        let t0 = Instant::now();
+        while p.grant(65_536, t0) {}
+        // Raising the rate does not mint a fresh burst out of thin air.
+        p.set_rate(Some(2048.0));
+        assert!(!p.grant(65_536, t0));
+        // Dropping to unpaced always grants.
+        p.set_rate(None);
+        assert!(p.grant(1 << 30, t0));
     }
 
     #[test]

@@ -113,9 +113,15 @@ impl Read for PipeEnd {
             self.read_from.cv.wait(&mut buf);
         }
         let n = out.len().min(buf.data.len());
-        for slot in out.iter_mut().take(n) {
-            *slot = buf.data.pop_front().expect("len checked");
+        // Bulk-copy from the ring's (at most two) contiguous runs
+        // instead of popping byte by byte.
+        let (front, back) = buf.data.as_slices();
+        let take_front = n.min(front.len());
+        out[..take_front].copy_from_slice(&front[..take_front]);
+        if take_front < n {
+            out[take_front..n].copy_from_slice(&back[..n - take_front]);
         }
+        buf.data.drain(..n);
         Ok(n)
     }
 }

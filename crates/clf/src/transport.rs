@@ -40,6 +40,12 @@ pub struct TransportStats {
     /// destination's unacknowledged-packet window was full (UDP
     /// backend only).
     pub backpressure: u64,
+    /// Selective-acknowledgment frames received and integrated into the
+    /// send window (UDP backend only).
+    pub sack_frames: u64,
+    /// Hole packets retransmitted on duplicate-SACK evidence, without
+    /// waiting for the retransmission timeout (UDP backend only).
+    pub fast_retransmits: u64,
 }
 
 /// Registry-backed handles mirrored by a bound [`StatCounters`].
@@ -55,6 +61,11 @@ struct ObsHandles {
     rtt: Arc<Histogram>,
     srtt: Arc<Gauge>,
     coalesced: Arc<Histogram>,
+    sack_sent: Arc<Counter>,
+    sack_received: Arc<Counter>,
+    fast_retransmits: Arc<Counter>,
+    batch_tx: Arc<Histogram>,
+    batch_rx: Arc<Histogram>,
 }
 
 /// Shared atomic counter block used by the backends.
@@ -71,6 +82,8 @@ pub struct StatCounters {
     pub(crate) retransmits: AtomicU64,
     pub(crate) duplicates_dropped: AtomicU64,
     pub(crate) backpressure: AtomicU64,
+    pub(crate) sack_frames: AtomicU64,
+    pub(crate) fast_retransmits: AtomicU64,
     obs: OnceLock<ObsHandles>,
 }
 
@@ -92,6 +105,11 @@ impl StatCounters {
             rtt: registry.histogram_labeled("clf", "rtt_us", &labels),
             srtt: registry.gauge_labeled("clf", "srtt_us", &labels),
             coalesced: registry.histogram_labeled("clf", "coalesced_frames", &labels),
+            sack_sent: registry.counter_labeled("clf", "sack_frames_sent", &labels),
+            sack_received: registry.counter_labeled("clf", "sack_frames_received", &labels),
+            fast_retransmits: registry.counter_labeled("clf", "sack_fast_retransmits", &labels),
+            batch_tx: registry.histogram_labeled("clf", "batch_tx_datagrams", &labels),
+            batch_rx: registry.histogram_labeled("clf", "batch_rx_datagrams", &labels),
         });
     }
 
@@ -163,6 +181,45 @@ impl StatCounters {
         }
     }
 
+    /// Records one selective-acknowledgment frame emitted toward a peer.
+    pub(crate) fn note_sack_sent(&self) {
+        if let Some(obs) = self.obs.get() {
+            obs.sack_sent.inc();
+        }
+    }
+
+    /// Records one selective-acknowledgment frame received and folded
+    /// into a peer's send window.
+    pub(crate) fn note_sack_received(&self) {
+        self.sack_frames.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.sack_received.inc();
+        }
+    }
+
+    /// Records one hole packet fast-retransmitted on duplicate-SACK
+    /// evidence (also counted in the aggregate retransmit counter).
+    pub(crate) fn note_fast_retransmit(&self) {
+        self.fast_retransmits.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = self.obs.get() {
+            obs.fast_retransmits.inc();
+        }
+    }
+
+    /// Records how many datagrams one transmit syscall carried.
+    pub(crate) fn note_batch_tx(&self, datagrams: u64) {
+        if let Some(obs) = self.obs.get() {
+            obs.batch_tx.record(datagrams);
+        }
+    }
+
+    /// Records how many datagrams one receive syscall drained.
+    pub(crate) fn note_batch_rx(&self, datagrams: u64) {
+        if let Some(obs) = self.obs.get() {
+            obs.batch_rx.record(datagrams);
+        }
+    }
+
     /// A consistent-enough snapshot for reporting.
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
@@ -173,6 +230,8 @@ impl StatCounters {
             retransmits: self.retransmits.load(Ordering::Relaxed),
             duplicates_dropped: self.duplicates_dropped.load(Ordering::Relaxed),
             backpressure: self.backpressure.load(Ordering::Relaxed),
+            sack_frames: self.sack_frames.load(Ordering::Relaxed),
+            fast_retransmits: self.fast_retransmits.load(Ordering::Relaxed),
         }
     }
 }
@@ -259,6 +318,15 @@ pub trait ClfTransport: Send + Sync + fmt::Debug {
         let _ = registry;
     }
 
+    /// Enables or disables the selective-acknowledgment fast path toward
+    /// one peer. Disabling forces the legacy per-datagram cumulative-ack
+    /// exchange — the downgrade used when a peer predates SACK. Backends
+    /// without a SACK path ignore the call; the UDP backend applies it
+    /// to subsequent sends.
+    fn set_peer_sack(&self, peer: AsId, enabled: bool) {
+        let _ = (peer, enabled);
+    }
+
     /// Discards per-peer protocol state for a peer declared dead:
     /// unacknowledged send buffers, reassembly state. Backends without
     /// per-peer buffering may ignore the call. Idempotent; the peer may
@@ -305,8 +373,15 @@ mod tests {
         c.note_srtt(Duration::from_micros(80));
         c.note_coalesced(3);
         c.note_backpressure();
+        c.note_sack_sent();
+        c.note_sack_received();
+        c.note_fast_retransmit();
+        c.note_batch_tx(4);
+        c.note_batch_rx(6);
         assert_eq!(c.snapshot().msgs_sent, 2);
         assert_eq!(c.snapshot().backpressure, 1);
+        assert_eq!(c.snapshot().sack_frames, 1);
+        assert_eq!(c.snapshot().fast_retransmits, 1);
         let snap = reg.snapshot();
         assert_eq!(snap.counter_value("clf", "msgs_sent"), Some(1));
         assert_eq!(snap.counter_value("clf", "bytes_sent"), Some(5));
@@ -323,5 +398,16 @@ mod tests {
             .expect("coalesced series");
         assert_eq!(co.count, 1);
         assert_eq!(co.sum, 3);
+        assert_eq!(snap.counter_value("clf", "sack_frames_sent"), Some(1));
+        assert_eq!(snap.counter_value("clf", "sack_frames_received"), Some(1));
+        assert_eq!(snap.counter_value("clf", "sack_fast_retransmits"), Some(1));
+        let bt = snap
+            .histogram("clf", "batch_tx_datagrams")
+            .expect("batch tx series");
+        assert_eq!((bt.count, bt.sum), (1, 4));
+        let br = snap
+            .histogram("clf", "batch_rx_datagrams")
+            .expect("batch rx series");
+        assert_eq!((br.count, br.sum), (1, 6));
     }
 }

@@ -2,27 +2,34 @@
 //!
 //! Between cluster nodes the paper's CLF runs over UDP while still
 //! promising reliable, ordered delivery with an infinite packet queue.
-//! This backend implements that promise with a small ARQ protocol:
+//! This backend implements that promise with a sliding-window ARQ
+//! protocol (state machines in [`crate::window`], drivable by the
+//! model-based suite in `tests/window_model.rs`):
 //!
 //! * messages are fragmented into DATA packets of at most
 //!   [`UdpConfig::frag_payload`] bytes, each carrying a per-peer sequence
 //!   number and an end-of-message flag;
-//! * the receiver acknowledges cumulatively, reorders out-of-order
-//!   packets, drops duplicates, and reassembles in-order fragments into
-//!   messages;
-//! * the sender buffers unacknowledged packets without bound (the
-//!   "infinite queue" illusion) and retransmits on a timer.
+//! * the receiver reorders out-of-order packets, drops duplicates,
+//!   reassembles in-order fragments into messages, and acknowledges once
+//!   per received burst with a cumulative-ack + SACK-bitmap frame
+//!   (encoded with the `dstampede-wire` codecs), so the sender learns
+//!   exactly which packets are holes;
+//! * the sender keeps at most [`UdpConfig::window_bytes`] in flight,
+//!   staging the rest ([`ClfError::Backpressure`] only fires when the
+//!   packet window [`UdpConfig::max_unacked`] is genuinely full),
+//!   fast-retransmits holes reported by successive SACKs, and recovers
+//!   everything else on an adaptive timeout.
 //!
 //! The data plane is zero-copy (see `DESIGN.md` §4.6): a send accepts
 //! scatter-gather [`Bytes`] segments and fragments *across* segment
-//! boundaries without materializing the message — the unacked buffer
-//! holds refcounted slices, and the only per-packet copy is the gather
+//! boundaries without materializing the message — the window buffers
+//! hold refcounted slices, and the only per-packet copy is the gather
 //! into the outgoing datagram at the kernel boundary. On receive, each
 //! datagram lands in a recycled buffer that is frozen into [`Bytes`];
 //! fragment payloads are slice views into it, and a single-fragment
 //! message is delivered as that view without reassembly.
 //!
-//! Two transmit-path optimizations ride on top:
+//! Three transmit-path optimizations ride on top:
 //!
 //! * **Coalescing** — DATA packets bound for the same peer are packed
 //!   into one datagram (format: a container magic, then repeated
@@ -30,16 +37,28 @@
 //!   only the packets of a single send share a datagram; a non-zero
 //!   delay additionally holds a per-peer batch open so that back-to-back
 //!   sends coalesce, trading that much latency for fewer syscalls.
-//! * **Adaptive retransmission** — [`UdpConfig::rto`] only seeds the
-//!   timer. Each peer runs a Jacobson/Karels estimator (SRTT/RTTVAR from
-//!   ACK round-trips, Karn's rule excluding retransmitted packets,
-//!   exponential backoff while a peer stays silent), so the timeout
-//!   tracks the actual path instead of a compile-time guess.
+//! * **Syscall batching** — bursts of datagrams move through
+//!   `sendmmsg`/`recvmmsg` on Linux (one syscall per burst instead of
+//!   one per datagram), with a portable per-datagram fallback elsewhere.
+//! * **Adaptive timing** — [`UdpConfig::rto`] only seeds the timer. Each
+//!   peer runs a Jacobson/Karels estimator (SRTT/RTTVAR from ACK
+//!   round-trips, Karn's rule excluding retransmitted packets,
+//!   exponential backoff while a peer stays silent), and the same
+//!   estimate drives a per-peer [`Pacer`] spreading transmissions across
+//!   the round trip instead of blasting the window into the kernel.
+//!
+//! Interoperability is negotiated in band: a SACK-capable sender flags
+//! its DATA packets, a SACK-capable receiver answers flagged DATA with
+//! SACK frames, and either side silently falls back to the legacy
+//! per-datagram cumulative-ACK exchange when the flag is absent (old
+//! decoders ignore unknown flag bits and unknown packet kinds). The
+//! fallback can be forced per peer with
+//! [`ClfTransport::set_peer_sack`].
 //!
 //! A deterministic loss injector ([`LossInjection`]) lets tests exercise
 //! retransmission without a lossy network.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,20 +73,26 @@ use dstampede_core::AsId;
 
 use dstampede_obs::MetricsRegistry;
 
+use dstampede_wire::{Codec, SackInfo, XdrCodec};
+
 use crate::error::ClfError;
+use crate::shaping::Pacer;
 use crate::transport::{ClfTransport, StatCounters, TransportStats};
+use crate::udp_sys::{self, OutDatagram};
+use crate::window::{RecvWindow, SendWindow, MIN_RTO};
 
 const MAGIC: u16 = 0xC1F0;
 /// First two bytes of a coalesced datagram: repeated `[u16 len][packet]`.
 const COALESCE_MAGIC: u16 = 0xC1F1;
 const KIND_DATA: u8 = 0;
 const KIND_ACK: u8 = 1;
+const KIND_SACK: u8 = 2;
 const FLAG_EOM: u8 = 1;
+/// In-band capability bit on DATA packets: "answer me with SACK frames".
+/// Legacy receivers ignore unknown flag bits and keep sending
+/// per-datagram cumulative ACKs, which a SACK sender still understands.
+const FLAG_SACK: u8 = 2;
 const HEADER_LEN: usize = 2 + 1 + 1 + 2 + 8;
-
-/// Floor/ceiling on the adaptive retransmission timeout.
-const MIN_RTO: Duration = Duration::from_millis(5);
-const MAX_RTO: Duration = Duration::from_secs(60);
 
 /// Largest datagram the coalescer will assemble (safely under the 65,507
 /// byte UDP payload limit).
@@ -81,8 +106,9 @@ const RECV_BUF: usize = 65_536;
 /// (large) buffer can be recycled immediately.
 const VIEW_THRESHOLD: usize = 256;
 
-/// How many recycled receive buffers the pump thread keeps around.
-const FREE_LIST_MAX: usize = 4;
+/// Kernel socket buffer size requested at bind (best effort; the kernel
+/// clamps to its limits silently).
+const KERNEL_BUF: usize = 1 << 20;
 
 /// Deterministic packet-loss injection for tests and fault drills.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -90,8 +116,24 @@ pub enum LossInjection {
     /// Deliver everything (default).
     #[default]
     None,
-    /// Drop every n-th DATA packet (n ≥ 2).
+    /// Suppress the first transmission of every n-th DATA packet
+    /// (n ≥ 2); the recovery machinery must retransmit it.
     DropEveryNth(u32),
+    /// Seeded pseudo-random faults applied to every outgoing datagram —
+    /// DATA, retransmissions, and acknowledgment frames alike — so soak
+    /// tests exercise the protocol under sustained lossy-link
+    /// conditions. Deterministic under a fixed seed.
+    Seeded {
+        /// Generator seed.
+        seed: u64,
+        /// Per-mille probability a datagram vanishes.
+        drop_permille: u16,
+        /// Per-mille probability a datagram is emitted twice.
+        dup_permille: u16,
+        /// Per-mille probability a datagram is held back and emitted
+        /// after later traffic (reordering).
+        reorder_permille: u16,
+    },
 }
 
 /// Tuning knobs for a [`UdpEndpoint`].
@@ -107,15 +149,34 @@ pub struct UdpConfig {
     pub rto: Duration,
     /// Outbound loss injection.
     pub loss: LossInjection,
-    /// High-water mark on unacknowledged DATA packets buffered per peer.
-    /// A send that would exceed it fails with [`ClfError::Backpressure`]
-    /// instead of growing memory without bound when a peer stops ACKing.
+    /// High-water mark on staged-plus-unacknowledged DATA packets per
+    /// peer. A send that would exceed it fails with
+    /// [`ClfError::Backpressure`] instead of growing memory without
+    /// bound when a peer stops ACKing. This is the *only* condition that
+    /// backpressures: the in-flight byte budget and the pacer merely
+    /// defer transmission of already-accepted packets.
     pub max_unacked: usize,
     /// How long a per-peer transmit batch may wait for more packets
     /// before it is flushed. Zero (the default) flushes every send
     /// immediately — packets of one message still share datagrams, but
     /// no latency is added.
     pub coalesce_delay: Duration,
+    /// Whether to run the SACK fast path (flag outgoing DATA, answer
+    /// flagged DATA with SACK frames). Disabling forces the legacy
+    /// per-datagram cumulative-ACK exchange everywhere.
+    pub sack: bool,
+    /// In-flight byte budget per peer: transmitted-and-unacked bytes
+    /// never exceed it. Sized to fit the kernel's *default* receive
+    /// buffer clamp, so a full window cannot overrun the peer's socket
+    /// and manufacture loss.
+    pub window_bytes: usize,
+    /// Receive-burst size: how many datagrams one `recvmmsg` may drain.
+    pub batch: usize,
+    /// Fixed pacing rate in bytes per second. `None` (the default) paces
+    /// adaptively at twice the in-flight budget per smoothed round trip
+    /// once an RTT estimate exists — effectively unpaced on loopback,
+    /// burst-smoothing on real paths.
+    pub pace: Option<u64>,
 }
 
 impl Default for UdpConfig {
@@ -126,6 +187,10 @@ impl Default for UdpConfig {
             loss: LossInjection::None,
             max_unacked: 1024,
             coalesce_delay: Duration::ZERO,
+            sack: true,
+            window_bytes: 128 * 1024,
+            batch: 32,
+            pace: None,
         }
     }
 }
@@ -133,18 +198,18 @@ impl Default for UdpConfig {
 /// A DATA packet held for (re)transmission: the 14 header bytes plus the
 /// message fragment as borrowed segments. Retransmission re-gathers from
 /// here, so payload bytes are never duplicated into the send buffer.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 struct Packet {
     header: [u8; HEADER_LEN],
     payload: Vec<Bytes>,
 }
 
 impl Packet {
-    fn data(src: AsId, seq: u64, eom: bool, payload: Vec<Bytes>) -> Packet {
+    fn data(src: AsId, seq: u64, eom: bool, sack: bool, payload: Vec<Bytes>) -> Packet {
         let mut header = [0u8; HEADER_LEN];
         header[0..2].copy_from_slice(&MAGIC.to_be_bytes());
         header[2] = KIND_DATA;
-        header[3] = if eom { FLAG_EOM } else { 0 };
+        header[3] = (u8::from(eom) * FLAG_EOM) | (u8::from(sack) * FLAG_SACK);
         header[4..6].copy_from_slice(&src.0.to_be_bytes());
         header[6..14].copy_from_slice(&seq.to_be_bytes());
         Packet { header, payload }
@@ -155,8 +220,7 @@ impl Packet {
     }
 
     /// Gathers header and payload segments into `out` — the single
-    /// user-space copy on the transmit path (std's `UdpSocket` has no
-    /// vectored send).
+    /// user-space copy on the transmit path.
     fn gather_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.header);
         for seg in &self.payload {
@@ -165,132 +229,133 @@ impl Packet {
     }
 }
 
-/// Jacobson/Karels retransmission-timeout estimation (RFC 6298 shape).
-#[derive(Debug, Clone, Copy)]
-struct RttEstimator {
-    srtt: Option<Duration>,
-    rttvar: Duration,
-    rto: Duration,
-    /// Configured starting timeout, used until the first clean sample
-    /// and as the backoff-reset floor before one exists.
-    initial: Duration,
-}
-
-impl RttEstimator {
-    fn new(initial: Duration) -> RttEstimator {
-        let initial = initial.clamp(MIN_RTO, MAX_RTO);
-        RttEstimator {
-            srtt: None,
-            rttvar: Duration::ZERO,
-            rto: initial,
-            initial,
-        }
-    }
-
-    /// Folds one measured round-trip into the estimate. Callers must
-    /// respect Karn's rule: never sample a retransmitted packet.
-    fn sample(&mut self, s: Duration) {
-        match self.srtt {
-            None => {
-                self.srtt = Some(s);
-                self.rttvar = s / 2;
-            }
-            Some(srtt) => {
-                let err = srtt.abs_diff(s);
-                self.rttvar = (self.rttvar * 3 + err) / 4;
-                self.srtt = Some((srtt * 7 + s) / 8);
-            }
-        }
-        self.rto = (self.srtt.unwrap_or_default() + 4 * self.rttvar).clamp(MIN_RTO, MAX_RTO);
-    }
-
-    /// Exponential backoff after a retransmission (the estimate itself
-    /// is left alone; the next clean sample re-derives the timeout).
-    fn backoff(&mut self) {
-        self.rto = (self.rto * 2).min(MAX_RTO);
-    }
-
-    /// Sheds accumulated backoff after acked forward progress that
-    /// produced no clean sample (every acked packet had been
-    /// retransmitted, so Karn's rule discards them). Without this a
-    /// fully retransmitted window can never re-arm the timer: no
-    /// packet ever samples, the backoff compounds toward [`MAX_RTO`],
-    /// and a sustained burst stalls. The network demonstrably moved,
-    /// so fall back to the current estimate.
-    fn reset_backoff(&mut self) {
-        self.rto = match self.srtt {
-            Some(srtt) => (srtt + 4 * self.rttvar).clamp(MIN_RTO, MAX_RTO),
-            None => self.initial,
-        };
-    }
-}
-
-/// One buffered unacknowledged DATA packet.
-struct Unacked {
-    pkt: Packet,
-    sent_at: Instant,
-    /// Karn's rule: a retransmitted packet's ACK is ambiguous and must
-    /// not feed the RTT estimator.
-    retransmitted: bool,
-}
-
+/// Send-side state for one peer.
 struct PeerTx {
-    next_seq: u64,
-    unacked: BTreeMap<u64, Unacked>,
-    data_sent: u64,
-    rtt: RttEstimator,
+    win: SendWindow<Packet>,
+    pacer: Pacer,
+    /// Fast retransmissions produced by SACK integration, awaiting the
+    /// next burst flush.
+    pending_retx: Vec<Packet>,
+    /// When the oldest staged packet entered the deferred queue, for the
+    /// coalesce-delay ripeness check.
+    deferred_since: Option<Instant>,
 }
 
 impl PeerTx {
-    fn new(initial_rto: Duration) -> Self {
+    fn new(config: &UdpConfig) -> Self {
         PeerTx {
-            next_seq: 0,
-            unacked: BTreeMap::new(),
-            data_sent: 0,
-            rtt: RttEstimator::new(initial_rto),
+            win: SendWindow::new(
+                config.max_unacked.max(1),
+                config.window_bytes.max(1),
+                config.rto,
+            ),
+            pacer: Pacer::new(config.pace),
+            pending_retx: Vec::new(),
+            deferred_since: None,
+        }
+    }
+
+    /// Re-targets the adaptive pacer from the smoothed RTT: twice the
+    /// in-flight budget per round trip, so pacing never caps throughput
+    /// below what the window allows. A fixed [`UdpConfig::pace`] wins.
+    fn retarget_pacer(&mut self, config: &UdpConfig) {
+        if config.pace.is_some() {
+            return;
+        }
+        if let Some(srtt) = self.win.rtt.srtt() {
+            let srtt = srtt.as_secs_f64().max(1e-6);
+            self.pacer
+                .set_rate(Some(2.0 * config.window_bytes as f64 / srtt));
         }
     }
 }
 
+/// Receive-side state for one peer.
+#[derive(Default)]
 struct PeerRx {
-    expected: u64,
-    /// Out-of-order packets: seq → (flags, payload view).
-    ooo: BTreeMap<u64, (u8, Bytes)>,
-    assembling: Vec<u8>,
-}
-
-impl PeerRx {
-    fn new() -> Self {
-        PeerRx {
-            expected: 0,
-            ooo: BTreeMap::new(),
-            assembling: Vec::new(),
-        }
-    }
-}
-
-/// Packets staged for one peer, awaiting a coalesced flush.
-struct PendingBatch {
-    packets: Vec<Packet>,
-    bytes: usize,
-    staged_at: Instant,
-}
-
-impl PendingBatch {
-    fn new() -> Self {
-        PendingBatch {
-            packets: Vec::new(),
-            bytes: 0,
-            staged_at: Instant::now(),
-        }
-    }
+    win: RecvWindow,
+    /// Whether the peer's latest DATA carried [`FLAG_SACK`] — answer
+    /// with SACK frames instead of legacy cumulative ACKs.
+    sack_reply: bool,
 }
 
 struct Shared {
     peers: HashMap<AsId, SocketAddr>,
     tx: HashMap<AsId, PeerTx>,
     rx: HashMap<AsId, PeerRx>,
-    pending: HashMap<AsId, PendingBatch>,
+    /// Peers explicitly downgraded to the legacy ACK exchange.
+    sack_disabled: HashSet<AsId>,
+}
+
+/// Mutable state of the outbound loss injector.
+struct LossState {
+    /// DATA packet counter for [`LossInjection::DropEveryNth`].
+    counter: u64,
+    /// Generator for [`LossInjection::Seeded`].
+    rng: u64,
+    /// Datagram held back for reordering.
+    held: Option<OutDatagram>,
+}
+
+impl LossState {
+    fn new(config: &UdpConfig) -> LossState {
+        let seed = match config.loss {
+            LossInjection::Seeded { seed, .. } => seed,
+            _ => 0,
+        };
+        LossState {
+            counter: 0,
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+            held: None,
+        }
+    }
+
+    fn roll(&mut self) -> u64 {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.rng >> 11) % 1000
+    }
+}
+
+/// Applies [`LossInjection::Seeded`] to an assembled burst in place.
+fn apply_loss(config: &UdpConfig, loss: &Mutex<LossState>, grams: &mut Vec<OutDatagram>) {
+    let LossInjection::Seeded {
+        drop_permille,
+        dup_permille,
+        reorder_permille,
+        ..
+    } = config.loss
+    else {
+        return;
+    };
+    let mut st = loss.lock();
+    let mut out = Vec::with_capacity(grams.len() + 1);
+    for g in grams.drain(..) {
+        if st.roll() < u64::from(drop_permille) {
+            continue;
+        }
+        let dup = st.roll() < u64::from(dup_permille);
+        let reorder = st.roll() < u64::from(reorder_permille);
+        if reorder && st.held.is_none() {
+            // Held until later traffic overtakes it; the ARQ machinery
+            // keeps generating traffic, so nothing is held forever.
+            st.held = Some(g);
+            continue;
+        }
+        if dup {
+            out.push(OutDatagram {
+                addr: g.addr,
+                buf: g.buf.clone(),
+            });
+        }
+        out.push(g);
+        if let Some(h) = st.held.take() {
+            out.push(h);
+        }
+    }
+    *grams = out;
 }
 
 /// A reliable-UDP CLF endpoint.
@@ -325,7 +390,7 @@ pub struct UdpEndpoint {
     stats: Arc<StatCounters>,
     closed: Arc<AtomicBool>,
     pump: Mutex<Option<std::thread::JoinHandle<()>>>,
-    loss_counter: Mutex<u64>,
+    loss: Arc<Mutex<LossState>>,
 }
 
 impl UdpEndpoint {
@@ -337,9 +402,10 @@ impl UdpEndpoint {
     /// [`ClfError::Io`] if the socket cannot be bound.
     pub fn bind(local: AsId, config: UdpConfig) -> Result<Arc<Self>, ClfError> {
         let socket = UdpSocket::bind("127.0.0.1:0")?;
+        udp_sys::enlarge_buffers(&socket, KERNEL_BUF);
         // The read timeout bounds how late the pump can be for its
-        // housekeeping (retransmission scan, aged-batch flush), so a
-        // sub-10ms coalesce delay tightens it.
+        // housekeeping (retransmission scan, deferred/aged-batch flush),
+        // so a sub-10ms coalesce delay tightens it.
         let tick = if config.coalesce_delay.is_zero() {
             Duration::from_millis(10)
         } else {
@@ -353,28 +419,31 @@ impl UdpEndpoint {
             peers: HashMap::new(),
             tx: HashMap::new(),
             rx: HashMap::new(),
-            pending: HashMap::new(),
+            sack_disabled: HashSet::new(),
         }));
         let (deliver_tx, inbox) = unbounded();
         let stats = Arc::new(StatCounters::default());
         let closed = Arc::new(AtomicBool::new(false));
+        let loss = Arc::new(Mutex::new(LossState::new(&config)));
 
         let pump_socket = socket.try_clone()?;
         let pump_shared = Arc::clone(&shared);
         let pump_stats = Arc::clone(&stats);
         let pump_closed = Arc::clone(&closed);
+        let pump_loss = Arc::clone(&loss);
         let handle = std::thread::Builder::new()
             .name(format!("clf-udp-{}", local.0))
             .spawn(move || {
-                pump_loop(
+                let ctx = PumpCtx {
                     local,
-                    &pump_socket,
-                    &pump_shared,
-                    &deliver_tx,
-                    &pump_stats,
-                    &pump_closed,
+                    socket: &pump_socket,
+                    shared: &pump_shared,
+                    deliver: &deliver_tx,
+                    stats: &pump_stats,
                     config,
-                );
+                    loss: &pump_loss,
+                };
+                pump_loop(&ctx, &pump_closed);
             })
             .expect("spawning the CLF pump thread failed");
 
@@ -388,7 +457,7 @@ impl UdpEndpoint {
             stats,
             closed,
             pump: Mutex::new(Some(handle)),
-            loss_counter: Mutex::new(0),
+            loss,
         }))
     }
 
@@ -403,14 +472,14 @@ impl UdpEndpoint {
         self.shared.lock().peers.insert(peer, addr);
     }
 
-    fn should_drop(&self) -> bool {
+    fn should_suppress(&self) -> bool {
         match self.config.loss {
-            LossInjection::None => false,
             LossInjection::DropEveryNth(n) => {
-                let mut c = self.loss_counter.lock();
-                *c += 1;
-                n >= 2 && (*c).is_multiple_of(u64::from(n))
+                let mut st = self.loss.lock();
+                st.counter += 1;
+                n >= 2 && st.counter.is_multiple_of(u64::from(n))
             }
+            _ => false,
         }
     }
 }
@@ -465,6 +534,25 @@ fn encode_ack(src: AsId, cum_ack: u64) -> Vec<u8> {
     pkt
 }
 
+/// Builds a SACK datagram: the CLF header (its seq field mirrors
+/// `ack_next` for cheap inspection) followed by the codec-encoded SACK
+/// body — the same bytes either `dstampede-wire` codec round-trips, so
+/// the protocol suite can cross-check the transport against the codecs.
+fn encode_sack_datagram(src: AsId, sack: &SackInfo) -> Vec<u8> {
+    let body = XdrCodec::new()
+        .encode_sack(sack)
+        .expect("receive-window bitmap is bounded")
+        .to_bytes();
+    let mut pkt = Vec::with_capacity(HEADER_LEN + body.len());
+    pkt.extend_from_slice(&MAGIC.to_be_bytes());
+    pkt.push(KIND_SACK);
+    pkt.push(0);
+    pkt.extend_from_slice(&src.0.to_be_bytes());
+    pkt.extend_from_slice(&sack.ack_next.to_be_bytes());
+    pkt.extend_from_slice(&body);
+    pkt
+}
+
 struct Parsed {
     kind: u8,
     flags: u8,
@@ -499,12 +587,16 @@ fn parse(datagram: &Bytes, start: usize, end: usize) -> Option<Parsed> {
     })
 }
 
-/// Transmits `packets` to one peer, packing as many as fit into each
-/// datagram. A datagram carrying a single packet uses the bare packet
-/// format; several packets use the coalesced container.
-fn transmit_batch(socket: &UdpSocket, addr: SocketAddr, packets: &[Packet], stats: &StatCounters) {
+/// Packs `packets` for one peer into datagrams, as many per datagram as
+/// fit. A datagram carrying a single packet uses the bare packet format;
+/// several packets use the coalesced container.
+fn assemble(
+    addr: SocketAddr,
+    packets: &[Packet],
+    grams: &mut Vec<OutDatagram>,
+    stats: &StatCounters,
+) {
     let mut i = 0;
-    let mut buf: Vec<u8> = Vec::new();
     while i < packets.len() {
         let mut j = i + 1;
         let mut size = 2 + 2 + packets[i].wire_len();
@@ -518,7 +610,7 @@ fn transmit_batch(socket: &UdpSocket, addr: SocketAddr, packets: &[Packet], stat
                 j += 1;
             }
         }
-        buf.clear();
+        let mut buf = Vec::with_capacity(size);
         if j - i == 1 {
             packets[i].gather_into(&mut buf);
         } else {
@@ -529,113 +621,178 @@ fn transmit_batch(socket: &UdpSocket, addr: SocketAddr, packets: &[Packet], stat
                 pkt.gather_into(&mut buf);
             }
         }
-        let _ = socket.send_to(&buf, addr);
+        grams.push(OutDatagram { addr, buf });
         stats.note_coalesced((j - i) as u64);
         i = j;
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn pump_loop(
-    local: AsId,
+/// Applies loss injection and hands the burst to the batched send path.
+fn emit(
     socket: &UdpSocket,
-    shared: &Mutex<Shared>,
-    deliver: &Sender<(AsId, Bytes)>,
+    config: &UdpConfig,
+    loss: &Mutex<LossState>,
+    grams: &mut Vec<OutDatagram>,
     stats: &StatCounters,
-    closed: &AtomicBool,
-    config: UdpConfig,
 ) {
-    // Recycled receive buffers: each datagram is frozen into `Bytes` so
-    // payload views can borrow it; when no view outlives the dispatch,
-    // the allocation is reclaimed for the next receive.
-    let mut free: Vec<Vec<u8>> = Vec::new();
-    let mut last_scan = Instant::now();
-    while !closed.load(Ordering::Acquire) {
-        let mut buf = free.pop().unwrap_or_else(|| vec![0u8; RECV_BUF]);
-        buf.resize(RECV_BUF, 0);
-        match socket.recv_from(&mut buf) {
-            Ok((n, from_addr)) => {
-                buf.truncate(n);
-                let datagram = Bytes::from(buf);
-                process_datagram(local, socket, shared, deliver, stats, &datagram, from_addr);
-                if free.len() < FREE_LIST_MAX {
-                    if let Ok(v) = datagram.try_into_vec() {
-                        free.push(v);
-                    }
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if free.len() < FREE_LIST_MAX {
-                    free.push(buf);
-                }
-            }
-            Err(_) => break,
+    apply_loss(config, loss, grams);
+    if grams.is_empty() {
+        return;
+    }
+    udp_sys::send_burst(socket, grams, &mut |n| stats.note_batch_tx(n as u64));
+    grams.clear();
+}
+
+/// Pops every packet the byte window and pacer admit right now.
+fn drain_transmittable(tx: &mut PeerTx, now: Instant, out: &mut Vec<Packet>) {
+    while let Some(len) = tx.win.transmittable_len() {
+        if !tx.pacer.grant(len, now) {
+            break;
         }
-        // Flush transmit batches that have waited out the coalesce delay.
-        if !config.coalesce_delay.is_zero() {
-            let mut due: Vec<(SocketAddr, PendingBatch)> = Vec::new();
-            {
-                let mut st = shared.lock();
-                let ripe: Vec<AsId> = st
-                    .pending
-                    .iter()
-                    .filter(|(_, b)| b.staged_at.elapsed() >= config.coalesce_delay)
-                    .map(|(&dst, _)| dst)
-                    .collect();
-                for dst in ripe {
-                    if let Some(batch) = st.pending.remove(&dst) {
-                        if let Some(&addr) = st.peers.get(&dst) {
-                            due.push((addr, batch));
-                        }
-                    }
-                }
-            }
-            for (addr, batch) in due {
-                transmit_batch(socket, addr, &batch.packets, stats);
-            }
-        }
-        // Periodic retransmission scan against each peer's adaptive RTO.
-        if last_scan.elapsed() >= MIN_RTO {
-            last_scan = Instant::now();
-            let mut st = shared.lock();
-            let peers = st.peers.clone();
-            let mut out = Vec::new();
-            for (peer, tx) in st.tx.iter_mut() {
-                let Some(&addr) = peers.get(peer) else {
-                    continue;
-                };
-                let rto = tx.rtt.rto;
-                let mut any = false;
-                for u in tx.unacked.values_mut() {
-                    if u.sent_at.elapsed() >= rto {
-                        out.clear();
-                        u.pkt.gather_into(&mut out);
-                        let _ = socket.send_to(&out, addr);
-                        u.sent_at = Instant::now();
-                        u.retransmitted = true;
-                        any = true;
-                        stats.note_retransmit();
-                    }
-                }
-                if any {
-                    tx.rtt.backoff();
-                }
-            }
+        let t = tx
+            .win
+            .transmit_next(now)
+            .expect("transmittable head exists");
+        // Injected loss suppresses only the first transmission; the
+        // recovery machinery retransmits the packet for real.
+        if !t.suppress {
+            out.push(t.pkt);
         }
     }
 }
 
-fn process_datagram(
+/// Everything the pump thread needs, bundled.
+struct PumpCtx<'a> {
     local: AsId,
-    socket: &UdpSocket,
-    shared: &Mutex<Shared>,
-    deliver: &Sender<(AsId, Bytes)>,
-    stats: &StatCounters,
+    socket: &'a UdpSocket,
+    shared: &'a Mutex<Shared>,
+    deliver: &'a Sender<(AsId, Bytes)>,
+    stats: &'a StatCounters,
+    config: UdpConfig,
+    loss: &'a Mutex<LossState>,
+}
+
+fn pump_loop(ctx: &PumpCtx<'_>, closed: &AtomicBool) {
+    let batch = ctx.config.batch.max(1);
+    let mut bufs: Vec<Vec<u8>> = (0..batch).map(|_| vec![0u8; RECV_BUF]).collect();
+    let mut results: Vec<(usize, SocketAddr)> = Vec::new();
+    let mut grams: Vec<OutDatagram> = Vec::new();
+    let mut dirty: Vec<AsId> = Vec::new();
+    let mut last_scan = Instant::now();
+    while !closed.load(Ordering::Acquire) {
+        match udp_sys::recv_burst(ctx.socket, &mut bufs, &mut results) {
+            Ok(()) => {
+                if !results.is_empty() {
+                    ctx.stats.note_batch_rx(results.len() as u64);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+        dirty.clear();
+        for k in 0..results.len() {
+            let (len, from_addr) = results[k];
+            if !(2..=RECV_BUF).contains(&len) {
+                continue;
+            }
+            // Freeze the burst slot into `Bytes` so payload views can
+            // borrow it; reclaim the allocation when nothing does.
+            let mut buf = std::mem::take(&mut bufs[k]);
+            buf.truncate(len);
+            let datagram = Bytes::from(buf);
+            process_datagram(ctx, &datagram, from_addr, &mut dirty);
+            bufs[k] = match datagram.try_into_vec() {
+                Ok(mut v) => {
+                    v.resize(RECV_BUF, 0);
+                    v
+                }
+                Err(_) => vec![0u8; RECV_BUF],
+            };
+        }
+        results.clear();
+        let now = Instant::now();
+        let scan = now.duration_since(last_scan) >= MIN_RTO;
+        if scan {
+            last_scan = now;
+        }
+        collect_outgoing(ctx, &dirty, scan, now, &mut grams);
+        emit(ctx.socket, &ctx.config, ctx.loss, &mut grams, ctx.stats);
+    }
+}
+
+/// One pass over protocol state after a receive burst: acknowledge every
+/// peer that sent DATA (once per burst, not once per packet), flush
+/// fast retransmissions and deferred packets the window or pacer now
+/// admits, and run the timeout scan when due.
+fn collect_outgoing(
+    ctx: &PumpCtx<'_>,
+    dirty: &[AsId],
+    scan: bool,
+    now: Instant,
+    grams: &mut Vec<OutDatagram>,
+) {
+    let mut st = ctx.shared.lock();
+    let st = &mut *st;
+    for peer in dirty {
+        let Some(&addr) = st.peers.get(peer) else {
+            continue;
+        };
+        let Some(rx) = st.rx.get(peer) else {
+            continue;
+        };
+        if ctx.config.sack && rx.sack_reply {
+            grams.push(OutDatagram {
+                addr,
+                buf: encode_sack_datagram(ctx.local, &rx.win.sack()),
+            });
+            ctx.stats.note_sack_sent();
+        } else {
+            let next = rx.win.ack_next();
+            if next > 0 {
+                grams.push(OutDatagram {
+                    addr,
+                    buf: encode_ack(ctx.local, next - 1),
+                });
+            }
+        }
+    }
+    let mut to_wire: Vec<Packet> = Vec::new();
+    for (peer, tx) in st.tx.iter_mut() {
+        let Some(&addr) = st.peers.get(peer) else {
+            continue;
+        };
+        to_wire.clear();
+        to_wire.append(&mut tx.pending_retx);
+        if scan {
+            for (_, pkt) in tx.win.scan_retransmits(now) {
+                ctx.stats.note_retransmit();
+                to_wire.push(pkt);
+            }
+        }
+        if tx.win.deferred_len() > 0 {
+            let ripe = ctx.config.coalesce_delay.is_zero()
+                || tx.win.deferred_bytes() + 2 >= MAX_DATAGRAM
+                || tx
+                    .deferred_since
+                    .is_none_or(|t| now.duration_since(t) >= ctx.config.coalesce_delay);
+            if ripe {
+                drain_transmittable(tx, now, &mut to_wire);
+                if tx.win.deferred_len() == 0 {
+                    tx.deferred_since = None;
+                }
+            }
+        }
+        assemble(addr, &to_wire, grams, ctx.stats);
+    }
+}
+
+fn process_datagram(
+    ctx: &PumpCtx<'_>,
     datagram: &Bytes,
     from_addr: SocketAddr,
+    dirty: &mut Vec<AsId>,
 ) {
     if datagram.len() < 2 {
         return;
@@ -643,7 +800,7 @@ fn process_datagram(
     match u16::from_be_bytes([datagram[0], datagram[1]]) {
         MAGIC => {
             if let Some(p) = parse(datagram, 0, datagram.len()) {
-                handle_packet(local, socket, shared, deliver, stats, p, from_addr);
+                handle_packet(ctx, p, from_addr, dirty);
             }
         }
         COALESCE_MAGIC => {
@@ -655,7 +812,7 @@ fn process_datagram(
                     break;
                 }
                 if let Some(p) = parse(datagram, off, off + len) {
-                    handle_packet(local, socket, shared, deliver, stats, p, from_addr);
+                    handle_packet(ctx, p, from_addr, dirty);
                 }
                 off += len;
             }
@@ -664,94 +821,70 @@ fn process_datagram(
     }
 }
 
-fn handle_packet(
-    local: AsId,
-    socket: &UdpSocket,
-    shared: &Mutex<Shared>,
-    deliver: &Sender<(AsId, Bytes)>,
-    stats: &StatCounters,
-    p: Parsed,
-    from_addr: SocketAddr,
-) {
+fn handle_packet(ctx: &PumpCtx<'_>, p: Parsed, from_addr: SocketAddr, dirty: &mut Vec<AsId>) {
     match p.kind {
-        KIND_DATA => handle_data(local, socket, shared, deliver, stats, p, from_addr),
+        KIND_DATA => handle_data(ctx, p, from_addr, dirty),
         KIND_ACK => {
-            let mut st = shared.lock();
+            let mut st = ctx.shared.lock();
             if let Some(tx) = st.tx.get_mut(&p.src) {
-                let acked: Vec<u64> = tx.unacked.range(..=p.seq).map(|(&s, _)| s).collect();
-                let progressed = !acked.is_empty();
-                let mut sampled = false;
-                for s in acked {
-                    if let Some(u) = tx.unacked.remove(&s) {
-                        // Karn's rule: a retransmitted packet's ACK does
-                        // not say which transmission it answers.
-                        if !u.retransmitted {
-                            let sample = u.sent_at.elapsed();
-                            stats.note_rtt(sample);
-                            tx.rtt.sample(sample);
-                            sampled = true;
-                        }
-                    }
+                let ev = tx.win.on_cum_ack(p.seq, Instant::now());
+                for s in &ev.samples {
+                    ctx.stats.note_rtt(*s);
                 }
-                if sampled {
-                    stats.note_srtt(tx.rtt.srtt.unwrap_or_default());
-                } else if progressed {
-                    // The window advanced on retransmitted packets only:
-                    // shed the backoff so the timer re-arms from the
-                    // estimate instead of compounding toward MAX_RTO.
-                    tx.rtt.reset_backoff();
+                if !ev.samples.is_empty() {
+                    ctx.stats.note_srtt(tx.win.rtt.srtt().unwrap_or_default());
                 }
+                tx.retarget_pacer(&ctx.config);
+            }
+        }
+        KIND_SACK => {
+            let Ok(sack) = XdrCodec::new().decode_sack(&p.payload) else {
+                return;
+            };
+            ctx.stats.note_sack_received();
+            let sacked = sack.sacked_seqs();
+            let mut st = ctx.shared.lock();
+            if let Some(tx) = st.tx.get_mut(&p.src) {
+                let ev = tx.win.on_sack(sack.ack_next, &sacked, Instant::now());
+                for s in &ev.samples {
+                    ctx.stats.note_rtt(*s);
+                }
+                if !ev.samples.is_empty() {
+                    ctx.stats.note_srtt(tx.win.rtt.srtt().unwrap_or_default());
+                }
+                for (_, pkt) in ev.fast_retransmits {
+                    ctx.stats.note_fast_retransmit();
+                    ctx.stats.note_retransmit();
+                    tx.pending_retx.push(pkt);
+                }
+                tx.retarget_pacer(&ctx.config);
             }
         }
         _ => {}
     }
 }
 
-fn handle_data(
-    local: AsId,
-    socket: &UdpSocket,
-    shared: &Mutex<Shared>,
-    deliver: &Sender<(AsId, Bytes)>,
-    stats: &StatCounters,
-    p: Parsed,
-    from_addr: SocketAddr,
-) {
-    let mut completed: Vec<Bytes> = Vec::new();
-    let ack;
+fn handle_data(ctx: &PumpCtx<'_>, p: Parsed, from_addr: SocketAddr, dirty: &mut Vec<AsId>) {
+    let completed;
     {
-        let mut st = shared.lock();
+        let mut st = ctx.shared.lock();
         // Learn/refresh the peer's address from observed traffic.
         st.peers.insert(p.src, from_addr);
-        let rx = st.rx.entry(p.src).or_insert_with(PeerRx::new);
-        if p.seq < rx.expected || rx.ooo.contains_key(&p.seq) {
-            stats.note_duplicate();
-        } else {
-            rx.ooo.insert(p.seq, (p.flags, p.payload));
-            while let Some((flags, payload)) = rx.ooo.remove(&rx.expected) {
-                let eom = flags & FLAG_EOM != 0;
-                if eom && rx.assembling.is_empty() {
-                    // Single-fragment message: the payload view is the
-                    // message — deliver without reassembly.
-                    stats.note_received(payload.len());
-                    completed.push(payload);
-                } else {
-                    rx.assembling.extend_from_slice(&payload);
-                    if eom {
-                        let msg = Bytes::from(std::mem::take(&mut rx.assembling));
-                        stats.note_received(msg.len());
-                        completed.push(msg);
-                    }
-                }
-                rx.expected += 1;
-            }
+        let rx = st.rx.entry(p.src).or_default();
+        rx.sack_reply = p.flags & FLAG_SACK != 0;
+        let ev = rx.win.insert(p.seq, p.flags & FLAG_EOM != 0, p.payload);
+        if !ev.accepted {
+            ctx.stats.note_duplicate();
         }
-        ack = rx.expected.wrapping_sub(1);
+        completed = ev.completed;
     }
-    if ack != u64::MAX {
-        let _ = socket.send_to(&encode_ack(local, ack), from_addr);
+    // Even a duplicate re-dirties the peer: its ack may have been lost.
+    if !dirty.contains(&p.src) {
+        dirty.push(p.src);
     }
     for msg in completed {
-        let _ = deliver.send((p.src, msg));
+        ctx.stats.note_received(msg.len());
+        let _ = ctx.deliver.send((p.src, msg));
     }
 }
 
@@ -769,63 +902,55 @@ impl ClfTransport for UdpEndpoint {
             return Err(ClfError::Closed);
         }
         let total: usize = segments.iter().map(Bytes::len).sum();
-        let mut st = self.shared.lock();
-        let addr = *st.peers.get(&dst).ok_or(ClfError::UnknownPeer)?;
-        let tx = st
-            .tx
-            .entry(dst)
-            .or_insert_with(|| PeerTx::new(self.config.rto));
-        let frag = self.config.frag_payload.max(1);
-        let n_frags = total.div_ceil(frag).max(1);
-        if tx.unacked.len() + n_frags > self.config.max_unacked.max(1) {
-            self.stats.note_backpressure();
-            return Err(ClfError::Backpressure { peer: dst });
-        }
-        let mut to_wire: Vec<Packet> = Vec::with_capacity(n_frags);
-        let mut cursor = SegCursor::new(segments);
-        for i in 0..n_frags {
-            let take = if i + 1 == n_frags {
-                total - i * frag
-            } else {
-                frag
-            };
-            let eom = i + 1 == n_frags;
-            let seq = tx.next_seq;
-            tx.next_seq += 1;
-            let pkt = Packet::data(self.local, seq, eom, cursor.take(take));
-            tx.unacked.insert(
-                seq,
-                Unacked {
-                    pkt: pkt.clone(),
-                    sent_at: Instant::now(),
-                    retransmitted: false,
-                },
-            );
-            tx.data_sent += 1;
-            // Injected loss skips only the first transmission; the
-            // retransmission timer recovers the packet.
-            if !self.should_drop() {
-                to_wire.push(pkt);
+        let mut grams: Vec<OutDatagram> = Vec::new();
+        {
+            let mut st = self.shared.lock();
+            let st = &mut *st;
+            let addr = *st.peers.get(&dst).ok_or(ClfError::UnknownPeer)?;
+            let sack = self.config.sack && !st.sack_disabled.contains(&dst);
+            let tx = st
+                .tx
+                .entry(dst)
+                .or_insert_with(|| PeerTx::new(&self.config));
+            let frag = self.config.frag_payload.max(1);
+            let n_frags = total.div_ceil(frag).max(1);
+            if !tx.win.can_accept(n_frags) {
+                self.stats.note_backpressure();
+                return Err(ClfError::Backpressure { peer: dst });
+            }
+            let now = Instant::now();
+            let mut cursor = SegCursor::new(segments);
+            for i in 0..n_frags {
+                let take = if i + 1 == n_frags {
+                    total - i * frag
+                } else {
+                    frag
+                };
+                let eom = i + 1 == n_frags;
+                let pkt = Packet::data(self.local, tx.win.next_seq(), eom, sack, cursor.take(take));
+                let wire_len = pkt.wire_len();
+                tx.win.stage(pkt, wire_len, self.should_suppress());
+            }
+            if self.config.coalesce_delay.is_zero() || tx.win.deferred_bytes() + 2 >= MAX_DATAGRAM {
+                let mut to_wire = Vec::new();
+                drain_transmittable(tx, now, &mut to_wire);
+                assemble(addr, &to_wire, &mut grams, &self.stats);
+                if tx.win.deferred_len() == 0 {
+                    tx.deferred_since = None;
+                } else if tx.deferred_since.is_none() {
+                    tx.deferred_since = Some(now);
+                }
+            } else if tx.deferred_since.is_none() {
+                tx.deferred_since = Some(now);
             }
         }
-        let batch = st.pending.entry(dst).or_insert_with(PendingBatch::new);
-        if batch.packets.is_empty() {
-            batch.staged_at = Instant::now();
-        }
-        for pkt in to_wire {
-            batch.bytes += 2 + pkt.wire_len();
-            batch.packets.push(pkt);
-        }
-        let flush_now = self.config.coalesce_delay.is_zero() || batch.bytes + 2 >= MAX_DATAGRAM;
-        let flushed = if flush_now {
-            st.pending.remove(&dst)
-        } else {
-            None
-        };
-        drop(st);
-        if let Some(batch) = flushed {
-            transmit_batch(&self.socket, addr, &batch.packets, &self.stats);
-        }
+        emit(
+            &self.socket,
+            &self.config,
+            &self.loss,
+            &mut grams,
+            &self.stats,
+        );
         self.stats.note_sent(total);
         Ok(())
     }
@@ -877,9 +1002,17 @@ impl ClfTransport for UdpEndpoint {
         let mut st = self.shared.lock();
         st.tx.remove(&peer);
         st.rx.remove(&peer);
-        st.pending.remove(&peer);
         // The address mapping stays: a restarted peer starts a fresh
         // sequence space and is re-learned from observed traffic.
+    }
+
+    fn set_peer_sack(&self, peer: AsId, enabled: bool) {
+        let mut st = self.shared.lock();
+        if enabled {
+            st.sack_disabled.remove(&peer);
+        } else {
+            st.sack_disabled.insert(peer);
+        }
     }
 
     fn shutdown(&self) {
@@ -1005,6 +1138,46 @@ mod tests {
     }
 
     #[test]
+    fn sack_fast_path_runs_by_default() {
+        let (a, b) = pair(UdpConfig::default());
+        for i in 0..50u32 {
+            a.send(AsId(1), Bytes::from(vec![0u8; 4096 + i as usize]))
+                .unwrap();
+        }
+        for i in 0..50u32 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg.len(), 4096 + i as usize);
+        }
+        // Give the last SACK a moment to arrive back at the sender.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while a.stats().sack_frames == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            a.stats().sack_frames > 0,
+            "default config should exchange SACK frames"
+        );
+    }
+
+    #[test]
+    fn sack_downgrade_falls_back_to_legacy_acks() {
+        let (a, b) = pair(UdpConfig::default());
+        a.set_peer_sack(AsId(1), false);
+        for i in 0..20u8 {
+            a.send(AsId(1), Bytes::from(vec![i; 512])).unwrap();
+        }
+        for i in 0..20u8 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg[0], i);
+        }
+        assert_eq!(
+            a.stats().sack_frames,
+            0,
+            "downgraded peer must be answered with legacy ACKs"
+        );
+    }
+
+    #[test]
     fn unknown_peer_rejected() {
         let a = UdpEndpoint::bind(AsId(0), UdpConfig::default()).unwrap();
         assert_eq!(
@@ -1075,6 +1248,88 @@ mod tests {
     }
 
     #[test]
+    fn pacer_deferral_is_not_backpressure() {
+        // A deliberately slow fixed pace: the sender accepts the whole
+        // burst immediately (no Backpressure — the packet window has
+        // room) and the pacer trickles it onto the wire.
+        let (a, b) = pair(UdpConfig {
+            pace: Some(1024 * 1024), // 1 MB/s, ~64 KiB initial burst
+            ..UdpConfig::default()
+        });
+        let t0 = Instant::now();
+        for i in 0..20u8 {
+            a.send(AsId(1), Bytes::from(vec![i; 8192]))
+                .unwrap_or_else(|e| panic!("pacer deferral must not error: {e:?}"));
+        }
+        let staged_in = t0.elapsed();
+        for i in 0..20u8 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert_eq!(msg[0], i);
+        }
+        let drained_in = t0.elapsed();
+        assert_eq!(a.stats().backpressure, 0, "deferral is not backpressure");
+        assert!(
+            staged_in < Duration::from_millis(500),
+            "sends must not block on the pacer ({staged_in:?})"
+        );
+        // 160 KiB at 1 MB/s minus the ~64 KiB burst ⇒ tens of ms paced.
+        assert!(
+            drained_in >= Duration::from_millis(50),
+            "pacing should have throttled delivery ({drained_in:?})"
+        );
+    }
+
+    #[test]
+    fn genuinely_full_window_backpressures_while_pacer_defers() {
+        // Tiny packet window + slow pace: the first sends defer on the
+        // pacer without erroring, and only exhausting the packet window
+        // itself produces Backpressure.
+        let a = UdpEndpoint::bind(
+            AsId(0),
+            UdpConfig {
+                max_unacked: 4,
+                pace: Some(1),
+                rto: Duration::from_secs(30),
+                ..UdpConfig::default()
+            },
+        )
+        .unwrap();
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.add_peer(AsId(1), sink.local_addr().unwrap());
+        for _ in 0..4 {
+            a.send(AsId(1), Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(
+            a.send(AsId(1), Bytes::from_static(b"x")).unwrap_err(),
+            ClfError::Backpressure { peer: AsId(1) }
+        );
+        assert_eq!(a.stats().backpressure, 1);
+        a.shutdown();
+    }
+
+    #[test]
+    fn seeded_loss_recovers_everything() {
+        let (a, b) = pair(UdpConfig {
+            loss: LossInjection::Seeded {
+                seed: 7,
+                drop_permille: 100,
+                dup_permille: 50,
+                reorder_permille: 100,
+            },
+            rto: Duration::from_millis(20),
+            ..UdpConfig::default()
+        });
+        for i in 0..50u8 {
+            a.send(AsId(1), Bytes::from(vec![i; 600])).unwrap();
+        }
+        for i in 0..50u8 {
+            let (_, msg) = b.recv_timeout(Duration::from_secs(10)).unwrap();
+            assert_eq!(msg[0], i, "message {i} lost or reordered");
+            assert_eq!(msg.len(), 600);
+        }
+    }
+
+    #[test]
     fn garbage_packets_ignored() {
         let (a, b) = pair(UdpConfig::default());
         // Throw junk at b's socket from a raw socket.
@@ -1131,60 +1386,5 @@ mod tests {
             co.sum,
             co.count
         );
-    }
-
-    #[test]
-    fn rtt_estimator_follows_samples_and_backs_off() {
-        let mut e = RttEstimator::new(Duration::from_millis(40));
-        assert_eq!(e.rto, Duration::from_millis(40));
-        // First sample: srtt = s, rttvar = s/2, rto = s + 4·(s/2) = 3s.
-        e.sample(Duration::from_millis(10));
-        assert_eq!(e.srtt, Some(Duration::from_millis(10)));
-        assert_eq!(e.rto, Duration::from_millis(30));
-        // Steady samples shrink the variance term toward srtt.
-        for _ in 0..50 {
-            e.sample(Duration::from_millis(10));
-        }
-        assert!(e.rto < Duration::from_millis(15), "rto {:?}", e.rto);
-        assert!(e.rto >= MIN_RTO);
-        // Backoff doubles up to the ceiling and a clean sample recovers.
-        let before = e.rto;
-        e.backoff();
-        assert_eq!(e.rto, before * 2);
-        for _ in 0..40 {
-            e.backoff();
-        }
-        assert_eq!(e.rto, MAX_RTO);
-        e.sample(Duration::from_millis(10));
-        assert!(e.rto < Duration::from_millis(20));
-    }
-
-    #[test]
-    fn rtt_estimator_sheds_backoff_on_ack_progress() {
-        // Before any clean sample, reset falls back to the initial RTO.
-        let mut e = RttEstimator::new(Duration::from_millis(40));
-        for _ in 0..20 {
-            e.backoff();
-        }
-        e.reset_backoff();
-        assert_eq!(e.rto, Duration::from_millis(40));
-        // After samples, reset re-derives from the estimate instead of
-        // compounding — a fully retransmitted window must not wedge the
-        // timer at MAX_RTO (Karn's rule never samples those acks).
-        e.sample(Duration::from_millis(10));
-        for _ in 0..40 {
-            e.backoff();
-        }
-        assert_eq!(e.rto, MAX_RTO);
-        e.reset_backoff();
-        assert_eq!(e.rto, Duration::from_millis(30));
-    }
-
-    #[test]
-    fn rtt_estimator_clamps_to_floor() {
-        let mut e = RttEstimator::new(Duration::from_nanos(1));
-        assert_eq!(e.rto, MIN_RTO);
-        e.sample(Duration::from_micros(3));
-        assert_eq!(e.rto, MIN_RTO);
     }
 }

@@ -763,6 +763,16 @@ impl AddressSpace {
         !self.batch_incapable.lock().contains(&peer)
     }
 
+    /// Marks whether `peer` understands the CLF SACK fast path
+    /// (selective-acknowledgment frames on the UDP transport). Defaults
+    /// to `true`; set `false` for old peers so the transport downgrades
+    /// to the legacy per-datagram cumulative-ACK exchange. Delegates to
+    /// the transport; a no-op on transports without a SACK path (e.g.
+    /// the in-memory fabric).
+    pub fn set_peer_clf_sack(&self, peer: AsId, supported: bool) {
+        self.transport.set_peer_sack(peer, supported);
+    }
+
     // ---- flight recorder: history & health ----
 
     /// Marks whether `peer` understands the flight-recorder pulls

@@ -549,6 +549,52 @@ mod tests {
     }
 
     #[test]
+    fn udp_cluster_peer_sack_downgrade_still_delivers() {
+        let cluster = Cluster::builder()
+            .address_spaces(2)
+            .transport(ClusterTransport::Udp(UdpConfig::default()))
+            .listeners(false)
+            .build()
+            .unwrap();
+        let owner = cluster.space(0).unwrap();
+        let peer = cluster.space(1).unwrap();
+        // Downgrade both directions to the legacy cumulative-ACK
+        // exchange before any traffic flows.
+        owner.set_peer_clf_sack(peer.id(), false);
+        peer.set_peer_clf_sack(owner.id(), false);
+        let chan = owner.create_channel(None, ChannelAttrs::default());
+        let out = owner
+            .open_channel(chan.id())
+            .unwrap()
+            .connect_output()
+            .unwrap();
+        let inp = peer
+            .open_channel(chan.id())
+            .unwrap()
+            .connect_input(Interest::FromEarliest)
+            .unwrap();
+        for i in 0..10i64 {
+            out.put(
+                Timestamp::new(i),
+                Item::from_vec(vec![i as u8; 2048]),
+                WaitSpec::Forever,
+            )
+            .unwrap();
+        }
+        for i in 0..10i64 {
+            let (_, item) = inp.get_blocking(GetSpec::Exact(Timestamp::new(i))).unwrap();
+            assert_eq!(item.payload(), &vec![i as u8; 2048][..]);
+        }
+        assert_eq!(
+            owner.transport().stats().sack_frames,
+            0,
+            "downgraded peers must not receive SACK frames"
+        );
+        assert_eq!(peer.transport().stats().sack_frames, 0);
+        cluster.shutdown();
+    }
+
+    #[test]
     fn gc_summary_aggregates_across_spaces() {
         let cluster = Cluster::builder()
             .address_spaces(2)

@@ -16,7 +16,7 @@ use bytes::Bytes;
 
 use crate::error::WireError;
 use crate::frame::EncodedFrame;
-use crate::rpc::{ReplyFrame, RequestFrame};
+use crate::rpc::{ReplyFrame, RequestFrame, SackInfo};
 
 /// Identifies a codec on the wire (the session's first byte).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +103,28 @@ pub trait Codec: Send + Sync + fmt::Debug {
     ///
     /// [`WireError`] on malformed input.
     fn decode_reply(&self, bytes: &Bytes) -> Result<ReplyFrame, WireError>;
+
+    /// Encodes a CLF selective-acknowledgment body (the payload of a
+    /// CLF `SACK` datagram, see `dstampede-clf`). A pure extension:
+    /// the frame carries its own tag (`CLF_SACK`), disjoint
+    /// from every request and reply tag, so decoders that predate it
+    /// reject it cleanly instead of misparsing.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on unrepresentable values.
+    fn encode_sack(&self, sack: &SackInfo) -> Result<EncodedFrame, WireError>;
+
+    /// Decodes a CLF selective-acknowledgment body, requiring full
+    /// consumption of the input.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadTag`] when the input is not a SACK body,
+    /// [`WireError::BadValue`] for bitmaps above
+    /// [`crate::rpc::MAX_SACK_BITMAP`], other [`WireError`]s on
+    /// malformed input.
+    fn decode_sack(&self, bytes: &Bytes) -> Result<SackInfo, WireError>;
 }
 
 /// Returns the codec registered for an id.
@@ -152,6 +174,9 @@ pub(crate) mod class {
     pub const REPLICA_OPEN_CHANNEL: u32 = 33;
     pub const REPLICA_OPEN_QUEUE: u32 = 34;
     pub const REPLICATE_PUT: u32 = 35;
+    /// CLF selective-acknowledgment body (not an RPC request; the tag
+    /// lives in the request space so it can never collide with one).
+    pub const CLF_SACK: u32 = 36;
 
     // Replies.
     pub const R_OK: u32 = 1;

@@ -20,7 +20,8 @@ use crate::error::WireError;
 use crate::frame::EncodedFrame;
 use crate::jdr::{self, decode as jdr_decode, encode as jdr_encode, JdrValue};
 use crate::rpc::{
-    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
+    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, SackInfo,
+    WaitSpec,
 };
 
 /// Object-tree JDR marshalling of RPC frames (the Java client's cost
@@ -1013,6 +1014,45 @@ impl Codec for JdrCodec {
 
     fn decode_reply(&self, bytes: &Bytes) -> Result<ReplyFrame, WireError> {
         value_to_reply(&jdr::decode_bytes(bytes)?)
+    }
+
+    fn encode_sack(&self, sack: &SackInfo) -> Result<EncodedFrame, WireError> {
+        if sack.bitmap.len() > crate::rpc::MAX_SACK_BITMAP {
+            return Err(WireError::BadValue(format!(
+                "sack bitmap of {} bytes exceeds {}",
+                sack.bitmap.len(),
+                crate::rpc::MAX_SACK_BITMAP
+            )));
+        }
+        let v = JdrValue::object(
+            class::CLF_SACK,
+            vec![
+                JdrValue::Long(sack.ack_next as i64),
+                JdrValue::Bytes(sack.bitmap.clone()),
+            ],
+        );
+        Ok(jdr::encode_frame(&v))
+    }
+
+    fn decode_sack(&self, bytes: &Bytes) -> Result<SackInfo, WireError> {
+        let v = jdr::decode_bytes(bytes)?;
+        let (cls, fields) = v.as_object()?;
+        if cls != class::CLF_SACK {
+            return Err(WireError::BadTag(cls));
+        }
+        let ack_next = field(fields, 0)?.as_u64()?;
+        let bitmap = match field(fields, 1)? {
+            JdrValue::Bytes(b) => b.clone(),
+            other => return Err(WireError::BadValue(format!("sack bitmap: {other:?}"))),
+        };
+        if bitmap.len() > crate::rpc::MAX_SACK_BITMAP {
+            return Err(WireError::BadValue(format!(
+                "sack bitmap of {} bytes exceeds {}",
+                bitmap.len(),
+                crate::rpc::MAX_SACK_BITMAP
+            )));
+        }
+        Ok(SackInfo { ack_next, bitmap })
     }
 }
 

@@ -13,7 +13,8 @@ use crate::codec::{class, Codec, CodecId};
 use crate::error::WireError;
 use crate::frame::EncodedFrame;
 use crate::rpc::{
-    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
+    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, SackInfo,
+    WaitSpec,
 };
 use crate::xdr::{XdrReader, XdrWriter};
 
@@ -1029,6 +1030,44 @@ impl Codec for XdrCodec {
     fn decode_reply(&self, bytes: &Bytes) -> Result<ReplyFrame, WireError> {
         let mut r = XdrReader::with_backing(bytes);
         get_reply_frame(&mut r, bytes.len())
+    }
+
+    fn encode_sack(&self, sack: &SackInfo) -> Result<EncodedFrame, WireError> {
+        if sack.bitmap.len() > crate::rpc::MAX_SACK_BITMAP {
+            return Err(WireError::BadValue(format!(
+                "sack bitmap of {} bytes exceeds {}",
+                sack.bitmap.len(),
+                crate::rpc::MAX_SACK_BITMAP
+            )));
+        }
+        // Layout mirrors a request frame's prologue (u64, then a u32
+        // body tag) so a SACK misdirected at an old request decoder
+        // deterministically dies on `BadTag(CLF_SACK)` instead of
+        // misreading the tag bytes as part of a sequence number.
+        let mut w = XdrWriter::scatter(32);
+        w.put_u64(sack.ack_next);
+        w.put_u32(class::CLF_SACK);
+        w.put_payload(&sack.bitmap);
+        Ok(w.into_frame())
+    }
+
+    fn decode_sack(&self, bytes: &Bytes) -> Result<SackInfo, WireError> {
+        let mut r = XdrReader::with_backing(bytes);
+        let ack_next = r.get_u64()?;
+        match r.get_u32()? {
+            class::CLF_SACK => {}
+            t => return Err(WireError::BadTag(t)),
+        }
+        let bitmap = r.get_payload()?;
+        if bitmap.len() > crate::rpc::MAX_SACK_BITMAP {
+            return Err(WireError::BadValue(format!(
+                "sack bitmap of {} bytes exceeds {}",
+                bitmap.len(),
+                crate::rpc::MAX_SACK_BITMAP
+            )));
+        }
+        r.finish()?;
+        Ok(SackInfo { ack_next, bitmap })
     }
 }
 

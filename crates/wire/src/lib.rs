@@ -50,5 +50,6 @@ pub use frame::{
     read_frame, read_frame_bytes, write_encoded, write_frame, EncodedFrame, MAX_FRAME,
 };
 pub use rpc::{
-    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, WaitSpec,
+    BatchGot, BatchPutItem, GcNote, NsEntry, Reply, ReplyFrame, Request, RequestFrame, SackInfo,
+    WaitSpec, MAX_SACK_BITMAP,
 };

@@ -495,6 +495,55 @@ impl Reply {
     }
 }
 
+/// Upper bound on a [`SackInfo`] bitmap accepted by the decoders —
+/// 8 KiB of bitmap covers a 65,536-packet window, far beyond any
+/// configured CLF send window.
+pub const MAX_SACK_BITMAP: usize = 8192;
+
+/// A CLF selective-acknowledgment frame body (DESIGN.md §4.10).
+///
+/// The receiver's view of its reorder window: `ack_next` is the
+/// cumulative frontier (every packet with `seq < ack_next` has been
+/// received), and the bitmap marks packets received out of order above
+/// it. Packet `ack_next` itself is by definition missing, so bit `i`
+/// of the bitmap (byte `i / 8`, LSB first within a byte) refers to
+/// packet `ack_next + 1 + i`.
+///
+/// This is a standalone frame body — it rides inside CLF datagrams,
+/// not inside the RPC envelope — but it is encoded by the session
+/// codecs so both XDR and JDR peers can produce and consume it, and so
+/// the cross-codec property suites cover it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SackInfo {
+    /// Next in-order sequence number the receiver expects.
+    pub ack_next: u64,
+    /// Out-of-order receipt bitmap; trailing zero bytes carry no
+    /// information and may be trimmed by the encoder.
+    pub bitmap: Bytes,
+}
+
+impl SackInfo {
+    /// Whether bit `i` (packet `ack_next + 1 + i`) is set.
+    #[must_use]
+    pub fn is_set(&self, i: usize) -> bool {
+        self.bitmap
+            .get(i / 8)
+            .is_some_and(|byte| byte & (1 << (i % 8)) != 0)
+    }
+
+    /// The sequence numbers the bitmap reports as received out of order.
+    /// Bits that would name a sequence past `u64::MAX` (only reachable
+    /// in a forged frame — real windows never get near wraparound) are
+    /// ignored rather than wrapped.
+    #[must_use]
+    pub fn sacked_seqs(&self) -> Vec<u64> {
+        (0..self.bitmap.len() * 8)
+            .filter(|&i| self.is_set(i))
+            .filter_map(|i| self.ack_next.checked_add(1 + i as u64))
+            .collect()
+    }
+}
+
 /// A request with its sequence number.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RequestFrame {
