@@ -19,7 +19,22 @@
 //!           [--warmup-ms MS] [--duration-ms MS]
 //!           [--churn-ms MS] [--churn-pct P] [--stall-ms MS]
 //!           [--late-drop-ms MS] [--max-occupancy N] [--seed SEED]
+//!           [--session-ab N] [--ab-ratio R] [--ab-session-rate OPS]
+//!           [--ab-p99-budget-us US] [--ab-warmup-ms MS]
+//!           [--ab-duration-ms MS] [--thread-ceiling N]
 //! ```
+//!
+//! `--session-ab N` appends the sessions-per-core A/B over **real TCP
+//! sessions**: N end devices against a thread-per-session cluster,
+//! then `--ab-ratio × N` (default 4×) against a reactor cluster, both
+//! open-loop at `--ab-session-rate` ops/s per session, both held to
+//! the same corrected-p99 budget (`--ab-p99-budget-us`). The run
+//! fails unless both sides meet the budget, the legacy side really
+//! spent one thread per session, and the reactor side's resident
+//! thread growth stayed O(cores). `--thread-ceiling N` then holds N
+//! bare attached sessions on the reactor cluster to probe the thread
+//! ceiling at a scale the latency phases don't reach. Results land in
+//! a `session_ab` section of the report, enforced by the CI load gate.
 //!
 //! Per rate the run is phased — warmup (unrecorded), steady (the sweep
 //! entry), and optionally churn (sessions continuously leave, die, and
@@ -75,6 +90,18 @@ struct Config {
     late_drop_ms: u64,
     max_occupancy: i64,
     seed: u64,
+    /// Real-TCP sessions-per-core A/B: legacy session count (0 = off).
+    session_ab: usize,
+    /// Reactor side holds `ab_ratio ×` the legacy session count.
+    ab_ratio: usize,
+    /// Open-loop arrival rate per session, ops/s.
+    ab_session_rate: f64,
+    /// Corrected-p99 budget both sides must meet, µs.
+    ab_p99_budget_us: u64,
+    ab_warmup_ms: u64,
+    ab_duration_ms: u64,
+    /// Bare-attach scale probe on the reactor cluster (0 = off).
+    thread_ceiling: usize,
 }
 
 impl Default for Config {
@@ -98,6 +125,13 @@ impl Default for Config {
             late_drop_ms: 2_000,
             max_occupancy: 0, // 0 = auto: 4 * sessions + 4096
             seed: 42,
+            session_ab: 0,
+            ab_ratio: 4,
+            ab_session_rate: 2.0,
+            ab_p99_budget_us: 25_000,
+            ab_warmup_ms: 1_500,
+            ab_duration_ms: 5_000,
+            thread_ceiling: 0,
         }
     }
 }
@@ -169,6 +203,31 @@ fn parse_args() -> Config {
                 config.max_occupancy = value("--max-occupancy").parse().expect("--max-occupancy");
             }
             "--seed" => config.seed = value("--seed").parse().expect("--seed"),
+            "--session-ab" => {
+                config.session_ab = value("--session-ab").parse().expect("--session-ab")
+            }
+            "--ab-ratio" => config.ab_ratio = value("--ab-ratio").parse().expect("--ab-ratio"),
+            "--ab-session-rate" => {
+                config.ab_session_rate = value("--ab-session-rate")
+                    .parse()
+                    .expect("--ab-session-rate");
+            }
+            "--ab-p99-budget-us" => {
+                config.ab_p99_budget_us = value("--ab-p99-budget-us")
+                    .parse()
+                    .expect("--ab-p99-budget-us");
+            }
+            "--ab-warmup-ms" => {
+                config.ab_warmup_ms = value("--ab-warmup-ms").parse().expect("--ab-warmup-ms");
+            }
+            "--ab-duration-ms" => {
+                config.ab_duration_ms =
+                    value("--ab-duration-ms").parse().expect("--ab-duration-ms");
+            }
+            "--thread-ceiling" => {
+                config.thread_ceiling =
+                    value("--thread-ceiling").parse().expect("--thread-ceiling");
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -572,6 +631,365 @@ struct StallResult {
     stats: PhaseStats,
 }
 
+/// `Threads:` from `/proc/self/status` — the resident thread count the
+/// sessions-per-core assertions are made against.
+fn resident_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Threads:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One real TCP end-device session for the sessions-per-core A/B: its
+/// own channel, driven put-mostly with a periodic consume to keep the
+/// GC horizon bounded.
+struct AbSession {
+    out: dstampede_client::ClientChanOut,
+    inp: dstampede_client::ClientChanIn,
+    clock: i64,
+    _dev: dstampede_client::EndDevice,
+}
+
+impl AbSession {
+    fn open(addr: std::net::SocketAddr, tag: &str) -> AbSession {
+        let dev = dstampede_client::EndDevice::attach_c(addr, tag).expect("attach");
+        let chan = dev
+            .create_channel(None, ChannelAttrs::default())
+            .expect("create channel");
+        let out = dev.connect_channel_out(chan).expect("connect out");
+        let inp = dev
+            .connect_channel_in(chan, Interest::FromEarliest)
+            .expect("connect in");
+        AbSession {
+            out,
+            inp,
+            clock: 1,
+            _dev: dev,
+        }
+    }
+
+    /// One arrival: a put RPC; every 16th also consumes the prefix, so
+    /// per-session occupancy never exceeds 16 items.
+    fn run_op(&mut self, payload: &[u8]) -> Result<(), ()> {
+        let ts = Timestamp::new(self.clock);
+        self.clock += 1;
+        self.out
+            .put(ts, Item::copy_from_slice(payload), WaitSpec::NonBlocking)
+            .map_err(|_| ())?;
+        if self.clock % 16 == 0 {
+            self.inp.consume_until(ts).map_err(|_| ())?;
+        }
+        Ok(())
+    }
+}
+
+/// Cross-worker state for one A/B side.
+struct AbShared {
+    recorder: LatencyRecorder,
+    offered: AtomicU64,
+    achieved: AtomicU64,
+    dropped: AtomicU64,
+    errors: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// One A/B worker: the same open-loop intended-start schedule as the
+/// in-process harness, over real TCP sessions.
+fn ab_worker_loop(
+    shared: &AbShared,
+    mut sessions: Vec<AbSession>,
+    interval: Duration,
+    late_drop: Duration,
+    payload: &[u8],
+) {
+    let t0 = Instant::now();
+    let mut k: u64 = 0;
+    let mut sid = 0usize;
+    while !shared.stop.load(Ordering::Acquire) {
+        let intended = t0 + interval.saturating_mul(u32::try_from(k).unwrap_or(u32::MAX));
+        k += 1;
+        shared.offered.fetch_add(1, Ordering::Relaxed);
+        let mut now = Instant::now();
+        if intended > now {
+            hybrid_sleep(intended - now);
+            now = Instant::now();
+        } else if now.duration_since(intended) > late_drop {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let svc_start = now;
+        match sessions[sid].run_op(payload) {
+            Ok(()) => {
+                let end = Instant::now();
+                shared.achieved.fetch_add(1, Ordering::Relaxed);
+                shared.recorder.record_op(
+                    duration_us(end.duration_since(intended)),
+                    duration_us(end.duration_since(svc_start)),
+                    duration_us(interval),
+                );
+            }
+            Err(()) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        sid = (sid + 1) % sessions.len();
+    }
+}
+
+/// One side's steady-state readout.
+struct AbSideStats {
+    sessions: usize,
+    rate: f64,
+    secs: f64,
+    offered: u64,
+    achieved: u64,
+    dropped: u64,
+    errors: u64,
+    corrected: HistogramSample,
+    naive: HistogramSample,
+    /// Resident threads with the cluster up but no sessions open.
+    base_threads: usize,
+    /// Resident threads mid-steady-state (includes the client workers).
+    steady_threads: usize,
+}
+
+impl AbSideStats {
+    fn achieved_rate(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.achieved as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Drives `n_sessions` real TCP sessions against `addr` open-loop at
+/// `n_sessions × ab_session_rate` aggregate, returning the post-warmup
+/// steady-state stats.
+fn run_session_ab_side(
+    addr: std::net::SocketAddr,
+    label: &str,
+    n_sessions: usize,
+    base_threads: usize,
+    config: &Config,
+) -> AbSideStats {
+    let opened = Instant::now();
+    let mut slices: Vec<Vec<AbSession>> = (0..config.workers).map(|_| Vec::new()).collect();
+    for sid in 0..n_sessions {
+        slices[sid % config.workers].push(AbSession::open(addr, &format!("{label}-{sid}")));
+    }
+    eprintln!(
+        "load_perf: session-ab {label}: opened {n_sessions} TCP sessions in {:.1}s",
+        opened.elapsed().as_secs_f64()
+    );
+
+    let reg = Arc::new(dstampede_obs::MetricsRegistry::new("session-ab"));
+    let shared = Arc::new(AbShared {
+        recorder: LatencyRecorder::over(
+            reg.histogram("ab", "latency_naive_us"),
+            reg.histogram("ab", "latency_us"),
+        ),
+        offered: AtomicU64::new(0),
+        achieved: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+    });
+    let rate = n_sessions as f64 * config.ab_session_rate;
+    let interval = Duration::from_secs_f64(config.workers as f64 / rate.max(1e-9));
+    let late_drop = Duration::from_millis(config.late_drop_ms);
+
+    let mut handles = Vec::new();
+    for (w, slice) in slices.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        let payload = vec![0xabu8; config.payload];
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("ab-worker-{w}"))
+                .spawn(move || ab_worker_loop(&shared, slice, interval, late_drop, &payload))
+                .expect("spawn ab worker"),
+        );
+    }
+
+    std::thread::sleep(Duration::from_millis(config.ab_warmup_ms));
+    let mut corrected = HistogramWindow::opened_at(shared.recorder.corrected());
+    let mut naive = HistogramWindow::opened_at(shared.recorder.naive());
+    let offered0 = shared.offered.load(Ordering::Relaxed);
+    let achieved0 = shared.achieved.load(Ordering::Relaxed);
+    let dropped0 = shared.dropped.load(Ordering::Relaxed);
+    let errors0 = shared.errors.load(Ordering::Relaxed);
+    let started = Instant::now();
+
+    std::thread::sleep(Duration::from_millis(config.ab_duration_ms / 2));
+    let steady_threads = resident_threads();
+    std::thread::sleep(Duration::from_millis(
+        config.ab_duration_ms - config.ab_duration_ms / 2,
+    ));
+
+    let stats = AbSideStats {
+        sessions: n_sessions,
+        rate,
+        secs: started.elapsed().as_secs_f64(),
+        offered: shared.offered.load(Ordering::Relaxed) - offered0,
+        achieved: shared.achieved.load(Ordering::Relaxed) - achieved0,
+        dropped: shared.dropped.load(Ordering::Relaxed) - dropped0,
+        errors: shared.errors.load(Ordering::Relaxed) - errors0,
+        corrected: corrected.advance(shared.recorder.corrected(), window_id()),
+        naive: naive.advance(shared.recorder.naive(), window_id()),
+        base_threads,
+        steady_threads,
+    };
+    shared.stop.store(true, Ordering::Release);
+    for h in handles {
+        let _ = h.join();
+    }
+    eprintln!(
+        "load_perf: session-ab {label}: {n_sessions} sessions at {:.0}/s -> achieved {:.0}/s \
+         p50 {}us p99 {}us drops {} errors {} threads {} (base {})",
+        rate,
+        stats.achieved_rate(),
+        stats.corrected.quantile(0.50),
+        stats.corrected.quantile(0.99),
+        stats.dropped,
+        stats.errors,
+        steady_threads,
+        base_threads,
+    );
+    stats
+}
+
+/// The bare-attach scale probe's readout.
+struct ThreadCeiling {
+    sessions: usize,
+    threads: usize,
+    base_threads: usize,
+}
+
+/// The whole sessions-per-core A/B section.
+struct SessionAbResult {
+    legacy: AbSideStats,
+    reactor: AbSideStats,
+    ceiling: Option<ThreadCeiling>,
+}
+
+/// Runs the sessions-per-core A/B: N thread-per-session TCP sessions
+/// versus `ab_ratio × N` reactor sessions, both open-loop at the same
+/// per-session arrival rate, both held to the same corrected-p99
+/// budget — then, optionally, a bare-attach probe holding
+/// `thread_ceiling` idle sessions on the reactor cluster to show the
+/// resident thread count stays O(cores), not O(sessions).
+fn run_session_ab(config: &Config) -> SessionAbResult {
+    let legacy_cluster = Cluster::builder()
+        .address_spaces(1)
+        .flight_recorder_off()
+        .build()
+        .expect("legacy cluster");
+    let legacy_base = resident_threads();
+    let legacy = run_session_ab_side(
+        legacy_cluster.listener_addr(0).expect("legacy listener"),
+        "legacy",
+        config.session_ab,
+        legacy_base,
+        config,
+    );
+    legacy_cluster.shutdown();
+
+    let reactor_cluster = Cluster::builder()
+        .address_spaces(1)
+        .flight_recorder_off()
+        .reactor(dstampede_runtime::reactor::ReactorConfig::default())
+        .build()
+        .expect("reactor cluster");
+    let reactor_base = resident_threads();
+    let reactor = run_session_ab_side(
+        reactor_cluster.listener_addr(0).expect("reactor listener"),
+        "reactor",
+        config.session_ab * config.ab_ratio,
+        reactor_base,
+        config,
+    );
+
+    // The AB sessions are closed — and their server-side descriptors
+    // reaped — before the probe opens, so the probe's descriptor
+    // high-water mark is just its own 2 fds per session.
+    let ceiling = (config.thread_ceiling > 0).then(|| {
+        let active = reactor_cluster.spaces()[0]
+            .metrics()
+            .gauge("session", "active");
+        let drain_deadline = Instant::now() + Duration::from_secs(20);
+        while active.get() > 0 && Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        let addr = reactor_cluster.listener_addr(0).expect("reactor listener");
+        let opened = Instant::now();
+        let held: Vec<_> = (0..config.thread_ceiling)
+            .map(|i| {
+                let mut last_err = None;
+                for _ in 0..5 {
+                    match dstampede_client::EndDevice::attach_c(addr, &format!("ceiling-{i}")) {
+                        Ok(dev) => return dev,
+                        Err(e) => {
+                            last_err = Some(e);
+                            std::thread::sleep(Duration::from_millis(100));
+                        }
+                    }
+                }
+                panic!("ceiling attach {i}: {last_err:?}")
+            })
+            .collect();
+        let threads = resident_threads();
+        eprintln!(
+            "load_perf: thread ceiling: {} bare sessions held, {} resident threads \
+             (base {}), opened in {:.1}s",
+            held.len(),
+            threads,
+            reactor_base,
+            opened.elapsed().as_secs_f64()
+        );
+        drop(held);
+        ThreadCeiling {
+            sessions: config.thread_ceiling,
+            threads,
+            base_threads: reactor_base,
+        }
+    });
+    reactor_cluster.shutdown();
+
+    SessionAbResult {
+        legacy,
+        reactor,
+        ceiling,
+    }
+}
+
+fn json_ab_side(s: &AbSideStats) -> String {
+    format!(
+        "{{\"sessions\": {}, \"rate\": {:.1}, \"achieved_rate\": {:.1}, \"offered\": {}, \
+         \"completed\": {}, \"drops\": {}, \"errors\": {}, \"p50_us\": {}, \"p90_us\": {}, \
+         \"p99_us\": {}, \"p999_us\": {}, \"naive_p99_us\": {}, \"base_threads\": {}, \
+         \"steady_threads\": {}}}",
+        s.sessions,
+        s.rate,
+        s.achieved_rate(),
+        s.offered,
+        s.achieved,
+        s.dropped,
+        s.errors,
+        s.corrected.quantile(0.50),
+        s.corrected.quantile(0.90),
+        s.corrected.quantile(0.99),
+        s.corrected.quantile(0.999),
+        s.naive.quantile(0.99),
+        s.base_threads,
+        s.steady_threads,
+    )
+}
+
 fn hist_quantiles(h: &HistogramSample) -> (u64, u64, u64, u64) {
     (
         h.quantile(0.50),
@@ -602,7 +1020,12 @@ fn json_phase(p: &PhaseStats) -> String {
     )
 }
 
-fn write_report(config: &Config, sweep: &[SweepEntry], stall: Option<&StallResult>) -> String {
+fn write_report(
+    config: &Config,
+    sweep: &[SweepEntry],
+    stall: Option<&StallResult>,
+    session_ab: Option<&SessionAbResult>,
+) -> String {
     let mut out = String::from("{\n  \"schema\": \"bench-load-v1\",\n");
     out.push_str(&format!(
         "  \"sessions\": {}, \"workers\": {}, \"spaces\": {}, \"channels\": {}, \
@@ -648,11 +1071,33 @@ fn write_report(config: &Config, sweep: &[SweepEntry], stall: Option<&StallResul
     out.push_str("\n  ],\n  \"stall\": ");
     match stall {
         Some(s) => out.push_str(&format!(
-            "{{\"rate\": {}, \"stall_ms\": {}, {}}}\n",
+            "{{\"rate\": {}, \"stall_ms\": {}, {}}}",
             s.rate,
             s.stall_ms,
             json_phase(&s.stats)
         )),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"session_ab\": ");
+    match session_ab {
+        Some(ab) => {
+            out.push_str(&format!(
+                "{{\n    \"ratio\": {}, \"per_session_rate\": {}, \"p99_budget_us\": {},\n    \
+                 \"legacy\": {},\n    \"reactor\": {},\n    \"thread_ceiling\": ",
+                config.ab_ratio,
+                config.ab_session_rate,
+                config.ab_p99_budget_us,
+                json_ab_side(&ab.legacy),
+                json_ab_side(&ab.reactor),
+            ));
+            match &ab.ceiling {
+                Some(c) => out.push_str(&format!(
+                    "{{\"sessions\": {}, \"threads\": {}, \"base_threads\": {}}}\n  }}\n",
+                    c.sessions, c.threads, c.base_threads
+                )),
+                None => out.push_str("null\n  }\n"),
+            }
+        }
         None => out.push_str("null\n"),
     }
     out.push_str("}\n");
@@ -860,7 +1305,11 @@ fn main() {
     // Drop sessions before the cluster so cursors release cleanly.
     cluster.shutdown();
 
-    let report = write_report(&config, &sweep, stall.as_ref());
+    // The sessions-per-core A/B runs after the in-process harness has
+    // torn down, so its clusters own the machine.
+    let session_ab = (config.session_ab > 0).then(|| run_session_ab(&config));
+
+    let report = write_report(&config, &sweep, stall.as_ref(), session_ab.as_ref());
     match &config.out {
         Some(path) => {
             std::fs::write(path, &report).expect("write report");
@@ -891,6 +1340,52 @@ fn main() {
         if s.stats.backfilled == 0 {
             eprintln!("load_perf: FAIL injected stall backfilled no samples");
             failed = true;
+        }
+    }
+    if let Some(ab) = &session_ab {
+        let budget = config.ab_p99_budget_us;
+        for (label, side) in [("legacy", &ab.legacy), ("reactor", &ab.reactor)] {
+            let p99 = side.corrected.quantile(0.99);
+            if p99 > budget {
+                eprintln!(
+                    "load_perf: FAIL session-ab {label} corrected p99 {p99}us exceeds the \
+                     {budget}us budget at {} sessions",
+                    side.sessions
+                );
+                failed = true;
+            }
+        }
+        // Thread-per-session really is one thread per session; the
+        // reactor side holds ab_ratio× the sessions on O(cores) threads.
+        if ab.legacy.steady_threads < ab.legacy.base_threads + ab.legacy.sessions {
+            eprintln!(
+                "load_perf: FAIL legacy side ran {} sessions on {} threads (base {}) — not \
+                 thread-per-session; the A/B is not measuring what it claims",
+                ab.legacy.sessions, ab.legacy.steady_threads, ab.legacy.base_threads
+            );
+            failed = true;
+        }
+        let reactor_extra = ab
+            .reactor
+            .steady_threads
+            .saturating_sub(ab.reactor.base_threads);
+        if reactor_extra > config.workers + 16 {
+            eprintln!(
+                "load_perf: FAIL reactor side grew {reactor_extra} threads for {} sessions \
+                 — not O(cores)",
+                ab.reactor.sessions
+            );
+            failed = true;
+        }
+        if let Some(c) = &ab.ceiling {
+            let extra = c.threads.saturating_sub(c.base_threads);
+            if extra > 16 {
+                eprintln!(
+                    "load_perf: FAIL thread ceiling: {} bare sessions grew {extra} threads",
+                    c.sessions
+                );
+                failed = true;
+            }
         }
     }
     if failed {

@@ -10,7 +10,7 @@
 //!          [--threads T] [--batch B] [--shards N] [--suite]
 //!          [--min-speedup X] [--sampling EVERY_NTH] [--compare BASELINE]
 //!          [--ab EVERY_NTH] [--recorder-ab TICK_MS] [--replicate-ab]
-//!          [--tolerance PCT]
+//!          [--exec-ab] [--tolerance PCT]
 //! ```
 //!
 //! Each trial runs the full cycle loop; the best trial (by cycle
@@ -72,6 +72,15 @@
 //! pump and the follower overlap the producer for free; on a starved
 //! box they time-slice with it. With `--suite` both series are
 //! recorded in a `replication_ab` section of the JSON report.
+//!
+//! `--exec-ab` is the paired gate for the event-driven runtime core:
+//! two single-space clusters serve one real TCP end-device session
+//! each — one from a dedicated surrogate thread (the legacy path), one
+//! from the cooperative reactor (readiness-parked surrogate task,
+//! blocking-shim dispatch) — and alternating blocks drive the same
+//! closed-loop client cycle through each. The run fails when the
+//! reactor session's cycle cost exceeds `--tolerance` percent over
+//! thread-per-session (CI passes 5, the shim's latency budget).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -669,6 +678,153 @@ fn replicate_ab_gate(iters: usize, payload: usize, tolerance: f64) -> ReplAbRepo
     r
 }
 
+struct ExecAbReport {
+    median_ratio: f64,
+    overhead_pct: f64,
+    reactor_ops: f64,
+    legacy_ops: f64,
+    block: usize,
+    pairs: usize,
+}
+
+/// One real TCP end-device session against a listener: a private
+/// channel driven through the client-side put → get → consume cycle,
+/// closed-loop, so ops/sec is the reciprocal of single-session RPC
+/// latency.
+struct ExecAbSide {
+    out: dstampede_client::ClientChanOut,
+    inp: dstampede_client::ClientChanIn,
+    clock: i64,
+    payload: Vec<u8>,
+    _dev: dstampede_client::EndDevice,
+}
+
+impl ExecAbSide {
+    fn open(addr: std::net::SocketAddr, tag: &str, payload: usize) -> ExecAbSide {
+        let dev = dstampede_client::EndDevice::attach_c(addr, tag).expect("attach");
+        let chan = dev
+            .create_channel(None, ChannelAttrs::default())
+            .expect("create channel");
+        let out = dev.connect_channel_out(chan).expect("connect out");
+        let inp = dev
+            .connect_channel_in(chan, Interest::FromEarliest)
+            .expect("connect in");
+        ExecAbSide {
+            out,
+            inp,
+            clock: 1,
+            payload: vec![0xabu8; payload],
+            _dev: dev,
+        }
+    }
+
+    fn run_block(&mut self, n: usize) -> f64 {
+        use dstampede_wire::WaitSpec;
+        let t0 = Instant::now();
+        for _ in 0..n {
+            let ts = Timestamp::new(self.clock);
+            self.clock += 1;
+            let item = Item::copy_from_slice(&self.payload);
+            self.out.put(ts, item, WaitSpec::NonBlocking).expect("put");
+            let (_, got) = self
+                .inp
+                .get(GetSpec::Exact(ts), WaitSpec::NonBlocking)
+                .expect("get");
+            std::hint::black_box(got.len());
+            self.inp.consume_until(ts).expect("consume");
+        }
+        n as f64 / t0.elapsed().as_secs_f64()
+    }
+}
+
+/// The executor-shim A/B: the same closed-loop TCP session cycle
+/// against two single-space clusters — one serving from a dedicated
+/// surrogate thread (the legacy path), one from the cooperative
+/// reactor (readiness-parked surrogate task, blocking-shim dispatch).
+/// Alternating paired blocks, median per-pair ratio, same design as
+/// the replication gate: the number bounds what moving the hot path
+/// onto the executor costs a single session's latency.
+fn exec_ab(iters: usize, payload: usize) -> ExecAbReport {
+    const PAIRS: usize = 16;
+    let block = (iters / 32).max(250);
+
+    let legacy = dstampede_runtime::Cluster::builder()
+        .address_spaces(1)
+        .flight_recorder_off()
+        .build()
+        .expect("legacy cluster");
+    let reactor = dstampede_runtime::Cluster::builder()
+        .address_spaces(1)
+        .flight_recorder_off()
+        .reactor(dstampede_runtime::reactor::ReactorConfig::default())
+        .build()
+        .expect("reactor cluster");
+
+    let mut on = ExecAbSide::open(
+        reactor.listener_addr(0).expect("reactor listener"),
+        "exec-ab-reactor",
+        payload,
+    );
+    let mut off = ExecAbSide::open(
+        legacy.listener_addr(0).expect("legacy listener"),
+        "exec-ab-legacy",
+        payload,
+    );
+    on.run_block((block / 4).max(50));
+    off.run_block((block / 4).max(50));
+
+    let mut ratios = Vec::with_capacity(PAIRS);
+    let (mut on_sum, mut off_sum) = (0.0f64, 0.0f64);
+    for pair in 0..PAIRS {
+        let (on_ops, off_ops) = if pair % 2 == 0 {
+            let a = off.run_block(block);
+            let b = on.run_block(block);
+            (b, a)
+        } else {
+            let b = on.run_block(block);
+            let a = off.run_block(block);
+            (b, a)
+        };
+        on_sum += on_ops;
+        off_sum += off_ops;
+        ratios.push(on_ops / off_ops);
+    }
+    drop(on);
+    drop(off);
+    reactor.shutdown();
+    legacy.shutdown();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let median = (ratios[PAIRS / 2 - 1] + ratios[PAIRS / 2]) / 2.0;
+    ExecAbReport {
+        median_ratio: median,
+        overhead_pct: (1.0 - median) * 100.0,
+        reactor_ops: on_sum / PAIRS as f64,
+        legacy_ops: off_sum / PAIRS as f64,
+        block,
+        pairs: PAIRS,
+    }
+}
+
+/// Runs the executor-shim A/B, prints it, and exits non-zero when the
+/// reactor session's cycle cost exceeds `tolerance` percent over the
+/// thread-per-session one.
+fn exec_ab_gate(iters: usize, payload: usize, tolerance: f64) {
+    let r = exec_ab(iters, payload);
+    println!(
+        "exec shim overhead (median of {} pairs, blocks of {}): {:+.2}% \
+         (reactor {:.0} ops/s vs thread-per-session {:.0} ops/s, ratio {:.4})",
+        r.pairs, r.block, r.overhead_pct, r.reactor_ops, r.legacy_ops, r.median_ratio
+    );
+    if r.overhead_pct > tolerance {
+        eprintln!(
+            "FAIL: exec shim overhead {:.2}% exceeds tolerance {tolerance}%",
+            r.overhead_pct
+        );
+        std::process::exit(1);
+    }
+    println!("within tolerance ({tolerance}%)");
+}
+
 /// One measured configuration: fresh rig, warmup, best-of-trials.
 fn measure(
     payload: usize,
@@ -699,6 +855,7 @@ fn main() {
     let mut ab: Option<u64> = None;
     let mut recorder_ab: Option<u64> = None;
     let mut replicate: bool = false;
+    let mut exec: bool = false;
     let mut tolerance: f64 = 3.0;
 
     let mut args = std::env::args().skip(1);
@@ -746,6 +903,7 @@ fn main() {
                 );
             }
             "--replicate-ab" => replicate = true,
+            "--exec-ab" => exec = true,
             "--tolerance" => tolerance = take("--tolerance").parse().expect("bad --tolerance"),
             other => {
                 eprintln!("unknown argument {other}");
@@ -946,5 +1104,9 @@ fn main() {
 
     if replicate {
         replicate_ab_gate(iters, payload, tolerance);
+    }
+
+    if exec {
+        exec_ab_gate(iters, payload, tolerance);
     }
 }

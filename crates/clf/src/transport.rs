@@ -327,6 +327,13 @@ pub trait ClfTransport: Send + Sync + fmt::Debug {
         let _ = (peer, enabled);
     }
 
+    /// Runs one pass of time-driven protocol housekeeping — retransmission
+    /// scan, deferred/aged-batch flush — outside the backend's own pump
+    /// cadence. Reactor-mode runtimes call this from the unified timer
+    /// wheel so RTO and pacing deadlines share one clock with every other
+    /// runtime timer. Backends without timed protocol state ignore it.
+    fn housekeep(&self) {}
+
     /// Discards per-peer protocol state for a peer declared dead:
     /// unacknowledged send buffers, reassembly state. Backends without
     /// per-peer buffering may ignore the call. Idempotent; the peer may

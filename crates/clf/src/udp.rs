@@ -717,7 +717,16 @@ fn pump_loop(ctx: &PumpCtx<'_>, closed: &AtomicBool) {
         if scan {
             last_scan = now;
         }
-        collect_outgoing(ctx, &dirty, scan, now, &mut grams);
+        collect_outgoing(
+            ctx.local,
+            &ctx.config,
+            ctx.stats,
+            ctx.shared,
+            &dirty,
+            scan,
+            now,
+            &mut grams,
+        );
         emit(ctx.socket, &ctx.config, ctx.loss, &mut grams, ctx.stats);
     }
 }
@@ -726,14 +735,18 @@ fn pump_loop(ctx: &PumpCtx<'_>, closed: &AtomicBool) {
 /// peer that sent DATA (once per burst, not once per packet), flush
 /// fast retransmissions and deferred packets the window or pacer now
 /// admits, and run the timeout scan when due.
+#[allow(clippy::too_many_arguments)]
 fn collect_outgoing(
-    ctx: &PumpCtx<'_>,
+    local: AsId,
+    config: &UdpConfig,
+    stats: &StatCounters,
+    shared: &Mutex<Shared>,
     dirty: &[AsId],
     scan: bool,
     now: Instant,
     grams: &mut Vec<OutDatagram>,
 ) {
-    let mut st = ctx.shared.lock();
+    let mut st = shared.lock();
     let st = &mut *st;
     for peer in dirty {
         let Some(&addr) = st.peers.get(peer) else {
@@ -742,18 +755,18 @@ fn collect_outgoing(
         let Some(rx) = st.rx.get(peer) else {
             continue;
         };
-        if ctx.config.sack && rx.sack_reply {
+        if config.sack && rx.sack_reply {
             grams.push(OutDatagram {
                 addr,
-                buf: encode_sack_datagram(ctx.local, &rx.win.sack()),
+                buf: encode_sack_datagram(local, &rx.win.sack()),
             });
-            ctx.stats.note_sack_sent();
+            stats.note_sack_sent();
         } else {
             let next = rx.win.ack_next();
             if next > 0 {
                 grams.push(OutDatagram {
                     addr,
-                    buf: encode_ack(ctx.local, next - 1),
+                    buf: encode_ack(local, next - 1),
                 });
             }
         }
@@ -767,16 +780,16 @@ fn collect_outgoing(
         to_wire.append(&mut tx.pending_retx);
         if scan {
             for (_, pkt) in tx.win.scan_retransmits(now) {
-                ctx.stats.note_retransmit();
+                stats.note_retransmit();
                 to_wire.push(pkt);
             }
         }
         if tx.win.deferred_len() > 0 {
-            let ripe = ctx.config.coalesce_delay.is_zero()
+            let ripe = config.coalesce_delay.is_zero()
                 || tx.win.deferred_bytes() + 2 >= MAX_DATAGRAM
                 || tx
                     .deferred_since
-                    .is_none_or(|t| now.duration_since(t) >= ctx.config.coalesce_delay);
+                    .is_none_or(|t| now.duration_since(t) >= config.coalesce_delay);
             if ripe {
                 drain_transmittable(tx, now, &mut to_wire);
                 if tx.win.deferred_len() == 0 {
@@ -784,7 +797,7 @@ fn collect_outgoing(
                 }
             }
         }
-        assemble(addr, &to_wire, grams, ctx.stats);
+        assemble(addr, &to_wire, grams, stats);
     }
 }
 
@@ -996,6 +1009,35 @@ impl ClfTransport for UdpEndpoint {
 
     fn bind_metrics(&self, registry: &MetricsRegistry) {
         self.stats.bind(registry, "udp");
+    }
+
+    /// One wheel-clocked pass over timed protocol state: the
+    /// retransmission scan plus any deferred/aged coalesce batches the
+    /// window or pacer now admits. Safe alongside the pump thread — the
+    /// shared lock serializes protocol mutation, and concurrent sends on
+    /// the same socket are fine.
+    fn housekeep(&self) {
+        if self.closed.load(Ordering::Acquire) {
+            return;
+        }
+        let mut grams: Vec<OutDatagram> = Vec::new();
+        collect_outgoing(
+            self.local,
+            &self.config,
+            &self.stats,
+            &self.shared,
+            &[],
+            true,
+            Instant::now(),
+            &mut grams,
+        );
+        emit(
+            &self.socket,
+            &self.config,
+            &self.loss,
+            &mut grams,
+            &self.stats,
+        );
     }
 
     fn purge_peer(&self, peer: AsId) {

@@ -68,6 +68,7 @@ use crate::ids::{ChanId, ConnId, ResourceId};
 use crate::item::{Item, StreamItem};
 use crate::metrics::StmMetrics;
 use crate::time::{Timestamp, VirtualTime};
+use crate::waiter::WakerSet;
 
 /// Default number of storage shards for channels and queues when the
 /// creation attributes leave it unspecified.
@@ -333,6 +334,10 @@ pub struct Channel {
     traced_live: AtomicUsize,
     items_gate: Gate,
     space_gate: Gate,
+    /// Reactor-task counterparts of the gates: parked wakers, woken at
+    /// exactly the same sites the gates notify.
+    items_wakers: WakerSet,
+    space_wakers: WakerSet,
     hooks: HookSlot,
     /// Fast-path flag: put paths clone the payload handle for put hooks
     /// only when one is installed, so unhooked channels pay nothing.
@@ -386,6 +391,8 @@ impl Channel {
             traced_live: AtomicUsize::new(0),
             items_gate: Gate::new(),
             space_gate: Gate::new(),
+            items_wakers: WakerSet::new(),
+            space_wakers: WakerSet::new(),
             hooks: HookSlot::new(),
             put_hooked: AtomicBool::new(false),
             stats: AtomicStats::default(),
@@ -566,14 +573,40 @@ impl Channel {
     /// items keep working so consumers can drain.
     pub fn close(&self) {
         self.meta.write().closed = true;
-        self.items_gate.notify();
-        self.space_gate.notify();
+        self.notify_items();
+        self.notify_space();
     }
 
     /// Whether [`Channel::close`] has been called.
     #[must_use]
     pub fn is_closed(&self) -> bool {
         self.meta.read().closed
+    }
+
+    /// Wakes item-arrival waiters: blocked threads and parked reactor tasks.
+    fn notify_items(&self) {
+        self.items_gate.notify();
+        self.items_wakers.wake_all();
+    }
+
+    /// Wakes space-available waiters: blocked threads and parked reactor
+    /// tasks.
+    fn notify_space(&self) {
+        self.space_gate.notify();
+        self.space_wakers.wake_all();
+    }
+
+    /// Parks a reactor task until the next item arrival (or close /
+    /// disconnect). Register first, then re-try the non-blocking get; see
+    /// [`WakerSet`] for the race-free ordering contract.
+    pub fn register_items_waker(&self, waker: &std::task::Waker) {
+        self.items_wakers.register(waker);
+    }
+
+    /// Parks a reactor task until space frees up (or close). Register
+    /// first, then re-try the non-blocking put.
+    pub fn register_space_waker(&self, waker: &std::task::Waker) {
+        self.space_wakers.register(waker);
     }
 
     // ---- internal operations (used by connection guards and the runtime) --
@@ -905,7 +938,7 @@ impl Channel {
         let result = self.put_loop(conn, ts, &mut slot_item, deadline, &mut evicted);
         if result.is_ok() {
             self.obs.record_put(started);
-            self.items_gate.notify();
+            self.notify_items();
             if let Some((tag, payload)) = hook_put {
                 let hooks = self.hooks.get();
                 hooks.fire_put(PutEvent {
@@ -1029,7 +1062,7 @@ impl Channel {
         }
         if ok > 0 {
             self.obs.record_put(started);
-            self.items_gate.notify();
+            self.notify_items();
             for (ts, ctx, len) in spans {
                 self.obs.tracer.finish(
                     ctx,
@@ -1263,7 +1296,7 @@ impl Channel {
         }
         // Wake blocked getters on this connection so they observe
         // NoSuchConnection instead of sleeping until the next put.
-        self.items_gate.notify();
+        self.notify_items();
         self.finish_reclaim(reclaimed);
     }
 
@@ -1401,7 +1434,7 @@ impl Channel {
         if traced > 0 {
             self.traced_live.fetch_sub(traced, Ordering::SeqCst);
         }
-        self.space_gate.notify();
+        self.notify_space();
         self.obs
             .occupancy
             .add(-i64::try_from(reclaimed.len()).unwrap_or(i64::MAX));
@@ -1555,6 +1588,13 @@ impl InputConn {
         self.chan.do_set_vt(self.id, vt)
     }
 
+    /// Parks a reactor task until the next item arrival on this channel.
+    /// Register first, then retry [`InputConn::try_get`]; spurious wakes
+    /// are expected and benign.
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.chan.register_items_waker(waker);
+    }
+
     /// Tears the connection down now rather than waiting for drop: the
     /// connection's claims are released (its virtual time no longer
     /// constrains reclamation) and any getter blocked on it wakes with
@@ -1620,6 +1660,13 @@ impl OutputConn {
     /// As [`OutputConn::put`], with [`StmError::Full`] instead of blocking.
     pub fn try_put(&self, ts: Timestamp, item: Item) -> StmResult<()> {
         self.chan.do_put(self.id, ts, item, Deadline::Now)
+    }
+
+    /// Parks a reactor task until channel space frees up (bounded channels
+    /// under [`OverflowPolicy::Block`]). Register first, then retry
+    /// [`OutputConn::try_put`]; spurious wakes are expected and benign.
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.chan.register_space_waker(waker);
     }
 
     /// Put with a timeout on the capacity wait.

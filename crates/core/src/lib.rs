@@ -68,6 +68,7 @@ pub mod registry;
 pub mod rtsync;
 pub mod thread;
 pub mod time;
+pub mod waiter;
 
 pub use attr::{
     ChannelAttrs, ChannelAttrsBuilder, GcPolicy, OverflowPolicy, QueueAttrs, QueueAttrsBuilder,
@@ -85,3 +86,4 @@ pub use queue::{QTicket, Queue, QueueInputConn, QueueOutputConn, QueueStats};
 pub use registry::StmRegistry;
 pub use rtsync::{Clock, RealClock, Recovery, RtSync, SyncStatus, VirtualClock};
 pub use time::{Timestamp, TsRange, VirtualTime};
+pub use waiter::WakerSet;

@@ -52,6 +52,7 @@ use crate::ids::{ConnId, QueueId, ResourceId};
 use crate::item::{Item, StreamItem};
 use crate::metrics::StmMetrics;
 use crate::time::Timestamp;
+use crate::waiter::WakerSet;
 
 /// Receipt for an in-flight queue item; settle with `consume` or `requeue`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,6 +159,10 @@ pub struct Queue {
     next_ticket: AtomicU64,
     items_cv: Condvar,
     space_cv: Condvar,
+    /// Reactor-task counterparts of the condvars: parked wakers, woken at
+    /// exactly the same sites the condvars notify.
+    items_wakers: WakerSet,
+    space_wakers: WakerSet,
     hooks: HookSlot,
     /// Fast-path flag: put paths clone the payload handle for put hooks
     /// only when one is installed, so unhooked queues pay nothing.
@@ -207,6 +212,8 @@ impl Queue {
             next_ticket: AtomicU64::new(1),
             items_cv: Condvar::new(),
             space_cv: Condvar::new(),
+            items_wakers: WakerSet::new(),
+            space_wakers: WakerSet::new(),
             hooks: HookSlot::new(),
             put_hooked: AtomicBool::new(false),
             stats: AtomicStats::default(),
@@ -297,6 +304,19 @@ impl Queue {
         self.put_hooked.store(true, Ordering::SeqCst);
     }
 
+    /// Parks a reactor task until the next item arrival (or close).
+    /// Register first, then retry a non-blocking get; spurious wakes are
+    /// expected and benign.
+    pub fn register_items_waker(&self, waker: &std::task::Waker) {
+        self.items_wakers.register(waker);
+    }
+
+    /// Parks a reactor task until queue space frees up (or close).
+    /// Register first, then retry a non-blocking put.
+    pub fn register_space_waker(&self, waker: &std::task::Waker) {
+        self.space_wakers.register(waker);
+    }
+
     /// Opens an input (getter) connection; disconnecting requeues any
     /// outstanding tickets.
     #[must_use]
@@ -333,7 +353,9 @@ impl Queue {
         st.closed = true;
         drop(st);
         self.items_cv.notify_all();
+        self.items_wakers.wake_all();
         self.space_cv.notify_all();
+        self.space_wakers.wake_all();
     }
 
     /// Whether [`Queue::close`] has been called.
@@ -411,6 +433,7 @@ impl Queue {
             self.obs.record_put(started);
         }
         self.items_cv.notify_one();
+        self.items_wakers.wake_all();
         if let Some((tag, payload)) = hook_put {
             let hooks = self.hooks.get();
             hooks.fire_put(PutEvent {
@@ -494,6 +517,7 @@ impl Queue {
             self.obs.record_put(started);
             // A batch can satisfy several blocked getters at once.
             self.items_cv.notify_all();
+            self.items_wakers.wake_all();
             if let Some(hook_puts) = hook_puts {
                 let hooks = self.hooks.get();
                 for (ts, tag, payload) in hook_puts {
@@ -557,6 +581,7 @@ impl Queue {
                 self.obs.record_get(started);
                 drop(st);
                 self.space_cv.notify_one();
+                self.space_wakers.wake_all();
                 if let Some(ctx) = item.trace_context() {
                     self.obs.tracer.instant(
                         ctx,
@@ -619,6 +644,7 @@ impl Queue {
                 drop(st);
                 // k slots freed: wake every blocked producer that can fit.
                 self.space_cv.notify_all();
+                self.space_wakers.wake_all();
                 for (ts, item, _) in &got {
                     if let Some(ctx) = item.trace_context() {
                         self.obs.tracer.instant(
@@ -703,6 +729,7 @@ impl Queue {
         // that exits with NoSuchConnection without re-signalling, leaving
         // the requeued item stranded until the next enqueue.
         self.items_cv.notify_all();
+        self.items_wakers.wake_all();
         Ok(())
     }
 
@@ -741,6 +768,7 @@ impl Queue {
         // connection must observe NoSuchConnection, and if tickets were
         // requeued other getters can now claim them.
         self.items_cv.notify_all();
+        self.items_wakers.wake_all();
     }
 
     pub(crate) fn do_disconnect_output(&self, conn: ConnId) {
@@ -755,6 +783,7 @@ impl Queue {
             .fetch_add(item.len() as u64, Ordering::Relaxed);
         self.obs.record_reclaim(1, item.len() as u64);
         self.space_cv.notify_one();
+        self.space_wakers.wake_all();
         let hooks = self.hooks.get();
         hooks.fire_garbage(&GarbageEvent {
             resource: ResourceId::Queue(self.id),
@@ -818,6 +847,12 @@ impl QueueInputConn {
     /// [`StmError::Absent`] when the queue is empty.
     pub fn try_get(&self) -> StmResult<(Timestamp, Item, QTicket)> {
         self.queue.do_get(self.id, Deadline::Now)
+    }
+
+    /// Parks a reactor task until the next item arrival on this queue.
+    /// Register first, then retry [`QueueInputConn::try_get`].
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.queue.register_items_waker(waker);
     }
 
     /// Get with a timeout.
@@ -941,6 +976,13 @@ impl QueueOutputConn {
     /// blocking.
     pub fn try_put(&self, ts: Timestamp, item: Item) -> StmResult<()> {
         self.queue.do_put(self.id, ts, item, Deadline::Now)
+    }
+
+    /// Parks a reactor task until queue space frees up (bounded queues
+    /// under [`OverflowPolicy::Block`]). Register first, then retry
+    /// [`QueueOutputConn::try_put`].
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.queue.register_space_waker(waker);
     }
 
     /// Put with a timeout on the capacity wait.

@@ -1,0 +1,172 @@
+//! Task-waker parking for event-driven runtimes.
+//!
+//! The blocking STM API parks OS threads on condvar-backed gates
+//! ([`crate::channel`]'s eventcount `Gate`, [`crate::queue`]'s raw
+//! condvars). An event-driven executor cannot afford a thread per blocked
+//! `get`/`put`/`dequeue`; instead its tasks park a [`std::task::Waker`]
+//! here and the container wakes them at exactly the sites where it already
+//! notifies condvar waiters. Both mechanisms coexist: blocking callers
+//! keep the condvar path untouched, reactor tasks ride the waker path.
+//!
+//! The contract mirrors the eventcount gate: a task **registers its waker
+//! first, then re-checks its predicate** (a non-blocking attempt). A state
+//! change that satisfies the predicate is published before `wake_all` runs,
+//! so a waker registered before the attempt either sees the new state or is
+//! woken after it. Wakes are collective and may be spurious; woken tasks
+//! simply retry their non-blocking attempt and re-register on `Pending`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::task::Waker;
+
+use parking_lot::Mutex;
+
+/// A set of parked task wakers attached to one wait condition.
+///
+/// Notifiers pay a single relaxed atomic load when no task is parked, so
+/// containers serving only blocking (condvar) callers see no overhead
+/// beyond that load on their notify paths.
+pub struct WakerSet {
+    wakers: Mutex<Vec<Waker>>,
+    /// Mirror of `wakers.len()`, readable without the lock.
+    len: AtomicUsize,
+}
+
+impl WakerSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> WakerSet {
+        WakerSet {
+            wakers: Mutex::new(Vec::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Parks `waker`, to be woken by the next [`WakerSet::wake_all`].
+    ///
+    /// Re-registering the waker of an already-parked task (recognized via
+    /// [`Waker::will_wake`]) replaces the old entry instead of growing the
+    /// set, so a task that polls repeatedly without an intervening wake
+    /// occupies one slot.
+    pub fn register(&self, waker: &Waker) {
+        let mut wakers = self.wakers.lock();
+        if wakers.iter().any(|w| w.will_wake(waker)) {
+            return;
+        }
+        wakers.push(waker.clone());
+        self.len.store(wakers.len(), Ordering::Release);
+    }
+
+    /// Wakes and removes every parked waker.
+    ///
+    /// Call after publishing (releasing the lock protecting) the state
+    /// change that might satisfy a parked task's predicate — the same
+    /// ordering discipline the condvar gates require.
+    pub fn wake_all(&self) {
+        if self.len.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let drained: Vec<Waker> = {
+            let mut wakers = self.wakers.lock();
+            self.len.store(0, Ordering::Release);
+            std::mem::take(&mut *wakers)
+        };
+        for w in drained {
+            w.wake();
+        }
+    }
+
+    /// Number of parked wakers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether no task is parked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for WakerSet {
+    fn default() -> Self {
+        WakerSet::new()
+    }
+}
+
+impl std::fmt::Debug for WakerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakerSet")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    struct CountingWake(AtomicUsize);
+
+    impl Wake for CountingWake {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn counting() -> (Arc<CountingWake>, Waker) {
+        let cw = Arc::new(CountingWake(AtomicUsize::new(0)));
+        (Arc::clone(&cw), Waker::from(Arc::clone(&cw)))
+    }
+
+    #[test]
+    fn wake_all_wakes_each_registered_once() {
+        let set = WakerSet::new();
+        let (a, wa) = counting();
+        let (b, wb) = counting();
+        set.register(&wa);
+        set.register(&wb);
+        assert_eq!(set.len(), 2);
+        set.wake_all();
+        assert_eq!(a.0.load(Ordering::SeqCst), 1);
+        assert_eq!(b.0.load(Ordering::SeqCst), 1);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn reregistration_does_not_grow_the_set() {
+        let set = WakerSet::new();
+        let (a, wa) = counting();
+        set.register(&wa);
+        set.register(&wa);
+        set.register(&wa.clone());
+        assert_eq!(set.len(), 1);
+        set.wake_all();
+        assert_eq!(a.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn wake_after_drain_is_a_noop() {
+        let set = WakerSet::new();
+        let (a, wa) = counting();
+        set.register(&wa);
+        set.wake_all();
+        set.wake_all();
+        assert_eq!(a.0.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn registration_after_wake_parks_again() {
+        let set = WakerSet::new();
+        let (a, wa) = counting();
+        set.register(&wa);
+        set.wake_all();
+        set.register(&wa);
+        assert_eq!(set.len(), 1);
+        set.wake_all();
+        assert_eq!(a.0.load(Ordering::SeqCst), 2);
+    }
+}

@@ -104,6 +104,10 @@ pub struct AddressSpace {
     promotions: Mutex<HashMap<ResourceId, ResourceId>>,
     /// Per-creation nonce feeding anonymous-resource placement keys.
     create_nonce: AtomicU64,
+    /// Event-driven runtime handle, when the cluster runs in reactor
+    /// mode. Lazily-started services (the replication pump) clock
+    /// themselves on its timer wheel instead of spawning threads.
+    reactor: Mutex<Option<crate::reactor::Reactor>>,
 }
 
 impl AddressSpace {
@@ -148,6 +152,7 @@ impl AddressSpace {
             replicator: Mutex::new(None),
             promotions: Mutex::new(HashMap::new()),
             create_nonce: AtomicU64::new(1),
+            reactor: Mutex::new(None),
         });
         let dispatch_space = Arc::clone(&space);
         let handle = std::thread::Builder::new()
@@ -208,6 +213,18 @@ impl AddressSpace {
     #[must_use]
     pub fn placement(&self) -> Placement {
         *self.placement.lock()
+    }
+
+    /// Hands this space a reactor: subsequently-started background
+    /// services (the replication pump) run as timer-wheel tasks on it.
+    pub fn set_reactor(&self, reactor: crate::reactor::Reactor) {
+        *self.reactor.lock() = Some(reactor);
+    }
+
+    /// The reactor this space runs on, in reactor mode.
+    #[must_use]
+    pub fn reactor(&self) -> Option<crate::reactor::Reactor> {
+        self.reactor.lock().clone()
     }
 
     /// Enables or disables replication of containers hosted here.
@@ -408,7 +425,10 @@ impl AddressSpace {
         if let Some(repl) = slot.as_ref() {
             return Arc::clone(repl);
         }
-        let repl = Replicator::start(self);
+        let repl = match self.reactor() {
+            Some(reactor) => Replicator::start_reactor(self, &reactor),
+            None => Replicator::start(self),
+        };
         *slot = Some(Arc::clone(&repl));
         repl
     }
@@ -1646,7 +1666,9 @@ mod tests {
         let inp = cref.connect_input(Interest::FromEarliest).unwrap();
 
         let chan2 = Arc::clone(&chan);
-        let h = std::thread::spawn(move || {
+        // Through the named registry, not a raw spawn: leaked helpers show
+        // up in teardown accounting.
+        let h = a.threads().spawn("test-late-putter", move |_t| {
             std::thread::sleep(Duration::from_millis(40));
             let out = chan2.connect_output();
             out.put(Timestamp::new(5), Item::from_vec(vec![9])).unwrap();
@@ -1706,7 +1728,9 @@ mod tests {
         let chan = a.create_channel(None, ChannelAttrs::default());
         let res = ResourceId::Channel(chan.id());
         let b2 = Arc::clone(&b);
-        let h = std::thread::spawn(move || b2.ns_lookup_wait("late-name", None));
+        let h = b.threads().spawn("test-ns-waiter", move |_t| {
+            b2.ns_lookup_wait("late-name", None)
+        });
         std::thread::sleep(Duration::from_millis(30));
         a.ns_register("late-name", res, "").unwrap();
         assert_eq!(h.join().unwrap().unwrap().0, res);

@@ -22,6 +22,7 @@ use crate::addrspace::AddressSpace;
 use crate::failure::{FailureConfig, FailureDetector, RpcConfig};
 use crate::listener::{Listener, ListenerConfig};
 use crate::placement::Placement;
+use crate::reactor::{PeriodicHandle, Reactor, ReactorConfig};
 use crate::recorder::{FlightRecorder, RecorderConfig};
 
 /// Which CLF backend interconnects the cluster's address spaces.
@@ -44,6 +45,8 @@ pub struct ClusterBuilder {
     rpc: Option<RpcConfig>,
     fault_plan: Option<Arc<FaultPlan>>,
     session_lease: Option<Duration>,
+    max_sessions: Option<usize>,
+    reactor: Option<ReactorConfig>,
     trace_sampling: u64,
     stm_shards: Option<u32>,
     recorder: Option<RecorderConfig>,
@@ -65,6 +68,8 @@ impl ClusterBuilder {
             rpc: None,
             fault_plan: None,
             session_lease: None,
+            max_sessions: None,
+            reactor: None,
             trace_sampling: 0,
             stm_shards: None,
             recorder: Some(RecorderConfig::default()),
@@ -157,6 +162,29 @@ impl ClusterBuilder {
         self
     }
 
+    /// Caps concurrently active surrogate sessions per listener.
+    /// Connections arriving at capacity are shed with a clean reject
+    /// frame (an error reply the client can back off on) instead of
+    /// growing the per-session resource set without bound.
+    #[must_use]
+    pub fn max_sessions(mut self, n: usize) -> Self {
+        self.max_sessions = Some(n.max(1));
+        self
+    }
+
+    /// Runs the cluster's server hot path on an event-driven reactor:
+    /// listeners accept and serve surrogate sessions as cooperatively
+    /// scheduled tasks (O(cores) threads instead of a thread per
+    /// session), and the background services — failure detector, flight
+    /// recorder, replication pump, CLF housekeeping — clock themselves
+    /// on the reactor's timer wheel. Off by default (dedicated threads,
+    /// the paper's §3.2.2 shape).
+    #[must_use]
+    pub fn reactor(mut self, config: ReactorConfig) -> Self {
+        self.reactor = Some(config);
+        self
+    }
+
     /// Enables item-lifecycle tracing in every address space, sampling
     /// every `every_nth` timestamp deterministically (`1` traces
     /// everything, `0` — the default — disables tracing).
@@ -243,6 +271,13 @@ impl ClusterBuilder {
             })
             .collect();
 
+        let reactor = match self.reactor {
+            Some(config) => {
+                Some(Reactor::start(config).map_err(|e| StmError::Protocol(e.to_string()))?)
+            }
+            None => None,
+        };
+
         // Declare the full membership so cluster-wide stats pulls know
         // whom to fan out to.
         let members: Vec<AsId> = (0..self.address_spaces).map(AsId).collect();
@@ -250,15 +285,22 @@ impl ClusterBuilder {
             s.set_peers(members.clone());
             s.set_placement(self.placement);
             s.set_replication(self.replication && self.address_spaces > 1);
+            if let Some(r) = &reactor {
+                s.set_reactor(r.clone());
+            }
         }
 
         let listeners = if self.listeners {
             let config = ListenerConfig {
                 session_lease: self.session_lease,
+                max_sessions: self.max_sessions,
             };
             spaces
                 .iter()
-                .map(|s| Listener::start_with(Arc::clone(s), config))
+                .map(|s| match &reactor {
+                    Some(r) => Listener::start_reactor(Arc::clone(s), config, r),
+                    None => Listener::start_with(Arc::clone(s), config),
+                })
                 .collect::<Result<Vec<_>, _>>()
                 .map_err(|e| StmError::Protocol(e.to_string()))?
         } else {
@@ -268,7 +310,10 @@ impl ClusterBuilder {
         let detectors = match self.failure {
             Some(config) => spaces
                 .iter()
-                .map(|s| FailureDetector::start(Arc::clone(s), config))
+                .map(|s| match &reactor {
+                    Some(r) => FailureDetector::start_reactor(Arc::clone(s), config, r),
+                    None => FailureDetector::start(Arc::clone(s), config),
+                })
                 .collect(),
             None => Vec::new(),
         };
@@ -276,16 +321,37 @@ impl ClusterBuilder {
         let recorders = match self.recorder {
             Some(config) => spaces
                 .iter()
-                .map(|s| FlightRecorder::start(Arc::clone(s), config))
+                .map(|s| match &reactor {
+                    Some(r) => FlightRecorder::start_reactor(Arc::clone(s), config, r),
+                    None => FlightRecorder::start(Arc::clone(s), config),
+                })
                 .collect(),
             None => Vec::new(),
         };
+
+        // In reactor mode, the timer wheel also clocks the transport's
+        // RTO/pacing housekeeping and publishes the executor's own
+        // counters into address space 0's registry so the flight
+        // recorder's history rings pick them up as `exec/*` series.
+        let mut periodics = Vec::new();
+        if let Some(r) = &reactor {
+            for s in &spaces {
+                let transport = Arc::clone(s.transport());
+                periodics.push(r.spawn_periodic(Duration::from_millis(5), move || {
+                    transport.housekeep();
+                    true
+                }));
+            }
+            periodics.push(publish_exec_metrics(r, &spaces[0]));
+        }
 
         Ok(Cluster {
             spaces,
             listeners,
             detectors,
             recorders,
+            reactor,
+            periodics,
         })
     }
 }
@@ -296,12 +362,60 @@ impl Default for ClusterBuilder {
     }
 }
 
+/// Mirrors the reactor's [`crate::reactor::ExecMetrics`] into an obs
+/// registry every 250 ms: gauges are set, monotone counters are advanced
+/// by their delta since the last publication.
+fn publish_exec_metrics(reactor: &Reactor, space: &Arc<AddressSpace>) -> PeriodicHandle {
+    use std::sync::atomic::Ordering::Relaxed;
+    let m = space.metrics();
+    let live = m.gauge("exec", "live_tasks");
+    let ready = m.gauge("exec", "ready_depth");
+    let spawned = m.counter("exec", "tasks_spawned");
+    let wakeups = m.counter("exec", "poll_wakeups");
+    let timer_fires = m.counter("exec", "timer_fires");
+    let parks = m.counter("exec", "parks");
+    let unparks = m.counter("exec", "unparks");
+    let offloaded = m.counter("exec", "offloaded");
+    let r = reactor.clone();
+    let mut last = [0u64; 6];
+    reactor.spawn_periodic(Duration::from_millis(250), move || {
+        let x = r.metrics();
+        live.set(i64::try_from(x.live_tasks.load(Relaxed)).unwrap_or(i64::MAX));
+        ready.set(i64::try_from(r.ready_depth()).unwrap_or(i64::MAX));
+        let now = [
+            x.spawned.load(Relaxed),
+            x.poll_wakeups.load(Relaxed),
+            x.timer_fires.load(Relaxed),
+            x.parks.load(Relaxed),
+            x.unparks.load(Relaxed),
+            x.offloaded.load(Relaxed),
+        ];
+        for (counter, (cur, prev)) in [
+            &spawned,
+            &wakeups,
+            &timer_fires,
+            &parks,
+            &unparks,
+            &offloaded,
+        ]
+        .into_iter()
+        .zip(now.iter().zip(last.iter()))
+        {
+            counter.add(cur.saturating_sub(*prev));
+        }
+        last = now;
+        true
+    })
+}
+
 /// A running D-Stampede cluster.
 pub struct Cluster {
     spaces: Vec<Arc<AddressSpace>>,
     listeners: Vec<Arc<Listener>>,
     detectors: Vec<Arc<FailureDetector>>,
     recorders: Vec<Arc<FlightRecorder>>,
+    reactor: Option<Reactor>,
+    periodics: Vec<PeriodicHandle>,
 }
 
 impl Cluster {
@@ -437,9 +551,20 @@ impl Cluster {
         merged
     }
 
+    /// The event-driven runtime, when built with
+    /// [`ClusterBuilder::reactor`].
+    #[must_use]
+    pub fn reactor(&self) -> Option<&Reactor> {
+        self.reactor.as_ref()
+    }
+
     /// Stops flight recorders, failure detectors, and listeners, then
-    /// shuts every address space down.
+    /// shuts every address space down (and, in reactor mode, the
+    /// executor last, joining its workers).
     pub fn shutdown(&self) {
+        for p in &self.periodics {
+            p.cancel();
+        }
         for r in &self.recorders {
             r.stop();
         }
@@ -451,6 +576,9 @@ impl Cluster {
         }
         for s in &self.spaces {
             s.shutdown();
+        }
+        if let Some(r) = &self.reactor {
+            r.shutdown();
         }
     }
 }

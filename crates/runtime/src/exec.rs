@@ -272,6 +272,179 @@ pub fn is_blocking(req: &Request) -> bool {
     }
 }
 
+/// How a reactor surrogate should run one request (see
+/// `crate::listener`'s reactor mode). Blocking waits cannot run on the
+/// executor's worker pool directly — a parked worker starves every other
+/// session — so each request is classified by where its wakeup would come
+/// from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShimPlan {
+    /// Run [`execute`] inline: the request cannot actually block here
+    /// (non-blocking wait, or a full-condition that reports/evicts
+    /// instead of blocking).
+    Inline,
+    /// Rewrite the wait to `NonBlocking` and retry, parking a task waker
+    /// on the local container's [`dstampede_core::WakerSet`] between
+    /// attempts.
+    Park,
+    /// No local wakeup source (remote container, cluster-wide pull,
+    /// blocking batch): offload the legacy blocking [`execute`] to a
+    /// dedicated thread.
+    Offload,
+}
+
+/// Classifies `req` for a reactor surrogate.
+#[must_use]
+pub fn shim_plan(space: &Arc<AddressSpace>, conns: &ConnTable, req: &Request) -> ShimPlan {
+    if !is_blocking(req) {
+        return ShimPlan::Inline;
+    }
+    match req {
+        Request::ChannelGet { conn, .. } => match conns.chan_in(*conn) {
+            Ok(c) if c.is_local() => ShimPlan::Park,
+            Ok(_) => ShimPlan::Offload,
+            // Unknown handle: inline execute reports the error.
+            Err(_) => ShimPlan::Inline,
+        },
+        Request::QueueGet { conn, .. } => match conns.queue_in(*conn) {
+            Ok(q) if q.is_local() => ShimPlan::Park,
+            Ok(_) => ShimPlan::Offload,
+            Err(_) => ShimPlan::Inline,
+        },
+        Request::ChannelPut { conn, .. } => match conns.chan_out(*conn) {
+            Ok(c) => match c.local_blocks_when_full() {
+                Some(true) => ShimPlan::Park,
+                Some(false) => ShimPlan::Inline,
+                None => ShimPlan::Offload,
+            },
+            Err(_) => ShimPlan::Inline,
+        },
+        Request::QueuePut { conn, .. } => match conns.queue_out(*conn) {
+            Ok(q) => match q.local_blocks_when_full() {
+                Some(true) => ShimPlan::Park,
+                Some(false) => ShimPlan::Inline,
+                None => ShimPlan::Offload,
+            },
+            Err(_) => ShimPlan::Inline,
+        },
+        // A blocking batch put that can really block has per-item blocking
+        // semantics a whole-batch retry cannot reproduce (placed items
+        // must not re-run); keep the legacy path on a thread.
+        Request::PutBatch { conn, .. } => match conns.chan_out(*conn) {
+            Ok(c) => match c.local_blocks_when_full() {
+                Some(true) => ShimPlan::Offload,
+                Some(false) => ShimPlan::Inline,
+                None => ShimPlan::Offload,
+            },
+            Err(_) => match conns.queue_out(*conn) {
+                Ok(q) => match q.local_blocks_when_full() {
+                    Some(true) => ShimPlan::Offload,
+                    Some(false) => ShimPlan::Inline,
+                    None => ShimPlan::Offload,
+                },
+                Err(_) => ShimPlan::Inline,
+            },
+        },
+        Request::NsLookup { .. } => {
+            if space.nameserver().is_some() {
+                ShimPlan::Park
+            } else {
+                ShimPlan::Offload
+            }
+        }
+        Request::WithId { req, .. } => shim_plan(space, conns, req),
+        // Cluster-wide pulls block on RPC rounds to every peer.
+        _ => ShimPlan::Offload,
+    }
+}
+
+/// Parks `waker` on the wakeup source a blocked `req` waits for. Returns
+/// `false` when no local source exists (the caller falls back to inline
+/// execution, which reports the underlying error).
+pub fn register_parked_waker(
+    space: &Arc<AddressSpace>,
+    conns: &ConnTable,
+    req: &Request,
+    waker: &std::task::Waker,
+) -> bool {
+    match req {
+        Request::ChannelGet { conn, .. } => conns
+            .chan_in(*conn)
+            .is_ok_and(|c| c.register_local_waker(waker)),
+        Request::QueueGet { conn, .. } => conns
+            .queue_in(*conn)
+            .is_ok_and(|q| q.register_local_waker(waker)),
+        Request::ChannelPut { conn, .. } => conns
+            .chan_out(*conn)
+            .is_ok_and(|c| c.register_local_waker(waker)),
+        Request::QueuePut { conn, .. } => conns
+            .queue_out(*conn)
+            .is_ok_and(|q| q.register_local_waker(waker)),
+        Request::NsLookup { .. } => match space.nameserver() {
+            Some(ns) => {
+                ns.register_waker(waker);
+                true
+            }
+            None => false,
+        },
+        Request::WithId { req, .. } => register_parked_waker(space, conns, req, waker),
+        _ => false,
+    }
+}
+
+/// The request's wait discipline, when it carries one.
+#[must_use]
+pub fn wait_of(req: &Request) -> Option<WaitSpec> {
+    match req {
+        Request::ChannelPut { wait, .. }
+        | Request::ChannelGet { wait, .. }
+        | Request::QueuePut { wait, .. }
+        | Request::QueueGet { wait, .. }
+        | Request::PutBatch { wait, .. }
+        | Request::NsLookup { wait, .. } => Some(*wait),
+        Request::WithId { req, .. } => wait_of(req),
+        _ => None,
+    }
+}
+
+/// A copy of `req` with its wait discipline rewritten to `NonBlocking`,
+/// for one shim attempt between parks.
+#[must_use]
+pub fn rewrite_nonblocking(req: &Request) -> Request {
+    let mut copy = req.clone();
+    fn set_wait(req: &mut Request) {
+        match req {
+            Request::ChannelPut { wait, .. }
+            | Request::ChannelGet { wait, .. }
+            | Request::QueuePut { wait, .. }
+            | Request::QueueGet { wait, .. }
+            | Request::PutBatch { wait, .. }
+            | Request::NsLookup { wait, .. } => *wait = WaitSpec::NonBlocking,
+            Request::WithId { req, .. } => set_wait(req),
+            _ => {}
+        }
+    }
+    set_wait(&mut copy);
+    copy
+}
+
+/// Whether a reply to a `NonBlocking` attempt means "would have blocked"
+/// for the shim retry loop: item not there yet ([`StmError::Absent`]),
+/// name not registered yet ([`StmError::NameAbsent`]), or container full
+/// ([`StmError::Full`] — only consulted when [`shim_plan`] already proved
+/// the container blocks on full).
+#[must_use]
+pub fn reply_would_block(reply: &Reply) -> bool {
+    match reply {
+        Reply::Error { code, .. } => {
+            *code == StmError::Absent.code()
+                || *code == StmError::NameAbsent.code()
+                || *code == StmError::Full.code()
+        }
+        _ => false,
+    }
+}
+
 fn ok_or_error(result: StmResult<Reply>) -> Reply {
     match result {
         Ok(reply) => reply,

@@ -94,6 +94,7 @@ impl FailureConfig {
 pub struct FailureDetector {
     stop: Arc<AtomicBool>,
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    periodic: Mutex<Option<crate::reactor::PeriodicHandle>>,
 }
 
 impl FailureDetector {
@@ -126,6 +127,41 @@ impl FailureDetector {
         Arc::new(FailureDetector {
             stop,
             thread: Mutex::new(Some(handle)),
+            periodic: Mutex::new(None),
+        })
+    }
+
+    /// Starts the detector as a periodic reactor task: the heartbeat and
+    /// lease cadence becomes one timer-wheel entry instead of a dedicated
+    /// sleeping thread.
+    #[must_use]
+    pub fn start_reactor(
+        space: Arc<AddressSpace>,
+        config: FailureConfig,
+        reactor: &crate::reactor::Reactor,
+    ) -> Arc<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let task_stop = Arc::clone(&stop);
+        let lease = config.lease();
+        let mut incarnation: u64 = 0;
+        let handle = reactor.spawn_periodic(config.period, move || {
+            if task_stop.load(Ordering::Acquire) || space.is_down() {
+                return false;
+            }
+            incarnation += 1;
+            for peer in space.peers() {
+                if peer == space.id() || space.is_peer_dead(peer) {
+                    continue;
+                }
+                space.cast(peer, Request::Heartbeat { incarnation });
+            }
+            space.check_leases(lease);
+            true
+        });
+        Arc::new(FailureDetector {
+            stop,
+            thread: Mutex::new(None),
+            periodic: Mutex::new(Some(handle)),
         })
     }
 
@@ -134,6 +170,9 @@ impl FailureDetector {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.thread.lock().take() {
             let _ = h.join();
+        }
+        if let Some(p) = self.periodic.lock().take() {
+            p.cancel();
         }
     }
 }

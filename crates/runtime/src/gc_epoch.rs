@@ -44,6 +44,7 @@ impl Default for GcEpochConfig {
 pub struct GcEpochService {
     stop: Arc<AtomicBool>,
     reporters: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    periodics: Mutex<Vec<crate::reactor::PeriodicHandle>>,
 }
 
 impl GcEpochService {
@@ -72,6 +73,38 @@ impl GcEpochService {
         GcEpochService {
             stop,
             reporters: Mutex::new(reporters),
+            periodics: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Starts the reporters as periodic reactor tasks: the epoch cadence
+    /// becomes one timer-wheel entry per address space instead of a
+    /// dedicated sleeping thread each. A non-nameserver report is a peer
+    /// RPC with a bounded deadline; at the default 50 ms cadence that is
+    /// an acceptable occupancy for one of the executor's workers.
+    #[must_use]
+    pub fn start_reactor(
+        spaces: &[Arc<AddressSpace>],
+        config: GcEpochConfig,
+        reactor: &crate::reactor::Reactor,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut periodics = Vec::with_capacity(spaces.len());
+        for space in spaces {
+            let space = Arc::clone(space);
+            let stop2 = Arc::clone(&stop);
+            periodics.push(reactor.spawn_periodic(config.period, move || {
+                if stop2.load(Ordering::Acquire) {
+                    return false;
+                }
+                report_once(&space);
+                true
+            }));
+        }
+        GcEpochService {
+            stop,
+            reporters: Mutex::new(Vec::new()),
+            periodics: Mutex::new(periodics),
         }
     }
 
@@ -80,6 +113,9 @@ impl GcEpochService {
         self.stop.store(true, Ordering::Release);
         for h in self.reporters.lock().drain(..) {
             let _ = h.join();
+        }
+        for p in self.periodics.lock().drain(..) {
+            p.cancel();
         }
     }
 }

@@ -55,6 +55,7 @@ pub mod nameserver;
 pub mod placement;
 pub mod proto;
 pub mod proxy;
+pub mod reactor;
 pub mod recorder;
 pub mod replicate;
 
@@ -67,5 +68,6 @@ pub use listener::{Listener, ListenerConfig, ListenerStats};
 pub use nameserver::NameServer;
 pub use placement::Placement;
 pub use proxy::{ChanInput, ChanOutput, ChannelRef, QueueInput, QueueOutput, QueueRef};
+pub use reactor::{Reactor, ReactorConfig};
 pub use recorder::{FlightRecorder, RecorderConfig};
 pub use replicate::{ReplicaStore, Replicator};

@@ -16,24 +16,36 @@
 //! requeueing in-flight queue items. That cleanup is this implementation's
 //! extension over the paper.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::future::Future;
 use std::io::Read;
 #[cfg(test)]
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
+use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::task::Poll;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use bytes::Bytes;
+use dstampede_core::StmError;
 use dstampede_obs::trace;
+use dstampede_obs::trace::TraceContext;
 use dstampede_wire::{
-    codec_for, read_frame_bytes, write_encoded, CodecId, Reply, ReplyFrame, Request,
+    codec_for, read_frame_bytes, write_encoded, CodecId, EncodedFrame, Reply, ReplyFrame, Request,
+    WaitSpec, MAX_FRAME,
 };
 
 use crate::addrspace::AddressSpace;
-use crate::exec::{execute, ConnTable, GcNoteQueue};
+use crate::exec::{
+    execute, register_parked_waker, reply_would_block, rewrite_nonblocking, shim_plan, wait_of,
+    ConnTable, GcNoteQueue, ShimPlan,
+};
+use crate::reactor::{AsyncTcpListener, AsyncTcpStream, PeriodicHandle, Reactor, Sleep};
 
 /// Tuning for a listener's surrogate sessions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,6 +56,12 @@ pub struct ListenerConfig {
     /// disables the lease: a vanished client is only noticed when the
     /// kernel reports the TCP connection gone.
     pub session_lease: Option<Duration>,
+    /// Upper bound on concurrently active surrogate sessions. A
+    /// connection arriving at capacity is shed with a clean reject frame
+    /// (an [`StmError::Full`]-coded error answering its first request)
+    /// instead of growing the session set without bound. `None` admits
+    /// every connection.
+    pub max_sessions: Option<usize>,
 }
 
 /// How a surrogate session ended.
@@ -67,6 +85,8 @@ pub struct ListenerStats {
     pub dirty_teardowns: u64,
     /// Sessions torn down because their lease expired (silent client).
     pub lease_teardowns: u64,
+    /// Connections shed at the [`ListenerConfig::max_sessions`] cap.
+    pub sessions_rejected: u64,
     /// Surrogates currently alive.
     pub active_surrogates: usize,
 }
@@ -77,6 +97,7 @@ struct ListenerCounters {
     clean_detaches: AtomicU64,
     dirty_teardowns: AtomicU64,
     lease_teardowns: AtomicU64,
+    sessions_rejected: AtomicU64,
     active: AtomicUsize,
 }
 
@@ -91,6 +112,7 @@ struct SessionMetrics {
     clean: Arc<dstampede_obs::Counter>,
     dirty: Arc<dstampede_obs::Counter>,
     lease: Arc<dstampede_obs::Counter>,
+    rejected: Arc<dstampede_obs::Counter>,
     active: Arc<dstampede_obs::Gauge>,
 }
 
@@ -102,10 +124,37 @@ impl SessionMetrics {
             clean: m.counter("session", "clean_detaches"),
             dirty: m.counter("session", "dirty_teardowns"),
             lease: m.counter("session", "lease_teardowns"),
+            rejected: m.counter("session", "rejected"),
             active: m.gauge("session", "active"),
         }
     }
 }
+
+/// Per-session state shared between a reactor surrogate, the lease
+/// reaper, and listener shutdown. Reactor surrogates cannot use
+/// `set_read_timeout` (the socket is nonblocking), so one periodic task
+/// scans these slots and shuts down the socket of any session whose
+/// pending frame read has outlived the lease; the surrogate's read then
+/// fails and `expired` tells it why. [`Listener::shutdown`] closes every
+/// registered socket the same way: a frozen executor cannot answer
+/// clients, so their sockets must deliver EOF instead (the legacy path
+/// does not need this — its surrogate threads outlive the listener).
+struct LeaseSlot {
+    /// Tick at which the current frame read started.
+    read_started: Arc<AtomicU64>,
+    /// Whether the surrogate is currently parked in a frame read. The
+    /// lease clocks only the wait for the *next request*, matching the
+    /// legacy read-timeout semantics: a long-blocking STM call does not
+    /// expire the session.
+    reading: Arc<AtomicBool>,
+    /// Set by the reaper before shutting the socket down.
+    expired: Arc<AtomicBool>,
+    /// Shares the surrogate's descriptor rather than duplicating it:
+    /// one fd per session instead of two at 10⁴ sessions.
+    sock: std::sync::Arc<std::net::TcpStream>,
+}
+
+type LeaseTable = Arc<Mutex<HashMap<u64, LeaseSlot>>>;
 
 /// A TCP listener accepting end devices into an address space.
 pub struct Listener {
@@ -113,6 +162,11 @@ pub struct Listener {
     stop: Arc<AtomicBool>,
     counters: Arc<ListenerCounters>,
     accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    reaper: Mutex<Option<PeriodicHandle>>,
+    reactor_mode: bool,
+    /// Reactor-mode session sockets, closed on shutdown (empty in legacy
+    /// mode, where surrogate threads survive the listener).
+    sessions: LeaseTable,
 }
 
 impl Listener {
@@ -154,6 +208,133 @@ impl Listener {
             stop,
             counters,
             accept_thread: Mutex::new(Some(handle)),
+            reaper: Mutex::new(None),
+            reactor_mode: false,
+            sessions: Arc::new(Mutex::new(HashMap::new())),
+        }))
+    }
+
+    /// Starts a listener whose accept loop and surrogates run as reactor
+    /// tasks instead of dedicated threads: one parked state machine per
+    /// session, O(cores) threads total. Wire clients cannot tell the two
+    /// modes apart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn start_reactor(
+        space: Arc<AddressSpace>,
+        config: ListenerConfig,
+        reactor: &Reactor,
+    ) -> std::io::Result<Arc<Listener>> {
+        let tcp = TcpListener::bind("127.0.0.1:0")?;
+        let addr = tcp.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ListenerCounters::default());
+        let leases: LeaseTable = Arc::new(Mutex::new(HashMap::new()));
+
+        let reaper = config.session_lease.map(|lease| {
+            let lease_ticks = reactor.ticks_of(lease).max(1);
+            let period =
+                Duration::from_millis(u64::try_from(lease.as_millis() / 4).unwrap_or(u64::MAX))
+                    .clamp(Duration::from_millis(10), Duration::from_secs(1));
+            let reaper_reactor = reactor.clone();
+            let reaper_leases = Arc::clone(&leases);
+            reactor.spawn_periodic(period, move || {
+                let now = reaper_reactor.now_tick();
+                for slot in reaper_leases.lock().values() {
+                    if slot.reading.load(Ordering::Acquire)
+                        && now.saturating_sub(slot.read_started.load(Ordering::Acquire))
+                            > lease_ticks
+                    {
+                        slot.expired.store(true, Ordering::Release);
+                        let _ = slot.sock.shutdown(std::net::Shutdown::Both);
+                    }
+                }
+                true
+            })
+        });
+
+        let accepter = AsyncTcpListener::new(tcp, reactor)?;
+        let accept_stop = Arc::clone(&stop);
+        let accept_counters = Arc::clone(&counters);
+        let accept_reactor = reactor.clone();
+        let accept_leases = Arc::clone(&leases);
+        reactor.spawn(async move {
+            let metrics = Arc::new(SessionMetrics::for_space(&space));
+            let mut next_session: u64 = 1;
+            loop {
+                let Ok((stream, _)) = accepter.accept().await else {
+                    break;
+                };
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let at_capacity = config
+                    .max_sessions
+                    .is_some_and(|max| accept_counters.active.load(Ordering::Relaxed) >= max);
+                if at_capacity {
+                    accept_counters
+                        .sessions_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    metrics.rejected.inc();
+                    let reject_reactor = accept_reactor.clone();
+                    accept_reactor.spawn(async move {
+                        reject_session_async(stream, &reject_reactor).await;
+                    });
+                    continue;
+                }
+                let session = next_session;
+                next_session += 1;
+                accept_counters
+                    .sessions_started
+                    .fetch_add(1, Ordering::Relaxed);
+                accept_counters.active.fetch_add(1, Ordering::Relaxed);
+                metrics.started.inc();
+                metrics.active.inc();
+                let surrogate_space = Arc::clone(&space);
+                let surrogate_counters = Arc::clone(&accept_counters);
+                let surrogate_metrics = Arc::clone(&metrics);
+                let surrogate_reactor = accept_reactor.clone();
+                let surrogate_leases = Arc::clone(&accept_leases);
+                accept_reactor.spawn(async move {
+                    let end = run_surrogate_async(
+                        &surrogate_space,
+                        &surrogate_reactor,
+                        stream,
+                        session,
+                        &surrogate_leases,
+                    )
+                    .await;
+                    let (counter, metric) = match end {
+                        SessionEnd::Clean => {
+                            (&surrogate_counters.clean_detaches, &surrogate_metrics.clean)
+                        }
+                        SessionEnd::Dirty => (
+                            &surrogate_counters.dirty_teardowns,
+                            &surrogate_metrics.dirty,
+                        ),
+                        SessionEnd::LeaseExpired => (
+                            &surrogate_counters.lease_teardowns,
+                            &surrogate_metrics.lease,
+                        ),
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    metric.inc();
+                    surrogate_counters.active.fetch_sub(1, Ordering::Relaxed);
+                    surrogate_metrics.active.dec();
+                });
+            }
+        });
+
+        Ok(Arc::new(Listener {
+            addr,
+            stop,
+            counters,
+            accept_thread: Mutex::new(None),
+            reaper: Mutex::new(reaper),
+            reactor_mode: true,
+            sessions: leases,
         }))
     }
 
@@ -171,6 +352,7 @@ impl Listener {
             clean_detaches: self.counters.clean_detaches.load(Ordering::Relaxed),
             dirty_teardowns: self.counters.dirty_teardowns.load(Ordering::Relaxed),
             lease_teardowns: self.counters.lease_teardowns.load(Ordering::Relaxed),
+            sessions_rejected: self.counters.sessions_rejected.load(Ordering::Relaxed),
             active_surrogates: self.counters.active.load(Ordering::Relaxed),
         }
     }
@@ -180,6 +362,21 @@ impl Listener {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.accept_thread.lock().take() {
             let _ = h.join();
+        }
+        if let Some(p) = self.reaper.lock().take() {
+            p.cancel();
+        }
+        if self.reactor_mode {
+            // Poke the parked accept task so it observes `stop` and exits.
+            let _ = std::net::TcpStream::connect(self.addr);
+            // Close every live session socket: once the executor stops,
+            // frozen surrogate tasks can never answer again, so clients
+            // (including connection-handle drops sending `Disconnect`)
+            // must see EOF rather than hang. Surrogates parked in a frame
+            // read finish now, while the workers are still running.
+            for slot in self.sessions.lock().values() {
+                let _ = slot.sock.shutdown(std::net::Shutdown::Both);
+            }
         }
     }
 }
@@ -195,10 +392,7 @@ impl fmt::Debug for Listener {
 
 impl Drop for Listener {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        if let Some(h) = self.accept_thread.lock().take() {
-            let _ = h.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -214,6 +408,15 @@ fn accept_loop(
     while !stop.load(Ordering::Acquire) {
         match tcp.accept() {
             Ok((stream, _)) => {
+                let at_capacity = config
+                    .max_sessions
+                    .is_some_and(|max| counters.active.load(Ordering::Relaxed) >= max);
+                if at_capacity {
+                    counters.sessions_rejected.fetch_add(1, Ordering::Relaxed);
+                    metrics.rejected.inc();
+                    reject_session(stream);
+                    continue;
+                }
                 let session = next_session;
                 next_session += 1;
                 counters.sessions_started.fetch_add(1, Ordering::Relaxed);
@@ -351,6 +554,383 @@ fn run_surrogate(
             return SessionEnd::Clean; // conns drop here: clean detach
         }
     }
+}
+
+/// The reply shed connections get at the session cap: a stable
+/// [`StmError::Full`] code so clients can back off and retry, with a
+/// detail string naming the real cause.
+fn capacity_reply() -> Reply {
+    Reply::Error {
+        code: StmError::Full.code(),
+        detail: "listener at max-sessions capacity; retry later".to_owned(),
+    }
+}
+
+/// Sheds one legacy-path connection at capacity: negotiates the codec,
+/// answers the first frame (the `Attach`) with [`capacity_reply`], and
+/// closes. A short read timeout bounds how long a silent peer can stall
+/// the accept loop.
+fn reject_session(mut stream: std::net::TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut codec_byte = [0u8; 1];
+    if stream.read_exact(&mut codec_byte).is_err() {
+        return;
+    }
+    let Ok(codec_id) = CodecId::from_byte(codec_byte[0]) else {
+        return;
+    };
+    let codec = codec_for(codec_id);
+    let Ok(frame) = read_frame_bytes(&mut stream) else {
+        return;
+    };
+    let Ok(request) = codec.decode_request(&frame) else {
+        return;
+    };
+    let reply_frame = ReplyFrame {
+        seq: request.seq,
+        gc_notes: Vec::new(),
+        reply: capacity_reply(),
+        trace: None,
+    };
+    if let Ok(encoded) = codec.encode_reply(&reply_frame) {
+        let _ = write_encoded(&mut stream, &encoded);
+    }
+}
+
+/// Async twin of [`read_frame_bytes`], buffered: each `read` drains as
+/// much as the socket holds, so a header+body frame costs one syscall
+/// instead of two and a pipelined frame already buffered costs none.
+struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl FrameReader {
+    fn new() -> FrameReader {
+        FrameReader {
+            buf: vec![0; 8 * 1024],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Pulls more bytes off the socket, compacting (and growing, bounded
+    /// by the `MAX_FRAME` check in `read_frame`) so at least `need`
+    /// bytes of spare room exist.
+    async fn fill(&mut self, stream: &AsyncTcpStream, need: usize) -> std::io::Result<()> {
+        if self.start > 0 && (self.start == self.end || self.buf.len() - self.end < need) {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() < self.end + need {
+            self.buf.resize(self.end + need, 0);
+        }
+        let n = stream.read_some(&mut self.buf[self.end..]).await?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed mid-read",
+            ));
+        }
+        self.end += n;
+        Ok(())
+    }
+
+    async fn read_frame(&mut self, stream: &AsyncTcpStream) -> std::io::Result<Bytes> {
+        while self.buffered() < 4 {
+            self.fill(stream, 4 - self.buffered()).await?;
+        }
+        let header: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4 buffered bytes");
+        let len = u32::from_be_bytes(header) as usize;
+        if len > MAX_FRAME {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds limit"),
+            ));
+        }
+        while self.buffered() < 4 + len {
+            self.fill(stream, 4 + len - self.buffered()).await?;
+        }
+        let mut payload = dstampede_wire::pool::get(len).into_vec();
+        payload.clear();
+        payload.extend_from_slice(&self.buf[self.start + 4..self.start + 4 + len]);
+        self.start += 4 + len;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        }
+        Ok(Bytes::from(payload))
+    }
+}
+
+/// Async twin of [`write_encoded`]: header and segments flattened into
+/// one buffer (no vectored nonblocking write in std).
+async fn write_encoded_async(stream: &AsyncTcpStream, frame: &EncodedFrame) -> std::io::Result<()> {
+    if frame.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds limit", frame.len()),
+        ));
+    }
+    let mut buf = Vec::with_capacity(4 + frame.len());
+    buf.extend_from_slice(&u32::try_from(frame.len()).unwrap_or(u32::MAX).to_be_bytes());
+    for seg in frame.segments() {
+        buf.extend_from_slice(seg);
+    }
+    stream.write_all(&buf).await
+}
+
+/// Races `fut` against an absolute-tick deadline. `None` on timeout.
+async fn with_deadline<F: Future + Unpin>(mut sleep: Sleep, mut fut: F) -> Option<F::Output> {
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = Pin::new(&mut fut).poll(cx) {
+            return Poll::Ready(Some(v));
+        }
+        if Pin::new(&mut sleep).poll(cx).is_ready() {
+            return Poll::Ready(None);
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// Reactor twin of [`reject_session`], bounded by a timer-wheel deadline
+/// instead of a read timeout.
+async fn reject_session_async(stream: std::net::TcpStream, reactor: &Reactor) {
+    let _ = stream.set_nodelay(true);
+    let Ok(stream) = AsyncTcpStream::new(stream, reactor) else {
+        return;
+    };
+    let sleep = reactor.sleep(Duration::from_millis(200));
+    let exchange = Box::pin(async {
+        let mut codec_byte = [0u8; 1];
+        stream.read_exact(&mut codec_byte).await.ok()?;
+        let codec_id = CodecId::from_byte(codec_byte[0]).ok()?;
+        let codec = codec_for(codec_id);
+        let frame = FrameReader::new().read_frame(&stream).await.ok()?;
+        let request = codec.decode_request(&frame).ok()?;
+        let reply_frame = ReplyFrame {
+            seq: request.seq,
+            gc_notes: Vec::new(),
+            reply: capacity_reply(),
+            trace: None,
+        };
+        let encoded = codec.encode_reply(&reply_frame).ok()?;
+        write_encoded_async(&stream, &encoded).await.ok()
+    });
+    let _ = with_deadline(sleep, exchange).await;
+}
+
+/// Runs one surrogate session as a reactor task, registering its lease
+/// slot for the reaper while it lives.
+async fn run_surrogate_async(
+    space: &Arc<AddressSpace>,
+    reactor: &Reactor,
+    stream: std::net::TcpStream,
+    session: u64,
+    leases: &LeaseTable,
+) -> SessionEnd {
+    let _ = stream.set_nodelay(true);
+    let stream = std::sync::Arc::new(stream);
+    let read_started = Arc::new(AtomicU64::new(reactor.now_tick()));
+    let reading = Arc::new(AtomicBool::new(false));
+    let expired = Arc::new(AtomicBool::new(false));
+    // Registered for every session, not only leased ones: listener
+    // shutdown needs the socket to deliver EOF to the client.
+    leases.lock().insert(
+        session,
+        LeaseSlot {
+            read_started: Arc::clone(&read_started),
+            reading: Arc::clone(&reading),
+            expired: Arc::clone(&expired),
+            sock: std::sync::Arc::clone(&stream),
+        },
+    );
+    let end = surrogate_frames(space, reactor, stream, session, &read_started, &reading).await;
+    leases.lock().remove(&session);
+    if matches!(end, SessionEnd::Dirty) && expired.load(Ordering::Acquire) {
+        dstampede_obs::warn(
+            "listener",
+            format!("session {session} lease expired; tearing down"),
+        );
+        space
+            .metrics()
+            .counter("failure", "session_lease_expirations")
+            .inc();
+        return SessionEnd::LeaseExpired;
+    }
+    end
+}
+
+/// The reactor surrogate's frame loop — mirrors [`run_surrogate`], with
+/// blocking requests dispatched per [`shim_plan`] so a wait parks this
+/// task, never a worker thread.
+async fn surrogate_frames(
+    space: &Arc<AddressSpace>,
+    reactor: &Reactor,
+    stream: std::sync::Arc<std::net::TcpStream>,
+    session: u64,
+    read_started: &AtomicU64,
+    reading: &AtomicBool,
+) -> SessionEnd {
+    let Ok(stream) = AsyncTcpStream::from_shared(stream, reactor) else {
+        return SessionEnd::Dirty;
+    };
+
+    let mut codec_byte = [0u8; 1];
+    read_started.store(reactor.now_tick(), Ordering::Release);
+    reading.store(true, Ordering::Release);
+    let negotiated = stream.read_exact(&mut codec_byte).await;
+    reading.store(false, Ordering::Release);
+    if negotiated.is_err() {
+        return SessionEnd::Dirty;
+    }
+    let Ok(codec_id) = CodecId::from_byte(codec_byte[0]) else {
+        return SessionEnd::Dirty;
+    };
+    let codec = codec_for(codec_id);
+
+    let conns = Arc::new(ConnTable::new());
+    let gc = Arc::new(GcNoteQueue::new());
+    let latency = space.metrics().histogram("rpc", "surrogate_latency_us");
+    let mut frames = FrameReader::new();
+
+    loop {
+        read_started.store(reactor.now_tick(), Ordering::Release);
+        reading.store(true, Ordering::Release);
+        let frame = frames.read_frame(&stream).await;
+        reading.store(false, Ordering::Release);
+        let Ok(frame) = frame else {
+            return SessionEnd::Dirty; // client (or the lease reaper) closed
+        };
+        let request = match codec.decode_request(&frame) {
+            Ok(r) => r,
+            Err(_) => return SessionEnd::Dirty, // protocol corruption
+        };
+        let (reply, done, reply_trace) = match request.req {
+            Request::Attach { .. } => (
+                Reply::Attached {
+                    session,
+                    as_id: space.id(),
+                },
+                false,
+                None,
+            ),
+            Request::Detach => (Reply::Ok, true, None),
+            other => {
+                let started = std::time::Instant::now();
+                let (reply, reply_trace) =
+                    dispatch_shimmed(space, reactor, &conns, &gc, other, request.trace).await;
+                latency.record_duration(started.elapsed());
+                (reply, false, reply_trace)
+            }
+        };
+        let reply_frame = ReplyFrame {
+            seq: request.seq,
+            gc_notes: gc.drain(),
+            reply,
+            trace: reply_trace,
+        };
+        let encoded = match codec.encode_reply(&reply_frame) {
+            Ok(b) => b,
+            Err(_) => return SessionEnd::Dirty,
+        };
+        if write_encoded_async(&stream, &encoded).await.is_err() {
+            return SessionEnd::Dirty;
+        }
+        if done {
+            return SessionEnd::Clean; // conns drop here: clean detach
+        }
+    }
+}
+
+/// Executes one surrogate request under the shim discipline: inline when
+/// it cannot block, parked on the container's waker set when the wakeup
+/// is local, offloaded to a blocking thread otherwise. The end device's
+/// trace context is scoped around each synchronous slice — never across
+/// an await, since the ambient scope is thread-local.
+async fn dispatch_shimmed(
+    space: &Arc<AddressSpace>,
+    reactor: &Reactor,
+    conns: &Arc<ConnTable>,
+    gc: &Arc<GcNoteQueue>,
+    req: Request,
+    trace_ctx: Option<TraceContext>,
+) -> (Reply, Option<TraceContext>) {
+    match shim_plan(space, conns, &req) {
+        ShimPlan::Inline => {
+            let guard = trace::scope(trace_ctx);
+            let reply = execute(space, conns, Some(gc), None, req);
+            let reply_trace = trace::current();
+            drop(guard);
+            (reply, reply_trace)
+        }
+        ShimPlan::Park => park_execute(space, reactor, conns, gc, req, trace_ctx).await,
+        ShimPlan::Offload => {
+            let space = Arc::clone(space);
+            let conns = Arc::clone(conns);
+            let gc = Arc::clone(gc);
+            reactor
+                .run_blocking("surrogate-offload", move || {
+                    let guard = trace::scope(trace_ctx);
+                    let reply = execute(&space, &conns, Some(&gc), None, req);
+                    let reply_trace = trace::current();
+                    drop(guard);
+                    (reply, reply_trace)
+                })
+                .await
+        }
+    }
+}
+
+/// Runs a blocking request as park-and-retry: register this task's waker
+/// on the wakeup source, attempt a `NonBlocking` rewrite, and go
+/// `Pending` while the attempt reports would-block. Registration happens
+/// *before* the attempt (the [`dstampede_core::WakerSet`] contract), so
+/// a publish racing the attempt re-wakes the task instead of being lost.
+/// `TimeoutMs` waits arm a timer-wheel [`Sleep`] checked after each
+/// failed attempt.
+async fn park_execute(
+    space: &Arc<AddressSpace>,
+    reactor: &Reactor,
+    conns: &Arc<ConnTable>,
+    gc: &Arc<GcNoteQueue>,
+    req: Request,
+    trace_ctx: Option<TraceContext>,
+) -> (Reply, Option<TraceContext>) {
+    let attempt = rewrite_nonblocking(&req);
+    let mut sleep = match wait_of(&req) {
+        Some(WaitSpec::TimeoutMs(ms)) => Some(reactor.sleep(Duration::from_millis(u64::from(ms)))),
+        _ => None,
+    };
+    std::future::poll_fn(move |cx| {
+        let registered = register_parked_waker(space, conns, &req, cx.waker());
+        let guard = trace::scope(trace_ctx);
+        let reply = execute(space, conns, Some(gc), None, attempt.clone());
+        let reply_trace = trace::current();
+        drop(guard);
+        // An unregistrable source (conn torn down mid-request) degrades
+        // to the inline attempt's own error rather than spinning.
+        if !(registered && reply_would_block(&reply)) {
+            return Poll::Ready((reply, reply_trace));
+        }
+        if let Some(s) = sleep.as_mut() {
+            if Pin::new(s).poll(cx).is_ready() {
+                return Poll::Ready((Reply::from_error(&StmError::Timeout), None));
+            }
+        }
+        Poll::Pending
+    })
+    .await
 }
 
 #[cfg(test)]

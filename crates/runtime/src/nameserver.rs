@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use dstampede_core::{ResourceId, StmError, StmResult};
+use dstampede_core::{ResourceId, StmError, StmResult, WakerSet};
 use dstampede_wire::NsEntry;
 
 #[allow(unused_imports)] // doc link
@@ -27,6 +27,9 @@ use dstampede_core::AsId;
 pub struct NameServer {
     entries: Mutex<HashMap<String, (ResourceId, String)>>,
     cv: Condvar,
+    /// Reactor-task counterpart of `cv`: parked wakers, woken on every
+    /// registration.
+    wakers: WakerSet,
 }
 
 impl NameServer {
@@ -36,6 +39,7 @@ impl NameServer {
         NameServer {
             entries: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
+            wakers: WakerSet::new(),
         }
     }
 
@@ -52,6 +56,7 @@ impl NameServer {
         entries.insert(name.to_owned(), (resource, meta.to_owned()));
         drop(entries);
         self.cv.notify_all();
+        self.wakers.wake_all();
         Ok(())
     }
 
@@ -94,6 +99,12 @@ impl NameServer {
                 }
             }
         }
+    }
+
+    /// Parks a reactor task until the next registration. Register first,
+    /// then retry [`NameServer::lookup`]; spurious wakes are expected.
+    pub fn register_waker(&self, waker: &std::task::Waker) {
+        self.wakers.register(waker);
     }
 
     /// Removes a registration.
@@ -198,7 +209,10 @@ mod tests {
     fn blocking_lookup_waits_for_registration() {
         let ns = Arc::new(NameServer::new());
         let ns2 = Arc::clone(&ns);
-        let h = thread::spawn(move || ns2.lookup_wait("late", None));
+        // Through the named registry, not a raw spawn: leaked helpers show
+        // up in teardown accounting.
+        let reg = Arc::new(dstampede_core::thread::ThreadRegistry::default());
+        let h = reg.spawn("test-ns-waiter", move |_t| ns2.lookup_wait("late", None));
         thread::sleep(Duration::from_millis(30));
         ns.register("late", res(5), "m").unwrap();
         assert_eq!(h.join().unwrap().unwrap(), (res(5), "m".into()));

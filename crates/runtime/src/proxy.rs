@@ -297,6 +297,25 @@ impl ChanInput {
         self.id
     }
 
+    /// Whether the container lives in this address space.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        matches!(self.inner, ConnInner::Local(_))
+    }
+
+    /// Parks a reactor task waker on the local channel's item-arrival set,
+    /// or reports `false` when the channel lives on a remote address space
+    /// (no local wakeup source — the caller must offload).
+    pub fn register_local_waker(&self, waker: &std::task::Waker) -> bool {
+        match &self.inner {
+            ConnInner::Local(conn) => {
+                conn.register_waker(waker);
+                true
+            }
+            ConnInner::Remote(_) => false,
+        }
+    }
+
     /// Gets an item under the given blocking discipline.
     ///
     /// # Errors
@@ -481,6 +500,40 @@ impl ChanOutput {
     #[must_use]
     pub fn channel_id(&self) -> ChanId {
         self.id
+    }
+
+    /// Whether the container lives in this address space.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        matches!(self.inner, ConnInner::Local(_))
+    }
+
+    /// Parks a reactor task waker on the local channel's space-available
+    /// set; `false` for remote connections.
+    pub fn register_local_waker(&self, waker: &std::task::Waker) -> bool {
+        match &self.inner {
+            ConnInner::Local(conn) => {
+                conn.register_waker(waker);
+                true
+            }
+            ConnInner::Remote(_) => false,
+        }
+    }
+
+    /// Whether a full local channel actually blocks puts
+    /// ([`dstampede_core::OverflowPolicy::Block`]); `None` for remote
+    /// connections. Reactor shims must not park on a container whose
+    /// full-condition is terminal (`Reject`/`DropOldest` report or evict
+    /// instead of blocking).
+    #[must_use]
+    pub fn local_blocks_when_full(&self) -> Option<bool> {
+        match &self.inner {
+            ConnInner::Local(conn) => Some(matches!(
+                conn.channel().attrs().overflow(),
+                dstampede_core::OverflowPolicy::Block
+            )),
+            ConnInner::Remote(_) => None,
+        }
     }
 
     /// Puts an item under the given blocking discipline.
@@ -737,6 +790,24 @@ impl QueueInput {
         self.id
     }
 
+    /// Whether the container lives in this address space.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        matches!(self.inner, ConnInner::Local(_))
+    }
+
+    /// Parks a reactor task waker on the local queue's item-arrival set;
+    /// `false` for remote connections.
+    pub fn register_local_waker(&self, waker: &std::task::Waker) -> bool {
+        match &self.inner {
+            ConnInner::Local(conn) => {
+                conn.register_waker(waker);
+                true
+            }
+            ConnInner::Remote(_) => false,
+        }
+    }
+
     /// Gets the next item under the given blocking discipline. The returned
     /// ticket settles with [`QueueInput::consume`] or
     /// [`QueueInput::requeue`].
@@ -904,6 +975,37 @@ impl QueueOutput {
     #[must_use]
     pub fn queue_id(&self) -> QueueId {
         self.id
+    }
+
+    /// Whether the container lives in this address space.
+    #[must_use]
+    pub fn is_local(&self) -> bool {
+        matches!(self.inner, ConnInner::Local(_))
+    }
+
+    /// Parks a reactor task waker on the local queue's space-available
+    /// set; `false` for remote connections.
+    pub fn register_local_waker(&self, waker: &std::task::Waker) -> bool {
+        match &self.inner {
+            ConnInner::Local(conn) => {
+                conn.register_waker(waker);
+                true
+            }
+            ConnInner::Remote(_) => false,
+        }
+    }
+
+    /// Whether a full local queue actually blocks puts; `None` for remote
+    /// connections. See [`ChanOutput::local_blocks_when_full`].
+    #[must_use]
+    pub fn local_blocks_when_full(&self) -> Option<bool> {
+        match &self.inner {
+            ConnInner::Local(conn) => Some(matches!(
+                conn.queue().attrs().overflow(),
+                dstampede_core::OverflowPolicy::Block
+            )),
+            ConnInner::Remote(_) => None,
+        }
     }
 
     /// Puts an item under the given blocking discipline.

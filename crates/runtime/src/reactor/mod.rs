@@ -1,0 +1,32 @@
+//! Event-driven runtime core.
+//!
+//! The paper's runtime (§3.2.2) dedicates a blocking OS thread to every
+//! surrogate connection, listener, and background service, which caps
+//! concurrent end-device sessions at thread-count scale. This module
+//! replaces that shape on the server hot path with a small,
+//! dependency-free executor:
+//!
+//! - [`poll`] — an epoll-backed readiness selector (hand-rolled FFI, like
+//!   `dstampede-clf::udp_sys`) with a portable `poll(2)` fallback;
+//! - [`timer`] — a hierarchical timer wheel, one clock for every deadline
+//!   the runtime used to park a thread on;
+//! - [`task`] — cooperative tasks over `std::task::Wake`, O(cores) worker
+//!   threads plus one poller thread;
+//! - [`net`] — readiness-driven TCP shims for the listener and surrogates.
+//!
+//! Blocked STM operations park a task waker in the container's
+//! [`dstampede_core::WakerSet`] — registered at the same sites the
+//! condvar gates notify — so a blocking `get`/`put`/`dequeue` over a
+//! surrogate costs a parked state machine, not a parked thread. The
+//! public STM and `EndDevice` APIs stay blocking-compatible: direct
+//! callers keep the condvar path, wire clients cannot tell which mode
+//! serves them.
+
+pub mod net;
+pub mod poll;
+pub mod task;
+pub mod timer;
+
+pub use net::{AsyncTcpListener, AsyncTcpStream};
+pub use task::{ExecMetrics, PeriodicHandle, Reactor, ReactorConfig, Sleep};
+pub use timer::{TimerId, TimerWheel};

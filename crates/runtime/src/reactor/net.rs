@@ -1,0 +1,252 @@
+//! Readiness-driven TCP wrappers for reactor tasks.
+//!
+//! Thin shims over nonblocking `std::net` sockets. On the epoll backend
+//! every socket is registered once, edge-triggered, when wrapped; a
+//! blocked operation then parks without any syscall. Ordering is
+//! park-first: the waker is (re-)parked *before* each syscall attempt,
+//! so an edge firing concurrently with a `WouldBlock` result always
+//! finds the waker — and a successful attempt just unparks it, two
+//! uncontended map operations. One syscall per attempt, parked or not.
+//! On the `poll(2)` fallback the wrapper arms the poller one-shot per
+//! park; those one-shot events are level-style, so re-arming while the
+//! descriptor is already ready fires immediately.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::task::{Context, Poll};
+
+use super::poll::{INTEREST_READ, INTEREST_WRITE};
+use super::task::Reactor;
+
+/// One readiness-driven attempt of `op`: park-first on the edge backend,
+/// try-then-arm-one-shot on the fallback. Shared by the stream and
+/// listener wrappers.
+fn poll_op<T>(
+    reactor: &Reactor,
+    edge: bool,
+    fd: RawFd,
+    token: u64,
+    interest: u8,
+    cx: &mut Context<'_>,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> Poll<io::Result<T>> {
+    if edge {
+        reactor.park_io(token, cx.waker());
+        let mut spun = false;
+        loop {
+            match op() {
+                Ok(v) => {
+                    reactor.unpark_io(token);
+                    return Poll::Ready(Ok(v));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Adaptive spin: when no other task is ready, yield
+                    // once and retry before surrendering to the poller.
+                    // In RPC lockstep the peer's reply arrives during
+                    // the yield, saving the epoll round trip.
+                    if !spun && reactor.idle_hint() {
+                        spun = true;
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    return Poll::Pending;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    reactor.unpark_io(token);
+                    return Poll::Ready(Err(e));
+                }
+            }
+        }
+    }
+    loop {
+        match op() {
+            Ok(v) => return Poll::Ready(Ok(v)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                return match reactor.arm_io(fd, token, interest, cx.waker()) {
+                    Ok(()) => Poll::Pending,
+                    Err(e) => Poll::Ready(Err(e)),
+                };
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Poll::Ready(Err(e)),
+        }
+    }
+}
+
+/// A nonblocking `TcpStream` owned by one reactor task. The socket is
+/// behind an `Arc` so a lease slot can hold the same descriptor for
+/// reaper/shutdown purposes without a `try_clone` dup — at 10⁴
+/// sessions the extra descriptor per session is real budget.
+pub struct AsyncTcpStream {
+    stream: std::sync::Arc<TcpStream>,
+    reactor: Reactor,
+    token: u64,
+    /// Registered edge-triggered at wrap time; parks are syscall-free.
+    edge: bool,
+}
+
+impl AsyncTcpStream {
+    /// Wraps `stream`, switching it to nonblocking mode.
+    pub fn new(stream: TcpStream, reactor: &Reactor) -> io::Result<AsyncTcpStream> {
+        AsyncTcpStream::from_shared(std::sync::Arc::new(stream), reactor)
+    }
+
+    /// Wraps an already-shared socket, switching it to nonblocking mode.
+    pub fn from_shared(
+        stream: std::sync::Arc<TcpStream>,
+        reactor: &Reactor,
+    ) -> io::Result<AsyncTcpStream> {
+        stream.set_nonblocking(true)?;
+        let token = reactor.alloc_token();
+        let edge = reactor.register_io(stream.as_raw_fd(), token)?;
+        Ok(AsyncTcpStream {
+            stream,
+            reactor: reactor.clone(),
+            token,
+            edge,
+        })
+    }
+
+    /// The wrapped socket (for `shutdown`, `peer_addr`, `try_clone`...).
+    #[must_use]
+    pub fn socket(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Reads up to `buf.len()` bytes, waiting for readability.
+    pub async fn read_some(&self, buf: &mut [u8]) -> io::Result<usize> {
+        std::future::poll_fn(|cx| {
+            poll_op(
+                &self.reactor,
+                self.edge,
+                self.fd(),
+                self.token,
+                INTEREST_READ,
+                cx,
+                || (&*self.stream).read(buf),
+            )
+        })
+        .await
+    }
+
+    /// Reads exactly `buf.len()` bytes.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if the peer closes mid-buffer.
+    pub async fn read_exact(&self, buf: &mut [u8]) -> io::Result<()> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read_some(&mut buf[filled..]).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-read",
+                ));
+            }
+            filled += n;
+        }
+        Ok(())
+    }
+
+    /// Writes the whole buffer, waiting for writability as needed.
+    pub async fn write_all(&self, buf: &[u8]) -> io::Result<()> {
+        let mut sent = 0;
+        while sent < buf.len() {
+            let n = std::future::poll_fn(|cx| {
+                poll_op(
+                    &self.reactor,
+                    self.edge,
+                    self.fd(),
+                    self.token,
+                    INTEREST_WRITE,
+                    cx,
+                    || (&*self.stream).write(&buf[sent..]),
+                )
+            })
+            .await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer closed mid-write",
+                ));
+            }
+            sent += n;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for AsyncTcpStream {
+    fn drop(&mut self) {
+        self.reactor.disarm_io(self.fd(), self.token);
+    }
+}
+
+impl std::fmt::Debug for AsyncTcpStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncTcpStream")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+/// A nonblocking `TcpListener` accepted from a reactor task.
+pub struct AsyncTcpListener {
+    listener: TcpListener,
+    reactor: Reactor,
+    token: u64,
+    edge: bool,
+}
+
+impl std::fmt::Debug for AsyncTcpListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncTcpListener")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish()
+    }
+}
+
+impl AsyncTcpListener {
+    /// Wraps `listener`, switching it to nonblocking mode.
+    pub fn new(listener: TcpListener, reactor: &Reactor) -> io::Result<AsyncTcpListener> {
+        listener.set_nonblocking(true)?;
+        let token = reactor.alloc_token();
+        let edge = reactor.register_io(listener.as_raw_fd(), token)?;
+        Ok(AsyncTcpListener {
+            listener,
+            reactor: reactor.clone(),
+            token,
+            edge,
+        })
+    }
+
+    /// Accepts the next connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        std::future::poll_fn(|cx| {
+            poll_op(
+                &self.reactor,
+                self.edge,
+                self.listener.as_raw_fd(),
+                self.token,
+                INTEREST_READ,
+                cx,
+                || self.listener.accept(),
+            )
+        })
+        .await
+    }
+}
+
+impl Drop for AsyncTcpListener {
+    fn drop(&mut self) {
+        self.reactor
+            .disarm_io(self.listener.as_raw_fd(), self.token);
+    }
+}

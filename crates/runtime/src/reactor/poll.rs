@@ -1,0 +1,407 @@
+//! Readiness polling: epoll on 64-bit Linux, `poll(2)` elsewhere on Unix.
+//!
+//! `std` exposes neither call and the build deliberately carries no FFI
+//! crate, so — exactly like the datagram batching in
+//! `dstampede-clf::udp_sys` — the tiny slice of the kernel ABI needed is
+//! declared here by hand. The epoll backend arms descriptors
+//! `EPOLLONESHOT`, so a readiness event disarms the descriptor until the
+//! owning task re-arms it on its next `Pending` poll; the `poll(2)`
+//! fallback rebuilds its descriptor array per wait from the same
+//! registration table and emulates the one-shot discipline by dropping a
+//! registration once reported.
+//!
+//! A self-wake socketpair (a `UnixStream` pair, no FFI needed) is
+//! registered permanently so other threads can interrupt a sleeping
+//! `wait` — used when a sooner timer deadline is scheduled or the reactor
+//! shuts down.
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Token reserved for the internal wake socket.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Readiness interest bit: readable.
+pub const INTEREST_READ: u8 = 0b01;
+/// Readiness interest bit: writable.
+pub const INTEREST_WRITE: u8 = 0b10;
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the descriptor was armed with.
+    pub token: u64,
+    /// Readable (or peer-closed / errored, which reads report).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+}
+
+/// The OS-facing readiness selector. One per reactor; `arm`/`disarm` are
+/// callable from any thread, `wait` from the poller thread.
+pub struct Poller {
+    sys: sys::Selector,
+    wake_rx: Mutex<UnixStream>,
+    wake_tx: Mutex<UnixStream>,
+}
+
+impl Poller {
+    /// Creates the selector and registers the wake socket.
+    pub fn new() -> io::Result<Poller> {
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let sys = sys::Selector::new()?;
+        sys.arm_persistent_read(wake_rx.as_raw_fd(), WAKE_TOKEN)?;
+        Ok(Poller {
+            sys,
+            wake_rx: Mutex::new(wake_rx),
+            wake_tx: Mutex::new(wake_tx),
+        })
+    }
+
+    /// Arms `fd` for one readiness report under `token`. Re-arming an
+    /// already-armed descriptor replaces its interest.
+    pub fn arm(&self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+        self.sys.arm(fd, token, interest)
+    }
+
+    /// Registers `fd` permanently for edge-triggered read+write events
+    /// under `token` and returns `true` — or returns `false` when the
+    /// backend cannot (the `poll(2)` fallback has no edge semantics, and
+    /// a level-triggered persistent registration would spin the wait
+    /// loop whenever data sat unread). Callers getting `false` fall back
+    /// to one-shot [`Poller::arm`] per park.
+    pub fn arm_edge(&self, fd: RawFd, token: u64) -> io::Result<bool> {
+        self.sys.arm_edge(fd, token)
+    }
+
+    /// Forgets `fd` entirely (idempotent).
+    pub fn disarm(&self, fd: RawFd) {
+        self.sys.disarm(fd);
+    }
+
+    /// Blocks until readiness or `timeout` (forever when `None`), filling
+    /// `events`. Wake-socket traffic is drained internally and reported as
+    /// a [`WAKE_TOKEN`] event so the caller can distinguish an interrupt
+    /// from descriptor readiness.
+    pub fn wait(&self, events: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.sys.wait(events, timeout)?;
+        if events.iter().any(|e| e.token == WAKE_TOKEN) {
+            let mut buf = [0u8; 64];
+            let mut rx = self.wake_rx.lock();
+            while matches!(rx.read(&mut buf), Ok(n) if n > 0) {}
+        }
+        Ok(())
+    }
+
+    /// Interrupts a concurrent [`Poller::wait`].
+    pub fn notify(&self) {
+        // A full pipe already guarantees a pending wakeup.
+        let _ = self.wake_tx.lock().write(&[1]);
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+mod sys {
+    //! epoll backend.
+
+    use super::{PollEvent, INTEREST_READ, INTEREST_WRITE};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+    const EPOLLONESHOT: u32 = 1 << 30;
+
+    /// x86-64 `struct epoll_event` is packed (no padding before `data`).
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(super) struct Selector {
+        epfd: i32,
+    }
+
+    // The epoll fd is used from the poller thread (wait) and arbitrary
+    // threads (arm/disarm); the kernel synchronizes epoll_ctl/epoll_wait.
+    unsafe impl Send for Selector {}
+    unsafe impl Sync for Selector {}
+
+    impl Selector {
+        pub(super) fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        }
+
+        pub(super) fn arm_persistent_read(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, EPOLLIN, token)
+        }
+
+        pub(super) fn arm_edge(&self, fd: RawFd, token: u64) -> io::Result<bool> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                token,
+            )?;
+            Ok(true)
+        }
+
+        pub(super) fn arm(&self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+            let mut events = EPOLLONESHOT | EPOLLRDHUP;
+            if interest & INTEREST_READ != 0 {
+                events |= EPOLLIN;
+            }
+            if interest & INTEREST_WRITE != 0 {
+                events |= EPOLLOUT;
+            }
+            match self.ctl(EPOLL_CTL_MOD, fd, events, token) {
+                Err(e) if e.raw_os_error() == Some(2) => {
+                    // ENOENT: first arm for this descriptor.
+                    self.ctl(EPOLL_CTL_ADD, fd, events, token)
+                }
+                other => other,
+            }
+        }
+
+        pub(super) fn disarm(&self, fd: RawFd) {
+            let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut events = [EpollEvent { events: 0, data: 0 }; 256];
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        events.as_mut_ptr(),
+                        events.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &events[..n] {
+                let bits = ev.events;
+                let hangup = bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                out.push(PollEvent {
+                    token: ev.data,
+                    readable: bits & EPOLLIN != 0 || hangup,
+                    writable: bits & EPOLLOUT != 0 || hangup,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+mod sys {
+    //! Portable `poll(2)` backend: a registration table rebuilt into a
+    //! `pollfd` array per wait. One-shot semantics are emulated by
+    //! dropping a registration once reported.
+
+    use super::{PollEvent, INTEREST_READ, INTEREST_WRITE};
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    #[derive(Clone, Copy)]
+    struct Registration {
+        token: u64,
+        interest: u8,
+        persistent: bool,
+    }
+
+    pub(super) struct Selector {
+        table: Mutex<HashMap<RawFd, Registration>>,
+    }
+
+    impl Selector {
+        pub(super) fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                table: Mutex::new(HashMap::new()),
+            })
+        }
+
+        pub(super) fn arm_persistent_read(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.table.lock().insert(
+                fd,
+                Registration {
+                    token,
+                    interest: INTEREST_READ,
+                    persistent: true,
+                },
+            );
+            Ok(())
+        }
+
+        pub(super) fn arm(&self, fd: RawFd, token: u64, interest: u8) -> io::Result<()> {
+            self.table.lock().insert(
+                fd,
+                Registration {
+                    token,
+                    interest,
+                    persistent: false,
+                },
+            );
+            Ok(())
+        }
+
+        pub(super) fn arm_edge(&self, _fd: RawFd, _token: u64) -> io::Result<bool> {
+            // No edge semantics over poll(2); callers re-arm one-shot.
+            Ok(false)
+        }
+
+        pub(super) fn disarm(&self, fd: RawFd) {
+            self.table.lock().remove(&fd);
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut fds: Vec<(RawFd, Registration)> =
+                self.table.lock().iter().map(|(f, r)| (*f, *r)).collect();
+            let mut pollfds: Vec<PollFd> = fds
+                .iter()
+                .map(|(fd, reg)| {
+                    let mut events = 0i16;
+                    if reg.interest & INTEREST_READ != 0 {
+                        events |= POLLIN;
+                    }
+                    if reg.interest & INTEREST_WRITE != 0 {
+                        events |= POLLOUT;
+                    }
+                    PollFd {
+                        fd: *fd,
+                        events,
+                        revents: 0,
+                    }
+                })
+                .collect();
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n = loop {
+                let n = unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as u64, timeout_ms) };
+                if n >= 0 {
+                    break n;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            let mut table = self.table.lock();
+            for (pfd, (fd, reg)) in pollfds.iter().zip(fds.drain(..)) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let hangup = pfd.revents & (POLLERR | POLLHUP) != 0;
+                out.push(PollEvent {
+                    token: reg.token,
+                    readable: pfd.revents & POLLIN != 0 || hangup,
+                    writable: pfd.revents & POLLOUT != 0 || hangup,
+                });
+                if !reg.persistent {
+                    table.remove(&fd);
+                }
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,652 @@
+//! The cooperative executor: tasks, workers, and the poller loop.
+//!
+//! A [`Reactor`] owns O(cores) worker threads pulling tasks off one
+//! MPMC ready queue, plus a single poller thread multiplexing every
+//! descriptor and every timer deadline. Tasks are plain
+//! `Future<Output = ()>` state machines woken through [`std::task::Wake`];
+//! there is no `async` runtime dependency — readiness futures arm the
+//! [`super::poll::Poller`], timed futures schedule on the
+//! [`super::timer::TimerWheel`], and blocked STM operations park in the
+//! containers' [`dstampede_core::WakerSet`]s.
+
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use super::poll::{PollEvent, Poller, WAKE_TOKEN};
+use super::timer::{TimerId, TimerWheel};
+
+std::thread_local! {
+    /// On the poller thread, `Some`: tasks woken while dispatching events
+    /// are collected here and run inline instead of crossing the ready
+    /// queue. Everywhere else, `None`: wakes go to the workers. The
+    /// inline path saves two scheduler switches per readiness event —
+    /// on a busy connection that is most of the RPC latency gap between
+    /// a parked task and a dedicated blocked thread.
+    static INLINE_RUN: std::cell::RefCell<Option<Vec<Arc<Task>>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Executor sizing and clock resolution.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Worker threads polling tasks. At least 2 regardless of the
+    /// setting, so one briefly-blocking task (a remote RPC shim, a
+    /// service tick) cannot stall the whole executor.
+    pub workers: usize,
+    /// Timer-wheel tick resolution.
+    pub tick: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        ReactorConfig {
+            workers: cores.max(2),
+            tick: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Executor counters, mirrored into an obs registry as `exec/*` series.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Tasks spawned over the reactor's lifetime.
+    pub spawned: AtomicU64,
+    /// Tasks alive right now (spawned, not yet completed).
+    pub live_tasks: AtomicUsize,
+    /// Readiness events dispatched to task wakers.
+    pub poll_wakeups: AtomicU64,
+    /// Timer-wheel entries fired.
+    pub timer_fires: AtomicU64,
+    /// Tasks that returned `Pending` (parked on some wakeup source).
+    pub parks: AtomicU64,
+    /// Task wakes (readiness, timer, or STM waker).
+    pub unparks: AtomicU64,
+    /// Blocking operations offloaded to a dedicated thread because no
+    /// local waker source exists (remote-container waits, cluster pulls).
+    pub offloaded: AtomicU64,
+}
+
+struct Task {
+    future: Mutex<Option<Pin<Box<dyn Future<Output = ()> + Send + 'static>>>>,
+    /// Guards against double-enqueue: set when the task sits in the ready
+    /// queue, cleared just before it is polled.
+    queued: AtomicBool,
+    reactor: Weak<Inner>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if let Some(inner) = self.reactor.upgrade() {
+            inner.enqueue(self);
+        }
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if let Some(inner) = self.reactor.upgrade() {
+            inner.enqueue(Arc::clone(self));
+        }
+    }
+}
+
+struct Inner {
+    ready_tx: Sender<Arc<Task>>,
+    ready_rx: Receiver<Arc<Task>>,
+    poller: Poller,
+    wheel: Mutex<TimerWheel>,
+    /// Wakers parked on descriptor readiness, keyed by poller token.
+    io_wakers: Mutex<std::collections::HashMap<u64, Waker>>,
+    next_token: AtomicU64,
+    epoch: Instant,
+    tick: Duration,
+    /// The tick the poller intends to sleep through; a schedule for an
+    /// earlier deadline interrupts it.
+    sleeping_until: AtomicU64,
+    shutdown: AtomicBool,
+    pub metrics: ExecMetrics,
+}
+
+impl Inner {
+    fn enqueue(&self, task: Arc<Task>) {
+        if !task.queued.swap(true, Ordering::AcqRel) {
+            self.metrics.unparks.fetch_add(1, Ordering::Relaxed);
+            let mut task = Some(task);
+            INLINE_RUN.with(|q| {
+                if let Some(local) = q.borrow_mut().as_mut() {
+                    local.push(task.take().expect("task present"));
+                }
+            });
+            if let Some(task) = task {
+                let _ = self.ready_tx.send(task);
+            }
+        }
+    }
+
+    /// Runs tasks collected in the poller's inline queue, transitively
+    /// (a task's poll can wake further tasks), up to `budget` polls —
+    /// the bound on time stolen from epoll/timer duty. Overflow spills
+    /// to the worker pool.
+    fn drain_inline(self: &Arc<Self>, mut budget: usize) {
+        loop {
+            let batch: Vec<Arc<Task>> = INLINE_RUN.with(|q| {
+                q.borrow_mut()
+                    .as_mut()
+                    .map(std::mem::take)
+                    .unwrap_or_default()
+            });
+            if batch.is_empty() {
+                return;
+            }
+            for task in batch {
+                if budget == 0 || self.shutdown.load(Ordering::Acquire) {
+                    let _ = self.ready_tx.send(task);
+                } else {
+                    budget -= 1;
+                    self.run_task(task);
+                }
+            }
+        }
+    }
+
+    fn now_tick(&self) -> u64 {
+        (self.epoch.elapsed().as_nanos() / self.tick.as_nanos()) as u64
+    }
+
+    /// Schedules `waker` on the wheel, interrupting the poller's sleep if
+    /// this deadline is sooner than what it planned for.
+    fn schedule_timer(&self, deadline: u64, waker: Waker) -> TimerId {
+        let id = self.wheel.lock().schedule(deadline, waker);
+        if deadline < self.sleeping_until.load(Ordering::Acquire) {
+            self.poller.notify();
+        }
+        id
+    }
+
+    fn run_task(self: &Arc<Self>, task: Arc<Task>) {
+        task.queued.store(false, Ordering::Release);
+        let Some(mut guard) = task.future.try_lock() else {
+            // Another worker is mid-poll; a wake arrived during it. Requeue
+            // so the latest state gets observed once that poll finishes.
+            self.enqueue(task);
+            return;
+        };
+        let Some(future) = guard.as_mut() else {
+            return; // completed earlier
+        };
+        let waker = Waker::from(Arc::clone(&task));
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                *guard = None;
+                self.metrics.live_tasks.fetch_sub(1, Ordering::Relaxed);
+            }
+            Poll::Pending => {
+                self.metrics.parks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        loop {
+            match self.ready_rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(task) => self.run_task(task),
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+            if self.shutdown.load(Ordering::Acquire) && self.ready_rx.is_empty() {
+                return;
+            }
+        }
+    }
+
+    fn poller_loop(self: Arc<Self>) {
+        /// Polls per dispatch round the poller may spend running tasks
+        /// inline before spilling the rest to the workers.
+        const INLINE_BUDGET: usize = 128;
+        INLINE_RUN.with(|q| *q.borrow_mut() = Some(Vec::new()));
+        let mut events: Vec<PollEvent> = Vec::with_capacity(256);
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let now = self.now_tick();
+            let fired = self.wheel.lock().advance(now);
+            if !fired.is_empty() {
+                self.metrics
+                    .timer_fires
+                    .fetch_add(fired.len() as u64, Ordering::Relaxed);
+                for (_, waker) in fired {
+                    waker.wake();
+                }
+                self.drain_inline(INLINE_BUDGET);
+            }
+            // Sleep until the next deadline hint; the wheel re-checks at
+            // slot granularity for far deadlines, and `schedule_timer`
+            // interrupts the sleep for sooner ones.
+            let hint = self.wheel.lock().next_deadline_hint();
+            let (until, timeout) = match hint {
+                Some(deadline) => {
+                    let ticks = deadline.saturating_sub(self.now_tick()).max(1);
+                    (deadline, self.tick * ticks as u32)
+                }
+                None => (u64::MAX, Duration::from_millis(200)),
+            };
+            self.sleeping_until.store(until, Ordering::Release);
+            let wait = self.poller.wait(&mut events, Some(timeout));
+            self.sleeping_until.store(0, Ordering::Release);
+            if wait.is_err() {
+                // Selector failure is unrecoverable for this loop; tasks
+                // parked on readiness would hang, so tear down loudly.
+                if !self.shutdown.load(Ordering::Acquire) {
+                    panic!("reactor poller failed: {:?}", wait);
+                }
+                return;
+            }
+            if !events.is_empty() {
+                {
+                    let mut io = self.io_wakers.lock();
+                    for ev in events.drain(..) {
+                        if ev.token == WAKE_TOKEN {
+                            continue;
+                        }
+                        if let Some(waker) = io.remove(&ev.token) {
+                            self.metrics.poll_wakeups.fetch_add(1, Ordering::Relaxed);
+                            waker.wake();
+                        }
+                    }
+                }
+                self.drain_inline(INLINE_BUDGET);
+            }
+        }
+    }
+}
+
+/// The executor handle. Cheap to clone (it is an `Arc` inside); dropping
+/// the last handle does not stop the threads — call [`Reactor::shutdown`].
+#[derive(Clone)]
+pub struct Reactor {
+    inner: Arc<Inner>,
+    threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    workers: usize,
+}
+
+impl Reactor {
+    /// Starts workers and the poller.
+    pub fn start(config: ReactorConfig) -> io::Result<Reactor> {
+        let workers = config.workers.max(2);
+        let (ready_tx, ready_rx) = crossbeam::channel::unbounded();
+        let inner = Arc::new(Inner {
+            ready_tx,
+            ready_rx,
+            poller: Poller::new()?,
+            wheel: Mutex::new(TimerWheel::new(0)),
+            io_wakers: Mutex::new(std::collections::HashMap::new()),
+            next_token: AtomicU64::new(1),
+            epoch: Instant::now(),
+            tick: config.tick,
+            sleeping_until: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            metrics: ExecMetrics::default(),
+        });
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("reactor-worker-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawning a reactor worker failed"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("reactor-poller".to_owned())
+                    .spawn(move || inner.poller_loop())
+                    .expect("spawning the reactor poller failed"),
+            );
+        }
+        Ok(Reactor {
+            inner,
+            threads: Arc::new(Mutex::new(threads)),
+            workers,
+        })
+    }
+
+    /// Worker-thread count (excluding the poller).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executor counters.
+    #[must_use]
+    pub fn metrics(&self) -> &ExecMetrics {
+        &self.inner.metrics
+    }
+
+    /// Tasks sitting in the ready queue right now.
+    #[must_use]
+    pub fn ready_depth(&self) -> usize {
+        self.inner.ready_rx.len()
+    }
+
+    /// The wheel's current tick.
+    #[must_use]
+    pub fn now_tick(&self) -> u64 {
+        self.inner.now_tick()
+    }
+
+    /// Ticks equivalent of a duration, rounded up.
+    #[must_use]
+    pub fn ticks_of(&self, d: Duration) -> u64 {
+        let tick = self.inner.tick.as_nanos().max(1);
+        d.as_nanos().div_ceil(tick) as u64
+    }
+
+    /// Spawns a task.
+    pub fn spawn<F>(&self, future: F)
+    where
+        F: Future<Output = ()> + Send + 'static,
+    {
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(future))),
+            queued: AtomicBool::new(false),
+            reactor: Arc::downgrade(&self.inner),
+        });
+        self.inner.metrics.spawned.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .metrics
+            .live_tasks
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.enqueue(task);
+    }
+
+    /// Spawns a periodic task: `f` runs every `period` (absolute cadence,
+    /// no drift) until it returns `false`, the handle is cancelled, or the
+    /// reactor shuts down. This is what absorbs the dedicated timer
+    /// threads — each service tick becomes one wheel entry plus one ready-
+    /// queue hop instead of a parked thread.
+    pub fn spawn_periodic<F>(&self, period: Duration, mut f: F) -> PeriodicHandle
+    where
+        F: FnMut() -> bool + Send + 'static,
+    {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&cancelled);
+        let reactor = self.clone();
+        let period_ticks = self.ticks_of(period).max(1);
+        self.spawn(async move {
+            let mut next = reactor.now_tick() + period_ticks;
+            loop {
+                reactor.sleep_until(next).await;
+                if flag.load(Ordering::Acquire) || reactor.is_shut_down() {
+                    return;
+                }
+                if !f() {
+                    return;
+                }
+                let now = reactor.now_tick();
+                next += period_ticks;
+                if next <= now {
+                    // Missed cadence (long tick); realign instead of
+                    // firing a burst of catch-up rounds.
+                    next = now + period_ticks;
+                }
+            }
+        });
+        PeriodicHandle { cancelled }
+    }
+
+    /// A future that resolves at wheel tick `deadline`.
+    #[must_use]
+    pub fn sleep_until(&self, deadline: u64) -> Sleep {
+        Sleep {
+            inner: Arc::clone(&self.inner),
+            deadline,
+            id: None,
+        }
+    }
+
+    /// A future that resolves after `d`.
+    #[must_use]
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        self.sleep_until(self.now_tick() + self.ticks_of(d).max(1))
+    }
+
+    /// Allocates a poller token for one descriptor.
+    #[must_use]
+    pub fn alloc_token(&self) -> u64 {
+        self.inner.next_token.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Parks `waker` for readiness of `fd` under `token`, arming the
+    /// poller one-shot. The waker is registered before the descriptor is
+    /// armed, so a racing event cannot be dropped.
+    pub fn arm_io(
+        &self,
+        fd: std::os::unix::io::RawFd,
+        token: u64,
+        interest: u8,
+        waker: &Waker,
+    ) -> io::Result<()> {
+        self.inner.io_wakers.lock().insert(token, waker.clone());
+        if let Err(e) = self.inner.poller.arm(fd, token, interest) {
+            self.inner.io_wakers.lock().remove(&token);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Forgets a descriptor and its parked waker.
+    pub fn disarm_io(&self, fd: std::os::unix::io::RawFd, token: u64) {
+        self.inner.poller.disarm(fd);
+        self.inner.io_wakers.lock().remove(&token);
+    }
+
+    /// Registers `fd` permanently for edge-triggered events under
+    /// `token`, when the backend supports it (`true`). A registered
+    /// stream parks with the syscall-free [`Reactor::park_io`] instead
+    /// of re-arming one-shot on every `Pending` poll.
+    pub fn register_io(&self, fd: std::os::unix::io::RawFd, token: u64) -> io::Result<bool> {
+        self.inner.poller.arm_edge(fd, token)
+    }
+
+    /// Parks `waker` for the next edge event of an already-registered
+    /// stream. The caller must retry its syscall *after* parking: an
+    /// edge dispatched between the failed attempt and the park carried
+    /// no waker and is gone, but the readiness it reported is still
+    /// observable.
+    pub fn park_io(&self, token: u64, waker: &Waker) {
+        self.inner.io_wakers.lock().insert(token, waker.clone());
+    }
+
+    /// Clears a parked stream waker (the retry succeeded).
+    pub fn unpark_io(&self, token: u64) {
+        self.inner.io_wakers.lock().remove(&token);
+    }
+
+    /// Whether this executor thread has no other ready task waiting.
+    /// A blocked I/O future uses this to decide if a brief adaptive
+    /// spin (yield + one retry) is worth trying before an epoll park:
+    /// in request-response lockstep the peer's next frame lands during
+    /// the yield, skipping the whole poller round trip — but only when
+    /// no other task is being starved by the wait.
+    #[must_use]
+    pub fn idle_hint(&self) -> bool {
+        INLINE_RUN.with(|q| q.borrow().as_ref().is_none_or(Vec::is_empty))
+            && self.inner.ready_rx.is_empty()
+    }
+
+    /// Runs `f` on a dedicated named thread, resolving when it completes.
+    /// The escape hatch for operations with no local wakeup source —
+    /// remote-container blocking waits, cluster-wide pulls — so they
+    /// cannot starve the worker pool.
+    pub fn run_blocking<T, F>(&self, name: &str, f: F) -> Offload<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.inner.metrics.offloaded.fetch_add(1, Ordering::Relaxed);
+        let slot: Arc<OffloadSlot<T>> = Arc::new(OffloadSlot {
+            value: Mutex::new(None),
+            waker: Mutex::new(None),
+        });
+        let thread_slot = Arc::clone(&slot);
+        std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(move || {
+                let out = f();
+                *thread_slot.value.lock() = Some(out);
+                if let Some(w) = thread_slot.waker.lock().take() {
+                    w.wake();
+                }
+            })
+            .expect("spawning an offload thread failed");
+        Offload { slot }
+    }
+
+    /// Whether [`Reactor::shutdown`] has run.
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Stops workers and the poller, joining them. Live tasks are dropped
+    /// in place; parked wakers never fire again.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.inner.poller.notify();
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("workers", &self.workers)
+            .field(
+                "live_tasks",
+                &self.inner.metrics.live_tasks.load(Ordering::Relaxed),
+            )
+            .field("ready_depth", &self.ready_depth())
+            .finish()
+    }
+}
+
+/// Cancels its periodic task when dropped or [`PeriodicHandle::cancel`]ed.
+#[derive(Debug, Clone)]
+pub struct PeriodicHandle {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl PeriodicHandle {
+    /// Stops the periodic task at its next tick.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+}
+
+/// Future resolving at a wheel deadline; cancels its entry when dropped
+/// before firing.
+pub struct Sleep {
+    inner: Arc<Inner>,
+    deadline: u64,
+    id: Option<TimerId>,
+}
+
+impl Sleep {
+    /// The deadline tick.
+    #[must_use]
+    pub fn deadline(&self) -> u64 {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.now_tick() >= self.deadline {
+            if let Some(id) = self.id.take() {
+                self.inner.wheel.lock().cancel(id);
+            }
+            return Poll::Ready(());
+        }
+        // (Re-)schedule with the current waker; the previous entry (from a
+        // poll with a different waker) is cancelled to keep one live entry
+        // per sleeper.
+        if let Some(id) = self.id.take() {
+            self.inner.wheel.lock().cancel(id);
+        }
+        let deadline = self.deadline;
+        self.id = Some(self.inner.schedule_timer(deadline, cx.waker().clone()));
+        Poll::Pending
+    }
+}
+
+impl std::fmt::Debug for Sleep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sleep")
+            .field("deadline", &self.deadline)
+            .finish()
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            self.inner.wheel.lock().cancel(id);
+        }
+    }
+}
+
+struct OffloadSlot<T> {
+    value: Mutex<Option<T>>,
+    waker: Mutex<Option<Waker>>,
+}
+
+/// Future for [`Reactor::run_blocking`].
+pub struct Offload<T> {
+    slot: Arc<OffloadSlot<T>>,
+}
+
+impl<T> std::fmt::Debug for Offload<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Offload").finish_non_exhaustive()
+    }
+}
+
+impl<T> Future for Offload<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        // Park first, then check: the offload thread takes the waker after
+        // storing the value, so either we see the value now or it sees the
+        // waker we just parked.
+        *self.slot.waker.lock() = Some(cx.waker().clone());
+        if let Some(v) = self.slot.value.lock().take() {
+            return Poll::Ready(v);
+        }
+        Poll::Pending
+    }
+}

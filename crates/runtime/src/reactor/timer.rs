@@ -1,0 +1,241 @@
+//! Hierarchical timer wheel.
+//!
+//! One clock for every deadline the runtime used to park a dedicated
+//! thread on: failure-detector leases, flight-recorder ticks, the
+//! replicator's linger pump, GC epoch cadence, CLF RTO/pacing
+//! housekeeping, session leases, and `WaitSpec::TimeoutMs` shims. Four
+//! levels of 64 slots cover deadlines from one tick (1 ms at the default
+//! resolution) to ~4.6 hours; anything farther parks in an overflow map
+//! until it drifts into the wheel's horizon.
+//!
+//! The wheel is **pure**: it never reads a clock. The owner converts wall
+//! time to a monotone tick count and calls [`TimerWheel::advance`]; tests
+//! drive the same API with a virtual clock, making firing order and
+//! cancellation semantics fully deterministic (see
+//! `crates/runtime/tests/timer_wheel.rs`).
+//!
+//! Guarantees:
+//! - `advance(to)` fires exactly the live entries with `deadline <= to`,
+//!   in non-decreasing deadline order.
+//! - A cancelled entry never fires, no matter how the cancel interleaves
+//!   with `advance` calls (cancellation is lazy in the slots but
+//!   authoritative in the entry map).
+//! - Per-entry cost is O(1) amortized: one placement, at most
+//!   `LEVELS - 1` cascades over its lifetime, one removal.
+
+use std::collections::{BTreeMap, HashMap};
+use std::task::Waker;
+
+/// Slots per level.
+const SLOTS: u64 = 64;
+/// Number of levels; level `l` spans `64^(l+1)` ticks.
+const LEVELS: usize = 4;
+/// Ticks covered by one slot at each level (`64^l`).
+const UNIT: [u64; LEVELS] = [1, SLOTS, SLOTS * SLOTS, SLOTS * SLOTS * SLOTS];
+/// Total ticks covered by each level (`64^(l+1)`).
+const SPAN: [u64; LEVELS] = [
+    SLOTS,
+    SLOTS * SLOTS,
+    SLOTS * SLOTS * SLOTS,
+    SLOTS * SLOTS * SLOTS * SLOTS,
+];
+
+/// Handle to a scheduled entry, used to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+struct Entry {
+    deadline: u64,
+    waker: Waker,
+}
+
+/// The wheel. Not internally synchronized — the reactor guards it with a
+/// mutex, tests own it outright.
+pub struct TimerWheel {
+    now: u64,
+    next_id: u64,
+    entries: HashMap<u64, Entry>,
+    levels: Vec<Vec<Vec<u64>>>,
+    /// Deadlines beyond the wheel horizon (`now + 64^4`).
+    overflow: BTreeMap<u64, Vec<u64>>,
+}
+
+impl TimerWheel {
+    /// An empty wheel positioned at tick `now`.
+    #[must_use]
+    pub fn new(now: u64) -> TimerWheel {
+        TimerWheel {
+            now,
+            next_id: 1,
+            entries: HashMap::new(),
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: BTreeMap::new(),
+        }
+    }
+
+    /// The wheel's current tick.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of live (scheduled, unfired, uncancelled) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Schedules `waker` to be woken by the first `advance` whose target
+    /// tick reaches `deadline`. A deadline at or before the current tick
+    /// is clamped to the next tick — the wheel never fires inside
+    /// `schedule`, so the caller's register-then-check ordering holds.
+    pub fn schedule(&mut self, deadline: u64, waker: Waker) -> TimerId {
+        let deadline = deadline.max(self.now + 1);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.insert(id, Entry { deadline, waker });
+        self.place(id, deadline);
+        TimerId(id)
+    }
+
+    /// Cancels an entry; returns whether it was still pending (false if it
+    /// already fired or was already cancelled).
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.entries.remove(&id.0).is_some()
+    }
+
+    /// The earliest pending deadline within the next `SLOTS` ticks, if
+    /// any; otherwise `now + SLOTS` when anything at all is pending, and
+    /// `None` when the wheel is idle. This is the poller's sleep bound: it
+    /// is exact for near deadlines and re-checks at slot granularity for
+    /// far ones, so no global scan is ever needed.
+    #[must_use]
+    pub fn next_deadline_hint(&self) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for t in (self.now + 1)..=(self.now + SLOTS) {
+            let slot = (t % SLOTS) as usize;
+            for id in &self.levels[0][slot] {
+                if let Some(e) = self.entries.get(id) {
+                    if e.deadline <= t && best.is_none_or(|b| e.deadline < b) {
+                        best = Some(e.deadline);
+                    }
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        Some(best.unwrap_or(self.now + SLOTS))
+    }
+
+    /// Advances the wheel to tick `to`, returning every fired waker paired
+    /// with its deadline, sorted by deadline (monotone firing order even
+    /// when a single jump crosses many deadlines).
+    pub fn advance(&mut self, to: u64) -> Vec<(u64, Waker)> {
+        let mut fired: Vec<(u64, Waker)> = Vec::new();
+        while self.now < to {
+            if self.entries.is_empty() {
+                // Nothing can fire; jump. Slots may hold stale cancelled
+                // ids — they are discarded lazily when their slot turns up.
+                self.now = to;
+                break;
+            }
+            self.now += 1;
+            let t = self.now;
+            // Fire the level-0 slot for this tick.
+            let slot = (t % SLOTS) as usize;
+            let ids = std::mem::take(&mut self.levels[0][slot]);
+            for id in ids {
+                match self.entries.get(&id) {
+                    None => {} // cancelled
+                    Some(e) if e.deadline <= t => {
+                        let e = self.entries.remove(&id).expect("entry vanished");
+                        fired.push((e.deadline, e.waker));
+                    }
+                    Some(e) => {
+                        // Same slot, a later lap of the wheel.
+                        let deadline = e.deadline;
+                        self.place(id, deadline);
+                    }
+                }
+            }
+            // Cascade upper levels whose slot boundary this tick crosses.
+            for (l, unit) in UNIT.iter().enumerate().skip(1) {
+                if !t.is_multiple_of(*unit) {
+                    break;
+                }
+                let slot = ((t / unit) % SLOTS) as usize;
+                let ids = std::mem::take(&mut self.levels[l][slot]);
+                for id in ids {
+                    match self.entries.get(&id) {
+                        None => {}
+                        Some(e) if e.deadline <= t => {
+                            let e = self.entries.remove(&id).expect("entry vanished");
+                            fired.push((e.deadline, e.waker));
+                        }
+                        Some(e) => {
+                            let deadline = e.deadline;
+                            self.place(id, deadline);
+                        }
+                    }
+                }
+            }
+            // Pull overflow entries that came into the horizon.
+            if t.is_multiple_of(UNIT[LEVELS - 1]) {
+                let horizon = t + SPAN[LEVELS - 1];
+                let back_in: Vec<u64> = {
+                    let mut back = Vec::new();
+                    let keys: Vec<u64> = self.overflow.range(..horizon).map(|(k, _)| *k).collect();
+                    for k in keys {
+                        if let Some(ids) = self.overflow.remove(&k) {
+                            back.extend(ids);
+                        }
+                    }
+                    back
+                };
+                for id in back_in {
+                    if let Some(e) = self.entries.get(&id) {
+                        let deadline = e.deadline;
+                        self.place(id, deadline);
+                    }
+                }
+            }
+        }
+        fired.sort_by_key(|(deadline, _)| *deadline);
+        fired
+    }
+
+    /// Files `id` into the level whose span covers its remaining delta.
+    fn place(&mut self, id: u64, deadline: u64) {
+        let delta = deadline.saturating_sub(self.now);
+        for l in 0..LEVELS {
+            if delta < SPAN[l] {
+                let slot = ((deadline / UNIT[l]) % SLOTS) as usize;
+                self.levels[l][slot].push(id);
+                return;
+            }
+        }
+        self.overflow.entry(deadline).or_default().push(id);
+    }
+}
+
+impl std::fmt::Debug for TimerWheel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimerWheel")
+            .field("now", &self.now)
+            .field("live", &self.entries.len())
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}

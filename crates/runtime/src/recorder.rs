@@ -94,6 +94,7 @@ impl RecorderConfig {
 pub struct FlightRecorder {
     stop: Arc<AtomicBool>,
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    periodic: Mutex<Option<crate::reactor::PeriodicHandle>>,
 }
 
 impl FlightRecorder {
@@ -118,6 +119,33 @@ impl FlightRecorder {
         Arc::new(FlightRecorder {
             stop,
             thread: Mutex::new(Some(handle)),
+            periodic: Mutex::new(None),
+        })
+    }
+
+    /// Starts the recorder as a periodic reactor task: the sampling tick
+    /// becomes one timer-wheel entry instead of a dedicated sleeping
+    /// thread.
+    #[must_use]
+    pub fn start_reactor(
+        space: Arc<AddressSpace>,
+        config: RecorderConfig,
+        reactor: &crate::reactor::Reactor,
+    ) -> Arc<Self> {
+        space.set_health_policy(config.policy);
+        let stop = Arc::new(AtomicBool::new(false));
+        let task_stop = Arc::clone(&stop);
+        let handle = reactor.spawn_periodic(config.tick, move || {
+            if task_stop.load(Ordering::Acquire) || space.is_down() {
+                return false;
+            }
+            space.record_tick(&config);
+            true
+        });
+        Arc::new(FlightRecorder {
+            stop,
+            thread: Mutex::new(None),
+            periodic: Mutex::new(Some(handle)),
         })
     }
 
@@ -126,6 +154,9 @@ impl FlightRecorder {
         self.stop.store(true, Ordering::Release);
         if let Some(h) = self.thread.lock().take() {
             let _ = h.join();
+        }
+        if let Some(p) = self.periodic.lock().take() {
+            p.cancel();
         }
     }
 }

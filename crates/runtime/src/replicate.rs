@@ -201,6 +201,7 @@ pub struct Replicator {
     wake: Condvar,
     down: AtomicBool,
     worker: Mutex<Option<JoinHandle<()>>>,
+    periodic: Mutex<Option<crate::reactor::PeriodicHandle>>,
     /// Metric handles resolved once at start: [`Replicator::enqueue`] is
     /// on the accepted-put hot path and must not pay registry lookups.
     lag_gauge: Arc<dstampede_obs::Gauge>,
@@ -225,9 +226,70 @@ impl Replicator {
     /// Creates the replicator for `space` and starts its pump thread.
     #[must_use]
     pub fn start(space: &Arc<AddressSpace>) -> Arc<Self> {
+        let repl = Replicator::new(space);
+        let r2 = Arc::clone(&repl);
+        let handle = std::thread::Builder::new()
+            .name(format!("as-{}-repl", space.id().0))
+            .spawn(move || r2.pump())
+            .expect("spawn replicator");
+        *repl.worker.lock() = Some(handle);
+        repl
+    }
+
+    /// Creates the replicator for `space`, clocking its linger tick on a
+    /// reactor's timer wheel instead of a dedicated pump thread. Each
+    /// tick with pending work hands the blocking ship round (peer RPC)
+    /// to an offload thread, which drains the window to empty before
+    /// retiring — so heavy backlogs still ship at full speed while an
+    /// idle replicator holds no thread at all.
+    #[must_use]
+    pub fn start_reactor(
+        space: &Arc<AddressSpace>,
+        reactor: &crate::reactor::Reactor,
+    ) -> Arc<Self> {
+        let repl = Replicator::new(space);
+        let r2 = Arc::clone(&repl);
+        let offload_reactor = reactor.clone();
+        let handle = reactor.spawn_periodic(REPLICATE_LINGER, move || {
+            if r2.down.load(Ordering::SeqCst) {
+                return false;
+            }
+            {
+                let st = r2.state.lock();
+                if st.busy || (st.window.is_empty() && st.opens.is_empty()) {
+                    return true;
+                }
+            }
+            let r3 = Arc::clone(&r2);
+            drop(offload_reactor.run_blocking("repl-ship", move || loop {
+                let (opens, batch): (Vec<(AsId, Request)>, Vec<Pending>) = {
+                    let mut st = r3.state.lock();
+                    if r3.down.load(Ordering::SeqCst)
+                        || (st.window.is_empty() && st.opens.is_empty())
+                    {
+                        st.busy = false;
+                        let lag = st.window.len() as i64;
+                        drop(st);
+                        r3.publish_lag(lag);
+                        return;
+                    }
+                    st.busy = true;
+                    let n = st.window.len().min(REPLICATE_BATCH);
+                    (st.opens.drain(..).collect(), st.window.drain(..n).collect())
+                };
+                r3.deliver_opens(opens);
+                r3.ship(batch);
+            }));
+            true
+        });
+        *repl.periodic.lock() = Some(handle);
+        repl
+    }
+
+    fn new(space: &Arc<AddressSpace>) -> Arc<Self> {
         let metrics = space.metrics();
         let node = format!("as-{}", space.id().0);
-        let repl = Arc::new(Replicator {
+        Arc::new(Replicator {
             space: Arc::downgrade(space),
             state: Mutex::new(ReplicatorState {
                 window: VecDeque::new(),
@@ -240,19 +302,13 @@ impl Replicator {
             wake: Condvar::new(),
             down: AtomicBool::new(false),
             worker: Mutex::new(None),
+            periodic: Mutex::new(None),
             lag_gauge: metrics.gauge("repl", "lag"),
             node_lag_gauge: metrics.gauge_labeled("repl", "node_lag", &[("node", &node)]),
             dropped_counter: metrics.counter("repl", "window_dropped"),
             acked_counter: metrics.counter("repl", "acked"),
             lost_counter: metrics.counter("repl", "lost"),
-        });
-        let r2 = Arc::clone(&repl);
-        let handle = std::thread::Builder::new()
-            .name(format!("as-{}-repl", space.id().0))
-            .spawn(move || r2.pump())
-            .expect("spawn replicator");
-        *repl.worker.lock() = Some(handle);
-        repl
+        })
     }
 
     /// Registers `resource` as replicated to `follower` and schedules the
@@ -354,6 +410,9 @@ impl Replicator {
         self.wake.notify_all();
         if let Some(handle) = self.worker.lock().take() {
             let _ = handle.join();
+        }
+        if let Some(p) = self.periodic.lock().take() {
+            p.cancel();
         }
     }
 

@@ -1,0 +1,354 @@
+//! End-to-end tests for the event-driven runtime core: clusters built
+//! with `.reactor(...)` serve real TCP end devices from the cooperative
+//! executor — parked waiters instead of blocked surrogate threads, the
+//! timer wheel instead of per-service timer threads — while the client
+//! API stays byte-identical to the thread-per-session path.
+
+use std::time::Duration;
+
+use dstampede_client::EndDevice;
+use dstampede_core::{ChannelAttrs, GetSpec, Interest, Item, QueueAttrs, StmError, Timestamp};
+use dstampede_runtime::reactor::ReactorConfig;
+use dstampede_runtime::Cluster;
+use dstampede_wire::WaitSpec;
+
+fn ts(v: i64) -> Timestamp {
+    Timestamp::new(v)
+}
+
+fn reactor_cluster(spaces: u16) -> Cluster {
+    Cluster::builder()
+        .address_spaces(spaces)
+        .reactor(ReactorConfig::default())
+        .build()
+        .unwrap()
+}
+
+/// Counts this process's resident threads via /proc.
+fn resident_threads() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap()
+}
+
+#[test]
+fn attach_roundtrip_and_detach() {
+    let cluster = reactor_cluster(2);
+    assert!(cluster.reactor().is_some());
+    let addr = cluster.listener_addr(0).unwrap();
+
+    let device = EndDevice::attach_c(addr, "reactor-dev").unwrap();
+    assert_eq!(device.ping(41).unwrap(), 41);
+
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+    let inp = device
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+    out.put(ts(1), Item::from_vec(vec![7u8; 64]), WaitSpec::Forever)
+        .unwrap();
+    let (t, item) = inp.get(GetSpec::Exact(ts(1)), WaitSpec::Forever).unwrap();
+    assert_eq!(t, ts(1));
+    assert_eq!(item.payload().len(), 64);
+
+    device.detach().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    loop {
+        let stats = cluster.listener(0).unwrap().stats();
+        if stats.clean_detaches == 1 && stats.active_surrogates == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "detach bookkeeping never settled: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+}
+
+/// A blocking channel `get` parks its surrogate task (no thread pinned)
+/// and the matching `put` — arriving on a *different* session — wakes it.
+#[test]
+fn parked_get_woken_by_put_across_sessions() {
+    let cluster = reactor_cluster(1);
+    let addr = cluster.listener_addr(0).unwrap();
+
+    let consumer = EndDevice::attach_c(addr, "consumer").unwrap();
+    let chan = consumer
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let inp = consumer
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+
+    let getter = std::thread::spawn(move || inp.get(GetSpec::Exact(ts(5)), WaitSpec::Forever));
+
+    // Let the get arrive and park before the put lands.
+    std::thread::sleep(Duration::from_millis(150));
+    let producer = EndDevice::attach_c(addr, "producer").unwrap();
+    let out = producer.connect_channel_out(chan).unwrap();
+    out.put(ts(5), Item::from_vec(b"wake".to_vec()), WaitSpec::Forever)
+        .unwrap();
+
+    let (t, item) = getter.join().unwrap().unwrap();
+    assert_eq!(t, ts(5));
+    assert_eq!(item.payload(), b"wake");
+    cluster.shutdown();
+}
+
+/// Same park/wake contract for queue dequeues.
+#[test]
+fn parked_dequeue_woken_by_enqueue() {
+    let cluster = reactor_cluster(1);
+    let addr = cluster.listener_addr(0).unwrap();
+
+    let device = EndDevice::attach_c(addr, "queue-dev").unwrap();
+    let queue = device.create_queue(None, QueueAttrs::default()).unwrap();
+    let q_in = device.connect_queue_in(queue).unwrap();
+
+    let getter = std::thread::spawn(move || {
+        let got = q_in.get(WaitSpec::Forever)?;
+        q_in.consume(got.2)?;
+        Ok::<_, StmError>((got.0, got.1))
+    });
+
+    std::thread::sleep(Duration::from_millis(150));
+    let feeder = EndDevice::attach_c(addr, "feeder").unwrap();
+    let q_out = feeder.connect_queue_out(queue).unwrap();
+    q_out
+        .put(ts(9), Item::from_vec(b"ticket".to_vec()), WaitSpec::Forever)
+        .unwrap();
+
+    let (t, item) = getter.join().unwrap().unwrap();
+    assert_eq!(t, ts(9));
+    assert_eq!(item.payload(), b"ticket");
+    cluster.shutdown();
+}
+
+/// A bounded wait on an empty container rides the timer wheel and comes
+/// back as `Timeout` — no surrogate thread slept for it.
+#[test]
+fn timed_wait_expires_via_timer_wheel() {
+    let cluster = reactor_cluster(1);
+    let addr = cluster.listener_addr(0).unwrap();
+
+    let device = EndDevice::attach_c(addr, "waiter").unwrap();
+    let chan = device
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let inp = device
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+
+    let started = std::time::Instant::now();
+    let err = inp
+        .get(GetSpec::Exact(ts(1)), WaitSpec::TimeoutMs(120))
+        .unwrap_err();
+    assert_eq!(err, StmError::Timeout);
+    let waited = started.elapsed();
+    assert!(
+        waited >= Duration::from_millis(100),
+        "timed out early: {waited:?}"
+    );
+    // Non-blocking probes still answer immediately.
+    assert_eq!(
+        inp.get(GetSpec::Exact(ts(1)), WaitSpec::NonBlocking)
+            .unwrap_err(),
+        StmError::Absent
+    );
+    cluster.shutdown();
+}
+
+/// Past the `max_sessions` cap the listener still answers — with a clean
+/// `Full`-coded reject frame, not a hung or dropped connection.
+#[test]
+fn max_sessions_cap_rejects_cleanly() {
+    let cluster = Cluster::builder()
+        .address_spaces(1)
+        .reactor(ReactorConfig::default())
+        .max_sessions(1)
+        .build()
+        .unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+
+    let holder = EndDevice::attach_c(addr, "holder").unwrap();
+    let err = EndDevice::attach_c(addr, "overflow").unwrap_err();
+    assert_eq!(err, StmError::Full);
+    let stats = cluster.listener(0).unwrap().stats();
+    assert_eq!(stats.sessions_rejected, 1);
+
+    // Capacity frees when the holder detaches.
+    holder.detach().unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let replacement = loop {
+        match EndDevice::attach_c(addr, "replacement") {
+            Ok(d) => break d,
+            Err(StmError::Full) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("unexpected attach error {e:?}"),
+        }
+    };
+    assert_eq!(replacement.ping(1).unwrap(), 1);
+    cluster.shutdown();
+}
+
+/// The legacy thread-per-session path enforces the same cap with the
+/// same reject frame.
+#[test]
+fn max_sessions_cap_rejects_on_legacy_path_too() {
+    let cluster = Cluster::builder()
+        .address_spaces(1)
+        .max_sessions(1)
+        .build()
+        .unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+    let _holder = EndDevice::attach_c(addr, "holder").unwrap();
+    assert_eq!(
+        EndDevice::attach_c(addr, "overflow").unwrap_err(),
+        StmError::Full
+    );
+    cluster.shutdown();
+}
+
+/// A silent client is torn down by the reaper once its lease expires —
+/// but only while it is *between requests*; a session parked in a long
+/// blocking wait is not a silent client.
+#[test]
+fn lease_expiry_reaps_silent_sessions_only() {
+    let cluster = Cluster::builder()
+        .address_spaces(1)
+        .reactor(ReactorConfig::default())
+        .session_lease(Duration::from_millis(200))
+        .build()
+        .unwrap();
+    let addr = cluster.listener_addr(0).unwrap();
+
+    // A session parked in a blocking get outlives the lease.
+    let parked = EndDevice::attach_c(addr, "parked").unwrap();
+    let chan = parked
+        .create_channel(None, ChannelAttrs::default())
+        .unwrap();
+    let inp = parked
+        .connect_channel_in(chan, Interest::FromEarliest)
+        .unwrap();
+    let getter = std::thread::spawn(move || inp.get(GetSpec::Exact(ts(3)), WaitSpec::Forever));
+
+    // A fully silent session gets reaped.
+    let _silent = EndDevice::attach_c(addr, "silent").unwrap();
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while cluster.listener(0).unwrap().stats().lease_teardowns == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "silent session never reaped"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The parked session is still healthy: the put completes its get.
+    let producer = EndDevice::attach_c(addr, "producer").unwrap();
+    let out = producer.connect_channel_out(chan).unwrap();
+    out.put(ts(3), Item::from_vec(b"late".to_vec()), WaitSpec::Forever)
+        .unwrap();
+    let (t, _) = getter.join().unwrap().unwrap();
+    assert_eq!(t, ts(3));
+    assert_eq!(cluster.listener(0).unwrap().stats().lease_teardowns, 1);
+    cluster.shutdown();
+}
+
+/// Resident threads track the worker pool, not the session count: tens
+/// of concurrent sessions (some parked in blocking waits) add zero
+/// threads on the server side.
+#[test]
+fn thread_count_independent_of_session_count() {
+    let cluster = reactor_cluster(1);
+    let addr = cluster.listener_addr(0).unwrap();
+
+    // Settle, then baseline after one session exists (client-side
+    // threads for the harness don't count against the runtime).
+    let seed = EndDevice::attach_c(addr, "seed").unwrap();
+    let chan = seed.create_channel(None, ChannelAttrs::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    let baseline = resident_threads();
+
+    let mut devices = Vec::new();
+    let mut getters = Vec::new();
+    for i in 0..24 {
+        let d = EndDevice::attach_c(addr, &format!("dev-{i}")).unwrap();
+        if i % 2 == 0 {
+            // Half the sessions park in a blocking wait.
+            let inp = d.connect_channel_in(chan, Interest::FromEarliest).unwrap();
+            getters.push(std::thread::spawn(move || {
+                inp.get(GetSpec::Exact(ts(100)), WaitSpec::Forever)
+            }));
+        }
+        devices.push(d);
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    let loaded = resident_threads();
+    // 24 sessions, 12 of them parked server-side. The client test
+    // threads above account for 12 of the delta; the runtime itself may
+    // add at most a few offload helpers, never O(sessions).
+    let server_side = loaded
+        .saturating_sub(baseline)
+        .saturating_sub(getters.len());
+    assert!(
+        server_side <= 6,
+        "server grew {server_side} threads for 24 sessions (baseline {baseline}, loaded {loaded})"
+    );
+
+    let out = seed.connect_channel_out(chan).unwrap();
+    out.put(ts(100), Item::from_vec(vec![1]), WaitSpec::Forever)
+        .unwrap();
+    for g in getters {
+        g.join().unwrap().unwrap();
+    }
+    cluster.shutdown();
+}
+
+/// Reactor-mode clusters keep the full distributed surface: remote
+/// containers, the name server, and cluster stats all answer over TCP.
+#[test]
+fn distributed_surface_over_reactor() {
+    let cluster = reactor_cluster(3);
+    let addr1 = cluster.listener_addr(1).unwrap();
+
+    let device = EndDevice::attach_c(addr1, "remote-dev").unwrap();
+    // The channel lands where placement puts it; access is transparent.
+    let chan = device
+        .create_channel(Some("sensor.video"), ChannelAttrs::default())
+        .unwrap();
+    let out = device.connect_channel_out(chan).unwrap();
+    out.put(ts(2), Item::from_vec(vec![9; 16]), WaitSpec::Forever)
+        .unwrap();
+
+    // Lookup parks on the name server (a blocking wait shimmed through
+    // AS1's surrogate) until the registration lands from a second session.
+    let registrar = EndDevice::attach_c(cluster.listener_addr(0).unwrap(), "registrar").unwrap();
+    let looker = {
+        let device = device.clone();
+        std::thread::spawn(move || device.ns_lookup("sensor.video", WaitSpec::Forever))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    registrar
+        .ns_register(
+            "sensor.video",
+            dstampede_core::ResourceId::Channel(chan),
+            "",
+        )
+        .unwrap();
+    let (resource, _meta) = looker.join().unwrap().unwrap();
+    assert_eq!(resource, dstampede_core::ResourceId::Channel(chan));
+
+    let snapshot = device.stats(true).unwrap();
+    assert!(!snapshot.counters.is_empty());
+    device.detach().unwrap();
+    cluster.shutdown();
+}

@@ -1,0 +1,272 @@
+//! Timer-wheel semantics: property tests over random schedules plus a
+//! virtual-clock determinism suite (same style as the CLF window model
+//! tests — the wheel never reads a real clock, so every sequence of
+//! operations is exactly reproducible).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::task::{Wake, Waker};
+
+use proptest::prelude::*;
+
+use dstampede_runtime::reactor::TimerWheel;
+
+/// A waker that counts its wakes, for telling fired entries apart.
+struct CountingWake(AtomicUsize);
+
+impl Wake for CountingWake {
+    fn wake(self: Arc<Self>) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn counting() -> (Arc<CountingWake>, Waker) {
+    let c = Arc::new(CountingWake(AtomicUsize::new(0)));
+    (Arc::clone(&c), Waker::from(Arc::clone(&c)))
+}
+
+fn noop() -> Waker {
+    Waker::noop().clone()
+}
+
+proptest! {
+    /// Every scheduled deadline fires exactly once, never before its
+    /// deadline, and each `advance` reports its fires in non-decreasing
+    /// deadline order.
+    #[test]
+    fn fires_every_deadline_in_monotone_order(
+        deadlines in proptest::collection::vec(1u64..16_384, 1..64),
+        steps in proptest::collection::vec(1u64..2_048, 1..32),
+    ) {
+        let mut wheel = TimerWheel::new(0);
+        for &d in &deadlines {
+            wheel.schedule(d, noop());
+        }
+        prop_assert_eq!(wheel.len(), deadlines.len());
+
+        let mut fired_all: Vec<u64> = Vec::new();
+        let mut prev_to = 0u64;
+        let mut to = 0u64;
+        for &s in &steps {
+            to += s;
+            let fired = wheel.advance(to);
+            for w in fired.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "unsorted fires within one advance");
+            }
+            for (d, _) in &fired {
+                prop_assert!(*d > prev_to, "fired in a later advance than its deadline");
+                prop_assert!(*d <= to, "fired before its deadline");
+                fired_all.push(*d);
+            }
+            prev_to = to;
+        }
+        // Drain the stragglers.
+        for (d, _) in wheel.advance(20_000) {
+            prop_assert!(d > prev_to && d <= 20_000);
+            fired_all.push(d);
+        }
+        prop_assert!(wheel.is_empty());
+
+        let mut expect = deadlines.clone();
+        expect.sort_unstable();
+        fired_all.sort_unstable();
+        prop_assert_eq!(fired_all, expect, "fired set must equal scheduled set");
+    }
+
+    /// An entry cancelled before its deadline never fires, regardless of
+    /// how the cancellation interleaves with `advance` calls; the
+    /// survivors all fire exactly once.
+    #[test]
+    fn cancel_before_fire_never_fires(
+        entries in proptest::collection::vec((1u64..8_192, any::<bool>()), 1..48),
+        split in 0u64..8_192,
+    ) {
+        let mut wheel = TimerWheel::new(0);
+        let mut scheduled = Vec::new();
+        for &(d, cancel) in &entries {
+            let (count, waker) = counting();
+            let id = wheel.schedule(d, waker);
+            scheduled.push((d, cancel, id, count));
+        }
+        // Advance partway, then cancel — but only entries that have not
+        // fired yet, so the "before fire" premise holds.
+        for (_, waker) in wheel.advance(split.min(8_192)) {
+            waker.wake();
+        }
+        for (d, cancel, id, _) in &scheduled {
+            if *cancel && *d > split {
+                prop_assert!(wheel.cancel(*id), "live entry must cancel");
+                prop_assert!(!wheel.cancel(*id), "second cancel reports dead");
+            }
+        }
+        for (_, waker) in wheel.advance(10_000) {
+            waker.wake();
+        }
+        prop_assert!(wheel.is_empty());
+        for (d, cancel, _, count) in &scheduled {
+            let fired = count.0.load(Ordering::SeqCst);
+            if *cancel && *d > split {
+                prop_assert_eq!(fired, 0, "cancelled entry fired");
+            } else {
+                prop_assert_eq!(fired, 1, "surviving entry must fire once");
+            }
+        }
+    }
+
+    /// Coarse-bucket error bound: an upper-level entry cascades down in
+    /// time and fires within the `advance` call that crosses its
+    /// deadline — never in an earlier call, and never left behind. The
+    /// firing error is therefore bounded by the caller's advance
+    /// granularity, not by the bucket width of the level it sat in.
+    #[test]
+    fn upper_level_firing_error_is_bounded_by_advance_step(
+        deadline in 65u64..300_000,
+        step in 1u64..50_000,
+    ) {
+        let mut wheel = TimerWheel::new(0);
+        wheel.schedule(deadline, noop());
+        let mut to = 0u64;
+        while to < deadline + step {
+            to += step;
+            let fired = wheel.advance(to);
+            if to < deadline {
+                prop_assert!(fired.is_empty(), "fired {} early at {}", deadline, to);
+            } else {
+                prop_assert_eq!(fired.len(), 1, "must fire in the crossing advance");
+                prop_assert_eq!(fired[0].0, deadline);
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// `next_deadline_hint` never overshoots the true next deadline: the
+    /// poller sleeping until the hint can never sleep through a fire.
+    #[test]
+    fn hint_never_overshoots_next_deadline(
+        deadlines in proptest::collection::vec(1u64..100_000, 1..32),
+        start in 0u64..1_000,
+    ) {
+        let mut wheel = TimerWheel::new(start);
+        let mut earliest = u64::MAX;
+        for &d in &deadlines {
+            let d = d + start;
+            wheel.schedule(d, noop());
+            earliest = earliest.min(d.max(start + 1));
+        }
+        let hint = wheel.next_deadline_hint();
+        prop_assert!(hint.is_some());
+        prop_assert!(hint.unwrap() <= earliest, "hint {hint:?} past {earliest}");
+    }
+}
+
+#[test]
+fn empty_wheel_has_no_hint_and_jumps() {
+    let mut wheel = TimerWheel::new(0);
+    assert!(wheel.is_empty());
+    assert_eq!(wheel.next_deadline_hint(), None);
+    assert!(wheel.advance(1 << 40).is_empty());
+    assert_eq!(wheel.now(), 1 << 40);
+}
+
+#[test]
+fn past_deadline_clamps_to_next_tick() {
+    let mut wheel = TimerWheel::new(100);
+    // A deadline at or before `now` must not fire inside `schedule`
+    // (register-then-check ordering) — it fires on the next tick.
+    wheel.schedule(5, noop());
+    wheel.schedule(100, noop());
+    assert_eq!(wheel.len(), 2);
+    let fired = wheel.advance(101);
+    assert_eq!(fired.len(), 2);
+    assert!(fired.iter().all(|(d, _)| *d == 101));
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn near_hint_is_exact_far_hint_is_slot_granular() {
+    let mut wheel = TimerWheel::new(0);
+    wheel.schedule(7, noop());
+    assert_eq!(wheel.next_deadline_hint(), Some(7));
+    let mut wheel = TimerWheel::new(0);
+    wheel.schedule(500, noop());
+    // Beyond the level-0 window the hint is a recheck bound, one slot
+    // span out — never past the deadline.
+    assert_eq!(wheel.next_deadline_hint(), Some(64));
+}
+
+#[test]
+fn same_slot_later_lap_waits_its_lap() {
+    let mut wheel = TimerWheel::new(0);
+    // Ticks 64 and 128 share level-0 slot 0; the lap-2 entry must be
+    // re-filed, not fired, when the slot turns up at tick 64.
+    wheel.schedule(64, noop());
+    wheel.schedule(128, noop());
+    let fired = wheel.advance(64);
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].0, 64);
+    assert!(wheel.advance(127).is_empty());
+    let fired = wheel.advance(128);
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].0, 128);
+}
+
+#[test]
+fn overflow_beyond_horizon_fires() {
+    let span3 = 64u64 * 64 * 64 * 64;
+    let deadline = span3 + 77;
+    let mut wheel = TimerWheel::new(0);
+    wheel.schedule(deadline, noop());
+    assert_eq!(wheel.len(), 1);
+    assert!(wheel.advance(span3).is_empty());
+    let fired = wheel.advance(deadline);
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].0, deadline);
+    assert!(wheel.is_empty());
+}
+
+/// The same operation sequence on two wheels yields bit-identical firing
+/// histories — the virtual-clock determinism the doc promises.
+#[test]
+fn virtual_clock_determinism() {
+    fn run(ops: &[(u8, u64)]) -> Vec<(usize, Vec<u64>)> {
+        let mut wheel = TimerWheel::new(0);
+        let mut ids = Vec::new();
+        let mut history = Vec::new();
+        let mut clock = 0u64;
+        for (i, &(kind, arg)) in ops.iter().enumerate() {
+            match kind % 3 {
+                0 => ids.push(wheel.schedule(clock + 1 + arg % 5_000, noop())),
+                1 => {
+                    if !ids.is_empty() {
+                        let victim = ids[(arg as usize) % ids.len()];
+                        wheel.cancel(victim);
+                    }
+                }
+                _ => {
+                    clock += arg % 700;
+                    let fired: Vec<u64> =
+                        wheel.advance(clock).into_iter().map(|(d, _)| d).collect();
+                    history.push((i, fired));
+                }
+            }
+        }
+        history
+    }
+
+    // A fixed pseudo-random op tape (deterministic LCG, no RNG crate).
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let ops: Vec<(u8, u64)> = (0..400)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            ((state >> 33) as u8, state >> 17)
+        })
+        .collect();
+    assert_eq!(
+        run(&ops),
+        run(&ops),
+        "identical tapes must replay identically"
+    );
+}

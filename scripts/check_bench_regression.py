@@ -15,6 +15,17 @@ tolerance. The schema is auto-detected from the reports:
   at the report's ``reference_rate`` (lower is better: the fresh p99
   may exceed the baseline's by at most the tolerance).
 
+For load reports, ``--min-session-ratio X`` additionally checks the
+fresh report's ``session_ab`` section (``load_perf --session-ab``):
+the reactor side must carry at least ``X`` times the legacy session
+count, both sides must meet the run's corrected-p99 budget, reactor
+thread growth over baseline must stay O(workers), and the bare-attach
+thread ceiling (when probed) must show no per-session threads. These
+are absolute checks on the fresh run, not a baseline diff — the claim
+is about the fresh binary, so an old baseline without the section
+never weakens it. The flag makes the section mandatory: a fresh
+report missing it fails the gate.
+
 Sections present in both reports are compared, sections present only
 on one side are reported but never fail the gate (so adding a section
 does not break old baselines).
@@ -33,7 +44,8 @@ the pre-rework record (``results/BENCH_wire_baseline.json``, ``"mode":
 "baseline"``) as the baseline.
 
 Usage:
-    check_bench_regression.py BASELINE FRESH [--tolerance PCT] [--min-speedup X]
+    check_bench_regression.py BASELINE FRESH [--tolerance PCT]
+        [--min-speedup X] [--min-session-ratio X]
 
 Exit codes: 0 ok, 1 regression, 2 bad input.
 """
@@ -102,6 +114,55 @@ def wire_sections() -> list[tuple[str, str]]:
     return out
 
 
+def check_session_ab(fresh: dict, min_ratio: float) -> bool:
+    """Absolute checks on a fresh session_ab section; True on failure."""
+    ab = fresh.get("session_ab")
+    if not isinstance(ab, dict):
+        print("session_ab: missing in fresh report FAIL (required by --min-session-ratio)")
+        return True
+    failed = False
+    try:
+        budget = float(ab["p99_budget_us"])
+        legacy, reactor = ab["legacy"], ab["reactor"]
+        ratio = float(reactor["sessions"]) / float(legacy["sessions"])
+    except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
+        print(f"session_ab: malformed section ({exc}) FAIL")
+        return True
+    verdict = "ok" if ratio >= min_ratio else "FAIL"
+    failed |= ratio < min_ratio
+    print(
+        f"session_ab: {reactor['sessions']} reactor vs {legacy['sessions']} legacy "
+        f"sessions ({ratio:.1f}x, need {min_ratio:g}x) {verdict}"
+    )
+    for side_name, side in (("legacy", legacy), ("reactor", reactor)):
+        p99 = load_metric(side, "p99_us")
+        if p99 is None or p99 > budget:
+            failed = True
+        shown = "missing" if p99 is None else f"{p99:,.0f}us"
+        verdict = "ok" if p99 is not None and p99 <= budget else "FAIL"
+        print(f"session_ab {side_name}: corrected p99 {shown} (budget {budget:,.0f}us) {verdict}")
+    grown = load_metric(reactor, "steady_threads")
+    base = load_metric(reactor, "base_threads")
+    if grown is None or base is None or grown - base > 32:
+        failed = True
+        print(f"session_ab reactor: thread growth {grown} over base {base} FAIL (allowed +32)")
+    else:
+        print(f"session_ab reactor: {grown - base:.0f} threads over base ok")
+    ceiling = ab.get("thread_ceiling")
+    if isinstance(ceiling, dict):
+        extra = load_metric(ceiling, "threads")
+        cbase = load_metric(ceiling, "base_threads")
+        if extra is None or cbase is None or extra - cbase > 16:
+            failed = True
+            print(f"session_ab ceiling: {extra} threads over base {cbase} FAIL (allowed +16)")
+        else:
+            print(
+                f"session_ab ceiling: {ceiling.get('sessions')} bare sessions, "
+                f"{extra - cbase:.0f} threads over base ok"
+            )
+    return failed
+
+
 def compare(
     pairs: list[tuple[str, float | None, float | None]],
     tolerance: float,
@@ -140,6 +201,12 @@ def main() -> int:
         type=float,
         default=None,
         help="wire only: require fresh/baseline >= X at the 4 KiB codec sections",
+    )
+    parser.add_argument(
+        "--min-session-ratio",
+        type=float,
+        default=None,
+        help="load only: require the fresh session_ab reactor/legacy session ratio >= X",
     )
     args = parser.parse_args()
 
@@ -220,6 +287,10 @@ def main() -> int:
                 verdict = f"FAIL (allowed +{args.tolerance:g}%)"
                 failed = True
             print(f"p99@{ref}: {base_p99:,.0f} -> {now_p99:,.0f} us ({drift_pct:+.2f}%) {verdict}")
+        if args.min_session_ratio is not None:
+            if check_session_ab(fresh, args.min_session_ratio):
+                failed = True
+            compared += 1
     else:
         print(f"error: unknown schema {schema!r}", file=sys.stderr)
         return 2
